@@ -1,0 +1,369 @@
+// Benchmarks regenerating the paper's evaluation (Sec. VII):
+//
+//	BenchmarkTable1/*  — simulator throughput (MIPS) per configuration
+//	                     and per cycle model (Table I rows)
+//	BenchmarkFigure4/* — operations/cycle of every application on every
+//	                     processor instance plus the theoretical ILP
+//	BenchmarkTable2/*  — heuristic DOE vs cycle-accurate RTL on DCT
+//	BenchmarkAblation/* — design-choice ablations called out in DESIGN.md
+//
+// Absolute MIPS values are host-dependent; the custom metrics (mips,
+// cycles, opc, errpct) carry the reproduced quantities. Run with:
+//
+//	go test -bench=. -benchmem
+package kahrisma_test
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/cycle"
+	"repro/internal/driver"
+	"repro/internal/mem"
+	"repro/internal/rtl"
+	"repro/internal/sim"
+	"repro/internal/targetgen"
+	"repro/internal/workloads"
+)
+
+// buildProg compiles a workload once (outside the timed region).
+func buildProg(b *testing.B, w *workloads.Workload, isaName string) *sim.Program {
+	b.Helper()
+	m, err := targetgen.Kahrisma()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := driver.Load(m, isaName, w.Sources...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// runOnce executes the program with the given options and observers.
+func runOnce(b *testing.B, p *sim.Program, opts sim.Options, obs ...sim.Observer) *sim.CPU {
+	b.Helper()
+	m := targetgen.MustKahrisma()
+	opts.Stdout = io.Discard
+	if opts.MaxInstructions == 0 {
+		opts.MaxInstructions = 2_000_000_000
+	}
+	c, err := sim.New(m, p, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, o := range obs {
+		c.Attach(o)
+	}
+	if _, err := c.Run(); err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// reportMIPS converts the benchmark timing into the paper's MIPS metric.
+func reportMIPS(b *testing.B, instructions uint64) {
+	perOp := float64(b.Elapsed().Nanoseconds()) / float64(uint64(b.N)*instructions)
+	b.ReportMetric(1e3/perOp, "mips")
+	b.ReportMetric(perOp, "ns/instr")
+}
+
+// BenchmarkTable1 reproduces the simulator-performance rows of Table I
+// on the JPEG encoder compiled for the RISC instance.
+func BenchmarkTable1(b *testing.B) {
+	cjpeg := workloads.CJpeg()
+	prog := buildProg(b, cjpeg, "RISC")
+	var instructions uint64
+
+	b.Run("NoDecodeCache", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := runOnce(b, prog, sim.Options{})
+			instructions = c.Stats.Instructions
+		}
+		reportMIPS(b, instructions)
+	})
+	b.Run("DecodeCache", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := runOnce(b, prog, sim.Options{DecodeCache: true})
+			instructions = c.Stats.Instructions
+		}
+		reportMIPS(b, instructions)
+	})
+	b.Run("DecodeCachePrediction", func(b *testing.B) {
+		var stats sim.Stats
+		for i := 0; i < b.N; i++ {
+			c := runOnce(b, prog, sim.DefaultOptions())
+			stats = c.Stats
+			instructions = stats.Instructions
+		}
+		reportMIPS(b, instructions)
+		b.ReportMetric(100*(1-float64(stats.Detected)/float64(stats.Instructions)), "decode-avoided-%")
+		b.ReportMetric(100*(1-float64(stats.CacheLookups)/float64(stats.Instructions)), "lookups-avoided-%")
+	})
+	b.Run("ILP", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := runOnce(b, prog, sim.DefaultOptions(), cycle.NewILP(targetgen.MustKahrisma()))
+			instructions = c.Stats.Instructions
+		}
+		reportMIPS(b, instructions)
+	})
+	b.Run("AIE", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := runOnce(b, prog, sim.DefaultOptions(), cycle.NewAIE(mem.Paper()))
+			instructions = c.Stats.Instructions
+		}
+		reportMIPS(b, instructions)
+	})
+	b.Run("DOE", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := runOnce(b, prog, sim.DefaultOptions(),
+				cycle.NewDOE(targetgen.MustKahrisma(), mem.Paper()))
+			instructions = c.Stats.Instructions
+		}
+		reportMIPS(b, instructions)
+	})
+}
+
+// BenchmarkFigure4 reproduces the ILP-vs-measured series: for every
+// application, the theoretical ILP (RISC input) and the DOE-measured
+// operations/cycle of every processor instance.
+func BenchmarkFigure4(b *testing.B) {
+	m := targetgen.MustKahrisma()
+	for _, w := range workloads.All() {
+		w := w
+		b.Run(w.Name+"/ILP", func(b *testing.B) {
+			prog := buildProg(b, w, "RISC")
+			var ilp *cycle.ILP
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ilp = cycle.NewILP(m)
+				runOnce(b, prog, sim.DefaultOptions(), ilp)
+			}
+			b.ReportMetric(cycle.OPC(ilp), "opc")
+		})
+		for _, isaName := range []string{"RISC", "VLIW2", "VLIW4", "VLIW6", "VLIW8"} {
+			isaName := isaName
+			b.Run(w.Name+"/"+isaName, func(b *testing.B) {
+				prog := buildProg(b, w, isaName)
+				var doe *cycle.DOE
+				var h *mem.Hierarchy
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					h = mem.Paper()
+					doe = cycle.NewDOE(m, h)
+					runOnce(b, prog, sim.DefaultOptions(), doe)
+				}
+				b.ReportMetric(cycle.OPC(doe), "opc")
+				b.ReportMetric(float64(doe.Cycles()), "cycles")
+				b.ReportMetric(100*h.L1.MissRate(), "l1miss-%")
+			})
+		}
+	}
+}
+
+// BenchmarkTable2 reproduces the DOE-vs-RTL accuracy comparison on the
+// DCT workload (perfect branch prediction on both sides).
+func BenchmarkTable2(b *testing.B) {
+	m := targetgen.MustKahrisma()
+	dct := workloads.DCT()
+	for _, isaName := range []string{"RISC", "VLIW2", "VLIW4", "VLIW8"} {
+		isaName := isaName
+		b.Run(isaName+"/DOE", func(b *testing.B) {
+			prog := buildProg(b, dct, isaName)
+			var doe *cycle.DOE
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				doe = cycle.NewDOE(m, mem.Paper())
+				runOnce(b, prog, sim.DefaultOptions(), doe)
+			}
+			b.ReportMetric(float64(doe.Cycles()), "cycles")
+		})
+		b.Run(isaName+"/RTL", func(b *testing.B) {
+			prog := buildProg(b, dct, isaName)
+			var pipe *rtl.Pipeline
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg := rtl.DefaultConfig()
+				cfg.Hierarchy = mem.Paper()
+				pipe = rtl.New(m, cfg)
+				runOnce(b, prog, sim.DefaultOptions(), pipe)
+				pipe.Drain()
+			}
+			b.ReportMetric(float64(pipe.Cycles()), "cycles")
+		})
+	}
+}
+
+// BenchmarkAblation measures the design choices DESIGN.md calls out.
+func BenchmarkAblation(b *testing.B) {
+	m := targetgen.MustKahrisma()
+	dct := workloads.DCT()
+
+	// The single L1 port: start-only claims (the evaluation's "one
+	// access per cycle") versus the stricter Sec. VI-D behaviour where
+	// completions reserve the port too.
+	for _, claim := range []struct {
+		name  string
+		claim bool
+	}{{"PortStartOnly", false}, {"PortClaimsCompletion", true}} {
+		claim := claim
+		b.Run("L1Port/"+claim.name, func(b *testing.B) {
+			prog := buildProg(b, dct, "VLIW8")
+			var doe *cycle.DOE
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h := mem.Paper()
+				h.Lim.ClaimCompletion = claim.claim
+				doe = cycle.NewDOE(m, h)
+				runOnce(b, prog, sim.DefaultOptions(), doe)
+			}
+			b.ReportMetric(float64(doe.Cycles()), "cycles")
+		})
+	}
+
+	// RTL drift window: how strongly the hardware's bounded slot drift
+	// (for precise interrupts) limits the dynamic-issue win.
+	for _, drift := range []int{1, 4, 8, 32} {
+		drift := drift
+		b.Run("RTLDrift/"+itoa(drift), func(b *testing.B) {
+			prog := buildProg(b, dct, "VLIW8")
+			var pipe *rtl.Pipeline
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg := rtl.DefaultConfig()
+				cfg.Hierarchy = mem.Paper()
+				cfg.MaxDriftInstrs = drift
+				if drift > cfg.QueueDepth {
+					cfg.QueueDepth = drift
+				}
+				pipe = rtl.New(m, cfg)
+				runOnce(b, prog, sim.DefaultOptions(), pipe)
+				pipe.Drain()
+			}
+			b.ReportMetric(float64(pipe.Cycles()), "cycles")
+		})
+	}
+
+	// Compiler scheduling: memory operations packed per bundle. The
+	// paper's single L1 port is a dynamic resource; the static cap
+	// spreads accesses so the port is not hit in bursts.
+	for _, cap := range []int{1, 2, 0} {
+		cap := cap
+		name := "unlimited"
+		if cap > 0 {
+			name = string(rune('0' + cap))
+		}
+		b.Run("SchedMemCap/"+name, func(b *testing.B) {
+			cc.SetMemCap(cap)
+			defer cc.SetMemCap(2)
+			prog := buildProg(b, dct, "VLIW8")
+			var doe *cycle.DOE
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				doe = cycle.NewDOE(m, mem.Paper())
+				runOnce(b, prog, sim.DefaultOptions(), doe)
+			}
+			b.ReportMetric(float64(doe.Cycles()), "cycles")
+		})
+	}
+
+	// Compiler optimization passes (copy propagation + dead code
+	// elimination) on and off.
+	for _, on := range []struct {
+		name string
+		on   bool
+	}{{"On", true}, {"Off", false}} {
+		on := on
+		b.Run("CompilerOpt/"+on.name, func(b *testing.B) {
+			cc.SetOptimize(on.on)
+			defer cc.SetOptimize(true)
+			prog := buildProg(b, dct, "VLIW8")
+			var doe *cycle.DOE
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				doe = cycle.NewDOE(m, mem.Paper())
+				runOnce(b, prog, sim.DefaultOptions(), doe)
+			}
+			b.ReportMetric(float64(doe.Cycles()), "cycles")
+		})
+	}
+
+	// Branch misprediction model (the paper's future work): DOE with a
+	// bimodal predictor and an 8-cycle refill penalty versus the
+	// perfect-prediction setup of the evaluation.
+	for _, penalty := range []uint64{0, 8} {
+		penalty := penalty
+		name := "Perfect"
+		if penalty > 0 {
+			name = "Bimodal8"
+		}
+		b.Run("BranchPrediction/"+name, func(b *testing.B) {
+			prog := buildProg(b, workloads.Qsort(), "RISC")
+			var doe *cycle.DOE
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				doe = cycle.NewDOE(m, mem.Paper())
+				if penalty > 0 {
+					doe.Pred = cycle.NewBranchPredictor(512)
+					doe.MispredictPenalty = penalty
+				}
+				runOnce(b, prog, sim.DefaultOptions(), doe)
+			}
+			b.ReportMetric(float64(doe.Cycles()), "cycles")
+			if doe.Pred != nil {
+				b.ReportMetric(100*doe.Pred.MissRate(), "mispredict-%")
+			}
+		})
+	}
+
+	// Memory model cost in isolation (Table I's "Memory Model" row):
+	// time the hierarchy against the recorded access stream of cjpeg.
+	b.Run("MemoryModelReplay", func(b *testing.B) {
+		prog := buildProg(b, workloads.CJpeg(), "RISC")
+		type access struct {
+			addr  uint32
+			write bool
+			slot  uint8
+		}
+		var stream []access
+		rec := obsFunc(func(r *sim.ExecRecord) {
+			for i := range r.D.Ops {
+				if mm := r.Mem[i]; mm.Valid {
+					stream = append(stream, access{mm.Addr, mm.Write, r.D.Ops[i].Slot})
+				}
+			}
+		})
+		c := runOnce(b, prog, sim.DefaultOptions(), rec)
+		instr := c.Stats.Instructions
+		h := mem.Paper()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Reset()
+			cur := uint64(0)
+			for _, a := range stream {
+				cur = h.Access(a.addr, a.write, int(a.slot), cur) - 2
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(uint64(b.N)*instr), "ns/instr")
+		b.ReportMetric(100*float64(len(stream))/float64(instr), "mem-instr-%")
+	})
+}
+
+type obsFunc func(*sim.ExecRecord)
+
+func (f obsFunc) Instruction(r *sim.ExecRecord) { f(r) }
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,52 @@
+// Command kasm is the mixed-ISA assembler: it translates assembly files
+// (with `.isa` directives for run-time ISA switching and `{ ... }` VLIW
+// bundles) into relocatable ELF objects.
+//
+// Usage:
+//
+//	kasm [-o out.o] file.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/targetgen"
+)
+
+func main() {
+	out := flag.String("o", "", "output object file (default: input with .o)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "kasm: exactly one input file required")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	model, err := targetgen.Kahrisma()
+	if err != nil {
+		fatal(err)
+	}
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	obj, err := asm.Assemble(model, path, string(src))
+	if err != nil {
+		fatal(err)
+	}
+	dst := *out
+	if dst == "" {
+		dst = strings.TrimSuffix(path, ".s") + ".o"
+	}
+	if err := obj.WriteFile(dst); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "kasm: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,56 @@
+// Command kbench regenerates the paper's evaluation (Sec. VII): the
+// simulator-performance measurement (Table I), the ILP-vs-measured
+// operations/cycle series of all applications (Figure 4), and the
+// DOE-vs-RTL accuracy comparison (Table II).
+//
+// Usage:
+//
+//	kbench [-table1] [-figure4] [-table2]     (default: all)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/workloads"
+)
+
+func main() {
+	t1 := flag.Bool("table1", false, "run only Table I")
+	f4 := flag.Bool("figure4", false, "run only Figure 4")
+	t2 := flag.Bool("table2", false, "run only Table II")
+	flag.Parse()
+	all := !*t1 && !*f4 && !*t2
+
+	if all || *t1 {
+		fmt.Println("== Table I ==")
+		res, err := experiments.RunTable1()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Render())
+	}
+	if all || *f4 {
+		fmt.Println("== Figure 4 ==")
+		apps, err := experiments.RunFigure4(workloads.All())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderFigure4(apps))
+	}
+	if all || *t2 {
+		fmt.Println("== Table II ==")
+		res, err := experiments.RunTable2()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Render())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "kbench: %v\n", err)
+	os.Exit(1)
+}

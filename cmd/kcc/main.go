@@ -1,0 +1,56 @@
+// Command kcc is the retargetable MiniC compiler of the KAHRISMA
+// toolchain: it translates MiniC source files into target-dependent
+// assembly for any ISA described in the ADL (Sec. IV of the paper).
+//
+// Usage:
+//
+//	kcc [-isa RISC] [-o out.s] file.c...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cc"
+	"repro/internal/targetgen"
+)
+
+func main() {
+	isaName := flag.String("isa", "RISC", "target ISA (default for functions without __isa)")
+	out := flag.String("o", "", "output file (default: stdout)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "kcc: no input files")
+		os.Exit(2)
+	}
+	model, err := targetgen.Kahrisma()
+	if err != nil {
+		fatal(err)
+	}
+	var sb strings.Builder
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		asmText, err := cc.Compile(model, cc.Options{ISA: *isaName}, path, string(src))
+		if err != nil {
+			fatal(err)
+		}
+		sb.WriteString(asmText)
+	}
+	if *out == "" {
+		fmt.Print(sb.String())
+		return
+	}
+	if err := os.WriteFile(*out, []byte(sb.String()), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "kcc: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Command kdump inspects KAHRISMA ELF files: headers, sections,
+// symbols, the function table, and a mixed-ISA disassembly of .text.
+//
+// Usage:
+//
+//	kdump [-d] [-s] [-t] file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/kelf"
+	"repro/internal/sim"
+	"repro/internal/targetgen"
+)
+
+func main() {
+	disasm := flag.Bool("d", false, "disassemble .text")
+	symbols := flag.Bool("s", false, "print symbols")
+	functable := flag.Bool("t", false, "print the function table")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "kdump: exactly one file required")
+		os.Exit(2)
+	}
+	model, err := targetgen.Kahrisma()
+	if err != nil {
+		fatal(err)
+	}
+	f, err := kelf.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	kind := "relocatable object"
+	if f.Type == kelf.TypeExec {
+		kind = "executable"
+	}
+	entryISA := model.ISAByID(f.EntryISA)
+	entryName := fmt.Sprintf("id %d", f.EntryISA)
+	if entryISA != nil {
+		entryName = entryISA.Name
+	}
+	fmt.Printf("%s: %s, entry %#x, entry ISA %s\n", flag.Arg(0), kind, f.Entry, entryName)
+	fmt.Printf("%-12s %-10s %10s %10s\n", "section", "type", "addr", "size")
+	for _, s := range f.Sections {
+		fmt.Printf("%-12s %-10d %#10x %10d\n", s.Name, s.Type, s.Addr, s.ByteSize())
+	}
+	if *symbols {
+		fmt.Println("symbols:")
+		for _, s := range f.SortedSymbols() {
+			fmt.Printf("  %#10x %-6s %-8s %s\n", s.Value, bind(s.Bind), s.Section, s.Name)
+		}
+	}
+	if (*functable || *disasm) && f.Type == kelf.TypeExec {
+		prog, err := sim.LoadProgram(f)
+		if err != nil {
+			fatal(err)
+		}
+		if *functable {
+			fmt.Println("function table:")
+			for _, fi := range prog.Funcs.Funcs {
+				isaName := fmt.Sprintf("id %d", fi.ISA)
+				if a := model.ISAByID(int(fi.ISA)); a != nil {
+					isaName = a.Name
+				}
+				fmt.Printf("  %#10x..%#x %-6s %s\n", fi.Start, fi.End, isaName, fi.Name)
+			}
+		}
+		if *disasm {
+			text := f.Section(kelf.SecText)
+			fallback := model.ISAByID(f.EntryISA)
+			for _, line := range asm.Listing(model, prog.Funcs, fallback, text.Data, text.Addr) {
+				fmt.Println(line)
+			}
+		}
+	}
+}
+
+func bind(b kelf.SymBind) string {
+	if b == kelf.BindGlobal {
+		return "global"
+	}
+	return "local"
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "kdump: %v\n", err)
+	os.Exit(1)
+}

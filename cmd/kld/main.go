@@ -1,0 +1,62 @@
+// Command kld links relocatable ELF objects into a KAHRISMA executable,
+// injecting the startup code and the auto-generated C library stub
+// functions (Sec. V-E of the paper).
+//
+// Usage:
+//
+//	kld [-o a.out] [-entry-isa RISC] [-text-base 0x1000] [-stack 0x400000] file.o...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/kelf"
+	"repro/internal/link"
+	"repro/internal/targetgen"
+)
+
+func main() {
+	out := flag.String("o", "a.out", "output executable")
+	entryISA := flag.String("entry-isa", "", "ISA of the startup code (default: the ADL default ISA)")
+	textBase := flag.Uint("text-base", 0x1000, "virtual address of .text")
+	stackTop := flag.Uint("stack", 0x400000, "initial stack pointer")
+	noStartup := flag.Bool("nostartup", false, "do not generate crt0")
+	noLibc := flag.Bool("nolibc", false, "do not generate C library stubs")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "kld: no input objects")
+		os.Exit(2)
+	}
+	model, err := targetgen.Kahrisma()
+	if err != nil {
+		fatal(err)
+	}
+	var objs []*kelf.File
+	for _, path := range flag.Args() {
+		o, err := kelf.ReadFile(path)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		objs = append(objs, o)
+	}
+	opt := link.Defaults()
+	opt.EntryISA = *entryISA
+	opt.TextBase = uint32(*textBase)
+	opt.StackTop = uint32(*stackTop)
+	opt.Startup = !*noStartup
+	opt.LibC = !*noLibc
+	exe, err := link.Link(model, objs, opt)
+	if err != nil {
+		fatal(err)
+	}
+	if err := exe.WriteFile(*out); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "kld: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,181 @@
+// Command ksim is the cycle-approximate, mixed-ISA instruction set
+// simulator: it loads a KAHRISMA ELF executable, emulates all ISAs with
+// run-time SWITCHTARGET switching and native C library emulation, and
+// optionally approximates cycle counts with the ILP, AIE and DOE models
+// (Sec. V/VI of the paper). The cycle-accurate RTL reference pipeline
+// can be attached for accuracy comparisons.
+//
+// Usage:
+//
+//	ksim [-models ILP,AIE,DOE,RTL] [-trace file] [-stats] [-profile]
+//	     [-flat-mem N] [-no-cache] [-no-predict] [-max N] a.out
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cycle"
+	"repro/internal/kelf"
+	"repro/internal/mem"
+	"repro/internal/rtl"
+	"repro/internal/sim"
+	"repro/internal/targetgen"
+	"repro/internal/trace"
+)
+
+func main() {
+	modelsFlag := flag.String("models", "", "comma-separated cycle models: ILP,AIE,DOE,RTL")
+	traceFile := flag.String("trace", "", "write a trace file (cycle, opcode, registers, immediates)")
+	stats := flag.Bool("stats", false, "print simulator statistics (decode cache, prediction)")
+	profile := flag.Bool("profile", false, "print per-function theoretical ILP (ISA selection indicator)")
+	flatMem := flag.Uint64("flat-mem", 0, "use a flat memory with this delay instead of the L1/L2/DRAM hierarchy")
+	memSpec := flag.String("mem", "", "custom memory hierarchy spec, e.g. limit:1|cache:2K,4,32,3|cache:256K,4,32,6|mem:18")
+	bpPenalty := flag.Uint64("bp", 0, "attach the branch misprediction model to DOE with this penalty (0: perfect prediction, the paper's setup)")
+	noCache := flag.Bool("no-cache", false, "disable the decode cache")
+	noPred := flag.Bool("no-predict", false, "disable instruction prediction")
+	maxInstr := flag.Uint64("max", 2_000_000_000, "instruction limit")
+	history := flag.Int("history", 64, "instruction pointer history depth for error reports")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "ksim: exactly one executable required")
+		os.Exit(2)
+	}
+
+	model, err := targetgen.Kahrisma()
+	if err != nil {
+		fatal(err)
+	}
+	exe, err := kelf.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := sim.LoadProgram(exe)
+	if err != nil {
+		fatal(err)
+	}
+	opts := sim.Options{
+		DecodeCache:     !*noCache,
+		Prediction:      !*noCache && !*noPred,
+		MaxInstructions: *maxInstr,
+		Stdout:          os.Stdout,
+		Stdin:           os.Stdin,
+		HistorySize:     *history,
+	}
+	cpu, err := sim.New(model, prog, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	hierarchy := func() *mem.Hierarchy {
+		if *memSpec != "" {
+			h, err := mem.ParseSpec(*memSpec)
+			if err != nil {
+				fatal(err)
+			}
+			return h
+		}
+		if *flatMem > 0 {
+			return mem.Flat(*flatMem)
+		}
+		return mem.Paper()
+	}
+	var models []cycle.Model
+	var pipe *rtl.Pipeline
+	var hier *mem.Hierarchy
+	if *modelsFlag != "" {
+		for _, name := range strings.Split(*modelsFlag, ",") {
+			switch strings.ToUpper(strings.TrimSpace(name)) {
+			case "ILP":
+				models = append(models, cycle.NewILP(model))
+			case "AIE":
+				if hier == nil {
+					hier = hierarchy()
+				}
+				models = append(models, cycle.NewAIE(hier))
+			case "DOE":
+				if hier == nil {
+					hier = hierarchy()
+				}
+				doe := cycle.NewDOE(model, hier)
+				if *bpPenalty > 0 {
+					doe.Pred = cycle.NewBranchPredictor(512)
+					doe.MispredictPenalty = *bpPenalty
+				}
+				models = append(models, doe)
+			case "RTL":
+				cfg := rtl.DefaultConfig()
+				cfg.Hierarchy = hierarchy()
+				pipe = rtl.New(model, cfg)
+			default:
+				fatal(fmt.Errorf("unknown model %q", name))
+			}
+		}
+	}
+	for _, m := range models {
+		cpu.Attach(m)
+	}
+	if pipe != nil {
+		cpu.Attach(pipe)
+	}
+	var pf *cycle.PerFunctionILP
+	if *profile {
+		pf = cycle.NewPerFunctionILP(model, prog)
+		cpu.Attach(pf)
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		cpu.SetTrace(trace.NewWriter(f))
+	}
+
+	st, err := cpu.Run()
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stderr
+	fmt.Fprintf(w, "ksim: exit %d after %d instructions (%d operations)\n",
+		st.ExitCode, st.Instructions, cpu.Stats.Operations)
+	for _, m := range models {
+		fmt.Fprintf(w, "ksim: %-4s %12d cycles  (%.2f ops/cycle)\n", m.Name(), m.Cycles(), cycle.OPC(m))
+		if doe, ok := m.(*cycle.DOE); ok && doe.Pred != nil {
+			fmt.Fprintf(w, "ksim: branch predictor: %.2f%% mispredicted (%d of %d)\n",
+				100*doe.Pred.MissRate(), doe.Pred.Mispredict, doe.Pred.Lookups)
+		}
+	}
+	if pipe != nil {
+		pipe.Drain()
+		fmt.Fprintf(w, "ksim: RTL  %12d cycles  (%s)\n", pipe.Cycles(), pipe.Describe())
+	}
+	if hier != nil && hier.L1 != nil {
+		fmt.Fprintf(w, "ksim: L1 miss rate %.2f%%", 100*hier.L1.MissRate())
+		if hier.L2 != nil {
+			fmt.Fprintf(w, ", L2 miss rate %.2f%%", 100*hier.L2.MissRate())
+		}
+		fmt.Fprintln(w)
+	}
+	if *stats {
+		s := cpu.Stats
+		fmt.Fprintf(w, "ksim: detected %d, cache lookups %d (hits %d), prediction hits %d, simcalls %d, ISA switches %d\n",
+			s.Detected, s.CacheLookups, s.CacheHits, s.PredHits, s.Simcalls, s.ISASwitches)
+	}
+	if pf != nil {
+		fmt.Fprintf(w, "ksim: per-function theoretical ILP (ISA selection indicator):\n")
+		for _, f := range pf.Results() {
+			fmt.Fprintf(w, "  %-24s ILP %5.2f  (%8d ops)  -> %s\n",
+				f.Name, f.ILP, f.Operations, cycle.Recommend(model, f.ILP, 0.7).Name)
+		}
+	}
+	os.Exit(int(st.ExitCode) & 0xFF)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "ksim: %v\n", err)
+	os.Exit(1)
+}

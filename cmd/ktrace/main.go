@@ -1,0 +1,87 @@
+// Command ktrace works with simulator trace files (Sec. V of the
+// paper): compare two traces for architectural equivalence (the
+// ISS-vs-RTL validation flow) or replay a trace as stimuli into the
+// cycle-accurate pipeline model without re-running the simulation.
+//
+// Usage:
+//
+//	ktrace compare a.trace b.trace
+//	ktrace replay  -isa VLIW4 a.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/rtl"
+	"repro/internal/targetgen"
+	"repro/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "compare":
+		if len(os.Args) != 4 {
+			usage()
+		}
+		a := readTrace(os.Args[2])
+		b := readTrace(os.Args[3])
+		if err := trace.Compare(a, b); err != nil {
+			fmt.Println(err)
+			os.Exit(1)
+		}
+		fmt.Printf("traces are architecturally identical (%d events)\n", len(a))
+	case "replay":
+		fs := flag.NewFlagSet("replay", flag.ExitOnError)
+		isaName := fs.String("isa", "RISC", "ISA of the traced run")
+		_ = fs.Parse(os.Args[2:])
+		if fs.NArg() != 1 {
+			usage()
+		}
+		model, err := targetgen.Kahrisma()
+		if err != nil {
+			fatal(err)
+		}
+		a := model.ISAByName(*isaName)
+		if a == nil {
+			fatal(fmt.Errorf("unknown ISA %q", *isaName))
+		}
+		events := readTrace(fs.Arg(0))
+		pipe, err := rtl.ReplayTrace(model, a, events, rtl.DefaultConfig())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("replayed %d events (%d operations) into %s\n",
+			len(events), pipe.Ops(), pipe.Describe())
+		fmt.Printf("hardware cycles: %d\n", pipe.Cycles())
+	default:
+		usage()
+	}
+}
+
+func readTrace(path string) []trace.Event {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	evs, err := trace.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+	return evs
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: ktrace compare a.trace b.trace | ktrace replay [-isa NAME] a.trace")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "ktrace: %v\n", err)
+	os.Exit(1)
+}

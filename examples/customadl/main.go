@@ -1,0 +1,78 @@
+// Custom architecture via the ADL: the entire toolchain (compiler,
+// assembler, linker, simulator, cycle models) retargets to any
+// architecture described in the ADL (Sec. IV of the paper: "retarget
+// the compiler framework to any architecture described within the
+// ADL"). This example derives a variant of KAHRISMA with a slow
+// iterative multiplier (8 cycles instead of 3) and an additional
+// 3-issue instance, then measures how the DOE cycle counts shift.
+//
+//	go run ./examples/customadl
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	kahrisma "repro"
+)
+
+const program = `
+int poly(int x) {
+    // Horner evaluation: a chain of multiplies, sensitive to mul latency.
+    int acc = 7;
+    acc = acc * x + 5;
+    acc = acc * x + 3;
+    acc = acc * x + 2;
+    acc = acc * x + 1;
+    return acc;
+}
+int main() {
+    int s = 0;
+    for (int i = 0; i < 200; i++) s += poly(i & 7);
+    return s & 0xFF;
+}
+`
+
+func main() {
+	// Derive the custom ADL from the built-in description.
+	text := kahrisma.ADL()
+	text = strings.ReplaceAll(text,
+		"operation MUL   { format R set opcode = 0x00 set func = 2  class mul latency 3 sem mul }",
+		"operation MUL   { format R set opcode = 0x00 set func = 2  class mul latency 8 sem mul }")
+	text = strings.ReplaceAll(text,
+		"isa VLIW4 { id 2 issue 4 }",
+		"isa VLIW3 { id 5 issue 3 }\nisa VLIW4 { id 2 issue 4 }")
+
+	stock, err := kahrisma.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	custom, err := kahrisma.NewFromADL(text)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("stock instances: ", stock.ISAs())
+	fmt.Println("custom instances:", custom.ISAs())
+
+	measure := func(sys *kahrisma.System, label, isaName string) {
+		exe, err := sys.BuildC(isaName, map[string]string{"poly.c": program})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := exe.Run(kahrisma.RunConfig{Models: []string{"DOE"}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-22s %-6s exit=%3d  DOE %6d cycles (%.2f ops/cycle)\n",
+			label, isaName, res.ExitCode, res.Cycles["DOE"], res.OPC["DOE"])
+	}
+	fmt.Println("\nHorner polynomial (multiply-latency bound):")
+	measure(stock, "3-cycle multiplier", "RISC")
+	measure(custom, "8-cycle multiplier", "RISC")
+	measure(stock, "3-cycle multiplier", "VLIW2")
+	measure(custom, "8-cycle multiplier", "VLIW2")
+	measure(custom, "8-cycle multiplier", "VLIW3")
+	fmt.Println("\nThe slow multiplier stretches the dependent-multiply chain while")
+	fmt.Println("the new 3-issue instance still absorbs the independent bookkeeping.")
+}

@@ -1,0 +1,63 @@
+// Quickstart: compile a MiniC program for two processor instances,
+// simulate it with all three cycle-approximation models, and compare.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	kahrisma "repro"
+)
+
+const program = `
+// Dot product over two vectors, a mildly parallel kernel.
+int a[64];
+int b[64];
+
+int dot(int* x, int* y, int n) {
+    int s0 = 0; int s1 = 0; int s2 = 0; int s3 = 0;
+    for (int i = 0; i < n; i += 4) {
+        s0 += x[i]   * y[i];
+        s1 += x[i+1] * y[i+1];
+        s2 += x[i+2] * y[i+2];
+        s3 += x[i+3] * y[i+3];
+    }
+    return ((s0 + s1) + (s2 + s3));
+}
+
+int main() {
+    for (int i = 0; i < 64; i++) { a[i] = i; b[i] = 64 - i; }
+    int r = dot(a, b, 64);
+    printf("dot = %d\n", r);
+    return 0;
+}
+`
+
+func main() {
+	sys, err := kahrisma.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("available processor instances:", sys.ISAs())
+	fmt.Printf("%-8s %12s %12s %12s %12s %10s\n",
+		"ISA", "instrs", "ILP cyc", "AIE cyc", "DOE cyc", "DOE opc")
+	for _, isaName := range []string{"RISC", "VLIW2", "VLIW4", "VLIW8"} {
+		exe, err := sys.BuildC(isaName, map[string]string{"dot.c": program})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := exe.Run(kahrisma.RunConfig{Models: []string{"ILP", "AIE", "DOE"}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Output != "dot = 43680\n" || res.ExitCode != 0 {
+			log.Fatalf("%s: wrong result %q (exit %d)", isaName, res.Output, res.ExitCode)
+		}
+		fmt.Printf("%-8s %12d %12d %12d %12d %10.2f\n",
+			isaName, res.Instructions,
+			res.Cycles["ILP"], res.Cycles["AIE"], res.Cycles["DOE"], res.OPC["DOE"])
+	}
+	fmt.Println("\nprogram output:", "dot = 43680")
+}

@@ -1,0 +1,74 @@
+// Trace generation and debug mapping: the simulator writes a trace file
+// with the cycle number, opcode, register numbers and values, and
+// immediates of every executed operation (used to validate RTL
+// implementations, Sec. V), and maps instruction addresses back to
+// functions, C source lines and assembly lines (Sec. V-C).
+//
+//	go run ./examples/tracing
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	kahrisma "repro"
+	"repro/internal/trace"
+)
+
+const program = `
+int gcd(int a, int b) {
+    while (b != 0) {
+        int t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+int main() {
+    printf("gcd(252, 105) = %d\n", gcd(252, 105));
+    return 0;
+}
+`
+
+func main() {
+	sys, err := kahrisma.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	exe, err := sys.BuildC("RISC", map[string]string{"gcd.c": program})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res, err := exe.Run(kahrisma.RunConfig{Models: []string{"DOE"}, Trace: &buf})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("program output: %s", res.Output)
+
+	events, err := trace.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %d events for %d executed operations\n\n", len(events), res.Operations)
+
+	fmt.Println("first ten trace events (cycle addr slot op in/out imm):")
+	lines := bytes.Split(buf.Bytes(), []byte("\n"))
+	for _, l := range lines[:10] {
+		fmt.Printf("  %s\n", l)
+	}
+
+	fmt.Println("\naddress-to-source mapping of those events:")
+	seen := map[uint32]bool{}
+	for _, e := range events[:40] {
+		if seen[e.Addr] {
+			continue
+		}
+		seen[e.Addr] = true
+		fmt.Printf("  %s\n", exe.Location(e.Addr))
+		if len(seen) == 8 {
+			break
+		}
+	}
+}

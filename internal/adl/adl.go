@@ -1,0 +1,555 @@
+// Package adl implements the Architecture Description Language of the
+// KAHRISMA software framework (Sec. IV of the paper). An ADL document
+// describes, in parallel, every processor configuration the fabric can
+// instantiate: the register file, the instruction formats (bit-field
+// layouts), the operations with their encodings, latencies, implicit
+// registers and simulation semantics, and the ISAs (RISC plus the
+// n-issue VLIW instruction formats).
+//
+// The document is parsed into a plain syntax tree; package targetgen
+// (the TargetGen utility of the paper) elaborates and validates it into
+// an isa.Model usable by the compiler, assembler, linker and simulator.
+package adl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Document is a parsed ADL description.
+type Document struct {
+	Architecture string
+	Registers    *RegistersDecl
+	Formats      []*FormatDecl
+	Operations   []*OperationDecl
+	ISAs         []*ISADecl
+}
+
+// RegistersDecl declares the architectural register file.
+type RegistersDecl struct {
+	Name    string
+	Count   int
+	Width   int
+	Zero    string     // register name hard-wired to zero ("" if none)
+	Aliases []RegAlias // declaration order preserved
+	Line    int
+}
+
+// RegAlias maps an alias name to a canonical register name.
+type RegAlias struct {
+	Alias  string
+	Target string
+}
+
+// FormatDecl declares an instruction format as an ordered field list.
+type FormatDecl struct {
+	Name   string
+	Fields []FieldDecl
+	Line   int
+}
+
+// FieldDecl is one bit field: `field <name> <hi>:<lo> <kind> [role|signed]...`.
+type FieldDecl struct {
+	Name   string
+	Hi, Lo int
+	Kind   string // const | reg | imm
+	Role   string // dst | src1 | src2 | imm | ""
+	Signed bool
+	Line   int
+}
+
+// OperationDecl declares one operation.
+type OperationDecl struct {
+	Name    string
+	Format  string
+	Sets    []SetDecl // constant-field assignments (opcode, func, pads)
+	Class   string
+	Latency int
+	Sem     string
+	Reads   []string // implicit register reads (names or "ip")
+	Writes  []string // implicit register writes
+	Line    int
+}
+
+// SetDecl assigns a constant value to a named field.
+type SetDecl struct {
+	Field string
+	Value uint32
+}
+
+// ISADecl declares an ISA: identification number, issue width, and
+// whether it is the default ISA the simulator starts in.
+type ISADecl struct {
+	Name    string
+	ID      int
+	Issue   int
+	Default bool
+	Line    int
+}
+
+// ---------------------------------------------------------------------
+// Lexer
+
+type token struct {
+	kind string // ident, number, punct, eof
+	text string
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == '#':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: "eof", line: lx.line}, nil
+
+scan:
+	c := lx.src[lx.pos]
+	switch {
+	case c == '{' || c == '}' || c == '=' || c == ':' || c == ',':
+		lx.pos++
+		return token{kind: "punct", text: string(c), line: lx.line}, nil
+	case unicode.IsDigit(rune(c)) || (c == '-' && lx.pos+1 < len(lx.src) && unicode.IsDigit(rune(lx.src[lx.pos+1]))):
+		start := lx.pos
+		lx.pos++
+		for lx.pos < len(lx.src) && (isAlnum(lx.src[lx.pos])) {
+			lx.pos++
+		}
+		return token{kind: "number", text: lx.src[start:lx.pos], line: lx.line}, nil
+	case isIdentStart(c):
+		start := lx.pos
+		for lx.pos < len(lx.src) && isAlnum(lx.src[lx.pos]) {
+			lx.pos++
+		}
+		return token{kind: "ident", text: lx.src[start:lx.pos], line: lx.line}, nil
+	}
+	return token{}, fmt.Errorf("adl: line %d: unexpected character %q", lx.line, c)
+}
+
+func isAlnum(c byte) bool {
+	return c == '_' || c == '.' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// ---------------------------------------------------------------------
+// Parser
+
+type parser struct {
+	lx   *lexer
+	tok  token
+	peek *token
+}
+
+// Parse parses an ADL document from source text.
+func Parse(src string) (*Document, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	doc := &Document{}
+	for p.tok.kind != "eof" {
+		switch {
+		case p.isKeyword("architecture"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			doc.Architecture = name
+		case p.isKeyword("registers"):
+			d, err := p.parseRegisters()
+			if err != nil {
+				return nil, err
+			}
+			if doc.Registers != nil {
+				return nil, fmt.Errorf("adl: line %d: duplicate registers block", d.Line)
+			}
+			doc.Registers = d
+		case p.isKeyword("format"):
+			d, err := p.parseFormat()
+			if err != nil {
+				return nil, err
+			}
+			doc.Formats = append(doc.Formats, d)
+		case p.isKeyword("operation"):
+			d, err := p.parseOperation()
+			if err != nil {
+				return nil, err
+			}
+			doc.Operations = append(doc.Operations, d)
+		case p.isKeyword("isa"):
+			d, err := p.parseISA()
+			if err != nil {
+				return nil, err
+			}
+			doc.ISAs = append(doc.ISAs, d)
+		default:
+			return nil, fmt.Errorf("adl: line %d: unexpected token %q", p.tok.line, p.tok.text)
+		}
+	}
+	return doc, nil
+}
+
+func (p *parser) advance() error {
+	if p.peek != nil {
+		p.tok = *p.peek
+		p.peek = nil
+		return nil
+	}
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) isKeyword(kw string) bool {
+	return p.tok.kind == "ident" && p.tok.text == kw
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if p.tok.kind != "ident" {
+		return "", fmt.Errorf("adl: line %d: expected identifier, got %q", p.tok.line, p.tok.text)
+	}
+	s := p.tok.text
+	return s, p.advance()
+}
+
+func (p *parser) expectPunct(s string) error {
+	if p.tok.kind != "punct" || p.tok.text != s {
+		return fmt.Errorf("adl: line %d: expected %q, got %q", p.tok.line, s, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) expectNumber() (int64, error) {
+	if p.tok.kind != "number" {
+		return 0, fmt.Errorf("adl: line %d: expected number, got %q", p.tok.line, p.tok.text)
+	}
+	v, err := strconv.ParseInt(p.tok.text, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("adl: line %d: bad number %q: %v", p.tok.line, p.tok.text, err)
+	}
+	return v, p.advance()
+}
+
+func (p *parser) parseRegisters() (*RegistersDecl, error) {
+	d := &RegistersDecl{Line: p.tok.line}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	d.Name = name
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	for !p.atClose() {
+		kw, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "count":
+			n, err := p.expectNumber()
+			if err != nil {
+				return nil, err
+			}
+			d.Count = int(n)
+		case "width":
+			n, err := p.expectNumber()
+			if err != nil {
+				return nil, err
+			}
+			d.Width = int(n)
+		case "zero":
+			z, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			d.Zero = z
+		case "alias":
+			a, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("="); err != nil {
+				return nil, err
+			}
+			t, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			d.Aliases = append(d.Aliases, RegAlias{Alias: a, Target: t})
+		default:
+			return nil, fmt.Errorf("adl: line %d: unknown registers key %q", p.tok.line, kw)
+		}
+	}
+	return d, p.advance() // consume '}'
+}
+
+func (p *parser) atClose() bool { return p.tok.kind == "punct" && p.tok.text == "}" }
+
+func (p *parser) parseFormat() (*FormatDecl, error) {
+	d := &FormatDecl{Line: p.tok.line}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	d.Name = name
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	for !p.atClose() {
+		kw, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if kw != "field" {
+			return nil, fmt.Errorf("adl: line %d: expected 'field' in format, got %q", p.tok.line, kw)
+		}
+		f := FieldDecl{Line: p.tok.line}
+		if f.Name, err = p.expectIdent(); err != nil {
+			return nil, err
+		}
+		hi, err := p.expectNumber()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(":"); err != nil {
+			return nil, err
+		}
+		lo, err := p.expectNumber()
+		if err != nil {
+			return nil, err
+		}
+		f.Hi, f.Lo = int(hi), int(lo)
+		if f.Kind, err = p.expectIdent(); err != nil {
+			return nil, err
+		}
+		// optional role / signed modifiers until the next 'field' or '}'
+		for p.tok.kind == "ident" && p.tok.text != "field" {
+			switch p.tok.text {
+			case "signed":
+				f.Signed = true
+			case "dst", "src1", "src2", "imm":
+				f.Role = p.tok.text
+			default:
+				return nil, fmt.Errorf("adl: line %d: unknown field modifier %q", p.tok.line, p.tok.text)
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		d.Fields = append(d.Fields, f)
+	}
+	return d, p.advance()
+}
+
+func (p *parser) parseOperation() (*OperationDecl, error) {
+	d := &OperationDecl{Line: p.tok.line, Latency: 1}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	d.Name = name
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	for !p.atClose() {
+		kw, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "format":
+			if d.Format, err = p.expectIdent(); err != nil {
+				return nil, err
+			}
+		case "set":
+			fieldName, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("="); err != nil {
+				return nil, err
+			}
+			v, err := p.expectNumber()
+			if err != nil {
+				return nil, err
+			}
+			d.Sets = append(d.Sets, SetDecl{Field: fieldName, Value: uint32(v)})
+		case "class":
+			if d.Class, err = p.expectIdent(); err != nil {
+				return nil, err
+			}
+		case "latency":
+			n, err := p.expectNumber()
+			if err != nil {
+				return nil, err
+			}
+			d.Latency = int(n)
+		case "sem":
+			if d.Sem, err = p.expectIdent(); err != nil {
+				return nil, err
+			}
+		case "reads", "writes":
+			var list []string
+			for p.tok.kind == "ident" && !p.isOperationKey(p.tok.text) {
+				list = append(list, p.tok.text)
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+			if len(list) == 0 {
+				return nil, fmt.Errorf("adl: line %d: empty %s list", p.tok.line, kw)
+			}
+			if kw == "reads" {
+				d.Reads = append(d.Reads, list...)
+			} else {
+				d.Writes = append(d.Writes, list...)
+			}
+		default:
+			return nil, fmt.Errorf("adl: line %d: unknown operation key %q", p.tok.line, kw)
+		}
+	}
+	return d, p.advance()
+}
+
+func (p *parser) isOperationKey(s string) bool {
+	switch s {
+	case "format", "set", "class", "latency", "sem", "reads", "writes":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseISA() (*ISADecl, error) {
+	d := &ISADecl{Line: p.tok.line, ID: -1}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	d.Name = name
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	for !p.atClose() {
+		kw, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "id":
+			n, err := p.expectNumber()
+			if err != nil {
+				return nil, err
+			}
+			d.ID = int(n)
+		case "issue":
+			n, err := p.expectNumber()
+			if err != nil {
+				return nil, err
+			}
+			d.Issue = int(n)
+		case "default":
+			d.Default = true
+		default:
+			return nil, fmt.Errorf("adl: line %d: unknown isa key %q", p.tok.line, kw)
+		}
+	}
+	return d, p.advance()
+}
+
+// String renders the document back to canonical ADL text (useful for
+// tests and tooling).
+func (d *Document) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "architecture %s\n", d.Architecture)
+	if r := d.Registers; r != nil {
+		fmt.Fprintf(&sb, "registers %s {\n  count %d\n  width %d\n", r.Name, r.Count, r.Width)
+		if r.Zero != "" {
+			fmt.Fprintf(&sb, "  zero %s\n", r.Zero)
+		}
+		for _, a := range r.Aliases {
+			fmt.Fprintf(&sb, "  alias %s = %s\n", a.Alias, a.Target)
+		}
+		sb.WriteString("}\n")
+	}
+	for _, f := range d.Formats {
+		fmt.Fprintf(&sb, "format %s {\n", f.Name)
+		for _, fd := range f.Fields {
+			fmt.Fprintf(&sb, "  field %s %d:%d %s", fd.Name, fd.Hi, fd.Lo, fd.Kind)
+			if fd.Role != "" {
+				fmt.Fprintf(&sb, " %s", fd.Role)
+			}
+			if fd.Signed {
+				sb.WriteString(" signed")
+			}
+			sb.WriteString("\n")
+		}
+		sb.WriteString("}\n")
+	}
+	for _, o := range d.Operations {
+		fmt.Fprintf(&sb, "operation %s {\n  format %s\n", o.Name, o.Format)
+		for _, s := range o.Sets {
+			fmt.Fprintf(&sb, "  set %s = 0x%x\n", s.Field, s.Value)
+		}
+		fmt.Fprintf(&sb, "  class %s\n  latency %d\n  sem %s\n", o.Class, o.Latency, o.Sem)
+		if len(o.Reads) > 0 {
+			fmt.Fprintf(&sb, "  reads %s\n", strings.Join(o.Reads, " "))
+		}
+		if len(o.Writes) > 0 {
+			fmt.Fprintf(&sb, "  writes %s\n", strings.Join(o.Writes, " "))
+		}
+		sb.WriteString("}\n")
+	}
+	for _, a := range d.ISAs {
+		fmt.Fprintf(&sb, "isa %s { id %d issue %d", a.Name, a.ID, a.Issue)
+		if a.Default {
+			sb.WriteString(" default")
+		}
+		sb.WriteString(" }\n")
+	}
+	return sb.String()
+}

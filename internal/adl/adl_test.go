@@ -1,0 +1,107 @@
+package adl_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/adl"
+)
+
+func TestParseBuiltin(t *testing.T) {
+	doc, err := adl.Parse(adl.Kahrisma)
+	if err != nil {
+		t.Fatalf("Parse(Kahrisma): %v", err)
+	}
+	if doc.Architecture != "KAHRISMA" {
+		t.Errorf("architecture = %q", doc.Architecture)
+	}
+	if doc.Registers == nil || doc.Registers.Count != 32 {
+		t.Fatalf("registers block wrong: %+v", doc.Registers)
+	}
+	if len(doc.Formats) != 10 {
+		t.Errorf("formats = %d, want 10", len(doc.Formats))
+	}
+	if len(doc.ISAs) != 5 {
+		t.Errorf("ISAs = %d, want 5", len(doc.ISAs))
+	}
+	// Spot-check an operation.
+	var swt *adl.OperationDecl
+	for _, op := range doc.Operations {
+		if op.Name == "SWT" {
+			swt = op
+		}
+	}
+	if swt == nil {
+		t.Fatal("SWT not parsed")
+	}
+	if swt.Format != "SYS" || swt.Class != "sys" || swt.Sem != "swt" {
+		t.Errorf("SWT = %+v", swt)
+	}
+}
+
+func TestParseRoundTripThroughString(t *testing.T) {
+	doc, err := adl.Parse(adl.Kahrisma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := doc.String()
+	doc2, err := adl.Parse(text)
+	if err != nil {
+		t.Fatalf("re-parsing rendered document: %v\n%s", err, text)
+	}
+	if doc2.String() != text {
+		t.Error("String() is not a fixed point under Parse")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unexpected token", "architecture X\nbogus Y {}", "unexpected token"},
+		{"bad char", "architecture X\n@", "unexpected character"},
+		{"missing brace", "format R field x 1:0 const", `expected "{"`},
+		{"bad number", "isa A { id zz }", "expected number"},
+		{"unknown op key", "operation X { frobnicate 3 }", "unknown operation key"},
+		{"empty reads", "operation X { reads writes ip }", "empty reads list"},
+		{"unknown field modifier", "format R { field x 31:0 imm weird }", "unknown field modifier"},
+		{"unknown isa key", "isa A { colour 3 }", "unknown isa key"},
+		{"unknown registers key", "registers G { size 3 }", "unknown registers key"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := adl.Parse(tc.src)
+			if err == nil {
+				t.Fatalf("no error for %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestCommentsAndHexNumbers(t *testing.T) {
+	src := `
+# leading comment
+architecture T # trailing comment
+isa A { id 0x10 issue 2 }
+`
+	doc, err := adl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.ISAs[0].ID != 16 {
+		t.Errorf("hex id = %d, want 16", doc.ISAs[0].ID)
+	}
+}
+
+func TestNegativeNumbers(t *testing.T) {
+	doc, err := adl.Parse("architecture T\nisa A { id -1 issue 1 }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.ISAs[0].ID != -1 {
+		t.Errorf("id = %d, want -1", doc.ISAs[0].ID)
+	}
+}

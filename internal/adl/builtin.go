@@ -1,0 +1,192 @@
+package adl
+
+// Kahrisma is the built-in ADL description of the KAHRISMA architecture
+// used throughout this repository: the K-ISA operation set shared by the
+// RISC (1-issue) and 2/4/6/8-issue VLIW instruction formats.
+//
+// Encodings follow the repository's K-ISA definition (DESIGN.md Sec. 5):
+// 32-bit operation words; a VLIW-n instruction is n consecutive words.
+const Kahrisma = `
+architecture KAHRISMA
+
+registers GPR {
+  count 32
+  width 32
+  zero  r0
+  alias zero = r0
+  alias ra = r1
+  alias sp = r2
+  alias fp = r3
+  alias a0 = r4
+  alias a1 = r5
+  alias a2 = r6
+  alias a3 = r7
+  alias t0 = r8
+  alias t1 = r9
+  alias t2 = r10
+  alias t3 = r11
+  alias t4 = r12
+  alias t5 = r13
+  alias t6 = r14
+  alias t7 = r15
+  alias s0 = r16
+  alias s1 = r17
+  alias s2 = r18
+  alias s3 = r19
+  alias s4 = r20
+  alias s5 = r21
+  alias s6 = r22
+  alias s7 = r23
+  alias s8 = r24
+  alias s9 = r25
+  alias s10 = r26
+  alias s11 = r27
+  alias t8 = r28
+  alias t9 = r29
+  alias t10 = r30
+  alias t11 = r31
+}
+
+# Three-register arithmetic: opcode 0x00, func selects the operation.
+format R {
+  field opcode 31:26 const
+  field rd     25:21 reg dst
+  field rs1    20:16 reg src1
+  field rs2    15:11 reg src2
+  field func   10:0  const
+}
+
+# Register-immediate arithmetic and loads (sign-extended immediate).
+format I {
+  field opcode 31:26 const
+  field rd     25:21 reg dst
+  field rs1    20:16 reg src1
+  field imm    15:0  imm imm signed
+}
+
+# Register-immediate logic and shifts (zero-extended immediate, so that
+# LUI+ORI materializes arbitrary 32-bit constants and %lo relocations).
+format IU {
+  field opcode 31:26 const
+  field rd     25:21 reg dst
+  field rs1    20:16 reg src1
+  field imm    15:0  imm imm
+}
+
+# Upper-immediate: rd = imm << 16.
+format U {
+  field opcode 31:26 const
+  field rd     25:21 reg dst
+  field pad    20:16 const
+  field imm    15:0  imm imm
+}
+
+# Stores: mem[rs1+imm] = rs2.
+format S {
+  field opcode 31:26 const
+  field rs2    25:21 reg src2
+  field rs1    20:16 reg src1
+  field imm    15:0  imm imm signed
+}
+
+# Conditional branches: target = instr_addr + imm*4.
+format B {
+  field opcode 31:26 const
+  field rs1    25:21 reg src1
+  field rs2    20:16 reg src2
+  field imm    15:0  imm imm signed
+}
+
+# Absolute jumps: target = imm*4.
+format J {
+  field opcode 31:26 const
+  field imm    25:0  imm imm
+}
+
+# Register-indirect jump and link: rd = return address, ip = rs1.
+format JR {
+  field opcode 31:26 const
+  field rd     25:21 reg dst
+  field rs1    20:16 reg src1
+  field pad    15:0  const
+}
+
+# System operations carrying one unsigned immediate (SWT, SIMCALL).
+format SYS {
+  field opcode 31:26 const
+  field imm    25:0  imm imm
+}
+
+# Zero-operand operations (NOP, HALT).
+format N0 {
+  field opcode 31:26 const
+  field pad    25:0  const
+}
+
+operation ADD   { format R set opcode = 0x00 set func = 0  class alu latency 1 sem add }
+operation SUB   { format R set opcode = 0x00 set func = 1  class alu latency 1 sem sub }
+operation MUL   { format R set opcode = 0x00 set func = 2  class mul latency 3 sem mul }
+operation MULHU { format R set opcode = 0x00 set func = 3  class mul latency 3 sem mulhu }
+operation DIV   { format R set opcode = 0x00 set func = 4  class div latency 12 sem div }
+operation DIVU  { format R set opcode = 0x00 set func = 5  class div latency 12 sem divu }
+operation REM   { format R set opcode = 0x00 set func = 6  class div latency 12 sem rem }
+operation REMU  { format R set opcode = 0x00 set func = 7  class div latency 12 sem remu }
+operation AND   { format R set opcode = 0x00 set func = 8  class alu latency 1 sem and }
+operation OR    { format R set opcode = 0x00 set func = 9  class alu latency 1 sem or }
+operation XOR   { format R set opcode = 0x00 set func = 10 class alu latency 1 sem xor }
+operation SLL   { format R set opcode = 0x00 set func = 11 class alu latency 1 sem sll }
+operation SRL   { format R set opcode = 0x00 set func = 12 class alu latency 1 sem srl }
+operation SRA   { format R set opcode = 0x00 set func = 13 class alu latency 1 sem sra }
+operation SLT   { format R set opcode = 0x00 set func = 14 class alu latency 1 sem slt }
+operation SLTU  { format R set opcode = 0x00 set func = 15 class alu latency 1 sem sltu }
+
+operation ADDI  { format I  set opcode = 0x01 class alu latency 1 sem addi }
+operation ANDI  { format IU set opcode = 0x02 class alu latency 1 sem andi }
+operation ORI   { format IU set opcode = 0x03 class alu latency 1 sem ori }
+operation XORI  { format IU set opcode = 0x04 class alu latency 1 sem xori }
+operation SLTI  { format I  set opcode = 0x05 class alu latency 1 sem slti }
+operation SLTIU { format I  set opcode = 0x06 class alu latency 1 sem sltiu }
+operation SLLI  { format IU set opcode = 0x07 class alu latency 1 sem slli }
+operation SRLI  { format IU set opcode = 0x08 class alu latency 1 sem srli }
+operation SRAI  { format IU set opcode = 0x09 class alu latency 1 sem srai }
+operation LUI   { format U set opcode = 0x0A set pad = 0 class alu latency 1 sem lui }
+
+operation LW  { format I set opcode = 0x10 class load latency 1 sem lw }
+operation LH  { format I set opcode = 0x11 class load latency 1 sem lh }
+operation LHU { format I set opcode = 0x12 class load latency 1 sem lhu }
+operation LB  { format I set opcode = 0x13 class load latency 1 sem lb }
+operation LBU { format I set opcode = 0x14 class load latency 1 sem lbu }
+
+operation SW { format S set opcode = 0x15 class store latency 1 sem sw }
+operation SH { format S set opcode = 0x16 class store latency 1 sem sh }
+operation SB { format S set opcode = 0x17 class store latency 1 sem sb }
+
+operation BEQ  { format B set opcode = 0x18 class branch latency 1 sem beq  writes ip }
+operation BNE  { format B set opcode = 0x19 class branch latency 1 sem bne  writes ip }
+operation BLT  { format B set opcode = 0x1A class branch latency 1 sem blt  writes ip }
+operation BGE  { format B set opcode = 0x1B class branch latency 1 sem bge  writes ip }
+operation BLTU { format B set opcode = 0x1C class branch latency 1 sem bltu writes ip }
+operation BGEU { format B set opcode = 0x1D class branch latency 1 sem bgeu writes ip }
+
+operation J    { format J  set opcode = 0x20 class jump latency 1 sem j    writes ip }
+operation JAL  { format J  set opcode = 0x21 class jump latency 1 sem jal  writes ip ra }
+operation JALR { format JR set opcode = 0x22 set pad = 0 class jump latency 1 sem jalr writes ip }
+
+# SWITCHTARGET: change the active ISA to the given identification number
+# (Sec. V-D). Takes effect at the next instruction.
+operation SWT { format SYS set opcode = 0x30 class sys latency 1 sem swt }
+
+# SIMCALL: execute an emulated C standard library function natively in
+# the simulator (Sec. V-E). The function id is the immediate; arguments
+# follow the calling convention (a0..a3, stack), result in a0.
+operation SIMCALL { format SYS set opcode = 0x31 class sys latency 1 sem simcall reads a0 a1 a2 a3 sp writes a0 }
+
+operation HALT { format N0 set opcode = 0x3E set pad = 0 class sys latency 1 sem halt }
+operation NOP  { format N0 set opcode = 0x3F set pad = 0 class nop latency 1 sem nop }
+
+isa RISC  { id 0 issue 1 default }
+isa VLIW2 { id 1 issue 2 }
+isa VLIW4 { id 2 issue 4 }
+isa VLIW6 { id 3 issue 6 }
+isa VLIW8 { id 4 issue 8 }
+`

@@ -1,0 +1,54 @@
+package adl_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/adl"
+	"repro/internal/targetgen"
+)
+
+// Parse and Elaborate must never panic, whatever text they are fed:
+// random mutations of the built-in description either parse (and maybe
+// elaborate) or return an error.
+func TestParseElaborateRobustAgainstMutations(t *testing.T) {
+	base := []byte(adl.Kahrisma)
+	rng := rand.New(rand.NewSource(13))
+	chars := []byte("{}=:#abcdefghijklmnopqrstuvwxyz0123456789 \n")
+	for trial := 0; trial < 1500; trial++ {
+		b := append([]byte(nil), base...)
+		for k := 0; k < 1+rng.Intn(6); k++ {
+			b[rng.Intn(len(b))] = chars[rng.Intn(len(chars))]
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d panicked: %v", trial, r)
+				}
+			}()
+			doc, err := adl.Parse(string(b))
+			if err != nil {
+				return
+			}
+			_, _ = targetgen.Elaborate(doc)
+		}()
+	}
+	// Pure noise too.
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(300)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = chars[rng.Intn(len(chars))]
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("noise trial %d panicked: %v", trial, r)
+				}
+			}()
+			if doc, err := adl.Parse(string(b)); err == nil {
+				_, _ = targetgen.Elaborate(doc)
+			}
+		}()
+	}
+}

@@ -1,0 +1,965 @@
+// Package asm implements the mixed-ISA assembler of the KAHRISMA
+// toolchain (Sec. IV of the paper). It translates assembly files into
+// relocatable ELF objects. The ISA can be switched mid-file with the
+// `.isa` pseudo directive (the paper's "special assembly pseudo
+// directive to notice the assembler about the used ISA"); the assembler
+// also stores the assembly line map into a custom ELF section and
+// forwards compiler-emitted `.loc` source positions (the paper's DWARF
+// role) into a second map.
+//
+// Syntax summary:
+//
+//	# comment, // comment
+//	label:            — define a label (local unless .global)
+//	.isa VLIW4        — switch the active ISA
+//	.text .data .rodata .bss
+//	.global name      — export a symbol
+//	.word .half .byte .space .ascii .asciz .align
+//	.loc file line    — current C source position (from the compiler)
+//	.func name / .endfunc — function range for the .kfuncs table
+//	add rd, rs1, rs2  — one operation (a 1-op instruction)
+//	{ op ; op ; op }  — a VLIW instruction: one operation per slot,
+//	                    NOP-padded to the ISA's issue width
+//
+// Pseudo operations: li, la, mv, neg, jr, ret, call, b.
+package asm
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/kelf"
+)
+
+// Assemble translates one assembly source file into a relocatable
+// object. filename is used in diagnostics and the line map.
+func Assemble(m *isa.Model, filename, src string) (*kelf.File, error) {
+	a := &assembler{
+		model:   m,
+		file:    filename,
+		cur:     m.DefaultISA(),
+		secs:    map[string]*section{},
+		globals: map[string]bool{},
+		symbols: map[string]*symdef{},
+	}
+	a.lineFile = a.lineMap.AddFile(filename)
+	a.enterSection(kelf.SecText)
+	a.run(src)
+	if a.openFunc != "" {
+		a.errorf(a.lineNo, "function %q not closed with .endfunc", a.openFunc)
+	}
+	if len(a.errs) > 0 {
+		return nil, errors.Join(a.errs...)
+	}
+	return a.emit()
+}
+
+type section struct {
+	name   string
+	buf    []byte
+	size   uint32 // .bss size
+	relocs []kelf.Reloc
+}
+
+func (s *section) pc() uint32 {
+	if s.name == kelf.SecBss {
+		return s.size
+	}
+	return uint32(len(s.buf))
+}
+
+type symdef struct {
+	section string
+	value   uint32
+	size    uint32
+	isFunc  bool
+	line    int
+}
+
+type assembler struct {
+	model   *isa.Model
+	file    string
+	cur     *isa.ISA
+	sec     *section
+	order   []string
+	secs    map[string]*section
+	globals map[string]bool
+	symbols map[string]*symdef
+	errs    []error
+
+	lineMap  kelf.LineMap
+	lineFile uint16
+	srcMap   kelf.LineMap
+	srcFile  uint16
+	srcLine  uint32
+	haveSrc  bool
+
+	funcs     kelf.FuncTable
+	openFunc  string
+	funcStart uint32
+
+	lineNo int
+}
+
+func (a *assembler) errorf(line int, format string, args ...any) {
+	a.errs = append(a.errs, fmt.Errorf("%s:%d: %s", a.file, line, fmt.Sprintf(format, args...)))
+}
+
+func (a *assembler) enterSection(name string) {
+	s, ok := a.secs[name]
+	if !ok {
+		s = &section{name: name}
+		a.secs[name] = s
+		a.order = append(a.order, name)
+	}
+	a.sec = s
+}
+
+// run drives the line scanner, handling multi-line VLIW bundles.
+func (a *assembler) run(src string) {
+	lines := strings.Split(src, "\n")
+	var bundle []string // pending slot texts
+	var bundleLine int
+	inBundle := false
+	for i := 0; i < len(lines); i++ {
+		a.lineNo = i + 1
+		line := stripComment(lines[i])
+		for {
+			line = strings.TrimSpace(line)
+			if line == "" {
+				break
+			}
+			if !inBundle {
+				// Labels (possibly several).
+				if idx := labelEnd(line); idx > 0 {
+					a.defineLabel(line[:idx-1])
+					line = line[idx:]
+					continue
+				}
+				if strings.HasPrefix(line, "{") {
+					inBundle = true
+					bundle = bundle[:0]
+					bundleLine = a.lineNo
+					line = line[1:]
+					continue
+				}
+				if strings.HasPrefix(line, ".") {
+					a.directive(line)
+					break
+				}
+				a.instruction([]string{line}, a.lineNo)
+				break
+			}
+			// Inside a bundle: collect slot texts until '}'.
+			close := strings.IndexByte(line, '}')
+			var chunk string
+			if close >= 0 {
+				chunk = line[:close]
+			} else {
+				chunk = line
+			}
+			for _, part := range strings.Split(chunk, ";") {
+				if p := strings.TrimSpace(part); p != "" {
+					bundle = append(bundle, p)
+				}
+			}
+			if close < 0 {
+				break
+			}
+			inBundle = false
+			a.instruction(bundle, bundleLine)
+			line = line[close+1:]
+		}
+	}
+	if inBundle {
+		a.errorf(bundleLine, "unterminated VLIW bundle")
+	}
+}
+
+// stripComment removes # and // comments, honouring double quotes.
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case c == '"':
+			inStr = !inStr
+		case inStr && c == '\\':
+			i++
+		case !inStr && c == '#':
+			return line[:i]
+		case !inStr && c == '/' && i+1 < len(line) && line[i+1] == '/':
+			return line[:i]
+		}
+	}
+	return line
+}
+
+// labelEnd returns the index just past "name:" if line starts with a
+// label definition, else 0.
+func labelEnd(line string) int {
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		if c == ':' {
+			if i == 0 {
+				return 0
+			}
+			return i + 1
+		}
+		if !isSymChar(c) {
+			return 0
+		}
+	}
+	return 0
+}
+
+func isSymChar(c byte) bool {
+	return c == '_' || c == '.' || c == '$' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+func (a *assembler) defineLabel(name string) {
+	if name == "" {
+		a.errorf(a.lineNo, "empty label")
+		return
+	}
+	if _, dup := a.symbols[name]; dup {
+		a.errorf(a.lineNo, "label %q already defined", name)
+		return
+	}
+	a.symbols[name] = &symdef{section: a.sec.name, value: a.sec.pc(), line: a.lineNo}
+}
+
+// ---------------------------------------------------------------------
+// Directives
+
+func (a *assembler) directive(line string) {
+	name, rest := splitWord(line)
+	switch name {
+	case ".text", ".data", ".rodata", ".bss":
+		a.enterSection(name)
+	case ".isa":
+		isaName := strings.TrimSpace(rest)
+		tgt := a.model.ISAByName(isaName)
+		if tgt == nil {
+			a.errorf(a.lineNo, "unknown ISA %q", isaName)
+			return
+		}
+		a.cur = tgt
+	case ".global", ".globl":
+		for _, s := range splitOperands(rest) {
+			a.globals[s] = true
+		}
+	case ".word":
+		a.emitData(rest, 4)
+	case ".half":
+		a.emitData(rest, 2)
+	case ".byte":
+		a.emitData(rest, 1)
+	case ".space":
+		n, err := strconv.ParseUint(strings.TrimSpace(rest), 0, 32)
+		if err != nil {
+			a.errorf(a.lineNo, ".space: %v", err)
+			return
+		}
+		a.reserve(uint32(n))
+	case ".align":
+		n, err := strconv.ParseUint(strings.TrimSpace(rest), 0, 32)
+		if err != nil || n == 0 || n&(n-1) != 0 {
+			a.errorf(a.lineNo, ".align: need a power of two, got %q", rest)
+			return
+		}
+		pc := a.sec.pc()
+		pad := (uint32(n) - pc%uint32(n)) % uint32(n)
+		a.reserve(pad)
+	case ".ascii", ".asciz":
+		s, err := strconv.Unquote(strings.TrimSpace(rest))
+		if err != nil {
+			a.errorf(a.lineNo, "%s: bad string %s: %v", name, rest, err)
+			return
+		}
+		if a.sec.name == kelf.SecBss {
+			a.errorf(a.lineNo, "%s not allowed in .bss", name)
+			return
+		}
+		a.sec.buf = append(a.sec.buf, s...)
+		if name == ".asciz" {
+			a.sec.buf = append(a.sec.buf, 0)
+		}
+	case ".loc":
+		fields := strings.Fields(rest)
+		if len(fields) != 2 {
+			a.errorf(a.lineNo, ".loc: want `file line`, got %q", rest)
+			return
+		}
+		fname := strings.Trim(fields[0], `"`)
+		ln, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			a.errorf(a.lineNo, ".loc: bad line %q", fields[1])
+			return
+		}
+		a.srcFile = a.srcMap.AddFile(fname)
+		a.srcLine = uint32(ln)
+		a.haveSrc = true
+	case ".func":
+		fn := strings.TrimSpace(rest)
+		if fn == "" {
+			a.errorf(a.lineNo, ".func: missing name")
+			return
+		}
+		if a.openFunc != "" {
+			a.errorf(a.lineNo, ".func %s: previous function %q still open", fn, a.openFunc)
+			return
+		}
+		if a.sec.name != kelf.SecText {
+			a.errorf(a.lineNo, ".func outside .text")
+			return
+		}
+		a.openFunc = fn
+		a.funcStart = a.sec.pc()
+	case ".endfunc":
+		if a.openFunc == "" {
+			a.errorf(a.lineNo, ".endfunc without .func")
+			return
+		}
+		end := a.sec.pc()
+		a.funcs.Add(kelf.FuncInfo{
+			Name: a.openFunc, Start: a.funcStart, End: end, ISA: uint8(a.cur.ID),
+		})
+		if sd, ok := a.symbols[a.openFunc]; ok {
+			sd.isFunc = true
+			sd.size = end - sd.value
+		}
+		a.openFunc = ""
+	default:
+		a.errorf(a.lineNo, "unknown directive %q", name)
+	}
+}
+
+func (a *assembler) reserve(n uint32) {
+	if a.sec.name == kelf.SecBss {
+		a.sec.size += n
+		return
+	}
+	if a.sec.name == kelf.SecText {
+		// Pad code with NOPs to keep every word decodable.
+		nop := a.model.Op("NOP")
+		for n >= 4 && nop != nil {
+			w, _ := nop.Encode(isa.Operands{})
+			a.putWord(w)
+			n -= 4
+		}
+	}
+	a.sec.buf = append(a.sec.buf, make([]byte, n)...)
+}
+
+func (a *assembler) putWord(w uint32) {
+	a.sec.buf = append(a.sec.buf, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+}
+
+func (a *assembler) emitData(rest string, width int) {
+	if a.sec.name == kelf.SecBss {
+		a.errorf(a.lineNo, "data directive not allowed in .bss")
+		return
+	}
+	for _, opnd := range splitOperands(rest) {
+		val, sym, addend, err := parseExpr(opnd)
+		if err != nil {
+			a.errorf(a.lineNo, "bad data expression %q: %v", opnd, err)
+			continue
+		}
+		if sym != "" {
+			if width != 4 {
+				a.errorf(a.lineNo, "symbol reference %q needs .word", opnd)
+				continue
+			}
+			a.sec.relocs = append(a.sec.relocs, kelf.Reloc{
+				Offset: uint32(len(a.sec.buf)), Type: kelf.RelAbs32,
+				Symbol: sym, Addend: int32(addend),
+			})
+			val = 0
+		}
+		switch width {
+		case 4:
+			a.putWord(uint32(val))
+		case 2:
+			if val < -(1<<15) || val >= 1<<16 {
+				a.errorf(a.lineNo, ".half value %d out of range", val)
+			}
+			a.sec.buf = append(a.sec.buf, byte(val), byte(val>>8))
+		case 1:
+			if val < -(1<<7) || val >= 1<<8 {
+				a.errorf(a.lineNo, ".byte value %d out of range", val)
+			}
+			a.sec.buf = append(a.sec.buf, byte(val))
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Instructions
+
+// instruction assembles one instruction (a bundle of slot texts) at the
+// current location of the current section.
+func (a *assembler) instruction(slots []string, line int) {
+	if a.sec.name != kelf.SecText {
+		a.errorf(line, "instruction outside .text")
+		return
+	}
+	// Expand pseudo operations. Inside a multi-slot bundle an expansion
+	// to more than one operation cannot be packed.
+	var expanded []string
+	for _, s := range slots {
+		exp, err := a.expandPseudo(s)
+		if err != nil {
+			a.errorf(line, "%v", err)
+			return
+		}
+		if len(slots) > 1 && len(exp) > 1 {
+			a.errorf(line, "pseudo %q expands to %d operations and cannot appear in a bundle", s, len(exp))
+			return
+		}
+		expanded = append(expanded, exp...)
+	}
+	if len(slots) > 1 || a.cur.Issue == 1 {
+		// One bundle (or sequential RISC ops when expansion grew).
+		if len(slots) > 1 {
+			a.encodeBundle(expanded, line)
+			return
+		}
+		for _, s := range expanded {
+			a.encodeBundle([]string{s}, line)
+		}
+		return
+	}
+	// Bare ops in VLIW mode: each becomes its own 1-op bundle.
+	for _, s := range expanded {
+		a.encodeBundle([]string{s}, line)
+	}
+}
+
+func (a *assembler) encodeBundle(ops []string, line int) {
+	issue := a.cur.Issue
+	if len(ops) > issue {
+		a.errorf(line, "%d operations in a bundle, but %s issues %d", len(ops), a.cur.Name, issue)
+		return
+	}
+	bundleAddr := a.sec.pc()
+	a.lineMap.Add(bundleAddr, a.lineFile, uint32(line))
+	if a.haveSrc {
+		a.srcMap.Add(bundleAddr, a.srcFile, a.srcLine)
+	}
+
+	control := 0
+	sysAlone := false
+	written := map[int]bool{}
+	for si, text := range ops {
+		op, operands, err := a.parseOp(text)
+		if err != nil {
+			a.errorf(line, "%v", err)
+			return
+		}
+		switch op.Class {
+		case isa.ClassBranch, isa.ClassJump:
+			control++
+		case isa.ClassSys:
+			sysAlone = true
+		}
+		if op.HasDst() {
+			rd := int(operands.Rd)
+			if rd != a.model.Regs.ZeroReg && written[rd] {
+				a.errorf(line, "two operations in one instruction write %s", a.model.Regs.RegName(rd))
+			}
+			written[rd] = true
+		}
+		w, relocType, relocSym, relocAdd, err := a.encodeOp(op, operands, text)
+		if err != nil {
+			a.errorf(line, "%v", err)
+			return
+		}
+		if relocType != 0 {
+			a.sec.relocs = append(a.sec.relocs, kelf.Reloc{
+				Offset: a.sec.pc(), Type: relocType, Symbol: relocSym, Addend: relocAdd,
+			})
+		}
+		a.putWord(w)
+		_ = si
+	}
+	if control > 1 {
+		a.errorf(line, "more than one control-transfer operation in a bundle")
+	}
+	if sysAlone && len(ops) > 1 {
+		a.errorf(line, "system operations (swt/simcall/halt) must be alone in an instruction")
+	}
+	// NOP-pad remaining slots.
+	nop := a.model.Op("NOP")
+	for i := len(ops); i < issue; i++ {
+		w, _ := nop.Encode(isa.Operands{})
+		a.putWord(w)
+	}
+}
+
+// parsed operand bundle: register numbers plus a possibly-symbolic
+// immediate.
+type operandSet struct {
+	Rd, Rs1, Rs2 uint8
+	Imm          int64
+	ImmSym       string // non-empty if the immediate is symbolic
+	ImmAdd       int64
+	ImmKind      string // "", "hi", "lo" (for %hi/%lo)
+}
+
+func (a *assembler) parseOp(text string) (*isa.Operation, operandSet, error) {
+	mnemonic, rest := splitWord(text)
+	op := a.model.Op(strings.ToUpper(mnemonic))
+	if op == nil {
+		return nil, operandSet{}, fmt.Errorf("unknown operation %q", mnemonic)
+	}
+	var o operandSet
+	args := splitOperands(rest)
+	reg := func(s string) (uint8, error) {
+		idx, ok := a.model.Regs.Lookup(s)
+		if !ok {
+			return 0, fmt.Errorf("unknown register %q", s)
+		}
+		return uint8(idx), nil
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s: want %d operands, got %d (%q)", mnemonic, n, len(args), rest)
+		}
+		return nil
+	}
+	var err error
+	switch op.Format.Name {
+	case "R":
+		if err = need(3); err == nil {
+			if o.Rd, err = reg(args[0]); err == nil {
+				if o.Rs1, err = reg(args[1]); err == nil {
+					o.Rs2, err = reg(args[2])
+				}
+			}
+		}
+	case "I", "IU":
+		if op.Class == isa.ClassLoad {
+			if err = need(2); err == nil {
+				if o.Rd, err = reg(args[0]); err == nil {
+					err = a.parseMem(args[1], &o)
+				}
+			}
+		} else {
+			if err = need(3); err == nil {
+				if o.Rd, err = reg(args[0]); err == nil {
+					if o.Rs1, err = reg(args[1]); err == nil {
+						err = a.parseImm(args[2], &o)
+					}
+				}
+			}
+		}
+	case "U":
+		if err = need(2); err == nil {
+			if o.Rd, err = reg(args[0]); err == nil {
+				err = a.parseImm(args[1], &o)
+			}
+		}
+	case "S":
+		if err = need(2); err == nil {
+			if o.Rs2, err = reg(args[0]); err == nil {
+				err = a.parseMem(args[1], &o)
+			}
+		}
+	case "B":
+		if err = need(3); err == nil {
+			if o.Rs1, err = reg(args[0]); err == nil {
+				if o.Rs2, err = reg(args[1]); err == nil {
+					err = a.parseImm(args[2], &o)
+				}
+			}
+		}
+	case "J":
+		if err = need(1); err == nil {
+			err = a.parseImm(args[0], &o)
+		}
+	case "JR":
+		if err = need(2); err == nil {
+			if o.Rd, err = reg(args[0]); err == nil {
+				o.Rs1, err = reg(args[1])
+			}
+		}
+	case "SYS":
+		if err = need(1); err == nil {
+			// swt accepts an ISA name as well as a number.
+			if tgt := a.model.ISAByName(args[0]); tgt != nil && strings.ToUpper(mnemonic) == "SWT" {
+				o.Imm = int64(tgt.ID)
+			} else {
+				err = a.parseImm(args[0], &o)
+			}
+		}
+	case "N0":
+		err = need(0)
+	default:
+		err = fmt.Errorf("operation %s has unsupported format %s", op.Name, op.Format.Name)
+	}
+	if err != nil {
+		return nil, operandSet{}, err
+	}
+	return op, o, nil
+}
+
+// parseMem parses `imm(reg)` or `(reg)`.
+func (a *assembler) parseMem(s string, o *operandSet) error {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return fmt.Errorf("bad memory operand %q (want imm(reg))", s)
+	}
+	base := strings.TrimSpace(s[open+1 : len(s)-1])
+	idx, ok := a.model.Regs.Lookup(base)
+	if !ok {
+		return fmt.Errorf("unknown base register %q", base)
+	}
+	o.Rs1 = uint8(idx)
+	immText := strings.TrimSpace(s[:open])
+	if immText == "" {
+		o.Imm = 0
+		return nil
+	}
+	return a.parseImm(immText, o)
+}
+
+// parseImm parses an immediate operand: integer, %hi(sym±n), %lo(sym±n)
+// or symbol±n.
+func (a *assembler) parseImm(s string, o *operandSet) error {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "%hi(") || strings.HasPrefix(s, "%lo(") {
+		kind := s[1:3]
+		if !strings.HasSuffix(s, ")") {
+			return fmt.Errorf("bad %%%s operand %q", kind, s)
+		}
+		inner := s[4 : len(s)-1]
+		val, sym, addend, err := parseExpr(inner)
+		if err != nil {
+			return err
+		}
+		if sym == "" {
+			// Constant %hi/%lo folds immediately.
+			if kind == "hi" {
+				o.Imm = (val >> 16) & 0xFFFF
+			} else {
+				o.Imm = val & 0xFFFF
+			}
+			return nil
+		}
+		o.ImmSym, o.ImmAdd, o.ImmKind = sym, addend, kind
+		return nil
+	}
+	val, sym, addend, err := parseExpr(s)
+	if err != nil {
+		return err
+	}
+	if sym != "" {
+		o.ImmSym, o.ImmAdd = sym, addend
+		return nil
+	}
+	o.Imm = val
+	return nil
+}
+
+// encodeOp produces the operation word and, for symbolic operands, the
+// relocation to attach at the word's offset.
+func (a *assembler) encodeOp(op *isa.Operation, o operandSet, text string) (uint32, kelf.RelocType, string, int32, error) {
+	ops := isa.Operands{Rd: o.Rd, Rs1: o.Rs1, Rs2: o.Rs2}
+	var rt kelf.RelocType
+	var sym string
+	var addend int32
+
+	if o.ImmSym != "" {
+		sym = o.ImmSym
+		addend = int32(o.ImmAdd)
+		switch {
+		case o.ImmKind == "hi":
+			rt = kelf.RelHi16
+		case o.ImmKind == "lo":
+			rt = kelf.RelLo16
+		case op.Class == isa.ClassBranch:
+			rt = kelf.RelBr16
+		case op.Format.Name == "J":
+			rt = kelf.RelJ26
+		default:
+			return 0, 0, "", 0, fmt.Errorf("symbolic immediate %q not allowed in %q (use %%hi/%%lo)", sym, text)
+		}
+		ops.Imm = 0
+	} else {
+		imm := o.Imm
+		switch {
+		case op.Class == isa.ClassBranch:
+			if imm%4 != 0 {
+				return 0, 0, "", 0, fmt.Errorf("branch displacement %d not a multiple of 4", imm)
+			}
+			imm /= 4
+		case op.Format.Name == "J":
+			if imm%4 != 0 {
+				return 0, 0, "", 0, fmt.Errorf("jump target %#x not word aligned", imm)
+			}
+			imm /= 4
+		}
+		if op.ImmField != nil && !op.ImmField.Fits(imm) {
+			return 0, 0, "", 0, fmt.Errorf("immediate %d out of range in %q", o.Imm, text)
+		}
+		ops.Imm = int32(imm)
+	}
+	w, err := op.Encode(ops)
+	if err != nil {
+		return 0, 0, "", 0, fmt.Errorf("%q: %v", text, err)
+	}
+	return w, rt, sym, addend, nil
+}
+
+// expandPseudo rewrites pseudo operations into real ones.
+func (a *assembler) expandPseudo(text string) ([]string, error) {
+	mnemonic, rest := splitWord(text)
+	args := splitOperands(rest)
+	switch strings.ToLower(mnemonic) {
+	case "li":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("li: want `rd, imm`")
+		}
+		val, sym, _, err := parseExpr(args[1])
+		if err != nil || sym != "" {
+			return nil, fmt.Errorf("li: need a constant, got %q (use la for symbols)", args[1])
+		}
+		if val < -(1<<31) || val >= 1<<32 {
+			return nil, fmt.Errorf("li: %d does not fit in 32 bits", val)
+		}
+		v32 := uint32(val)
+		if val >= -(1<<15) && val < 1<<15 {
+			return []string{fmt.Sprintf("addi %s, zero, %d", args[0], val)}, nil
+		}
+		hi := v32 >> 16
+		lo := v32 & 0xFFFF
+		out := []string{fmt.Sprintf("lui %s, %d", args[0], hi)}
+		if lo != 0 {
+			out = append(out, fmt.Sprintf("ori %s, %s, %d", args[0], args[0], lo))
+		}
+		return out, nil
+	case "la":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("la: want `rd, symbol`")
+		}
+		return []string{
+			fmt.Sprintf("lui %s, %%hi(%s)", args[0], args[1]),
+			fmt.Sprintf("ori %s, %s, %%lo(%s)", args[0], args[0], args[1]),
+		}, nil
+	case "mv":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("mv: want `rd, rs`")
+		}
+		return []string{fmt.Sprintf("addi %s, %s, 0", args[0], args[1])}, nil
+	case "neg":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("neg: want `rd, rs`")
+		}
+		return []string{fmt.Sprintf("sub %s, zero, %s", args[0], args[1])}, nil
+	case "jr":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("jr: want `rs`")
+		}
+		return []string{fmt.Sprintf("jalr zero, %s", args[0])}, nil
+	case "ret":
+		return []string{"jalr zero, ra"}, nil
+	case "call":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("call: want `symbol`")
+		}
+		return []string{fmt.Sprintf("jal %s", args[0])}, nil
+	case "b":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("b: want `target`")
+		}
+		return []string{fmt.Sprintf("j %s", args[0])}, nil
+	}
+	return []string{text}, nil
+}
+
+// ---------------------------------------------------------------------
+// Output
+
+func (a *assembler) emit() (*kelf.File, error) {
+	f := kelf.New(kelf.TypeRel)
+	flags := map[string]uint32{
+		kelf.SecText:   kelf.FlagAlloc | kelf.FlagExec,
+		kelf.SecData:   kelf.FlagAlloc | kelf.FlagWrite,
+		kelf.SecRodata: kelf.FlagAlloc,
+		kelf.SecBss:    kelf.FlagAlloc | kelf.FlagWrite,
+	}
+	for _, name := range a.order {
+		s := a.secs[name]
+		if len(s.buf) == 0 && s.size == 0 && len(s.relocs) == 0 && name != kelf.SecText {
+			continue
+		}
+		ks := &kelf.Section{Name: name, Flags: flags[name], Relocs: s.relocs}
+		if name == kelf.SecBss {
+			ks.Type = kelf.SecNobits
+			ks.Size = s.size
+		} else {
+			ks.Type = kelf.SecProgbits
+			ks.Data = s.buf
+		}
+		if err := f.AddSection(ks); err != nil {
+			return nil, err
+		}
+	}
+	// Debug sections.
+	a.lineMap.Sort()
+	a.srcMap.Sort()
+	a.funcs.Sort()
+	if len(a.lineMap.Entries) > 0 {
+		_ = f.AddSection(&kelf.Section{Name: kelf.SecLineMap, Type: kelf.SecProgbits, Data: a.lineMap.Encode()})
+	}
+	if len(a.srcMap.Entries) > 0 {
+		_ = f.AddSection(&kelf.Section{Name: kelf.SecSrcMap, Type: kelf.SecProgbits, Data: a.srcMap.Encode()})
+	}
+	if len(a.funcs.Funcs) > 0 {
+		_ = f.AddSection(&kelf.Section{Name: kelf.SecFuncs, Type: kelf.SecProgbits, Data: a.funcs.Encode()})
+	}
+
+	// Defined symbols.
+	for name, sd := range a.symbols {
+		bind := kelf.BindLocal
+		if a.globals[name] {
+			bind = kelf.BindGlobal
+		}
+		st := kelf.SymNone
+		if sd.isFunc {
+			st = kelf.SymFunc
+		} else if sd.section != kelf.SecText {
+			st = kelf.SymObject
+		}
+		if err := f.AddSymbol(&kelf.Symbol{
+			Name: name, Value: sd.value, Size: sd.size,
+			Bind: bind, Type: st, Section: sd.section,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	// Undefined symbols referenced by relocations or declared .global.
+	referenced := map[string]bool{}
+	for _, s := range f.Sections {
+		for _, r := range s.Relocs {
+			referenced[r.Symbol] = true
+		}
+	}
+	for g := range a.globals {
+		referenced[g] = true
+	}
+	for name := range referenced {
+		if _, defined := a.symbols[name]; defined {
+			continue
+		}
+		if err := f.AddSymbol(&kelf.Symbol{Name: name, Bind: kelf.BindGlobal}); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// ---------------------------------------------------------------------
+// Small parsing helpers
+
+// splitWord splits a line into its first word and the remainder.
+func splitWord(s string) (string, string) {
+	s = strings.TrimSpace(s)
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, ""
+	}
+	return s[:i], strings.TrimSpace(s[i+1:])
+}
+
+// splitOperands splits a comma-separated operand list, trimming spaces.
+// Commas inside parentheses or quotes are kept (e.g. never occur in
+// imm(reg), but strings may contain them).
+func splitOperands(s string) []string {
+	var out []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '"':
+			inStr = !inStr
+		case inStr && c == '\\':
+			i++
+		case !inStr && c == '(':
+			depth++
+		case !inStr && c == ')':
+			depth--
+		case !inStr && c == ',' && depth == 0:
+			if p := strings.TrimSpace(s[start:i]); p != "" {
+				out = append(out, p)
+			}
+			start = i + 1
+		}
+	}
+	if p := strings.TrimSpace(s[start:]); p != "" {
+		out = append(out, p)
+	}
+	return out
+}
+
+// parseExpr parses `int`, `sym`, `sym+int` or `sym-int`. It returns
+// either a constant value (sym == "") or a symbol plus addend.
+func parseExpr(s string) (val int64, sym string, addend int64, err error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, "", 0, fmt.Errorf("empty expression")
+	}
+	if v, perr := strconv.ParseInt(s, 0, 64); perr == nil {
+		return v, "", 0, nil
+	}
+	if len(s) >= 3 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		body, qerr := strconv.Unquote(s)
+		if qerr == nil {
+			r := []rune(body)
+			if len(r) == 1 {
+				return int64(r[0]), "", 0, nil
+			}
+		}
+		return 0, "", 0, fmt.Errorf("bad character literal %q", s)
+	}
+	// sym, sym+n, sym-n
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			name := strings.TrimSpace(s[:i])
+			if !validSym(name) {
+				break
+			}
+			off, perr := strconv.ParseInt(strings.TrimSpace(s[i+1:]), 0, 64)
+			if perr != nil {
+				return 0, "", 0, fmt.Errorf("bad offset in %q", s)
+			}
+			if s[i] == '-' {
+				off = -off
+			}
+			return 0, name, off, nil
+		}
+	}
+	if !validSym(s) {
+		return 0, "", 0, fmt.Errorf("bad expression %q", s)
+	}
+	return 0, s, 0, nil
+}
+
+func validSym(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isSymChar(s[i]) {
+			return false
+		}
+	}
+	return s[0] < '0' || s[0] > '9'
+}

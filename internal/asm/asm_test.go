@@ -1,0 +1,394 @@
+package asm_test
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/kelf"
+	"repro/internal/targetgen"
+)
+
+func words(t *testing.T, f *kelf.File, sec string) []uint32 {
+	t.Helper()
+	s := f.Section(sec)
+	if s == nil {
+		t.Fatalf("section %s missing", sec)
+	}
+	if len(s.Data)%4 != 0 {
+		t.Fatalf("section %s length %d not word aligned", sec, len(s.Data))
+	}
+	out := make([]uint32, len(s.Data)/4)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(s.Data[i*4:])
+	}
+	return out
+}
+
+func assemble(t *testing.T, src string) *kelf.File {
+	t.Helper()
+	f, err := asm.Assemble(targetgen.MustKahrisma(), "test.s", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return f
+}
+
+func wantAsmError(t *testing.T, src, sub string) {
+	t.Helper()
+	_, err := asm.Assemble(targetgen.MustKahrisma(), "test.s", src)
+	if err == nil {
+		t.Fatalf("expected error containing %q", sub)
+	}
+	if !strings.Contains(err.Error(), sub) {
+		t.Fatalf("error %q does not contain %q", err, sub)
+	}
+}
+
+func TestAssembleBasicOps(t *testing.T) {
+	m := targetgen.MustKahrisma()
+	f := assemble(t, `
+		add t0, a0, a1
+		addi sp, sp, -16
+		lw t1, 8(sp)
+		sw t1, 12(sp)
+		lui t2, 0x1234
+		nop
+		halt
+	`)
+	ws := words(t, f, kelf.SecText)
+	if len(ws) != 7 {
+		t.Fatalf("got %d words, want 7", len(ws))
+	}
+	risc := m.ISAByName("RISC")
+	wantDisasm := []string{
+		"add t0, a0, a1",
+		"addi sp, sp, -16",
+		"lw t1, 8(sp)",
+		"sw t1, 12(sp)",
+		"lui t2, 4660",
+		"nop",
+		"halt",
+	}
+	for i, w := range ws {
+		if got := m.Disassemble(risc, w, uint32(i*4)); got != wantDisasm[i] {
+			t.Errorf("word %d: %q, want %q", i, got, wantDisasm[i])
+		}
+	}
+}
+
+func TestLocalBranchGetsRelocation(t *testing.T) {
+	f := assemble(t, `
+loop:
+	addi t0, t0, -1
+	bne t0, zero, loop
+	ret
+	`)
+	text := f.Section(kelf.SecText)
+	if len(text.Relocs) != 1 {
+		t.Fatalf("relocs = %+v, want one BR16", text.Relocs)
+	}
+	r := text.Relocs[0]
+	if r.Type != kelf.RelBr16 || r.Symbol != "loop" || r.Offset != 4 {
+		t.Fatalf("reloc = %+v", r)
+	}
+	sym := f.Symbol("loop")
+	if sym == nil || sym.Bind != kelf.BindLocal || sym.Value != 0 {
+		t.Fatalf("loop symbol = %+v", sym)
+	}
+}
+
+func TestPseudoExpansion(t *testing.T) {
+	m := targetgen.MustKahrisma()
+	risc := m.ISAByName("RISC")
+	cases := []struct {
+		src  string
+		want []string
+	}{
+		{"li t0, 42", []string{"addi t0, zero, 42"}},
+		{"li t0, -5", []string{"addi t0, zero, -5"}},
+		{"li t0, 0x30000", []string{"lui t0, 3"}},
+		{"li t0, 0x12345678", []string{"lui t0, 4660", "ori t0, t0, 22136"}},
+		{"li t0, -100000", []string{"lui t0, 65534", "ori t0, t0, 31072"}},
+		{"mv a0, a1", []string{"addi a0, a1, 0"}},
+		{"neg a0, a1", []string{"sub a0, zero, a1"}},
+		{"jr ra", []string{"jalr zero, ra"}},
+		{"ret", []string{"jalr zero, ra"}},
+	}
+	for _, tc := range cases {
+		f := assemble(t, tc.src)
+		ws := words(t, f, kelf.SecText)
+		if len(ws) != len(tc.want) {
+			t.Errorf("%q: %d words, want %d", tc.src, len(ws), len(tc.want))
+			continue
+		}
+		for i, w := range ws {
+			if got := m.Disassemble(risc, w, 0); got != tc.want[i] {
+				t.Errorf("%q word %d = %q, want %q", tc.src, i, got, tc.want[i])
+			}
+		}
+	}
+}
+
+func TestLaAndCallEmitRelocs(t *testing.T) {
+	f := assemble(t, `
+	la t0, table
+	call helper
+	j done
+done:
+	ret
+	`)
+	text := f.Section(kelf.SecText)
+	types := map[kelf.RelocType]int{}
+	for _, r := range text.Relocs {
+		types[r.Type]++
+	}
+	if types[kelf.RelHi16] != 1 || types[kelf.RelLo16] != 1 || types[kelf.RelJ26] != 2 {
+		t.Fatalf("reloc types = %v", types)
+	}
+	// helper and table must appear as undefined globals.
+	for _, n := range []string{"helper", "table"} {
+		s := f.Symbol(n)
+		if s == nil || s.Section != "" {
+			t.Errorf("symbol %s = %+v, want undefined", n, s)
+		}
+	}
+}
+
+func TestVLIWBundles(t *testing.T) {
+	m := targetgen.MustKahrisma()
+	f := assemble(t, `
+	.isa VLIW4
+	{ add t0, a0, a1 ; sub t1, a0, a1 ; mul t2, a0, a1 }
+	nop
+	`)
+	ws := words(t, f, kelf.SecText)
+	if len(ws) != 8 {
+		t.Fatalf("words = %d, want 8 (two 4-slot instructions)", len(ws))
+	}
+	vliw4 := m.ISAByName("VLIW4")
+	if got := asm.DisassembleBundle(m, vliw4, f.Section(kelf.SecText).Data, 0); got !=
+		"{ add t0, a0, a1 ; sub t1, a0, a1 ; mul t2, a0, a1 }" {
+		t.Errorf("bundle disasm = %q", got)
+	}
+	// Slot 3 of instruction 0 and slots 1-3 of instruction 1 are NOPs.
+	nopWord := ws[7]
+	for _, i := range []int{3, 5, 6, 7} {
+		if ws[i] != nopWord {
+			t.Errorf("word %d = %#x, want NOP", i, ws[i])
+		}
+	}
+}
+
+func TestMultiLineBundle(t *testing.T) {
+	f := assemble(t, `
+	.isa VLIW2
+	{
+		add t0, a0, a1
+		sub t1, a0, a1
+	}
+	`)
+	ws := words(t, f, kelf.SecText)
+	if len(ws) != 2 {
+		t.Fatalf("words = %d, want 2", len(ws))
+	}
+}
+
+func TestBundleErrors(t *testing.T) {
+	wantAsmError(t, ".isa VLIW2\n{ add t0, a0, a1 ; sub t1, a0, a1 ; mul t2, a0, a1 }", "3 operations in a bundle")
+	wantAsmError(t, ".isa VLIW2\n{ j x ; jal y }", "more than one control-transfer")
+	wantAsmError(t, ".isa VLIW2\n{ simcall 1 ; add t0, a0, a1 }", "must be alone")
+	wantAsmError(t, ".isa VLIW2\n{ add t0, a0, a1 ; sub t0, a0, a1 }", "write t0")
+	wantAsmError(t, ".isa VLIW2\n{ li t0, 0x12345 ; nop }", "cannot appear in a bundle")
+	wantAsmError(t, ".isa VLIW2\n{ add t0, a0, a1", "unterminated")
+}
+
+func TestDataDirectives(t *testing.T) {
+	f := assemble(t, `
+	.data
+v:	.word 1, 2, -3
+	.half 258
+	.byte 'A', 255
+	.align 4
+	.asciz "hi\n"
+	.space 3
+	.rodata
+	.word v
+	.bss
+b:	.space 16
+	`)
+	data := f.Section(kelf.SecData)
+	want := []byte{
+		1, 0, 0, 0, 2, 0, 0, 0, 0xFD, 0xFF, 0xFF, 0xFF,
+		2, 1, 'A', 255,
+		'h', 'i', '\n', 0,
+		0, 0, 0,
+	}
+	if string(data.Data) != string(want) {
+		t.Fatalf("data = % x\nwant % x", data.Data, want)
+	}
+	ro := f.Section(kelf.SecRodata)
+	if len(ro.Relocs) != 1 || ro.Relocs[0].Type != kelf.RelAbs32 || ro.Relocs[0].Symbol != "v" {
+		t.Fatalf("rodata relocs = %+v", ro.Relocs)
+	}
+	bss := f.Section(kelf.SecBss)
+	if bss.Type != kelf.SecNobits || bss.Size != 16 {
+		t.Fatalf("bss = %+v", bss)
+	}
+	b := f.Symbol("b")
+	if b == nil || b.Section != kelf.SecBss || b.Value != 0 {
+		t.Fatalf("b = %+v", b)
+	}
+}
+
+func TestTextAlignPadsWithNops(t *testing.T) {
+	m := targetgen.MustKahrisma()
+	f := assemble(t, "nop\n.align 16\nhalt\n")
+	ws := words(t, f, kelf.SecText)
+	if len(ws) != 5 {
+		t.Fatalf("words = %d, want 5", len(ws))
+	}
+	risc := m.ISAByName("RISC")
+	for i := 1; i < 4; i++ {
+		if got := m.Disassemble(risc, ws[i], 0); got != "nop" {
+			t.Errorf("pad word %d = %q", i, got)
+		}
+	}
+}
+
+func TestFuncDirectivesAndLineMaps(t *testing.T) {
+	f := assemble(t, `
+	.isa VLIW2
+	.global f
+	.func f
+f:
+	.loc "f.c" 10
+	nop
+	.loc "f.c" 12
+	nop
+	.endfunc
+	`)
+	ftSec := f.Section(kelf.SecFuncs)
+	if ftSec == nil {
+		t.Fatal("no .kfuncs section")
+	}
+	ft, err := kelf.DecodeFuncTable(ftSec.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ft.Funcs) != 1 || ft.Funcs[0].Name != "f" || ft.Funcs[0].Start != 0 ||
+		ft.Funcs[0].End != 16 || ft.Funcs[0].ISA != 1 {
+		t.Fatalf("functable = %+v", ft.Funcs)
+	}
+	sym := f.Symbol("f")
+	if sym == nil || sym.Type != kelf.SymFunc || sym.Size != 16 {
+		t.Fatalf("f symbol = %+v", sym)
+	}
+	srcSec := f.Section(kelf.SecSrcMap)
+	sm, err := kelf.DecodeLineMap(srcSec.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file, line, ok := sm.Lookup(8)
+	if !ok || file != "f.c" || line != 12 {
+		t.Fatalf("srcmap lookup = %s:%d,%v", file, line, ok)
+	}
+	lmSec := f.Section(kelf.SecLineMap)
+	lm, err := kelf.DecodeLineMap(lmSec.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if file, _, ok := lm.Lookup(0); !ok || file != "test.s" {
+		t.Fatalf("linemap file = %q", file)
+	}
+}
+
+func TestSwtAcceptsISAName(t *testing.T) {
+	m := targetgen.MustKahrisma()
+	f := assemble(t, "swt VLIW4\nswt 0\n")
+	ws := words(t, f, kelf.SecText)
+	swt := m.Op("SWT")
+	if got := swt.DecodeOperands(ws[0]).Imm; got != 2 {
+		t.Errorf("swt VLIW4 imm = %d, want 2", got)
+	}
+	if got := swt.DecodeOperands(ws[1]).Imm; got != 0 {
+		t.Errorf("swt 0 imm = %d", got)
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	cases := []struct{ src, sub string }{
+		{"frob t0, t1", "unknown operation"},
+		{"add t0, t1", "want 3 operands"},
+		{"add t0, t1, q9", "unknown register"},
+		{"addi t0, t1, 0x10000", "out of range"},
+		{"lw t0, t1, 4", "want 2 operands"},
+		{"lw t0, 4[t1]", "bad memory operand"},
+		{".isa BOGUS", "unknown ISA"},
+		{".data\nadd t0, t1, t2", "outside .text"},
+		{".bogus 3", "unknown directive"},
+		{"x:\nx:", "already defined"},
+		{".align 3", "power of two"},
+		{".word 1 +", "bad data expression"},
+		{".bss\n.word 3", "not allowed in .bss"},
+		{"beq t0, t1, 3", "not a multiple of 4"},
+		{"j 6", "not word aligned"},
+		{".func", "missing name"},
+		{".endfunc", ".endfunc without .func"},
+		{".func a\n.func b", "still open"},
+		{".func a\nnop", "not closed"},
+		{"addi t0, t1, sym", "use %hi/%lo"},
+		{".loc f.c", "want `file line`"},
+		{"li t0, sym", "use la for symbols"},
+	}
+	for _, tc := range cases {
+		wantAsmError(t, tc.src, tc.sub)
+	}
+}
+
+func TestCommentStyles(t *testing.T) {
+	f := assemble(t, `
+	nop # hash comment
+	nop // slash comment
+	.data
+	.asciz "a#b//c" # comment after string
+	`)
+	if got := len(words(t, f, kelf.SecText)); got != 2 {
+		t.Fatalf("text words = %d, want 2", got)
+	}
+	if got := string(f.Section(kelf.SecData).Data); got != "a#b//c\x00" {
+		t.Fatalf("data = %q", got)
+	}
+}
+
+func TestListingMixedISA(t *testing.T) {
+	m := targetgen.MustKahrisma()
+	f := assemble(t, `
+	.isa RISC
+	.global r
+	.func r
+r:	nop
+	ret
+	.endfunc
+	.isa VLIW2
+	.global v
+	.func v
+v:	{ add t0, a0, a1 ; sub t1, a0, a1 }
+	.endfunc
+	`)
+	ft, err := kelf.DecodeFuncTable(f.Section(kelf.SecFuncs).Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := asm.Listing(m, ft, m.ISAByName("RISC"), f.Section(kelf.SecText).Data, 0)
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"<r>:", "<v>:", "{ add t0, a0, a1 ; sub t1, a0, a1 }", "nop"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("listing missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+var _ = isa.OpWordBytes // keep import for doc reference

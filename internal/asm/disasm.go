@@ -1,0 +1,64 @@
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/kelf"
+)
+
+// DisassembleBundle renders one instruction (all slots) of the given
+// ISA at addr. Trailing NOP padding slots are elided for VLIW bundles.
+func DisassembleBundle(m *isa.Model, a *isa.ISA, code []byte, addr uint32) string {
+	n := int(a.InstrBytes())
+	if len(code) < n {
+		return "<truncated>"
+	}
+	var slots []string
+	for s := 0; s < a.Issue; s++ {
+		w := binary.LittleEndian.Uint32(code[s*4:])
+		slots = append(slots, m.Disassemble(a, w, addr+uint32(s*4)))
+	}
+	if a.Issue == 1 {
+		return slots[0]
+	}
+	// Trim trailing NOPs but always keep slot 0.
+	last := len(slots)
+	for last > 1 && slots[last-1] == "nop" {
+		last--
+	}
+	return "{ " + strings.Join(slots[:last], " ; ") + " }"
+}
+
+// Listing disassembles a code range, choosing the ISA per address from
+// the function table (mixed-ISA executables change ISA at function
+// granularity). Addresses not covered by the table use fallback.
+func Listing(m *isa.Model, funcs *kelf.FuncTable, fallback *isa.ISA, code []byte, base uint32) []string {
+	var out []string
+	pc := uint32(0)
+	for int(pc) < len(code) {
+		cur := fallback
+		if funcs != nil {
+			if fi := funcs.Lookup(base + pc); fi != nil {
+				if a := m.ISAByID(int(fi.ISA)); a != nil {
+					cur = a
+				}
+				if fi.Start == base+pc {
+					out = append(out, fmt.Sprintf("%08x <%s>:", base+pc, fi.Name))
+				}
+			}
+		}
+		n := cur.InstrBytes()
+		if int(pc)+int(n) > len(code) {
+			n = uint32(len(code)) - pc
+			out = append(out, fmt.Sprintf("%08x:  <%d stray bytes>", base+pc, n))
+			break
+		}
+		out = append(out, fmt.Sprintf("%08x:  %s", base+pc,
+			DisassembleBundle(m, cur, code[pc:], base+pc)))
+		pc += n
+	}
+	return out
+}

@@ -1,0 +1,267 @@
+package cc
+
+import "fmt"
+
+// TypeKind enumerates MiniC types.
+type TypeKind int
+
+const (
+	TVoid TypeKind = iota
+	TInt           // 32-bit signed
+	TUint          // 32-bit unsigned
+	TChar          // 8-bit unsigned
+	TPtr
+)
+
+// Type is a MiniC type.
+type Type struct {
+	Kind TypeKind
+	Elem *Type // pointee for TPtr
+}
+
+var (
+	typeVoid = &Type{Kind: TVoid}
+	typeInt  = &Type{Kind: TInt}
+	typeUint = &Type{Kind: TUint}
+	typeChar = &Type{Kind: TChar}
+)
+
+// Ptr returns the pointer type to t.
+func ptrTo(t *Type) *Type { return &Type{Kind: TPtr, Elem: t} }
+
+// Size returns the storage size in bytes.
+func (t *Type) Size() int {
+	switch t.Kind {
+	case TChar:
+		return 1
+	case TVoid:
+		return 0
+	default:
+		return 4
+	}
+}
+
+// IsInteger reports whether t is an arithmetic type.
+func (t *Type) IsInteger() bool {
+	return t.Kind == TInt || t.Kind == TUint || t.Kind == TChar
+}
+
+// Unsigned reports whether arithmetic on t is unsigned.
+func (t *Type) Unsigned() bool {
+	return t.Kind == TUint || t.Kind == TChar || t.Kind == TPtr
+}
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case TVoid:
+		return "void"
+	case TInt:
+		return "int"
+	case TUint:
+		return "uint"
+	case TChar:
+		return "char"
+	case TPtr:
+		return t.Elem.String() + "*"
+	}
+	return fmt.Sprintf("type(%d)", int(t.Kind))
+}
+
+func sameType(a, b *Type) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	if a.Kind == TPtr {
+		return sameType(a.Elem, b.Elem)
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------
+// Expressions
+
+// Expr is a MiniC expression node.
+type Expr interface{ exprLine() int }
+
+type exprBase struct{ line int }
+
+func (e exprBase) exprLine() int { return e.line }
+
+// NumLit is an integer or character constant.
+type NumLit struct {
+	exprBase
+	Val int64
+}
+
+// StrLit is a string literal (value: address of an interned .rodata
+// NUL-terminated byte array).
+type StrLit struct {
+	exprBase
+	Val string
+}
+
+// Ident references a variable or function name.
+type Ident struct {
+	exprBase
+	Name string
+}
+
+// Unary is -x, !x, ~x, *p, &lv.
+type Unary struct {
+	exprBase
+	Op string
+	X  Expr
+}
+
+// Binary is a binary operator (including && and ||, which
+// short-circuit).
+type Binary struct {
+	exprBase
+	Op   string
+	L, R Expr
+}
+
+// Assign is lhs = rhs, or a compound assignment when Op != "" (e.g.
+// Op "+" for +=).
+type Assign struct {
+	exprBase
+	Op       string
+	LHS, RHS Expr
+}
+
+// IncDec is ++x, --x, x++, x--.
+type IncDec struct {
+	exprBase
+	X    Expr
+	Dec  bool
+	Post bool
+}
+
+// Call invokes a named function.
+type Call struct {
+	exprBase
+	Name string
+	Args []Expr
+}
+
+// Index is a[i].
+type Index struct {
+	exprBase
+	Arr, Idx Expr
+}
+
+// Cast is (type)x.
+type Cast struct {
+	exprBase
+	To *Type
+	X  Expr
+}
+
+// Cond is c ? a : b.
+type Cond struct {
+	exprBase
+	C, A, B Expr
+}
+
+// ---------------------------------------------------------------------
+// Statements
+
+// Stmt is a MiniC statement node.
+type Stmt interface{ stmtLine() int }
+
+type stmtBase struct{ line int }
+
+func (s stmtBase) stmtLine() int { return s.line }
+
+// Block is { ... }.
+type Block struct {
+	stmtBase
+	Stmts []Stmt
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct {
+	stmtBase
+	E Expr
+}
+
+// If is if/else.
+type If struct {
+	stmtBase
+	Cond       Expr
+	Then, Else Stmt
+}
+
+// While is a while loop.
+type While struct {
+	stmtBase
+	Cond Expr
+	Body Stmt
+}
+
+// For is for(init; cond; post) body. Init/Post/Cond may be nil.
+type For struct {
+	stmtBase
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body Stmt
+}
+
+// Return returns from the function (E may be nil).
+type Return struct {
+	stmtBase
+	E Expr
+}
+
+// Break exits the innermost loop.
+type Break struct{ stmtBase }
+
+// Continue re-tests the innermost loop.
+type Continue struct{ stmtBase }
+
+// DeclStmt declares local variables.
+type DeclStmt struct {
+	stmtBase
+	Decls []*VarDecl
+}
+
+// ---------------------------------------------------------------------
+// Declarations
+
+// VarDecl declares a variable (global or local). ArrayLen < 0 means a
+// scalar; otherwise the variable is an array of ArrayLen elements.
+type VarDecl struct {
+	Name     string
+	Type     *Type // element type for arrays
+	ArrayLen int
+	Init     Expr   // scalar initializer
+	InitList []Expr // array initializer
+	InitStr  string // char-array string initializer
+	Const    bool
+	Line     int
+}
+
+// Param is one function parameter.
+type Param struct {
+	Name string
+	Type *Type
+}
+
+// FuncDecl is a function definition (Body == nil for a prototype).
+type FuncDecl struct {
+	Name   string
+	Ret    *Type
+	Params []Param
+	Body   *Block
+	ISA    string // __isa(NAME) attribute; "" = the compilation target
+	Vararg bool
+	Line   int
+}
+
+// Unit is one translation unit.
+type Unit struct {
+	File    string
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}

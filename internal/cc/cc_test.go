@@ -1,0 +1,433 @@
+package cc_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/driver"
+	"repro/internal/ktest"
+	"repro/internal/sim"
+)
+
+// run compiles and runs a MiniC program on the given ISA, returning
+// exit code and stdout.
+func run(t *testing.T, isaName, src string) (int32, string) {
+	t.Helper()
+	m := ktest.Model(t)
+	var out bytes.Buffer
+	opts := sim.DefaultOptions()
+	opts.Stdout = &out
+	opts.MaxInstructions = 50_000_000
+	_, st, err := driver.Run(m, isaName, opts, driver.CSource(t.Name()+".c", src))
+	if err != nil {
+		asmText, cerr := cc.Compile(m, cc.Options{ISA: isaName}, t.Name()+".c", src)
+		if cerr == nil {
+			t.Logf("generated assembly:\n%s", asmText)
+		}
+		t.Fatalf("run (%s): %v", isaName, err)
+	}
+	if !st.Halted {
+		t.Fatalf("did not halt")
+	}
+	return st.ExitCode, out.String()
+}
+
+// runAll runs the program on every ISA and checks the results agree.
+func runAll(t *testing.T, src string, wantExit int32, wantOut string) {
+	t.Helper()
+	for _, isaName := range []string{"RISC", "VLIW2", "VLIW4", "VLIW8"} {
+		code, out := run(t, isaName, src)
+		if code != wantExit {
+			t.Errorf("%s: exit = %d, want %d", isaName, code, wantExit)
+		}
+		if out != wantOut {
+			t.Errorf("%s: output = %q, want %q", isaName, out, wantOut)
+		}
+	}
+}
+
+func TestReturnConstant(t *testing.T) {
+	runAll(t, "int main() { return 42; }", 42, "")
+}
+
+func TestArithmetic(t *testing.T) {
+	runAll(t, `
+int main() {
+    int a = 7;
+    int b = 3;
+    return a*b + a/b - a%b + (a<<2) - (a>>1) + (a&b) + (a|b) + (a^b);
+}`, 7*3+7/3-7%3+(7<<2)-(7>>1)+(7&3)+(7|3)+(7^3), "")
+}
+
+func TestUnsignedArithmetic(t *testing.T) {
+	runAll(t, `
+int main() {
+    uint a = 0x80000000;
+    uint b = a >> 4;           // logical shift
+    int c = (int)a >> 4;       // arithmetic shift (sign bits)
+    uint d = 0xFFFFFFFF;
+    uint q = d / 16;
+    if (b != 0x08000000) return 1;
+    if ((uint)c != 0xF8000000) return 2;
+    if (q != 0x0FFFFFFF) return 3;
+    if (!(a > 100)) return 4;  // unsigned compare
+    return 0;
+}`, 0, "")
+}
+
+func TestIfElseChain(t *testing.T) {
+	runAll(t, `
+int classify(int x) {
+    if (x < 0) return 0;
+    else if (x == 0) return 1;
+    else if (x < 10) return 2;
+    else return 3;
+}
+int main() {
+    return classify(-5)*1000 + classify(0)*100 + classify(5)*10 + classify(99);
+}`, 123, "")
+}
+
+func TestLoopsAndBreakContinue(t *testing.T) {
+	runAll(t, `
+int main() {
+    int sum = 0;
+    for (int i = 0; i < 20; i++) {
+        if (i % 2 == 0) continue;
+        if (i > 13) break;
+        sum += i;
+    }
+    int j = 0;
+    while (j < 5) { sum += j; j++; }
+    return sum; // 1+3+5+7+9+11+13 + 0+1+2+3+4 = 49+10 = 59
+}`, 59, "")
+}
+
+func TestRecursionFib(t *testing.T) {
+	runAll(t, `
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n-1) + fib(n-2);
+}
+int main() { return fib(12); }`, 144, "")
+}
+
+func TestGlobalArraysAndPointers(t *testing.T) {
+	runAll(t, `
+int tab[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+int g = 100;
+int sum(int* p, int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) s += p[i];
+    return s;
+}
+int main() {
+    tab[2] = 30;
+    int* p = &tab[4];
+    *p = 50;
+    p[1] = 60;
+    return sum(tab, 8) + g; // 1+2+30+4+50+60+7+8 = 162 + 100
+}`, 262, "")
+}
+
+func TestLocalArraysAndAddressOf(t *testing.T) {
+	runAll(t, `
+void bump(int* x) { *x = *x + 7; }
+int main() {
+    int a[4] = {10, 20, 30, 40};
+    int v = 5;
+    bump(&v);
+    bump(&a[1]);
+    return a[0] + a[1] + a[2] + a[3] + v; // 10+27+30+40+12 = 119
+}`, 119, "")
+}
+
+func TestCharsAndStrings(t *testing.T) {
+	runAll(t, `
+char msg[] = "hello";
+int main() {
+    char buf[8];
+    int n = strlen(msg);
+    for (int i = 0; i < n; i++) buf[i] = msg[i] - 32; // upper-case
+    buf[n] = 0;
+    puts(buf);
+    return buf[0]; // 'H'
+}`, 'H', "HELLO\n")
+}
+
+func TestPrintfFormats(t *testing.T) {
+	runAll(t, `
+int main() {
+    printf("%d %u %x %c %s %% %02x\n", -3, 7, 255, 'A', "ok", 5);
+    return 0;
+}`, 0, "-3 7 ff A ok % 05\n")
+}
+
+func TestCompoundAssignAndIncDec(t *testing.T) {
+	runAll(t, `
+int main() {
+    int x = 10;
+    x += 5; x -= 2; x *= 3; x /= 2; x %= 11; // ((13*3)/2)%11 = 19%11 = 8
+    x <<= 2; x >>= 1;                        // 16
+    x |= 1; x &= 0xF; x ^= 2;                // 17&15=1^2=3
+    int a[3] = {1, 2, 3};
+    a[1] += 10;
+    int i = 0;
+    int pre = ++i;  // i=1 pre=1
+    int post = i++; // post=1 i=2
+    a[i]--;         // a[2] = 2
+    return x*100 + a[1] + a[2] + pre + post + i; // 300+12+2+1+1+2
+}`, 318, "")
+}
+
+func TestLogicalOps(t *testing.T) {
+	runAll(t, `
+int calls = 0;
+int side(int v) { calls++; return v; }
+int main() {
+    int a = (side(0) && side(1)) + (side(1) || side(9)) * 10;
+    // short-circuit: side(0), side(1) [for ||] -> calls = 2
+    int b = !0 + !5 * 10; // 1 + 0
+    return a*100 + calls*10 + b; // 1000 + 20 + 1
+}`, 1021, "")
+}
+
+func TestManyArgsAndStackArgs(t *testing.T) {
+	runAll(t, `
+int sum7(int a, int b, int c, int d, int e, int f, int g) {
+    return a + 10*b + 100*c + 1000*d + e + f + g;
+}
+int main() {
+    return sum7(1, 2, 3, 4, 5, 6, 7); // 4321 + 18
+}`, 4339, "")
+}
+
+func TestSpillPressure(t *testing.T) {
+	// 30 simultaneously-live values force spilling.
+	var b strings.Builder
+	b.WriteString("int main() {\n")
+	for i := 0; i < 30; i++ {
+		fmt.Fprintf(&b, "    int v%d = %d;\n", i, i+1)
+	}
+	b.WriteString("    int s = 0;\n")
+	for i := 0; i < 30; i++ {
+		fmt.Fprintf(&b, "    s += v%d * v%d;\n", i, (i+7)%30)
+	}
+	b.WriteString("    return s & 0xFF;\n}\n")
+	want := 0
+	vals := make([]int, 30)
+	for i := range vals {
+		vals[i] = i + 1
+	}
+	for i := 0; i < 30; i++ {
+		want += vals[i] * vals[(i+7)%30]
+	}
+	runAll(t, b.String(), int32(want&0xFF), "")
+}
+
+func TestMallocMemset(t *testing.T) {
+	runAll(t, `
+int main() {
+    char* p = malloc(100);
+    memset(p, 7, 100);
+    char* q = malloc(100);
+    memcpy(q, p, 100);
+    int s = 0;
+    for (int i = 0; i < 100; i++) s += q[i];
+    return s == 700;
+}`, 1, "")
+}
+
+func TestGlobalCharTable(t *testing.T) {
+	runAll(t, `
+const char hexdig[16] = {'0','1','2','3','4','5','6','7','8','9','a','b','c','d','e','f'};
+int main() {
+    putchar(hexdig[10]);
+    putchar(hexdig[15]);
+    putchar('\n');
+    return hexdig[3];
+}`, '3', "af\n")
+}
+
+func TestNestedLoopsMatrix(t *testing.T) {
+	runAll(t, `
+int a[16];
+int b[16];
+int c[16];
+int main() {
+    for (int i = 0; i < 16; i++) { a[i] = i; b[i] = 16 - i; }
+    for (int i = 0; i < 4; i++)
+        for (int j = 0; j < 4; j++) {
+            int s = 0;
+            for (int k = 0; k < 4; k++)
+                s += a[i*4+k] * b[k*4+j];
+            c[i*4+j] = s;
+        }
+    int sum = 0;
+    for (int i = 0; i < 16; i++) sum += c[i];
+    return sum & 0xFF;
+}`, func() int32 {
+		var a, b, c [16]int
+		for i := 0; i < 16; i++ {
+			a[i] = i
+			b[i] = 16 - i
+		}
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				s := 0
+				for k := 0; k < 4; k++ {
+					s += a[i*4+k] * b[k*4+j]
+				}
+				c[i*4+j] = s
+			}
+		}
+		sum := 0
+		for i := 0; i < 16; i++ {
+			sum += c[i]
+		}
+		return int32(sum & 0xFF)
+	}(), "")
+}
+
+func TestCrossISACall(t *testing.T) {
+	// main runs RISC; kernel runs VLIW4 via __isa attribute with
+	// SWITCHTARGET pairs inserted by the compiler.
+	m := ktest.Model(t)
+	src := `
+__isa(VLIW4) int kernel(int a, int b) {
+    int x = a + b;
+    int y = a - b;
+    int z = a * b;
+    return x + y + z;
+}
+int main() {
+    return kernel(10, 4) + kernel(3, 2); // (14+6+40) + (5+1+6) = 72
+}`
+	var out bytes.Buffer
+	opts := sim.DefaultOptions()
+	opts.Stdout = &out
+	opts.MaxInstructions = 1_000_000
+	cpu, st, err := driver.Run(m, "RISC", opts, driver.CSource("x.c", src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ExitCode != 72 {
+		t.Fatalf("exit = %d, want 72", st.ExitCode)
+	}
+	if cpu.Stats.ISASwitches < 4 {
+		t.Fatalf("ISA switches = %d, want >= 4", cpu.Stats.ISASwitches)
+	}
+}
+
+func TestVLIWSchedulingImprovesDensity(t *testing.T) {
+	// A block of independent operations should execute in far fewer
+	// instructions on VLIW8 than on RISC.
+	src := `
+int a[64];
+int main() {
+    for (int i = 0; i < 64; i++) a[i] = i;
+    int s0 = 0; int s1 = 0; int s2 = 0; int s3 = 0;
+    for (int i = 0; i < 64; i += 4) {
+        s0 += a[i];
+        s1 += a[i+1];
+        s2 += a[i+2];
+        s3 += a[i+3];
+    }
+    return (s0 + s1 + s2 + s3) & 0xFF; // 2016 & 255 = 224
+}`
+	m := ktest.Model(t)
+	counts := map[string]uint64{}
+	for _, isaName := range []string{"RISC", "VLIW8"} {
+		opts := sim.DefaultOptions()
+		opts.MaxInstructions = 1_000_000
+		cpu, st, err := driver.Run(m, isaName, opts, driver.CSource("x.c", src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.ExitCode != 224 {
+			t.Fatalf("%s: exit = %d", isaName, st.ExitCode)
+		}
+		counts[isaName] = st.Instructions
+		_ = cpu
+	}
+	if counts["VLIW8"]*3/2 > counts["RISC"] {
+		t.Errorf("VLIW8 executed %d instructions vs RISC %d; packing looks ineffective",
+			counts["VLIW8"], counts["RISC"])
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	m := ktest.Model(t)
+	cases := []struct{ src, sub string }{
+		{"int main() { return x; }", "undefined variable"},
+		{"int main() { nosuch(); }", "undefined function"},
+		{"int main() { int a; int a; }", "redeclaration"},
+		{"int main() { break; }", "break outside loop"},
+		{"int main() { continue; }", "continue outside loop"},
+		{"void f() { return 3; }", "return with value"},
+		{"int f() { return; } int main() { return 0; }", "return without value"},
+		{"int main() { int x; return *x; }", "dereference of non-pointer"},
+		{"int main() { 5 = 3; }", "not an lvalue"},
+		{"int main() { puts(1, 2); }", "expects 1 arguments"},
+		{"int printf(int x) { return x; }", "shadows a C library function"},
+		{"__isa(BOGUS) int f() { return 0; } int main() { return 0; }", "unknown ISA"},
+		{"int main() { int* p; int* q; return p + q; }", "pointer-pointer"},
+		{"int g = x; int main() { return 0; }", "not constant"},
+	}
+	for _, tc := range cases {
+		_, err := cc.Compile(m, cc.Options{ISA: "RISC"}, "e.c", tc.src)
+		if err == nil {
+			t.Errorf("%q: expected error containing %q", tc.src, tc.sub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.sub) {
+			t.Errorf("%q: error %q does not contain %q", tc.src, err, tc.sub)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ src, sub string }{
+		{"int main() { return 0 }", `expected ";"`},
+		{"int main( { }", "expected type"},
+		{"int 3x;", "expected identifier"},
+		{"int main() { int a[0]; }", "bad array length"},
+		{"int main() { /* unterminated", "unterminated block comment"},
+		{`int main() { char c = 'ab'; }`, "exactly one byte"},
+		{`int main() { return "x`, "unterminated literal"},
+		{"int a[2] = {1,2,3};", "3 initializers for array of 2"},
+		{"@", "unexpected character"},
+	}
+	for _, tc := range cases {
+		_, err := cc.Parse("e.c", tc.src)
+		if err == nil {
+			t.Errorf("%q: expected parse error %q", tc.src, tc.sub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.sub) {
+			t.Errorf("%q: error %q does not contain %q", tc.src, err, tc.sub)
+		}
+	}
+}
+
+func TestLocDirectivesEmitted(t *testing.T) {
+	m := ktest.Model(t)
+	asmText, err := cc.Compile(m, cc.Options{ISA: "RISC"}, "dbg.c", `
+int main() {
+    int x = 1;
+    x = x + 2;
+    return x;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(asmText, `.loc "dbg.c"`) {
+		t.Fatalf("no .loc directives in output:\n%s", asmText)
+	}
+	if !strings.Contains(asmText, ".func main") {
+		t.Fatal("no .func directive")
+	}
+}

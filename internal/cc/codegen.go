@@ -1,0 +1,610 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Options configure a compilation.
+type Options struct {
+	// ISA is the default target ISA name for functions without an
+	// __isa attribute (required).
+	ISA string
+	// FunctionISA overrides the target ISA per function name, as if the
+	// source carried an __isa attribute — the hook the automatic ISA
+	// selection (internal/isasel) uses to retarget individual functions
+	// without editing sources. An explicit source attribute wins.
+	FunctionISA map[string]string
+}
+
+// funcSig is a callable signature.
+type funcSig struct {
+	name    string
+	symbol  string
+	ret     *Type
+	params  []Param
+	vararg  bool
+	isaName string
+	builtin bool
+}
+
+type compiler struct {
+	model *isa.Model
+	opt   Options
+	file  string
+
+	funcs   map[string]*funcSig
+	globals map[string]*VarDecl
+
+	strLabels map[string]string
+	strOrder  []string
+
+	text, data, rodata, bss strings.Builder
+	labelN                  int
+	errs                    []error
+}
+
+// Compile translates one MiniC translation unit into mixed-ISA
+// assembly text for the given architecture model.
+func Compile(model *isa.Model, opt Options, file, src string) (string, error) {
+	if model.ISAByName(opt.ISA) == nil {
+		return "", fmt.Errorf("cc: unknown target ISA %q", opt.ISA)
+	}
+	unit, err := Parse(file, src)
+	if err != nil {
+		return "", err
+	}
+	c := &compiler{
+		model:     model,
+		opt:       opt,
+		file:      file,
+		funcs:     map[string]*funcSig{},
+		globals:   map[string]*VarDecl{},
+		strLabels: map[string]string{},
+	}
+	c.declareBuiltins()
+	if err := c.collect(unit); err != nil {
+		return "", err
+	}
+	c.emitGlobals(unit)
+	for _, fd := range unit.Funcs {
+		if fd.Body == nil {
+			continue
+		}
+		c.genFunction(fd)
+	}
+	if len(c.errs) > 0 {
+		var sb strings.Builder
+		for i, e := range c.errs {
+			if i > 0 {
+				sb.WriteString("\n")
+			}
+			sb.WriteString(e.Error())
+			if i == 19 && len(c.errs) > 20 {
+				fmt.Fprintf(&sb, "\n... and %d more errors", len(c.errs)-20)
+				break
+			}
+		}
+		return "", fmt.Errorf("%s", sb.String())
+	}
+
+	var out strings.Builder
+	if c.text.Len() > 0 {
+		out.WriteString("\t.text\n")
+		out.WriteString(c.text.String())
+	}
+	if c.rodata.Len() > 0 {
+		out.WriteString("\t.rodata\n")
+		out.WriteString(c.rodata.String())
+	}
+	if c.data.Len() > 0 {
+		out.WriteString("\t.data\n")
+		out.WriteString(c.data.String())
+	}
+	if c.bss.Len() > 0 {
+		out.WriteString("\t.bss\n")
+		out.WriteString(c.bss.String())
+	}
+	return out.String(), nil
+}
+
+func (c *compiler) errf(line int, format string, args ...any) {
+	c.errs = append(c.errs, fmt.Errorf("%s:%d: %s", c.file, line, fmt.Sprintf(format, args...)))
+}
+
+// declareBuiltins registers the emulated C library (Sec. V-E).
+func (c *compiler) declareBuiltins() {
+	pc := ptrTo(typeChar)
+	sig := func(name string, ret *Type, vararg bool, params ...*Type) {
+		fs := &funcSig{name: name, symbol: name, ret: ret, vararg: vararg,
+			isaName: c.opt.ISA, builtin: true}
+		for i, p := range params {
+			fs.params = append(fs.params, Param{Name: fmt.Sprintf("a%d", i), Type: p})
+		}
+		c.funcs[name] = fs
+	}
+	sig("exit", typeVoid, false, typeInt)
+	sig("putchar", typeInt, false, typeInt)
+	sig("puts", typeInt, false, pc)
+	sig("printf", typeInt, true, pc)
+	sig("malloc", pc, false, typeInt)
+	sig("free", typeVoid, false, pc)
+	sig("memcpy", pc, false, pc, pc, typeInt)
+	sig("memset", pc, false, pc, typeInt, typeInt)
+	sig("rand", typeInt, false)
+	sig("srand", typeVoid, false, typeInt)
+	sig("clock", typeInt, false)
+	sig("abort", typeVoid, false)
+	sig("strlen", typeInt, false, pc)
+	sig("strcmp", typeInt, false, pc, pc)
+	sig("getchar", typeInt, false)
+}
+
+// collect builds the symbol tables for globals and functions.
+func (c *compiler) collect(u *Unit) error {
+	for _, g := range u.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			return fmt.Errorf("%s:%d: duplicate global %q", c.file, g.Line, g.Name)
+		}
+		c.globals[g.Name] = g
+	}
+	for _, fd := range u.Funcs {
+		isaName := fd.ISA
+		if isaName == "" {
+			isaName = c.opt.FunctionISA[fd.Name]
+		}
+		if isaName == "" {
+			isaName = c.opt.ISA
+		}
+		if c.model.ISAByName(isaName) == nil {
+			return fmt.Errorf("%s:%d: function %s: unknown ISA %q", c.file, fd.Line, fd.Name, isaName)
+		}
+		symbol := fd.Name
+		if isaName != c.opt.ISA {
+			// The compiler "prefixes the function name symbols by the
+			// target ISA identifier" (Sec. IV) for cross-ISA functions.
+			symbol = isaName + "." + fd.Name
+		}
+		if prev, ok := c.funcs[fd.Name]; ok {
+			if prev.builtin {
+				return fmt.Errorf("%s:%d: %s shadows a C library function", c.file, fd.Line, fd.Name)
+			}
+			// Prototype followed by definition is fine; re-definition is
+			// caught by duplicate body emission below.
+		}
+		c.funcs[fd.Name] = &funcSig{
+			name: fd.Name, symbol: symbol, ret: fd.Ret,
+			params: fd.Params, vararg: fd.Vararg, isaName: isaName,
+		}
+		if _, dup := c.globals[fd.Name]; dup {
+			return fmt.Errorf("%s:%d: %s is both global and function", c.file, fd.Line, fd.Name)
+		}
+	}
+	return nil
+}
+
+// strLabel interns a string literal in .rodata.
+func (c *compiler) strLabel(s string) string {
+	if l, ok := c.strLabels[s]; ok {
+		return l
+	}
+	l := fmt.Sprintf(".Lstr%d", len(c.strOrder))
+	c.strLabels[s] = l
+	c.strOrder = append(c.strOrder, s)
+	fmt.Fprintf(&c.rodata, "%s:\n\t.asciz %q\n", l, s)
+	return l
+}
+
+// emitGlobals writes global variables to .data/.rodata/.bss.
+func (c *compiler) emitGlobals(u *Unit) {
+	for _, g := range u.Globals {
+		buf := &c.data
+		if g.Const {
+			buf = &c.rodata
+		}
+		hasInit := g.Init != nil || len(g.InitList) > 0 || g.InitStr != ""
+		if !hasInit {
+			fmt.Fprintf(&c.bss, "\t.align 4\n\t.global %s\n%s:\n\t.space %d\n",
+				g.Name, g.Name, c.globalSize(g))
+			continue
+		}
+		fmt.Fprintf(buf, "\t.align 4\n\t.global %s\n%s:\n", g.Name, g.Name)
+		switch {
+		case g.InitStr != "":
+			fmt.Fprintf(buf, "\t.ascii %q\n", g.InitStr)
+			if pad := g.ArrayLen - len(g.InitStr); pad > 0 {
+				fmt.Fprintf(buf, "\t.space %d\n", pad)
+			}
+		case len(g.InitList) > 0:
+			word := g.Type.Size() == 4
+			for _, e := range g.InitList {
+				v, ok := foldConst(e)
+				if !ok {
+					c.errf(g.Line, "global %s: initializer element is not constant", g.Name)
+					v = 0
+				}
+				if word {
+					fmt.Fprintf(buf, "\t.word %d\n", int32(v))
+				} else {
+					fmt.Fprintf(buf, "\t.byte %d\n", uint8(v))
+				}
+			}
+			if pad := g.ArrayLen - len(g.InitList); pad > 0 {
+				fmt.Fprintf(buf, "\t.space %d\n", pad*g.Type.Size())
+			}
+		default:
+			v, ok := foldConst(g.Init)
+			if !ok {
+				c.errf(g.Line, "global %s: initializer is not constant", g.Name)
+			}
+			if g.Type.Size() == 4 {
+				fmt.Fprintf(buf, "\t.word %d\n", int32(v))
+			} else {
+				fmt.Fprintf(buf, "\t.byte %d\n", uint8(v))
+			}
+		}
+	}
+}
+
+func (c *compiler) globalSize(g *VarDecl) int {
+	n := g.Type.Size()
+	if g.ArrayLen >= 0 {
+		n *= g.ArrayLen
+	}
+	if n == 0 {
+		n = 4
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------
+// Function code generation
+
+type localVar struct {
+	typ      *Type
+	isArray  bool
+	elems    int
+	promoted bool
+	vreg     int
+	off      int64
+}
+
+type loopLabels struct{ brk, cont string }
+
+type fgen struct {
+	c         *compiler
+	fd        *FuncDecl
+	sig       *funcSig
+	fn        *mfunc
+	cur       *mblock
+	scopes    []map[string]*localVar
+	loops     []loopLabels
+	addrTaken map[string]bool
+	line      int
+}
+
+func (c *compiler) genFunction(fd *FuncDecl) {
+	sig := c.funcs[fd.Name]
+	g := &fgen{
+		c:   c,
+		fd:  fd,
+		sig: sig,
+		fn: &mfunc{
+			name: sig.symbol, srcName: fd.Name,
+			isa:      c.model.ISAByName(sig.isaName),
+			nextVreg: vregBase,
+			line:     fd.Line,
+		},
+	}
+	g.cur = g.fn.newBlock("")
+	g.pushScope()
+
+	// Bind parameters: first four from a0..a3, the rest from the
+	// caller's outgoing-argument area.
+	for i, p := range fd.Params {
+		lv := &localVar{typ: p.Type, promoted: true, vreg: g.fn.newVreg()}
+		g.scope()[p.Name] = lv
+		if i < 4 {
+			g.emit(MOp{Name: "addi", Dst: lv.vreg, S1: regA0 + i, Imm: 0, Line: fd.Line})
+		} else {
+			g.emit(MOp{Name: "lw", Dst: lv.vreg, S1: regSP,
+				Imm: int64((i - 4) * 4), Ref: frameIncoming, Line: fd.Line})
+		}
+	}
+
+	addrTaken := map[string]bool{}
+	scanAddrTaken(fd.Body, addrTaken)
+	g.addrTaken = addrTaken
+
+	g.genBlock(fd.Body)
+	// Implicit return (void functions or falling off the end).
+	g.emit(MOp{Name: "ret", Dst: regNone, S1: regNone, S2: regNone, Line: fd.Line})
+	g.popScope()
+
+	text, err := emitFunction(c.model, g.fn, c.file)
+	if err != nil {
+		c.errs = append(c.errs, err)
+		return
+	}
+	c.text.WriteString(text)
+}
+
+// scanAddrTaken marks identifiers whose address is taken with &.
+func scanAddrTaken(s Stmt, out map[string]bool) {
+	var walkE func(Expr)
+	walkE = func(e Expr) {
+		switch x := e.(type) {
+		case *Unary:
+			if x.Op == "&" {
+				if id, ok := x.X.(*Ident); ok {
+					out[id.Name] = true
+				}
+			}
+			walkE(x.X)
+		case *Binary:
+			walkE(x.L)
+			walkE(x.R)
+		case *Assign:
+			walkE(x.LHS)
+			walkE(x.RHS)
+		case *IncDec:
+			walkE(x.X)
+		case *Call:
+			for _, a := range x.Args {
+				walkE(a)
+			}
+		case *Index:
+			walkE(x.Arr)
+			walkE(x.Idx)
+		case *Cast:
+			walkE(x.X)
+		}
+	}
+	var walkS func(Stmt)
+	walkS = func(s Stmt) {
+		switch x := s.(type) {
+		case *Block:
+			for _, st := range x.Stmts {
+				walkS(st)
+			}
+		case *ExprStmt:
+			walkE(x.E)
+		case *If:
+			walkE(x.Cond)
+			walkS(x.Then)
+			if x.Else != nil {
+				walkS(x.Else)
+			}
+		case *While:
+			walkE(x.Cond)
+			walkS(x.Body)
+		case *For:
+			if x.Init != nil {
+				walkS(x.Init)
+			}
+			if x.Cond != nil {
+				walkE(x.Cond)
+			}
+			if x.Post != nil {
+				walkS(x.Post)
+			}
+			walkS(x.Body)
+		case *Return:
+			if x.E != nil {
+				walkE(x.E)
+			}
+		case *DeclStmt:
+			for _, d := range x.Decls {
+				if d.Init != nil {
+					walkE(d.Init)
+				}
+				for _, e := range d.InitList {
+					walkE(e)
+				}
+			}
+		}
+	}
+	if s != nil {
+		walkS(s)
+	}
+}
+
+func (g *fgen) pushScope() { g.scopes = append(g.scopes, map[string]*localVar{}) }
+func (g *fgen) popScope()  { g.scopes = g.scopes[:len(g.scopes)-1] }
+func (g *fgen) scope() map[string]*localVar {
+	return g.scopes[len(g.scopes)-1]
+}
+
+func (g *fgen) lookup(name string) *localVar {
+	for i := len(g.scopes) - 1; i >= 0; i-- {
+		if lv, ok := g.scopes[i][name]; ok {
+			return lv
+		}
+	}
+	return nil
+}
+
+func (g *fgen) emit(m MOp) {
+	if m.Line == 0 {
+		m.Line = g.line
+	}
+	g.cur.ops = append(g.cur.ops, m)
+}
+
+func (g *fgen) newLabel() string {
+	g.c.labelN++
+	return fmt.Sprintf(".L%s_%d", g.fd.Name, g.c.labelN)
+}
+
+// startBlock begins a new labelled block (previous block falls
+// through unless it ended with an unconditional transfer).
+func (g *fgen) startBlock(label string) {
+	g.cur = g.fn.newBlock(label)
+}
+
+func (g *fgen) errf(line int, format string, args ...any) {
+	g.c.errf(line, format, args...)
+}
+
+// ---------------------------------------------------------------------
+// Statements
+
+func (g *fgen) genBlock(b *Block) {
+	g.pushScope()
+	for _, s := range b.Stmts {
+		g.genStmt(s)
+	}
+	g.popScope()
+}
+
+func (g *fgen) genStmt(s Stmt) {
+	g.line = s.stmtLine()
+	switch x := s.(type) {
+	case *Block:
+		g.genBlock(x)
+	case *ExprStmt:
+		g.genExpr(x.E)
+	case *DeclStmt:
+		for _, d := range x.Decls {
+			g.genLocalDecl(d)
+		}
+	case *If:
+		lThen, lElse, lEnd := g.newLabel(), g.newLabel(), g.newLabel()
+		g.genCond(x.Cond, lThen, lElse)
+		g.startBlock(lThen)
+		g.genStmt(x.Then)
+		g.emit(MOp{Name: "j", Dst: regNone, S1: regNone, S2: regNone, Sym: lEnd})
+		g.startBlock(lElse)
+		if x.Else != nil {
+			g.genStmt(x.Else)
+		}
+		g.startBlock(lEnd)
+	case *While:
+		lHead, lBody, lEnd := g.newLabel(), g.newLabel(), g.newLabel()
+		g.emit(MOp{Name: "j", Dst: regNone, S1: regNone, S2: regNone, Sym: lHead})
+		g.startBlock(lHead)
+		g.genCond(x.Cond, lBody, lEnd)
+		g.startBlock(lBody)
+		g.loops = append(g.loops, loopLabels{brk: lEnd, cont: lHead})
+		g.genStmt(x.Body)
+		g.loops = g.loops[:len(g.loops)-1]
+		g.emit(MOp{Name: "j", Dst: regNone, S1: regNone, S2: regNone, Sym: lHead})
+		g.startBlock(lEnd)
+	case *For:
+		lHead, lBody, lPost, lEnd := g.newLabel(), g.newLabel(), g.newLabel(), g.newLabel()
+		g.pushScope()
+		if x.Init != nil {
+			g.genStmt(x.Init)
+		}
+		g.emit(MOp{Name: "j", Dst: regNone, S1: regNone, S2: regNone, Sym: lHead})
+		g.startBlock(lHead)
+		if x.Cond != nil {
+			g.genCond(x.Cond, lBody, lEnd)
+		} else {
+			g.emit(MOp{Name: "j", Dst: regNone, S1: regNone, S2: regNone, Sym: lBody})
+		}
+		g.startBlock(lBody)
+		g.loops = append(g.loops, loopLabels{brk: lEnd, cont: lPost})
+		g.genStmt(x.Body)
+		g.loops = g.loops[:len(g.loops)-1]
+		g.emit(MOp{Name: "j", Dst: regNone, S1: regNone, S2: regNone, Sym: lPost})
+		g.startBlock(lPost)
+		if x.Post != nil {
+			g.genStmt(x.Post)
+		}
+		g.emit(MOp{Name: "j", Dst: regNone, S1: regNone, S2: regNone, Sym: lHead})
+		g.startBlock(lEnd)
+		g.popScope()
+	case *Return:
+		val := regNone
+		if x.E != nil {
+			if g.fd.Ret.Kind == TVoid {
+				g.errf(x.stmtLine(), "return with value in void function")
+			}
+			v, _ := g.genExpr(x.E)
+			val = v
+		} else if g.fd.Ret.Kind != TVoid {
+			g.errf(x.stmtLine(), "return without value in non-void function")
+		}
+		g.emit(MOp{Name: "ret", Dst: regNone, S1: val, S2: regNone})
+		g.startBlock(g.newLabel()) // unreachable continuation
+	case *Break:
+		if len(g.loops) == 0 {
+			g.errf(x.stmtLine(), "break outside loop")
+			return
+		}
+		g.emit(MOp{Name: "j", Dst: regNone, S1: regNone, S2: regNone, Sym: g.loops[len(g.loops)-1].brk})
+		g.startBlock(g.newLabel())
+	case *Continue:
+		if len(g.loops) == 0 {
+			g.errf(x.stmtLine(), "continue outside loop")
+			return
+		}
+		g.emit(MOp{Name: "j", Dst: regNone, S1: regNone, S2: regNone, Sym: g.loops[len(g.loops)-1].cont})
+		g.startBlock(g.newLabel())
+	default:
+		g.errf(s.stmtLine(), "unsupported statement %T", s)
+	}
+}
+
+func (g *fgen) genLocalDecl(d *VarDecl) {
+	if g.lookupCurrentScope(d.Name) {
+		g.errf(d.Line, "redeclaration of %q", d.Name)
+		return
+	}
+	if d.ArrayLen >= 0 || g.addrTaken[d.Name] {
+		// Stack storage.
+		size := int64(d.Type.Size())
+		if d.ArrayLen >= 0 {
+			size *= int64(d.ArrayLen)
+		}
+		off := (g.fn.localsTop + 3) &^ 3
+		g.fn.localsTop = off + ((size + 3) &^ 3)
+		lv := &localVar{typ: d.Type, isArray: d.ArrayLen >= 0, elems: d.ArrayLen, off: off}
+		g.scope()[d.Name] = lv
+		// Initializers.
+		switch {
+		case d.InitStr != "":
+			for i := 0; i <= len(d.InitStr); i++ { // include NUL
+				var b byte
+				if i < len(d.InitStr) {
+					b = d.InitStr[i]
+				}
+				v := g.loadImm(int64(b))
+				g.emit(MOp{Name: "sb", Dst: regNone, S1: regSP, S2: v, Imm: off + int64(i), Ref: frameLocal})
+			}
+		case len(d.InitList) > 0:
+			for i, e := range d.InitList {
+				v, _ := g.genExpr(e)
+				if d.Type.Size() == 1 {
+					g.emit(MOp{Name: "sb", Dst: regNone, S1: regSP, S2: v, Imm: off + int64(i), Ref: frameLocal})
+				} else {
+					g.emit(MOp{Name: "sw", Dst: regNone, S1: regSP, S2: v, Imm: off + int64(i*4), Ref: frameLocal})
+				}
+			}
+		case d.Init != nil:
+			v, _ := g.genExpr(d.Init)
+			if d.Type.Size() == 1 {
+				g.emit(MOp{Name: "sb", Dst: regNone, S1: regSP, S2: v, Imm: off, Ref: frameLocal})
+			} else {
+				g.emit(MOp{Name: "sw", Dst: regNone, S1: regSP, S2: v, Imm: off, Ref: frameLocal})
+			}
+		}
+		return
+	}
+	// Promoted scalar. An uninitialized local stays undefined until its
+	// first assignment (C semantics) — emitting no initializer keeps the
+	// live range from stretching to the declaration point.
+	lv := &localVar{typ: d.Type, promoted: true, vreg: g.fn.newVreg()}
+	g.scope()[d.Name] = lv
+	if d.Init != nil {
+		g.assignResult(lv.vreg, d.Init)
+	}
+}
+
+func (g *fgen) lookupCurrentScope(name string) bool {
+	_, ok := g.scope()[name]
+	return ok
+}

@@ -1,0 +1,262 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// emitFunction runs register allocation, frame layout, pseudo-op
+// expansion and VLIW scheduling, and renders the function as assembly
+// text (with .func/.loc debug directives and .isa switches).
+func emitFunction(model *isa.Model, fn *mfunc, file string) (string, error) {
+	optimize(fn)
+	res, err := allocate(fn)
+	if err != nil {
+		return "", err
+	}
+
+	hasCall := false
+	for _, b := range fn.blocks {
+		for i := range b.ops {
+			if b.ops[i].Name == "call" {
+				hasCall = true
+			}
+		}
+	}
+
+	// Frame layout (from sp upward): outgoing args | spills | locals |
+	// saved callee regs | ra.
+	outBase := int64(0)
+	spillBase := outBase + int64(fn.maxOutArg)
+	localBase := spillBase + int64(res.spillSlots)*4
+	saveBase := localBase + fn.localsTop
+	raOff := saveBase + int64(len(res.usedCallee))*4
+	frame := raOff
+	if hasCall {
+		frame += 4
+	}
+	frame = (frame + 15) &^ 15
+
+	// Fix up frame-relative immediates.
+	for _, b := range fn.blocks {
+		for i := range b.ops {
+			m := &b.ops[i]
+			switch m.Ref {
+			case frameLocal:
+				m.Imm += localBase
+			case frameSpill:
+				m.Imm += spillBase
+			case frameIncoming:
+				m.Imm += frame
+			}
+			if m.Ref != frameNone {
+				m.Ref = frameNone
+				if m.Imm < -(1<<15) || m.Imm >= 1<<15 {
+					return "", fmt.Errorf("cc: %s: frame offset %d exceeds 16-bit range (frame too large)",
+						fn.srcName, m.Imm)
+				}
+			}
+		}
+	}
+
+	// Expand prologue, call and ret pseudo ops.
+	prologue := buildPrologue(frame, raOff, saveBase, res.usedCallee, hasCall, fn.line)
+	for bi, b := range fn.blocks {
+		var out []MOp
+		if bi == 0 {
+			out = append(out, prologue...)
+		}
+		for _, m := range b.ops {
+			switch m.Name {
+			case "call":
+				out = append(out, expandCall(m, spillBase)...)
+			case "ret":
+				out = append(out, expandRet(m, frame, raOff, saveBase, res.usedCallee, hasCall)...)
+			default:
+				out = append(out, m)
+			}
+		}
+		b.ops = out
+	}
+
+	// Schedule and render.
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "\t.isa %s\n", fn.isa.Name)
+	fmt.Fprintf(&sb, "\t.global %s\n\t.func %s\n%s:\n", fn.name, fn.name, fn.name)
+	lastLine := -1
+	for _, b := range fn.blocks {
+		if b.label != "" {
+			fmt.Fprintf(&sb, "%s:\n", b.label)
+		}
+		bundles := scheduleBlock(model, b.ops, fn.isa.Issue)
+		for _, bundle := range bundles {
+			if line := bundleLine(bundle); line > 0 && line != lastLine {
+				fmt.Fprintf(&sb, "\t.loc %q %d\n", file, line)
+				lastLine = line
+			}
+			renderBundle(&sb, model, fn, bundle)
+		}
+	}
+	sb.WriteString("\t.endfunc\n")
+	return sb.String(), nil
+}
+
+func buildPrologue(frame, raOff, saveBase int64, usedCallee []int, hasCall bool, line int) []MOp {
+	var out []MOp
+	if frame == 0 {
+		return nil
+	}
+	out = append(out, MOp{Name: "addi", Dst: regSP, S1: regSP, Imm: -frame, Line: line})
+	if hasCall {
+		out = append(out, MOp{Name: "sw", Dst: regNone, S1: regSP, S2: regRA, Imm: raOff, Line: line})
+	}
+	for i, r := range usedCallee {
+		out = append(out, MOp{Name: "sw", Dst: regNone, S1: regSP, S2: r,
+			Imm: saveBase + int64(i)*4, Line: line})
+	}
+	return out
+}
+
+// expandCall lowers the call pseudo-op into argument moves, the call
+// marker (rendered as jal, possibly wrapped in SWITCHTARGET), and the
+// result move.
+func expandCall(m MOp, spillBase int64) []MOp {
+	var out []MOp
+	scratchNext := scratch0
+	nextScratch := func() int {
+		r := scratchNext
+		if scratchNext == scratch0 {
+			scratchNext = scratch1
+		} else {
+			scratchNext = scratch0
+		}
+		return r
+	}
+	for i, a := range m.Args {
+		src := a
+		if isSpillRef(a) {
+			s := nextScratch()
+			out = append(out, MOp{Name: "lw", Dst: s, S1: regSP,
+				Imm: spillBase + int64(spillSlotOf(a)*4), Line: m.Line})
+			src = s
+		}
+		if i < 4 {
+			out = append(out, MOp{Name: "addi", Dst: regA0 + i, S1: src, Imm: 0, Line: m.Line})
+		} else {
+			out = append(out, MOp{Name: "sw", Dst: regNone, S1: regSP, S2: src,
+				Imm: int64((i - 4) * 4), Line: m.Line})
+		}
+	}
+	out = append(out, MOp{Name: "__call", Dst: regNone, S1: regNone, S2: regNone,
+		Sym: m.Sym, SymOff: m.SymOff, Line: m.Line})
+	if m.Dst != regNone {
+		out = append(out, MOp{Name: "addi", Dst: m.Dst, S1: regA0, Imm: 0, Line: m.Line})
+	}
+	return out
+}
+
+func expandRet(m MOp, frame, raOff, saveBase int64, usedCallee []int, hasCall bool) []MOp {
+	var out []MOp
+	if m.S1 != regNone {
+		out = append(out, MOp{Name: "addi", Dst: regA0, S1: m.S1, Imm: 0, Line: m.Line})
+	}
+	for i, r := range usedCallee {
+		out = append(out, MOp{Name: "lw", Dst: r, S1: regSP,
+			Imm: saveBase + int64(i)*4, Line: m.Line})
+	}
+	if hasCall {
+		out = append(out, MOp{Name: "lw", Dst: regRA, S1: regSP, Imm: raOff, Line: m.Line})
+	}
+	if frame != 0 {
+		out = append(out, MOp{Name: "addi", Dst: regSP, S1: regSP, Imm: frame, Line: m.Line})
+	}
+	out = append(out, MOp{Name: "jalr", Dst: regZero, S1: regRA, Line: m.Line})
+	return out
+}
+
+func bundleLine(bundle []MOp) int {
+	line := 0
+	for i := range bundle {
+		if l := bundle[i].Line; l > 0 && (line == 0 || l < line) {
+			line = l
+		}
+	}
+	return line
+}
+
+// renderBundle writes one scheduled instruction as assembly text,
+// expanding the __call marker into its (possibly cross-ISA) sequence.
+func renderBundle(sb *strings.Builder, model *isa.Model, fn *mfunc, bundle []MOp) {
+	if len(bundle) == 1 && bundle[0].Name == "__call" {
+		m := bundle[0]
+		if m.SymOff != 0 {
+			callee := model.ISAByID(int(m.SymOff - 1))
+			fmt.Fprintf(sb, "\tswt %s\n", callee.Name)
+			fmt.Fprintf(sb, "\t.isa %s\n", callee.Name)
+			fmt.Fprintf(sb, "\tjal %s\n", m.Sym)
+			fmt.Fprintf(sb, "\tswt %s\n", fn.isa.Name)
+			fmt.Fprintf(sb, "\t.isa %s\n", fn.isa.Name)
+		} else {
+			fmt.Fprintf(sb, "\tjal %s\n", m.Sym)
+		}
+		return
+	}
+	if fn.isa.Issue == 1 || len(bundle) == 1 {
+		for i := range bundle {
+			fmt.Fprintf(sb, "\t%s\n", renderOp(&bundle[i]))
+		}
+		return
+	}
+	parts := make([]string, len(bundle))
+	for i := range bundle {
+		parts[i] = renderOp(&bundle[i])
+	}
+	fmt.Fprintf(sb, "\t{ %s }\n", strings.Join(parts, " ; "))
+}
+
+// renderOp formats one machine op as assembly text.
+func renderOp(m *MOp) string {
+	r := func(x int) string { return fmt.Sprintf("r%d", x) }
+	symImm := func() string {
+		if m.Sym == "" {
+			return fmt.Sprintf("%d", m.Imm)
+		}
+		if m.SymOff != 0 {
+			return fmt.Sprintf("%s%+d", m.Sym, m.SymOff)
+		}
+		return m.Sym
+	}
+	switch m.Name {
+	case "lui":
+		if m.Sym != "" {
+			return fmt.Sprintf("lui %s, %%hi(%s)", r(m.Dst), symImm())
+		}
+		return fmt.Sprintf("lui %s, %d", r(m.Dst), m.Imm)
+	case "ori", "andi", "xori", "addi", "slti", "sltiu", "slli", "srli", "srai":
+		if m.Sym != "" && m.Name == "ori" {
+			return fmt.Sprintf("ori %s, %s, %%lo(%s)", r(m.Dst), r(m.S1), symImm())
+		}
+		return fmt.Sprintf("%s %s, %s, %d", m.Name, r(m.Dst), r(m.S1), m.Imm)
+	case "lw", "lh", "lhu", "lb", "lbu":
+		return fmt.Sprintf("%s %s, %d(%s)", m.Name, r(m.Dst), m.Imm, r(m.S1))
+	case "sw", "sh", "sb":
+		return fmt.Sprintf("%s %s, %d(%s)", m.Name, r(m.S2), m.Imm, r(m.S1))
+	case "beq", "bne", "blt", "bge", "bltu", "bgeu":
+		return fmt.Sprintf("%s %s, %s, %s", m.Name, r(m.S1), r(m.S2), m.Sym)
+	case "j":
+		return fmt.Sprintf("j %s", m.Sym)
+	case "jal":
+		return fmt.Sprintf("jal %s", m.Sym)
+	case "jalr":
+		return fmt.Sprintf("jalr %s, %s", r(m.Dst), r(m.S1))
+	case "nop", "halt":
+		return m.Name
+	case "swt", "simcall":
+		return fmt.Sprintf("%s %d", m.Name, m.Imm)
+	default:
+		// Three-register format.
+		return fmt.Sprintf("%s %s, %s, %s", m.Name, r(m.Dst), r(m.S1), r(m.S2))
+	}
+}

@@ -1,0 +1,729 @@
+package cc
+
+// addr describes a memory location: sym(+symOff) + base + off, where
+// any component may be absent. Ref tags frame-relative offsets.
+type addrDesc struct {
+	sym    string
+	symOff int64
+	base   int
+	off    int64
+	ref    frameRef
+}
+
+// loadImm materializes a 32-bit constant in a fresh vreg.
+func (g *fgen) loadImm(v int64) int {
+	d := g.fn.newVreg()
+	v32 := uint32(v)
+	sv := int64(int32(v32))
+	if sv >= -(1<<15) && sv < 1<<15 {
+		g.emit(MOp{Name: "addi", Dst: d, S1: regZero, Imm: sv})
+		return d
+	}
+	hi := int64(v32 >> 16)
+	lo := int64(v32 & 0xFFFF)
+	g.emit(MOp{Name: "lui", Dst: d, S1: regNone, Imm: hi})
+	if lo != 0 {
+		g.emit(MOp{Name: "ori", Dst: d, S1: d, Imm: lo})
+	}
+	return d
+}
+
+// loadSym materializes the address sym+off in a fresh vreg.
+func (g *fgen) loadSym(sym string, off int64) int {
+	d := g.fn.newVreg()
+	g.emit(MOp{Name: "lui", Dst: d, S1: regNone, Sym: sym, SymOff: off, Imm: 0})
+	g.emit(MOp{Name: "ori", Dst: d, S1: d, Sym: sym, SymOff: off, Imm: 0})
+	return d
+}
+
+func (g *fgen) mov(dst, src int) {
+	g.emit(MOp{Name: "addi", Dst: dst, S1: src, Imm: 0})
+}
+
+// assignResult evaluates e and routes the result into dstVreg,
+// retargeting the final producing operation instead of emitting a copy
+// whenever the result is a fresh temporary defined by the last
+// operation of the current block (move coalescing).
+func (g *fgen) assignResult(dstVreg int, e Expr) {
+	mark := g.fn.nextVreg
+	v, _ := g.genExpr(e)
+	ops := g.cur.ops
+	if v >= mark && len(ops) > 0 && ops[len(ops)-1].Dst == v {
+		g.cur.ops[len(ops)-1].Dst = dstVreg
+		return
+	}
+	g.mov(dstVreg, v)
+}
+
+// materialize turns an address descriptor into a single register plus a
+// small immediate offset suitable for a load/store.
+func (g *fgen) materialize(a addrDesc) (base int, off int64, ref frameRef) {
+	if a.sym != "" {
+		v := g.loadSym(a.sym, a.symOff+a.off)
+		if a.base != regNone {
+			d := g.fn.newVreg()
+			g.emit(MOp{Name: "add", Dst: d, S1: v, S2: a.base})
+			return d, 0, frameNone
+		}
+		return v, 0, frameNone
+	}
+	if a.base == regNone {
+		return g.loadImm(a.off), 0, frameNone
+	}
+	if a.ref != frameNone {
+		return a.base, a.off, a.ref
+	}
+	if a.off >= -(1<<15) && a.off < 1<<15 {
+		return a.base, a.off, frameNone
+	}
+	v := g.loadImm(a.off)
+	d := g.fn.newVreg()
+	g.emit(MOp{Name: "add", Dst: d, S1: a.base, S2: v})
+	return d, 0, frameNone
+}
+
+// loadFrom loads a value of type t from the address.
+func (g *fgen) loadFrom(a addrDesc, t *Type) int {
+	base, off, ref := g.materialize(a)
+	d := g.fn.newVreg()
+	name := "lw"
+	if t.Size() == 1 {
+		name = "lbu"
+	}
+	g.emit(MOp{Name: name, Dst: d, S1: base, Imm: off, Ref: ref})
+	return d
+}
+
+// storeTo stores v (of type t) to the address.
+func (g *fgen) storeTo(a addrDesc, t *Type, v int) {
+	base, off, ref := g.materialize(a)
+	name := "sw"
+	if t.Size() == 1 {
+		name = "sb"
+	}
+	g.emit(MOp{Name: name, Dst: regNone, S1: base, S2: v, Imm: off, Ref: ref})
+}
+
+// genAddr computes the location of an lvalue expression and its element
+// type. Promoted locals have no address (caller handles them first).
+func (g *fgen) genAddr(e Expr) (addrDesc, *Type) {
+	switch x := e.(type) {
+	case *Ident:
+		if lv := g.lookup(x.Name); lv != nil {
+			if lv.promoted {
+				g.errf(x.exprLine(), "internal: address of promoted variable %q", x.Name)
+				return addrDesc{base: regNone}, typeInt
+			}
+			return addrDesc{base: regSP, off: lv.off, ref: frameLocal}, lv.typ
+		}
+		if gd, ok := g.c.globals[x.Name]; ok {
+			return addrDesc{sym: x.Name, base: regNone}, gd.Type
+		}
+		g.errf(x.exprLine(), "undefined variable %q", x.Name)
+		return addrDesc{base: regNone}, typeInt
+	case *Index:
+		return g.genIndexAddr(x)
+	case *Unary:
+		if x.Op == "*" {
+			v, t := g.genExpr(x.X)
+			if t.Kind != TPtr {
+				g.errf(x.exprLine(), "dereference of non-pointer (%s)", t)
+				return addrDesc{base: v}, typeInt
+			}
+			return addrDesc{base: v}, t.Elem
+		}
+	}
+	g.errf(e.exprLine(), "expression is not an lvalue")
+	return addrDesc{base: regNone}, typeInt
+}
+
+// genIndexAddr computes &a[i] with constant-offset folding.
+func (g *fgen) genIndexAddr(x *Index) (addrDesc, *Type) {
+	var a addrDesc
+	var elem *Type
+
+	switch arr := x.Arr.(type) {
+	case *Ident:
+		if lv := g.lookup(arr.Name); lv != nil {
+			switch {
+			case lv.isArray:
+				a = addrDesc{base: regSP, off: lv.off, ref: frameLocal}
+				elem = lv.typ
+			case lv.typ.Kind == TPtr:
+				var pv int
+				if lv.promoted {
+					pv = lv.vreg
+				} else {
+					pv = g.loadFrom(addrDesc{base: regSP, off: lv.off, ref: frameLocal}, lv.typ)
+				}
+				a = addrDesc{base: pv}
+				elem = lv.typ.Elem
+			default:
+				g.errf(x.exprLine(), "%q is not indexable", arr.Name)
+				return addrDesc{base: regNone}, typeInt
+			}
+		} else if gd, ok := g.c.globals[arr.Name]; ok {
+			if gd.ArrayLen >= 0 {
+				a = addrDesc{sym: arr.Name, base: regNone}
+				elem = gd.Type
+			} else if gd.Type.Kind == TPtr {
+				pv := g.loadFrom(addrDesc{sym: arr.Name, base: regNone}, gd.Type)
+				a = addrDesc{base: pv}
+				elem = gd.Type.Elem
+			} else {
+				g.errf(x.exprLine(), "%q is not indexable", arr.Name)
+				return addrDesc{base: regNone}, typeInt
+			}
+		} else {
+			g.errf(x.exprLine(), "undefined variable %q", arr.Name)
+			return addrDesc{base: regNone}, typeInt
+		}
+	default:
+		v, t := g.genExpr(x.Arr)
+		if t.Kind != TPtr {
+			g.errf(x.exprLine(), "indexed expression is not a pointer (%s)", t)
+			return addrDesc{base: regNone}, typeInt
+		}
+		a = addrDesc{base: v}
+		elem = t.Elem
+	}
+
+	size := int64(elem.Size())
+	if cv, ok := foldConst(x.Idx); ok {
+		a.off += cv * size
+		if a.sym != "" {
+			a.symOff += cv * size
+			a.off -= cv * size
+		}
+		return a, elem
+	}
+	iv, _ := g.genExpr(x.Idx)
+	scaled := iv
+	if size > 1 {
+		scaled = g.fn.newVreg()
+		shift := int64(2)
+		g.emit(MOp{Name: "slli", Dst: scaled, S1: iv, Imm: shift})
+	}
+	if a.base == regNone {
+		a.base = scaled
+		return a, elem
+	}
+	// base+scaled must collapse into one register; frame offsets are
+	// preserved by adding sp-relative later.
+	if a.ref != frameNone {
+		d := g.fn.newVreg()
+		g.emit(MOp{Name: "addi", Dst: d, S1: a.base, Imm: a.off, Ref: a.ref})
+		a = addrDesc{base: d}
+	}
+	d := g.fn.newVreg()
+	g.emit(MOp{Name: "add", Dst: d, S1: a.base, S2: scaled})
+	a.base = d
+	if a.ref == frameNone && a.sym == "" {
+		// keep remaining constant offset
+	} else {
+		a.off = 0
+	}
+	return a, elem
+}
+
+// ---------------------------------------------------------------------
+// Expressions
+
+// genExpr evaluates an expression into a fresh (or promoted) register.
+func (g *fgen) genExpr(e Expr) (int, *Type) {
+	switch x := e.(type) {
+	case *NumLit:
+		return g.loadImm(x.Val), typeInt
+	case *StrLit:
+		return g.loadSym(g.c.strLabel(x.Val), 0), ptrTo(typeChar)
+	case *Ident:
+		if lv := g.lookup(x.Name); lv != nil {
+			if lv.promoted {
+				return lv.vreg, lv.typ
+			}
+			if lv.isArray {
+				d := g.fn.newVreg()
+				g.emit(MOp{Name: "addi", Dst: d, S1: regSP, Imm: lv.off, Ref: frameLocal})
+				return d, ptrTo(lv.typ)
+			}
+			return g.loadFrom(addrDesc{base: regSP, off: lv.off, ref: frameLocal}, lv.typ), lv.typ
+		}
+		if gd, ok := g.c.globals[x.Name]; ok {
+			if gd.ArrayLen >= 0 {
+				return g.loadSym(x.Name, 0), ptrTo(gd.Type)
+			}
+			return g.loadFrom(addrDesc{sym: x.Name, base: regNone}, gd.Type), gd.Type
+		}
+		g.errf(x.exprLine(), "undefined variable %q", x.Name)
+		return g.loadImm(0), typeInt
+	case *Unary:
+		return g.genUnary(x)
+	case *Binary:
+		return g.genBinary(x)
+	case *Assign:
+		return g.genAssign(x)
+	case *IncDec:
+		return g.genIncDec(x)
+	case *Call:
+		return g.genCall(x)
+	case *Index:
+		a, elem := g.genIndexAddr(x)
+		return g.loadFrom(a, elem), elem
+	case *Cast:
+		v, _ := g.genExpr(x.X)
+		if x.To.Kind == TChar {
+			d := g.fn.newVreg()
+			g.emit(MOp{Name: "andi", Dst: d, S1: v, Imm: 0xFF})
+			return d, typeChar
+		}
+		return v, x.To
+	case *vregExpr:
+		return x.v, x.t
+	}
+	g.errf(e.exprLine(), "unsupported expression %T", e)
+	return g.loadImm(0), typeInt
+}
+
+func (g *fgen) genUnary(x *Unary) (int, *Type) {
+	switch x.Op {
+	case "-":
+		v, t := g.genExpr(x.X)
+		d := g.fn.newVreg()
+		g.emit(MOp{Name: "sub", Dst: d, S1: regZero, S2: v})
+		return d, t
+	case "~":
+		v, t := g.genExpr(x.X)
+		ones := g.loadImm(-1)
+		d := g.fn.newVreg()
+		g.emit(MOp{Name: "xor", Dst: d, S1: v, S2: ones})
+		return d, t
+	case "!":
+		v, _ := g.genExpr(x.X)
+		d := g.fn.newVreg()
+		g.emit(MOp{Name: "sltiu", Dst: d, S1: v, Imm: 1})
+		return d, typeInt
+	case "*":
+		v, t := g.genExpr(x.X)
+		if t.Kind != TPtr {
+			g.errf(x.exprLine(), "dereference of non-pointer (%s)", t)
+			return v, typeInt
+		}
+		return g.loadFrom(addrDesc{base: v}, t.Elem), t.Elem
+	case "&":
+		if id, ok := x.X.(*Ident); ok {
+			if lv := g.lookup(id.Name); lv != nil {
+				d := g.fn.newVreg()
+				g.emit(MOp{Name: "addi", Dst: d, S1: regSP, Imm: lv.off, Ref: frameLocal})
+				return d, ptrTo(lv.typ)
+			}
+			if gd, ok := g.c.globals[id.Name]; ok {
+				return g.loadSym(id.Name, 0), ptrTo(gd.Type)
+			}
+			g.errf(x.exprLine(), "undefined variable %q", id.Name)
+			return g.loadImm(0), ptrTo(typeInt)
+		}
+		a, t := g.genAddr(x.X)
+		base, off, ref := g.materialize(a)
+		if off == 0 && ref == frameNone {
+			return base, ptrTo(t)
+		}
+		d := g.fn.newVreg()
+		g.emit(MOp{Name: "addi", Dst: d, S1: base, Imm: off, Ref: ref})
+		return d, ptrTo(t)
+	}
+	g.errf(x.exprLine(), "unsupported unary %q", x.Op)
+	return g.loadImm(0), typeInt
+}
+
+var cmpOps = map[string]bool{"<": true, "<=": true, ">": true, ">=": true, "==": true, "!=": true}
+
+func (g *fgen) genBinary(x *Binary) (int, *Type) {
+	switch x.Op {
+	case "&&", "||":
+		lTrue, lFalse, lEnd := g.newLabel(), g.newLabel(), g.newLabel()
+		d := g.fn.newVreg()
+		g.genCond(x, lTrue, lFalse)
+		g.startBlock(lTrue)
+		g.emit(MOp{Name: "addi", Dst: d, S1: regZero, Imm: 1})
+		g.emit(MOp{Name: "j", Dst: regNone, S1: regNone, S2: regNone, Sym: lEnd})
+		g.startBlock(lFalse)
+		g.emit(MOp{Name: "addi", Dst: d, S1: regZero, Imm: 0})
+		g.startBlock(lEnd)
+		return d, typeInt
+	}
+	if cmpOps[x.Op] {
+		return g.genCmpValue(x)
+	}
+
+	lv, lt := g.genExpr(x.L)
+	// Constant-fold small immediates into the I-format where natural.
+	if cv, ok := foldConst(x.R); ok {
+		if d, t, ok2 := g.genBinImm(x.Op, lv, lt, cv); ok2 {
+			return d, t
+		}
+	}
+	rv, rt := g.genExpr(x.R)
+	return g.genBinReg(x, lv, lt, rv, rt)
+}
+
+// genBinImm handles op with a constant right operand using I-format
+// operations where possible. Returns ok=false to fall back.
+func (g *fgen) genBinImm(op string, lv int, lt *Type, cv int64) (int, *Type, bool) {
+	fitsS := cv >= -(1<<15) && cv < 1<<15
+	fitsU := cv >= 0 && cv < 1<<16
+	d := g.fn.newVreg()
+	switch op {
+	case "+":
+		if lt.Kind == TPtr {
+			scaled := cv * int64(lt.Elem.Size())
+			if scaled >= -(1<<15) && scaled < 1<<15 {
+				g.emit(MOp{Name: "addi", Dst: d, S1: lv, Imm: scaled})
+				return d, lt, true
+			}
+			return 0, nil, false
+		}
+		if fitsS {
+			g.emit(MOp{Name: "addi", Dst: d, S1: lv, Imm: cv})
+			return d, lt, true
+		}
+	case "-":
+		if lt.Kind == TPtr {
+			scaled := -cv * int64(lt.Elem.Size())
+			if scaled >= -(1<<15) && scaled < 1<<15 {
+				g.emit(MOp{Name: "addi", Dst: d, S1: lv, Imm: scaled})
+				return d, lt, true
+			}
+			return 0, nil, false
+		}
+		if cv > -(1<<15) && cv <= 1<<15 {
+			g.emit(MOp{Name: "addi", Dst: d, S1: lv, Imm: -cv})
+			return d, lt, true
+		}
+	case "&":
+		if fitsU {
+			g.emit(MOp{Name: "andi", Dst: d, S1: lv, Imm: cv})
+			return d, lt, true
+		}
+	case "|":
+		if fitsU {
+			g.emit(MOp{Name: "ori", Dst: d, S1: lv, Imm: cv})
+			return d, lt, true
+		}
+	case "^":
+		if fitsU {
+			g.emit(MOp{Name: "xori", Dst: d, S1: lv, Imm: cv})
+			return d, lt, true
+		}
+	case "<<":
+		g.emit(MOp{Name: "slli", Dst: d, S1: lv, Imm: cv & 31})
+		return d, lt, true
+	case ">>":
+		if lt.Unsigned() {
+			g.emit(MOp{Name: "srli", Dst: d, S1: lv, Imm: cv & 31})
+		} else {
+			g.emit(MOp{Name: "srai", Dst: d, S1: lv, Imm: cv & 31})
+		}
+		return d, lt, true
+	}
+	return 0, nil, false
+}
+
+func (g *fgen) genBinReg(x *Binary, lv int, lt *Type, rv int, rt *Type) (int, *Type) {
+	// Pointer arithmetic scaling.
+	resType := lt
+	if lt.Kind == TPtr && rt.IsInteger() && (x.Op == "+" || x.Op == "-") {
+		size := lt.Elem.Size()
+		if size > 1 {
+			s := g.fn.newVreg()
+			g.emit(MOp{Name: "slli", Dst: s, S1: rv, Imm: 2})
+			rv = s
+		}
+	} else if rt.Kind == TPtr && lt.IsInteger() && x.Op == "+" {
+		size := rt.Elem.Size()
+		if size > 1 {
+			s := g.fn.newVreg()
+			g.emit(MOp{Name: "slli", Dst: s, S1: lv, Imm: 2})
+			lv = s
+		}
+		resType = rt
+	} else if lt.Kind == TPtr && rt.Kind == TPtr {
+		g.errf(x.exprLine(), "pointer-pointer arithmetic is not supported")
+	} else if rt.Kind == TUint || lt.Kind == TUint {
+		resType = typeUint
+	} else {
+		resType = typeInt
+	}
+
+	unsigned := lt.Unsigned() || rt.Unsigned()
+	d := g.fn.newVreg()
+	name := ""
+	switch x.Op {
+	case "+":
+		name = "add"
+	case "-":
+		name = "sub"
+	case "*":
+		name = "mul"
+	case "/":
+		name = "div"
+		if unsigned {
+			name = "divu"
+		}
+	case "%":
+		name = "rem"
+		if unsigned {
+			name = "remu"
+		}
+	case "&":
+		name = "and"
+	case "|":
+		name = "or"
+	case "^":
+		name = "xor"
+	case "<<":
+		name = "sll"
+	case ">>":
+		name = "sra"
+		if unsigned {
+			name = "srl"
+		}
+	default:
+		g.errf(x.exprLine(), "unsupported operator %q", x.Op)
+		name = "add"
+	}
+	g.emit(MOp{Name: name, Dst: d, S1: lv, S2: rv})
+	return d, resType
+}
+
+// genCmpValue materializes a comparison as 0/1.
+func (g *fgen) genCmpValue(x *Binary) (int, *Type) {
+	lv, lt := g.genExpr(x.L)
+	rv, rt := g.genExpr(x.R)
+	unsigned := lt.Unsigned() || rt.Unsigned()
+	slt := "slt"
+	if unsigned {
+		slt = "sltu"
+	}
+	d := g.fn.newVreg()
+	switch x.Op {
+	case "<":
+		g.emit(MOp{Name: slt, Dst: d, S1: lv, S2: rv})
+	case ">":
+		g.emit(MOp{Name: slt, Dst: d, S1: rv, S2: lv})
+	case "<=":
+		t := g.fn.newVreg()
+		g.emit(MOp{Name: slt, Dst: t, S1: rv, S2: lv})
+		g.emit(MOp{Name: "xori", Dst: d, S1: t, Imm: 1})
+	case ">=":
+		t := g.fn.newVreg()
+		g.emit(MOp{Name: slt, Dst: t, S1: lv, S2: rv})
+		g.emit(MOp{Name: "xori", Dst: d, S1: t, Imm: 1})
+	case "==":
+		t := g.fn.newVreg()
+		g.emit(MOp{Name: "sub", Dst: t, S1: lv, S2: rv})
+		g.emit(MOp{Name: "sltiu", Dst: d, S1: t, Imm: 1})
+	case "!=":
+		t := g.fn.newVreg()
+		g.emit(MOp{Name: "sub", Dst: t, S1: lv, S2: rv})
+		g.emit(MOp{Name: "sltu", Dst: d, S1: regZero, S2: t})
+	}
+	return d, typeInt
+}
+
+// genCond lowers a boolean expression into branches to lTrue/lFalse,
+// terminating the current block.
+func (g *fgen) genCond(e Expr, lTrue, lFalse string) {
+	switch x := e.(type) {
+	case *Binary:
+		switch x.Op {
+		case "&&":
+			mid := g.newLabel()
+			g.genCond(x.L, mid, lFalse)
+			g.startBlock(mid)
+			g.genCond(x.R, lTrue, lFalse)
+			return
+		case "||":
+			mid := g.newLabel()
+			g.genCond(x.L, lTrue, mid)
+			g.startBlock(mid)
+			g.genCond(x.R, lTrue, lFalse)
+			return
+		}
+		if cmpOps[x.Op] {
+			lv, lt := g.genExpr(x.L)
+			rv, rt := g.genExpr(x.R)
+			unsigned := lt.Unsigned() || rt.Unsigned()
+			var name string
+			s1, s2 := lv, rv
+			switch x.Op {
+			case "==":
+				name = "beq"
+			case "!=":
+				name = "bne"
+			case "<":
+				name = "blt"
+			case ">=":
+				name = "bge"
+			case ">":
+				name, s1, s2 = "blt", rv, lv
+			case "<=":
+				name, s1, s2 = "bge", rv, lv
+			}
+			if unsigned {
+				switch name {
+				case "blt":
+					name = "bltu"
+				case "bge":
+					name = "bgeu"
+				}
+			}
+			g.emit(MOp{Name: name, Dst: regNone, S1: s1, S2: s2, Sym: lTrue})
+			g.emit(MOp{Name: "j", Dst: regNone, S1: regNone, S2: regNone, Sym: lFalse})
+			return
+		}
+	case *Unary:
+		if x.Op == "!" {
+			g.genCond(x.X, lFalse, lTrue)
+			return
+		}
+	case *NumLit:
+		if x.Val != 0 {
+			g.emit(MOp{Name: "j", Dst: regNone, S1: regNone, S2: regNone, Sym: lTrue})
+		} else {
+			g.emit(MOp{Name: "j", Dst: regNone, S1: regNone, S2: regNone, Sym: lFalse})
+		}
+		return
+	}
+	v, _ := g.genExpr(e)
+	g.emit(MOp{Name: "bne", Dst: regNone, S1: v, S2: regZero, Sym: lTrue})
+	g.emit(MOp{Name: "j", Dst: regNone, S1: regNone, S2: regNone, Sym: lFalse})
+}
+
+// genAssign handles = and compound assignment.
+func (g *fgen) genAssign(x *Assign) (int, *Type) {
+	// Promoted-local fast path (with move coalescing).
+	if id, ok := x.LHS.(*Ident); ok {
+		if lv := g.lookup(id.Name); lv != nil && lv.promoted {
+			if x.Op == "" {
+				g.assignResult(lv.vreg, x.RHS)
+			} else {
+				mark := g.fn.nextVreg
+				v, _ := g.genCompound(x, lv.vreg, lv.typ)
+				ops := g.cur.ops
+				if v >= mark && len(ops) > 0 && ops[len(ops)-1].Dst == v {
+					g.cur.ops[len(ops)-1].Dst = lv.vreg
+				} else {
+					g.mov(lv.vreg, v)
+				}
+			}
+			return lv.vreg, lv.typ
+		}
+	}
+	a, t := g.genAddr(x.LHS)
+	var v int
+	if x.Op == "" {
+		v, _ = g.genExpr(x.RHS)
+	} else {
+		old := g.loadFrom(a, t)
+		v, _ = g.genCompound(x, old, t)
+	}
+	g.storeTo(a, t, v)
+	return v, t
+}
+
+// genCompound computes `old <op> rhs`.
+func (g *fgen) genCompound(x *Assign, old int, t *Type) (int, *Type) {
+	bin := &Binary{exprBase{x.exprLine()}, x.Op, &vregExpr{exprBase{x.exprLine()}, old, t}, x.RHS}
+	return g.genBinary(bin)
+}
+
+// vregExpr injects an already-computed register into expression
+// generation (used for compound assignment).
+type vregExpr struct {
+	exprBase
+	v int
+	t *Type
+}
+
+func (g *fgen) genIncDec(x *IncDec) (int, *Type) {
+	delta := int64(1)
+	if id, ok := x.X.(*Ident); ok {
+		if lv := g.lookup(id.Name); lv != nil && lv.promoted {
+			if lv.typ.Kind == TPtr {
+				delta = int64(lv.typ.Elem.Size())
+			}
+			if x.Dec {
+				delta = -delta
+			}
+			var result int
+			if x.Post {
+				result = g.fn.newVreg()
+				g.mov(result, lv.vreg)
+			}
+			g.emit(MOp{Name: "addi", Dst: lv.vreg, S1: lv.vreg, Imm: delta})
+			if !x.Post {
+				result = lv.vreg
+			}
+			return result, lv.typ
+		}
+	}
+	a, t := g.genAddr(x.X)
+	if t.Kind == TPtr {
+		delta = int64(t.Elem.Size())
+	}
+	if x.Dec {
+		delta = -delta
+	}
+	old := g.loadFrom(a, t)
+	nw := g.fn.newVreg()
+	g.emit(MOp{Name: "addi", Dst: nw, S1: old, Imm: delta})
+	g.storeTo(a, t, nw)
+	if x.Post {
+		return old, t
+	}
+	return nw, t
+}
+
+// genCall evaluates arguments and emits the call pseudo-op. Cross-ISA
+// calls are tagged with the callee ISA; the emitter inserts the
+// SWITCHTARGET pair (Sec. V-D).
+func (g *fgen) genCall(x *Call) (int, *Type) {
+	sig, ok := g.c.funcs[x.Name]
+	if !ok {
+		g.errf(x.exprLine(), "call to undefined function %q", x.Name)
+		return g.loadImm(0), typeInt
+	}
+	if len(x.Args) < len(sig.params) || (!sig.vararg && len(x.Args) > len(sig.params)) {
+		g.errf(x.exprLine(), "%s expects %d arguments, got %d", x.Name, len(sig.params), len(x.Args))
+	}
+	var args []int
+	for _, a := range x.Args {
+		v, _ := g.genExpr(a)
+		args = append(args, v)
+	}
+	if len(args) > 4 {
+		need := (len(args) - 4) * 4
+		if need > g.fn.maxOutArg {
+			g.fn.maxOutArg = need
+		}
+	}
+	m := MOp{Name: "call", Dst: regNone, S1: regNone, S2: regNone,
+		Sym: sig.symbol, Args: args}
+	if sig.isaName != g.sig.isaName {
+		// Cross-ISA call: SymOff carries calleeISA+1 (0 = same ISA); the
+		// emitter wraps the jal in a SWITCHTARGET pair (Sec. V-D).
+		m.SymOff = int64(g.c.model.ISAByName(sig.isaName).ID) + 1
+	}
+	var d int
+	if sig.ret.Kind != TVoid {
+		d = g.fn.newVreg()
+		m.Dst = d
+	} else {
+		d = regNone
+	}
+	g.emit(m)
+	if sig.ret.Kind == TVoid {
+		return regZero, typeVoid
+	}
+	return d, sig.ret
+}

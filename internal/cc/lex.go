@@ -1,0 +1,241 @@
+// Package cc implements the retargetable MiniC compiler of the
+// toolchain — the role the paper's LLVM-based retargetable C/C++
+// compiler plays (Sec. IV): it translates a C subset into
+// target-dependent assembly for any ISA of the architecture model,
+// schedules VLIW instructions with the same pessimistic memory
+// dependency model the simulator's ILP measurement assumes (no alias
+// analysis: every memory operation depends on the last store), supports
+// mixed-ISA programs via per-function ISA attributes with
+// SWITCHTARGET insertion at cross-ISA call sites and ISA-prefixed
+// function symbols, and emits `.loc` directives so the simulator can
+// map instruction addresses back to source lines.
+//
+// MiniC: int/uint/char, pointers, one-dimensional arrays, functions
+// (including recursion and varargs calls into the emulated C library),
+// globals with initializers, string literals, if/else, while, for,
+// break/continue, return, and the usual C expression operators.
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokChar
+	tokPunct
+	tokKeyword
+)
+
+var keywords = map[string]bool{
+	"int": true, "uint": true, "char": true, "void": true,
+	"if": true, "else": true, "while": true, "for": true,
+	"return": true, "break": true, "continue": true,
+	"const": true, "__isa": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	val  int64 // numbers and char literals
+	str  string
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of file"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+type lexer struct {
+	file string
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(file, src string) *lexer { return &lexer{file: file, src: src, line: 1} }
+
+func (lx *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("%s:%d: %s", lx.file, lx.line, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '*':
+			lx.pos += 2
+			for lx.pos+1 < len(lx.src) && !(lx.src[lx.pos] == '*' && lx.src[lx.pos+1] == '/') {
+				if lx.src[lx.pos] == '\n' {
+					lx.line++
+				}
+				lx.pos++
+			}
+			if lx.pos+1 >= len(lx.src) {
+				return token{}, lx.errf("unterminated block comment")
+			}
+			lx.pos += 2
+		case c == '#':
+			// Preprocessor lines are not supported; skip harmless ones
+			// like `#line` comments to be forgiving in test sources.
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, line: lx.line}, nil
+
+scan:
+	c := lx.src[lx.pos]
+	start := lx.pos
+	switch {
+	case isDigit(c):
+		base := 10
+		if c == '0' && lx.pos+1 < len(lx.src) && (lx.src[lx.pos+1] == 'x' || lx.src[lx.pos+1] == 'X') {
+			base = 16
+			lx.pos += 2
+		}
+		var v int64
+		for lx.pos < len(lx.src) {
+			d := digitVal(lx.src[lx.pos])
+			if d < 0 || d >= base {
+				break
+			}
+			v = v*int64(base) + int64(d)
+			if v > 1<<33 {
+				return token{}, lx.errf("integer constant too large")
+			}
+			lx.pos++
+		}
+		if base == 16 && lx.pos == start+2 {
+			return token{}, lx.errf("malformed hex constant")
+		}
+		return token{kind: tokNumber, text: lx.src[start:lx.pos], val: v, line: lx.line}, nil
+
+	case isIdentStart(c):
+		for lx.pos < len(lx.src) && isIdentChar(lx.src[lx.pos]) {
+			lx.pos++
+		}
+		text := lx.src[start:lx.pos]
+		k := tokIdent
+		if keywords[text] {
+			k = tokKeyword
+		}
+		return token{kind: k, text: text, line: lx.line}, nil
+
+	case c == '"':
+		s, n, err := lx.scanString('"')
+		if err != nil {
+			return token{}, err
+		}
+		return token{kind: tokString, text: lx.src[start : start+n], str: s, line: lx.line}, nil
+
+	case c == '\'':
+		s, _, err := lx.scanString('\'')
+		if err != nil {
+			return token{}, err
+		}
+		if len(s) != 1 {
+			return token{}, lx.errf("character literal must contain exactly one byte")
+		}
+		return token{kind: tokChar, text: "'" + s + "'", val: int64(s[0]), line: lx.line}, nil
+	}
+
+	// Punctuation, longest match first.
+	for _, p := range []string{
+		"...",
+		"<<=", ">>=", "&&", "||", "==", "!=", "<=", ">=", "<<", ">>",
+		"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+		"+", "-", "*", "/", "%", "&", "|", "^", "!", "~", "<", ">", "=",
+		"(", ")", "{", "}", "[", "]", ";", ",",
+	} {
+		if strings.HasPrefix(lx.src[lx.pos:], p) {
+			lx.pos += len(p)
+			return token{kind: tokPunct, text: p, line: lx.line}, nil
+		}
+	}
+	return token{}, lx.errf("unexpected character %q", c)
+}
+
+// scanString scans a quoted string or char literal body with C escapes.
+// It returns the decoded bytes and the number of source bytes consumed.
+func (lx *lexer) scanString(quote byte) (string, int, error) {
+	start := lx.pos
+	lx.pos++ // opening quote
+	var out []byte
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch c {
+		case quote:
+			lx.pos++
+			return string(out), lx.pos - start, nil
+		case '\n':
+			return "", 0, lx.errf("unterminated literal")
+		case '\\':
+			lx.pos++
+			if lx.pos >= len(lx.src) {
+				return "", 0, lx.errf("unterminated escape")
+			}
+			e := lx.src[lx.pos]
+			lx.pos++
+			switch e {
+			case 'n':
+				out = append(out, '\n')
+			case 't':
+				out = append(out, '\t')
+			case 'r':
+				out = append(out, '\r')
+			case '0':
+				out = append(out, 0)
+			case '\\', '\'', '"':
+				out = append(out, e)
+			default:
+				return "", 0, lx.errf("unknown escape \\%c", e)
+			}
+		default:
+			out = append(out, c)
+			lx.pos++
+		}
+	}
+	return "", 0, lx.errf("unterminated literal")
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func digitVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return -1
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool { return isIdentStart(c) || isDigit(c) }

@@ -1,0 +1,11 @@
+package cc
+
+// memCapPerBundle bounds memory operations per bundle in the list
+// scheduler; 0 means unlimited. Exposed as a variable for the ablation
+// benchmarks (bench_test.go) and tuned to spread accesses across the
+// single L1 port.
+var memCapPerBundle = 2
+
+// SetMemCap sets the scheduler's memory-ops-per-bundle cap (testing and
+// ablation use).
+func SetMemCap(n int) { memCapPerBundle = n }

@@ -1,0 +1,122 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Register numbering: 0..31 are the physical K-ISA registers; virtual
+// registers start at vregBase. regNone marks an absent operand.
+const (
+	regNone  = -1
+	regZero  = 0
+	regRA    = 1
+	regSP    = 2
+	regFP    = 3
+	regA0    = 4
+	vregBase = 64
+)
+
+// frameRef tags immediates that are frame-relative and fixed up once
+// the final frame layout is known (after register allocation).
+type frameRef int
+
+const (
+	frameNone     frameRef = iota
+	frameLocal             // imm is an offset into the locals area
+	frameSpill             // imm is a spill slot index (bytes assigned later)
+	frameIncoming          // imm is a byte offset into the caller's outgoing args
+)
+
+// MOp is one machine operation on virtual or physical registers, plus
+// the pseudo operations "call" and "ret" that are expanded after
+// register allocation.
+type MOp struct {
+	Name        string // K-ISA mnemonic (lowercase) or "call"/"ret"
+	Dst, S1, S2 int
+	Imm         int64
+	Sym         string // la %hi/%lo target, call target, branch label
+	SymOff      int64  // constant offset folded into Sym
+	Args        []int  // call: argument registers in order
+	Ref         frameRef
+	Line        int
+}
+
+func (m *MOp) String() string {
+	var sb strings.Builder
+	sb.WriteString(m.Name)
+	r := func(x int) string {
+		if x >= vregBase {
+			return fmt.Sprintf("v%d", x-vregBase)
+		}
+		return fmt.Sprintf("r%d", x)
+	}
+	if m.Dst != regNone {
+		fmt.Fprintf(&sb, " d=%s", r(m.Dst))
+	}
+	if m.S1 != regNone {
+		fmt.Fprintf(&sb, " s1=%s", r(m.S1))
+	}
+	if m.S2 != regNone {
+		fmt.Fprintf(&sb, " s2=%s", r(m.S2))
+	}
+	if m.Sym != "" {
+		fmt.Fprintf(&sb, " sym=%s%+d", m.Sym, m.SymOff)
+	}
+	fmt.Fprintf(&sb, " imm=%d", m.Imm)
+	return sb.String()
+}
+
+// opInfo classifies an operation for the allocator and scheduler.
+type opInfo struct {
+	class   isa.OpClass
+	latency int
+}
+
+// classify resolves an MOp against the architecture model. Pseudo ops
+// map to the classes of their expansions.
+func classify(model *isa.Model, name string) opInfo {
+	switch name {
+	case "call", "ret":
+		return opInfo{class: isa.ClassJump, latency: 1}
+	}
+	op := model.Op(strings.ToUpper(name))
+	if op == nil {
+		panic("cc: unknown machine op " + name)
+	}
+	return opInfo{class: op.Class, latency: op.Latency}
+}
+
+// mblock is one basic block: a label, straight-line ops, and an
+// implicit fallthrough to the next block unless the last op is an
+// unconditional control transfer.
+type mblock struct {
+	label string
+	ops   []MOp
+}
+
+// mfunc is a function in machine form.
+type mfunc struct {
+	name      string // emitted symbol name (possibly ISA-prefixed)
+	srcName   string
+	isa       *isa.ISA
+	blocks    []*mblock
+	nextVreg  int
+	localsTop int64 // bytes of stack locals (arrays, addressed vars)
+	maxOutArg int   // max stack-arg bytes needed by calls in this body
+	line      int
+}
+
+func (f *mfunc) newVreg() int {
+	v := f.nextVreg
+	f.nextVreg++
+	return v
+}
+
+func (f *mfunc) newBlock(label string) *mblock {
+	b := &mblock{label: label}
+	f.blocks = append(f.blocks, b)
+	return b
+}

@@ -1,0 +1,244 @@
+package cc
+
+// optimize runs the machine-level cleanup passes before register
+// allocation ("All applications were compiled with maximum performance
+// optimization", Sec. VII):
+//
+//   - block-local copy propagation: after `addi d, s, 0` (d, s virtual),
+//     reads of d become reads of s until either is redefined;
+//   - dead code elimination: side-effect-free operations whose virtual
+//     destination is never read afterwards (and is not live out of the
+//     block) are removed, iterated to a fixed point.
+//
+// Both passes work on virtual registers only; physical registers
+// (sp, argument moves, call expansion) are never touched.
+var optimizeEnabled = true
+
+// SetOptimize toggles the optimization passes (ablation benchmarks).
+func SetOptimize(on bool) { optimizeEnabled = on }
+
+func optimize(fn *mfunc) {
+	if !optimizeEnabled {
+		return
+	}
+	for pass := 0; pass < 4; pass++ {
+		changed := copyPropagate(fn)
+		if deadCodeEliminate(fn) {
+			changed = true
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// hasSideEffects reports whether removing the op could change observable
+// behaviour (beyond its register result).
+func hasSideEffects(m *MOp) bool {
+	switch m.Name {
+	case "sw", "sh", "sb", // memory writes
+		"beq", "bne", "blt", "bge", "bltu", "bgeu", "j", "jal", "jalr",
+		"call", "ret", "__call", "swt", "simcall", "halt":
+		return true
+	}
+	// Writes to physical registers must stay (sp updates, arg moves).
+	return m.Dst >= 0 && m.Dst < vregBase
+}
+
+// copyPropagate forwards block-local vreg-to-vreg copies.
+func copyPropagate(fn *mfunc) bool {
+	changed := false
+	for _, b := range fn.blocks {
+		alias := map[int]int{} // copy dst -> source
+		invalidate := func(r int) {
+			delete(alias, r)
+			for d, s := range alias {
+				if s == r {
+					delete(alias, d)
+				}
+			}
+		}
+		resolve := func(r int) int {
+			if s, ok := alias[r]; ok {
+				return s
+			}
+			return r
+		}
+		for i := range b.ops {
+			m := &b.ops[i]
+			// Rewrite sources through the alias map.
+			if m.S1 >= vregBase {
+				if s := resolve(m.S1); s != m.S1 {
+					m.S1 = s
+					changed = true
+				}
+			}
+			if m.S2 >= vregBase {
+				if s := resolve(m.S2); s != m.S2 {
+					m.S2 = s
+					changed = true
+				}
+			}
+			for k, a := range m.Args {
+				if a >= vregBase {
+					if s := resolve(a); s != a {
+						m.Args[k] = s
+						changed = true
+					}
+				}
+			}
+			// Record or invalidate copies.
+			if m.Dst >= vregBase {
+				invalidate(m.Dst)
+				if m.Name == "addi" && m.Imm == 0 && m.S1 >= vregBase && m.Ref == frameNone {
+					alias[m.Dst] = m.S1
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// deadCodeEliminate removes side-effect-free ops whose vreg result is
+// never read. It reuses the block liveness computed the same way the
+// allocator does.
+func deadCodeEliminate(fn *mfunc) bool {
+	liveOut, ok := blockLiveness(fn)
+	if !ok {
+		return false
+	}
+	changed := false
+	for bi, b := range fn.blocks {
+		live := map[int]bool{}
+		for v := range liveOut[bi] {
+			live[v] = true
+		}
+		// Walk backwards: an op whose vreg dst is not live (and that has
+		// no side effects) dies.
+		keep := make([]bool, len(b.ops))
+		for i := len(b.ops) - 1; i >= 0; i-- {
+			m := &b.ops[i]
+			if m.Dst >= vregBase && !live[m.Dst] && !hasSideEffects(m) {
+				keep[i] = false
+				changed = true
+				continue
+			}
+			keep[i] = true
+			if m.Dst >= vregBase {
+				delete(live, m.Dst)
+			}
+			if m.S1 >= vregBase {
+				live[m.S1] = true
+			}
+			if m.S2 >= vregBase {
+				live[m.S2] = true
+			}
+			for _, a := range m.Args {
+				if a >= vregBase {
+					live[a] = true
+				}
+			}
+		}
+		if changed {
+			out := b.ops[:0]
+			for i := range b.ops {
+				if keep[i] {
+					out = append(out, b.ops[i])
+				}
+			}
+			b.ops = out
+		}
+	}
+	return changed
+}
+
+// blockLiveness computes per-block live-out vreg sets (ok=false if the
+// CFG references an unknown label; the allocator reports that error).
+func blockLiveness(fn *mfunc) ([]map[int]bool, bool) {
+	labelIdx := map[string]int{}
+	for i, b := range fn.blocks {
+		if b.label != "" {
+			labelIdx[b.label] = i
+		}
+	}
+	n := len(fn.blocks)
+	succs := make([][]int, n)
+	use := make([]map[int]bool, n)
+	def := make([]map[int]bool, n)
+	in := make([]map[int]bool, n)
+	out := make([]map[int]bool, n)
+	for i, b := range fn.blocks {
+		use[i], def[i], in[i], out[i] = map[int]bool{}, map[int]bool{}, map[int]bool{}, map[int]bool{}
+		fall := true
+	scan:
+		for k := len(b.ops) - 1; k >= 0; k-- {
+			op := &b.ops[k]
+			switch {
+			case op.Name == "j":
+				j, okL := labelIdx[op.Sym]
+				if !okL {
+					return nil, false
+				}
+				succs[i] = append(succs[i], j)
+				fall = false
+			case op.Name == "ret":
+				fall = false
+			case isBranchName(op.Name):
+				j, okL := labelIdx[op.Sym]
+				if !okL {
+					return nil, false
+				}
+				succs[i] = append(succs[i], j)
+			default:
+				break scan
+			}
+		}
+		if fall && i+1 < n {
+			succs[i] = append(succs[i], i+1)
+		}
+		for k := len(b.ops) - 1; k >= 0; k-- {
+			m := &b.ops[k]
+			if m.Dst >= vregBase {
+				def[i][m.Dst] = true
+				delete(use[i], m.Dst)
+			}
+			if m.S1 >= vregBase {
+				use[i][m.S1] = true
+			}
+			if m.S2 >= vregBase {
+				use[i][m.S2] = true
+			}
+			for _, a := range m.Args {
+				if a >= vregBase {
+					use[i][a] = true
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			for _, sj := range succs[i] {
+				for v := range in[sj] {
+					if !out[i][v] {
+						out[i][v] = true
+						changed = true
+					}
+				}
+			}
+			for v := range out[i] {
+				if !def[i][v] && !in[i][v] {
+					in[i][v] = true
+					changed = true
+				}
+			}
+			for v := range use[i] {
+				if !in[i][v] {
+					in[i][v] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return out, true
+}

@@ -1,0 +1,816 @@
+package cc
+
+import (
+	"fmt"
+)
+
+type parser struct {
+	file  string
+	lx    *lexer
+	tok   token
+	ahead []token
+}
+
+// Parse parses one MiniC translation unit.
+func Parse(file, src string) (*Unit, error) {
+	p := &parser{file: file, lx: newLexer(file, src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	u := &Unit{File: file}
+	for p.tok.kind != tokEOF {
+		if err := p.topLevel(u); err != nil {
+			return nil, err
+		}
+	}
+	return u, nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("%s:%d: %s", p.file, p.tok.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) advance() error {
+	if len(p.ahead) > 0 {
+		p.tok = p.ahead[0]
+		p.ahead = p.ahead[1:]
+		return nil
+	}
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+// peek looks n tokens ahead (n >= 1).
+func (p *parser) peek(n int) (token, error) {
+	for len(p.ahead) < n {
+		t, err := p.lx.next()
+		if err != nil {
+			return token{}, err
+		}
+		p.ahead = append(p.ahead, t)
+	}
+	return p.ahead[n-1], nil
+}
+
+func (p *parser) isPunct(s string) bool { return p.tok.kind == tokPunct && p.tok.text == s }
+func (p *parser) isKw(s string) bool    { return p.tok.kind == tokKeyword && p.tok.text == s }
+
+func (p *parser) expectPunct(s string) error {
+	if !p.isPunct(s) {
+		return p.errf("expected %q, got %s", s, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if p.tok.kind != tokIdent {
+		return "", p.errf("expected identifier, got %s", p.tok)
+	}
+	s := p.tok.text
+	return s, p.advance()
+}
+
+// isTypeStart reports whether the current token begins a type.
+func (p *parser) isTypeStart() bool {
+	return p.isKw("int") || p.isKw("uint") || p.isKw("char") || p.isKw("void") || p.isKw("const")
+}
+
+// parseType parses `[const] base *...`.
+func (p *parser) parseType() (*Type, bool, error) {
+	isConst := false
+	if p.isKw("const") {
+		isConst = true
+		if err := p.advance(); err != nil {
+			return nil, false, err
+		}
+	}
+	var t *Type
+	switch {
+	case p.isKw("int"):
+		t = typeInt
+	case p.isKw("uint"):
+		t = typeUint
+	case p.isKw("char"):
+		t = typeChar
+	case p.isKw("void"):
+		t = typeVoid
+	default:
+		return nil, false, p.errf("expected type, got %s", p.tok)
+	}
+	if err := p.advance(); err != nil {
+		return nil, false, err
+	}
+	for p.isPunct("*") {
+		t = ptrTo(t)
+		if err := p.advance(); err != nil {
+			return nil, false, err
+		}
+	}
+	return t, isConst, nil
+}
+
+// topLevel parses one global declaration or function definition.
+func (p *parser) topLevel(u *Unit) error {
+	isaAttr := ""
+	if p.isKw("__isa") {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		isaAttr = name
+		if err := p.expectPunct(")"); err != nil {
+			return err
+		}
+	}
+	line := p.tok.line
+	t, isConst, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if p.isPunct("(") {
+		return p.funcRest(u, t, name, isaAttr, line)
+	}
+	if isaAttr != "" {
+		return p.errf("__isa attribute only applies to functions")
+	}
+	// Global variable(s).
+	for {
+		vd, err := p.varRest(t, name, isConst, line)
+		if err != nil {
+			return err
+		}
+		u.Globals = append(u.Globals, vd)
+		if p.isPunct(",") {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if name, err = p.expectIdent(); err != nil {
+				return err
+			}
+			continue
+		}
+		break
+	}
+	return p.expectPunct(";")
+}
+
+// varRest parses the part of a variable declaration after the name:
+// optional [len] and initializer.
+func (p *parser) varRest(t *Type, name string, isConst bool, line int) (*VarDecl, error) {
+	if t.Kind == TVoid {
+		return nil, p.errf("variable %s has void type", name)
+	}
+	vd := &VarDecl{Name: name, Type: t, ArrayLen: -1, Const: isConst, Line: line}
+	if p.isPunct("[") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.isPunct("]") {
+			vd.ArrayLen = 0 // from initializer
+		} else {
+			n, err := p.constExpr()
+			if err != nil {
+				return nil, err
+			}
+			if n <= 0 || n > 1<<24 {
+				return nil, p.errf("bad array length %d", n)
+			}
+			vd.ArrayLen = int(n)
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+	}
+	if p.isPunct("=") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch {
+		case p.isPunct("{"):
+			if vd.ArrayLen < 0 {
+				return nil, p.errf("brace initializer on scalar %s", name)
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			for !p.isPunct("}") {
+				e, err := p.assignExpr()
+				if err != nil {
+					return nil, err
+				}
+				vd.InitList = append(vd.InitList, e)
+				if p.isPunct(",") {
+					if err := p.advance(); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if vd.ArrayLen == 0 {
+				vd.ArrayLen = len(vd.InitList)
+			}
+			if len(vd.InitList) > vd.ArrayLen {
+				return nil, p.errf("%d initializers for array of %d", len(vd.InitList), vd.ArrayLen)
+			}
+		case p.tok.kind == tokString && vd.ArrayLen >= 0 && t.Kind == TChar:
+			vd.InitStr = p.tok.str
+			if vd.ArrayLen == 0 {
+				vd.ArrayLen = len(vd.InitStr) + 1
+			}
+			if len(vd.InitStr)+1 > vd.ArrayLen {
+				return nil, p.errf("string too long for array %s", name)
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		default:
+			e, err := p.assignExpr()
+			if err != nil {
+				return nil, err
+			}
+			vd.Init = e
+		}
+	}
+	if vd.ArrayLen == 0 {
+		return nil, p.errf("array %s needs a length or initializer", name)
+	}
+	return vd, nil
+}
+
+// constExpr parses and folds a constant expression (globals, array
+// lengths).
+func (p *parser) constExpr() (int64, error) {
+	e, err := p.assignExpr()
+	if err != nil {
+		return 0, err
+	}
+	v, ok := foldConst(e)
+	if !ok {
+		return 0, p.errf("expression is not constant")
+	}
+	return v, nil
+}
+
+// foldConst evaluates a constant expression tree.
+func foldConst(e Expr) (int64, bool) {
+	switch x := e.(type) {
+	case *NumLit:
+		return x.Val, true
+	case *Unary:
+		v, ok := foldConst(x.X)
+		if !ok {
+			return 0, false
+		}
+		switch x.Op {
+		case "-":
+			return int64(int32(-v)), true
+		case "~":
+			return int64(^uint32(v)), true
+		case "!":
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+	case *Binary:
+		l, ok1 := foldConst(x.L)
+		r, ok2 := foldConst(x.R)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		a, b := uint32(l), uint32(r)
+		switch x.Op {
+		case "+":
+			return int64(int32(a + b)), true
+		case "-":
+			return int64(int32(a - b)), true
+		case "*":
+			return int64(int32(a * b)), true
+		case "/":
+			if b == 0 {
+				return 0, false
+			}
+			return int64(int32(a) / int32(b)), true
+		case "%":
+			if b == 0 {
+				return 0, false
+			}
+			return int64(int32(a) % int32(b)), true
+		case "<<":
+			return int64(int32(a << (b & 31))), true
+		case ">>":
+			return int64(int32(a) >> (b & 31)), true
+		case "&":
+			return int64(int32(a & b)), true
+		case "|":
+			return int64(int32(a | b)), true
+		case "^":
+			return int64(int32(a ^ b)), true
+		}
+	case *Cast:
+		v, ok := foldConst(x.X)
+		if !ok {
+			return 0, false
+		}
+		if x.To.Kind == TChar {
+			return int64(uint8(v)), true
+		}
+		return int64(int32(v)), true
+	}
+	return 0, false
+}
+
+// funcRest parses a function definition or prototype after the name.
+func (p *parser) funcRest(u *Unit, ret *Type, name, isaAttr string, line int) error {
+	fd := &FuncDecl{Name: name, Ret: ret, ISA: isaAttr, Line: line}
+	if err := p.advance(); err != nil { // consume '('
+		return err
+	}
+	if p.isKw("void") {
+		if nxt, err := p.peek(1); err == nil && nxt.kind == tokPunct && nxt.text == ")" {
+			if err := p.advance(); err != nil {
+				return err
+			}
+		}
+	}
+	for !p.isPunct(")") {
+		if p.isPunct(",") {
+			if err := p.advance(); err != nil {
+				return err
+			}
+		}
+		if p.tok.kind == tokPunct && p.tok.text == "*" {
+			return p.errf("unexpected *")
+		}
+		if p.tok.text == "." || p.tok.text == "..." {
+			fd.Vararg = true
+			if err := p.advance(); err != nil {
+				return err
+			}
+			continue
+		}
+		t, _, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		pname := ""
+		if p.tok.kind == tokIdent {
+			if pname, err = p.expectIdent(); err != nil {
+				return err
+			}
+		}
+		// Array parameters decay to pointers.
+		if p.isPunct("[") {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if p.tok.kind == tokNumber {
+				if err := p.advance(); err != nil {
+					return err
+				}
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return err
+			}
+			t = ptrTo(t)
+		}
+		fd.Params = append(fd.Params, Param{Name: pname, Type: t})
+	}
+	if err := p.advance(); err != nil { // consume ')'
+		return err
+	}
+	if p.isPunct(";") {
+		u.Funcs = append(u.Funcs, fd) // prototype
+		return p.advance()
+	}
+	body, err := p.block()
+	if err != nil {
+		return err
+	}
+	fd.Body = body
+	u.Funcs = append(u.Funcs, fd)
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Statements
+
+func (p *parser) block() (*Block, error) {
+	b := &Block{stmtBase: stmtBase{p.tok.line}}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	for !p.isPunct("}") {
+		if p.tok.kind == tokEOF {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, p.advance()
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	line := p.tok.line
+	switch {
+	case p.isPunct("{"):
+		return p.block()
+	case p.isPunct(";"):
+		return &Block{stmtBase: stmtBase{line}}, p.advance()
+	case p.isTypeStart():
+		return p.declStmt()
+	case p.isKw("if"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		var els Stmt
+		if p.isKw("else") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if els, err = p.stmt(); err != nil {
+				return nil, err
+			}
+		}
+		return &If{stmtBase{line}, cond, then, els}, nil
+	case p.isKw("while"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return &While{stmtBase{line}, cond, body}, nil
+	case p.isKw("for"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var init, post Stmt
+		var cond Expr
+		var err error
+		if !p.isPunct(";") {
+			if p.isTypeStart() {
+				init, err = p.declStmt()
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				init = &ExprStmt{stmtBase{line}, e}
+				if err := p.expectPunct(";"); err != nil {
+					return nil, err
+				}
+			}
+		} else if err = p.advance(); err != nil {
+			return nil, err
+		}
+		if !p.isPunct(";") {
+			if cond, err = p.expr(); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		if !p.isPunct(")") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			post = &ExprStmt{stmtBase{line}, e}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return &For{stmtBase{line}, init, cond, post, body}, nil
+	case p.isKw("return"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		var e Expr
+		var err error
+		if !p.isPunct(";") {
+			if e, err = p.expr(); err != nil {
+				return nil, err
+			}
+		}
+		return &Return{stmtBase{line}, e}, p.expectPunct(";")
+	case p.isKw("break"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Break{stmtBase{line}}, p.expectPunct(";")
+	case p.isKw("continue"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Continue{stmtBase{line}}, p.expectPunct(";")
+	default:
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &ExprStmt{stmtBase{line}, e}, p.expectPunct(";")
+	}
+}
+
+// declStmt parses `type name [len] [= init] {, name ...} ;`.
+func (p *parser) declStmt() (Stmt, error) {
+	line := p.tok.line
+	t, isConst, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	ds := &DeclStmt{stmtBase: stmtBase{line}}
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		vd, err := p.varRest(t, name, isConst, line)
+		if err != nil {
+			return nil, err
+		}
+		ds.Decls = append(ds.Decls, vd)
+		if !p.isPunct(",") {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	return ds, p.expectPunct(";")
+}
+
+// ---------------------------------------------------------------------
+// Expressions (precedence climbing)
+
+func (p *parser) expr() (Expr, error) { return p.assignExpr() }
+
+func (p *parser) assignExpr() (Expr, error) {
+	line := p.tok.line
+	lhs, err := p.binExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokPunct {
+		switch p.tok.text {
+		case "=":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			rhs, err := p.assignExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Assign{exprBase{line}, "", lhs, rhs}, nil
+		case "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=":
+			op := p.tok.text[:len(p.tok.text)-1]
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			rhs, err := p.assignExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Assign{exprBase{line}, op, lhs, rhs}, nil
+		}
+	}
+	return lhs, nil
+}
+
+var binLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) binExpr(level int) (Expr, error) {
+	if level >= len(binLevels) {
+		return p.unaryExpr()
+	}
+	line := p.tok.line
+	lhs, err := p.binExpr(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := ""
+		if p.tok.kind == tokPunct {
+			for _, op := range binLevels[level] {
+				if p.tok.text == op {
+					matched = op
+					break
+				}
+			}
+		}
+		if matched == "" {
+			return lhs, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.binExpr(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{exprBase{line}, matched, lhs, rhs}
+	}
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	line := p.tok.line
+	if p.tok.kind == tokPunct {
+		switch p.tok.text {
+		case "-", "!", "~", "*", "&":
+			op := p.tok.text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			x, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{exprBase{line}, op, x}, nil
+		case "+":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return p.unaryExpr()
+		case "++", "--":
+			dec := p.tok.text == "--"
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			x, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &IncDec{exprBase{line}, x, dec, false}, nil
+		case "(":
+			// Cast?
+			nxt, err := p.peek(1)
+			if err != nil {
+				return nil, err
+			}
+			if nxt.kind == tokKeyword && (nxt.text == "int" || nxt.text == "uint" || nxt.text == "char" || nxt.text == "void") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				t, _, err := p.parseType()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+				x, err := p.unaryExpr()
+				if err != nil {
+					return nil, err
+				}
+				return &Cast{exprBase{line}, t, x}, nil
+			}
+		}
+	}
+	return p.postfixExpr()
+}
+
+func (p *parser) postfixExpr() (Expr, error) {
+	e, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		line := p.tok.line
+		switch {
+		case p.isPunct("["):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			e = &Index{exprBase{line}, e, idx}
+		case p.isPunct("++"), p.isPunct("--"):
+			dec := p.tok.text == "--"
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			e = &IncDec{exprBase{line}, e, dec, true}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) primaryExpr() (Expr, error) {
+	line := p.tok.line
+	switch {
+	case p.tok.kind == tokNumber, p.tok.kind == tokChar:
+		v := p.tok.val
+		return &NumLit{exprBase{line}, v}, p.advance()
+	case p.tok.kind == tokString:
+		s := p.tok.str
+		return &StrLit{exprBase{line}, s}, p.advance()
+	case p.tok.kind == tokIdent:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.isPunct("(") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			call := &Call{exprBase{line}, name, nil}
+			for !p.isPunct(")") {
+				a, err := p.assignExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if p.isPunct(",") {
+					if err := p.advance(); err != nil {
+						return nil, err
+					}
+				}
+			}
+			return call, p.advance()
+		}
+		return &Ident{exprBase{line}, name}, nil
+	case p.isPunct("("):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expectPunct(")")
+	}
+	return nil, p.errf("expected expression, got %s", p.tok)
+}

@@ -1,0 +1,152 @@
+package cc_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The generative differential test: random MiniC programs (expression
+// trees, assignments, fixed-trip-count loops over an array) are
+// compiled and simulated on RISC and VLIW4, and the result is compared
+// against direct evaluation with Go int32 semantics. This exercises the
+// code generator, register allocator (including spills), scheduler and
+// simulator semantics together.
+
+type genState struct {
+	rng  *rand.Rand
+	vars []string
+	vals map[string]int32
+	buf  strings.Builder
+}
+
+// expr builds a random expression tree of the given depth and returns
+// (source text, value) — value computed with the same int32 semantics
+// the simulator implements.
+func (g *genState) expr(depth int) (string, int32) {
+	if depth <= 0 || g.rng.Intn(4) == 0 {
+		if g.rng.Intn(2) == 0 && len(g.vars) > 0 {
+			v := g.vars[g.rng.Intn(len(g.vars))]
+			return v, g.vals[v]
+		}
+		c := int32(g.rng.Intn(2001) - 1000)
+		return fmt.Sprintf("%d", c), c
+	}
+	switch g.rng.Intn(10) {
+	case 0: // unary minus
+		s, v := g.expr(depth - 1)
+		return fmt.Sprintf("(- %s)", s), -v
+	case 1: // bitwise not
+		s, v := g.expr(depth - 1)
+		return fmt.Sprintf("(~%s)", s), ^v
+	case 2: // comparison
+		ls, lv := g.expr(depth - 1)
+		rs, rv := g.expr(depth - 1)
+		ops := []string{"<", "<=", ">", ">=", "==", "!="}
+		op := ops[g.rng.Intn(len(ops))]
+		var b bool
+		switch op {
+		case "<":
+			b = lv < rv
+		case "<=":
+			b = lv <= rv
+		case ">":
+			b = lv > rv
+		case ">=":
+			b = lv >= rv
+		case "==":
+			b = lv == rv
+		case "!=":
+			b = lv != rv
+		}
+		r := int32(0)
+		if b {
+			r = 1
+		}
+		return fmt.Sprintf("(%s %s %s)", ls, op, rs), r
+	case 3: // shift by small constant
+		s, v := g.expr(depth - 1)
+		sh := uint(g.rng.Intn(5))
+		if g.rng.Intn(2) == 0 {
+			return fmt.Sprintf("(%s << %d)", s, sh), v << sh
+		}
+		return fmt.Sprintf("(%s >> %d)", s, sh), v >> sh
+	default: // binary arithmetic / bitwise
+		ls, lv := g.expr(depth - 1)
+		rs, rv := g.expr(depth - 1)
+		switch g.rng.Intn(6) {
+		case 0:
+			return fmt.Sprintf("(%s + %s)", ls, rs), lv + rv
+		case 1:
+			return fmt.Sprintf("(%s - %s)", ls, rs), lv - rv
+		case 2:
+			return fmt.Sprintf("(%s * %s)", ls, rs), lv * rv
+		case 3:
+			return fmt.Sprintf("(%s & %s)", ls, rs), lv & rv
+		case 4:
+			return fmt.Sprintf("(%s | %s)", ls, rs), lv | rv
+		default:
+			return fmt.Sprintf("(%s ^ %s)", ls, rs), lv ^ rv
+		}
+	}
+}
+
+// program emits a random function body and returns the expected exit
+// code (masked to a byte so it fits the process exit convention).
+func (g *genState) program() (string, int32) {
+	g.buf.WriteString("int main() {\n")
+	// Declarations.
+	nv := 3 + g.rng.Intn(5)
+	for i := 0; i < nv; i++ {
+		name := fmt.Sprintf("v%d", i)
+		val := int32(g.rng.Intn(201) - 100)
+		g.vars = append(g.vars, name)
+		g.vals[name] = val
+		fmt.Fprintf(&g.buf, "    int %s = %d;\n", name, val)
+	}
+	// Random assignments.
+	for i := 0; i < 6+g.rng.Intn(10); i++ {
+		v := g.vars[g.rng.Intn(len(g.vars))]
+		s, val := g.expr(3)
+		fmt.Fprintf(&g.buf, "    %s = %s;\n", v, s)
+		g.vals[v] = val
+	}
+	// A fixed-trip loop mixing the variables through an array.
+	fmt.Fprintf(&g.buf, "    int arr[8];\n")
+	arr := make([]int32, 8)
+	for i := 0; i < 8; i++ {
+		v := g.vars[i%len(g.vars)]
+		fmt.Fprintf(&g.buf, "    arr[%d] = %s + %d;\n", i, v, i)
+		arr[i] = g.vals[v] + int32(i)
+	}
+	fmt.Fprintf(&g.buf, "    int acc = 0;\n")
+	var acc int32
+	fmt.Fprintf(&g.buf, "    for (int i = 0; i < 8; i++) acc = acc * 3 + arr[i];\n")
+	for i := 0; i < 8; i++ {
+		acc = acc*3 + arr[i]
+	}
+	// Fold everything into the exit code.
+	s, val := g.expr(3)
+	fmt.Fprintf(&g.buf, "    return (acc ^ %s) & 0xFF;\n}\n", s)
+	return g.buf.String(), (acc ^ val) & 0xFF
+}
+
+// newGen builds a seeded generator state.
+func newGen(seed int64) *genState {
+	return &genState{rng: rand.New(rand.NewSource(seed)), vals: map[string]int32{}}
+}
+
+func TestRandomProgramsDifferential(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		g := &genState{rng: rand.New(rand.NewSource(int64(1000 + trial))), vals: map[string]int32{}}
+		src, want := g.program()
+		for _, isaName := range []string{"RISC", "VLIW4"} {
+			code, _ := run(t, isaName, src)
+			if code != want {
+				t.Fatalf("trial %d on %s: exit %d, reference %d\n%s",
+					trial, isaName, code, want, src)
+			}
+		}
+	}
+}

@@ -1,0 +1,394 @@
+package cc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Register pools. r30/r31 are reserved as spill scratch registers and
+// never allocated; a0..a3 are used only at call boundaries; sp/ra/zero
+// are fixed.
+var (
+	callerSavedPool = []int{8, 9, 10, 11, 12, 13, 14, 15, 28, 29} // t0..t7, t8, t9
+	calleeSavedPool = []int{16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, regFP}
+	scratch0        = 30 // t10
+	scratch1        = 31 // t11
+)
+
+type interval struct {
+	vreg       int
+	start, end int
+	crossCall  bool
+	phys       int // assigned register, or -1
+	spill      int // spill slot index, or -1
+}
+
+type raResult struct {
+	// assignment: vreg -> phys (>= 0) or spilled (slot in spillOf).
+	physOf  map[int]int
+	spillOf map[int]int
+	// usedCallee lists callee-saved registers that must be preserved.
+	usedCallee []int
+	spillSlots int
+}
+
+// allocate performs liveness analysis and linear-scan register
+// allocation over the function, then rewrites all operations to
+// physical registers, inserting spill code using the two reserved
+// scratch registers.
+func allocate(fn *mfunc) (*raResult, error) {
+	type binfo struct {
+		b          *mblock
+		start, end int // op position range [start, end)
+		succs      []int
+		use, def   map[int]bool
+		in, out    map[int]bool
+	}
+	labelIdx := map[string]int{}
+	for i, b := range fn.blocks {
+		if b.label != "" {
+			labelIdx[b.label] = i
+		}
+	}
+	infos := make([]*binfo, len(fn.blocks))
+	pos := 0
+	for i, b := range fn.blocks {
+		bi := &binfo{b: b, start: pos, use: map[int]bool{}, def: map[int]bool{},
+			in: map[int]bool{}, out: map[int]bool{}}
+		pos += len(b.ops)
+		bi.end = pos
+		infos[i] = bi
+	}
+	// Successors.
+	for i, bi := range infos {
+		succ := func(label string) error {
+			j, ok := labelIdx[label]
+			if !ok {
+				return fmt.Errorf("cc: %s: undefined label %q", fn.srcName, label)
+			}
+			bi.succs = append(bi.succs, j)
+			return nil
+		}
+		// A block may end with several control transfers (a conditional
+		// branch followed by an unconditional jump); scan the trailing
+		// control operations for all successor edges.
+		fall := true
+	scan:
+		for k := len(bi.b.ops) - 1; k >= 0; k-- {
+			op := &bi.b.ops[k]
+			switch {
+			case op.Name == "j":
+				if err := succ(op.Sym); err != nil {
+					return nil, err
+				}
+				fall = false
+			case op.Name == "ret":
+				fall = false
+			case isBranchName(op.Name):
+				if err := succ(op.Sym); err != nil {
+					return nil, err
+				}
+			default:
+				break scan
+			}
+		}
+		if fall && i+1 < len(infos) {
+			bi.succs = append(bi.succs, i+1)
+		}
+	}
+	// use/def sets (vregs only), in reverse op order per block.
+	srcsOf := func(m *MOp) []int {
+		var out []int
+		if m.S1 >= vregBase {
+			out = append(out, m.S1)
+		}
+		if m.S2 >= vregBase {
+			out = append(out, m.S2)
+		}
+		for _, a := range m.Args {
+			if a >= vregBase {
+				out = append(out, a)
+			}
+		}
+		return out
+	}
+	for _, bi := range infos {
+		for oi := len(bi.b.ops) - 1; oi >= 0; oi-- {
+			m := &bi.b.ops[oi]
+			if m.Dst >= vregBase {
+				bi.def[m.Dst] = true
+				delete(bi.use, m.Dst)
+			}
+			for _, s := range srcsOf(m) {
+				bi.use[s] = true
+			}
+		}
+	}
+	// Iterative liveness.
+	for changed := true; changed; {
+		changed = false
+		for i := len(infos) - 1; i >= 0; i-- {
+			bi := infos[i]
+			for _, sj := range bi.succs {
+				for v := range infos[sj].in {
+					if !bi.out[v] {
+						bi.out[v] = true
+						changed = true
+					}
+				}
+			}
+			for v := range bi.out {
+				if !bi.def[v] && !bi.in[v] {
+					bi.in[v] = true
+					changed = true
+				}
+			}
+			for v := range bi.use {
+				if !bi.in[v] {
+					bi.in[v] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Intervals.
+	ivs := map[int]*interval{}
+	touch := func(v, p int) {
+		iv, ok := ivs[v]
+		if !ok {
+			iv = &interval{vreg: v, start: p, end: p, phys: -1, spill: -1}
+			ivs[v] = iv
+			return
+		}
+		if p < iv.start {
+			iv.start = p
+		}
+		if p > iv.end {
+			iv.end = p
+		}
+	}
+	var callPos []int
+	p := 0
+	for _, bi := range infos {
+		for oi := range bi.b.ops {
+			m := &bi.b.ops[oi]
+			if m.Dst >= vregBase {
+				touch(m.Dst, p)
+			}
+			for _, s := range srcsOf(m) {
+				touch(s, p)
+			}
+			if m.Name == "call" || m.Name == "callisa" {
+				callPos = append(callPos, p)
+			}
+			p++
+		}
+		for v := range bi.in {
+			touch(v, bi.start)
+		}
+		for v := range bi.out {
+			if bi.end > bi.start {
+				touch(v, bi.end-1)
+			}
+		}
+	}
+	for _, iv := range ivs {
+		for _, cp := range callPos {
+			if iv.start < cp && iv.end > cp {
+				iv.crossCall = true
+				break
+			}
+		}
+	}
+
+	// Linear scan.
+	list := make([]*interval, 0, len(ivs))
+	for _, iv := range ivs {
+		list = append(list, iv)
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].start != list[j].start {
+			return list[i].start < list[j].start
+		}
+		return list[i].vreg < list[j].vreg
+	})
+
+	res := &raResult{physOf: map[int]int{}, spillOf: map[int]int{}}
+	freeCaller := append([]int(nil), callerSavedPool...)
+	freeCallee := append([]int(nil), calleeSavedPool...)
+	if len(callPos) == 0 {
+		// Leaf function: the argument registers are allocatable too (no
+		// call ever clobbers them). Intervals overlapping the entry
+		// argument moves are excluded below.
+		freeCaller = append(freeCaller, regA0, regA0+1, regA0+2, regA0+3)
+	}
+	usedCallee := map[int]bool{}
+	var active []*interval
+
+	expire := func(p int) {
+		keep := active[:0]
+		for _, iv := range active {
+			if iv.end >= p {
+				keep = append(keep, iv)
+				continue
+			}
+			if iv.phys >= 0 {
+				if isCalleeSaved(iv.phys) {
+					freeCallee = append(freeCallee, iv.phys)
+				} else {
+					freeCaller = append(freeCaller, iv.phys)
+				}
+			}
+		}
+		active = keep
+	}
+	// take removes the first admissible register from the pool: the
+	// argument registers (present only in leaf functions) are withheld
+	// from intervals overlapping the entry argument moves.
+	take := func(pool *[]int, iv *interval) int {
+		for k, r := range *pool {
+			if r >= regA0 && r <= regA0+3 && iv.start <= 4 {
+				continue
+			}
+			*pool = append((*pool)[:k], (*pool)[k+1:]...)
+			return r
+		}
+		return -1
+	}
+	for _, iv := range list {
+		expire(iv.start)
+		assigned := -1
+		switch {
+		case iv.crossCall:
+			assigned = take(&freeCallee, iv)
+		default:
+			if assigned = take(&freeCaller, iv); assigned < 0 {
+				assigned = take(&freeCallee, iv)
+			}
+		}
+		if assigned >= 0 {
+			iv.phys = assigned
+		} else {
+			// Spill the active interval with the furthest end among the
+			// compatible ones, or this one.
+			var victim *interval
+			for _, a := range active {
+				if a.phys < 0 {
+					continue
+				}
+				if iv.crossCall && !isCalleeSaved(a.phys) {
+					continue
+				}
+				if a.phys >= regA0 && a.phys <= regA0+3 && iv.start <= 4 {
+					continue // see take: protect entry argument moves
+				}
+				if victim == nil || a.end > victim.end {
+					victim = a
+				}
+			}
+			if victim != nil && victim.end > iv.end {
+				iv.phys = victim.phys
+				victim.phys = -1
+				victim.spill = res.spillSlots
+				res.spillSlots++
+			} else {
+				iv.spill = res.spillSlots
+				res.spillSlots++
+			}
+		}
+		if iv.phys >= 0 && isCalleeSaved(iv.phys) {
+			usedCallee[iv.phys] = true
+		}
+		active = append(active, iv)
+	}
+	for _, iv := range ivs {
+		if iv.phys >= 0 {
+			res.physOf[iv.vreg] = iv.phys
+		} else {
+			res.spillOf[iv.vreg] = iv.spill
+		}
+	}
+	for r := range usedCallee {
+		res.usedCallee = append(res.usedCallee, r)
+	}
+	sort.Ints(res.usedCallee)
+
+	rewrite(fn, res)
+	return res, nil
+}
+
+func isBranchName(name string) bool {
+	switch name {
+	case "beq", "bne", "blt", "bge", "bltu", "bgeu":
+		return true
+	}
+	return false
+}
+
+func isCalleeSaved(r int) bool {
+	return (r >= 16 && r <= 27) || r == regFP
+}
+
+// spillRef encodes a spilled call argument in MOp.Args.
+func spillRef(slot int) int { return -(slot + 2) }
+func isSpillRef(a int) bool { return a <= -2 }
+func spillSlotOf(a int) int { return -a - 2 }
+
+// rewrite replaces vregs with physical registers and inserts spill
+// loads/stores around uses and definitions.
+func rewrite(fn *mfunc, res *raResult) {
+	for _, b := range fn.blocks {
+		out := make([]MOp, 0, len(b.ops))
+		for _, m := range b.ops {
+			scratchNext := scratch0
+			nextScratch := func() int {
+				r := scratchNext
+				if scratchNext == scratch0 {
+					scratchNext = scratch1
+				}
+				return r
+			}
+			mapSrc := func(v int) int {
+				if v < vregBase {
+					return v
+				}
+				if phys, ok := res.physOf[v]; ok {
+					return phys
+				}
+				slot := res.spillOf[v]
+				s := nextScratch()
+				out = append(out, MOp{Name: "lw", Dst: s, S1: regSP,
+					Imm: int64(slot * 4), Ref: frameSpill, Line: m.Line})
+				return s
+			}
+			m.S1 = mapSrc(m.S1)
+			m.S2 = mapSrc(m.S2)
+			for i, a := range m.Args {
+				if a < vregBase {
+					continue
+				}
+				if phys, ok := res.physOf[a]; ok {
+					m.Args[i] = phys
+				} else {
+					m.Args[i] = spillRef(res.spillOf[a])
+				}
+			}
+			storeAfter := -1
+			if m.Dst >= vregBase {
+				if phys, ok := res.physOf[m.Dst]; ok {
+					m.Dst = phys
+				} else {
+					storeAfter = res.spillOf[m.Dst]
+					m.Dst = scratch0
+				}
+			}
+			out = append(out, m)
+			if storeAfter >= 0 {
+				out = append(out, MOp{Name: "sw", Dst: regNone, S1: regSP, S2: scratch0,
+					Imm: int64(storeAfter * 4), Ref: frameSpill, Line: m.Line})
+			}
+		}
+		b.ops = out
+	}
+}

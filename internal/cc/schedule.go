@@ -1,0 +1,247 @@
+package cc
+
+import (
+	"repro/internal/isa"
+)
+
+// scheduleBlock packs the straight-line operations of one basic block
+// into VLIW instructions (bundles) for the given issue width using
+// greedy list scheduling with critical-path priority.
+//
+// Dependence model:
+//   - true (RAW) and output (WAW) register dependencies separate
+//     bundles;
+//   - anti (WAR) dependencies may share a bundle (all registers of the
+//     parallel operations are read before any result is written back —
+//     the simulator's Sec. V-B semantics);
+//   - memory operations use the pessimistic model of the paper (the
+//     compiler has no alias analysis): every memory operation depends
+//     on the last store, and a store depends on every earlier memory
+//     operation;
+//   - calls, returns and system operations are scheduling barriers;
+//   - at most one control transfer per bundle; multiply/divide
+//     operations are limited to one per slot pair (the EDPE pairs share
+//     a multiplier). Memory operations pack freely: the single L1 port
+//     is a dynamic resource resolved by the connection-limit module of
+//     the memory approximation (Sec. VI-D), not a static packing rule
+//     (only independent loads can ever share a bundle here, because the
+//     pessimistic store ordering already separates everything else).
+func scheduleBlock(model *isa.Model, ops []MOp, issue int) [][]MOp {
+	n := len(ops)
+	if n == 0 {
+		return nil
+	}
+	if issue == 1 {
+		out := make([][]MOp, n)
+		for i := range ops {
+			out[i] = ops[i : i+1]
+		}
+		return out
+	}
+
+	// l1Delay is the L1 hit latency the compiler schedules for ("All
+	// applications were compiled with maximum performance optimization",
+	// Sec. VII): consumers of a load are placed at least this many
+	// instructions later so the dynamic issue logic rarely stalls.
+	const l1Delay = 3
+
+	type meta struct {
+		reads, writes                    []int
+		isMem, isStore, isCtl, isBarrier bool
+		isMulDiv                         bool
+		latency                          int
+	}
+	metas := make([]meta, n)
+	for i := range ops {
+		m := &ops[i]
+		mt := meta{latency: 1}
+		switch m.Name {
+		case "__call", "jalr", "swt", "simcall", "halt":
+			mt.isBarrier = true
+			mt.isCtl = true
+		case "j", "jal":
+			mt.isCtl = true
+		case "beq", "bne", "blt", "bge", "bltu", "bgeu":
+			mt.isCtl = true
+		}
+		if !mt.isBarrier {
+			info := classify(model, m.Name)
+			mt.latency = info.latency
+			switch info.class {
+			case isa.ClassLoad:
+				mt.isMem = true
+				mt.latency = l1Delay
+			case isa.ClassStore:
+				mt.isMem, mt.isStore = true, true
+			case isa.ClassMul, isa.ClassDiv:
+				mt.isMulDiv = true
+			}
+		}
+		if m.S1 >= 0 {
+			mt.reads = append(mt.reads, m.S1)
+		}
+		if m.S2 >= 0 {
+			mt.reads = append(mt.reads, m.S2)
+		}
+		if m.Dst > 0 { // writes to r0 carry no dependence
+			mt.writes = append(mt.writes, m.Dst)
+		}
+		metas[i] = mt
+	}
+
+	// Dependence edges i -> j (i < j) with minimum bundle gap.
+	type edge struct {
+		to  int
+		gap int
+	}
+	succs := make([][]edge, n)
+	npred := make([]int, n)
+	addEdge := func(i, j, gap int) {
+		succs[i] = append(succs[i], edge{j, gap})
+		npred[j]++
+	}
+	intersects := func(a, b []int) bool {
+		for _, x := range a {
+			for _, y := range b {
+				if x == y {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for j := 1; j < n; j++ {
+		for i := j - 1; i >= 0; i-- {
+			gap := -1
+			switch {
+			case metas[i].isBarrier || metas[j].isBarrier:
+				gap = 1
+			case intersects(metas[i].writes, metas[j].reads): // RAW
+				gap = metas[i].latency
+			case intersects(metas[i].writes, metas[j].writes): // WAW
+				gap = 1
+			case metas[i].isMem && metas[j].isMem && (metas[i].isStore || metas[j].isStore):
+				gap = 1 // pessimistic memory ordering
+			case metas[i].isCtl && metas[j].isCtl:
+				gap = 1 // control transfers execute in program order
+			case intersects(metas[i].reads, metas[j].writes): // WAR
+				gap = 0
+			case metas[j].isCtl:
+				gap = 0 // a control transfer never moves above earlier ops
+			}
+			if gap >= 0 {
+				addEdge(i, j, gap)
+			}
+		}
+	}
+
+	// Critical-path heights.
+	height := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		h := 0
+		for _, e := range succs[i] {
+			if v := height[e.to] + e.gap; v > h {
+				h = v
+			}
+		}
+		height[i] = h
+	}
+
+	earliest := make([]int, n)
+	scheduled := make([]bool, n)
+	bundleOf := make([]int, n)
+	remaining := n
+	var bundles [][]MOp
+	cycle := 0
+	mulLimit := (issue + 1) / 2
+
+	for remaining > 0 {
+		var cur []MOp
+		var curIdx []int
+		ctlUsed, mulUsed, memUsed := 0, 0, 0
+		writesInBundle := map[int]bool{}
+		sysInBundle := false
+		for {
+			best := -1
+			for i := 0; i < n; i++ {
+				if scheduled[i] || npred[i] > 0 || earliest[i] > cycle {
+					continue
+				}
+				mt := &metas[i]
+				if len(cur) >= issue {
+					continue
+				}
+				if mt.isBarrier && len(cur) > 0 {
+					continue
+				}
+				if sysInBundle {
+					continue
+				}
+				if mt.isCtl && ctlUsed >= 1 {
+					continue
+				}
+				if mt.isMem && memCapPerBundle > 0 && memUsed >= memCapPerBundle {
+					continue
+				}
+				if mt.isMulDiv && mulUsed >= mulLimit {
+					continue
+				}
+				conflict := false
+				for _, w := range mt.writes {
+					if writesInBundle[w] {
+						conflict = true
+						break
+					}
+				}
+				if conflict {
+					continue
+				}
+				if best < 0 || height[i] > height[best] || (height[i] == height[best] && i < best) {
+					best = i
+				}
+			}
+			if best < 0 {
+				break
+			}
+			mt := &metas[best]
+			scheduled[best] = true
+			bundleOf[best] = cycle
+			remaining--
+			cur = append(cur, ops[best])
+			curIdx = append(curIdx, best)
+			if mt.isCtl {
+				ctlUsed++
+			}
+			if mt.isMem {
+				memUsed++
+			}
+			if mt.isMulDiv {
+				mulUsed++
+			}
+			if mt.isBarrier {
+				sysInBundle = true
+			}
+			for _, w := range mt.writes {
+				writesInBundle[w] = true
+			}
+			for _, e := range succs[best] {
+				npred[e.to]--
+				if v := cycle + e.gap; v > earliest[e.to] {
+					earliest[e.to] = v
+				}
+			}
+			if mt.isBarrier {
+				break
+			}
+		}
+		if len(cur) > 0 {
+			bundles = append(bundles, cur)
+		}
+		cycle++
+		if cycle > 4*n+16 {
+			// Cannot happen with a well-formed DAG; avoid livelock.
+			panic("cc: scheduler failed to converge")
+		}
+	}
+	return bundles
+}

@@ -1,0 +1,190 @@
+package cc_test
+
+import "testing"
+
+// Additional semantic coverage: pointers to pointers, pointer walks,
+// global pointers, nested calls, casts, and mixed signedness.
+
+func TestPointerToPointer(t *testing.T) {
+	runAll(t, `
+int g = 5;
+int main() {
+    int x = 10;
+    int* p = &x;
+    int** pp = &p;
+    **pp = 42;          // through two levels
+    *pp = &g;           // repoint p at g
+    **pp += 1;          // g = 6
+    return x * 10 + g;  // 426
+}`, 426, "")
+}
+
+func TestPointerWalkOverCharArray(t *testing.T) {
+	runAll(t, `
+char s[] = "abcdef";
+int main() {
+    char* p = s;
+    int sum = 0;
+    while (*p) {
+        sum += *p;
+        p++;
+    }
+    return sum - ('a'+'b'+'c'+'d'+'e'+'f'-'a'); // 'a' remains
+}`, 'a', "")
+}
+
+func TestGlobalPointerVariable(t *testing.T) {
+	runAll(t, `
+int a[4] = {1, 2, 3, 4};
+int* cursor;
+int next() {
+    int v = *cursor;
+    cursor = cursor + 1;
+    return v;
+}
+int main() {
+    cursor = a;
+    return next()*1000 + next()*100 + next()*10 + next();
+}`, 1234, "")
+}
+
+func TestNestedCallsAsArguments(t *testing.T) {
+	runAll(t, `
+int add(int a, int b) { return a + b; }
+int mul(int a, int b) { return a * b; }
+int main() {
+    return add(mul(add(1, 2), 4), mul(2, add(3, 4))); // 12 + 14
+}`, 26, "")
+}
+
+func TestCastsBetweenTypes(t *testing.T) {
+	runAll(t, `
+int main() {
+    int big = 0x1234;
+    char low = (char)big;          // 0x34
+    uint u = (uint)(-1);
+    int back = (int)(u >> 28);     // 0xF
+    return (int)low + back;        // 52 + 15
+}`, 67, "")
+}
+
+func TestMixedSignedComparisons(t *testing.T) {
+	runAll(t, `
+int main() {
+    int neg = -1;
+    uint big = 0x80000000;
+    int r = 0;
+    if (neg < 0) r += 1;             // signed compare
+    if ((uint)neg > big) r += 10;    // unsigned: 0xFFFFFFFF > 0x80000000
+    if (big > 100) r += 100;         // unsigned
+    return r;
+}`, 111, "")
+}
+
+func TestCharArithmeticWrap(t *testing.T) {
+	runAll(t, `
+int main() {
+    char c = (char)250;
+    c = (char)(c + 10);   // wraps to 4
+    char buf[2];
+    buf[0] = c;
+    return buf[0];
+}`, 4, "")
+}
+
+func TestShadowingInNestedScopes(t *testing.T) {
+	runAll(t, `
+int main() {
+    int x = 1;
+    {
+        int x = 2;
+        {
+            int x = 3;
+            if (x != 3) return 1;
+        }
+        if (x != 2) return 2;
+        x = 20;
+        if (x != 20) return 3;
+    }
+    return x; // outer x untouched
+}`, 1, "")
+}
+
+func TestEarlyReturnsAndDeadCode(t *testing.T) {
+	runAll(t, `
+int pick(int v) {
+    if (v > 10) {
+        return 100;
+        v = 999; // dead
+    }
+    return v;
+}
+int main() { return pick(50) + pick(7); }`, 107, "")
+}
+
+func TestRecursiveMutual(t *testing.T) {
+	runAll(t, `
+int odd(int n);
+int even(int n) {
+    if (n == 0) return 1;
+    return odd(n - 1);
+}
+int odd(int n) {
+    if (n == 0) return 0;
+    return even(n - 1);
+}
+int main() { return even(10)*10 + odd(7); }`, 11, "")
+}
+
+func TestArrayOfPointersViaMalloc(t *testing.T) {
+	runAll(t, `
+int main() {
+    int* rows[4];
+    for (int i = 0; i < 4; i++) {
+        rows[i] = (int*)malloc(16);
+        for (int j = 0; j < 4; j++) rows[i][j] = i * 4 + j;
+    }
+    int sum = 0;
+    for (int i = 0; i < 4; i++)
+        for (int j = 0; j < 4; j++)
+            sum += rows[i][j];
+    return sum; // 0+1+...+15 = 120
+}`, 120, "")
+}
+
+func TestLargeImmediatesAndGlobals(t *testing.T) {
+	runAll(t, `
+int big = 0x7FFFFFFF;
+int main() {
+    int x = 1000000;
+    int y = x * 2 + 345678;
+    if (big != 0x7FFFFFFF) return 1;
+    uint h = 0xDEADBEEF;
+    if ((h >> 16) != 0xDEAD) return 2;
+    if ((h & 0xFFFF) != 0xBEEF) return 3;
+    return (y == 2345678);
+}`, 1, "")
+}
+
+func TestWhileWithComplexCondition(t *testing.T) {
+	runAll(t, `
+int main() {
+    int i = 0;
+    int j = 20;
+    int steps = 0;
+    while (i < 10 && j > 12 || steps == 0) {
+        i++;
+        j--;
+        steps++;
+    }
+    return steps; // && binds tighter: loop while (i<10 && j>12) or first pass
+}`, func() int32 {
+		i, j, steps := int32(0), int32(20), int32(0)
+		for (i < 10 && j > 12) || steps == 0 {
+			i++
+			j--
+			steps++
+		}
+		return steps
+	}(), "")
+}

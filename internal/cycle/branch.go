@@ -1,0 +1,75 @@
+package cycle
+
+// BranchPredictor is a table of 2-bit saturating counters indexed by
+// the branch operation's word address — the classic bimodal predictor.
+// The paper's evaluation assumes perfect branch prediction (Sec. VII-C)
+// and names misprediction modelling as future work (Sec. VIII); the
+// predictor is therefore optional: attach one to the DOE model (or the
+// RTL pipeline) to approximate front-end refill penalties.
+type BranchPredictor struct {
+	table []uint8
+	mask  uint32
+
+	Lookups    uint64
+	Mispredict uint64
+}
+
+// NewBranchPredictor builds a predictor with the given number of
+// entries (rounded up to a power of two; default 512).
+func NewBranchPredictor(entries int) *BranchPredictor {
+	if entries <= 0 {
+		entries = 512
+	}
+	n := 1
+	for n < entries {
+		n <<= 1
+	}
+	t := make([]uint8, n)
+	for i := range t {
+		t[i] = 1 // weakly not-taken
+	}
+	return &BranchPredictor{table: t, mask: uint32(n - 1)}
+}
+
+func (p *BranchPredictor) idx(addr uint32) uint32 { return (addr >> 2) & p.mask }
+
+// Predict returns the predicted direction for the branch at addr.
+func (p *BranchPredictor) Predict(addr uint32) bool {
+	return p.table[p.idx(addr)] >= 2
+}
+
+// Record consumes one executed conditional branch: it compares the
+// prediction with the actual direction, updates the counter, and
+// reports whether the branch was mispredicted.
+func (p *BranchPredictor) Record(addr uint32, taken bool) bool {
+	p.Lookups++
+	i := p.idx(addr)
+	predicted := p.table[i] >= 2
+	if taken && p.table[i] < 3 {
+		p.table[i]++
+	}
+	if !taken && p.table[i] > 0 {
+		p.table[i]--
+	}
+	if predicted != taken {
+		p.Mispredict++
+		return true
+	}
+	return false
+}
+
+// MissRate returns mispredictions per lookup.
+func (p *BranchPredictor) MissRate() float64 {
+	if p.Lookups == 0 {
+		return 0
+	}
+	return float64(p.Mispredict) / float64(p.Lookups)
+}
+
+// Reset clears counters and statistics.
+func (p *BranchPredictor) Reset() {
+	for i := range p.table {
+		p.table[i] = 1
+	}
+	p.Lookups, p.Mispredict = 0, 0
+}

@@ -1,0 +1,111 @@
+package cycle_test
+
+import (
+	"testing"
+
+	"repro/internal/cycle"
+	"repro/internal/ktest"
+	"repro/internal/mem"
+)
+
+func TestBranchPredictorCounters(t *testing.T) {
+	p := cycle.NewBranchPredictor(16)
+	addr := uint32(0x1000)
+	// Weakly not-taken start: the first taken branch mispredicts.
+	if !p.Record(addr, true) {
+		t.Fatal("first taken branch should mispredict")
+	}
+	// Now weakly taken: another taken branch predicts correctly.
+	if p.Record(addr, true) {
+		t.Fatal("second taken branch should predict")
+	}
+	// Saturated taken: a single not-taken mispredicts, then recovers.
+	if !p.Record(addr, false) {
+		t.Fatal("direction flip should mispredict")
+	}
+	if p.Lookups != 3 || p.Mispredict != 2 {
+		t.Fatalf("stats = %d/%d", p.Mispredict, p.Lookups)
+	}
+	if got := p.MissRate(); got < 0.66 || got > 0.67 {
+		t.Fatalf("miss rate = %f", got)
+	}
+	p.Reset()
+	if p.Lookups != 0 || p.MissRate() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestBranchPredictorLearnsLoops(t *testing.T) {
+	p := cycle.NewBranchPredictor(64)
+	addr := uint32(0x2000)
+	miss := 0
+	for i := 0; i < 100; i++ {
+		if p.Record(addr, true) {
+			miss++
+		}
+	}
+	if miss > 2 {
+		t.Fatalf("loop branch mispredicted %d times", miss)
+	}
+}
+
+// A data-dependent unpredictable branch costs DOE cycles once the
+// misprediction model is attached; a stable loop branch costs almost
+// nothing.
+func TestDOEMispredictionPenalty(t *testing.T) {
+	m := ktest.Model(t)
+	stable := wrap(`
+	li t0, 0
+	li t1, 400
+sl:	addi t0, t0, 1
+	bne t0, t1, sl
+`)
+	// Alternate taken/not-taken via the low bit (the bimodal counter
+	// cannot learn a strict alternation from a weak state).
+	alternating := wrap(`
+	li t0, 0
+	li t1, 400
+	li t3, 0
+al:	andi t2, t0, 1
+	beq t2, zero, skip
+	addi t3, t3, 1
+skip:	addi t0, t0, 1
+	bne t0, t1, al
+`)
+	measure := func(src string, penalty uint64) (uint64, float64) {
+		doe := cycle.NewDOE(m, mem.Flat(3))
+		if penalty > 0 {
+			doe.Pred = cycle.NewBranchPredictor(512)
+			doe.MispredictPenalty = penalty
+		}
+		runWith(t, "RISC", src, doe)
+		miss := 0.0
+		if doe.Pred != nil {
+			miss = doe.Pred.MissRate()
+		}
+		return doe.Cycles(), miss
+	}
+
+	stableOff, _ := measure(stable, 0)
+	stableOn, stableMiss := measure(stable, 8)
+	if stableMiss > 0.05 {
+		t.Errorf("stable loop miss rate = %.2f", stableMiss)
+	}
+	if float64(stableOn) > float64(stableOff)*1.1 {
+		t.Errorf("well-predicted loop should cost little: %d -> %d", stableOff, stableOn)
+	}
+
+	altOff, _ := measure(alternating, 0)
+	altOn, altMiss := measure(alternating, 8)
+	if altMiss < 0.2 {
+		t.Errorf("alternating branch miss rate = %.2f, want substantial", altMiss)
+	}
+	if altOn <= altOff {
+		t.Errorf("misprediction penalty had no effect: %d -> %d", altOff, altOn)
+	}
+	// Sanity: the penalty scales with the configured cost.
+	altBig, _ := measure(alternating, 32)
+	if altBig <= altOn {
+		t.Errorf("larger penalty did not increase cycles: %d vs %d", altBig, altOn)
+	}
+}

@@ -1,0 +1,314 @@
+// Package cycle implements the three cycle-approximation models of the
+// simulator (Sec. VI of the paper): Instruction-Level Parallelism
+// (ILP), Atomic Instruction Execution (AIE) and Dynamic Operation
+// Execution (DOE). The models attach to the interpreter as observers of
+// the dynamic instruction stream and approximate the cycle count of the
+// KAHRISMA microarchitecture without simulating its pipeline in detail.
+package cycle
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Model is a cycle-approximation model. It consumes the dynamic
+// instruction stream and exposes its running cycle count; it also
+// serves as the trace timestamp source.
+type Model interface {
+	sim.Observer
+	Name() string
+	Cycles() uint64
+	Ops() uint64
+	Reset()
+}
+
+// OPC returns the model's operations-per-cycle figure.
+func OPC(m Model) float64 {
+	c := m.Cycles()
+	if c == 0 {
+		return 0
+	}
+	return float64(m.Ops()) / float64(c)
+}
+
+// regDeps iterates the source registers of an operation (explicit and
+// implicit), skipping the hard-wired zero register.
+func srcRegs(op *sim.DecodedOp, zero int, f func(r int)) {
+	if op.Op.Src1Field != nil && int(op.Rs1) != zero {
+		f(int(op.Rs1))
+	}
+	if op.Op.Src2Field != nil && int(op.Rs2) != zero {
+		f(int(op.Rs2))
+	}
+	for _, r := range op.Op.ImplicitReads {
+		if r != zero && r != isa.RegIP {
+			f(r)
+		}
+	}
+}
+
+// dstRegs iterates the destination registers of an operation (explicit
+// and implicit), skipping the zero register and the IP.
+func dstRegs(op *sim.DecodedOp, zero int, f func(r int)) {
+	if op.Op.DstField != nil && int(op.Rd) != zero {
+		f(int(op.Rd))
+	}
+	for _, r := range op.Op.ImplicitWrites {
+		if r != zero && r != isa.RegIP {
+			f(r)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// ILP
+
+// ILPDelay is the ideal memory delay of the ILP model: the paper's
+// theoretical architecture has "an ideal memory architecture with three
+// cycles delay (the delay of our L1 cache) and unlimited number of
+// parallel memory accesses".
+const ILPDelay = 3
+
+// ILP measures the theoretical upper limit of operations per cycle the
+// architecture could exploit with unlimited resources (Sec. VI-A):
+// unlimited parallel operations, unlimited renaming registers, ideal
+// memory. Parallelism is limited only by true data dependencies, the
+// branch barrier (on VLIW processors only operations up to the next
+// branch can be scheduled in parallel), and a pessimistic memory
+// dependency model (every load/store depends on the last store — the
+// compiler has no alias analysis and schedules with the same model).
+type ILP struct {
+	zero int
+
+	regWrite   [33]uint64
+	branchDone uint64 // completion cycle of the last control transfer
+	storeStart uint64 // start cycle of the last store
+	haveStore  bool
+	maxDone    uint64
+	ops        uint64
+	instrs     uint64
+}
+
+// NewILP builds the ILP model for the given architecture.
+func NewILP(m *isa.Model) *ILP { return &ILP{zero: m.Regs.ZeroReg} }
+
+// Name implements Model.
+func (l *ILP) Name() string { return "ILP" }
+
+// Cycles returns the theoretical execution time.
+func (l *ILP) Cycles() uint64 { return l.maxDone }
+
+// Ops returns the number of operations measured.
+func (l *ILP) Ops() uint64 { return l.ops }
+
+// Instructions returns the number of instructions measured.
+func (l *ILP) Instructions() uint64 { return l.instrs }
+
+// Reset clears the model.
+func (l *ILP) Reset() { *l = ILP{zero: l.zero} }
+
+// Instruction implements sim.Observer: each operation gets an
+// individual start cycle (the maximum write cycle of its sources, the
+// completion cycle of the last branch, and for memory operations the
+// start cycle of the last store) and a completion cycle (start+delay).
+func (l *ILP) Instruction(rec *sim.ExecRecord) {
+	l.instrs++
+	for i := range rec.D.Ops {
+		op := &rec.D.Ops[i]
+		l.ops++
+		start := l.branchDone
+		srcRegs(op, l.zero, func(r int) {
+			if w := l.regWrite[r]; w > start {
+				start = w
+			}
+		})
+		cls := op.Op.Class
+		if cls.IsMem() && l.haveStore && l.storeStart > start {
+			start = l.storeStart
+		}
+		var done uint64
+		switch cls {
+		case isa.ClassLoad:
+			done = start + ILPDelay
+		case isa.ClassStore:
+			done = start + uint64(op.Op.Latency)
+			l.storeStart = start
+			l.haveStore = true
+		default:
+			done = start + uint64(op.Op.Latency)
+		}
+		dstRegs(op, l.zero, func(r int) { l.regWrite[r] = done })
+		if cls.IsControl() {
+			l.branchDone = done
+		}
+		if done > l.maxDone {
+			l.maxDone = done
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// AIE
+
+// AIE is the Atomic Instruction Execution model (Sec. VI-B): all
+// operations of an instruction issue in the same clock cycle(s) and the
+// following instruction issues only after all operations of the
+// previous instruction finished. The delay of one instruction is the
+// maximum delay of its operations; memory operations go through the
+// memory approximation.
+type AIE struct {
+	Mem *mem.Hierarchy
+
+	cur    uint64
+	ops    uint64
+	instrs uint64
+}
+
+// NewAIE builds the AIE model over the given memory hierarchy.
+func NewAIE(h *mem.Hierarchy) *AIE { return &AIE{Mem: h} }
+
+// Name implements Model.
+func (a *AIE) Name() string { return "AIE" }
+
+// Cycles returns the accumulated execution time.
+func (a *AIE) Cycles() uint64 { return a.cur }
+
+// Ops returns the number of operations measured.
+func (a *AIE) Ops() uint64 { return a.ops }
+
+// Instructions returns the number of instructions measured.
+func (a *AIE) Instructions() uint64 { return a.instrs }
+
+// Reset clears the model and its memory hierarchy.
+func (a *AIE) Reset() {
+	a.cur, a.ops, a.instrs = 0, 0, 0
+	a.Mem.Reset()
+}
+
+// Instruction implements sim.Observer.
+func (a *AIE) Instruction(rec *sim.ExecRecord) {
+	a.instrs++
+	var maxDelay uint64 = 0
+	for i := range rec.D.Ops {
+		op := &rec.D.Ops[i]
+		a.ops++
+		var delay uint64
+		if m := rec.Mem[i]; m.Valid {
+			done := a.Mem.Access(m.Addr, m.Write, int(op.Slot), a.cur)
+			delay = done - a.cur
+		} else {
+			delay = uint64(op.Op.Latency)
+		}
+		if delay > maxDelay {
+			maxDelay = delay
+		}
+	}
+	if len(rec.D.Ops) == 0 {
+		maxDelay = 1 // an all-NOP instruction still spends its issue cycle
+	}
+	a.cur += maxDelay
+}
+
+// ---------------------------------------------------------------------
+// DOE
+
+// DOE is the Dynamic Operation Execution model (Sec. VI-C): the slots
+// of VLIW instructions drift among each other; an operation issues once
+// the previous operation of its slot has issued (at least one cycle
+// later) and the true data dependencies of its input registers are
+// fulfilled. True dependencies are modelled identically to the ILP
+// model (per-register write cycles); memory delays come from the memory
+// approximation, called in program order (Sec. VI-D).
+//
+// The model is heuristic for the three reasons the paper lists: resource
+// constraints are not considered, slot drift is unbounded, and memory
+// operations are processed in program order rather than issue order —
+// the internal/rtl package models all three precisely.
+type DOE struct {
+	Mem  *mem.Hierarchy
+	zero int
+
+	// Pred, when non-nil, adds the future-work branch misprediction
+	// approximation (Sec. VIII): a mispredicted conditional branch
+	// stalls the front end for MispredictPenalty cycles after the
+	// branch resolves. Leave nil for the paper's perfect-prediction
+	// setup.
+	Pred              *BranchPredictor
+	MispredictPenalty uint64
+
+	regWrite   [33]uint64
+	slotLast   [sim.MaxIssue]uint64 // start cycle of the last op per slot
+	frontStall uint64               // no op may start before this cycle
+	maxDone    uint64
+	ops        uint64
+	instrs     uint64
+}
+
+// NewDOE builds the DOE model.
+func NewDOE(m *isa.Model, h *mem.Hierarchy) *DOE {
+	return &DOE{Mem: h, zero: m.Regs.ZeroReg}
+}
+
+// Name implements Model.
+func (d *DOE) Name() string { return "DOE" }
+
+// Cycles returns the approximated execution time.
+func (d *DOE) Cycles() uint64 { return d.maxDone }
+
+// Ops returns the number of operations measured.
+func (d *DOE) Ops() uint64 { return d.ops }
+
+// Instructions returns the number of instructions measured.
+func (d *DOE) Instructions() uint64 { return d.instrs }
+
+// Reset clears the model and its memory hierarchy.
+func (d *DOE) Reset() {
+	zero := d.zero
+	h := d.Mem
+	pred, pen := d.Pred, d.MispredictPenalty
+	*d = DOE{Mem: h, zero: zero, Pred: pred, MispredictPenalty: pen}
+	if pred != nil {
+		pred.Reset()
+	}
+	h.Reset()
+}
+
+// Instruction implements sim.Observer.
+func (d *DOE) Instruction(rec *sim.ExecRecord) {
+	d.instrs++
+	for i := range rec.D.Ops {
+		op := &rec.D.Ops[i]
+		d.ops++
+		slot := int(op.Slot)
+		// In-order issue within the slot: at least one cycle after the
+		// last operation of the same slot.
+		start := d.slotLast[slot] + 1
+		if d.frontStall > start {
+			start = d.frontStall
+		}
+		srcRegs(op, d.zero, func(r int) {
+			if w := d.regWrite[r]; w > start {
+				start = w
+			}
+		})
+		var done uint64
+		if m := rec.Mem[i]; m.Valid {
+			done = d.Mem.Access(m.Addr, m.Write, slot, start)
+		} else {
+			done = start + uint64(op.Op.Latency)
+		}
+		dstRegs(op, d.zero, func(r int) { d.regWrite[r] = done })
+		d.slotLast[slot] = start
+		if done > d.maxDone {
+			d.maxDone = done
+		}
+		if d.Pred != nil && op.Op.Class == isa.ClassBranch {
+			// At most one control transfer per instruction, so the
+			// record's Taken flag belongs to this operation.
+			if d.Pred.Record(op.Addr, rec.Taken) {
+				d.frontStall = done + d.MispredictPenalty
+			}
+		}
+	}
+}

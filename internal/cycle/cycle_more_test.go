@@ -1,0 +1,79 @@
+package cycle_test
+
+import (
+	"testing"
+
+	"repro/internal/cycle"
+	"repro/internal/ktest"
+	"repro/internal/mem"
+)
+
+func TestModelNamesAndCounters(t *testing.T) {
+	m := ktest.Model(t)
+	ilp := cycle.NewILP(m)
+	aie := cycle.NewAIE(mem.Flat(3))
+	doe := cycle.NewDOE(m, mem.Flat(3))
+	if ilp.Name() != "ILP" || aie.Name() != "AIE" || doe.Name() != "DOE" {
+		t.Fatalf("names: %s %s %s", ilp.Name(), aie.Name(), doe.Name())
+	}
+	runWith(t, "RISC", wrap("\taddi t0, zero, 1\n\taddi t1, zero, 2\n"), ilp, aie, doe)
+	if ilp.Instructions() != aie.Instructions() || aie.Instructions() != doe.Instructions() {
+		t.Fatalf("instruction counts disagree: %d %d %d",
+			ilp.Instructions(), aie.Instructions(), doe.Instructions())
+	}
+	if ilp.Instructions() == 0 {
+		t.Fatal("no instructions observed")
+	}
+}
+
+// An all-NOP VLIW instruction still spends its issue cycle on AIE.
+func TestAIEAllNopBundle(t *testing.T) {
+	src := ".isa VLIW2\n" + wrap("\t{ nop ; nop }\n\t{ nop ; nop }\n")
+	aie := cycle.NewAIE(mem.Flat(3))
+	st := runWith(t, "VLIW2", src, aie)
+	if aie.Cycles() < st.Instructions {
+		t.Fatalf("AIE %d cycles < %d instructions (NOP bundles uncharged)",
+			aie.Cycles(), st.Instructions)
+	}
+}
+
+// The DOE misprediction state must also clear on Reset.
+func TestDOEResetKeepsPredictorConfig(t *testing.T) {
+	m := ktest.Model(t)
+	doe := cycle.NewDOE(m, mem.Flat(3))
+	doe.Pred = cycle.NewBranchPredictor(64)
+	doe.MispredictPenalty = 8
+	runWith(t, "RISC", wrap(`
+	li t0, 0
+	li t1, 10
+l:	addi t0, t0, 1
+	bne t0, t1, l
+`), doe)
+	if doe.Pred.Lookups == 0 {
+		t.Fatal("predictor unused")
+	}
+	doe.Reset()
+	if doe.Pred == nil || doe.MispredictPenalty != 8 {
+		t.Fatal("reset dropped the predictor configuration")
+	}
+	if doe.Pred.Lookups != 0 {
+		t.Fatal("reset kept predictor statistics")
+	}
+	if doe.Cycles() != 0 {
+		t.Fatal("reset kept cycles")
+	}
+}
+
+func TestRecommendBounds(t *testing.T) {
+	m := ktest.Model(t)
+	if got := cycle.Recommend(m, 0.5, 0.7).Issue; got != 1 {
+		t.Errorf("tiny ILP recommended issue %d", got)
+	}
+	if got := cycle.Recommend(m, 100, 0.7).Issue; got != 8 {
+		t.Errorf("huge ILP recommended issue %d, want the widest", got)
+	}
+	// Bogus utilization falls back to the default.
+	if got := cycle.Recommend(m, 3, -1).Issue; got < 2 || got > 4 {
+		t.Errorf("ILP 3 with default utilization -> issue %d", got)
+	}
+}

@@ -1,0 +1,111 @@
+package cycle
+
+import (
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+// PerFunctionILP measures the theoretical ILP separately for every
+// function of a program — the indicator the paper proposes for
+// selecting an appropriate ISA per function "without the need to
+// simulate any combination of the different ISAs and applications"
+// (Sec. I, Sec. VIII).
+//
+// Each function gets its own ILP sub-model fed with the instructions
+// executed while that function is at the top of the profile (by
+// instruction address). Dependencies crossing function boundaries are
+// not tracked — the value is the selection indicator, not an exact
+// bound (matching the paper's intended use).
+type PerFunctionILP struct {
+	model *isa.Model
+	prog  *sim.Program
+	funcs map[string]*ILP
+	calls map[string]uint64
+}
+
+// NewPerFunctionILP builds the profiler for a loaded program.
+func NewPerFunctionILP(m *isa.Model, p *sim.Program) *PerFunctionILP {
+	return &PerFunctionILP{model: m, prog: p, funcs: map[string]*ILP{}, calls: map[string]uint64{}}
+}
+
+// Instruction implements sim.Observer.
+func (pf *PerFunctionILP) Instruction(rec *sim.ExecRecord) {
+	name := "<unknown>"
+	if fi := pf.prog.FuncAt(rec.D.Addr); fi != nil {
+		name = fi.Name
+		if rec.D.Addr == fi.Start {
+			// Executing the first instruction of the function ≈ one
+			// invocation (entry is only reachable by call in compiled
+			// code).
+			pf.calls[name]++
+		}
+	}
+	m, ok := pf.funcs[name]
+	if !ok {
+		m = NewILP(pf.model)
+		pf.funcs[name] = m
+	}
+	m.Instruction(rec)
+}
+
+// FunctionILP is one function's measurement.
+type FunctionILP struct {
+	Name         string
+	ILP          float64
+	Operations   uint64
+	Instructions uint64
+	Calls        uint64
+}
+
+// Results returns per-function ILP values, largest operation count
+// first (the functions worth reconfiguring for).
+func (pf *PerFunctionILP) Results() []FunctionILP {
+	out := make([]FunctionILP, 0, len(pf.funcs))
+	for name, m := range pf.funcs {
+		out = append(out, FunctionILP{
+			Name:         name,
+			ILP:          OPC(m),
+			Operations:   m.Ops(),
+			Instructions: m.Instructions(),
+			Calls:        pf.calls[name],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Operations != out[j].Operations {
+			return out[i].Operations > out[j].Operations
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Recommend suggests the narrowest ISA whose issue width covers the
+// function's theoretical ILP (with the given utilization factor in
+// (0,1], e.g. 0.7 — hardware rarely sustains the theoretical bound).
+func Recommend(m *isa.Model, ilp, utilization float64) *isa.ISA {
+	if utilization <= 0 || utilization > 1 {
+		utilization = 0.7
+	}
+	want := ilp * utilization
+	var best *isa.ISA
+	for _, a := range m.ISAs {
+		if best == nil {
+			best = a
+			continue
+		}
+		// Prefer the narrowest instance that still covers `want`.
+		covers := float64(a.Issue) >= want
+		bestCovers := float64(best.Issue) >= want
+		switch {
+		case covers && !bestCovers:
+			best = a
+		case covers == bestCovers && covers && a.Issue < best.Issue:
+			best = a
+		case covers == bestCovers && !covers && a.Issue > best.Issue:
+			best = a
+		}
+	}
+	return best
+}

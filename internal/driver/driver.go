@@ -1,0 +1,87 @@
+// Package driver wires the toolchain together: MiniC sources are
+// compiled (cc), assembled (asm) and linked (link) into an executable,
+// then loaded into a simulator instance (sim) — the full flow of
+// Fig. 2 of the paper.
+package driver
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/cc"
+	"repro/internal/isa"
+	"repro/internal/kelf"
+	"repro/internal/link"
+	"repro/internal/sim"
+)
+
+// Source is one input file.
+type Source struct {
+	Name string
+	Text string
+	Asm  bool // already assembly (skip the compiler)
+}
+
+// CSource is shorthand for a MiniC source file.
+func CSource(name, text string) Source { return Source{Name: name, Text: text} }
+
+// AsmSource is shorthand for an assembly source file.
+func AsmSource(name, text string) Source { return Source{Name: name, Text: text, Asm: true} }
+
+// Build compiles, assembles and links sources for the named target ISA.
+func Build(m *isa.Model, isaName string, sources ...Source) (*kelf.File, error) {
+	return BuildOpts(m, cc.Options{ISA: isaName}, sources...)
+}
+
+// BuildOpts is Build with full compiler options (per-function ISA
+// overrides for the automatic ISA selection, etc.).
+func BuildOpts(m *isa.Model, ccOpts cc.Options, sources ...Source) (*kelf.File, error) {
+	var objs []*kelf.File
+	for _, src := range sources {
+		text := src.Text
+		if !src.Asm {
+			var err error
+			text, err = cc.Compile(m, ccOpts, src.Name, src.Text)
+			if err != nil {
+				return nil, fmt.Errorf("driver: compiling %s: %w", src.Name, err)
+			}
+		}
+		obj, err := asm.Assemble(m, src.Name+".s", text)
+		if err != nil {
+			return nil, fmt.Errorf("driver: assembling %s: %w", src.Name, err)
+		}
+		objs = append(objs, obj)
+	}
+	opt := link.Defaults()
+	opt.EntryISA = ccOpts.ISA
+	exe, err := link.Link(m, objs, opt)
+	if err != nil {
+		return nil, fmt.Errorf("driver: linking: %w", err)
+	}
+	return exe, nil
+}
+
+// Load builds and loads a program ready for simulation.
+func Load(m *isa.Model, isaName string, sources ...Source) (*sim.Program, error) {
+	exe, err := Build(m, isaName, sources...)
+	if err != nil {
+		return nil, err
+	}
+	return sim.LoadProgram(exe)
+}
+
+// Run builds and executes a program to completion with the given
+// simulator options, returning the CPU (for statistics and memory
+// inspection) and the exit status.
+func Run(m *isa.Model, isaName string, opts sim.Options, sources ...Source) (*sim.CPU, sim.ExitStatus, error) {
+	p, err := Load(m, isaName, sources...)
+	if err != nil {
+		return nil, sim.ExitStatus{}, err
+	}
+	cpu, err := sim.New(m, p, opts)
+	if err != nil {
+		return nil, sim.ExitStatus{}, err
+	}
+	st, err := cpu.Run()
+	return cpu, st, err
+}

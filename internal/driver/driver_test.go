@@ -1,0 +1,77 @@
+package driver_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/ktest"
+	"repro/internal/sim"
+)
+
+func TestBuildMixedCAndAsmSources(t *testing.T) {
+	m := ktest.Model(t)
+	cSrc := `
+int helper(int x);
+int main() { return helper(20) + 1; }
+`
+	asmSrc := `
+	.global helper
+	.func helper
+helper:
+	slli a0, a0, 1
+	ret
+	.endfunc
+`
+	var out bytes.Buffer
+	opts := sim.DefaultOptions()
+	opts.Stdout = &out
+	opts.MaxInstructions = 100000
+	_, st, err := driver.Run(m, "RISC", opts,
+		driver.CSource("main.c", cSrc),
+		driver.AsmSource("helper.s", asmSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ExitCode != 41 {
+		t.Fatalf("exit = %d, want 41", st.ExitCode)
+	}
+}
+
+func TestBuildReportsPhaseErrors(t *testing.T) {
+	m := ktest.Model(t)
+	cases := []struct {
+		name string
+		src  driver.Source
+		want string
+	}{
+		{"compile", driver.CSource("x.c", "int main() { return y; }"), "compiling"},
+		{"assemble", driver.AsmSource("x.s", "bogusop t0"), "assembling"},
+		{"link", driver.CSource("x.c", "int main() { return other(); } int other();"), "linking"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := driver.Build(m, "RISC", tc.src)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want phase %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLoadProducesRunnableProgram(t *testing.T) {
+	m := ktest.Model(t)
+	p, err := driver.Load(m, "VLIW2", driver.CSource("m.c", "int main() { return 9; }"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.EntryISA != m.ISAByName("VLIW2").ID {
+		t.Fatalf("entry ISA = %d", p.EntryISA)
+	}
+	c := ktest.NewCPU(t, p, sim.DefaultOptions())
+	st, err := c.Run()
+	if err != nil || st.ExitCode != 9 {
+		t.Fatalf("run: %v, exit %d", err, st.ExitCode)
+	}
+}

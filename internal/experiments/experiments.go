@@ -1,0 +1,416 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Sec. VII):
+//
+//   - Table I  — simulator component costs and the MIPS progression of
+//     the decode cache and instruction prediction, measured on the JPEG
+//     encoder compiled for the RISC instance;
+//   - Figure 4 — theoretical ILP versus measured operations/cycle of
+//     the RISC and 2/4/6/8-issue VLIW instances for all applications;
+//   - Table II — accuracy of the heuristic DOE model against the
+//     cycle-accurate RTL reference on the DCT workload, plus the
+//     speedup of the approximation over the reference.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/cycle"
+	"repro/internal/driver"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/rtl"
+	"repro/internal/sim"
+	"repro/internal/targetgen"
+	"repro/internal/workloads"
+)
+
+// VLIWNames are the processor instances of the evaluation.
+var VLIWNames = []string{"RISC", "VLIW2", "VLIW4", "VLIW6", "VLIW8"}
+
+func model() (*isa.Model, error) { return targetgen.Kahrisma() }
+
+// buildWorkload compiles a workload for one ISA (cached per call site;
+// compilation is cheap next to simulation).
+func buildWorkload(m *isa.Model, w *workloads.Workload, isaName string) (*sim.Program, error) {
+	return driver.Load(m, isaName, w.Sources...)
+}
+
+func newCPU(m *isa.Model, p *sim.Program, opts sim.Options) (*sim.CPU, error) {
+	if opts.MaxInstructions == 0 {
+		opts.MaxInstructions = 2_000_000_000
+	}
+	opts.Stdout = io.Discard
+	return sim.New(m, p, opts)
+}
+
+// runToCompletion runs and reports wall-clock time.
+func runToCompletion(c *sim.CPU) (sim.ExitStatus, time.Duration, error) {
+	start := time.Now()
+	st, err := c.Run()
+	return st, time.Since(start), err
+}
+
+// ---------------------------------------------------------------------
+// Table I
+
+// Table1 reproduces the simulator-performance measurement: MIPS with
+// and without decode cache / instruction prediction, hit statistics,
+// per-component execution times, and the cycle-model costs.
+type Table1 struct {
+	Instructions uint64
+
+	MIPSNoCache float64 // detection+decode on every instruction
+	MIPSCache   float64 // decode cache enabled
+	MIPSPred    float64 // decode cache + instruction prediction
+
+	MIPSILP float64 // functional + ILP measurement
+	MIPSAIE float64 // functional + AIE + memory approximation
+	MIPSDOE float64 // functional + DOE + memory approximation
+
+	DecodeAvoidedPct float64 // detections avoided by the decode cache
+	LookupAvoidedPct float64 // hash lookups avoided by prediction
+
+	// Per-instruction component costs in nanoseconds (Table I rows).
+	ExecuteNs      float64
+	CacheAccessNs  float64
+	DetectDecodeNs float64
+	ILPNs          float64
+	AIENs          float64
+	DOENs          float64
+	MemoryModelNs  float64
+
+	MemOpsPct float64 // share of instructions accessing memory
+}
+
+// memRecorder captures the dynamic memory-access stream so the memory
+// model's cost can be measured in isolation (the paper times the memory
+// model separately from the DOE/AIE bookkeeping).
+type memRecorder struct {
+	addrs  []uint32
+	writes []bool
+	slots  []uint8
+}
+
+func (r *memRecorder) Instruction(rec *sim.ExecRecord) {
+	for i := range rec.D.Ops {
+		if m := rec.Mem[i]; m.Valid {
+			r.addrs = append(r.addrs, m.Addr)
+			r.writes = append(r.writes, m.Write)
+			r.slots = append(r.slots, rec.D.Ops[i].Slot)
+		}
+	}
+}
+
+// RunTable1 measures the simulator on the JPEG encoder compiled for the
+// KAHRISMA RISC processor instance (the paper's setup).
+func RunTable1() (*Table1, error) {
+	m, err := model()
+	if err != nil {
+		return nil, err
+	}
+	cjpeg := workloads.CJpeg()
+	prog, err := buildWorkload(m, cjpeg, "RISC")
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table1{}
+	timeRun := func(opts sim.Options, attach func(c *sim.CPU)) (float64, *sim.CPU, error) {
+		c, err := newCPU(m, prog, opts)
+		if err != nil {
+			return 0, nil, err
+		}
+		if attach != nil {
+			attach(c)
+		}
+		st, wall, err := runToCompletion(c)
+		if err != nil {
+			return 0, nil, err
+		}
+		t.Instructions = st.Instructions
+		return float64(st.Instructions) / wall.Seconds() / 1e6, c, nil
+	}
+
+	if t.MIPSNoCache, _, err = timeRun(sim.Options{}, nil); err != nil {
+		return nil, err
+	}
+	if t.MIPSCache, _, err = timeRun(sim.Options{DecodeCache: true}, nil); err != nil {
+		return nil, err
+	}
+	var predCPU *sim.CPU
+	if t.MIPSPred, predCPU, err = timeRun(sim.DefaultOptions(), nil); err != nil {
+		return nil, err
+	}
+	s := predCPU.Stats
+	t.DecodeAvoidedPct = 100 * (1 - float64(s.Detected)/float64(s.Instructions))
+	t.LookupAvoidedPct = 100 * (1 - float64(s.CacheLookups)/float64(s.Instructions))
+
+	if t.MIPSILP, _, err = timeRun(sim.DefaultOptions(), func(c *sim.CPU) {
+		c.Attach(cycle.NewILP(m))
+	}); err != nil {
+		return nil, err
+	}
+	if t.MIPSAIE, _, err = timeRun(sim.DefaultOptions(), func(c *sim.CPU) {
+		c.Attach(cycle.NewAIE(mem.Paper()))
+	}); err != nil {
+		return nil, err
+	}
+	if t.MIPSDOE, _, err = timeRun(sim.DefaultOptions(), func(c *sim.CPU) {
+		c.Attach(cycle.NewDOE(m, mem.Paper()))
+	}); err != nil {
+		return nil, err
+	}
+
+	// Component costs per instruction, by differential timing (the
+	// paper solves a linear system over the same measurements):
+	//   execute       = cost with cache+prediction (the steady state is
+	//                   a predicted decode pointer plus execution),
+	//   cache access  = cache-only minus prediction run,
+	//   detect&decode = no-cache minus prediction run,
+	//   models        = model run minus prediction run.
+	nsPer := func(mips float64) float64 { return 1e3 / mips }
+	t.ExecuteNs = nsPer(t.MIPSPred)
+	t.CacheAccessNs = nsPer(t.MIPSCache) - nsPer(t.MIPSPred)
+	t.DetectDecodeNs = nsPer(t.MIPSNoCache) - nsPer(t.MIPSPred)
+	t.ILPNs = nsPer(t.MIPSILP) - nsPer(t.MIPSPred)
+	t.AIENs = nsPer(t.MIPSAIE) - nsPer(t.MIPSPred)
+	t.DOENs = nsPer(t.MIPSDOE) - nsPer(t.MIPSPred)
+
+	// Memory model in isolation: replay the recorded access stream.
+	rec := &memRecorder{}
+	c, err := newCPU(m, prog, sim.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	c.Attach(rec)
+	st, _, err := runToCompletion(c)
+	if err != nil {
+		return nil, err
+	}
+	h := mem.Paper()
+	start := time.Now()
+	cur := uint64(0)
+	for i := range rec.addrs {
+		done := h.Access(rec.addrs[i], rec.writes[i], int(rec.slots[i]), cur)
+		cur = done - 2 // keep pressure on the port limit, as in-model calls do
+	}
+	replay := time.Since(start)
+	t.MemoryModelNs = float64(replay.Nanoseconds()) / float64(st.Instructions)
+	t.MemOpsPct = 100 * float64(len(rec.addrs)) / float64(st.Instructions)
+	return t, nil
+}
+
+// Render formats the result like the paper's Table I plus the MIPS
+// progression from Sec. VII-A.
+func (t *Table1) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table I: simulator performance (cjpeg on RISC, %d instructions)\n", t.Instructions)
+	fmt.Fprintf(&sb, "  %-28s %12s\n", "Simulator Component", "ns/instr")
+	fmt.Fprintf(&sb, "  %-28s %12.1f\n", "Execute (1 operation)", t.ExecuteNs)
+	fmt.Fprintf(&sb, "  %-28s %12.1f\n", "Cache Access", t.CacheAccessNs)
+	fmt.Fprintf(&sb, "  %-28s %12.1f\n", "Detect & Decode", t.DetectDecodeNs)
+	fmt.Fprintf(&sb, "  %-28s %12.1f\n", "ILP", t.ILPNs)
+	fmt.Fprintf(&sb, "  %-28s %12.1f\n", "AIE (including memory)", t.AIENs)
+	fmt.Fprintf(&sb, "  %-28s %12.1f\n", "DOE (including memory)", t.DOENs)
+	fmt.Fprintf(&sb, "  %-28s %12.1f\n", "Memory Model", t.MemoryModelNs)
+	fmt.Fprintf(&sb, "MIPS: no cache %.3f -> decode cache %.1f -> +prediction %.1f\n",
+		t.MIPSNoCache, t.MIPSCache, t.MIPSPred)
+	fmt.Fprintf(&sb, "MIPS with cycle models: ILP %.1f, AIE %.1f, DOE %.1f\n",
+		t.MIPSILP, t.MIPSAIE, t.MIPSDOE)
+	fmt.Fprintf(&sb, "decode cache avoided %.3f%% of detect&decode; prediction avoided %.1f%% of lookups\n",
+		t.DecodeAvoidedPct, t.LookupAvoidedPct)
+	fmt.Fprintf(&sb, "%.1f%% of instructions access memory\n", t.MemOpsPct)
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------
+// Figure 4
+
+// Figure4App is one application's series: the theoretical ILP upper
+// bound and the measured operations/cycle per processor instance.
+type Figure4App struct {
+	Name    string
+	ILP     float64            // theoretical upper bound (RISC input, Sec. VI-A)
+	OPC     map[string]float64 // DOE-measured ops/cycle per ISA
+	L1Miss  map[string]float64 // L1 miss ratio per ISA
+	HighILP bool
+}
+
+// RunFigure4 measures every workload on every instance.
+func RunFigure4(apps []*workloads.Workload) ([]*Figure4App, error) {
+	m, err := model()
+	if err != nil {
+		return nil, err
+	}
+	var out []*Figure4App
+	for _, w := range apps {
+		app := &Figure4App{
+			Name: w.Name, HighILP: w.HighILP,
+			OPC:    map[string]float64{},
+			L1Miss: map[string]float64{},
+		}
+		// Theoretical ILP: simulate the RISC ISA as input (Sec. VI-A).
+		riscProg, err := buildWorkload(m, w, "RISC")
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		ilp := cycle.NewILP(m)
+		c, err := newCPU(m, riscProg, sim.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		c.Attach(ilp)
+		if _, _, err := runToCompletion(c); err != nil {
+			return nil, fmt.Errorf("%s (ILP): %w", w.Name, err)
+		}
+		app.ILP = cycle.OPC(ilp)
+
+		for _, isaName := range VLIWNames {
+			prog, err := buildWorkload(m, w, isaName)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", w.Name, isaName, err)
+			}
+			h := mem.Paper()
+			doe := cycle.NewDOE(m, h)
+			c, err := newCPU(m, prog, sim.DefaultOptions())
+			if err != nil {
+				return nil, err
+			}
+			c.Attach(doe)
+			if _, _, err := runToCompletion(c); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", w.Name, isaName, err)
+			}
+			app.OPC[isaName] = cycle.OPC(doe)
+			app.L1Miss[isaName] = h.L1.MissRate()
+		}
+		out = append(out, app)
+	}
+	return out, nil
+}
+
+// RenderFigure4 prints the series as a text table (the figure's data).
+func RenderFigure4(apps []*Figure4App) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 4: theoretical ILP vs measured operations/cycle (DOE model)\n")
+	fmt.Fprintf(&sb, "  %-8s %8s", "app", "ILP")
+	for _, n := range VLIWNames {
+		fmt.Fprintf(&sb, " %8s", n)
+	}
+	fmt.Fprintf(&sb, " %10s\n", "L1miss@8")
+	for _, a := range apps {
+		fmt.Fprintf(&sb, "  %-8s %8.2f", a.Name, a.ILP)
+		for _, n := range VLIWNames {
+			fmt.Fprintf(&sb, " %8.2f", a.OPC[n])
+		}
+		fmt.Fprintf(&sb, " %9.1f%%\n", 100*a.L1Miss["VLIW8"])
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------
+// Table II
+
+// Table2Row compares the heuristic DOE approximation against the
+// cycle-accurate RTL reference for one configuration.
+type Table2Row struct {
+	Config   string
+	Hardware uint64 // RTL reference cycles
+	Approx   uint64 // DOE model cycles
+	ErrPct   float64
+}
+
+// Table2 is the full accuracy result.
+type Table2 struct {
+	Rows []Table2Row
+	// Speedup is the wall-clock ratio RTL-run / DOE-run of this
+	// implementation (the paper reports ~100000x against an 8 ms/instr
+	// VHDL simulation; both of our models are Go code, so the honest
+	// ratio here is much smaller — see EXPERIMENTS.md).
+	Speedup float64
+}
+
+// Table2Configs are the instances of the paper's Table II.
+var Table2Configs = []string{"RISC", "VLIW2", "VLIW4", "VLIW8"}
+
+// RunTable2 compares DOE and RTL on the DCT workload with perfect
+// branch prediction on both sides (both consume the functional
+// interpreter's resolved instruction stream).
+func RunTable2() (*Table2, error) {
+	m, err := model()
+	if err != nil {
+		return nil, err
+	}
+	dct := workloads.DCT()
+	out := &Table2{}
+	var doeWall, rtlWall time.Duration
+	for _, cfg := range Table2Configs {
+		prog, err := buildWorkload(m, dct, cfg)
+		if err != nil {
+			return nil, err
+		}
+		// DOE run.
+		doe := cycle.NewDOE(m, mem.Paper())
+		c, err := newCPU(m, prog, sim.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		c.Attach(doe)
+		if _, wall, err := runToCompletion(c); err != nil {
+			return nil, err
+		} else {
+			doeWall += wall
+		}
+		// RTL run.
+		pipe := rtl.New(m, rtl.DefaultConfig())
+		c2, err := newCPU(m, prog, sim.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		c2.Attach(pipe)
+		if _, wall, err := runToCompletion(c2); err != nil {
+			return nil, err
+		} else {
+			rtlWall += wall
+		}
+		pipe.Drain()
+
+		hw, ap := pipe.Cycles(), doe.Cycles()
+		errPct := 100 * abs(float64(ap)-float64(hw)) / float64(hw)
+		out.Rows = append(out.Rows, Table2Row{Config: cfg, Hardware: hw, Approx: ap, ErrPct: errPct})
+	}
+	out.Speedup = rtlWall.Seconds() / doeWall.Seconds()
+	return out, nil
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+// Render formats the result like the paper's Table II.
+func (t *Table2) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Table II: simulator accuracy of Dynamic Operation Execution (DCT)\n")
+	fmt.Fprintf(&sb, "  %-10s %12s %14s %8s\n", "Config", "Hardware", "Approximation", "Error")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&sb, "  %-10s %12d %14d %7.1f%%\n", r.Config, r.Hardware, r.Approx, r.ErrPct)
+	}
+	fmt.Fprintf(&sb, "RTL reference / DOE wall-clock ratio: %.1fx\n", t.Speedup)
+	return sb.String()
+}
+
+// MaxError returns the largest row error.
+func (t *Table2) MaxError() float64 {
+	max := 0.0
+	for _, r := range t.Rows {
+		if r.ErrPct > max {
+			max = r.ErrPct
+		}
+	}
+	return max
+}

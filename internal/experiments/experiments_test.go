@@ -1,0 +1,111 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/workloads"
+)
+
+func TestTable2ShapeMatchesPaper(t *testing.T) {
+	res, err := experiments.RunTable2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res.Render())
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Paper: max error 2.8%. Our substituted RTL is not the authors'
+	// VHDL, so allow headroom, but the approximation must stay within a
+	// few percent for the reproduction to hold.
+	if res.MaxError() > 8.0 {
+		t.Errorf("max DOE-vs-RTL error %.1f%%, want <= 8%%", res.MaxError())
+	}
+	// Wider instances need fewer cycles (the paper's rows decrease
+	// monotonically from RISC 21768 to VLIW8 7774).
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Hardware >= res.Rows[i-1].Hardware {
+			t.Errorf("hardware cycles not decreasing: %s=%d then %s=%d",
+				res.Rows[i-1].Config, res.Rows[i-1].Hardware,
+				res.Rows[i].Config, res.Rows[i].Hardware)
+		}
+	}
+	if !strings.Contains(res.Render(), "Table II") {
+		t.Error("render header missing")
+	}
+}
+
+func TestFigure4ShapeMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Figure 4 sweep is slow")
+	}
+	apps, err := experiments.RunFigure4(workloads.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", experiments.RenderFigure4(apps))
+	byName := map[string]*experiments.Figure4App{}
+	for _, a := range apps {
+		byName[a.Name] = a
+	}
+	// DCT and AES offer high ILP; FFT, jpeg and quicksort low (paper).
+	for _, hi := range []string{"dct", "aes"} {
+		for _, lo := range []string{"fft", "qsort", "cjpeg", "djpeg"} {
+			if byName[hi].ILP <= byName[lo].ILP {
+				t.Errorf("ILP(%s)=%.2f should exceed ILP(%s)=%.2f",
+					hi, byName[hi].ILP, lo, byName[lo].ILP)
+			}
+		}
+	}
+	for _, a := range apps {
+		// Wider instances never hurt operations/cycle...
+		if a.OPC["VLIW8"] < a.OPC["RISC"]*0.9 {
+			t.Errorf("%s: OPC degrades with width: RISC %.2f vs VLIW8 %.2f",
+				a.Name, a.OPC["RISC"], a.OPC["VLIW8"])
+		}
+		// ...and the theoretical ILP bounds the measured values (small
+		// tolerance: the bound uses ideal 3-cycle memory).
+		if a.OPC["VLIW8"] > a.ILP*1.15 {
+			t.Errorf("%s: measured OPC %.2f exceeds theoretical ILP %.2f",
+				a.Name, a.OPC["VLIW8"], a.ILP)
+		}
+	}
+	// AES's working set exceeds the 2 KiB L1 (paper: ~14% misses).
+	if miss := byName["aes"].L1Miss["VLIW8"]; miss < 0.04 {
+		t.Errorf("aes L1 miss ratio = %.1f%%, expected substantial misses", miss*100)
+	}
+}
+
+func TestTable1ShapeMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Table 1 timing run is slow")
+	}
+	res, err := experiments.RunTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res.Render())
+	// Shape assertions (absolute numbers are host-dependent):
+	if res.MIPSCache < 2*res.MIPSNoCache {
+		t.Errorf("decode cache should speed up simulation substantially: %.2f -> %.2f MIPS",
+			res.MIPSNoCache, res.MIPSCache)
+	}
+	if res.MIPSPred < res.MIPSCache {
+		t.Errorf("prediction made things slower: %.1f -> %.1f MIPS", res.MIPSCache, res.MIPSPred)
+	}
+	if res.DecodeAvoidedPct < 99.9 {
+		t.Errorf("decode cache avoided only %.3f%% of decodes (paper: 99.991%%)", res.DecodeAvoidedPct)
+	}
+	if res.LookupAvoidedPct < 90 {
+		t.Errorf("prediction avoided only %.1f%% of lookups (paper: 99.2%%)", res.LookupAvoidedPct)
+	}
+	if res.DetectDecodeNs < 5*res.ExecuteNs {
+		t.Errorf("detect&decode (%.1f ns) should dwarf execute (%.1f ns)",
+			res.DetectDecodeNs, res.ExecuteNs)
+	}
+	if res.MemOpsPct < 5 || res.MemOpsPct > 60 {
+		t.Errorf("memory instruction share = %.1f%%, implausible", res.MemOpsPct)
+	}
+}

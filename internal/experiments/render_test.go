@@ -1,0 +1,64 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// Golden-shape checks for the report renderers (the kbench output).
+func TestRenderFigure4Layout(t *testing.T) {
+	apps := []*experiments.Figure4App{
+		{
+			Name: "demo", ILP: 4.5,
+			OPC:    map[string]float64{"RISC": 0.8, "VLIW2": 1.2, "VLIW4": 1.5, "VLIW6": 1.6, "VLIW8": 1.6},
+			L1Miss: map[string]float64{"VLIW8": 0.14},
+		},
+	}
+	out := experiments.RenderFigure4(apps)
+	for _, want := range []string{"Figure 4", "demo", "4.50", "0.80", "14.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTable2Layout(t *testing.T) {
+	res := &experiments.Table2{
+		Rows: []experiments.Table2Row{
+			{Config: "RISC", Hardware: 21768, Approx: 22062, ErrPct: 1.4},
+			{Config: "VLIW8", Hardware: 7774, Approx: 7992, ErrPct: 2.8},
+		},
+		Speedup: 3.5,
+	}
+	out := res.Render()
+	for _, want := range []string{"Table II", "RISC", "21768", "22062", "1.4%", "3.5x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if res.MaxError() != 2.8 {
+		t.Errorf("MaxError = %f", res.MaxError())
+	}
+}
+
+func TestRenderTable1Layout(t *testing.T) {
+	res := &experiments.Table1{
+		Instructions: 123, MIPSNoCache: 0.2, MIPSCache: 16, MIPSPred: 30,
+		MIPSILP: 18, MIPSAIE: 19, MIPSDOE: 15,
+		DecodeAvoidedPct: 99.99, LookupAvoidedPct: 99.2,
+		ExecuteNs: 33.2, CacheAccessNs: 26, DetectDecodeNs: 5602,
+		ILPNs: 21.5, AIENs: 19.7, DOENs: 32.3, MemoryModelNs: 9.5,
+		MemOpsPct: 24.6,
+	}
+	out := res.Render()
+	for _, want := range []string{
+		"Table I", "Detect & Decode", "5602.0", "Memory Model",
+		"99.990%", "99.2%", "24.6% of instructions access memory",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

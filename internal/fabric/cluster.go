@@ -1,0 +1,116 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+// Thread is one hardware thread: a simulator instance coupled to the
+// fabric resources it occupies.
+type Thread struct {
+	Name   string
+	CPU    *sim.CPU
+	Inst   *Instance
+	Done   bool
+	Err    error
+	Status sim.ExitStatus
+	Steps  uint64
+}
+
+// Cluster co-simulates multiple hardware threads on one fabric — the
+// paper's Fig. 1: "multiple processor instances executing different
+// instruction formats may co-exist in parallel". Threads step
+// round-robin; every run-time ISA switch goes through the fabric's
+// resource accounting, and a finished thread releases its EDPEs and
+// preprocessing tile.
+type Cluster struct {
+	model   *isa.Model
+	fab     *Fabric
+	threads []*Thread
+}
+
+// NewCluster builds a cluster over the fabric.
+func NewCluster(m *isa.Model, f *Fabric) *Cluster {
+	return &Cluster{model: m, fab: f}
+}
+
+// Fabric returns the underlying resource manager.
+func (c *Cluster) Fabric() *Fabric { return c.fab }
+
+// Spawn instantiates a processor instance for the program's entry ISA
+// and creates its simulator. The returned thread is not yet running;
+// attach cycle models to thread.CPU before calling Run.
+func (c *Cluster) Spawn(name string, p *sim.Program, opts sim.Options) (*Thread, error) {
+	entry := c.model.ISAByID(p.EntryISA)
+	if entry == nil {
+		return nil, fmt.Errorf("fabric: program requires unknown ISA id %d", p.EntryISA)
+	}
+	inst, err := c.fab.Instantiate(entry)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: spawning %s: %w", name, err)
+	}
+	opts.OnISASwitch = c.fab.Guard(inst)
+	cpu, err := sim.New(c.model, p, opts)
+	if err != nil {
+		c.fab.Release(inst)
+		return nil, err
+	}
+	th := &Thread{Name: name, CPU: cpu, Inst: inst}
+	c.threads = append(c.threads, th)
+	return th, nil
+}
+
+// Threads returns all spawned threads.
+func (c *Cluster) Threads() []*Thread { return c.threads }
+
+// Run steps every live thread round-robin (quantum instructions each)
+// until all threads finished or failed, releasing fabric resources as
+// threads complete. maxSteps bounds the total instruction count across
+// all threads (0: a large default).
+func (c *Cluster) Run(quantum int, maxSteps uint64) error {
+	if quantum <= 0 {
+		quantum = 64
+	}
+	if maxSteps == 0 {
+		maxSteps = 1 << 40
+	}
+	var total uint64
+	var errs []error
+	for {
+		live := 0
+		for _, th := range c.threads {
+			if th.Done {
+				continue
+			}
+			live++
+			for q := 0; q < quantum && !th.CPU.Halted(); q++ {
+				if err := th.CPU.Step(); err != nil {
+					th.Err = fmt.Errorf("thread %s: %w", th.Name, err)
+					errs = append(errs, th.Err)
+					break
+				}
+				th.Steps++
+				total++
+			}
+			if th.CPU.Halted() || th.Err != nil {
+				th.Done = true
+				th.Status = sim.ExitStatus{
+					Halted:       th.CPU.Halted(),
+					ExitCode:     th.CPU.ExitCode(),
+					Instructions: th.Steps,
+				}
+				c.fab.Release(th.Inst)
+			}
+		}
+		if live == 0 {
+			return errors.Join(errs...)
+		}
+		if total >= maxSteps {
+			errs = append(errs, fmt.Errorf("fabric: cluster step limit (%d) reached", maxSteps))
+			return errors.Join(errs...)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package fabric_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cycle"
+	"repro/internal/fabric"
+	"repro/internal/ktest"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+const counterProg = `
+	.global main
+main:
+	li a0, 0
+	li t0, 0
+	li t1, %N%
+loop:
+	addi t0, t0, 1
+	add a0, a0, t0
+	bne t0, t1, loop
+	andi a0, a0, 0xff
+	ret
+`
+
+func TestClusterCoSimulatesMixedISAs(t *testing.T) {
+	m := ktest.Model(t)
+	f, err := fabric.New(fabric.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := fabric.NewCluster(m, f)
+
+	// Three hardware threads with different instruction formats, like
+	// the paper's Fig. 1 (RISC, 2-issue, 6-issue).
+	mk := func(name, isaName, n string) *fabric.Thread {
+		src := strings.ReplaceAll(counterProg, "%N%", n)
+		if isaName != "RISC" {
+			src = "\t.isa " + isaName + "\n" + src
+		}
+		p := ktest.BuildProgram(t, isaName, src)
+		var out bytes.Buffer
+		opts := sim.DefaultOptions()
+		opts.Stdout = &out
+		opts.MaxInstructions = 1 << 20
+		th, err := cl.Spawn(name, p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return th
+	}
+	t1 := mk("risc-thread", "RISC", "100")
+	t2 := mk("v2-thread", "VLIW2", "200")
+	t3 := mk("v6-thread", "VLIW6", "50")
+
+	// 1 + 2 + 6 EDPEs occupied while all three run.
+	if free := f.FreeEDPEs(); free != 16-9 {
+		t.Fatalf("free EDPEs during run = %d, want 7", free)
+	}
+	// Attach a DOE model per thread (each instance has its own memory
+	// hierarchy in this setup).
+	does := map[string]*cycle.DOE{}
+	for _, th := range cl.Threads() {
+		d := cycle.NewDOE(m, mem.Paper())
+		does[th.Name] = d
+		th.CPU.Attach(d)
+	}
+
+	if err := cl.Run(32, 0); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int32{
+		"risc-thread": int32(100 * 101 / 2 & 0xFF),
+		"v2-thread":   int32(200 * 201 / 2 & 0xFF),
+		"v6-thread":   int32(50 * 51 / 2 & 0xFF),
+	}
+	for _, th := range []*fabric.Thread{t1, t2, t3} {
+		if !th.Done || th.Err != nil {
+			t.Fatalf("%s: done=%v err=%v", th.Name, th.Done, th.Err)
+		}
+		if th.Status.ExitCode != want[th.Name] {
+			t.Errorf("%s: exit %d, want %d", th.Name, th.Status.ExitCode, want[th.Name])
+		}
+		if does[th.Name].Cycles() == 0 {
+			t.Errorf("%s: no DOE cycles recorded", th.Name)
+		}
+	}
+	// All resources returned.
+	if f.FreeEDPEs() != 16 || f.FreeTiles() != 3 {
+		t.Fatalf("resources leaked: %d EDPEs, %d tiles free", f.FreeEDPEs(), f.FreeTiles())
+	}
+}
+
+func TestClusterSpawnRespectsFabric(t *testing.T) {
+	m := ktest.Model(t)
+	f, _ := fabric.New(fabric.Config{EDPEs: 4, FetchTiles: 2, ReconfigBaseCycles: 1, ReconfigPerEDPE: 1})
+	cl := fabric.NewCluster(m, f)
+	p := ktest.BuildProgram(t, "VLIW4", ".isa VLIW4\n\t.global main\nmain:\n\tli a0, 1\n\tret\n")
+	if _, err := cl.Spawn("a", p, sim.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	// The array is full: a second 4-issue thread cannot be placed.
+	if _, err := cl.Spawn("b", p, sim.DefaultOptions()); err == nil {
+		t.Fatal("overcommitted fabric accepted a second 4-issue thread")
+	}
+	if err := cl.Run(16, 0); err != nil {
+		t.Fatal(err)
+	}
+	// After completion the resources are free again.
+	if _, err := cl.Spawn("c", p, sim.DefaultOptions()); err != nil {
+		t.Fatalf("resources not released after completion: %v", err)
+	}
+}
+
+func TestClusterStepLimit(t *testing.T) {
+	m := ktest.Model(t)
+	f, _ := fabric.New(fabric.DefaultConfig())
+	cl := fabric.NewCluster(m, f)
+	p := ktest.BuildProgram(t, "RISC", "\t.global main\nmain:\n\tj main\n")
+	opts := sim.DefaultOptions()
+	opts.MaxInstructions = 1 << 30
+	if _, err := cl.Spawn("spin", p, opts); err != nil {
+		t.Fatal(err)
+	}
+	err := cl.Run(8, 1000)
+	if err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Fatalf("err = %v", err)
+	}
+}

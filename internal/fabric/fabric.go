@@ -1,0 +1,219 @@
+// Package fabric models the reconfigurable hardware resources of the
+// KAHRISMA architecture (Sec. III, Fig. 1 of the paper): an array of
+// EDPEs (Encapsulated Datapath Elements — local register file, ALU and
+// synchronization unit each) plus instruction preprocessing tile groups
+// (instruction cache, fetch & align, analyze & dispatch). Processor
+// instances are flexibly combined from these tiles: a RISC instance
+// occupies one EDPE, an n-issue VLIW instance n EDPEs, and every
+// instance needs one preprocessing tile group.
+//
+// "During runtime the processor can dynamically instantiate new
+// hardware threads as long as the required resources are available. It
+// is also possible to change the ISA of one hardware thread during
+// execution." — both operations are provided here, with a simple
+// reconfiguration-overhead model, and can be attached to simulator
+// instances so SWITCHTARGET respects the resource limits.
+package fabric
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Config sizes the fabric. The paper's Fig. 1 shows an 4x4 EDPE array
+// with three preprocessing tile groups; that is the default.
+type Config struct {
+	EDPEs      int // datapath elements in the array
+	FetchTiles int // instruction preprocessing tile groups
+	// ReconfigBaseCycles and ReconfigPerEDPE parameterize the cost of
+	// instantiating or reshaping an instance: base + perEDPE * |delta|.
+	ReconfigBaseCycles uint64
+	ReconfigPerEDPE    uint64
+}
+
+// DefaultConfig mirrors the paper's figure: 16 EDPEs, 3 tile groups.
+func DefaultConfig() Config {
+	return Config{EDPEs: 16, FetchTiles: 3, ReconfigBaseCycles: 64, ReconfigPerEDPE: 32}
+}
+
+// Instance is one configured processor instance (hardware thread).
+type Instance struct {
+	ID    int
+	ISA   *isa.ISA
+	edpes []int // indices of the assigned elements
+	tile  int
+	fab   *Fabric
+
+	// ReconfigCycles accumulates the configuration overhead this
+	// instance has paid (instantiation + every ISA change).
+	ReconfigCycles uint64
+}
+
+// EDPEs returns the indices of the assigned datapath elements.
+func (in *Instance) EDPEs() []int { return append([]int(nil), in.edpes...) }
+
+// Tile returns the preprocessing tile group index.
+func (in *Instance) Tile() int { return in.tile }
+
+// Fabric is the resource manager.
+type Fabric struct {
+	cfg       Config
+	edpeOwner []int // instance id per element, -1 free
+	tileOwner []int // instance id per tile group, -1 free
+	instances map[int]*Instance
+	nextID    int
+}
+
+// New builds an empty fabric.
+func New(cfg Config) (*Fabric, error) {
+	if cfg.EDPEs < 1 || cfg.FetchTiles < 1 {
+		return nil, fmt.Errorf("fabric: need at least one EDPE and one tile group")
+	}
+	f := &Fabric{
+		cfg:       cfg,
+		edpeOwner: make([]int, cfg.EDPEs),
+		tileOwner: make([]int, cfg.FetchTiles),
+		instances: map[int]*Instance{},
+	}
+	for i := range f.edpeOwner {
+		f.edpeOwner[i] = -1
+	}
+	for i := range f.tileOwner {
+		f.tileOwner[i] = -1
+	}
+	return f, nil
+}
+
+// FreeEDPEs returns the number of unassigned datapath elements.
+func (f *Fabric) FreeEDPEs() int {
+	n := 0
+	for _, o := range f.edpeOwner {
+		if o < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// FreeTiles returns the number of unassigned preprocessing tile groups.
+func (f *Fabric) FreeTiles() int {
+	n := 0
+	for _, o := range f.tileOwner {
+		if o < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Utilization returns the fraction of EDPEs currently assigned.
+func (f *Fabric) Utilization() float64 {
+	return 1 - float64(f.FreeEDPEs())/float64(f.cfg.EDPEs)
+}
+
+// Instances returns the live instances sorted by id.
+func (f *Fabric) Instances() []*Instance {
+	out := make([]*Instance, 0, len(f.instances))
+	for _, in := range f.instances {
+		out = append(out, in)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Instantiate configures a new processor instance executing the given
+// ISA, claiming Issue EDPEs and one tile group.
+func (f *Fabric) Instantiate(a *isa.ISA) (*Instance, error) {
+	if a == nil {
+		return nil, fmt.Errorf("fabric: nil ISA")
+	}
+	if free := f.FreeEDPEs(); free < a.Issue {
+		return nil, fmt.Errorf("fabric: %s needs %d EDPEs, only %d free", a.Name, a.Issue, free)
+	}
+	tile := -1
+	for i, o := range f.tileOwner {
+		if o < 0 {
+			tile = i
+			break
+		}
+	}
+	if tile < 0 {
+		return nil, fmt.Errorf("fabric: no free instruction preprocessing tile group")
+	}
+	in := &Instance{ID: f.nextID, ISA: a, tile: tile, fab: f}
+	f.nextID++
+	f.tileOwner[tile] = in.ID
+	f.claim(in, a.Issue)
+	in.ReconfigCycles += f.cfg.ReconfigBaseCycles + f.cfg.ReconfigPerEDPE*uint64(a.Issue)
+	f.instances[in.ID] = in
+	return in, nil
+}
+
+func (f *Fabric) claim(in *Instance, n int) {
+	for i := range f.edpeOwner {
+		if n == 0 {
+			return
+		}
+		if f.edpeOwner[i] < 0 {
+			f.edpeOwner[i] = in.ID
+			in.edpes = append(in.edpes, i)
+			n--
+		}
+	}
+}
+
+// Reconfigure changes the ISA of a running instance, growing or
+// shrinking its EDPE assignment ("adapt the resource consumption of one
+// hardware thread to the individual requirements", Sec. III).
+func (f *Fabric) Reconfigure(in *Instance, to *isa.ISA) error {
+	if f.instances[in.ID] != in {
+		return fmt.Errorf("fabric: instance %d is not live", in.ID)
+	}
+	delta := to.Issue - in.ISA.Issue
+	if delta > 0 {
+		if free := f.FreeEDPEs(); free < delta {
+			return fmt.Errorf("fabric: switching %s -> %s needs %d more EDPEs, only %d free",
+				in.ISA.Name, to.Name, delta, free)
+		}
+		f.claim(in, delta)
+	} else if delta < 0 {
+		give := -delta
+		for give > 0 {
+			last := in.edpes[len(in.edpes)-1]
+			in.edpes = in.edpes[:len(in.edpes)-1]
+			f.edpeOwner[last] = -1
+			give--
+		}
+	}
+	cost := delta
+	if cost < 0 {
+		cost = -cost
+	}
+	in.ReconfigCycles += f.cfg.ReconfigBaseCycles + f.cfg.ReconfigPerEDPE*uint64(cost)
+	in.ISA = to
+	return nil
+}
+
+// Release frees an instance's resources.
+func (f *Fabric) Release(in *Instance) {
+	if f.instances[in.ID] != in {
+		return
+	}
+	for _, e := range in.edpes {
+		f.edpeOwner[e] = -1
+	}
+	in.edpes = nil
+	f.tileOwner[in.tile] = -1
+	delete(f.instances, in.ID)
+}
+
+// Guard returns a sim.Options.OnISASwitch callback that routes a
+// simulator's run-time SWITCHTARGET instructions through the fabric's
+// resource accounting for the given instance.
+func (f *Fabric) Guard(in *Instance) func(from, to *isa.ISA) error {
+	return func(from, to *isa.ISA) error {
+		return f.Reconfigure(in, to)
+	}
+}

@@ -1,0 +1,195 @@
+package fabric_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/ktest"
+	"repro/internal/sim"
+)
+
+func TestInstantiateAndRelease(t *testing.T) {
+	m := ktest.Model(t)
+	f, err := fabric.New(fabric.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.FreeEDPEs() != 16 || f.FreeTiles() != 3 {
+		t.Fatalf("fresh fabric: %d EDPEs, %d tiles", f.FreeEDPEs(), f.FreeTiles())
+	}
+
+	// The paper's Fig. 1 scenario: a RISC thread, a 2-issue VLIW thread
+	// and a 6-issue VLIW thread co-exist.
+	risc, err := f.Instantiate(m.ISAByName("RISC"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := f.Instantiate(m.ISAByName("VLIW2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v6, err := f.Instantiate(m.ISAByName("VLIW6"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.FreeEDPEs(); got != 16-1-2-6 {
+		t.Fatalf("free EDPEs = %d, want 7", got)
+	}
+	if f.FreeTiles() != 0 {
+		t.Fatalf("free tiles = %d, want 0", f.FreeTiles())
+	}
+	if len(f.Instances()) != 3 {
+		t.Fatalf("instances = %d", len(f.Instances()))
+	}
+	if len(v6.EDPEs()) != 6 || v6.Tile() < 0 {
+		t.Fatalf("v6 resources: %v tile %d", v6.EDPEs(), v6.Tile())
+	}
+
+	// A fourth instance fails on tiles even though EDPEs remain.
+	if _, err := f.Instantiate(m.ISAByName("RISC")); err == nil ||
+		!strings.Contains(err.Error(), "tile") {
+		t.Fatalf("expected tile exhaustion, got %v", err)
+	}
+
+	f.Release(v2)
+	if f.FreeTiles() != 1 || f.FreeEDPEs() != 9 {
+		t.Fatalf("after release: %d tiles, %d EDPEs", f.FreeTiles(), f.FreeEDPEs())
+	}
+	// Releasing twice is harmless.
+	f.Release(v2)
+	if f.FreeEDPEs() != 9 {
+		t.Fatal("double release corrupted accounting")
+	}
+	_ = risc
+}
+
+func TestEDPEExhaustion(t *testing.T) {
+	m := ktest.Model(t)
+	f, _ := fabric.New(fabric.Config{EDPEs: 8, FetchTiles: 3, ReconfigBaseCycles: 1, ReconfigPerEDPE: 1})
+	if _, err := f.Instantiate(m.ISAByName("VLIW6")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Instantiate(m.ISAByName("VLIW4")); err == nil ||
+		!strings.Contains(err.Error(), "EDPEs") {
+		t.Fatalf("expected EDPE exhaustion, got %v", err)
+	}
+	if _, err := f.Instantiate(m.ISAByName("VLIW2")); err != nil {
+		t.Fatalf("2-issue should still fit: %v", err)
+	}
+	if f.Utilization() != 1.0 {
+		t.Fatalf("utilization = %f", f.Utilization())
+	}
+}
+
+func TestReconfigureGrowShrink(t *testing.T) {
+	m := ktest.Model(t)
+	cfg := fabric.Config{EDPEs: 7, FetchTiles: 2, ReconfigBaseCycles: 64, ReconfigPerEDPE: 32}
+	f, _ := fabric.New(cfg)
+	in, err := f.Instantiate(m.ISAByName("RISC"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := in.ReconfigCycles
+	if base != 64+32 {
+		t.Fatalf("instantiation cost = %d", base)
+	}
+	if err := f.Reconfigure(in, m.ISAByName("VLIW6")); err != nil {
+		t.Fatal(err)
+	}
+	if len(in.EDPEs()) != 6 || f.FreeEDPEs() != 1 {
+		t.Fatalf("grow: %d assigned, %d free", len(in.EDPEs()), f.FreeEDPEs())
+	}
+	if in.ReconfigCycles != base+64+32*5 {
+		t.Fatalf("grow cost = %d", in.ReconfigCycles)
+	}
+	if err := f.Reconfigure(in, m.ISAByName("VLIW8")); err == nil {
+		t.Fatal("growing past the array should fail")
+	}
+	if err := f.Reconfigure(in, m.ISAByName("VLIW2")); err != nil {
+		t.Fatal(err)
+	}
+	if len(in.EDPEs()) != 2 || f.FreeEDPEs() != 5 {
+		t.Fatalf("shrink: %d assigned, %d free", len(in.EDPEs()), f.FreeEDPEs())
+	}
+	// The freed elements are usable by a second instance.
+	if _, err := f.Instantiate(m.ISAByName("VLIW4")); err != nil {
+		t.Fatalf("freed EDPEs not reusable: %v", err)
+	}
+}
+
+// TestGuardEnforcesResources runs a mixed-ISA program under the fabric:
+// SWITCHTARGET succeeds while the array has room and aborts the
+// simulation when another instance holds the elements.
+func TestGuardEnforcesResources(t *testing.T) {
+	m := ktest.Model(t)
+	src := `
+	.global main
+main:
+	swt VLIW4
+	.isa VLIW4
+	{ addi a0, zero, 7 }
+	swt RISC
+	.isa RISC
+	ret
+`
+	prog := ktest.BuildProgram(t, "RISC", src)
+
+	run := func(occupied int) (*sim.CPU, error) {
+		f, _ := fabric.New(fabric.Config{EDPEs: 8, FetchTiles: 8, ReconfigBaseCycles: 1, ReconfigPerEDPE: 1})
+		// Block EDPEs with other hardware threads.
+		for i := 0; i < occupied; i++ {
+			if _, err := f.Instantiate(m.ISAByName("RISC")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		in, err := f.Instantiate(m.ISAByName("RISC"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := sim.DefaultOptions()
+		opts.MaxInstructions = 10000
+		opts.OnISASwitch = f.Guard(in)
+		c, err := sim.New(m, prog, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = c.Run()
+		return c, err
+	}
+
+	// Plenty of room: the switch to VLIW4 and back succeeds.
+	c, err := run(1)
+	if err != nil {
+		t.Fatalf("unconstrained run failed: %v", err)
+	}
+	if c.ExitCode() != 7 {
+		t.Fatalf("exit = %d", c.ExitCode())
+	}
+
+	// Three RISC neighbours leave only 4 free elements; our thread holds
+	// 1, so growing to 4-issue needs 3 more — still fine. Occupy 6 and
+	// the switch must fail.
+	if _, err := run(6); err == nil ||
+		!strings.Contains(err.Error(), "EDPEs") {
+		t.Fatalf("expected resource failure, got %v", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := fabric.New(fabric.Config{EDPEs: 0, FetchTiles: 1}); err == nil {
+		t.Fatal("zero EDPEs accepted")
+	}
+	if _, err := fabric.New(fabric.Config{EDPEs: 4, FetchTiles: 0}); err == nil {
+		t.Fatal("zero tiles accepted")
+	}
+	f, _ := fabric.New(fabric.DefaultConfig())
+	if _, err := f.Instantiate(nil); err == nil {
+		t.Fatal("nil ISA accepted")
+	}
+	m := ktest.Model(t)
+	ghost := &fabric.Instance{}
+	if err := f.Reconfigure(ghost, m.ISAByName("RISC")); err == nil {
+		t.Fatal("reconfiguring a dead instance accepted")
+	}
+}

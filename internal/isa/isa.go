@@ -1,0 +1,550 @@
+// Package isa defines the instruction-set model of the KAHRISMA
+// architecture: register files, instruction formats built from bit
+// fields, operations (the entries of the per-ISA operation tables the
+// paper's TargetGen generates), and the ISAs themselves (RISC and the
+// n-issue VLIW instruction formats).
+//
+// The model is normally produced by elaborating an ADL description
+// (package adl + targetgen); this package holds the elaborated, runtime
+// representation used by the assembler, linker, compiler and simulator.
+package isa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// OpWordBytes is the size in bytes of one operation word. A VLIW-n
+// instruction consists of n consecutive operation words, one per slot.
+const OpWordBytes = 4
+
+// RegIP is the pseudo register index used to express that an operation
+// implicitly reads or writes the instruction pointer (e.g. every jump
+// operation implicitly writes IP, as in the paper's example).
+const RegIP = 32
+
+// FieldKind classifies a bit field of an instruction format.
+type FieldKind int
+
+const (
+	// FieldConst fields carry a per-operation constant (opcode, func).
+	// The set of constant fields forms the detection mask of the
+	// operation (Sec. V of the paper: "the instruction addressed by the
+	// IP is detected by checking the constant fields for each operation
+	// of the current active ISA").
+	FieldConst FieldKind = iota
+	// FieldReg fields encode a register number.
+	FieldReg
+	// FieldImm fields encode an immediate.
+	FieldImm
+)
+
+func (k FieldKind) String() string {
+	switch k {
+	case FieldConst:
+		return "const"
+	case FieldReg:
+		return "reg"
+	case FieldImm:
+		return "imm"
+	}
+	return fmt.Sprintf("FieldKind(%d)", int(k))
+}
+
+// FieldRole describes how a decoded field value is used by the
+// operation's semantics. Roles give every operation a normalized
+// decode structure (Rd, Rs1, Rs2, Imm) regardless of format.
+type FieldRole int
+
+const (
+	RoleNone FieldRole = iota
+	RoleDst            // destination register
+	RoleSrc1           // first source register
+	RoleSrc2           // second source register (store data, branch rhs)
+	RoleImm            // immediate operand
+)
+
+func (r FieldRole) String() string {
+	switch r {
+	case RoleNone:
+		return "none"
+	case RoleDst:
+		return "dst"
+	case RoleSrc1:
+		return "src1"
+	case RoleSrc2:
+		return "src2"
+	case RoleImm:
+		return "imm"
+	}
+	return fmt.Sprintf("FieldRole(%d)", int(r))
+}
+
+// Field is one bit field of an instruction format. Bits are numbered
+// 31..0 with Hi >= Lo; the field occupies word[Hi:Lo] inclusive.
+type Field struct {
+	Name   string
+	Hi, Lo uint8
+	Kind   FieldKind
+	Role   FieldRole
+	Signed bool // immediate is sign-extended when decoded
+}
+
+// Width returns the number of bits the field occupies.
+func (f *Field) Width() int { return int(f.Hi) - int(f.Lo) + 1 }
+
+// Mask returns the in-place bit mask of the field within the word.
+func (f *Field) Mask() uint32 {
+	w := f.Width()
+	if w >= 32 {
+		return 0xFFFFFFFF
+	}
+	return ((uint32(1) << w) - 1) << f.Lo
+}
+
+// Extract returns the raw (zero-extended) field value from word.
+func (f *Field) Extract(word uint32) uint32 {
+	return (word & f.Mask()) >> f.Lo
+}
+
+// ExtractSigned returns the field value sign-extended to 32 bits if the
+// field is declared signed, otherwise zero-extended.
+func (f *Field) ExtractSigned(word uint32) int32 {
+	v := f.Extract(word)
+	if !f.Signed {
+		return int32(v)
+	}
+	w := f.Width()
+	if w >= 32 {
+		return int32(v)
+	}
+	sign := uint32(1) << (w - 1)
+	if v&sign != 0 {
+		v |= ^uint32(0) << w
+	}
+	return int32(v)
+}
+
+// Insert places value into word at the field position, returning the
+// updated word. Values wider than the field are truncated (the
+// assembler range-checks before calling Insert).
+func (f *Field) Insert(word, value uint32) uint32 {
+	return (word &^ f.Mask()) | ((value << f.Lo) & f.Mask())
+}
+
+// Fits reports whether value is representable in the field, honouring
+// the field's signedness.
+func (f *Field) Fits(value int64) bool {
+	w := f.Width()
+	if w >= 32 {
+		return value >= -(1<<31) && value <= (1<<32)-1
+	}
+	if f.Signed {
+		return value >= -(1<<(w-1)) && value < 1<<(w-1)
+	}
+	return value >= 0 && value < 1<<w
+}
+
+// Format is a named collection of fields covering all 32 bits of an
+// operation word with no overlap (validated by targetgen).
+type Format struct {
+	Name   string
+	Fields []*Field
+}
+
+// Field returns the named field, or nil.
+func (fm *Format) Field(name string) *Field {
+	for _, f := range fm.Fields {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// OpClass is the coarse functional class of an operation, used by the
+// cycle models and the RTL pipeline for latency and resource modelling.
+type OpClass int
+
+const (
+	ClassALU OpClass = iota
+	ClassMul
+	ClassDiv
+	ClassLoad
+	ClassStore
+	ClassBranch // conditional control transfer
+	ClassJump   // unconditional control transfer (J, JAL, JALR)
+	ClassSys    // SWITCHTARGET, SIMCALL, HALT
+	ClassNop
+)
+
+var classNames = map[string]OpClass{
+	"alu": ClassALU, "mul": ClassMul, "div": ClassDiv,
+	"load": ClassLoad, "store": ClassStore,
+	"branch": ClassBranch, "jump": ClassJump,
+	"sys": ClassSys, "nop": ClassNop,
+}
+
+// ParseClass converts an ADL class keyword into an OpClass.
+func ParseClass(s string) (OpClass, error) {
+	c, ok := classNames[s]
+	if !ok {
+		return 0, fmt.Errorf("isa: unknown operation class %q", s)
+	}
+	return c, nil
+}
+
+func (c OpClass) String() string {
+	for name, cc := range classNames {
+		if cc == c {
+			return name
+		}
+	}
+	return fmt.Sprintf("OpClass(%d)", int(c))
+}
+
+// IsMem reports whether the class accesses data memory.
+func (c OpClass) IsMem() bool { return c == ClassLoad || c == ClassStore }
+
+// IsControl reports whether the class transfers control.
+func (c OpClass) IsControl() bool { return c == ClassBranch || c == ClassJump }
+
+// Operation is one entry of an operation table: its name, size, fields,
+// implicit registers and the key of its simulation function — the exact
+// contents the paper lists for TargetGen-generated table entries.
+type Operation struct {
+	Name    string
+	Format  *Format
+	Class   OpClass
+	Latency int    // execution delay in cycles (memory classes: issue-to-request)
+	SemKey  string // key into the simulation-function registry
+
+	// Consts holds the per-operation values of the format's constant
+	// fields, e.g. opcode and func.
+	Consts map[string]uint32
+
+	// ImplicitReads / ImplicitWrites are register numbers accessed
+	// without an explicit encoding field (RegIP for control transfers,
+	// the link register for JAL, ...).
+	ImplicitReads  []int
+	ImplicitWrites []int
+
+	// ConstMask / ConstBits are precomputed from Consts: an operation
+	// word w encodes this operation iff w&ConstMask == ConstBits.
+	ConstMask, ConstBits uint32
+
+	// Role fields resolved once at elaboration (nil if absent).
+	DstField, Src1Field, Src2Field, ImmField *Field
+}
+
+// Match reports whether word encodes this operation (constant-field
+// detection, Sec. V).
+func (op *Operation) Match(word uint32) bool {
+	return word&op.ConstMask == op.ConstBits
+}
+
+// Operands is the normalized decode structure of an operation word.
+type Operands struct {
+	Rd, Rs1, Rs2 uint8
+	Imm          int32
+}
+
+// DecodeOperands extracts the role-tagged fields of word.
+func (op *Operation) DecodeOperands(word uint32) Operands {
+	var o Operands
+	if f := op.DstField; f != nil {
+		o.Rd = uint8(f.Extract(word))
+	}
+	if f := op.Src1Field; f != nil {
+		o.Rs1 = uint8(f.Extract(word))
+	}
+	if f := op.Src2Field; f != nil {
+		o.Rs2 = uint8(f.Extract(word))
+	}
+	if f := op.ImmField; f != nil {
+		o.Imm = f.ExtractSigned(word)
+	}
+	return o
+}
+
+// Encode builds the operation word for the given operands. Immediates
+// are range-checked against the immediate field.
+func (op *Operation) Encode(o Operands) (uint32, error) {
+	w := op.ConstBits
+	if f := op.DstField; f != nil {
+		w = f.Insert(w, uint32(o.Rd))
+	}
+	if f := op.Src1Field; f != nil {
+		w = f.Insert(w, uint32(o.Rs1))
+	}
+	if f := op.Src2Field; f != nil {
+		w = f.Insert(w, uint32(o.Rs2))
+	}
+	if f := op.ImmField; f != nil {
+		if !f.Fits(int64(o.Imm)) {
+			return 0, fmt.Errorf("isa: immediate %d out of range for %s (field %s, %d bits, signed=%v)",
+				o.Imm, op.Name, f.Name, f.Width(), f.Signed)
+		}
+		w = f.Insert(w, uint32(o.Imm))
+	}
+	return w, nil
+}
+
+// HasDst reports whether the operation writes an explicit destination
+// register.
+func (op *Operation) HasDst() bool { return op.DstField != nil }
+
+// RegisterFile describes an architectural register file.
+type RegisterFile struct {
+	Name    string
+	Count   int
+	Width   int
+	ZeroReg int // index of the hard-wired-zero register, -1 if none
+	aliases map[string]int
+	names   []string // canonical alias (or rN) per index, for disassembly
+}
+
+// NewRegisterFile constructs a register file with canonical names
+// r0..r(count-1) and no aliases.
+func NewRegisterFile(name string, count, width int) *RegisterFile {
+	rf := &RegisterFile{
+		Name:    name,
+		Count:   count,
+		Width:   width,
+		ZeroReg: -1,
+		aliases: make(map[string]int),
+		names:   make([]string, count),
+	}
+	for i := 0; i < count; i++ {
+		rf.names[i] = fmt.Sprintf("r%d", i)
+	}
+	return rf
+}
+
+// AddAlias registers alias as an alternative name for register index.
+// The first alias of an index becomes its preferred disassembly name.
+func (rf *RegisterFile) AddAlias(alias string, index int) error {
+	if index < 0 || index >= rf.Count {
+		return fmt.Errorf("isa: alias %q: register index %d out of range", alias, index)
+	}
+	if _, dup := rf.aliases[alias]; dup {
+		return fmt.Errorf("isa: duplicate register alias %q", alias)
+	}
+	rf.aliases[alias] = index
+	if rf.names[index] == fmt.Sprintf("r%d", index) {
+		rf.names[index] = alias
+	}
+	return nil
+}
+
+// Lookup resolves a register name (rN or alias) to its index.
+func (rf *RegisterFile) Lookup(name string) (int, bool) {
+	if idx, ok := rf.aliases[name]; ok {
+		return idx, true
+	}
+	var n int
+	if _, err := fmt.Sscanf(name, "r%d", &n); err == nil && fmt.Sprintf("r%d", n) == name {
+		if n >= 0 && n < rf.Count {
+			return n, true
+		}
+	}
+	return 0, false
+}
+
+// Name returns the preferred name of register index.
+func (rf *RegisterFile) RegName(index int) string {
+	if index == RegIP {
+		return "ip"
+	}
+	if index < 0 || index >= len(rf.names) {
+		return fmt.Sprintf("r?%d", index)
+	}
+	return rf.names[index]
+}
+
+// Aliases returns a sorted list of all alias names (for tooling).
+func (rf *RegisterFile) Aliases() []string {
+	out := make([]string, 0, len(rf.aliases))
+	for a := range rf.aliases {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ISA is one instruction-set architecture of the KAHRISMA fabric: an
+// instruction format (issue width) plus its operation table. Issue 1 is
+// the RISC format; issue n>1 the n-issue VLIW formats.
+type ISA struct {
+	Name    string
+	ID      int
+	Issue   int
+	Default bool // the ADL's default ISA (simulator start ISA)
+
+	// Ops is this ISA's operation table, in detection order.
+	Ops    []*Operation
+	byName map[string]*Operation
+}
+
+// InstrBytes returns the size in bytes of one instruction of this ISA.
+func (a *ISA) InstrBytes() uint32 { return uint32(a.Issue) * OpWordBytes }
+
+// Op returns the named operation from this ISA's table, or nil.
+func (a *ISA) Op(name string) *Operation { return a.byName[name] }
+
+// Detect scans the operation table for the operation encoded by word,
+// checking constant fields in table order (the paper's detection loop).
+// It returns nil if no operation matches.
+func (a *ISA) Detect(word uint32) *Operation {
+	for _, op := range a.Ops {
+		if op.Match(word) {
+			return op
+		}
+	}
+	return nil
+}
+
+// SetOps installs the operation table and builds the name index.
+func (a *ISA) SetOps(ops []*Operation) {
+	a.Ops = ops
+	a.byName = make(map[string]*Operation, len(ops))
+	for _, op := range ops {
+		a.byName[op.Name] = op
+	}
+}
+
+// Model is a fully elaborated architecture: register file, formats, the
+// global operation set, and all ISAs that the fabric can instantiate.
+type Model struct {
+	Name    string
+	Regs    *RegisterFile
+	Formats map[string]*Format
+	Ops     []*Operation
+
+	ISAs   []*ISA
+	byID   map[int]*ISA
+	byName map[string]*ISA
+	opByNm map[string]*Operation
+}
+
+// NewModel creates an empty model.
+func NewModel(name string) *Model {
+	return &Model{
+		Name:    name,
+		Formats: make(map[string]*Format),
+		byID:    make(map[int]*ISA),
+		byName:  make(map[string]*ISA),
+		opByNm:  make(map[string]*Operation),
+	}
+}
+
+// AddISA registers an ISA; IDs and names must be unique.
+func (m *Model) AddISA(a *ISA) error {
+	if _, dup := m.byID[a.ID]; dup {
+		return fmt.Errorf("isa: duplicate ISA id %d", a.ID)
+	}
+	if _, dup := m.byName[a.Name]; dup {
+		return fmt.Errorf("isa: duplicate ISA name %q", a.Name)
+	}
+	m.ISAs = append(m.ISAs, a)
+	m.byID[a.ID] = a
+	m.byName[a.Name] = a
+	return nil
+}
+
+// AddOp registers an operation in the global set.
+func (m *Model) AddOp(op *Operation) error {
+	if _, dup := m.opByNm[op.Name]; dup {
+		return fmt.Errorf("isa: duplicate operation %q", op.Name)
+	}
+	m.Ops = append(m.Ops, op)
+	m.opByNm[op.Name] = op
+	return nil
+}
+
+// Op returns the named operation from the global set, or nil.
+func (m *Model) Op(name string) *Operation { return m.opByNm[name] }
+
+// ISAByID returns the ISA with the given identification number, or nil.
+func (m *Model) ISAByID(id int) *ISA { return m.byID[id] }
+
+// ISAByName returns the named ISA, or nil.
+func (m *Model) ISAByName(name string) *ISA { return m.byName[name] }
+
+// DefaultISA returns the ADL-declared default ISA (falling back to the
+// first ISA if none is marked default).
+func (m *Model) DefaultISA() *ISA {
+	for _, a := range m.ISAs {
+		if a.Default {
+			return a
+		}
+	}
+	if len(m.ISAs) > 0 {
+		return m.ISAs[0]
+	}
+	return nil
+}
+
+// Disassemble renders one operation word as assembly text. addr is the
+// byte address of the enclosing instruction (used for branch targets).
+func (m *Model) Disassemble(a *ISA, word uint32, addr uint32) string {
+	op := a.Detect(word)
+	if op == nil {
+		return fmt.Sprintf(".word 0x%08x", word)
+	}
+	o := op.DecodeOperands(word)
+	rn := m.Regs.RegName
+	var sb strings.Builder
+	sb.WriteString(strings.ToLower(op.Name))
+	switch op.Class {
+	case ClassNop:
+		// no operands
+	case ClassLoad:
+		fmt.Fprintf(&sb, " %s, %d(%s)", rn(int(o.Rd)), o.Imm, rn(int(o.Rs1)))
+	case ClassStore:
+		fmt.Fprintf(&sb, " %s, %d(%s)", rn(int(o.Rs2)), o.Imm, rn(int(o.Rs1)))
+	case ClassBranch:
+		fmt.Fprintf(&sb, " %s, %s, 0x%x", rn(int(o.Rs1)), rn(int(o.Rs2)),
+			addr+uint32(o.Imm)*OpWordBytes)
+	case ClassJump:
+		switch {
+		case op.ImmField != nil && op.DstField == nil && op.Src1Field == nil:
+			fmt.Fprintf(&sb, " 0x%x", uint32(o.Imm)*OpWordBytes)
+		case op.Src1Field != nil && op.DstField != nil:
+			fmt.Fprintf(&sb, " %s, %s", rn(int(o.Rd)), rn(int(o.Rs1)))
+		case op.Src1Field != nil:
+			fmt.Fprintf(&sb, " %s", rn(int(o.Rs1)))
+		default:
+			fmt.Fprintf(&sb, " 0x%x", uint32(o.Imm)*OpWordBytes)
+		}
+	case ClassSys:
+		if op.ImmField != nil {
+			fmt.Fprintf(&sb, " %d", o.Imm)
+		}
+	default:
+		first := true
+		emit := func(s string) {
+			if first {
+				sb.WriteString(" ")
+				first = false
+			} else {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(s)
+		}
+		if op.DstField != nil {
+			emit(rn(int(o.Rd)))
+		}
+		if op.Src1Field != nil {
+			emit(rn(int(o.Rs1)))
+		}
+		if op.Src2Field != nil {
+			emit(rn(int(o.Rs2)))
+		}
+		if op.ImmField != nil {
+			emit(fmt.Sprintf("%d", o.Imm))
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,254 @@
+package isa_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+	"repro/internal/targetgen"
+)
+
+func model(t testing.TB) *isa.Model {
+	t.Helper()
+	m, err := targetgen.Kahrisma()
+	if err != nil {
+		t.Fatalf("elaborating built-in ADL: %v", err)
+	}
+	return m
+}
+
+func TestFieldExtractInsertRoundTrip(t *testing.T) {
+	f := &isa.Field{Name: "x", Hi: 20, Lo: 16}
+	if got := f.Width(); got != 5 {
+		t.Fatalf("Width = %d, want 5", got)
+	}
+	w := f.Insert(0xFFFFFFFF, 0x0A)
+	if got := f.Extract(w); got != 0x0A {
+		t.Fatalf("Extract(Insert(0x0A)) = %#x", got)
+	}
+	// Insert must not disturb other bits.
+	if w|f.Mask() != 0xFFFFFFFF {
+		t.Fatalf("Insert disturbed bits outside the field: %#x", w)
+	}
+}
+
+func TestFieldSignExtension(t *testing.T) {
+	f := &isa.Field{Name: "imm", Hi: 15, Lo: 0, Signed: true}
+	neg5 := int32(-5)
+	w := f.Insert(0, uint32(neg5)&0xFFFF)
+	if got := f.ExtractSigned(w); got != -5 {
+		t.Fatalf("ExtractSigned = %d, want -5", got)
+	}
+	u := &isa.Field{Name: "imm", Hi: 15, Lo: 0}
+	if got := u.ExtractSigned(w); got != 0xFFFB {
+		t.Fatalf("unsigned ExtractSigned = %d, want %d", got, 0xFFFB)
+	}
+}
+
+func TestFieldFits(t *testing.T) {
+	s := &isa.Field{Hi: 15, Lo: 0, Signed: true}
+	for _, tc := range []struct {
+		v  int64
+		ok bool
+	}{{0, true}, {32767, true}, {-32768, true}, {32768, false}, {-32769, false}} {
+		if got := s.Fits(tc.v); got != tc.ok {
+			t.Errorf("signed Fits(%d) = %v, want %v", tc.v, got, tc.ok)
+		}
+	}
+	u := &isa.Field{Hi: 25, Lo: 0}
+	if !u.Fits(1<<26-1) || u.Fits(1<<26) || u.Fits(-1) {
+		t.Errorf("unsigned 26-bit Fits boundary wrong")
+	}
+}
+
+func TestEncodeDecodeOperandsRoundTrip(t *testing.T) {
+	m := model(t)
+	risc := m.ISAByName("RISC")
+	for _, op := range risc.Ops {
+		o := isa.Operands{Rd: 7, Rs1: 13, Rs2: 21, Imm: -3}
+		if op.ImmField != nil && !op.ImmField.Signed {
+			o.Imm = 12345
+		}
+		// Zero out roles the op lacks so comparison is meaningful.
+		if op.DstField == nil {
+			o.Rd = 0
+		}
+		if op.Src1Field == nil {
+			o.Rs1 = 0
+		}
+		if op.Src2Field == nil {
+			o.Rs2 = 0
+		}
+		if op.ImmField == nil {
+			o.Imm = 0
+		}
+		w, err := op.Encode(o)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", op.Name, err)
+		}
+		if det := risc.Detect(w); det != op {
+			t.Fatalf("%s: detection returned %v", op.Name, det)
+		}
+		if got := op.DecodeOperands(w); got != o {
+			t.Fatalf("%s: decode = %+v, want %+v", op.Name, got, o)
+		}
+	}
+}
+
+func TestEncodeRangeCheck(t *testing.T) {
+	m := model(t)
+	addi := m.Op("ADDI")
+	if _, err := addi.Encode(isa.Operands{Imm: 1 << 20}); err == nil {
+		t.Fatal("expected range error for 21-bit immediate in ADDI")
+	}
+}
+
+// Property: every 32-bit word is detected as at most one operation
+// (constant-field detection is unambiguous).
+func TestDetectionUnambiguousQuick(t *testing.T) {
+	m := model(t)
+	risc := m.ISAByName("RISC")
+	f := func(w uint32) bool {
+		matches := 0
+		for _, op := range risc.Ops {
+			if op.Match(w) {
+				matches++
+			}
+		}
+		return matches <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for random valid operands, encode→detect→decode is identity.
+func TestEncodeDetectDecodeQuick(t *testing.T) {
+	m := model(t)
+	risc := m.ISAByName("RISC")
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		op := risc.Ops[rng.Intn(len(risc.Ops))]
+		var o isa.Operands
+		if op.DstField != nil {
+			o.Rd = uint8(rng.Intn(32))
+		}
+		if op.Src1Field != nil {
+			o.Rs1 = uint8(rng.Intn(32))
+		}
+		if op.Src2Field != nil {
+			o.Rs2 = uint8(rng.Intn(32))
+		}
+		if f := op.ImmField; f != nil {
+			w := f.Width()
+			if f.Signed {
+				o.Imm = int32(rng.Intn(1<<w)) - 1<<(w-1)
+			} else {
+				o.Imm = int32(rng.Intn(1 << uint(min(w, 30))))
+			}
+		}
+		w, err := op.Encode(o)
+		if err != nil {
+			t.Fatalf("%s %+v: %v", op.Name, o, err)
+		}
+		if det := risc.Detect(w); det != op {
+			t.Fatalf("%s: detected as %v", op.Name, det)
+		}
+		if got := op.DecodeOperands(w); got != o {
+			t.Fatalf("%s: round trip %+v -> %+v", op.Name, o, got)
+		}
+	}
+}
+
+func TestRegisterFileAliases(t *testing.T) {
+	m := model(t)
+	for name, want := range map[string]int{
+		"zero": 0, "ra": 1, "sp": 2, "fp": 3, "a0": 4, "t0": 8, "s0": 16, "t8": 28, "r31": 31,
+	} {
+		got, ok := m.Regs.Lookup(name)
+		if !ok || got != want {
+			t.Errorf("Lookup(%q) = %d,%v want %d", name, got, ok, want)
+		}
+	}
+	if _, ok := m.Regs.Lookup("r32"); ok {
+		t.Error("r32 should not resolve")
+	}
+	if _, ok := m.Regs.Lookup("bogus"); ok {
+		t.Error("bogus should not resolve")
+	}
+	if m.Regs.ZeroReg != 0 {
+		t.Errorf("ZeroReg = %d, want 0", m.Regs.ZeroReg)
+	}
+	if m.Regs.RegName(isa.RegIP) != "ip" {
+		t.Errorf("RegName(RegIP) = %q", m.Regs.RegName(isa.RegIP))
+	}
+}
+
+func TestModelISALookup(t *testing.T) {
+	m := model(t)
+	if got := m.DefaultISA().Name; got != "RISC" {
+		t.Fatalf("default ISA = %s, want RISC", got)
+	}
+	wantIssue := map[string]int{"RISC": 1, "VLIW2": 2, "VLIW4": 4, "VLIW6": 6, "VLIW8": 8}
+	for name, issue := range wantIssue {
+		a := m.ISAByName(name)
+		if a == nil {
+			t.Fatalf("ISA %s missing", name)
+		}
+		if a.Issue != issue {
+			t.Errorf("%s issue = %d, want %d", name, a.Issue, issue)
+		}
+		if a.InstrBytes() != uint32(4*issue) {
+			t.Errorf("%s instr bytes = %d", name, a.InstrBytes())
+		}
+		if m.ISAByID(a.ID) != a {
+			t.Errorf("ISAByID(%d) mismatch", a.ID)
+		}
+	}
+	if m.ISAByID(99) != nil {
+		t.Error("ISAByID(99) should be nil")
+	}
+}
+
+func TestImplicitRegisters(t *testing.T) {
+	m := model(t)
+	jal := m.Op("JAL")
+	wantWrites := []int{isa.RegIP, 1}
+	if len(jal.ImplicitWrites) != 2 || jal.ImplicitWrites[0] != wantWrites[0] || jal.ImplicitWrites[1] != wantWrites[1] {
+		t.Fatalf("JAL implicit writes = %v, want %v", jal.ImplicitWrites, wantWrites)
+	}
+	sc := m.Op("SIMCALL")
+	if len(sc.ImplicitReads) != 5 || len(sc.ImplicitWrites) != 1 {
+		t.Fatalf("SIMCALL implicit regs = %v / %v", sc.ImplicitReads, sc.ImplicitWrites)
+	}
+}
+
+func TestDisassembleSmoke(t *testing.T) {
+	m := model(t)
+	risc := m.ISAByName("RISC")
+	cases := []struct {
+		op   string
+		o    isa.Operands
+		want string
+	}{
+		{"ADD", isa.Operands{Rd: 4, Rs1: 5, Rs2: 6}, "add a0, a1, a2"},
+		{"ADDI", isa.Operands{Rd: 2, Rs1: 2, Imm: -16}, "addi sp, sp, -16"},
+		{"LW", isa.Operands{Rd: 8, Rs1: 2, Imm: 12}, "lw t0, 12(sp)"},
+		{"SW", isa.Operands{Rs2: 8, Rs1: 2, Imm: 12}, "sw t0, 12(sp)"},
+		{"NOP", isa.Operands{}, "nop"},
+	}
+	for _, tc := range cases {
+		op := m.Op(tc.op)
+		w, err := op.Encode(tc.o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Disassemble(risc, w, 0x1000); got != tc.want {
+			t.Errorf("%s: disasm %q, want %q", tc.op, got, tc.want)
+		}
+	}
+	if got := m.Disassemble(risc, 0xFFFFFFFF, 0); got != ".word 0xffffffff" {
+		t.Errorf("undetected word disasm = %q", got)
+	}
+}

@@ -1,0 +1,270 @@
+// Package isasel implements the automatic per-function ISA selection
+// the paper envisions (Sec. I) and names as future work (Sec. VIII):
+// "we will use the cycle-approximate simulator as basis to address the
+// problem of selecting an appropriate ISA e.g. on function granularity
+// of a given application while taking reconfiguration overhead,
+// resource consumption ... and performance into account."
+//
+// The flow:
+//
+//  1. Profile: simulate the RISC build once with the per-function ILP
+//     measurement attached (the paper's selection indicator — no
+//     ISA-by-application sweep needed).
+//  2. Select: for every function with a relevant share of the dynamic
+//     operations, choose the narrowest instance covering its
+//     theoretical ILP; the fabric must be able to host the widest
+//     choice next to the default instance.
+//  3. Rebuild: recompile with per-function ISA overrides (SWITCHTARGET
+//     pairs are inserted at every cross-ISA call site) and re-measure
+//     with the DOE model, charging the fabric's reconfiguration cost
+//     for every run-time switch.
+package isasel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cc"
+	"repro/internal/cycle"
+	"repro/internal/driver"
+	"repro/internal/fabric"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Options tune the selection.
+type Options struct {
+	// BaseISA is the default instance (and the one main/crt0/libc run
+	// on). Default "RISC".
+	BaseISA string
+	// Utilization derates the theoretical ILP before matching it to an
+	// issue width (hardware rarely sustains the bound). Default 0.7.
+	Utilization float64
+	// MinOpsShare skips functions below this share of the dynamic
+	// operations (reconfiguring for them cannot pay off). Default 0.02.
+	MinOpsShare float64
+	// Fabric prices reconfigurations and bounds the widest instance
+	// (the selected instance must fit next to the base instance).
+	Fabric fabric.Config
+	// MaxInstructions bounds each simulation.
+	MaxInstructions uint64
+}
+
+func (o *Options) defaults() {
+	if o.BaseISA == "" {
+		o.BaseISA = "RISC"
+	}
+	if o.Utilization <= 0 || o.Utilization > 1 {
+		o.Utilization = 0.7
+	}
+	if o.MinOpsShare <= 0 {
+		o.MinOpsShare = 0.02
+	}
+	if o.Fabric.EDPEs == 0 {
+		o.Fabric = fabric.DefaultConfig()
+	}
+	if o.MaxInstructions == 0 {
+		o.MaxInstructions = 500_000_000
+	}
+}
+
+// Choice is one function's assignment.
+type Choice struct {
+	Function string
+	ISA      string
+	ILP      float64
+	OpsShare float64
+}
+
+// Result reports the tuning outcome.
+type Result struct {
+	Choices []Choice
+
+	// BaselineCycles: DOE cycles of the uniform BaseISA build.
+	BaselineCycles uint64
+	// TunedCycles: DOE cycles of the mixed-ISA build.
+	TunedCycles uint64
+	// ISASwitches and ReconfigCycles: run-time switches of the tuned
+	// build and the fabric cost charged for them.
+	ISASwitches    uint64
+	ReconfigCycles uint64
+	// TotalTunedCycles = TunedCycles + ReconfigCycles.
+	TotalTunedCycles uint64
+	// Speedup = BaselineCycles / TotalTunedCycles.
+	Speedup float64
+}
+
+// AutoTune profiles, selects and re-measures.
+func AutoTune(m *isa.Model, opts Options, sources ...driver.Source) (*Result, error) {
+	opts.defaults()
+	base := m.ISAByName(opts.BaseISA)
+	if base == nil {
+		return nil, fmt.Errorf("isasel: unknown base ISA %q", opts.BaseISA)
+	}
+
+	// ---- 1. profile the base build -------------------------------------
+	prog, err := driver.Load(m, opts.BaseISA, sources...)
+	if err != nil {
+		return nil, err
+	}
+	pf := cycle.NewPerFunctionILP(m, prog)
+	baseDOE := cycle.NewDOE(m, mem.Paper())
+	cpu, err := newCPU(m, prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	cpu.Attach(pf)
+	cpu.Attach(baseDOE)
+	if _, err := cpu.Run(); err != nil {
+		return nil, fmt.Errorf("isasel: profiling run: %w", err)
+	}
+	res := &Result{BaselineCycles: baseDOE.Cycles()}
+	totalOps := float64(cpu.Stats.Operations)
+
+	// ---- 2. select ------------------------------------------------------
+	// The fabric must host the widest selected instance next to the base
+	// instance (main keeps running on it) — bound the width accordingly.
+	fab, err := fabric.New(opts.Fabric)
+	if err != nil {
+		return nil, err
+	}
+	baseInst, err := fab.Instantiate(base)
+	if err != nil {
+		return nil, err
+	}
+	_ = baseInst
+	maxIssue := fab.FreeEDPEs()
+
+	overrides := map[string]string{}
+	for _, f := range pf.Results() {
+		share := float64(f.Operations) / totalOps
+		if share < opts.MinOpsShare {
+			continue
+		}
+		if f.Name == "main" || f.Name == "_start" || strings.Contains(f.Name, "<") {
+			continue // the entry path stays on the base instance
+		}
+		choice := cycle.Recommend(m, f.ILP, opts.Utilization)
+		for choice.Issue > maxIssue {
+			choice = narrower(m, choice)
+			if choice == nil {
+				break
+			}
+		}
+		if choice == nil || choice.Issue <= base.Issue {
+			continue
+		}
+		// Cost-benefit: every invocation pays two SWITCHTARGET
+		// reconfigurations (in and out). Estimate the cycles saved from
+		// the ILP indicator — per-operation cost drops from roughly
+		// 1/min(ILP, baseIssue) to 1/min(util*ILP, choiceIssue) — and
+		// select only when the saving covers the reconfiguration bill
+		// ("taking reconfiguration overhead ... into account", Sec. I).
+		baseCost := 1.0 / minf(f.ILP, float64(base.Issue))
+		tunedCost := 1.0 / minf(f.ILP*opts.Utilization, float64(choice.Issue))
+		saved := float64(f.Operations) * (baseCost - tunedCost)
+		delta := choice.Issue - base.Issue
+		bill := float64(2*f.Calls) * float64(opts.Fabric.ReconfigBaseCycles+
+			opts.Fabric.ReconfigPerEDPE*uint64(delta))
+		if saved <= bill {
+			continue
+		}
+		overrides[f.Name] = choice.Name
+		res.Choices = append(res.Choices, Choice{
+			Function: f.Name, ISA: choice.Name, ILP: f.ILP, OpsShare: share,
+		})
+	}
+	sort.Slice(res.Choices, func(i, j int) bool {
+		return res.Choices[i].OpsShare > res.Choices[j].OpsShare
+	})
+	if len(overrides) == 0 {
+		// Nothing worth reconfiguring for: the tuned build is the base.
+		res.TunedCycles = res.BaselineCycles
+		res.TotalTunedCycles = res.BaselineCycles
+		res.Speedup = 1
+		return res, nil
+	}
+
+	// ---- 3. rebuild mixed-ISA and re-measure ----------------------------
+	exe, err := driver.BuildOpts(m, cc.Options{ISA: opts.BaseISA, FunctionISA: overrides}, sources...)
+	if err != nil {
+		return nil, fmt.Errorf("isasel: mixed-ISA rebuild: %w", err)
+	}
+	tunedProg, err := sim.LoadProgram(exe)
+	if err != nil {
+		return nil, err
+	}
+	tunedDOE := cycle.NewDOE(m, mem.Paper())
+	// Charge the fabric's reconfiguration price per run-time switch.
+	var reconfig uint64
+	o := sim.DefaultOptions()
+	o.MaxInstructions = opts.MaxInstructions
+	o.OnISASwitch = func(from, to *isa.ISA) error {
+		delta := to.Issue - from.Issue
+		if delta < 0 {
+			delta = -delta
+		}
+		reconfig += opts.Fabric.ReconfigBaseCycles + opts.Fabric.ReconfigPerEDPE*uint64(delta)
+		return nil
+	}
+	cpu2, err := sim.New(m, tunedProg, o)
+	if err != nil {
+		return nil, err
+	}
+	cpu2.Attach(tunedDOE)
+	if _, err := cpu2.Run(); err != nil {
+		return nil, fmt.Errorf("isasel: tuned run: %w", err)
+	}
+	res.TunedCycles = tunedDOE.Cycles()
+	res.ISASwitches = cpu2.Stats.ISASwitches
+	res.ReconfigCycles = reconfig
+	res.TotalTunedCycles = res.TunedCycles + reconfig
+	if res.TotalTunedCycles > 0 {
+		res.Speedup = float64(res.BaselineCycles) / float64(res.TotalTunedCycles)
+	}
+	return res, nil
+}
+
+func newCPU(m *isa.Model, p *sim.Program, opts Options) (*sim.CPU, error) {
+	o := sim.DefaultOptions()
+	o.MaxInstructions = opts.MaxInstructions
+	return sim.New(m, p, o)
+}
+
+// narrower returns the widest ISA strictly narrower than a, or nil.
+func narrower(m *isa.Model, a *isa.ISA) *isa.ISA {
+	var best *isa.ISA
+	for _, cand := range m.ISAs {
+		if cand.Issue < a.Issue && (best == nil || cand.Issue > best.Issue) {
+			best = cand
+		}
+	}
+	return best
+}
+
+// Render formats the result for tools.
+func (r *Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("automatic per-function ISA selection:\n")
+	if len(r.Choices) == 0 {
+		sb.WriteString("  no function worth reconfiguring for; staying on the base instance\n")
+	}
+	for _, c := range r.Choices {
+		fmt.Fprintf(&sb, "  %-20s -> %-6s (ILP %.2f, %.1f%% of dynamic ops)\n",
+			c.Function, c.ISA, c.ILP, 100*c.OpsShare)
+	}
+	fmt.Fprintf(&sb, "baseline: %d cycles\n", r.BaselineCycles)
+	fmt.Fprintf(&sb, "tuned:    %d cycles + %d reconfiguration (%d switches) = %d\n",
+		r.TunedCycles, r.ReconfigCycles, r.ISASwitches, r.TotalTunedCycles)
+	fmt.Fprintf(&sb, "speedup:  %.2fx\n", r.Speedup)
+	return sb.String()
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

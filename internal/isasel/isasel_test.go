@@ -1,0 +1,146 @@
+package isasel_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/fabric"
+	"repro/internal/isasel"
+	"repro/internal/ktest"
+)
+
+// tunableApp has a hot, wide kernel and serial control code: the
+// selector should move the kernel to a wide instance and leave the rest
+// on RISC, and the mixed build should win despite reconfigurations.
+const tunableApp = `
+int data[128];
+int coef[16];
+
+// filt processes a whole stripe per call, so a run-time ISA switch
+// amortizes over many windows (the per-call switching bill matters:
+// the selector must weigh it against the compute saving).
+int filt(int* x, int n) {
+    int acc = 0;
+    for (int i = 0; i + 16 <= n; i += 8) {
+        int* w = x + i;
+        int a0 = w[0]*coef[0];   int a1 = w[1]*coef[1];
+        int a2 = w[2]*coef[2];   int a3 = w[3]*coef[3];
+        int a4 = w[4]*coef[4];   int a5 = w[5]*coef[5];
+        int a6 = w[6]*coef[6];   int a7 = w[7]*coef[7];
+        int a8 = w[8]*coef[8];   int a9 = w[9]*coef[9];
+        int a10 = w[10]*coef[10]; int a11 = w[11]*coef[11];
+        int a12 = w[12]*coef[12]; int a13 = w[13]*coef[13];
+        int a14 = w[14]*coef[14]; int a15 = w[15]*coef[15];
+        acc += (((a0+a1)+(a2+a3)) + ((a4+a5)+(a6+a7)))
+             + (((a8+a9)+(a10+a11)) + ((a12+a13)+(a14+a15)));
+    }
+    return acc;
+}
+
+int main() {
+    for (int i = 0; i < 16; i++) coef[i] = i + 1;
+    for (int i = 0; i < 128; i++) data[i] = (i * 29) & 127;
+    int acc = 0;
+    for (int r = 0; r < 32; r++) {
+        acc += filt(data, 128);
+    }
+    return acc & 0xFF;
+}
+`
+
+func TestAutoTuneFindsTheKernel(t *testing.T) {
+	m := ktest.Model(t)
+	res, err := isasel.AutoTune(m, isasel.Options{},
+		driver.CSource("app.c", tunableApp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res.Render())
+	var kernel *isasel.Choice
+	for i := range res.Choices {
+		if res.Choices[i].Function == "filt" {
+			kernel = &res.Choices[i]
+		}
+		if res.Choices[i].Function == "main" {
+			t.Error("main must stay on the base instance")
+		}
+	}
+	if kernel == nil {
+		t.Fatalf("filt not selected; choices: %+v", res.Choices)
+	}
+	if !strings.HasPrefix(kernel.ISA, "VLIW") {
+		t.Errorf("filt assigned %s, want a VLIW instance", kernel.ISA)
+	}
+	if res.ISASwitches == 0 || res.ReconfigCycles == 0 {
+		t.Errorf("no reconfiguration accounted: %+v", res)
+	}
+	if res.Speedup <= 1.0 {
+		t.Errorf("tuned build is not faster: baseline %d, tuned total %d",
+			res.BaselineCycles, res.TotalTunedCycles)
+	}
+}
+
+func TestAutoTuneRespectsFabricLimits(t *testing.T) {
+	m := ktest.Model(t)
+	// A 3-EDPE fabric: base RISC takes one element, so nothing wider
+	// than 2-issue can be selected.
+	cfg := fabric.Config{EDPEs: 3, FetchTiles: 2, ReconfigBaseCycles: 8, ReconfigPerEDPE: 4}
+	res, err := isasel.AutoTune(m, isasel.Options{Fabric: cfg},
+		driver.CSource("app.c", tunableApp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Choices {
+		a := m.ISAByName(c.ISA)
+		if a == nil {
+			t.Fatalf("unknown ISA %q in choices", c.ISA)
+		}
+		if a.Issue > 2 {
+			t.Errorf("%s assigned %s (issue %d) on a 3-EDPE fabric", c.Function, c.ISA, a.Issue)
+		}
+	}
+}
+
+func TestAutoTuneSerialProgramStaysPut(t *testing.T) {
+	m := ktest.Model(t)
+	src := `
+int mix(int n) {
+    uint s = 1;
+    for (int i = 0; i < n; i++) s = s * 1103515245 + 12345;
+    return (int)(s >> 24);
+}
+int main() {
+    int acc = 0;
+    for (int i = 0; i < 64; i++) acc += mix(32);
+    return acc & 0xFF;
+}
+`
+	res, err := isasel.AutoTune(m, isasel.Options{Utilization: 0.9},
+		driver.CSource("app.c", src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A serial program may still get a narrow VLIW choice; it must never
+	// claim a wide instance, and the tuned build must not regress badly.
+	for _, c := range res.Choices {
+		if c.ISA == "VLIW6" || c.ISA == "VLIW8" {
+			t.Errorf("serial function %s assigned %s", c.Function, c.ISA)
+		}
+	}
+	if res.Speedup < 0.85 {
+		t.Errorf("tuning regressed a serial program: %.2fx", res.Speedup)
+	}
+}
+
+func TestAutoTuneErrors(t *testing.T) {
+	m := ktest.Model(t)
+	if _, err := isasel.AutoTune(m, isasel.Options{BaseISA: "NOPE"},
+		driver.CSource("a.c", "int main() { return 0; }")); err == nil {
+		t.Error("bogus base ISA accepted")
+	}
+	if _, err := isasel.AutoTune(m, isasel.Options{},
+		driver.CSource("a.c", "int main() { return x; }")); err == nil {
+		t.Error("compile error not propagated")
+	}
+}

@@ -1,0 +1,229 @@
+package kelf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// LineMap maps instruction addresses to file/line positions. It backs
+// both the assembler line map (.klinemap — the paper's custom data
+// section written by the assembler) and the C source line map
+// (.ksrcmap — the role DWARF plays in the paper, Sec. V-C).
+//
+// Entries are kept sorted by address; Lookup returns the entry with the
+// greatest address not exceeding the query, so one entry covers all
+// instructions up to the next entry.
+type LineMap struct {
+	Files   []string
+	Entries []LineEntry
+}
+
+// LineEntry associates an instruction address with a file/line.
+type LineEntry struct {
+	Addr uint32
+	File uint16 // index into Files
+	Line uint32
+}
+
+// AddFile interns a file name and returns its index.
+func (lm *LineMap) AddFile(name string) uint16 {
+	for i, f := range lm.Files {
+		if f == name {
+			return uint16(i)
+		}
+	}
+	lm.Files = append(lm.Files, name)
+	return uint16(len(lm.Files) - 1)
+}
+
+// Add appends an address→line association.
+func (lm *LineMap) Add(addr uint32, file uint16, line uint32) {
+	lm.Entries = append(lm.Entries, LineEntry{Addr: addr, File: file, Line: line})
+}
+
+// Sort orders entries by address (required before Encode/Lookup).
+func (lm *LineMap) Sort() {
+	sort.Slice(lm.Entries, func(i, j int) bool { return lm.Entries[i].Addr < lm.Entries[j].Addr })
+}
+
+// Lookup returns the file name and line covering addr, or ok=false if
+// addr precedes every entry.
+func (lm *LineMap) Lookup(addr uint32) (file string, line uint32, ok bool) {
+	i := sort.Search(len(lm.Entries), func(i int) bool { return lm.Entries[i].Addr > addr })
+	if i == 0 {
+		return "", 0, false
+	}
+	e := lm.Entries[i-1]
+	if int(e.File) >= len(lm.Files) {
+		return "", 0, false
+	}
+	return lm.Files[e.File], e.Line, true
+}
+
+// Rebase shifts every entry address by delta (used by the linker when
+// placing a section at its final address).
+func (lm *LineMap) Rebase(delta uint32) {
+	for i := range lm.Entries {
+		lm.Entries[i].Addr += delta
+	}
+}
+
+// Encode serializes the line map.
+func (lm *LineMap) Encode() []byte {
+	le := binary.LittleEndian
+	var out []byte
+	var tmp [10]byte
+	le.PutUint16(tmp[:], uint16(len(lm.Files)))
+	out = append(out, tmp[:2]...)
+	for _, f := range lm.Files {
+		le.PutUint16(tmp[:], uint16(len(f)))
+		out = append(out, tmp[:2]...)
+		out = append(out, f...)
+	}
+	le.PutUint32(tmp[:], uint32(len(lm.Entries)))
+	out = append(out, tmp[:4]...)
+	for _, e := range lm.Entries {
+		le.PutUint32(tmp[0:], e.Addr)
+		le.PutUint16(tmp[4:], e.File)
+		le.PutUint32(tmp[6:], e.Line)
+		out = append(out, tmp[:10]...)
+	}
+	return out
+}
+
+// DecodeLineMap parses a serialized line map.
+func DecodeLineMap(b []byte) (*LineMap, error) {
+	le := binary.LittleEndian
+	lm := &LineMap{}
+	if len(b) < 2 {
+		return nil, fmt.Errorf("kelf: linemap truncated")
+	}
+	nf := int(le.Uint16(b))
+	b = b[2:]
+	for i := 0; i < nf; i++ {
+		if len(b) < 2 {
+			return nil, fmt.Errorf("kelf: linemap file table truncated")
+		}
+		n := int(le.Uint16(b))
+		b = b[2:]
+		if len(b) < n {
+			return nil, fmt.Errorf("kelf: linemap file name truncated")
+		}
+		lm.Files = append(lm.Files, string(b[:n]))
+		b = b[n:]
+	}
+	if len(b) < 4 {
+		return nil, fmt.Errorf("kelf: linemap entry count truncated")
+	}
+	ne := int(le.Uint32(b))
+	b = b[4:]
+	if len(b) < ne*10 {
+		return nil, fmt.Errorf("kelf: linemap entries truncated")
+	}
+	for i := 0; i < ne; i++ {
+		e := b[i*10:]
+		lm.Entries = append(lm.Entries, LineEntry{
+			Addr: le.Uint32(e),
+			File: le.Uint16(e[4:]),
+			Line: le.Uint32(e[6:]),
+		})
+	}
+	return lm, nil
+}
+
+// FuncInfo describes one function: name, [Start,End) address range and
+// the identification number of the ISA its body is encoded in (mixed-ISA
+// executables carry functions of several ISAs; the compiler prefixes
+// symbol names with the ISA identifier, Sec. IV).
+type FuncInfo struct {
+	Name       string
+	Start, End uint32
+	ISA        uint8
+}
+
+// FuncTable is the .kfuncs payload: per-function address ranges ("Within
+// the ELF file the start address and end address of each function is
+// stored", Sec. V-C).
+type FuncTable struct {
+	Funcs []FuncInfo
+}
+
+// Add appends a function record.
+func (ft *FuncTable) Add(f FuncInfo) { ft.Funcs = append(ft.Funcs, f) }
+
+// Sort orders functions by start address (required before Lookup).
+func (ft *FuncTable) Sort() {
+	sort.Slice(ft.Funcs, func(i, j int) bool { return ft.Funcs[i].Start < ft.Funcs[j].Start })
+}
+
+// Lookup returns the function covering addr, or nil.
+func (ft *FuncTable) Lookup(addr uint32) *FuncInfo {
+	i := sort.Search(len(ft.Funcs), func(i int) bool { return ft.Funcs[i].Start > addr })
+	if i == 0 {
+		return nil
+	}
+	f := &ft.Funcs[i-1]
+	if addr >= f.End {
+		return nil
+	}
+	return f
+}
+
+// Rebase shifts every function range by delta.
+func (ft *FuncTable) Rebase(delta uint32) {
+	for i := range ft.Funcs {
+		ft.Funcs[i].Start += delta
+		ft.Funcs[i].End += delta
+	}
+}
+
+// Encode serializes the function table.
+func (ft *FuncTable) Encode() []byte {
+	le := binary.LittleEndian
+	var out []byte
+	var tmp [9]byte
+	le.PutUint32(tmp[:], uint32(len(ft.Funcs)))
+	out = append(out, tmp[:4]...)
+	for _, f := range ft.Funcs {
+		le.PutUint16(tmp[:], uint16(len(f.Name)))
+		out = append(out, tmp[:2]...)
+		out = append(out, f.Name...)
+		le.PutUint32(tmp[0:], f.Start)
+		le.PutUint32(tmp[4:], f.End)
+		tmp[8] = f.ISA
+		out = append(out, tmp[:9]...)
+	}
+	return out
+}
+
+// DecodeFuncTable parses a serialized function table.
+func DecodeFuncTable(b []byte) (*FuncTable, error) {
+	le := binary.LittleEndian
+	ft := &FuncTable{}
+	if len(b) < 4 {
+		return nil, fmt.Errorf("kelf: functable truncated")
+	}
+	n := int(le.Uint32(b))
+	b = b[4:]
+	for i := 0; i < n; i++ {
+		if len(b) < 2 {
+			return nil, fmt.Errorf("kelf: functable name length truncated")
+		}
+		ln := int(le.Uint16(b))
+		b = b[2:]
+		if len(b) < ln+9 {
+			return nil, fmt.Errorf("kelf: functable record truncated")
+		}
+		name := string(b[:ln])
+		b = b[ln:]
+		ft.Funcs = append(ft.Funcs, FuncInfo{
+			Name:  name,
+			Start: le.Uint32(b),
+			End:   le.Uint32(b[4:]),
+			ISA:   b[8],
+		})
+		b = b[9:]
+	}
+	return ft, nil
+}

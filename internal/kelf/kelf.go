@@ -1,0 +1,679 @@
+// Package kelf reads and writes the ELF object and executable files of
+// the KAHRISMA toolchain (Sec. IV of the paper: "Both, the object files
+// and application binary, are stored in standard Executable and Linkable
+// Format"). The encoding is genuine ELF32 little-endian with a private
+// machine number; custom PROGBITS sections carry the assembler line map,
+// the source line map, and the function table (the paper's custom data
+// section + DWARF line information, see Sec. V-C).
+package kelf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Machine is the private e_machine value of the KAHRISMA toolchain
+// ("KA" little-endian).
+const Machine = 0x414B
+
+// FileType distinguishes relocatable objects from executables.
+type FileType uint16
+
+const (
+	TypeRel  FileType = 1 // ET_REL
+	TypeExec FileType = 2 // ET_EXEC
+)
+
+// SectionType is the ELF section type (subset used by the toolchain).
+type SectionType uint32
+
+const (
+	SecProgbits SectionType = 1 // SHT_PROGBITS
+	SecSymtab   SectionType = 2 // SHT_SYMTAB
+	SecStrtab   SectionType = 3 // SHT_STRTAB
+	SecRela     SectionType = 4 // SHT_RELA
+	SecNobits   SectionType = 8 // SHT_NOBITS (.bss)
+)
+
+// Section flags.
+const (
+	FlagWrite uint32 = 1 << 0 // SHF_WRITE
+	FlagAlloc uint32 = 1 << 1 // SHF_ALLOC
+	FlagExec  uint32 = 1 << 2 // SHF_EXECINSTR
+)
+
+// Well-known section names.
+const (
+	SecText    = ".text"
+	SecData    = ".data"
+	SecRodata  = ".rodata"
+	SecBss     = ".bss"
+	SecLineMap = ".klinemap" // instruction address -> assembly file/line
+	SecSrcMap  = ".ksrcmap"  // instruction address -> C source file/line
+	SecFuncs   = ".kfuncs"   // function name, [start,end), ISA id
+)
+
+// RelocType enumerates the relocation kinds of the K-ISA.
+type RelocType uint8
+
+const (
+	// RelAbs32: *(uint32)(P) = S + A. Used for data words and tables.
+	RelAbs32 RelocType = 1
+	// RelHi16: imm[15:0] of the operation word at P = (S+A) >> 16.
+	// Pairs with LUI.
+	RelHi16 RelocType = 2
+	// RelLo16: imm[15:0] of the operation word at P = (S+A) & 0xFFFF.
+	// Pairs with ORI.
+	RelLo16 RelocType = 3
+	// RelJ26: imm[25:0] of the operation word at P = (S+A) / 4.
+	// Absolute word-address jump target (J, JAL).
+	RelJ26 RelocType = 4
+	// RelBr16: imm[15:0] of the operation word at P = (S+A-P) / 4.
+	// Branch displacement relative to the operation word address.
+	RelBr16 RelocType = 5
+)
+
+func (t RelocType) String() string {
+	switch t {
+	case RelAbs32:
+		return "ABS32"
+	case RelHi16:
+		return "HI16"
+	case RelLo16:
+		return "LO16"
+	case RelJ26:
+		return "J26"
+	case RelBr16:
+		return "BR16"
+	}
+	return fmt.Sprintf("RelocType(%d)", uint8(t))
+}
+
+// Reloc is a relocation against a named symbol, attached to the section
+// whose contents it patches.
+type Reloc struct {
+	Offset uint32 // byte offset within the section
+	Type   RelocType
+	Symbol string
+	Addend int32
+}
+
+// Section is a named chunk of the file. For SecNobits, Data is nil and
+// Size carries the section size.
+type Section struct {
+	Name   string
+	Type   SectionType
+	Flags  uint32
+	Addr   uint32 // virtual address (executables)
+	Data   []byte
+	Size   uint32 // only meaningful for SecNobits
+	Align  uint32
+	Relocs []Reloc
+}
+
+// ByteSize returns the loaded size of the section.
+func (s *Section) ByteSize() uint32 {
+	if s.Type == SecNobits {
+		return s.Size
+	}
+	return uint32(len(s.Data))
+}
+
+// SymBind is the symbol binding.
+type SymBind uint8
+
+const (
+	BindLocal  SymBind = 0
+	BindGlobal SymBind = 1
+)
+
+// SymType is the symbol type.
+type SymType uint8
+
+const (
+	SymNone   SymType = 0
+	SymObject SymType = 1
+	SymFunc   SymType = 2
+)
+
+// SectionAbs marks absolute symbols (SHN_ABS).
+const SectionAbs = "*ABS*"
+
+// Symbol is a named location. Section == "" means undefined (to be
+// resolved at link time); Section == SectionAbs means absolute.
+type Symbol struct {
+	Name    string
+	Value   uint32
+	Size    uint32
+	Bind    SymBind
+	Type    SymType
+	Section string
+}
+
+// File is an in-memory ELF object or executable.
+type File struct {
+	Type  FileType
+	Entry uint32
+	// EntryISA is the identification number of the ISA of the entry
+	// code (Sec. V-D: "the initial ISA must match the ISA of the entry
+	// code of the executable"). Stored in e_flags.
+	EntryISA int
+	Sections []*Section
+	Symbols  []*Symbol
+}
+
+// New creates an empty file of the given type.
+func New(t FileType) *File { return &File{Type: t} }
+
+// Section returns the named section, or nil.
+func (f *File) Section(name string) *Section {
+	for _, s := range f.Sections {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// AddSection appends a section; duplicate names are rejected.
+func (f *File) AddSection(s *Section) error {
+	if f.Section(s.Name) != nil {
+		return fmt.Errorf("kelf: duplicate section %q", s.Name)
+	}
+	if s.Align == 0 {
+		s.Align = 4
+	}
+	f.Sections = append(f.Sections, s)
+	return nil
+}
+
+// Symbol returns the named symbol, or nil.
+func (f *File) Symbol(name string) *Symbol {
+	for _, s := range f.Symbols {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// AddSymbol appends a symbol; duplicate names are rejected (the
+// assembler uniquifies local labels per file).
+func (f *File) AddSymbol(s *Symbol) error {
+	if s.Name == "" {
+		return fmt.Errorf("kelf: symbol with empty name")
+	}
+	if f.Symbol(s.Name) != nil {
+		return fmt.Errorf("kelf: duplicate symbol %q", s.Name)
+	}
+	f.Symbols = append(f.Symbols, s)
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+
+const (
+	ehdrSize  = 52
+	shdrSize  = 40
+	symSize   = 16
+	relaSize  = 12
+	shnUndef  = 0
+	shnAbs    = 0xFFF1
+	stbLocal  = 0
+	stbGlobal = 1
+)
+
+type strtab struct {
+	buf []byte
+	idx map[string]uint32
+}
+
+func newStrtab() *strtab {
+	return &strtab{buf: []byte{0}, idx: map[string]uint32{"": 0}}
+}
+
+func (st *strtab) add(s string) uint32 {
+	if off, ok := st.idx[s]; ok {
+		return off
+	}
+	off := uint32(len(st.buf))
+	st.buf = append(st.buf, s...)
+	st.buf = append(st.buf, 0)
+	st.idx[s] = off
+	return off
+}
+
+func (st *strtab) get(off uint32) (string, error) {
+	if off >= uint32(len(st.buf)) {
+		return "", fmt.Errorf("kelf: string offset %d out of range", off)
+	}
+	end := off
+	for end < uint32(len(st.buf)) && st.buf[end] != 0 {
+		end++
+	}
+	return string(st.buf[off:end]), nil
+}
+
+func align(n, a uint32) uint32 {
+	if a <= 1 {
+		return n
+	}
+	return (n + a - 1) &^ (a - 1)
+}
+
+// Encode serializes the file to ELF32 bytes.
+func (f *File) Encode() ([]byte, error) {
+	le := binary.LittleEndian
+
+	// Section numbering: 0 null, then user sections, then rela sections
+	// (one per user section with relocations), then .symtab, .strtab,
+	// .shstrtab.
+	type relaFor struct {
+		target int // user section index in f.Sections
+	}
+	var relaSecs []relaFor
+	for i, s := range f.Sections {
+		if len(s.Relocs) > 0 {
+			relaSecs = append(relaSecs, relaFor{target: i})
+		}
+	}
+	nUser := len(f.Sections)
+	symtabIdx := 1 + nUser + len(relaSecs)
+	strtabIdx := symtabIdx + 1
+	shstrtabIdx := strtabIdx + 1
+	nSections := shstrtabIdx + 1
+
+	secIndex := func(name string) (uint16, error) {
+		if name == "" {
+			return shnUndef, nil
+		}
+		if name == SectionAbs {
+			return shnAbs, nil
+		}
+		for i, s := range f.Sections {
+			if s.Name == name {
+				return uint16(i + 1), nil
+			}
+		}
+		return 0, fmt.Errorf("kelf: symbol references unknown section %q", name)
+	}
+
+	// Build the symbol table: null, locals, globals.
+	strs := newStrtab()
+	var locals, globals []*Symbol
+	for _, s := range f.Symbols {
+		if s.Bind == BindLocal {
+			locals = append(locals, s)
+		} else {
+			globals = append(globals, s)
+		}
+	}
+	ordered := append(append([]*Symbol{}, locals...), globals...)
+	symIdx := make(map[string]uint32, len(ordered))
+	symBytes := make([]byte, symSize*(len(ordered)+1))
+	for i, s := range ordered {
+		if _, dup := symIdx[s.Name]; dup {
+			return nil, fmt.Errorf("kelf: duplicate symbol %q", s.Name)
+		}
+		symIdx[s.Name] = uint32(i + 1)
+		off := symSize * (i + 1)
+		le.PutUint32(symBytes[off:], strs.add(s.Name))
+		le.PutUint32(symBytes[off+4:], s.Value)
+		le.PutUint32(symBytes[off+8:], s.Size)
+		bind := byte(stbLocal)
+		if s.Bind == BindGlobal {
+			bind = stbGlobal
+		}
+		symBytes[off+12] = bind<<4 | byte(s.Type)&0xF
+		shndx, err := secIndex(s.Section)
+		if err != nil {
+			return nil, err
+		}
+		le.PutUint16(symBytes[off+14:], uint16(shndx))
+	}
+
+	// Rela payloads.
+	relaBytes := make([][]byte, len(relaSecs))
+	for ri, rf := range relaSecs {
+		sec := f.Sections[rf.target]
+		buf := make([]byte, relaSize*len(sec.Relocs))
+		for i, r := range sec.Relocs {
+			si, ok := symIdx[r.Symbol]
+			if !ok {
+				return nil, fmt.Errorf("kelf: relocation in %s references unknown symbol %q",
+					sec.Name, r.Symbol)
+			}
+			le.PutUint32(buf[i*relaSize:], r.Offset)
+			le.PutUint32(buf[i*relaSize+4:], si<<8|uint32(r.Type))
+			le.PutUint32(buf[i*relaSize+8:], uint32(r.Addend))
+		}
+		relaBytes[ri] = buf
+	}
+
+	shstrs := newStrtab()
+
+	// Lay out section data.
+	type placed struct {
+		nameOff         uint32
+		typ             SectionType
+		flags           uint32
+		addr, off, size uint32
+		link, info      uint32
+		alignv, entsize uint32
+		data            []byte
+	}
+	ph := make([]placed, nSections)
+	pos := uint32(ehdrSize)
+	place := func(i int, p placed) {
+		if p.typ != SecNobits && p.data != nil {
+			pos = align(pos, p.alignv)
+			p.off = pos
+			pos += uint32(len(p.data))
+			p.size = uint32(len(p.data))
+		} else if p.typ == SecNobits {
+			pos = align(pos, p.alignv)
+			p.off = pos // no file bytes
+		}
+		ph[i] = p
+	}
+
+	for i, s := range f.Sections {
+		place(i+1, placed{
+			nameOff: shstrs.add(s.Name),
+			typ:     s.Type, flags: s.Flags, addr: s.Addr,
+			alignv: s.Align, data: s.Data, size: s.ByteSize(),
+		})
+		if s.Type == SecNobits {
+			ph[i+1].size = s.Size
+		}
+	}
+	for ri, rf := range relaSecs {
+		sec := f.Sections[rf.target]
+		place(1+nUser+ri, placed{
+			nameOff: shstrs.add(".rela" + sec.Name),
+			typ:     SecRela, alignv: 4, data: relaBytes[ri],
+			link: uint32(symtabIdx), info: uint32(rf.target + 1), entsize: relaSize,
+		})
+	}
+	place(symtabIdx, placed{
+		nameOff: shstrs.add(".symtab"), typ: SecSymtab, alignv: 4,
+		data: symBytes, link: uint32(strtabIdx),
+		info: uint32(len(locals) + 1), entsize: symSize,
+	})
+	place(strtabIdx, placed{
+		nameOff: shstrs.add(".strtab"), typ: SecStrtab, alignv: 1, data: strs.buf,
+	})
+	shstrs.add(".shstrtab")
+	place(shstrtabIdx, placed{
+		nameOff: shstrs.idx[".shstrtab"], typ: SecStrtab, alignv: 1, data: shstrs.buf,
+	})
+
+	shoff := align(pos, 4)
+	total := shoff + uint32(nSections)*shdrSize
+	out := make([]byte, total)
+
+	// ELF header.
+	copy(out, []byte{0x7F, 'E', 'L', 'F', 1 /*32-bit*/, 1 /*LSB*/, 1 /*version*/})
+	le.PutUint16(out[16:], uint16(f.Type))
+	le.PutUint16(out[18:], Machine)
+	le.PutUint32(out[20:], 1) // e_version
+	le.PutUint32(out[24:], f.Entry)
+	le.PutUint32(out[28:], 0) // e_phoff: no program headers; loaders use sections
+	le.PutUint32(out[32:], shoff)
+	le.PutUint32(out[36:], uint32(f.EntryISA)) // e_flags carries the entry ISA id
+	le.PutUint16(out[40:], ehdrSize)
+	le.PutUint16(out[42:], 0) // e_phentsize
+	le.PutUint16(out[44:], 0) // e_phnum
+	le.PutUint16(out[46:], shdrSize)
+	le.PutUint16(out[48:], uint16(nSections))
+	le.PutUint16(out[50:], uint16(shstrtabIdx))
+
+	// Section bodies.
+	for _, p := range ph {
+		if p.typ != SecNobits && p.data != nil {
+			copy(out[p.off:], p.data)
+		}
+	}
+	// Section header table.
+	for i, p := range ph {
+		h := out[shoff+uint32(i)*shdrSize:]
+		le.PutUint32(h[0:], p.nameOff)
+		le.PutUint32(h[4:], uint32(p.typ))
+		le.PutUint32(h[8:], p.flags)
+		le.PutUint32(h[12:], p.addr)
+		le.PutUint32(h[16:], p.off)
+		le.PutUint32(h[20:], p.size)
+		le.PutUint32(h[24:], p.link)
+		le.PutUint32(h[28:], p.info)
+		le.PutUint32(h[32:], p.alignv)
+		le.PutUint32(h[36:], p.entsize)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+
+// Decode parses ELF32 bytes produced by Encode (or compatible tools).
+func Decode(data []byte) (*File, error) {
+	le := binary.LittleEndian
+	if len(data) < ehdrSize {
+		return nil, fmt.Errorf("kelf: file too short (%d bytes)", len(data))
+	}
+	if data[0] != 0x7F || data[1] != 'E' || data[2] != 'L' || data[3] != 'F' {
+		return nil, fmt.Errorf("kelf: bad ELF magic")
+	}
+	if data[4] != 1 || data[5] != 1 {
+		return nil, fmt.Errorf("kelf: not ELF32 little-endian")
+	}
+	if m := le.Uint16(data[18:]); m != Machine {
+		return nil, fmt.Errorf("kelf: wrong machine 0x%x (want 0x%x)", m, Machine)
+	}
+	f := New(FileType(le.Uint16(data[16:])))
+	if f.Type != TypeRel && f.Type != TypeExec {
+		return nil, fmt.Errorf("kelf: unsupported file type %d", f.Type)
+	}
+	f.Entry = le.Uint32(data[24:])
+	f.EntryISA = int(le.Uint32(data[36:]))
+	shoff := le.Uint32(data[32:])
+	shnum := int(le.Uint16(data[48:]))
+	shstrndx := int(le.Uint16(data[50:]))
+	if shnum == 0 || shoff == 0 {
+		return nil, fmt.Errorf("kelf: no section headers")
+	}
+	type rawShdr struct {
+		name, typ, flags, addr, off, size, link, info, alignv, entsize uint32
+	}
+	hdrs := make([]rawShdr, shnum)
+	for i := 0; i < shnum; i++ {
+		base := shoff + uint32(i)*shdrSize
+		if base+shdrSize > uint32(len(data)) {
+			return nil, fmt.Errorf("kelf: section header %d out of bounds", i)
+		}
+		h := data[base:]
+		hdrs[i] = rawShdr{
+			le.Uint32(h[0:]), le.Uint32(h[4:]), le.Uint32(h[8:]), le.Uint32(h[12:]),
+			le.Uint32(h[16:]), le.Uint32(h[20:]), le.Uint32(h[24:]), le.Uint32(h[28:]),
+			le.Uint32(h[32:]), le.Uint32(h[36:]),
+		}
+	}
+	body := func(i int) ([]byte, error) {
+		h := hdrs[i]
+		if SectionType(h.typ) == SecNobits {
+			return nil, nil
+		}
+		if h.off+h.size > uint32(len(data)) {
+			return nil, fmt.Errorf("kelf: section %d body out of bounds", i)
+		}
+		return data[h.off : h.off+h.size], nil
+	}
+	if shstrndx <= 0 || shstrndx >= shnum {
+		return nil, fmt.Errorf("kelf: bad shstrtab index %d", shstrndx)
+	}
+	shstrBody, err := body(shstrndx)
+	if err != nil {
+		return nil, err
+	}
+	shstrs := &strtab{buf: shstrBody}
+	secName := make([]string, shnum)
+	for i := 1; i < shnum; i++ {
+		n, err := shstrs.get(hdrs[i].name)
+		if err != nil {
+			return nil, err
+		}
+		secName[i] = n
+	}
+
+	// First pass: user sections (everything except symtab/strtabs/rela).
+	userIdx := make(map[int]*Section)
+	symtabIdx, strtabIdx := -1, -1
+	for i := 1; i < shnum; i++ {
+		h := hdrs[i]
+		switch SectionType(h.typ) {
+		case SecSymtab:
+			symtabIdx = i
+			strtabIdx = int(h.link)
+		case SecStrtab, SecRela:
+			// handled below
+		default:
+			b, err := body(i)
+			if err != nil {
+				return nil, err
+			}
+			s := &Section{
+				Name: secName[i], Type: SectionType(h.typ), Flags: h.flags,
+				Addr: h.addr, Align: h.alignv,
+			}
+			if s.Type == SecNobits {
+				s.Size = h.size
+			} else {
+				s.Data = append([]byte(nil), b...)
+			}
+			if err := f.AddSection(s); err != nil {
+				return nil, err
+			}
+			userIdx[i] = s
+		}
+	}
+
+	// Symbols.
+	var symNames []string
+	if symtabIdx >= 0 {
+		if strtabIdx <= 0 || strtabIdx >= shnum {
+			return nil, fmt.Errorf("kelf: symtab link %d invalid", strtabIdx)
+		}
+		strBody, err := body(strtabIdx)
+		if err != nil {
+			return nil, err
+		}
+		strs := &strtab{buf: strBody}
+		symBody, err := body(symtabIdx)
+		if err != nil {
+			return nil, err
+		}
+		n := len(symBody) / symSize
+		symNames = make([]string, n)
+		for i := 1; i < n; i++ {
+			e := symBody[i*symSize:]
+			name, err := strs.get(le.Uint32(e))
+			if err != nil {
+				return nil, err
+			}
+			symNames[i] = name
+			shndx := le.Uint16(e[14:])
+			var secStr string
+			switch {
+			case shndx == shnUndef:
+				secStr = ""
+			case shndx == shnAbs:
+				secStr = SectionAbs
+			case int(shndx) < shnum && userIdx[int(shndx)] != nil:
+				secStr = userIdx[int(shndx)].Name
+			default:
+				return nil, fmt.Errorf("kelf: symbol %q references section index %d", name, shndx)
+			}
+			bind := BindLocal
+			if e[12]>>4 == stbGlobal {
+				bind = BindGlobal
+			}
+			sym := &Symbol{
+				Name:    name,
+				Value:   le.Uint32(e[4:]),
+				Size:    le.Uint32(e[8:]),
+				Bind:    bind,
+				Type:    SymType(e[12] & 0xF),
+				Section: secStr,
+			}
+			if err := f.AddSymbol(sym); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Relocations.
+	for i := 1; i < shnum; i++ {
+		h := hdrs[i]
+		if SectionType(h.typ) != SecRela {
+			continue
+		}
+		target := userIdx[int(h.info)]
+		if target == nil {
+			return nil, fmt.Errorf("kelf: rela section %d targets unknown section %d", i, h.info)
+		}
+		b, err := body(i)
+		if err != nil {
+			return nil, err
+		}
+		for off := 0; off+relaSize <= len(b); off += relaSize {
+			info := le.Uint32(b[off+4:])
+			si := int(info >> 8)
+			if si <= 0 || si >= len(symNames) {
+				return nil, fmt.Errorf("kelf: relocation references symbol index %d", si)
+			}
+			target.Relocs = append(target.Relocs, Reloc{
+				Offset: le.Uint32(b[off:]),
+				Type:   RelocType(info & 0xFF),
+				Symbol: symNames[si],
+				Addend: int32(le.Uint32(b[off+8:])),
+			})
+		}
+	}
+	return f, nil
+}
+
+// WriteFile encodes and writes the file to path.
+func (f *File) WriteFile(path string) error {
+	b, err := f.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// ReadFile reads and decodes the file at path.
+func ReadFile(path string) (*File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(b)
+}
+
+// SortedSymbols returns the symbols sorted by (section, value, name) —
+// convenient for tools that print symbol tables deterministically.
+func (f *File) SortedSymbols() []*Symbol {
+	out := append([]*Symbol(nil), f.Symbols...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Section != out[j].Section {
+			return out[i].Section < out[j].Section
+		}
+		if out[i].Value != out[j].Value {
+			return out[i].Value < out[j].Value
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

@@ -1,0 +1,279 @@
+package kelf_test
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kelf"
+)
+
+func sampleFile(t *testing.T) *kelf.File {
+	t.Helper()
+	f := kelf.New(kelf.TypeRel)
+	text := &kelf.Section{
+		Name: kelf.SecText, Type: kelf.SecProgbits,
+		Flags: kelf.FlagAlloc | kelf.FlagExec,
+		Data:  []byte{1, 2, 3, 4, 5, 6, 7, 8},
+		Relocs: []kelf.Reloc{
+			{Offset: 0, Type: kelf.RelHi16, Symbol: "table", Addend: 4},
+			{Offset: 4, Type: kelf.RelBr16, Symbol: ".L1", Addend: -8},
+		},
+	}
+	data := &kelf.Section{
+		Name: kelf.SecData, Type: kelf.SecProgbits,
+		Flags: kelf.FlagAlloc | kelf.FlagWrite,
+		Data:  []byte{9, 9, 9, 9},
+		Relocs: []kelf.Reloc{
+			{Offset: 0, Type: kelf.RelAbs32, Symbol: "main", Addend: 0},
+		},
+	}
+	bss := &kelf.Section{Name: kelf.SecBss, Type: kelf.SecNobits,
+		Flags: kelf.FlagAlloc | kelf.FlagWrite, Size: 64}
+	for _, s := range []*kelf.Section{text, data, bss} {
+		if err := f.AddSection(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	syms := []*kelf.Symbol{
+		{Name: ".L1", Value: 4, Bind: kelf.BindLocal, Section: kelf.SecText},
+		{Name: "main", Value: 0, Size: 8, Bind: kelf.BindGlobal, Type: kelf.SymFunc, Section: kelf.SecText},
+		{Name: "table", Value: 0, Size: 4, Bind: kelf.BindGlobal, Type: kelf.SymObject, Section: kelf.SecData},
+		{Name: "extern_thing", Bind: kelf.BindGlobal, Section: ""},
+		{Name: "absval", Value: 0x42, Bind: kelf.BindGlobal, Section: kelf.SectionAbs},
+	}
+	for _, s := range syms {
+		if err := f.AddSymbol(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := sampleFile(t)
+	f.Entry = 0x1000
+	f.EntryISA = 2
+	b, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := kelf.Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Type != f.Type || g.Entry != f.Entry || g.EntryISA != f.EntryISA {
+		t.Fatalf("header round trip: %+v vs %+v", g, f)
+	}
+	if len(g.Sections) != len(f.Sections) {
+		t.Fatalf("sections = %d, want %d", len(g.Sections), len(f.Sections))
+	}
+	for _, want := range f.Sections {
+		got := g.Section(want.Name)
+		if got == nil {
+			t.Fatalf("section %s missing after round trip", want.Name)
+		}
+		if got.Type != want.Type || got.Flags != want.Flags || !bytes.Equal(got.Data, want.Data) {
+			t.Errorf("section %s round trip mismatch", want.Name)
+		}
+		if got.ByteSize() != want.ByteSize() {
+			t.Errorf("section %s size %d != %d", want.Name, got.ByteSize(), want.ByteSize())
+		}
+		if !reflect.DeepEqual(got.Relocs, want.Relocs) {
+			t.Errorf("section %s relocs:\n got %+v\nwant %+v", want.Name, got.Relocs, want.Relocs)
+		}
+	}
+	if len(g.Symbols) != len(f.Symbols) {
+		t.Fatalf("symbols = %d, want %d", len(g.Symbols), len(f.Symbols))
+	}
+	for _, want := range f.Symbols {
+		got := g.Symbol(want.Name)
+		if got == nil || !reflect.DeepEqual(got, want) {
+			t.Errorf("symbol %s: got %+v want %+v", want.Name, got, want)
+		}
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	f := sampleFile(t)
+	path := filepath.Join(t.TempDir(), "a.o")
+	if err := f.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	g, err := kelf.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Section(kelf.SecText) == nil {
+		t.Fatal("text section lost")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	f := sampleFile(t)
+	good, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"short", func(b []byte) []byte { return b[:10] }},
+		{"magic", func(b []byte) []byte { b[0] = 0; return b }},
+		{"class", func(b []byte) []byte { b[4] = 2; return b }},
+		{"machine", func(b []byte) []byte { b[18] = 0; return b }},
+		{"type", func(b []byte) []byte { b[16] = 9; return b }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.mut(append([]byte(nil), good...))
+			if _, err := kelf.Decode(b); err == nil {
+				t.Fatal("expected decode error")
+			}
+		})
+	}
+}
+
+func TestDuplicateRejection(t *testing.T) {
+	f := kelf.New(kelf.TypeRel)
+	s := &kelf.Section{Name: ".text", Type: kelf.SecProgbits}
+	if err := f.AddSection(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddSection(&kelf.Section{Name: ".text"}); err == nil {
+		t.Error("duplicate section accepted")
+	}
+	if err := f.AddSymbol(&kelf.Symbol{Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddSymbol(&kelf.Symbol{Name: "x"}); err == nil {
+		t.Error("duplicate symbol accepted")
+	}
+	if err := f.AddSymbol(&kelf.Symbol{}); err == nil {
+		t.Error("empty symbol name accepted")
+	}
+}
+
+func TestEncodeUnknownSymbolInReloc(t *testing.T) {
+	f := kelf.New(kelf.TypeRel)
+	_ = f.AddSection(&kelf.Section{
+		Name: ".text", Type: kelf.SecProgbits, Data: make([]byte, 4),
+		Relocs: []kelf.Reloc{{Symbol: "nope", Type: kelf.RelAbs32}},
+	})
+	if _, err := f.Encode(); err == nil {
+		t.Fatal("expected unknown-symbol error")
+	}
+}
+
+func TestLineMapRoundTripAndLookup(t *testing.T) {
+	lm := &kelf.LineMap{}
+	fi := lm.AddFile("dct.s")
+	fj := lm.AddFile("aes.s")
+	if lm.AddFile("dct.s") != fi {
+		t.Fatal("AddFile did not intern")
+	}
+	lm.Add(0x1000, fi, 10)
+	lm.Add(0x1008, fj, 20)
+	lm.Add(0x1004, fi, 11)
+	lm.Sort()
+	b := lm.Encode()
+	got, err := kelf.DecodeLineMap(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, lm) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, lm)
+	}
+	if _, _, ok := got.Lookup(0xFFF); ok {
+		t.Error("lookup before first entry should fail")
+	}
+	file, line, ok := got.Lookup(0x1006)
+	if !ok || file != "dct.s" || line != 11 {
+		t.Errorf("Lookup(0x1006) = %s:%d,%v", file, line, ok)
+	}
+	file, line, _ = got.Lookup(0x9000)
+	if file != "aes.s" || line != 20 {
+		t.Errorf("Lookup(0x9000) = %s:%d", file, line)
+	}
+	got.Rebase(0x100)
+	if _, _, ok := got.Lookup(0x1006); ok {
+		t.Error("lookup should fail after rebase")
+	}
+}
+
+func TestFuncTableRoundTripAndLookup(t *testing.T) {
+	ft := &kelf.FuncTable{}
+	ft.Add(kelf.FuncInfo{Name: "RISC.main", Start: 0x2000, End: 0x2100, ISA: 0})
+	ft.Add(kelf.FuncInfo{Name: "VLIW4.dct", Start: 0x1000, End: 0x1800, ISA: 2})
+	ft.Sort()
+	b := ft.Encode()
+	got, err := kelf.DecodeFuncTable(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ft) {
+		t.Fatalf("round trip mismatch")
+	}
+	if f := got.Lookup(0x1400); f == nil || f.Name != "VLIW4.dct" {
+		t.Errorf("Lookup(0x1400) = %+v", f)
+	}
+	if f := got.Lookup(0x1900); f != nil {
+		t.Errorf("Lookup in gap = %+v", f)
+	}
+	if f := got.Lookup(0x2000); f == nil || f.ISA != 0 {
+		t.Errorf("Lookup(0x2000) = %+v", f)
+	}
+	if f := got.Lookup(0x100); f != nil {
+		t.Errorf("Lookup before first = %+v", f)
+	}
+}
+
+func TestLineMapQuickRoundTrip(t *testing.T) {
+	f := func(addrs []uint32, lines []uint32) bool {
+		lm := &kelf.LineMap{}
+		fi := lm.AddFile("f.s")
+		for i, a := range addrs {
+			ln := uint32(i)
+			if i < len(lines) {
+				ln = lines[i]
+			}
+			lm.Add(a, fi, ln)
+		}
+		lm.Sort()
+		got, err := kelf.DecodeLineMap(lm.Encode())
+		return err == nil && reflect.DeepEqual(got, lm)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeTruncatedDebug(t *testing.T) {
+	if _, err := kelf.DecodeLineMap([]byte{1}); err == nil {
+		t.Error("truncated linemap accepted")
+	}
+	if _, err := kelf.DecodeFuncTable([]byte{0, 0}); err == nil {
+		t.Error("truncated functable accepted")
+	}
+	ft := &kelf.FuncTable{}
+	ft.Add(kelf.FuncInfo{Name: "x", Start: 1, End: 2})
+	b := ft.Encode()
+	if _, err := kelf.DecodeFuncTable(b[:len(b)-1]); err == nil {
+		t.Error("truncated functable record accepted")
+	}
+}
+
+func TestSortedSymbols(t *testing.T) {
+	f := sampleFile(t)
+	got := f.SortedSymbols()
+	for i := 1; i < len(got); i++ {
+		a, b := got[i-1], got[i]
+		if a.Section > b.Section || (a.Section == b.Section && a.Value > b.Value) {
+			t.Fatalf("not sorted at %d: %+v then %+v", i, a, b)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package kelf_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/kelf"
+)
+
+// Decode must never panic, whatever bytes it is fed: every malformed
+// input returns an error (or, for benign mutations, a valid file).
+func TestDecodeRobustAgainstMutations(t *testing.T) {
+	f := sampleFile(t)
+	f.Entry = 0x1000
+	good, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 2000; trial++ {
+		b := append([]byte(nil), good...)
+		// Flip a handful of random bytes.
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			b[rng.Intn(len(b))] ^= byte(1 + rng.Intn(255))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: Decode panicked: %v", trial, r)
+				}
+			}()
+			_, _ = kelf.Decode(b)
+		}()
+	}
+	// Random truncations.
+	for cut := 0; cut < len(good); cut += 7 {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("truncation at %d: Decode panicked: %v", cut, r)
+				}
+			}()
+			_, _ = kelf.Decode(good[:cut])
+		}()
+	}
+	// Pure noise.
+	for trial := 0; trial < 500; trial++ {
+		b := make([]byte, rng.Intn(600))
+		rng.Read(b)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("noise trial %d: Decode panicked: %v", trial, r)
+				}
+			}()
+			_, _ = kelf.Decode(b)
+		}()
+	}
+}
+
+// The debug decoders must be equally robust.
+func TestDebugDecodersRobust(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 1000; trial++ {
+		b := make([]byte, rng.Intn(200))
+		rng.Read(b)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("linemap noise %d: panic %v", trial, r)
+				}
+			}()
+			_, _ = kelf.DecodeLineMap(b)
+			_, _ = kelf.DecodeFuncTable(b)
+		}()
+	}
+}

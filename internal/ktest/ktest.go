@@ -1,0 +1,90 @@
+// Package ktest provides shared helpers for the test suites: one-call
+// assemble+link+load pipelines so unit tests of the simulator, the
+// cycle models and the RTL reference can run small programs.
+package ktest
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/kelf"
+	"repro/internal/link"
+	"repro/internal/sim"
+	"repro/internal/targetgen"
+)
+
+// Model returns the shared KAHRISMA model.
+func Model(t testing.TB) *isa.Model {
+	t.Helper()
+	m, err := targetgen.Kahrisma()
+	if err != nil {
+		t.Fatalf("targetgen: %v", err)
+	}
+	return m
+}
+
+// BuildExe assembles sources and links them with default options
+// (crt0 + libc stubs) into an executable.
+func BuildExe(t testing.TB, entryISA string, sources ...string) *kelf.File {
+	t.Helper()
+	m := Model(t)
+	var objs []*kelf.File
+	for i, src := range sources {
+		o, err := asm.Assemble(m, testName(t, i), src)
+		if err != nil {
+			t.Fatalf("assemble: %v", err)
+		}
+		objs = append(objs, o)
+	}
+	opt := link.Defaults()
+	opt.EntryISA = entryISA
+	exe, err := link.Link(m, objs, opt)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	return exe
+}
+
+func testName(t testing.TB, i int) string {
+	return t.Name() + ".s"
+}
+
+// LoadExe wraps sim.LoadProgram with test plumbing.
+func LoadExe(t testing.TB, exe *kelf.File) *sim.Program {
+	t.Helper()
+	p, err := sim.LoadProgram(exe)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return p
+}
+
+// BuildProgram assembles, links and loads in one call.
+func BuildProgram(t testing.TB, entryISA string, sources ...string) *sim.Program {
+	t.Helper()
+	return LoadExe(t, BuildExe(t, entryISA, sources...))
+}
+
+// NewCPU builds a CPU with the given options over a fresh program load.
+func NewCPU(t testing.TB, p *sim.Program, opts sim.Options) *sim.CPU {
+	t.Helper()
+	c, err := sim.New(Model(t), p, opts)
+	if err != nil {
+		t.Fatalf("cpu: %v", err)
+	}
+	return c
+}
+
+// Run builds a CPU with default options and runs to completion.
+func Run(t testing.TB, p *sim.Program) (*sim.CPU, sim.ExitStatus) {
+	t.Helper()
+	opts := sim.DefaultOptions()
+	opts.MaxInstructions = 50_000_000
+	c := NewCPU(t, p, opts)
+	st, err := c.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return c, st
+}

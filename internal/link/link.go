@@ -1,0 +1,442 @@
+// Package link implements the linker of the KAHRISMA toolchain
+// (Sec. IV of the paper): it merges relocatable ELF objects into an
+// executable, resolves relocations, injects the startup code and the
+// auto-generated C-library stub functions (Sec. V-E), merges the debug
+// sections, and records the entry point and entry ISA.
+package link
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/kelf"
+	"repro/internal/simcall"
+)
+
+// Options configure a link.
+type Options struct {
+	// TextBase is the virtual address of .text (default 0x1000).
+	TextBase uint32
+	// StackTop is the initial stack pointer (default 0x00400000).
+	StackTop uint32
+	// Entry is the entry symbol (default "_start"; if no object defines
+	// it and Startup is true, a startup object is generated).
+	Entry string
+	// EntryISA names the ISA the startup code and C-library stubs are
+	// encoded in (default: the model's default ISA). It must match the
+	// ISA of the entry code (Sec. V-D).
+	EntryISA string
+	// Startup controls generation of the crt0 object (set sp, call
+	// main, exit with main's return value).
+	Startup bool
+	// LibC controls generation of stub functions for unresolved
+	// references to known C library names.
+	LibC bool
+}
+
+// Defaults returns the standard options used by the driver and tools.
+func Defaults() Options {
+	return Options{TextBase: 0x1000, StackTop: 0x00400000, Entry: "_start", Startup: true, LibC: true}
+}
+
+// Link combines objects into an executable.
+func Link(m *isa.Model, objects []*kelf.File, opt Options) (*kelf.File, error) {
+	if opt.TextBase == 0 {
+		opt.TextBase = 0x1000
+	}
+	if opt.StackTop == 0 {
+		opt.StackTop = 0x00400000
+	}
+	if opt.Entry == "" {
+		opt.Entry = "_start"
+	}
+	entryISA := m.DefaultISA()
+	if opt.EntryISA != "" {
+		entryISA = m.ISAByName(opt.EntryISA)
+		if entryISA == nil {
+			return nil, fmt.Errorf("link: unknown entry ISA %q", opt.EntryISA)
+		}
+	}
+	objects = append([]*kelf.File(nil), objects...)
+	for i, o := range objects {
+		if o.Type != kelf.TypeRel {
+			return nil, fmt.Errorf("link: input %d is not a relocatable object", i)
+		}
+	}
+
+	defined := definedGlobals(objects)
+
+	// Generate startup code if the entry symbol is missing.
+	if opt.Startup {
+		if _, ok := defined[opt.Entry]; !ok {
+			crt0, err := crt0Object(m, entryISA, opt)
+			if err != nil {
+				return nil, err
+			}
+			// Startup first so the entry sits at TextBase.
+			objects = append([]*kelf.File{crt0}, objects...)
+			defined = definedGlobals(objects)
+		}
+	}
+
+	// Generate C-library stubs for unresolved known names.
+	if opt.LibC {
+		missing := undefinedNames(objects, defined)
+		var libNames []string
+		for _, n := range missing {
+			if _, ok := simcall.Names[n]; ok {
+				libNames = append(libNames, n)
+			}
+		}
+		if len(libNames) > 0 {
+			stubObj, err := libcObject(m, entryISA, libNames)
+			if err != nil {
+				return nil, err
+			}
+			objects = append(objects, stubObj)
+			defined = definedGlobals(objects)
+		}
+	}
+
+	// ---------------- layout ----------------
+	secOrder := []string{kelf.SecText, kelf.SecRodata, kelf.SecData, kelf.SecBss}
+	// placement[obj][section] = final virtual address of that object's
+	// contribution to the section.
+	placement := make([]map[string]uint32, len(objects))
+	for i := range placement {
+		placement[i] = map[string]uint32{}
+	}
+	merged := map[string]*kelf.Section{}
+	addr := opt.TextBase
+	for _, name := range secOrder {
+		addr = alignUp(addr, 64)
+		out := &kelf.Section{Name: name, Addr: addr}
+		switch name {
+		case kelf.SecText:
+			out.Type, out.Flags = kelf.SecProgbits, kelf.FlagAlloc|kelf.FlagExec
+		case kelf.SecRodata:
+			out.Type, out.Flags = kelf.SecProgbits, kelf.FlagAlloc
+		case kelf.SecData:
+			out.Type, out.Flags = kelf.SecProgbits, kelf.FlagAlloc|kelf.FlagWrite
+		case kelf.SecBss:
+			out.Type, out.Flags = kelf.SecNobits, kelf.FlagAlloc|kelf.FlagWrite
+		}
+		for oi, obj := range objects {
+			s := obj.Section(name)
+			if s == nil {
+				continue
+			}
+			cur := addr + out.ByteSize()
+			cur = alignUp(cur, 8)
+			pad := cur - (addr + out.ByteSize())
+			if name == kelf.SecBss {
+				out.Size += pad + s.Size
+			} else {
+				padBytes := make([]byte, pad)
+				if name == kelf.SecText {
+					// Keep every text word decodable: pad with NOPs.
+					if nop := m.Op("NOP"); nop != nil && pad%4 == 0 {
+						w, _ := nop.Encode(isa.Operands{})
+						for i := uint32(0); i < pad; i += 4 {
+							padBytes[i] = byte(w)
+							padBytes[i+1] = byte(w >> 8)
+							padBytes[i+2] = byte(w >> 16)
+							padBytes[i+3] = byte(w >> 24)
+						}
+					}
+				}
+				out.Data = append(out.Data, padBytes...)
+				out.Data = append(out.Data, s.Data...)
+			}
+			placement[oi][name] = cur
+		}
+		if out.ByteSize() > 0 || name == kelf.SecText {
+			merged[name] = out
+			addr += out.ByteSize()
+		}
+	}
+	heapStart := alignUp(addr, 4096)
+
+	// ---------------- symbol resolution ----------------
+	// Global address table plus per-object local scopes.
+	globalAddr := map[string]uint32{}
+	globalSym := map[string]*kelf.Symbol{}
+	localAddr := make([]map[string]uint32, len(objects))
+	for oi, obj := range objects {
+		localAddr[oi] = map[string]uint32{}
+		for _, sym := range obj.Symbols {
+			if sym.Section == "" {
+				continue
+			}
+			var v uint32
+			if sym.Section == kelf.SectionAbs {
+				v = sym.Value
+			} else {
+				base, ok := placement[oi][sym.Section]
+				if !ok {
+					return nil, fmt.Errorf("link: symbol %q in unplaced section %q", sym.Name, sym.Section)
+				}
+				v = base + sym.Value
+			}
+			if sym.Bind == kelf.BindLocal {
+				localAddr[oi][sym.Name] = v
+			} else {
+				if _, dup := globalAddr[sym.Name]; dup {
+					return nil, fmt.Errorf("link: multiple definitions of %q", sym.Name)
+				}
+				globalAddr[sym.Name] = v
+				globalSym[sym.Name] = sym
+			}
+		}
+	}
+	// Linker-provided absolute symbols.
+	for name, v := range map[string]uint32{
+		"__stack_top":  opt.StackTop,
+		"__heap_start": heapStart,
+	} {
+		if _, dup := globalAddr[name]; !dup {
+			globalAddr[name] = v
+		}
+	}
+
+	resolve := func(oi int, name string) (uint32, error) {
+		if v, ok := localAddr[oi][name]; ok {
+			return v, nil
+		}
+		if v, ok := globalAddr[name]; ok {
+			return v, nil
+		}
+		return 0, fmt.Errorf("link: undefined symbol %q", name)
+	}
+
+	// ---------------- relocation ----------------
+	for oi, obj := range objects {
+		for _, s := range obj.Sections {
+			if len(s.Relocs) == 0 {
+				continue
+			}
+			out, ok := merged[s.Name]
+			if !ok || out.Type == kelf.SecNobits {
+				return nil, fmt.Errorf("link: relocations against unsupported section %q", s.Name)
+			}
+			base := placement[oi][s.Name]
+			for _, r := range s.Relocs {
+				sv, err := resolve(oi, r.Symbol)
+				if err != nil {
+					return nil, err
+				}
+				p := base + r.Offset
+				off := p - out.Addr
+				if int(off)+4 > len(out.Data) {
+					return nil, fmt.Errorf("link: relocation offset %#x out of section %s", r.Offset, s.Name)
+				}
+				if err := patch(out.Data[off:off+4], r.Type, sv, r.Addend, p); err != nil {
+					return nil, fmt.Errorf("link: %s+%#x (%s against %q): %v",
+						s.Name, r.Offset, r.Type, r.Symbol, err)
+				}
+			}
+		}
+	}
+
+	// ---------------- debug info ----------------
+	lineMap := &kelf.LineMap{}
+	srcMap := &kelf.LineMap{}
+	funcs := &kelf.FuncTable{}
+	for oi, obj := range objects {
+		textBase, hasText := placement[oi][kelf.SecText]
+		if !hasText {
+			continue
+		}
+		if err := mergeLineMap(lineMap, obj.Section(kelf.SecLineMap), textBase); err != nil {
+			return nil, err
+		}
+		if err := mergeLineMap(srcMap, obj.Section(kelf.SecSrcMap), textBase); err != nil {
+			return nil, err
+		}
+		if sec := obj.Section(kelf.SecFuncs); sec != nil {
+			ft, err := kelf.DecodeFuncTable(sec.Data)
+			if err != nil {
+				return nil, err
+			}
+			ft.Rebase(textBase)
+			funcs.Funcs = append(funcs.Funcs, ft.Funcs...)
+		}
+	}
+	lineMap.Sort()
+	srcMap.Sort()
+	funcs.Sort()
+
+	// ---------------- output ----------------
+	exe := kelf.New(kelf.TypeExec)
+	for _, name := range secOrder {
+		if s, ok := merged[name]; ok {
+			if err := exe.AddSection(s); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(lineMap.Entries) > 0 {
+		_ = exe.AddSection(&kelf.Section{Name: kelf.SecLineMap, Type: kelf.SecProgbits, Data: lineMap.Encode()})
+	}
+	if len(srcMap.Entries) > 0 {
+		_ = exe.AddSection(&kelf.Section{Name: kelf.SecSrcMap, Type: kelf.SecProgbits, Data: srcMap.Encode()})
+	}
+	if len(funcs.Funcs) > 0 {
+		_ = exe.AddSection(&kelf.Section{Name: kelf.SecFuncs, Type: kelf.SecProgbits, Data: funcs.Encode()})
+	}
+	// Globals (with final addresses) survive into the executable.
+	names := make([]string, 0, len(globalAddr))
+	for n := range globalAddr {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		sym := &kelf.Symbol{Name: n, Value: globalAddr[n], Bind: kelf.BindGlobal, Section: kelf.SectionAbs}
+		if src := globalSym[n]; src != nil {
+			sym.Type = src.Type
+			sym.Size = src.Size
+			if src.Section != kelf.SectionAbs {
+				sym.Section = src.Section
+			}
+		}
+		if err := exe.AddSymbol(sym); err != nil {
+			return nil, err
+		}
+	}
+
+	entry, ok := globalAddr[opt.Entry]
+	if !ok {
+		return nil, fmt.Errorf("link: entry symbol %q undefined", opt.Entry)
+	}
+	exe.Entry = entry
+	exe.EntryISA = entryISA.ID
+	if fi := funcs.Lookup(entry); fi != nil && int(fi.ISA) != entryISA.ID {
+		return nil, fmt.Errorf("link: entry %q is %s code but entry ISA is %s (Sec. V-D: initial ISA must match the entry code)",
+			opt.Entry, m.ISAByID(int(fi.ISA)).Name, entryISA.Name)
+	}
+	return exe, nil
+}
+
+func definedGlobals(objects []*kelf.File) map[string]bool {
+	out := map[string]bool{}
+	for _, o := range objects {
+		for _, s := range o.Symbols {
+			if s.Bind == kelf.BindGlobal && s.Section != "" {
+				out[s.Name] = true
+			}
+		}
+	}
+	return out
+}
+
+func undefinedNames(objects []*kelf.File, defined map[string]bool) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, o := range objects {
+		for _, s := range o.Symbols {
+			if s.Section == "" && !defined[s.Name] && !seen[s.Name] {
+				seen[s.Name] = true
+				out = append(out, s.Name)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// patch applies one relocation to the 4 bytes at b.
+func patch(b []byte, t kelf.RelocType, s uint32, a int32, p uint32) error {
+	target := s + uint32(a)
+	w := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	switch t {
+	case kelf.RelAbs32:
+		w = target
+	case kelf.RelHi16:
+		w = w&0xFFFF0000 | target>>16
+	case kelf.RelLo16:
+		w = w&0xFFFF0000 | target&0xFFFF
+	case kelf.RelJ26:
+		if target%4 != 0 {
+			return fmt.Errorf("jump target %#x not word aligned", target)
+		}
+		v := target / 4
+		if v >= 1<<26 {
+			return fmt.Errorf("jump target %#x out of 26-bit range", target)
+		}
+		w = w&0xFC000000 | v
+	case kelf.RelBr16:
+		delta := int64(target) - int64(p)
+		if delta%4 != 0 {
+			return fmt.Errorf("branch target %#x misaligned relative to %#x", target, p)
+		}
+		v := delta / 4
+		if v < -(1<<15) || v >= 1<<15 {
+			return fmt.Errorf("branch displacement %d out of 16-bit range", v)
+		}
+		w = w&0xFFFF0000 | uint32(v)&0xFFFF
+	default:
+		return fmt.Errorf("unknown relocation type %d", t)
+	}
+	b[0], b[1], b[2], b[3] = byte(w), byte(w>>8), byte(w>>16), byte(w>>24)
+	return nil
+}
+
+func mergeLineMap(dst *kelf.LineMap, sec *kelf.Section, delta uint32) error {
+	if sec == nil {
+		return nil
+	}
+	lm, err := kelf.DecodeLineMap(sec.Data)
+	if err != nil {
+		return err
+	}
+	for _, e := range lm.Entries {
+		fi := dst.AddFile(lm.Files[e.File])
+		dst.Add(e.Addr+delta, fi, e.Line)
+	}
+	return nil
+}
+
+func alignUp(n, a uint32) uint32 { return (n + a - 1) &^ (a - 1) }
+
+// crt0Object assembles the startup code: initialize sp, call main,
+// exit(main's return value).
+func crt0Object(m *isa.Model, entryISA *isa.ISA, opt Options) (*kelf.File, error) {
+	src := fmt.Sprintf(`
+	.isa %s
+	.text
+	.global _start
+	.func _start
+_start:
+	lui sp, %%hi(__stack_top)
+	ori sp, sp, %%lo(__stack_top)
+	jal main
+	simcall %d
+	halt
+	.endfunc
+`, entryISA.Name, simcall.Exit)
+	obj, err := asm.Assemble(m, "<crt0>", src)
+	if err != nil {
+		return nil, fmt.Errorf("link: assembling startup code: %v", err)
+	}
+	return obj, nil
+}
+
+// libcObject assembles the auto-generated stub file: one tiny function
+// per required library function, whose body only executes the SIMCALL
+// operation and returns (Sec. V-E).
+func libcObject(m *isa.Model, entryISA *isa.ISA, names []string) (*kelf.File, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "\t.isa %s\n\t.text\n", entryISA.Name)
+	for _, n := range names {
+		id := simcall.Names[n]
+		fmt.Fprintf(&sb, "\t.global %s\n\t.func %s\n%s:\n\tsimcall %d\n\tret\n\t.endfunc\n", n, n, n, id)
+	}
+	obj, err := asm.Assemble(m, "<libc-stubs>", sb.String())
+	if err != nil {
+		return nil, fmt.Errorf("link: assembling C library stubs: %v", err)
+	}
+	return obj, nil
+}

@@ -1,0 +1,316 @@
+package link_test
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/kelf"
+	"repro/internal/link"
+	"repro/internal/targetgen"
+)
+
+func obj(t *testing.T, name, src string) *kelf.File {
+	t.Helper()
+	f, err := asm.Assemble(targetgen.MustKahrisma(), name, src)
+	if err != nil {
+		t.Fatalf("assemble %s: %v", name, err)
+	}
+	return f
+}
+
+func linkObjs(t *testing.T, opt link.Options, objs ...*kelf.File) *kelf.File {
+	t.Helper()
+	exe, err := link.Link(targetgen.MustKahrisma(), objs, opt)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	return exe
+}
+
+func word(t *testing.T, exe *kelf.File, sec string, addr uint32) uint32 {
+	t.Helper()
+	s := exe.Section(sec)
+	if s == nil {
+		t.Fatalf("no section %s", sec)
+	}
+	off := addr - s.Addr
+	if int(off)+4 > len(s.Data) {
+		t.Fatalf("addr %#x outside %s [%#x,%#x)", addr, sec, s.Addr, s.Addr+uint32(len(s.Data)))
+	}
+	return binary.LittleEndian.Uint32(s.Data[off:])
+}
+
+const mainSrc = `
+	.global main
+	.func main
+main:
+	la a0, greeting
+	jal helper
+	li a0, 0
+	ret
+	.endfunc
+	.data
+	.global greeting
+greeting:
+	.asciz "hello"
+`
+
+const helperSrc = `
+	.global helper
+	.func helper
+helper:
+loop:
+	addi a0, a0, -1
+	bne a0, zero, loop
+	ret
+	.endfunc
+	.rodata
+	.global table
+table:
+	.word greeting, main
+`
+
+func TestLinkTwoObjects(t *testing.T) {
+	exe := linkObjs(t, link.Defaults(), obj(t, "main.s", mainSrc), obj(t, "helper.s", helperSrc))
+	if exe.Type != kelf.TypeExec {
+		t.Fatal("not an executable")
+	}
+	// Entry is crt0 at TextBase.
+	if exe.Entry != 0x1000 {
+		t.Fatalf("entry = %#x, want 0x1000", exe.Entry)
+	}
+	start := exe.Symbol("_start")
+	if start == nil || start.Value != 0x1000 {
+		t.Fatalf("_start = %+v", start)
+	}
+	mainSym := exe.Symbol("main")
+	helperSym := exe.Symbol("helper")
+	greet := exe.Symbol("greeting")
+	tableSym := exe.Symbol("table")
+	if mainSym == nil || helperSym == nil || greet == nil || tableSym == nil {
+		t.Fatal("missing symbols")
+	}
+
+	// crt0's `jal main` (3rd instruction of _start) targets main.
+	jalWord := word(t, exe, kelf.SecText, 0x1000+8)
+	m := targetgen.MustKahrisma()
+	jal := m.Op("JAL")
+	if !jal.Match(jalWord) {
+		t.Fatalf("word at _start+8 is not JAL: %#x", jalWord)
+	}
+	if got := uint32(jal.DecodeOperands(jalWord).Imm) * 4; got != mainSym.Value {
+		t.Errorf("jal target %#x, want main %#x", got, mainSym.Value)
+	}
+
+	// main's la: lui/ori pair resolving greeting.
+	luiWord := word(t, exe, kelf.SecText, mainSym.Value)
+	oriWord := word(t, exe, kelf.SecText, mainSym.Value+4)
+	hi := m.Op("LUI").DecodeOperands(luiWord).Imm
+	lo := m.Op("ORI").DecodeOperands(oriWord).Imm
+	if addr := uint32(hi)<<16 | uint32(lo); addr != greet.Value {
+		t.Errorf("la resolves to %#x, want greeting %#x", addr, greet.Value)
+	}
+
+	// helper's backward branch: displacement -1 instruction.
+	bneWord := word(t, exe, kelf.SecText, helperSym.Value+4)
+	if got := m.Op("BNE").DecodeOperands(bneWord).Imm; got != -1 {
+		t.Errorf("bne displacement = %d, want -1", got)
+	}
+
+	// .rodata table words point at greeting and main.
+	if got := word(t, exe, kelf.SecRodata, tableSym.Value); got != greet.Value {
+		t.Errorf("table[0] = %#x, want %#x", got, greet.Value)
+	}
+	if got := word(t, exe, kelf.SecRodata, tableSym.Value+4); got != mainSym.Value {
+		t.Errorf("table[1] = %#x, want %#x", got, mainSym.Value)
+	}
+
+	// Linker-provided symbols.
+	if st := exe.Symbol("__stack_top"); st == nil || st.Value != 0x00400000 {
+		t.Errorf("__stack_top = %+v", st)
+	}
+	hs := exe.Symbol("__heap_start")
+	data := exe.Section(kelf.SecData)
+	if hs == nil || hs.Value < data.Addr+uint32(len(data.Data)) || hs.Value%4096 != 0 {
+		t.Errorf("__heap_start = %+v", hs)
+	}
+}
+
+func TestLibcStubGeneration(t *testing.T) {
+	src := `
+	.global main
+main:
+	jal puts
+	jal malloc
+	ret
+`
+	exe := linkObjs(t, link.Defaults(), obj(t, "m.s", src))
+	for _, n := range []string{"puts", "malloc"} {
+		if exe.Symbol(n) == nil {
+			t.Errorf("stub %s not generated", n)
+		}
+	}
+	// Stubs are simcall+ret; check puts starts with SIMCALL id 2.
+	m := targetgen.MustKahrisma()
+	w := word(t, exe, kelf.SecText, exe.Symbol("puts").Value)
+	sc := m.Op("SIMCALL")
+	if !sc.Match(w) || sc.DecodeOperands(w).Imm != 2 {
+		t.Errorf("puts stub word = %#x", w)
+	}
+	// Function table contains the stubs.
+	ft, err := kelf.DecodeFuncTable(exe.Section(kelf.SecFuncs).Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi := ft.Lookup(exe.Symbol("puts").Value); fi == nil || fi.Name != "puts" {
+		t.Errorf("functable lookup(puts) = %+v", fi)
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	m := targetgen.MustKahrisma()
+	dup := `
+	.global main
+main:
+	ret
+`
+	_, err := link.Link(m, []*kelf.File{obj(t, "a.s", dup), obj(t, "b.s", dup)}, link.Defaults())
+	if err == nil || !strings.Contains(err.Error(), "multiple definitions") {
+		t.Errorf("duplicate main: %v", err)
+	}
+
+	undef := `
+	.global main
+main:
+	jal nosuchfunc
+	ret
+`
+	_, err = link.Link(m, []*kelf.File{obj(t, "u.s", undef)}, link.Defaults())
+	if err == nil || !strings.Contains(err.Error(), "undefined symbol") {
+		t.Errorf("undefined: %v", err)
+	}
+
+	opt := link.Defaults()
+	opt.Startup = false
+	_, err = link.Link(m, []*kelf.File{obj(t, "u.s", dup)}, opt)
+	if err == nil || !strings.Contains(err.Error(), `entry symbol "_start" undefined`) {
+		t.Errorf("no entry: %v", err)
+	}
+
+	opt = link.Defaults()
+	opt.EntryISA = "NOPE"
+	_, err = link.Link(m, []*kelf.File{obj(t, "u.s", dup)}, opt)
+	if err == nil || !strings.Contains(err.Error(), "unknown entry ISA") {
+		t.Errorf("bad entry isa: %v", err)
+	}
+
+	exe := linkObjs(t, link.Defaults(), obj(t, "m.s", dup))
+	_, err = link.Link(m, []*kelf.File{exe}, link.Defaults())
+	if err == nil || !strings.Contains(err.Error(), "not a relocatable object") {
+		t.Errorf("exec input: %v", err)
+	}
+}
+
+func TestEntryISAMismatchDetected(t *testing.T) {
+	m := targetgen.MustKahrisma()
+	src := `
+	.isa VLIW4
+	.global _start
+	.func _start
+_start:
+	halt
+	.endfunc
+`
+	opt := link.Defaults()
+	opt.EntryISA = "RISC"
+	_, err := link.Link(m, []*kelf.File{obj(t, "s.s", src)}, opt)
+	if err == nil || !strings.Contains(err.Error(), "initial ISA must match") {
+		t.Fatalf("mismatch not detected: %v", err)
+	}
+	opt.EntryISA = "VLIW4"
+	exe, err := link.Link(m, []*kelf.File{obj(t, "s.s", src)}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exe.EntryISA != m.ISAByName("VLIW4").ID {
+		t.Errorf("EntryISA = %d", exe.EntryISA)
+	}
+}
+
+func TestEntryISAOfCrt0(t *testing.T) {
+	src := "\t.global main\nmain:\n\tret\n"
+	opt := link.Defaults()
+	opt.EntryISA = "VLIW2"
+	exe := linkObjs(t, opt, obj(t, "m.s", src))
+	m := targetgen.MustKahrisma()
+	if exe.EntryISA != m.ISAByName("VLIW2").ID {
+		t.Fatalf("EntryISA = %d", exe.EntryISA)
+	}
+	// crt0 instructions are now 2-slot bundles: _start+16 is `jal main`
+	// (instr 2 of the bundle sequence: lui, ori, jal at bundle indexes).
+	jalWord := word(t, exe, kelf.SecText, 0x1000+2*8)
+	if !m.Op("JAL").Match(jalWord) {
+		t.Fatalf("VLIW2 crt0 third bundle slot0 = %#x, not JAL", jalWord)
+	}
+}
+
+func TestDebugSectionsMergedAndRebased(t *testing.T) {
+	a := obj(t, "a.s", `
+	.global main
+	.func main
+main:
+	.loc "a.c" 5
+	nop
+	ret
+	.endfunc
+`)
+	b := obj(t, "b.s", `
+	.global f2
+	.func f2
+f2:
+	.loc "b.c" 9
+	nop
+	ret
+	.endfunc
+`)
+	exe := linkObjs(t, link.Defaults(), a, b)
+	ft, err := kelf.DecodeFuncTable(exe.Section(kelf.SecFuncs).Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2 := exe.Symbol("f2")
+	if fi := ft.Lookup(f2.Value); fi == nil || fi.Name != "f2" {
+		t.Fatalf("functable missing rebased f2: %+v", ft.Funcs)
+	}
+	sm, err := kelf.DecodeLineMap(exe.Section(kelf.SecSrcMap).Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if file, line, ok := sm.Lookup(f2.Value); !ok || file != "b.c" || line != 9 {
+		t.Fatalf("srcmap at f2 = %s:%d,%v", file, line, ok)
+	}
+	mainSym := exe.Symbol("main")
+	if file, line, ok := sm.Lookup(mainSym.Value); !ok || file != "a.c" || line != 5 {
+		t.Fatalf("srcmap at main = %s:%d,%v", file, line, ok)
+	}
+}
+
+func TestExecRoundTripsThroughELF(t *testing.T) {
+	exe := linkObjs(t, link.Defaults(), obj(t, "m.s", mainSrc), obj(t, "h.s", helperSrc))
+	b, err := exe.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := kelf.Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Entry != exe.Entry || got.EntryISA != exe.EntryISA {
+		t.Fatal("entry lost in round trip")
+	}
+	if got.Section(kelf.SecText).Addr != exe.Section(kelf.SecText).Addr {
+		t.Fatal("text addr lost")
+	}
+}

@@ -1,0 +1,373 @@
+// Package mem implements the memory-delay approximation of the
+// simulator (Sec. VI-D of the paper): a memory hierarchy composed of
+// three module types — caches, connection limits, and main memory —
+// sharing one interface that computes the completion cycle of a memory
+// access. Cache and connection-limit modules hold a pointer to the
+// submodule that follows them in the hierarchy and forward misses.
+//
+// The delay functions may be called out of program-issue order (the DOE
+// model issues memory operations in program order while the hardware
+// executes them in issue order); the cache therefore stores, per cache
+// line, the cycle the line was written, and a hit completes no earlier
+// than that cycle.
+package mem
+
+import "fmt"
+
+// Module is the common interface of all memory hierarchy modules: it
+// calculates the completion cycle of a memory access. The memory
+// address, access type (read or write), issue slot, and start cycle are
+// the paper's input parameters.
+type Module interface {
+	// Access returns the completion cycle of the access.
+	Access(addr uint32, write bool, slot int, start uint64) uint64
+	// Reset clears all state (cache contents, port reservations).
+	Reset()
+	// Name identifies the module in reports.
+	Name() string
+}
+
+// ---------------------------------------------------------------------
+// Main memory
+
+// MainMemory is the simplest module: a configurable fixed access delay.
+type MainMemory struct {
+	Delay    uint64
+	Accesses uint64
+}
+
+// NewMainMemory returns a main-memory module with the given delay.
+func NewMainMemory(delay uint64) *MainMemory { return &MainMemory{Delay: delay} }
+
+// Access adds the fixed delay to the start cycle.
+func (m *MainMemory) Access(addr uint32, write bool, slot int, start uint64) uint64 {
+	m.Accesses++
+	return start + m.Delay
+}
+
+// Reset clears the access counter.
+func (m *MainMemory) Reset() { m.Accesses = 0 }
+
+// Name implements Module.
+func (m *MainMemory) Name() string { return fmt.Sprintf("mem(%d)", m.Delay) }
+
+// ---------------------------------------------------------------------
+// Cache
+
+// Cache emulates an n-way set-associative cache with write-back write
+// policy and least-recently-used replacement. Line size, associativity,
+// cache size and access delay are configurable (Sec. VI-D).
+type Cache struct {
+	Label     string
+	LineSize  uint32 // bytes, power of two
+	Assoc     int
+	SizeBytes uint32
+	Delay     uint64
+	Sub       Module // next module in the hierarchy
+
+	sets     uint32
+	lineBits uint32
+	ways     []way // sets*assoc
+
+	tick uint64 // LRU clock
+
+	Hits, Misses, Writebacks uint64
+}
+
+type way struct {
+	valid      bool
+	dirty      bool
+	tag        uint32
+	writeCycle uint64 // cycle the line was (re)filled — for out-of-order calls
+	lastUse    uint64
+}
+
+// NewCache builds a cache module. sizeBytes must be divisible by
+// lineSize*assoc and lineSize must be a power of two.
+func NewCache(label string, sizeBytes, lineSize uint32, assoc int, delay uint64, sub Module) (*Cache, error) {
+	if lineSize == 0 || lineSize&(lineSize-1) != 0 {
+		return nil, fmt.Errorf("mem: line size %d not a power of two", lineSize)
+	}
+	if assoc < 1 {
+		return nil, fmt.Errorf("mem: associativity %d < 1", assoc)
+	}
+	if sizeBytes == 0 || sizeBytes%(lineSize*uint32(assoc)) != 0 {
+		return nil, fmt.Errorf("mem: size %d not divisible by line*assoc=%d", sizeBytes, lineSize*uint32(assoc))
+	}
+	if sub == nil {
+		return nil, fmt.Errorf("mem: cache %s needs a submodule", label)
+	}
+	c := &Cache{
+		Label: label, LineSize: lineSize, Assoc: assoc, SizeBytes: sizeBytes,
+		Delay: delay, Sub: sub,
+	}
+	c.sets = sizeBytes / (lineSize * uint32(assoc))
+	for b := lineSize; b > 1; b >>= 1 {
+		c.lineBits++
+	}
+	c.ways = make([]way, c.sets*uint32(assoc))
+	return c, nil
+}
+
+// MustCache is NewCache panicking on bad configuration (for literals in
+// tests and tools).
+func MustCache(label string, sizeBytes, lineSize uint32, assoc int, delay uint64, sub Module) *Cache {
+	c, err := NewCache(label, sizeBytes, lineSize, assoc, delay, sub)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Access implements the paper's cache delay calculation:
+//
+//	current = start + delay
+//	hit  -> return max(current, line write cycle)
+//	miss -> forward (fetch) to the submodule, optionally write back the
+//	        victim, add the cache delay again for the line fill, record
+//	        the fill cycle in the line, return current.
+func (c *Cache) Access(addr uint32, write bool, slot int, start uint64) uint64 {
+	c.tick++
+	cur := start + c.Delay
+	tag := addr >> c.lineBits
+	set := tag % c.sets
+	base := set * uint32(c.Assoc)
+	ws := c.ways[base : base+uint32(c.Assoc)]
+
+	// Hit?
+	for i := range ws {
+		if ws[i].valid && ws[i].tag == tag {
+			c.Hits++
+			ws[i].lastUse = c.tick
+			if write {
+				ws[i].dirty = true
+			}
+			if ws[i].writeCycle > cur {
+				cur = ws[i].writeCycle
+			}
+			return cur
+		}
+	}
+
+	// Miss: choose LRU victim.
+	c.Misses++
+	victim := 0
+	for i := 1; i < len(ws); i++ {
+		if !ws[i].valid {
+			victim = i
+			break
+		}
+		if ws[i].lastUse < ws[victim].lastUse {
+			victim = i
+		}
+	}
+	// Fetch the missing line from the submodule.
+	cur = c.Sub.Access(addr, false, slot, cur)
+	// Write back the victim if required (second subaccess).
+	if ws[victim].valid && ws[victim].dirty {
+		c.Writebacks++
+		victimAddr := ws[victim].tag << c.lineBits
+		cur = c.Sub.Access(victimAddr, true, slot, cur)
+	}
+	// Store the fetched data inside the cache.
+	cur += c.Delay
+	ws[victim] = way{valid: true, dirty: write, tag: tag, writeCycle: cur, lastUse: c.tick}
+	return cur
+}
+
+// Contains reports whether addr currently hits (without touching LRU or
+// statistics) — used by tests and the RTL model's warm-up checks.
+func (c *Cache) Contains(addr uint32) bool {
+	tag := addr >> c.lineBits
+	set := tag % c.sets
+	base := set * uint32(c.Assoc)
+	for i := 0; i < c.Assoc; i++ {
+		if w := c.ways[base+uint32(i)]; w.valid && w.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// MissRate returns misses/(hits+misses), or 0 with no accesses.
+func (c *Cache) MissRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(total)
+}
+
+// Reset clears contents and statistics (and the submodule).
+func (c *Cache) Reset() {
+	for i := range c.ways {
+		c.ways[i] = way{}
+	}
+	c.tick = 0
+	c.Hits, c.Misses, c.Writebacks = 0, 0, 0
+	c.Sub.Reset()
+}
+
+// Name implements Module.
+func (c *Cache) Name() string {
+	return fmt.Sprintf("cache:%s(%dB,%d-way,%dB-line,%dcyc)", c.Label, c.SizeBytes, c.Assoc, c.LineSize, c.Delay)
+}
+
+// ---------------------------------------------------------------------
+// Connection limit
+
+// connWindow bounds the port-reservation bookkeeping. Reservations are
+// tracked per cycle in a ring indexed by cycle number; entries whose
+// stored cycle tag does not match are stale and treated as free. The
+// window is large enough that, with the in-program-order calls the
+// simulator performs, collisions cannot occur in practice.
+const connWindow = 1 << 20
+
+// ConnLimit models the resource constraint of a cache or memory port:
+// only Ports accesses may start (and complete) in the same cycle. It is
+// typically placed in front of a cache or memory module (Sec. VI-D).
+//
+// ClaimCompletion controls whether the completion cycle returned from
+// the submodule also reserves a port ("The same mechanism is applied to
+// the completion cycle", Sec. VI-D). The paper's evaluation describes
+// the module in front of the L1 as limiting "the L1 memory access to
+// one access per cycle", which only the start-side claim enforces;
+// both behaviours are available and the ablation benchmarks compare
+// them.
+type ConnLimit struct {
+	Ports           int
+	ClaimCompletion bool
+	Sub             Module
+
+	cycleTag []uint64
+	count    []uint16
+
+	Delayed uint64 // accesses that had to move to a later start cycle
+}
+
+// NewConnLimit builds a connection-limit module with the given number
+// of access ports in front of sub.
+func NewConnLimit(ports int, sub Module) (*ConnLimit, error) {
+	if ports < 1 {
+		return nil, fmt.Errorf("mem: connection limit needs >= 1 port, got %d", ports)
+	}
+	if sub == nil {
+		return nil, fmt.Errorf("mem: connection limit needs a submodule")
+	}
+	return &ConnLimit{
+		Ports:           ports,
+		ClaimCompletion: true,
+		Sub:             sub,
+		cycleTag:        make([]uint64, connWindow),
+		count:           make([]uint16, connWindow),
+	}, nil
+}
+
+// MustConnLimit is NewConnLimit panicking on bad configuration.
+func MustConnLimit(ports int, sub Module) *ConnLimit {
+	c, err := NewConnLimit(ports, sub)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// claim reserves a port at the first cycle >= c with a free port and
+// returns that cycle.
+func (l *ConnLimit) claim(c uint64) uint64 {
+	for {
+		i := c % connWindow
+		if l.cycleTag[i] != c {
+			l.cycleTag[i] = c
+			l.count[i] = 1
+			return c
+		}
+		if int(l.count[i]) < l.Ports {
+			l.count[i]++
+			return c
+		}
+		c++
+	}
+}
+
+// Access checks (and reserves) a port for the start cycle, forwards to
+// the submodule, then applies the same mechanism to the completion
+// cycle returned from the submodule.
+func (l *ConnLimit) Access(addr uint32, write bool, slot int, start uint64) uint64 {
+	s := l.claim(start)
+	if s != start {
+		l.Delayed++
+	}
+	done := l.Sub.Access(addr, write, slot, s)
+	if !l.ClaimCompletion {
+		return done
+	}
+	d := l.claim(done)
+	if d != done {
+		l.Delayed++
+	}
+	return d
+}
+
+// Reset clears reservations and statistics (and the submodule).
+func (l *ConnLimit) Reset() {
+	for i := range l.cycleTag {
+		l.cycleTag[i] = 0
+		l.count[i] = 0
+	}
+	l.Delayed = 0
+	l.Sub.Reset()
+}
+
+// Name implements Module.
+func (l *ConnLimit) Name() string { return fmt.Sprintf("limit(%d)", l.Ports) }
+
+// ---------------------------------------------------------------------
+// Standard hierarchies
+
+// Hierarchy bundles the top module with handles to the interesting
+// levels for statistics.
+type Hierarchy struct {
+	Top  Module
+	L1   *Cache
+	L2   *Cache
+	Main *MainMemory
+	Lim  *ConnLimit
+}
+
+// Access forwards to the top module.
+func (h *Hierarchy) Access(addr uint32, write bool, slot int, start uint64) uint64 {
+	return h.Top.Access(addr, write, slot, start)
+}
+
+// Reset resets the whole hierarchy.
+func (h *Hierarchy) Reset() { h.Top.Reset() }
+
+// Name implements Module.
+func (h *Hierarchy) Name() string { return h.Top.Name() }
+
+// Paper returns the memory hierarchy of the paper's evaluation
+// (Sec. VII): L1 2 KiB 4-way 3 cycles behind a one-port connection
+// limit, L2 256 KiB 4-way 6 cycles, main memory 18 cycles. The paper
+// does not state the line size; 32 bytes is used.
+//
+// The evaluation describes the limit module as restricting "the L1
+// memory access to one access per cycle", so the port here claims the
+// start cycle only (ClaimCompletion=false). The stricter Sec. VI-D
+// behaviour — completions also reserve the port — remains the module
+// default and is compared in the ablation benchmarks.
+func Paper() *Hierarchy {
+	main := NewMainMemory(18)
+	l2 := MustCache("L2", 256*1024, 32, 4, 6, main)
+	l1 := MustCache("L1", 2*1024, 32, 4, 3, l2)
+	lim := MustConnLimit(1, l1)
+	lim.ClaimCompletion = false
+	return &Hierarchy{Top: lim, L1: l1, L2: l2, Main: main, Lim: lim}
+}
+
+// Flat returns a hierarchy with a single fixed-delay memory (the ILP
+// model's ideal memory uses a plain 3-cycle delay instead).
+func Flat(delay uint64) *Hierarchy {
+	m := NewMainMemory(delay)
+	return &Hierarchy{Top: m, Main: m}
+}

@@ -1,0 +1,224 @@
+package mem_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestMainMemoryDelay(t *testing.T) {
+	m := mem.NewMainMemory(18)
+	if got := m.Access(0x100, false, 0, 10); got != 28 {
+		t.Fatalf("completion = %d, want 28", got)
+	}
+	if m.Accesses != 1 {
+		t.Fatalf("accesses = %d", m.Accesses)
+	}
+	m.Reset()
+	if m.Accesses != 0 {
+		t.Fatal("reset did not clear stats")
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	main := mem.NewMainMemory(18)
+	c := mem.MustCache("L1", 2048, 32, 4, 3, main)
+	// Cold miss: 3 (probe) + 18 (fetch) + 3 (fill) = 24.
+	if got := c.Access(0x100, false, 0, 0); got != 24 {
+		t.Fatalf("miss completion = %d, want 24", got)
+	}
+	if c.Misses != 1 || c.Hits != 0 {
+		t.Fatalf("stats = %d hits %d misses", c.Hits, c.Misses)
+	}
+	// Hit well after the fill: start+3.
+	if got := c.Access(0x104, false, 0, 100); got != 103 {
+		t.Fatalf("hit completion = %d, want 103", got)
+	}
+	// Out-of-order call: a hit whose start predates the line fill
+	// completes no earlier than the fill cycle (paper: the write cycle
+	// stored within each cache line).
+	if got := c.Access(0x108, false, 0, 0); got != 24 {
+		t.Fatalf("early hit completion = %d, want fill cycle 24", got)
+	}
+	if !c.Contains(0x11F) || c.Contains(0x120) {
+		t.Fatal("Contains line-boundary check failed")
+	}
+}
+
+func TestCacheWriteBack(t *testing.T) {
+	main := mem.NewMainMemory(10)
+	// Direct-mapped, 2 sets of 1 way, 32B lines, 64B cache.
+	c := mem.MustCache("L1", 64, 32, 1, 1, main)
+	c.Access(0x000, true, 0, 0) // dirty line in set 0
+	if c.Writebacks != 0 {
+		t.Fatal("unexpected writeback")
+	}
+	// Same set, different tag: evicts the dirty victim.
+	// probe(1) + fetch(10) + writeback(10) + fill(1) = 22.
+	if got := c.Access(0x100, false, 0, 0); got != 22 {
+		t.Fatalf("eviction completion = %d, want 22", got)
+	}
+	if c.Writebacks != 1 {
+		t.Fatalf("writebacks = %d", c.Writebacks)
+	}
+	// Clean eviction has no writeback: probe+fetch+fill = 12.
+	if got := c.Access(0x200, false, 0, 100); got != 112 {
+		t.Fatalf("clean eviction completion = %d, want 112", got)
+	}
+	if c.Writebacks != 1 {
+		t.Fatalf("writebacks after clean eviction = %d", c.Writebacks)
+	}
+}
+
+func TestCacheLRU(t *testing.T) {
+	main := mem.NewMainMemory(0)
+	// One set, 2 ways.
+	c := mem.MustCache("L1", 64, 32, 2, 0, main)
+	c.Access(0x000, false, 0, 0) // A
+	c.Access(0x040, false, 0, 0) // B (same set: 1 set, tag differs)
+	c.Access(0x000, false, 0, 0) // touch A -> B is LRU
+	c.Access(0x080, false, 0, 0) // C evicts B
+	if !c.Contains(0x000) || c.Contains(0x040) || !c.Contains(0x080) {
+		t.Fatalf("LRU eviction wrong: A=%v B=%v C=%v",
+			c.Contains(0x000), c.Contains(0x040), c.Contains(0x080))
+	}
+}
+
+func TestCacheMissRateWorkingSet(t *testing.T) {
+	// Working set larger than the cache thrashes; smaller one hits.
+	h := mem.Paper()
+	for pass := 0; pass < 4; pass++ {
+		for a := uint32(0); a < 1024; a += 4 {
+			h.Access(a, false, 0, uint64(pass*1000)+uint64(a))
+		}
+	}
+	if r := h.L1.MissRate(); r > 0.05 {
+		t.Errorf("small working set L1 miss rate = %f", r)
+	}
+	h.Reset()
+	for pass := 0; pass < 4; pass++ {
+		for a := uint32(0); a < 64*1024; a += 32 {
+			h.Access(a, false, 0, uint64(a))
+		}
+	}
+	if r := h.L1.MissRate(); r < 0.9 {
+		t.Errorf("thrashing working set L1 miss rate = %f, want ~1", r)
+	}
+}
+
+func TestConnLimitSerializesPorts(t *testing.T) {
+	main := mem.NewMainMemory(5)
+	l := mem.MustConnLimit(1, main)
+	// Three accesses wanting to start at cycle 10: starts 10, 11, 12;
+	// completions 15, 16, 17 each claim a distinct completion slot.
+	got := []uint64{
+		l.Access(0, false, 0, 10),
+		l.Access(4, false, 1, 10),
+		l.Access(8, false, 2, 10),
+	}
+	want := []uint64{15, 16, 17}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("access %d completion = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// Only the two start cycles had to move; the completions landed on
+	// distinct cycles already.
+	if l.Delayed != 2 {
+		t.Errorf("delayed = %d, want 2", l.Delayed)
+	}
+}
+
+func TestConnLimitMultiPort(t *testing.T) {
+	main := mem.NewMainMemory(5)
+	l := mem.MustConnLimit(2, main)
+	a := l.Access(0, false, 0, 10)
+	b := l.Access(4, false, 1, 10)
+	c := l.Access(8, false, 2, 10)
+	if a != 15 || b != 15 || c != 16 {
+		t.Fatalf("completions = %d,%d,%d want 15,15,16", a, b, c)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	main := mem.NewMainMemory(1)
+	if _, err := mem.NewCache("x", 2048, 33, 4, 1, main); err == nil {
+		t.Error("non-power-of-two line accepted")
+	}
+	if _, err := mem.NewCache("x", 2048, 32, 0, 1, main); err == nil {
+		t.Error("zero associativity accepted")
+	}
+	if _, err := mem.NewCache("x", 100, 32, 4, 1, main); err == nil {
+		t.Error("indivisible size accepted")
+	}
+	if _, err := mem.NewCache("x", 2048, 32, 4, 1, nil); err == nil {
+		t.Error("nil submodule accepted")
+	}
+	if _, err := mem.NewConnLimit(0, main); err == nil {
+		t.Error("zero ports accepted")
+	}
+	if _, err := mem.NewConnLimit(1, nil); err == nil {
+		t.Error("nil submodule accepted")
+	}
+}
+
+// Property: completion cycle is always >= start cycle (monotonicity),
+// for the full paper hierarchy under random access streams.
+func TestCompletionMonotonicQuick(t *testing.T) {
+	h := mem.Paper()
+	var lastStart uint64
+	f := func(addr uint32, write bool, startDelta uint16) bool {
+		lastStart += uint64(startDelta % 64)
+		done := h.Access(addr%0x10000, write, int(addr%8), lastStart)
+		return done >= lastStart
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a cache never reports more hits+misses than accesses made,
+// and a repeated access to the same line (with no interfering set
+// pressure) is always a hit.
+func TestRepeatedAccessHitsQuick(t *testing.T) {
+	f := func(addr uint32) bool {
+		main := mem.NewMainMemory(18)
+		c := mem.MustCache("L1", 2048, 32, 4, 3, main)
+		c.Access(addr, false, 0, 0)
+		before := c.Hits
+		c.Access(addr, false, 0, 1000)
+		return c.Hits == before+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(4))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperHierarchyShape(t *testing.T) {
+	h := mem.Paper()
+	if h.L1.SizeBytes != 2048 || h.L1.Assoc != 4 || h.L1.Delay != 3 {
+		t.Errorf("L1 = %s", h.L1.Name())
+	}
+	if h.L2.SizeBytes != 256*1024 || h.L2.Delay != 6 {
+		t.Errorf("L2 = %s", h.L2.Name())
+	}
+	if h.Main.Delay != 18 {
+		t.Errorf("main delay = %d", h.Main.Delay)
+	}
+	if h.Lim.Ports != 1 {
+		t.Errorf("ports = %d", h.Lim.Ports)
+	}
+	// Cold L1 miss, L2 miss: 3 + (6 + 18 + 6) + 3 = 36.
+	if got := h.Access(0x5000, false, 0, 0); got != 36 {
+		t.Errorf("cold access completion = %d, want 36", got)
+	}
+}
+
+func TestFlatHierarchy(t *testing.T) {
+	h := mem.Flat(3)
+	if got := h.Access(0, false, 0, 7); got != 10 {
+		t.Fatalf("flat completion = %d, want 10", got)
+	}
+}

@@ -1,0 +1,167 @@
+package mem
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec builds a hierarchy from a compact textual description,
+// outermost module first, modules separated by '|':
+//
+//	limit:1|cache:2K,4,32,3|cache:256K,4,32,6|mem:18
+//
+// module forms:
+//
+//	limit:PORTS[,claim]     connection limit; "claim" makes completions
+//	                        reserve the port too (strict Sec. VI-D)
+//	cache:SIZE,ASSOC,LINE,DELAY   sizes accept a K suffix
+//	mem:DELAY               fixed-delay main memory (must be last)
+//
+// The first two caches become Hierarchy.L1/L2; the first limit becomes
+// Hierarchy.Lim.
+func ParseSpec(spec string) (*Hierarchy, error) {
+	parts := strings.Split(spec, "|")
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("mem: empty hierarchy spec")
+	}
+	h := &Hierarchy{}
+
+	// Build from the innermost module outwards.
+	var cur Module
+	for i := len(parts) - 1; i >= 0; i-- {
+		p := strings.TrimSpace(parts[i])
+		kind, args, _ := strings.Cut(p, ":")
+		fields := strings.Split(args, ",")
+		switch kind {
+		case "mem":
+			if cur != nil {
+				return nil, fmt.Errorf("mem: %q must be the last module", p)
+			}
+			d, err := parseUint(fields[0])
+			if err != nil {
+				return nil, fmt.Errorf("mem: %q: %v", p, err)
+			}
+			m := NewMainMemory(d)
+			h.Main = m
+			cur = m
+		case "cache":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("mem: %q: want cache:SIZE,ASSOC,LINE,DELAY", p)
+			}
+			if cur == nil {
+				return nil, fmt.Errorf("mem: %q has no inner module", p)
+			}
+			size, err1 := parseSize(fields[0])
+			assoc, err2 := parseUint(fields[1])
+			line, err3 := parseSize(fields[2])
+			delay, err4 := parseUint(fields[3])
+			for _, err := range []error{err1, err2, err3, err4} {
+				if err != nil {
+					return nil, fmt.Errorf("mem: %q: %v", p, err)
+				}
+			}
+			label := fmt.Sprintf("L%d", countCaches(parts[i+1:])+1)
+			c, err := NewCache(label, uint32(size), uint32(line), int(assoc), delay, cur)
+			if err != nil {
+				return nil, fmt.Errorf("mem: %q: %v", p, err)
+			}
+			if h.L2 == nil && h.L1 != nil {
+				h.L2 = h.L1
+			}
+			h.L1 = c
+			cur = c
+		case "limit":
+			if len(fields) < 1 || len(fields) > 2 {
+				return nil, fmt.Errorf("mem: %q: want limit:PORTS[,claim]", p)
+			}
+			if cur == nil {
+				return nil, fmt.Errorf("mem: %q has no inner module", p)
+			}
+			ports, err := parseUint(fields[0])
+			if err != nil {
+				return nil, fmt.Errorf("mem: %q: %v", p, err)
+			}
+			l, err := NewConnLimit(int(ports), cur)
+			if err != nil {
+				return nil, fmt.Errorf("mem: %q: %v", p, err)
+			}
+			l.ClaimCompletion = len(fields) == 2 && strings.TrimSpace(fields[1]) == "claim"
+			if h.Lim == nil {
+				h.Lim = l
+			}
+			cur = l
+		default:
+			return nil, fmt.Errorf("mem: unknown module kind %q", kind)
+		}
+	}
+	if h.Main == nil {
+		return nil, fmt.Errorf("mem: hierarchy needs a mem:DELAY module")
+	}
+	// The loop assigns L1 to the OUTERMOST cache already (it overwrites
+	// inner ones as it moves outwards) and pushed the previous one to L2.
+	h.Top = cur
+	return h, nil
+}
+
+func countCaches(inner []string) int {
+	n := 0
+	for _, p := range inner {
+		if strings.HasPrefix(strings.TrimSpace(p), "cache:") {
+			n++
+		}
+	}
+	return n
+}
+
+func parseUint(s string) (uint64, error) {
+	v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	return v, nil
+}
+
+func parseSize(s string) (uint64, error) {
+	s = strings.TrimSpace(s)
+	mult := uint64(1)
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult = 1024
+		s = s[:len(s)-1]
+	case strings.HasSuffix(s, "M"):
+		mult = 1024 * 1024
+		s = s[:len(s)-1]
+	}
+	v, err := parseUint(s)
+	if err != nil {
+		return 0, err
+	}
+	return v * mult, nil
+}
+
+// Spec renders the hierarchy in ParseSpec syntax (best effort, for
+// reports).
+func (h *Hierarchy) Spec() string {
+	var parts []string
+	var walk func(m Module)
+	walk = func(m Module) {
+		switch x := m.(type) {
+		case *ConnLimit:
+			p := fmt.Sprintf("limit:%d", x.Ports)
+			if x.ClaimCompletion {
+				p += ",claim"
+			}
+			parts = append(parts, p)
+			walk(x.Sub)
+		case *Cache:
+			parts = append(parts, fmt.Sprintf("cache:%d,%d,%d,%d",
+				x.SizeBytes, x.Assoc, x.LineSize, x.Delay))
+			walk(x.Sub)
+		case *MainMemory:
+			parts = append(parts, fmt.Sprintf("mem:%d", x.Delay))
+		}
+	}
+	walk(h.Top)
+	return strings.Join(parts, "|")
+}

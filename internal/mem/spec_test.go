@@ -1,0 +1,96 @@
+package mem_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestParseSpecPaperHierarchy(t *testing.T) {
+	h, err := mem.ParseSpec("limit:1|cache:2K,4,32,3|cache:256K,4,32,6|mem:18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.L1 == nil || h.L1.SizeBytes != 2048 || h.L1.Delay != 3 {
+		t.Fatalf("L1 = %+v", h.L1)
+	}
+	if h.L2 == nil || h.L2.SizeBytes != 256*1024 || h.L2.Delay != 6 {
+		t.Fatalf("L2 = %+v", h.L2)
+	}
+	if h.Main == nil || h.Main.Delay != 18 {
+		t.Fatalf("main = %+v", h.Main)
+	}
+	if h.Lim == nil || h.Lim.Ports != 1 || h.Lim.ClaimCompletion {
+		t.Fatalf("limit = %+v", h.Lim)
+	}
+	// Behaves identically to the canonical constructor.
+	ref := mem.Paper()
+	for _, addr := range []uint32{0, 0x40, 0x1000, 0x40, 0x20000, 0} {
+		a := h.Access(addr, false, 0, 0)
+		b := ref.Access(addr, false, 0, 0)
+		if a != b {
+			t.Fatalf("addr %#x: spec %d vs canonical %d", addr, a, b)
+		}
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"mem:7",
+		"cache:1K,2,16,1|mem:9",
+		"limit:2,claim|cache:4K,4,64,2|mem:20",
+		"limit:1|cache:2048,4,32,3|cache:262144,4,32,6|mem:18",
+	} {
+		h, err := mem.ParseSpec(spec)
+		if err != nil {
+			t.Fatalf("%q: %v", spec, err)
+		}
+		h2, err := mem.ParseSpec(h.Spec())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", h.Spec(), err)
+		}
+		if h2.Spec() != h.Spec() {
+			t.Fatalf("spec not a fixed point: %q vs %q", h.Spec(), h2.Spec())
+		}
+	}
+}
+
+func TestParseSpecClaimCompletion(t *testing.T) {
+	h, err := mem.ParseSpec("limit:1,claim|mem:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Lim.ClaimCompletion {
+		t.Fatal("claim flag lost")
+	}
+	// Two same-cycle accesses: starts 0 and 1, completions 5 and 6;
+	// with claims on completion a third start at 5 must slip past both
+	// reserved completion slots to 7, completing at 12.
+	h.Access(0, false, 0, 0)
+	h.Access(4, false, 0, 0)
+	if got := h.Access(8, false, 0, 5); got != 12 {
+		t.Fatalf("third access completion = %d, want 12", got)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []struct{ spec, sub string }{
+		{"", "unknown module"},
+		{"mem:zz", "bad number"},
+		{"cache:2K,4,32,3", "no inner module"},
+		{"limit:1", "no inner module"},
+		{"cache:2K,4,32|mem:1", "want cache"},
+		{"limit:|mem:1", "bad number"},
+		{"mem:1|mem:2", "must be the last"},
+		{"warp:9|mem:1", "unknown module kind"},
+		{"cache:2K,0,32,3|mem:1", "associativity"},
+		{"limit:0|mem:1", "port"},
+	}
+	for _, tc := range cases {
+		_, err := mem.ParseSpec(tc.spec)
+		if err == nil || !strings.Contains(err.Error(), tc.sub) {
+			t.Errorf("%q: err = %v, want %q", tc.spec, err, tc.sub)
+		}
+	}
+}

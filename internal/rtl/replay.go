@@ -1,0 +1,120 @@
+package rtl
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// ReplayTrace drives a pipeline from a trace file instead of a live
+// simulation — the paper's stimuli use case: "The trace file can also
+// serve as stimuli values for simulations of partial implementations of
+// the ISA and is therefore very useful for early evaluation of hardware
+// components" (Sec. IV).
+//
+// The trace carries, per executed operation, the opcode, the input and
+// output register numbers and values, and the immediate (Sec. V).
+// Memory addresses are reconstructed from the recorded input register
+// values (base + immediate), and instruction boundaries from the slot
+// numbers (a new instruction starts whenever the slot does not
+// increase). The trace must come from a single-ISA run of the given
+// ISA.
+func ReplayTrace(m *isa.Model, a *isa.ISA, events []trace.Event, cfg Config) (*Pipeline, error) {
+	p := New(m, cfg)
+	feed := newTraceFeeder(m, a, p)
+	for i := range events {
+		if err := feed.event(&events[i]); err != nil {
+			return nil, fmt.Errorf("rtl: replay event %d: %w", i, err)
+		}
+	}
+	if err := feed.flush(); err != nil {
+		return nil, err
+	}
+	p.Drain()
+	return p, nil
+}
+
+type traceFeeder struct {
+	m    *isa.Model
+	isa  *isa.ISA
+	pipe *Pipeline
+
+	ops      []sim.DecodedOp
+	mem      [sim.MaxIssue]sim.MemAccess
+	lastSlot int
+	have     bool
+	addr     uint32
+}
+
+func newTraceFeeder(m *isa.Model, a *isa.ISA, p *Pipeline) *traceFeeder {
+	return &traceFeeder{m: m, isa: a, pipe: p, lastSlot: -1}
+}
+
+func (f *traceFeeder) event(e *trace.Event) error {
+	op := f.m.Op(e.Op)
+	if op == nil {
+		return fmt.Errorf("unknown operation %q", e.Op)
+	}
+	if int(e.Slot) <= f.lastSlot || !f.have {
+		if err := f.flush(); err != nil {
+			return err
+		}
+		f.have = true
+		f.addr = e.Addr - uint32(e.Slot)*isa.OpWordBytes
+	}
+	f.lastSlot = int(e.Slot)
+
+	d := sim.DecodedOp{Op: op, Slot: e.Slot, Imm: e.Imm, Addr: e.Addr}
+	// Register numbers from the recorded values, by role order: src1
+	// first, then src2 (captureInputs order); the output is the
+	// destination.
+	ins := e.In
+	if op.Src1Field != nil && len(ins) > 0 {
+		d.Rs1 = ins[0].Reg
+		ins = ins[1:]
+	}
+	if op.Src2Field != nil && len(ins) > 0 {
+		d.Rs2 = ins[0].Reg
+	}
+	if op.HasDst() && len(e.Out) > 0 {
+		d.Rd = e.Out[0].Reg
+	}
+	idx := len(f.ops)
+	if idx >= sim.MaxIssue {
+		return fmt.Errorf("more than %d operations in one instruction", sim.MaxIssue)
+	}
+	// Memory address reconstruction: base register value + immediate.
+	if op.Class.IsMem() && len(e.In) > 0 {
+		base := e.In[0].Val // src1 is the base register for loads/stores
+		f.mem[idx] = sim.MemAccess{
+			Valid: true,
+			Write: op.Class == isa.ClassStore,
+			Addr:  base + uint32(e.Imm),
+		}
+	}
+	f.ops = append(f.ops, d)
+	return nil
+}
+
+// flush hands the accumulated instruction to the pipeline.
+func (f *traceFeeder) flush() error {
+	if !f.have {
+		return nil
+	}
+	d := &sim.Decoded{
+		Addr: f.addr,
+		ISA:  f.isa,
+		Size: f.isa.InstrBytes(),
+		Ops:  append([]sim.DecodedOp(nil), f.ops...),
+	}
+	rec := &sim.ExecRecord{D: d}
+	copy(rec.Mem[:], f.mem[:len(f.ops)])
+	f.pipe.Instruction(rec)
+	f.ops = f.ops[:0]
+	f.mem = [sim.MaxIssue]sim.MemAccess{}
+	f.lastSlot = -1
+	f.have = false
+	return nil
+}

@@ -1,0 +1,78 @@
+package rtl_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/ktest"
+	"repro/internal/rtl"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// A trace replayed into the pipeline must reproduce the cycle count of
+// the pipeline attached to the live simulation — the trace carries
+// everything the hardware model needs (the paper's stimuli use case).
+func TestReplayTraceMatchesLivePipeline(t *testing.T) {
+	m := ktest.Model(t)
+	for _, isaName := range []string{"RISC", "VLIW4"} {
+		src := `
+	.global main
+main:
+	addi sp, sp, -32
+	li t0, 0
+	li t1, 25
+	li a0, 0
+loop:
+	slli t2, t0, 2
+	add t3, sp, t2
+	sw t0, 0(t3)
+	lw t4, 0(t3)
+	add a0, a0, t4
+	addi t0, t0, 1
+	bne t0, t1, loop
+	addi sp, sp, 32
+	andi a0, a0, 0xff
+	ret
+`
+		prog := ktest.BuildProgram(t, isaName, src)
+
+		// Live run: pipeline attached, trace captured.
+		var buf bytes.Buffer
+		opts := sim.DefaultOptions()
+		opts.MaxInstructions = 100000
+		cpu := ktest.NewCPU(t, prog, opts)
+		live := rtl.New(m, flatCfg())
+		cpu.Attach(live)
+		cpu.SetTrace(trace.NewWriter(&buf))
+		if _, err := cpu.Run(); err != nil {
+			t.Fatal(err)
+		}
+		live.Drain()
+
+		events, err := trace.Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayed, err := rtl.ReplayTrace(m, m.ISAByName(isaName), events, flatCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if replayed.Cycles() != live.Cycles() {
+			t.Errorf("%s: replay %d cycles, live %d", isaName, replayed.Cycles(), live.Cycles())
+		}
+		if replayed.Ops() != live.Ops() {
+			t.Errorf("%s: replay %d ops, live %d", isaName, replayed.Ops(), live.Ops())
+		}
+	}
+}
+
+func TestReplayTraceRejectsUnknownOp(t *testing.T) {
+	m := ktest.Model(t)
+	evs := []trace.Event{{Op: "WARP", Addr: 0x1000}}
+	if _, err := rtl.ReplayTrace(m, m.ISAByName("RISC"), evs, flatCfg()); err == nil ||
+		!strings.Contains(err.Error(), "unknown operation") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,346 @@
+// Package rtl is the cycle-accurate reference model of the KAHRISMA
+// Dynamic Operation Execution microarchitecture — the role the authors'
+// VHDL RTL simulation plays in Table II of the paper. It simulates the
+// pipeline cycle by cycle and models precisely the three effects the
+// heuristic DOE cycle model leaves out (Sec. VI-C):
+//
+//  1. resource constraints — one multiplier (and one divider) is shared
+//     between each pair of neighbouring slots/EDPEs;
+//  2. bounded slot drift — hardware limits how far issue slots may
+//     drift apart to enable precise interrupts;
+//  3. memory ordering — memory operations reach the (single-ported)
+//     memory hierarchy when they issue, not in program order.
+//
+// Like the paper's Table II setup, it relies on perfect branch
+// prediction (the functional interpreter resolves all control flow and
+// the pipeline consumes the resulting dynamic instruction stream, so no
+// misprediction ever occurs on either side of the comparison).
+package rtl
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Config parameterizes the pipeline.
+type Config struct {
+	// QueueDepth is the per-slot issue queue capacity in instructions;
+	// it also bounds run-ahead of the fetch unit.
+	QueueDepth int
+	// MaxDriftInstrs bounds the drift between issue slots: an operation
+	// of instruction i may issue only once every operation of
+	// instruction i-MaxDriftInstrs has issued.
+	MaxDriftInstrs int
+	// SharedMulPair models one multiplier/divider shared between slot
+	// pairs (2k, 2k+1).
+	SharedMulPair bool
+	// Hierarchy is the memory system (single L1 port modelled by its
+	// connection limit module).
+	Hierarchy *mem.Hierarchy
+}
+
+// DefaultConfig mirrors the hardware parameters used for Table II.
+func DefaultConfig() Config {
+	return Config{
+		QueueDepth:     8,
+		MaxDriftInstrs: 8,
+		SharedMulPair:  true,
+		Hierarchy:      mem.Paper(),
+	}
+}
+
+// microOp is one operation in flight.
+type microOp struct {
+	instr   uint64 // dynamic instruction index
+	op      *sim.DecodedOp
+	mem     sim.MemAccess
+	fetched uint64 // cycle the instruction entered the queue
+}
+
+// Pipeline is the cycle-accurate DOE pipeline. It implements
+// sim.Observer: attach it to a CPU and it consumes the dynamic
+// instruction stream, advancing its clock as the queues fill. Call
+// Drain after the run to retire the remaining operations.
+type Pipeline struct {
+	cfg  Config
+	zero int
+
+	now       uint64
+	issue     int // current issue width (slots)
+	slotQ     [][]microOp
+	fetched   uint64 // instructions fetched so far
+	lastFetch uint64 // cycle of the last fetch
+	regReady  [33]uint64
+	lastIssue []uint64 // per slot
+	mulBusy   []uint64 // per slot pair: next cycle the shared unit is free
+	maxDone   uint64
+	instrs    uint64
+	ops       uint64
+
+	// issuedThrough tracks the highest instruction index i such that
+	// every operation of all instructions <= i has issued (drift bound).
+	remaining map[uint64]int
+	issuedLow uint64
+}
+
+// New builds a pipeline.
+func New(m *isa.Model, cfg Config) *Pipeline {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 8
+	}
+	if cfg.MaxDriftInstrs <= 0 {
+		cfg.MaxDriftInstrs = 8
+	}
+	if cfg.Hierarchy == nil {
+		cfg.Hierarchy = mem.Paper()
+	}
+	return &Pipeline{
+		cfg:       cfg,
+		zero:      m.Regs.ZeroReg,
+		remaining: make(map[uint64]int),
+	}
+}
+
+// Name identifies the model in reports.
+func (p *Pipeline) Name() string { return "RTL" }
+
+// Cycles returns the hardware cycle count (call Drain first).
+func (p *Pipeline) Cycles() uint64 { return p.maxDone }
+
+// Ops returns the number of operations retired.
+func (p *Pipeline) Ops() uint64 { return p.ops }
+
+// Instructions returns the number of instructions consumed.
+func (p *Pipeline) Instructions() uint64 { return p.instrs }
+
+// Reset clears all pipeline state.
+func (p *Pipeline) Reset() {
+	h := p.cfg.Hierarchy
+	h.Reset()
+	cfg := p.cfg
+	zero := p.zero
+	*p = Pipeline{cfg: cfg, zero: zero, remaining: make(map[uint64]int)}
+}
+
+// reconfigure adapts the slot structures to a new issue width (run-time
+// ISA switching changes the processor instance shape).
+func (p *Pipeline) reconfigure(issue int) {
+	p.drainAll()
+	p.issue = issue
+	p.slotQ = make([][]microOp, issue)
+	p.lastIssue = make([]uint64, issue)
+	p.mulBusy = make([]uint64, (issue+1)/2)
+}
+
+// Instruction implements sim.Observer: fetch the instruction into the
+// slot queues, then advance the clock until the queues have room again
+// (so memory stays bounded on arbitrarily long runs).
+func (p *Pipeline) Instruction(rec *sim.ExecRecord) {
+	if p.issue != rec.D.ISA.Issue {
+		p.reconfigure(rec.D.ISA.Issue)
+	}
+	idx := p.instrs
+	p.instrs++
+
+	// Fetch: one instruction per cycle enters the queues.
+	fetchCycle := p.now
+	if p.fetched > 0 && fetchCycle <= p.lastFetch {
+		fetchCycle = p.lastFetch + 1
+	}
+	p.lastFetch = fetchCycle
+	p.fetched++
+
+	nops := len(rec.D.Ops)
+	if nops > 0 {
+		p.remaining[idx] = nops
+	} else {
+		// An all-NOP instruction issues trivially.
+		if idx == p.issuedLow {
+			p.bumpIssuedLow()
+		}
+	}
+	for i := range rec.D.Ops {
+		op := &rec.D.Ops[i]
+		p.slotQ[op.Slot] = append(p.slotQ[op.Slot], microOp{
+			instr: idx, op: op, mem: rec.Mem[i], fetched: fetchCycle,
+		})
+	}
+
+	// Advance the clock until every queue is within capacity (stepCycle
+	// advances time even when nothing issues, so waits on fetch cycles,
+	// register readiness and the drift window always resolve).
+	for p.queuesFull() {
+		p.stepCycle()
+	}
+}
+
+func (p *Pipeline) queuesFull() bool {
+	for _, q := range p.slotQ {
+		if len(q) > p.cfg.QueueDepth {
+			return true
+		}
+	}
+	return false
+}
+
+// Drain retires everything still in flight; call it when the run ends.
+func (p *Pipeline) Drain() { p.drainAll() }
+
+func (p *Pipeline) drainAll() {
+	for p.pending() {
+		p.stepCycle()
+	}
+}
+
+func (p *Pipeline) pending() bool {
+	for _, q := range p.slotQ {
+		if len(q) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// bumpIssuedLow advances the fully-issued watermark.
+func (p *Pipeline) bumpIssuedLow() {
+	for {
+		if _, ok := p.remaining[p.issuedLow]; ok {
+			return
+		}
+		if p.issuedLow >= p.instrs {
+			return
+		}
+		p.issuedLow++
+	}
+}
+
+// stepCycle performs one hardware cycle: every slot may issue its head
+// operation if its dependencies, drift window, fetch time and shared
+// resources allow. Returns whether any operation issued.
+func (p *Pipeline) stepCycle() bool {
+	issued := false
+	for s := 0; s < p.issue; s++ {
+		q := p.slotQ[s]
+		if len(q) == 0 {
+			continue
+		}
+		mo := &q[0]
+		if !p.canIssue(mo, s) {
+			continue
+		}
+		p.issueOp(mo, s)
+		p.slotQ[s] = q[1:]
+		issued = true
+	}
+	p.now++
+	return issued
+}
+
+func (p *Pipeline) canIssue(mo *microOp, slot int) bool {
+	// Not before it was fetched.
+	if p.now < mo.fetched {
+		return false
+	}
+	// In-order within the slot, one op per cycle.
+	if p.lastIssue[slot] == p.now && p.now != 0 {
+		return false
+	}
+	// Bounded drift: instruction i may issue only when every operation
+	// of instruction i-D has issued.
+	if mo.instr > p.issuedLow && mo.instr-p.issuedLow > uint64(p.cfg.MaxDriftInstrs) {
+		return false
+	}
+	// True data dependencies.
+	ready := true
+	srcRegsRTL(mo.op, p.zero, func(r int) {
+		if p.regReady[r] > p.now {
+			ready = false
+		}
+	})
+	if !ready {
+		return false
+	}
+	// Structural hazard: shared multiplier/divider per slot pair.
+	if p.cfg.SharedMulPair {
+		cls := mo.op.Op.Class
+		if cls == isa.ClassMul || cls == isa.ClassDiv {
+			if p.mulBusy[slot/2] > p.now {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (p *Pipeline) issueOp(mo *microOp, slot int) {
+	p.ops++
+	p.lastIssue[slot] = p.now
+	var done uint64
+	if mo.mem.Valid {
+		// Memory operations reach the hierarchy at issue time — i.e. in
+		// dynamic issue order, the behaviour the heuristic model only
+		// approximates.
+		done = p.cfg.Hierarchy.Access(mo.mem.Addr, mo.mem.Write, slot, p.now)
+	} else {
+		done = p.now + uint64(mo.op.Op.Latency)
+	}
+	cls := mo.op.Op.Class
+	if p.cfg.SharedMulPair && (cls == isa.ClassMul || cls == isa.ClassDiv) {
+		// The shared unit accepts one operation per cycle (pipelined
+		// multiplier; iterative divider blocks for its latency).
+		if cls == isa.ClassDiv {
+			p.mulBusy[slot/2] = done
+		} else {
+			p.mulBusy[slot/2] = p.now + 1
+		}
+	}
+	dstRegsRTL(mo.op, p.zero, func(r int) { p.regReady[r] = done })
+	if done > p.maxDone {
+		p.maxDone = done
+	}
+	// Retire bookkeeping for the drift window.
+	if rem, ok := p.remaining[mo.instr]; ok {
+		if rem <= 1 {
+			delete(p.remaining, mo.instr)
+			if mo.instr == p.issuedLow {
+				p.bumpIssuedLow()
+			}
+		} else {
+			p.remaining[mo.instr] = rem - 1
+		}
+	}
+}
+
+func srcRegsRTL(op *sim.DecodedOp, zero int, f func(r int)) {
+	if op.Op.Src1Field != nil && int(op.Rs1) != zero {
+		f(int(op.Rs1))
+	}
+	if op.Op.Src2Field != nil && int(op.Rs2) != zero {
+		f(int(op.Rs2))
+	}
+	for _, r := range op.Op.ImplicitReads {
+		if r != zero && r != isa.RegIP {
+			f(r)
+		}
+	}
+}
+
+func dstRegsRTL(op *sim.DecodedOp, zero int, f func(r int)) {
+	if op.Op.DstField != nil && int(op.Rd) != zero {
+		f(int(op.Rd))
+	}
+	for _, r := range op.Op.ImplicitWrites {
+		if r != zero && r != isa.RegIP {
+			f(r)
+		}
+	}
+}
+
+// Describe summarizes the configuration for reports.
+func (p *Pipeline) Describe() string {
+	return fmt.Sprintf("rtl(queue=%d,drift=%d,sharedMul=%v,%s)",
+		p.cfg.QueueDepth, p.cfg.MaxDriftInstrs, p.cfg.SharedMulPair, p.cfg.Hierarchy.Name())
+}

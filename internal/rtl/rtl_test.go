@@ -1,0 +1,176 @@
+package rtl_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/cycle"
+	"repro/internal/ktest"
+	"repro/internal/mem"
+	"repro/internal/rtl"
+	"repro/internal/sim"
+)
+
+func runRTL(t *testing.T, isaName, src string, cfg rtl.Config, extra ...sim.Observer) *rtl.Pipeline {
+	t.Helper()
+	p := ktest.BuildProgram(t, isaName, src)
+	opts := sim.DefaultOptions()
+	opts.MaxInstructions = 10_000_000
+	c := ktest.NewCPU(t, p, opts)
+	pipe := rtl.New(ktest.Model(t), cfg)
+	c.Attach(pipe)
+	for _, o := range extra {
+		c.Attach(o)
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	pipe.Drain()
+	return pipe
+}
+
+func wrap(body string) string {
+	return ".global main\nmain:\n" + body + "\n\tli a0, 0\n\tret\n"
+}
+
+func flatCfg() rtl.Config {
+	return rtl.Config{QueueDepth: 8, MaxDriftInstrs: 8, SharedMulPair: true, Hierarchy: mem.Flat(3)}
+}
+
+func TestRISCThroughputOneOpPerCycle(t *testing.T) {
+	// n independent adds issue one per cycle in RISC mode.
+	n := 64
+	var b strings.Builder
+	b.WriteString("\taddi s0, zero, 1\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "\tadd t%d, s0, s0\n", i%8)
+	}
+	pipe := runRTL(t, "RISC", wrap(b.String()), flatCfg())
+	instrs := pipe.Instructions()
+	if c := pipe.Cycles(); c < instrs || c > instrs+16 {
+		t.Fatalf("cycles = %d for %d instructions, want ~1 IPC", c, instrs)
+	}
+}
+
+func TestSharedMultiplierStalls(t *testing.T) {
+	// VLIW2: both slots of a pair multiply each instruction. With the
+	// shared multiplier only one can accept per cycle, so the run with
+	// sharing enabled must be slower than without.
+	var b strings.Builder
+	b.WriteString("\taddi s0, zero, 3\n\taddi s1, zero, 5\n")
+	for i := 0; i < 32; i++ {
+		b.WriteString("\t{ mul t0, s0, s1 ; mul t1, s1, s0 }\n")
+	}
+	src := ".isa VLIW2\n" + wrap(b.String())
+	shared := runRTL(t, "VLIW2", src, flatCfg())
+	nocfg := flatCfg()
+	nocfg.SharedMulPair = false
+	unshared := runRTL(t, "VLIW2", src, nocfg)
+	if shared.Cycles() <= unshared.Cycles() {
+		t.Fatalf("shared multiplier not modelled: shared=%d unshared=%d",
+			shared.Cycles(), unshared.Cycles())
+	}
+}
+
+func TestDriftBoundLimitsRunahead(t *testing.T) {
+	// Slot 0 executes a slow dependent mul chain; slot 1 independent
+	// adds. With a tight drift bound slot 1 must wait for slot 0, so a
+	// 1-instruction window is slower than a 64-instruction window.
+	var b strings.Builder
+	b.WriteString("\taddi t0, zero, 3\n")
+	for i := 0; i < 32; i++ {
+		b.WriteString("\t{ mul t0, t0, t0 ; addi t1, zero, 1 }\n")
+	}
+	src := ".isa VLIW2\n" + wrap(b.String())
+	tight := flatCfg()
+	tight.MaxDriftInstrs = 1
+	loose := flatCfg()
+	loose.MaxDriftInstrs = 64
+	loose.QueueDepth = 64
+	tp := runRTL(t, "VLIW2", src, tight)
+	lp := runRTL(t, "VLIW2", src, loose)
+	if tp.Cycles() < lp.Cycles() {
+		t.Fatalf("tight drift (%d cycles) faster than loose (%d)", tp.Cycles(), lp.Cycles())
+	}
+}
+
+func TestDOETracksRTLOnStraightLineCode(t *testing.T) {
+	// The heuristic DOE model approximates this pipeline within a few
+	// percent on code without heavy resource conflicts (Table II's
+	// claim). Use a mixed arithmetic workload in VLIW4.
+	rng := rand.New(rand.NewSource(21))
+	var b strings.Builder
+	b.WriteString("\taddi s0, zero, 7\n\taddi s1, zero, 9\n\taddi s2, zero, 11\n\taddi s3, zero, 13\n")
+	for i := 0; i < 200; i++ {
+		ops := make([]string, 4)
+		for s := 0; s < 4; s++ {
+			dst := fmt.Sprintf("t%d", s*2+rng.Intn(2)) // distinct per slot
+			a := fmt.Sprintf("s%d", rng.Intn(4))
+			c := fmt.Sprintf("s%d", rng.Intn(4))
+			op := []string{"add", "sub", "xor", "or"}[rng.Intn(4)]
+			ops[s] = fmt.Sprintf("%s %s, %s, %s", op, dst, a, c)
+		}
+		fmt.Fprintf(&b, "\t{ %s }\n", strings.Join(ops, " ; "))
+	}
+	src := ".isa VLIW4\n" + wrap(b.String())
+
+	doe := cycle.NewDOE(ktest.Model(t), mem.Flat(3))
+	pipe := runRTL(t, "VLIW4", src, flatCfg(), doe)
+	r, d := float64(pipe.Cycles()), float64(doe.Cycles())
+	err := (d - r) / r
+	if err < -0.15 || err > 0.15 {
+		t.Fatalf("DOE approximation error %.1f%% (RTL=%d DOE=%d), want |err| <= 15%%",
+			err*100, pipe.Cycles(), doe.Cycles())
+	}
+}
+
+func TestMemoryAccessesReachHierarchy(t *testing.T) {
+	src := wrap(`
+	addi sp, sp, -64
+	sw zero, 0(sp)
+	lw t0, 0(sp)
+	lw t1, 32(sp)
+	addi sp, sp, 64
+`)
+	h := mem.Paper()
+	cfg := rtl.Config{QueueDepth: 8, MaxDriftInstrs: 8, SharedMulPair: true, Hierarchy: h}
+	runRTL(t, "RISC", src, cfg)
+	if total := h.L1.Hits + h.L1.Misses; total < 3 {
+		t.Fatalf("L1 saw %d accesses, want >= 3", total)
+	}
+}
+
+func TestISASwitchReconfiguresPipeline(t *testing.T) {
+	src := `
+	.global main
+main:
+	addi t0, zero, 1
+	swt VLIW2
+	.isa VLIW2
+	{ add t0, t0, t0 ; addi t1, zero, 2 }
+	swt RISC
+	.isa RISC
+	add a0, t0, t1
+	ret
+`
+	pipe := runRTL(t, "RISC", src, flatCfg())
+	if pipe.Cycles() == 0 || pipe.Ops() == 0 {
+		t.Fatalf("pipeline recorded nothing across ISA switch: %+v cycles", pipe.Cycles())
+	}
+}
+
+func TestResetAndDescribe(t *testing.T) {
+	pipe := runRTL(t, "RISC", wrap("\taddi t0, zero, 1\n"), flatCfg())
+	if pipe.Cycles() == 0 {
+		t.Fatal("no cycles")
+	}
+	pipe.Reset()
+	if pipe.Cycles() != 0 || pipe.Ops() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	if !strings.Contains(pipe.Describe(), "rtl(") {
+		t.Fatalf("describe = %q", pipe.Describe())
+	}
+}

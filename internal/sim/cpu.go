@@ -1,0 +1,386 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// Options configure a CPU.
+type Options struct {
+	// DecodeCache enables the detection/decode cache (Sec. V-A).
+	DecodeCache bool
+	// Prediction enables instruction prediction on top of the cache.
+	Prediction bool
+	// MaxInstructions aborts the run after this many instructions
+	// (0 = no limit).
+	MaxInstructions uint64
+	// Stdout/Stdin back the emulated C library I/O.
+	Stdout io.Writer
+	Stdin  io.Reader
+	// HistorySize enables the instruction pointer history ring of the
+	// given depth (0 disables it). Sec. V: "an instruction pointer
+	// history" for error detection.
+	HistorySize int
+	// OnISASwitch, when set, is consulted before every run-time ISA
+	// switch (SWITCHTARGET). Returning an error aborts the simulation —
+	// the fabric resource model uses this to refuse reconfigurations
+	// the EDPE array cannot satisfy.
+	OnISASwitch func(from, to *isa.ISA) error
+}
+
+// DefaultOptions enables cache and prediction (the configuration the
+// paper reports as 29.5 MIPS).
+func DefaultOptions() Options {
+	return Options{DecodeCache: true, Prediction: true}
+}
+
+// Stats are the simulator's performance counters; the decode-cache and
+// prediction counters reproduce the percentages of Sec. VII-A.
+type Stats struct {
+	Instructions uint64 // executed instructions
+	Operations   uint64 // executed non-NOP operations
+	Detected     uint64 // instructions that went through detect&decode
+	CacheLookups uint64 // decode-cache lookups performed
+	CacheHits    uint64
+	PredHits     uint64 // lookups avoided by instruction prediction
+	Simcalls     uint64
+	ISASwitches  uint64
+}
+
+// MemAccess describes one data-memory access of an executed operation.
+type MemAccess struct {
+	Valid bool
+	Write bool
+	Addr  uint32
+}
+
+// ExecRecord is the per-instruction event handed to observers (cycle
+// models, the RTL reference, profilers). The Mem array is indexed like
+// D.Ops.
+type ExecRecord struct {
+	D      *Decoded
+	Mem    [MaxIssue]MemAccess
+	Taken  bool   // a control transfer changed the IP
+	NextIP uint32 // IP after this instruction
+}
+
+// Observer consumes the dynamic instruction stream.
+type Observer interface {
+	Instruction(rec *ExecRecord)
+}
+
+// CycleSource lets the trace writer timestamp events with the cycle
+// count of an attached cycle model.
+type CycleSource interface {
+	Cycles() uint64
+}
+
+// ExitStatus describes how a run ended.
+type ExitStatus struct {
+	Halted       bool
+	ExitCode     int32
+	Instructions uint64
+}
+
+// CPU is one simulated KAHRISMA processor instance.
+type CPU struct {
+	Model *isa.Model
+	Prog  *Program
+	Mem   *Memory
+	Regs  [32]uint32
+	IP    uint32
+	ISA   *isa.ISA
+
+	Stats Stats
+
+	opts       Options
+	cache      map[uint64]*Decoded
+	last       *Decoded
+	halted     bool
+	exitCode   int32
+	pendingISA int // ISA id to switch to after this instruction, -1 none
+	runErr     error
+
+	observers []Observer
+	traceW    *trace.Writer
+	cycleSrc  CycleSource
+
+	// Per-instruction execution state.
+	rec     ExecRecord
+	wbReg   [MaxIssue]uint8
+	wbVal   [MaxIssue]uint32
+	wbN     int
+	nextIP  uint32
+	ctlSet  bool
+	opIdx   int
+	tracing bool
+	traceIn [MaxIssue][]trace.RegVal
+
+	// C library emulation state.
+	heapPtr  uint32
+	rngState uint64
+	history  []uint32
+	histPos  int
+}
+
+// New builds a CPU for a loaded program.
+func New(m *isa.Model, p *Program, opts Options) (*CPU, error) {
+	a := m.ISAByID(p.EntryISA)
+	if a == nil {
+		return nil, fmt.Errorf("sim: executable requires unknown ISA id %d", p.EntryISA)
+	}
+	c := &CPU{
+		Model:      m,
+		Prog:       p,
+		Mem:        NewMemory(),
+		IP:         p.Entry,
+		ISA:        a,
+		opts:       opts,
+		cache:      make(map[uint64]*Decoded, 4096),
+		pendingISA: -1,
+		heapPtr:    p.HeapStart,
+		rngState:   0x853C49E6748FEA9B,
+	}
+	if opts.HistorySize > 0 {
+		c.history = make([]uint32, opts.HistorySize)
+	}
+	p.LoadInto(c.Mem)
+	return c, nil
+}
+
+// Attach registers an observer for the dynamic instruction stream.
+// Observers implementing CycleSource also become the trace timestamp
+// source.
+func (c *CPU) Attach(o Observer) {
+	c.observers = append(c.observers, o)
+	if cs, ok := o.(CycleSource); ok && c.cycleSrc == nil {
+		c.cycleSrc = cs
+	}
+}
+
+// SetTrace enables trace file generation.
+func (c *CPU) SetTrace(w *trace.Writer) {
+	c.traceW = w
+	c.tracing = w != nil
+}
+
+// Halted reports whether the program has terminated.
+func (c *CPU) Halted() bool { return c.halted }
+
+// ExitCode returns the code passed to exit()/HALT.
+func (c *CPU) ExitCode() int32 { return c.exitCode }
+
+// Reg returns register r (reads of the zero register return 0 by
+// construction: writes to it are suppressed).
+func (c *CPU) Reg(r uint8) uint32 { return c.Regs[r] }
+
+// SetReg writes register r, honouring the hard-wired zero register.
+func (c *CPU) SetReg(r uint8, v uint32) {
+	if int(r) == c.Model.Regs.ZeroReg {
+		return
+	}
+	c.Regs[r] = v
+}
+
+// History returns the most recent instruction addresses, newest last
+// (empty unless Options.HistorySize > 0).
+func (c *CPU) History() []uint32 {
+	if len(c.history) == 0 {
+		return nil
+	}
+	n := len(c.history)
+	out := make([]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		a := c.history[(c.histPos+i)%n]
+		if a != 0 {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Step executes one instruction.
+func (c *CPU) Step() error {
+	if c.halted {
+		return fmt.Errorf("sim: step after halt")
+	}
+	if c.IP < c.Prog.TextStart || c.IP >= c.Prog.TextEnd {
+		return fmt.Errorf("sim: IP %s left the text section%s", c.Prog.Location(c.IP), c.historySuffix())
+	}
+	d, err := c.fetch()
+	if err != nil {
+		return err
+	}
+	if len(c.history) > 0 {
+		c.history[c.histPos] = c.IP
+		c.histPos = (c.histPos + 1) % len(c.history)
+	}
+	c.execute(d)
+	if c.runErr != nil {
+		err := c.runErr
+		c.runErr = nil
+		return fmt.Errorf("%v at %s%s", err, c.Prog.Location(d.Addr), c.historySuffix())
+	}
+	c.Stats.Instructions++
+	c.Stats.Operations += uint64(len(d.Ops))
+	for _, o := range c.observers {
+		o.Instruction(&c.rec)
+	}
+	if c.tracing {
+		c.emitTrace(d)
+	}
+	return nil
+}
+
+func (c *CPU) historySuffix() string {
+	h := c.History()
+	if len(h) == 0 {
+		return ""
+	}
+	s := "\n  instruction pointer history (oldest first):"
+	for _, a := range h {
+		s += fmt.Sprintf("\n    %s", c.Prog.Location(a))
+	}
+	return s
+}
+
+// execute runs all operations of d with read-before-write register
+// semantics: every operation computes its results into the write-back
+// buffer first; the register file is updated only after all operations
+// finished (the paper's recursive scheme computes results into stack
+// locals before writing the register file — Sec. V-B — which this
+// two-phase buffer reproduces exactly).
+func (c *CPU) execute(d *Decoded) {
+	c.wbN = 0
+	c.nextIP = d.Addr + d.Size
+	c.ctlSet = false
+	c.rec.D = d
+	c.rec.Taken = false
+	for i := range d.Ops {
+		c.opIdx = i
+		c.rec.Mem[i] = MemAccess{}
+		op := &d.Ops[i]
+		if c.tracing {
+			c.traceIn[i] = c.captureInputs(op)
+		}
+		op.sem(c, op)
+	}
+	// Write-back phase.
+	for i := 0; i < c.wbN; i++ {
+		c.SetReg(c.wbReg[i], c.wbVal[i])
+	}
+	c.IP = c.nextIP
+	c.rec.NextIP = c.nextIP
+	if c.pendingISA >= 0 {
+		a := c.Model.ISAByID(c.pendingISA)
+		switch {
+		case a == nil:
+			c.fail(fmt.Errorf("sim: SWITCHTARGET to unknown ISA id %d", c.pendingISA))
+		case a != c.ISA:
+			if cb := c.opts.OnISASwitch; cb != nil {
+				if err := cb(c.ISA, a); err != nil {
+					c.fail(err)
+					c.pendingISA = -1
+					return
+				}
+			}
+			c.ISA = a
+			c.Stats.ISASwitches++
+			c.last = nil // predictions do not cross an ISA switch
+		}
+		c.pendingISA = -1
+	}
+}
+
+// pushWB appends a register write to the write-back buffer.
+func (c *CPU) pushWB(reg uint8, val uint32) {
+	c.wbReg[c.wbN] = reg
+	c.wbVal[c.wbN] = val
+	c.wbN++
+}
+
+// setNextIP is called by control-transfer semantics.
+func (c *CPU) setNextIP(target uint32) {
+	if c.ctlSet {
+		c.fail(fmt.Errorf("sim: two control transfers in one instruction"))
+		return
+	}
+	c.ctlSet = true
+	c.rec.Taken = true
+	c.nextIP = target
+}
+
+// noteMem records a data memory access for observers and cycle models.
+func (c *CPU) noteMem(addr uint32, write bool) {
+	c.rec.Mem[c.opIdx] = MemAccess{Valid: true, Write: write, Addr: addr}
+}
+
+func (c *CPU) fail(err error) {
+	if c.runErr == nil {
+		c.runErr = err
+	}
+}
+
+// Run executes until halt, error, or the instruction limit.
+func (c *CPU) Run() (ExitStatus, error) {
+	for !c.halted {
+		if c.opts.MaxInstructions > 0 && c.Stats.Instructions >= c.opts.MaxInstructions {
+			return c.status(), fmt.Errorf("sim: instruction limit (%d) reached at %s%s",
+				c.opts.MaxInstructions, c.Prog.Location(c.IP), c.historySuffix())
+		}
+		if err := c.Step(); err != nil {
+			return c.status(), err
+		}
+	}
+	if c.traceW != nil {
+		if err := c.traceW.Flush(); err != nil {
+			return c.status(), err
+		}
+	}
+	return c.status(), nil
+}
+
+func (c *CPU) status() ExitStatus {
+	return ExitStatus{Halted: c.halted, ExitCode: c.exitCode, Instructions: c.Stats.Instructions}
+}
+
+// ---------------------------------------------------------------------
+// Tracing
+
+func (c *CPU) captureInputs(op *DecodedOp) []trace.RegVal {
+	var in []trace.RegVal
+	if op.Op.Src1Field != nil {
+		in = append(in, trace.RegVal{Reg: op.Rs1, Val: c.Regs[op.Rs1]})
+	}
+	if op.Op.Src2Field != nil {
+		in = append(in, trace.RegVal{Reg: op.Rs2, Val: c.Regs[op.Rs2]})
+	}
+	return in
+}
+
+func (c *CPU) emitTrace(d *Decoded) {
+	var cycle uint64
+	if c.cycleSrc != nil {
+		cycle = c.cycleSrc.Cycles()
+	} else {
+		cycle = c.Stats.Instructions
+	}
+	for i := range d.Ops {
+		op := &d.Ops[i]
+		e := trace.Event{
+			Cycle: cycle,
+			Addr:  op.Addr,
+			Slot:  op.Slot,
+			Op:    op.Op.Name,
+			In:    c.traceIn[i],
+			Imm:   op.Imm,
+		}
+		if op.Op.HasDst() {
+			e.Out = []trace.RegVal{{Reg: op.Rd, Val: c.Regs[op.Rd]}}
+		}
+		c.traceW.Write(&e)
+	}
+}

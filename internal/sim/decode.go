@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// MaxIssue is the widest instruction format supported by the execution
+// buffers.
+const MaxIssue = 16
+
+// DecodedOp is the decode structure of one operation (Sec. V of the
+// paper: "The detected operation is decoded by extracting all fields of
+// the operation. These are stored into a decode structure to provide
+// fast access to the information during execution.").
+type DecodedOp struct {
+	Op           *isa.Operation
+	Slot         uint8
+	Rd, Rs1, Rs2 uint8
+	Imm          int32
+	Addr         uint32 // address of the operation word
+	sem          semFunc
+}
+
+// Decoded is a fully decoded instruction: the non-NOP operations of all
+// slots, plus the instruction-prediction fields (Sec. V-A: "we store
+// within each decode structure the IP and decode structure pointer of
+// the following instruction").
+type Decoded struct {
+	Addr uint32
+	ISA  *isa.ISA
+	Size uint32
+	Ops  []DecodedOp
+
+	// Instruction prediction: the decode structure of the instruction
+	// that followed this one last time (nil until set). The prediction
+	// is valid when pred.Addr matches the current IP and pred.ISA the
+	// active ISA.
+	pred *Decoded
+}
+
+// cacheKey builds the decode-cache key: the instruction address tagged
+// with the active ISA (mixed-ISA executables may decode the same
+// address range under different ISAs).
+func cacheKey(addr uint32, isaID int) uint64 {
+	return uint64(addr) | uint64(isaID)<<32
+}
+
+// detect scans the active ISA's operation table for the operation
+// encoded by word, checking every constant field of every candidate —
+// the paper's detection loop and the deliberate slow path that the
+// decode cache exists to amortize.
+func detect(a *isa.ISA, word uint32) *isa.Operation {
+	for _, op := range a.Ops {
+		match := true
+		for _, f := range op.Format.Fields {
+			if f.Kind != isa.FieldConst {
+				continue
+			}
+			if f.Extract(word) != op.Consts[f.Name] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return op
+		}
+	}
+	return nil
+}
+
+// decodeInstruction detects and decodes the instruction at addr under
+// ISA a. NOP slots are dropped from the operation list.
+func (c *CPU) decodeInstruction(addr uint32, a *isa.ISA) (*Decoded, error) {
+	d := &Decoded{Addr: addr, ISA: a, Size: a.InstrBytes()}
+	for slot := 0; slot < a.Issue; slot++ {
+		opAddr := addr + uint32(slot)*isa.OpWordBytes
+		word := c.Mem.LoadWord(opAddr)
+		op := detect(a, word)
+		if op == nil {
+			return nil, fmt.Errorf("sim: illegal operation word %#08x at %s (ISA %s, slot %d)",
+				word, c.Prog.Location(opAddr), a.Name, slot)
+		}
+		if op.Class == isa.ClassNop {
+			continue
+		}
+		sem, ok := semRegistry[op.SemKey]
+		if !ok {
+			return nil, fmt.Errorf("sim: operation %s has unknown simulation function %q", op.Name, op.SemKey)
+		}
+		o := op.DecodeOperands(word)
+		d.Ops = append(d.Ops, DecodedOp{
+			Op: op, Slot: uint8(slot),
+			Rd: o.Rd, Rs1: o.Rs1, Rs2: o.Rs2, Imm: o.Imm,
+			Addr: opAddr, sem: sem,
+		})
+	}
+	return d, nil
+}
+
+// fetch returns the decode structure for the current IP, using
+// instruction prediction and the decode cache as configured.
+func (c *CPU) fetch() (*Decoded, error) {
+	ip := c.IP
+	a := c.ISA
+
+	// Instruction prediction (Sec. V-A): compare the current IP to the
+	// predicted IP of the previous instruction.
+	if c.opts.Prediction && c.last != nil {
+		if p := c.last.pred; p != nil && p.Addr == ip && p.ISA == a {
+			c.Stats.PredHits++
+			c.last = p
+			return p, nil
+		}
+	}
+
+	var d *Decoded
+	if c.opts.DecodeCache {
+		c.Stats.CacheLookups++
+		key := cacheKey(ip, a.ID)
+		if hit, ok := c.cache[key]; ok {
+			c.Stats.CacheHits++
+			d = hit
+		} else {
+			dec, err := c.decodeInstruction(ip, a)
+			if err != nil {
+				return nil, err
+			}
+			c.Stats.Detected++
+			c.cache[key] = dec
+			d = dec
+		}
+	} else {
+		dec, err := c.decodeInstruction(ip, a)
+		if err != nil {
+			return nil, err
+		}
+		c.Stats.Detected++
+		d = dec
+	}
+
+	// Update the prediction of the previous instruction.
+	if c.opts.Prediction && c.last != nil {
+		c.last.pred = d
+	}
+	c.last = d
+	return d, nil
+}

@@ -1,0 +1,134 @@
+// Package sim implements the cycle-approximate, mixed-ISA,
+// interpretation-based instruction set simulator of the paper
+// (Sec. V): ELF loading, constant-field operation detection, the decode
+// cache with instruction prediction, parallel-operation execution with
+// read-before-write register semantics, run-time ISA switching
+// (SWITCHTARGET), native C standard library emulation (SIMCALL), trace
+// generation, and debug mapping from instruction addresses to assembly
+// lines, source lines and function names.
+package sim
+
+import "fmt"
+
+const (
+	pageBits = 12
+	pageSize = 1 << pageBits
+	pageMask = pageSize - 1
+)
+
+// Memory is the sparse, paged memory of the simulated processor.
+// Pages are allocated on first touch and zero-initialized.
+type Memory struct {
+	pages map[uint32]*[pageSize]byte
+
+	// One-entry page cache for the hot paths of the interpreter.
+	lastTag  uint32
+	lastPage *[pageSize]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint32]*[pageSize]byte), lastTag: ^uint32(0)}
+}
+
+func (m *Memory) page(addr uint32) *[pageSize]byte {
+	tag := addr >> pageBits
+	if tag == m.lastTag {
+		return m.lastPage
+	}
+	p, ok := m.pages[tag]
+	if !ok {
+		p = new([pageSize]byte)
+		m.pages[tag] = p
+	}
+	m.lastTag, m.lastPage = tag, p
+	return p
+}
+
+// LoadByte reads one byte.
+func (m *Memory) LoadByte(addr uint32) byte {
+	return m.page(addr)[addr&pageMask]
+}
+
+// StoreByte writes one byte.
+func (m *Memory) StoreByte(addr uint32, v byte) {
+	m.page(addr)[addr&pageMask] = v
+}
+
+// LoadWord reads a 32-bit little-endian word (unaligned allowed).
+func (m *Memory) LoadWord(addr uint32) uint32 {
+	off := addr & pageMask
+	if off <= pageSize-4 {
+		p := m.page(addr)
+		return uint32(p[off]) | uint32(p[off+1])<<8 | uint32(p[off+2])<<16 | uint32(p[off+3])<<24
+	}
+	return uint32(m.LoadByte(addr)) | uint32(m.LoadByte(addr+1))<<8 |
+		uint32(m.LoadByte(addr+2))<<16 | uint32(m.LoadByte(addr+3))<<24
+}
+
+// StoreWord writes a 32-bit little-endian word (unaligned allowed).
+func (m *Memory) StoreWord(addr uint32, v uint32) {
+	off := addr & pageMask
+	if off <= pageSize-4 {
+		p := m.page(addr)
+		p[off] = byte(v)
+		p[off+1] = byte(v >> 8)
+		p[off+2] = byte(v >> 16)
+		p[off+3] = byte(v >> 24)
+		return
+	}
+	m.StoreByte(addr, byte(v))
+	m.StoreByte(addr+1, byte(v>>8))
+	m.StoreByte(addr+2, byte(v>>16))
+	m.StoreByte(addr+3, byte(v>>24))
+}
+
+// LoadHalf reads a 16-bit little-endian halfword.
+func (m *Memory) LoadHalf(addr uint32) uint16 {
+	return uint16(m.LoadByte(addr)) | uint16(m.LoadByte(addr+1))<<8
+}
+
+// StoreHalf writes a 16-bit little-endian halfword.
+func (m *Memory) StoreHalf(addr uint32, v uint16) {
+	m.StoreByte(addr, byte(v))
+	m.StoreByte(addr+1, byte(v>>8))
+}
+
+// WriteBytes copies b into memory at addr.
+func (m *Memory) WriteBytes(addr uint32, b []byte) {
+	for len(b) > 0 {
+		off := addr & pageMask
+		n := copy(m.page(addr)[off:], b)
+		b = b[n:]
+		addr += uint32(n)
+	}
+}
+
+// ReadBytes copies n bytes starting at addr into a fresh slice.
+func (m *Memory) ReadBytes(addr uint32, n int) []byte {
+	out := make([]byte, n)
+	i := 0
+	for i < n {
+		off := addr & pageMask
+		c := copy(out[i:], m.page(addr)[off:])
+		i += c
+		addr += uint32(c)
+	}
+	return out
+}
+
+// ReadCString reads a NUL-terminated string of at most max bytes.
+func (m *Memory) ReadCString(addr uint32, max int) (string, error) {
+	var out []byte
+	for i := 0; i < max; i++ {
+		b := m.LoadByte(addr + uint32(i))
+		if b == 0 {
+			return string(out), nil
+		}
+		out = append(out, b)
+	}
+	return "", fmt.Errorf("sim: unterminated string at %#x", addr)
+}
+
+// Pages returns the number of allocated pages (for footprint reports).
+func (m *Memory) Pages() int { return len(m.pages) }

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/kelf"
+)
+
+// Program is a loaded executable plus its decoded debug information:
+// the function table (address ranges + per-function ISA), the assembler
+// line map and the C source line map (Sec. V-C of the paper).
+type Program struct {
+	File      *kelf.File
+	Entry     uint32
+	EntryISA  int
+	HeapStart uint32
+	StackTop  uint32
+
+	TextStart, TextEnd uint32
+
+	Funcs  *kelf.FuncTable
+	AsmMap *kelf.LineMap
+	SrcMap *kelf.LineMap
+}
+
+// LoadProgram validates an executable and decodes its debug sections.
+func LoadProgram(f *kelf.File) (*Program, error) {
+	if f.Type != kelf.TypeExec {
+		return nil, fmt.Errorf("sim: not an executable")
+	}
+	p := &Program{
+		File:     f,
+		Entry:    f.Entry,
+		EntryISA: f.EntryISA,
+		Funcs:    &kelf.FuncTable{},
+		AsmMap:   &kelf.LineMap{},
+		SrcMap:   &kelf.LineMap{},
+	}
+	text := f.Section(kelf.SecText)
+	if text == nil || len(text.Data) == 0 {
+		return nil, fmt.Errorf("sim: executable has no text")
+	}
+	p.TextStart = text.Addr
+	p.TextEnd = text.Addr + uint32(len(text.Data))
+	if p.Entry < p.TextStart || p.Entry >= p.TextEnd {
+		return nil, fmt.Errorf("sim: entry %#x outside text [%#x,%#x)", p.Entry, p.TextStart, p.TextEnd)
+	}
+	if s := f.Section(kelf.SecFuncs); s != nil {
+		ft, err := kelf.DecodeFuncTable(s.Data)
+		if err != nil {
+			return nil, err
+		}
+		ft.Sort()
+		p.Funcs = ft
+	}
+	if s := f.Section(kelf.SecLineMap); s != nil {
+		lm, err := kelf.DecodeLineMap(s.Data)
+		if err != nil {
+			return nil, err
+		}
+		lm.Sort()
+		p.AsmMap = lm
+	}
+	if s := f.Section(kelf.SecSrcMap); s != nil {
+		lm, err := kelf.DecodeLineMap(s.Data)
+		if err != nil {
+			return nil, err
+		}
+		lm.Sort()
+		p.SrcMap = lm
+	}
+	// Heap start: linker symbol, else after the highest alloc section.
+	var end uint32
+	for _, s := range f.Sections {
+		if s.Flags&kelf.FlagAlloc != 0 {
+			if e := s.Addr + s.ByteSize(); e > end {
+				end = e
+			}
+		}
+	}
+	p.HeapStart = (end + 4095) &^ 4095
+	if sym := f.Symbol("__heap_start"); sym != nil {
+		p.HeapStart = sym.Value
+	}
+	p.StackTop = 0x00400000
+	if sym := f.Symbol("__stack_top"); sym != nil {
+		p.StackTop = sym.Value
+	}
+	return p, nil
+}
+
+// LoadInto copies all allocated sections into memory ("The ELF file is
+// loaded into the simulated memory of the processor", Sec. V).
+func (p *Program) LoadInto(m *Memory) {
+	for _, s := range p.File.Sections {
+		if s.Flags&kelf.FlagAlloc == 0 || s.Type == kelf.SecNobits {
+			continue // .bss pages are zero on first touch
+		}
+		m.WriteBytes(s.Addr, s.Data)
+	}
+}
+
+// FuncAt returns the function covering addr, or nil.
+func (p *Program) FuncAt(addr uint32) *kelf.FuncInfo { return p.Funcs.Lookup(addr) }
+
+// Location renders the best-available description of an instruction
+// address: function, C source position and assembly position — the
+// paper's error-detection aid ("mapping of instruction addresses to
+// assembly and source code lines").
+func (p *Program) Location(addr uint32) string {
+	out := fmt.Sprintf("%#x", addr)
+	if fi := p.FuncAt(addr); fi != nil {
+		out += fmt.Sprintf(" in %s+%#x", fi.Name, addr-fi.Start)
+	}
+	if file, line, ok := p.SrcMap.Lookup(addr); ok {
+		out += fmt.Sprintf(" (%s:%d)", file, line)
+	}
+	if file, line, ok := p.AsmMap.Lookup(addr); ok {
+		out += fmt.Sprintf(" [%s:%d]", file, line)
+	}
+	return out
+}

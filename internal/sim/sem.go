@@ -1,0 +1,197 @@
+package sim
+
+// semFunc is a simulation function: the executable behaviour of one
+// operation, keyed by the `sem` attribute of the ADL (the paper's
+// TargetGen generates these from C++ fragments embedded in the ADL; here
+// the registry maps each key to its Go implementation).
+//
+// Simulation functions run in the compute phase of an instruction: they
+// read the register file directly and stage register writes through the
+// write-back buffer, which guarantees that the registers of all parallel
+// operations are loaded before any operation writes back its results
+// (Sec. V-B).
+type semFunc func(c *CPU, d *DecodedOp)
+
+var semRegistry = map[string]semFunc{
+	// Three-register arithmetic.
+	"add": func(c *CPU, d *DecodedOp) { c.pushWB(d.Rd, c.Regs[d.Rs1]+c.Regs[d.Rs2]) },
+	"sub": func(c *CPU, d *DecodedOp) { c.pushWB(d.Rd, c.Regs[d.Rs1]-c.Regs[d.Rs2]) },
+	"mul": func(c *CPU, d *DecodedOp) { c.pushWB(d.Rd, c.Regs[d.Rs1]*c.Regs[d.Rs2]) },
+	"mulhu": func(c *CPU, d *DecodedOp) {
+		c.pushWB(d.Rd, uint32((uint64(c.Regs[d.Rs1])*uint64(c.Regs[d.Rs2]))>>32))
+	},
+	"div": func(c *CPU, d *DecodedOp) {
+		a, b := int32(c.Regs[d.Rs1]), int32(c.Regs[d.Rs2])
+		switch {
+		case b == 0:
+			c.pushWB(d.Rd, 0xFFFFFFFF)
+		case a == -1<<31 && b == -1:
+			c.pushWB(d.Rd, uint32(a))
+		default:
+			c.pushWB(d.Rd, uint32(a/b))
+		}
+	},
+	"divu": func(c *CPU, d *DecodedOp) {
+		if b := c.Regs[d.Rs2]; b == 0 {
+			c.pushWB(d.Rd, 0xFFFFFFFF)
+		} else {
+			c.pushWB(d.Rd, c.Regs[d.Rs1]/b)
+		}
+	},
+	"rem": func(c *CPU, d *DecodedOp) {
+		a, b := int32(c.Regs[d.Rs1]), int32(c.Regs[d.Rs2])
+		switch {
+		case b == 0:
+			c.pushWB(d.Rd, uint32(a))
+		case a == -1<<31 && b == -1:
+			c.pushWB(d.Rd, 0)
+		default:
+			c.pushWB(d.Rd, uint32(a%b))
+		}
+	},
+	"remu": func(c *CPU, d *DecodedOp) {
+		if b := c.Regs[d.Rs2]; b == 0 {
+			c.pushWB(d.Rd, c.Regs[d.Rs1])
+		} else {
+			c.pushWB(d.Rd, c.Regs[d.Rs1]%b)
+		}
+	},
+	"and": func(c *CPU, d *DecodedOp) { c.pushWB(d.Rd, c.Regs[d.Rs1]&c.Regs[d.Rs2]) },
+	"or":  func(c *CPU, d *DecodedOp) { c.pushWB(d.Rd, c.Regs[d.Rs1]|c.Regs[d.Rs2]) },
+	"xor": func(c *CPU, d *DecodedOp) { c.pushWB(d.Rd, c.Regs[d.Rs1]^c.Regs[d.Rs2]) },
+	"sll": func(c *CPU, d *DecodedOp) { c.pushWB(d.Rd, c.Regs[d.Rs1]<<(c.Regs[d.Rs2]&31)) },
+	"srl": func(c *CPU, d *DecodedOp) { c.pushWB(d.Rd, c.Regs[d.Rs1]>>(c.Regs[d.Rs2]&31)) },
+	"sra": func(c *CPU, d *DecodedOp) {
+		c.pushWB(d.Rd, uint32(int32(c.Regs[d.Rs1])>>(c.Regs[d.Rs2]&31)))
+	},
+	"slt": func(c *CPU, d *DecodedOp) {
+		c.pushWB(d.Rd, b2u(int32(c.Regs[d.Rs1]) < int32(c.Regs[d.Rs2])))
+	},
+	"sltu": func(c *CPU, d *DecodedOp) { c.pushWB(d.Rd, b2u(c.Regs[d.Rs1] < c.Regs[d.Rs2])) },
+
+	// Register-immediate arithmetic. Sign extension (or not) of the
+	// immediate happened at decode via the field description.
+	"addi":  func(c *CPU, d *DecodedOp) { c.pushWB(d.Rd, c.Regs[d.Rs1]+uint32(d.Imm)) },
+	"andi":  func(c *CPU, d *DecodedOp) { c.pushWB(d.Rd, c.Regs[d.Rs1]&uint32(d.Imm)) },
+	"ori":   func(c *CPU, d *DecodedOp) { c.pushWB(d.Rd, c.Regs[d.Rs1]|uint32(d.Imm)) },
+	"xori":  func(c *CPU, d *DecodedOp) { c.pushWB(d.Rd, c.Regs[d.Rs1]^uint32(d.Imm)) },
+	"slti":  func(c *CPU, d *DecodedOp) { c.pushWB(d.Rd, b2u(int32(c.Regs[d.Rs1]) < d.Imm)) },
+	"sltiu": func(c *CPU, d *DecodedOp) { c.pushWB(d.Rd, b2u(c.Regs[d.Rs1] < uint32(d.Imm))) },
+	"slli":  func(c *CPU, d *DecodedOp) { c.pushWB(d.Rd, c.Regs[d.Rs1]<<(uint32(d.Imm)&31)) },
+	"srli":  func(c *CPU, d *DecodedOp) { c.pushWB(d.Rd, c.Regs[d.Rs1]>>(uint32(d.Imm)&31)) },
+	"srai": func(c *CPU, d *DecodedOp) {
+		c.pushWB(d.Rd, uint32(int32(c.Regs[d.Rs1])>>(uint32(d.Imm)&31)))
+	},
+	"lui": func(c *CPU, d *DecodedOp) { c.pushWB(d.Rd, uint32(d.Imm)<<16) },
+
+	// Loads: address = rs1 + imm; the access is recorded for the cycle
+	// models' memory approximation.
+	"lw": func(c *CPU, d *DecodedOp) {
+		a := c.Regs[d.Rs1] + uint32(d.Imm)
+		c.noteMem(a, false)
+		c.pushWB(d.Rd, c.Mem.LoadWord(a))
+	},
+	"lh": func(c *CPU, d *DecodedOp) {
+		a := c.Regs[d.Rs1] + uint32(d.Imm)
+		c.noteMem(a, false)
+		c.pushWB(d.Rd, uint32(int32(int16(c.Mem.LoadHalf(a)))))
+	},
+	"lhu": func(c *CPU, d *DecodedOp) {
+		a := c.Regs[d.Rs1] + uint32(d.Imm)
+		c.noteMem(a, false)
+		c.pushWB(d.Rd, uint32(c.Mem.LoadHalf(a)))
+	},
+	"lb": func(c *CPU, d *DecodedOp) {
+		a := c.Regs[d.Rs1] + uint32(d.Imm)
+		c.noteMem(a, false)
+		c.pushWB(d.Rd, uint32(int32(int8(c.Mem.LoadByte(a)))))
+	},
+	"lbu": func(c *CPU, d *DecodedOp) {
+		a := c.Regs[d.Rs1] + uint32(d.Imm)
+		c.noteMem(a, false)
+		c.pushWB(d.Rd, uint32(c.Mem.LoadByte(a)))
+	},
+
+	// Stores take effect immediately, in slot order within the
+	// instruction (register write-back stays deferred).
+	"sw": func(c *CPU, d *DecodedOp) {
+		a := c.Regs[d.Rs1] + uint32(d.Imm)
+		c.noteMem(a, true)
+		c.Mem.StoreWord(a, c.Regs[d.Rs2])
+	},
+	"sh": func(c *CPU, d *DecodedOp) {
+		a := c.Regs[d.Rs1] + uint32(d.Imm)
+		c.noteMem(a, true)
+		c.Mem.StoreHalf(a, uint16(c.Regs[d.Rs2]))
+	},
+	"sb": func(c *CPU, d *DecodedOp) {
+		a := c.Regs[d.Rs1] + uint32(d.Imm)
+		c.noteMem(a, true)
+		c.Mem.StoreByte(a, byte(c.Regs[d.Rs2]))
+	},
+
+	// Branches: target = operation word address + imm*4.
+	"beq": func(c *CPU, d *DecodedOp) {
+		if c.Regs[d.Rs1] == c.Regs[d.Rs2] {
+			c.setNextIP(d.Addr + uint32(d.Imm)*4)
+		}
+	},
+	"bne": func(c *CPU, d *DecodedOp) {
+		if c.Regs[d.Rs1] != c.Regs[d.Rs2] {
+			c.setNextIP(d.Addr + uint32(d.Imm)*4)
+		}
+	},
+	"blt": func(c *CPU, d *DecodedOp) {
+		if int32(c.Regs[d.Rs1]) < int32(c.Regs[d.Rs2]) {
+			c.setNextIP(d.Addr + uint32(d.Imm)*4)
+		}
+	},
+	"bge": func(c *CPU, d *DecodedOp) {
+		if int32(c.Regs[d.Rs1]) >= int32(c.Regs[d.Rs2]) {
+			c.setNextIP(d.Addr + uint32(d.Imm)*4)
+		}
+	},
+	"bltu": func(c *CPU, d *DecodedOp) {
+		if c.Regs[d.Rs1] < c.Regs[d.Rs2] {
+			c.setNextIP(d.Addr + uint32(d.Imm)*4)
+		}
+	},
+	"bgeu": func(c *CPU, d *DecodedOp) {
+		if c.Regs[d.Rs1] >= c.Regs[d.Rs2] {
+			c.setNextIP(d.Addr + uint32(d.Imm)*4)
+		}
+	},
+
+	// Jumps. The return address is the address of the following
+	// instruction (bundle start + size).
+	"j": func(c *CPU, d *DecodedOp) { c.setNextIP(uint32(d.Imm) * 4) },
+	"jal": func(c *CPU, d *DecodedOp) {
+		c.pushWB(1, c.fallIP())
+		c.setNextIP(uint32(d.Imm) * 4)
+	},
+	"jalr": func(c *CPU, d *DecodedOp) {
+		target := c.Regs[d.Rs1]
+		c.pushWB(d.Rd, c.fallIP())
+		c.setNextIP(target)
+	},
+
+	// System operations.
+	"swt": func(c *CPU, d *DecodedOp) {
+		// Takes effect for the next instruction (Sec. V-D: "The next
+		// instruction is then detected and decoded using the new ISA").
+		c.pendingISA = int(d.Imm)
+	},
+	"simcall": func(c *CPU, d *DecodedOp) { c.doSimcall(uint32(d.Imm)) },
+	"halt":    func(c *CPU, d *DecodedOp) { c.halted = true },
+	"nop":     func(c *CPU, d *DecodedOp) {},
+}
+
+// fallIP is the address of the instruction following the current one.
+func (c *CPU) fallIP() uint32 { return c.rec.D.Addr + c.rec.D.Size }
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

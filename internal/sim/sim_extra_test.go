@@ -1,0 +1,203 @@
+package sim_test
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/ktest"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func newTraceWriter(w io.Writer) *trace.Writer { return trace.NewWriter(w) }
+
+func TestGetcharReadsStdin(t *testing.T) {
+	p := ktest.BuildProgram(t, "RISC", `
+	.global main
+main:
+	addi sp, sp, -16
+	sw ra, 12(sp)
+	jal getchar
+	mv s0, a0
+	jal getchar
+	add s0, s0, a0
+	jal getchar          # EOF -> -1
+	add a0, s0, a0
+	lw ra, 12(sp)
+	addi sp, sp, 16
+	ret
+`)
+	opts := sim.DefaultOptions()
+	opts.Stdin = strings.NewReader("AB")
+	opts.MaxInstructions = 10000
+	c := ktest.NewCPU(t, p, opts)
+	st, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ExitCode != 'A'+'B'-1 {
+		t.Fatalf("exit = %d, want %d", st.ExitCode, 'A'+'B'-1)
+	}
+}
+
+func TestAbortTerminatesWithCode134(t *testing.T) {
+	p := ktest.BuildProgram(t, "RISC", `
+	.global main
+main:
+	jal abort
+	li a0, 0
+	ret
+`)
+	c := ktest.NewCPU(t, p, sim.DefaultOptions())
+	st, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Halted || st.ExitCode != 134 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestHeapExhaustionReported(t *testing.T) {
+	p := ktest.BuildProgram(t, "RISC", `
+	.global main
+main:
+	addi sp, sp, -16
+	sw ra, 12(sp)
+loop:
+	lui a0, 0x100        # 16 MiB per call
+	jal malloc
+	j loop
+`)
+	opts := sim.DefaultOptions()
+	opts.MaxInstructions = 100000
+	c := ktest.NewCPU(t, p, opts)
+	_, err := c.Run()
+	if err == nil || !strings.Contains(err.Error(), "heap exhausted") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPrintfBadConversionFails(t *testing.T) {
+	p := ktest.BuildProgram(t, "RISC", `
+	.global main
+main:
+	addi sp, sp, -16
+	sw ra, 12(sp)
+	la a0, fmt
+	jal printf
+	lw ra, 12(sp)
+	addi sp, sp, 16
+	ret
+	.rodata
+fmt:	.asciz "bad %q conversion"
+`)
+	opts := sim.DefaultOptions()
+	opts.MaxInstructions = 10000
+	c := ktest.NewCPU(t, p, opts)
+	_, err := c.Run()
+	if err == nil || !strings.Contains(err.Error(), "unsupported conversion") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHistoryRingWraps(t *testing.T) {
+	p := ktest.BuildProgram(t, "RISC", `
+	.global main
+main:
+	li t0, 0
+	li t1, 50
+loop:
+	addi t0, t0, 1
+	bne t0, t1, loop
+	li a0, 0
+	ret
+`)
+	opts := sim.DefaultOptions()
+	opts.HistorySize = 8
+	c := ktest.NewCPU(t, p, opts)
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	h := c.History()
+	if len(h) != 8 {
+		t.Fatalf("history length = %d, want 8 (ring full)", len(h))
+	}
+	// The newest entries must be the tail of the run: the ret path.
+	last := h[len(h)-1]
+	if last < p.TextStart || last >= p.TextEnd {
+		t.Fatalf("history tail %#x outside text", last)
+	}
+}
+
+func TestVLIWTraceCarriesSlots(t *testing.T) {
+	p := ktest.BuildProgram(t, "VLIW4", `
+	.isa VLIW4
+	.global main
+main:
+	{ addi t0, zero, 1 ; addi t1, zero, 2 ; addi t2, zero, 3 }
+	{ add a0, t0, t1 ; add t3, t1, t2 }
+	ret
+`)
+	var buf bytes.Buffer
+	opts := sim.DefaultOptions()
+	opts.MaxInstructions = 1000
+	c := ktest.NewCPU(t, p, opts)
+	w := newTraceWriter(&buf)
+	c.SetTrace(w)
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	// Slots 0..2 of the first bundle appear in the trace.
+	for _, want := range []string{" 0 ADDI", " 1 ADDI", " 2 ADDI", " 1 ADD"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("trace missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestStepAfterHaltFails(t *testing.T) {
+	p := ktest.BuildProgram(t, "RISC", "\t.global main\nmain:\n\tli a0, 3\n\tret\n")
+	c := ktest.NewCPU(t, p, sim.DefaultOptions())
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Step(); err == nil || !strings.Contains(err.Error(), "after halt") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSwitchToUnknownISAFails(t *testing.T) {
+	p := ktest.BuildProgram(t, "RISC", `
+	.global main
+main:
+	swt 42
+	ret
+`)
+	c := ktest.NewCPU(t, p, sim.DefaultOptions())
+	_, err := c.Run()
+	if err == nil || !strings.Contains(err.Error(), "unknown ISA id 42") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSwitchToSameISAIsFree(t *testing.T) {
+	p := ktest.BuildProgram(t, "RISC", `
+	.global main
+main:
+	swt RISC
+	li a0, 9
+	ret
+`)
+	c := ktest.NewCPU(t, p, sim.DefaultOptions())
+	st, err := c.Run()
+	if err != nil || st.ExitCode != 9 {
+		t.Fatalf("%v exit=%d", err, st.ExitCode)
+	}
+	if c.Stats.ISASwitches != 0 {
+		t.Fatalf("switch to the active ISA counted: %d", c.Stats.ISASwitches)
+	}
+}

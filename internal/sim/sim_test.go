@@ -1,0 +1,515 @@
+package sim_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/ktest"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// runSrc builds and runs a RISC program, returning CPU and exit status.
+func runSrc(t *testing.T, src string) (*sim.CPU, sim.ExitStatus) {
+	t.Helper()
+	return ktest.Run(t, ktest.BuildProgram(t, "RISC", src))
+}
+
+func TestArithmeticProgram(t *testing.T) {
+	// main computes 7*6 and returns it.
+	_, st := runSrc(t, `
+	.global main
+main:
+	li a0, 7
+	li a1, 6
+	mul a0, a0, a1
+	ret
+`)
+	if !st.Halted || st.ExitCode != 42 {
+		t.Fatalf("status = %+v, want exit 42", st)
+	}
+}
+
+func TestLoopAndBranches(t *testing.T) {
+	// Sum 1..10 = 55.
+	_, st := runSrc(t, `
+	.global main
+main:
+	li a0, 0
+	li t0, 1
+	li t1, 11
+loop:
+	add a0, a0, t0
+	addi t0, t0, 1
+	bne t0, t1, loop
+	ret
+`)
+	if st.ExitCode != 55 {
+		t.Fatalf("exit = %d, want 55", st.ExitCode)
+	}
+}
+
+func TestMemoryOpsAndSignExtension(t *testing.T) {
+	_, st := runSrc(t, `
+	.global main
+main:
+	addi sp, sp, -16
+	li t0, -2
+	sb t0, 0(sp)
+	lb t1, 0(sp)        # -2
+	lbu t2, 0(sp)       # 254
+	add a0, t1, t2      # 252
+	li t3, 0x8000
+	sh t3, 4(sp)
+	lh t4, 4(sp)        # -32768
+	lhu t5, 4(sp)       # 32768
+	add a0, a0, t4
+	add a0, a0, t5      # 252 + 0 = 252
+	addi sp, sp, 16
+	ret
+`)
+	if st.ExitCode != 252 {
+		t.Fatalf("exit = %d, want 252", st.ExitCode)
+	}
+}
+
+func TestDivisionEdgeCases(t *testing.T) {
+	_, st := runSrc(t, `
+	.global main
+main:
+	li t0, 7
+	li t1, 0
+	div t2, t0, t1      # -1
+	rem t3, t0, t1      # 7
+	li t4, 1
+	sll t4, t4, t1      # unchanged path exercise
+	li t5, -2147483648
+	li t6, -1
+	div s0, t5, t6      # INT_MIN
+	rem s1, t5, t6      # 0
+	add a0, t2, t3      # -1+7 = 6
+	add a0, a0, s1      # 6
+	ret
+`)
+	if st.ExitCode != 6 {
+		t.Fatalf("exit = %d, want 6", st.ExitCode)
+	}
+}
+
+func TestVLIWReadBeforeWrite(t *testing.T) {
+	// A swap in one instruction only works if all registers are read
+	// before any result is written back (Sec. V-B).
+	_, st := ktest.Run(t, ktest.BuildProgram(t, "VLIW2", `
+	.isa VLIW2
+	.global main
+main:
+	li t0, 3
+	li t1, 5
+	{ add t0, t1, zero ; add t1, t0, zero }
+	# now t0=5, t1=3; return t0*10+t1 = 53
+	li t2, 10
+	mul a0, t0, t2
+	add a0, a0, t1
+	ret
+`))
+	if st.ExitCode != 53 {
+		t.Fatalf("exit = %d, want 53 (read-before-write violated?)", st.ExitCode)
+	}
+}
+
+func TestSwitchTargetMixedISA(t *testing.T) {
+	// Start in RISC, switch to VLIW4, execute a bundle, switch back.
+	p := ktest.BuildProgram(t, "RISC", `
+	.global main
+main:
+	li a0, 1
+	swt VLIW4
+	.isa VLIW4
+	{ addi a0, a0, 10 ; addi t0, zero, 5 }
+	{ add a0, a0, t0 }
+	swt RISC
+	.isa RISC
+	addi a0, a0, 100
+	ret
+`)
+	c, st := ktest.Run(t, p)
+	if st.ExitCode != 116 {
+		t.Fatalf("exit = %d, want 116", st.ExitCode)
+	}
+	if c.Stats.ISASwitches != 2 {
+		t.Fatalf("ISA switches = %d, want 2", c.Stats.ISASwitches)
+	}
+}
+
+func TestDecodeCacheAndPredictionStats(t *testing.T) {
+	src := `
+	.global main
+main:
+	li a0, 0
+	li t0, 0
+	li t1, 1000
+loop:
+	addi t0, t0, 1
+	bne t0, t1, loop
+	ret
+`
+	p := ktest.BuildProgram(t, "RISC", src)
+	opts := sim.DefaultOptions()
+	opts.MaxInstructions = 1 << 20
+	c := ktest.NewCPU(t, p, opts)
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats
+	if s.Instructions < 2000 {
+		t.Fatalf("instructions = %d", s.Instructions)
+	}
+	// Nearly every instruction decode is avoided by the cache...
+	if s.Detected >= 20 {
+		t.Errorf("detected = %d, want ~#static instructions", s.Detected)
+	}
+	// ...and nearly every lookup is avoided by prediction: the loop body
+	// repeats identically, so lookups stay in the tens.
+	if s.CacheLookups >= s.Instructions/10 {
+		t.Errorf("lookups = %d of %d instructions; prediction ineffective",
+			s.CacheLookups, s.Instructions)
+	}
+	if s.PredHits == 0 {
+		t.Error("no prediction hits")
+	}
+}
+
+// The decode cache and instruction prediction are pure optimizations:
+// all four configurations must produce identical architectural results.
+func TestCachePredictionTransparency(t *testing.T) {
+	src := `
+	.global main
+main:
+	li a0, 0
+	li t0, 0
+	li t1, 37
+loop:
+	mul t2, t0, t0
+	add a0, a0, t2
+	addi t0, t0, 1
+	blt t0, t1, loop
+	ret
+`
+	var want int32
+	for i, cfg := range []struct{ cache, pred bool }{
+		{false, false}, {true, false}, {true, true}, {false, true},
+	} {
+		p := ktest.BuildProgram(t, "RISC", src)
+		opts := sim.Options{DecodeCache: cfg.cache, Prediction: cfg.pred, MaxInstructions: 1 << 20}
+		c := ktest.NewCPU(t, p, opts)
+		st, err := c.Run()
+		if err != nil {
+			t.Fatalf("cfg %+v: %v", cfg, err)
+		}
+		if i == 0 {
+			want = st.ExitCode
+			continue
+		}
+		if st.ExitCode != want {
+			t.Errorf("cfg %+v: exit %d != %d", cfg, st.ExitCode, want)
+		}
+	}
+}
+
+func TestSimcallsOutput(t *testing.T) {
+	p := ktest.BuildProgram(t, "RISC", `
+	.global main
+main:
+	addi sp, sp, -16
+	sw ra, 12(sp)
+	la a0, fmt
+	li a1, -7
+	li a2, 255
+	la a3, word
+	jal printf
+	la a0, word
+	jal puts
+	li a0, 'X'
+	jal putchar
+	la a0, word
+	jal strlen
+	mv s0, a0
+	la a0, word
+	la a1, word2
+	jal strcmp
+	add a0, a0, s0
+	lw ra, 12(sp)
+	addi sp, sp, 16
+	ret
+	.rodata
+fmt:	.asciz "d=%d x=%02x s=%s!\n"
+word:	.asciz "kahrisma"
+word2:	.asciz "kahrismb"
+`)
+	var out bytes.Buffer
+	opts := sim.DefaultOptions()
+	opts.Stdout = &out
+	opts.MaxInstructions = 1 << 20
+	c := ktest.NewCPU(t, p, opts)
+	st, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOut := "d=-7 x=ff s=kahrisma!\nkahrisma\nX"
+	if out.String() != wantOut {
+		t.Errorf("output = %q, want %q", out.String(), wantOut)
+	}
+	// strlen("kahrisma") = 8, strcmp < 0 → -1; 8 + -1 = 7.
+	if st.ExitCode != 7 {
+		t.Errorf("exit = %d, want 7", st.ExitCode)
+	}
+	if c.Stats.Simcalls == 0 {
+		t.Error("no simcalls recorded")
+	}
+}
+
+func TestMallocMemcpyMemset(t *testing.T) {
+	_, st := runSrc(t, `
+	.global main
+main:
+	addi sp, sp, -16
+	sw ra, 12(sp)
+	li a0, 64
+	jal malloc
+	mv s0, a0          # buf
+	li a1, 0xAB
+	li a2, 64
+	jal memset         # memset(buf, 0xAB, 64)
+	mv a0, s0
+	li a0, 64
+	jal malloc
+	mv s1, a0          # buf2
+	mv a1, s0
+	li a2, 64
+	jal memcpy         # memcpy(buf2, buf, 64)
+	lbu a0, 63(s1)     # 0xAB = 171
+	lw ra, 12(sp)
+	addi sp, sp, 16
+	ret
+`)
+	if st.ExitCode != 171 {
+		t.Fatalf("exit = %d, want 171", st.ExitCode)
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	src := `
+	.global main
+main:
+	addi sp, sp, -16
+	sw ra, 12(sp)
+	li a0, 42
+	jal srand
+	jal rand
+	mv s0, a0
+	jal rand
+	xor a0, a0, s0
+	andi a0, a0, 0xff
+	lw ra, 12(sp)
+	addi sp, sp, 16
+	ret
+`
+	_, st1 := runSrc(t, src)
+	_, st2 := runSrc(t, src)
+	if st1.ExitCode != st2.ExitCode {
+		t.Fatalf("rand not deterministic: %d vs %d", st1.ExitCode, st2.ExitCode)
+	}
+}
+
+func TestTraceGenerationAndCompare(t *testing.T) {
+	src := `
+	.global main
+main:
+	li t0, 2
+	li t1, 3
+	add a0, t0, t1
+	ret
+`
+	genTrace := func(cache bool) []trace.Event {
+		p := ktest.BuildProgram(t, "RISC", src)
+		var buf bytes.Buffer
+		w := trace.NewWriter(&buf)
+		opts := sim.Options{DecodeCache: cache, Prediction: cache, MaxInstructions: 10000}
+		c := ktest.NewCPU(t, p, opts)
+		c.SetTrace(w)
+		if _, err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		evs, err := trace.Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return evs
+	}
+	a := genTrace(true)
+	b := genTrace(false)
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+	if err := trace.Compare(a, b); err != nil {
+		t.Fatalf("traces with/without decode cache diverge: %v", err)
+	}
+	// Spot-check: the ADD event carries in/out register values.
+	var add *trace.Event
+	for i := range a {
+		if a[i].Op == "ADD" {
+			add = &a[i]
+		}
+	}
+	if add == nil {
+		t.Fatal("no ADD in trace")
+	}
+	if len(add.In) != 2 || add.In[0].Val != 2 || add.In[1].Val != 3 {
+		t.Errorf("ADD inputs = %+v", add.In)
+	}
+	if len(add.Out) != 1 || add.Out[0].Val != 5 {
+		t.Errorf("ADD outputs = %+v", add.Out)
+	}
+}
+
+func TestIllegalInstructionReportsLocation(t *testing.T) {
+	p := ktest.BuildProgram(t, "RISC", `
+	.global main
+	.func main
+main:
+	.word 0xFFFFFFFF
+	ret
+	.endfunc
+`)
+	opts := sim.DefaultOptions()
+	opts.HistorySize = 8
+	c := ktest.NewCPU(t, p, opts)
+	_, err := c.Run()
+	if err == nil {
+		t.Fatal("expected illegal instruction error")
+	}
+	if !strings.Contains(err.Error(), "illegal operation word") ||
+		!strings.Contains(err.Error(), "main") {
+		t.Fatalf("error lacks context: %v", err)
+	}
+}
+
+func TestIPHistoryOnRunawayJump(t *testing.T) {
+	p := ktest.BuildProgram(t, "RISC", `
+	.global main
+main:
+	li t0, 0x300000
+	jalr zero, t0
+`)
+	opts := sim.DefaultOptions()
+	opts.HistorySize = 16
+	c := ktest.NewCPU(t, p, opts)
+	_, err := c.Run()
+	if err == nil || !strings.Contains(err.Error(), "left the text section") {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "instruction pointer history") {
+		t.Fatalf("no IP history in error: %v", err)
+	}
+	if len(c.History()) == 0 {
+		t.Fatal("history empty")
+	}
+}
+
+func TestInstructionLimit(t *testing.T) {
+	p := ktest.BuildProgram(t, "RISC", `
+	.global main
+main:
+	j main
+`)
+	opts := sim.DefaultOptions()
+	opts.MaxInstructions = 100
+	c := ktest.NewCPU(t, p, opts)
+	_, err := c.Run()
+	if err == nil || !strings.Contains(err.Error(), "instruction limit") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLocationMapping(t *testing.T) {
+	p := ktest.BuildProgram(t, "RISC", `
+	.global main
+	.func main
+main:
+	.loc "prog.c" 3
+	li a0, 0
+	ret
+	.endfunc
+`)
+	mainSym := p.File.Symbol("main")
+	loc := p.Location(mainSym.Value)
+	for _, want := range []string{"main+0x0", "prog.c:3", ".s:"} {
+		if !strings.Contains(loc, want) {
+			t.Errorf("location %q missing %q", loc, want)
+		}
+	}
+}
+
+func TestMemoryPaging(t *testing.T) {
+	m := sim.NewMemory()
+	// Cross-page word access.
+	m.StoreWord(0x1FFE, 0xA1B2C3D4)
+	if got := m.LoadWord(0x1FFE); got != 0xA1B2C3D4 {
+		t.Fatalf("cross-page word = %#x", got)
+	}
+	if got := m.LoadByte(0x2001); got != 0xA1 {
+		t.Fatalf("byte in next page = %#x", got)
+	}
+	m.WriteBytes(0x2FFF, []byte{1, 2, 3})
+	if got := m.ReadBytes(0x2FFF, 3); got[0] != 1 || got[2] != 3 {
+		t.Fatalf("WriteBytes/ReadBytes across pages = %v", got)
+	}
+	if m.Pages() < 2 {
+		t.Fatalf("pages = %d", m.Pages())
+	}
+	if _, err := m.ReadCString(0x5000, 4); err == nil {
+		// all-zero page: empty string, no error expected actually
+	}
+	m.WriteBytes(0x6000, []byte{'h', 'i', 0})
+	s, err := m.ReadCString(0x6000, 10)
+	if err != nil || s != "hi" {
+		t.Fatalf("cstring = %q, %v", s, err)
+	}
+}
+
+func TestStackArgsSimcall(t *testing.T) {
+	// printf with 6 arguments: 3 in registers, 2 on the stack.
+	p := ktest.BuildProgram(t, "RISC", `
+	.global main
+main:
+	addi sp, sp, -16
+	sw ra, 12(sp)
+	li t0, 50
+	sw t0, 0(sp)       # arg 4
+	li t0, 60
+	sw t0, 4(sp)       # arg 5
+	la a0, fmt
+	li a1, 10
+	li a2, 20
+	li a3, 30
+	jal printf
+	lw ra, 12(sp)
+	addi sp, sp, 16
+	li a0, 0
+	ret
+	.rodata
+fmt:	.asciz "%d %d %d %d %d"
+`)
+	var out bytes.Buffer
+	opts := sim.DefaultOptions()
+	opts.Stdout = &out
+	opts.MaxInstructions = 1 << 20
+	c := ktest.NewCPU(t, p, opts)
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "10 20 30 50 60" {
+		t.Fatalf("output = %q", out.String())
+	}
+}

@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/simcall"
+)
+
+// doSimcall executes one emulated C standard library function natively
+// (Sec. V-E of the paper): it reads the input parameters from the
+// registers and stack according to the calling convention, executes the
+// corresponding function against the simulated state, and writes the
+// result back to the registers.
+//
+// Calling convention: arguments 0..3 in a0..a3 (r4..r7); further
+// arguments at sp+0, sp+4, ...; result in a0.
+func (c *CPU) doSimcall(id uint32) {
+	c.Stats.Simcalls++
+	arg := func(i int) uint32 {
+		if i < 4 {
+			return c.Regs[4+i]
+		}
+		return c.Mem.LoadWord(c.Regs[2] + uint32(i-4)*4)
+	}
+	ret := func(v uint32) { c.pushWB(4, v) }
+
+	switch int(id) {
+	case simcall.Exit:
+		c.halted = true
+		c.exitCode = int32(arg(0))
+	case simcall.Putchar:
+		c.writeOut([]byte{byte(arg(0))})
+		ret(arg(0))
+	case simcall.Puts:
+		s, err := c.Mem.ReadCString(arg(0), 1<<20)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.writeOut([]byte(s + "\n"))
+		ret(0)
+	case simcall.Printf:
+		n, err := c.printf(arg)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		ret(uint32(n))
+	case simcall.Malloc:
+		n := arg(0)
+		c.heapPtr = (c.heapPtr + 7) &^ 7
+		p := c.heapPtr
+		c.heapPtr += n
+		if c.heapPtr >= c.Prog.StackTop-0x10000 {
+			c.fail(fmt.Errorf("sim: heap exhausted (malloc(%d) at %#x)", n, p))
+			return
+		}
+		ret(p)
+	case simcall.Free:
+		// The bump allocator never reuses memory.
+	case simcall.Memcpy:
+		dst, src, n := arg(0), arg(1), arg(2)
+		for i := uint32(0); i < n; i++ {
+			c.Mem.StoreByte(dst+i, c.Mem.LoadByte(src+i))
+		}
+		ret(dst)
+	case simcall.Memset:
+		dst, v, n := arg(0), byte(arg(1)), arg(2)
+		for i := uint32(0); i < n; i++ {
+			c.Mem.StoreByte(dst+i, v)
+		}
+		ret(dst)
+	case simcall.Rand:
+		c.rngState = c.rngState*6364136223846793005 + 1442695040888963407
+		ret(uint32(c.rngState>>33) & 0x7FFFFFFF)
+	case simcall.Srand:
+		c.rngState = uint64(arg(0))<<32 | 0x9E3779B9
+	case simcall.Clock:
+		ret(uint32(c.Stats.Instructions))
+	case simcall.Abort:
+		c.halted = true
+		c.exitCode = 134
+	case simcall.Strlen:
+		s, err := c.Mem.ReadCString(arg(0), 1<<20)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		ret(uint32(len(s)))
+	case simcall.Strcmp:
+		a, err := c.Mem.ReadCString(arg(0), 1<<20)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		b, err := c.Mem.ReadCString(arg(1), 1<<20)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		ret(uint32(strings.Compare(a, b)))
+	case simcall.Getchar:
+		var b [1]byte
+		if c.opts.Stdin != nil {
+			if n, _ := io.ReadFull(c.opts.Stdin, b[:]); n == 1 {
+				ret(uint32(b[0]))
+				return
+			}
+		}
+		ret(^uint32(0)) // EOF
+	default:
+		c.fail(fmt.Errorf("sim: unknown simcall %d", id))
+	}
+}
+
+func (c *CPU) writeOut(b []byte) {
+	if c.opts.Stdout == nil {
+		return
+	}
+	if _, err := c.opts.Stdout.Write(b); err != nil {
+		c.fail(fmt.Errorf("sim: stdout: %v", err))
+	}
+}
+
+// printf implements a useful printf subset: %d %u %x %c %s %% with
+// optional width and zero padding (e.g. %08x, %5d).
+func (c *CPU) printf(arg func(int) uint32) (int, error) {
+	format, err := c.Mem.ReadCString(arg(0), 1<<20)
+	if err != nil {
+		return 0, err
+	}
+	var out strings.Builder
+	argi := 1
+	next := func() uint32 {
+		v := arg(argi)
+		argi++
+		return v
+	}
+	for i := 0; i < len(format); i++ {
+		ch := format[i]
+		if ch != '%' {
+			out.WriteByte(ch)
+			continue
+		}
+		i++
+		if i >= len(format) {
+			return 0, fmt.Errorf("sim: printf: trailing %%")
+		}
+		// Flags and width.
+		pad := byte(' ')
+		width := 0
+		if format[i] == '0' {
+			pad = '0'
+			i++
+		}
+		for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+			width = width*10 + int(format[i]-'0')
+			i++
+		}
+		if i >= len(format) {
+			return 0, fmt.Errorf("sim: printf: truncated conversion")
+		}
+		var piece string
+		switch format[i] {
+		case 'd':
+			piece = fmt.Sprintf("%d", int32(next()))
+		case 'u':
+			piece = fmt.Sprintf("%d", next())
+		case 'x':
+			piece = fmt.Sprintf("%x", next())
+		case 'c':
+			piece = string(rune(next() & 0xFF))
+		case 's':
+			s, err := c.Mem.ReadCString(next(), 1<<20)
+			if err != nil {
+				return 0, err
+			}
+			piece = s
+		case '%':
+			piece = "%"
+		default:
+			return 0, fmt.Errorf("sim: printf: unsupported conversion %%%c", format[i])
+		}
+		for len(piece) < width {
+			piece = string(pad) + piece
+		}
+		out.WriteString(piece)
+	}
+	c.writeOut([]byte(out.String()))
+	return out.Len(), nil
+}

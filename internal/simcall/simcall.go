@@ -1,0 +1,48 @@
+// Package simcall defines the C-standard-library emulation interface of
+// the simulator (Sec. V-E of the paper): each emulated library function
+// has an identification number encoded as the immediate of the SIMCALL
+// operation. The linker generates a stub function per entry (body =
+// `simcall N; ret`) so the functions are visible to symbol resolution;
+// the simulator executes the call natively against the simulated
+// register file and memory.
+package simcall
+
+// Function identification numbers (SIMCALL immediates).
+const (
+	Exit    = 0  // exit(code)                — terminates simulation
+	Putchar = 1  // putchar(c) -> c
+	Puts    = 2  // puts(s) -> 0              — appends '\n' like C puts
+	Printf  = 3  // printf(fmt, ...) -> chars — %d %u %x %c %s %% supported
+	Malloc  = 4  // malloc(n) -> ptr          — bump allocator, 8-aligned
+	Free    = 5  // free(p)                   — no-op
+	Memcpy  = 6  // memcpy(dst, src, n) -> dst
+	Memset  = 7  // memset(dst, c, n) -> dst
+	Rand    = 8  // rand() -> [0, 2^31)       — deterministic LCG
+	Srand   = 9  // srand(seed)
+	Clock   = 10 // clock() -> executed instruction count
+	Abort   = 11 // abort()                   — terminates with error
+	Strlen  = 12 // strlen(s) -> n
+	Strcmp  = 13 // strcmp(a, b) -> sign
+	Getchar = 14 // getchar() -> byte or -1   — reads simulator stdin
+)
+
+// Names maps linker-visible function names to identification numbers.
+// The paper's scheme: "an automatically generated assembly file
+// containing a small function body for each library function".
+var Names = map[string]int{
+	"exit":    Exit,
+	"putchar": Putchar,
+	"puts":    Puts,
+	"printf":  Printf,
+	"malloc":  Malloc,
+	"free":    Free,
+	"memcpy":  Memcpy,
+	"memset":  Memset,
+	"rand":    Rand,
+	"srand":   Srand,
+	"clock":   Clock,
+	"abort":   Abort,
+	"strlen":  Strlen,
+	"strcmp":  Strcmp,
+	"getchar": Getchar,
+}

@@ -1,0 +1,336 @@
+// Package targetgen is the TargetGen utility of the KAHRISMA software
+// framework (Sec. IV/V of the paper): it processes an ADL description
+// and generates the retargeting artifacts — the register table and one
+// operation table per ISA, each entry carrying the operation's name,
+// size, fields, implicit registers and the key of its simulation
+// function. (The paper emits C++ source fragments compiled into the
+// tools; here the generated artifact is the elaborated isa.Model that
+// the compiler, assembler, linker and simulator consume directly.)
+package targetgen
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/adl"
+	"repro/internal/isa"
+)
+
+// Elaborate validates an ADL document and builds the architecture model.
+func Elaborate(doc *adl.Document) (*isa.Model, error) {
+	if doc.Architecture == "" {
+		return nil, fmt.Errorf("targetgen: missing architecture name")
+	}
+	m := isa.NewModel(doc.Architecture)
+
+	if err := buildRegisters(m, doc); err != nil {
+		return nil, err
+	}
+	if err := buildFormats(m, doc); err != nil {
+		return nil, err
+	}
+	if err := buildOperations(m, doc); err != nil {
+		return nil, err
+	}
+	if err := checkDetectionUnambiguous(m); err != nil {
+		return nil, err
+	}
+	if err := buildISAs(m, doc); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func buildRegisters(m *isa.Model, doc *adl.Document) error {
+	rd := doc.Registers
+	if rd == nil {
+		return fmt.Errorf("targetgen: missing registers block")
+	}
+	if rd.Count <= 0 || rd.Count > 64 {
+		return fmt.Errorf("targetgen: register count %d out of range", rd.Count)
+	}
+	if rd.Width != 32 {
+		return fmt.Errorf("targetgen: only 32-bit registers are supported, got %d", rd.Width)
+	}
+	rf := isa.NewRegisterFile(rd.Name, rd.Count, rd.Width)
+	for _, al := range rd.Aliases {
+		idx, ok := canonicalIndex(al.Target, rd.Count)
+		if !ok {
+			return fmt.Errorf("targetgen: alias %s: unknown register %q", al.Alias, al.Target)
+		}
+		if err := rf.AddAlias(al.Alias, idx); err != nil {
+			return err
+		}
+	}
+	if rd.Zero != "" {
+		idx, ok := rf.Lookup(rd.Zero)
+		if !ok {
+			return fmt.Errorf("targetgen: zero register %q not found", rd.Zero)
+		}
+		rf.ZeroReg = idx
+	}
+	m.Regs = rf
+	return nil
+}
+
+func canonicalIndex(name string, count int) (int, bool) {
+	var n int
+	if _, err := fmt.Sscanf(name, "r%d", &n); err != nil {
+		return 0, false
+	}
+	if fmt.Sprintf("r%d", n) != name || n < 0 || n >= count {
+		return 0, false
+	}
+	return n, true
+}
+
+func buildFormats(m *isa.Model, doc *adl.Document) error {
+	for _, fd := range doc.Formats {
+		if _, dup := m.Formats[fd.Name]; dup {
+			return fmt.Errorf("targetgen: duplicate format %q", fd.Name)
+		}
+		fm := &isa.Format{Name: fd.Name}
+		var covered uint32
+		roles := map[isa.FieldRole]bool{}
+		for _, f := range fd.Fields {
+			if f.Hi < f.Lo || f.Hi > 31 || f.Lo < 0 {
+				return fmt.Errorf("targetgen: format %s field %s: bad bit range %d:%d",
+					fd.Name, f.Name, f.Hi, f.Lo)
+			}
+			field := &isa.Field{Name: f.Name, Hi: uint8(f.Hi), Lo: uint8(f.Lo), Signed: f.Signed}
+			switch f.Kind {
+			case "const":
+				field.Kind = isa.FieldConst
+			case "reg":
+				field.Kind = isa.FieldReg
+			case "imm":
+				field.Kind = isa.FieldImm
+			default:
+				return fmt.Errorf("targetgen: format %s field %s: unknown kind %q",
+					fd.Name, f.Name, f.Kind)
+			}
+			switch f.Role {
+			case "":
+				field.Role = isa.RoleNone
+			case "dst":
+				field.Role = isa.RoleDst
+			case "src1":
+				field.Role = isa.RoleSrc1
+			case "src2":
+				field.Role = isa.RoleSrc2
+			case "imm":
+				field.Role = isa.RoleImm
+			default:
+				return fmt.Errorf("targetgen: format %s field %s: unknown role %q",
+					fd.Name, f.Name, f.Role)
+			}
+			if field.Kind == isa.FieldConst && field.Role != isa.RoleNone {
+				return fmt.Errorf("targetgen: format %s field %s: const fields cannot have roles",
+					fd.Name, f.Name)
+			}
+			if field.Kind == isa.FieldReg && field.Role == isa.RoleNone {
+				return fmt.Errorf("targetgen: format %s field %s: register fields need a role",
+					fd.Name, f.Name)
+			}
+			if field.Role != isa.RoleNone {
+				if roles[field.Role] {
+					return fmt.Errorf("targetgen: format %s: duplicate role %s",
+						fd.Name, field.Role)
+				}
+				roles[field.Role] = true
+			}
+			mask := field.Mask()
+			if covered&mask != 0 {
+				return fmt.Errorf("targetgen: format %s field %s overlaps another field",
+					fd.Name, f.Name)
+			}
+			covered |= mask
+			fm.Fields = append(fm.Fields, field)
+		}
+		if covered != 0xFFFFFFFF {
+			return fmt.Errorf("targetgen: format %s does not cover all 32 bits (mask %08x)",
+				fd.Name, covered)
+		}
+		m.Formats[fd.Name] = fm
+	}
+	return nil
+}
+
+func buildOperations(m *isa.Model, doc *adl.Document) error {
+	for _, od := range doc.Operations {
+		fm, ok := m.Formats[od.Format]
+		if !ok {
+			return fmt.Errorf("targetgen: operation %s: unknown format %q", od.Name, od.Format)
+		}
+		class, err := isa.ParseClass(od.Class)
+		if err != nil {
+			return fmt.Errorf("targetgen: operation %s: %v", od.Name, err)
+		}
+		if od.Sem == "" {
+			return fmt.Errorf("targetgen: operation %s: missing sem key", od.Name)
+		}
+		if od.Latency < 1 {
+			return fmt.Errorf("targetgen: operation %s: latency must be >= 1", od.Name)
+		}
+		op := &isa.Operation{
+			Name:    od.Name,
+			Format:  fm,
+			Class:   class,
+			Latency: od.Latency,
+			SemKey:  od.Sem,
+			Consts:  make(map[string]uint32),
+		}
+		for _, set := range od.Sets {
+			f := fm.Field(set.Field)
+			if f == nil {
+				return fmt.Errorf("targetgen: operation %s: set of unknown field %q",
+					od.Name, set.Field)
+			}
+			if f.Kind != isa.FieldConst {
+				return fmt.Errorf("targetgen: operation %s: field %q is not const",
+					od.Name, set.Field)
+			}
+			if _, dup := op.Consts[set.Field]; dup {
+				return fmt.Errorf("targetgen: operation %s: duplicate set of %q",
+					od.Name, set.Field)
+			}
+			if !f.Fits(int64(set.Value)) {
+				return fmt.Errorf("targetgen: operation %s: value 0x%x does not fit field %q",
+					od.Name, set.Value, set.Field)
+			}
+			op.Consts[set.Field] = set.Value
+		}
+		for _, f := range fm.Fields {
+			switch f.Kind {
+			case isa.FieldConst:
+				v, ok := op.Consts[f.Name]
+				if !ok {
+					return fmt.Errorf("targetgen: operation %s: const field %q not set",
+						od.Name, f.Name)
+				}
+				op.ConstMask |= f.Mask()
+				op.ConstBits = f.Insert(op.ConstBits, v)
+			case isa.FieldReg, isa.FieldImm:
+				switch f.Role {
+				case isa.RoleDst:
+					op.DstField = f
+				case isa.RoleSrc1:
+					op.Src1Field = f
+				case isa.RoleSrc2:
+					op.Src2Field = f
+				case isa.RoleImm:
+					op.ImmField = f
+				}
+			}
+		}
+		if op.ImplicitReads, err = resolveImplicit(m, od.Reads); err != nil {
+			return fmt.Errorf("targetgen: operation %s reads: %v", od.Name, err)
+		}
+		if op.ImplicitWrites, err = resolveImplicit(m, od.Writes); err != nil {
+			return fmt.Errorf("targetgen: operation %s writes: %v", od.Name, err)
+		}
+		if err := m.AddOp(op); err != nil {
+			return err
+		}
+	}
+	if len(m.Ops) == 0 {
+		return fmt.Errorf("targetgen: no operations declared")
+	}
+	return nil
+}
+
+func resolveImplicit(m *isa.Model, names []string) ([]int, error) {
+	var out []int
+	for _, n := range names {
+		if n == "ip" {
+			out = append(out, isa.RegIP)
+			continue
+		}
+		idx, ok := m.Regs.Lookup(n)
+		if !ok {
+			return nil, fmt.Errorf("unknown register %q", n)
+		}
+		out = append(out, idx)
+	}
+	return out, nil
+}
+
+// checkDetectionUnambiguous verifies that no operation word can be
+// detected as two different operations: for every pair of operations,
+// their constant bits must differ somewhere within the intersection of
+// their constant masks.
+func checkDetectionUnambiguous(m *isa.Model) error {
+	for i, a := range m.Ops {
+		for _, b := range m.Ops[i+1:] {
+			common := a.ConstMask & b.ConstMask
+			if a.ConstBits&common == b.ConstBits&common {
+				return fmt.Errorf("targetgen: operations %s and %s are not distinguishable by constant fields",
+					a.Name, b.Name)
+			}
+		}
+	}
+	return nil
+}
+
+func buildISAs(m *isa.Model, doc *adl.Document) error {
+	if len(doc.ISAs) == 0 {
+		return fmt.Errorf("targetgen: no ISAs declared")
+	}
+	defaults := 0
+	for _, id := range doc.ISAs {
+		if id.ID < 0 {
+			return fmt.Errorf("targetgen: isa %s: missing id", id.Name)
+		}
+		if id.Issue < 1 || id.Issue > 16 {
+			return fmt.Errorf("targetgen: isa %s: issue width %d out of range", id.Name, id.Issue)
+		}
+		if id.Default {
+			defaults++
+		}
+		a := &isa.ISA{Name: id.Name, ID: id.ID, Issue: id.Issue, Default: id.Default}
+		// Each ISA gets its own operation table (Sec. V: "each supported
+		// ISA has its own operation table and only the active operation
+		// table is used during instruction detection").
+		table := make([]*isa.Operation, len(m.Ops))
+		copy(table, m.Ops)
+		a.SetOps(table)
+		if err := m.AddISA(a); err != nil {
+			return err
+		}
+	}
+	if defaults > 1 {
+		return fmt.Errorf("targetgen: more than one default ISA")
+	}
+	return nil
+}
+
+var (
+	kahrismaOnce  sync.Once
+	kahrismaModel *isa.Model
+	kahrismaErr   error
+)
+
+// Kahrisma parses and elaborates the built-in KAHRISMA ADL description.
+// The returned model is shared and must be treated as read-only (it is
+// immutable after elaboration, so concurrent simulations may share it).
+func Kahrisma() (*isa.Model, error) {
+	kahrismaOnce.Do(func() {
+		doc, err := adl.Parse(adl.Kahrisma)
+		if err != nil {
+			kahrismaErr = err
+			return
+		}
+		kahrismaModel, kahrismaErr = Elaborate(doc)
+	})
+	return kahrismaModel, kahrismaErr
+}
+
+// MustKahrisma is Kahrisma but panics on error; intended for tests,
+// examples and tools where the built-in description must be valid.
+func MustKahrisma() *isa.Model {
+	m, err := Kahrisma()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

@@ -1,0 +1,121 @@
+package targetgen_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/adl"
+	"repro/internal/targetgen"
+)
+
+func TestKahrismaElaborates(t *testing.T) {
+	m, err := targetgen.Kahrisma()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Ops) != 47 {
+		t.Errorf("global op count = %d, want 47", len(m.Ops))
+	}
+	for _, a := range m.ISAs {
+		if len(a.Ops) != len(m.Ops) {
+			t.Errorf("ISA %s operation table size %d != %d", a.Name, len(a.Ops), len(m.Ops))
+		}
+		if a.Op("SWT") == nil {
+			t.Errorf("ISA %s missing SWITCHTARGET", a.Name)
+		}
+	}
+	if m.Op("ADD").ConstMask != 0xFC0007FF {
+		t.Errorf("ADD const mask = %#x", m.Op("ADD").ConstMask)
+	}
+	if m.Op("ADDI").ConstMask != 0xFC000000 {
+		t.Errorf("ADDI const mask = %#x", m.Op("ADDI").ConstMask)
+	}
+}
+
+func TestMustKahrisma(t *testing.T) {
+	if targetgen.MustKahrisma() == nil {
+		t.Fatal("nil model")
+	}
+}
+
+const minimalPrefix = `
+architecture T
+registers G { count 32 width 32 zero r0 }
+format I {
+  field opcode 31:26 const
+  field rd 25:21 reg dst
+  field rs1 20:16 reg src1
+  field imm 15:0 imm imm signed
+}
+`
+
+func elaborate(t *testing.T, src string) error {
+	t.Helper()
+	doc, err := adl.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = targetgen.Elaborate(doc)
+	return err
+}
+
+func wantErr(t *testing.T, src, sub string) {
+	t.Helper()
+	err := elaborate(t, src)
+	if err == nil {
+		t.Fatalf("expected error containing %q, got nil", sub)
+	}
+	if !strings.Contains(err.Error(), sub) {
+		t.Fatalf("error %q does not contain %q", err, sub)
+	}
+}
+
+func TestElaborateValidMinimal(t *testing.T) {
+	src := minimalPrefix + `
+operation ADDI { format I set opcode = 1 class alu latency 1 sem addi }
+isa RISC { id 0 issue 1 default }
+`
+	if err := elaborate(t, src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElaborateErrors(t *testing.T) {
+	op := "operation A { format I set opcode = 1 class alu latency 1 sem x }\n"
+	isaDecl := "isa R { id 0 issue 1 }\n"
+	cases := []struct {
+		name, src, sub string
+	}{
+		{"no arch", "registers G { count 32 width 32 }", "missing architecture"},
+		{"no registers", "architecture T\nformat I { field a 31:0 imm imm }\n" + op + isaDecl, "missing registers"},
+		{"bad width", "architecture T\nregisters G { count 32 width 16 }", "32-bit registers"},
+		{"bad zero", "architecture T\nregisters G { count 32 width 32 zero r99 }", "zero register"},
+		{"bad alias target", "architecture T\nregisters G { count 32 width 32 alias x = r99 }", "unknown register"},
+		{"dup alias", "architecture T\nregisters G { count 32 width 32 alias x = r1 alias x = r2 }", "duplicate register alias"},
+		{"format gap", minimalPrefix + "format BAD { field opcode 31:26 const }\n" + op + isaDecl, "does not cover all 32 bits"},
+		{"format overlap", minimalPrefix + "format BAD { field a 31:0 imm imm field b 3:0 const }\n" + op + isaDecl, "overlaps"},
+		{"const with role", minimalPrefix + "format BAD { field a 31:4 imm imm field b 3:0 const dst }", "cannot have roles"},
+		{"reg without role", minimalPrefix + "format BAD { field a 31:5 imm imm field b 4:0 reg }", "need a role"},
+		{"dup role", minimalPrefix + "format BAD { field a 31:16 imm imm field b 15:0 imm imm }", "duplicate role"},
+		{"unknown format", minimalPrefix + "operation A { format Z class alu latency 1 sem x }\n" + isaDecl, "unknown format"},
+		{"unknown class", minimalPrefix + "operation A { format I set opcode = 1 class warp latency 1 sem x }\n" + isaDecl, "unknown operation class"},
+		{"missing sem", minimalPrefix + "operation A { format I set opcode = 1 class alu latency 1 }\n" + isaDecl, "missing sem"},
+		{"bad latency", minimalPrefix + "operation A { format I set opcode = 1 class alu latency 0 sem x }\n" + isaDecl, "latency"},
+		{"set unknown field", minimalPrefix + "operation A { format I set zork = 1 class alu latency 1 sem x }\n" + isaDecl, "unknown field"},
+		{"set nonconst", minimalPrefix + "operation A { format I set imm = 1 set opcode = 1 class alu latency 1 sem x }\n" + isaDecl, "not const"},
+		{"unset const", minimalPrefix + "operation A { format I class alu latency 1 sem x }\n" + isaDecl, "not set"},
+		{"const too big", minimalPrefix + "operation A { format I set opcode = 0x100 class alu latency 1 sem x }\n" + isaDecl, "does not fit"},
+		{"dup op", minimalPrefix + op + op + isaDecl, "duplicate operation"},
+		{"ambiguous", minimalPrefix + op + "operation B { format I set opcode = 1 class alu latency 1 sem y }\n" + isaDecl, "not distinguishable"},
+		{"no ops", minimalPrefix + isaDecl, "no operations"},
+		{"no isas", minimalPrefix + op, "no ISAs"},
+		{"isa no id", minimalPrefix + op + "isa R { issue 1 }", "missing id"},
+		{"isa bad issue", minimalPrefix + op + "isa R { id 0 issue 0 }", "issue width"},
+		{"dup isa id", minimalPrefix + op + "isa R { id 0 issue 1 }\nisa S { id 0 issue 2 }", "duplicate ISA id"},
+		{"two defaults", minimalPrefix + op + "isa R { id 0 issue 1 default }\nisa S { id 1 issue 2 default }", "more than one default"},
+		{"bad implicit", minimalPrefix + "operation A { format I set opcode = 1 class alu latency 1 sem x reads qq }\n" + isaDecl, "unknown register"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { wantErr(t, tc.src, tc.sub) })
+	}
+}

@@ -1,0 +1,214 @@
+// Package trace implements the simulator's trace file generation and
+// validation (Sec. V of the paper): "For each executed operation the
+// cycle number, opcode, input/output register numbers and values, and
+// immediate values are appended to the trace file. The trace file is
+// used to validate our hardware implementation."
+//
+// The format is line-oriented text, one line per executed operation:
+//
+//	cycle addr slot OP in r4=0000002a r5=00000001 out r4=0000002b imm 3
+//
+// Reader parses it back; Compare diffs two traces and reports the first
+// divergence — the workflow used to validate RTL implementations
+// against the ISS.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// RegVal is a register number paired with its value.
+type RegVal struct {
+	Reg uint8
+	Val uint32
+}
+
+// Event is one executed operation.
+type Event struct {
+	Cycle uint64
+	Addr  uint32
+	Slot  uint8
+	Op    string
+	In    []RegVal
+	Out   []RegVal
+	Imm   int32
+}
+
+// Writer appends events to an output stream.
+type Writer struct {
+	w   *bufio.Writer
+	n   uint64
+	err error
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+// Write appends one event.
+func (t *Writer) Write(e *Event) {
+	if t.err != nil {
+		return
+	}
+	t.n++
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d %08x %d %s", e.Cycle, e.Addr, e.Slot, e.Op)
+	if len(e.In) > 0 {
+		sb.WriteString(" in")
+		for _, rv := range e.In {
+			fmt.Fprintf(&sb, " r%d=%08x", rv.Reg, rv.Val)
+		}
+	}
+	if len(e.Out) > 0 {
+		sb.WriteString(" out")
+		for _, rv := range e.Out {
+			fmt.Fprintf(&sb, " r%d=%08x", rv.Reg, rv.Val)
+		}
+	}
+	fmt.Fprintf(&sb, " imm %d\n", e.Imm)
+	_, t.err = t.w.WriteString(sb.String())
+}
+
+// Events returns the number of events written.
+func (t *Writer) Events() uint64 { return t.n }
+
+// Flush flushes buffered output and reports any write error.
+func (t *Writer) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Read parses a whole trace stream.
+func Read(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		e, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseLine(line string) (Event, error) {
+	var e Event
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return e, fmt.Errorf("short line %q", line)
+	}
+	cyc, err := strconv.ParseUint(fields[0], 10, 64)
+	if err != nil {
+		return e, fmt.Errorf("bad cycle %q", fields[0])
+	}
+	addr, err := strconv.ParseUint(fields[1], 16, 32)
+	if err != nil {
+		return e, fmt.Errorf("bad addr %q", fields[1])
+	}
+	slot, err := strconv.ParseUint(fields[2], 10, 8)
+	if err != nil {
+		return e, fmt.Errorf("bad slot %q", fields[2])
+	}
+	e.Cycle, e.Addr, e.Slot, e.Op = cyc, uint32(addr), uint8(slot), fields[3]
+	mode := ""
+	for i := 4; i < len(fields); i++ {
+		switch f := fields[i]; f {
+		case "in", "out":
+			mode = f
+		case "imm":
+			if i+1 >= len(fields) {
+				return e, fmt.Errorf("imm without value")
+			}
+			v, err := strconv.ParseInt(fields[i+1], 10, 64)
+			if err != nil {
+				return e, fmt.Errorf("bad imm %q", fields[i+1])
+			}
+			e.Imm = int32(v)
+			i++
+		default:
+			eq := strings.IndexByte(f, '=')
+			if eq < 2 || f[0] != 'r' {
+				return e, fmt.Errorf("bad register field %q", f)
+			}
+			rn, err := strconv.ParseUint(f[1:eq], 10, 8)
+			if err != nil {
+				return e, fmt.Errorf("bad register %q", f)
+			}
+			rv, err := strconv.ParseUint(f[eq+1:], 16, 32)
+			if err != nil {
+				return e, fmt.Errorf("bad register value %q", f)
+			}
+			p := RegVal{Reg: uint8(rn), Val: uint32(rv)}
+			switch mode {
+			case "in":
+				e.In = append(e.In, p)
+			case "out":
+				e.Out = append(e.Out, p)
+			default:
+				return e, fmt.Errorf("register field %q outside in/out", f)
+			}
+		}
+	}
+	return e, nil
+}
+
+// equalNoCycle compares everything except the cycle number (different
+// cycle models timestamp the same architectural behaviour differently).
+func equalNoCycle(a, b *Event) bool {
+	if a.Addr != b.Addr || a.Slot != b.Slot || a.Op != b.Op || a.Imm != b.Imm ||
+		len(a.In) != len(b.In) || len(a.Out) != len(b.Out) {
+		return false
+	}
+	for i := range a.In {
+		if a.In[i] != b.In[i] {
+			return false
+		}
+	}
+	for i := range a.Out {
+		if a.Out[i] != b.Out[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare checks that two traces describe the same architectural
+// behaviour (ignoring cycle numbers) and returns a descriptive error at
+// the first divergence.
+func Compare(a, b []Event) error {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if !equalNoCycle(&a[i], &b[i]) {
+			return fmt.Errorf("trace: divergence at event %d:\n  a: %s\n  b: %s", i, format(&a[i]), format(&b[i]))
+		}
+	}
+	if len(a) != len(b) {
+		return fmt.Errorf("trace: length mismatch: %d vs %d events", len(a), len(b))
+	}
+	return nil
+}
+
+func format(e *Event) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%08x/%d %s imm=%d in=%v out=%v", e.Addr, e.Slot, e.Op, e.Imm, e.In, e.Out)
+	return sb.String()
+}

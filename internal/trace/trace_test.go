@@ -1,0 +1,136 @@
+package trace_test
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func sampleEvents() []trace.Event {
+	return []trace.Event{
+		{Cycle: 1, Addr: 0x1000, Slot: 0, Op: "ADDI",
+			In:  []trace.RegVal{{Reg: 2, Val: 0x400000}},
+			Out: []trace.RegVal{{Reg: 2, Val: 0x3FFFF0}}, Imm: -16},
+		{Cycle: 3, Addr: 0x1004, Slot: 1, Op: "MUL",
+			In:  []trace.RegVal{{Reg: 4, Val: 7}, {Reg: 5, Val: 6}},
+			Out: []trace.RegVal{{Reg: 6, Val: 42}}, Imm: 0},
+		{Cycle: 9, Addr: 0x1008, Slot: 0, Op: "J", Imm: 1024},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	evs := sampleEvents()
+	for i := range evs {
+		w.Write(&evs[i])
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Events() != uint64(len(evs)) {
+		t.Fatalf("Events() = %d", w.Events())
+	}
+	got, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, evs) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, evs)
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header comment\n\n1 00001000 0 NOP imm 0\n"
+	evs, err := trace.Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Op != "NOP" {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"1 xx 0 NOP imm 0",       // bad addr
+		"zz 00001000 0 NOP",      // bad cycle
+		"1 00001000 q NOP",       // bad slot
+		"1 00001000 0 NOP imm",   // imm without value
+		"1 00001000 0 NOP r4=1",  // register outside in/out
+		"1 00001000 0 NOP in r4", // missing =
+		"1 00001000 0 NOP in r4=zz",
+		"short",
+	}
+	for _, c := range cases {
+		if _, err := trace.Read(strings.NewReader(c)); err == nil {
+			t.Errorf("%q: expected parse error", c)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := sampleEvents()
+	b := sampleEvents()
+	// Cycle numbers differ between models and must be ignored.
+	for i := range b {
+		b[i].Cycle += 100
+	}
+	if err := trace.Compare(a, b); err != nil {
+		t.Fatalf("cycle-shifted traces should compare equal: %v", err)
+	}
+	b[1].Out[0].Val = 43
+	if err := trace.Compare(a, b); err == nil ||
+		!strings.Contains(err.Error(), "divergence at event 1") {
+		t.Fatalf("value divergence not reported: %v", err)
+	}
+	if err := trace.Compare(a, a[:2]); err == nil ||
+		!strings.Contains(err.Error(), "length mismatch") {
+		t.Fatalf("length mismatch not reported: %v", err)
+	}
+}
+
+// Property: random events survive the text round trip.
+func TestRoundTripQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ops := []string{"ADD", "LW", "SW", "BEQ", "SIMCALL"}
+	for trial := 0; trial < 200; trial++ {
+		var evs []trace.Event
+		n := 1 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			e := trace.Event{
+				Cycle: uint64(rng.Int63()),
+				Addr:  rng.Uint32(),
+				Slot:  uint8(rng.Intn(8)),
+				Op:    ops[rng.Intn(len(ops))],
+				Imm:   int32(rng.Uint32()),
+			}
+			for j := 0; j < rng.Intn(3); j++ {
+				e.In = append(e.In, trace.RegVal{Reg: uint8(rng.Intn(32)), Val: rng.Uint32()})
+			}
+			for j := 0; j < rng.Intn(2); j++ {
+				e.Out = append(e.Out, trace.RegVal{Reg: uint8(rng.Intn(32)), Val: rng.Uint32()})
+			}
+			evs = append(evs, e)
+		}
+		var buf bytes.Buffer
+		w := trace.NewWriter(&buf)
+		for i := range evs {
+			w.Write(&evs[i])
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := trace.Read(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !reflect.DeepEqual(got, evs) {
+			t.Fatalf("trial %d: round trip mismatch", trial)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/driver"
+)
+
+const (
+	fftN     = 256
+	fftTab   = 512 // full-circle twiddle table size
+	fftShift = 14  // Q14 fixed point
+)
+
+// fftTables returns the Q14 cosine/sine tables (index i covers angle
+// 2*pi*i/512) shared by the MiniC source and the Go reference.
+func fftTables() (cos, sin []int32) {
+	cos = make([]int32, fftTab)
+	sin = make([]int32, fftTab)
+	for i := 0; i < fftTab; i++ {
+		a := 2 * math.Pi * float64(i) / float64(fftTab)
+		cos[i] = int32(math.Round(math.Cos(a) * (1 << fftShift)))
+		sin[i] = int32(math.Round(math.Sin(a) * (1 << fftShift)))
+	}
+	return cos, sin
+}
+
+func formatTable(name string, vals []int32) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "int %s[%d] = {", name, len(vals))
+	for i, v := range vals {
+		if i%12 == 0 {
+			sb.WriteString("\n    ")
+		}
+		fmt.Fprintf(&sb, "%d, ", v)
+	}
+	sb.WriteString("\n};\n")
+	return sb.String()
+}
+
+// fftSource builds the MiniC program: a recursive radix-2 decimation-
+// in-time FFT in Q14 fixed point. The recursive structure (many calls,
+// small basic blocks) is deliberate: the paper attributes the FFT's
+// surprisingly low ILP to exactly this implementation choice.
+func fftSource() string {
+	cos, sin := fftTables()
+	var sb strings.Builder
+	sb.WriteString("// Recursive fixed-point radix-2 FFT (Q14).\n")
+	sb.WriteString(formatTable("costab", cos))
+	sb.WriteString(formatTable("sintab", sin))
+	sb.WriteString(`
+int xre[256];
+int xim[256];
+uint seed = 7;
+
+int nextsample() {
+    seed = seed * 1103515245 + 12345;
+    return (int)((seed >> 16) & 0xFF) - 128;
+}
+
+void fft(int* re, int* im, int n) {
+    if (n == 1) return;
+    int h = n / 2;
+    int* er = (int*)malloc(h * 4);
+    int* ei = (int*)malloc(h * 4);
+    int* od = (int*)malloc(h * 4);
+    int* oi = (int*)malloc(h * 4);
+    for (int i = 0; i < h; i++) {
+        er[i] = re[2*i];
+        ei[i] = im[2*i];
+        od[i] = re[2*i + 1];
+        oi[i] = im[2*i + 1];
+    }
+    fft(er, ei, h);
+    fft(od, oi, h);
+    int stride = 512 / n;
+    for (int k = 0; k < h; k++) {
+        int c = costab[k * stride];
+        int s = sintab[k * stride];
+        int tr = ((od[k] * c) + (oi[k] * s)) >> 14;
+        int ti = ((oi[k] * c) - (od[k] * s)) >> 14;
+        re[k]     = er[k] + tr;
+        im[k]     = ei[k] + ti;
+        re[k + h] = er[k] - tr;
+        im[k + h] = ei[k] - ti;
+    }
+}
+
+int main() {
+    for (int i = 0; i < 256; i++) {
+        xre[i] = nextsample() << 4;
+        xim[i] = 0;
+    }
+    fft(xre, xim, 256);
+    uint sum = 0;
+    for (int i = 0; i < 256; i++) {
+        sum = sum * 31 + (uint)xre[i];
+        sum = sum * 31 + (uint)xim[i];
+    }
+    printf("%x\n", sum);
+    return 0;
+}
+`)
+	return sb.String()
+}
+
+// fftReference mirrors fftSource with identical integer arithmetic.
+func fftReference() string {
+	cos, sin := fftTables()
+	rng := lcg{seed: 7}
+	re := make([]int32, fftN)
+	im := make([]int32, fftN)
+	for i := range re {
+		re[i] = rng.byteVal() << 4
+	}
+	var rec func(re, im []int32)
+	rec = func(re, im []int32) {
+		n := len(re)
+		if n == 1 {
+			return
+		}
+		h := n / 2
+		er := make([]int32, h)
+		ei := make([]int32, h)
+		od := make([]int32, h)
+		oi := make([]int32, h)
+		for i := 0; i < h; i++ {
+			er[i], ei[i] = re[2*i], im[2*i]
+			od[i], oi[i] = re[2*i+1], im[2*i+1]
+		}
+		rec(er, ei)
+		rec(od, oi)
+		stride := fftTab / n
+		for k := 0; k < h; k++ {
+			c := cos[k*stride]
+			s := sin[k*stride]
+			tr := (od[k]*c + oi[k]*s) >> fftShift
+			ti := (oi[k]*c - od[k]*s) >> fftShift
+			re[k] = er[k] + tr
+			im[k] = ei[k] + ti
+			re[k+h] = er[k] - tr
+			im[k+h] = ei[k] - ti
+		}
+	}
+	rec(re, im)
+	sum := uint32(0)
+	for i := 0; i < fftN; i++ {
+		sum = sum*31 + uint32(re[i])
+		sum = sum*31 + uint32(im[i])
+	}
+	return checksumLine(sum)
+}
+
+// FFT is the fixed-point Fast Fourier Transform workload (Sec. VII).
+func FFT() *Workload {
+	return &Workload{
+		Name:        "fft",
+		Description: "recursive fixed-point radix-2 FFT over 256 samples",
+		Sources:     []driver.Source{driver.CSource("fft.c", fftSource())},
+		Expected:    fftReference(),
+	}
+}

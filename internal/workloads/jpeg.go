@@ -1,0 +1,466 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/driver"
+)
+
+// JPEG-style codec parameters: a 48x48 RGB image, 4:4:4 sampling, 8x8
+// integer DCT, standard luminance quantization, zigzag + run-length
+// entropy coding. Stands in for MiBench cjpeg/djpeg (Sec. VII).
+const (
+	jpegW      = 48
+	jpegH      = 48
+	jpegBlocks = (jpegW / 8) * (jpegH / 8) // per component
+)
+
+// jpegQuant is the JPEG Annex K luminance table (quality 50).
+var jpegQuant = [64]int32{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// jpegZigzag is the coefficient scan order.
+var jpegZigzag = [64]int32{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// jpegCosTab returns the Q11 DCT basis: ctab[u*8+x] =
+// round(cos((2x+1)u*pi/16) * 2048 * c(u)), c(0)=1/sqrt2.
+func jpegCosTab() [64]int32 {
+	var t [64]int32
+	for u := 0; u < 8; u++ {
+		cu := 1.0
+		if u == 0 {
+			cu = 1 / math.Sqrt2
+		}
+		for x := 0; x < 8; x++ {
+			t[u*8+x] = int32(math.Round(math.Cos(float64(2*x+1)*float64(u)*math.Pi/16) * 2048 * cu))
+		}
+	}
+	return t
+}
+
+// jpegImage generates the deterministic test image (mirrors the MiniC
+// generator exactly).
+func jpegImage() []int32 {
+	img := make([]int32, jpegW*jpegH*3)
+	rng := lcg{seed: 4242}
+	idx := 0
+	for y := 0; y < jpegH; y++ {
+		for x := 0; x < jpegW; x++ {
+			n := int32(rng.ubyte() & 31)
+			img[idx] = (int32(x)*3 + int32(y)*2 + n) & 255
+			img[idx+1] = (int32(x) + int32(y)*5 + (n << 1)) & 255
+			img[idx+2] = (((int32(x) ^ int32(y)) << 1) + n) & 255
+			idx += 3
+		}
+	}
+	return img
+}
+
+func clamp255(v int32) int32 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return v
+}
+
+// jpegPlanes converts to YCbCr with the integer approximation shared
+// with the MiniC source.
+func jpegPlanes(img []int32) (yp, cb, cr []int32) {
+	n := jpegW * jpegH
+	yp = make([]int32, n)
+	cb = make([]int32, n)
+	cr = make([]int32, n)
+	for i := 0; i < n; i++ {
+		r, g, b := img[i*3], img[i*3+1], img[i*3+2]
+		yp[i] = clamp255((77*r + 150*g + 29*b) >> 8)
+		cb[i] = clamp255(((-43*r - 85*g + 128*b) >> 8) + 128)
+		cr[i] = clamp255(((128*r - 107*g - 21*b) >> 8) + 128)
+	}
+	return yp, cb, cr
+}
+
+// jpegFDCTQuant transforms one 8x8 block (level-shifted) and quantizes.
+func jpegFDCTQuant(block *[64]int32, ctab *[64]int32) [64]int32 {
+	var tmp, f, q [64]int32
+	for y := 0; y < 8; y++ {
+		for u := 0; u < 8; u++ {
+			s := int32(0)
+			for x := 0; x < 8; x++ {
+				s += block[y*8+x] * ctab[u*8+x]
+			}
+			tmp[y*8+u] = s >> 8
+		}
+	}
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			s := int32(0)
+			for y := 0; y < 8; y++ {
+				s += tmp[y*8+u] * ctab[v*8+y]
+			}
+			f[v*8+u] = (s >> 8) >> 3
+		}
+	}
+	for i := 0; i < 64; i++ {
+		q[i] = f[i] / jpegQuant[i]
+	}
+	return q
+}
+
+// jpegEncodeBlock appends zigzag+RLE bytes for one quantized block.
+func jpegEncodeBlock(q *[64]int32, out []byte) []byte {
+	run := 0
+	for i := 0; i < 64; i++ {
+		v := q[jpegZigzag[i]]
+		if v == 0 {
+			run++
+			continue
+		}
+		out = append(out, byte(run), byte(v&0xFF), byte((v>>8)&0xFF))
+		run = 0
+	}
+	return append(out, 0xFF)
+}
+
+// jpegEncode runs the full reference encoder and returns the stream.
+func jpegEncode() []byte {
+	ctab := jpegCosTab()
+	yp, cb, cr := jpegPlanes(jpegImage())
+	var out []byte
+	for _, plane := range [][]int32{yp, cb, cr} {
+		for by := 0; by < jpegH/8; by++ {
+			for bx := 0; bx < jpegW/8; bx++ {
+				var block [64]int32
+				for y := 0; y < 8; y++ {
+					for x := 0; x < 8; x++ {
+						block[y*8+x] = plane[(by*8+y)*jpegW+bx*8+x] - 128
+					}
+				}
+				q := jpegFDCTQuant(&block, &ctab)
+				out = jpegEncodeBlock(&q, out)
+			}
+		}
+	}
+	return out
+}
+
+func jpegEncExpected() string {
+	out := jpegEncode()
+	sum := uint32(0)
+	for _, b := range out {
+		sum = sum*31 + uint32(b)
+	}
+	return fmt.Sprintf("%x %d\n", sum, len(out))
+}
+
+// jpegDecodeExpected decodes the reference stream and checksums the
+// reconstruction, mirroring the MiniC decoder.
+func jpegDecodeExpected(stream []byte) string {
+	ctab := jpegCosTab()
+	pos := 0
+	sum := uint32(0)
+	for b := 0; b < 3*jpegBlocks; b++ {
+		var q [64]int32
+		i := 0
+		for {
+			run := int32(stream[pos])
+			pos++
+			if run == 0xFF {
+				break
+			}
+			lo := int32(stream[pos])
+			hi := int32(stream[pos+1])
+			pos += 2
+			v := lo | hi<<8
+			if v >= 32768 {
+				v -= 65536
+			}
+			i += int(run)
+			q[jpegZigzag[i]] = v
+			i++
+		}
+		// Dequantize + inverse transform.
+		var deq, tmp [64]int32
+		for i := 0; i < 64; i++ {
+			deq[i] = q[i] * jpegQuant[i]
+		}
+		for v := 0; v < 8; v++ {
+			for x := 0; x < 8; x++ {
+				s := int32(0)
+				for u := 0; u < 8; u++ {
+					s += deq[v*8+u] * ctab[u*8+x]
+				}
+				tmp[v*8+x] = s >> 11
+			}
+		}
+		for x := 0; x < 8; x++ {
+			for y := 0; y < 8; y++ {
+				s := int32(0)
+				for v := 0; v < 8; v++ {
+					s += tmp[v*8+x] * ctab[v*8+y]
+				}
+				rec := clamp255((s >> 7) + 128)
+				sum = sum*31 + uint32(rec)
+			}
+		}
+	}
+	return checksumLine(sum)
+}
+
+func formatITable(name string, vals []int32) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "int %s[%d] = {", name, len(vals))
+	for i, v := range vals {
+		if i%12 == 0 {
+			sb.WriteString("\n    ")
+		}
+		fmt.Fprintf(&sb, "%d, ", v)
+	}
+	sb.WriteString("\n};\n")
+	return sb.String()
+}
+
+func formatBytes(name string, vals []byte) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "char %s[%d] = {", name, len(vals))
+	for i, v := range vals {
+		if i%20 == 0 {
+			sb.WriteString("\n    ")
+		}
+		fmt.Fprintf(&sb, "%d, ", v)
+	}
+	sb.WriteString("\n};\n")
+	return sb.String()
+}
+
+// jpegCommon emits the MiniC tables shared by encoder and decoder.
+func jpegCommon() string {
+	ctab := jpegCosTab()
+	var sb strings.Builder
+	sb.WriteString(formatITable("quant", jpegQuant[:]))
+	sb.WriteString(formatITable("zigzag", jpegZigzag[:]))
+	sb.WriteString(formatITable("ctab", ctab[:]))
+	sb.WriteString(`
+int clamp(int v) {
+    if (v < 0) return 0;
+    if (v > 255) return 255;
+    return v;
+}
+`)
+	return sb.String()
+}
+
+// cjpegSource is the MiniC JPEG encoder.
+func cjpegSource() string {
+	var sb strings.Builder
+	sb.WriteString("// JPEG-style encoder: RGB -> YCbCr -> 8x8 DCT -> quantize\n")
+	sb.WriteString("// -> zigzag -> run-length entropy coding.\n")
+	sb.WriteString(jpegCommon())
+	sb.WriteString(`
+char img[6912];      // 48*48*3
+int planes[6912];    // Y, Cb, Cr planes of 2304 each
+char out[24576];
+int outn = 0;
+uint seed = 4242;
+
+void genimage() {
+    int idx = 0;
+    for (int y = 0; y < 48; y++) {
+        for (int x = 0; x < 48; x++) {
+            seed = seed * 1103515245 + 12345;
+            int n = (int)((seed >> 16) & 31);
+            img[idx]     = (char)((x * 3 + y * 2 + n) & 255);
+            img[idx + 1] = (char)((x + y * 5 + (n << 1)) & 255);
+            img[idx + 2] = (char)((((x ^ y) << 1) + n) & 255);
+            idx += 3;
+        }
+    }
+}
+
+void colorconv() {
+    for (int i = 0; i < 2304; i++) {
+        int r = img[i*3];
+        int g = img[i*3 + 1];
+        int b = img[i*3 + 2];
+        planes[i]        = clamp((77*r + 150*g + 29*b) >> 8);
+        planes[2304 + i] = clamp(((0 - 43*r - 85*g + 128*b) >> 8) + 128);
+        planes[4608 + i] = clamp(((128*r - 107*g - 21*b) >> 8) + 128);
+    }
+}
+
+int block[64];
+int tmp[64];
+int fq[64];
+
+void fdctquant() {
+    for (int y = 0; y < 8; y++) {
+        for (int u = 0; u < 8; u++) {
+            int s = 0;
+            for (int x = 0; x < 8; x++) s += block[y*8 + x] * ctab[u*8 + x];
+            tmp[y*8 + u] = s >> 8;
+        }
+    }
+    for (int u = 0; u < 8; u++) {
+        for (int v = 0; v < 8; v++) {
+            int s = 0;
+            for (int y = 0; y < 8; y++) s += tmp[y*8 + u] * ctab[v*8 + y];
+            fq[v*8 + u] = ((s >> 8) >> 3) / quant[v*8 + u];
+        }
+    }
+}
+
+void encodeblock() {
+    int run = 0;
+    for (int i = 0; i < 64; i++) {
+        int v = fq[zigzag[i]];
+        if (v == 0) { run++; continue; }
+        out[outn] = (char)run;
+        out[outn + 1] = (char)(v & 0xFF);
+        out[outn + 2] = (char)((v >> 8) & 0xFF);
+        outn += 3;
+        run = 0;
+    }
+    out[outn] = (char)0xFF;
+    outn++;
+}
+
+int main() {
+    genimage();
+    colorconv();
+    for (int p = 0; p < 3; p++) {
+        for (int by = 0; by < 6; by++) {
+            for (int bx = 0; bx < 6; bx++) {
+                for (int y = 0; y < 8; y++) {
+                    for (int x = 0; x < 8; x++) {
+                        block[y*8 + x] = planes[p*2304 + (by*8 + y)*48 + bx*8 + x] - 128;
+                    }
+                }
+                fdctquant();
+                encodeblock();
+            }
+        }
+    }
+    uint sum = 0;
+    for (int i = 0; i < outn; i++) sum = sum * 31 + (uint)out[i];
+    printf("%x %d\n", sum, outn);
+    return 0;
+}
+`)
+	return sb.String()
+}
+
+// djpegSource is the MiniC JPEG decoder; the compressed stream produced
+// by the reference encoder is embedded (the MiBench decoder reads its
+// input file; the simulator has no file system, so the stream ships in
+// .data — see DESIGN.md substitutions).
+func djpegSource(stream []byte) string {
+	var sb strings.Builder
+	sb.WriteString("// JPEG-style decoder: RLE parse -> dezigzag -> dequantize\n")
+	sb.WriteString("// -> inverse 8x8 DCT -> level shift.\n")
+	sb.WriteString(jpegCommon())
+	sb.WriteString(formatBytes("stream", stream))
+	fmt.Fprintf(&sb, "int streamlen = %d;\n", len(stream))
+	sb.WriteString(`
+int q[64];
+int deq[64];
+int tmp[64];
+int pos = 0;
+
+int decodeblock() {
+    for (int i = 0; i < 64; i++) q[i] = 0;
+    int i = 0;
+    while (1) {
+        int run = stream[pos];
+        pos++;
+        if (run == 0xFF) break;
+        int lo = stream[pos];
+        int hi = stream[pos + 1];
+        pos += 2;
+        int v = lo | (hi << 8);
+        if (v >= 32768) v -= 65536;
+        i += run;
+        q[zigzag[i]] = v;
+        i++;
+    }
+    return i;
+}
+
+uint sum = 0;
+
+void reconstruct() {
+    for (int i = 0; i < 64; i++) deq[i] = q[i] * quant[i];
+    for (int v = 0; v < 8; v++) {
+        for (int x = 0; x < 8; x++) {
+            int s = 0;
+            for (int u = 0; u < 8; u++) s += deq[v*8 + u] * ctab[u*8 + x];
+            tmp[v*8 + x] = s >> 11;
+        }
+    }
+    for (int x = 0; x < 8; x++) {
+        for (int y = 0; y < 8; y++) {
+            int s = 0;
+            for (int v = 0; v < 8; v++) s += tmp[v*8 + x] * ctab[v*8 + y];
+            int rec = clamp((s >> 7) + 128);
+            sum = sum * 31 + (uint)rec;
+        }
+    }
+}
+
+int main() {
+    for (int b = 0; b < 108; b++) {   // 3 planes * 36 blocks
+        decodeblock();
+        reconstruct();
+    }
+    if (pos != streamlen) {
+        puts("STREAM LENGTH MISMATCH");
+        return 1;
+    }
+    printf("%x\n", sum);
+    return 0;
+}
+`)
+	return sb.String()
+}
+
+// CJpeg is the JPEG encoder workload — the application the paper uses
+// to measure simulator performance (Table I).
+func CJpeg() *Workload {
+	return &Workload{
+		Name:        "cjpeg",
+		Description: "JPEG-style encoder over a 48x48 RGB image (MiBench cjpeg stand-in)",
+		Sources:     []driver.Source{driver.CSource("cjpeg.c", cjpegSource())},
+		Expected:    jpegEncExpected(),
+	}
+}
+
+// DJpeg is the JPEG decoder workload.
+func DJpeg() *Workload {
+	stream := jpegEncode()
+	return &Workload{
+		Name:        "djpeg",
+		Description: "JPEG-style decoder over the reference-encoded stream (MiBench djpeg stand-in)",
+		Sources:     []driver.Source{driver.CSource("djpeg.c", djpegSource(stream))},
+		Expected:    jpegDecodeExpected(stream),
+	}
+}

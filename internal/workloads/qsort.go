@@ -1,0 +1,99 @@
+package workloads
+
+import "repro/internal/driver"
+
+const qsortN = 512
+
+// qsortSrc is a recursive Quicksort over pseudo-random data — one of
+// the paper's low-ILP applications (control dominated, recursive).
+const qsortSrc = `
+int data[512];
+uint seed = 99;
+
+int nextval() {
+    seed = seed * 1103515245 + 12345;
+    return (int)(seed >> 8) % 10000;
+}
+
+void quicksort(int* a, int lo, int hi) {
+    if (lo >= hi) return;
+    int pivot = a[(lo + hi) / 2];
+    int i = lo;
+    int j = hi;
+    while (i <= j) {
+        while (a[i] < pivot) i++;
+        while (a[j] > pivot) j--;
+        if (i <= j) {
+            int t = a[i];
+            a[i] = a[j];
+            a[j] = t;
+            i++;
+            j--;
+        }
+    }
+    quicksort(a, lo, j);
+    quicksort(a, i, hi);
+}
+
+int main() {
+    for (int i = 0; i < 512; i++) data[i] = nextval();
+    quicksort(data, 0, 511);
+    for (int i = 1; i < 512; i++) {
+        if (data[i-1] > data[i]) {
+            puts("NOT SORTED");
+            return 1;
+        }
+    }
+    uint sum = 0;
+    for (int i = 0; i < 512; i++) sum = sum * 31 + (uint)(data[i] * (i + 1));
+    printf("%x\n", sum);
+    return 0;
+}
+`
+
+func qsortReference() string {
+	rng := lcg{seed: 99}
+	var data [qsortN]int32
+	for i := range data {
+		data[i] = int32(rng.next()>>8) % 10000
+	}
+	var qs func(lo, hi int32)
+	qs = func(lo, hi int32) {
+		if lo >= hi {
+			return
+		}
+		pivot := data[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for data[i] < pivot {
+				i++
+			}
+			for data[j] > pivot {
+				j--
+			}
+			if i <= j {
+				data[i], data[j] = data[j], data[i]
+				i++
+				j--
+			}
+		}
+		qs(lo, j)
+		qs(i, hi)
+	}
+	qs(0, qsortN-1)
+	sum := uint32(0)
+	for i, v := range data {
+		sum = sum*31 + uint32(v*int32(i+1))
+	}
+	return checksumLine(sum)
+}
+
+// Qsort is the recursive Quicksort workload (Sec. VII).
+func Qsort() *Workload {
+	return &Workload{
+		Name:        "qsort",
+		Description: "recursive Quicksort over 512 pseudo-random keys",
+		Sources:     []driver.Source{driver.CSource("qsort.c", qsortSrc)},
+		Expected:    qsortReference(),
+	}
+}

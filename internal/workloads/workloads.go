@@ -1,0 +1,75 @@
+// Package workloads provides the benchmark applications of the paper's
+// evaluation (Sec. VII) as MiniC programs: the JPEG encoder and decoder
+// (standing in for MiBench cjpeg/djpeg), a fixed-point recursive FFT,
+// recursive Quicksort, a fully-unrolled table-based AES-128, and the
+// H.264 4x4 integer DCT approximation.
+//
+// Every workload is self-checking: it prints a hexadecimal checksum of
+// its results, and each has a Go reference mirror that computes the
+// same checksum with identical 32-bit integer arithmetic, so the test
+// suite validates the compiler+simulator stack differentially.
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/driver"
+)
+
+// Workload is one benchmark application.
+type Workload struct {
+	// Name matches the paper's label (cjpeg, djpeg, fft, qsort, aes, dct).
+	Name string
+	// Description for reports.
+	Description string
+	// Sources compiled by the MiniC compiler.
+	Sources []driver.Source
+	// Expected stdout, computed by the Go reference implementation.
+	Expected string
+	// HighILP marks the applications the paper reports as exposing
+	// high instruction-level parallelism (DCT, AES).
+	HighILP bool
+}
+
+// All returns every workload of the evaluation, in the paper's order.
+func All() []*Workload {
+	return []*Workload{
+		CJpeg(),
+		DJpeg(),
+		FFT(),
+		Qsort(),
+		AES(),
+		DCT(),
+	}
+}
+
+// ByName returns the named workload, or nil.
+func ByName(name string) *Workload {
+	for _, w := range All() {
+		if w.Name == name {
+			return w
+		}
+	}
+	return nil
+}
+
+// lcg mirrors the MiniC generator `seed = seed*1103515245 + 12345`.
+type lcg struct{ seed uint32 }
+
+func (l *lcg) next() uint32 {
+	l.seed = l.seed*1103515245 + 12345
+	return l.seed
+}
+
+// byteVal returns the next signed sample in [-128, 127] like the MiniC
+// helper `(int)((seed >> 16) & 0xFF) - 128`.
+func (l *lcg) byteVal() int32 {
+	return int32((l.next()>>16)&0xFF) - 128
+}
+
+// ubyte returns the next unsigned byte like `(seed >> 16) & 0xFF`.
+func (l *lcg) ubyte() uint32 {
+	return (l.next() >> 16) & 0xFF
+}
+
+func checksumLine(sum uint32) string { return fmt.Sprintf("%x\n", sum) }

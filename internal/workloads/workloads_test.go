@@ -1,0 +1,86 @@
+package workloads_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/ktest"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// runOn compiles and runs a workload on the given ISA.
+func runOn(t *testing.T, w *workloads.Workload, isaName string) (string, *sim.CPU, sim.ExitStatus) {
+	t.Helper()
+	m := ktest.Model(t)
+	var out bytes.Buffer
+	opts := sim.DefaultOptions()
+	opts.Stdout = &out
+	opts.MaxInstructions = 200_000_000
+	cpu, st, err := driver.Run(m, isaName, opts, w.Sources...)
+	if err != nil {
+		t.Fatalf("%s on %s: %v", w.Name, isaName, err)
+	}
+	return out.String(), cpu, st
+}
+
+func TestWorkloadsMatchReferenceOnRISC(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			out, _, st := runOn(t, w, "RISC")
+			if st.ExitCode != 0 {
+				t.Fatalf("exit = %d", st.ExitCode)
+			}
+			if out != w.Expected {
+				t.Fatalf("output = %q, reference = %q", out, w.Expected)
+			}
+			t.Logf("%s: %d instructions", w.Name, st.Instructions)
+		})
+	}
+}
+
+func TestWorkloadsIdenticalAcrossISAs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-ISA sweep is slow")
+	}
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			for _, isaName := range []string{"VLIW2", "VLIW4", "VLIW6", "VLIW8"} {
+				out, _, st := runOn(t, w, isaName)
+				if st.ExitCode != 0 {
+					t.Fatalf("%s: exit = %d", isaName, st.ExitCode)
+				}
+				if out != w.Expected {
+					t.Fatalf("%s: output = %q, reference = %q", isaName, out, w.Expected)
+				}
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	if workloads.ByName("dct") == nil || workloads.ByName("cjpeg") == nil {
+		t.Fatal("ByName lookup failed")
+	}
+	if workloads.ByName("nope") != nil {
+		t.Fatal("ByName returned a bogus workload")
+	}
+	names := map[string]bool{}
+	for _, w := range workloads.All() {
+		if names[w.Name] {
+			t.Fatalf("duplicate workload %s", w.Name)
+		}
+		names[w.Name] = true
+		if w.Expected == "" || len(w.Sources) == 0 {
+			t.Fatalf("%s: incomplete definition", w.Name)
+		}
+	}
+	for _, n := range []string{"cjpeg", "djpeg", "fft", "qsort", "aes", "dct"} {
+		if !names[n] {
+			t.Fatalf("paper workload %s missing", n)
+		}
+	}
+}

@@ -1,0 +1,357 @@
+// Package kahrisma is the public facade of the KAHRISMA
+// cycle-approximate, mixed-ISA simulation framework — a from-scratch
+// reproduction of Stripf, Koenig and Becker, "A cycle-approximate,
+// mixed-ISA simulator for the KAHRISMA architecture" (DATE 2012).
+//
+// The facade wires the ADL-elaborated architecture model, the MiniC
+// compiler, the assembler, the linker, the interpretation-based
+// instruction set simulator, the three cycle-approximation models
+// (ILP / AIE / DOE), the composable memory-delay hierarchy, and the
+// cycle-accurate RTL reference pipeline into a small API:
+//
+//	sys, _ := kahrisma.New()
+//	exe, _ := sys.BuildC("VLIW4", map[string]string{"main.c": src})
+//	res, _ := exe.Run(kahrisma.RunConfig{Models: []string{"DOE"}})
+//	fmt.Println(res.ExitCode, res.Cycles["DOE"])
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of every table and figure of the paper.
+package kahrisma
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/adl"
+	"repro/internal/asm"
+	"repro/internal/cycle"
+	"repro/internal/driver"
+	"repro/internal/isa"
+	"repro/internal/isasel"
+	"repro/internal/kelf"
+	"repro/internal/mem"
+	"repro/internal/rtl"
+	"repro/internal/sim"
+	"repro/internal/targetgen"
+	"repro/internal/trace"
+)
+
+// System is an elaborated KAHRISMA architecture (register table plus
+// the per-ISA operation tables generated from the ADL description).
+type System struct {
+	model *isa.Model
+}
+
+// New elaborates the built-in KAHRISMA ADL description.
+func New() (*System, error) {
+	m, err := targetgen.Kahrisma()
+	if err != nil {
+		return nil, err
+	}
+	return &System{model: m}, nil
+}
+
+// NewFromADL elaborates a custom ADL description (see docs/adl.md for
+// the language): the whole toolchain retargets to it, as long as the
+// operations keep the semantic keys of the built-in simulation function
+// registry. Typical customizations are different issue widths,
+// latencies, encodings and register aliases.
+func NewFromADL(text string) (*System, error) {
+	doc, err := adl.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	m, err := targetgen.Elaborate(doc)
+	if err != nil {
+		return nil, err
+	}
+	return &System{model: m}, nil
+}
+
+// ADL returns the built-in KAHRISMA ADL description text — a starting
+// point for custom architectures.
+func ADL() string { return adl.Kahrisma }
+
+// ISAs lists the instruction set architectures the fabric can
+// instantiate (RISC and the n-issue VLIW formats), in ADL order.
+func (s *System) ISAs() []string {
+	out := make([]string, len(s.model.ISAs))
+	for i, a := range s.model.ISAs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// IssueWidth returns the number of parallel operation slots of an ISA.
+func (s *System) IssueWidth(isaName string) (int, error) {
+	a := s.model.ISAByName(isaName)
+	if a == nil {
+		return 0, fmt.Errorf("kahrisma: unknown ISA %q", isaName)
+	}
+	return a.Issue, nil
+}
+
+// Executable is a linked, loadable program.
+type Executable struct {
+	sys  *System
+	file *kelf.File
+	prog *sim.Program
+}
+
+// BuildC compiles MiniC sources for the named target ISA and links them
+// (with startup code and the emulated C library stubs) into an
+// executable. Functions carrying an __isa attribute are compiled for
+// that ISA with SWITCHTARGET pairs at cross-ISA call sites.
+func (s *System) BuildC(isaName string, files map[string]string) (*Executable, error) {
+	var srcs []driver.Source
+	for name, text := range files {
+		srcs = append(srcs, driver.CSource(name, text))
+	}
+	return s.build(isaName, srcs)
+}
+
+// BuildAsm assembles and links assembly sources.
+func (s *System) BuildAsm(isaName string, files map[string]string) (*Executable, error) {
+	var srcs []driver.Source
+	for name, text := range files {
+		srcs = append(srcs, driver.AsmSource(name, text))
+	}
+	return s.build(isaName, srcs)
+}
+
+func (s *System) build(isaName string, srcs []driver.Source) (*Executable, error) {
+	exe, err := driver.Build(s.model, isaName, srcs...)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := sim.LoadProgram(exe)
+	if err != nil {
+		return nil, err
+	}
+	return &Executable{sys: s, file: exe, prog: prog}, nil
+}
+
+// LoadExecutable reads a linked ELF executable produced by the tools.
+func (s *System) LoadExecutable(data []byte) (*Executable, error) {
+	f, err := kelf.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := sim.LoadProgram(f)
+	if err != nil {
+		return nil, err
+	}
+	return &Executable{sys: s, file: f, prog: prog}, nil
+}
+
+// Bytes serializes the executable as ELF.
+func (e *Executable) Bytes() ([]byte, error) { return e.file.Encode() }
+
+// Disassemble renders the text section, choosing the ISA per function.
+func (e *Executable) Disassemble() []string {
+	text := e.file.Section(kelf.SecText)
+	fallback := e.sys.model.ISAByID(e.prog.EntryISA)
+	return asm.Listing(e.sys.model, e.prog.Funcs, fallback, text.Data, text.Addr)
+}
+
+// Location maps an instruction address to function, source line and
+// assembly line (the simulator's debug mapping, Sec. V-C).
+func (e *Executable) Location(addr uint32) string { return e.prog.Location(addr) }
+
+// MemoryConfig selects the memory-delay hierarchy for a run.
+type MemoryConfig struct {
+	// Spec, when non-empty, builds a custom hierarchy from its textual
+	// description, e.g. "limit:1|cache:2K,4,32,3|mem:18" (see
+	// mem.ParseSpec). Takes precedence over Flat.
+	Spec string
+	// Flat uses a fixed-delay memory of FlatDelay cycles instead of the
+	// paper's L1/L2/DRAM hierarchy.
+	Flat      bool
+	FlatDelay uint64
+}
+
+func (mc MemoryConfig) build() (*mem.Hierarchy, error) {
+	if mc.Spec != "" {
+		return mem.ParseSpec(mc.Spec)
+	}
+	if mc.Flat {
+		return mem.Flat(mc.FlatDelay), nil
+	}
+	return mem.Paper(), nil
+}
+
+// RunConfig configures one simulation.
+type RunConfig struct {
+	// Models activates cycle models by name: "ILP", "AIE", "DOE" and
+	// the cycle-accurate reference "RTL".
+	Models []string
+	// Memory configures the hierarchy used by AIE/DOE/RTL.
+	Memory MemoryConfig
+	// Stdout receives the program's output (nil: captured in Output).
+	Stdout io.Writer
+	Stdin  io.Reader
+	// Trace receives a trace file (Sec. V: cycle, opcode, register
+	// numbers and values, immediates per executed operation).
+	Trace io.Writer
+	// MaxInstructions bounds the run (0: a large default).
+	MaxInstructions uint64
+	// DisableDecodeCache / DisablePrediction turn off the decode cache
+	// and the instruction prediction (Sec. V-A) for measurements.
+	DisableDecodeCache bool
+	DisablePrediction  bool
+	// PerFunctionILP additionally profiles the theoretical ILP of every
+	// function (the paper's per-function ISA selection indicator).
+	PerFunctionILP bool
+}
+
+// RunResult reports a completed simulation.
+type RunResult struct {
+	ExitCode     int32
+	Output       string // captured stdout when RunConfig.Stdout was nil
+	Instructions uint64
+	Operations   uint64
+
+	// Cycles per activated model name; OPC the matching ops/cycle.
+	Cycles map[string]uint64
+	OPC    map[string]float64
+
+	// L1MissRate of the hierarchy shared by AIE/DOE (NaN-free: zero
+	// when no such model ran or a flat memory was used).
+	L1MissRate float64
+
+	// Stats are the interpreter's counters (decode cache, prediction,
+	// ISA switches).
+	Stats sim.Stats
+
+	// FunctionILP is filled when RunConfig.PerFunctionILP is set,
+	// largest functions first.
+	FunctionILP []cycle.FunctionILP
+}
+
+// Run executes the program to completion.
+func (e *Executable) Run(cfg RunConfig) (*RunResult, error) {
+	opts := sim.Options{
+		DecodeCache:     !cfg.DisableDecodeCache,
+		Prediction:      !cfg.DisablePrediction && !cfg.DisableDecodeCache,
+		MaxInstructions: cfg.MaxInstructions,
+		Stdin:           cfg.Stdin,
+	}
+	if opts.MaxInstructions == 0 {
+		opts.MaxInstructions = 2_000_000_000
+	}
+	var captured *bytes.Buffer
+	if cfg.Stdout != nil {
+		opts.Stdout = cfg.Stdout
+	} else {
+		captured = &bytes.Buffer{}
+		opts.Stdout = captured
+	}
+	cpu, err := sim.New(e.sys.model, e.prog, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &RunResult{Cycles: map[string]uint64{}, OPC: map[string]float64{}}
+	var hier *mem.Hierarchy
+	var models []cycle.Model
+	var pipe *rtl.Pipeline
+	for _, name := range cfg.Models {
+		switch name {
+		case "ILP":
+			models = append(models, cycle.NewILP(e.sys.model))
+		case "AIE":
+			if hier == nil {
+				if hier, err = cfg.Memory.build(); err != nil {
+					return nil, err
+				}
+			}
+			models = append(models, cycle.NewAIE(hier))
+		case "DOE":
+			if hier == nil {
+				if hier, err = cfg.Memory.build(); err != nil {
+					return nil, err
+				}
+			}
+			models = append(models, cycle.NewDOE(e.sys.model, hier))
+		case "RTL":
+			rc := rtl.DefaultConfig()
+			if rc.Hierarchy, err = cfg.Memory.build(); err != nil {
+				return nil, err
+			}
+			pipe = rtl.New(e.sys.model, rc)
+		default:
+			return nil, fmt.Errorf("kahrisma: unknown cycle model %q", name)
+		}
+	}
+	for _, m := range models {
+		cpu.Attach(m)
+	}
+	if pipe != nil {
+		cpu.Attach(pipe)
+	}
+	var pf *cycle.PerFunctionILP
+	if cfg.PerFunctionILP {
+		pf = cycle.NewPerFunctionILP(e.sys.model, e.prog)
+		cpu.Attach(pf)
+	}
+	if cfg.Trace != nil {
+		cpu.SetTrace(trace.NewWriter(cfg.Trace))
+	}
+
+	st, err := cpu.Run()
+	if err != nil {
+		return nil, err
+	}
+	res.ExitCode = st.ExitCode
+	res.Instructions = st.Instructions
+	res.Operations = cpu.Stats.Operations
+	res.Stats = cpu.Stats
+	if captured != nil {
+		res.Output = captured.String()
+	}
+	for _, m := range models {
+		res.Cycles[m.Name()] = m.Cycles()
+		res.OPC[m.Name()] = cycle.OPC(m)
+	}
+	if pipe != nil {
+		pipe.Drain()
+		res.Cycles["RTL"] = pipe.Cycles()
+		if pipe.Cycles() > 0 {
+			res.OPC["RTL"] = float64(pipe.Ops()) / float64(pipe.Cycles())
+		}
+	}
+	if hier != nil && hier.L1 != nil {
+		res.L1MissRate = hier.L1.MissRate()
+	}
+	if pf != nil {
+		res.FunctionILP = pf.Results()
+	}
+	return res, nil
+}
+
+// RecommendISA suggests the narrowest instance covering the given
+// theoretical ILP (utilization in (0,1], 0 selects the default 0.7).
+func (s *System) RecommendISA(ilp, utilization float64) string {
+	return cycle.Recommend(s.model, ilp, utilization).Name
+}
+
+// AutoTuneResult re-exports the automatic ISA selection outcome.
+type AutoTuneResult = isasel.Result
+
+// AutoTuneOptions re-exports the selection options.
+type AutoTuneOptions = isasel.Options
+
+// AutoTune performs the paper's envisioned automatic per-function ISA
+// selection (Sec. I / future work in Sec. VIII): profile once on the
+// base instance, pick an instance per hot function from its theoretical
+// ILP weighed against the fabric's reconfiguration cost, rebuild the
+// program mixed-ISA, and report baseline-vs-tuned DOE cycles with the
+// reconfiguration bill included.
+func (s *System) AutoTune(opts AutoTuneOptions, files map[string]string) (*AutoTuneResult, error) {
+	var srcs []driver.Source
+	for name, text := range files {
+		srcs = append(srcs, driver.CSource(name, text))
+	}
+	return isasel.AutoTune(s.model, opts, srcs...)
+}

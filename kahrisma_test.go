@@ -1,0 +1,200 @@
+package kahrisma_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	kahrisma "repro"
+	"repro/internal/trace"
+)
+
+const facadeProg = `
+int work(int n) {
+    int s = 0;
+    for (int i = 1; i <= n; i++) s += i * i;
+    return s;
+}
+int main() {
+    printf("sum=%d\n", work(10));
+    return work(5);
+}
+`
+
+func newSys(t *testing.T) *kahrisma.System {
+	t.Helper()
+	sys, err := kahrisma.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestFacadeBuildAndRun(t *testing.T) {
+	sys := newSys(t)
+	if got := sys.ISAs(); len(got) != 5 || got[0] != "RISC" {
+		t.Fatalf("ISAs = %v", got)
+	}
+	if w, err := sys.IssueWidth("VLIW6"); err != nil || w != 6 {
+		t.Fatalf("IssueWidth(VLIW6) = %d, %v", w, err)
+	}
+	if _, err := sys.IssueWidth("NOPE"); err == nil {
+		t.Fatal("bogus ISA accepted")
+	}
+
+	exe, err := sys.BuildC("VLIW4", map[string]string{"p.c": facadeProg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exe.Run(kahrisma.RunConfig{Models: []string{"ILP", "AIE", "DOE", "RTL"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 55 {
+		t.Errorf("exit = %d, want 55", res.ExitCode)
+	}
+	if res.Output != "sum=385\n" {
+		t.Errorf("output = %q", res.Output)
+	}
+	for _, m := range []string{"ILP", "AIE", "DOE", "RTL"} {
+		if res.Cycles[m] == 0 {
+			t.Errorf("model %s recorded no cycles", m)
+		}
+		if res.OPC[m] <= 0 {
+			t.Errorf("model %s OPC = %f", m, res.OPC[m])
+		}
+	}
+	if res.Cycles["ILP"] > res.Cycles["AIE"] {
+		t.Errorf("ILP (%d) exceeds AIE (%d)", res.Cycles["ILP"], res.Cycles["AIE"])
+	}
+	if res.Instructions == 0 || res.Operations < res.Instructions {
+		t.Errorf("instr/ops = %d/%d", res.Instructions, res.Operations)
+	}
+}
+
+func TestFacadeELFRoundTripAndDisasm(t *testing.T) {
+	sys := newSys(t)
+	exe, err := sys.BuildC("RISC", map[string]string{"p.c": facadeProg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := exe.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe2, err := sys.LoadExecutable(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exe2.Run(kahrisma.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 55 {
+		t.Fatalf("reloaded exit = %d", res.ExitCode)
+	}
+	listing := strings.Join(exe.Disassemble(), "\n")
+	for _, want := range []string{"<main>:", "<work>:", "jal"} {
+		if !strings.Contains(listing, want) {
+			t.Errorf("disassembly missing %q", want)
+		}
+	}
+}
+
+func TestFacadeTraceAndLocation(t *testing.T) {
+	sys := newSys(t)
+	exe, err := sys.BuildC("RISC", map[string]string{"p.c": facadeProg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr bytes.Buffer
+	res, err := exe.Run(kahrisma.RunConfig{Models: []string{"DOE"}, Trace: &tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := trace.Read(&tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(evs)) != res.Operations {
+		t.Errorf("trace has %d events, executed %d operations", len(evs), res.Operations)
+	}
+	// Cycle numbers come from the DOE model and must be non-decreasing.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Cycle < evs[i-1].Cycle {
+			t.Fatalf("trace cycles decrease at %d", i)
+		}
+	}
+	loc := exe.Location(evs[len(evs)/2].Addr)
+	if !strings.Contains(loc, "p.c:") {
+		t.Errorf("location %q lacks source mapping", loc)
+	}
+}
+
+func TestFacadePerFunctionILPAndRecommend(t *testing.T) {
+	sys := newSys(t)
+	src := `
+int unrolled(int* x) {
+    int a = x[0] + 1; int b = x[1] + 2; int c = x[2] + 3; int d = x[3] + 4;
+    int e = x[4] + 5; int f = x[5] + 6; int g = x[6] + 7; int h = x[7] + 8;
+    return ((a + b) + (c + d)) + ((e + f) + (g + h));
+}
+int serial(int n) {
+    int s = 1;
+    for (int i = 0; i < n; i++) s = s * 3 + 1;
+    return s;
+}
+int buf[8];
+int main() {
+    int acc = 0;
+    for (int i = 0; i < 50; i++) acc += unrolled(buf) + serial(20);
+    return acc & 0xFF;
+}
+`
+	exe, err := sys.BuildC("RISC", map[string]string{"p.c": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exe.Run(kahrisma.RunConfig{PerFunctionILP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]float64{}
+	for _, f := range res.FunctionILP {
+		vals[f.Name] = f.ILP
+	}
+	if vals["unrolled"] <= vals["serial"] {
+		t.Errorf("ILP(unrolled)=%.2f should exceed ILP(serial)=%.2f",
+			vals["unrolled"], vals["serial"])
+	}
+	wide := sys.RecommendISA(vals["unrolled"], 0.7)
+	narrow := sys.RecommendISA(vals["serial"], 0.7)
+	wWide, _ := sys.IssueWidth(wide)
+	wNarrow, _ := sys.IssueWidth(narrow)
+	if wWide <= wNarrow {
+		t.Errorf("recommendations: unrolled -> %s, serial -> %s; expected a wider instance for the parallel function", wide, narrow)
+	}
+	if wNarrow > 2 {
+		t.Errorf("serial function recommended %s; expected a narrow instance", narrow)
+	}
+}
+
+func TestFacadeErrors(t *testing.T) {
+	sys := newSys(t)
+	if _, err := sys.BuildC("BOGUS", map[string]string{"p.c": facadeProg}); err == nil {
+		t.Error("bogus ISA accepted by BuildC")
+	}
+	if _, err := sys.BuildC("RISC", map[string]string{"p.c": "int main() { return x; }"}); err == nil {
+		t.Error("compile error not reported")
+	}
+	if _, err := sys.LoadExecutable([]byte("junk")); err == nil {
+		t.Error("junk executable accepted")
+	}
+	exe, err := sys.BuildC("RISC", map[string]string{"p.c": facadeProg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exe.Run(kahrisma.RunConfig{Models: []string{"WARP"}}); err == nil {
+		t.Error("bogus model accepted")
+	}
+}
