@@ -1,0 +1,38 @@
+GO ?= go
+
+.PHONY: all build test race bench verify fmt-check vet clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# Race-detector pass over the whole tree: the simulation pool, the
+# facade and the concurrency tests must stay race-clean.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# Throughput scaling of the batch simulation engine only.
+bench-pool:
+	$(GO) test -run '^$$' -bench BenchmarkPoolScaling -benchtime=2s .
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# verify mirrors the tier-1 gate plus the static checks the CI runs.
+verify: fmt-check vet build test
+
+clean:
+	rm -rf bin

@@ -14,9 +14,12 @@
 package kahrisma_test
 
 import (
+	"context"
 	"io"
+	"runtime"
 	"testing"
 
+	kahrisma "repro"
 	"repro/internal/cc"
 	"repro/internal/cycle"
 	"repro/internal/driver"
@@ -348,6 +351,69 @@ func BenchmarkAblation(b *testing.B) {
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(uint64(b.N)*instr), "ns/instr")
 		b.ReportMetric(100*float64(len(stream))/float64(instr), "mem-instr-%")
 	})
+}
+
+// BenchmarkPoolScaling measures the batch simulation engine: a fixed
+// batch of qsort+DOE jobs pushed through kahrisma.Pool at increasing
+// worker counts. The jobs/s metric should scale near-linearly up to
+// the physical core count (the per-job work is identical; the shared
+// Model/Program are read-only). Every job's DOE cycle count is checked
+// against the serial baseline, so the benchmark doubles as a
+// determinism regression.
+func BenchmarkPoolScaling(b *testing.B) {
+	sys, err := kahrisma.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	qsort := workloads.Qsort()
+	files := map[string]string{}
+	for _, s := range qsort.Sources {
+		files[s.Name] = s.Text
+	}
+	exe, err := sys.BuildC("RISC", files)
+	if err != nil {
+		b.Fatal(err)
+	}
+	baseline, err := exe.Run(context.Background(), kahrisma.WithModels("DOE"))
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// All worker counts run even on small hosts (extra workers are
+	// harmless there); the ≥2.5x step from 1 to 4 workers only shows on
+	// ≥4 physical cores, so compare against GOMAXPROCS when reading the
+	// numbers.
+	b.Logf("GOMAXPROCS=%d", runtime.GOMAXPROCS(0))
+	const jobsPerBatch = 16
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run("workers="+itoa(workers), func(b *testing.B) {
+			pool := kahrisma.NewPool(workers)
+			defer pool.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				jobs := make([]*kahrisma.Job, jobsPerBatch)
+				for j := range jobs {
+					jobs[j] = pool.Submit(context.Background(), exe, kahrisma.WithModels("DOE"))
+				}
+				for j, job := range jobs {
+					res, err := job.Wait()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Cycles["DOE"] != baseline.Cycles["DOE"] {
+						b.Fatalf("job %d: DOE %d cycles, serial baseline %d — concurrent run not bit-identical",
+							j, res.Cycles["DOE"], baseline.Cycles["DOE"])
+					}
+				}
+			}
+			b.StopTimer()
+			jobs := float64(b.N * jobsPerBatch)
+			b.ReportMetric(jobs/b.Elapsed().Seconds(), "jobs/s")
+			st := pool.Stats()
+			b.ReportMetric(float64(st.Instructions)/b.Elapsed().Seconds()/1e6, "agg-mips")
+		})
+	}
 }
 
 type obsFunc func(*sim.ExecRecord)

@@ -5,13 +5,21 @@
 //
 // Usage:
 //
-//	kbench [-table1] [-figure4] [-table2]     (default: all)
+//	kbench [-table1] [-figure4] [-table2] [-workers N]   (default: all)
+//
+// The Figure 4 sweep (31 independent simulations) runs through the
+// batch simulation pool; -workers bounds its parallelism (0 =
+// GOMAXPROCS, 1 = serial). Table I times the simulator itself and
+// always runs serially. Per-job results are bit-identical regardless
+// of worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/workloads"
@@ -21,6 +29,7 @@ func main() {
 	t1 := flag.Bool("table1", false, "run only Table I")
 	f4 := flag.Bool("figure4", false, "run only Figure 4")
 	t2 := flag.Bool("table2", false, "run only Table II")
+	workers := flag.Int("workers", 0, "simulation pool workers for the Figure 4 sweep (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 	all := !*t1 && !*f4 && !*t2
 
@@ -33,12 +42,18 @@ func main() {
 		fmt.Println(res.Render())
 	}
 	if all || *f4 {
-		fmt.Println("== Figure 4 ==")
-		apps, err := experiments.RunFigure4(workloads.All())
+		n := *workers
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		fmt.Printf("== Figure 4 == (%d pool workers)\n", n)
+		start := time.Now()
+		apps, err := experiments.RunFigure4Workers(workloads.All(), *workers)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(experiments.RenderFigure4(apps))
+		fmt.Printf("sweep wall time: %s\n\n", time.Since(start).Round(time.Millisecond))
 	}
 	if all || *t2 {
 		fmt.Println("== Table II ==")

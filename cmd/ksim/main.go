@@ -12,10 +12,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/cycle"
 	"repro/internal/kelf"
@@ -134,9 +138,17 @@ func main() {
 		cpu.SetTrace(trace.NewWriter(f))
 	}
 
-	st, err := cpu.Run()
-	if err != nil {
+	// Interrupts (Ctrl-C) cancel the run via the context plumbed into
+	// the interpretation loop; partial statistics are still reported.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	st, err := cpu.RunContext(ctx)
+	interrupted := errors.Is(err, sim.ErrCanceled)
+	if err != nil && !interrupted {
 		fatal(err)
+	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "ksim: interrupted: %v\n", err)
 	}
 
 	w := os.Stderr
@@ -171,6 +183,9 @@ func main() {
 			fmt.Fprintf(w, "  %-24s ILP %5.2f  (%8d ops)  -> %s\n",
 				f.Name, f.ILP, f.Operations, cycle.Recommend(model, f.ILP, 0.7).Name)
 		}
+	}
+	if interrupted {
+		os.Exit(130) // conventional 128+SIGINT, not the partial program exit code
 	}
 	os.Exit(int(st.ExitCode) & 0xFF)
 }

@@ -1,0 +1,31 @@
+package kahrisma
+
+import (
+	"errors"
+
+	"repro/internal/sim"
+)
+
+// Typed sentinel errors. Every error returned by the facade wraps one
+// of these (or an underlying toolchain error), so callers classify
+// failures with errors.Is instead of matching message text:
+//
+//	res, err := exe.Run(ctx, kahrisma.WithFuel(1e6))
+//	switch {
+//	case errors.Is(err, kahrisma.ErrFuelExhausted): // ran out of fuel
+//	case errors.Is(err, kahrisma.ErrCanceled):      // ctx canceled / timed out
+//	}
+var (
+	// ErrFuelExhausted reports that the instruction budget (WithFuel,
+	// or the default limit) was reached before the program halted.
+	ErrFuelExhausted = sim.ErrFuelExhausted
+	// ErrCanceled reports that the run was aborted by its context. The
+	// chain also carries the context's own error, so
+	// errors.Is(err, context.DeadlineExceeded) identifies timeouts.
+	ErrCanceled = sim.ErrCanceled
+	// ErrBadISA reports a processor-instance name the elaborated
+	// architecture does not define.
+	ErrBadISA = errors.New("kahrisma: unknown ISA")
+	// ErrBadModel reports a cycle-model name outside ILP/AIE/DOE/RTL.
+	ErrBadModel = errors.New("kahrisma: unknown cycle model")
+)

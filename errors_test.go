@@ -1,0 +1,81 @@
+package kahrisma_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	kahrisma "repro"
+)
+
+// spinSource loops forever; only fuel or cancellation can stop it.
+const spinSource = `
+int main() {
+    int x = 0;
+    while (1) { x = x + 1; }
+    return x;
+}
+`
+
+// Every facade failure mode must classify under its typed sentinel so
+// callers use errors.Is instead of string matching.
+func TestErrorChains(t *testing.T) {
+	sys := newSys(t)
+
+	t.Run("BadISA", func(t *testing.T) {
+		if _, err := sys.IssueWidth("NOPE"); !errors.Is(err, kahrisma.ErrBadISA) {
+			t.Errorf("IssueWidth error %v does not wrap ErrBadISA", err)
+		}
+		if _, err := sys.BuildC("NOPE", map[string]string{"p.c": facadeProg}); !errors.Is(err, kahrisma.ErrBadISA) {
+			t.Errorf("BuildC error %v does not wrap ErrBadISA", err)
+		}
+	})
+
+	exe, err := sys.BuildC("RISC", map[string]string{"spin.c": spinSource})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("BadModel", func(t *testing.T) {
+		_, err := exe.Run(context.Background(), kahrisma.WithModels("WARP"))
+		if !errors.Is(err, kahrisma.ErrBadModel) {
+			t.Errorf("error %v does not wrap ErrBadModel", err)
+		}
+	})
+
+	t.Run("FuelExhausted", func(t *testing.T) {
+		_, err := exe.Run(context.Background(), kahrisma.WithFuel(50_000))
+		if !errors.Is(err, kahrisma.ErrFuelExhausted) {
+			t.Errorf("error %v does not wrap ErrFuelExhausted", err)
+		}
+		if errors.Is(err, kahrisma.ErrCanceled) {
+			t.Errorf("fuel exhaustion misclassified as cancellation: %v", err)
+		}
+	})
+
+	t.Run("Canceled", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(10 * time.Millisecond)
+			cancel()
+		}()
+		_, err := exe.Run(ctx)
+		if !errors.Is(err, kahrisma.ErrCanceled) {
+			t.Errorf("error %v does not wrap ErrCanceled", err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("error %v does not wrap context.Canceled", err)
+		}
+	})
+
+	t.Run("Timeout", func(t *testing.T) {
+		_, err := exe.Run(context.Background(), kahrisma.WithTimeout(20*time.Millisecond))
+		if !errors.Is(err, kahrisma.ErrCanceled) {
+			t.Errorf("error %v does not wrap ErrCanceled", err)
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("error %v does not wrap context.DeadlineExceeded", err)
+		}
+	})
+}

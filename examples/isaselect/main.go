@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -69,7 +70,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := exe.Run(kahrisma.RunConfig{PerFunctionILP: true})
+	res, err := exe.Run(context.Background(), kahrisma.WithPerFunctionILP())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -57,8 +58,21 @@ func main() {
 		{"flat 3-cycle memory (every access an L1 hit)", kahrisma.MemoryConfig{Flat: true, FlatDelay: 3}},
 		{"flat 18-cycle memory (every access DRAM)", kahrisma.MemoryConfig{Flat: true, FlatDelay: 18}},
 	}
-	for _, cfg := range configs {
-		res, err := exe.Run(kahrisma.RunConfig{Models: []string{"AIE", "DOE"}, Memory: cfg.mem})
+	// The three hierarchies are independent simulations of the same
+	// executable — a natural batch for the simulation pool: the linked
+	// program is shared, each job prices its own memory hierarchy.
+	pool := kahrisma.NewPool(0)
+	defer pool.Close()
+	items := make([]kahrisma.BatchItem, len(configs))
+	for i, cfg := range configs {
+		items[i] = kahrisma.BatchItem{
+			Exe:  exe,
+			Opts: []kahrisma.Option{kahrisma.WithModels("AIE", "DOE"), kahrisma.WithMemory(cfg.mem)},
+		}
+	}
+	jobs := pool.SubmitBatch(context.Background(), items)
+	for i, cfg := range configs {
+		res, err := jobs[i].Wait()
 		if err != nil {
 			log.Fatal(err)
 		}

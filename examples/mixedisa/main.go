@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -48,7 +49,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := exe.Run(kahrisma.RunConfig{Models: []string{"DOE"}})
+	res, err := exe.Run(context.Background(), kahrisma.WithModels("DOE"))
 	if err != nil {
 		log.Fatal(err)
 	}

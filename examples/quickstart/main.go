@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -48,7 +49,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := exe.Run(kahrisma.RunConfig{Models: []string{"ILP", "AIE", "DOE"}})
+		res, err := exe.Run(context.Background(), kahrisma.WithModels("ILP", "AIE", "DOE"))
 		if err != nil {
 			log.Fatal(err)
 		}

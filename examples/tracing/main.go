@@ -9,6 +9,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -41,7 +42,7 @@ func main() {
 		log.Fatal(err)
 	}
 	var buf bytes.Buffer
-	res, err := exe.Run(kahrisma.RunConfig{Models: []string{"DOE"}, Trace: &buf})
+	res, err := exe.Run(context.Background(), kahrisma.WithModels("DOE"), kahrisma.WithTrace(&buf))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/rtl"
 	"repro/internal/sim"
+	"repro/internal/simpool"
 	"repro/internal/targetgen"
 	"repro/internal/workloads"
 )
@@ -239,12 +241,47 @@ type Figure4App struct {
 	HighILP bool
 }
 
-// RunFigure4 measures every workload on every instance.
+// RunFigure4 measures every workload on every instance, running the
+// whole sweep concurrently on GOMAXPROCS workers. Each (app, instance)
+// cell is an independent simulation with its own CPU, DOE model and
+// memory hierarchy, so the results are bit-identical to a serial sweep.
 func RunFigure4(apps []*workloads.Workload) ([]*Figure4App, error) {
+	return RunFigure4Workers(apps, 0)
+}
+
+// RunFigure4Workers is RunFigure4 with an explicit worker count
+// (<= 0 selects GOMAXPROCS, 1 reproduces the serial sweep).
+func RunFigure4Workers(apps []*workloads.Workload, workers int) ([]*Figure4App, error) {
 	m, err := model()
 	if err != nil {
 		return nil, err
 	}
+
+	// Compilation stays on the caller (the compiler shares tuning
+	// globals); the pool runs the simulations. Programs are built once
+	// per cell and shared read-only with the worker that simulates them.
+	pool := simpool.New(workers)
+	defer pool.Close()
+
+	simOpts := func() sim.Options {
+		opts := sim.DefaultOptions()
+		opts.MaxInstructions = 2_000_000_000
+		opts.Stdout = io.Discard
+		return opts
+	}
+
+	// One cell per (app × instance) plus one theoretical-ILP cell per
+	// app; observers are created here and attached on the worker — each
+	// is private to its job.
+	type cell struct {
+		app     *Figure4App
+		isaName string // "" marks the ILP cell
+		ilp     *cycle.ILP
+		doe     *cycle.DOE
+		hier    *mem.Hierarchy
+		ticket  *simpool.Ticket
+	}
+	var cells []*cell
 	var out []*Figure4App
 	for _, w := range apps {
 		app := &Figure4App{
@@ -252,21 +289,19 @@ func RunFigure4(apps []*workloads.Workload) ([]*Figure4App, error) {
 			OPC:    map[string]float64{},
 			L1Miss: map[string]float64{},
 		}
+		out = append(out, app)
 		// Theoretical ILP: simulate the RISC ISA as input (Sec. VI-A).
 		riscProg, err := buildWorkload(m, w, "RISC")
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", w.Name, err)
 		}
-		ilp := cycle.NewILP(m)
-		c, err := newCPU(m, riscProg, sim.DefaultOptions())
-		if err != nil {
-			return nil, err
-		}
-		c.Attach(ilp)
-		if _, _, err := runToCompletion(c); err != nil {
-			return nil, fmt.Errorf("%s (ILP): %w", w.Name, err)
-		}
-		app.ILP = cycle.OPC(ilp)
+		ilpCell := &cell{app: app, ilp: cycle.NewILP(m)}
+		ilpCell.ticket = pool.Submit(context.Background(), simpool.Job{
+			Model: m, Prog: riscProg, Opts: simOpts(),
+			Label:  w.Name + "/ILP",
+			Attach: func(c *sim.CPU) error { c.Attach(ilpCell.ilp); return nil },
+		})
+		cells = append(cells, ilpCell)
 
 		for _, isaName := range VLIWNames {
 			prog, err := buildWorkload(m, w, isaName)
@@ -274,19 +309,28 @@ func RunFigure4(apps []*workloads.Workload) ([]*Figure4App, error) {
 				return nil, fmt.Errorf("%s on %s: %w", w.Name, isaName, err)
 			}
 			h := mem.Paper()
-			doe := cycle.NewDOE(m, h)
-			c, err := newCPU(m, prog, sim.DefaultOptions())
-			if err != nil {
-				return nil, err
-			}
-			c.Attach(doe)
-			if _, _, err := runToCompletion(c); err != nil {
-				return nil, fmt.Errorf("%s on %s: %w", w.Name, isaName, err)
-			}
-			app.OPC[isaName] = cycle.OPC(doe)
-			app.L1Miss[isaName] = h.L1.MissRate()
+			doeCell := &cell{app: app, isaName: isaName, doe: cycle.NewDOE(m, h), hier: h}
+			doeCell.ticket = pool.Submit(context.Background(), simpool.Job{
+				Model: m, Prog: prog, Opts: simOpts(),
+				Label:  w.Name + "/" + isaName,
+				Attach: func(c *sim.CPU) error { c.Attach(doeCell.doe); return nil },
+			})
+			cells = append(cells, doeCell)
 		}
-		out = append(out, app)
+	}
+
+	pool.Wait()
+	for _, cl := range cells {
+		res := cl.ticket.Wait()
+		if res.Err != nil {
+			return nil, res.Err
+		}
+		if cl.isaName == "" {
+			cl.app.ILP = cycle.OPC(cl.ilp)
+			continue
+		}
+		cl.app.OPC[cl.isaName] = cycle.OPC(cl.doe)
+		cl.app.L1Miss[cl.isaName] = cl.hier.L1.MissRate()
 	}
 	return out, nil
 }

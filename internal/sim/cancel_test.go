@@ -1,0 +1,85 @@
+package sim_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/ktest"
+	"repro/internal/sim"
+)
+
+// spinProgram loops forever: only an external abort can stop it.
+const spinProgram = `
+	.isa RISC
+	.global main
+main:
+	li t0, 0
+spin:
+	addi t0, t0, 1
+	j spin
+`
+
+// A canceled context must stop a non-terminating program within the
+// cancellation granularity (the fuel-check interval), and the returned
+// error must expose both ErrCanceled and the context's own error.
+func TestRunContextCancelStopsInfiniteLoop(t *testing.T) {
+	p := ktest.BuildProgram(t, "RISC", spinProgram)
+	c := ktest.NewCPU(t, p, sim.DefaultOptions())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.RunContext(ctx)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	canceledAt := time.Now()
+	cancel()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, sim.ErrCanceled) {
+			t.Fatalf("error %v does not wrap sim.ErrCanceled", err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("error %v does not wrap context.Canceled", err)
+		}
+		t.Logf("stopped %v after cancel: %v", time.Since(canceledAt), err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("simulation did not stop after context cancellation")
+	}
+}
+
+// An expired deadline surfaces as ErrCanceled wrapping DeadlineExceeded,
+// so callers can distinguish per-job timeouts from explicit cancels.
+func TestRunContextDeadline(t *testing.T) {
+	p := ktest.BuildProgram(t, "RISC", spinProgram)
+	c := ktest.NewCPU(t, p, sim.DefaultOptions())
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := c.RunContext(ctx)
+	if !errors.Is(err, sim.ErrCanceled) {
+		t.Fatalf("error %v does not wrap sim.ErrCanceled", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not wrap context.DeadlineExceeded", err)
+	}
+}
+
+// An already-satisfied context must not affect a normal bounded run,
+// and fuel exhaustion must classify as ErrFuelExhausted.
+func TestRunContextFuelClassification(t *testing.T) {
+	p := ktest.BuildProgram(t, "RISC", spinProgram)
+	opts := sim.DefaultOptions()
+	opts.MaxInstructions = 10_000
+	c := ktest.NewCPU(t, p, opts)
+	_, err := c.RunContext(context.Background())
+	if !errors.Is(err, sim.ErrFuelExhausted) {
+		t.Fatalf("error %v does not wrap sim.ErrFuelExhausted", err)
+	}
+	if errors.Is(err, sim.ErrCanceled) {
+		t.Fatalf("fuel exhaustion misclassified as cancellation: %v", err)
+	}
+}

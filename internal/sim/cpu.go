@@ -1,12 +1,34 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 
 	"repro/internal/isa"
 	"repro/internal/trace"
 )
+
+// Sentinel errors. Run errors wrap these so callers can classify the
+// outcome with errors.Is instead of matching message text.
+var (
+	// ErrFuelExhausted reports that Options.MaxInstructions was reached
+	// before the program halted.
+	ErrFuelExhausted = errors.New("instruction fuel exhausted")
+	// ErrCanceled reports that the run was aborted by its context
+	// (cancellation or deadline). The wrapped chain also contains the
+	// context's own error, so errors.Is(err, context.DeadlineExceeded)
+	// distinguishes timeouts from explicit cancellation.
+	ErrCanceled = errors.New("simulation canceled")
+)
+
+// CtxCheckInterval is the cancellation granularity of RunContext: the
+// context is polled every this many instructions, keeping the hot
+// interpretation loop free of per-instruction channel operations. A
+// canceled context therefore stops a runaway program within at most
+// this many instructions.
+const CtxCheckInterval = 8192
 
 // Options configure a CPU.
 type Options struct {
@@ -326,10 +348,29 @@ func (c *CPU) fail(err error) {
 
 // Run executes until halt, error, or the instruction limit.
 func (c *CPU) Run() (ExitStatus, error) {
+	return c.RunContext(context.Background())
+}
+
+// RunContext executes until halt, error, the instruction limit, or
+// cancellation of ctx. The context is polled every CtxCheckInterval
+// instructions so the hot loop stays select-free; an abort returns an
+// error wrapping ErrCanceled and ctx.Err().
+func (c *CPU) RunContext(ctx context.Context) (ExitStatus, error) {
+	done := ctx.Done()
+	next := c.Stats.Instructions + CtxCheckInterval
 	for !c.halted {
 		if c.opts.MaxInstructions > 0 && c.Stats.Instructions >= c.opts.MaxInstructions {
-			return c.status(), fmt.Errorf("sim: instruction limit (%d) reached at %s%s",
-				c.opts.MaxInstructions, c.Prog.Location(c.IP), c.historySuffix())
+			return c.status(), fmt.Errorf("sim: instruction limit (%d) reached at %s: %w%s",
+				c.opts.MaxInstructions, c.Prog.Location(c.IP), ErrFuelExhausted, c.historySuffix())
+		}
+		if done != nil && c.Stats.Instructions >= next {
+			select {
+			case <-done:
+				return c.status(), fmt.Errorf("sim: %w after %d instructions at %s: %w",
+					ErrCanceled, c.Stats.Instructions, c.Prog.Location(c.IP), ctx.Err())
+			default:
+			}
+			next = c.Stats.Instructions + CtxCheckInterval
 		}
 		if err := c.Step(); err != nil {
 			return c.status(), err

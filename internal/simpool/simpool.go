@@ -1,0 +1,291 @@
+// Package simpool is the concurrent batch simulation engine: a fixed
+// worker pool that runs many independent simulations — same or
+// different programs, models and memory hierarchies — across OS
+// threads, the way MGSim drives multi-core fabrics and VADL's generated
+// simulators run batch ISA evaluations.
+//
+// Sharing rules (see docs/simpool.md):
+//
+//   - The elaborated isa.Model and the loaded sim.Program are immutable
+//     after construction and are shared by every worker without copies
+//     or locks.
+//   - Everything with run-time state is per job: the sim.CPU (register
+//     file, sparse memory, decode cache, prediction pointer), the cycle
+//     models and their memory hierarchies, trace writers and stdio.
+//     Job.Attach runs on the worker goroutine so this per-job state is
+//     also *built* off the caller's thread.
+//
+// Because no mutable state crosses jobs, a job's result is bit-identical
+// to the same configuration run serially, regardless of worker count or
+// scheduling order.
+package simpool
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+// Job is one simulation to run: shared immutable inputs plus hooks that
+// build and observe the per-job state.
+type Job struct {
+	// Model and Prog are shared, read-only artifacts; many jobs may
+	// reference the same instances concurrently.
+	Model *isa.Model
+	Prog  *sim.Program
+	// Opts configure the private CPU. Opts.Stdout/Stdin, if set, must
+	// not be shared with other jobs unless they are concurrency-safe.
+	Opts sim.Options
+	// Attach, when non-nil, runs on the worker goroutine after the CPU
+	// is built and before the run starts — the place to construct and
+	// attach per-job cycle models, hierarchies and trace writers.
+	Attach func(c *sim.CPU) error
+	// Timeout, when positive, bounds the job's wall-clock time on top of
+	// the submission context.
+	Timeout time.Duration
+	// OnDone, when non-nil, runs on the worker goroutine after the job
+	// finished, before its ticket unblocks — the place to harvest
+	// per-job results without racing Wait callers.
+	OnDone func(Result)
+	// Label tags the job in results and errors.
+	Label string
+}
+
+// Result is the outcome of one job.
+type Result struct {
+	Label  string
+	CPU    *sim.CPU // nil when construction failed or the job never ran
+	Status sim.ExitStatus
+	Wall   time.Duration // simulation wall time on the worker
+	Err    error
+}
+
+// Ticket is a handle to a submitted job.
+type Ticket struct {
+	done chan struct{}
+	res  Result
+}
+
+// Wait blocks until the job finished (or was aborted) and returns its
+// result. Wait may be called from any goroutine, any number of times.
+func (t *Ticket) Wait() Result {
+	<-t.done
+	return t.res
+}
+
+// Done returns a channel closed when the job has finished.
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Stats is a point-in-time snapshot of the pool's counters. Simulation
+// counters (Instructions, Operations, cache counters, Wall) accumulate
+// over completed jobs only.
+type Stats struct {
+	Workers int
+	Queued  int64 // submitted, not yet picked up by a worker
+	Running int64
+	Done    int64 // completed, successfully or not
+	Failed  int64 // completed with an error
+
+	Instructions uint64
+	Operations   uint64
+	CacheLookups uint64
+	CacheHits    uint64
+
+	// Wall is the summed per-job simulation time — on an idle machine
+	// roughly elapsed time × busy workers.
+	Wall time.Duration
+}
+
+// DecodeCacheHitRate aggregates the decode-cache hit rate across all
+// completed jobs (0 when no lookups happened).
+func (s Stats) DecodeCacheHitRate() float64 {
+	if s.CacheLookups == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.CacheLookups)
+}
+
+type task struct {
+	ctx    context.Context
+	job    Job
+	ticket *Ticket
+}
+
+// Pool runs submitted jobs on a fixed set of worker goroutines.
+type Pool struct {
+	workers int
+	jobs    chan task
+	workWG  sync.WaitGroup // worker goroutines
+	jobWG   sync.WaitGroup // outstanding jobs
+
+	queued  atomic.Int64
+	running atomic.Int64
+	done    atomic.Int64
+	failed  atomic.Int64
+
+	mu     sync.Mutex
+	closed bool
+	agg    Stats // accumulated simulation counters (under mu)
+}
+
+// New starts a pool with the given number of workers; workers <= 0
+// selects GOMAXPROCS. Close must be called to release the workers.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		workers: workers,
+		// A deep queue keeps Submit non-blocking for typical batch
+		// sizes; submissions beyond it apply back-pressure.
+		jobs: make(chan task, 4*workers),
+	}
+	for i := 0; i < workers; i++ {
+		p.workWG.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Submit enqueues one job and returns immediately with its ticket.
+// ctx cancels the job whether it is still queued or already running
+// (running jobs stop within the simulator's cancellation granularity).
+// Submitting to a closed pool returns a ticket whose result carries an
+// error.
+func (p *Pool) Submit(ctx context.Context, j Job) *Ticket {
+	t := &Ticket{done: make(chan struct{})}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		t.res = Result{Label: j.Label, Err: fmt.Errorf("simpool: %s: pool is closed", labelOr(j.Label))}
+		close(t.done)
+		return t
+	}
+	p.jobWG.Add(1)
+	p.queued.Add(1)
+	p.mu.Unlock()
+	p.jobs <- task{ctx: ctx, job: j, ticket: t}
+	return t
+}
+
+// SubmitBatch enqueues jobs in order and returns their tickets.
+func (p *Pool) SubmitBatch(ctx context.Context, jobs []Job) []*Ticket {
+	out := make([]*Ticket, len(jobs))
+	for i, j := range jobs {
+		out[i] = p.Submit(ctx, j)
+	}
+	return out
+}
+
+// Wait blocks until every job submitted so far has completed. The pool
+// stays open for further submissions.
+func (p *Pool) Wait() { p.jobWG.Wait() }
+
+// Close waits for outstanding jobs and stops the workers. Further
+// submissions fail fast. Close is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.workWG.Wait()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.jobWG.Wait()
+	close(p.jobs)
+	p.workWG.Wait()
+}
+
+// Stats snapshots the pool counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	s := p.agg
+	p.mu.Unlock()
+	s.Workers = p.workers
+	s.Queued = p.queued.Load()
+	s.Running = p.running.Load()
+	s.Done = p.done.Load()
+	s.Failed = p.failed.Load()
+	return s
+}
+
+func (p *Pool) worker() {
+	defer p.workWG.Done()
+	for t := range p.jobs {
+		p.queued.Add(-1)
+		p.running.Add(1)
+		res := runJob(t.ctx, t.job)
+		p.running.Add(-1)
+		p.done.Add(1)
+		if res.Err != nil {
+			p.failed.Add(1)
+		}
+		if res.CPU != nil {
+			p.mu.Lock()
+			p.agg.Instructions += res.CPU.Stats.Instructions
+			p.agg.Operations += res.CPU.Stats.Operations
+			p.agg.CacheLookups += res.CPU.Stats.CacheLookups
+			p.agg.CacheHits += res.CPU.Stats.CacheHits
+			p.agg.Wall += res.Wall
+			p.mu.Unlock()
+		}
+		if t.job.OnDone != nil {
+			t.job.OnDone(res)
+		}
+		t.ticket.res = res
+		close(t.ticket.done)
+		p.jobWG.Done()
+	}
+}
+
+// runJob executes one job on the calling (worker) goroutine.
+func runJob(ctx context.Context, j Job) Result {
+	res := Result{Label: j.Label}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// A job canceled while queued never builds its CPU.
+	if err := ctx.Err(); err != nil {
+		res.Err = fmt.Errorf("simpool: %s: %w before start: %w", labelOr(j.Label), sim.ErrCanceled, err)
+		return res
+	}
+	if j.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, j.Timeout)
+		defer cancel()
+	}
+	c, err := sim.New(j.Model, j.Prog, j.Opts)
+	if err != nil {
+		res.Err = fmt.Errorf("simpool: %s: %w", labelOr(j.Label), err)
+		return res
+	}
+	res.CPU = c
+	if j.Attach != nil {
+		if err := j.Attach(c); err != nil {
+			res.Err = fmt.Errorf("simpool: %s: attach: %w", labelOr(j.Label), err)
+			return res
+		}
+	}
+	start := time.Now()
+	st, err := c.RunContext(ctx)
+	res.Wall = time.Since(start)
+	res.Status = st
+	if err != nil {
+		res.Err = fmt.Errorf("simpool: %s: %w", labelOr(j.Label), err)
+	}
+	return res
+}
+
+func labelOr(label string) string {
+	if label == "" {
+		return "job"
+	}
+	return label
+}

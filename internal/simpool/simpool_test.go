@@ -1,0 +1,198 @@
+package simpool_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cycle"
+	"repro/internal/driver"
+	"repro/internal/isa"
+	"repro/internal/ktest"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/simpool"
+	"repro/internal/targetgen"
+	"repro/internal/workloads"
+)
+
+// baseline runs one configuration serially and returns exit code, DOE
+// cycles and instruction count — the reference a pooled run of the same
+// configuration must reproduce bit-identically.
+func baseline(t *testing.T, m *isa.Model, p *sim.Program) (int32, uint64, uint64) {
+	t.Helper()
+	opts := sim.DefaultOptions()
+	opts.Stdout = io.Discard
+	opts.MaxInstructions = 500_000_000
+	c, err := sim.New(m, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doe := cycle.NewDOE(m, mem.Paper())
+	c.Attach(doe)
+	st, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.ExitCode, doe.Cycles(), st.Instructions
+}
+
+// The stress test of the issue: 64 concurrent jobs over two different
+// programs (different ISAs), each with its own DOE model and memory
+// hierarchy, must produce per-job results identical to the serial
+// baseline — the Model and Program are shared, everything else is
+// per job.
+func TestStress64JobsMatchSerialBaseline(t *testing.T) {
+	m := targetgen.MustKahrisma()
+	qsort, err := driver.Load(m, "RISC", workloads.Qsort().Sources...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dct, err := driver.Load(m, "VLIW4", workloads.DCT().Sources...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type ref struct {
+		prog                 *sim.Program
+		exit                 int32
+		cycles, instructions uint64
+	}
+	refs := [2]ref{}
+	refs[0].prog = qsort
+	refs[1].prog = dct
+	for i := range refs {
+		refs[i].exit, refs[i].cycles, refs[i].instructions = baseline(t, m, refs[i].prog)
+	}
+
+	pool := simpool.New(0)
+	defer pool.Close()
+
+	const jobs = 64
+	tickets := make([]*simpool.Ticket, jobs)
+	does := make([]*cycle.DOE, jobs)
+	var mu sync.Mutex
+	for i := 0; i < jobs; i++ {
+		i := i
+		r := refs[i%2]
+		opts := sim.DefaultOptions()
+		opts.Stdout = io.Discard
+		opts.MaxInstructions = 500_000_000
+		tickets[i] = pool.Submit(context.Background(), simpool.Job{
+			Model: m,
+			Prog:  r.prog,
+			Opts:  opts,
+			Label: fmt.Sprintf("job-%d", i),
+			Attach: func(c *sim.CPU) error {
+				doe := cycle.NewDOE(m, mem.Paper())
+				c.Attach(doe)
+				mu.Lock()
+				does[i] = doe
+				mu.Unlock()
+				return nil
+			},
+		})
+	}
+	pool.Wait()
+
+	for i, tk := range tickets {
+		res := tk.Wait()
+		if res.Err != nil {
+			t.Fatalf("job %d: %v", i, res.Err)
+		}
+		r := refs[i%2]
+		if res.Status.ExitCode != r.exit {
+			t.Errorf("job %d: exit %d, serial baseline %d", i, res.Status.ExitCode, r.exit)
+		}
+		if res.Status.Instructions != r.instructions {
+			t.Errorf("job %d: %d instructions, serial baseline %d", i, res.Status.Instructions, r.instructions)
+		}
+		if got := does[i].Cycles(); got != r.cycles {
+			t.Errorf("job %d: DOE %d cycles, serial baseline %d — concurrent run is not bit-identical",
+				i, got, r.cycles)
+		}
+	}
+
+	st := pool.Stats()
+	if st.Done != jobs || st.Failed != 0 || st.Queued != 0 || st.Running != 0 {
+		t.Errorf("stats after drain: %+v", st)
+	}
+	want := uint64(jobs/2)*refs[0].instructions + uint64(jobs/2)*refs[1].instructions
+	if st.Instructions != want {
+		t.Errorf("aggregated instructions = %d, want %d", st.Instructions, want)
+	}
+	if hr := st.DecodeCacheHitRate(); hr < 0.9 {
+		t.Errorf("aggregate decode-cache hit rate = %.3f, implausibly low", hr)
+	}
+}
+
+// A job whose context is already canceled fails fast with ErrCanceled;
+// a running job is stopped by its per-job timeout.
+func TestCancellationAndTimeout(t *testing.T) {
+	m := ktest.Model(t)
+	spin := ktest.BuildProgram(t, "RISC", `
+	.isa RISC
+	.global main
+main:
+	j main
+`)
+	pool := simpool.New(2)
+	defer pool.Close()
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := pool.Submit(canceled, simpool.Job{Model: m, Prog: spin, Opts: discardOpts(), Label: "pre-canceled"}).Wait()
+	if !errors.Is(res.Err, sim.ErrCanceled) {
+		t.Errorf("pre-canceled job error %v does not wrap sim.ErrCanceled", res.Err)
+	}
+	if res.CPU != nil {
+		t.Error("pre-canceled job built a CPU")
+	}
+
+	res = pool.Submit(context.Background(), simpool.Job{
+		Model: m, Prog: spin, Opts: discardOpts(), Label: "timeout",
+		Timeout: 30 * time.Millisecond,
+	}).Wait()
+	if !errors.Is(res.Err, sim.ErrCanceled) || !errors.Is(res.Err, context.DeadlineExceeded) {
+		t.Errorf("timed-out job error %v does not wrap ErrCanceled/DeadlineExceeded", res.Err)
+	}
+
+	st := pool.Stats()
+	if st.Done != 2 || st.Failed != 2 {
+		t.Errorf("stats = %+v, want 2 done / 2 failed", st)
+	}
+}
+
+// Submissions after Close fail fast instead of deadlocking, and Close
+// is idempotent.
+func TestSubmitAfterClose(t *testing.T) {
+	m := ktest.Model(t)
+	prog := ktest.BuildProgram(t, "RISC", `
+	.isa RISC
+	.global main
+main:
+	li a0, 7
+	ret
+`)
+	pool := simpool.New(1)
+	res := pool.Submit(context.Background(), simpool.Job{Model: m, Prog: prog, Opts: discardOpts()}).Wait()
+	if res.Err != nil || res.Status.ExitCode != 7 {
+		t.Fatalf("run: %+v", res)
+	}
+	pool.Close()
+	pool.Close()
+	res = pool.Submit(context.Background(), simpool.Job{Model: m, Prog: prog, Opts: discardOpts()}).Wait()
+	if res.Err == nil {
+		t.Fatal("submit after Close succeeded")
+	}
+}
+
+func discardOpts() sim.Options {
+	opts := sim.DefaultOptions()
+	opts.Stdout = io.Discard
+	opts.MaxInstructions = 500_000_000
+	return opts
+}

@@ -11,15 +11,27 @@
 //
 //	sys, _ := kahrisma.New()
 //	exe, _ := sys.BuildC("VLIW4", map[string]string{"main.c": src})
-//	res, _ := exe.Run(kahrisma.RunConfig{Models: []string{"DOE"}})
+//	res, _ := exe.Run(ctx, kahrisma.WithModels("DOE"))
 //	fmt.Println(res.ExitCode, res.Cycles["DOE"])
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// reproduction of every table and figure of the paper.
+// Runs are configured with functional options (see options.go), are
+// cancellable through the context, and classify failures with the
+// typed sentinel errors of errors.go. Batches of independent
+// simulations run concurrently through a Pool (see pool.go):
+//
+//	pool := kahrisma.NewPool(0) // GOMAXPROCS workers
+//	defer pool.Close()
+//	job := pool.Submit(ctx, exe, kahrisma.WithModels("DOE"))
+//	res, _ = job.Wait()
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// reproduction of every table and figure of the paper, and
+// docs/simpool.md for the concurrency model.
 package kahrisma
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 
@@ -84,10 +96,11 @@ func (s *System) ISAs() []string {
 }
 
 // IssueWidth returns the number of parallel operation slots of an ISA.
+// Unknown names return an error wrapping ErrBadISA.
 func (s *System) IssueWidth(isaName string) (int, error) {
 	a := s.model.ISAByName(isaName)
 	if a == nil {
-		return 0, fmt.Errorf("kahrisma: unknown ISA %q", isaName)
+		return 0, fmt.Errorf("%w: %q", ErrBadISA, isaName)
 	}
 	return a.Issue, nil
 }
@@ -121,6 +134,9 @@ func (s *System) BuildAsm(isaName string, files map[string]string) (*Executable,
 }
 
 func (s *System) build(isaName string, srcs []driver.Source) (*Executable, error) {
+	if s.model.ISAByName(isaName) == nil {
+		return nil, fmt.Errorf("%w: %q", ErrBadISA, isaName)
+	}
 	exe, err := driver.Build(s.model, isaName, srcs...)
 	if err != nil {
 		return nil, err
@@ -182,6 +198,11 @@ func (mc MemoryConfig) build() (*mem.Hierarchy, error) {
 }
 
 // RunConfig configures one simulation.
+//
+// Deprecated: RunConfig is the pre-options configuration struct, kept
+// as a shim for existing callers. Use Run with functional options
+// (WithModels, WithMemory, WithFuel, ...) instead; RunLegacy maps this
+// struct onto them.
 type RunConfig struct {
 	// Models activates cycle models by name: "ILP", "AIE", "DOE" and
 	// the cycle-accurate reference "RTL".
@@ -229,105 +250,170 @@ type RunResult struct {
 	FunctionILP []cycle.FunctionILP
 }
 
-// Run executes the program to completion.
-func (e *Executable) Run(cfg RunConfig) (*RunResult, error) {
-	opts := sim.Options{
-		DecodeCache:     !cfg.DisableDecodeCache,
-		Prediction:      !cfg.DisablePrediction && !cfg.DisableDecodeCache,
-		MaxInstructions: cfg.MaxInstructions,
-		Stdin:           cfg.Stdin,
+// Run executes the program to completion under ctx. The run is
+// configured by functional options and can be interrupted: a canceled
+// or expired context stops the interpretation loop within the
+// simulator's cancellation granularity and returns an error wrapping
+// ErrCanceled.
+func (e *Executable) Run(ctx context.Context, opts ...Option) (*RunResult, error) {
+	return e.run(ctx, resolveOptions(opts))
+}
+
+// RunLegacy executes the program configured by the deprecated RunConfig
+// struct.
+//
+// Deprecated: use Run with functional options.
+func (e *Executable) RunLegacy(cfg RunConfig) (*RunResult, error) {
+	return e.run(context.Background(), runConfig{
+		Models:             cfg.Models,
+		Memory:             cfg.Memory,
+		Stdout:             cfg.Stdout,
+		Stdin:              cfg.Stdin,
+		Trace:              cfg.Trace,
+		Fuel:               cfg.MaxInstructions,
+		DisableDecodeCache: cfg.DisableDecodeCache,
+		DisablePrediction:  cfg.DisablePrediction,
+		PerFunctionILP:     cfg.PerFunctionILP,
+	})
+}
+
+func (e *Executable) run(ctx context.Context, cfg runConfig) (*RunResult, error) {
+	if cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
 	}
-	if opts.MaxInstructions == 0 {
-		opts.MaxInstructions = 2_000_000_000
-	}
-	var captured *bytes.Buffer
-	if cfg.Stdout != nil {
-		opts.Stdout = cfg.Stdout
-	} else {
-		captured = &bytes.Buffer{}
-		opts.Stdout = captured
+	opts, setup, err := e.prepare(cfg)
+	if err != nil {
+		return nil, err
 	}
 	cpu, err := sim.New(e.sys.model, e.prog, opts)
 	if err != nil {
 		return nil, err
 	}
-
-	res := &RunResult{Cycles: map[string]uint64{}, OPC: map[string]float64{}}
-	var hier *mem.Hierarchy
-	var models []cycle.Model
-	var pipe *rtl.Pipeline
-	for _, name := range cfg.Models {
-		switch name {
-		case "ILP":
-			models = append(models, cycle.NewILP(e.sys.model))
-		case "AIE":
-			if hier == nil {
-				if hier, err = cfg.Memory.build(); err != nil {
-					return nil, err
-				}
-			}
-			models = append(models, cycle.NewAIE(hier))
-		case "DOE":
-			if hier == nil {
-				if hier, err = cfg.Memory.build(); err != nil {
-					return nil, err
-				}
-			}
-			models = append(models, cycle.NewDOE(e.sys.model, hier))
-		case "RTL":
-			rc := rtl.DefaultConfig()
-			if rc.Hierarchy, err = cfg.Memory.build(); err != nil {
-				return nil, err
-			}
-			pipe = rtl.New(e.sys.model, rc)
-		default:
-			return nil, fmt.Errorf("kahrisma: unknown cycle model %q", name)
-		}
-	}
-	for _, m := range models {
-		cpu.Attach(m)
-	}
-	if pipe != nil {
-		cpu.Attach(pipe)
-	}
-	var pf *cycle.PerFunctionILP
-	if cfg.PerFunctionILP {
-		pf = cycle.NewPerFunctionILP(e.sys.model, e.prog)
-		cpu.Attach(pf)
-	}
-	if cfg.Trace != nil {
-		cpu.SetTrace(trace.NewWriter(cfg.Trace))
-	}
-
-	st, err := cpu.Run()
+	setup.attach(cpu)
+	st, err := cpu.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}
+	return setup.collect(cpu, st), nil
+}
+
+// runSetup is the per-run state derived from a resolved configuration:
+// the cycle models, the optional RTL pipeline, the shared memory
+// hierarchy, the profiler and the capture buffer. It is built once per
+// run (for pooled runs: used by exactly one worker) and consumed by
+// collect after the CPU halts.
+type runSetup struct {
+	models   []cycle.Model
+	pipe     *rtl.Pipeline
+	hier     *mem.Hierarchy
+	pf       *cycle.PerFunctionILP
+	traceW   *trace.Writer
+	captured *bytes.Buffer
+}
+
+// prepare validates cfg and builds the simulator options plus the
+// per-run observer state.
+func (e *Executable) prepare(cfg runConfig) (sim.Options, *runSetup, error) {
+	opts := sim.Options{
+		DecodeCache:     !cfg.DisableDecodeCache,
+		Prediction:      !cfg.DisablePrediction && !cfg.DisableDecodeCache,
+		MaxInstructions: cfg.Fuel,
+		Stdin:           cfg.Stdin,
+	}
+	if opts.MaxInstructions == 0 {
+		opts.MaxInstructions = 2_000_000_000
+	}
+	setup := &runSetup{}
+	if cfg.Stdout != nil {
+		opts.Stdout = cfg.Stdout
+	} else {
+		setup.captured = &bytes.Buffer{}
+		opts.Stdout = setup.captured
+	}
+	var err error
+	for _, name := range cfg.Models {
+		switch name {
+		case "ILP":
+			setup.models = append(setup.models, cycle.NewILP(e.sys.model))
+		case "AIE":
+			if setup.hier == nil {
+				if setup.hier, err = cfg.Memory.build(); err != nil {
+					return sim.Options{}, nil, err
+				}
+			}
+			setup.models = append(setup.models, cycle.NewAIE(setup.hier))
+		case "DOE":
+			if setup.hier == nil {
+				if setup.hier, err = cfg.Memory.build(); err != nil {
+					return sim.Options{}, nil, err
+				}
+			}
+			setup.models = append(setup.models, cycle.NewDOE(e.sys.model, setup.hier))
+		case "RTL":
+			rc := rtl.DefaultConfig()
+			if rc.Hierarchy, err = cfg.Memory.build(); err != nil {
+				return sim.Options{}, nil, err
+			}
+			setup.pipe = rtl.New(e.sys.model, rc)
+		default:
+			return sim.Options{}, nil, fmt.Errorf("%w: %q", ErrBadModel, name)
+		}
+	}
+	if cfg.PerFunctionILP {
+		setup.pf = cycle.NewPerFunctionILP(e.sys.model, e.prog)
+	}
+	if cfg.Trace != nil {
+		setup.traceW = trace.NewWriter(cfg.Trace)
+	}
+	return opts, setup, nil
+}
+
+// attach wires the per-run observers into a fresh CPU.
+func (s *runSetup) attach(cpu *sim.CPU) {
+	for _, m := range s.models {
+		cpu.Attach(m)
+	}
+	if s.pipe != nil {
+		cpu.Attach(s.pipe)
+	}
+	if s.pf != nil {
+		cpu.Attach(s.pf)
+	}
+	if s.traceW != nil {
+		cpu.SetTrace(s.traceW)
+	}
+}
+
+// collect assembles the RunResult after a successful run.
+func (s *runSetup) collect(cpu *sim.CPU, st sim.ExitStatus) *RunResult {
+	res := &RunResult{Cycles: map[string]uint64{}, OPC: map[string]float64{}}
 	res.ExitCode = st.ExitCode
 	res.Instructions = st.Instructions
 	res.Operations = cpu.Stats.Operations
 	res.Stats = cpu.Stats
-	if captured != nil {
-		res.Output = captured.String()
+	if s.captured != nil {
+		res.Output = s.captured.String()
 	}
-	for _, m := range models {
+	for _, m := range s.models {
 		res.Cycles[m.Name()] = m.Cycles()
 		res.OPC[m.Name()] = cycle.OPC(m)
 	}
-	if pipe != nil {
-		pipe.Drain()
-		res.Cycles["RTL"] = pipe.Cycles()
-		if pipe.Cycles() > 0 {
-			res.OPC["RTL"] = float64(pipe.Ops()) / float64(pipe.Cycles())
+	if s.pipe != nil {
+		s.pipe.Drain()
+		res.Cycles["RTL"] = s.pipe.Cycles()
+		if s.pipe.Cycles() > 0 {
+			res.OPC["RTL"] = float64(s.pipe.Ops()) / float64(s.pipe.Cycles())
 		}
 	}
-	if hier != nil && hier.L1 != nil {
-		res.L1MissRate = hier.L1.MissRate()
+	if s.hier != nil && s.hier.L1 != nil {
+		res.L1MissRate = s.hier.L1.MissRate()
 	}
-	if pf != nil {
-		res.FunctionILP = pf.Results()
+	if s.pf != nil {
+		res.FunctionILP = s.pf.Results()
 	}
-	return res, nil
+	return res
 }
 
 // RecommendISA suggests the narrowest instance covering the given

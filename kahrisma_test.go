@@ -2,6 +2,7 @@ package kahrisma_test
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -46,7 +47,7 @@ func TestFacadeBuildAndRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := exe.Run(kahrisma.RunConfig{Models: []string{"ILP", "AIE", "DOE", "RTL"}})
+	res, err := exe.Run(context.Background(), kahrisma.WithModels("ILP", "AIE", "DOE", "RTL"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,8 @@ func TestFacadeELFRoundTripAndDisasm(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := exe2.Run(kahrisma.RunConfig{})
+	// The deprecated struct API keeps working through the shim.
+	res, err := exe2.RunLegacy(kahrisma.RunConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +110,7 @@ func TestFacadeTraceAndLocation(t *testing.T) {
 		t.Fatal(err)
 	}
 	var tr bytes.Buffer
-	res, err := exe.Run(kahrisma.RunConfig{Models: []string{"DOE"}, Trace: &tr})
+	res, err := exe.Run(context.Background(), kahrisma.WithModels("DOE"), kahrisma.WithTrace(&tr))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +157,7 @@ int main() {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := exe.Run(kahrisma.RunConfig{PerFunctionILP: true})
+	res, err := exe.Run(context.Background(), kahrisma.WithPerFunctionILP())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +196,7 @@ func TestFacadeErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := exe.Run(kahrisma.RunConfig{Models: []string{"WARP"}}); err == nil {
+	if _, err := exe.Run(context.Background(), kahrisma.WithModels("WARP")); err == nil {
 		t.Error("bogus model accepted")
 	}
 }

@@ -1,0 +1,117 @@
+package kahrisma
+
+import (
+	"io"
+	"time"
+)
+
+// Option configures a simulation run. Options compose left to right:
+//
+//	res, err := exe.Run(ctx,
+//	    kahrisma.WithModels("ILP", "DOE"),
+//	    kahrisma.WithMemorySpec("limit:1|cache:2K,4,32,3|mem:18"),
+//	    kahrisma.WithFuel(50_000_000))
+//
+// The zero configuration (no options) runs the functional simulator
+// with decode cache and instruction prediction, the paper's memory
+// hierarchy for any model that needs one, and a large fuel default.
+type Option func(*runConfig)
+
+// runConfig is the resolved option set (the former RunConfig, now an
+// internal carrier so the public surface stays extensible).
+type runConfig struct {
+	Models             []string
+	Memory             MemoryConfig
+	Stdout             io.Writer
+	Stdin              io.Reader
+	Trace              io.Writer
+	Fuel               uint64
+	Timeout            time.Duration
+	DisableDecodeCache bool
+	DisablePrediction  bool
+	PerFunctionILP     bool
+}
+
+func resolveOptions(opts []Option) runConfig {
+	var cfg runConfig
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	return cfg
+}
+
+// WithModels activates cycle models by name: "ILP", "AIE", "DOE" and
+// the cycle-accurate reference "RTL". Repeated use appends.
+func WithModels(names ...string) Option {
+	return func(c *runConfig) { c.Models = append(c.Models, names...) }
+}
+
+// WithMemory selects the memory-delay hierarchy used by AIE/DOE/RTL.
+func WithMemory(mc MemoryConfig) Option {
+	return func(c *runConfig) { c.Memory = mc }
+}
+
+// WithMemorySpec builds a custom hierarchy from its textual
+// description, e.g. "limit:1|cache:2K,4,32,3|mem:18" (see docs).
+func WithMemorySpec(spec string) Option {
+	return func(c *runConfig) { c.Memory = MemoryConfig{Spec: spec} }
+}
+
+// WithFlatMemory replaces the paper's L1/L2/DRAM hierarchy with a
+// fixed-delay memory of the given cycle cost.
+func WithFlatMemory(delay uint64) Option {
+	return func(c *runConfig) { c.Memory = MemoryConfig{Flat: true, FlatDelay: delay} }
+}
+
+// WithFuel bounds the run to n executed instructions; exceeding the
+// budget returns an error wrapping ErrFuelExhausted. Zero keeps the
+// large default (2e9).
+func WithFuel(n uint64) Option {
+	return func(c *runConfig) { c.Fuel = n }
+}
+
+// WithTimeout bounds the run's wall-clock time on top of the caller's
+// context; expiry returns an error wrapping ErrCanceled and
+// context.DeadlineExceeded.
+func WithTimeout(d time.Duration) Option {
+	return func(c *runConfig) { c.Timeout = d }
+}
+
+// WithTrace streams a trace file to w (Sec. V: cycle, opcode, register
+// numbers and values, immediates per executed operation).
+func WithTrace(w io.Writer) Option {
+	return func(c *runConfig) { c.Trace = w }
+}
+
+// WithStdout sends the program's output to w instead of capturing it
+// in RunResult.Output.
+func WithStdout(w io.Writer) Option {
+	return func(c *runConfig) { c.Stdout = w }
+}
+
+// WithStdin feeds the program's emulated standard input from r.
+func WithStdin(r io.Reader) Option {
+	return func(c *runConfig) { c.Stdin = r }
+}
+
+// WithoutDecodeCache disables the detection/decode cache (and with it
+// instruction prediction) — the paper's slow baseline, for
+// measurements.
+func WithoutDecodeCache() Option {
+	return func(c *runConfig) { c.DisableDecodeCache = true }
+}
+
+// WithoutPrediction disables instruction prediction while keeping the
+// decode cache.
+func WithoutPrediction() Option {
+	return func(c *runConfig) { c.DisablePrediction = true }
+}
+
+// WithPerFunctionILP additionally profiles the theoretical ILP of every
+// function (the paper's per-function ISA selection indicator), filling
+// RunResult.FunctionILP.
+func WithPerFunctionILP() Option {
+	return func(c *runConfig) { c.PerFunctionILP = true }
+}

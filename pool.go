@@ -1,0 +1,193 @@
+package kahrisma
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simpool"
+)
+
+// Pool runs batches of independent simulations concurrently on a fixed
+// set of workers (internal/simpool). The elaborated architecture model
+// and the linked program of each Executable are immutable and shared
+// across workers; every job gets its own CPU state, decode cache,
+// cycle models and memory hierarchy, so per-job results are
+// bit-identical to serial runs regardless of worker count or
+// scheduling (see docs/simpool.md).
+//
+//	pool := kahrisma.NewPool(0) // GOMAXPROCS workers
+//	defer pool.Close()
+//	var jobs []*kahrisma.Job
+//	for _, isaName := range sys.ISAs() {
+//	    exe, _ := sys.BuildC(isaName, files)
+//	    jobs = append(jobs, pool.Submit(ctx, exe, kahrisma.WithModels("DOE")))
+//	}
+//	for _, j := range jobs {
+//	    res, err := j.Wait()
+//	    ...
+//	}
+type Pool struct {
+	pool *simpool.Pool
+
+	mu           sync.Mutex
+	wallPerModel map[string]time.Duration
+}
+
+// NewPool starts a simulation pool with the given number of workers;
+// workers <= 0 selects GOMAXPROCS. Close must be called to release the
+// workers.
+func NewPool(workers int) *Pool {
+	return &Pool{
+		pool:         simpool.New(workers),
+		wallPerModel: map[string]time.Duration{},
+	}
+}
+
+// Job is a handle to one submitted simulation.
+type Job struct {
+	ticket *simpool.Ticket
+	setup  *runSetup
+	err    error // submit-time configuration error
+
+	once sync.Once
+	res  *RunResult
+	wErr error
+}
+
+// Wait blocks until the job finished and returns its result. Wait may
+// be called from any goroutine, any number of times.
+func (j *Job) Wait() (*RunResult, error) {
+	j.once.Do(func() {
+		if j.err != nil {
+			j.wErr = j.err
+			return
+		}
+		r := j.ticket.Wait()
+		if r.Err != nil {
+			j.wErr = r.Err
+			return
+		}
+		j.res = j.setup.collect(r.CPU, r.Status)
+	})
+	return j.res, j.wErr
+}
+
+// Done returns a channel closed when the job has finished (nil jobs
+// that failed at submit time return an already-closed channel).
+func (j *Job) Done() <-chan struct{} {
+	if j.err != nil {
+		ch := make(chan struct{})
+		close(ch)
+		return ch
+	}
+	return j.ticket.Done()
+}
+
+// Submit enqueues one simulation of exe under ctx and returns
+// immediately. The same Executable may be submitted many times,
+// concurrently, with different options. Cancellation of ctx aborts the
+// job whether queued or running; WithTimeout bounds the job's own
+// wall-clock time. Configuration errors (unknown model, bad memory
+// spec) surface on Wait.
+func (p *Pool) Submit(ctx context.Context, exe *Executable, opts ...Option) *Job {
+	cfg := resolveOptions(opts)
+	simOpts, setup, err := exe.prepare(cfg)
+	if err != nil {
+		return &Job{err: err}
+	}
+	job := &Job{setup: setup}
+	models := cfg.Models
+	job.ticket = p.pool.Submit(ctx, simpool.Job{
+		Model:   exe.sys.model,
+		Prog:    exe.prog,
+		Opts:    simOpts,
+		Timeout: cfg.Timeout,
+		Attach: func(c *sim.CPU) error {
+			setup.attach(c)
+			return nil
+		},
+		OnDone: func(r simpool.Result) {
+			p.mu.Lock()
+			if len(models) == 0 {
+				p.wallPerModel["functional"] += r.Wall
+			}
+			for _, m := range models {
+				p.wallPerModel[m] += r.Wall
+			}
+			p.mu.Unlock()
+		},
+	})
+	return job
+}
+
+// BatchItem is one entry of SubmitBatch: an executable plus its run
+// options. Items of one batch may use different executables, models
+// and memory hierarchies.
+type BatchItem struct {
+	Exe  *Executable
+	Opts []Option
+}
+
+// SubmitBatch enqueues many simulations in order and returns their
+// handles, index-aligned with items.
+func (p *Pool) SubmitBatch(ctx context.Context, items []BatchItem) []*Job {
+	jobs := make([]*Job, len(items))
+	for i, it := range items {
+		jobs[i] = p.Submit(ctx, it.Exe, it.Opts...)
+	}
+	return jobs
+}
+
+// Wait blocks until every job submitted so far has completed; the pool
+// stays open for further submissions.
+func (p *Pool) Wait() { p.pool.Wait() }
+
+// Close waits for outstanding jobs and stops the workers. Further
+// submissions fail on Wait. Close is idempotent.
+func (p *Pool) Close() { p.pool.Close() }
+
+// PoolStats is a point-in-time snapshot of the pool's throughput
+// counters.
+type PoolStats struct {
+	Workers     int
+	JobsQueued  int64
+	JobsRunning int64
+	JobsDone    int64
+	JobsFailed  int64
+
+	// Instructions/Operations retired across all finished jobs.
+	Instructions uint64
+	Operations   uint64
+	// DecodeCacheHitRate aggregates the per-CPU decode caches
+	// (hits/lookups) over finished jobs.
+	DecodeCacheHitRate float64
+	// Wall is the summed per-job simulation time; WallPerModel splits
+	// it by activated cycle model ("functional" = no model attached).
+	Wall         time.Duration
+	WallPerModel map[string]time.Duration
+}
+
+// Stats snapshots the pool counters.
+func (p *Pool) Stats() PoolStats {
+	s := p.pool.Stats()
+	out := PoolStats{
+		Workers:            s.Workers,
+		JobsQueued:         s.Queued,
+		JobsRunning:        s.Running,
+		JobsDone:           s.Done,
+		JobsFailed:         s.Failed,
+		Instructions:       s.Instructions,
+		Operations:         s.Operations,
+		DecodeCacheHitRate: s.DecodeCacheHitRate(),
+		Wall:               s.Wall,
+		WallPerModel:       map[string]time.Duration{},
+	}
+	p.mu.Lock()
+	for k, v := range p.wallPerModel {
+		out.WallPerModel[k] = v
+	}
+	p.mu.Unlock()
+	return out
+}

@@ -1,0 +1,120 @@
+package kahrisma_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	kahrisma "repro"
+)
+
+// A pooled sweep over every processor instance must reproduce the
+// serial results exactly: same exit codes, same output, same per-model
+// cycle counts.
+func TestPoolMatchesSerialRuns(t *testing.T) {
+	sys := newSys(t)
+	isaNames := sys.ISAs()
+
+	exes := make([]*kahrisma.Executable, len(isaNames))
+	serial := make([]*kahrisma.RunResult, len(isaNames))
+	for i, isaName := range isaNames {
+		exe, err := sys.BuildC(isaName, map[string]string{"p.c": facadeProg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exes[i] = exe
+		res, err := exe.Run(context.Background(), kahrisma.WithModels("ILP", "DOE"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = res
+	}
+
+	pool := kahrisma.NewPool(4)
+	defer pool.Close()
+
+	// Submit every executable several times to exercise shared-program
+	// concurrency within the pool.
+	const rounds = 3
+	type slot struct {
+		isa int
+		job *kahrisma.Job
+	}
+	var jobs []slot
+	for r := 0; r < rounds; r++ {
+		items := make([]kahrisma.BatchItem, len(exes))
+		for i, exe := range exes {
+			items[i] = kahrisma.BatchItem{Exe: exe, Opts: []kahrisma.Option{kahrisma.WithModels("ILP", "DOE")}}
+		}
+		for i, j := range pool.SubmitBatch(context.Background(), items) {
+			jobs = append(jobs, slot{isa: i, job: j})
+		}
+	}
+	pool.Wait()
+
+	for _, s := range jobs {
+		res, err := s.job.Wait()
+		if err != nil {
+			t.Fatalf("%s: %v", isaNames[s.isa], err)
+		}
+		want := serial[s.isa]
+		if res.ExitCode != want.ExitCode || res.Output != want.Output {
+			t.Errorf("%s: pooled exit/output %d/%q, serial %d/%q",
+				isaNames[s.isa], res.ExitCode, res.Output, want.ExitCode, want.Output)
+		}
+		for _, m := range []string{"ILP", "DOE"} {
+			if res.Cycles[m] != want.Cycles[m] {
+				t.Errorf("%s: pooled %s cycles %d != serial %d — not bit-identical",
+					isaNames[s.isa], m, res.Cycles[m], want.Cycles[m])
+			}
+		}
+	}
+
+	st := pool.Stats()
+	if st.JobsDone != int64(len(jobs)) || st.JobsFailed != 0 {
+		t.Errorf("stats = %+v, want %d done / 0 failed", st, len(jobs))
+	}
+	if st.Instructions == 0 || st.Wall == 0 {
+		t.Errorf("throughput counters empty: %+v", st)
+	}
+	// The test program is tiny, so most lookups are cold misses; only
+	// presence is asserted here (the simpool stress test checks the
+	// aggregate rate on a real workload).
+	if st.DecodeCacheHitRate <= 0 {
+		t.Errorf("decode-cache hit rate %.3f, want > 0", st.DecodeCacheHitRate)
+	}
+	if st.WallPerModel["DOE"] == 0 {
+		t.Errorf("per-model wall time missing: %+v", st.WallPerModel)
+	}
+}
+
+// Pool jobs respect per-job timeouts and submit-time validation, and
+// classify both under the typed sentinels.
+func TestPoolJobErrors(t *testing.T) {
+	sys := newSys(t)
+	spin, err := sys.BuildC("RISC", map[string]string{"spin.c": spinSource})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := kahrisma.NewPool(2)
+	defer pool.Close()
+
+	bad := pool.Submit(context.Background(), spin, kahrisma.WithModels("WARP"))
+	if _, err := bad.Wait(); !errors.Is(err, kahrisma.ErrBadModel) {
+		t.Errorf("bad-model job error %v does not wrap ErrBadModel", err)
+	}
+
+	slow := pool.Submit(context.Background(), spin, kahrisma.WithTimeout(30*time.Millisecond))
+	if _, err := slow.Wait(); !errors.Is(err, kahrisma.ErrCanceled) {
+		t.Errorf("timed-out job error %v does not wrap ErrCanceled", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	running := pool.Submit(ctx, spin)
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if _, err := running.Wait(); !errors.Is(err, kahrisma.ErrCanceled) {
+		t.Errorf("canceled job error %v does not wrap ErrCanceled", err)
+	}
+}
