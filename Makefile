@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench verify fmt-check vet clean
+.PHONY: all build test race bench verify fmt-check vet lint serve smoke clean
 
 all: verify
 
@@ -31,8 +31,26 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
+# lint runs staticcheck when it is installed (the CI installs it);
+# locally it degrades to go vet so the target works offline.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; ran go vet only"; \
+	fi
+
+# Run the simulation service (docs/server.md).
+serve:
+	$(GO) run ./cmd/kservd -addr :8080
+
+# End-to-end smoke of kservd: start the daemon, submit a job over
+# HTTP, poll to completion, check metrics and the SIGTERM drain.
+smoke:
+	./scripts/smoke.sh
+
 # verify mirrors the tier-1 gate plus the static checks the CI runs.
-verify: fmt-check vet build test
+verify: fmt-check lint build test
 
 clean:
 	rm -rf bin

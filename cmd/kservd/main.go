@@ -1,0 +1,65 @@
+// Command kservd serves KAHRISMA simulations over HTTP: POST a build
+// request to /v1/jobs, poll /v1/jobs/{id}, fetch /v1/jobs/{id}/result,
+// scrape /metrics. See docs/server.md for the API reference.
+//
+//	kservd -addr :8080 -workers 8 -queue 64
+//
+// SIGTERM/SIGINT drain gracefully: admission stops, in-flight jobs run
+// to completion within -drain, then the listener closes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "simulation pool workers (0: GOMAXPROCS)")
+		queue    = flag.Int("queue", 64, "admission queue depth (jobs in flight before 429)")
+		maxBody  = flag.Int64("max-body", 1<<20, "request body size limit in bytes")
+		maxFuel  = flag.Uint64("max-fuel", 500_000_000, "per-job instruction cap (also the default budget)")
+		maxTime  = flag.Duration("max-timeout", 30*time.Second, "per-job wall-clock cap (also the default)")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-drain deadline on SIGTERM")
+		exeCache = flag.Int("exe-cache", 128, "artifact cache capacity (linked executables)")
+		logJSON  = flag.Bool("log-json", false, "emit structured logs as JSON")
+	)
+	flag.Parse()
+
+	var h slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		h = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	log := slog.New(h)
+
+	s, err := server.New(server.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		MaxRequestBytes: *maxBody,
+		MaxFuel:         *maxFuel,
+		MaxTimeout:      *maxTime,
+		DrainTimeout:    *drain,
+		ExeCacheSize:    *exeCache,
+		Logger:          log,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kservd:", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	if err := s.Serve(ctx, *addr); err != nil {
+		fmt.Fprintln(os.Stderr, "kservd:", err)
+		os.Exit(1)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"repro/internal/sim"
+	"repro/internal/simpool"
 )
 
 // Typed sentinel errors. Every error returned by the facade wraps one
@@ -28,4 +29,8 @@ var (
 	ErrBadISA = errors.New("kahrisma: unknown ISA")
 	// ErrBadModel reports a cycle-model name outside ILP/AIE/DOE/RTL.
 	ErrBadModel = errors.New("kahrisma: unknown cycle model")
+	// ErrPoolClosed reports a Pool.Submit/SubmitBatch after Close: the
+	// returned Job fails fast on Wait with an error wrapping this
+	// sentinel instead of panicking or hanging.
+	ErrPoolClosed = simpool.ErrClosed
 )

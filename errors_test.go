@@ -78,4 +78,22 @@ func TestErrorChains(t *testing.T) {
 			t.Errorf("error %v does not wrap context.DeadlineExceeded", err)
 		}
 	})
+
+	t.Run("PoolClosed", func(t *testing.T) {
+		pool := kahrisma.NewPool(1)
+		pool.Close()
+		if _, err := pool.Submit(context.Background(), exe, kahrisma.WithFuel(1000)).Wait(); !errors.Is(err, kahrisma.ErrPoolClosed) {
+			t.Errorf("Submit after Close: error %v does not wrap ErrPoolClosed", err)
+		}
+		jobs := pool.SubmitBatch(context.Background(), []kahrisma.BatchItem{
+			{Exe: exe, Opts: []kahrisma.Option{kahrisma.WithFuel(1000)}},
+			{Exe: exe},
+		})
+		for i, j := range jobs {
+			<-j.Done() // must already be closed, not hang
+			if _, err := j.Wait(); !errors.Is(err, kahrisma.ErrPoolClosed) {
+				t.Errorf("batch job %d after Close: error %v does not wrap ErrPoolClosed", i, err)
+			}
+		}
+	})
 }

@@ -5,7 +5,10 @@
 package driver
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"io"
 
 	"repro/internal/asm"
 	"repro/internal/cc"
@@ -27,6 +30,22 @@ func CSource(name, text string) Source { return Source{Name: name, Text: text} }
 
 // AsmSource is shorthand for an assembly source file.
 func AsmSource(name, text string) Source { return Source{Name: name, Text: text, Asm: true} }
+
+// Fingerprint returns a stable content hash of a build request — the
+// target ISA plus every source in order (name, language, text) — for
+// content-addressed caching of build artifacts. Two requests with the
+// same fingerprint produce byte-identical executables, so a serving
+// layer can skip the compile/assemble/link pipeline on repeats (the
+// decode-cache idea of Sec. V-A lifted to toolchain granularity).
+func Fingerprint(isaName string, sources ...Source) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "isa=%s\n", isaName)
+	for _, s := range sources {
+		fmt.Fprintf(h, "--\nname=%q asm=%t len=%d\n", s.Name, s.Asm, len(s.Text))
+		io.WriteString(h, s.Text)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
 
 // Build compiles, assembles and links sources for the named target ISA.
 func Build(m *isa.Model, isaName string, sources ...Source) (*kelf.File, error) {

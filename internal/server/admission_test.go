@@ -1,0 +1,209 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+const spinSrc = `
+int main() {
+    int x = 0;
+    while (1) { x = x + 1; }
+    return x;
+}
+`
+
+// Admission control rejects malformed, invalid and oversized requests
+// synchronously with the documented status codes, before a job record
+// or queue slot exists.
+func TestAdmissionRejections(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Workers: 1, MaxRequestBytes: 4096})
+
+	reqJSON := func(req server.JobRequest) string {
+		b, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	cases := []struct {
+		name       string
+		body       string
+		wantStatus int
+		wantErr    string
+	}{
+		{
+			name:       "malformed json",
+			body:       `{"isa": "RISC",`,
+			wantStatus: http.StatusBadRequest,
+			wantErr:    "malformed request",
+		},
+		{
+			name:       "unknown field",
+			body:       `{"isa": "RISC", "sources": {"a.c": "int main(){return 0;}"}, "bogus": 1}`,
+			wantStatus: http.StatusBadRequest,
+			wantErr:    "bogus",
+		},
+		{
+			name:       "no sources",
+			body:       reqJSON(server.JobRequest{ISA: "RISC"}),
+			wantStatus: http.StatusBadRequest,
+			wantErr:    "sources",
+		},
+		{
+			name:       "unknown isa",
+			body:       reqJSON(server.JobRequest{ISA: "MIPS", Sources: map[string]string{"a.c": "int main(){return 0;}"}}),
+			wantStatus: http.StatusBadRequest,
+			wantErr:    "unknown instance",
+		},
+		{
+			name:       "unknown model",
+			body:       reqJSON(server.JobRequest{ISA: "RISC", Sources: map[string]string{"a.c": "int main(){return 0;}"}, Models: []string{"WARP"}}),
+			wantStatus: http.StatusBadRequest,
+			wantErr:    "unknown cycle model",
+		},
+		{
+			name:       "bad lang",
+			body:       reqJSON(server.JobRequest{ISA: "RISC", Lang: "fortran", Sources: map[string]string{"a.f": "X"}}),
+			wantStatus: http.StatusBadRequest,
+			wantErr:    "lang",
+		},
+		{
+			name: "oversized request",
+			body: reqJSON(server.JobRequest{ISA: "RISC", Sources: map[string]string{
+				"a.c": "// " + strings.Repeat("x", 8192) + "\nint main(){return 0;}",
+			}}),
+			wantStatus: http.StatusRequestEntityTooLarge,
+			wantErr:    "exceeds",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, data := post(t, ts, []byte(tc.body))
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status %d, want %d (body %s)", resp.StatusCode, tc.wantStatus, data)
+			}
+			var apiErr server.APIError
+			if err := json.Unmarshal(data, &apiErr); err != nil {
+				t.Fatalf("non-JSON error body %q: %v", data, err)
+			}
+			if !strings.Contains(apiErr.Error, tc.wantErr) {
+				t.Errorf("error %q does not mention %q", apiErr.Error, tc.wantErr)
+			}
+		})
+	}
+
+	body := metricsBody(t, ts)
+	if got := metricValue(t, body, `kservd_jobs_rejected_total{reason="invalid"}`); got < 6 {
+		t.Errorf("invalid rejections = %v, want >= 6", got)
+	}
+	if got := metricValue(t, body, `kservd_jobs_rejected_total{reason="oversized"}`); got < 1 {
+		t.Errorf("oversized rejections = %v, want >= 1", got)
+	}
+}
+
+// With every queue slot held by spinning jobs, further submissions get
+// 429 + Retry-After; an expired drain deadline cancels the spinners.
+func TestBackpressure429AndForcedDrain(t *testing.T) {
+	s, ts := newTestServer(t, server.Config{Workers: 1, QueueDepth: 2})
+
+	spin := server.JobRequest{ISA: "RISC", Sources: map[string]string{"spin.c": spinSrc}}
+	first := submit(t, ts, spin)
+	second := submit(t, ts, spin)
+
+	// Both slots are held (the spinners only stop when canceled), so
+	// the third submission must bounce with the backpressure contract.
+	b, _ := json.Marshal(spin)
+	resp, data := post(t, ts, b)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third submission: status %d, body %s", resp.StatusCode, data)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After = %q, want \"1\"", ra)
+	}
+	var apiErr server.APIError
+	if err := json.Unmarshal(data, &apiErr); err != nil || apiErr.RetryAfterS != 1 {
+		t.Errorf("429 body %s (err %v)", data, err)
+	}
+
+	// A too-short drain deadline forces cancellation of the in-flight
+	// spinners; Shutdown reports the missed deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("forced Shutdown error = %v, want DeadlineExceeded", err)
+	}
+	for _, id := range []string{first.ID, second.ID} {
+		res := pollResult(t, ts, id)
+		if res.State != server.StateFailed || !strings.Contains(res.Error, "canceled") {
+			t.Errorf("spinner %s after forced drain: %+v, want failed/canceled", id, res)
+		}
+	}
+
+	// Draining servers refuse new work on every admission path.
+	resp, data = post(t, ts, b)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submission while draining: status %d, body %s", resp.StatusCode, data)
+	}
+	hResp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hResp.Body.Close()
+	if hResp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining: status %d", hResp.StatusCode)
+	}
+
+	body := metricsBody(t, ts)
+	if got := metricValue(t, body, `kservd_jobs_rejected_total{reason="queue_full"}`); got < 1 {
+		t.Errorf("queue_full rejections = %v, want >= 1", got)
+	}
+	if got := metricValue(t, body, `kservd_jobs_rejected_total{reason="draining"}`); got < 1 {
+		t.Errorf("draining rejections = %v, want >= 1", got)
+	}
+	if got := metricValue(t, body, "kservd_up"); got != 0 {
+		t.Errorf("kservd_up = %v while draining, want 0", got)
+	}
+}
+
+// A graceful shutdown with headroom completes in-flight jobs — the
+// SIGTERM drain path of cmd/kservd — and their results stay fetchable
+// afterwards.
+func TestGracefulDrainCompletesInFlightJobs(t *testing.T) {
+	s, ts := newTestServer(t, server.Config{Workers: 1, QueueDepth: 4})
+
+	work := server.JobRequest{
+		ISA: "RISC",
+		Sources: map[string]string{"work.c": `
+int main() {
+    int s = 0;
+    for (int i = 0; i < 200000; i++) s += i & 15;
+    printf("s=%d\n", s);
+    return 42;
+}
+`},
+		Models: []string{"DOE"},
+	}
+	st := submit(t, ts, work)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful Shutdown: %v", err)
+	}
+
+	res := pollResult(t, ts, st.ID)
+	if res.State != server.StateDone || res.ExitCode != 42 {
+		t.Fatalf("drained job: %+v, want done with exit 42", res)
+	}
+	if res.Cycles["DOE"] == 0 {
+		t.Error("drained job lost its cycle counts")
+	}
+}

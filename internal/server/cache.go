@@ -1,0 +1,114 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a content-addressed artifact cache with LRU eviction and
+// in-flight build coalescing: concurrent GetOrBuild calls for the same
+// key run the build once and share its result. The server keeps two —
+// elaborated architecture models keyed by ADL hash, and linked
+// executables keyed by driver.Fingerprint — so repeat submissions of
+// the same program skip the toolchain entirely, the way the simulator's
+// decode cache skips re-decoding at instruction granularity.
+//
+// Values must be safe for concurrent use after construction; the
+// elaborated isa.Model and loaded sim.Program behind both cached types
+// are immutable, per the pool's sharing rules (docs/simpool.md).
+type Cache[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // of *centry[V]; front = most recently used
+	byKey    map[string]*list.Element
+	calls    map[string]*call[V] // builds in flight
+	hits     uint64
+	misses   uint64
+}
+
+type centry[V any] struct {
+	key string
+	v   V
+}
+
+type call[V any] struct {
+	done chan struct{}
+	v    V
+	err  error
+}
+
+// NewCache returns an empty cache holding at most capacity entries
+// (capacity < 1 is treated as 1).
+func NewCache[V any](capacity int) *Cache[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache[V]{
+		capacity: capacity,
+		ll:       list.New(),
+		byKey:    map[string]*list.Element{},
+		calls:    map[string]*call[V]{},
+	}
+}
+
+// GetOrBuild returns the cached value for key, or runs build exactly
+// once (across all concurrent callers) to produce it. hit reports
+// whether this caller skipped the build — a stored entry or a ride
+// along an in-flight build. Failed builds are not cached.
+func (c *Cache[V]) GetOrBuild(key string, build func() (V, error)) (v V, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		v = el.Value.(*centry[V]).v
+		c.mu.Unlock()
+		return v, true, nil
+	}
+	if cl, ok := c.calls[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-cl.done
+		return cl.v, true, cl.err
+	}
+	cl := &call[V]{done: make(chan struct{})}
+	c.calls[key] = cl
+	c.misses++
+	c.mu.Unlock()
+
+	cl.v, cl.err = build()
+
+	c.mu.Lock()
+	delete(c.calls, key)
+	if cl.err == nil {
+		c.byKey[key] = c.ll.PushFront(&centry[V]{key: key, v: cl.v})
+		for c.ll.Len() > c.capacity {
+			last := c.ll.Back()
+			c.ll.Remove(last)
+			delete(c.byKey, last.Value.(*centry[V]).key)
+		}
+	}
+	c.mu.Unlock()
+	close(cl.done)
+	return cl.v, false, cl.err
+}
+
+// CacheStats is a point-in-time snapshot of a cache's counters.
+type CacheStats struct {
+	Hits, Misses   uint64
+	Size, Capacity int
+}
+
+// HitRate is hits/(hits+misses), 0 before the first lookup.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache[V]) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Size: c.ll.Len(), Capacity: c.capacity}
+}

@@ -1,0 +1,115 @@
+package server_test
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/server"
+)
+
+func TestCacheLRUEvictionAndCounters(t *testing.T) {
+	c := server.NewCache[int](2)
+	builds := 0
+	get := func(key string) (int, bool) {
+		v, hit, err := c.GetOrBuild(key, func() (int, error) {
+			builds++
+			return builds, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v, hit
+	}
+
+	if v, hit := get("a"); hit || v != 1 {
+		t.Fatalf("cold a: v=%d hit=%v", v, hit)
+	}
+	if v, hit := get("a"); !hit || v != 1 {
+		t.Fatalf("warm a: v=%d hit=%v", v, hit)
+	}
+	get("b")
+	// Recency is now [b, a]; inserting c into the 2-entry cache evicts
+	// the least recently used key, a.
+	get("c")
+	if _, hit := get("b"); !hit {
+		t.Error("b evicted prematurely")
+	}
+	if _, hit := get("a"); hit {
+		t.Error("a survived past capacity")
+	}
+
+	st := c.Stats()
+	if st.Size != 2 || st.Capacity != 2 {
+		t.Errorf("size/capacity = %d/%d, want 2/2", st.Size, st.Capacity)
+	}
+	if st.Hits != 2 || st.Misses != 4 {
+		t.Errorf("hits/misses = %d/%d, want 2/4", st.Hits, st.Misses)
+	}
+	if r := st.HitRate(); r <= 0.3 || r >= 0.4 {
+		t.Errorf("hit rate = %f, want 2/6", r)
+	}
+}
+
+func TestCacheDoesNotCacheErrors(t *testing.T) {
+	c := server.NewCache[int](4)
+	boom := errors.New("boom")
+	calls := 0
+	for i := 0; i < 2; i++ {
+		if _, _, err := c.GetOrBuild("k", func() (int, error) {
+			calls++
+			return 0, boom
+		}); !errors.Is(err, boom) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if calls != 2 {
+		t.Errorf("failed build cached: %d calls, want 2", calls)
+	}
+	if st := c.Stats(); st.Size != 0 {
+		t.Errorf("error entry stored: %+v", st)
+	}
+}
+
+// Concurrent misses for one key coalesce into a single build; the
+// riders count as hits (they skipped the toolchain).
+func TestCacheCoalescesConcurrentBuilds(t *testing.T) {
+	c := server.NewCache[int](4)
+	var builds atomic.Int32
+	gate := make(chan struct{})
+	const callers = 8
+
+	var wg sync.WaitGroup
+	hits := make([]bool, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, hit, err := c.GetOrBuild("shared", func() (int, error) {
+				builds.Add(1)
+				<-gate // hold every concurrent caller at the build
+				return 7, nil
+			})
+			if err != nil || v != 7 {
+				t.Errorf("caller %d: v=%d err=%v", i, v, err)
+			}
+			hits[i] = hit
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+
+	if n := builds.Load(); n != 1 {
+		t.Errorf("build ran %d times, want 1 (coalesced)", n)
+	}
+	misses := 0
+	for _, h := range hits {
+		if !h {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Errorf("%d callers reported a miss, want exactly the builder", misses)
+	}
+}

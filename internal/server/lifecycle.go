@@ -1,0 +1,79 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Serve listens on addr and serves until ctx is canceled (cmd/kservd
+// cancels it on SIGTERM/SIGINT), then runs the graceful drain: stop
+// admitting, let in-flight jobs finish within Config.DrainTimeout,
+// cancel stragglers, and shut the listener down. Serve returns nil
+// after a clean drain.
+func (s *Server) Serve(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	s.log.Info("kservd listening", "addr", ln.Addr().String(),
+		"workers", s.pool.Stats().Workers, "queue_depth", s.cfg.QueueDepth)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	s.log.Info("shutdown requested, draining", "timeout", s.cfg.DrainTimeout,
+		"in_flight", s.adm.inUse())
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	drainErr := s.Shutdown(drainCtx)
+
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	if err := httpSrv.Shutdown(httpCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	<-errc // Serve has returned http.ErrServerClosed
+	return drainErr
+}
+
+// Shutdown drains the server: new submissions are rejected with 503
+// (and /healthz reports draining) while in-flight jobs run to
+// completion. If ctx expires first, the remaining jobs' contexts are
+// canceled — cancellation propagates into sim.CPU.RunContext, the jobs
+// fail with ErrCanceled, and Shutdown returns ctx's error. The job
+// store stays readable either way, so clients can still fetch results
+// of drained jobs. Shutdown is idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.jobsWG.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.log.Warn("drain deadline expired, canceling in-flight jobs",
+			"in_flight", s.adm.inUse())
+		s.jobsCancel()
+		<-done // cancellation reaches the interpreter loop quickly
+	}
+	s.pool.Close()
+	s.log.Info("drained", "jobs_done", s.metrics.completed.Load(),
+		"jobs_failed", s.metrics.failed.Load())
+	return err
+}

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Rejection reasons, the label values of kservd_jobs_rejected_total.
+const (
+	rejectQueueFull = "queue_full"
+	rejectOversized = "oversized"
+	rejectInvalid   = "invalid"
+	rejectDraining  = "draining"
+)
+
+// metrics holds the server's own counters; pool and cache counters are
+// pulled live from their owners at render time. Everything is
+// monotonic except the gauges derived at render time.
+type metrics struct {
+	accepted  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+
+	mu            sync.Mutex
+	rejected      map[string]int64
+	cyclesByModel map[string]uint64
+
+	simInstructions atomic.Uint64
+	simOperations   atomic.Uint64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		rejected:      map[string]int64{},
+		cyclesByModel: map[string]uint64{},
+	}
+}
+
+func (m *metrics) reject(reason string) {
+	m.mu.Lock()
+	m.rejected[reason]++
+	m.mu.Unlock()
+}
+
+// harvest folds one finished job's simulation counters in.
+func (m *metrics) harvest(instructions, operations uint64, cycles map[string]uint64) {
+	m.simInstructions.Add(instructions)
+	m.simOperations.Add(operations)
+	if len(cycles) == 0 {
+		return
+	}
+	m.mu.Lock()
+	for model, c := range cycles {
+		m.cyclesByModel[model] += c
+	}
+	m.mu.Unlock()
+}
+
+// render writes the Prometheus text exposition (version 0.0.4) for
+// GET /metrics: admission and job counters, pool backpressure and
+// throughput from PoolStats, and artifact-cache hit rates.
+func (s *Server) renderMetrics(w io.Writer) {
+	m := s.metrics
+	ps := s.pool.Stats()
+	exe := s.exeCache.Stats()
+	model := s.modelCache.Stats()
+	uptime := time.Since(s.started).Seconds()
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, format string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s "+format+"\n", name, help, name, name, v)
+	}
+
+	gauge("kservd_up", "Whether the server is accepting jobs (0 while draining).", "%d",
+		map[bool]int{true: 0, false: 1}[s.draining.Load()])
+	gauge("kservd_uptime_seconds", "Seconds since the server started.", "%.3f", uptime)
+
+	counter("kservd_jobs_accepted_total", "Jobs admitted past the queue gate.", m.accepted.Load())
+	counter("kservd_jobs_completed_total", "Jobs finished successfully.", m.completed.Load())
+	counter("kservd_jobs_failed_total", "Jobs finished with an error (build, simulation or cancellation).", m.failed.Load())
+
+	fmt.Fprintf(w, "# HELP kservd_jobs_rejected_total Jobs rejected at admission, by reason.\n# TYPE kservd_jobs_rejected_total counter\n")
+	m.mu.Lock()
+	reasons := make([]string, 0, len(m.rejected))
+	for r := range m.rejected {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	for _, r := range reasons {
+		fmt.Fprintf(w, "kservd_jobs_rejected_total{reason=%q} %d\n", r, m.rejected[r])
+	}
+	m.mu.Unlock()
+
+	gauge("kservd_queue_depth", "Accepted-but-unfinished jobs held by admission control.", "%d", s.adm.inUse())
+	gauge("kservd_queue_capacity", "Admission queue depth limit.", "%d", s.adm.depth())
+
+	gauge("kservd_pool_workers", "Simulation pool worker count.", "%d", ps.Workers)
+	gauge("kservd_pool_queue_depth", "Jobs waiting for a pool worker.", "%d", ps.QueueDepth)
+	gauge("kservd_pool_in_flight", "Jobs queued or running in the pool.", "%d", ps.InFlight)
+	if uptime > 0 && ps.Workers > 0 {
+		gauge("kservd_pool_utilization", "Summed simulation wall time over uptime x workers.", "%.4f",
+			ps.Wall.Seconds()/(uptime*float64(ps.Workers)))
+	}
+	gauge("kservd_decode_cache_hit_rate", "Aggregate simulator decode-cache hit rate over finished jobs.", "%.4f",
+		ps.DecodeCacheHitRate)
+
+	fmt.Fprintf(w, "# HELP kservd_cache_hits_total Artifact-cache hits, by cache.\n# TYPE kservd_cache_hits_total counter\n")
+	fmt.Fprintf(w, "kservd_cache_hits_total{cache=\"exe\"} %d\n", exe.Hits)
+	fmt.Fprintf(w, "kservd_cache_hits_total{cache=\"model\"} %d\n", model.Hits)
+	fmt.Fprintf(w, "# HELP kservd_cache_misses_total Artifact-cache misses, by cache.\n# TYPE kservd_cache_misses_total counter\n")
+	fmt.Fprintf(w, "kservd_cache_misses_total{cache=\"exe\"} %d\n", exe.Misses)
+	fmt.Fprintf(w, "kservd_cache_misses_total{cache=\"model\"} %d\n", model.Misses)
+	fmt.Fprintf(w, "# HELP kservd_cache_hit_rate Artifact-cache hit rate, by cache.\n# TYPE kservd_cache_hit_rate gauge\n")
+	fmt.Fprintf(w, "kservd_cache_hit_rate{cache=\"exe\"} %.4f\n", exe.HitRate())
+	fmt.Fprintf(w, "kservd_cache_hit_rate{cache=\"model\"} %.4f\n", model.HitRate())
+	fmt.Fprintf(w, "# HELP kservd_cache_size Artifact-cache entries held, by cache.\n# TYPE kservd_cache_size gauge\n")
+	fmt.Fprintf(w, "kservd_cache_size{cache=\"exe\"} %d\n", exe.Size)
+	fmt.Fprintf(w, "kservd_cache_size{cache=\"model\"} %d\n", model.Size)
+
+	counter("kservd_sim_instructions_total", "Instructions retired across finished jobs.", int64(m.simInstructions.Load()))
+	counter("kservd_sim_operations_total", "Operations retired across finished jobs.", int64(m.simOperations.Load()))
+
+	fmt.Fprintf(w, "# HELP kservd_sim_cycles_total Approximated cycles across finished jobs, by cycle model.\n# TYPE kservd_sim_cycles_total counter\n")
+	m.mu.Lock()
+	models := make([]string, 0, len(m.cyclesByModel))
+	for name := range m.cyclesByModel {
+		models = append(models, name)
+	}
+	sort.Strings(models)
+	for _, name := range models {
+		fmt.Fprintf(w, "kservd_sim_cycles_total{model=%q} %d\n", name, m.cyclesByModel[name])
+	}
+	m.mu.Unlock()
+
+	if wall := ps.Wall.Seconds(); wall > 0 {
+		gauge("kservd_sim_instructions_per_second", "Simulated instruction throughput over summed pool wall time.", "%.1f",
+			float64(m.simInstructions.Load())/wall)
+	}
+	fmt.Fprintf(w, "# HELP kservd_sim_cycles_per_second Simulated cycle throughput, by cycle model.\n# TYPE kservd_sim_cycles_per_second gauge\n")
+	m.mu.Lock()
+	for _, name := range models {
+		if pw, ok := ps.WallPerModel[name]; ok && pw > 0 {
+			fmt.Fprintf(w, "kservd_sim_cycles_per_second{model=%q} %.1f\n", name, float64(m.cyclesByModel[name])/pw.Seconds())
+		}
+	}
+	m.mu.Unlock()
+}

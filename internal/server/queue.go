@@ -1,0 +1,182 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	kahrisma "repro"
+)
+
+// admission is the backpressure gate in front of the simulation pool: a
+// fixed number of slots, one per accepted-but-unfinished job. When all
+// slots are taken, POST /v1/jobs answers 429 with Retry-After instead
+// of queueing unboundedly or blocking the handler.
+type admission struct {
+	max int64
+	n   atomic.Int64
+}
+
+func newAdmission(depth int) *admission { return &admission{max: int64(depth)} }
+
+// tryAcquire claims a slot, reporting false when the queue is full.
+func (a *admission) tryAcquire() bool {
+	for {
+		cur := a.n.Load()
+		if cur >= a.max {
+			return false
+		}
+		if a.n.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+func (a *admission) release()     { a.n.Add(-1) }
+func (a *admission) inUse() int64 { return a.n.Load() }
+func (a *admission) depth() int64 { return a.max }
+
+// jobRecord is the server-side state of one submitted job. The record
+// outlives the job goroutine so clients can poll results after
+// completion (and after a graceful drain).
+type jobRecord struct {
+	id        string
+	submitted time.Time
+
+	mu       sync.Mutex
+	state    string
+	err      string
+	cacheHit bool
+	result   *kahrisma.RunResult
+	finished time.Time
+	done     chan struct{}
+}
+
+func (r *jobRecord) setState(s string) {
+	r.mu.Lock()
+	r.state = s
+	r.mu.Unlock()
+}
+
+func (r *jobRecord) setCacheHit(hit bool) {
+	r.mu.Lock()
+	r.cacheHit = hit
+	r.mu.Unlock()
+}
+
+// finish transitions the record to done/failed exactly once.
+func (r *jobRecord) finish(res *kahrisma.RunResult, err error) {
+	r.mu.Lock()
+	if err != nil {
+		r.state = StateFailed
+		r.err = err.Error()
+	} else {
+		r.state = StateDone
+		r.result = res
+	}
+	r.finished = time.Now()
+	r.mu.Unlock()
+	close(r.done)
+}
+
+func (r *jobRecord) status() JobStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := JobStatus{
+		ID:          r.id,
+		State:       r.state,
+		Error:       r.err,
+		CacheHit:    r.cacheHit,
+		SubmittedAt: r.submitted,
+	}
+	if !r.finished.IsZero() {
+		f := r.finished
+		st.FinishedAt = &f
+	}
+	return st
+}
+
+// resultJSON renders the terminal state; ok is false while the job is
+// still in flight.
+func (r *jobRecord) resultJSON() (JobResult, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state != StateDone && r.state != StateFailed {
+		return JobResult{ID: r.id, State: r.state}, false
+	}
+	out := JobResult{
+		ID:       r.id,
+		State:    r.state,
+		Error:    r.err,
+		CacheHit: r.cacheHit,
+		WallMS:   float64(r.finished.Sub(r.submitted)) / float64(time.Millisecond),
+	}
+	if res := r.result; res != nil {
+		out.ExitCode = res.ExitCode
+		out.Output = res.Output
+		out.Instructions = res.Instructions
+		out.Operations = res.Operations
+		out.Cycles = res.Cycles
+		out.OPC = res.OPC
+		out.L1MissRate = res.L1MissRate
+	}
+	return out, true
+}
+
+// jobStore indexes records by id and bounds memory by evicting the
+// oldest finished records beyond maxFinished (in-flight records are
+// never evicted).
+type jobStore struct {
+	mu          sync.Mutex
+	jobs        map[string]*jobRecord
+	finished    []string // completion order, oldest first
+	maxFinished int
+}
+
+func newJobStore(maxFinished int) *jobStore {
+	if maxFinished < 1 {
+		maxFinished = 1
+	}
+	return &jobStore{jobs: map[string]*jobRecord{}, maxFinished: maxFinished}
+}
+
+func (s *jobStore) create() *jobRecord {
+	rec := &jobRecord{
+		id:        newID(),
+		submitted: time.Now(),
+		state:     StateQueued,
+		done:      make(chan struct{}),
+	}
+	s.mu.Lock()
+	s.jobs[rec.id] = rec
+	s.mu.Unlock()
+	return rec
+}
+
+func (s *jobStore) get(id string) *jobRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// markFinished records completion order and evicts beyond the cap.
+func (s *jobStore) markFinished(id string) {
+	s.mu.Lock()
+	s.finished = append(s.finished, id)
+	for len(s.finished) > s.maxFinished {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+	s.mu.Unlock()
+}
+
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand does not fail on supported platforms.
+		panic("server: rand: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,350 @@
+// Package server is the simulation-as-a-service layer: a JSON-over-HTTP
+// job API (cmd/kservd) in front of the concurrent batch engine
+// (kahrisma.Pool). It owns the pieces a long-running daemon needs that
+// the library facade does not:
+//
+//   - a content-addressed artifact cache (cache.go) reusing elaborated
+//     architecture models and linked executables across requests;
+//   - admission control (queue.go) — a bounded job queue answering 429
+//   - Retry-After under backpressure, request-size limits, and
+//     per-job fuel/timeout caps;
+//   - observability (metrics.go) — Prometheus-text counters over jobs,
+//     queue depth, cache hit rates and simulation throughput, plus
+//     structured request logs;
+//   - a graceful lifecycle (lifecycle.go) — SIGTERM drains in-flight
+//     jobs with a deadline before cancellation reaches the simulator.
+//
+// See docs/server.md for the API reference and metrics glossary.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	kahrisma "repro"
+	"repro/internal/driver"
+)
+
+// Config tunes the server; zero values select the documented defaults.
+type Config struct {
+	// Workers sizes the simulation pool; <= 0 selects GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds accepted-but-unfinished jobs; beyond it POST
+	// /v1/jobs answers 429. <= 0 selects 64.
+	QueueDepth int
+	// MaxRequestBytes bounds the request body; <= 0 selects 1 MiB.
+	MaxRequestBytes int64
+	// MaxFuel caps (and defaults) the per-job instruction budget;
+	// <= 0 selects 500,000,000.
+	MaxFuel uint64
+	// MaxTimeout caps (and defaults) the per-job wall-clock budget;
+	// <= 0 selects 30s.
+	MaxTimeout time.Duration
+	// ExeCacheSize / ModelCacheSize bound the artifact caches in
+	// entries; <= 0 selects 128 executables and 8 models.
+	ExeCacheSize   int
+	ModelCacheSize int
+	// MaxFinishedJobs bounds retained job records; <= 0 selects 4096.
+	MaxFinishedJobs int
+	// DrainTimeout bounds the graceful drain in Serve's shutdown path;
+	// <= 0 selects 30s. Shutdown callers pass their own deadline.
+	DrainTimeout time.Duration
+	// Logger receives structured request and lifecycle logs; nil
+	// selects slog.Default().
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 1 << 20
+	}
+	if c.MaxFuel == 0 {
+		c.MaxFuel = 500_000_000
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.ExeCacheSize <= 0 {
+		c.ExeCacheSize = 128
+	}
+	if c.ModelCacheSize <= 0 {
+		c.ModelCacheSize = 8
+	}
+	if c.MaxFinishedJobs <= 0 {
+		c.MaxFinishedJobs = 4096
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Server is one simulation service instance. Create with New, mount
+// Handler on an http.Server (or use Serve), stop with Shutdown.
+type Server struct {
+	cfg  Config
+	log  *slog.Logger
+	base *kahrisma.System
+	pool *kahrisma.Pool
+
+	adm        *admission
+	store      *jobStore
+	exeCache   *Cache[*kahrisma.Executable]
+	modelCache *Cache[*kahrisma.System]
+	metrics    *metrics
+
+	started  time.Time
+	draining atomic.Bool
+	jobsWG   sync.WaitGroup
+	// jobsCtx parents every job's context; jobsCancel aborts in-flight
+	// simulations when a drain deadline expires.
+	jobsCtx    context.Context
+	jobsCancel context.CancelFunc
+}
+
+// New elaborates the built-in architecture, starts the simulation pool
+// and returns a server ready to accept jobs.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	base, err := kahrisma.New()
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		log:        cfg.Logger,
+		base:       base,
+		pool:       kahrisma.NewPool(cfg.Workers),
+		adm:        newAdmission(cfg.QueueDepth),
+		store:      newJobStore(cfg.MaxFinishedJobs),
+		exeCache:   NewCache[*kahrisma.Executable](cfg.ExeCacheSize),
+		modelCache: NewCache[*kahrisma.System](cfg.ModelCacheSize),
+		metrics:    newMetrics(),
+		started:    time.Now(),
+		jobsCtx:    ctx,
+		jobsCancel: cancel,
+	}
+	return s, nil
+}
+
+// Handler returns the server's route table wrapped in the structured
+// request logger.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s.logRequests(mux)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.metrics.reject(rejectDraining)
+		writeJSON(w, http.StatusServiceUnavailable, APIError{Error: "server is draining"})
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.metrics.reject(rejectOversized)
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				APIError{Error: "request body exceeds " + strconv.FormatInt(tooBig.Limit, 10) + " bytes"})
+			return
+		}
+		s.metrics.reject(rejectInvalid)
+		writeJSON(w, http.StatusBadRequest, APIError{Error: "malformed request: " + err.Error()})
+		return
+	}
+	if err := req.validate(s.base); err != nil {
+		s.metrics.reject(rejectInvalid)
+		writeJSON(w, http.StatusBadRequest, APIError{Error: err.Error()})
+		return
+	}
+	if !s.adm.tryAcquire() {
+		s.metrics.reject(rejectQueueFull)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests,
+			APIError{Error: "job queue is full", RetryAfterS: 1})
+		return
+	}
+	s.metrics.accepted.Add(1)
+	rec := s.store.create()
+	s.jobsWG.Add(1)
+	go s.runJob(rec, &req)
+	w.Header().Set("Location", "/v1/jobs/"+rec.id)
+	writeJSON(w, http.StatusAccepted, rec.status())
+}
+
+// runJob executes one admitted job on its own goroutine: resolve the
+// architecture and executable through the artifact caches, then drive
+// the simulation pool and record the outcome.
+func (s *Server) runJob(rec *jobRecord, req *JobRequest) {
+	defer s.jobsWG.Done()
+	defer s.adm.release()
+
+	res, err := s.execute(rec, req)
+	rec.finish(res, err)
+	s.store.markFinished(rec.id)
+	if err != nil {
+		s.metrics.failed.Add(1)
+		s.log.Warn("job failed", "id", rec.id, "isa", req.ISA, "err", err)
+	} else {
+		s.metrics.completed.Add(1)
+		s.metrics.harvest(res.Instructions, res.Operations, res.Cycles)
+	}
+}
+
+func (s *Server) execute(rec *jobRecord, req *JobRequest) (*kahrisma.RunResult, error) {
+	rec.setState(StateBuilding)
+	sys := s.base
+	modelKey := "builtin"
+	if req.ADL != "" {
+		modelKey = driver.Fingerprint("adl", driver.Source{Name: "adl", Text: req.ADL})
+		var err error
+		sys, _, err = s.modelCache.GetOrBuild(modelKey, func() (*kahrisma.System, error) {
+			return kahrisma.NewFromADL(req.ADL)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	srcs := req.sources()
+	exeKey := modelKey + "/" + driver.Fingerprint(req.ISA, srcs...)
+	exe, hit, err := s.exeCache.GetOrBuild(exeKey, func() (*kahrisma.Executable, error) {
+		files := map[string]string{}
+		for _, src := range srcs {
+			files[src.Name] = src.Text
+		}
+		if req.Lang == "asm" {
+			return sys.BuildAsm(req.ISA, files)
+		}
+		return sys.BuildC(req.ISA, files)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rec.setCacheHit(hit)
+
+	fuel := req.Fuel
+	if fuel == 0 || fuel > s.cfg.MaxFuel {
+		fuel = s.cfg.MaxFuel
+	}
+	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+	if timeout <= 0 || timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	opts := []kahrisma.Option{kahrisma.WithFuel(fuel), kahrisma.WithTimeout(timeout)}
+	if len(req.Models) > 0 {
+		opts = append(opts, kahrisma.WithModels(req.Models...))
+	}
+	if req.MemorySpec != "" {
+		opts = append(opts, kahrisma.WithMemorySpec(req.MemorySpec))
+	} else if req.FlatMemoryDelay != nil {
+		opts = append(opts, kahrisma.WithFlatMemory(*req.FlatMemoryDelay))
+	}
+	if req.Stdin != "" {
+		opts = append(opts, kahrisma.WithStdin(strings.NewReader(req.Stdin)))
+	}
+
+	rec.setState(StateRunning)
+	return s.pool.Submit(s.jobsCtx, exe, opts...).Wait()
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	rec := s.store.get(r.PathValue("id"))
+	if rec == nil {
+		writeJSON(w, http.StatusNotFound, APIError{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, rec.status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	rec := s.store.get(r.PathValue("id"))
+	if rec == nil {
+		writeJSON(w, http.StatusNotFound, APIError{Error: "unknown job"})
+		return
+	}
+	res, done := rec.resultJSON()
+	if !done {
+		writeJSON(w, http.StatusConflict, APIError{Error: "job not finished: " + res.State})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("draining\n"))
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.renderMetrics(w)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// statusWriter captures the response code and size for request logs.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.code = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	n, err := sw.ResponseWriter.Write(b)
+	sw.bytes += n
+	return n, err
+}
+
+// logRequests emits one structured log line per request.
+func (s *Server) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		s.log.Info("http",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.code,
+			"bytes", sw.bytes,
+			"dur_ms", float64(time.Since(start))/float64(time.Millisecond),
+			"remote", r.RemoteAddr,
+		)
+	})
+}

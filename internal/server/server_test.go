@@ -1,0 +1,371 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	kahrisma "repro"
+	"repro/internal/server"
+)
+
+// Two distinct programs so the mixed-ISA fleet exercises two artifact
+// cache keys.
+const progA = `
+int main() {
+    int s = 0;
+    for (int i = 1; i <= 2000; i++) s += i % 7;
+    printf("a=%d\n", s);
+    return s & 0xFF;
+}
+`
+
+const progB = `
+int dot(int* x, int* y) {
+    int s = 0;
+    for (int i = 0; i < 64; i++) s += x[i] * y[i];
+    return s;
+}
+int xs[64]; int ys[64];
+int main() {
+    for (int i = 0; i < 64; i++) { xs[i] = i; ys[i] = 64 - i; }
+    int s = 0;
+    for (int r = 0; r < 20; r++) s += dot(xs, ys);
+    printf("b=%d\n", s);
+    return s & 0xFF;
+}
+`
+
+func newTestServer(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+		ts.Close()
+	})
+	return s, ts
+}
+
+func post(t *testing.T, ts *httptest.Server, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func submit(t *testing.T, ts *httptest.Server, req server.JobRequest) server.JobStatus {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, data := post(t, ts, body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs: status %d, body %s", resp.StatusCode, data)
+	}
+	var st server.JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatalf("decoding accept response %q: %v", data, err)
+	}
+	if st.ID == "" || st.State != server.StateQueued {
+		t.Fatalf("accept response %+v", st)
+	}
+	return st
+}
+
+// pollResult polls until the job reaches a terminal state.
+func pollResult(t *testing.T, ts *httptest.Server, id string) server.JobResult {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var res server.JobResult
+			if err := json.Unmarshal(data, &res); err != nil {
+				t.Fatalf("decoding result %q: %v", data, err)
+			}
+			return res
+		case http.StatusConflict:
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s still unfinished: %s", id, data)
+			}
+			time.Sleep(5 * time.Millisecond)
+		default:
+			t.Fatalf("GET result: status %d, body %s", resp.StatusCode, data)
+		}
+	}
+}
+
+func metricsBody(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("metrics content type %q", ct)
+	}
+	return string(data)
+}
+
+// metricValue extracts the sample value of an exact series name (with
+// labels, if any) from a Prometheus text body.
+func metricValue(t *testing.T, body, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("parsing %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %q not found in:\n%s", series, body)
+	return 0
+}
+
+// The end-to-end contract of the issue: 16 concurrent HTTP submissions
+// of mixed RISC/VLIW jobs return cycle counts bit-identical to serial
+// Executable.Run baselines, repeat submissions hit the artifact cache,
+// and /metrics reflects all of it.
+func TestEndToEndConcurrentMixedJobs(t *testing.T) {
+	// Serial baselines through the library facade.
+	sys, err := kahrisma.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type variant struct {
+		isa, src string
+		want     *kahrisma.RunResult
+	}
+	variants := []*variant{
+		{isa: "RISC", src: progA},
+		{isa: "VLIW4", src: progB},
+	}
+	for _, v := range variants {
+		exe, err := sys.BuildC(v.isa, map[string]string{"main.c": v.src})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.want, err = exe.Run(context.Background(), kahrisma.WithModels("ILP", "DOE")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	_, ts := newTestServer(t, server.Config{Workers: 4, QueueDepth: 32})
+
+	const jobs = 16
+	ids := make([]string, jobs)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v := variants[i%2]
+			st := submit(t, ts, server.JobRequest{
+				ISA:     v.isa,
+				Sources: map[string]string{"main.c": v.src},
+				Models:  []string{"ILP", "DOE"},
+			})
+			ids[i] = st.ID
+		}(i)
+	}
+	wg.Wait()
+
+	for i, id := range ids {
+		res := pollResult(t, ts, id)
+		v := variants[i%2]
+		if res.State != server.StateDone {
+			t.Fatalf("job %d (%s): state %s, error %q", i, v.isa, res.State, res.Error)
+		}
+		if res.ExitCode != v.want.ExitCode || res.Output != v.want.Output {
+			t.Errorf("job %d (%s): exit/output %d/%q, serial baseline %d/%q",
+				i, v.isa, res.ExitCode, res.Output, v.want.ExitCode, v.want.Output)
+		}
+		if res.Instructions != v.want.Instructions {
+			t.Errorf("job %d (%s): %d instructions, serial baseline %d",
+				i, v.isa, res.Instructions, v.want.Instructions)
+		}
+		for _, m := range []string{"ILP", "DOE"} {
+			if res.Cycles[m] != v.want.Cycles[m] {
+				t.Errorf("job %d (%s): %s cycles %d != serial %d — served run is not bit-identical",
+					i, v.isa, m, res.Cycles[m], v.want.Cycles[m])
+			}
+		}
+		if res.WallMS <= 0 {
+			t.Errorf("job %d: wall_ms %f", i, res.WallMS)
+		}
+	}
+
+	// A repeat submission of an identical program must be a recorded
+	// artifact-cache hit: the toolchain is skipped, the cycles stay
+	// bit-identical.
+	st := submit(t, ts, server.JobRequest{
+		ISA:     "RISC",
+		Sources: map[string]string{"main.c": progA},
+		Models:  []string{"ILP", "DOE"},
+	})
+	res := pollResult(t, ts, st.ID)
+	if res.State != server.StateDone {
+		t.Fatalf("repeat job: state %s, error %q", res.State, res.Error)
+	}
+	if !res.CacheHit {
+		t.Error("repeat submission of an identical program was not an artifact-cache hit")
+	}
+	if res.Cycles["DOE"] != variants[0].want.Cycles["DOE"] {
+		t.Errorf("cached-executable DOE cycles %d != serial %d", res.Cycles["DOE"], variants[0].want.Cycles["DOE"])
+	}
+
+	// Status endpoint agrees, and unknown jobs 404.
+	stResp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status server.JobStatus
+	if err := json.NewDecoder(stResp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	stResp.Body.Close()
+	if status.State != server.StateDone || !status.CacheHit || status.FinishedAt == nil {
+		t.Errorf("status after completion: %+v", status)
+	}
+	if resp, err := http.Get(ts.URL + "/v1/jobs/nope/result"); err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: %v, %v", resp.StatusCode, err)
+	} else {
+		resp.Body.Close()
+	}
+
+	// Metrics: counters may lag the result poll by one scheduler beat
+	// (the record finishes before the counter increments), so give the
+	// completed counter a bounded moment to settle.
+	const total = jobs + 1
+	var body string
+	for i := 0; i < 1000; i++ {
+		body = metricsBody(t, ts)
+		if metricValue(t, body, "kservd_jobs_completed_total") == total {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	checks := []struct {
+		series string
+		min    float64
+	}{
+		{"kservd_jobs_accepted_total", total},
+		{"kservd_jobs_completed_total", total},
+		{"kservd_sim_instructions_total", 1},
+		{`kservd_sim_cycles_total{model="DOE"}`, 1},
+		{`kservd_sim_cycles_total{model="ILP"}`, 1},
+		{`kservd_cache_misses_total{cache="exe"}`, 2},
+	}
+	for _, c := range checks {
+		if got := metricValue(t, body, c.series); got < c.min {
+			t.Errorf("%s = %v, want >= %v", c.series, got, c.min)
+		}
+	}
+	// 17 submissions over 2 unique programs: everything after the two
+	// cold builds rode the cache.
+	if hits := metricValue(t, body, `kservd_cache_hits_total{cache="exe"}`); hits < total-2 {
+		t.Errorf("exe cache hits = %v, want >= %d", hits, total-2)
+	}
+	if got := metricValue(t, body, "kservd_jobs_failed_total"); got != 0 {
+		t.Errorf("failed jobs = %v, want 0", got)
+	}
+	if got := metricValue(t, body, "kservd_queue_depth"); got != 0 {
+		t.Errorf("queue depth after drain = %v, want 0", got)
+	}
+
+	// Healthy while serving.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v, %v", resp, err)
+	}
+	resp.Body.Close()
+}
+
+// A failing build surfaces as a failed job with the compile error, not
+// as an HTTP error, and counts on the failure metrics.
+func TestBuildFailureIsJobFailure(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Workers: 1})
+	st := submit(t, ts, server.JobRequest{
+		ISA:     "RISC",
+		Sources: map[string]string{"bad.c": "int main() { return undeclared; }"},
+	})
+	res := pollResult(t, ts, st.ID)
+	if res.State != server.StateFailed || res.Error == "" {
+		t.Fatalf("result = %+v, want failed with compile error", res)
+	}
+	if !strings.Contains(res.Error, "bad.c") {
+		t.Errorf("error %q does not name the failing source", res.Error)
+	}
+}
+
+// Custom-ADL jobs elaborate through the model cache: the second job
+// reuses the elaborated system.
+func TestCustomADLJobs(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Workers: 2})
+	req := server.JobRequest{
+		ISA:     "RISC",
+		ADL:     kahrisma.ADL(),
+		Sources: map[string]string{"main.c": progA},
+		Models:  []string{"DOE"},
+	}
+	first := pollResult(t, ts, submit(t, ts, req).ID)
+	if first.State != server.StateDone {
+		t.Fatalf("ADL job failed: %q", first.Error)
+	}
+	second := pollResult(t, ts, submit(t, ts, req).ID)
+	if second.State != server.StateDone || !second.CacheHit {
+		t.Fatalf("repeat ADL job: %+v, want done cache hit", second)
+	}
+	body := metricsBody(t, ts)
+	if hits := metricValue(t, body, `kservd_cache_hits_total{cache="model"}`); hits < 1 {
+		t.Errorf("model cache hits = %v, want >= 1", hits)
+	}
+	if first.Cycles["DOE"] == 0 || first.Cycles["DOE"] != second.Cycles["DOE"] {
+		t.Errorf("DOE cycles %d vs %d across identical ADL jobs", first.Cycles["DOE"], second.Cycles["DOE"])
+	}
+}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	kahrisma "repro"
+	"repro/internal/driver"
+)
+
+// JobRequest is the body of POST /v1/jobs: a build-and-simulate job.
+// The toolchain inputs (ISA, sources, optional custom ADL) are
+// content-addressed, so identical requests reuse cached executables and
+// elaborated models instead of re-running the compiler.
+type JobRequest struct {
+	// ISA names the target processor instance ("RISC", "VLIW4", ...).
+	ISA string `json:"isa"`
+	// Sources maps file names to MiniC (default) or assembly text.
+	Sources map[string]string `json:"sources"`
+	// Lang selects the source language: "c" (default) or "asm".
+	Lang string `json:"lang,omitempty"`
+	// ADL, when non-empty, elaborates a custom architecture description
+	// instead of the built-in KAHRISMA model (see docs/adl.md).
+	ADL string `json:"adl,omitempty"`
+	// Models activates cycle models: "ILP", "AIE", "DOE", "RTL".
+	Models []string `json:"models,omitempty"`
+	// MemorySpec builds a custom memory-delay hierarchy, e.g.
+	// "limit:1|cache:2K,4,32,3|mem:18"; empty selects the paper's.
+	MemorySpec string `json:"memory_spec,omitempty"`
+	// FlatMemoryDelay, when set, replaces the hierarchy with a
+	// fixed-delay memory of that many cycles.
+	FlatMemoryDelay *uint64 `json:"flat_memory_delay,omitempty"`
+	// Fuel bounds the run in executed instructions; 0 or anything above
+	// the server's cap is clamped to the cap.
+	Fuel uint64 `json:"fuel,omitempty"`
+	// TimeoutMS bounds the run's wall-clock time in milliseconds; 0 or
+	// anything above the server's cap is clamped to the cap.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Stdin feeds the program's emulated standard input.
+	Stdin string `json:"stdin,omitempty"`
+}
+
+// knownModels is the admission-time contract of the Models field; the
+// facade enforces the same set (kahrisma.ErrBadModel) at run time.
+var knownModels = map[string]bool{"ILP": true, "AIE": true, "DOE": true, "RTL": true}
+
+// validate rejects requests that can never run. ISA names are checked
+// against the built-in model only; custom-ADL jobs defer the check to
+// elaboration on the job goroutine.
+func (r *JobRequest) validate(base *kahrisma.System) error {
+	if len(r.Sources) == 0 {
+		return fmt.Errorf("sources: at least one file required")
+	}
+	switch r.Lang {
+	case "", "c", "asm":
+	default:
+		return fmt.Errorf("lang: %q (want \"c\" or \"asm\")", r.Lang)
+	}
+	if r.ISA == "" {
+		return fmt.Errorf("isa: required")
+	}
+	if r.ADL == "" {
+		if _, err := base.IssueWidth(r.ISA); err != nil {
+			return fmt.Errorf("isa: unknown instance %q", r.ISA)
+		}
+	}
+	for _, m := range r.Models {
+		if !knownModels[m] {
+			return fmt.Errorf("models: unknown cycle model %q", m)
+		}
+	}
+	if r.TimeoutMS < 0 {
+		return fmt.Errorf("timeout_ms: must be >= 0")
+	}
+	return nil
+}
+
+// sources returns the request's files as driver sources in
+// deterministic (name-sorted) order — the order the artifact
+// fingerprint and the build both use.
+func (r *JobRequest) sources() []driver.Source {
+	names := make([]string, 0, len(r.Sources))
+	for n := range r.Sources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]driver.Source, len(names))
+	for i, n := range names {
+		if r.Lang == "asm" {
+			out[i] = driver.AsmSource(n, r.Sources[n])
+		} else {
+			out[i] = driver.CSource(n, r.Sources[n])
+		}
+	}
+	return out
+}
+
+// Job states, in lifecycle order.
+const (
+	StateQueued   = "queued"   // admitted, waiting for a job goroutine slot
+	StateBuilding = "building" // in the toolchain (or artifact-cache lookup)
+	StateRunning  = "running"  // submitted to the simulation pool
+	StateDone     = "done"
+	StateFailed   = "failed"
+)
+
+// JobStatus is the body of GET /v1/jobs/{id} and of the 202 accept
+// response.
+type JobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+	// CacheHit reports that the executable came from the artifact cache
+	// (meaningful once the job left the building state).
+	CacheHit    bool       `json:"cache_hit"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+// JobResult is the body of GET /v1/jobs/{id}/result.
+type JobResult struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Error    string `json:"error,omitempty"`
+	CacheHit bool   `json:"cache_hit"`
+
+	ExitCode     int32              `json:"exit_code"`
+	Output       string             `json:"output"`
+	Instructions uint64             `json:"instructions"`
+	Operations   uint64             `json:"operations"`
+	Cycles       map[string]uint64  `json:"cycles,omitempty"`
+	OPC          map[string]float64 `json:"opc,omitempty"`
+	L1MissRate   float64            `json:"l1_miss_rate"`
+	// WallMS is end-to-end job time on the server: queueing, toolchain
+	// (or cache lookup) and simulation.
+	WallMS float64 `json:"wall_ms"`
+}
+
+// APIError is the JSON body of every non-2xx response.
+type APIError struct {
+	Error string `json:"error"`
+	// RetryAfterS mirrors the Retry-After header on 429 responses.
+	RetryAfterS int `json:"retry_after_s,omitempty"`
+}

@@ -22,6 +22,7 @@ package simpool
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -31,6 +32,11 @@ import (
 	"repro/internal/isa"
 	"repro/internal/sim"
 )
+
+// ErrClosed reports a submission to a pool whose Close has already
+// begun. Tickets of such submissions carry an error wrapping ErrClosed,
+// so callers classify it with errors.Is instead of matching text.
+var ErrClosed = errors.New("simpool: pool is closed")
 
 // Job is one simulation to run: shared immutable inputs plus hooks that
 // build and observe the per-job state.
@@ -91,6 +97,13 @@ type Stats struct {
 	Running int64
 	Done    int64 // completed, successfully or not
 	Failed  int64 // completed with an error
+
+	// InFlight is the number of accepted but unfinished jobs
+	// (Queued + Running) and QueueCap the buffered capacity of the
+	// submission queue — the snapshot a serving layer exports as its
+	// queue-depth/backpressure metrics.
+	InFlight int64
+	QueueCap int
 
 	Instructions uint64
 	Operations   uint64
@@ -163,7 +176,7 @@ func (p *Pool) Submit(ctx context.Context, j Job) *Ticket {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		t.res = Result{Label: j.Label, Err: fmt.Errorf("simpool: %s: pool is closed", labelOr(j.Label))}
+		t.res = Result{Label: j.Label, Err: fmt.Errorf("%s: %w", labelOr(j.Label), ErrClosed)}
 		close(t.done)
 		return t
 	}
@@ -213,6 +226,8 @@ func (p *Pool) Stats() Stats {
 	s.Running = p.running.Load()
 	s.Done = p.done.Load()
 	s.Failed = p.failed.Load()
+	s.InFlight = s.Queued + s.Running
+	s.QueueCap = cap(p.jobs)
 	return s
 }
 

@@ -120,6 +120,12 @@ func TestStress64JobsMatchSerialBaseline(t *testing.T) {
 	if st.Done != jobs || st.Failed != 0 || st.Queued != 0 || st.Running != 0 {
 		t.Errorf("stats after drain: %+v", st)
 	}
+	if st.InFlight != 0 {
+		t.Errorf("InFlight after drain = %d, want 0", st.InFlight)
+	}
+	if st.QueueCap <= 0 {
+		t.Errorf("QueueCap = %d, want > 0", st.QueueCap)
+	}
 	want := uint64(jobs/2)*refs[0].instructions + uint64(jobs/2)*refs[1].instructions
 	if st.Instructions != want {
 		t.Errorf("aggregated instructions = %d, want %d", st.Instructions, want)
@@ -187,6 +193,59 @@ main:
 	res = pool.Submit(context.Background(), simpool.Job{Model: m, Prog: prog, Opts: discardOpts()}).Wait()
 	if res.Err == nil {
 		t.Fatal("submit after Close succeeded")
+	}
+	if !errors.Is(res.Err, simpool.ErrClosed) {
+		t.Errorf("submit-after-Close error %v does not wrap simpool.ErrClosed", res.Err)
+	}
+	for i, tk := range pool.SubmitBatch(context.Background(), []simpool.Job{
+		{Model: m, Prog: prog, Opts: discardOpts()},
+		{Model: m, Prog: prog, Opts: discardOpts()},
+	}) {
+		if r := tk.Wait(); !errors.Is(r.Err, simpool.ErrClosed) {
+			t.Errorf("batch job %d after Close: error %v does not wrap simpool.ErrClosed", i, r.Err)
+		}
+	}
+}
+
+// InFlight tracks accepted-but-unfinished jobs while they are queued
+// and running, not only after the drain.
+func TestInFlightSnapshot(t *testing.T) {
+	m := ktest.Model(t)
+	spin := ktest.BuildProgram(t, "RISC", `
+	.isa RISC
+	.global main
+main:
+	j main
+`)
+	pool := simpool.New(1)
+	defer pool.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	tickets := []*simpool.Ticket{
+		pool.Submit(ctx, simpool.Job{Model: m, Prog: spin, Opts: discardOpts(), Label: "running"}),
+		pool.Submit(ctx, simpool.Job{Model: m, Prog: spin, Opts: discardOpts(), Label: "queued"}),
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := pool.Stats()
+		if st.Running == 1 && st.Queued == 1 {
+			if st.InFlight != 2 {
+				t.Errorf("InFlight = %d with 1 running + 1 queued, want 2", st.InFlight)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pool never reached 1 running + 1 queued: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	for _, tk := range tickets {
+		tk.Wait()
+	}
+	if st := pool.Stats(); st.InFlight != 0 {
+		t.Errorf("InFlight after cancellation drain = %d, want 0", st.InFlight)
 	}
 }
 

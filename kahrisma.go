@@ -24,6 +24,10 @@
 //	job := pool.Submit(ctx, exe, kahrisma.WithModels("DOE"))
 //	res, _ = job.Wait()
 //
+// The simulation-as-a-service layer (internal/server, cmd/kservd)
+// exposes the same pipeline over HTTP with artifact caching, admission
+// control and metrics (docs/server.md).
+//
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for the
 // reproduction of every table and figure of the paper, and
 // docs/simpool.md for the concurrency model.

@@ -90,7 +90,7 @@ func (j *Job) Done() <-chan struct{} {
 // concurrently, with different options. Cancellation of ctx aborts the
 // job whether queued or running; WithTimeout bounds the job's own
 // wall-clock time. Configuration errors (unknown model, bad memory
-// spec) surface on Wait.
+// spec) and submissions after Close (ErrPoolClosed) surface on Wait.
 func (p *Pool) Submit(ctx context.Context, exe *Executable, opts ...Option) *Job {
 	cfg := resolveOptions(opts)
 	simOpts, setup, err := exe.prepare(cfg)
@@ -145,7 +145,8 @@ func (p *Pool) SubmitBatch(ctx context.Context, items []BatchItem) []*Job {
 func (p *Pool) Wait() { p.pool.Wait() }
 
 // Close waits for outstanding jobs and stops the workers. Further
-// submissions fail on Wait. Close is idempotent.
+// submissions return a Job whose Wait fails with an error wrapping
+// ErrPoolClosed. Close is idempotent.
 func (p *Pool) Close() { p.pool.Close() }
 
 // PoolStats is a point-in-time snapshot of the pool's throughput
@@ -156,6 +157,15 @@ type PoolStats struct {
 	JobsRunning int64
 	JobsDone    int64
 	JobsFailed  int64
+
+	// QueueDepth is the number of accepted jobs waiting for a worker,
+	// InFlight the accepted-but-unfinished total (queued + running) and
+	// QueueCap the buffered capacity of the submission queue — the
+	// backpressure snapshot a serving layer (cmd/kservd) exports on its
+	// /metrics endpoint.
+	QueueDepth int64
+	InFlight   int64
+	QueueCap   int
 
 	// Instructions/Operations retired across all finished jobs.
 	Instructions uint64
@@ -178,6 +188,9 @@ func (p *Pool) Stats() PoolStats {
 		JobsRunning:        s.Running,
 		JobsDone:           s.Done,
 		JobsFailed:         s.Failed,
+		QueueDepth:         s.Queued,
+		InFlight:           s.InFlight,
+		QueueCap:           s.QueueCap,
 		Instructions:       s.Instructions,
 		Operations:         s.Operations,
 		DecodeCacheHitRate: s.DecodeCacheHitRate(),

@@ -75,6 +75,12 @@ func TestPoolMatchesSerialRuns(t *testing.T) {
 	if st.JobsDone != int64(len(jobs)) || st.JobsFailed != 0 {
 		t.Errorf("stats = %+v, want %d done / 0 failed", st, len(jobs))
 	}
+	if st.QueueDepth != 0 || st.InFlight != 0 {
+		t.Errorf("backpressure snapshot after drain: depth %d / in-flight %d, want 0/0", st.QueueDepth, st.InFlight)
+	}
+	if st.QueueCap <= 0 {
+		t.Errorf("QueueCap = %d, want > 0", st.QueueCap)
+	}
 	if st.Instructions == 0 || st.Wall == 0 {
 		t.Errorf("throughput counters empty: %+v", st)
 	}

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the simulation service: build kservd, start it,
+# submit a job over HTTP, poll it to completion, check the result and
+# the metrics, then verify the SIGTERM drain exits cleanly.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+PORT="${KSERVD_PORT:-18080}"
+BASE="http://127.0.0.1:$PORT"
+
+go build -o bin/kservd ./cmd/kservd
+
+./bin/kservd -addr "127.0.0.1:$PORT" -workers 2 -queue 8 &
+PID=$!
+trap 'kill -9 $PID 2>/dev/null || true' EXIT
+
+for i in $(seq 1 100); do
+    curl -sf "$BASE/healthz" >/dev/null 2>&1 && break
+    [ "$i" = 100 ] && { echo "smoke: kservd never became healthy" >&2; exit 1; }
+    sleep 0.1
+done
+
+ACCEPT=$(curl -sf "$BASE/v1/jobs" -d '{
+  "isa": "VLIW4",
+  "sources": {"main.c": "int main() { int s = 0; for (int i = 1; i <= 100; i++) s += i; printf(\"s=%d\\n\", s); return 0; }"},
+  "models": ["ILP", "DOE"]
+}')
+ID=$(printf '%s' "$ACCEPT" | sed 's/.*"id":"\([^"]*\)".*/\1/')
+[ -n "$ID" ] || { echo "smoke: no job id in: $ACCEPT" >&2; exit 1; }
+echo "smoke: submitted job $ID"
+
+RESULT=""
+for i in $(seq 1 200); do
+    if RESULT=$(curl -sf "$BASE/v1/jobs/$ID/result" 2>/dev/null); then break; fi
+    [ "$i" = 200 ] && { echo "smoke: job $ID never finished" >&2; exit 1; }
+    sleep 0.1
+done
+echo "smoke: result: $RESULT"
+printf '%s' "$RESULT" | grep -q '"state":"done"' || { echo "smoke: job did not complete" >&2; exit 1; }
+printf '%s' "$RESULT" | grep -q '"output":"s=5050\\n"' || { echo "smoke: wrong program output" >&2; exit 1; }
+
+METRICS=$(curl -sf "$BASE/metrics")
+printf '%s\n' "$METRICS" | grep -q '^kservd_jobs_completed_total 1$' || {
+    echo "smoke: completed counter missing:" >&2
+    printf '%s\n' "$METRICS" | grep kservd_jobs >&2
+    exit 1
+}
+
+# A repeat of the same program must be an artifact-cache hit.
+ACCEPT2=$(curl -sf "$BASE/v1/jobs" -d '{
+  "isa": "VLIW4",
+  "sources": {"main.c": "int main() { int s = 0; for (int i = 1; i <= 100; i++) s += i; printf(\"s=%d\\n\", s); return 0; }"},
+  "models": ["ILP", "DOE"]
+}')
+ID2=$(printf '%s' "$ACCEPT2" | sed 's/.*"id":"\([^"]*\)".*/\1/')
+for i in $(seq 1 200); do
+    if RESULT2=$(curl -sf "$BASE/v1/jobs/$ID2/result" 2>/dev/null); then break; fi
+    sleep 0.1
+done
+printf '%s' "$RESULT2" | grep -q '"cache_hit":true' || { echo "smoke: repeat was not a cache hit: $RESULT2" >&2; exit 1; }
+
+kill -TERM $PID
+for i in $(seq 1 100); do
+    kill -0 $PID 2>/dev/null || break
+    [ "$i" = 100 ] && { echo "smoke: kservd did not drain after SIGTERM" >&2; exit 1; }
+    sleep 0.1
+done
+wait $PID 2>/dev/null || { echo "smoke: kservd exited non-zero" >&2; exit 1; }
+trap - EXIT
+echo "smoke: OK"
