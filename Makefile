@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench verify fmt-check vet lint serve smoke clean
+.PHONY: all build test race bench verify fmt-check vet lint kvet klint serve smoke clean
 
 all: verify
 
@@ -31,14 +31,27 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-# lint runs staticcheck when it is installed (the CI installs it);
-# locally it degrades to go vet so the target works offline.
-lint: vet
+# lint runs the repo's own static checks: kvet (host-side Go rules,
+# cmd/kvet), klint over every shipped example program and the built-in
+# workloads (guest-side, cmd/klint — docs/analysis.md), and staticcheck
+# when it is installed (the CI installs it; locally it degrades to
+# go vet so the target works offline).
+lint: vet kvet klint
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
 		echo "staticcheck not installed; ran go vet only"; \
 	fi
+
+kvet:
+	$(GO) run ./cmd/kvet
+
+# The shipped examples and workloads must stay klint-clean (the CI
+# gate); -min warning keeps the output to findings that matter.
+klint:
+	$(GO) run ./cmd/klint -min warning examples/*/src/*.c
+	$(GO) run ./cmd/klint -min warning -isa RISC -workloads
+	$(GO) run ./cmd/klint -min warning -isa VLIW4 -workloads
 
 # Run the simulation service (docs/server.md).
 serve:

@@ -1,0 +1,80 @@
+package kahrisma
+
+import (
+	"repro/internal/adl"
+	"repro/internal/analysis"
+	"repro/internal/targetgen"
+)
+
+// Static analysis facade: the same checks cmd/klint runs, exposed on
+// System and Executable for embedders and the kservd /v1/analyze
+// endpoint. The check catalogue (KA001..KB005), severities and exit
+// conventions are documented in docs/analysis.md.
+
+// Severity grades a lint diagnostic.
+type Severity = analysis.Severity
+
+// Severity levels, in ascending order.
+const (
+	SeverityInfo    = analysis.Info
+	SeverityWarning = analysis.Warning
+	SeverityError   = analysis.Error
+)
+
+// Diagnostic is one structured lint finding.
+type Diagnostic = analysis.Diagnostic
+
+// ParseSeverity maps the lowercase severity names ("info", "warning",
+// "error") back to values.
+func ParseSeverity(s string) (Severity, bool) { return analysis.ParseSeverity(s) }
+
+// LintReport is an ordered collection of lint diagnostics.
+type LintReport = analysis.Report
+
+// LintOptions tune Executable.Lint.
+type LintOptions struct {
+	// DOEBounds adds one info diagnostic (check KB005) per recovered
+	// basic block carrying the block's static DOE cycle lower bound.
+	DOEBounds bool
+}
+
+// LintModel verifies the elaborated architecture model: ambiguous or
+// shadowed constant-field encodings, register-field bounds and
+// control-transfer operand shape (checks KA001..KA004). The built-in
+// model and any model accepted by NewFromADL are clean by construction
+// (elaboration refuses error-severity findings); NewFromADLLenient
+// reaches the findings of deliberately broken descriptions.
+func (s *System) LintModel() *LintReport {
+	r := analysis.CheckModel(s.model)
+	r.Sort()
+	return r
+}
+
+// NewFromADLLenient elaborates a custom ADL description like NewFromADL
+// but keeps models with error-severity analysis findings, returning the
+// findings alongside. Structural defects (unparsable text, malformed
+// formats) still fail. A system built from an erroneous model is
+// suitable for inspection and linting only.
+func NewFromADLLenient(text string) (*System, *LintReport, error) {
+	doc, err := adl.Parse(text)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, r, err := targetgen.ElaborateLenient(doc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &System{model: m}, r, nil
+}
+
+// Lint statically decodes and verifies the executable's text: a
+// control-flow walk from the entry point and every function-table entry
+// reports undecodable words (KB001), control transfers to out-of-text
+// or misaligned targets (KB002), SWITCHTARGET and cross-ISA call
+// inconsistencies (KB003), intra-bundle VLIW write-after-write hazards
+// (KB004), and optionally the static DOE cycle lower bound per basic
+// block (KB005).
+func (e *Executable) Lint(opts LintOptions) *LintReport {
+	res := analysis.AnalyzeExecutable(e.sys.model, e.prog, analysis.Options{DOEBounds: opts.DOEBounds})
+	return &res.Report
+}

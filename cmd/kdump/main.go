@@ -1,9 +1,17 @@
 // Command kdump inspects KAHRISMA ELF files: headers, sections,
 // symbols, the function table, and a mixed-ISA disassembly of .text.
+// Words that decode under no operation-table entry render as `.word`
+// directives and are additionally reported as structured diagnostics
+// (the klint format, check KB001) after the listing — the dump always
+// covers the whole section rather than stopping at the first bad word.
 //
 // Usage:
 //
 //	kdump [-d] [-s] [-t] file
+//
+// Exit status: 0 on a clean dump, 1 when the disassembly reported
+// error-severity diagnostics (or the file is unreadable), 2 on usage
+// errors.
 package main
 
 import (
@@ -11,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/analysis"
 	"repro/internal/asm"
 	"repro/internal/kelf"
 	"repro/internal/sim"
@@ -74,6 +83,18 @@ func main() {
 			fallback := model.ISAByID(f.EntryISA)
 			for _, line := range asm.Listing(model, prog.Funcs, fallback, text.Data, text.Addr) {
 				fmt.Println(line)
+			}
+			// Undecodable words render as `.word` in the listing above;
+			// report each one as a structured diagnostic (the klint
+			// format) instead of stopping at the first bad word.
+			if r := analysis.ScanText(model, prog); len(r.Diags) > 0 {
+				fmt.Println("diagnostics:")
+				for _, d := range r.Diags {
+					fmt.Printf("  %s\n", d)
+				}
+				if r.Errors() > 0 {
+					os.Exit(1)
+				}
 			}
 		}
 	}

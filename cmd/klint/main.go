@@ -1,0 +1,190 @@
+// Command klint statically verifies KAHRISMA artifacts: ADL
+// architecture models and mixed-ISA guest programs (sources or linked
+// executables). It shares its checks with the targetgen elaboration
+// gate and the kservd /v1/analyze endpoint; docs/analysis.md is the
+// check catalogue.
+//
+// Usage:
+//
+//	klint [flags] [file ...]
+//
+// Each argument is analyzed as one program: .c sources are compiled,
+// .s sources assembled, anything else is decoded as a linked ELF
+// executable. With no arguments, only the architecture model is
+// checked.
+//
+// Flags:
+//
+//	-isa NAME    target/entry ISA for building sources (default RISC)
+//	-adl FILE    lint a custom ADL description and build against it
+//	-workloads   also lint every built-in benchmark workload
+//	-bounds      report static DOE cycle lower bounds per basic block
+//	-min LEVEL   minimum severity to print: info, warning, error
+//	-json        machine-readable output
+//
+// Exit status: 0 when no error-severity diagnostics were found, 1 when
+// at least one error was reported, 2 on operational failure (unreadable
+// input, build failure, bad flags).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/adl"
+	"repro/internal/analysis"
+	"repro/internal/driver"
+	"repro/internal/isa"
+	"repro/internal/kelf"
+	"repro/internal/sim"
+	"repro/internal/targetgen"
+	"repro/internal/workloads"
+)
+
+type programReport struct {
+	Name  string                `json:"name"`
+	Diags []analysis.Diagnostic `json:"diagnostics"`
+}
+
+type output struct {
+	Model    []analysis.Diagnostic `json:"model"`
+	Programs []programReport       `json:"programs,omitempty"`
+	Errors   int                   `json:"errors"`
+	Warnings int                   `json:"warnings"`
+}
+
+func main() {
+	isaName := flag.String("isa", "RISC", "target/entry ISA for building sources")
+	adlPath := flag.String("adl", "", "custom ADL description to lint and build against")
+	doWorkloads := flag.Bool("workloads", false, "lint every built-in benchmark workload")
+	bounds := flag.Bool("bounds", false, "report static DOE cycle lower bounds per basic block")
+	minLevel := flag.String("min", "info", "minimum severity to print: info, warning, error")
+	asJSON := flag.Bool("json", false, "machine-readable output")
+	flag.Parse()
+
+	min, ok := analysis.ParseSeverity(*minLevel)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "klint: unknown severity %q\n", *minLevel)
+		os.Exit(2)
+	}
+
+	model, modelReport, err := loadModel(*adlPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	out := output{Model: modelReport.Filter(min).Diags}
+	total := &analysis.Report{}
+	total.Merge(modelReport)
+
+	// A model with error-severity findings cannot meaningfully build or
+	// decode programs: report it and stop.
+	if modelReport.Errors() > 0 && (flag.NArg() > 0 || *doWorkloads) {
+		fmt.Fprintln(os.Stderr, "klint: model has errors, skipping program analysis")
+	} else {
+		opts := analysis.Options{DOEBounds: *bounds}
+		for _, arg := range flag.Args() {
+			p, err := loadProgram(model, *isaName, arg)
+			if err != nil {
+				fatal(err)
+			}
+			r := analysis.AnalyzeExecutable(model, p, opts)
+			out.Programs = append(out.Programs, programReport{Name: arg, Diags: r.Filter(min).Diags})
+			total.Merge(&r.Report)
+		}
+		if *doWorkloads {
+			for _, w := range workloads.All() {
+				p, err := driver.Load(model, *isaName, w.Sources...)
+				if err != nil {
+					fatal(fmt.Errorf("workload %s: %v", w.Name, err))
+				}
+				r := analysis.AnalyzeExecutable(model, p, opts)
+				name := "workload:" + w.Name
+				out.Programs = append(out.Programs, programReport{Name: name, Diags: r.Filter(min).Diags})
+				total.Merge(&r.Report)
+			}
+		}
+	}
+
+	out.Errors = total.Errors()
+	out.Warnings = total.Warnings()
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range out.Model {
+			fmt.Printf("model: %s\n", d)
+		}
+		for _, pr := range out.Programs {
+			for _, d := range pr.Diags {
+				fmt.Printf("%s: %s\n", pr.Name, d)
+			}
+		}
+		fmt.Printf("klint: %d error(s), %d warning(s)\n", out.Errors, out.Warnings)
+	}
+	if out.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// loadModel elaborates the built-in or a custom ADL description. Custom
+// descriptions go through the lenient elaboration path so klint can
+// report detection and bounds findings that Elaborate would refuse.
+func loadModel(path string) (*isa.Model, *analysis.Report, error) {
+	if path == "" {
+		m, err := targetgen.Kahrisma()
+		if err != nil {
+			return nil, nil, err
+		}
+		r := analysis.CheckModel(m)
+		r.Sort()
+		return m, r, nil
+	}
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	doc, err := adl.Parse(string(text))
+	if err != nil {
+		return nil, nil, err
+	}
+	m, r, err := targetgen.ElaborateLenient(doc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, r, nil
+}
+
+// loadProgram builds one program from a source file (by extension) or
+// decodes it as a linked executable.
+func loadProgram(m *isa.Model, isaName, path string) (*sim.Program, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	name := filepath.Base(path)
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".c":
+		return driver.Load(m, isaName, driver.CSource(name, string(data)))
+	case ".s", ".asm":
+		return driver.Load(m, isaName, driver.AsmSource(name, string(data)))
+	default:
+		f, err := kelf.Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		return sim.LoadProgram(f)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "klint: %v\n", err)
+	os.Exit(2)
+}

@@ -1,0 +1,243 @@
+// Command kvet is the repo's host-side custom linter: Go-source checks
+// that gofmt and go vet do not cover, run by `make verify` and CI.
+//
+// Checks:
+//
+//   - runlegacy: the deprecated Executable.RunLegacy shim may be
+//     mentioned only where it is defined (kahrisma.go) and in the
+//     facade's own tests; all other code must use the options API.
+//   - errwrap: a fmt.Errorf call that passes one of the facade's
+//     sentinel errors (the Err* variables of errors.go) must wrap it
+//     with %w, never stringify it with %v/%s — otherwise errors.Is
+//     classification breaks for callers.
+//
+// kvet uses the standard library's go/parser and go/ast only (the
+// go/analysis framework lives in golang.org/x/tools, which this repo
+// does not depend on); checks are purely syntactic.
+//
+// Usage:
+//
+//	kvet [dir]
+//
+// Exit status: 0 when clean, 1 when findings were reported, 2 on
+// operational failure.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// runLegacyAllowed lists the base names of files that may mention
+// RunLegacy: its definition and the facade tests covering the shim.
+var runLegacyAllowed = map[string]bool{
+	"kahrisma.go":      true,
+	"kahrisma_test.go": true,
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 2 {
+		fmt.Fprintln(os.Stderr, "usage: kvet [dir]")
+		os.Exit(2)
+	}
+	if len(os.Args) == 2 {
+		root = os.Args[1]
+	}
+
+	sentinels, err := sentinelNames(filepath.Join(root, "errors.go"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	var findings []string
+	fset := token.NewFileSet()
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "bin") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		findings = append(findings, checkFile(fset, f, filepath.Base(path), sentinels)...)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	sort.Strings(findings)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "kvet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// sentinelNames parses the facade's errors.go and returns the names of
+// its exported Err* variables — the sentinels the errwrap check guards.
+func sentinelNames(path string) (map[string]bool, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	names := map[string]bool{}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, n := range vs.Names {
+				if strings.HasPrefix(n.Name, "Err") {
+					names[n.Name] = true
+				}
+			}
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("%s: no Err* sentinels found", path)
+	}
+	return names, nil
+}
+
+// checkFile runs both checks over one parsed file and returns findings
+// in "file:line:col: message" form.
+func checkFile(fset *token.FileSet, f *ast.File, base string, sentinels map[string]bool) []string {
+	var out []string
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, fmt.Sprintf("%s: %s", fset.Position(pos), fmt.Sprintf(format, args...)))
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if n.Sel.Name == "RunLegacy" && !runLegacyAllowed[base] {
+				report(n.Sel.Pos(), "use of deprecated RunLegacy outside its definition and tests; use Run with options (runlegacy)")
+			}
+		case *ast.FuncDecl:
+			if n.Name.Name == "RunLegacy" && !runLegacyAllowed[base] {
+				report(n.Name.Pos(), "declaration of RunLegacy outside kahrisma.go (runlegacy)")
+			}
+		case *ast.CallExpr:
+			checkErrorf(report, n, sentinels)
+		}
+		return true
+	})
+	return out
+}
+
+// checkErrorf enforces the errwrap rule on one call expression: every
+// sentinel argument of fmt.Errorf must correspond to a %w verb.
+func checkErrorf(report func(token.Pos, string, ...any), call *ast.CallExpr, sentinels map[string]bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return
+	}
+	if pkg, ok := sel.X.(*ast.Ident); !ok || pkg.Name != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	verbs := formatVerbs(format)
+	for i, arg := range call.Args[1:] {
+		name := sentinelName(arg, sentinels)
+		if name == "" {
+			continue
+		}
+		verb := ""
+		if i < len(verbs) {
+			verb = verbs[i]
+		}
+		if verb != "w" {
+			report(arg.Pos(), "sentinel %s passed to fmt.Errorf with %%%s; wrap it with %%w so errors.Is keeps working (errwrap)",
+				name, verb)
+		}
+	}
+}
+
+// sentinelName returns the sentinel's name if the expression references
+// one (bare identifier or pkg.Name selector), else "".
+func sentinelName(e ast.Expr, sentinels map[string]bool) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if sentinels[e.Name] {
+			return e.Name
+		}
+	case *ast.SelectorExpr:
+		if _, ok := e.X.(*ast.Ident); ok && sentinels[e.Sel.Name] {
+			return e.Sel.Name
+		}
+	}
+	return ""
+}
+
+// formatVerbs extracts the verb letter of each argument-consuming
+// conversion in a fmt format string, in argument order. Width and
+// precision given as '*' consume an argument and are returned as "*".
+func formatVerbs(format string) []string {
+	var verbs []string
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		// Flags, width, precision; '*' consumes an argument of its own.
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				verbs = append(verbs, "*")
+				i++
+				continue
+			}
+			if strings.ContainsRune("+-# 0.123456789[]", rune(c)) {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(format) {
+			verbs = append(verbs, string(format[i]))
+		}
+	}
+	return verbs
+}

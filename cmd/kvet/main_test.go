@@ -1,0 +1,82 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var testSentinels = map[string]bool{"ErrBadISA": true, "ErrFuelExhausted": true}
+
+func run(t *testing.T, base, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, base, src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return checkFile(fset, f, base, testSentinels)
+}
+
+func TestRunLegacyRule(t *testing.T) {
+	const use = `package p
+func f(e E) { e.RunLegacy(RunConfig{}) }
+`
+	if got := run(t, "other.go", use); len(got) != 1 || !strings.Contains(got[0], "runlegacy") {
+		t.Errorf("RunLegacy use in other.go: findings %v, want 1 runlegacy", got)
+	}
+	// The definition site and the facade tests are exempt.
+	for _, base := range []string{"kahrisma.go", "kahrisma_test.go"} {
+		if got := run(t, base, use); len(got) != 0 {
+			t.Errorf("RunLegacy in %s: findings %v, want none", base, got)
+		}
+	}
+	const decl = `package p
+func (e E) RunLegacy(c C) {}
+`
+	if got := run(t, "shim.go", decl); len(got) != 1 {
+		t.Errorf("RunLegacy declaration elsewhere: findings %v, want 1", got)
+	}
+}
+
+func TestErrWrapRule(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int
+	}{
+		// Stringifying a sentinel breaks errors.Is for callers.
+		{`fmt.Errorf("run: %v", ErrBadISA)`, 1},
+		{`fmt.Errorf("run: %s", kahrisma.ErrBadISA)`, 1},
+		// Wrapping is the required form.
+		{`fmt.Errorf("run: %w", ErrBadISA)`, 0},
+		{`fmt.Errorf("isa %q: %w", name, ErrBadISA)`, 0},
+		// Verb positions are matched per argument, * included.
+		{`fmt.Errorf("%*d fuel: %w", width, n, ErrFuelExhausted)`, 0},
+		{`fmt.Errorf("%w and %v", ErrBadISA, ErrFuelExhausted)`, 1},
+		// Non-sentinel errors are none of kvet's business.
+		{`fmt.Errorf("run: %v", err)`, 0},
+	}
+	for _, c := range cases {
+		src := "package p\nfunc f() { _ = " + c.src + " }\n"
+		if got := run(t, "x.go", src); len(got) != c.want {
+			t.Errorf("%s: findings %v, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+// The repo itself must be kvet-clean: the sentinel list parses out of
+// the real errors.go and no file violates either rule.
+func TestRepoIsClean(t *testing.T) {
+	root := filepath.Join("..", "..")
+	sentinels, err := sentinelNames(filepath.Join(root, "errors.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ErrBadISA", "ErrBadModel", "ErrFuelExhausted", "ErrCanceled", "ErrPoolClosed"} {
+		if !sentinels[want] {
+			t.Errorf("sentinel %s not found in errors.go", want)
+		}
+	}
+}

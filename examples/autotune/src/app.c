@@ -1,0 +1,40 @@
+// An image-pipeline sketch: a wide unrolled blend kernel (high ILP,
+// stripe-sized calls), a serial histogram update, and control code.
+int imgA[256];
+int imgB[256];
+int outv[256];
+int hist[16];
+
+int blend(int* a, int* b, int* o, int n) {
+    int acc = 0;
+    for (int i = 0; i + 8 <= n; i += 8) {
+        int x0 = (a[i]   * 3 + b[i]   * 5) >> 3;
+        int x1 = (a[i+1] * 3 + b[i+1] * 5) >> 3;
+        int x2 = (a[i+2] * 3 + b[i+2] * 5) >> 3;
+        int x3 = (a[i+3] * 3 + b[i+3] * 5) >> 3;
+        int x4 = (a[i+4] * 3 + b[i+4] * 5) >> 3;
+        int x5 = (a[i+5] * 3 + b[i+5] * 5) >> 3;
+        int x6 = (a[i+6] * 3 + b[i+6] * 5) >> 3;
+        int x7 = (a[i+7] * 3 + b[i+7] * 5) >> 3;
+        o[i] = x0;   o[i+1] = x1; o[i+2] = x2; o[i+3] = x3;
+        o[i+4] = x4; o[i+5] = x5; o[i+6] = x6; o[i+7] = x7;
+        acc += ((x0 + x1) + (x2 + x3)) + ((x4 + x5) + (x6 + x7));
+    }
+    return acc;
+}
+
+void histo(int* v, int n) {
+    for (int i = 0; i < n; i++) {
+        hist[(v[i] >> 4) & 15]++;
+    }
+}
+
+int main() {
+    for (int i = 0; i < 256; i++) { imgA[i] = (i * 7) & 255; imgB[i] = (i * 13) & 255; }
+    int acc = 0;
+    for (int frame = 0; frame < 24; frame++) {
+        acc += blend(imgA, imgB, outv, 256);
+        histo(outv, 256);
+    }
+    return (acc + hist[3]) & 0xFF;
+}

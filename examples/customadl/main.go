@@ -11,6 +11,7 @@ package main
 
 import (
 	"context"
+	_ "embed"
 	"fmt"
 	"log"
 	"strings"
@@ -18,22 +19,8 @@ import (
 	kahrisma "repro"
 )
 
-const program = `
-int poly(int x) {
-    // Horner evaluation: a chain of multiplies, sensitive to mul latency.
-    int acc = 7;
-    acc = acc * x + 5;
-    acc = acc * x + 3;
-    acc = acc * x + 2;
-    acc = acc * x + 1;
-    return acc;
-}
-int main() {
-    int s = 0;
-    for (int i = 0; i < 200; i++) s += poly(i & 7);
-    return s & 0xFF;
-}
-`
+//go:embed src/poly.c
+var program string
 
 func main() {
 	// Derive the custom ADL from the built-in description.

@@ -1,0 +1,14 @@
+int poly(int x) {
+    // Horner evaluation: a chain of multiplies, sensitive to mul latency.
+    int acc = 7;
+    acc = acc * x + 5;
+    acc = acc * x + 3;
+    acc = acc * x + 2;
+    acc = acc * x + 1;
+    return acc;
+}
+int main() {
+    int s = 0;
+    for (int i = 0; i < 200; i++) s += poly(i & 7);
+    return s & 0xFF;
+}

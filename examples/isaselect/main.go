@@ -9,57 +9,15 @@ package main
 
 import (
 	"context"
+	_ "embed"
 	"fmt"
 	"log"
 
 	kahrisma "repro"
 )
 
-const app = `
-// A mixed application: a wide unrolled filter, a serial PRNG mixer and
-// a branchy lookup. Each function prefers a different instance shape.
-int coef[16];
-int data[256];
-
-int filter16(int* x) {
-    int a0 = x[0]*coef[0];   int a1 = x[1]*coef[1];
-    int a2 = x[2]*coef[2];   int a3 = x[3]*coef[3];
-    int a4 = x[4]*coef[4];   int a5 = x[5]*coef[5];
-    int a6 = x[6]*coef[6];   int a7 = x[7]*coef[7];
-    int a8 = x[8]*coef[8];   int a9 = x[9]*coef[9];
-    int a10 = x[10]*coef[10]; int a11 = x[11]*coef[11];
-    int a12 = x[12]*coef[12]; int a13 = x[13]*coef[13];
-    int a14 = x[14]*coef[14]; int a15 = x[15]*coef[15];
-    return (((a0+a1)+(a2+a3)) + ((a4+a5)+(a6+a7)))
-         + (((a8+a9)+(a10+a11)) + ((a12+a13)+(a14+a15)));
-}
-
-int mix(int n) {
-    uint s = 1;
-    for (int i = 0; i < n; i++) s = s * 1103515245 + 12345;
-    return (int)(s >> 16);
-}
-
-int lookup(int v) {
-    if (v < 32) return 1;
-    if (v < 64) return 2;
-    if (v < 96) return 3;
-    if (v < 128) return 5;
-    return 7;
-}
-
-int main() {
-    for (int i = 0; i < 16; i++) coef[i] = i + 1;
-    for (int i = 0; i < 256; i++) data[i] = (i * 37) & 255;
-    int acc = 0;
-    for (int r = 0; r < 16; r++) {
-        for (int i = 0; i + 16 <= 256; i += 16) acc += filter16(&data[i]);
-        acc += mix(64);
-        acc += lookup(acc & 255);
-    }
-    return acc & 0xFF;
-}
-`
+//go:embed src/app.c
+var app string
 
 func main() {
 	sys, err := kahrisma.New()

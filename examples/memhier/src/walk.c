@@ -1,0 +1,21 @@
+// Strided walks over a 16 KiB array: a working set far beyond the
+// 2 KiB L1, touching a different cache line almost every access.
+int big[4096];
+
+int walk(int stride, int rounds) {
+    int s = 0;
+    for (int r = 0; r < rounds; r++) {
+        for (int i = 0; i < 4096; i += stride) {
+            s += big[i];
+        }
+    }
+    return s;
+}
+
+int main() {
+    for (int i = 0; i < 4096; i++) big[i] = i & 15;
+    int a = walk(8, 4);    // one access per 32-byte line
+    int b = walk(1, 1);    // sequential
+    printf("%d %d\n", a, b);
+    return 0;
+}

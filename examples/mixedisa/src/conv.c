@@ -1,0 +1,21 @@
+// main and the control code run on the 1-issue RISC format; the
+// convolution kernel is compiled for the 8-issue VLIW instance.
+int img[128];
+int out[128];
+
+__isa(VLIW8) int conv3(int* x) {
+    int a = x[0] * 3; int b = x[1] * 5; int c = x[2] * 3;
+    int d = x[3] * 3; int e = x[4] * 5; int f = x[5] * 3;
+    return ((a + b) + c) + ((d + e) + f);
+}
+
+int main() {
+    for (int i = 0; i < 128; i++) img[i] = (i * 13) & 63;
+    int acc = 0;
+    for (int i = 0; i + 6 <= 128; i += 2) {
+        out[i / 2] = conv3(&img[i]);
+        acc += out[i / 2];
+    }
+    printf("acc=%d\n", acc);
+    return 0;
+}

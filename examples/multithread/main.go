@@ -8,6 +8,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 
@@ -19,49 +20,14 @@ import (
 	"repro/internal/targetgen"
 )
 
-const controlTask = `
-int main() {
-    int events = 0;
-    for (int t = 0; t < 64; t++) {
-        if ((t * 2654435761) & 0x80000) events++;
-    }
-    return events;
-}
-`
+//go:embed src/control.c
+var controlTask string
 
-const streamTask = `
-int buf[64];
-int main() {
-    uint s = 5;
-    int acc = 0;
-    for (int i = 0; i < 64; i++) {
-        s = s * 1103515245 + 12345;
-        buf[i] = (int)(s >> 20);
-    }
-    for (int i = 0; i < 64; i++) acc += buf[i];
-    return acc & 0xFF;
-}
-`
+//go:embed src/stream.c
+var streamTask string
 
-const kernelTask = `
-int v[64];
-int main() {
-    for (int i = 0; i < 64; i++) v[i] = i;
-    int s0 = 0; int s1 = 0; int s2 = 0; int s3 = 0;
-    int s4 = 0; int s5 = 0;
-    for (int r = 0; r < 8; r++) {
-        for (int i = 0; i + 6 <= 64; i += 6) {
-            s0 += v[i] * 3;
-            s1 += v[i+1] * 5;
-            s2 += v[i+2] * 7;
-            s3 += v[i+3] * 11;
-            s4 += v[i+4] * 13;
-            s5 += v[i+5] * 17;
-        }
-    }
-    return (s0 + s1 + s2 + s3 + s4 + s5) & 0xFF;
-}
-`
+//go:embed src/kernel.c
+var kernelTask string
 
 func main() {
 	m, err := targetgen.Kahrisma()

@@ -1,0 +1,7 @@
+int main() {
+    int events = 0;
+    for (int t = 0; t < 64; t++) {
+        if ((t * 2654435761) & 0x80000) events++;
+    }
+    return events;
+}

@@ -1,0 +1,17 @@
+int v[64];
+int main() {
+    for (int i = 0; i < 64; i++) v[i] = i;
+    int s0 = 0; int s1 = 0; int s2 = 0; int s3 = 0;
+    int s4 = 0; int s5 = 0;
+    for (int r = 0; r < 8; r++) {
+        for (int i = 0; i + 6 <= 64; i += 6) {
+            s0 += v[i] * 3;
+            s1 += v[i+1] * 5;
+            s2 += v[i+2] * 7;
+            s3 += v[i+3] * 11;
+            s4 += v[i+4] * 13;
+            s5 += v[i+5] * 17;
+        }
+    }
+    return (s0 + s1 + s2 + s3 + s4 + s5) & 0xFF;
+}

@@ -1,0 +1,11 @@
+int buf[64];
+int main() {
+    uint s = 5;
+    int acc = 0;
+    for (int i = 0; i < 64; i++) {
+        s = s * 1103515245 + 12345;
+        buf[i] = (int)(s >> 20);
+    }
+    for (int i = 0; i < 64; i++) acc += buf[i];
+    return acc & 0xFF;
+}

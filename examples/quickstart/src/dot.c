@@ -1,0 +1,21 @@
+// Dot product over two vectors, a mildly parallel kernel.
+int a[64];
+int b[64];
+
+int dot(int* x, int* y, int n) {
+    int s0 = 0; int s1 = 0; int s2 = 0; int s3 = 0;
+    for (int i = 0; i < n; i += 4) {
+        s0 += x[i]   * y[i];
+        s1 += x[i+1] * y[i+1];
+        s2 += x[i+2] * y[i+2];
+        s3 += x[i+3] * y[i+3];
+    }
+    return ((s0 + s1) + (s2 + s3));
+}
+
+int main() {
+    for (int i = 0; i < 64; i++) { a[i] = i; b[i] = 64 - i; }
+    int r = dot(a, b, 64);
+    printf("dot = %d\n", r);
+    return 0;
+}

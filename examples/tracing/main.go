@@ -10,6 +10,7 @@ package main
 import (
 	"bytes"
 	"context"
+	_ "embed"
 	"fmt"
 	"log"
 
@@ -17,20 +18,8 @@ import (
 	"repro/internal/trace"
 )
 
-const program = `
-int gcd(int a, int b) {
-    while (b != 0) {
-        int t = a % b;
-        a = b;
-        b = t;
-    }
-    return a;
-}
-int main() {
-    printf("gcd(252, 105) = %d\n", gcd(252, 105));
-    return 0;
-}
-`
+//go:embed src/gcd.c
+var program string
 
 func main() {
 	sys, err := kahrisma.New()

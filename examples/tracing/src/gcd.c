@@ -1,0 +1,12 @@
+int gcd(int a, int b) {
+    while (b != 0) {
+        int t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+int main() {
+    printf("gcd(252, 105) = %d\n", gcd(252, 105));
+    return 0;
+}

@@ -1,0 +1,522 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/adl"
+	"repro/internal/analysis"
+	"repro/internal/cycle"
+	"repro/internal/isa"
+	"repro/internal/kelf"
+	"repro/internal/ktest"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/targetgen"
+	"repro/internal/workloads"
+
+	"repro/internal/driver"
+)
+
+func analyze(t *testing.T, p *sim.Program) *analysis.Result {
+	t.Helper()
+	return analysis.AnalyzeExecutable(ktest.Model(t), p, analysis.Options{})
+}
+
+// find returns the diagnostics with the given check ID.
+func find(r *analysis.Report, check string) []analysis.Diagnostic {
+	var out []analysis.Diagnostic
+	for _, d := range r.Diags {
+		if d.Check == check {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func wantCheck(t *testing.T, r *analysis.Report, check string, sub string) analysis.Diagnostic {
+	t.Helper()
+	ds := find(r, check)
+	if len(ds) == 0 {
+		t.Fatalf("no %s diagnostic; report:\n%s", check, dump(r))
+	}
+	for _, d := range ds {
+		if strings.Contains(d.Msg, sub) {
+			return d
+		}
+	}
+	t.Fatalf("no %s diagnostic contains %q; report:\n%s", check, sub, dump(r))
+	return analysis.Diagnostic{}
+}
+
+func dump(r *analysis.Report) string {
+	var sb strings.Builder
+	for _, d := range r.Diags {
+		sb.WriteString(d.String())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------
+// Binary checks (KB001..KB005), each over a program with that defect
+// deliberately seeded.
+
+func TestCleanProgram(t *testing.T) {
+	p := ktest.BuildProgram(t, "RISC", `
+	.global main
+	.func main
+main:
+	li t0, 3
+	li t1, 4
+	add a0, t0, t1
+	ret
+	.endfunc
+`)
+	r := analyze(t, p)
+	if !r.Clean() {
+		t.Fatalf("clean program has findings:\n%s", dump(&r.Report))
+	}
+}
+
+func TestUndecodableWord(t *testing.T) {
+	// 0xFFFFFFFF sets NOP's opcode but a non-zero pad field, so it
+	// matches no operation table entry (the seed of the simulator's
+	// run-time illegal-instruction test, caught statically here).
+	p := ktest.BuildProgram(t, "RISC", `
+	.global main
+	.func main
+main:
+	.word 0xFFFFFFFF
+	ret
+	.endfunc
+`)
+	r := analyze(t, p)
+	d := wantCheck(t, &r.Report, analysis.CheckUndecodable, "illegal operation word 0xffffffff")
+	if d.Severity != analysis.Error {
+		t.Fatalf("severity = %v, want error", d.Severity)
+	}
+	if d.Func != "main" {
+		t.Fatalf("func = %q, want main", d.Func)
+	}
+}
+
+// ScanText (the keep-going linear pass behind kdump) reports every bad
+// word in the section, not just the first.
+func TestScanTextKeepsGoing(t *testing.T) {
+	p := ktest.BuildProgram(t, "RISC", `
+	.global main
+	.func main
+main:
+	.word 0xFFFFFFFF
+	li t0, 1
+	.word 0xFFFFFFFF
+	ret
+	.endfunc
+`)
+	r := analysis.ScanText(ktest.Model(t), p)
+	bad := find(r, analysis.CheckUndecodable)
+	if len(bad) != 2 {
+		t.Fatalf("ScanText found %d bad words, want 2; report:\n%s", len(bad), dump(r))
+	}
+	if bad[0].Addr == bad[1].Addr || bad[0].Func != "main" {
+		t.Fatalf("diagnostics %+v", bad)
+	}
+}
+
+// patchOp rewrites the first text word matching op with new operands.
+func patchOp(t *testing.T, exe *kelf.File, m *isa.Model, opName string, o isa.Operands) uint32 {
+	t.Helper()
+	op := m.Op(opName)
+	text := exe.Section(kelf.SecText)
+	for off := 0; off+4 <= len(text.Data); off += 4 {
+		w := uint32(text.Data[off]) | uint32(text.Data[off+1])<<8 |
+			uint32(text.Data[off+2])<<16 | uint32(text.Data[off+3])<<24
+		if !op.Match(w) {
+			continue
+		}
+		nw, err := op.Encode(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text.Data[off] = byte(nw)
+		text.Data[off+1] = byte(nw >> 8)
+		text.Data[off+2] = byte(nw >> 16)
+		text.Data[off+3] = byte(nw >> 24)
+		return text.Addr + uint32(off)
+	}
+	t.Fatalf("no %s word found in text", opName)
+	return 0
+}
+
+func TestBranchOutOfText(t *testing.T) {
+	exe := ktest.BuildExe(t, "RISC", `
+	.global main
+	.func main
+main:
+	beq zero, zero, done
+done:
+	li a0, 0
+	ret
+	.endfunc
+`)
+	// Retarget the branch far below the text base.
+	addr := patchOp(t, exe, ktest.Model(t), "BEQ", isa.Operands{Imm: -0x4000})
+	r := analyze(t, ktest.LoadExe(t, exe))
+	d := wantCheck(t, &r.Report, analysis.CheckBadTarget, "outside text")
+	if d.Addr != addr {
+		t.Fatalf("diagnostic at %#x, want %#x", d.Addr, addr)
+	}
+}
+
+func TestMisalignedJumpTarget(t *testing.T) {
+	// A VLIW2 function whose call lands in the middle of a 2-word
+	// bundle: the interior word decodes, but the bundle overlap is the
+	// static signature of a misaligned target.
+	exe := ktest.BuildExe(t, "VLIW2", `
+	.isa VLIW2
+	.global main
+	.func main
+main:
+	jal helper
+	{ add t0, t1, t2 ; add t3, t4, t5 }
+	li a0, 0
+	ret
+	.endfunc
+	.global helper
+	.func helper
+helper:
+	ret
+	.endfunc
+`)
+	m := ktest.Model(t)
+	// Retarget main's `jal helper` into slot 1 of the following 2-word
+	// bundle. crt0's own `jal main` comes first in text, so patch the
+	// second JAL word.
+	text := exe.Section(kelf.SecText)
+	op := m.Op("JAL")
+	var addrs []uint32
+	for off := 0; off+4 <= len(text.Data); off += 4 {
+		w := uint32(text.Data[off]) | uint32(text.Data[off+1])<<8 |
+			uint32(text.Data[off+2])<<16 | uint32(text.Data[off+3])<<24
+		if op.Match(w) {
+			addrs = append(addrs, text.Addr+uint32(off))
+		}
+	}
+	if len(addrs) < 2 {
+		t.Fatalf("found %d JAL words, want >= 2", len(addrs))
+	}
+	jAddr := addrs[1]
+	nw, err := op.Encode(isa.Operands{Imm: int32((jAddr + 12) / 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := jAddr - text.Addr
+	text.Data[off] = byte(nw)
+	text.Data[off+1] = byte(nw >> 8)
+	text.Data[off+2] = byte(nw >> 16)
+	text.Data[off+3] = byte(nw >> 24)
+	r := analyze(t, ktest.LoadExe(t, exe))
+	wantCheck(t, &r.Report, analysis.CheckBadTarget, "overlaps")
+}
+
+func TestCrossISACallMismatch(t *testing.T) {
+	// vliwfn is assembled (and declared in .kfuncs) as VLIW2, but main
+	// calls it while RISC is active — the SWITCHTARGET is missing.
+	p := ktest.BuildProgram(t, "RISC", `
+	.global main
+	.func main
+main:
+	jal vliwfn
+	ret
+	.endfunc
+
+	.isa VLIW2
+	.global vliwfn
+	.func vliwfn
+vliwfn:
+	{ add t0, t1, t2 ; add t3, t4, t5 }
+	ret
+	.endfunc
+`)
+	r := analyze(t, p)
+	d := wantCheck(t, &r.Report, analysis.CheckSwitch, "missing SWITCHTARGET")
+	if d.ISA != "RISC" {
+		t.Fatalf("diagnostic ISA = %q, want RISC", d.ISA)
+	}
+	if !strings.Contains(d.Msg, "vliwfn") || !strings.Contains(d.Msg, "VLIW2") {
+		t.Fatalf("message lacks callee context: %s", d.Msg)
+	}
+}
+
+func TestSwitchTargetBadRegion(t *testing.T) {
+	// The code following the SWITCHTARGET does not decode under the
+	// declared target ISA.
+	p := ktest.BuildProgram(t, "RISC", `
+	.global main
+	.func main
+main:
+	swt VLIW2
+	.word 0xFFFFFFFF
+	.word 0xFFFFFFFF
+	.endfunc
+`)
+	r := analyze(t, p)
+	d := wantCheck(t, &r.Report, analysis.CheckSwitch, "does not decode under target ISA VLIW2")
+	if d.ISA != "VLIW2" {
+		t.Fatalf("diagnostic ISA = %q, want VLIW2", d.ISA)
+	}
+}
+
+func TestWAWHazard(t *testing.T) {
+	// The assembler refuses to emit two writers of one register in one
+	// bundle, so seed the hazard by patching slot 1's destination (t3,
+	// r11) to collide with slot 0's (t0, r8) — the defect a buggy
+	// scheduler or hand-patched binary would carry.
+	exe := ktest.BuildExe(t, "VLIW2", `
+	.isa VLIW2
+	.global main
+	.func main
+main:
+	{ add t0, t1, zero ; add t3, t2, zero }
+	li a0, 0
+	ret
+	.endfunc
+`)
+	m := ktest.Model(t)
+	op := m.Op("ADD")
+	text := exe.Section(kelf.SecText)
+	patched := false
+	for off := 0; off+4 <= len(text.Data); off += 4 {
+		w := uint32(text.Data[off]) | uint32(text.Data[off+1])<<8 |
+			uint32(text.Data[off+2])<<16 | uint32(text.Data[off+3])<<24
+		if !op.Match(w) || op.DecodeOperands(w).Rd != 11 {
+			continue
+		}
+		nw := op.Format.Field("rd").Insert(w, 8)
+		text.Data[off] = byte(nw)
+		text.Data[off+1] = byte(nw >> 8)
+		text.Data[off+2] = byte(nw >> 16)
+		text.Data[off+3] = byte(nw >> 24)
+		patched = true
+		break
+	}
+	if !patched {
+		t.Fatal("no `add t3, ...` word found to patch")
+	}
+	r := analyze(t, ktest.LoadExe(t, exe))
+	d := wantCheck(t, &r.Report, analysis.CheckWAWHazard, "both write t0")
+	if d.Severity != analysis.Error {
+		t.Fatalf("severity = %v, want error", d.Severity)
+	}
+}
+
+func TestWAWZeroRegisterIsFine(t *testing.T) {
+	// Discarding two results into the zero register is not a hazard.
+	p := ktest.BuildProgram(t, "VLIW2", `
+	.isa VLIW2
+	.global main
+	.func main
+main:
+	{ add zero, t1, t2 ; add zero, t3, t4 }
+	li a0, 0
+	ret
+	.endfunc
+`)
+	r := analyze(t, p)
+	if ds := find(&r.Report, analysis.CheckWAWHazard); len(ds) != 0 {
+		t.Fatalf("zero-register writes flagged: %v", ds)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Model checks (KA001..KA004) through the lenient elaboration path.
+
+func lenient(t *testing.T, src string) *analysis.Report {
+	t.Helper()
+	doc, err := adl.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, r, err := targetgen.ElaborateLenient(doc)
+	if err != nil {
+		t.Fatalf("elaborate: %v", err)
+	}
+	return r
+}
+
+const modelPrefix = `
+architecture T
+registers G { count 32 width 32 zero r0 }
+format I {
+  field opcode 31:26 const
+  field rd 25:21 reg dst
+  field rs1 20:16 reg src1
+  field imm 15:0 imm imm signed
+}
+`
+
+func TestModelAmbiguousEncoding(t *testing.T) {
+	r := lenient(t, modelPrefix+`
+operation A { format I set opcode = 1 class alu latency 1 sem addi }
+operation B { format I set opcode = 1 class alu latency 1 sem addi }
+isa R { id 0 issue 1 default }
+`)
+	d := wantCheck(t, r, analysis.CheckAmbiguous, "not distinguishable")
+	if d.Severity != analysis.Error {
+		t.Fatalf("severity = %v", d.Severity)
+	}
+	// Elaborate proper must refuse the same model.
+	doc, _ := adl.Parse(modelPrefix + `
+operation A { format I set opcode = 1 class alu latency 1 sem addi }
+operation B { format I set opcode = 1 class alu latency 1 sem addi }
+isa R { id 0 issue 1 default }
+`)
+	if _, err := targetgen.Elaborate(doc); err == nil ||
+		!strings.Contains(err.Error(), "not distinguishable") {
+		t.Fatalf("Elaborate err = %v", err)
+	}
+}
+
+func TestModelShadowedOperation(t *testing.T) {
+	// A's constant mask (opcode only) is a subset of B's (opcode+func):
+	// every word encoding B is detected as A first.
+	r := lenient(t, modelPrefix+`
+format R {
+  field opcode 31:26 const
+  field rd 25:21 reg dst
+  field rs1 20:16 reg src1
+  field rs2 15:11 reg src2
+  field func 10:0 const
+}
+operation A { format I set opcode = 0 class alu latency 1 sem addi }
+operation B { format R set opcode = 0 set func = 3 class alu latency 1 sem add }
+isa R { id 0 issue 1 default }
+`)
+	wantCheck(t, r, analysis.CheckUnreachable, "operation B is unreachable")
+}
+
+func TestModelRegisterFieldBounds(t *testing.T) {
+	r := lenient(t, `
+architecture T
+registers G { count 32 width 32 zero r0 }
+format W {
+  field opcode 31:26 const
+  field rd 25:20 reg dst
+  field imm 19:0 imm imm signed
+}
+operation A { format W set opcode = 1 class alu latency 1 sem addi }
+isa R { id 0 issue 1 default }
+`)
+	d := wantCheck(t, r, analysis.CheckRegBounds, "6-bit register field")
+	if d.Severity != analysis.Error {
+		t.Fatalf("severity = %v", d.Severity)
+	}
+}
+
+func TestModelBranchImmShape(t *testing.T) {
+	r := lenient(t, `
+architecture T
+registers G { count 32 width 32 zero r0 }
+format B {
+  field opcode 31:26 const
+  field rs1 25:21 reg src1
+  field rs2 20:16 reg src2
+  field imm 15:0 imm imm
+}
+operation BEQ { format B set opcode = 1 class branch latency 1 sem beq writes ip }
+isa R { id 0 issue 1 default }
+`)
+	d := wantCheck(t, r, analysis.CheckImmBounds, "unsigned")
+	if d.Severity != analysis.Warning {
+		t.Fatalf("severity = %v, want warning", d.Severity)
+	}
+}
+
+func TestBuiltinModelClean(t *testing.T) {
+	r := analysis.CheckModel(ktest.Model(t))
+	if !r.Clean() {
+		t.Fatalf("built-in model has findings:\n%s", dump(r))
+	}
+}
+
+// ---------------------------------------------------------------------
+// Corpus: every shipped workload must analyze clean (diagnostic-free
+// modulo info), compiled at several entry ISAs.
+
+func TestWorkloadsAnalyzeClean(t *testing.T) {
+	m := ktest.Model(t)
+	for _, w := range workloads.All() {
+		for _, isaName := range []string{"RISC", "VLIW4"} {
+			p, err := driver.Load(m, isaName, w.Sources...)
+			if err != nil {
+				t.Fatalf("%s/%s: build: %v", w.Name, isaName, err)
+			}
+			r := analysis.AnalyzeExecutable(m, p, analysis.Options{})
+			if !r.Clean() {
+				t.Errorf("%s/%s: findings:\n%s", w.Name, isaName, dump(&r.Report))
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// DOE lower bound: the static per-block bound must not exceed what the
+// dynamic DOE model charges for an execution that runs the block.
+
+func TestDOEBoundIsLowerBound(t *testing.T) {
+	src := `
+	.global main
+	.func main
+main:
+	li t0, 1
+	li t1, 2
+	mul t2, t0, t1
+	mul t3, t2, t2
+	div t4, t3, t0
+	add a0, t4, t3
+	ret
+	.endfunc
+`
+	p := ktest.BuildProgram(t, "RISC", src)
+	res := analysis.AnalyzeExecutable(ktest.Model(t), p, analysis.Options{DOEBounds: true})
+	if len(find(&res.Report, analysis.CheckDOEBound)) == 0 {
+		t.Fatal("no KB005 diagnostics emitted")
+	}
+
+	// Locate main's entry block and check its bound against a real DOE
+	// run: the multiply/divide dependency chain alone costs 3+3+12
+	// cycles, and the dynamic model can never beat the static bound.
+	fn := p.Funcs.Lookup(p.Entry)
+	var mainStart uint32
+	for i := range p.Funcs.Funcs {
+		if p.Funcs.Funcs[i].Name == "main" {
+			mainStart = p.Funcs.Funcs[i].Start
+		}
+	}
+	_ = fn
+	var blk *analysis.Block
+	for _, b := range res.Blocks {
+		if b.Start == mainStart {
+			blk = b
+		}
+	}
+	if blk == nil {
+		t.Fatalf("no block at main %#x", mainStart)
+	}
+	if blk.DOEBound < 18 {
+		t.Fatalf("main block bound = %d, want >= 18 (mul+mul+div chain)", blk.DOEBound)
+	}
+
+	doe := cycle.NewDOE(ktest.Model(t), mem.Flat(3))
+	opts := sim.DefaultOptions()
+	opts.MaxInstructions = 1 << 20
+	c := ktest.NewCPU(t, p, opts)
+	c.Attach(doe)
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if doe.Cycles() < blk.DOEBound {
+		t.Fatalf("dynamic DOE cycles %d < static bound %d", doe.Cycles(), blk.DOEBound)
+	}
+}

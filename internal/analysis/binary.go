@@ -1,0 +1,339 @@
+package analysis
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/decode"
+	"repro/internal/isa"
+	"repro/internal/kelf"
+	"repro/internal/sim"
+)
+
+// Options tune AnalyzeExecutable.
+type Options struct {
+	// DOEBounds emits one KB005 info diagnostic per basic block with
+	// the block's static DOE cycle lower bound (see doe.go).
+	DOEBounds bool
+}
+
+// Result is the outcome of analyzing one executable: the diagnostic
+// report plus the recovered control-flow structure (basic blocks of
+// statically decoded instructions, grouped per ISA region).
+type Result struct {
+	Report
+	// Blocks are the recovered basic blocks in address order; each
+	// carries its static DOE cycle lower bound.
+	Blocks []*Block `json:"-"`
+}
+
+// AnalyzeExecutable statically decodes the text section of a loaded
+// executable and verifies it. The walk mirrors execution: it starts at
+// the program entry and at every function-table entry under that
+// region's declared ISA, follows branches, calls and fall-through, and
+// changes the decoding ISA at SWITCHTARGET operations exactly as the
+// interpreter would (Sec. V-D of the paper) — so mixed-ISA binaries,
+// where SWITCHTARGET/JAL pairs embed callee-ISA code inside a caller's
+// region, decode without false positives.
+func AnalyzeExecutable(m *isa.Model, p *sim.Program, opts Options) *Result {
+	b := &binAnalyzer{
+		m:       m,
+		p:       p,
+		res:     &Result{},
+		visited: make(map[uint64]bool),
+		owner:   make(map[uint64]uint32),
+		bundles: make(map[uint64]*bundleInfo),
+		leaders: make(map[uint64]bool),
+	}
+	if text := p.File.Section(kelf.SecText); text != nil {
+		b.text = text.Data
+	}
+	b.seed()
+	for len(b.queue) > 0 {
+		s := b.queue[0]
+		b.queue = b.queue[1:]
+		b.step(s)
+	}
+	if opts.DOEBounds {
+		b.emitDOEBounds()
+	}
+	b.res.Sort()
+	return b.res
+}
+
+// state is one point of the abstract execution: an instruction address
+// plus the ISA that will be active when it executes. viaSWT marks the
+// first instruction of a SWITCHTARGET region so decode failures there
+// are attributed to the switch (KB003) rather than to the word (KB001).
+type state struct {
+	addr    uint32
+	isa     *isa.ISA
+	viaSWT  bool
+	swtAddr uint32
+}
+
+type bundleInfo struct {
+	instr   *decode.Instruction
+	hasFall bool
+	control bool // ends a basic block
+}
+
+type binAnalyzer struct {
+	m    *isa.Model
+	p    *sim.Program
+	res  *Result
+	text []byte
+
+	visited map[uint64]bool   // state key → processed
+	owner   map[uint64]uint32 // op-word key → owning bundle start
+	bundles map[uint64]*bundleInfo
+	leaders map[uint64]bool // state key → starts a basic block
+	queue   []state
+}
+
+func key(addr uint32, a *isa.ISA) uint64 { return uint64(addr) | uint64(uint32(a.ID))<<32 }
+
+func (b *binAnalyzer) diag(check string, sev Severity, addr uint32, a *isa.ISA, format string, args ...any) {
+	d := Diagnostic{
+		Check: check, Severity: sev,
+		Addr: addr, HasAddr: true,
+		Msg: fmt.Sprintf(format, args...),
+	}
+	if a != nil {
+		d.ISA = a.Name
+	}
+	if fi := b.p.FuncAt(addr); fi != nil {
+		d.Func = fi.Name
+	}
+	b.res.add(d)
+}
+
+func (b *binAnalyzer) loadWord(addr uint32) uint32 {
+	off := addr - b.p.TextStart
+	return binary.LittleEndian.Uint32(b.text[off:])
+}
+
+func (b *binAnalyzer) push(s state, leader bool) {
+	if leader {
+		b.leaders[key(s.addr, s.isa)] = true
+	}
+	if !b.visited[key(s.addr, s.isa)] {
+		b.queue = append(b.queue, s)
+	}
+}
+
+// seed enqueues the entry point and every function-table entry under
+// its declared ISA. Functions the walk never reaches from the entry
+// (link-time dead code) are still verified this way.
+func (b *binAnalyzer) seed() {
+	entryISA := b.m.ISAByID(b.p.EntryISA)
+	if entryISA == nil {
+		b.diag(CheckSwitch, Error, b.p.Entry, nil,
+			"executable requires unknown entry ISA id %d", b.p.EntryISA)
+	} else {
+		b.push(state{addr: b.p.Entry, isa: entryISA}, true)
+	}
+	for i := range b.p.Funcs.Funcs {
+		fi := &b.p.Funcs.Funcs[i]
+		a := b.m.ISAByID(int(fi.ISA))
+		if a == nil {
+			b.diag(CheckSwitch, Error, fi.Start, nil,
+				"function %s declares unknown ISA id %d", fi.Name, fi.ISA)
+			continue
+		}
+		if fi.Start < b.p.TextStart || fi.Start >= b.p.TextEnd {
+			b.diag(CheckBadTarget, Error, fi.Start, a,
+				"function %s starts at %#x outside text [%#x,%#x)",
+				fi.Name, fi.Start, b.p.TextStart, b.p.TextEnd)
+			continue
+		}
+		b.push(state{addr: fi.Start, isa: a}, true)
+	}
+}
+
+// step decodes and checks one instruction state, then enqueues its
+// successors.
+func (b *binAnalyzer) step(s state) {
+	k := key(s.addr, s.isa)
+	if b.visited[k] {
+		return
+	}
+	b.visited[k] = true
+
+	size := s.isa.InstrBytes()
+	if s.addr < b.p.TextStart || s.addr+size > b.p.TextEnd {
+		if s.viaSWT {
+			b.diag(CheckSwitch, Error, s.addr, s.isa,
+				"SWITCHTARGET at %#x: %s region at %#x extends outside text [%#x,%#x)",
+				s.swtAddr, s.isa.Name, s.addr, b.p.TextStart, b.p.TextEnd)
+		} else {
+			b.diag(CheckUndecodable, Error, s.addr, s.isa,
+				"instruction at %#x (ISA %s, %d bytes) extends past end of text (%#x)",
+				s.addr, s.isa.Name, size, b.p.TextEnd)
+		}
+		return
+	}
+
+	instr, err := decode.Instr(s.isa, s.addr, b.loadWord)
+	if err != nil {
+		de := err.(*decode.Error)
+		if s.viaSWT {
+			b.diag(CheckSwitch, Error, de.Addr, s.isa,
+				"code after SWITCHTARGET at %#x does not decode under target ISA %s: illegal operation word %#08x",
+				s.swtAddr, s.isa.Name, de.Word)
+		} else {
+			b.diag(CheckUndecodable, Error, de.Addr, s.isa,
+				"illegal operation word %#08x (slot %d)", de.Word, de.Slot)
+		}
+		return
+	}
+
+	// Overlap detection: a control transfer into the middle of an
+	// already-decoded bundle (or a bundle landing on the interior of
+	// another) means some branch target is misaligned for its ISA.
+	for w := s.addr; w < s.addr+size; w += isa.OpWordBytes {
+		wk := key(w, s.isa)
+		if prev, ok := b.owner[wk]; ok && prev != s.addr {
+			b.diag(CheckBadTarget, Error, s.addr, s.isa,
+				"misaligned control flow: bundle at %#x (ISA %s) overlaps bundle at %#x",
+				s.addr, s.isa.Name, prev)
+			break
+		}
+		b.owner[wk] = s.addr
+	}
+
+	b.checkWAW(instr, s.isa)
+
+	info := &bundleInfo{instr: instr, hasFall: true}
+	b.bundles[k] = info
+
+	// Successor computation. A SWITCHTARGET changes the ISA of the
+	// *next* instruction (fall-through and, in the general case, any
+	// control target of the same bundle).
+	next := s.isa
+	var fromSWT bool
+	var swtAddr uint32
+	noFall := false
+	for i := range instr.Ops {
+		o := &instr.Ops[i]
+		switch o.Op.SemKey {
+		case "swt":
+			id := int(o.Operands.Imm)
+			a := b.m.ISAByID(id)
+			if a == nil {
+				b.diag(CheckSwitch, Error, o.Addr, s.isa,
+					"SWITCHTARGET to unknown ISA id %d", id)
+				noFall = true
+				continue
+			}
+			next, fromSWT, swtAddr = a, true, o.Addr
+		case "halt":
+			noFall = true
+		}
+		switch o.Op.Class {
+		case isa.ClassBranch:
+			info.control = true
+			target := o.Addr + uint32(o.Operands.Imm)*isa.OpWordBytes
+			b.pushTarget(target, next, o, "branch")
+		case isa.ClassJump:
+			info.control = true
+			if o.Op.ImmField != nil {
+				target := uint32(o.Operands.Imm) * isa.OpWordBytes
+				b.pushTarget(target, next, o, "jump")
+			}
+			if !b.linksReturn(o) {
+				noFall = true
+			}
+		}
+	}
+
+	if noFall {
+		info.hasFall = false
+		return
+	}
+	fall := state{addr: s.addr + size, isa: next, viaSWT: fromSWT, swtAddr: swtAddr}
+	// An ISA change always starts a new basic block.
+	b.push(fall, fromSWT || info.control)
+}
+
+// linksReturn reports whether a jump operation produces a return
+// address (a call), so execution eventually resumes at its
+// fall-through: an explicit link register other than the zero register,
+// or an implicit write besides the instruction pointer (JAL's ra).
+func (b *binAnalyzer) linksReturn(o *decode.Op) bool {
+	if o.Op.DstField != nil && int(o.Operands.Rd) != b.m.Regs.ZeroReg {
+		return true
+	}
+	for _, r := range o.Op.ImplicitWrites {
+		if r != isa.RegIP && r != b.m.Regs.ZeroReg {
+			return true
+		}
+	}
+	return false
+}
+
+// pushTarget validates a static control-transfer target and enqueues
+// it. Calls landing on a function entry are checked against the
+// function table's declared ISA (KB003): reaching a function under the
+// wrong ISA means a missing or inconsistent SWITCHTARGET pair.
+func (b *binAnalyzer) pushTarget(target uint32, cur *isa.ISA, o *decode.Op, kind string) {
+	if target < b.p.TextStart || target >= b.p.TextEnd {
+		b.diag(CheckBadTarget, Error, o.Addr, cur,
+			"%s at %#x targets %#x outside text [%#x,%#x)",
+			kind, o.Addr, target, b.p.TextStart, b.p.TextEnd)
+		return
+	}
+	next := cur
+	if fi := b.p.FuncAt(target); fi != nil && fi.Start == target {
+		if want := b.m.ISAByID(int(fi.ISA)); want != nil && want != cur {
+			b.diag(CheckSwitch, Error, o.Addr, cur,
+				"%s at %#x reaches %s (declared ISA %s) while ISA %s is active — missing SWITCHTARGET",
+				kind, o.Addr, fi.Name, want.Name, cur.Name)
+			// Continue the walk under the declared ISA: the function
+			// body is encoded for it, and decoding it under the wrong
+			// ISA would only cascade secondary diagnostics.
+			next = want
+		}
+	}
+	b.push(state{addr: target, isa: next}, true)
+}
+
+// checkWAW reports intra-bundle write-after-write hazards: two parallel
+// operations of one VLIW instruction writing the same register. The
+// paper's parallel-operation semantics (Sec. V-B) buffer all writes and
+// apply them after the compute phase, so the final value is
+// order-dependent — the interpreter happens to apply the last slot, but
+// the hardware contract is undefined. Two instruction-pointer writers
+// (two control transfers) are the special case the interpreter rejects
+// at run time.
+func (b *binAnalyzer) checkWAW(instr *decode.Instruction, a *isa.ISA) {
+	writers := make(map[int]*decode.Op)
+	for i := range instr.Ops {
+		o := &instr.Ops[i]
+		seen := make(map[int]bool) // dedupe within one operation
+		regs := make([]int, 0, 4)
+		if o.Op.DstField != nil {
+			regs = append(regs, int(o.Operands.Rd))
+		}
+		regs = append(regs, o.Op.ImplicitWrites...)
+		for _, r := range regs {
+			if r == b.m.Regs.ZeroReg || seen[r] {
+				continue
+			}
+			seen[r] = true
+			if prev, ok := writers[r]; ok {
+				if r == isa.RegIP {
+					b.diag(CheckWAWHazard, Error, instr.Addr, a,
+						"two control transfers in one instruction (%s in slot %d, %s in slot %d)",
+						prev.Op.Name, prev.Slot, o.Op.Name, o.Slot)
+				} else {
+					b.diag(CheckWAWHazard, Error, instr.Addr, a,
+						"write-after-write hazard: %s (slot %d) and %s (slot %d) both write %s — undefined under parallel-operation semantics",
+						prev.Op.Name, prev.Slot, o.Op.Name, o.Slot, b.m.Regs.RegName(r))
+				}
+				continue
+			}
+			writers[r] = o
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Package analysis is the static-analysis layer of the toolchain
+// (cmd/klint, the kservd /v1/analyze endpoint, and the elaboration-time
+// model checks of package targetgen). It verifies two kinds of
+// artifacts:
+//
+//   - elaborated ADL models (CheckModel): ambiguous or shadowed
+//     constant-field encodings in the operation tables, register-index
+//     and immediate-width bounds — the properties the simulator's
+//     detection loop silently assumes;
+//   - linked executables (AnalyzeExecutable): a control-flow walk of the
+//     text sections that statically decodes every reachable instruction
+//     under the ISA that will be active when it executes (function-table
+//     ISAs plus SWITCHTARGET transitions), reporting undecodable words,
+//     bad control-transfer targets, SWITCHTARGET/ISA mismatches,
+//     intra-bundle VLIW write-after-write hazards, and a static DOE
+//     cycle lower bound per basic block.
+//
+// Diagnostics are structured (check ID, severity, address, ISA) so the
+// CLI, the HTTP API and the CI gate all consume the same reports. The
+// check catalogue is documented in docs/analysis.md.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+const (
+	// Info diagnostics are advisory measurements (the static DOE cycle
+	// bounds); they never affect exit codes.
+	Info Severity = iota
+	// Warning diagnostics describe constructs that are suspicious but
+	// cannot crash the simulator.
+	Warning
+	// Error diagnostics describe models or binaries the simulator will
+	// reject (or execute incorrectly) at run time.
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("Severity(%d)", int(s))
+}
+
+// MarshalJSON renders the severity as its lowercase name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the lowercase severity names MarshalJSON emits.
+func (s *Severity) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	v, ok := ParseSeverity(name)
+	if !ok {
+		return fmt.Errorf("unknown severity %q", name)
+	}
+	*s = v
+	return nil
+}
+
+// ParseSeverity maps the lowercase severity names back to values; it is
+// the inverse of String for the three defined levels.
+func ParseSeverity(s string) (Severity, bool) {
+	switch s {
+	case "info":
+		return Info, true
+	case "warning":
+		return Warning, true
+	case "error":
+		return Error, true
+	}
+	return 0, false
+}
+
+// Check identifiers. KA checks apply to ADL models, KB checks to
+// binaries; docs/analysis.md is the authoritative catalogue.
+const (
+	CheckAmbiguous   = "KA001" // two operations not distinguishable by constant fields
+	CheckUnreachable = "KA002" // operation shadowed by an earlier table entry
+	CheckRegBounds   = "KA003" // register field can encode out-of-range indices
+	CheckImmBounds   = "KA004" // immediate field bounds (branch displacement signedness, missing target)
+	CheckUndecodable = "KB001" // reachable operation word matches no table entry
+	CheckBadTarget   = "KB002" // control transfer to out-of-text or misaligned address
+	CheckSwitch      = "KB003" // SWITCHTARGET region or cross-ISA call inconsistency
+	CheckWAWHazard   = "KB004" // intra-bundle VLIW write-after-write hazard
+	CheckDOEBound    = "KB005" // static DOE cycle lower bound per basic block
+)
+
+// Diagnostic is one structured finding.
+type Diagnostic struct {
+	Check    string   `json:"check"`
+	Severity Severity `json:"severity"`
+	// Addr is the instruction (or operation word) address for binary
+	// checks; 0 for model checks (HasAddr distinguishes a real 0).
+	Addr    uint32 `json:"addr,omitempty"`
+	HasAddr bool   `json:"-"`
+	// ISA names the instruction set the diagnostic applies under.
+	ISA string `json:"isa,omitempty"`
+	// Func is the enclosing function, when known.
+	Func string `json:"func,omitempty"`
+	Msg  string `json:"msg"`
+}
+
+// String renders the diagnostic in the klint line format:
+//
+//	error KB001 @0x100 [VLIW4] (main): illegal operation word ...
+func (d Diagnostic) String() string {
+	var sb strings.Builder
+	sb.WriteString(d.Severity.String())
+	sb.WriteString(" ")
+	sb.WriteString(d.Check)
+	if d.HasAddr {
+		fmt.Fprintf(&sb, " @%#x", d.Addr)
+	}
+	if d.ISA != "" {
+		fmt.Fprintf(&sb, " [%s]", d.ISA)
+	}
+	if d.Func != "" {
+		fmt.Fprintf(&sb, " (%s)", d.Func)
+	}
+	sb.WriteString(": ")
+	sb.WriteString(d.Msg)
+	return sb.String()
+}
+
+// Report is an ordered collection of diagnostics.
+type Report struct {
+	Diags []Diagnostic `json:"diagnostics"`
+}
+
+func (r *Report) add(d Diagnostic) { r.Diags = append(r.Diags, d) }
+
+func (r *Report) addf(check string, sev Severity, format string, args ...any) {
+	r.add(Diagnostic{Check: check, Severity: sev, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Count returns the number of diagnostics at the given severity.
+func (r *Report) Count(sev Severity) int {
+	n := 0
+	for _, d := range r.Diags {
+		if d.Severity == sev {
+			n++
+		}
+	}
+	return n
+}
+
+// Errors returns the number of error-severity diagnostics.
+func (r *Report) Errors() int { return r.Count(Error) }
+
+// Warnings returns the number of warning-severity diagnostics.
+func (r *Report) Warnings() int { return r.Count(Warning) }
+
+// Clean reports whether the report carries no errors and no warnings.
+func (r *Report) Clean() bool { return r.Errors() == 0 && r.Warnings() == 0 }
+
+// Filter returns a copy of the report keeping diagnostics at or above
+// the given severity.
+func (r *Report) Filter(min Severity) *Report {
+	out := &Report{}
+	for _, d := range r.Diags {
+		if d.Severity >= min {
+			out.add(d)
+		}
+	}
+	return out
+}
+
+// Sort orders diagnostics by severity (errors first), then address,
+// then check ID — the stable order the CLI and the HTTP API present.
+func (r *Report) Sort() {
+	sort.SliceStable(r.Diags, func(i, j int) bool {
+		a, b := r.Diags[i], r.Diags[j]
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		if a.Addr != b.Addr {
+			return a.Addr < b.Addr
+		}
+		return a.Check < b.Check
+	})
+}
+
+// Merge appends all diagnostics of other.
+func (r *Report) Merge(other *Report) {
+	if other != nil {
+		r.Diags = append(r.Diags, other.Diags...)
+	}
+}

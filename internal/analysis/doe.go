@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/decode"
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+// Block is one recovered basic block: a maximal fall-through chain of
+// decoded instructions under a single ISA, entered only at its head.
+type Block struct {
+	Start, End uint32 // [Start, End) byte range
+	ISA        *isa.ISA
+	Instrs     []*decode.Instruction
+	// DOEBound is the static lower bound, in cycles, that the DOE model
+	// charges for one pass through the block (see blockDOEBound).
+	DOEBound uint64
+}
+
+// emitDOEBounds groups the walked bundles into basic blocks, computes
+// each block's static DOE cycle lower bound and records it as a KB005
+// info diagnostic.
+func (b *binAnalyzer) emitDOEBounds() {
+	keys := make([]uint64, 0, len(b.bundles))
+	for k := range b.bundles {
+		keys = append(keys, k)
+	}
+	// Address order, then ISA id: fall-through neighbours of the same
+	// ISA become adjacent, so block construction is a single scan.
+	sort.Slice(keys, func(i, j int) bool {
+		ai, aj := uint32(keys[i]), uint32(keys[j])
+		if ai != aj {
+			return ai < aj
+		}
+		return keys[i]>>32 < keys[j]>>32
+	})
+
+	var cur *Block
+	flush := func() {
+		if cur == nil {
+			return
+		}
+		cur.DOEBound = b.blockDOEBound(cur)
+		b.res.Blocks = append(b.res.Blocks, cur)
+		nops := 0
+		for _, in := range cur.Instrs {
+			nops += len(in.Ops)
+		}
+		b.diag(CheckDOEBound, Info, cur.Start, cur.ISA,
+			"basic block %#x..%#x: %d instruction(s), %d operation(s), static DOE lower bound %d cycle(s)",
+			cur.Start, cur.End, len(cur.Instrs), nops, cur.DOEBound)
+		cur = nil
+	}
+	for _, k := range keys {
+		info := b.bundles[k]
+		in := info.instr
+		if cur == nil || in.ISA != cur.ISA || in.Addr != cur.End || b.leaders[k] {
+			flush()
+			cur = &Block{Start: in.Addr, End: in.Addr, ISA: in.ISA}
+		}
+		cur.Instrs = append(cur.Instrs, in)
+		cur.End = in.Addr + in.Size
+		if info.control || !info.hasFall {
+			flush()
+		}
+	}
+	flush()
+}
+
+// blockDOEBound replays the DOE issue rules (internal/cycle, Sec. VI-C
+// of the paper) over one basic block from a fresh timing state: in-order
+// issue per slot (one cycle after the slot's previous operation), start
+// delayed to the write cycle of every true register dependency, and
+// completion after the operation's latency. Memory operations are
+// charged zero delay — their real delay depends on the configured
+// memory hierarchy and the dynamic address stream — so the result is a
+// lower bound on the cycles the DOE model attributes to one pass
+// through the block under any memory configuration.
+func (b *binAnalyzer) blockDOEBound(blk *Block) uint64 {
+	zero := b.m.Regs.ZeroReg
+	var regWrite [33]uint64
+	var slotLast [sim.MaxIssue]uint64
+	var maxDone uint64
+	for _, in := range blk.Instrs {
+		for i := range in.Ops {
+			o := &in.Ops[i]
+			start := slotLast[o.Slot] + 1
+			dep := func(r int) {
+				if w := regWrite[r]; w > start {
+					start = w
+				}
+			}
+			if o.Op.Src1Field != nil && int(o.Operands.Rs1) != zero {
+				dep(int(o.Operands.Rs1))
+			}
+			if o.Op.Src2Field != nil && int(o.Operands.Rs2) != zero {
+				dep(int(o.Operands.Rs2))
+			}
+			for _, r := range o.Op.ImplicitReads {
+				if r != zero && r != isa.RegIP {
+					dep(r)
+				}
+			}
+			done := start
+			if !o.Op.Class.IsMem() {
+				done = start + uint64(o.Op.Latency)
+			}
+			if o.Op.DstField != nil && int(o.Operands.Rd) != zero {
+				regWrite[o.Operands.Rd] = done
+			}
+			for _, r := range o.Op.ImplicitWrites {
+				if r != zero && r != isa.RegIP {
+					regWrite[r] = done
+				}
+			}
+			slotLast[o.Slot] = start
+			if done > maxDone {
+				maxDone = done
+			}
+		}
+	}
+	return maxDone
+}

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// CheckModel verifies an elaborated architecture model: the detection
+// properties of the operation table (every ISA's table is a copy of the
+// global operation set, so the table checks run once) and the bounds of
+// register and immediate fields. targetgen.Elaborate runs these checks
+// at elaboration time and refuses models with error-severity findings;
+// klint runs them through the lenient elaboration path to report the
+// findings instead.
+func CheckModel(m *isa.Model) *Report {
+	r := &Report{}
+	checkDetection(r, m)
+	checkFieldBounds(r, m)
+	checkOperandShape(r, m)
+	return r
+}
+
+// checkDetection verifies that constant-field detection (Sec. V of the
+// paper) is unambiguous: no operation word may match two table entries.
+// Pairs whose constant masks contain one another are classified as
+// shadowing (the later entry can never be detected — KA002); all other
+// colliding pairs are ambiguous encodings (KA001).
+func checkDetection(r *Report, m *isa.Model) {
+	for i, a := range m.Ops {
+		for _, b := range m.Ops[i+1:] {
+			common := a.ConstMask & b.ConstMask
+			if a.ConstBits&common != b.ConstBits&common {
+				continue
+			}
+			switch {
+			case a.ConstMask == b.ConstMask:
+				r.addf(CheckAmbiguous, Error,
+					"operations %s and %s are not distinguishable by constant fields (identical detection pattern %#08x/%#08x)",
+					a.Name, b.Name, a.ConstMask, a.ConstBits)
+			case a.ConstMask&b.ConstMask == a.ConstMask:
+				// a's mask is a subset of b's: every word encoding b
+				// also matches a, and a precedes b in detection order.
+				r.addf(CheckUnreachable, Error,
+					"operation %s is unreachable: every word encoding it is detected as %s first",
+					b.Name, a.Name)
+			default:
+				r.addf(CheckAmbiguous, Error,
+					"operations %s and %s are not distinguishable by constant fields (patterns agree on the shared mask %#08x)",
+					a.Name, b.Name, common)
+			}
+		}
+	}
+}
+
+// checkFieldBounds verifies register fields against the register file:
+// a field wide enough to encode indices beyond the file lets a binary
+// smuggle out-of-range register numbers past the decoder. Indices
+// beyond the simulator's 32-entry register file would crash the
+// interpreter, so those are errors; indices merely beyond the declared
+// count are warnings.
+func checkFieldBounds(r *Report, m *isa.Model) {
+	names := make([]string, 0, len(m.Formats))
+	for n := range m.Formats {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fm := m.Formats[n]
+		for _, f := range fm.Fields {
+			if f.Kind != isa.FieldReg {
+				continue
+			}
+			max := 1 << f.Width()
+			switch {
+			case max > 32:
+				r.addf(CheckRegBounds, Error,
+					"format %s field %s: %d-bit register field encodes indices up to %d, beyond the simulator's 32-entry register file",
+					fm.Name, f.Name, f.Width(), max-1)
+			case max > m.Regs.Count:
+				r.addf(CheckRegBounds, Warning,
+					"format %s field %s: %d-bit register field encodes indices up to %d, but the register file has %d registers",
+					fm.Name, f.Name, f.Width(), max-1, m.Regs.Count)
+			}
+		}
+	}
+}
+
+// checkOperandShape verifies that control-transfer operations carry a
+// usable target operand and that branch displacements can be negative.
+func checkOperandShape(r *Report, m *isa.Model) {
+	for _, op := range m.Ops {
+		switch op.Class {
+		case isa.ClassBranch:
+			switch {
+			case op.ImmField == nil:
+				r.addf(CheckImmBounds, Error,
+					"branch operation %s has no immediate displacement field", op.Name)
+			case !op.ImmField.Signed:
+				r.addf(CheckImmBounds, Warning,
+					"branch operation %s: displacement field %s is unsigned, backward branches cannot be encoded",
+					op.Name, op.ImmField.Name)
+			}
+		case isa.ClassJump:
+			if op.ImmField == nil && op.Src1Field == nil {
+				r.addf(CheckImmBounds, Error,
+					"jump operation %s has neither an immediate target nor a register target", op.Name)
+			}
+		}
+	}
+}

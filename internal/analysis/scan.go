@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/decode"
+	"repro/internal/isa"
+	"repro/internal/kelf"
+	"repro/internal/sim"
+)
+
+// ScanText linearly decodes every instruction of the program's text
+// section under the ISA the function table declares for its address
+// (the entry ISA where the table is silent), reporting each word that
+// matches no operation-table entry as a KB001 diagnostic. Unlike
+// AnalyzeExecutable's reachability walk it covers every byte —
+// including link-time dead code — and it keeps scanning past bad
+// words, so a dumper can show all of them at once. It backs kdump's
+// disassembly diagnostics; klint's deeper walk subsumes it for
+// reachable code.
+func ScanText(m *isa.Model, p *sim.Program) *Report {
+	r := &Report{}
+	text := p.File.Section(kelf.SecText)
+	if text == nil {
+		return r
+	}
+	fallback := m.ISAByID(p.EntryISA)
+	pc := p.TextStart
+	for pc < p.TextEnd {
+		a := fallback
+		var fn string
+		if fi := p.FuncAt(pc); fi != nil {
+			fn = fi.Name
+			if fa := m.ISAByID(int(fi.ISA)); fa != nil {
+				a = fa
+			}
+		}
+		if a == nil {
+			r.add(Diagnostic{Check: CheckSwitch, Severity: Error, Addr: pc, HasAddr: true, Func: fn,
+				Msg: "no known ISA covers this address (bad entry or function-table ISA id)"})
+			return r
+		}
+		size := a.InstrBytes()
+		if pc+size > p.TextEnd {
+			r.add(Diagnostic{Check: CheckUndecodable, Severity: Warning, Addr: pc, HasAddr: true,
+				ISA: a.Name, Func: fn,
+				Msg: fmt.Sprintf("%d stray byte(s) at end of text: too short for a %s instruction",
+					p.TextEnd-pc, a.Name)})
+			return r
+		}
+		for slot := 0; slot < a.Issue; slot++ {
+			opAddr := pc + uint32(slot)*isa.OpWordBytes
+			w := binary.LittleEndian.Uint32(text.Data[opAddr-p.TextStart:])
+			if op, _ := decode.Word(a, w); op == nil {
+				r.add(Diagnostic{Check: CheckUndecodable, Severity: Error, Addr: opAddr, HasAddr: true,
+					ISA: a.Name, Func: fn,
+					Msg: fmt.Sprintf("illegal operation word %#08x (slot %d)", w, slot)})
+			}
+		}
+		pc += size
+	}
+	return r
+}

@@ -1,0 +1,78 @@
+// Package decode is the pure instruction-decode core of the toolchain:
+// constant-field detection and operand extraction for one instruction of
+// any ISA, with no simulator state attached. The interpreter
+// (internal/sim) layers its simulation-function lookup and decode cache
+// on top of it; the static analyzer (internal/analysis) uses it to
+// decode executables without running them. Keeping one core guarantees
+// that "statically decodable" and "executable" mean the same thing —
+// the property the decoder-agreement fuzz test pins down.
+package decode
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Op is one decoded (non-NOP) operation of an instruction.
+type Op struct {
+	Op       *isa.Operation
+	Slot     uint8
+	Operands isa.Operands
+	Addr     uint32 // address of the operation word
+	Word     uint32 // the raw operation word
+}
+
+// Instruction is one fully decoded instruction: the non-NOP operations
+// of all slots of the active ISA's instruction format.
+type Instruction struct {
+	Addr uint32
+	ISA  *isa.ISA
+	Size uint32
+	Ops  []Op
+}
+
+// Error reports an operation word that no entry of the active ISA's
+// operation table matches.
+type Error struct {
+	Addr uint32 // address of the offending operation word
+	Slot int
+	Word uint32
+	ISA  *isa.ISA
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("illegal operation word %#08x at %#x (ISA %s, slot %d)",
+		e.Word, e.Addr, e.ISA.Name, e.Slot)
+}
+
+// Word detects and decodes a single operation word under ISA a. It
+// returns nil if no operation of a's table matches.
+func Word(a *isa.ISA, word uint32) (*isa.Operation, isa.Operands) {
+	op := a.Detect(word)
+	if op == nil {
+		return nil, isa.Operands{}
+	}
+	return op, op.DecodeOperands(word)
+}
+
+// Instr detects and decodes the instruction at addr under ISA a,
+// fetching operation words through load. NOP slots are dropped from the
+// operation list (they carry no information for either execution or
+// analysis). A word that matches no table entry yields a *Error.
+func Instr(a *isa.ISA, addr uint32, load func(uint32) uint32) (*Instruction, error) {
+	d := &Instruction{Addr: addr, ISA: a, Size: a.InstrBytes()}
+	for slot := 0; slot < a.Issue; slot++ {
+		opAddr := addr + uint32(slot)*isa.OpWordBytes
+		word := load(opAddr)
+		op, operands := Word(a, word)
+		if op == nil {
+			return nil, &Error{Addr: opAddr, Slot: slot, Word: word, ISA: a}
+		}
+		if op.Class == isa.ClassNop {
+			continue
+		}
+		d.Ops = append(d.Ops, Op{Op: op, Slot: uint8(slot), Operands: operands, Addr: opAddr, Word: word})
+	}
+	return d, nil
+}

@@ -1,0 +1,79 @@
+package decode_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"repro/internal/decode"
+	"repro/internal/sim"
+	"repro/internal/targetgen"
+)
+
+// FuzzDecodeAgreement pins the property the shared decode core exists
+// for: the analyzer's static decoder and the simulator's runtime
+// decoder agree on every word of every ISA — the same instruction
+// decodes to the same operations (or both reject the same word at the
+// same slot). A divergence would mean "statically verified" and
+// "executable" no longer describe the same binaries.
+func FuzzDecodeAgreement(f *testing.F) {
+	model := targetgen.MustKahrisma()
+
+	f.Add(uint32(0), uint8(0), []byte{0x00, 0x00, 0x00, 0xFC})      // nop
+	f.Add(uint32(0xFFFFFFFF), uint8(0), []byte{0xFF, 0xFF, 0xFF})   // undecodable
+	f.Add(uint32(0x1000), uint8(2), []byte{0x01, 0x00, 0x48, 0x04}) // VLIW bundle seed
+
+	f.Fuzz(func(t *testing.T, base uint32, isaSel uint8, raw []byte) {
+		a := model.ISAs[int(isaSel)%len(model.ISAs)]
+		base &^= 3 // operation words are 4-byte aligned
+
+		// Synthesize one full instruction's worth of words from the fuzz
+		// bytes, repeating them when raw is shorter than the bundle.
+		words := make([]byte, a.InstrBytes())
+		for i := range words {
+			if len(raw) > 0 {
+				words[i] = raw[i%len(raw)]
+			}
+		}
+		// Decoders only fetch the aligned words of the bundle at base,
+		// so off+4 never runs past the buffer.
+		load := func(addr uint32) uint32 {
+			off := (addr - base) % uint32(len(words))
+			return binary.LittleEndian.Uint32(words[off:])
+		}
+
+		st, serr := decode.Instr(a, base, load)
+		dy, derr := sim.DecodeInstruction(a, base, load)
+
+		if (serr == nil) != (derr == nil) {
+			t.Fatalf("ISA %s word stream %x: static err %v, runtime err %v", a.Name, words, serr, derr)
+		}
+		if serr != nil {
+			var se, de *decode.Error
+			if !errors.As(serr, &se) || !errors.As(derr, &de) {
+				t.Fatalf("rejections are not decode.Errors: %v / %v", serr, derr)
+			}
+			if se.Addr != de.Addr || se.Slot != de.Slot || se.Word != de.Word {
+				t.Fatalf("ISA %s: static rejects %#x/slot %d word %#08x, runtime %#x/slot %d word %#08x",
+					a.Name, se.Addr, se.Slot, se.Word, de.Addr, de.Slot, de.Word)
+			}
+			return
+		}
+		if st.Size != dy.Size || len(st.Ops) != len(dy.Ops) {
+			t.Fatalf("ISA %s: static %d ops/%d bytes, runtime %d ops/%d bytes",
+				a.Name, len(st.Ops), st.Size, len(dy.Ops), dy.Size)
+		}
+		for i := range st.Ops {
+			s, d := &st.Ops[i], &dy.Ops[i]
+			if s.Op != d.Op || s.Slot != d.Slot || s.Addr != d.Addr {
+				t.Fatalf("ISA %s op %d: static %s slot %d @%#x, runtime %s slot %d @%#x",
+					a.Name, i, s.Op.Name, s.Slot, s.Addr, d.Op.Name, d.Slot, d.Addr)
+			}
+			if s.Operands.Rd != d.Rd || s.Operands.Rs1 != d.Rs1 ||
+				s.Operands.Rs2 != d.Rs2 || s.Operands.Imm != d.Imm {
+				t.Fatalf("ISA %s op %d (%s): operand mismatch static %+v, runtime rd=%d rs1=%d rs2=%d imm=%d",
+					a.Name, i, s.Op.Name, s.Operands, d.Rd, d.Rs1, d.Rs2, d.Imm)
+			}
+		}
+	})
+}

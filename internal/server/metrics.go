@@ -25,6 +25,11 @@ type metrics struct {
 	completed atomic.Int64
 	failed    atomic.Int64
 
+	analyses         atomic.Int64
+	analysesFailed   atomic.Int64
+	analysisErrors   atomic.Int64
+	analysisWarnings atomic.Int64
+
 	mu            sync.Mutex
 	rejected      map[string]int64
 	cyclesByModel map[string]uint64
@@ -96,6 +101,12 @@ func (s *Server) renderMetrics(w io.Writer) {
 		fmt.Fprintf(w, "kservd_jobs_rejected_total{reason=%q} %d\n", r, m.rejected[r])
 	}
 	m.mu.Unlock()
+
+	counter("kservd_analyses_total", "Static-analysis requests served by POST /v1/analyze.", m.analyses.Load())
+	counter("kservd_analyses_failed_total", "Static-analysis requests whose inputs failed to build.", m.analysesFailed.Load())
+	fmt.Fprintf(w, "# HELP kservd_analysis_diagnostics_total Diagnostics reported by served analyses, by severity.\n# TYPE kservd_analysis_diagnostics_total counter\n")
+	fmt.Fprintf(w, "kservd_analysis_diagnostics_total{severity=\"error\"} %d\n", m.analysisErrors.Load())
+	fmt.Fprintf(w, "kservd_analysis_diagnostics_total{severity=\"warning\"} %d\n", m.analysisWarnings.Load())
 
 	gauge("kservd_queue_depth", "Accepted-but-unfinished jobs held by admission control.", "%d", s.adm.inUse())
 	gauge("kservd_queue_capacity", "Admission queue depth limit.", "%d", s.adm.depth())

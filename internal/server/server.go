@@ -147,6 +147,7 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -269,6 +270,118 @@ func (s *Server) execute(rec *jobRecord, req *JobRequest) (*kahrisma.RunResult, 
 
 	rec.setState(StateRunning)
 	return s.pool.Submit(s.jobsCtx, exe, opts...).Wait()
+}
+
+// handleAnalyze serves POST /v1/analyze: the klint checks over a
+// request's ADL model and program, synchronously (static analysis does
+// not run guest code, so it needs no job queue slot or pool worker).
+// It shares the job API's artifact caches — the model and executable
+// cache keys are the ones execute computes — so analyzing a program and
+// then simulating it runs the toolchain once.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.metrics.reject(rejectDraining)
+		writeJSON(w, http.StatusServiceUnavailable, APIError{Error: "server is draining"})
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	var req AnalyzeRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.metrics.reject(rejectOversized)
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				APIError{Error: "request body exceeds " + strconv.FormatInt(tooBig.Limit, 10) + " bytes"})
+			return
+		}
+		s.metrics.reject(rejectInvalid)
+		writeJSON(w, http.StatusBadRequest, APIError{Error: "malformed request: " + err.Error()})
+		return
+	}
+	if err := req.validate(s.base); err != nil {
+		s.metrics.reject(rejectInvalid)
+		writeJSON(w, http.StatusBadRequest, APIError{Error: err.Error()})
+		return
+	}
+	res, err := s.analyze(&req)
+	if err != nil {
+		// The request was well-formed but its inputs do not build (an
+		// unparsable ADL, a source with compile errors): 422, mirroring
+		// the job API's build-failure-as-job-failure convention.
+		s.metrics.analysesFailed.Add(1)
+		writeJSON(w, http.StatusUnprocessableEntity, APIError{Error: err.Error()})
+		return
+	}
+	s.metrics.analyses.Add(1)
+	s.metrics.analysisErrors.Add(int64(res.Errors))
+	s.metrics.analysisWarnings.Add(int64(res.Warnings))
+	writeJSON(w, http.StatusOK, res)
+}
+
+// analyze resolves the model and executable through the artifact caches
+// and runs the static checks. Custom ADLs try the strict (job-API,
+// cacheable) elaboration first; when elaboration refuses the model, the
+// lenient path converts the refusal into model diagnostics.
+func (s *Server) analyze(req *AnalyzeRequest) (*AnalyzeResult, error) {
+	sys := s.base
+	modelKey := "builtin"
+	var modelReport *kahrisma.LintReport
+	if req.ADL != "" {
+		modelKey = driver.Fingerprint("adl", driver.Source{Name: "adl", Text: req.ADL})
+		var err error
+		sys, _, err = s.modelCache.GetOrBuild(modelKey, func() (*kahrisma.System, error) {
+			return kahrisma.NewFromADL(req.ADL)
+		})
+		if err != nil {
+			// Not cached: a model with error findings must never serve
+			// a simulation job, and failed builds stay out of the cache.
+			if sys, modelReport, err = kahrisma.NewFromADLLenient(req.ADL); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if modelReport == nil {
+		modelReport = sys.LintModel()
+	}
+
+	min := kahrisma.SeverityInfo
+	if req.MinSeverity != "" {
+		min, _ = kahrisma.ParseSeverity(req.MinSeverity)
+	}
+	total := &kahrisma.LintReport{}
+	total.Merge(modelReport)
+	res := &AnalyzeResult{Model: modelReport.Filter(min).Diags}
+
+	// A model with error findings cannot meaningfully build or decode
+	// programs (klint's convention): report it without the program pass.
+	if len(req.Sources) > 0 && modelReport.Errors() == 0 {
+		srcs := sourceList(req.Lang, req.Sources)
+		exeKey := modelKey + "/" + driver.Fingerprint(req.ISA, srcs...)
+		exe, hit, err := s.exeCache.GetOrBuild(exeKey, func() (*kahrisma.Executable, error) {
+			files := map[string]string{}
+			for _, src := range srcs {
+				files[src.Name] = src.Text
+			}
+			if req.Lang == "asm" {
+				return sys.BuildAsm(req.ISA, files)
+			}
+			return sys.BuildC(req.ISA, files)
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.CacheHit = hit
+		prog := exe.Lint(kahrisma.LintOptions{DOEBounds: req.DOEBounds})
+		total.Merge(prog)
+		res.Program = prog.Filter(min).Diags
+	}
+
+	res.Errors = total.Errors()
+	res.Warnings = total.Warnings()
+	res.Clean = total.Clean()
+	return res, nil
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {

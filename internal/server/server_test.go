@@ -343,6 +343,148 @@ func TestBuildFailureIsJobFailure(t *testing.T) {
 	}
 }
 
+// badWordAsm seeds the KB001 defect of the analysis fixtures: a word
+// that decodes under no operation-table entry.
+const badWordAsm = `
+	.global main
+	.func main
+main:
+	.word 0xFFFFFFFF
+	ret
+	.endfunc
+`
+
+// ambiguousADL seeds the KA001 defect: two operations with identical
+// detection patterns, which strict elaboration refuses.
+const ambiguousADL = `
+architecture T
+registers G { count 32 width 32 zero r0 }
+format I {
+  field opcode 31:26 const
+  field rd 25:21 reg dst
+  field rs1 20:16 reg src1
+  field imm 15:0 imm imm signed
+}
+operation A { format I set opcode = 1 class alu latency 1 sem addi }
+operation B { format I set opcode = 1 class alu latency 1 sem addi }
+isa R { id 0 issue 1 default }
+`
+
+func analyze(t *testing.T, ts *httptest.Server, req server.AnalyzeRequest) (int, server.AnalyzeResult, string) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res server.AnalyzeResult
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, &res); err != nil {
+			t.Fatalf("decoding analyze response %q: %v", data, err)
+		}
+	}
+	return resp.StatusCode, res, string(data)
+}
+
+// POST /v1/analyze runs the klint checks synchronously and shares the
+// job API's artifact caches, so analyzing a program warms the build for
+// a later simulation of the same program.
+func TestAnalyzeEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Workers: 1})
+
+	// A clean program analyzes clean; the first request builds cold.
+	clean := server.AnalyzeRequest{ISA: "RISC", Sources: map[string]string{"main.c": progA}}
+	code, res, raw := analyze(t, ts, clean)
+	if code != http.StatusOK || !res.Clean || res.Errors != 0 || res.CacheHit {
+		t.Fatalf("clean analyze: status %d, result %+v (%s)", code, res, raw)
+	}
+	// The repeat rides the executable cache...
+	if _, res, _ = analyze(t, ts, clean); !res.CacheHit {
+		t.Error("repeat analyze of an identical program was not a cache hit")
+	}
+	// ...and so does a simulation job of the very same program: the
+	// analyze and job paths share one content-addressed cache.
+	job := pollResult(t, ts, submit(t, ts, server.JobRequest{
+		ISA: "RISC", Sources: map[string]string{"main.c": progA},
+	}).ID)
+	if job.State != server.StateDone || !job.CacheHit {
+		t.Errorf("job after analyze: state %s cache_hit %v, want done hit", job.State, job.CacheHit)
+	}
+
+	// A seeded undecodable word comes back as a KB001 error diagnostic.
+	code, res, raw = analyze(t, ts, server.AnalyzeRequest{
+		ISA: "RISC", Lang: "asm", Sources: map[string]string{"main.s": badWordAsm},
+	})
+	if code != http.StatusOK || res.Clean || res.Errors == 0 {
+		t.Fatalf("bad-word analyze: status %d, result %+v (%s)", code, res, raw)
+	}
+	found := false
+	for _, d := range res.Program {
+		if d.Check == "KB001" && d.Severity == kahrisma.SeverityError &&
+			strings.Contains(d.Msg, "illegal operation word 0xffffffff") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no KB001 diagnostic in %+v", res.Program)
+	}
+
+	// An ADL that strict elaboration refuses comes back as KA001 model
+	// diagnostics, and the program pass is skipped.
+	code, res, raw = analyze(t, ts, server.AnalyzeRequest{
+		ISA: "R", ADL: ambiguousADL, Sources: map[string]string{"main.s": badWordAsm}, Lang: "asm",
+	})
+	if code != http.StatusOK || res.Errors == 0 || len(res.Program) != 0 {
+		t.Fatalf("broken-ADL analyze: status %d, result %+v (%s)", code, res, raw)
+	}
+	if len(res.Model) == 0 || res.Model[0].Check != "KA001" {
+		t.Errorf("model diagnostics = %+v, want KA001 first", res.Model)
+	}
+
+	// min_severity filters the reported diagnostics but not the totals.
+	code, res, _ = analyze(t, ts, server.AnalyzeRequest{
+		ISA: "RISC", Sources: map[string]string{"main.c": progA}, DOEBounds: true, MinSeverity: "warning",
+	})
+	if code != http.StatusOK || len(res.Program) != 0 || !res.Clean {
+		t.Errorf("filtered analyze: status %d, result %+v (KB005 info should be filtered)", code, res)
+	}
+
+	// Requests that can never run are rejected up front.
+	if code, _, raw = analyze(t, ts, server.AnalyzeRequest{}); code != http.StatusBadRequest {
+		t.Errorf("empty analyze request: status %d (%s)", code, raw)
+	}
+	if code, _, raw = analyze(t, ts, server.AnalyzeRequest{
+		ISA: "RISC", Sources: map[string]string{"m.c": progA}, MinSeverity: "loud",
+	}); code != http.StatusBadRequest {
+		t.Errorf("bad min_severity: status %d (%s)", code, raw)
+	}
+	// A well-formed request whose source does not compile is 422.
+	if code, _, raw = analyze(t, ts, server.AnalyzeRequest{
+		ISA: "RISC", Sources: map[string]string{"bad.c": "int main() { return undeclared; }"},
+	}); code != http.StatusUnprocessableEntity {
+		t.Errorf("uncompilable analyze: status %d (%s)", code, raw)
+	}
+
+	body := metricsBody(t, ts)
+	if got := metricValue(t, body, "kservd_analyses_total"); got < 5 {
+		t.Errorf("kservd_analyses_total = %v, want >= 5", got)
+	}
+	if got := metricValue(t, body, `kservd_analysis_diagnostics_total{severity="error"}`); got < 2 {
+		t.Errorf("analysis error diagnostics = %v, want >= 2", got)
+	}
+	if got := metricValue(t, body, "kservd_analyses_failed_total"); got != 1 {
+		t.Errorf("kservd_analyses_failed_total = %v, want 1", got)
+	}
+}
+
 // Custom-ADL jobs elaborate through the model cache: the second job
 // reuses the elaborated system.
 func TestCustomADLJobs(t *testing.T) {

@@ -80,20 +80,96 @@ func (r *JobRequest) validate(base *kahrisma.System) error {
 // deterministic (name-sorted) order — the order the artifact
 // fingerprint and the build both use.
 func (r *JobRequest) sources() []driver.Source {
-	names := make([]string, 0, len(r.Sources))
-	for n := range r.Sources {
+	return sourceList(r.Lang, r.Sources)
+}
+
+func sourceList(lang string, files map[string]string) []driver.Source {
+	names := make([]string, 0, len(files))
+	for n := range files {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	out := make([]driver.Source, len(names))
 	for i, n := range names {
-		if r.Lang == "asm" {
-			out[i] = driver.AsmSource(n, r.Sources[n])
+		if lang == "asm" {
+			out[i] = driver.AsmSource(n, files[n])
 		} else {
-			out[i] = driver.CSource(n, r.Sources[n])
+			out[i] = driver.CSource(n, files[n])
 		}
 	}
 	return out
+}
+
+// AnalyzeRequest is the body of POST /v1/analyze: a static-analysis
+// request over the same toolchain inputs as a job — it shares the
+// job API's artifact caches (model and executable keys are identical),
+// so analyzing a program and then simulating it builds once.
+type AnalyzeRequest struct {
+	// ISA names the target/entry processor instance for building the
+	// sources. Required when sources are present.
+	ISA string `json:"isa,omitempty"`
+	// Sources maps file names to MiniC (default) or assembly text.
+	// May be empty to lint only the architecture model.
+	Sources map[string]string `json:"sources,omitempty"`
+	// Lang selects the source language: "c" (default) or "asm".
+	Lang string `json:"lang,omitempty"`
+	// ADL, when non-empty, lints a custom architecture description
+	// (elaborated leniently, so detection defects come back as
+	// diagnostics instead of a build error) and analyzes the sources
+	// against it.
+	ADL string `json:"adl,omitempty"`
+	// DOEBounds adds one KB005 info diagnostic per recovered basic
+	// block carrying its static DOE cycle lower bound.
+	DOEBounds bool `json:"doe_bounds,omitempty"`
+	// MinSeverity filters the reported diagnostics: "info" (default),
+	// "warning" or "error". Error/warning totals always count the
+	// unfiltered report.
+	MinSeverity string `json:"min_severity,omitempty"`
+}
+
+// validate rejects analysis requests that can never run; like job
+// validation, ISA names are checked against the built-in model only.
+func (r *AnalyzeRequest) validate(base *kahrisma.System) error {
+	if len(r.Sources) == 0 && r.ADL == "" {
+		return fmt.Errorf("sources: at least one file required (or provide adl for a model-only analysis)")
+	}
+	switch r.Lang {
+	case "", "c", "asm":
+	default:
+		return fmt.Errorf("lang: %q (want \"c\" or \"asm\")", r.Lang)
+	}
+	if len(r.Sources) > 0 {
+		if r.ISA == "" {
+			return fmt.Errorf("isa: required")
+		}
+		if r.ADL == "" {
+			if _, err := base.IssueWidth(r.ISA); err != nil {
+				return fmt.Errorf("isa: unknown instance %q", r.ISA)
+			}
+		}
+	}
+	if r.MinSeverity != "" {
+		if _, ok := kahrisma.ParseSeverity(r.MinSeverity); !ok {
+			return fmt.Errorf("min_severity: %q (want \"info\", \"warning\" or \"error\")", r.MinSeverity)
+		}
+	}
+	return nil
+}
+
+// AnalyzeResult is the body of a successful POST /v1/analyze response.
+type AnalyzeResult struct {
+	// Model holds the architecture-model diagnostics (checks KA001..);
+	// Program the binary diagnostics (checks KB001..) when sources were
+	// submitted and the model was clean enough to build against.
+	Model   []kahrisma.Diagnostic `json:"model"`
+	Program []kahrisma.Diagnostic `json:"program,omitempty"`
+	// Errors and Warnings count the full (unfiltered) reports; klint's
+	// exit convention maps Errors > 0 to exit status 1.
+	Errors   int  `json:"errors"`
+	Warnings int  `json:"warnings"`
+	Clean    bool `json:"clean"`
+	// CacheHit reports that the executable came from the artifact cache.
+	CacheHit bool `json:"cache_hit"`
 }
 
 // Job states, in lifecycle order.

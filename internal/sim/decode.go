@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 
+	"repro/internal/decode"
 	"repro/internal/isa"
 )
 
@@ -47,54 +49,43 @@ func cacheKey(addr uint32, isaID int) uint64 {
 	return uint64(addr) | uint64(isaID)<<32
 }
 
-// detect scans the active ISA's operation table for the operation
-// encoded by word, checking every constant field of every candidate —
-// the paper's detection loop and the deliberate slow path that the
-// decode cache exists to amortize.
-func detect(a *isa.ISA, word uint32) *isa.Operation {
-	for _, op := range a.Ops {
-		match := true
-		for _, f := range op.Format.Fields {
-			if f.Kind != isa.FieldConst {
-				continue
-			}
-			if f.Extract(word) != op.Consts[f.Name] {
-				match = false
-				break
-			}
-		}
-		if match {
-			return op
-		}
+// DecodeInstruction decodes the instruction at addr under ISA a using
+// the shared decode core (internal/decode), then resolves each
+// operation's simulation function. It is the pure entry point the CPU's
+// fetch path uses; the decoder-agreement fuzz test compares it against
+// the analyzer's static decoder.
+func DecodeInstruction(a *isa.ISA, addr uint32, load func(uint32) uint32) (*Decoded, error) {
+	di, err := decode.Instr(a, addr, load)
+	if err != nil {
+		return nil, err
 	}
-	return nil
+	d := &Decoded{Addr: addr, ISA: a, Size: di.Size}
+	for i := range di.Ops {
+		o := &di.Ops[i]
+		sem, ok := semRegistry[o.Op.SemKey]
+		if !ok {
+			return nil, fmt.Errorf("sim: operation %s has unknown simulation function %q", o.Op.Name, o.Op.SemKey)
+		}
+		d.Ops = append(d.Ops, DecodedOp{
+			Op: o.Op, Slot: o.Slot,
+			Rd: o.Operands.Rd, Rs1: o.Operands.Rs1, Rs2: o.Operands.Rs2, Imm: o.Operands.Imm,
+			Addr: o.Addr, sem: sem,
+		})
+	}
+	return d, nil
 }
 
-// decodeInstruction detects and decodes the instruction at addr under
-// ISA a. NOP slots are dropped from the operation list.
+// decodeInstruction wraps DecodeInstruction with the CPU's memory and
+// the program's source-location rendering for decode failures.
 func (c *CPU) decodeInstruction(addr uint32, a *isa.ISA) (*Decoded, error) {
-	d := &Decoded{Addr: addr, ISA: a, Size: a.InstrBytes()}
-	for slot := 0; slot < a.Issue; slot++ {
-		opAddr := addr + uint32(slot)*isa.OpWordBytes
-		word := c.Mem.LoadWord(opAddr)
-		op := detect(a, word)
-		if op == nil {
+	d, err := DecodeInstruction(a, addr, c.Mem.LoadWord)
+	if err != nil {
+		var de *decode.Error
+		if errors.As(err, &de) {
 			return nil, fmt.Errorf("sim: illegal operation word %#08x at %s (ISA %s, slot %d)",
-				word, c.Prog.Location(opAddr), a.Name, slot)
+				de.Word, c.Prog.Location(de.Addr), a.Name, de.Slot)
 		}
-		if op.Class == isa.ClassNop {
-			continue
-		}
-		sem, ok := semRegistry[op.SemKey]
-		if !ok {
-			return nil, fmt.Errorf("sim: operation %s has unknown simulation function %q", op.Name, op.SemKey)
-		}
-		o := op.DecodeOperands(word)
-		d.Ops = append(d.Ops, DecodedOp{
-			Op: op, Slot: uint8(slot),
-			Rd: o.Rd, Rs1: o.Rs1, Rs2: o.Rs2, Imm: o.Imm,
-			Addr: opAddr, sem: sem,
-		})
+		return nil, err
 	}
 	return d, nil
 }

@@ -13,11 +13,45 @@ import (
 	"sync"
 
 	"repro/internal/adl"
+	"repro/internal/analysis"
 	"repro/internal/isa"
 )
 
 // Elaborate validates an ADL document and builds the architecture model.
+// Beyond the structural validation of the build steps, the elaborated
+// model must pass the analysis layer's model checks (ambiguous
+// constant-field encodings, shadowed operations, field bounds — see
+// analysis.CheckModel): the first error-severity finding aborts
+// elaboration.
 func Elaborate(doc *adl.Document) (*isa.Model, error) {
+	m, err := build(doc)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range analysis.CheckModel(m).Diags {
+		if d.Severity == analysis.Error {
+			return nil, fmt.Errorf("targetgen: %s", d.Msg)
+		}
+	}
+	return m, nil
+}
+
+// ElaborateLenient builds the model like Elaborate but does not refuse
+// error-severity analysis findings: structural defects (bad formats,
+// unknown fields, ...) still fail, while detection and bounds problems
+// are returned as the accompanying report. klint uses it to produce
+// diagnostics for ADL descriptions Elaborate would reject outright.
+func ElaborateLenient(doc *adl.Document) (*isa.Model, *analysis.Report, error) {
+	m, err := build(doc)
+	if err != nil {
+		return nil, nil, err
+	}
+	r := analysis.CheckModel(m)
+	r.Sort()
+	return m, r, nil
+}
+
+func build(doc *adl.Document) (*isa.Model, error) {
 	if doc.Architecture == "" {
 		return nil, fmt.Errorf("targetgen: missing architecture name")
 	}
@@ -30,9 +64,6 @@ func Elaborate(doc *adl.Document) (*isa.Model, error) {
 		return nil, err
 	}
 	if err := buildOperations(m, doc); err != nil {
-		return nil, err
-	}
-	if err := checkDetectionUnambiguous(m); err != nil {
 		return nil, err
 	}
 	if err := buildISAs(m, doc); err != nil {
@@ -253,23 +284,6 @@ func resolveImplicit(m *isa.Model, names []string) ([]int, error) {
 		out = append(out, idx)
 	}
 	return out, nil
-}
-
-// checkDetectionUnambiguous verifies that no operation word can be
-// detected as two different operations: for every pair of operations,
-// their constant bits must differ somewhere within the intersection of
-// their constant masks.
-func checkDetectionUnambiguous(m *isa.Model) error {
-	for i, a := range m.Ops {
-		for _, b := range m.Ops[i+1:] {
-			common := a.ConstMask & b.ConstMask
-			if a.ConstBits&common == b.ConstBits&common {
-				return fmt.Errorf("targetgen: operations %s and %s are not distinguishable by constant fields",
-					a.Name, b.Name)
-			}
-		}
-	}
-	return nil
 }
 
 func buildISAs(m *isa.Model, doc *adl.Document) error {
