@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench verify fmt-check vet lint kvet klint serve smoke clean
+.PHONY: all build test race bench bench-pool bench-gate bench-baseline verify fmt-check vet lint kvet klint serve smoke clean
 
 all: verify
 
@@ -21,6 +21,21 @@ bench:
 # Throughput scaling of the batch simulation engine only.
 bench-pool:
 	$(GO) test -run '^$$' -bench BenchmarkPoolScaling -benchtime=2s .
+
+# Benchmark regression gate (cmd/kbenchgate): re-run the decode and
+# pool hot-path benchmarks, snapshot the throughput metrics to
+# BENCH_ci.json, and fail on a >15% drop against the committed
+# BENCH_baseline.json. Best-of -count=3 damps runner noise.
+BENCH_GATE = 'BenchmarkTable1|BenchmarkPoolScaling'
+bench-gate:
+	$(GO) test -run '^$$' -bench $(BENCH_GATE) -benchtime=3x -count=3 . \
+		| $(GO) run ./cmd/kbenchgate -out BENCH_ci.json -baseline BENCH_baseline.json
+
+# Refresh the committed baseline on the machine class that runs the
+# gate (baselines do not transfer between hosts).
+bench-baseline:
+	$(GO) test -run '^$$' -bench $(BENCH_GATE) -benchtime=3x -count=3 . \
+		| $(GO) run ./cmd/kbenchgate -write-baseline BENCH_baseline.json
 
 fmt-check:
 	@out=$$(gofmt -l .); \

@@ -1,0 +1,217 @@
+// Command kbenchgate turns `go test -bench` output into a benchmark
+// regression gate for the CI: it extracts the repo's throughput metrics
+// (mips, jobs/s, agg-mips — all higher-is-better) from the benchmark
+// stream, snapshots them as JSON, and fails when any metric falls more
+// than the tolerance below the committed baseline.
+//
+//	go test -run '^$' -bench ... -count 3 . | kbenchgate -out BENCH_ci.json -baseline BENCH_baseline.json
+//	go test -run '^$' -bench ... -count 3 . | kbenchgate -write-baseline BENCH_baseline.json
+//
+// Repeated runs of one benchmark (-count N) keep the best value per
+// metric, which damps scheduler noise on shared CI runners; the default
+// 15% tolerance absorbs the rest. Regressions print one line per
+// offending metric and exit 1.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// gateUnits are the benchmark metrics the gate watches. All are
+// throughput (higher is better); timing metrics like ns/op invert the
+// comparison and are deliberately excluded — mips already covers them.
+var gateUnits = map[string]bool{"mips": true, "jobs/s": true, "agg-mips": true}
+
+// Snapshot is the JSON shape of both the baseline and the CI artifact:
+// benchmark name (GOMAXPROCS suffix stripped) to metric unit to value.
+type Snapshot struct {
+	Metrics map[string]map[string]float64 `json:"metrics"`
+}
+
+// parseBench folds a `go test -bench` stream into a snapshot, keeping
+// the best value per benchmark and metric across repeated runs.
+func parseBench(r io.Reader) (Snapshot, error) {
+	snap := Snapshot{Metrics: map[string]map[string]float64{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		name, metrics, ok := parseBenchLine(sc.Text())
+		if !ok {
+			continue
+		}
+		m := snap.Metrics[name]
+		if m == nil {
+			m = map[string]float64{}
+			snap.Metrics[name] = m
+		}
+		for unit, v := range metrics {
+			if v > m[unit] {
+				m[unit] = v
+			}
+		}
+	}
+	return snap, sc.Err()
+}
+
+// parseBenchLine extracts the gated metrics from one benchmark result
+// line: "BenchmarkX/sub-8  N  v1 unit1  v2 unit2 ...".
+func parseBenchLine(line string) (string, map[string]float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", nil, false
+	}
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return "", nil, false // not an iteration count: no result line
+	}
+	metrics := map[string]float64{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		unit := fields[i+1]
+		if !gateUnits[unit] {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		metrics[unit] = v
+	}
+	if len(metrics) == 0 {
+		return "", nil, false
+	}
+	return stripProcs(fields[0]), metrics, true
+}
+
+// stripProcs removes the trailing -GOMAXPROCS suffix so snapshots
+// compare across runners with different core counts.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// compare checks every baseline metric against the current snapshot.
+// It returns one line per regression (empty slice: gate passes);
+// metrics missing from the current run are regressions too, so a
+// silently deleted benchmark cannot pass the gate.
+func compare(baseline, current Snapshot, tolerance float64) []string {
+	var failures []string
+	names := make([]string, 0, len(baseline.Metrics))
+	for name := range baseline.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cur := current.Metrics[name]
+		units := make([]string, 0, len(baseline.Metrics[name]))
+		for unit := range baseline.Metrics[name] {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			base := baseline.Metrics[name][unit]
+			got, ok := cur[unit]
+			if !ok {
+				failures = append(failures,
+					fmt.Sprintf("%s: metric %q missing from this run (baseline %.2f)", name, unit, base))
+				continue
+			}
+			if base <= 0 {
+				continue
+			}
+			if got < base*(1-tolerance) {
+				failures = append(failures,
+					fmt.Sprintf("%s: %s regressed %.1f%% (%.2f -> %.2f, tolerance %.0f%%)",
+						name, unit, 100*(1-got/base), base, got, 100*tolerance))
+			}
+		}
+	}
+	return failures
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "", "write the parsed snapshot JSON here (CI artifact)")
+		baseline  = flag.String("baseline", "BENCH_baseline.json", "committed baseline to gate against")
+		tolerance = flag.Float64("tolerance", 0.15, "allowed fractional throughput drop before failing")
+		writeBase = flag.String("write-baseline", "", "write the snapshot as a new baseline and skip the gate")
+		input     = flag.String("input", "-", "benchmark output to read (-: stdin)")
+	)
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	// Mirror the stream so the benchmark log stays visible in CI.
+	snap, err := parseBench(io.TeeReader(in, os.Stderr))
+	if err != nil {
+		fatal(err)
+	}
+	if len(snap.Metrics) == 0 {
+		fatal(fmt.Errorf("no gated benchmark metrics found in input"))
+	}
+
+	if *out != "" {
+		if err := writeSnapshot(*out, snap); err != nil {
+			fatal(err)
+		}
+	}
+	if *writeBase != "" {
+		if err := writeSnapshot(*writeBase, snap); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("kbenchgate: baseline %s written (%d benchmarks)\n", *writeBase, len(snap.Metrics))
+		return
+	}
+
+	data, err := os.ReadFile(*baseline)
+	if err != nil {
+		fatal(fmt.Errorf("reading baseline: %w (seed one with -write-baseline)", err))
+	}
+	var base Snapshot
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatal(fmt.Errorf("decoding baseline %s: %w", *baseline, err))
+	}
+
+	failures := compare(base, snap, *tolerance)
+	if len(failures) > 0 {
+		fmt.Fprintln(os.Stderr, "kbenchgate: throughput regressions:")
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("kbenchgate: %d benchmarks within %.0f%% of baseline\n",
+		len(base.Metrics), 100**tolerance)
+}
+
+func writeSnapshot(path string, snap Snapshot) error {
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "kbenchgate: %v\n", err)
+	os.Exit(1)
+}

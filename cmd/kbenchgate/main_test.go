@@ -1,0 +1,120 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkTable1/NoDecodeCache-8         	       2	 600000000 ns/op	         4.10 mips	       244.0 ns/instr
+BenchmarkTable1/DecodeCache-8           	       3	 400000000 ns/op	        10.50 mips	        95.2 ns/instr
+BenchmarkTable1/DecodeCache-8           	       3	 380000000 ns/op	        11.20 mips	        89.3 ns/instr
+BenchmarkPoolScaling/workers=4-8        	       5	 200000000 ns/op	        12.00 jobs/s	        48.00 agg-mips
+--- BENCH: BenchmarkPoolScaling
+    bench_test.go:387: GOMAXPROCS=8
+PASS
+ok  	repro	12.345s
+`
+
+func TestParseBench(t *testing.T) {
+	snap, err := parseBench(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Metrics) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(snap.Metrics), snap.Metrics)
+	}
+	// The GOMAXPROCS suffix is stripped; repeated runs keep the best.
+	if got := snap.Metrics["BenchmarkTable1/DecodeCache"]["mips"]; got != 11.20 {
+		t.Errorf("DecodeCache mips = %v, want best-of 11.20", got)
+	}
+	pool := snap.Metrics["BenchmarkPoolScaling/workers=4"]
+	if pool["jobs/s"] != 12.00 || pool["agg-mips"] != 48.00 {
+		t.Errorf("pool metrics = %v", pool)
+	}
+	// Non-gated units never enter the snapshot.
+	for name, m := range snap.Metrics {
+		for unit := range m {
+			if !gateUnits[unit] {
+				t.Errorf("%s carries non-gated unit %q", name, unit)
+			}
+		}
+	}
+}
+
+func TestParseBenchLineRejectsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"--- BENCH: BenchmarkPoolScaling",
+		"BenchmarkBroken-8 not-a-count 1.0 mips",
+		"BenchmarkNoGatedMetrics-8 	 10	 100 ns/op	 5.0 opc",
+		"",
+	} {
+		if name, _, ok := parseBenchLine(line); ok {
+			t.Errorf("line %q parsed as benchmark %q", line, name)
+		}
+	}
+}
+
+func snapOf(values map[string]map[string]float64) Snapshot {
+	return Snapshot{Metrics: values}
+}
+
+func TestCompare(t *testing.T) {
+	base := snapOf(map[string]map[string]float64{
+		"BenchmarkA": {"mips": 10.0},
+		"BenchmarkB": {"jobs/s": 100.0, "agg-mips": 50.0},
+	})
+
+	// Within tolerance (10% drop against 15%): pass.
+	ok := snapOf(map[string]map[string]float64{
+		"BenchmarkA": {"mips": 9.0},
+		"BenchmarkB": {"jobs/s": 101.0, "agg-mips": 50.0},
+	})
+	if fails := compare(base, ok, 0.15); len(fails) != 0 {
+		t.Errorf("within-tolerance run failed the gate: %v", fails)
+	}
+
+	// A 20% drop on one metric: exactly that metric fails.
+	bad := snapOf(map[string]map[string]float64{
+		"BenchmarkA": {"mips": 8.0},
+		"BenchmarkB": {"jobs/s": 101.0, "agg-mips": 50.0},
+	})
+	fails := compare(base, bad, 0.15)
+	if len(fails) != 1 || !strings.Contains(fails[0], "BenchmarkA") || !strings.Contains(fails[0], "mips") {
+		t.Errorf("20%% regression produced %v", fails)
+	}
+
+	// A benchmark missing from the current run cannot pass silently.
+	missing := snapOf(map[string]map[string]float64{
+		"BenchmarkA": {"mips": 10.0},
+	})
+	fails = compare(base, missing, 0.15)
+	if len(fails) != 2 {
+		t.Errorf("missing benchmark produced %v, want 2 missing-metric failures", fails)
+	}
+
+	// Improvements never fail, whatever the magnitude.
+	better := snapOf(map[string]map[string]float64{
+		"BenchmarkA": {"mips": 40.0},
+		"BenchmarkB": {"jobs/s": 500.0, "agg-mips": 300.0},
+	})
+	if fails := compare(base, better, 0.15); len(fails) != 0 {
+		t.Errorf("improved run failed the gate: %v", fails)
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkTable1/DecodeCache-8":    "BenchmarkTable1/DecodeCache",
+		"BenchmarkPoolScaling/workers=4-8": "BenchmarkPoolScaling/workers=4",
+		"BenchmarkPlain":                   "BenchmarkPlain",
+		"BenchmarkX/sub-case":              "BenchmarkX/sub-case",
+	} {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -23,15 +23,17 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("workers", 0, "simulation pool workers (0: GOMAXPROCS)")
-		queue    = flag.Int("queue", 64, "admission queue depth (jobs in flight before 429)")
-		maxBody  = flag.Int64("max-body", 1<<20, "request body size limit in bytes")
-		maxFuel  = flag.Uint64("max-fuel", 500_000_000, "per-job instruction cap (also the default budget)")
-		maxTime  = flag.Duration("max-timeout", 30*time.Second, "per-job wall-clock cap (also the default)")
-		drain    = flag.Duration("drain", 30*time.Second, "graceful-drain deadline on SIGTERM")
-		exeCache = flag.Int("exe-cache", 128, "artifact cache capacity (linked executables)")
-		logJSON  = flag.Bool("log-json", false, "emit structured logs as JSON")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "simulation pool workers (0: GOMAXPROCS)")
+		queue     = flag.Int("queue", 64, "admission queue depth (jobs in flight before 429)")
+		maxBody   = flag.Int64("max-body", 1<<20, "request body size limit in bytes")
+		maxFuel   = flag.Uint64("max-fuel", 500_000_000, "per-job instruction cap (also the default budget)")
+		maxTime   = flag.Duration("max-timeout", 30*time.Second, "per-job wall-clock cap (also the default)")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful-drain deadline on SIGTERM")
+		exeCache  = flag.Int("exe-cache", 128, "artifact cache capacity (linked executables)")
+		ring      = flag.Int("stream-ring", 4096, "per-job live-event ring capacity (SSE)")
+		heartbeat = flag.Duration("heartbeat", 15*time.Second, "SSE keep-alive interval on idle event streams")
+		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON")
 	)
 	flag.Parse()
 
@@ -42,14 +44,16 @@ func main() {
 	log := slog.New(h)
 
 	s, err := server.New(server.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		MaxRequestBytes: *maxBody,
-		MaxFuel:         *maxFuel,
-		MaxTimeout:      *maxTime,
-		DrainTimeout:    *drain,
-		ExeCacheSize:    *exeCache,
-		Logger:          log,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		MaxRequestBytes:   *maxBody,
+		MaxFuel:           *maxFuel,
+		MaxTimeout:        *maxTime,
+		DrainTimeout:      *drain,
+		ExeCacheSize:      *exeCache,
+		StreamRingSize:    *ring,
+		HeartbeatInterval: *heartbeat,
+		Logger:            log,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kservd:", err)

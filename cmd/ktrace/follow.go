@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// follow implements "ktrace follow": a minimal SSE client for kservd's
+// GET /v1/jobs/{id}/events (docs/streaming.md). It prints each event as
+// one line, reconnects with Last-Event-ID on transient stream errors,
+// and exits when the job's stream reports done.
+func follow(args []string) {
+	fs := flag.NewFlagSet("follow", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8080", "kservd base URL")
+	from := fs.Uint64("from", 0, "start at this sequence number (0: replay what the ring holds)")
+	raw := fs.Bool("raw", false, "print raw JSON payloads instead of one-line summaries")
+	retries := fs.Int("retries", 5, "reconnect attempts after a broken stream")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	jobID := fs.Arg(0)
+
+	var lastSeq uint64
+	resume := false
+	if *from > 0 {
+		lastSeq, resume = *from-1, true
+	}
+	for attempt := 0; ; attempt++ {
+		done, err := followOnce(*server, jobID, &lastSeq, resume, *raw)
+		if done {
+			return
+		}
+		resume = true // after any contact, reconnects carry Last-Event-ID
+		if err != nil && attempt >= *retries {
+			fatal(fmt.Errorf("stream broken after %d attempts: %v", attempt+1, err))
+		}
+		fmt.Fprintf(os.Stderr, "ktrace: stream interrupted (%v), reconnecting\n", err)
+		time.Sleep(time.Duration(attempt+1) * 500 * time.Millisecond)
+	}
+}
+
+// followOnce runs one SSE connection until the stream ends. It reports
+// done=true when the terminal done event arrived (normal exit) and
+// keeps *lastSeq current for resume.
+func followOnce(server, jobID string, lastSeq *uint64, resume, raw bool) (bool, error) {
+	req, err := http.NewRequest("GET", server+"/v1/jobs/"+jobID+"/events", nil)
+	if err != nil {
+		return false, err
+	}
+	if resume {
+		req.Header.Set("Last-Event-ID", fmt.Sprint(*lastSeq))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		fatal(fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body))))
+	}
+
+	r := bufio.NewReader(resp.Body)
+	var event, data string
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			if err == io.EOF {
+				// Stream closed without a done event: the ring may have
+				// evicted it, or the server went away mid-job.
+				return false, fmt.Errorf("stream ended before done event")
+			}
+			return false, err
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			if event == "" && data == "" {
+				continue
+			}
+			if done := printEvent(event, data, lastSeq, raw); done {
+				return true, nil
+			}
+			event, data = "", ""
+		case strings.HasPrefix(line, ":"): // heartbeat comment
+		case strings.HasPrefix(line, "id: "):
+			// Sequence also lives in the payload; the id line is
+			// authoritative for resume.
+			fmt.Sscan(line[len("id: "):], lastSeq)
+		case strings.HasPrefix(line, "event: "):
+			event = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			data = line[len("data: "):]
+		}
+	}
+}
+
+// printEvent renders one frame and reports whether it was terminal.
+func printEvent(event, data string, lastSeq *uint64, raw bool) bool {
+	if raw {
+		fmt.Printf("%s %s\n", event, data)
+		return event == trace.EventDone
+	}
+	switch event {
+	case "gap":
+		var g struct {
+			Missed uint64 `json:"missed"`
+		}
+		json.Unmarshal([]byte(data), &g)
+		fmt.Printf("gap: %d events evicted before delivery\n", g.Missed)
+		return false
+	case trace.EventDone:
+		var ev trace.StreamEvent
+		json.Unmarshal([]byte(data), &ev)
+		if ev.Done == nil {
+			fmt.Println("done")
+		} else if ev.Done.Error != "" {
+			fmt.Printf("done: failed after %d instructions: %s\n", ev.Done.Instructions, ev.Done.Error)
+		} else {
+			fmt.Printf("done: exit %d after %d instructions\n", ev.Done.ExitCode, ev.Done.Instructions)
+		}
+		return true
+	}
+	var ev trace.StreamEvent
+	if err := json.Unmarshal([]byte(data), &ev); err != nil {
+		fmt.Printf("%s %s\n", event, data)
+		return false
+	}
+	switch {
+	case ev.Progress != nil:
+		fmt.Printf("progress: %d instr, %d ops, %d cycles, isa %s, fuel %d\n",
+			ev.Progress.Instructions, ev.Progress.Operations, ev.Progress.Cycles,
+			ev.Progress.ISA, ev.Progress.FuelRemaining)
+	case ev.ISASwitch != nil:
+		fmt.Printf("isa_switch: %s -> %s @ %d instr\n",
+			ev.ISASwitch.From, ev.ISASwitch.To, ev.ISASwitch.Instructions)
+	case ev.Op != nil:
+		fmt.Printf("op: cycle %d pc 0x%X slot %d %s\n",
+			ev.Op.Cycle, ev.Op.Addr, ev.Op.Slot, ev.Op.Op)
+	default:
+		fmt.Printf("%s %s\n", event, data)
+	}
+	return false
+}

@@ -1,12 +1,14 @@
-// Command ktrace works with simulator trace files (Sec. V of the
-// paper): compare two traces for architectural equivalence (the
-// ISS-vs-RTL validation flow) or replay a trace as stimuli into the
-// cycle-accurate pipeline model without re-running the simulation.
+// Command ktrace works with simulator traces (Sec. V of the paper):
+// compare two trace files for architectural equivalence (the ISS-vs-RTL
+// validation flow), replay a trace as stimuli into the cycle-accurate
+// pipeline model without re-running the simulation, or follow a running
+// kservd job's live event stream over SSE (docs/streaming.md).
 //
 // Usage:
 //
 //	ktrace compare a.trace b.trace
 //	ktrace replay  -isa VLIW4 a.trace
+//	ktrace follow  -server http://localhost:8080 <job-id>
 package main
 
 import (
@@ -58,6 +60,8 @@ func main() {
 		fmt.Printf("replayed %d events (%d operations) into %s\n",
 			len(events), pipe.Ops(), pipe.Describe())
 		fmt.Printf("hardware cycles: %d\n", pipe.Cycles())
+	case "follow":
+		follow(os.Args[2:])
 	default:
 		usage()
 	}
@@ -77,7 +81,7 @@ func readTrace(path string) []trace.Event {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ktrace compare a.trace b.trace | ktrace replay [-isa NAME] a.trace")
+	fmt.Fprintln(os.Stderr, "usage: ktrace compare a.trace b.trace | ktrace replay [-isa NAME] a.trace | ktrace follow [-server URL] job-id")
 	os.Exit(2)
 }
 

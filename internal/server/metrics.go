@@ -30,6 +30,11 @@ type metrics struct {
 	analysisErrors   atomic.Int64
 	analysisWarnings atomic.Int64
 
+	// SSE streaming (GET /v1/jobs/{id}/events).
+	streamSubscribers atomic.Int64 // gauge: open event streams
+	streamEvents      atomic.Int64 // events delivered to subscribers
+	streamMissed      atomic.Int64 // events lost to ring eviction before delivery
+
 	mu            sync.Mutex
 	rejected      map[string]int64
 	cyclesByModel map[string]uint64
@@ -107,6 +112,10 @@ func (s *Server) renderMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# HELP kservd_analysis_diagnostics_total Diagnostics reported by served analyses, by severity.\n# TYPE kservd_analysis_diagnostics_total counter\n")
 	fmt.Fprintf(w, "kservd_analysis_diagnostics_total{severity=\"error\"} %d\n", m.analysisErrors.Load())
 	fmt.Fprintf(w, "kservd_analysis_diagnostics_total{severity=\"warning\"} %d\n", m.analysisWarnings.Load())
+
+	gauge("kservd_stream_subscribers", "Open live event streams (SSE).", "%d", m.streamSubscribers.Load())
+	counter("kservd_stream_events_sent_total", "Stream events delivered to SSE subscribers.", m.streamEvents.Load())
+	counter("kservd_stream_events_missed_total", "Stream events evicted from a job ring before a subscriber read them.", m.streamMissed.Load())
 
 	gauge("kservd_queue_depth", "Accepted-but-unfinished jobs held by admission control.", "%d", s.adm.inUse())
 	gauge("kservd_queue_capacity", "Admission queue depth limit.", "%d", s.adm.depth())

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	kahrisma "repro"
+	"repro/internal/trace"
 )
 
 // admission is the backpressure gate in front of the simulation pool: a
@@ -44,6 +45,11 @@ func (a *admission) depth() int64 { return a.max }
 type jobRecord struct {
 	id        string
 	submitted time.Time
+	// stream is the job's live-event ring (GET /v1/jobs/{id}/events).
+	// It is created with the record, fed by the simulator, and closed
+	// by finish on every path, so subscribers always see the stream
+	// end. Memory is bounded by the ring capacity.
+	stream *trace.Streamer
 
 	mu       sync.Mutex
 	state    string
@@ -66,7 +72,11 @@ func (r *jobRecord) setCacheHit(hit bool) {
 	r.mu.Unlock()
 }
 
-// finish transitions the record to done/failed exactly once.
+// finish transitions the record to done/failed exactly once and ends
+// the live event stream. The simulator publishes the done event itself
+// when the run started; this publish is the backstop for jobs that
+// failed before the CPU ran (build errors, rejected ADLs) and a no-op
+// otherwise.
 func (r *jobRecord) finish(res *kahrisma.RunResult, err error) {
 	r.mu.Lock()
 	if err != nil {
@@ -78,6 +88,14 @@ func (r *jobRecord) finish(res *kahrisma.RunResult, err error) {
 	}
 	r.finished = time.Now()
 	r.mu.Unlock()
+	d := trace.Done{}
+	if err != nil {
+		d.Error = err.Error()
+	} else if res != nil {
+		d.ExitCode = res.ExitCode
+		d.Instructions = res.Instructions
+	}
+	r.stream.Done(d)
 	close(r.done)
 }
 
@@ -142,10 +160,11 @@ func newJobStore(maxFinished int) *jobStore {
 	return &jobStore{jobs: map[string]*jobRecord{}, maxFinished: maxFinished}
 }
 
-func (s *jobStore) create() *jobRecord {
+func (s *jobStore) create(streamRing int) *jobRecord {
 	rec := &jobRecord{
 		id:        newID(),
 		submitted: time.Now(),
+		stream:    trace.NewStreamer(streamRing),
 		state:     StateQueued,
 		done:      make(chan struct{}),
 	}

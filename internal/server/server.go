@@ -31,6 +31,7 @@ import (
 
 	kahrisma "repro"
 	"repro/internal/driver"
+	"repro/internal/trace"
 )
 
 // Config tunes the server; zero values select the documented defaults.
@@ -54,6 +55,12 @@ type Config struct {
 	ModelCacheSize int
 	// MaxFinishedJobs bounds retained job records; <= 0 selects 4096.
 	MaxFinishedJobs int
+	// StreamRingSize bounds every job's live-event ring (the per-job
+	// streaming memory); <= 0 selects trace.DefaultRingSize (4096).
+	StreamRingSize int
+	// HeartbeatInterval paces SSE keep-alive comments on idle event
+	// streams; <= 0 selects 15s.
+	HeartbeatInterval time.Duration
 	// DrainTimeout bounds the graceful drain in Serve's shutdown path;
 	// <= 0 selects 30s. Shutdown callers pass their own deadline.
 	DrainTimeout time.Duration
@@ -83,6 +90,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxFinishedJobs <= 0 {
 		c.MaxFinishedJobs = 4096
+	}
+	if c.StreamRingSize <= 0 {
+		c.StreamRingSize = trace.DefaultRingSize
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 15 * time.Second
 	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 30 * time.Second
@@ -150,6 +163,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s.logRequests(mux)
@@ -190,7 +204,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.accepted.Add(1)
-	rec := s.store.create()
+	rec := s.store.create(s.cfg.StreamRingSize)
 	s.jobsWG.Add(1)
 	go s.runJob(rec, &req)
 	w.Header().Set("Location", "/v1/jobs/"+rec.id)
@@ -255,7 +269,16 @@ func (s *Server) execute(rec *jobRecord, req *JobRequest) (*kahrisma.RunResult, 
 	if timeout <= 0 || timeout > s.cfg.MaxTimeout {
 		timeout = s.cfg.MaxTimeout
 	}
-	opts := []kahrisma.Option{kahrisma.WithFuel(fuel), kahrisma.WithTimeout(timeout)}
+	// Every job feeds its live-event ring (progress, ISA switches,
+	// done); per-operation trace streaming is the expensive half and
+	// stays a per-request opt-in.
+	opts := []kahrisma.Option{
+		kahrisma.WithFuel(fuel), kahrisma.WithTimeout(timeout),
+		kahrisma.WithEventSink(rec.stream),
+	}
+	if req.Stream {
+		opts = append(opts, kahrisma.WithTraceStreaming())
+	}
 	if len(req.Models) > 0 {
 		opts = append(opts, kahrisma.WithModels(req.Models...))
 	}
@@ -444,6 +467,17 @@ func (sw *statusWriter) Write(b []byte) (int, error) {
 	sw.bytes += n
 	return n, err
 }
+
+// Flush forwards to the wrapped writer so streaming handlers (the SSE
+// endpoint) work through the logging middleware.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap supports http.ResponseController.
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
 
 // logRequests emits one structured log line per request.
 func (s *Server) logRequests(next http.Handler) http.Handler {

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// handleEvents serves GET /v1/jobs/{id}/events: the job's live event
+// stream as Server-Sent Events (docs/streaming.md). Wire format, one
+// frame per event:
+//
+//	id: <seq>
+//	event: <op|isa_switch|progress|done|gap>
+//	data: <JSON payload>
+//
+// Idle streams carry ": heartbeat" comments every
+// Config.HeartbeatInterval. A reconnecting client sends the standard
+// Last-Event-ID header (or ?from=<seq>) and resumes at the next
+// sequence number; events already evicted from the bounded ring are
+// reported as one "gap" frame carrying the missed count, never
+// silently skipped. The handler returns when the job's stream closes
+// (completion, failure, or drain cancellation) or the client goes
+// away. Streaming works while the server drains — that is exactly when
+// watching a job matters.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	rec := s.store.get(r.PathValue("id"))
+	if rec == nil {
+		writeJSON(w, http.StatusNotFound, APIError{Error: "unknown job"})
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented, APIError{Error: "response writer does not support streaming"})
+		return
+	}
+
+	from := uint64(0)
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		last, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, APIError{Error: "malformed Last-Event-ID: " + v})
+			return
+		}
+		from = last + 1
+	} else if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, APIError{Error: "malformed from parameter: " + v})
+			return
+		}
+		from = n
+	}
+
+	sub := rec.stream.Subscribe(from)
+	defer sub.Cancel()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // intermediaries must not buffer the stream
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	s.metrics.streamSubscribers.Add(1)
+	defer s.metrics.streamSubscribers.Add(-1)
+
+	ctx := r.Context()
+	for {
+		// Bound each wait by the heartbeat interval so idle streams
+		// stay visibly alive through proxies and clients.
+		waitCtx, cancel := context.WithTimeout(ctx, s.cfg.HeartbeatInterval)
+		batch, missed, err := sub.Next(waitCtx)
+		cancel()
+		if err != nil {
+			if ctx.Err() != nil {
+				return // client disconnected
+			}
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+			continue
+		}
+		if missed > 0 {
+			// The ring evicted events this subscriber had not read yet
+			// (slow consumer or a resume from too far back).
+			s.metrics.streamMissed.Add(int64(missed))
+			if _, err := fmt.Fprintf(w, "event: gap\ndata: {\"missed\":%d}\n\n", missed); err != nil {
+				return
+			}
+		}
+		if batch == nil && missed == 0 {
+			return // stream closed and fully delivered
+		}
+		for i := range batch {
+			ev := &batch[i]
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue // cannot happen for these payloads
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
+				return
+			}
+		}
+		s.metrics.streamEvents.Add(int64(len(batch)))
+		fl.Flush()
+	}
+}

@@ -1,0 +1,495 @@
+package server_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/trace"
+)
+
+// progLong runs long enough (tens of millions of operations) that a
+// client can join its event stream while the simulation is in flight.
+const progLong = `
+int main() {
+    int s = 0;
+    for (int i = 0; i < 500000; i++) s += i % 13;
+    printf("s=%d\n", s);
+    return s & 0xFF;
+}
+`
+
+type sseEvent struct {
+	id    string
+	event string
+	data  string
+}
+
+// readEvent parses the next SSE frame, skipping comment lines.
+func readEvent(r *bufio.Reader) (sseEvent, error) {
+	var ev sseEvent
+	seen := false
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return ev, err
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			if seen {
+				return ev, nil
+			}
+		case strings.HasPrefix(line, ":"):
+			// heartbeat comment
+		case strings.HasPrefix(line, "id: "):
+			ev.id, seen = line[len("id: "):], true
+		case strings.HasPrefix(line, "event: "):
+			ev.event, seen = line[len("event: "):], true
+		case strings.HasPrefix(line, "data: "):
+			ev.data, seen = line[len("data: "):], true
+		}
+	}
+}
+
+// openStream connects to the job's SSE endpoint; lastEventID != ""
+// resumes via the standard header.
+func openStream(t *testing.T, url, id, lastEventID string) (*http.Response, *bufio.Reader) {
+	t.Helper()
+	req, err := http.NewRequest("GET", url+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET events: status %d, body %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	return resp, bufio.NewReader(resp.Body)
+}
+
+// resultNow fetches the job result endpoint once; a 409 means the job
+// is still running.
+func resultNow(t *testing.T, url, id string) int {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// The acceptance scenario of the issue: a client subscribed to a
+// running job receives its first trace event while the job is still in
+// flight, follows the stream to the terminal done event, and the
+// streamed job's final counts are bit-identical to a non-streamed run
+// of the same program.
+func TestSSELiveStreamEndToEnd(t *testing.T) {
+	// Per-op streaming under -race runs well past the default per-job
+	// timeout; raise the cap so the job finishes rather than cancels.
+	_, ts := newTestServer(t, server.Config{MaxTimeout: 5 * time.Minute})
+
+	req := server.JobRequest{
+		ISA:     "RISC",
+		Sources: map[string]string{"main.c": progLong},
+		Models:  []string{"ILP", "DOE"},
+		Stream:  true,
+	}
+	st := submit(t, ts, req)
+
+	_, r := openStream(t, ts.URL, st.ID, "")
+	first, err := readEvent(r)
+	if err != nil {
+		t.Fatalf("reading first event: %v", err)
+	}
+	if code := resultNow(t, ts.URL, st.ID); code != http.StatusConflict {
+		t.Fatalf("result status after first event = %d, want 409 (job still running)", code)
+	}
+	t.Logf("first event (%s, seq %s) arrived while job was running", first.event, first.id)
+
+	// Follow the stream to the end; the final frame must be done.
+	var done trace.Done
+	var last sseEvent
+	delivered := 0 // id-framed events; gap frames carry no id
+	var sawOp, sawProgress bool
+	for ev := first; ; {
+		if ev.id != "" {
+			delivered++
+		}
+		switch ev.event {
+		case "op":
+			sawOp = true
+		case "progress":
+			sawProgress = true
+		case "done":
+			if err := json.Unmarshal([]byte(ev.data), &struct {
+				Done *trace.Done `json:"done"`
+			}{&done}); err != nil {
+				t.Fatalf("decoding done frame %q: %v", ev.data, err)
+			}
+		}
+		last = ev
+		next, err := readEvent(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev = next
+	}
+	if last.event != "done" {
+		t.Fatalf("stream ended with %q after %d events, want done", last.event, delivered)
+	}
+	if !sawOp || !sawProgress {
+		t.Errorf("sawOp=%v sawProgress=%v, want both on a streamed job", sawOp, sawProgress)
+	}
+
+	res := pollResult(t, ts, st.ID)
+	if res.State != server.StateDone {
+		t.Fatalf("job state %q: %s", res.State, res.Error)
+	}
+	if done.ExitCode != res.ExitCode || done.Instructions != res.Instructions {
+		t.Errorf("done event %+v disagrees with result exit=%d instructions=%d",
+			done, res.ExitCode, res.Instructions)
+	}
+
+	// Same program without streaming: counts must match bit for bit.
+	req.Stream = false
+	plain := pollResult(t, ts, submit(t, ts, req).ID)
+	if plain.ExitCode != res.ExitCode || plain.Instructions != res.Instructions ||
+		plain.Operations != res.Operations {
+		t.Errorf("streamed run diverged from plain: exit %d/%d instr %d/%d ops %d/%d",
+			res.ExitCode, plain.ExitCode, res.Instructions, plain.Instructions,
+			res.Operations, plain.Operations)
+	}
+	for m, c := range plain.Cycles {
+		if res.Cycles[m] != c {
+			t.Errorf("model %s cycles = %d streamed, %d plain", m, res.Cycles[m], c)
+		}
+	}
+
+	body := metricsBody(t, ts)
+	if got := metricValue(t, body, "kservd_stream_events_sent_total"); got < float64(delivered) {
+		t.Errorf("kservd_stream_events_sent_total = %v, want >= %d", got, delivered)
+	}
+}
+
+// Reconnecting with Last-Event-ID resumes exactly after the last frame
+// the client saw — no duplicates, no skips — as long as the ring still
+// holds the cursor.
+func TestSSEResumeWithLastEventID(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+
+	st := submit(t, ts, server.JobRequest{
+		ISA:     "RISC",
+		Sources: map[string]string{"main.c": progA},
+	})
+	pollResult(t, ts, st.ID) // cheap events only; all fit the ring
+
+	resp, r := openStream(t, ts.URL, st.ID, "")
+	var seen []sseEvent
+	for {
+		ev, err := readEvent(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen = append(seen, ev)
+	}
+	resp.Body.Close()
+	if len(seen) < 2 {
+		t.Fatalf("finished job replayed %d events, want >= 2 (progress + done)", len(seen))
+	}
+
+	// "Disconnect" happened after the first event; resume from there.
+	_, r2 := openStream(t, ts.URL, st.ID, seen[0].id)
+	var resumed []sseEvent
+	for {
+		ev, err := readEvent(r2)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		resumed = append(resumed, ev)
+	}
+	if len(resumed) != len(seen)-1 {
+		t.Fatalf("resumed %d events, want %d", len(resumed), len(seen)-1)
+	}
+	for i, ev := range resumed {
+		if ev.id != seen[i+1].id || ev.data != seen[i+1].data {
+			t.Errorf("resumed event %d = %+v, want %+v", i, ev, seen[i+1])
+		}
+	}
+
+	firstSeq, _ := strconv.ParseUint(seen[0].id, 10, 64)
+	if got, _ := strconv.ParseUint(resumed[0].id, 10, 64); got != firstSeq+1 {
+		t.Errorf("resume started at seq %d, want %d", got, firstSeq+1)
+	}
+}
+
+// A consumer that falls behind a tiny ring gets an explicit gap frame
+// with the missed count, then the bounded tail — and the simulation
+// itself never stalls waiting for the consumer.
+func TestSSESlowConsumerGetsGapWithoutStallingJob(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{StreamRingSize: 64, MaxTimeout: 5 * time.Minute})
+
+	st := submit(t, ts, server.JobRequest{
+		ISA:     "RISC",
+		Sources: map[string]string{"main.c": progLong},
+		Stream:  true, // far more op events than the 64-slot ring holds
+	})
+	// No subscriber reads anything while the job runs. If a slow (here:
+	// absent) consumer could stall the simulation, this poll would hang.
+	res := pollResult(t, ts, st.ID)
+	if res.State != server.StateDone {
+		t.Fatalf("job state %q: %s", res.State, res.Error)
+	}
+
+	_, r := openStream(t, ts.URL, st.ID, "")
+	var gap struct {
+		Missed uint64 `json:"missed"`
+	}
+	var tail int
+	sawGap := false
+	for {
+		ev, err := readEvent(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.event == "gap" {
+			if sawGap {
+				t.Error("multiple gap frames on one replay")
+			}
+			sawGap = true
+			if err := json.Unmarshal([]byte(ev.data), &gap); err != nil {
+				t.Fatalf("decoding gap frame %q: %v", ev.data, err)
+			}
+			if tail != 0 {
+				t.Error("gap frame arrived after events")
+			}
+			continue
+		}
+		tail++
+	}
+	if !sawGap || gap.Missed == 0 {
+		t.Fatalf("no gap frame on a replay that lost events (sawGap=%v missed=%d)", sawGap, gap.Missed)
+	}
+	if tail > 64 {
+		t.Errorf("replay delivered %d events, ring capacity 64", tail)
+	}
+
+	body := metricsBody(t, ts)
+	if got := metricValue(t, body, "kservd_stream_events_missed_total"); got < float64(gap.Missed) {
+		t.Errorf("kservd_stream_events_missed_total = %v, want >= %d", got, gap.Missed)
+	}
+	if got := metricValue(t, body, "kservd_stream_subscribers"); got != 0 {
+		t.Errorf("kservd_stream_subscribers = %v after all streams closed", got)
+	}
+}
+
+// Draining the server cancels in-flight jobs; their event streams end
+// with a terminal done frame and a clean close, not a hang.
+func TestSSECleanCloseOnDrain(t *testing.T) {
+	s, ts := newTestServer(t, server.Config{})
+
+	st := submit(t, ts, server.JobRequest{
+		ISA:     "RISC",
+		Sources: map[string]string{"main.c": progLong},
+		Stream:  true,
+	})
+	_, r := openStream(t, ts.URL, st.ID, "")
+	if _, err := readEvent(r); err != nil {
+		t.Fatalf("first event: %v", err) // job is live
+	}
+
+	// Drain with an immediate deadline: in-flight jobs get canceled.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	go s.Shutdown(ctx)
+
+	deadline := time.AfterFunc(30*time.Second, func() { t.Error("stream did not close on drain") })
+	defer deadline.Stop()
+	var last sseEvent
+	for {
+		ev, err := readEvent(r)
+		if err != nil {
+			break // EOF: server closed the stream
+		}
+		last = ev
+	}
+	if last.event != "done" {
+		t.Fatalf("stream ended with %q on drain, want done", last.event)
+	}
+	var done struct {
+		Done *trace.Done `json:"done"`
+	}
+	if err := json.Unmarshal([]byte(last.data), &done); err != nil || done.Done == nil {
+		t.Fatalf("decoding done frame %q: %v", last.data, err)
+	}
+	if done.Done.Error == "" {
+		t.Errorf("canceled job's done frame carries no error: %+v", done.Done)
+	}
+}
+
+// Idle streams carry heartbeat comments so proxies and clients can tell
+// a quiet job from a dead connection.
+func TestSSEHeartbeat(t *testing.T) {
+	// One worker: the second job sits queued — an open, silent stream —
+	// while the first occupies the pool.
+	_, ts := newTestServer(t, server.Config{Workers: 1, HeartbeatInterval: 30 * time.Millisecond, MaxTimeout: 5 * time.Minute})
+
+	// Non-streamed simulation retires tens of MIPS, so the worker needs
+	// a big loop to stay busy across several heartbeat intervals.
+	const progBusy = `
+int main() {
+    int s = 0;
+    for (int i = 0; i < 5000000; i++) s += i % 13;
+    return s & 0xFF;
+}
+`
+	busy := submit(t, ts, server.JobRequest{
+		ISA:     "RISC",
+		Sources: map[string]string{"main.c": progBusy},
+	})
+	// Only submit the probe once the long job holds the lone worker;
+	// otherwise the probe may run (and close its stream) first.
+	for deadline := time.Now().Add(30 * time.Second); ; {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + busy.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st server.JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.State == server.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("busy job stuck in state %q", st.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	queued := submit(t, ts, server.JobRequest{
+		ISA:     "RISC",
+		Sources: map[string]string{"main.c": progA},
+	})
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + queued.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 256)
+	n, err := resp.Body.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(buf[:n]), ": heartbeat") {
+		t.Fatalf("no heartbeat on an idle stream, got %q", buf[:n])
+	}
+	pollResult(t, ts, busy.ID)
+	pollResult(t, ts, queued.ID)
+}
+
+func TestSSERequestErrors(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/nope/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+
+	st := submit(t, ts, server.JobRequest{
+		ISA:     "RISC",
+		Sources: map[string]string{"main.c": progA},
+	})
+	pollResult(t, ts, st.ID)
+
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/jobs/"+st.ID+"/events", nil)
+	req.Header.Set("Last-Event-ID", "not-a-number")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed Last-Event-ID: status %d, want 400", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events?from=-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed from: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// A job that fails in the toolchain — before any simulation — still
+// closes its event stream with a done frame carrying the build error.
+func TestSSEDoneOnBuildFailure(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+
+	st := submit(t, ts, server.JobRequest{
+		ISA:     "RISC",
+		Sources: map[string]string{"main.c": "int main( { return 0; }"},
+	})
+	res := pollResult(t, ts, st.ID)
+	if res.State != server.StateFailed {
+		t.Fatalf("state %q, want failed", res.State)
+	}
+
+	_, r := openStream(t, ts.URL, st.ID, "")
+	ev, err := readEvent(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.event != "done" {
+		t.Fatalf("first frame %q, want done", ev.event)
+	}
+	var done struct {
+		Done *trace.Done `json:"done"`
+	}
+	if err := json.Unmarshal([]byte(ev.data), &done); err != nil || done.Done == nil || done.Done.Error == "" {
+		t.Fatalf("done frame %q missing build error (%v)", ev.data, err)
+	}
+	if _, err := readEvent(r); err != io.EOF {
+		t.Fatalf("frames after done: %v", err)
+	}
+}

@@ -39,6 +39,11 @@ type JobRequest struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// Stdin feeds the program's emulated standard input.
 	Stdin string `json:"stdin,omitempty"`
+	// Stream additionally publishes every executed operation on the
+	// job's live event stream (GET /v1/jobs/{id}/events). Progress,
+	// ISA-switch and done events are streamed for every job; per-op
+	// trace events are the expensive half and need this opt-in.
+	Stream bool `json:"stream,omitempty"`
 }
 
 // knownModels is the admission-time contract of the Models field; the

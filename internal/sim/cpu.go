@@ -30,6 +30,24 @@ var (
 // this many instructions.
 const CtxCheckInterval = 8192
 
+// DefaultProgressInterval is the instruction distance between periodic
+// progress events when Options.EventSink is set and no interval was
+// chosen. Aligned with CtxCheckInterval so both checks ride the same
+// outer-loop iteration.
+const DefaultProgressInterval = 8 * CtxCheckInterval
+
+// EventSink consumes a running simulation's live event stream: per-op
+// trace events (only when Options.StreamOps is also set), run-time ISA
+// switches, periodic progress snapshots and the terminal completion
+// event. trace.Streamer is the canonical implementation; sinks must
+// not block, or they stall the interpretation loop.
+type EventSink interface {
+	TraceEvent(e *trace.Event)
+	ISASwitch(sw trace.SwitchInfo)
+	Progress(p trace.Progress)
+	Done(d trace.Done)
+}
+
 // Options configure a CPU.
 type Options struct {
 	// DecodeCache enables the detection/decode cache (Sec. V-A).
@@ -51,6 +69,17 @@ type Options struct {
 	// the fabric resource model uses this to refuse reconfigurations
 	// the EDPE array cannot satisfy.
 	OnISASwitch func(from, to *isa.ISA) error
+	// EventSink, when set, receives the live event stream: ISA
+	// switches, periodic progress snapshots (every ProgressInterval
+	// instructions) and the run's terminal event.
+	EventSink EventSink
+	// StreamOps additionally feeds every executed operation to the
+	// sink as a trace event — the live form of the trace file. It is
+	// the expensive half of streaming and therefore a separate opt-in.
+	StreamOps bool
+	// ProgressInterval is the instruction distance between progress
+	// events; 0 selects DefaultProgressInterval.
+	ProgressInterval uint64
 }
 
 // DefaultOptions enables cache and prediction (the configuration the
@@ -130,6 +159,12 @@ type CPU struct {
 	traceW    *trace.Writer
 	cycleSrc  CycleSource
 
+	// Live event streaming (Options.EventSink).
+	sink      EventSink
+	streamOps bool
+	progEvery uint64
+	nextProg  uint64
+
 	// Per-instruction execution state.
 	rec     ExecRecord
 	wbReg   [MaxIssue]uint8
@@ -139,6 +174,7 @@ type CPU struct {
 	ctlSet  bool
 	opIdx   int
 	tracing bool
+	capture bool // capture per-op register inputs (tracing or streamOps)
 	traceIn [MaxIssue][]trace.RegVal
 
 	// C library emulation state.
@@ -169,6 +205,16 @@ func New(m *isa.Model, p *Program, opts Options) (*CPU, error) {
 	if opts.HistorySize > 0 {
 		c.history = make([]uint32, opts.HistorySize)
 	}
+	if opts.EventSink != nil {
+		c.sink = opts.EventSink
+		c.streamOps = opts.StreamOps
+		c.capture = c.streamOps
+		c.progEvery = opts.ProgressInterval
+		if c.progEvery == 0 {
+			c.progEvery = DefaultProgressInterval
+		}
+		c.nextProg = c.progEvery
+	}
 	p.LoadInto(c.Mem)
 	return c, nil
 }
@@ -187,6 +233,7 @@ func (c *CPU) Attach(o Observer) {
 func (c *CPU) SetTrace(w *trace.Writer) {
 	c.traceW = w
 	c.tracing = w != nil
+	c.capture = c.tracing || c.streamOps
 }
 
 // Halted reports whether the program has terminated.
@@ -254,6 +301,9 @@ func (c *CPU) Step() error {
 	if c.tracing {
 		c.emitTrace(d)
 	}
+	if c.streamOps {
+		c.emitStream(d)
+	}
 	return nil
 }
 
@@ -285,7 +335,7 @@ func (c *CPU) execute(d *Decoded) {
 		c.opIdx = i
 		c.rec.Mem[i] = MemAccess{}
 		op := &d.Ops[i]
-		if c.tracing {
+		if c.capture {
 			c.traceIn[i] = c.captureInputs(op)
 		}
 		op.sem(c, op)
@@ -308,6 +358,12 @@ func (c *CPU) execute(d *Decoded) {
 					c.pendingISA = -1
 					return
 				}
+			}
+			if c.sink != nil {
+				c.sink.ISASwitch(trace.SwitchInfo{
+					From: c.ISA.Name, To: a.Name,
+					Instructions: c.Stats.Instructions,
+				})
 			}
 			c.ISA = a
 			c.Stats.ISASwitches++
@@ -355,7 +411,24 @@ func (c *CPU) Run() (ExitStatus, error) {
 // cancellation of ctx. The context is polled every CtxCheckInterval
 // instructions so the hot loop stays select-free; an abort returns an
 // error wrapping ErrCanceled and ctx.Err().
+//
+// When Options.EventSink is set, the run also emits periodic progress
+// events and — on any exit path — a final progress snapshot plus the
+// terminal done event, so live subscribers always see the stream end.
 func (c *CPU) RunContext(ctx context.Context) (ExitStatus, error) {
+	st, err := c.runLoop(ctx)
+	if c.sink != nil {
+		c.emitProgress()
+		d := trace.Done{ExitCode: st.ExitCode, Instructions: st.Instructions}
+		if err != nil {
+			d.Error = err.Error()
+		}
+		c.sink.Done(d)
+	}
+	return st, err
+}
+
+func (c *CPU) runLoop(ctx context.Context) (ExitStatus, error) {
 	done := ctx.Done()
 	next := c.Stats.Instructions + CtxCheckInterval
 	for !c.halted {
@@ -372,6 +445,10 @@ func (c *CPU) RunContext(ctx context.Context) (ExitStatus, error) {
 			}
 			next = c.Stats.Instructions + CtxCheckInterval
 		}
+		if c.sink != nil && c.Stats.Instructions >= c.nextProg {
+			c.emitProgress()
+			c.nextProg = c.Stats.Instructions + c.progEvery
+		}
 		if err := c.Step(); err != nil {
 			return c.status(), err
 		}
@@ -382,6 +459,22 @@ func (c *CPU) RunContext(ctx context.Context) (ExitStatus, error) {
 		}
 	}
 	return c.status(), nil
+}
+
+// emitProgress publishes one progress snapshot to the sink.
+func (c *CPU) emitProgress() {
+	p := trace.Progress{
+		Instructions: c.Stats.Instructions,
+		Operations:   c.Stats.Operations,
+		ISA:          c.ISA.Name,
+	}
+	if c.cycleSrc != nil {
+		p.Cycles = c.cycleSrc.Cycles()
+	}
+	if m := c.opts.MaxInstructions; m > c.Stats.Instructions {
+		p.FuelRemaining = m - c.Stats.Instructions
+	}
+	c.sink.Progress(p)
 }
 
 func (c *CPU) status() ExitStatus {
@@ -402,26 +495,46 @@ func (c *CPU) captureInputs(op *DecodedOp) []trace.RegVal {
 	return in
 }
 
-func (c *CPU) emitTrace(d *Decoded) {
-	var cycle uint64
+// traceCycle timestamps trace events: the attached cycle model's count
+// when one is present, the instruction count otherwise.
+func (c *CPU) traceCycle() uint64 {
 	if c.cycleSrc != nil {
-		cycle = c.cycleSrc.Cycles()
-	} else {
-		cycle = c.Stats.Instructions
+		return c.cycleSrc.Cycles()
 	}
+	return c.Stats.Instructions
+}
+
+// opEvent assembles the trace event of operation i of d.
+func (c *CPU) opEvent(d *Decoded, i int, cycle uint64) trace.Event {
+	op := &d.Ops[i]
+	e := trace.Event{
+		Cycle: cycle,
+		Addr:  op.Addr,
+		Slot:  op.Slot,
+		Op:    op.Op.Name,
+		In:    c.traceIn[i],
+		Imm:   op.Imm,
+	}
+	if op.Op.HasDst() {
+		e.Out = []trace.RegVal{{Reg: op.Rd, Val: c.Regs[op.Rd]}}
+	}
+	return e
+}
+
+func (c *CPU) emitTrace(d *Decoded) {
+	cycle := c.traceCycle()
 	for i := range d.Ops {
-		op := &d.Ops[i]
-		e := trace.Event{
-			Cycle: cycle,
-			Addr:  op.Addr,
-			Slot:  op.Slot,
-			Op:    op.Op.Name,
-			In:    c.traceIn[i],
-			Imm:   op.Imm,
-		}
-		if op.Op.HasDst() {
-			e.Out = []trace.RegVal{{Reg: op.Rd, Val: c.Regs[op.Rd]}}
-		}
+		e := c.opEvent(d, i, cycle)
 		c.traceW.Write(&e)
+	}
+}
+
+// emitStream feeds the executed operations to the event sink — the
+// live counterpart of emitTrace.
+func (c *CPU) emitStream(d *Decoded) {
+	cycle := c.traceCycle()
+	for i := range d.Ops {
+		e := c.opEvent(d, i, cycle)
+		c.sink.TraceEvent(&e)
 	}
 }

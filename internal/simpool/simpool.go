@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // ErrClosed reports a submission to a pool whose Close has already
@@ -260,16 +261,27 @@ func (p *Pool) worker() {
 	}
 }
 
-// runJob executes one job on the calling (worker) goroutine.
+// runJob executes one job on the calling (worker) goroutine. Jobs with
+// a live event sink (Opts.EventSink) always see a terminal done event:
+// the CPU publishes it when the run starts, and the pre-run failure
+// paths here (canceled while queued, CPU construction, Attach) publish
+// it themselves so subscribers of a job that never ran still observe a
+// clean stream end.
 func runJob(ctx context.Context, j Job) Result {
 	res := Result{Label: j.Label}
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	fail := func(err error) Result {
+		res.Err = err
+		if j.Opts.EventSink != nil {
+			j.Opts.EventSink.Done(trace.Done{Error: err.Error()})
+		}
+		return res
+	}
 	// A job canceled while queued never builds its CPU.
 	if err := ctx.Err(); err != nil {
-		res.Err = fmt.Errorf("simpool: %s: %w before start: %w", labelOr(j.Label), sim.ErrCanceled, err)
-		return res
+		return fail(fmt.Errorf("simpool: %s: %w before start: %w", labelOr(j.Label), sim.ErrCanceled, err))
 	}
 	if j.Timeout > 0 {
 		var cancel context.CancelFunc
@@ -278,14 +290,12 @@ func runJob(ctx context.Context, j Job) Result {
 	}
 	c, err := sim.New(j.Model, j.Prog, j.Opts)
 	if err != nil {
-		res.Err = fmt.Errorf("simpool: %s: %w", labelOr(j.Label), err)
-		return res
+		return fail(fmt.Errorf("simpool: %s: %w", labelOr(j.Label), err))
 	}
 	res.CPU = c
 	if j.Attach != nil {
 		if err := j.Attach(c); err != nil {
-			res.Err = fmt.Errorf("simpool: %s: attach: %w", labelOr(j.Label), err)
-			return res
+			return fail(fmt.Errorf("simpool: %s: attach: %w", labelOr(j.Label), err))
 		}
 	}
 	start := time.Now()

@@ -17,6 +17,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/simpool"
 	"repro/internal/targetgen"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -254,4 +255,81 @@ func discardOpts() sim.Options {
 	opts.Stdout = io.Discard
 	opts.MaxInstructions = 500_000_000
 	return opts
+}
+
+// Every job with an event sink gets exactly one terminal done event,
+// whichever layer fails: jobs that never reach the simulator (canceled
+// while queued) publish it from the pool, completed runs from the CPU.
+func TestEventSinkDoneOnEveryPath(t *testing.T) {
+	m := ktest.Model(t)
+	prog := ktest.BuildProgram(t, "RISC", `
+	.global main
+main:
+	li a0, 7
+	ret
+`)
+	pool := simpool.New(1)
+	defer pool.Close()
+
+	// Pre-run failure: canceled while queued, CPU never built.
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	failSink := trace.NewStreamer(16)
+	opts := discardOpts()
+	opts.EventSink = failSink
+	res := pool.Submit(canceled, simpool.Job{Model: m, Prog: prog, Opts: opts, Label: "pre-canceled"}).Wait()
+	if res.Err == nil {
+		t.Fatal("pre-canceled job succeeded")
+	}
+	if !failSink.Closed() {
+		t.Error("sink left open after pre-run failure")
+	}
+	done := lastDone(t, failSink)
+	if done.Error == "" {
+		t.Errorf("pre-run failure done event carries no error: %+v", done)
+	}
+
+	// Normal run: the CPU publishes the terminal event with the exit
+	// code and instruction count.
+	okSink := trace.NewStreamer(16)
+	opts = discardOpts()
+	opts.EventSink = okSink
+	res = pool.Submit(context.Background(), simpool.Job{Model: m, Prog: prog, Opts: opts, Label: "ok"}).Wait()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	done = lastDone(t, okSink)
+	if done.Error != "" || done.Instructions != res.Status.Instructions {
+		t.Errorf("done = %+v, want clean exit after %d instructions", done, res.Status.Instructions)
+	}
+}
+
+// lastDone drains the stream and returns its terminal done payload.
+func lastDone(t *testing.T, s *trace.Streamer) trace.Done {
+	t.Helper()
+	sub := s.Subscribe(0)
+	defer sub.Cancel()
+	ctx, cancelCtx := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelCtx()
+	var done *trace.Done
+	for {
+		batch, _, err := sub.Next(ctx)
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if batch == nil {
+			if done == nil {
+				t.Fatal("stream closed without a done event")
+			}
+			return *done
+		}
+		for _, ev := range batch {
+			if ev.Type == trace.EventDone {
+				if done != nil {
+					t.Fatal("multiple done events on one stream")
+				}
+				done = ev.Done
+			}
+		}
+	}
 }

@@ -1,0 +1,324 @@
+// Live event streaming: a Streamer is the bounded, sequence-numbered
+// fan-out buffer between one running simulation (the single producer)
+// and any number of live subscribers (the SSE handler of kservd, a
+// ktrace -follow client, a test).
+//
+// Design rules, in priority order:
+//
+//  1. The producer never blocks. Publishing into a full ring drops the
+//     oldest event and counts it; a slow (or absent) consumer can never
+//     stall the interpretation loop.
+//  2. Memory is bounded by the ring capacity, regardless of run length
+//     or subscriber behaviour.
+//  3. Every event carries a monotonically increasing sequence number,
+//     so a reconnecting subscriber resumes exactly where it left off
+//     (as long as the ring still holds that sequence) and otherwise
+//     learns precisely how many events it missed.
+//
+// See docs/streaming.md for the wire format kservd derives from this.
+package trace
+
+import (
+	"context"
+	"sync"
+)
+
+// Stream event types, the Type field of StreamEvent.
+const (
+	// EventOp is one executed operation (the live form of a trace line).
+	EventOp = "op"
+	// EventISASwitch reports a run-time SWITCHTARGET reconfiguration.
+	EventISASwitch = "isa_switch"
+	// EventProgress is a periodic progress snapshot of the running job.
+	EventProgress = "progress"
+	// EventDone is the terminal event; the stream closes after it.
+	EventDone = "done"
+)
+
+// SwitchInfo is the payload of an EventISASwitch event.
+type SwitchInfo struct {
+	From         string `json:"from"`
+	To           string `json:"to"`
+	Instructions uint64 `json:"instructions"`
+}
+
+// Progress is the payload of an EventProgress event: a point-in-time
+// snapshot of the running simulation.
+type Progress struct {
+	Instructions uint64 `json:"instructions"`
+	Operations   uint64 `json:"operations"`
+	// Cycles is the attached cycle model's count (0 when the run is
+	// purely functional).
+	Cycles uint64 `json:"cycles,omitempty"`
+	// FuelRemaining is the instruction budget left (0 when unlimited).
+	FuelRemaining uint64 `json:"fuel_remaining,omitempty"`
+	// ISA names the currently active processor instance.
+	ISA string `json:"isa"`
+}
+
+// Done is the payload of the terminal EventDone event.
+type Done struct {
+	ExitCode     int32  `json:"exit_code"`
+	Instructions uint64 `json:"instructions"`
+	// Error carries the run's failure (cancellation, fuel exhaustion,
+	// build error) — empty on a clean halt.
+	Error string `json:"error,omitempty"`
+}
+
+// StreamEvent is one element of a job's live event stream. Exactly one
+// payload field matching Type is set.
+type StreamEvent struct {
+	Seq  uint64 `json:"seq"`
+	Type string `json:"type"`
+
+	Op        *Event      `json:"op,omitempty"`
+	ISASwitch *SwitchInfo `json:"isa_switch,omitempty"`
+	Progress  *Progress   `json:"progress,omitempty"`
+	Done      *Done       `json:"done,omitempty"`
+}
+
+// DefaultRingSize is the per-job event buffer used when a capacity of
+// zero is requested: large enough to ride out a briefly stalled
+// subscriber, small enough that thousands of concurrent jobs stay
+// cheap.
+const DefaultRingSize = 4096
+
+// Streamer is a bounded ring of stream events with multi-subscriber
+// fan-out. One goroutine publishes (the simulation); any number
+// subscribe. All methods are safe for concurrent use.
+type Streamer struct {
+	mu      sync.Mutex
+	buf     []StreamEvent // ring storage, grows to capacity then wraps
+	cap     int
+	next    uint64 // sequence number of the next published event
+	dropped uint64 // events overwritten before any subscriber saw them leave the ring
+	closed  bool
+	subs    map[*Subscription]struct{}
+}
+
+// NewStreamer builds a streamer whose ring holds capacity events;
+// capacity <= 0 selects DefaultRingSize.
+func NewStreamer(capacity int) *Streamer {
+	if capacity <= 0 {
+		capacity = DefaultRingSize
+	}
+	return &Streamer{
+		cap:  capacity,
+		subs: map[*Subscription]struct{}{},
+	}
+}
+
+// publish appends one event, dropping the oldest when the ring is full,
+// and wakes subscribers. It never blocks.
+func (s *Streamer) publish(ev StreamEvent) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	ev.Seq = s.next
+	s.next++
+	if len(s.buf) < s.cap {
+		s.buf = append(s.buf, ev)
+	} else {
+		s.buf[ev.Seq%uint64(s.cap)] = ev
+		s.dropped++
+	}
+	s.notifyLocked()
+	s.mu.Unlock()
+}
+
+// notifyLocked wakes every subscriber without ever blocking the
+// producer: each subscription owns a 1-buffered signal channel.
+func (s *Streamer) notifyLocked() {
+	for sub := range s.subs {
+		select {
+		case sub.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// oldestLocked returns the lowest sequence number still in the ring.
+func (s *Streamer) oldestLocked() uint64 {
+	return s.next - uint64(len(s.buf))
+}
+
+// TraceEvent publishes one executed operation (sim.EventSink).
+func (s *Streamer) TraceEvent(e *Event) {
+	ev := *e // the simulator rebuilds the event per operation; snapshot it
+	s.publish(StreamEvent{Type: EventOp, Op: &ev})
+}
+
+// ISASwitch publishes a run-time reconfiguration (sim.EventSink).
+func (s *Streamer) ISASwitch(sw SwitchInfo) {
+	s.publish(StreamEvent{Type: EventISASwitch, ISASwitch: &sw})
+}
+
+// Progress publishes a periodic snapshot (sim.EventSink).
+func (s *Streamer) Progress(p Progress) {
+	s.publish(StreamEvent{Type: EventProgress, Progress: &p})
+}
+
+// Done publishes the terminal event and closes the stream. Only the
+// first call wins; later calls (a layered owner double-reporting the
+// same completion) are no-ops, so the earliest, most precise report is
+// the one subscribers see.
+func (s *Streamer) Done(d Done) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	ev := StreamEvent{Seq: s.next, Type: EventDone, Done: &d}
+	s.next++
+	if len(s.buf) < s.cap {
+		s.buf = append(s.buf, ev)
+	} else {
+		s.buf[ev.Seq%uint64(s.cap)] = ev
+		s.dropped++
+	}
+	s.closed = true
+	s.notifyLocked()
+	s.mu.Unlock()
+}
+
+// Close ends the stream without a terminal event (the owner abandoned
+// the job before it produced one). Subscribers drain and return.
+func (s *Streamer) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.notifyLocked()
+	}
+	s.mu.Unlock()
+}
+
+// Closed reports whether the stream has ended.
+func (s *Streamer) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Seq returns the sequence number the next event would get (== the
+// count of events published so far).
+func (s *Streamer) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.next
+}
+
+// Dropped returns the number of events overwritten in the ring.
+func (s *Streamer) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Len returns the number of events currently held (<= Cap).
+func (s *Streamer) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.buf)
+}
+
+// Cap returns the ring capacity.
+func (s *Streamer) Cap() int { return s.cap }
+
+// Subscription is one reader's cursor into the stream. Create with
+// Subscribe, consume with Next, release with Cancel.
+type Subscription struct {
+	s      *Streamer
+	cursor uint64 // next sequence number to deliver
+	notify chan struct{}
+}
+
+// Subscribe registers a reader whose delivery starts at sequence
+// number from (0 replays everything the ring still holds; a
+// reconnecting client passes lastSeenSeq+1). Events older than the
+// ring are reported as missed by Next, never silently skipped.
+func (s *Streamer) Subscribe(from uint64) *Subscription {
+	sub := &Subscription{s: s, cursor: from, notify: make(chan struct{}, 1)}
+	s.mu.Lock()
+	s.subs[sub] = struct{}{}
+	// Wake immediately if there is already something to deliver (or the
+	// stream is over), so Next never waits on a signal that was sent
+	// before the subscription existed.
+	if s.cursor(sub) < s.next || s.closed {
+		select {
+		case sub.notify <- struct{}{}:
+		default:
+		}
+	}
+	s.mu.Unlock()
+	return sub
+}
+
+// cursor clamps a subscription's cursor to valid sequence space.
+func (s *Streamer) cursor(sub *Subscription) uint64 {
+	if sub.cursor > s.next {
+		sub.cursor = s.next
+	}
+	return sub.cursor
+}
+
+// Cancel unregisters the subscription. Safe to call more than once.
+func (sub *Subscription) Cancel() {
+	sub.s.mu.Lock()
+	delete(sub.s.subs, sub)
+	sub.s.mu.Unlock()
+}
+
+// Next blocks until events are available, the stream closes, or ctx is
+// done. It returns the next batch (a copy, in sequence order) and the
+// number of events that were dropped from the ring before this
+// subscriber could read them. A nil batch with a nil error means the
+// stream has closed and everything was delivered; a non-nil error is
+// ctx's.
+func (sub *Subscription) Next(ctx context.Context) ([]StreamEvent, uint64, error) {
+	for {
+		batch, missed, done := sub.take()
+		if len(batch) > 0 || missed > 0 {
+			return batch, missed, nil
+		}
+		if done {
+			return nil, 0, nil
+		}
+		select {
+		case <-sub.notify:
+		case <-ctx.Done():
+			return nil, 0, ctx.Err()
+		}
+	}
+}
+
+// take copies every undelivered event out of the ring.
+func (sub *Subscription) take() (batch []StreamEvent, missed uint64, done bool) {
+	s := sub.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.cursor(sub)
+	if oldest := s.oldestLocked(); cur < oldest {
+		missed = oldest - cur
+		cur = oldest
+	}
+	if cur < s.next {
+		batch = make([]StreamEvent, 0, s.next-cur)
+		for q := cur; q < s.next; q++ {
+			batch = append(batch, s.ringAtLocked(q))
+		}
+		cur = s.next
+	}
+	sub.cursor = cur
+	return batch, missed, s.closed && cur == s.next
+}
+
+// ringAtLocked fetches the event with sequence number q, which the
+// caller has checked is still in the ring.
+func (s *Streamer) ringAtLocked(q uint64) StreamEvent {
+	if len(s.buf) < s.cap {
+		return s.buf[q]
+	}
+	return s.buf[q%uint64(s.cap)]
+}

@@ -1,0 +1,322 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func opEv(n int) StreamEvent {
+	return StreamEvent{Type: EventOp, Op: &Event{Cycle: uint64(n), Op: "ADD"}}
+}
+
+// drain reads everything currently deliverable without blocking.
+func drain(t *testing.T, sub *Subscription) ([]StreamEvent, uint64) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	var all []StreamEvent
+	var missed uint64
+	for {
+		batch, m, err := sub.Next(ctx)
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		missed += m
+		if batch == nil && m == 0 {
+			return all, missed
+		}
+		all = append(all, batch...)
+	}
+}
+
+// Sequence numbers are dense and delivery ordered; closing ends Next.
+func TestStreamerDelivery(t *testing.T) {
+	s := NewStreamer(64)
+	sub := s.Subscribe(0)
+	for i := 0; i < 10; i++ {
+		s.publish(opEv(i))
+	}
+	s.Done(Done{ExitCode: 7, Instructions: 10})
+
+	all, missed := drain(t, sub)
+	if missed != 0 {
+		t.Fatalf("missed %d events within capacity", missed)
+	}
+	if len(all) != 11 {
+		t.Fatalf("got %d events, want 11 (10 ops + done)", len(all))
+	}
+	for i, ev := range all {
+		if ev.Seq != uint64(i) {
+			t.Errorf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+	last := all[len(all)-1]
+	if last.Type != EventDone || last.Done == nil || last.Done.ExitCode != 7 {
+		t.Errorf("terminal event = %+v, want done with exit 7", last)
+	}
+}
+
+// The ring drops oldest on overflow, counts drops, and reports the gap
+// to late subscribers instead of silently skipping.
+func TestStreamerDropOldest(t *testing.T) {
+	const capacity, published = 16, 100
+	s := NewStreamer(capacity)
+	for i := 0; i < published; i++ {
+		s.publish(opEv(i))
+	}
+	if got := s.Len(); got > capacity {
+		t.Fatalf("ring holds %d events, capacity %d", got, capacity)
+	}
+	if got, want := s.Dropped(), uint64(published-capacity); got != want {
+		t.Fatalf("dropped = %d, want %d", got, want)
+	}
+
+	sub := s.Subscribe(0)
+	s.Close()
+	all, missed := drain(t, sub)
+	if missed != published-capacity {
+		t.Errorf("missed = %d, want %d", missed, published-capacity)
+	}
+	if len(all) != capacity {
+		t.Fatalf("delivered %d events, want the %d still in the ring", len(all), capacity)
+	}
+	if all[0].Seq != published-capacity || all[len(all)-1].Seq != published-1 {
+		t.Errorf("delivered seq range [%d,%d], want [%d,%d]",
+			all[0].Seq, all[len(all)-1].Seq, published-capacity, published-1)
+	}
+}
+
+// A subscriber that joins mid-stream replays what the ring still holds,
+// then follows live.
+func TestStreamerMidStreamJoin(t *testing.T) {
+	s := NewStreamer(64)
+	for i := 0; i < 5; i++ {
+		s.publish(opEv(i))
+	}
+	sub := s.Subscribe(0) // join after 5 events: replay...
+	for i := 5; i < 8; i++ {
+		s.publish(opEv(i)) // ...and live tail
+	}
+	s.Close()
+	all, missed := drain(t, sub)
+	if missed != 0 || len(all) != 8 {
+		t.Fatalf("mid-stream join: %d events, %d missed, want 8/0", len(all), missed)
+	}
+}
+
+// Resume-from-sequence (the Last-Event-ID contract) neither duplicates
+// nor skips events while the ring still holds the cursor.
+func TestStreamerResume(t *testing.T) {
+	s := NewStreamer(64)
+	for i := 0; i < 6; i++ {
+		s.publish(opEv(i))
+	}
+	sub := s.Subscribe(0)
+	first, _ := drain1(t, sub)
+	sub.Cancel() // "disconnect" after reading some events
+
+	lastSeen := first[len(first)-1].Seq
+	resumed := s.Subscribe(lastSeen + 1)
+	for i := 6; i < 9; i++ {
+		s.publish(opEv(i))
+	}
+	s.Close()
+	rest, missed := drain(t, resumed)
+	if missed != 0 {
+		t.Fatalf("resume within ring missed %d", missed)
+	}
+	if want := 9 - int(lastSeen) - 1; len(rest) != want {
+		t.Fatalf("resumed read %d events, want %d", len(rest), want)
+	}
+	if rest[0].Seq != lastSeen+1 {
+		t.Errorf("resume started at seq %d, want %d", rest[0].Seq, lastSeen+1)
+	}
+}
+
+// drain1 reads exactly one batch.
+func drain1(t *testing.T, sub *Subscription) ([]StreamEvent, uint64) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	batch, missed, err := sub.Next(ctx)
+	if err != nil || batch == nil {
+		t.Fatalf("Next: batch=%v err=%v", batch, err)
+	}
+	return batch, missed
+}
+
+// Every subscriber gets the full stream independently.
+func TestStreamerFanOut(t *testing.T) {
+	s := NewStreamer(256)
+	const subscribers, events = 8, 100
+	var wg sync.WaitGroup
+	counts := make([]int, subscribers)
+	for i := 0; i < subscribers; i++ {
+		sub := s.Subscribe(0)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			all, missed := drain(t, sub)
+			counts[i] = len(all) + int(missed)
+		}(i)
+	}
+	for i := 0; i < events; i++ {
+		s.publish(opEv(i))
+	}
+	s.Done(Done{})
+	wg.Wait()
+	for i, n := range counts {
+		if n != events+1 {
+			t.Errorf("subscriber %d accounted for %d events, want %d", i, n, events+1)
+		}
+	}
+}
+
+// The producer never blocks: a subscriber that reads nothing while far
+// more than the ring capacity is published cannot stall publishing, and
+// afterwards reads the bounded tail plus an accurate miss count.
+func TestStreamerSlowConsumerNeverBlocksProducer(t *testing.T) {
+	const capacity = 32
+	s := NewStreamer(capacity)
+	sub := s.Subscribe(0)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10_000; i++ {
+			s.publish(opEv(i))
+		}
+		s.Done(Done{Instructions: 10_000})
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("producer blocked on a slow consumer")
+	}
+
+	all, missed := drain(t, sub)
+	if int(missed)+len(all) != 10_001 {
+		t.Fatalf("accounted for %d+%d events, want 10001", len(all), missed)
+	}
+	if len(all) > capacity {
+		t.Errorf("delivered %d events, ring capacity %d", len(all), capacity)
+	}
+	if s.Len() > capacity {
+		t.Errorf("ring length %d exceeds capacity %d", s.Len(), capacity)
+	}
+}
+
+// Done is idempotent — the first terminal report wins — and publishing
+// after close is a no-op.
+func TestStreamerDoneIdempotent(t *testing.T) {
+	s := NewStreamer(16)
+	s.Done(Done{ExitCode: 1})
+	s.Done(Done{ExitCode: 2})
+	s.publish(opEv(0))
+	sub := s.Subscribe(0)
+	all, _ := drain(t, sub)
+	if len(all) != 1 || all[0].Done.ExitCode != 1 {
+		t.Fatalf("events after double Done = %+v, want single done with exit 1", all)
+	}
+	if !s.Closed() {
+		t.Error("streamer not closed after Done")
+	}
+}
+
+// Next honours context cancellation while waiting.
+func TestStreamerNextContext(t *testing.T) {
+	s := NewStreamer(16)
+	sub := s.Subscribe(0)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, _, err := sub.Next(ctx); err == nil {
+		t.Fatal("Next returned without events, close, or context error")
+	}
+}
+
+// Concurrent publishing and subscribing is race-clean (exercised fully
+// under -race) and loses nothing when within capacity.
+func TestStreamerConcurrent(t *testing.T) {
+	s := NewStreamer(4096)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sub := s.Subscribe(0)
+			defer sub.Cancel()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			for {
+				batch, _, err := sub.Next(ctx)
+				if err != nil {
+					t.Errorf("reader %d: %v", g, err)
+					return
+				}
+				if batch == nil {
+					return
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 2000; i++ {
+		s.Progress(Progress{Instructions: uint64(i)})
+	}
+	s.Done(Done{})
+	wg.Wait()
+	if got := s.Seq(); got != 2001 {
+		t.Errorf("published %d events, want 2001", got)
+	}
+}
+
+func TestStreamEventJSONShape(t *testing.T) {
+	s := NewStreamer(8)
+	s.TraceEvent(&Event{Cycle: 3, Addr: 0x100, Op: "ADD", In: []RegVal{{Reg: 4, Val: 42}}, Imm: -1})
+	s.ISASwitch(SwitchInfo{From: "RISC", To: "VLIW4", Instructions: 9})
+	sub := s.Subscribe(0)
+	s.Close()
+	all, _ := drain(t, sub)
+	if len(all) != 2 {
+		t.Fatalf("got %d events", len(all))
+	}
+	if all[0].Op == nil || all[0].Op.In[0].Val != 42 {
+		t.Errorf("op payload %+v", all[0].Op)
+	}
+	if all[1].ISASwitch == nil || all[1].ISASwitch.To != "VLIW4" {
+		t.Errorf("switch payload %+v", all[1].ISASwitch)
+	}
+	// The snapshot is a copy: mutating the source event later must not
+	// bleed into what subscribers already received.
+	src := Event{Op: "SUB"}
+	s2 := NewStreamer(8)
+	s2.TraceEvent(&src)
+	src.Op = "MUT"
+	sub2 := s2.Subscribe(0)
+	s2.Close()
+	got, _ := drain(t, sub2)
+	if got[0].Op.Op != "SUB" {
+		t.Errorf("streamed op mutated to %q", got[0].Op.Op)
+	}
+}
+
+func ExampleStreamer() {
+	s := NewStreamer(16)
+	sub := s.Subscribe(0)
+	s.Progress(Progress{Instructions: 8192, ISA: "RISC"})
+	s.Done(Done{ExitCode: 0, Instructions: 16384})
+	for {
+		batch, _, _ := sub.Next(context.Background())
+		if batch == nil {
+			break
+		}
+		for _, ev := range batch {
+			fmt.Println(ev.Seq, ev.Type)
+		}
+	}
+	// Output:
+	// 0 progress
+	// 1 done
+}

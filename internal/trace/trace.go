@@ -23,19 +23,21 @@ import (
 
 // RegVal is a register number paired with its value.
 type RegVal struct {
-	Reg uint8
-	Val uint32
+	Reg uint8  `json:"reg"`
+	Val uint32 `json:"val"`
 }
 
-// Event is one executed operation.
+// Event is one executed operation. The JSON form is the payload of a
+// streamed EventOp (docs/streaming.md); the text form is the trace
+// file line.
 type Event struct {
-	Cycle uint64
-	Addr  uint32
-	Slot  uint8
-	Op    string
-	In    []RegVal
-	Out   []RegVal
-	Imm   int32
+	Cycle uint64   `json:"cycle"`
+	Addr  uint32   `json:"addr"`
+	Slot  uint8    `json:"slot"`
+	Op    string   `json:"op"`
+	In    []RegVal `json:"in,omitempty"`
+	Out   []RegVal `json:"out,omitempty"`
+	Imm   int32    `json:"imm"`
 }
 
 // Writer appends events to an output stream.

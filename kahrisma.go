@@ -289,10 +289,16 @@ func (e *Executable) run(ctx context.Context, cfg runConfig) (*RunResult, error)
 	}
 	opts, setup, err := e.prepare(cfg)
 	if err != nil {
+		if cfg.EventSink != nil {
+			cfg.EventSink.Done(trace.Done{Error: err.Error()})
+		}
 		return nil, err
 	}
 	cpu, err := sim.New(e.sys.model, e.prog, opts)
 	if err != nil {
+		if cfg.EventSink != nil {
+			cfg.EventSink.Done(trace.Done{Error: err.Error()})
+		}
 		return nil, err
 	}
 	setup.attach(cpu)
@@ -321,10 +327,13 @@ type runSetup struct {
 // per-run observer state.
 func (e *Executable) prepare(cfg runConfig) (sim.Options, *runSetup, error) {
 	opts := sim.Options{
-		DecodeCache:     !cfg.DisableDecodeCache,
-		Prediction:      !cfg.DisablePrediction && !cfg.DisableDecodeCache,
-		MaxInstructions: cfg.Fuel,
-		Stdin:           cfg.Stdin,
+		DecodeCache:      !cfg.DisableDecodeCache,
+		Prediction:       !cfg.DisablePrediction && !cfg.DisableDecodeCache,
+		MaxInstructions:  cfg.Fuel,
+		Stdin:            cfg.Stdin,
+		EventSink:        cfg.EventSink,
+		StreamOps:        cfg.EventSink != nil && cfg.StreamOps,
+		ProgressInterval: cfg.ProgressInterval,
 	}
 	if opts.MaxInstructions == 0 {
 		opts.MaxInstructions = 2_000_000_000
@@ -419,6 +428,56 @@ func (s *runSetup) collect(cpu *sim.CPU, st sim.ExitStatus) *RunResult {
 	}
 	return res
 }
+
+// ---------------------------------------------------------------------
+// Live event streaming (docs/streaming.md)
+
+// EventSink consumes a running simulation's live events (see
+// WithEventSink): per-operation trace events (with WithTraceStreaming),
+// ISA switches, progress snapshots and the terminal done event.
+type EventSink = sim.EventSink
+
+// Streamer is the canonical EventSink: a bounded, sequence-numbered
+// event ring with multi-subscriber fan-out and drop-oldest overflow,
+// so a slow consumer can never stall the simulation. Build with
+// NewStreamer, consume with Subscribe/Next.
+type Streamer = trace.Streamer
+
+// StreamSubscription is one reader's cursor into a Streamer.
+type StreamSubscription = trace.Subscription
+
+// StreamEvent is one element of a live event stream; its Type is one
+// of the StreamEvent* constants and selects the payload field.
+type StreamEvent = trace.StreamEvent
+
+// Stream event payloads.
+type (
+	ProgressEvent  = trace.Progress
+	ISASwitchEvent = trace.SwitchInfo
+	DoneEvent      = trace.Done
+)
+
+// Stream event types (StreamEvent.Type).
+const (
+	StreamEventOp        = trace.EventOp
+	StreamEventISASwitch = trace.EventISASwitch
+	StreamEventProgress  = trace.EventProgress
+	StreamEventDone      = trace.EventDone
+)
+
+// NewStreamer builds a bounded live-event ring holding capacity events;
+// capacity <= 0 selects the default (trace.DefaultRingSize). Pass it to
+// WithEventSink and read it concurrently:
+//
+//	st := kahrisma.NewStreamer(0)
+//	sub := st.Subscribe(0)
+//	go exe.Run(ctx, kahrisma.WithEventSink(st))
+//	for {
+//	    batch, missed, _ := sub.Next(ctx)
+//	    if batch == nil { break } // stream closed
+//	    ...
+//	}
+func NewStreamer(capacity int) *Streamer { return trace.NewStreamer(capacity) }
 
 // RecommendISA suggests the narrowest instance covering the given
 // theoretical ILP (utilization in (0,1], 0 selects the default 0.7).

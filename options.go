@@ -30,6 +30,9 @@ type runConfig struct {
 	DisableDecodeCache bool
 	DisablePrediction  bool
 	PerFunctionILP     bool
+	EventSink          EventSink
+	StreamOps          bool
+	ProgressInterval   uint64
 }
 
 func resolveOptions(opts []Option) runConfig {
@@ -114,4 +117,31 @@ func WithoutPrediction() Option {
 // RunResult.FunctionILP.
 func WithPerFunctionILP() Option {
 	return func(c *runConfig) { c.PerFunctionILP = true }
+}
+
+// WithEventSink streams the run's live events to sink while the
+// simulation is still executing: run-time ISA switches, periodic
+// progress snapshots (instructions, operations, cycles, fuel
+// remaining, active ISA) and a terminal done event on every exit path.
+// NewStreamer builds the canonical bounded-ring sink; custom sinks
+// must not block, or they stall the interpretation loop. Combine with
+// WithTraceStreaming for per-operation trace events
+// (docs/streaming.md).
+func WithEventSink(sink EventSink) Option {
+	return func(c *runConfig) { c.EventSink = sink }
+}
+
+// WithTraceStreaming additionally feeds every executed operation to
+// the event sink as a live trace event — the streaming form of
+// WithTrace, and the expensive half of streaming (one event per
+// operation instead of a handful per run). It has no effect without
+// WithEventSink.
+func WithTraceStreaming() Option {
+	return func(c *runConfig) { c.StreamOps = true }
+}
+
+// WithProgressInterval sets the instruction distance between streamed
+// progress events (0 keeps the default, sim.DefaultProgressInterval).
+func WithProgressInterval(instructions uint64) Option {
+	return func(c *runConfig) { c.ProgressInterval = instructions }
 }

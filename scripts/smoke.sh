@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # End-to-end smoke of the simulation service: build kservd, start it,
-# submit a job over HTTP, poll it to completion, check the result and
-# the metrics, then verify the SIGTERM drain exits cleanly.
+# submit a job over HTTP, poll it to completion, check the result, the
+# static-analysis endpoint, the live SSE event stream and the metrics,
+# then verify the SIGTERM drain exits cleanly.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -45,6 +46,46 @@ printf '%s\n' "$METRICS" | grep -q '^kservd_jobs_completed_total 1$' || {
     printf '%s\n' "$METRICS" | grep kservd_jobs >&2
     exit 1
 }
+
+# The static-analysis endpoint must pass a clean program through.
+ANALYSIS=$(curl -sf "$BASE/v1/analyze" -d '{
+  "isa": "VLIW4",
+  "sources": {"main.c": "int main() { int s = 0; for (int i = 1; i <= 100; i++) s += i; printf(\"s=%d\\n\", s); return 0; }"}
+}')
+printf '%s' "$ANALYSIS" | grep -q '"clean":true' || { echo "smoke: analysis not clean: $ANALYSIS" >&2; exit 1; }
+echo "smoke: analysis clean"
+
+# Live event streaming: submit a long job with per-op streaming and
+# capture its SSE feed concurrently; the stream must carry op, progress
+# and a terminal done frame (docs/streaming.md).
+ACCEPT3=$(curl -sf "$BASE/v1/jobs" -d '{
+  "isa": "RISC",
+  "sources": {"main.c": "int main() { int s = 0; for (int i = 0; i < 500000; i++) s += i % 7; printf(\"s=%d\\n\", s); return 0; }"},
+  "stream": true
+}')
+ID3=$(printf '%s' "$ACCEPT3" | sed 's/.*"id":"\([^"]*\)".*/\1/')
+[ -n "$ID3" ] || { echo "smoke: no job id in: $ACCEPT3" >&2; exit 1; }
+SSE_FILE=$(mktemp)
+curl -sN --max-time 30 "$BASE/v1/jobs/$ID3/events" > "$SSE_FILE"
+grep -q '^event: op$' "$SSE_FILE" || { echo "smoke: no op events on live stream" >&2; exit 1; }
+tail -5 "$SSE_FILE" | grep -q '^event: done$' || {
+    echo "smoke: live stream did not end with a done frame:" >&2
+    tail -10 "$SSE_FILE" >&2
+    exit 1
+}
+echo "smoke: live stream delivered $(grep -c '^event: ' "$SSE_FILE") frames"
+for i in $(seq 1 200); do
+    if curl -sf "$BASE/v1/jobs/$ID3/result" >/dev/null 2>&1; then break; fi
+    [ "$i" = 200 ] && { echo "smoke: streamed job never finished" >&2; exit 1; }
+    sleep 0.1
+done
+# Replaying the finished job's ring must deterministically end with the
+# final progress snapshot and the done frame.
+REPLAY=$(curl -sN --max-time 30 "$BASE/v1/jobs/$ID3/events")
+printf '%s\n' "$REPLAY" | grep -q '^event: progress$' || { echo "smoke: no progress frame in replay" >&2; exit 1; }
+printf '%s\n' "$REPLAY" | tail -5 | grep -q '^event: done$' || { echo "smoke: replay missing done frame" >&2; exit 1; }
+rm -f "$SSE_FILE"
+echo "smoke: replay carried final progress + done"
 
 # A repeat of the same program must be an artifact-cache hit.
 ACCEPT2=$(curl -sf "$BASE/v1/jobs" -d '{

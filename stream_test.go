@@ -1,0 +1,197 @@
+package kahrisma_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	kahrisma "repro"
+)
+
+// A mixed-ISA workload long enough to cross several progress intervals:
+// main runs RISC, the kernel runs VLIW4 via SWITCHTARGET pairs.
+const streamProg = `
+__isa(VLIW4) int kernel(int a, int b) {
+    int s = 0;
+    for (int i = 0; i < 200; i++) s += a * i - b;
+    return s;
+}
+int main() {
+    int acc = 0;
+    for (int i = 0; i < 20; i++) acc += kernel(i, 3);
+    return acc & 0x7F;
+}
+`
+
+// collect drains every event from the stream until it closes.
+func collect(t *testing.T, sub *kahrisma.StreamSubscription) []kahrisma.StreamEvent {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var all []kahrisma.StreamEvent
+	for {
+		batch, _, err := sub.Next(ctx)
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if batch == nil {
+			return all
+		}
+		all = append(all, batch...)
+	}
+}
+
+// Streaming is observability, not simulation: a streamed run must
+// produce bit-identical results to the plain run, while subscribers see
+// ops, ISA switches, progress snapshots and a terminal done event.
+func TestStreamedRunMatchesPlainRun(t *testing.T) {
+	sys := newSys(t)
+	exe, err := sys.BuildC("RISC", map[string]string{"p.c": streamProg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plain, err := exe.Run(context.Background(), kahrisma.WithModels("ILP", "DOE"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	streamer := kahrisma.NewStreamer(0)
+	sub := streamer.Subscribe(0)
+	streamed, err := exe.Run(context.Background(),
+		kahrisma.WithModels("ILP", "DOE"),
+		kahrisma.WithEventSink(streamer),
+		kahrisma.WithTraceStreaming(),
+		kahrisma.WithProgressInterval(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bit-identical accounting across the two runs.
+	if streamed.ExitCode != plain.ExitCode ||
+		streamed.Instructions != plain.Instructions ||
+		streamed.Operations != plain.Operations {
+		t.Errorf("streamed run diverged: exit %d/%d instr %d/%d ops %d/%d",
+			streamed.ExitCode, plain.ExitCode,
+			streamed.Instructions, plain.Instructions,
+			streamed.Operations, plain.Operations)
+	}
+	for m, c := range plain.Cycles {
+		if streamed.Cycles[m] != c {
+			t.Errorf("model %s cycles = %d streamed, %d plain", m, streamed.Cycles[m], c)
+		}
+	}
+
+	events := collect(t, sub)
+	if len(events) == 0 {
+		t.Fatal("no events streamed")
+	}
+	var ops, switches, progress, done int
+	var lastSeq uint64
+	for i, ev := range events {
+		if i > 0 && ev.Seq <= lastSeq {
+			t.Fatalf("event %d out of order: seq %d after %d", i, ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		switch ev.Type {
+		case kahrisma.StreamEventOp:
+			ops++
+		case kahrisma.StreamEventISASwitch:
+			switches++
+			if ev.ISASwitch.From == ev.ISASwitch.To {
+				t.Errorf("self-switch event: %+v", ev.ISASwitch)
+			}
+		case kahrisma.StreamEventProgress:
+			progress++
+		case kahrisma.StreamEventDone:
+			done++
+			if i != len(events)-1 {
+				t.Errorf("done event at index %d of %d", i, len(events))
+			}
+			if ev.Done.ExitCode != plain.ExitCode || ev.Done.Instructions != plain.Instructions {
+				t.Errorf("done = %+v, want exit %d after %d instructions",
+					ev.Done, plain.ExitCode, plain.Instructions)
+			}
+		}
+	}
+	if ops == 0 {
+		t.Error("no op events despite WithTraceStreaming")
+	}
+	if switches < 2 {
+		t.Errorf("ISA switches streamed = %d, want >= 2 (RISC<->VLIW4 round trips)", switches)
+	}
+	if progress == 0 {
+		t.Error("no progress events at interval 1000")
+	}
+	if done != 1 {
+		t.Errorf("done events = %d, want exactly 1", done)
+	}
+
+	// The per-job footprint is the ring, regardless of how many events
+	// the run published.
+	if streamer.Len() > streamer.Cap() {
+		t.Errorf("ring holds %d events, capacity %d", streamer.Len(), streamer.Cap())
+	}
+	if streamer.Seq() < uint64(streamer.Cap()) {
+		t.Errorf("only %d events published; workload too small to exercise eviction", streamer.Seq())
+	}
+}
+
+// Without WithTraceStreaming the sink still gets the cheap events —
+// progress, ISA switches and done — but no per-op firehose.
+func TestStreamWithoutOpsIsCheapEvents(t *testing.T) {
+	sys := newSys(t)
+	exe, err := sys.BuildC("RISC", map[string]string{"p.c": streamProg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamer := kahrisma.NewStreamer(0)
+	sub := streamer.Subscribe(0)
+	if _, err := exe.Run(context.Background(),
+		kahrisma.WithEventSink(streamer),
+		kahrisma.WithProgressInterval(5000)); err != nil {
+		t.Fatal(err)
+	}
+	events := collect(t, sub)
+	var progress, done bool
+	for _, ev := range events {
+		switch ev.Type {
+		case kahrisma.StreamEventOp:
+			t.Fatalf("op event streamed without WithTraceStreaming: %+v", ev)
+		case kahrisma.StreamEventProgress:
+			progress = true
+			if ev.Progress.ISA == "" || ev.Progress.Instructions == 0 {
+				t.Errorf("empty progress snapshot: %+v", ev.Progress)
+			}
+		case kahrisma.StreamEventDone:
+			done = true
+		}
+	}
+	if !progress || !done {
+		t.Errorf("progress=%v done=%v, want both", progress, done)
+	}
+}
+
+// A run that fails before the simulator starts still closes the stream
+// with a terminal done event carrying the error.
+func TestStreamDoneOnPrepareError(t *testing.T) {
+	sys := newSys(t)
+	exe, err := sys.BuildC("RISC", map[string]string{"p.c": streamProg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamer := kahrisma.NewStreamer(8)
+	sub := streamer.Subscribe(0)
+	if _, err := exe.Run(context.Background(),
+		kahrisma.WithModels("BOGUS"),
+		kahrisma.WithEventSink(streamer)); err == nil {
+		t.Fatal("bogus model accepted")
+	}
+	events := collect(t, sub)
+	if len(events) != 1 || events[0].Type != kahrisma.StreamEventDone || events[0].Done.Error == "" {
+		t.Fatalf("events after failed run = %+v, want one done event with an error", events)
+	}
+	if !streamer.Closed() {
+		t.Error("streamer left open after failed run")
+	}
+}
