@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-pool bench-gate bench-baseline verify fmt-check vet lint kvet klint serve smoke clean
+.PHONY: all build test race bench bench-pool bench-gate bench-baseline verify fmt-check vet lint kvet klint serve smoke prof clean
 
 all: verify
 
@@ -76,6 +76,14 @@ serve:
 # HTTP, poll to completion, check metrics and the SIGTERM drain.
 smoke:
 	./scripts/smoke.sh
+
+# Profiler smoke: profile the quickstart program end-to-end with kprof
+# (docs/profiling.md) — hotspot table, annotated disassembly, pprof
+# export — then render the export with the stock pprof tool.
+prof:
+	@mkdir -p bin
+	$(GO) run ./cmd/kprof -isa VLIW4 -top 5 -disasm -pprof bin/quickstart.pb.gz examples/quickstart/src/dot.c
+	$(GO) tool pprof -top -sample_index=cycles bin/quickstart.pb.gz
 
 # verify mirrors the tier-1 gate plus the static checks the CI runs.
 verify: fmt-check lint build test

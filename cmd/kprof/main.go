@@ -1,0 +1,223 @@
+// Command kprof builds, runs and profiles a guest program, then renders
+// the microarchitectural profile: top-N per-PC hotspots symbolized from
+// the executable's debug sections, decode-cache and
+// instruction-prediction rates, per-ISA and per-VLIW-slot attribution,
+// run-time ISA switches, and (with -disasm) a kdump-style annotated
+// disassembly of the hot functions. -pprof exports the gzipped
+// profile.proto rendering of the same data for `go tool pprof`.
+//
+// Usage:
+//
+//	kprof [-isa RISC] [-models DOE] [-top 20] [-disasm] [-json]
+//	      [-pprof out.pb.gz] [-asm] [-fuel N] [-mem SPEC] file.c...
+//
+// Exit status: 0 on success, 1 on build/run errors or an empty profile,
+// 2 on usage errors.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	kahrisma "repro"
+)
+
+func main() {
+	var (
+		isaName = flag.String("isa", "RISC", "target/entry processor instance")
+		models  = flag.String("models", "DOE", "comma-separated cycle models (ILP, AIE, DOE, RTL); empty profiles execution counts only")
+		topN    = flag.Int("top", 20, "hotspot rows to print (0: all)")
+		asJSON  = flag.Bool("json", false, "print the full symbolized report as JSON")
+		pprofF  = flag.String("pprof", "", "write the gzipped pprof profile.proto to this file")
+		disasm  = flag.Bool("disasm", false, "print annotated disassembly of the functions holding the top hotspots")
+		asmSrc  = flag.Bool("asm", false, "sources are assembly, not MiniC")
+		fuel    = flag.Uint64("fuel", 0, "instruction budget (0: default)")
+		memSpec = flag.String("mem", "", "memory hierarchy spec, e.g. \"limit:1|cache:2K,4,32,3|mem:18\" (empty: the paper's)")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "kprof: at least one source file required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	files := map[string]string{}
+	for _, name := range flag.Args() {
+		text, err := os.ReadFile(name)
+		if err != nil {
+			fatal(err)
+		}
+		files[name] = string(text)
+	}
+
+	sys, err := kahrisma.New()
+	if err != nil {
+		fatal(err)
+	}
+	var exe *kahrisma.Executable
+	if *asmSrc {
+		exe, err = sys.BuildAsm(*isaName, files)
+	} else {
+		exe, err = sys.BuildC(*isaName, files)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := []kahrisma.Option{kahrisma.WithProfiling()}
+	var modelList []string
+	if *models != "" {
+		modelList = strings.Split(*models, ",")
+		opts = append(opts, kahrisma.WithModels(modelList...))
+	}
+	if *fuel > 0 {
+		opts = append(opts, kahrisma.WithFuel(*fuel))
+	}
+	if *memSpec != "" {
+		opts = append(opts, kahrisma.WithMemorySpec(*memSpec))
+	}
+	res, err := exe.Run(context.Background(), opts...)
+	if err != nil {
+		fatal(err)
+	}
+	p := res.Profile
+	if p == nil || len(p.PCs) == 0 {
+		fmt.Fprintln(os.Stderr, "kprof: run produced an empty profile")
+		os.Exit(1)
+	}
+
+	if *pprofF != "" {
+		f, err := os.Create(*pprofF)
+		if err != nil {
+			fatal(err)
+		}
+		if err := exe.WriteProfilePprof(f, p); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "kprof: wrote %s (render with: go tool pprof %s)\n", *pprofF, *pprofF)
+	}
+
+	rep := exe.ProfileReport(p, *topN)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	printReport(rep)
+	if *disasm {
+		printAnnotated(exe, p, rep)
+	}
+}
+
+func printReport(rep *kahrisma.ProfileReport) {
+	fmt.Printf("instructions %d, operations %d", rep.Instructions, rep.Operations)
+	if rep.Cycles > 0 {
+		fmt.Printf(", %s cycles %d", rep.CycleModel, rep.Cycles)
+	}
+	fmt.Println()
+	fmt.Printf("decode cache: %5.1f%% hit  (lookups %d, misses %d, evictions %d)\n",
+		100*rep.DecodeCache.HitRate, rep.DecodeCache.Lookups, rep.DecodeCache.Misses, rep.DecodeCache.Evictions)
+	fmt.Printf("prediction:   %5.1f%% hit  (hits %d, misses %d)\n",
+		100*rep.Prediction.HitRate, rep.Prediction.Hits, rep.Prediction.Misses)
+
+	if len(rep.ISAs) > 1 || len(rep.Switches) > 0 {
+		fmt.Println("per-ISA attribution:")
+		for _, s := range rep.ISAs {
+			fmt.Printf("  %-8s %12d instr %12d ops %12d cycles\n", s.ISA, s.Instructions, s.Ops, s.Cycles)
+		}
+		for _, sw := range rep.Switches {
+			fmt.Printf("  switch %s -> %s: %d\n", sw.From, sw.To, sw.Count)
+		}
+	}
+	if len(rep.Slots) > 1 {
+		fmt.Println("per-slot issue:")
+		for _, s := range rep.Slots {
+			fmt.Printf("  slot %2d %12d ops (%d mem)\n", s.Slot, s.Ops, s.MemOps)
+		}
+	}
+
+	fmt.Printf("hotspots (%d of %d PCs):\n", len(rep.Hotspots), rep.TotalPCs)
+	fmt.Printf("  %10s %6s %10s %10s  %-10s %-16s %s\n",
+		"CYCLES", "PCT", "STALLS", "COUNT", "PC", "FUNC", "FILE:LINE")
+	for _, h := range rep.Hotspots {
+		loc := ""
+		if h.File != "" {
+			loc = h.File + ":" + strconv.Itoa(h.Line)
+		}
+		fmt.Printf("  %10d %5.1f%% %10d %10d  %#-10x %-16s %s\n",
+			h.Cycles, h.CyclePct, h.Stalls, h.Count, h.PC, h.Func, loc)
+	}
+}
+
+// printAnnotated renders the executable's listing for every function
+// holding a top hotspot, prefixing each instruction with its execution
+// count and attributed cycles (from the full profile, so cold lines of
+// a hot function still show their counts).
+func printAnnotated(exe *kahrisma.Executable, p *kahrisma.Profile, rep *kahrisma.ProfileReport) {
+	hot := map[string]bool{}
+	for _, h := range rep.Hotspots {
+		if h.Func != "" {
+			hot[h.Func] = true
+		}
+	}
+	if len(hot) == 0 {
+		fmt.Println("annotated disassembly: no hotspot maps to a function")
+		return
+	}
+	names := make([]string, 0, len(hot))
+	for n := range hot {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("annotated disassembly (%s):\n", strings.Join(names, ", "))
+
+	// Listing lines are "ADDR <name>:" function labels and "ADDR:  ..."
+	// instructions; walk them tracking the current function.
+	cur := ""
+	for _, line := range exe.Disassemble() {
+		if name, ok := strings.CutSuffix(line, ">:"); ok {
+			if i := strings.LastIndex(name, "<"); i >= 0 {
+				cur = name[i+1:]
+			}
+			if hot[cur] {
+				fmt.Printf("  %21s %s\n", "", line)
+			}
+			continue
+		}
+		if !hot[cur] {
+			continue
+		}
+		addr, _, found := strings.Cut(line, ":")
+		if !found {
+			continue
+		}
+		pc, err := strconv.ParseUint(strings.TrimSpace(addr), 16, 32)
+		if err != nil {
+			continue
+		}
+		if s, ok := p.PCs[uint32(pc)]; ok {
+			fmt.Printf("  %10d %10d %s\n", s.Count, s.Cycles, line)
+		} else {
+			fmt.Printf("  %10s %10s %s\n", ".", ".", line)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "kprof: %v\n", err)
+	os.Exit(1)
+}

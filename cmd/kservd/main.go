@@ -34,6 +34,7 @@ func main() {
 		ring      = flag.Int("stream-ring", 4096, "per-job live-event ring capacity (SSE)")
 		heartbeat = flag.Duration("heartbeat", 15*time.Second, "SSE keep-alive interval on idle event streams")
 		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON")
+		spans     = flag.Bool("trace-spans", false, "log pipeline spans per job (elaborate/build/simulate, W3C trace ids)")
 	)
 	flag.Parse()
 
@@ -54,6 +55,7 @@ func main() {
 		StreamRingSize:    *ring,
 		HeartbeatInterval: *heartbeat,
 		Logger:            log,
+		TraceSpans:        *spans,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kservd:", err)

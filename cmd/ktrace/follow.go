@@ -6,6 +6,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"strings"
@@ -45,8 +46,32 @@ func follow(args []string) {
 			fatal(fmt.Errorf("stream broken after %d attempts: %v", attempt+1, err))
 		}
 		fmt.Fprintf(os.Stderr, "ktrace: stream interrupted (%v), reconnecting\n", err)
-		time.Sleep(time.Duration(attempt+1) * 500 * time.Millisecond)
+		time.Sleep(backoff(attempt, rand.Float64()))
 	}
+}
+
+// Reconnect backoff tuning: exponential from backoffBase, capped at
+// backoffCap, with ±20% jitter so a fleet of followers cut off by one
+// server restart does not reconnect in lockstep.
+const (
+	backoffBase   = 500 * time.Millisecond
+	backoffCap    = 10 * time.Second
+	backoffJitter = 0.20
+)
+
+// backoff returns the sleep before reconnect attempt (0-based) attempt.
+// rnd is a uniform sample from [0,1) — injected so tests can pin the
+// jitter.
+func backoff(attempt int, rnd float64) time.Duration {
+	d := backoffBase
+	for i := 0; i < attempt && d < backoffCap; i++ {
+		d *= 2
+	}
+	if d > backoffCap {
+		d = backoffCap
+	}
+	// Scale by a factor uniform in [1-jitter, 1+jitter).
+	return time.Duration(float64(d) * (1 - backoffJitter + 2*backoffJitter*rnd))
 }
 
 // followOnce runs one SSE connection until the stream ends. It reports

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// The reconnect backoff doubles from its base, caps, and jitters ±20% —
+// a fleet of followers cut off together must not reconnect in lockstep.
+func TestBackoffSequence(t *testing.T) {
+	// rnd = 0.5 is the jitter midpoint: the undisturbed exponential.
+	want := []time.Duration{
+		500 * time.Millisecond,
+		1 * time.Second,
+		2 * time.Second,
+		4 * time.Second,
+		8 * time.Second,
+		10 * time.Second, // capped
+		10 * time.Second, // stays capped
+	}
+	for attempt, w := range want {
+		if got := backoff(attempt, 0.5); got != w {
+			t.Errorf("backoff(%d, 0.5) = %v, want %v", attempt, got, w)
+		}
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	for attempt := 0; attempt < 8; attempt++ {
+		mid := backoff(attempt, 0.5)
+		lo := backoff(attempt, 0)
+		hi := backoff(attempt, 0.999999)
+		if lo != time.Duration(float64(mid)*(1-backoffJitter)) {
+			t.Errorf("attempt %d: low jitter %v, want %v", attempt, lo, time.Duration(float64(mid)*0.8))
+		}
+		if hi < mid || hi >= time.Duration(float64(mid)*(1+backoffJitter)+1) {
+			t.Errorf("attempt %d: high jitter %v out of bounds (mid %v)", attempt, hi, mid)
+		}
+		// The jittered delay never exceeds cap plus jitter, even far past
+		// the doubling range.
+		if max := time.Duration(float64(backoffCap) * (1 + backoffJitter)); hi > max {
+			t.Errorf("attempt %d: %v exceeds jittered cap %v", attempt, hi, max)
+		}
+	}
+}
+
+// Two different jitter samples must give two different delays (the
+// whole point of jitter); equal samples stay deterministic.
+func TestBackoffJitterSpreads(t *testing.T) {
+	if backoff(3, 0.1) == backoff(3, 0.9) {
+		t.Error("distinct jitter samples produced identical delays")
+	}
+	if backoff(3, 0.3) != backoff(3, 0.3) {
+		t.Error("equal jitter samples produced different delays")
+	}
+}

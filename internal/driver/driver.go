@@ -5,6 +5,7 @@
 package driver
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/kelf"
 	"repro/internal/link"
+	"repro/internal/prof/span"
 	"repro/internal/sim"
 )
 
@@ -49,23 +51,42 @@ func Fingerprint(isaName string, sources ...Source) string {
 
 // Build compiles, assembles and links sources for the named target ISA.
 func Build(m *isa.Model, isaName string, sources ...Source) (*kelf.File, error) {
-	return BuildOpts(m, cc.Options{ISA: isaName}, sources...)
+	return BuildCtx(context.Background(), m, isaName, sources...)
+}
+
+// BuildCtx is Build with a context: when the context carries a span
+// tracer (internal/prof/span), every toolchain stage — per-source
+// compile and assemble, plus the final link — emits a timed span, so a
+// serving layer can attribute build latency stage by stage.
+func BuildCtx(ctx context.Context, m *isa.Model, isaName string, sources ...Source) (*kelf.File, error) {
+	return BuildOptsCtx(ctx, m, cc.Options{ISA: isaName}, sources...)
 }
 
 // BuildOpts is Build with full compiler options (per-function ISA
 // overrides for the automatic ISA selection, etc.).
 func BuildOpts(m *isa.Model, ccOpts cc.Options, sources ...Source) (*kelf.File, error) {
+	return BuildOptsCtx(context.Background(), m, ccOpts, sources...)
+}
+
+// BuildOptsCtx is BuildOpts with span tracing (see BuildCtx).
+func BuildOptsCtx(ctx context.Context, m *isa.Model, ccOpts cc.Options, sources ...Source) (*kelf.File, error) {
 	var objs []*kelf.File
 	for _, src := range sources {
 		text := src.Text
 		if !src.Asm {
-			var err error
-			text, err = cc.Compile(m, ccOpts, src.Name, src.Text)
+			_, sp := span.Start(ctx, "compile")
+			sp.SetAttr("file", src.Name)
+			compiled, err := cc.Compile(m, ccOpts, src.Name, src.Text)
+			sp.End()
 			if err != nil {
 				return nil, fmt.Errorf("driver: compiling %s: %w", src.Name, err)
 			}
+			text = compiled
 		}
+		_, sp := span.Start(ctx, "assemble")
+		sp.SetAttr("file", src.Name)
 		obj, err := asm.Assemble(m, src.Name+".s", text)
+		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("driver: assembling %s: %w", src.Name, err)
 		}
@@ -73,7 +94,10 @@ func BuildOpts(m *isa.Model, ccOpts cc.Options, sources ...Source) (*kelf.File, 
 	}
 	opt := link.Defaults()
 	opt.EntryISA = ccOpts.ISA
+	_, sp := span.Start(ctx, "link")
+	sp.SetAttr("objects", len(objs))
 	exe, err := link.Link(m, objs, opt)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("driver: linking: %w", err)
 	}

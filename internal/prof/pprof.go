@@ -1,0 +1,202 @@
+package prof
+
+import (
+	"compress/gzip"
+	"io"
+	"sort"
+)
+
+// WritePprof serializes the profile as a gzipped pprof profile.proto
+// stream, the format `go tool pprof` renders — guest flamegraphs from a
+// simulated KAHRISMA program. Each distinct guest PC becomes one
+// location; samples carry three values: executed instructions at the
+// PC, issued operations, and attributed cycles of the primary cycle
+// model. Locations are symbolized through sym (function name, source
+// file, line), so pprof's top/peek/list views group by guest function.
+//
+// The encoder is a minimal hand-rolled protobuf writer — the repo has
+// no protobuf dependency, and the pprof message layout is small and
+// stable (github.com/google/pprof/proto/profile.proto).
+func WritePprof(w io.Writer, p *Profile, sym Symbolizer) error {
+	zw := gzip.NewWriter(w)
+	if _, err := zw.Write(marshalPprof(p, sym)); err != nil {
+		return err
+	}
+	return zw.Close()
+}
+
+// pprof field numbers (message Profile and friends).
+const (
+	profSampleType  = 1
+	profSample      = 2
+	profMapping     = 3
+	profLocation    = 4
+	profFunction    = 5
+	profStringTable = 6
+	profPeriodType  = 11
+	profPeriod      = 12
+
+	vtType = 1
+	vtUnit = 2
+
+	sampleLocationID = 1
+	sampleValue      = 2
+
+	mapID          = 1
+	mapMemoryStart = 2
+	mapMemoryLimit = 3
+	mapFilename    = 5
+
+	locID      = 1
+	locMapping = 2
+	locAddress = 3
+	locLine    = 4
+
+	lineFunctionID = 1
+	lineLine       = 2
+
+	funcID         = 1
+	funcName       = 2
+	funcSystemName = 3
+	funcFilename   = 4
+)
+
+func marshalPprof(p *Profile, sym Symbolizer) []byte {
+	var out buffer
+	strs := newStringTable()
+
+	// sample_type: {instructions, count}, {operations, count},
+	// {cycles, cycles}. pprof's default display key is the last type.
+	for _, st := range [][2]string{{"instructions", "count"}, {"operations", "count"}, {"cycles", "cycles"}} {
+		var vt buffer
+		vt.varintField(vtType, uint64(strs.index(st[0])))
+		vt.varintField(vtUnit, uint64(strs.index(st[1])))
+		out.bytesField(profSampleType, vt.b)
+	}
+
+	// One synthetic mapping covering the guest address space, so
+	// location addresses resolve against something.
+	var m buffer
+	m.varintField(mapID, 1)
+	m.varintField(mapMemoryStart, 0)
+	m.varintField(mapMemoryLimit, 1<<32)
+	m.varintField(mapFilename, uint64(strs.index("[kahrisma-guest]")))
+	out.bytesField(profMapping, m.b)
+
+	pcs := make([]uint32, 0, len(p.PCs))
+	for pc := range p.PCs {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+
+	// Functions, deduplicated by name+file.
+	type funcKey struct{ name, file string }
+	funcIDs := map[funcKey]uint64{}
+	var funcs buffer
+	internFunc := func(name, file string) uint64 {
+		k := funcKey{name, file}
+		if id, ok := funcIDs[k]; ok {
+			return id
+		}
+		id := uint64(len(funcIDs) + 1)
+		funcIDs[k] = id
+		var f buffer
+		f.varintField(funcID, id)
+		f.varintField(funcName, uint64(strs.index(name)))
+		f.varintField(funcSystemName, uint64(strs.index(name)))
+		f.varintField(funcFilename, uint64(strs.index(file)))
+		funcs.bytesField(profFunction, f.b)
+		return id
+	}
+
+	// Locations (one per PC) and samples, in ascending PC order.
+	var locs, samples buffer
+	for i, pc := range pcs {
+		id := uint64(i + 1)
+		var l buffer
+		l.varintField(locID, id)
+		l.varintField(locMapping, 1)
+		l.varintField(locAddress, uint64(pc))
+		if sym != nil {
+			if fn, file, line, ok := sym.Symbol(pc); ok {
+				var ln buffer
+				ln.varintField(lineFunctionID, internFunc(fn, file))
+				ln.varintField(lineLine, uint64(int64(line)))
+				l.bytesField(locLine, ln.b)
+			}
+		}
+		locs.bytesField(profLocation, l.b)
+
+		s := p.PCs[pc]
+		var sm, ids, vals buffer
+		ids.varint(id)
+		vals.varint(s.Count)
+		vals.varint(s.Ops)
+		vals.varint(s.Cycles)
+		sm.bytesField(sampleLocationID, ids.b) // packed repeated
+		sm.bytesField(sampleValue, vals.b)     // packed repeated
+		samples.bytesField(profSample, sm.b)
+	}
+	out.b = append(out.b, samples.b...)
+	out.b = append(out.b, locs.b...)
+	out.b = append(out.b, funcs.b...)
+
+	// period_type {instructions, count}, period 1: one sample unit per
+	// executed instruction.
+	var pt buffer
+	pt.varintField(vtType, uint64(strs.index("instructions")))
+	pt.varintField(vtUnit, uint64(strs.index("count")))
+	out.bytesField(profPeriodType, pt.b)
+	out.varintField(profPeriod, 1)
+
+	// string_table last (indices were interned while building).
+	var st buffer
+	for _, s := range strs.list {
+		st.bytesField(profStringTable, []byte(s))
+	}
+	return append(st.b, out.b...)
+}
+
+// buffer is a minimal protobuf wire-format writer.
+type buffer struct{ b []byte }
+
+func (b *buffer) varint(v uint64) {
+	for v >= 0x80 {
+		b.b = append(b.b, byte(v)|0x80)
+		v >>= 7
+	}
+	b.b = append(b.b, byte(v))
+}
+
+// varintField writes a varint-typed (wire type 0) field.
+func (b *buffer) varintField(field int, v uint64) {
+	b.varint(uint64(field)<<3 | 0)
+	b.varint(v)
+}
+
+// bytesField writes a length-delimited (wire type 2) field.
+func (b *buffer) bytesField(field int, data []byte) {
+	b.varint(uint64(field)<<3 | 2)
+	b.varint(uint64(len(data)))
+	b.b = append(b.b, data...)
+}
+
+// stringTable interns strings; index 0 is the mandatory empty string.
+type stringTable struct {
+	idx  map[string]int
+	list []string
+}
+
+func newStringTable() *stringTable {
+	return &stringTable{idx: map[string]int{"": 0}, list: []string{""}}
+}
+
+func (t *stringTable) index(s string) int {
+	if i, ok := t.idx[s]; ok {
+		return i
+	}
+	i := len(t.list)
+	t.idx[s] = i
+	t.list = append(t.list, s)
+	return i
+}

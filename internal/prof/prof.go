@@ -1,0 +1,512 @@
+// Package prof is the simulator's microarchitectural profiler: a
+// low-overhead observer of the dynamic instruction stream that
+// attributes executed instructions, operations and approximated cycles
+// to guest program counters, ISAs and VLIW slots, and snapshots the
+// interpreter's decode-cache and instruction-prediction counters
+// (Sec. V-A of the paper) into a mergeable Profile.
+//
+// The profiler is strictly opt-in: nothing in this package runs unless
+// a Collector is attached to a CPU, and an attached Collector is a
+// passive observer — it never feeds state back into the simulation, so
+// cycle counts are bit-identical with and without profiling.
+//
+// Profiles merge commutatively (Merge), so a batch engine can profile
+// each worker's jobs independently and fold the results into one
+// deterministic aggregate regardless of scheduling order. Symbolized
+// reports (Report) and pprof protobuf export (WritePprof) key hotspots
+// by the kelf function table and source line map, the same debug
+// sections the simulator's error paths use (Sec. V-C).
+package prof
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/kelf"
+	"repro/internal/sim"
+)
+
+// CacheCounters are the decode-cache counters of one run (Sec. V-A:
+// the detect&decode results are cached per instruction address).
+type CacheCounters struct {
+	Lookups   uint64 `json:"lookups"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// HitRate returns hits over lookups (0 when no lookups happened).
+func (c CacheCounters) HitRate() float64 {
+	if c.Lookups == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(c.Lookups)
+}
+
+// PredCounters are the instruction-prediction counters: a hit skips
+// the decode-cache lookup entirely; a miss falls through to the cache
+// (or to detect&decode when the cache is off).
+type PredCounters struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+// HitRate returns hits over fetches (0 when nothing executed).
+func (p PredCounters) HitRate() float64 {
+	total := p.Hits + p.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(p.Hits) / float64(total)
+}
+
+// PCStats accumulate per instruction address. Cycles is the cycle-model
+// delta attributed to executions of this address (0 when the run had no
+// cycle model attached).
+type PCStats struct {
+	Count  uint64 // instructions executed at this PC
+	Ops    uint64 // non-NOP operations those instructions issued
+	Cycles uint64 // attributed cycles of the primary cycle model
+}
+
+// Stalls returns the cycles this PC spent beyond one per execution —
+// the excess over perfect single-cycle issue, i.e. time lost to data
+// dependencies, memory delays and slot contention under the attached
+// cycle model.
+func (s PCStats) Stalls() uint64 {
+	if s.Cycles > s.Count {
+		return s.Cycles - s.Count
+	}
+	return 0
+}
+
+// ISAStats attribute execution to one instruction set architecture.
+type ISAStats struct {
+	Instructions uint64 `json:"instructions"`
+	Ops          uint64 `json:"ops"`
+	Cycles       uint64 `json:"cycles"`
+}
+
+// SlotStats attribute operations to one VLIW issue slot.
+type SlotStats struct {
+	Ops    uint64 `json:"ops"`
+	MemOps uint64 `json:"mem_ops"`
+}
+
+// Transition is one run-time ISA switch edge.
+type Transition struct {
+	From, To string
+}
+
+// Profile is the mergeable outcome of one or more profiled runs.
+type Profile struct {
+	Instructions uint64
+	Operations   uint64
+	// Cycles of the primary cycle model (CycleModel names it; both stay
+	// zero for purely functional runs).
+	Cycles     uint64
+	CycleModel string
+
+	DecodeCache CacheCounters
+	Prediction  PredCounters
+
+	PCs      map[uint32]*PCStats
+	ISAs     map[string]*ISAStats
+	Slots    [sim.MaxIssue]SlotStats
+	Switches map[Transition]uint64
+}
+
+// NewProfile returns an empty profile.
+func NewProfile() *Profile {
+	return &Profile{
+		PCs:      make(map[uint32]*PCStats),
+		ISAs:     make(map[string]*ISAStats),
+		Switches: make(map[Transition]uint64),
+	}
+}
+
+// Merge folds o into p. Merging is commutative and associative, so
+// per-worker profiles combine into the same aggregate regardless of
+// completion order. Profiles attributed by different cycle models merge
+// with CycleModel set to "mixed".
+func (p *Profile) Merge(o *Profile) {
+	if o == nil {
+		return
+	}
+	p.Instructions += o.Instructions
+	p.Operations += o.Operations
+	p.Cycles += o.Cycles
+	switch {
+	case o.CycleModel == "" || p.CycleModel == o.CycleModel:
+	case p.CycleModel == "":
+		p.CycleModel = o.CycleModel
+	default:
+		p.CycleModel = "mixed"
+	}
+	p.DecodeCache.Lookups += o.DecodeCache.Lookups
+	p.DecodeCache.Hits += o.DecodeCache.Hits
+	p.DecodeCache.Misses += o.DecodeCache.Misses
+	p.DecodeCache.Evictions += o.DecodeCache.Evictions
+	p.Prediction.Hits += o.Prediction.Hits
+	p.Prediction.Misses += o.Prediction.Misses
+	for pc, s := range o.PCs {
+		d := p.PCs[pc]
+		if d == nil {
+			d = &PCStats{}
+			p.PCs[pc] = d
+		}
+		d.Count += s.Count
+		d.Ops += s.Ops
+		d.Cycles += s.Cycles
+	}
+	for name, s := range o.ISAs {
+		d := p.ISAs[name]
+		if d == nil {
+			d = &ISAStats{}
+			p.ISAs[name] = d
+		}
+		d.Instructions += s.Instructions
+		d.Ops += s.Ops
+		d.Cycles += s.Cycles
+	}
+	for i := range o.Slots {
+		p.Slots[i].Ops += o.Slots[i].Ops
+		p.Slots[i].MemOps += o.Slots[i].MemOps
+	}
+	for t, n := range o.Switches {
+		p.Switches[t] += n
+	}
+}
+
+// Merge combines profiles into a fresh one (nil entries are skipped).
+func Merge(profiles ...*Profile) *Profile {
+	out := NewProfile()
+	for _, p := range profiles {
+		out.Merge(p)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Collection
+
+// Collector observes a CPU's dynamic instruction stream and fills a
+// Profile. Attach it with sim.CPU.Attach after any cycle models (the
+// collector reads the primary model's running count to attribute cycle
+// deltas to the instruction that consumed them). One collector profiles
+// exactly one run; Finish seals the profile with the CPU's interpreter
+// counters.
+type Collector struct {
+	p          *Profile
+	cyc        sim.CycleSource
+	lastCycles uint64
+	curISAName string
+	curISA     *ISAStats
+}
+
+// NewCollector builds a collector over a fresh profile.
+func NewCollector() *Collector { return &Collector{p: NewProfile()} }
+
+// SetCycleSource attributes per-instruction cycle deltas of the named
+// model (the run's primary cycle model) to PCs and ISAs. Without a
+// source, the profile carries execution counts only.
+func (c *Collector) SetCycleSource(cs sim.CycleSource, model string) {
+	c.cyc = cs
+	c.p.CycleModel = model
+}
+
+// Instruction implements sim.Observer.
+func (c *Collector) Instruction(rec *sim.ExecRecord) {
+	d := rec.D
+	e := c.p.PCs[d.Addr]
+	if e == nil {
+		e = &PCStats{}
+		c.p.PCs[d.Addr] = e
+	}
+	nops := uint64(len(d.Ops))
+	e.Count++
+	e.Ops += nops
+
+	var delta uint64
+	if c.cyc != nil {
+		cur := c.cyc.Cycles()
+		delta = cur - c.lastCycles
+		c.lastCycles = cur
+		e.Cycles += delta
+	}
+
+	if name := d.ISA.Name; name != c.curISAName {
+		if c.curISAName != "" {
+			c.p.Switches[Transition{From: c.curISAName, To: name}]++
+		}
+		c.curISAName = name
+		s := c.p.ISAs[name]
+		if s == nil {
+			s = &ISAStats{}
+			c.p.ISAs[name] = s
+		}
+		c.curISA = s
+	}
+	c.curISA.Instructions++
+	c.curISA.Ops += nops
+	c.curISA.Cycles += delta
+
+	for i := range d.Ops {
+		s := &c.p.Slots[d.Ops[i].Slot]
+		s.Ops++
+		if rec.Mem[i].Valid {
+			s.MemOps++
+		}
+	}
+}
+
+// Finish seals the profile with the interpreter's counters and returns
+// it. The prediction miss count is the fetches that fell through to the
+// decode cache (or to detect&decode when the cache was off).
+func (c *Collector) Finish(st sim.Stats) *Profile {
+	p := c.p
+	p.Instructions = st.Instructions
+	p.Operations = st.Operations
+	p.Cycles = c.lastCycles
+	p.DecodeCache = CacheCounters{
+		Lookups:   st.CacheLookups,
+		Hits:      st.CacheHits,
+		Misses:    st.CacheLookups - st.CacheHits,
+		Evictions: st.CacheEvictions,
+	}
+	p.Prediction = PredCounters{
+		Hits:   st.PredHits,
+		Misses: st.Instructions - st.PredHits,
+	}
+	return p
+}
+
+// Profile returns the profile under collection (Finish seals it).
+func (c *Collector) Profile() *Profile { return c.p }
+
+// ---------------------------------------------------------------------
+// Symbolization and reporting
+
+// Symbolizer maps guest program counters to debug info.
+type Symbolizer interface {
+	// Symbol returns the function plus, when known, the source file and
+	// line covering pc; ok is false when pc is outside every function.
+	Symbol(pc uint32) (fn, file string, line int, ok bool)
+}
+
+// Symbols symbolizes PCs from an executable's kelf debug sections (the
+// function table and the C source line map, Sec. V-C).
+type Symbols struct {
+	funcs *kelf.FuncTable
+	src   *kelf.LineMap
+}
+
+// NewSymbols builds a symbolizer; either table may be nil.
+func NewSymbols(funcs *kelf.FuncTable, src *kelf.LineMap) *Symbols {
+	return &Symbols{funcs: funcs, src: src}
+}
+
+// Symbol implements Symbolizer.
+func (s *Symbols) Symbol(pc uint32) (fn, file string, line int, ok bool) {
+	if s.funcs != nil {
+		if fi := s.funcs.Lookup(pc); fi != nil {
+			fn, ok = fi.Name, true
+		}
+	}
+	if s.src != nil {
+		if f, l, found := s.src.Lookup(pc); found {
+			file, line = f, int(l)
+		}
+	}
+	return fn, file, line, ok
+}
+
+// Hotspot is one row of the per-PC hotspot table.
+type Hotspot struct {
+	PC     uint32 `json:"pc"`
+	Func   string `json:"func,omitempty"`
+	File   string `json:"file,omitempty"`
+	Line   int    `json:"line,omitempty"`
+	Count  uint64 `json:"count"`
+	Ops    uint64 `json:"ops"`
+	Cycles uint64 `json:"cycles"`
+	Stalls uint64 `json:"stalls"`
+	// CyclePct is this PC's share of total attributed cycles (of total
+	// instructions when no cycle model ran).
+	CyclePct float64 `json:"cycle_pct"`
+}
+
+// Top returns the n hottest PCs, by attributed cycles (execution count
+// for functional runs), ties broken by ascending PC so the order is
+// deterministic. n <= 0 returns every PC.
+func (p *Profile) Top(n int, sym Symbolizer) []Hotspot {
+	out := make([]Hotspot, 0, len(p.PCs))
+	for pc, s := range p.PCs {
+		h := Hotspot{PC: pc, Count: s.Count, Ops: s.Ops, Cycles: s.Cycles, Stalls: s.Stalls()}
+		if p.Cycles > 0 {
+			h.CyclePct = 100 * float64(s.Cycles) / float64(p.Cycles)
+		} else if p.Instructions > 0 {
+			h.CyclePct = 100 * float64(s.Count) / float64(p.Instructions)
+		}
+		if sym != nil {
+			h.Func, h.File, h.Line, _ = sym.Symbol(pc)
+		}
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		ka, kb := a.Cycles, b.Cycles
+		if p.Cycles == 0 {
+			ka, kb = a.Count, b.Count
+		}
+		if ka != kb {
+			return ka > kb
+		}
+		return a.PC < b.PC
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// ISAReport is the per-ISA attribution row of a Report.
+type ISAReport struct {
+	ISA string `json:"isa"`
+	ISAStats
+}
+
+// SlotReport is the per-VLIW-slot attribution row of a Report.
+type SlotReport struct {
+	Slot int `json:"slot"`
+	SlotStats
+}
+
+// SwitchReport is one ISA-transition row of a Report.
+type SwitchReport struct {
+	From  string `json:"from"`
+	To    string `json:"to"`
+	Count uint64 `json:"count"`
+}
+
+// CacheReport renders the decode-cache counters with their hit rate.
+type CacheReport struct {
+	CacheCounters
+	HitRate float64 `json:"hit_rate"`
+}
+
+// PredReport renders the prediction counters with their hit rate.
+type PredReport struct {
+	PredCounters
+	HitRate float64 `json:"hit_rate"`
+}
+
+// Report is the JSON-friendly, symbolized rendering of a Profile — the
+// payload of kservd's GET /v1/jobs/{id}/profile and of kprof -json.
+type Report struct {
+	Instructions uint64 `json:"instructions"`
+	Operations   uint64 `json:"operations"`
+	Cycles       uint64 `json:"cycles,omitempty"`
+	CycleModel   string `json:"cycle_model,omitempty"`
+
+	DecodeCache CacheReport `json:"decode_cache"`
+	Prediction  PredReport  `json:"prediction"`
+
+	ISAs     []ISAReport    `json:"isas"`
+	Slots    []SlotReport   `json:"slots,omitempty"`
+	Switches []SwitchReport `json:"isa_switches,omitempty"`
+
+	// Hotspots are the top-N PCs; TotalPCs counts every distinct PC the
+	// run touched, so a truncated table is visible as such.
+	Hotspots []Hotspot `json:"hotspots"`
+	TotalPCs int       `json:"total_pcs"`
+}
+
+// Report renders the profile: the topN hottest PCs (<= 0: all),
+// symbolized by sym (may be nil), plus every aggregate table in
+// deterministic order.
+func (p *Profile) Report(sym Symbolizer, topN int) *Report {
+	r := &Report{
+		Instructions: p.Instructions,
+		Operations:   p.Operations,
+		Cycles:       p.Cycles,
+		CycleModel:   p.CycleModel,
+		DecodeCache:  CacheReport{CacheCounters: p.DecodeCache, HitRate: p.DecodeCache.HitRate()},
+		Prediction:   PredReport{PredCounters: p.Prediction, HitRate: p.Prediction.HitRate()},
+		Hotspots:     p.Top(topN, sym),
+		TotalPCs:     len(p.PCs),
+	}
+	names := make([]string, 0, len(p.ISAs))
+	for name := range p.ISAs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r.ISAs = append(r.ISAs, ISAReport{ISA: name, ISAStats: *p.ISAs[name]})
+	}
+	for i, s := range p.Slots {
+		if s.Ops > 0 {
+			r.Slots = append(r.Slots, SlotReport{Slot: i, SlotStats: s})
+		}
+	}
+	trans := make([]Transition, 0, len(p.Switches))
+	for t := range p.Switches {
+		trans = append(trans, t)
+	}
+	sort.Slice(trans, func(i, j int) bool {
+		if trans[i].From != trans[j].From {
+			return trans[i].From < trans[j].From
+		}
+		return trans[i].To < trans[j].To
+	})
+	for _, t := range trans {
+		r.Switches = append(r.Switches, SwitchReport{From: t.From, To: t.To, Count: p.Switches[t]})
+	}
+	return r
+}
+
+// Equal reports whether two profiles carry identical counters — the
+// determinism check batch tests use (worker count and scheduling must
+// not change a merged profile).
+func Equal(a, b *Profile) error {
+	if a.Instructions != b.Instructions || a.Operations != b.Operations || a.Cycles != b.Cycles {
+		return fmt.Errorf("prof: totals differ: %d/%d/%d vs %d/%d/%d",
+			a.Instructions, a.Operations, a.Cycles, b.Instructions, b.Operations, b.Cycles)
+	}
+	if a.DecodeCache != b.DecodeCache {
+		return fmt.Errorf("prof: decode-cache counters differ: %+v vs %+v", a.DecodeCache, b.DecodeCache)
+	}
+	if a.Prediction != b.Prediction {
+		return fmt.Errorf("prof: prediction counters differ: %+v vs %+v", a.Prediction, b.Prediction)
+	}
+	if len(a.PCs) != len(b.PCs) {
+		return fmt.Errorf("prof: PC sets differ: %d vs %d", len(a.PCs), len(b.PCs))
+	}
+	for pc, s := range a.PCs {
+		o := b.PCs[pc]
+		if o == nil || *s != *o {
+			return fmt.Errorf("prof: PC %#x differs: %+v vs %+v", pc, s, o)
+		}
+	}
+	if len(a.ISAs) != len(b.ISAs) {
+		return fmt.Errorf("prof: ISA sets differ")
+	}
+	for name, s := range a.ISAs {
+		o := b.ISAs[name]
+		if o == nil || *s != *o {
+			return fmt.Errorf("prof: ISA %s differs: %+v vs %+v", name, s, o)
+		}
+	}
+	if a.Slots != b.Slots {
+		return fmt.Errorf("prof: slot tables differ")
+	}
+	if len(a.Switches) != len(b.Switches) {
+		return fmt.Errorf("prof: switch tables differ")
+	}
+	for t, n := range a.Switches {
+		if b.Switches[t] != n {
+			return fmt.Errorf("prof: transition %s->%s differs: %d vs %d", t.From, t.To, n, b.Switches[t])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,239 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"io"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+// fakeCycles is a scripted CycleSource: each Cycles() call returns the
+// next value of the script (sticking to the last one when exhausted).
+type fakeCycles struct {
+	script []uint64
+	i      int
+}
+
+func (f *fakeCycles) Cycles() uint64 {
+	if f.i < len(f.script) {
+		f.i++
+	}
+	return f.script[f.i-1]
+}
+
+// rec builds a synthetic ExecRecord at pc under a, with one op per
+// given slot; memSlots marks which of those ops touched memory.
+func rec(a *isa.ISA, pc uint32, slots []uint8, memSlots ...int) *sim.ExecRecord {
+	d := &sim.Decoded{Addr: pc, ISA: a}
+	r := &sim.ExecRecord{D: d}
+	for i, s := range slots {
+		d.Ops = append(d.Ops, sim.DecodedOp{Slot: s})
+		for _, m := range memSlots {
+			if m == i {
+				r.Mem[i] = sim.MemAccess{Valid: true, Addr: 0x100}
+			}
+		}
+	}
+	return r
+}
+
+func TestCollectorAttribution(t *testing.T) {
+	risc := &isa.ISA{Name: "RISC", ID: 0}
+	vliw := &isa.ISA{Name: "VLIW4", ID: 1}
+
+	c := NewCollector()
+	c.SetCycleSource(&fakeCycles{script: []uint64{2, 5, 6, 16}}, "DOE")
+
+	c.Instruction(rec(risc, 0x100, []uint8{0}))       // 2 cycles
+	c.Instruction(rec(risc, 0x104, []uint8{0}, 0))    // 3 cycles, mem op
+	c.Instruction(rec(vliw, 0x200, []uint8{0, 1, 3})) // 1 cycle, switch
+	c.Instruction(rec(risc, 0x100, []uint8{0}))       // 10 cycles, switch back
+
+	p := c.Finish(sim.Stats{
+		Instructions: 4, Operations: 6,
+		CacheLookups: 3, CacheHits: 1, CacheEvictions: 7,
+		PredHits: 1,
+	})
+
+	if p.Cycles != 16 || p.CycleModel != "DOE" {
+		t.Fatalf("cycles/model = %d/%s, want 16/DOE", p.Cycles, p.CycleModel)
+	}
+	if got := p.PCs[0x100]; got == nil || got.Count != 2 || got.Ops != 2 || got.Cycles != 12 {
+		t.Fatalf("PC 0x100 = %+v, want Count=2 Ops=2 Cycles=12", got)
+	}
+	if got := p.PCs[0x100].Stalls(); got != 10 {
+		t.Fatalf("PC 0x100 stalls = %d, want 10", got)
+	}
+	if got := p.PCs[0x200]; got == nil || got.Count != 1 || got.Ops != 3 || got.Cycles != 1 {
+		t.Fatalf("PC 0x200 = %+v, want Count=1 Ops=3 Cycles=1", got)
+	}
+	if got := p.ISAs["RISC"]; got == nil || got.Instructions != 3 || got.Cycles != 15 {
+		t.Fatalf("ISA RISC = %+v, want Instructions=3 Cycles=15", got)
+	}
+	if got := p.ISAs["VLIW4"]; got == nil || got.Instructions != 1 || got.Ops != 3 {
+		t.Fatalf("ISA VLIW4 = %+v, want Instructions=1 Ops=3", got)
+	}
+	if p.Switches[Transition{"RISC", "VLIW4"}] != 1 || p.Switches[Transition{"VLIW4", "RISC"}] != 1 {
+		t.Fatalf("switches = %v, want one edge each way", p.Switches)
+	}
+	if p.Slots[0].Ops != 4 || p.Slots[0].MemOps != 1 || p.Slots[1].Ops != 1 || p.Slots[3].Ops != 1 {
+		t.Fatalf("slots = %+v", p.Slots[:4])
+	}
+	if p.DecodeCache != (CacheCounters{Lookups: 3, Hits: 1, Misses: 2, Evictions: 7}) {
+		t.Fatalf("decode cache = %+v", p.DecodeCache)
+	}
+	if p.Prediction != (PredCounters{Hits: 1, Misses: 3}) {
+		t.Fatalf("prediction = %+v", p.Prediction)
+	}
+	if hr := p.Prediction.HitRate(); hr != 0.25 {
+		t.Fatalf("prediction hit rate = %v, want 0.25", hr)
+	}
+}
+
+func sample(model string, pcBase uint32) *Profile {
+	p := NewProfile()
+	p.Instructions, p.Operations, p.Cycles = 10, 12, 40
+	p.CycleModel = model
+	p.DecodeCache = CacheCounters{Lookups: 5, Hits: 3, Misses: 2, Evictions: 1}
+	p.Prediction = PredCounters{Hits: 5, Misses: 5}
+	p.PCs[pcBase] = &PCStats{Count: 6, Ops: 7, Cycles: 30}
+	p.PCs[pcBase+4] = &PCStats{Count: 4, Ops: 5, Cycles: 10}
+	p.ISAs["RISC"] = &ISAStats{Instructions: 10, Ops: 12, Cycles: 40}
+	p.Slots[0] = SlotStats{Ops: 12, MemOps: 2}
+	p.Switches[Transition{"RISC", "VLIW4"}] = 3
+	return p
+}
+
+func TestMergeCommutative(t *testing.T) {
+	a := Merge(sample("DOE", 0x100), sample("DOE", 0x100), sample("DOE", 0x200))
+	b := Merge(sample("DOE", 0x200), sample("DOE", 0x100), sample("DOE", 0x100))
+	if err := Equal(a, b); err != nil {
+		t.Fatalf("merge order changed the profile: %v", err)
+	}
+	if a.Instructions != 30 || a.Cycles != 120 {
+		t.Fatalf("totals = %d/%d, want 30/120", a.Instructions, a.Cycles)
+	}
+	if got := a.PCs[0x100]; got.Count != 12 || got.Cycles != 60 {
+		t.Fatalf("PC 0x100 = %+v, want Count=12 Cycles=60", got)
+	}
+	if a.Switches[Transition{"RISC", "VLIW4"}] != 9 {
+		t.Fatalf("switch count = %d, want 9", a.Switches[Transition{"RISC", "VLIW4"}])
+	}
+}
+
+func TestMergeMixedModels(t *testing.T) {
+	m := Merge(sample("DOE", 0x100), sample("ILP", 0x100))
+	if m.CycleModel != "mixed" {
+		t.Fatalf("CycleModel = %q, want mixed", m.CycleModel)
+	}
+	m2 := Merge(sample("DOE", 0x100), NewProfile())
+	if m2.CycleModel != "DOE" {
+		t.Fatalf("CycleModel = %q, want DOE (empty profile must not dilute)", m2.CycleModel)
+	}
+}
+
+func TestEqualDetectsDrift(t *testing.T) {
+	a, b := sample("DOE", 0x100), sample("DOE", 0x100)
+	if err := Equal(a, b); err != nil {
+		t.Fatalf("identical profiles reported unequal: %v", err)
+	}
+	b.PCs[0x100].Cycles++
+	if Equal(a, b) == nil {
+		t.Fatal("per-PC cycle drift not detected")
+	}
+}
+
+// tableSym symbolizes from a literal map for tests.
+type tableSym map[uint32]string
+
+func (m tableSym) Symbol(pc uint32) (string, string, int, bool) {
+	fn, ok := m[pc]
+	return fn, "main.c", int(pc % 100), ok
+}
+
+func TestTopOrderingAndReport(t *testing.T) {
+	p := sample("DOE", 0x100)
+	p.PCs[0x50] = &PCStats{Count: 1, Ops: 1, Cycles: 30} // ties 0x100 on cycles
+
+	top := p.Top(0, tableSym{0x100: "hot"})
+	if len(top) != 3 {
+		t.Fatalf("len(top) = %d, want 3", len(top))
+	}
+	// Cycles desc, tie broken by ascending PC: 0x50 (30) before 0x100 (30).
+	if top[0].PC != 0x50 || top[1].PC != 0x100 || top[2].PC != 0x104 {
+		t.Fatalf("top order = %#x,%#x,%#x", top[0].PC, top[1].PC, top[2].PC)
+	}
+	if top[1].Func != "hot" || top[1].File != "main.c" {
+		t.Fatalf("symbolization missing: %+v", top[1])
+	}
+
+	r := p.Report(nil, 2)
+	if len(r.Hotspots) != 2 || r.TotalPCs != 3 {
+		t.Fatalf("report hotspots/totalPCs = %d/%d, want 2/3", len(r.Hotspots), r.TotalPCs)
+	}
+	if len(r.ISAs) != 1 || r.ISAs[0].ISA != "RISC" {
+		t.Fatalf("report ISAs = %+v", r.ISAs)
+	}
+	if len(r.Slots) != 1 || r.Slots[0].Slot != 0 {
+		t.Fatalf("report slots = %+v (zero slots must be elided)", r.Slots)
+	}
+	if len(r.Switches) != 1 || r.Switches[0].Count != 3 {
+		t.Fatalf("report switches = %+v", r.Switches)
+	}
+	if r.DecodeCache.HitRate != 0.6 || r.Prediction.HitRate != 0.5 {
+		t.Fatalf("hit rates = %v/%v", r.DecodeCache.HitRate, r.Prediction.HitRate)
+	}
+	if _, err := json.Marshal(r); err != nil {
+		t.Fatalf("report not JSON-serializable: %v", err)
+	}
+}
+
+func TestFunctionalTopFallsBackToCounts(t *testing.T) {
+	p := NewProfile()
+	p.Instructions = 3
+	p.PCs[0x10] = &PCStats{Count: 1}
+	p.PCs[0x20] = &PCStats{Count: 2}
+	top := p.Top(1, nil)
+	if len(top) != 1 || top[0].PC != 0x20 {
+		t.Fatalf("functional top = %+v, want PC 0x20", top)
+	}
+	if top[0].CyclePct < 66 || top[0].CyclePct > 67 {
+		t.Fatalf("CyclePct = %v, want ~66.7 (share of instructions)", top[0].CyclePct)
+	}
+}
+
+func TestWritePprof(t *testing.T) {
+	p := sample("DOE", 0x100)
+	var buf bytes.Buffer
+	if err := WritePprof(&buf, p, tableSym{0x100: "inner_loop", 0x104: "inner_loop"}); err != nil {
+		t.Fatalf("WritePprof: %v", err)
+	}
+	zr, err := gzip.NewReader(&buf)
+	if err != nil {
+		t.Fatalf("output is not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatalf("gunzip: %v", err)
+	}
+	// Strings land literally in the proto string table.
+	for _, want := range []string{"instructions", "operations", "cycles", "inner_loop", "main.c", "[kahrisma-guest]"} {
+		if !bytes.Contains(raw, []byte(want)) {
+			t.Errorf("pprof payload missing string %q", want)
+		}
+	}
+}
+
+func TestWritePprofEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePprof(&buf, NewProfile(), nil); err != nil {
+		t.Fatalf("WritePprof on empty profile: %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty profile produced no output")
+	}
+}

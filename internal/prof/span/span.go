@@ -1,0 +1,186 @@
+// Package span is the toolchain's lightweight pipeline tracer: timed
+// spans over the compile → assemble → link → elaborate → simulate
+// stages, logged through slog and correlated by W3C Trace Context IDs
+// (traceparent), so a serving layer can attribute request latency to
+// build vs. cache vs. simulation work and stitch its logs to an
+// upstream caller's trace.
+//
+// Tracing is opt-in and context-carried: a stage calls
+//
+//	ctx, sp := span.Start(ctx, "compile")
+//	defer sp.End()
+//
+// and the call is a no-op (nil span, zero allocations beyond the
+// context lookup) unless a Tracer was installed upstream with
+// span.NewContext. Incoming requests adopt a caller's trace with
+// ParseTraceparent + ContextWithRemote; FromContext renders the current
+// traceparent for propagation to responses or downstream services.
+package span
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"time"
+)
+
+// TraceID is the 16-byte W3C trace id shared by every span of one
+// request; SpanID identifies a single span within it.
+type TraceID [16]byte
+
+// SpanID is the 8-byte W3C span (parent) id.
+type SpanID [8]byte
+
+// IsZero reports an unset trace id (invalid per the W3C spec).
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the id as lowercase hex.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// IsZero reports an unset span id.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the id as lowercase hex.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// SpanContext identifies one span within one trace.
+type SpanContext struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// Traceparent renders the context as a W3C traceparent header value
+// (version 00, sampled flag set).
+func (c SpanContext) Traceparent() string {
+	return "00-" + c.Trace.String() + "-" + c.Span.String() + "-01"
+}
+
+// ParseTraceparent parses a W3C traceparent header value. It accepts
+// any version byte (per spec, unknown versions parse as version 00) and
+// rejects malformed or all-zero ids.
+func ParseTraceparent(h string) (SpanContext, bool) {
+	var c SpanContext
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return c, false
+	}
+	if _, err := hex.Decode(c.Trace[:], []byte(h[3:35])); err != nil {
+		return c, false
+	}
+	if _, err := hex.Decode(c.Span[:], []byte(h[36:52])); err != nil {
+		return c, false
+	}
+	if c.Trace.IsZero() || c.Span.IsZero() {
+		return c, false
+	}
+	return c, true
+}
+
+// Tracer emits finished spans as structured log records.
+type Tracer struct {
+	log *slog.Logger
+}
+
+// NewTracer builds a tracer over log (nil selects slog.Default()).
+func NewTracer(log *slog.Logger) *Tracer {
+	if log == nil {
+		log = slog.Default()
+	}
+	return &Tracer{log: log}
+}
+
+// scope is the per-context tracing state: the tracer plus the current
+// span context (the parent of the next Start).
+type scope struct {
+	tracer *Tracer
+	sc     SpanContext
+}
+
+type scopeKey struct{}
+
+// NewContext installs tracer with a fresh root trace id and returns the
+// derived context. Every Start below it becomes part of one trace.
+func NewContext(ctx context.Context, t *Tracer) context.Context {
+	var sc SpanContext
+	randomize(sc.Trace[:])
+	return context.WithValue(ctx, scopeKey{}, scope{tracer: t, sc: sc})
+}
+
+// ContextWithRemote installs tracer continuing a caller's trace: spans
+// started below it carry remote.Trace and parent to remote.Span.
+func ContextWithRemote(ctx context.Context, t *Tracer, remote SpanContext) context.Context {
+	return context.WithValue(ctx, scopeKey{}, scope{tracer: t, sc: remote})
+}
+
+// FromContext returns the current span context (the most recent Start,
+// or the root/remote context); ok is false when ctx carries no tracer.
+func FromContext(ctx context.Context) (SpanContext, bool) {
+	s, ok := ctx.Value(scopeKey{}).(scope)
+	return s.sc, ok
+}
+
+// Span is one in-flight pipeline stage. A nil Span (returned by Start
+// on an untraced context) is valid and inert.
+type Span struct {
+	tracer *Tracer
+	name   string
+	start  time.Time
+	sc     SpanContext
+	parent SpanID
+	attrs  []slog.Attr
+}
+
+// Start begins a span named name as a child of ctx's current span and
+// returns the derived context (so nested stages chain) plus the span.
+// On an untraced context, Start returns ctx unchanged and a nil span —
+// the disabled path does no clock reads and no logging.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	s, ok := ctx.Value(scopeKey{}).(scope)
+	if !ok {
+		return ctx, nil
+	}
+	sp := &Span{
+		tracer: s.tracer,
+		name:   name,
+		start:  time.Now(),
+		sc:     SpanContext{Trace: s.sc.Trace},
+		parent: s.sc.Span,
+	}
+	randomize(sp.sc.Span[:])
+	return context.WithValue(ctx, scopeKey{}, scope{tracer: s.tracer, sc: sp.sc}), sp
+}
+
+// SetAttr attaches an attribute reported with the span's log record.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, slog.Any(key, value))
+}
+
+// End finishes the span and logs it: name, duration, trace/span/parent
+// ids and any attributes. End on a nil span is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	attrs := make([]slog.Attr, 0, 5+len(s.attrs))
+	attrs = append(attrs,
+		slog.String("span", s.name),
+		slog.Float64("dur_ms", float64(time.Since(s.start))/float64(time.Millisecond)),
+		slog.String("trace_id", s.sc.Trace.String()),
+		slog.String("span_id", s.sc.Span.String()),
+	)
+	if !s.parent.IsZero() {
+		attrs = append(attrs, slog.String("parent_id", s.parent.String()))
+	}
+	attrs = append(attrs, s.attrs...)
+	s.tracer.log.LogAttrs(context.Background(), slog.LevelInfo, "span", attrs...)
+}
+
+func randomize(b []byte) {
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand does not fail on supported platforms.
+		panic("span: rand: " + err.Error())
+	}
+}

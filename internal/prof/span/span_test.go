@@ -1,0 +1,135 @@
+package span
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	var sc SpanContext
+	for i := range sc.Trace {
+		sc.Trace[i] = byte(i + 1)
+	}
+	for i := range sc.Span {
+		sc.Span[i] = byte(0xa0 + i)
+	}
+	h := sc.Traceparent()
+	if len(h) != 55 || !strings.HasPrefix(h, "00-") || !strings.HasSuffix(h, "-01") {
+		t.Fatalf("traceparent = %q", h)
+	}
+	got, ok := ParseTraceparent(h)
+	if !ok || got != sc {
+		t.Fatalf("round trip: got %+v ok=%v, want %+v", got, ok, sc)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"00-short",
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero span id
+		"00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // wrong separator
+		"00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01", // non-hex
+	}
+	for _, h := range bad {
+		if _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted malformed input", h)
+		}
+	}
+	// Unknown versions parse (forward compatibility per the W3C spec).
+	if _, ok := ParseTraceparent("cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"); !ok {
+		t.Error("unknown version byte rejected")
+	}
+}
+
+func TestUntracedContextIsInert(t *testing.T) {
+	ctx, sp := Start(context.Background(), "compile")
+	if sp != nil {
+		t.Fatal("Start on untraced context returned a live span")
+	}
+	sp.SetAttr("k", "v") // must not panic
+	sp.End()             // must not panic
+	if _, ok := FromContext(ctx); ok {
+		t.Fatal("untraced context reports a span context")
+	}
+}
+
+// logLines captures each slog record as a parsed JSON object.
+func logLines(buf *bytes.Buffer) []map[string]any {
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err == nil {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func TestSpanNestingAndLogging(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(slog.New(slog.NewJSONHandler(&buf, nil)))
+	ctx := NewContext(context.Background(), tr)
+	root, _ := FromContext(ctx)
+	if root.Trace.IsZero() {
+		t.Fatal("NewContext did not mint a trace id")
+	}
+
+	ctx1, outer := Start(ctx, "build")
+	outer.SetAttr("objects", 2)
+	_, inner := Start(ctx1, "compile")
+	inner.End()
+	outer.End()
+
+	lines := logLines(&buf)
+	if len(lines) != 2 {
+		t.Fatalf("got %d log lines, want 2:\n%s", len(lines), buf.String())
+	}
+	in, out := lines[0], lines[1] // inner ends first
+	if in["span"] != "compile" || out["span"] != "build" {
+		t.Fatalf("span names = %v / %v", in["span"], out["span"])
+	}
+	if in["trace_id"] != out["trace_id"] || in["trace_id"] != root.Trace.String() {
+		t.Fatalf("trace ids do not agree: %v vs %v vs %v", in["trace_id"], out["trace_id"], root.Trace)
+	}
+	if in["parent_id"] != out["span_id"] {
+		t.Fatalf("inner parent %v != outer span %v", in["parent_id"], out["span_id"])
+	}
+	if out["objects"] != float64(2) {
+		t.Fatalf("attr lost: %v", out["objects"])
+	}
+	if _, ok := in["dur_ms"].(float64); !ok {
+		t.Fatalf("dur_ms missing: %v", in["dur_ms"])
+	}
+}
+
+func TestContextWithRemote(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(slog.New(slog.NewJSONHandler(&buf, nil)))
+	remote, ok := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	if !ok {
+		t.Fatal("fixture traceparent rejected")
+	}
+	ctx := ContextWithRemote(context.Background(), tr, remote)
+	_, sp := Start(ctx, "simulate")
+	sp.End()
+
+	lines := logLines(&buf)
+	if len(lines) != 1 {
+		t.Fatalf("got %d log lines, want 1", len(lines))
+	}
+	if lines[0]["trace_id"] != remote.Trace.String() {
+		t.Fatalf("trace id = %v, want caller's %v", lines[0]["trace_id"], remote.Trace)
+	}
+	if lines[0]["parent_id"] != remote.Span.String() {
+		t.Fatalf("parent id = %v, want caller's span %v", lines[0]["parent_id"], remote.Span)
+	}
+}

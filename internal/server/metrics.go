@@ -3,6 +3,8 @@ package server
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -24,6 +26,7 @@ type metrics struct {
 	accepted  atomic.Int64
 	completed atomic.Int64
 	failed    atomic.Int64
+	profiled  atomic.Int64 // completed jobs that carried a profile
 
 	analyses         atomic.Int64
 	analysesFailed   atomic.Int64
@@ -90,10 +93,14 @@ func (s *Server) renderMetrics(w io.Writer) {
 	gauge("kservd_up", "Whether the server is accepting jobs (0 while draining).", "%d",
 		map[bool]int{true: 0, false: 1}[s.draining.Load()])
 	gauge("kservd_uptime_seconds", "Seconds since the server started.", "%.3f", uptime)
+	gauge("kservd_process_start_time_seconds", "Unix time the server started.", "%d", s.started.Unix())
+	fmt.Fprintf(w, "# HELP kservd_build_info Build metadata; the value is always 1.\n# TYPE kservd_build_info gauge\n")
+	fmt.Fprintf(w, "kservd_build_info{version=%q,goversion=%q} 1\n", buildVersion(), runtime.Version())
 
 	counter("kservd_jobs_accepted_total", "Jobs admitted past the queue gate.", m.accepted.Load())
 	counter("kservd_jobs_completed_total", "Jobs finished successfully.", m.completed.Load())
 	counter("kservd_jobs_failed_total", "Jobs finished with an error (build, simulation or cancellation).", m.failed.Load())
+	counter("kservd_jobs_profiled_total", "Completed jobs that ran with the microarchitectural profiler.", m.profiled.Load())
 
 	fmt.Fprintf(w, "# HELP kservd_jobs_rejected_total Jobs rejected at admission, by reason.\n# TYPE kservd_jobs_rejected_total counter\n")
 	m.mu.Lock()
@@ -129,6 +136,10 @@ func (s *Server) renderMetrics(w io.Writer) {
 	}
 	gauge("kservd_decode_cache_hit_rate", "Aggregate simulator decode-cache hit rate over finished jobs.", "%.4f",
 		ps.DecodeCacheHitRate)
+	gauge("kservd_prediction_hit_rate", "Aggregate instruction-prediction hit rate over finished jobs.", "%.4f",
+		ps.PredictionHitRate)
+	counter("kservd_decode_cache_evictions_total", "Decode structures discarded by bounded decode caches over finished jobs.",
+		int64(ps.DecodeCacheEvictions))
 
 	fmt.Fprintf(w, "# HELP kservd_cache_hits_total Artifact-cache hits, by cache.\n# TYPE kservd_cache_hits_total counter\n")
 	fmt.Fprintf(w, "kservd_cache_hits_total{cache=\"exe\"} %d\n", exe.Hits)
@@ -170,4 +181,14 @@ func (s *Server) renderMetrics(w io.Writer) {
 		}
 	}
 	m.mu.Unlock()
+}
+
+// buildVersion is the module version baked into the binary, "(devel)"
+// for plain source builds and "unknown" when build info is absent
+// (e.g. binaries built without module support).
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
 }

@@ -1,0 +1,239 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/prof"
+	"repro/internal/server"
+)
+
+// getProfile fetches GET /v1/jobs/{id}/profile with the given query.
+func getProfile(t *testing.T, ts *httptest.Server, id, query string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/profile" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func TestProfileEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Workers: 2})
+	tsRef := ts
+
+	// A profiled VLIW job under a cycle model: the full tentpole path.
+	st := submit(t, ts, server.JobRequest{
+		ISA:     "VLIW4",
+		Sources: map[string]string{"main.c": progB},
+		Models:  []string{"DOE"},
+		Profile: true,
+	})
+	res := pollResult(t, ts, st.ID)
+	if res.State != server.StateDone {
+		t.Fatalf("profiled job failed: %q", res.Error)
+	}
+	if !res.Profiled {
+		t.Fatal("result does not report the job as profiled")
+	}
+
+	// JSON report: totals match the result, hotspots are symbolized.
+	resp, data := getProfile(t, tsRef, st.ID, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET profile: status %d, body %s", resp.StatusCode, data)
+	}
+	var rep prof.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("decoding profile %q: %v", data, err)
+	}
+	if rep.Instructions != res.Instructions {
+		t.Errorf("profile instructions %d != result %d", rep.Instructions, res.Instructions)
+	}
+	if rep.Cycles != res.Cycles["DOE"] || rep.CycleModel != "DOE" {
+		t.Errorf("profile cycles/model %d/%s, result DOE cycles %d", rep.Cycles, rep.CycleModel, res.Cycles["DOE"])
+	}
+	if len(rep.Hotspots) == 0 || rep.TotalPCs == 0 {
+		t.Fatalf("profile has no hotspots: %s", data)
+	}
+	var names []string
+	for _, h := range rep.Hotspots {
+		names = append(names, h.Func)
+	}
+	if !strings.Contains(strings.Join(names, ","), "dot") {
+		t.Errorf("hotspots not symbolized to guest functions: %v", names)
+	}
+	if rep.DecodeCache.HitRate <= 0 || rep.Prediction.Hits == 0 {
+		t.Errorf("interpreter counters missing: cache %+v, pred %+v", rep.DecodeCache, rep.Prediction)
+	}
+	if len(rep.ISAs) == 0 || rep.ISAs[0].ISA != "VLIW4" {
+		t.Errorf("per-ISA attribution missing: %+v", rep.ISAs)
+	}
+	if len(rep.Slots) == 0 {
+		t.Error("per-slot attribution missing")
+	}
+
+	// ?top bounds the hotspot table without touching the totals.
+	if _, data := getProfile(t, tsRef, st.ID, "?top=1"); true {
+		var small prof.Report
+		if err := json.Unmarshal(data, &small); err != nil {
+			t.Fatal(err)
+		}
+		if len(small.Hotspots) != 1 || small.TotalPCs != rep.TotalPCs {
+			t.Errorf("top=1: %d hotspots, total_pcs %d (want 1, %d)", len(small.Hotspots), small.TotalPCs, rep.TotalPCs)
+		}
+	}
+
+	// pprof export is gzipped protobuf naming the guest functions.
+	resp, data = getProfile(t, tsRef, st.ID, "?format=pprof")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET profile pprof: status %d", resp.StatusCode)
+	}
+	if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+		t.Fatalf("pprof payload is not gzip (starts %x)", data[:min(4, len(data))])
+	}
+
+	// Error surface: bad format, unprofiled job, unknown job.
+	if resp, _ := getProfile(t, tsRef, st.ID, "?format=xml"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad format: status %d, want 400", resp.StatusCode)
+	}
+	plain := pollResult(t, ts, submit(t, ts, server.JobRequest{
+		ISA:     "RISC",
+		Sources: map[string]string{"main.c": progA},
+	}).ID)
+	if plain.Profiled {
+		t.Error("unprofiled job reports a profile")
+	}
+	if resp, data := getProfile(t, tsRef, st.ID[:4]+"nope", ""); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d (%s)", resp.StatusCode, data)
+	}
+	// Look the plain job's record up after completion: 404, not 409.
+	if resp, data := getProfile(t, tsRef, plain.ID, ""); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unprofiled job: status %d (%s), want 404", resp.StatusCode, data)
+	}
+
+	// The observability satellites on /metrics: build info, start time
+	// and the interpreter roll-ups.
+	body := metricsBody(t, ts)
+	if !strings.Contains(body, "kservd_build_info{version=") || !strings.Contains(body, "goversion=\"go") {
+		t.Errorf("kservd_build_info missing or unlabeled:\n%s", grepMetric(body, "kservd_build_info"))
+	}
+	if got := metricValue(t, body, "kservd_uptime_seconds"); got <= 0 {
+		t.Errorf("kservd_uptime_seconds = %v, want > 0", got)
+	}
+	if got := metricValue(t, body, "kservd_process_start_time_seconds"); got <= 0 {
+		t.Errorf("kservd_process_start_time_seconds = %v, want > 0", got)
+	}
+	if got := metricValue(t, body, "kservd_prediction_hit_rate"); got <= 0 || got >= 1 {
+		t.Errorf("kservd_prediction_hit_rate = %v, want in (0,1)", got)
+	}
+	if got := metricValue(t, body, "kservd_jobs_profiled_total"); got < 1 {
+		t.Errorf("kservd_jobs_profiled_total = %v, want >= 1", got)
+	}
+}
+
+// grepMetric returns the lines of a metrics body naming series.
+func grepMetric(body, series string) string {
+	var out []string
+	for _, l := range strings.Split(body, "\n") {
+		if strings.HasPrefix(l, series) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// syncBuffer is a goroutine-safe log sink (jobs log from their own
+// goroutines).
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// With span tracing on, a job emits build and simulate spans; a request
+// carrying a traceparent header joins the caller's trace.
+func TestJobSpansJoinCallerTrace(t *testing.T) {
+	logs := &syncBuffer{}
+	_, ts := newTestServer(t, server.Config{
+		Workers:    1,
+		Logger:     slog.New(slog.NewJSONHandler(logs, nil)),
+		TraceSpans: true,
+	})
+
+	const callerTrace = "4bf92f3577b34da6a3ce929d0e0e4736"
+	body, _ := json.Marshal(server.JobRequest{
+		ISA:     "RISC",
+		Sources: map[string]string{"main.c": progA},
+	})
+	req, err := http.NewRequest("POST", ts.URL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", "00-"+callerTrace+"-00f067aa0ba902b7-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d, body %s", resp.StatusCode, data)
+	}
+	var st server.JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	if res := pollResult(t, ts, st.ID); res.State != server.StateDone {
+		t.Fatalf("traced job failed: %q", res.Error)
+	}
+
+	// Parse the span log lines: every pipeline stage must appear, all on
+	// the caller's trace id.
+	spans := map[string]string{} // span name -> trace_id
+	for _, line := range strings.Split(logs.String(), "\n") {
+		if line == "" || !strings.Contains(line, `"span"`) {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			continue
+		}
+		if name, ok := m["span"].(string); ok {
+			spans[name], _ = m["trace_id"].(string)
+		}
+	}
+	for _, want := range []string{"job", "build", "compile", "assemble", "link", "simulate"} {
+		tid, ok := spans[want]
+		if !ok {
+			t.Errorf("no %q span in logs; got %v", want, spans)
+			continue
+		}
+		if tid != callerTrace {
+			t.Errorf("%q span trace_id = %s, want caller's %s", want, tid, callerTrace)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	kahrisma "repro"
+	"repro/internal/prof/span"
 	"repro/internal/trace"
 )
 
@@ -50,12 +51,18 @@ type jobRecord struct {
 	// by finish on every path, so subscribers always see the stream
 	// end. Memory is bounded by the ring capacity.
 	stream *trace.Streamer
+	// trace is the submitter's span context (zero when the request
+	// carried no traceparent header); job spans continue it.
+	trace span.SpanContext
 
 	mu       sync.Mutex
 	state    string
 	err      string
 	cacheHit bool
 	result   *kahrisma.RunResult
+	// exe is the job's (possibly cache-shared) executable, retained so
+	// the profile endpoint can symbolize hotspots after completion.
+	exe      *kahrisma.Executable
 	finished time.Time
 	done     chan struct{}
 }
@@ -70,6 +77,27 @@ func (r *jobRecord) setCacheHit(hit bool) {
 	r.mu.Lock()
 	r.cacheHit = hit
 	r.mu.Unlock()
+}
+
+func (r *jobRecord) setExe(exe *kahrisma.Executable) {
+	r.mu.Lock()
+	r.exe = exe
+	r.mu.Unlock()
+}
+
+// profile returns the job's profile and executable once finished; the
+// profile is nil when the job did not run with profiling (or failed
+// before the simulator produced one).
+func (r *jobRecord) profile() (p *kahrisma.Profile, exe *kahrisma.Executable, state string, done bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state != StateDone && r.state != StateFailed {
+		return nil, nil, r.state, false
+	}
+	if r.result != nil {
+		p = r.result.Profile
+	}
+	return p, r.exe, r.state, true
 }
 
 // finish transitions the record to done/failed exactly once and ends
@@ -139,6 +167,7 @@ func (r *jobRecord) resultJSON() (JobResult, bool) {
 		out.Cycles = res.Cycles
 		out.OPC = res.OPC
 		out.L1MissRate = res.L1MissRate
+		out.Profiled = res.Profile != nil
 	}
 	return out, true
 }

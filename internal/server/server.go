@@ -31,6 +31,7 @@ import (
 
 	kahrisma "repro"
 	"repro/internal/driver"
+	"repro/internal/prof/span"
 	"repro/internal/trace"
 )
 
@@ -67,6 +68,11 @@ type Config struct {
 	// Logger receives structured request and lifecycle logs; nil
 	// selects slog.Default().
 	Logger *slog.Logger
+	// TraceSpans emits pipeline span logs (internal/prof/span) for every
+	// job: elaborate, build and simulate stages, correlated by W3C trace
+	// ids. Requests carrying a traceparent header join the caller's
+	// trace; others get a fresh root trace per job.
+	TraceSpans bool
 }
 
 func (c Config) withDefaults() Config {
@@ -109,10 +115,11 @@ func (c Config) withDefaults() Config {
 // Server is one simulation service instance. Create with New, mount
 // Handler on an http.Server (or use Serve), stop with Shutdown.
 type Server struct {
-	cfg  Config
-	log  *slog.Logger
-	base *kahrisma.System
-	pool *kahrisma.Pool
+	cfg    Config
+	log    *slog.Logger
+	base   *kahrisma.System
+	pool   *kahrisma.Pool
+	tracer *span.Tracer // nil unless Config.TraceSpans
 
 	adm        *admission
 	store      *jobStore
@@ -152,6 +159,9 @@ func New(cfg Config) (*Server, error) {
 		jobsCtx:    ctx,
 		jobsCancel: cancel,
 	}
+	if cfg.TraceSpans {
+		s.tracer = span.NewTracer(cfg.Logger)
+	}
 	return s, nil
 }
 
@@ -163,6 +173,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/profile", s.handleProfile)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -205,6 +216,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.accepted.Add(1)
 	rec := s.store.create(s.cfg.StreamRingSize)
+	// The job runs on a detached goroutine, so an incoming traceparent is
+	// captured here and re-installed on the job's own context.
+	if sc, ok := span.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		rec.trace = sc
+	}
 	s.jobsWG.Add(1)
 	go s.runJob(rec, &req)
 	w.Header().Set("Location", "/v1/jobs/"+rec.id)
@@ -227,39 +243,55 @@ func (s *Server) runJob(rec *jobRecord, req *JobRequest) {
 	} else {
 		s.metrics.completed.Add(1)
 		s.metrics.harvest(res.Instructions, res.Operations, res.Cycles)
+		if res.Profile != nil {
+			s.metrics.profiled.Add(1)
+		}
 	}
 }
 
 func (s *Server) execute(rec *jobRecord, req *JobRequest) (*kahrisma.RunResult, error) {
+	ctx := s.jobCtx(rec)
+	ctx, job := span.Start(ctx, "job")
+	job.SetAttr("job_id", rec.id)
+	defer job.End()
+
 	rec.setState(StateBuilding)
 	sys := s.base
 	modelKey := "builtin"
 	if req.ADL != "" {
 		modelKey = driver.Fingerprint("adl", driver.Source{Name: "adl", Text: req.ADL})
+		_, sp := span.Start(ctx, "elaborate")
 		var err error
-		sys, _, err = s.modelCache.GetOrBuild(modelKey, func() (*kahrisma.System, error) {
+		var cached bool
+		sys, cached, err = s.modelCache.GetOrBuild(modelKey, func() (*kahrisma.System, error) {
 			return kahrisma.NewFromADL(req.ADL)
 		})
+		sp.SetAttr("cache_hit", cached)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
 	}
 	srcs := req.sources()
 	exeKey := modelKey + "/" + driver.Fingerprint(req.ISA, srcs...)
+	bctx, sp := span.Start(ctx, "build")
 	exe, hit, err := s.exeCache.GetOrBuild(exeKey, func() (*kahrisma.Executable, error) {
 		files := map[string]string{}
 		for _, src := range srcs {
 			files[src.Name] = src.Text
 		}
 		if req.Lang == "asm" {
-			return sys.BuildAsm(req.ISA, files)
+			return sys.BuildAsmCtx(bctx, req.ISA, files)
 		}
-		return sys.BuildC(req.ISA, files)
+		return sys.BuildCCtx(bctx, req.ISA, files)
 	})
+	sp.SetAttr("cache_hit", hit)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	rec.setCacheHit(hit)
+	rec.setExe(exe)
 
 	fuel := req.Fuel
 	if fuel == 0 || fuel > s.cfg.MaxFuel {
@@ -279,6 +311,9 @@ func (s *Server) execute(rec *jobRecord, req *JobRequest) (*kahrisma.RunResult, 
 	if req.Stream {
 		opts = append(opts, kahrisma.WithTraceStreaming())
 	}
+	if req.Profile {
+		opts = append(opts, kahrisma.WithProfiling())
+	}
 	if len(req.Models) > 0 {
 		opts = append(opts, kahrisma.WithModels(req.Models...))
 	}
@@ -292,7 +327,26 @@ func (s *Server) execute(rec *jobRecord, req *JobRequest) (*kahrisma.RunResult, 
 	}
 
 	rec.setState(StateRunning)
-	return s.pool.Submit(s.jobsCtx, exe, opts...).Wait()
+	_, sim := span.Start(ctx, "simulate")
+	res, err := s.pool.Submit(s.jobsCtx, exe, opts...).Wait()
+	if res != nil {
+		sim.SetAttr("instructions", res.Instructions)
+	}
+	sim.End()
+	return res, err
+}
+
+// jobCtx derives the context job spans hang off: untraced unless span
+// tracing is on, continuing the submitter's trace when the request
+// carried a traceparent header.
+func (s *Server) jobCtx(rec *jobRecord) context.Context {
+	if s.tracer == nil {
+		return context.Background()
+	}
+	if !rec.trace.Trace.IsZero() {
+		return span.ContextWithRemote(context.Background(), s.tracer, rec.trace)
+	}
+	return span.NewContext(context.Background(), s.tracer)
 }
 
 // handleAnalyze serves POST /v1/analyze: the klint checks over a
@@ -430,6 +484,49 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
+// handleProfile serves GET /v1/jobs/{id}/profile for finished jobs that
+// ran with "profile": true — the symbolized hotspot report as JSON, or
+// the gzipped pprof protobuf (renderable with `go tool pprof`) under
+// ?format=pprof. ?top=N bounds the JSON hotspot table (default 20,
+// 0 = all).
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	rec := s.store.get(r.PathValue("id"))
+	if rec == nil {
+		writeJSON(w, http.StatusNotFound, APIError{Error: "unknown job"})
+		return
+	}
+	p, exe, state, done := rec.profile()
+	if !done {
+		writeJSON(w, http.StatusConflict, APIError{Error: "job not finished: " + state})
+		return
+	}
+	if p == nil {
+		writeJSON(w, http.StatusNotFound, APIError{Error: "job was not profiled (submit with \"profile\": true)"})
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "", "json":
+		topN := 20
+		if t := r.URL.Query().Get("top"); t != "" {
+			n, err := strconv.Atoi(t)
+			if err != nil || n < 0 {
+				writeJSON(w, http.StatusBadRequest, APIError{Error: "top: want a non-negative integer"})
+				return
+			}
+			topN = n
+		}
+		writeJSON(w, http.StatusOK, exe.ProfileReport(p, topN))
+	case "pprof":
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition", `attachment; filename="`+rec.id+`.pb.gz"`)
+		if err := exe.WriteProfilePprof(w, p); err != nil {
+			s.log.Warn("pprof export failed", "id", rec.id, "err", err)
+		}
+	default:
+		writeJSON(w, http.StatusBadRequest, APIError{Error: "format: want \"json\" or \"pprof\""})
+	}
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		w.WriteHeader(http.StatusServiceUnavailable)
@@ -485,13 +582,19 @@ func (s *Server) logRequests(next http.Handler) http.Handler {
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		start := time.Now()
 		next.ServeHTTP(sw, r)
-		s.log.Info("http",
+		attrs := []any{
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", sw.code,
 			"bytes", sw.bytes,
-			"dur_ms", float64(time.Since(start))/float64(time.Millisecond),
+			"dur_ms", float64(time.Since(start)) / float64(time.Millisecond),
 			"remote", r.RemoteAddr,
-		)
+		}
+		// A caller-supplied traceparent stitches request logs (and any job
+		// spans) to the caller's distributed trace.
+		if sc, ok := span.ParseTraceparent(r.Header.Get("traceparent")); ok {
+			attrs = append(attrs, "trace_id", sc.Trace.String())
+		}
+		s.log.Info("http", attrs...)
 	})
 }

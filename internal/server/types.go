@@ -44,6 +44,12 @@ type JobRequest struct {
 	// ISA-switch and done events are streamed for every job; per-op
 	// trace events are the expensive half and need this opt-in.
 	Stream bool `json:"stream,omitempty"`
+	// Profile attaches the microarchitectural profiler; the symbolized
+	// hotspot report (and pprof export) is then served by
+	// GET /v1/jobs/{id}/profile once the job finished. Profiling is
+	// passive: results and cycle counts are unchanged
+	// (docs/profiling.md).
+	Profile bool `json:"profile,omitempty"`
 }
 
 // knownModels is the admission-time contract of the Models field; the
@@ -213,6 +219,9 @@ type JobResult struct {
 	Cycles       map[string]uint64  `json:"cycles,omitempty"`
 	OPC          map[string]float64 `json:"opc,omitempty"`
 	L1MissRate   float64            `json:"l1_miss_rate"`
+	// Profiled reports that the job ran with profiling and
+	// GET /v1/jobs/{id}/profile will serve its report.
+	Profiled bool `json:"profiled,omitempty"`
 	// WallMS is end-to-end job time on the server: queueing, toolchain
 	// (or cache lookup) and simulation.
 	WallMS float64 `json:"wall_ms"`

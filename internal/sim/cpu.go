@@ -52,6 +52,10 @@ type EventSink interface {
 type Options struct {
 	// DecodeCache enables the detection/decode cache (Sec. V-A).
 	DecodeCache bool
+	// DecodeCacheCap bounds the decode cache to this many entries; a
+	// miss on a full cache flushes it (counted in Stats.CacheEvictions).
+	// 0 keeps the paper's unbounded cache.
+	DecodeCacheCap int
 	// Prediction enables instruction prediction on top of the cache.
 	Prediction bool
 	// MaxInstructions aborts the run after this many instructions
@@ -91,14 +95,15 @@ func DefaultOptions() Options {
 // Stats are the simulator's performance counters; the decode-cache and
 // prediction counters reproduce the percentages of Sec. VII-A.
 type Stats struct {
-	Instructions uint64 // executed instructions
-	Operations   uint64 // executed non-NOP operations
-	Detected     uint64 // instructions that went through detect&decode
-	CacheLookups uint64 // decode-cache lookups performed
-	CacheHits    uint64
-	PredHits     uint64 // lookups avoided by instruction prediction
-	Simcalls     uint64
-	ISASwitches  uint64
+	Instructions   uint64 // executed instructions
+	Operations     uint64 // executed non-NOP operations
+	Detected       uint64 // instructions that went through detect&decode
+	CacheLookups   uint64 // decode-cache lookups performed
+	CacheHits      uint64
+	CacheEvictions uint64 // entries dropped by decode-cache flushes (bounded cache only)
+	PredHits       uint64 // lookups avoided by instruction prediction
+	Simcalls       uint64
+	ISASwitches    uint64
 }
 
 // MemAccess describes one data-memory access of an executed operation.

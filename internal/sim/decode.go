@@ -119,6 +119,15 @@ func (c *CPU) fetch() (*Decoded, error) {
 				return nil, err
 			}
 			c.Stats.Detected++
+			// A bounded cache flushes wholesale when full — the only
+			// eviction policy that stays deterministic and keeps the hit
+			// path free of bookkeeping. Already-predicted decode
+			// structures stay referenced through pred links and remain
+			// valid (decoding is a pure function of the immutable text).
+			if limit := c.opts.DecodeCacheCap; limit > 0 && len(c.cache) >= limit {
+				c.Stats.CacheEvictions += uint64(len(c.cache))
+				clear(c.cache)
+			}
 			c.cache[key] = dec
 			d = dec
 		}

@@ -106,10 +106,12 @@ type Stats struct {
 	InFlight int64
 	QueueCap int
 
-	Instructions uint64
-	Operations   uint64
-	CacheLookups uint64
-	CacheHits    uint64
+	Instructions   uint64
+	Operations     uint64
+	CacheLookups   uint64
+	CacheHits      uint64
+	CacheEvictions uint64
+	PredHits       uint64
 
 	// Wall is the summed per-job simulation time — on an idle machine
 	// roughly elapsed time × busy workers.
@@ -123,6 +125,18 @@ func (s Stats) DecodeCacheHitRate() float64 {
 		return 0
 	}
 	return float64(s.CacheHits) / float64(s.CacheLookups)
+}
+
+// PredictionHitRate aggregates the instruction-prediction hit rate
+// across all completed jobs: predicted fetches over total fetches
+// (prediction hits bypass the decode-cache lookup, so the denominator
+// is their sum; 0 when nothing was fetched).
+func (s Stats) PredictionHitRate() float64 {
+	total := s.PredHits + s.CacheLookups
+	if total == 0 {
+		return 0
+	}
+	return float64(s.PredHits) / float64(total)
 }
 
 type task struct {
@@ -249,6 +263,8 @@ func (p *Pool) worker() {
 			p.agg.Operations += res.CPU.Stats.Operations
 			p.agg.CacheLookups += res.CPU.Stats.CacheLookups
 			p.agg.CacheHits += res.CPU.Stats.CacheHits
+			p.agg.CacheEvictions += res.CPU.Stats.CacheEvictions
+			p.agg.PredHits += res.CPU.Stats.PredHits
 			p.agg.Wall += res.Wall
 			p.mu.Unlock()
 		}

@@ -38,6 +38,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 
 	"repro/internal/adl"
 	"repro/internal/asm"
@@ -47,6 +48,8 @@ import (
 	"repro/internal/isasel"
 	"repro/internal/kelf"
 	"repro/internal/mem"
+	"repro/internal/prof"
+	"repro/internal/prof/span"
 	"repro/internal/rtl"
 	"repro/internal/sim"
 	"repro/internal/targetgen"
@@ -121,27 +124,39 @@ type Executable struct {
 // executable. Functions carrying an __isa attribute are compiled for
 // that ISA with SWITCHTARGET pairs at cross-ISA call sites.
 func (s *System) BuildC(isaName string, files map[string]string) (*Executable, error) {
+	return s.BuildCCtx(context.Background(), isaName, files)
+}
+
+// BuildCCtx is BuildC with a context: when the context carries a span
+// tracer (internal/prof/span), the toolchain stages emit timed spans —
+// the pipeline attribution the service layer threads through requests.
+func (s *System) BuildCCtx(ctx context.Context, isaName string, files map[string]string) (*Executable, error) {
 	var srcs []driver.Source
 	for name, text := range files {
 		srcs = append(srcs, driver.CSource(name, text))
 	}
-	return s.build(isaName, srcs)
+	return s.build(ctx, isaName, srcs)
 }
 
 // BuildAsm assembles and links assembly sources.
 func (s *System) BuildAsm(isaName string, files map[string]string) (*Executable, error) {
+	return s.BuildAsmCtx(context.Background(), isaName, files)
+}
+
+// BuildAsmCtx is BuildAsm with span tracing (see BuildCCtx).
+func (s *System) BuildAsmCtx(ctx context.Context, isaName string, files map[string]string) (*Executable, error) {
 	var srcs []driver.Source
 	for name, text := range files {
 		srcs = append(srcs, driver.AsmSource(name, text))
 	}
-	return s.build(isaName, srcs)
+	return s.build(ctx, isaName, srcs)
 }
 
-func (s *System) build(isaName string, srcs []driver.Source) (*Executable, error) {
+func (s *System) build(ctx context.Context, isaName string, srcs []driver.Source) (*Executable, error) {
 	if s.model.ISAByName(isaName) == nil {
 		return nil, fmt.Errorf("%w: %q", ErrBadISA, isaName)
 	}
-	exe, err := driver.Build(s.model, isaName, srcs...)
+	exe, err := driver.BuildCtx(ctx, s.model, isaName, srcs...)
 	if err != nil {
 		return nil, err
 	}
@@ -252,6 +267,12 @@ type RunResult struct {
 	// FunctionILP is filled when RunConfig.PerFunctionILP is set,
 	// largest functions first.
 	FunctionILP []cycle.FunctionILP
+
+	// Profile is the microarchitectural profile of the run, filled when
+	// WithProfiling was set (nil otherwise): per-PC hotspots,
+	// decode-cache/prediction counters, per-ISA and per-slot cycle
+	// attribution, ISA-switch transitions. See docs/profiling.md.
+	Profile *Profile
 }
 
 // Run executes the program to completion under ctx. The run is
@@ -319,6 +340,7 @@ type runSetup struct {
 	pipe     *rtl.Pipeline
 	hier     *mem.Hierarchy
 	pf       *cycle.PerFunctionILP
+	prof     *prof.Collector
 	traceW   *trace.Writer
 	captured *bytes.Buffer
 }
@@ -328,6 +350,7 @@ type runSetup struct {
 func (e *Executable) prepare(cfg runConfig) (sim.Options, *runSetup, error) {
 	opts := sim.Options{
 		DecodeCache:      !cfg.DisableDecodeCache,
+		DecodeCacheCap:   cfg.DecodeCacheCap,
 		Prediction:       !cfg.DisablePrediction && !cfg.DisableDecodeCache,
 		MaxInstructions:  cfg.Fuel,
 		Stdin:            cfg.Stdin,
@@ -377,6 +400,14 @@ func (e *Executable) prepare(cfg runConfig) (sim.Options, *runSetup, error) {
 	if cfg.PerFunctionILP {
 		setup.pf = cycle.NewPerFunctionILP(e.sys.model, e.prog)
 	}
+	if cfg.Profile {
+		setup.prof = prof.NewCollector()
+		// Cycle attribution follows the run's first cycle model; purely
+		// functional runs profile execution counts only.
+		if len(setup.models) > 0 {
+			setup.prof.SetCycleSource(setup.models[0], setup.models[0].Name())
+		}
+	}
 	if cfg.Trace != nil {
 		setup.traceW = trace.NewWriter(cfg.Trace)
 	}
@@ -393,6 +424,11 @@ func (s *runSetup) attach(cpu *sim.CPU) {
 	}
 	if s.pf != nil {
 		cpu.Attach(s.pf)
+	}
+	// The profiler observes after the cycle models so its per-PC cycle
+	// deltas see the model state the instruction just produced.
+	if s.prof != nil {
+		cpu.Attach(s.prof)
 	}
 	if s.traceW != nil {
 		cpu.SetTrace(s.traceW)
@@ -426,7 +462,65 @@ func (s *runSetup) collect(cpu *sim.CPU, st sim.ExitStatus) *RunResult {
 	if s.pf != nil {
 		res.FunctionILP = s.pf.Results()
 	}
+	if s.prof != nil {
+		res.Profile = s.prof.Finish(cpu.Stats)
+	}
 	return res
+}
+
+// ---------------------------------------------------------------------
+// Profiling (docs/profiling.md)
+
+// Profile is the mergeable microarchitectural profile of one or more
+// runs (see WithProfiling): per-PC execution/cycle/stall histograms,
+// decode-cache and instruction-prediction counters, per-ISA and
+// per-VLIW-slot attribution, and ISA-switch transitions. Profiles of
+// independent runs (e.g. per pool worker) fold together with Merge —
+// the result is deterministic regardless of completion order.
+type Profile = prof.Profile
+
+// ProfileReport is the symbolized JSON rendering of a Profile.
+type ProfileReport = prof.Report
+
+// ProfileHotspot is one row of a report's per-PC hotspot table.
+type ProfileHotspot = prof.Hotspot
+
+// MergeProfiles combines profiles into a fresh one (nil entries are
+// skipped); merging is commutative, so batch results merge
+// deterministically regardless of worker count or scheduling.
+func MergeProfiles(profiles ...*Profile) *Profile { return prof.Merge(profiles...) }
+
+// ProfileSymbols returns a symbolizer over the executable's function
+// table and C source line map — the debug sections the profiler's
+// reports and pprof export key hotspots by.
+func (e *Executable) ProfileSymbols() prof.Symbolizer {
+	return prof.NewSymbols(e.prog.Funcs, e.prog.SrcMap)
+}
+
+// ProfileReport renders p symbolized against this executable: the topN
+// hottest PCs (<= 0: all) plus every aggregate table.
+func (e *Executable) ProfileReport(p *Profile, topN int) *ProfileReport {
+	return p.Report(e.ProfileSymbols(), topN)
+}
+
+// WriteProfilePprof writes p as a gzipped pprof profile.proto stream
+// symbolized against this executable, renderable with
+// `go tool pprof` (guest flamegraphs keyed by guest functions).
+func (e *Executable) WriteProfilePprof(w io.Writer, p *Profile) error {
+	return prof.WritePprof(w, p, e.ProfileSymbols())
+}
+
+// NewSpanTracer builds a pipeline span tracer logging to the given
+// slog logger (nil: slog.Default()); install it on a context with
+// WithSpanTracing and the toolchain stages below that context —
+// compile, assemble, link — emit timed spans (docs/profiling.md).
+func NewSpanTracer(log *slog.Logger) *span.Tracer { return span.NewTracer(log) }
+
+// WithSpanTracing returns a context carrying tracer under a fresh root
+// trace id; pass it to BuildCCtx/BuildAsmCtx (or anything that accepts
+// a context above the toolchain) to time the pipeline stages.
+func WithSpanTracing(ctx context.Context, tracer *span.Tracer) context.Context {
+	return span.NewContext(ctx, tracer)
 }
 
 // ---------------------------------------------------------------------

@@ -29,7 +29,9 @@ type runConfig struct {
 	Timeout            time.Duration
 	DisableDecodeCache bool
 	DisablePrediction  bool
+	DecodeCacheCap     int
 	PerFunctionILP     bool
+	Profile            bool
 	EventSink          EventSink
 	StreamOps          bool
 	ProgressInterval   uint64
@@ -110,6 +112,26 @@ func WithoutDecodeCache() Option {
 // decode cache.
 func WithoutPrediction() Option {
 	return func(c *runConfig) { c.DisablePrediction = true }
+}
+
+// WithDecodeCacheCap bounds the decode cache to n entries; a miss on a
+// full cache flushes it wholesale (the deterministic eviction policy),
+// counted in the profiler's eviction counter. 0 keeps the paper's
+// unbounded cache.
+func WithDecodeCacheCap(n int) Option {
+	return func(c *runConfig) { c.DecodeCacheCap = n }
+}
+
+// WithProfiling attaches the microarchitectural profiler
+// (internal/prof) to the run and fills RunResult.Profile: per-PC
+// execution/cycle/stall histograms, decode-cache and
+// instruction-prediction counters, per-ISA and per-VLIW-slot cycle
+// attribution, and run-time ISA-switch transitions. Cycle attribution
+// uses the run's first cycle model (WithModels order); functional runs
+// profile execution counts only. Profiling is passive — cycle counts
+// and results are bit-identical with and without it (docs/profiling.md).
+func WithProfiling() Option {
+	return func(c *runConfig) { c.Profile = true }
 }
 
 // WithPerFunctionILP additionally profiles the theoretical ILP of every

@@ -171,8 +171,13 @@ type PoolStats struct {
 	Instructions uint64
 	Operations   uint64
 	// DecodeCacheHitRate aggregates the per-CPU decode caches
-	// (hits/lookups) over finished jobs.
+	// (hits/lookups) over finished jobs; PredictionHitRate does the same
+	// for instruction prediction (predicted fetches over total fetches).
 	DecodeCacheHitRate float64
+	PredictionHitRate  float64
+	// DecodeCacheEvictions counts decode structures discarded by bounded
+	// caches (WithDecodeCacheCap) across finished jobs.
+	DecodeCacheEvictions uint64
 	// Wall is the summed per-job simulation time; WallPerModel splits
 	// it by activated cycle model ("functional" = no model attached).
 	Wall         time.Duration
@@ -183,19 +188,21 @@ type PoolStats struct {
 func (p *Pool) Stats() PoolStats {
 	s := p.pool.Stats()
 	out := PoolStats{
-		Workers:            s.Workers,
-		JobsQueued:         s.Queued,
-		JobsRunning:        s.Running,
-		JobsDone:           s.Done,
-		JobsFailed:         s.Failed,
-		QueueDepth:         s.Queued,
-		InFlight:           s.InFlight,
-		QueueCap:           s.QueueCap,
-		Instructions:       s.Instructions,
-		Operations:         s.Operations,
-		DecodeCacheHitRate: s.DecodeCacheHitRate(),
-		Wall:               s.Wall,
-		WallPerModel:       map[string]time.Duration{},
+		Workers:              s.Workers,
+		JobsQueued:           s.Queued,
+		JobsRunning:          s.Running,
+		JobsDone:             s.Done,
+		JobsFailed:           s.Failed,
+		QueueDepth:           s.Queued,
+		InFlight:             s.InFlight,
+		QueueCap:             s.QueueCap,
+		Instructions:         s.Instructions,
+		Operations:           s.Operations,
+		DecodeCacheHitRate:   s.DecodeCacheHitRate(),
+		PredictionHitRate:    s.PredictionHitRate(),
+		DecodeCacheEvictions: s.CacheEvictions,
+		Wall:                 s.Wall,
+		WallPerModel:         map[string]time.Duration{},
 	}
 	p.mu.Lock()
 	for k, v := range p.wallPerModel {

@@ -1,0 +1,178 @@
+package kahrisma_test
+
+import (
+	"context"
+	"testing"
+
+	kahrisma "repro"
+	"repro/internal/prof"
+)
+
+// Profiling is passive: a profiled run returns bit-identical cycle
+// counts, instructions and output to the same run without profiling —
+// the tentpole invariant of the profiler.
+func TestProfilingBitIdenticalCycles(t *testing.T) {
+	sys := newSys(t)
+	exe, err := sys.BuildC("VLIW4", map[string]string{"p.c": facadeProg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := []kahrisma.Option{kahrisma.WithModels("ILP", "DOE")}
+
+	plain, err := exe.Run(context.Background(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiled, err := exe.Run(context.Background(), append(opts, kahrisma.WithProfiling())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if plain.Profile != nil {
+		t.Error("unprofiled run carries a profile")
+	}
+	if profiled.Profile == nil {
+		t.Fatal("profiled run carries no profile")
+	}
+	if profiled.Instructions != plain.Instructions || profiled.Operations != plain.Operations {
+		t.Errorf("instruction counts differ: %d/%d vs %d/%d",
+			profiled.Instructions, profiled.Operations, plain.Instructions, plain.Operations)
+	}
+	if profiled.Output != plain.Output || profiled.ExitCode != plain.ExitCode {
+		t.Errorf("outputs differ under profiling")
+	}
+	for _, m := range []string{"ILP", "DOE"} {
+		if profiled.Cycles[m] != plain.Cycles[m] {
+			t.Errorf("%s cycles %d with profiling, %d without — profiling is not passive",
+				m, profiled.Cycles[m], plain.Cycles[m])
+		}
+	}
+
+	// The profile's own totals agree with the run result; cycles are
+	// attributed by the first activated model (ILP here).
+	p := profiled.Profile
+	if p.Instructions != plain.Instructions {
+		t.Errorf("profile instructions %d != run %d", p.Instructions, plain.Instructions)
+	}
+	if p.CycleModel != "ILP" || p.Cycles != plain.Cycles["ILP"] {
+		t.Errorf("profile cycles %s/%d, want ILP/%d", p.CycleModel, p.Cycles, plain.Cycles["ILP"])
+	}
+	var perPC uint64
+	for _, s := range p.PCs {
+		perPC += s.Count
+	}
+	if perPC != p.Instructions {
+		t.Errorf("per-PC counts sum to %d, want %d", perPC, p.Instructions)
+	}
+}
+
+// mergedPoolProfile runs `jobs` profiled submissions of exe on a pool
+// with the given worker count and merges the per-job profiles.
+func mergedPoolProfile(t *testing.T, exe *kahrisma.Executable, workers, jobs int) *kahrisma.Profile {
+	t.Helper()
+	pool := kahrisma.NewPool(workers)
+	defer pool.Close()
+	handles := make([]*kahrisma.Job, jobs)
+	for i := range handles {
+		handles[i] = pool.Submit(context.Background(), exe,
+			kahrisma.WithModels("DOE"), kahrisma.WithProfiling())
+	}
+	profiles := make([]*kahrisma.Profile, jobs)
+	for i, j := range handles {
+		res, err := j.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Profile == nil {
+			t.Fatal("pooled profiled job returned no profile")
+		}
+		profiles[i] = res.Profile
+	}
+	return kahrisma.MergeProfiles(profiles...)
+}
+
+// Merged per-PC profiles are deterministic across worker counts: a
+// 1-worker pool and an 8-worker pool produce identical aggregates.
+func TestPoolProfileDeterminism(t *testing.T) {
+	sys := newSys(t)
+	exe, err := sys.BuildC("VLIW4", map[string]string{"p.c": facadeProg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const jobs = 8
+	serial := mergedPoolProfile(t, exe, 1, jobs)
+	wide := mergedPoolProfile(t, exe, 8, jobs)
+	if err := prof.Equal(serial, wide); err != nil {
+		t.Fatalf("merged profiles differ across worker counts: %v", err)
+	}
+	if serial.Instructions == 0 || len(serial.PCs) == 0 {
+		t.Fatalf("merged profile is empty: %+v", serial)
+	}
+}
+
+// A bounded decode cache evicts (visible in the profile) without
+// changing simulation results.
+func TestDecodeCacheCapEvictions(t *testing.T) {
+	sys := newSys(t)
+	exe, err := sys.BuildC("RISC", map[string]string{"p.c": facadeProg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unbounded, err := exe.Run(context.Background(),
+		kahrisma.WithModels("DOE"), kahrisma.WithProfiling())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded, err := exe.Run(context.Background(),
+		kahrisma.WithModels("DOE"), kahrisma.WithProfiling(), kahrisma.WithDecodeCacheCap(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unbounded.Profile.DecodeCache.Evictions != 0 {
+		t.Errorf("unbounded cache evicted %d entries", unbounded.Profile.DecodeCache.Evictions)
+	}
+	if bounded.Profile.DecodeCache.Evictions == 0 {
+		t.Error("bounded cache (cap 4) never evicted")
+	}
+	if bounded.Cycles["DOE"] != unbounded.Cycles["DOE"] || bounded.Output != unbounded.Output {
+		t.Errorf("bounded decode cache changed results: cycles %d vs %d",
+			bounded.Cycles["DOE"], unbounded.Cycles["DOE"])
+	}
+	if bounded.Profile.DecodeCache.HitRate() >= unbounded.Profile.DecodeCache.HitRate() {
+		t.Errorf("cap 4 hit rate %v not below unbounded %v",
+			bounded.Profile.DecodeCache.HitRate(), unbounded.Profile.DecodeCache.HitRate())
+	}
+}
+
+// A functional (model-less) profiled run attributes execution counts
+// without cycles.
+func TestFunctionalProfile(t *testing.T) {
+	sys := newSys(t)
+	exe, err := sys.BuildC("RISC", map[string]string{"p.c": facadeProg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exe.Run(context.Background(), kahrisma.WithProfiling())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Profile
+	if p == nil || len(p.PCs) == 0 {
+		t.Fatal("functional run produced no profile")
+	}
+	if p.Cycles != 0 || p.CycleModel != "" {
+		t.Errorf("functional profile claims cycles: %d/%q", p.Cycles, p.CycleModel)
+	}
+	rep := exe.ProfileReport(p, 5)
+	if len(rep.Hotspots) == 0 || rep.Hotspots[0].Count == 0 {
+		t.Fatalf("functional report has no count-ranked hotspots: %+v", rep.Hotspots)
+	}
+	// Symbolization reaches the guest's functions.
+	seen := map[string]bool{}
+	for _, h := range rep.Hotspots {
+		seen[h.Func] = true
+	}
+	if !seen["work"] && !seen["main"] {
+		t.Errorf("hotspots not symbolized: %+v", rep.Hotspots)
+	}
+}

@@ -55,6 +55,31 @@ ANALYSIS=$(curl -sf "$BASE/v1/analyze" -d '{
 printf '%s' "$ANALYSIS" | grep -q '"clean":true' || { echo "smoke: analysis not clean: $ANALYSIS" >&2; exit 1; }
 echo "smoke: analysis clean"
 
+# A profiled job must serve its symbolized report and a pprof export
+# from /v1/jobs/{id}/profile (docs/profiling.md).
+ACCEPTP=$(curl -sf "$BASE/v1/jobs" -d '{
+  "isa": "VLIW4",
+  "sources": {"main.c": "int work(int n) { int s = 0; for (int i = 1; i <= n; i++) s += i * i; return s; } int main() { printf(\"w=%d\\n\", work(50)); return 0; }"},
+  "models": ["DOE"],
+  "profile": true
+}')
+IDP=$(printf '%s' "$ACCEPTP" | sed 's/.*"id":"\([^"]*\)".*/\1/')
+[ -n "$IDP" ] || { echo "smoke: no job id in: $ACCEPTP" >&2; exit 1; }
+for i in $(seq 1 200); do
+    if RESULTP=$(curl -sf "$BASE/v1/jobs/$IDP/result" 2>/dev/null); then break; fi
+    [ "$i" = 200 ] && { echo "smoke: profiled job never finished" >&2; exit 1; }
+    sleep 0.1
+done
+printf '%s' "$RESULTP" | grep -q '"profiled":true' || { echo "smoke: result not marked profiled: $RESULTP" >&2; exit 1; }
+PROFILE=$(curl -sf "$BASE/v1/jobs/$IDP/profile?top=5")
+printf '%s' "$PROFILE" | grep -q '"func":"work"' || { echo "smoke: no symbolized hotspot in: $PROFILE" >&2; exit 1; }
+PPROF_FILE=$(mktemp)
+curl -sf "$BASE/v1/jobs/$IDP/profile?format=pprof" -o "$PPROF_FILE"
+MAGIC=$(head -c 2 "$PPROF_FILE" | od -An -tx1 | tr -d ' ')
+rm -f "$PPROF_FILE"
+[ "$MAGIC" = "1f8b" ] || { echo "smoke: pprof export is not gzip (magic $MAGIC)" >&2; exit 1; }
+echo "smoke: profile served (JSON report + gzipped pprof)"
+
 # Live event streaming: submit a long job with per-op streaming and
 # capture its SSE feed concurrently; the stream must carry op, progress
 # and a terminal done frame (docs/streaming.md).
