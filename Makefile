@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-pool bench-gate bench-baseline verify fmt-check vet lint kvet klint serve smoke prof clean
+.PHONY: all build test race bench bench-pool bench-gate bench-baseline verify fmt-check vet lint kvet klint apidiff apidiff-baseline serve smoke prof clean
 
 all: verify
 
@@ -61,6 +61,16 @@ lint: vet kvet klint
 kvet:
 	$(GO) run ./cmd/kvet
 
+# Public API surface gate (cmd/kapidiff): the facade's exported
+# declarations must match the committed baseline, so surface changes
+# are always a deliberate, reviewable diff.
+apidiff:
+	$(GO) run ./cmd/kapidiff -check api/kahrisma.txt .
+
+# Regenerate the baseline after a deliberate API change.
+apidiff-baseline:
+	$(GO) run ./cmd/kapidiff -write api/kahrisma.txt .
+
 # The shipped examples and workloads must stay klint-clean (the CI
 # gate); -min warning keeps the output to findings that matter.
 klint:
@@ -86,7 +96,7 @@ prof:
 	$(GO) tool pprof -top -sample_index=cycles bin/quickstart.pb.gz
 
 # verify mirrors the tier-1 gate plus the static checks the CI runs.
-verify: fmt-check lint build test
+verify: fmt-check lint apidiff build test
 
 clean:
 	rm -rf bin

@@ -1,0 +1,185 @@
+package kahrisma_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	kahrisma "repro"
+	"repro/internal/prof"
+)
+
+// runBatchAt runs n profiled DOE jobs of exe through a pool of the
+// given width and returns the batch after completion.
+func runBatchAt(t *testing.T, exe *kahrisma.Executable, workers, n int) *kahrisma.Batch {
+	t.Helper()
+	pool := kahrisma.NewPool(workers)
+	t.Cleanup(pool.Close)
+	items := make([]kahrisma.BatchItem, n)
+	for i := range items {
+		items[i] = kahrisma.BatchItem{
+			Exe:  exe,
+			Opts: []kahrisma.Option{kahrisma.WithModels("DOE"), kahrisma.WithProfiling()},
+		}
+	}
+	b := pool.SubmitBatch(context.Background(), items)
+	if err := b.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// The central determinism guarantee of the redesigned batch engine:
+// a recycled-state batch at workers=1 and workers=8 is bit-identical in
+// cycles, output and merged microarchitectural profile — recycling and
+// sharded dispatch must be invisible to results.
+func TestBatchWorkersBitIdentical(t *testing.T) {
+	sys := newSys(t)
+	exe, err := sys.BuildC("VLIW4", map[string]string{"p.c": facadeProg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := exe.Run(context.Background(), kahrisma.WithModels("DOE"), kahrisma.WithProfiling())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 12
+	b1 := runBatchAt(t, exe, 1, n)
+	b8 := runBatchAt(t, exe, 8, n)
+
+	r1, r8 := b1.Results(), b8.Results()
+	for i := 0; i < n; i++ {
+		for _, res := range []*kahrisma.RunResult{r1[i], r8[i]} {
+			if res.Cycles["DOE"] != serial.Cycles["DOE"] {
+				t.Errorf("job %d: pooled DOE cycles %d != serial %d — not bit-identical",
+					i, res.Cycles["DOE"], serial.Cycles["DOE"])
+			}
+			if res.Output != serial.Output || res.ExitCode != serial.ExitCode {
+				t.Errorf("job %d: pooled output/exit %q/%d != serial %q/%d",
+					i, res.Output, res.ExitCode, serial.Output, serial.ExitCode)
+			}
+		}
+	}
+
+	// Merged profiles must match each other exactly, regardless of
+	// worker count, scheduling, or recycling.
+	p1, p8 := b1.MergeProfiles(), b8.MergeProfiles()
+	if err := prof.Equal(p1, p8); err != nil {
+		t.Errorf("merged profiles differ between workers=1 and workers=8: %v", err)
+	}
+	// And each must equal the serial profile folded n times.
+	serialN := make([]*kahrisma.Profile, n)
+	for i := range serialN {
+		serialN[i] = serial.Profile
+	}
+	if err := prof.Equal(p8, kahrisma.MergeProfiles(serialN...)); err != nil {
+		t.Errorf("workers=8 merged profile differs from n-fold serial profile: %v", err)
+	}
+
+	st := b8.Stats()
+	if st.Jobs != n || st.Failed != 0 {
+		t.Errorf("batch stats = %+v, want %d jobs / 0 failed", st, n)
+	}
+	if want := n * serial.Instructions; st.Instructions != uint64(want) {
+		t.Errorf("batch instructions = %d, want %d", st.Instructions, want)
+	}
+	if st.Cycles["DOE"] != uint64(n)*serial.Cycles["DOE"] {
+		t.Errorf("batch DOE cycles = %d, want %d", st.Cycles["DOE"], uint64(n)*serial.Cycles["DOE"])
+	}
+}
+
+// Submit-time configuration errors occupy their batch slot: Err
+// surfaces the first one in submission order, Results holds nil there,
+// and the healthy items still run.
+func TestBatchSubmitTimeErrors(t *testing.T) {
+	sys := newSys(t)
+	exe, err := sys.BuildC("RISC", map[string]string{"p.c": facadeProg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := kahrisma.NewPool(2)
+	defer pool.Close()
+
+	b := pool.SubmitBatch(context.Background(), []kahrisma.BatchItem{
+		{Exe: exe},
+		{Exe: exe, Opts: []kahrisma.Option{kahrisma.WithModels("WARP")}}, // unknown model
+		{Exe: exe},
+	})
+	if err := b.Wait(context.Background()); !errors.Is(err, kahrisma.ErrBadModel) {
+		t.Errorf("batch Err %v does not wrap ErrBadModel", err)
+	}
+	res := b.Results()
+	if res[0] == nil || res[2] == nil {
+		t.Error("healthy batch items did not run")
+	}
+	if res[1] != nil {
+		t.Error("failed batch item produced a result")
+	}
+	if st := b.Stats(); st.Failed != 1 {
+		t.Errorf("batch stats = %+v, want 1 failed", st)
+	}
+}
+
+// Cancelling the submission context mid-batch aborts the remaining
+// jobs with ErrCanceled; Wait under a live context reports the batch's
+// first error.
+func TestBatchMidFlightCancellationFacade(t *testing.T) {
+	sys := newSys(t)
+	spin, err := sys.BuildC("RISC", map[string]string{"spin.c": spinSource})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := kahrisma.NewPool(1)
+	defer pool.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	items := make([]kahrisma.BatchItem, 3)
+	for i := range items {
+		items[i] = kahrisma.BatchItem{Exe: spin}
+	}
+	b := pool.SubmitBatch(ctx, items)
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := b.Wait(context.Background()); !errors.Is(err, kahrisma.ErrCanceled) {
+		t.Errorf("mid-batch cancellation: Err %v does not wrap ErrCanceled", err)
+	}
+	for i, j := range b.Jobs() {
+		if _, err := j.Wait(); !errors.Is(err, kahrisma.ErrCanceled) {
+			t.Errorf("job %d after cancellation: error %v does not wrap ErrCanceled", i, err)
+		}
+	}
+	// Waiting with an already-expired context returns promptly with the
+	// waiting context's error when the batch is still unfinished — here
+	// the batch is done, so the completion branch wins.
+	expired, cancelExpired := context.WithCancel(context.Background())
+	cancelExpired()
+	if err := b.Wait(expired); !errors.Is(err, kahrisma.ErrCanceled) {
+		t.Errorf("Wait on finished batch with expired context: %v does not wrap ErrCanceled", err)
+	}
+}
+
+// The deprecated SubmitJobs shim still returns index-aligned handles.
+func TestSubmitJobsShim(t *testing.T) {
+	sys := newSys(t)
+	exe, err := sys.BuildC("RISC", map[string]string{"p.c": facadeProg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := kahrisma.NewPool(2)
+	defer pool.Close()
+	jobs := pool.SubmitJobs(context.Background(), []kahrisma.BatchItem{{Exe: exe}, {Exe: exe}})
+	if len(jobs) != 2 {
+		t.Fatalf("SubmitJobs returned %d handles, want 2", len(jobs))
+	}
+	for i, j := range jobs {
+		res, err := j.Wait()
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if res.ExitCode != 55 {
+			t.Errorf("job %d: exit %d, want 55", i, res.ExitCode)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Command kapidiff guards the facade's public API surface: it extracts
+// every exported declaration of the root kahrisma package into a
+// sorted, one-line-per-element textual form and compares it against
+// the committed baseline (api/kahrisma.txt). A surface change — a new
+// method, a removed function, a changed signature or struct field —
+// fails the check until the baseline is regenerated, so public API
+// changes are always a deliberate, reviewable diff.
+//
+// kapidiff is purely syntactic (stdlib go/parser and go/ast; the repo
+// depends on no external modules, so golang.org/x/exp/apidiff is out
+// of reach). Parameter names are part of the rendered form: renaming
+// one is godoc-visible and should be deliberate too.
+//
+// Usage:
+//
+//	kapidiff [dir]                   print the surface to stdout
+//	kapidiff -check file [dir]       diff the surface against a baseline
+//	kapidiff -write file [dir]       (re)write the baseline
+//
+// Exit status: 0 when clean, 1 when -check found a difference, 2 on
+// operational failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	check := flag.String("check", "", "compare the surface against this baseline file")
+	write := flag.String("write", "", "write the surface to this baseline file")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: kapidiff [-check file | -write file] [dir]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() > 1 || (*check != "" && *write != "") {
+		flag.Usage()
+		os.Exit(2)
+	}
+	dir := "."
+	if flag.NArg() == 1 {
+		dir = flag.Arg(0)
+	}
+
+	lines, err := surface(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kapidiff: %v\n", err)
+		os.Exit(2)
+	}
+	text := strings.Join(lines, "\n") + "\n"
+
+	switch {
+	case *write != "":
+		if err := os.WriteFile(*write, []byte(text), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "kapidiff: %v\n", err)
+			os.Exit(2)
+		}
+	case *check != "":
+		base, err := os.ReadFile(*check)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kapidiff: %v\n", err)
+			os.Exit(2)
+		}
+		diffs := diff(splitLines(string(base)), lines)
+		if len(diffs) > 0 {
+			for _, d := range diffs {
+				fmt.Println(d)
+			}
+			fmt.Fprintf(os.Stderr, "kapidiff: public API surface differs from %s (%d change(s)); regenerate with `make apidiff-baseline` if deliberate\n",
+				*check, len(diffs))
+			os.Exit(1)
+		}
+	default:
+		fmt.Print(text)
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if l != "" {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// diff returns the removed (-) and added (+) lines between two sorted
+// line sets.
+func diff(old, new []string) []string {
+	in := func(set []string, s string) bool {
+		i := sort.SearchStrings(set, s)
+		return i < len(set) && set[i] == s
+	}
+	var out []string
+	for _, l := range old {
+		if !in(new, l) {
+			out = append(out, "- "+l)
+		}
+	}
+	for _, l := range new {
+		if !in(old, l) {
+			out = append(out, "+ "+l)
+		}
+	}
+	return out
+}
+
+// surface parses the package in dir (tests excluded) and returns its
+// exported declarations, one line per API element, sorted.
+func surface(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	for name, pkg := range pkgs {
+		if name == "main" {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				lines = append(lines, declLines(decl)...)
+			}
+		}
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("%s: no exported declarations found", dir)
+	}
+	sort.Strings(lines)
+	return lines, nil
+}
+
+// declLines renders one top-level declaration's exported API elements.
+func declLines(decl ast.Decl) []string {
+	var out []string
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		if d.Recv != nil {
+			recv := d.Recv.List[0].Type
+			if !exportedRecv(recv) {
+				return nil
+			}
+			out = append(out, "func ("+types.ExprString(recv)+") "+d.Name.Name+sig(d.Type))
+		} else {
+			out = append(out, "func "+d.Name.Name+sig(d.Type))
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() {
+					out = append(out, "type "+s.Name.Name+" "+types.ExprString(exportedType(s.Type)))
+				}
+			case *ast.ValueSpec:
+				kw := "var"
+				if d.Tok == token.CONST {
+					kw = "const"
+				}
+				for _, n := range s.Names {
+					if !n.IsExported() {
+						continue
+					}
+					line := kw + " " + n.Name
+					if s.Type != nil {
+						line += " " + types.ExprString(s.Type)
+					}
+					out = append(out, line)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// sig renders a function type's parameter and result lists ("(a T) R"),
+// without the leading "func" keyword.
+func sig(ft *ast.FuncType) string {
+	return strings.TrimPrefix(types.ExprString(ft), "func")
+}
+
+// exportedRecv reports whether a method receiver's base type name is
+// exported (methods on unexported types are not API).
+func exportedRecv(e ast.Expr) bool {
+	for {
+		switch t := e.(type) {
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.IndexExpr: // generic receiver
+			e = t.X
+		case *ast.Ident:
+			return t.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// exportedType filters unexported fields out of struct types (and
+// unexported methods out of interfaces) so the rendered form shows the
+// API-visible shape only. Other type expressions pass through.
+func exportedType(e ast.Expr) ast.Expr {
+	switch t := e.(type) {
+	case *ast.StructType:
+		return &ast.StructType{Fields: exportedFields(t.Fields)}
+	case *ast.InterfaceType:
+		return &ast.InterfaceType{Methods: exportedFields(t.Methods)}
+	}
+	return e
+}
+
+func exportedFields(fl *ast.FieldList) *ast.FieldList {
+	if fl == nil {
+		return nil
+	}
+	out := &ast.FieldList{}
+	for _, f := range fl.List {
+		if len(f.Names) == 0 {
+			// Embedded field/interface: exported iff its type name is.
+			if exportedRecv(f.Type) {
+				out.List = append(out.List, f)
+			}
+			continue
+		}
+		var names []*ast.Ident
+		for _, n := range f.Names {
+			if n.IsExported() {
+				names = append(names, n)
+			}
+		}
+		if len(names) > 0 {
+			out.List = append(out.List, &ast.Field{Names: names, Type: f.Type})
+		}
+	}
+	return out
+}

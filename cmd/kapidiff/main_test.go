@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func writePkg(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestSurfaceExportedOnly(t *testing.T) {
+	dir := writePkg(t, `package p
+
+import "context"
+
+// Exported API.
+const Version = "1"
+
+var ErrBoom = newErr()
+
+type Handle struct {
+	Name string
+	id   int // unexported: not API
+}
+
+type hidden struct{ X int }
+
+func New(ctx context.Context, n int) (*Handle, error) { return nil, nil }
+
+func (h *Handle) Close() error { return nil }
+
+// Methods on unexported types are not API.
+func (h *hidden) Open() {}
+
+func newErr() error { return nil }
+`)
+	got, err := surface(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"const Version",
+		"func (*Handle) Close() error",
+		"func New(ctx context.Context, n int) (*Handle, error)",
+		"type Handle struct{Name string}",
+		"var ErrBoom",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("surface:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestSurfaceIsSorted(t *testing.T) {
+	dir := writePkg(t, `package p
+func Zeta()  {}
+func Alpha() {}
+type Mid int
+`)
+	got, err := surface(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] > got[i] {
+			t.Fatalf("surface not sorted: %q before %q", got[i-1], got[i])
+		}
+	}
+}
+
+func TestDiff(t *testing.T) {
+	old := []string{"func A()", "func B() int"}
+	new := []string{"func A()", "func B(n int) int", "func C()"}
+	got := diff(old, new)
+	want := []string{"- func B() int", "+ func B(n int) int", "+ func C()"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("diff = %q, want %q", got, want)
+	}
+	if d := diff(old, old); len(d) != 0 {
+		t.Errorf("self-diff = %q, want empty", d)
+	}
+}
+
+// The committed baseline must describe the current facade: a surface
+// change without a baseline regeneration fails here (and in the CI
+// apidiff job) until it is made deliberate.
+func TestBaselineIsCurrent(t *testing.T) {
+	root := filepath.Join("..", "..")
+	lines, err := surface(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := os.ReadFile(filepath.Join(root, "api", "kahrisma.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := diff(splitLines(string(base)), lines); len(d) > 0 {
+		t.Errorf("api/kahrisma.txt is stale; regenerate with `make apidiff-baseline`:\n%s",
+			strings.Join(d, "\n"))
+	}
+}

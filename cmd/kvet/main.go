@@ -3,9 +3,10 @@
 //
 // Checks:
 //
-//   - runlegacy: the deprecated Executable.RunLegacy shim may be
-//     mentioned only where it is defined (kahrisma.go) and in the
-//     facade's own tests; all other code must use the options API.
+//   - runlegacy: the deprecated Executable.RunLegacy/RunConfig shim
+//     was deleted in the Batch API redesign; any identifier named
+//     RunLegacy or RunConfig — declaration or use, anywhere — is a
+//     reintroduction and is flagged. Use Run with functional options.
 //   - errwrap: a fmt.Errorf call that passes one of the facade's
 //     sentinel errors (the Err* variables of errors.go) must wrap it
 //     with %w, never stringify it with %v/%s — otherwise errors.Is
@@ -36,11 +37,13 @@ import (
 	"strings"
 )
 
-// runLegacyAllowed lists the base names of files that may mention
-// RunLegacy: its definition and the facade tests covering the shim.
-var runLegacyAllowed = map[string]bool{
-	"kahrisma.go":      true,
-	"kahrisma_test.go": true,
+// legacyIdents names the identifiers of the deleted RunLegacy/RunConfig
+// shim. No file is exempt: the shim is gone, so any occurrence is a
+// reintroduction. (kvet's own sources only carry the names inside
+// string literals and comments, which the AST walk does not visit.)
+var legacyIdents = map[string]bool{
+	"RunLegacy": true,
+	"RunConfig": true,
 }
 
 func main() {
@@ -138,13 +141,11 @@ func checkFile(fset *token.FileSet, f *ast.File, base string, sentinels map[stri
 	}
 	ast.Inspect(f, func(n ast.Node) bool {
 		switch n := n.(type) {
-		case *ast.SelectorExpr:
-			if n.Sel.Name == "RunLegacy" && !runLegacyAllowed[base] {
-				report(n.Sel.Pos(), "use of deprecated RunLegacy outside its definition and tests; use Run with options (runlegacy)")
-			}
-		case *ast.FuncDecl:
-			if n.Name.Name == "RunLegacy" && !runLegacyAllowed[base] {
-				report(n.Name.Pos(), "declaration of RunLegacy outside kahrisma.go (runlegacy)")
+		case *ast.Ident:
+			// Selector fields (x.RunLegacy) are Idents too, so one case
+			// catches declarations, bare uses and selector uses alike.
+			if legacyIdents[n.Name] {
+				report(n.Pos(), "identifier %s reintroduces the deleted RunLegacy/RunConfig shim; use Run with options (runlegacy)", n.Name)
 			}
 		case *ast.CallExpr:
 			checkErrorf(report, n, sentinels)

@@ -21,23 +21,32 @@ func run(t *testing.T, base, src string) []string {
 }
 
 func TestRunLegacyRule(t *testing.T) {
+	// The shim is deleted; every occurrence is a reintroduction. A call
+	// names both identifiers, so it yields two findings.
 	const use = `package p
 func f(e E) { e.RunLegacy(RunConfig{}) }
 `
-	if got := run(t, "other.go", use); len(got) != 1 || !strings.Contains(got[0], "runlegacy") {
-		t.Errorf("RunLegacy use in other.go: findings %v, want 1 runlegacy", got)
+	got := run(t, "other.go", use)
+	if len(got) != 2 || !strings.Contains(got[0], "runlegacy") {
+		t.Errorf("RunLegacy use: findings %v, want 2 runlegacy", got)
 	}
-	// The definition site and the facade tests are exempt.
+	// No file is exempt anymore — not even the former definition site.
 	for _, base := range []string{"kahrisma.go", "kahrisma_test.go"} {
-		if got := run(t, base, use); len(got) != 0 {
-			t.Errorf("RunLegacy in %s: findings %v, want none", base, got)
+		if got := run(t, base, use); len(got) != 2 {
+			t.Errorf("RunLegacy in %s: findings %v, want 2", base, got)
 		}
 	}
 	const decl = `package p
 func (e E) RunLegacy(c C) {}
 `
 	if got := run(t, "shim.go", decl); len(got) != 1 {
-		t.Errorf("RunLegacy declaration elsewhere: findings %v, want 1", got)
+		t.Errorf("RunLegacy declaration: findings %v, want 1", got)
+	}
+	const typ = `package p
+type RunConfig struct{}
+`
+	if got := run(t, "config.go", typ); len(got) != 1 {
+		t.Errorf("RunConfig declaration: findings %v, want 1", got)
 	}
 }
 

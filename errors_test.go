@@ -85,12 +85,16 @@ func TestErrorChains(t *testing.T) {
 		if _, err := pool.Submit(context.Background(), exe, kahrisma.WithFuel(1000)).Wait(); !errors.Is(err, kahrisma.ErrPoolClosed) {
 			t.Errorf("Submit after Close: error %v does not wrap ErrPoolClosed", err)
 		}
-		jobs := pool.SubmitBatch(context.Background(), []kahrisma.BatchItem{
+		batch := pool.SubmitBatch(context.Background(), []kahrisma.BatchItem{
 			{Exe: exe, Opts: []kahrisma.Option{kahrisma.WithFuel(1000)}},
 			{Exe: exe},
 		})
-		for i, j := range jobs {
-			<-j.Done() // must already be closed, not hang
+		<-batch.Done() // must already be closed, not hang
+		if err := batch.Err(); !errors.Is(err, kahrisma.ErrPoolClosed) {
+			t.Errorf("batch after Close: Err() %v does not wrap ErrPoolClosed", err)
+		}
+		for i, j := range batch.Jobs() {
+			<-j.Done()
 			if _, err := j.Wait(); !errors.Is(err, kahrisma.ErrPoolClosed) {
 				t.Errorf("batch job %d after Close: error %v does not wrap ErrPoolClosed", i, err)
 			}

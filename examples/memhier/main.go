@@ -50,12 +50,13 @@ func main() {
 			Opts: []kahrisma.Option{kahrisma.WithModels("AIE", "DOE"), kahrisma.WithMemory(cfg.mem)},
 		}
 	}
-	jobs := pool.SubmitBatch(context.Background(), items)
+	batch := pool.SubmitBatch(context.Background(), items)
+	if err := batch.Wait(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	results := batch.Results()
 	for i, cfg := range configs {
-		res, err := jobs[i].Wait()
-		if err != nil {
-			log.Fatal(err)
-		}
+		res := results[i]
 		fmt.Printf("%s\n", cfg.name)
 		fmt.Printf("  AIE %8d cycles   DOE %8d cycles", res.Cycles["AIE"], res.Cycles["DOE"])
 		if !cfg.mem.Flat {

@@ -272,16 +272,17 @@ func RunFigure4Workers(apps []*workloads.Workload, workers int) ([]*Figure4App, 
 
 	// One cell per (app × instance) plus one theoretical-ILP cell per
 	// app; observers are created here and attached on the worker — each
-	// is private to its job.
+	// is private to its job. The cells become one batch submission, so
+	// the pool dispatches them in chunked runs and recycles CPU state.
 	type cell struct {
 		app     *Figure4App
 		isaName string // "" marks the ILP cell
 		ilp     *cycle.ILP
 		doe     *cycle.DOE
 		hier    *mem.Hierarchy
-		ticket  *simpool.Ticket
 	}
 	var cells []*cell
+	var jobs []simpool.Job
 	var out []*Figure4App
 	for _, w := range apps {
 		app := &Figure4App{
@@ -296,10 +297,11 @@ func RunFigure4Workers(apps []*workloads.Workload, workers int) ([]*Figure4App, 
 			return nil, fmt.Errorf("%s: %w", w.Name, err)
 		}
 		ilpCell := &cell{app: app, ilp: cycle.NewILP(m)}
-		ilpCell.ticket = pool.Submit(context.Background(), simpool.Job{
+		jobs = append(jobs, simpool.Job{
 			Model: m, Prog: riscProg, Opts: simOpts(),
-			Label:  w.Name + "/ILP",
-			Attach: func(c *sim.CPU) error { c.Attach(ilpCell.ilp); return nil },
+			Label:   w.Name + "/ILP",
+			Recycle: true,
+			Attach:  func(c *sim.CPU) error { c.Attach(ilpCell.ilp); return nil },
 		})
 		cells = append(cells, ilpCell)
 
@@ -310,21 +312,22 @@ func RunFigure4Workers(apps []*workloads.Workload, workers int) ([]*Figure4App, 
 			}
 			h := mem.Paper()
 			doeCell := &cell{app: app, isaName: isaName, doe: cycle.NewDOE(m, h), hier: h}
-			doeCell.ticket = pool.Submit(context.Background(), simpool.Job{
+			jobs = append(jobs, simpool.Job{
 				Model: m, Prog: prog, Opts: simOpts(),
-				Label:  w.Name + "/" + isaName,
-				Attach: func(c *sim.CPU) error { c.Attach(doeCell.doe); return nil },
+				Label:   w.Name + "/" + isaName,
+				Recycle: true,
+				Attach:  func(c *sim.CPU) error { c.Attach(doeCell.doe); return nil },
 			})
 			cells = append(cells, doeCell)
 		}
 	}
 
-	pool.Wait()
-	for _, cl := range cells {
-		res := cl.ticket.Wait()
+	batch := pool.SubmitBatch(context.Background(), jobs)
+	for i, res := range batch.Results() {
 		if res.Err != nil {
 			return nil, res.Err
 		}
+		cl := cells[i]
 		if cl.isaName == "" {
 			cl.app.ILP = cycle.OPC(cl.ilp)
 			continue

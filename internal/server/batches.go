@@ -1,0 +1,390 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	kahrisma "repro"
+	"repro/internal/prof/span"
+)
+
+// BatchRequest is the body of POST /v1/batches: an ordered list of jobs
+// submitted, admitted and simulated as one unit. The whole batch maps
+// onto a single kahrisma.Batch handle, so its jobs share the pool's
+// recycled per-job state and sharded dispatch; each item is also a
+// regular job record, so the per-job endpoints (/v1/jobs/{id},
+// /result, /profile, /events) work on batch items unchanged.
+type BatchRequest struct {
+	Jobs []JobRequest `json:"jobs"`
+}
+
+// validate rejects batches that can never run; per-item failures name
+// their index so clients can fix the offending job.
+func (r *BatchRequest) validate(base *kahrisma.System) error {
+	if len(r.Jobs) == 0 {
+		return fmt.Errorf("jobs: at least one job required")
+	}
+	for i := range r.Jobs {
+		if err := r.Jobs[i].validate(base); err != nil {
+			return fmt.Errorf("jobs[%d]: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// BatchStatus is the body of GET /v1/batches/{id} and of the 202 accept
+// response: the aggregate state plus every item's job status,
+// index-aligned with the submitted jobs.
+type BatchStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"` // running | done | failed
+	// Error is the first item error in submission order (terminal
+	// batches only).
+	Error      string `json:"error,omitempty"`
+	JobsTotal  int    `json:"jobs_total"`
+	JobsDone   int    `json:"jobs_done"`
+	JobsFailed int    `json:"jobs_failed"`
+	// Jobs holds the per-item statuses; their IDs address the regular
+	// job endpoints (/v1/jobs/{id}/result, /profile, /events).
+	Jobs        []JobStatus `json:"jobs"`
+	SubmittedAt time.Time   `json:"submitted_at"`
+	FinishedAt  *time.Time  `json:"finished_at,omitempty"`
+}
+
+// BatchResult is the body of GET /v1/batches/{id}/results: one
+// aggregate object carrying every item's result plus the batch-level
+// merged counters (kahrisma.BatchStats).
+type BatchResult struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Error is the first item error in submission order; empty when
+	// every job succeeded.
+	Error      string `json:"error,omitempty"`
+	JobsTotal  int    `json:"jobs_total"`
+	JobsFailed int    `json:"jobs_failed"`
+	// Jobs holds the per-item results, index-aligned with the request.
+	Jobs []JobResult `json:"jobs"`
+
+	// Instructions/Operations retired and Cycles per cycle model,
+	// merged across the batch's items.
+	Instructions uint64            `json:"instructions"`
+	Operations   uint64            `json:"operations"`
+	Cycles       map[string]uint64 `json:"cycles,omitempty"`
+	// SimWallMS is the summed per-item simulation time on the pool
+	// workers; WallMS the end-to-end batch time on the server.
+	SimWallMS float64 `json:"sim_wall_ms"`
+	WallMS    float64 `json:"wall_ms"`
+}
+
+// batchRecord is the server-side state of one submitted batch; the
+// per-item state lives in the item jobRecords.
+type batchRecord struct {
+	id        string
+	submitted time.Time
+	jobs      []*jobRecord // index-aligned with the request's jobs
+	trace     span.SpanContext
+
+	mu       sync.Mutex
+	state    string
+	err      string
+	stats    kahrisma.BatchStats
+	finished time.Time
+}
+
+// finish transitions the batch to its terminal state exactly once,
+// after every item record finished.
+func (b *batchRecord) finish(stats kahrisma.BatchStats, firstErr error) {
+	b.mu.Lock()
+	b.state = StateDone
+	if firstErr != nil {
+		b.state = StateFailed
+		b.err = firstErr.Error()
+	}
+	b.stats = stats
+	b.finished = time.Now()
+	b.mu.Unlock()
+}
+
+func (b *batchRecord) status() BatchStatus {
+	b.mu.Lock()
+	st := BatchStatus{
+		ID:          b.id,
+		State:       b.state,
+		Error:       b.err,
+		JobsTotal:   len(b.jobs),
+		SubmittedAt: b.submitted,
+	}
+	if !b.finished.IsZero() {
+		f := b.finished
+		st.FinishedAt = &f
+	}
+	b.mu.Unlock()
+	st.Jobs = make([]JobStatus, len(b.jobs))
+	for i, jr := range b.jobs {
+		st.Jobs[i] = jr.status()
+		switch st.Jobs[i].State {
+		case StateDone:
+			st.JobsDone++
+		case StateFailed:
+			st.JobsFailed++
+		}
+	}
+	return st
+}
+
+// resultJSON renders the terminal aggregate; ok is false while the
+// batch is still in flight.
+func (b *batchRecord) resultJSON() (BatchResult, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != StateDone && b.state != StateFailed {
+		return BatchResult{ID: b.id, State: b.state}, false
+	}
+	out := BatchResult{
+		ID:           b.id,
+		State:        b.state,
+		Error:        b.err,
+		JobsTotal:    len(b.jobs),
+		JobsFailed:   b.stats.Failed,
+		Instructions: b.stats.Instructions,
+		Operations:   b.stats.Operations,
+		SimWallMS:    float64(b.stats.Wall) / float64(time.Millisecond),
+		WallMS:       float64(b.finished.Sub(b.submitted)) / float64(time.Millisecond),
+	}
+	if len(b.stats.Cycles) > 0 {
+		out.Cycles = make(map[string]uint64, len(b.stats.Cycles))
+		for m, c := range b.stats.Cycles {
+			out.Cycles[m] = c
+		}
+	}
+	out.Jobs = make([]JobResult, len(b.jobs))
+	for i, jr := range b.jobs {
+		out.Jobs[i], _ = jr.resultJSON()
+	}
+	return out, true
+}
+
+// batchStore indexes batch records by id with the same bounded
+// retention policy as jobStore.
+type batchStore struct {
+	mu          sync.Mutex
+	batches     map[string]*batchRecord
+	finished    []string // completion order, oldest first
+	maxFinished int
+}
+
+func newBatchStore(maxFinished int) *batchStore {
+	if maxFinished < 1 {
+		maxFinished = 1
+	}
+	return &batchStore{batches: map[string]*batchRecord{}, maxFinished: maxFinished}
+}
+
+func (s *batchStore) create(jobs []*jobRecord, trace span.SpanContext) *batchRecord {
+	rec := &batchRecord{
+		id:        newID(),
+		submitted: time.Now(),
+		jobs:      jobs,
+		trace:     trace,
+		state:     StateRunning,
+	}
+	s.mu.Lock()
+	s.batches[rec.id] = rec
+	s.mu.Unlock()
+	return rec
+}
+
+func (s *batchStore) get(id string) *batchRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.batches[id]
+}
+
+func (s *batchStore) markFinished(id string) {
+	s.mu.Lock()
+	s.finished = append(s.finished, id)
+	for len(s.finished) > s.maxFinished {
+		delete(s.batches, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+	s.mu.Unlock()
+}
+
+// handleBatchSubmit serves POST /v1/batches: validate every job,
+// acquire one admission slot per job atomically (the batch is admitted
+// whole or answered 429 whole), create the item job records plus the
+// batch record, and run the batch on a detached goroutine.
+func (s *Server) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.metrics.reject(rejectDraining)
+		writeJSON(w, http.StatusServiceUnavailable, APIError{Error: "server is draining"})
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	var req BatchRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.metrics.reject(rejectOversized)
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				APIError{Error: "request body exceeds " + strconv.FormatInt(tooBig.Limit, 10) + " bytes"})
+			return
+		}
+		s.metrics.reject(rejectInvalid)
+		writeJSON(w, http.StatusBadRequest, APIError{Error: "malformed request: " + err.Error()})
+		return
+	}
+	if err := req.validate(s.base); err != nil {
+		s.metrics.reject(rejectInvalid)
+		writeJSON(w, http.StatusBadRequest, APIError{Error: err.Error()})
+		return
+	}
+	if !s.adm.tryAcquireN(len(req.Jobs)) {
+		s.metrics.reject(rejectQueueFull)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests,
+			APIError{Error: "job queue cannot admit " + strconv.Itoa(len(req.Jobs)) + " more jobs", RetryAfterS: 1})
+		return
+	}
+	s.metrics.batchesAccepted.Add(1)
+	s.metrics.batchJobs.Add(int64(len(req.Jobs)))
+	s.metrics.accepted.Add(int64(len(req.Jobs)))
+
+	jobs := make([]*jobRecord, len(req.Jobs))
+	for i := range jobs {
+		jobs[i] = s.store.create(s.cfg.StreamRingSize)
+	}
+	var sc span.SpanContext
+	if parsed, ok := span.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		sc = parsed
+	}
+	rec := s.batches.create(jobs, sc)
+	s.jobsWG.Add(1)
+	go s.runBatch(rec, &req)
+	w.Header().Set("Location", "/v1/batches/"+rec.id)
+	writeJSON(w, http.StatusAccepted, rec.status())
+}
+
+// runBatch executes one admitted batch on its own goroutine: resolve
+// every item's executable through the artifact caches, submit the
+// whole set as one kahrisma.Batch (recycled per-job state, sharded
+// dispatch), then record per-item and aggregate outcomes.
+func (s *Server) runBatch(rec *batchRecord, req *BatchRequest) {
+	defer s.jobsWG.Done()
+	defer s.adm.releaseN(len(req.Jobs))
+
+	ctx := s.traceCtx(rec.trace)
+	ctx, bsp := span.Start(ctx, "batch")
+	bsp.SetAttr("batch_id", rec.id)
+	bsp.SetAttr("jobs", len(req.Jobs))
+	defer bsp.End()
+
+	// Build phase: items whose toolchain fails finish immediately as
+	// failed jobs; the healthy remainder is submitted as one batch.
+	items := make([]kahrisma.BatchItem, 0, len(req.Jobs))
+	submitted := make([]int, 0, len(req.Jobs)) // item k -> request index
+	for i := range req.Jobs {
+		jr := rec.jobs[i]
+		exe, opts, err := s.prepareJob(ctx, jr, &req.Jobs[i])
+		if err != nil {
+			s.finishBatchJob(jr, &req.Jobs[i], nil, err)
+			continue
+		}
+		jr.setState(StateRunning)
+		items = append(items, kahrisma.BatchItem{Exe: exe, Opts: opts})
+		submitted = append(submitted, i)
+	}
+
+	var stats kahrisma.BatchStats
+	stats.Jobs = len(req.Jobs)
+	stats.Failed = len(req.Jobs) - len(items)
+	stats.Cycles = map[string]uint64{}
+	if len(items) > 0 {
+		_, sp := span.Start(ctx, "simulate")
+		batch := s.pool.SubmitBatch(s.jobsCtx, items)
+		for k, job := range batch.Jobs() {
+			res, err := job.Wait()
+			s.finishBatchJob(rec.jobs[submitted[k]], &req.Jobs[submitted[k]], res, err)
+		}
+		st := batch.Stats()
+		sp.SetAttr("instructions", st.Instructions)
+		sp.End()
+		stats.Failed += st.Failed
+		stats.Instructions = st.Instructions
+		stats.Operations = st.Operations
+		stats.Wall = st.Wall
+		for m, c := range st.Cycles {
+			stats.Cycles[m] += c
+		}
+	}
+
+	rec.finish(stats, s.firstBatchError(rec))
+	s.batches.markFinished(rec.id)
+	if stats.Failed > 0 {
+		s.metrics.batchesFailed.Add(1)
+		s.log.Warn("batch finished with failures", "id", rec.id, "jobs", stats.Jobs, "failed", stats.Failed)
+	} else {
+		s.metrics.batchesCompleted.Add(1)
+	}
+}
+
+// finishBatchJob records one batch item's terminal state with the same
+// bookkeeping as the single-job path (runJob).
+func (s *Server) finishBatchJob(jr *jobRecord, req *JobRequest, res *kahrisma.RunResult, err error) {
+	jr.finish(res, err)
+	s.store.markFinished(jr.id)
+	if err != nil {
+		s.metrics.failed.Add(1)
+		s.log.Warn("batch job failed", "id", jr.id, "isa", req.ISA, "err", err)
+		return
+	}
+	s.metrics.completed.Add(1)
+	s.metrics.harvest(res.Instructions, res.Operations, res.Cycles)
+	if res.Profile != nil {
+		s.metrics.profiled.Add(1)
+	}
+}
+
+// firstBatchError returns the first item error in submission order —
+// the batch-level error contract, mirroring kahrisma.Batch.Err.
+func (s *Server) firstBatchError(rec *batchRecord) error {
+	for _, jr := range rec.jobs {
+		jr.mu.Lock()
+		state, msg := jr.state, jr.err
+		jr.mu.Unlock()
+		if state == StateFailed {
+			return errors.New(msg)
+		}
+	}
+	return nil
+}
+
+func (s *Server) handleBatchStatus(w http.ResponseWriter, r *http.Request) {
+	rec := s.batches.get(r.PathValue("id"))
+	if rec == nil {
+		writeJSON(w, http.StatusNotFound, APIError{Error: "unknown batch"})
+		return
+	}
+	writeJSON(w, http.StatusOK, rec.status())
+}
+
+func (s *Server) handleBatchResults(w http.ResponseWriter, r *http.Request) {
+	rec := s.batches.get(r.PathValue("id"))
+	if rec == nil {
+		writeJSON(w, http.StatusNotFound, APIError{Error: "unknown batch"})
+		return
+	}
+	res, done := rec.resultJSON()
+	if !done {
+		writeJSON(w, http.StatusConflict, APIError{Error: "batch not finished: " + res.State})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}

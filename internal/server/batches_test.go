@@ -1,0 +1,272 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	kahrisma "repro"
+	"repro/internal/server"
+)
+
+func postBatch(t *testing.T, ts *httptest.Server, req server.BatchRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/batches", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func submitBatch(t *testing.T, ts *httptest.Server, req server.BatchRequest) server.BatchStatus {
+	t.Helper()
+	resp, data := postBatch(t, ts, req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/batches: status %d, body %s", resp.StatusCode, data)
+	}
+	var st server.BatchStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatalf("decoding accept response %q: %v", data, err)
+	}
+	if st.ID == "" || st.State != server.StateRunning || len(st.Jobs) != len(req.Jobs) {
+		t.Fatalf("accept response %+v", st)
+	}
+	return st
+}
+
+// pollBatchResults polls until the batch reaches a terminal state.
+func pollBatchResults(t *testing.T, ts *httptest.Server, id string) server.BatchResult {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/batches/" + id + "/results")
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var res server.BatchResult
+			if err := json.Unmarshal(data, &res); err != nil {
+				t.Fatalf("decoding batch result %q: %v", data, err)
+			}
+			return res
+		case http.StatusConflict:
+			if time.Now().After(deadline) {
+				t.Fatalf("batch %s still unfinished: %s", id, data)
+			}
+			time.Sleep(5 * time.Millisecond)
+		default:
+			t.Fatalf("GET batch results: status %d, body %s", resp.StatusCode, data)
+		}
+	}
+}
+
+// POST /v1/batches runs a mixed-ISA batch as one kahrisma.Batch: the
+// aggregate result carries per-item results bit-identical to serial
+// baselines plus merged batch counters, the per-item job endpoints keep
+// working, and the batch metrics count it.
+func TestBatchEndpoint(t *testing.T) {
+	sys, err := kahrisma.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type variant struct {
+		isa, src string
+		want     *kahrisma.RunResult
+	}
+	variants := []*variant{
+		{isa: "RISC", src: progA},
+		{isa: "VLIW4", src: progB},
+	}
+	for _, v := range variants {
+		exe, err := sys.BuildC(v.isa, map[string]string{"main.c": v.src})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.want, err = exe.Run(context.Background(), kahrisma.WithModels("DOE")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	_, ts := newTestServer(t, server.Config{Workers: 2, QueueDepth: 16})
+
+	const jobs = 6
+	req := server.BatchRequest{Jobs: make([]server.JobRequest, jobs)}
+	for i := range req.Jobs {
+		v := variants[i%2]
+		req.Jobs[i] = server.JobRequest{
+			ISA:     v.isa,
+			Sources: map[string]string{"main.c": v.src},
+			Models:  []string{"DOE"},
+		}
+	}
+	st := submitBatch(t, ts, req)
+	res := pollBatchResults(t, ts, st.ID)
+
+	if res.State != server.StateDone || res.Error != "" || res.JobsFailed != 0 {
+		t.Fatalf("batch result: state %s, error %q, failed %d", res.State, res.Error, res.JobsFailed)
+	}
+	if res.JobsTotal != jobs || len(res.Jobs) != jobs {
+		t.Fatalf("batch carries %d/%d jobs, want %d", res.JobsTotal, len(res.Jobs), jobs)
+	}
+	var wantInstr uint64
+	wantCycles := map[string]uint64{}
+	for i, jr := range res.Jobs {
+		v := variants[i%2]
+		if jr.State != server.StateDone {
+			t.Fatalf("job %d: state %s, error %q", i, jr.State, jr.Error)
+		}
+		if jr.ExitCode != v.want.ExitCode || jr.Output != v.want.Output {
+			t.Errorf("job %d (%s): exit/output %d/%q, serial baseline %d/%q",
+				i, v.isa, jr.ExitCode, jr.Output, v.want.ExitCode, v.want.Output)
+		}
+		if jr.Cycles["DOE"] != v.want.Cycles["DOE"] {
+			t.Errorf("job %d (%s): DOE cycles %d != serial %d — batch run is not bit-identical",
+				i, v.isa, jr.Cycles["DOE"], v.want.Cycles["DOE"])
+		}
+		wantInstr += v.want.Instructions
+		wantCycles["DOE"] += v.want.Cycles["DOE"]
+	}
+	if res.Instructions != wantInstr {
+		t.Errorf("batch instructions = %d, want %d", res.Instructions, wantInstr)
+	}
+	if res.Cycles["DOE"] != wantCycles["DOE"] {
+		t.Errorf("batch DOE cycles = %d, want %d", res.Cycles["DOE"], wantCycles["DOE"])
+	}
+	if res.WallMS <= 0 {
+		t.Errorf("batch wall_ms = %f", res.WallMS)
+	}
+
+	// The per-item records are regular jobs: the job endpoints answer
+	// for them, index-aligned with the batch.
+	jr := pollResult(t, ts, st.Jobs[0].ID)
+	if jr.State != server.StateDone || jr.Cycles["DOE"] != variants[0].want.Cycles["DOE"] {
+		t.Errorf("per-item job endpoint: %+v", jr)
+	}
+
+	// Status reflects completion; unknown batches 404.
+	resp, err := http.Get(ts.URL + "/v1/batches/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status server.BatchStatus
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if status.State != server.StateDone || status.JobsDone != jobs || status.FinishedAt == nil {
+		t.Errorf("batch status after completion: %+v", status)
+	}
+	if resp, err := http.Get(ts.URL + "/v1/batches/nope"); err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown batch: %v, %v", resp.StatusCode, err)
+	} else {
+		resp.Body.Close()
+	}
+
+	// Metrics: the batch and its items both count.
+	body := metricsBody(t, ts)
+	checks := map[string]float64{
+		"kservd_batches_accepted_total":  1,
+		"kservd_batches_completed_total": 1,
+		"kservd_batches_failed_total":    0,
+		"kservd_batch_jobs_total":        jobs,
+		"kservd_jobs_accepted_total":     jobs,
+	}
+	for series, want := range checks {
+		if got := metricValue(t, body, series); got != want {
+			t.Errorf("%s = %v, want %v", series, got, want)
+		}
+	}
+	if got := metricValue(t, body, "kservd_queue_depth"); got != 0 {
+		t.Errorf("queue depth after batch = %v, want 0", got)
+	}
+}
+
+// A batch with an invalid item is rejected whole, naming the offending
+// index; an oversized batch for the admission queue answers 429 whole.
+func TestBatchAdmission(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Workers: 1, QueueDepth: 2})
+
+	ok := server.JobRequest{ISA: "RISC", Sources: map[string]string{"main.c": progA}}
+	resp, data := postBatch(t, ts, server.BatchRequest{Jobs: []server.JobRequest{
+		ok, {ISA: "NOPE", Sources: map[string]string{"main.c": progA}},
+	}})
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(data), "jobs[1]") {
+		t.Errorf("invalid item: status %d, body %s — want 400 naming jobs[1]", resp.StatusCode, data)
+	}
+
+	if resp, data = postBatch(t, ts, server.BatchRequest{}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d, body %s", resp.StatusCode, data)
+	}
+
+	// Three jobs against a depth-2 queue: admitted whole or not at all.
+	resp, data = postBatch(t, ts, server.BatchRequest{Jobs: []server.JobRequest{ok, ok, ok}})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("oversized batch: status %d, body %s — want 429", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+	var apiErr server.APIError
+	if err := json.Unmarshal(data, &apiErr); err != nil || apiErr.RetryAfterS == 0 {
+		t.Errorf("429 body %s", data)
+	}
+
+	// The rejection left no slots claimed: a fitting batch still runs.
+	st := submitBatch(t, ts, server.BatchRequest{Jobs: []server.JobRequest{ok, ok}})
+	if res := pollBatchResults(t, ts, st.ID); res.State != server.StateDone {
+		t.Errorf("fitting batch after rejection: %+v", res)
+	}
+}
+
+// A failing build inside a batch fails that item and the batch's
+// aggregate state, while the healthy items still run to completion.
+func TestBatchPartialBuildFailure(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Workers: 1})
+
+	st := submitBatch(t, ts, server.BatchRequest{Jobs: []server.JobRequest{
+		{ISA: "RISC", Sources: map[string]string{"main.c": progA}},
+		{ISA: "RISC", Sources: map[string]string{"bad.c": "int main() { return undeclared; }"}},
+		{ISA: "RISC", Sources: map[string]string{"main.c": progA}},
+	}})
+	res := pollBatchResults(t, ts, st.ID)
+	if res.State != server.StateFailed || res.JobsFailed != 1 {
+		t.Fatalf("batch with one bad item: state %s, failed %d", res.State, res.JobsFailed)
+	}
+	if !strings.Contains(res.Error, "bad.c") {
+		t.Errorf("batch error %q does not surface the failing build", res.Error)
+	}
+	for _, i := range []int{0, 2} {
+		if res.Jobs[i].State != server.StateDone {
+			t.Errorf("healthy item %d: state %s, error %q", i, res.Jobs[i].State, res.Jobs[i].Error)
+		}
+	}
+	if res.Jobs[1].State != server.StateFailed || !strings.Contains(res.Jobs[1].Error, "bad.c") {
+		t.Errorf("failing item: %+v", res.Jobs[1])
+	}
+
+	body := metricsBody(t, ts)
+	if got := metricValue(t, body, "kservd_batches_failed_total"); got != 1 {
+		t.Errorf("kservd_batches_failed_total = %v, want 1", got)
+	}
+}

@@ -28,6 +28,13 @@ type metrics struct {
 	failed    atomic.Int64
 	profiled  atomic.Int64 // completed jobs that carried a profile
 
+	// Batches (POST /v1/batches); batch items also count on the job
+	// counters above.
+	batchesAccepted  atomic.Int64
+	batchesCompleted atomic.Int64 // terminal batches with zero failed items
+	batchesFailed    atomic.Int64 // terminal batches with at least one failed item
+	batchJobs        atomic.Int64 // jobs submitted through the batch endpoint
+
 	analyses         atomic.Int64
 	analysesFailed   atomic.Int64
 	analysisErrors   atomic.Int64
@@ -113,6 +120,11 @@ func (s *Server) renderMetrics(w io.Writer) {
 		fmt.Fprintf(w, "kservd_jobs_rejected_total{reason=%q} %d\n", r, m.rejected[r])
 	}
 	m.mu.Unlock()
+
+	counter("kservd_batches_accepted_total", "Batches admitted past the queue gate.", m.batchesAccepted.Load())
+	counter("kservd_batches_completed_total", "Batches finished with every job successful.", m.batchesCompleted.Load())
+	counter("kservd_batches_failed_total", "Batches finished with at least one failed job.", m.batchesFailed.Load())
+	counter("kservd_batch_jobs_total", "Jobs submitted through POST /v1/batches.", m.batchJobs.Load())
 
 	counter("kservd_analyses_total", "Static-analysis requests served by POST /v1/analyze.", m.analyses.Load())
 	counter("kservd_analyses_failed_total", "Static-analysis requests whose inputs failed to build.", m.analysesFailed.Load())

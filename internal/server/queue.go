@@ -24,21 +24,27 @@ type admission struct {
 func newAdmission(depth int) *admission { return &admission{max: int64(depth)} }
 
 // tryAcquire claims a slot, reporting false when the queue is full.
-func (a *admission) tryAcquire() bool {
+func (a *admission) tryAcquire() bool { return a.tryAcquireN(1) }
+
+// tryAcquireN claims n slots atomically, reporting false when fewer
+// than n are free — a batch is admitted whole or not at all, so a
+// half-admitted batch can never wedge the queue.
+func (a *admission) tryAcquireN(n int) bool {
 	for {
 		cur := a.n.Load()
-		if cur >= a.max {
+		if cur+int64(n) > a.max {
 			return false
 		}
-		if a.n.CompareAndSwap(cur, cur+1) {
+		if a.n.CompareAndSwap(cur, cur+int64(n)) {
 			return true
 		}
 	}
 }
 
-func (a *admission) release()     { a.n.Add(-1) }
-func (a *admission) inUse() int64 { return a.n.Load() }
-func (a *admission) depth() int64 { return a.max }
+func (a *admission) release()       { a.n.Add(-1) }
+func (a *admission) releaseN(n int) { a.n.Add(-int64(n)) }
+func (a *admission) inUse() int64   { return a.n.Load() }
+func (a *admission) depth() int64   { return a.max }
 
 // jobRecord is the server-side state of one submitted job. The record
 // outlives the job goroutine so clients can poll results after

@@ -123,6 +123,7 @@ type Server struct {
 
 	adm        *admission
 	store      *jobStore
+	batches    *batchStore
 	exeCache   *Cache[*kahrisma.Executable]
 	modelCache *Cache[*kahrisma.System]
 	metrics    *metrics
@@ -152,6 +153,7 @@ func New(cfg Config) (*Server, error) {
 		pool:       kahrisma.NewPool(cfg.Workers),
 		adm:        newAdmission(cfg.QueueDepth),
 		store:      newJobStore(cfg.MaxFinishedJobs),
+		batches:    newBatchStore(cfg.MaxFinishedJobs),
 		exeCache:   NewCache[*kahrisma.Executable](cfg.ExeCacheSize),
 		modelCache: NewCache[*kahrisma.System](cfg.ModelCacheSize),
 		metrics:    newMetrics(),
@@ -170,6 +172,9 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/batches", s.handleBatchSubmit)
+	mux.HandleFunc("GET /v1/batches/{id}", s.handleBatchStatus)
+	mux.HandleFunc("GET /v1/batches/{id}/results", s.handleBatchResults)
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
@@ -250,11 +255,30 @@ func (s *Server) runJob(rec *jobRecord, req *JobRequest) {
 }
 
 func (s *Server) execute(rec *jobRecord, req *JobRequest) (*kahrisma.RunResult, error) {
-	ctx := s.jobCtx(rec)
+	ctx := s.traceCtx(rec.trace)
 	ctx, job := span.Start(ctx, "job")
 	job.SetAttr("job_id", rec.id)
 	defer job.End()
 
+	exe, opts, err := s.prepareJob(ctx, rec, req)
+	if err != nil {
+		return nil, err
+	}
+
+	rec.setState(StateRunning)
+	_, sim := span.Start(ctx, "simulate")
+	res, err := s.pool.Submit(s.jobsCtx, exe, opts...).Wait()
+	if res != nil {
+		sim.SetAttr("instructions", res.Instructions)
+	}
+	sim.End()
+	return res, err
+}
+
+// prepareJob resolves one job's executable through the artifact caches
+// and assembles its run options — the shared build half of the
+// single-job (POST /v1/jobs) and batch (POST /v1/batches) paths.
+func (s *Server) prepareJob(ctx context.Context, rec *jobRecord, req *JobRequest) (*kahrisma.Executable, []kahrisma.Option, error) {
 	rec.setState(StateBuilding)
 	sys := s.base
 	modelKey := "builtin"
@@ -269,7 +293,7 @@ func (s *Server) execute(rec *jobRecord, req *JobRequest) (*kahrisma.RunResult, 
 		sp.SetAttr("cache_hit", cached)
 		sp.End()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	srcs := req.sources()
@@ -288,7 +312,7 @@ func (s *Server) execute(rec *jobRecord, req *JobRequest) (*kahrisma.RunResult, 
 	sp.SetAttr("cache_hit", hit)
 	sp.End()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rec.setCacheHit(hit)
 	rec.setExe(exe)
@@ -325,26 +349,18 @@ func (s *Server) execute(rec *jobRecord, req *JobRequest) (*kahrisma.RunResult, 
 	if req.Stdin != "" {
 		opts = append(opts, kahrisma.WithStdin(strings.NewReader(req.Stdin)))
 	}
-
-	rec.setState(StateRunning)
-	_, sim := span.Start(ctx, "simulate")
-	res, err := s.pool.Submit(s.jobsCtx, exe, opts...).Wait()
-	if res != nil {
-		sim.SetAttr("instructions", res.Instructions)
-	}
-	sim.End()
-	return res, err
+	return exe, opts, nil
 }
 
-// jobCtx derives the context job spans hang off: untraced unless span
-// tracing is on, continuing the submitter's trace when the request
-// carried a traceparent header.
-func (s *Server) jobCtx(rec *jobRecord) context.Context {
+// traceCtx derives the context job and batch spans hang off: untraced
+// unless span tracing is on, continuing the submitter's trace when the
+// request carried a traceparent header.
+func (s *Server) traceCtx(sc span.SpanContext) context.Context {
 	if s.tracer == nil {
 		return context.Background()
 	}
-	if !rec.trace.Trace.IsZero() {
-		return span.ContextWithRemote(context.Background(), s.tracer, rec.trace)
+	if !sc.Trace.IsZero() {
+		return span.ContextWithRemote(context.Background(), s.tracer, sc)
 	}
 	return span.NewContext(context.Background(), s.tracer)
 }

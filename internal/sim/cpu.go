@@ -196,17 +196,68 @@ func New(m *isa.Model, p *Program, opts Options) (*CPU, error) {
 		return nil, fmt.Errorf("sim: executable requires unknown ISA id %d", p.EntryISA)
 	}
 	c := &CPU{
-		Model:      m,
-		Prog:       p,
-		Mem:        NewMemory(),
-		IP:         p.Entry,
-		ISA:        a,
-		opts:       opts,
-		cache:      make(map[uint64]*Decoded, 4096),
-		pendingISA: -1,
-		heapPtr:    p.HeapStart,
-		rngState:   0x853C49E6748FEA9B,
+		Mem:   NewMemory(),
+		cache: make(map[uint64]*Decoded, 4096),
 	}
+	c.init(m, p, a, opts)
+	return c, nil
+}
+
+// Reset reinitializes c for a fresh run of p on m under opts, reusing
+// the previous run's allocations: the sparse memory keeps its pages
+// (zeroed in place) and the decode cache keeps its buckets (entries
+// cleared). A reset CPU is indistinguishable from one built by New —
+// same stats, same output, same cycles — which is what lets the batch
+// pool recycle per-job state without breaking bit-identical
+// determinism. Cached decode entries are NOT carried across runs: they
+// would make cache/prediction counters depend on scheduling.
+func (c *CPU) Reset(m *isa.Model, p *Program, opts Options) error {
+	a := m.ISAByID(p.EntryISA)
+	if a == nil {
+		return fmt.Errorf("sim: executable requires unknown ISA id %d", p.EntryISA)
+	}
+	c.Mem.Reset()
+	clear(c.cache)
+	c.init(m, p, a, opts)
+	return nil
+}
+
+// init sets every run-dependent field to its construction value. New
+// and Reset both funnel through here so the reset list cannot drift
+// from construction; only the long-lived allocations (Mem, cache) are
+// owned by the callers.
+func (c *CPU) init(m *isa.Model, p *Program, a *isa.ISA, opts Options) {
+	c.Model = m
+	c.Prog = p
+	c.Regs = [32]uint32{}
+	c.IP = p.Entry
+	c.ISA = a
+	c.Stats = Stats{}
+	c.opts = opts
+	c.last = nil
+	c.halted = false
+	c.exitCode = 0
+	c.pendingISA = -1
+	c.runErr = nil
+	c.observers = c.observers[:0]
+	c.traceW = nil
+	c.cycleSrc = nil
+	c.sink = nil
+	c.streamOps = false
+	c.progEvery = 0
+	c.nextProg = 0
+	c.rec = ExecRecord{}
+	c.wbN = 0
+	c.nextIP = 0
+	c.ctlSet = false
+	c.opIdx = 0
+	c.tracing = false
+	c.capture = false
+	c.traceIn = [MaxIssue][]trace.RegVal{}
+	c.heapPtr = p.HeapStart
+	c.rngState = 0x853C49E6748FEA9B
+	c.history = nil
+	c.histPos = 0
 	if opts.HistorySize > 0 {
 		c.history = make([]uint32, opts.HistorySize)
 	}
@@ -221,7 +272,6 @@ func New(m *isa.Model, p *Program, opts Options) (*CPU, error) {
 		c.nextProg = c.progEvery
 	}
 	p.LoadInto(c.Mem)
-	return c, nil
 }
 
 // Attach registers an observer for the dynamic instruction stream.

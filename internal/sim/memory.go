@@ -132,3 +132,15 @@ func (m *Memory) ReadCString(addr uint32, max int) (string, error) {
 
 // Pages returns the number of allocated pages (for footprint reports).
 func (m *Memory) Pages() int { return len(m.pages) }
+
+// Reset zeroes the memory in place while keeping its page allocations.
+// Pages are zero on first touch, so a reset memory is observationally
+// identical to a fresh one — the batch pool relies on this to recycle
+// per-job memories without perturbing results.
+func (m *Memory) Reset() {
+	for _, p := range m.pages {
+		*p = [pageSize]byte{}
+	}
+	m.lastTag = ^uint32(0)
+	m.lastPage = nil
+}

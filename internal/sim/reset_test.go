@@ -1,0 +1,141 @@
+package sim_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ktest"
+	"repro/internal/sim"
+)
+
+// A program that touches every recyclable resource: registers, stack
+// and heap memory (sbrk via libc emulation is exercised elsewhere; here
+// plain loads/stores), stdout, the decode cache and prediction.
+const resetProbe = `
+	.global main
+main:
+	addi sp, sp, -32
+	li t0, 0
+	li t1, 0
+	li t2, 25
+loop:
+	sw t1, 0(sp)
+	lw t3, 0(sp)
+	add t0, t0, t3
+	addi t1, t1, 1
+	bne t1, t2, loop
+	mv a0, t0          # sum 0..24 = 300 -> exit 300 & 0xff = 44
+	addi sp, sp, 32
+	ret
+`
+
+// Reset must make a recycled CPU observationally identical to a fresh
+// one: identical output, exit status and counters, with the old run's
+// memory contents and decode-cache entries fully gone. This is the
+// invariant the batch pool's recycling arenas rest on.
+func TestResetMatchesFreshCPU(t *testing.T) {
+	m := ktest.Model(t)
+	prog := ktest.BuildProgram(t, "RISC", resetProbe)
+
+	run := func(c *sim.CPU) (sim.ExitStatus, sim.Stats) {
+		t.Helper()
+		st, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, c.Stats
+	}
+
+	newOpts := func(out *bytes.Buffer) sim.Options {
+		opts := sim.DefaultOptions()
+		opts.Stdout = out
+		opts.MaxInstructions = 1_000_000
+		return opts
+	}
+
+	var freshOut bytes.Buffer
+	fresh, err := sim.New(m, prog, newOpts(&freshOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshSt, freshStats := run(fresh)
+
+	// Run the same CPU again after Reset: every counter and the output
+	// must be bit-identical to the fresh run.
+	var recycledOut bytes.Buffer
+	if err := fresh.Reset(m, prog, newOpts(&recycledOut)); err != nil {
+		t.Fatal(err)
+	}
+	recycledSt, recycledStats := run(fresh)
+
+	if recycledSt != freshSt {
+		t.Errorf("recycled status %+v, fresh %+v", recycledSt, freshSt)
+	}
+	if recycledStats != freshStats {
+		t.Errorf("recycled stats %+v, fresh %+v — decode-cache or prediction state leaked", recycledStats, freshStats)
+	}
+	if recycledOut.String() != freshOut.String() {
+		t.Errorf("recycled output %q, fresh %q", recycledOut.String(), freshOut.String())
+	}
+
+	// The counters must include cold decode work: a carried-over decode
+	// cache would show zero Detected on the second run.
+	if recycledStats.Detected == 0 {
+		t.Error("recycled run detected no instructions — decode cache contents were carried across Reset")
+	}
+}
+
+// Reset re-targets a CPU to a different program of the same model; the
+// recycled run must match a fresh CPU of that program.
+func TestResetAcrossPrograms(t *testing.T) {
+	m := ktest.Model(t)
+	progA := ktest.BuildProgram(t, "RISC", resetProbe)
+	progB := ktest.BuildProgram(t, "RISC", `
+	.global main
+main:
+	li a0, 9
+	li a1, 5
+	mul a0, a0, a1
+	ret
+`)
+
+	opts := func() sim.Options {
+		o := sim.DefaultOptions()
+		o.Stdout = &bytes.Buffer{}
+		o.MaxInstructions = 1_000_000
+		return o
+	}
+
+	refB, err := sim.New(m, progB, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSt, err := refB.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := sim.New(m, progA, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Reset(m, progB, opts()); err != nil {
+		t.Fatal(err)
+	}
+	gotSt, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSt != wantSt {
+		t.Errorf("re-targeted status %+v, fresh %+v", gotSt, wantSt)
+	}
+	if gotSt.ExitCode != 45 {
+		t.Errorf("exit = %d, want 45", gotSt.ExitCode)
+	}
+	if c.Stats != refB.Stats {
+		t.Errorf("re-targeted stats %+v, fresh %+v", c.Stats, refB.Stats)
+	}
+}

@@ -1,0 +1,233 @@
+package simpool_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/isa"
+	"repro/internal/ktest"
+	"repro/internal/sim"
+	"repro/internal/simpool"
+	"repro/internal/targetgen"
+	"repro/internal/workloads"
+)
+
+// loadQsort builds the qsort workload once per test.
+func loadQsort(t *testing.T) (*isa.Model, *sim.Program) {
+	t.Helper()
+	m := targetgen.MustKahrisma()
+	p, err := driver.Load(m, "RISC", workloads.Qsort().Sources...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, p
+}
+
+// A batch run with recycling enabled must reproduce the serial baseline
+// bit-identically for every job, even though later jobs run on CPUs
+// whose memory pages and decode-cache buckets were recycled from
+// earlier ones — and the chunked dispatch must not reorder or drop
+// results.
+func TestBatchRecycledMatchesSerialBaseline(t *testing.T) {
+	m, prog := loadQsort(t)
+	exit, cycles, instructions := baseline(t, m, prog)
+	_ = cycles
+
+	pool := simpool.New(2)
+	defer pool.Close()
+
+	const n = 24
+	jobs := make([]simpool.Job, n)
+	for i := range jobs {
+		jobs[i] = simpool.Job{
+			Model:   m,
+			Prog:    prog,
+			Opts:    discardOpts(),
+			Recycle: true,
+			Label:   fmt.Sprintf("recycled-%d", i),
+		}
+	}
+	b := pool.SubmitBatch(context.Background(), jobs)
+	if err := b.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != n {
+		t.Fatalf("batch Len = %d, want %d", b.Len(), n)
+	}
+	for i, r := range b.Results() {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		// Recycled jobs must not leak their CPU past OnDone.
+		if r.CPU != nil {
+			t.Errorf("job %d: recycled job published a CPU on its ticket", i)
+		}
+		if r.Status.ExitCode != exit || r.Status.Instructions != instructions {
+			t.Errorf("job %d: exit/instr %d/%d, serial baseline %d/%d — recycled state leaked",
+				i, r.Status.ExitCode, r.Status.Instructions, exit, instructions)
+		}
+		// Result.Stats outlives the recycled CPU.
+		if r.Stats.Instructions != instructions {
+			t.Errorf("job %d: Result.Stats.Instructions = %d, want %d", i, r.Stats.Instructions, instructions)
+		}
+	}
+	st := b.Stats()
+	if st.Done != n || st.Failed != 0 {
+		t.Errorf("batch stats = %+v, want %d done / 0 failed", st, n)
+	}
+	if want := uint64(n) * instructions; st.Instructions != want {
+		t.Errorf("batch instructions = %d, want %d", st.Instructions, want)
+	}
+}
+
+// Err returns the first error in submission order, not completion
+// order, and Wait surfaces it.
+func TestBatchFirstErrorIsSubmissionOrdered(t *testing.T) {
+	m := ktest.Model(t)
+	ok := ktest.BuildProgram(t, "RISC", `
+	.isa RISC
+	.global main
+main:
+	li a0, 7
+	ret
+`)
+	spin := ktest.BuildProgram(t, "RISC", `
+	.isa RISC
+	.global main
+main:
+	j main
+`)
+	pool := simpool.New(2)
+	defer pool.Close()
+
+	jobs := []simpool.Job{
+		{Model: m, Prog: ok, Opts: discardOpts(), Label: "ok-0"},
+		{Model: m, Prog: spin, Opts: discardOpts(), Label: "spin-1", Timeout: 20 * time.Millisecond},
+		{Model: m, Prog: spin, Opts: discardOpts(), Label: "spin-2", Timeout: 20 * time.Millisecond},
+	}
+	b := pool.SubmitBatch(context.Background(), jobs)
+	err := b.Wait(context.Background())
+	if !errors.Is(err, sim.ErrCanceled) {
+		t.Fatalf("batch error %v does not wrap sim.ErrCanceled", err)
+	}
+	// The first failing job in submission order is spin-1.
+	if want := "spin-1"; err == nil || !strings.Contains(err.Error(), want) {
+		t.Errorf("first error %v, want the submission-ordered first failure (%s)", err, want)
+	}
+	if st := b.Stats(); st.Done != 3 || st.Failed != 2 {
+		t.Errorf("batch stats = %+v, want 3 done / 2 failed", st)
+	}
+}
+
+// A batch whose submission context is canceled mid-flight fails the
+// remaining jobs with ErrCanceled while completed ones keep their
+// results; Wait under a separate live context still returns the batch's
+// own first error.
+func TestBatchMidFlightCancellation(t *testing.T) {
+	m := ktest.Model(t)
+	spin := ktest.BuildProgram(t, "RISC", `
+	.isa RISC
+	.global main
+main:
+	j main
+`)
+	pool := simpool.New(1)
+	defer pool.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	jobs := make([]simpool.Job, 4)
+	for i := range jobs {
+		jobs[i] = simpool.Job{Model: m, Prog: spin, Opts: discardOpts(), Label: fmt.Sprintf("spin-%d", i)}
+	}
+	b := pool.SubmitBatch(ctx, jobs)
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := b.Wait(context.Background()); !errors.Is(err, sim.ErrCanceled) {
+		t.Fatalf("mid-batch cancellation error %v does not wrap sim.ErrCanceled", err)
+	}
+	for i, r := range b.Results() {
+		if !errors.Is(r.Err, sim.ErrCanceled) {
+			t.Errorf("job %d after cancellation: error %v does not wrap sim.ErrCanceled", i, r.Err)
+		}
+	}
+	// Wait with an already-canceled waiting context returns that
+	// context's error without blocking on anything further.
+	waitCtx, waitCancel := context.WithCancel(context.Background())
+	waitCancel()
+	b2 := pool.SubmitBatch(context.Background(), nil)
+	if err := b2.Wait(waitCtx); err != nil {
+		// Empty batch completes immediately, so the done branch wins.
+		t.Errorf("empty batch Wait = %v, want nil", err)
+	}
+}
+
+// SubmitEach (the deprecated pre-Batch form) still returns per-job
+// tickets index-aligned with the jobs.
+func TestSubmitEachShim(t *testing.T) {
+	m := ktest.Model(t)
+	prog := ktest.BuildProgram(t, "RISC", `
+	.isa RISC
+	.global main
+main:
+	li a0, 7
+	ret
+`)
+	pool := simpool.New(1)
+	defer pool.Close()
+	tickets := pool.SubmitEach(context.Background(), []simpool.Job{
+		{Model: m, Prog: prog, Opts: discardOpts()},
+		{Model: m, Prog: prog, Opts: discardOpts()},
+	})
+	if len(tickets) != 2 {
+		t.Fatalf("SubmitEach returned %d tickets, want 2", len(tickets))
+	}
+	for i, tk := range tickets {
+		if r := tk.Wait(); r.Err != nil || r.Status.ExitCode != 7 {
+			t.Errorf("job %d: %+v", i, r)
+		}
+	}
+}
+
+// Recycling across two different programs keeps the arenas separate: a
+// CPU recycled from program A is never handed to a job of program B.
+// (Observable effect if it were: the reset would still make it correct,
+// so this asserts the stronger per-key behaviour via determinism of a
+// mixed batch.)
+func TestBatchRecycleMixedPrograms(t *testing.T) {
+	m := targetgen.MustKahrisma()
+	qsort, err := driver.Load(m, "RISC", workloads.Qsort().Sources...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dct, err := driver.Load(m, "VLIW4", workloads.DCT().Sources...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, qInstr := baseline(t, m, qsort)
+	_, _, dInstr := baseline(t, m, dct)
+
+	pool := simpool.New(2)
+	defer pool.Close()
+	const n = 16
+	jobs := make([]simpool.Job, n)
+	progs := [2]*sim.Program{qsort, dct}
+	want := [2]uint64{qInstr, dInstr}
+	for i := range jobs {
+		jobs[i] = simpool.Job{Model: m, Prog: progs[i%2], Opts: discardOpts(), Recycle: true}
+	}
+	b := pool.SubmitBatch(context.Background(), jobs)
+	for i, r := range b.Results() {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		if r.Stats.Instructions != want[i%2] {
+			t.Errorf("job %d: %d instructions, want %d — cross-program recycling leaked state",
+				i, r.Stats.Instructions, want[i%2])
+		}
+	}
+}

@@ -17,7 +17,17 @@
 //
 // Because no mutable state crosses jobs, a job's result is bit-identical
 // to the same configuration run serially, regardless of worker count or
-// scheduling order.
+// scheduling order. Jobs with Recycle set additionally draw their CPU
+// allocations (memory pages, decode-cache buckets) from a per-(model,
+// program) arena; recycled state is reset to construction values before
+// reuse, so the invariant holds for them too — only allocations are
+// shared across jobs, never contents.
+//
+// The engine avoids cross-worker contention three ways: batch dispatch
+// hands each worker a run of jobs per channel operation instead of one;
+// the throughput counters live in per-worker cache-line-padded shards
+// merged only on Stats(); and recycling keeps steady-state batches off
+// the allocator entirely.
 package simpool
 
 import (
@@ -58,8 +68,16 @@ type Job struct {
 	Timeout time.Duration
 	// OnDone, when non-nil, runs on the worker goroutine after the job
 	// finished, before its ticket unblocks — the place to harvest
-	// per-job results without racing Wait callers.
+	// per-job results without racing Wait callers. With Recycle set it
+	// is also the last point at which Result.CPU is valid.
 	OnDone func(Result)
+	// Recycle returns the job's CPU to a per-(Model, Prog) arena after
+	// OnDone, so later jobs of the same executable reuse its memory
+	// pages and decode-cache buckets instead of reallocating them.
+	// Recycled jobs publish Result.CPU == nil on their tickets; harvest
+	// the CPU (if needed) in OnDone, or read Result.Stats, which is
+	// always populated.
+	Recycle bool
 	// Label tags the job in results and errors.
 	Label string
 }
@@ -67,10 +85,13 @@ type Job struct {
 // Result is the outcome of one job.
 type Result struct {
 	Label  string
-	CPU    *sim.CPU // nil when construction failed or the job never ran
+	CPU    *sim.CPU // nil when construction failed, the job never ran, or Recycle reclaimed it
 	Status sim.ExitStatus
-	Wall   time.Duration // simulation wall time on the worker
-	Err    error
+	// Stats is a copy of the CPU's final counters, valid even after the
+	// CPU itself has been recycled.
+	Stats sim.Stats
+	Wall  time.Duration // simulation wall time on the worker
+	Err   error
 }
 
 // Ticket is a handle to a submitted job.
@@ -89,6 +110,12 @@ func (t *Ticket) Wait() Result {
 // Done returns a channel closed when the job has finished.
 func (t *Ticket) Done() <-chan struct{} { return t.done }
 
+// resolve publishes a result and unblocks waiters.
+func (t *Ticket) resolve(res Result) {
+	t.res = res
+	close(t.done)
+}
+
 // Stats is a point-in-time snapshot of the pool's counters. Simulation
 // counters (Instructions, Operations, cache counters, Wall) accumulate
 // over completed jobs only.
@@ -101,8 +128,8 @@ type Stats struct {
 
 	// InFlight is the number of accepted but unfinished jobs
 	// (Queued + Running) and QueueCap the buffered capacity of the
-	// submission queue — the snapshot a serving layer exports as its
-	// queue-depth/backpressure metrics.
+	// dispatch queue in job runs — the snapshot a serving layer exports
+	// as its queue-depth/backpressure metrics.
 	InFlight int64
 	QueueCap int
 
@@ -139,10 +166,42 @@ func (s Stats) PredictionHitRate() float64 {
 	return float64(s.PredHits) / float64(total)
 }
 
+// task is one dispatch unit: a run of jobs a worker executes in order.
+// Batch submissions chunk their jobs into runs so workers contend on
+// the channel once per run instead of once per job.
 type task struct {
-	ctx    context.Context
-	job    Job
-	ticket *Ticket
+	ctx     context.Context
+	jobs    []Job
+	tickets []*Ticket
+	batch   *Batch // nil for plain Submit
+}
+
+// shard is one worker's private slice of the pool counters. The padding
+// keeps neighbouring shards on distinct cache lines (64-byte lines; the
+// ten counters span 80 bytes, padded to 128), so workers bumping their
+// own counters never write-share a line.
+type shard struct {
+	running atomic.Int64
+	done    atomic.Int64
+	failed  atomic.Int64
+
+	instructions   atomic.Uint64
+	operations     atomic.Uint64
+	cacheLookups   atomic.Uint64
+	cacheHits      atomic.Uint64
+	cacheEvictions atomic.Uint64
+	predHits       atomic.Uint64
+	wall           atomic.Int64 // nanoseconds
+
+	_ [48]byte
+}
+
+// arenaKey identifies a recycling arena by the shared immutable inputs
+// whose identity fixes the shape of a job's CPU state: the elaborated
+// model and the loaded program.
+type arenaKey struct {
+	model *isa.Model
+	prog  *sim.Program
 }
 
 // Pool runs submitted jobs on a fixed set of worker goroutines.
@@ -152,14 +211,14 @@ type Pool struct {
 	workWG  sync.WaitGroup // worker goroutines
 	jobWG   sync.WaitGroup // outstanding jobs
 
-	queued  atomic.Int64
-	running atomic.Int64
-	done    atomic.Int64
-	failed  atomic.Int64
+	queued atomic.Int64
+	shards []shard
+
+	// arenas maps arenaKey to *sync.Pool of *sim.CPU for Recycle jobs.
+	arenas sync.Map
 
 	mu     sync.Mutex
 	closed bool
-	agg    Stats // accumulated simulation counters (under mu)
 }
 
 // New starts a pool with the given number of workers; workers <= 0
@@ -170,13 +229,15 @@ func New(workers int) *Pool {
 	}
 	p := &Pool{
 		workers: workers,
-		// A deep queue keeps Submit non-blocking for typical batch
-		// sizes; submissions beyond it apply back-pressure.
-		jobs: make(chan task, 4*workers),
+		// A deep queue keeps submission non-blocking for typical batch
+		// sizes; submissions beyond it apply back-pressure. The unit is
+		// a job run (1..maxChunk jobs).
+		jobs:   make(chan task, 4*workers),
+		shards: make([]shard, workers),
 	}
 	for i := 0; i < workers; i++ {
 		p.workWG.Add(1)
-		go p.worker()
+		go p.worker(i)
 	}
 	return p
 }
@@ -185,30 +246,190 @@ func New(workers int) *Pool {
 // ctx cancels the job whether it is still queued or already running
 // (running jobs stop within the simulator's cancellation granularity).
 // Submitting to a closed pool returns a ticket whose result carries an
-// error.
+// error wrapping ErrClosed.
 func (p *Pool) Submit(ctx context.Context, j Job) *Ticket {
 	t := &Ticket{done: make(chan struct{})}
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		t.res = Result{Label: j.Label, Err: fmt.Errorf("%s: %w", labelOr(j.Label), ErrClosed)}
-		close(t.done)
+	if !p.admit(1) {
+		t.resolve(Result{Label: j.Label, Err: fmt.Errorf("%s: %w", labelOr(j.Label), ErrClosed)})
 		return t
 	}
-	p.jobWG.Add(1)
-	p.queued.Add(1)
-	p.mu.Unlock()
-	p.jobs <- task{ctx: ctx, job: j, ticket: t}
+	p.jobs <- task{ctx: ctx, jobs: []Job{j}, tickets: []*Ticket{t}}
 	return t
 }
 
-// SubmitBatch enqueues jobs in order and returns their tickets.
-func (p *Pool) SubmitBatch(ctx context.Context, jobs []Job) []*Ticket {
-	out := make([]*Ticket, len(jobs))
-	for i, j := range jobs {
-		out[i] = p.Submit(ctx, j)
+// Batch is the handle to one SubmitBatch call: an aggregate view over
+// the submitted jobs with completion signalling, index-aligned results
+// and merged counters.
+type Batch struct {
+	pool    *Pool
+	tickets []*Ticket
+	pending atomic.Int64
+	done    chan struct{}
+}
+
+// SubmitBatch enqueues jobs in order and returns the batch handle. The
+// jobs are dispatched to workers in runs (contiguous chunks of the
+// batch), so large batches cost a handful of channel operations instead
+// of one per job; per-job results remain independent and index-aligned.
+// Submitting to a closed pool resolves every ticket with an error
+// wrapping ErrClosed; the returned batch is already complete.
+func (p *Pool) SubmitBatch(ctx context.Context, jobs []Job) *Batch {
+	b := &Batch{pool: p, tickets: make([]*Ticket, len(jobs)), done: make(chan struct{})}
+	for i := range b.tickets {
+		b.tickets[i] = &Ticket{done: make(chan struct{})}
+	}
+	b.pending.Store(int64(len(jobs)))
+	if len(jobs) == 0 {
+		close(b.done)
+		return b
+	}
+	if !p.admit(len(jobs)) {
+		for i := range jobs {
+			b.tickets[i].resolve(Result{Label: jobs[i].Label,
+				Err: fmt.Errorf("%s: %w", labelOr(jobs[i].Label), ErrClosed)})
+		}
+		close(b.done)
+		return b
+	}
+	// Copy the jobs so later caller-side mutation of the input slice
+	// cannot race the workers.
+	owned := make([]Job, len(jobs))
+	copy(owned, jobs)
+	chunk := dispatchChunk(len(owned), p.workers)
+	for start := 0; start < len(owned); start += chunk {
+		end := start + chunk
+		if end > len(owned) {
+			end = len(owned)
+		}
+		p.jobs <- task{ctx: ctx, jobs: owned[start:end], tickets: b.tickets[start:end], batch: b}
+	}
+	return b
+}
+
+// SubmitEach enqueues jobs in order and returns their tickets.
+//
+// Deprecated: SubmitEach is the pre-Batch form of SubmitBatch, kept one
+// release for migration. Use SubmitBatch and the *Batch handle, which
+// adds aggregate Wait/Err/Stats and chunked dispatch.
+func (p *Pool) SubmitEach(ctx context.Context, jobs []Job) []*Ticket {
+	return p.SubmitBatch(ctx, jobs).Tickets()
+}
+
+// admit accounts n accepted jobs; it reports false when the pool is
+// closed.
+func (p *Pool) admit(n int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.jobWG.Add(n)
+	p.queued.Add(int64(n))
+	return true
+}
+
+// maxChunk caps the dispatch run length so one slow run cannot strand a
+// large contiguous slice of the batch behind a busy worker.
+const maxChunk = 32
+
+// dispatchChunk sizes the job runs of an n-job batch: roughly two runs
+// per worker (so the tail of the batch still load-balances), clamped to
+// [1, maxChunk].
+func dispatchChunk(n, workers int) int {
+	c := n / (2 * workers)
+	if c < 1 {
+		c = 1
+	}
+	if c > maxChunk {
+		c = maxChunk
+	}
+	return c
+}
+
+// Done returns a channel closed when every job of the batch has
+// finished.
+func (b *Batch) Done() <-chan struct{} { return b.done }
+
+// Wait blocks until the whole batch finished or ctx is done. It returns
+// the batch's first error in submission order (nil when every job
+// succeeded); a ctx abort returns ctx.Err() without waiting further —
+// the jobs themselves keep running under their submission context.
+func (b *Batch) Wait(ctx context.Context) error {
+	// A finished batch wins over a done waiting context, so Wait on a
+	// completed batch is deterministic.
+	select {
+	case <-b.done:
+		return b.Err()
+	default:
+	}
+	select {
+	case <-b.done:
+		return b.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Err blocks until the batch finished and returns the first job error
+// in submission order, nil when every job succeeded.
+func (b *Batch) Err() error {
+	for _, t := range b.tickets {
+		if r := t.Wait(); r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
+}
+
+// Results blocks until the batch finished and returns the per-job
+// results, index-aligned with the submitted jobs.
+func (b *Batch) Results() []Result {
+	out := make([]Result, len(b.tickets))
+	for i, t := range b.tickets {
+		out[i] = t.Wait()
 	}
 	return out
+}
+
+// Tickets returns the per-job tickets, index-aligned with the submitted
+// jobs — for callers that want per-job completion granularity instead
+// of the aggregate accessors.
+func (b *Batch) Tickets() []*Ticket { return b.tickets }
+
+// Len returns the number of jobs in the batch.
+func (b *Batch) Len() int { return len(b.tickets) }
+
+// Stats blocks until the batch finished and returns its merged
+// counters: Done/Failed over the batch's own jobs and the simulation
+// counters summed over them (unlike Pool.Stats, which aggregates over
+// the pool's lifetime).
+func (b *Batch) Stats() Stats {
+	var s Stats
+	s.Workers = b.pool.workers
+	s.QueueCap = cap(b.pool.jobs)
+	for _, t := range b.tickets {
+		r := t.Wait()
+		s.Done++
+		if r.Err != nil {
+			s.Failed++
+		}
+		s.Instructions += r.Stats.Instructions
+		s.Operations += r.Stats.Operations
+		s.CacheLookups += r.Stats.CacheLookups
+		s.CacheHits += r.Stats.CacheHits
+		s.CacheEvictions += r.Stats.CacheEvictions
+		s.PredHits += r.Stats.PredHits
+		s.Wall += r.Wall
+	}
+	return s
+}
+
+// finishOne is called by workers once per completed batch job; the last
+// one closes the batch's done channel.
+func (b *Batch) finishOne() {
+	if b.pending.Add(-1) == 0 {
+		close(b.done)
+	}
 }
 
 // Wait blocks until every job submitted so far has completed. The pool
@@ -231,49 +452,75 @@ func (p *Pool) Close() {
 	p.workWG.Wait()
 }
 
-// Stats snapshots the pool counters.
+// Stats snapshots the pool counters by merging the per-worker shards.
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	s := p.agg
-	p.mu.Unlock()
+	var s Stats
 	s.Workers = p.workers
 	s.Queued = p.queued.Load()
-	s.Running = p.running.Load()
-	s.Done = p.done.Load()
-	s.Failed = p.failed.Load()
+	for i := range p.shards {
+		sh := &p.shards[i]
+		s.Running += sh.running.Load()
+		s.Done += sh.done.Load()
+		s.Failed += sh.failed.Load()
+		s.Instructions += sh.instructions.Load()
+		s.Operations += sh.operations.Load()
+		s.CacheLookups += sh.cacheLookups.Load()
+		s.CacheHits += sh.cacheHits.Load()
+		s.CacheEvictions += sh.cacheEvictions.Load()
+		s.PredHits += sh.predHits.Load()
+		s.Wall += time.Duration(sh.wall.Load())
+	}
 	s.InFlight = s.Queued + s.Running
 	s.QueueCap = cap(p.jobs)
 	return s
 }
 
-func (p *Pool) worker() {
+// arena returns the recycling arena for a job's (model, program) pair.
+func (p *Pool) arena(j *Job) *sync.Pool {
+	k := arenaKey{model: j.Model, prog: j.Prog}
+	if v, ok := p.arenas.Load(k); ok {
+		return v.(*sync.Pool)
+	}
+	v, _ := p.arenas.LoadOrStore(k, &sync.Pool{})
+	return v.(*sync.Pool)
+}
+
+func (p *Pool) worker(id int) {
 	defer p.workWG.Done()
+	sh := &p.shards[id]
 	for t := range p.jobs {
-		p.queued.Add(-1)
-		p.running.Add(1)
-		res := runJob(t.ctx, t.job)
-		p.running.Add(-1)
-		p.done.Add(1)
-		if res.Err != nil {
-			p.failed.Add(1)
+		for i := range t.jobs {
+			j := &t.jobs[i]
+			p.queued.Add(-1)
+			sh.running.Add(1)
+			res := p.runJob(t.ctx, j)
+			sh.running.Add(-1)
+			sh.done.Add(1)
+			if res.Err != nil {
+				sh.failed.Add(1)
+			}
+			if res.CPU != nil {
+				sh.instructions.Add(res.Stats.Instructions)
+				sh.operations.Add(res.Stats.Operations)
+				sh.cacheLookups.Add(res.Stats.CacheLookups)
+				sh.cacheHits.Add(res.Stats.CacheHits)
+				sh.cacheEvictions.Add(res.Stats.CacheEvictions)
+				sh.predHits.Add(res.Stats.PredHits)
+				sh.wall.Add(int64(res.Wall))
+			}
+			if j.OnDone != nil {
+				j.OnDone(res)
+			}
+			if j.Recycle && res.CPU != nil {
+				p.arena(j).Put(res.CPU)
+				res.CPU = nil
+			}
+			t.tickets[i].resolve(res)
+			if t.batch != nil {
+				t.batch.finishOne()
+			}
+			p.jobWG.Done()
 		}
-		if res.CPU != nil {
-			p.mu.Lock()
-			p.agg.Instructions += res.CPU.Stats.Instructions
-			p.agg.Operations += res.CPU.Stats.Operations
-			p.agg.CacheLookups += res.CPU.Stats.CacheLookups
-			p.agg.CacheHits += res.CPU.Stats.CacheHits
-			p.agg.CacheEvictions += res.CPU.Stats.CacheEvictions
-			p.agg.PredHits += res.CPU.Stats.PredHits
-			p.agg.Wall += res.Wall
-			p.mu.Unlock()
-		}
-		if t.job.OnDone != nil {
-			t.job.OnDone(res)
-		}
-		t.ticket.res = res
-		close(t.ticket.done)
-		p.jobWG.Done()
 	}
 }
 
@@ -283,7 +530,7 @@ func (p *Pool) worker() {
 // paths here (canceled while queued, CPU construction, Attach) publish
 // it themselves so subscribers of a job that never ran still observe a
 // clean stream end.
-func runJob(ctx context.Context, j Job) Result {
+func (p *Pool) runJob(ctx context.Context, j *Job) Result {
 	res := Result{Label: j.Label}
 	if ctx == nil {
 		ctx = context.Background()
@@ -304,7 +551,7 @@ func runJob(ctx context.Context, j Job) Result {
 		ctx, cancel = context.WithTimeout(ctx, j.Timeout)
 		defer cancel()
 	}
-	c, err := sim.New(j.Model, j.Prog, j.Opts)
+	c, err := p.acquireCPU(j)
 	if err != nil {
 		return fail(fmt.Errorf("simpool: %s: %w", labelOr(j.Label), err))
 	}
@@ -318,10 +565,27 @@ func runJob(ctx context.Context, j Job) Result {
 	st, err := c.RunContext(ctx)
 	res.Wall = time.Since(start)
 	res.Status = st
+	res.Stats = c.Stats
 	if err != nil {
 		res.Err = fmt.Errorf("simpool: %s: %w", labelOr(j.Label), err)
 	}
 	return res
+}
+
+// acquireCPU builds the job's CPU, drawing from the recycling arena
+// when the job opted in. Recycled CPUs are reset to construction state
+// first, so jobs cannot observe each other.
+func (p *Pool) acquireCPU(j *Job) (*sim.CPU, error) {
+	if j.Recycle {
+		if v := p.arena(j).Get(); v != nil {
+			c := v.(*sim.CPU)
+			if err := c.Reset(j.Model, j.Prog, j.Opts); err != nil {
+				return nil, err
+			}
+			return c, nil
+		}
+	}
+	return sim.New(j.Model, j.Prog, j.Opts)
 }
 
 func labelOr(label string) string {

@@ -198,13 +198,25 @@ main:
 	if !errors.Is(res.Err, simpool.ErrClosed) {
 		t.Errorf("submit-after-Close error %v does not wrap simpool.ErrClosed", res.Err)
 	}
-	for i, tk := range pool.SubmitBatch(context.Background(), []simpool.Job{
+	batch := pool.SubmitBatch(context.Background(), []simpool.Job{
 		{Model: m, Prog: prog, Opts: discardOpts()},
 		{Model: m, Prog: prog, Opts: discardOpts()},
-	}) {
-		if r := tk.Wait(); !errors.Is(r.Err, simpool.ErrClosed) {
+	})
+	select {
+	case <-batch.Done():
+	default:
+		t.Error("batch submitted after Close is not already complete")
+	}
+	if err := batch.Wait(context.Background()); !errors.Is(err, simpool.ErrClosed) {
+		t.Errorf("batch Wait after Close: error %v does not wrap simpool.ErrClosed", err)
+	}
+	for i, r := range batch.Results() {
+		if !errors.Is(r.Err, simpool.ErrClosed) {
 			t.Errorf("batch job %d after Close: error %v does not wrap simpool.ErrClosed", i, r.Err)
 		}
+	}
+	if st := batch.Stats(); st.Done != 2 || st.Failed != 2 {
+		t.Errorf("rejected batch stats = %+v, want 2 done / 2 failed", st)
 	}
 }
 

@@ -216,39 +216,10 @@ func (mc MemoryConfig) build() (*mem.Hierarchy, error) {
 	return mem.Paper(), nil
 }
 
-// RunConfig configures one simulation.
-//
-// Deprecated: RunConfig is the pre-options configuration struct, kept
-// as a shim for existing callers. Use Run with functional options
-// (WithModels, WithMemory, WithFuel, ...) instead; RunLegacy maps this
-// struct onto them.
-type RunConfig struct {
-	// Models activates cycle models by name: "ILP", "AIE", "DOE" and
-	// the cycle-accurate reference "RTL".
-	Models []string
-	// Memory configures the hierarchy used by AIE/DOE/RTL.
-	Memory MemoryConfig
-	// Stdout receives the program's output (nil: captured in Output).
-	Stdout io.Writer
-	Stdin  io.Reader
-	// Trace receives a trace file (Sec. V: cycle, opcode, register
-	// numbers and values, immediates per executed operation).
-	Trace io.Writer
-	// MaxInstructions bounds the run (0: a large default).
-	MaxInstructions uint64
-	// DisableDecodeCache / DisablePrediction turn off the decode cache
-	// and the instruction prediction (Sec. V-A) for measurements.
-	DisableDecodeCache bool
-	DisablePrediction  bool
-	// PerFunctionILP additionally profiles the theoretical ILP of every
-	// function (the paper's per-function ISA selection indicator).
-	PerFunctionILP bool
-}
-
 // RunResult reports a completed simulation.
 type RunResult struct {
 	ExitCode     int32
-	Output       string // captured stdout when RunConfig.Stdout was nil
+	Output       string // captured stdout when WithStdout was not used
 	Instructions uint64
 	Operations   uint64
 
@@ -264,8 +235,8 @@ type RunResult struct {
 	// ISA switches).
 	Stats sim.Stats
 
-	// FunctionILP is filled when RunConfig.PerFunctionILP is set,
-	// largest functions first.
+	// FunctionILP is filled when WithPerFunctionILP is set, largest
+	// functions first.
 	FunctionILP []cycle.FunctionILP
 
 	// Profile is the microarchitectural profile of the run, filled when
@@ -282,24 +253,6 @@ type RunResult struct {
 // ErrCanceled.
 func (e *Executable) Run(ctx context.Context, opts ...Option) (*RunResult, error) {
 	return e.run(ctx, resolveOptions(opts))
-}
-
-// RunLegacy executes the program configured by the deprecated RunConfig
-// struct.
-//
-// Deprecated: use Run with functional options.
-func (e *Executable) RunLegacy(cfg RunConfig) (*RunResult, error) {
-	return e.run(context.Background(), runConfig{
-		Models:             cfg.Models,
-		Memory:             cfg.Memory,
-		Stdout:             cfg.Stdout,
-		Stdin:              cfg.Stdin,
-		Trace:              cfg.Trace,
-		Fuel:               cfg.MaxInstructions,
-		DisableDecodeCache: cfg.DisableDecodeCache,
-		DisablePrediction:  cfg.DisablePrediction,
-		PerFunctionILP:     cfg.PerFunctionILP,
-	})
 }
 
 func (e *Executable) run(ctx context.Context, cfg runConfig) (*RunResult, error) {

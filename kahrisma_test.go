@@ -87,8 +87,7 @@ func TestFacadeELFRoundTripAndDisasm(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The deprecated struct API keeps working through the shim.
-	res, err := exe2.RunLegacy(kahrisma.RunConfig{})
+	res, err := exe2.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,8 +17,8 @@ import (
 // hierarchy for any model that needs one, and a large fuel default.
 type Option func(*runConfig)
 
-// runConfig is the resolved option set (the former RunConfig, now an
-// internal carrier so the public surface stays extensible).
+// runConfig is the resolved option set — an internal carrier so the
+// public surface stays extensible.
 type runConfig struct {
 	Models             []string
 	Memory             MemoryConfig

@@ -15,17 +15,18 @@ import (
 // across workers; every job gets its own CPU state, decode cache,
 // cycle models and memory hierarchy, so per-job results are
 // bit-identical to serial runs regardless of worker count or
-// scheduling (see docs/simpool.md).
+// scheduling (see docs/simpool.md). Per-job CPU allocations (memory
+// pages, decode-cache buckets) are recycled across jobs of the same
+// executable; recycled state is reset before reuse, so the determinism
+// guarantee is unaffected.
 //
 //	pool := kahrisma.NewPool(0) // GOMAXPROCS workers
 //	defer pool.Close()
-//	var jobs []*kahrisma.Job
-//	for _, isaName := range sys.ISAs() {
-//	    exe, _ := sys.BuildC(isaName, files)
-//	    jobs = append(jobs, pool.Submit(ctx, exe, kahrisma.WithModels("DOE")))
+//	batch := pool.SubmitBatch(ctx, items)
+//	if err := batch.Wait(ctx); err != nil {
+//	    ...
 //	}
-//	for _, j := range jobs {
-//	    res, err := j.Wait()
+//	for _, res := range batch.Results() {
 //	    ...
 //	}
 type Pool struct {
@@ -48,34 +49,29 @@ func NewPool(workers int) *Pool {
 // Job is a handle to one submitted simulation.
 type Job struct {
 	ticket *simpool.Ticket
-	setup  *runSetup
 	err    error // submit-time configuration error
 
-	once sync.Once
-	res  *RunResult
-	wErr error
+	// res is assembled by the worker (simpool OnDone) before the ticket
+	// unblocks, so reading it after ticket.Wait() is race-free and the
+	// worker can recycle the CPU immediately after.
+	res *RunResult
 }
 
 // Wait blocks until the job finished and returns its result. Wait may
 // be called from any goroutine, any number of times.
 func (j *Job) Wait() (*RunResult, error) {
-	j.once.Do(func() {
-		if j.err != nil {
-			j.wErr = j.err
-			return
-		}
-		r := j.ticket.Wait()
-		if r.Err != nil {
-			j.wErr = r.Err
-			return
-		}
-		j.res = j.setup.collect(r.CPU, r.Status)
-	})
-	return j.res, j.wErr
+	if j.err != nil {
+		return nil, j.err
+	}
+	r := j.ticket.Wait()
+	if r.Err != nil {
+		return nil, r.Err
+	}
+	return j.res, nil
 }
 
-// Done returns a channel closed when the job has finished (nil jobs
-// that failed at submit time return an already-closed channel).
+// Done returns a channel closed when the job has finished (jobs that
+// failed at submit time return an already-closed channel).
 func (j *Job) Done() <-chan struct{} {
 	if j.err != nil {
 		ch := make(chan struct{})
@@ -83,6 +79,37 @@ func (j *Job) Done() <-chan struct{} {
 		return ch
 	}
 	return j.ticket.Done()
+}
+
+// jobSpec assembles the simpool job for one prepared submission. The
+// worker harvests the RunResult in OnDone — before the ticket unblocks
+// and before the CPU is recycled back into the arena.
+func (p *Pool) jobSpec(exe *Executable, cfg runConfig, simOpts sim.Options, setup *runSetup, job *Job) simpool.Job {
+	models := cfg.Models
+	return simpool.Job{
+		Model:   exe.sys.model,
+		Prog:    exe.prog,
+		Opts:    simOpts,
+		Timeout: cfg.Timeout,
+		Recycle: true,
+		Attach: func(c *sim.CPU) error {
+			setup.attach(c)
+			return nil
+		},
+		OnDone: func(r simpool.Result) {
+			if r.Err == nil && r.CPU != nil {
+				job.res = setup.collect(r.CPU, r.Status)
+			}
+			p.mu.Lock()
+			if len(models) == 0 {
+				p.wallPerModel["functional"] += r.Wall
+			}
+			for _, m := range models {
+				p.wallPerModel[m] += r.Wall
+			}
+			p.mu.Unlock()
+		},
+	}
 }
 
 // Submit enqueues one simulation of exe under ctx and returns
@@ -97,28 +124,8 @@ func (p *Pool) Submit(ctx context.Context, exe *Executable, opts ...Option) *Job
 	if err != nil {
 		return &Job{err: err}
 	}
-	job := &Job{setup: setup}
-	models := cfg.Models
-	job.ticket = p.pool.Submit(ctx, simpool.Job{
-		Model:   exe.sys.model,
-		Prog:    exe.prog,
-		Opts:    simOpts,
-		Timeout: cfg.Timeout,
-		Attach: func(c *sim.CPU) error {
-			setup.attach(c)
-			return nil
-		},
-		OnDone: func(r simpool.Result) {
-			p.mu.Lock()
-			if len(models) == 0 {
-				p.wallPerModel["functional"] += r.Wall
-			}
-			for _, m := range models {
-				p.wallPerModel[m] += r.Wall
-			}
-			p.mu.Unlock()
-		},
-	})
+	job := &Job{}
+	job.ticket = p.pool.Submit(ctx, p.jobSpec(exe, cfg, simOpts, setup, job))
 	return job
 }
 
@@ -130,14 +137,157 @@ type BatchItem struct {
 	Opts []Option
 }
 
-// SubmitBatch enqueues many simulations in order and returns their
-// handles, index-aligned with items.
-func (p *Pool) SubmitBatch(ctx context.Context, items []BatchItem) []*Job {
+// Batch is the handle to one SubmitBatch call: aggregate completion
+// (Wait/Done), index-aligned per-item results, the first error in
+// submission order, merged throughput counters and merged profiles.
+type Batch struct {
+	jobs  []*Job
+	inner *simpool.Batch
+}
+
+// SubmitBatch enqueues the items in order and returns the batch handle.
+// Items that fail submit-time configuration (unknown model, bad memory
+// spec) occupy their slot with that error; the remaining items are
+// dispatched to the workers in chunked runs. Submitting to a closed
+// pool yields a batch whose items all fail with ErrPoolClosed.
+func (p *Pool) SubmitBatch(ctx context.Context, items []BatchItem) *Batch {
 	jobs := make([]*Job, len(items))
+	var simJobs []simpool.Job
+	var submitted []*Job // parallel to simJobs
 	for i, it := range items {
-		jobs[i] = p.Submit(ctx, it.Exe, it.Opts...)
+		cfg := resolveOptions(it.Opts)
+		simOpts, setup, err := it.Exe.prepare(cfg)
+		if err != nil {
+			jobs[i] = &Job{err: err}
+			continue
+		}
+		job := &Job{}
+		jobs[i] = job
+		simJobs = append(simJobs, p.jobSpec(it.Exe, cfg, simOpts, setup, job))
+		submitted = append(submitted, job)
 	}
-	return jobs
+	inner := p.pool.SubmitBatch(ctx, simJobs)
+	for k, t := range inner.Tickets() {
+		submitted[k].ticket = t
+	}
+	return &Batch{jobs: jobs, inner: inner}
+}
+
+// SubmitJobs enqueues the items in order and returns their individual
+// handles, index-aligned with items.
+//
+// Deprecated: SubmitJobs is the pre-Batch form of SubmitBatch, kept one
+// release for migration. Use SubmitBatch and the *Batch handle, which
+// adds aggregate Wait/Err/Results/Stats/MergeProfiles.
+func (p *Pool) SubmitJobs(ctx context.Context, items []BatchItem) []*Job {
+	return p.SubmitBatch(ctx, items).Jobs()
+}
+
+// Len returns the number of items in the batch.
+func (b *Batch) Len() int { return len(b.jobs) }
+
+// Jobs returns the per-item handles, index-aligned with the submitted
+// items — for callers that want per-item completion granularity.
+func (b *Batch) Jobs() []*Job { return b.jobs }
+
+// Done returns a channel closed when every item of the batch has
+// finished (items that failed at submit time count as finished).
+func (b *Batch) Done() <-chan struct{} { return b.inner.Done() }
+
+// Wait blocks until the whole batch finished or ctx is done. It returns
+// the first error in submission order (nil when every item succeeded);
+// a ctx abort returns ctx.Err() without waiting further — the items
+// keep running under their submission context.
+func (b *Batch) Wait(ctx context.Context) error {
+	// A finished batch wins over a done waiting context, so Wait on a
+	// completed batch is deterministic.
+	select {
+	case <-b.inner.Done():
+		return b.Err()
+	default:
+	}
+	select {
+	case <-b.inner.Done():
+		return b.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Err blocks until the batch finished and returns the first item error
+// in submission order: submit-time configuration errors and run errors
+// alike. It is nil when every item succeeded.
+func (b *Batch) Err() error {
+	for _, j := range b.jobs {
+		if _, err := j.Wait(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Results blocks until the batch finished and returns the per-item
+// results, index-aligned with the submitted items; failed items (their
+// error is available via Err or Jobs()[i].Wait()) hold nil.
+func (b *Batch) Results() []*RunResult {
+	out := make([]*RunResult, len(b.jobs))
+	for i, j := range b.jobs {
+		out[i], _ = j.Wait()
+	}
+	return out
+}
+
+// BatchStats are the merged throughput counters of one completed batch
+// (unlike PoolStats, which aggregates over the pool's lifetime).
+type BatchStats struct {
+	Jobs   int // items in the batch
+	Failed int // items that ended in an error (submit-time or run-time)
+
+	// Instructions/Operations retired across the batch's successful and
+	// partially-run items.
+	Instructions uint64
+	Operations   uint64
+
+	// Cycles per cycle-model name, summed over the batch's items.
+	Cycles map[string]uint64
+
+	// Wall is the summed per-item simulation time on the workers.
+	Wall time.Duration
+}
+
+// Stats blocks until the batch finished and returns its merged
+// counters.
+func (b *Batch) Stats() BatchStats {
+	st := BatchStats{Jobs: len(b.jobs), Cycles: map[string]uint64{}}
+	inner := b.inner.Stats()
+	st.Instructions = inner.Instructions
+	st.Operations = inner.Operations
+	st.Wall = inner.Wall
+	for _, j := range b.jobs {
+		res, err := j.Wait()
+		if err != nil {
+			st.Failed++
+			continue
+		}
+		for m, c := range res.Cycles {
+			st.Cycles[m] += c
+		}
+	}
+	return st
+}
+
+// MergeProfiles blocks until the batch finished and folds the items'
+// microarchitectural profiles (WithProfiling) into one; items without a
+// profile are skipped. Merging is commutative, so the result is
+// bit-identical regardless of worker count or completion order.
+func (b *Batch) MergeProfiles() *Profile {
+	var profiles []*Profile
+	for _, res := range b.Results() {
+		if res != nil {
+			profiles = append(profiles, res.Profile)
+		}
+	}
+	return MergeProfiles(profiles...)
 }
 
 // Wait blocks until every job submitted so far has completed; the pool
@@ -184,7 +334,8 @@ type PoolStats struct {
 	WallPerModel map[string]time.Duration
 }
 
-// Stats snapshots the pool counters.
+// Stats snapshots the pool counters (merged from the per-worker shards,
+// see docs/simpool.md).
 func (p *Pool) Stats() PoolStats {
 	s := p.pool.Stats()
 	out := PoolStats{

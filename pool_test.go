@@ -35,45 +35,49 @@ func TestPoolMatchesSerialRuns(t *testing.T) {
 	defer pool.Close()
 
 	// Submit every executable several times to exercise shared-program
-	// concurrency within the pool.
+	// concurrency (and state recycling) within the pool.
 	const rounds = 3
-	type slot struct {
-		isa int
-		job *kahrisma.Job
-	}
-	var jobs []slot
+	var batches []*kahrisma.Batch
 	for r := 0; r < rounds; r++ {
 		items := make([]kahrisma.BatchItem, len(exes))
 		for i, exe := range exes {
 			items[i] = kahrisma.BatchItem{Exe: exe, Opts: []kahrisma.Option{kahrisma.WithModels("ILP", "DOE")}}
 		}
-		for i, j := range pool.SubmitBatch(context.Background(), items) {
-			jobs = append(jobs, slot{isa: i, job: j})
-		}
+		batches = append(batches, pool.SubmitBatch(context.Background(), items))
 	}
 	pool.Wait()
 
-	for _, s := range jobs {
-		res, err := s.job.Wait()
-		if err != nil {
-			t.Fatalf("%s: %v", isaNames[s.isa], err)
+	jobCount := 0
+	for _, b := range batches {
+		if err := b.Wait(context.Background()); err != nil {
+			t.Fatal(err)
 		}
-		want := serial[s.isa]
-		if res.ExitCode != want.ExitCode || res.Output != want.Output {
-			t.Errorf("%s: pooled exit/output %d/%q, serial %d/%q",
-				isaNames[s.isa], res.ExitCode, res.Output, want.ExitCode, want.Output)
-		}
-		for _, m := range []string{"ILP", "DOE"} {
-			if res.Cycles[m] != want.Cycles[m] {
-				t.Errorf("%s: pooled %s cycles %d != serial %d — not bit-identical",
-					isaNames[s.isa], m, res.Cycles[m], want.Cycles[m])
+		jobCount += b.Len()
+		for i, res := range b.Results() {
+			want := serial[i]
+			if res.ExitCode != want.ExitCode || res.Output != want.Output {
+				t.Errorf("%s: pooled exit/output %d/%q, serial %d/%q",
+					isaNames[i], res.ExitCode, res.Output, want.ExitCode, want.Output)
 			}
+			for _, m := range []string{"ILP", "DOE"} {
+				if res.Cycles[m] != want.Cycles[m] {
+					t.Errorf("%s: pooled %s cycles %d != serial %d — not bit-identical",
+						isaNames[i], m, res.Cycles[m], want.Cycles[m])
+				}
+			}
+		}
+		bst := b.Stats()
+		if bst.Jobs != b.Len() || bst.Failed != 0 {
+			t.Errorf("batch stats = %+v, want %d jobs / 0 failed", bst, b.Len())
+		}
+		if bst.Instructions == 0 || bst.Cycles["DOE"] == 0 {
+			t.Errorf("batch counters empty: %+v", bst)
 		}
 	}
 
 	st := pool.Stats()
-	if st.JobsDone != int64(len(jobs)) || st.JobsFailed != 0 {
-		t.Errorf("stats = %+v, want %d done / 0 failed", st, len(jobs))
+	if st.JobsDone != int64(jobCount) || st.JobsFailed != 0 {
+		t.Errorf("stats = %+v, want %d done / 0 failed", st, jobCount)
 	}
 	if st.QueueDepth != 0 || st.InFlight != 0 {
 		t.Errorf("backpressure snapshot after drain: depth %d / in-flight %d, want 0/0", st.QueueDepth, st.InFlight)
