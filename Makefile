@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-pool bench-gate bench-baseline verify fmt-check vet lint kvet klint apidiff apidiff-baseline serve smoke prof clean
+.PHONY: all build test race bench bench-pool bench-gate bench-baseline verify fmt-check vet lint kvet klint apidiff apidiff-baseline serve smoke prof campaign clean
 
 all: verify
 
@@ -86,6 +86,14 @@ serve:
 # HTTP, poll to completion, check metrics and the SIGTERM drain.
 smoke:
 	./scripts/smoke.sh
+
+# Design-space campaign demonstration (docs/campaigns.md): sweep the
+# quickstart program across every issue width and two memory
+# hierarchies and print the Pareto-ranked report.
+campaign:
+	$(GO) run ./cmd/kcampaign -isas RISC,VLIW2,VLIW4,VLIW8 \
+		-mems "paper;limit:1|cache:1K,2,16,3|mem:18" \
+		examples/quickstart/src/dot.c
 
 # Profiler smoke: profile the quickstart program end-to-end with kprof
 # (docs/profiling.md) — hotspot table, annotated disassembly, pprof

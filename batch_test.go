@@ -159,27 +159,3 @@ func TestBatchMidFlightCancellationFacade(t *testing.T) {
 		t.Errorf("Wait on finished batch with expired context: %v does not wrap ErrCanceled", err)
 	}
 }
-
-// The deprecated SubmitJobs shim still returns index-aligned handles.
-func TestSubmitJobsShim(t *testing.T) {
-	sys := newSys(t)
-	exe, err := sys.BuildC("RISC", map[string]string{"p.c": facadeProg})
-	if err != nil {
-		t.Fatal(err)
-	}
-	pool := kahrisma.NewPool(2)
-	defer pool.Close()
-	jobs := pool.SubmitJobs(context.Background(), []kahrisma.BatchItem{{Exe: exe}, {Exe: exe}})
-	if len(jobs) != 2 {
-		t.Fatalf("SubmitJobs returned %d handles, want 2", len(jobs))
-	}
-	for i, j := range jobs {
-		res, err := j.Wait()
-		if err != nil {
-			t.Fatalf("job %d: %v", i, err)
-		}
-		if res.ExitCode != 55 {
-			t.Errorf("job %d: exit %d, want 55", i, res.ExitCode)
-		}
-	}
-}

@@ -1,0 +1,343 @@
+package kahrisma
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/driver"
+	"repro/internal/isasel"
+	"repro/internal/trace"
+)
+
+// ---------------------------------------------------------------------
+// Design-space-exploration campaigns (docs/campaigns.md)
+
+// CampaignSpec declares a parameter grid — programs x ISAs x memory
+// hierarchies x fuel budgets — whose cross product RunCampaign expands,
+// dedups, simulates in bounded waves and ranks (internal/campaign).
+type CampaignSpec = campaign.Spec
+
+// CampaignReport is the deterministic Pareto-ranked synthesis of a
+// finished campaign.
+type CampaignReport = campaign.Report
+
+// CampaignRow is one ranked report row.
+type CampaignRow = campaign.Row
+
+// CampaignOutcome is one point's terminal result.
+type CampaignOutcome = campaign.Outcome
+
+// CampaignPointStatus is one point's live status.
+type CampaignPointStatus = campaign.PointStatus
+
+// CampaignStatus is the aggregate snapshot of a campaign.
+type CampaignStatus = campaign.Status
+
+// CampaignCache is the fingerprint-keyed result cache campaigns consult
+// before simulating; a Pool shares one across its campaigns.
+type CampaignCache = campaign.Cache
+
+// CampaignProgressEvent is the aggregate SSE payload of a running
+// campaign (StreamEventCampaignProgress).
+type CampaignProgressEvent = trace.CampaignProgress
+
+// CampaignAutoISA selects automatic per-function ISA assignment
+// (System.AutoTune) for a grid's ISA axis.
+const CampaignAutoISA = campaign.AutoISA
+
+// CampaignDefaultWave is the in-flight point bound selected when a
+// spec leaves Wave unset.
+const CampaignDefaultWave = campaign.DefaultWave
+
+// NewCampaignCache builds a standalone result cache (capacity <= 0
+// selects the default); pass it via WithCampaignCache to share results
+// across pools or pin a private cache in tests.
+func NewCampaignCache(capacity int) *CampaignCache { return campaign.NewCache(capacity) }
+
+// Figure4Campaign is the canned spec reproducing the paper's Figure 4
+// sweep: every built-in workload across RISC..VLIW8.
+func Figure4Campaign() CampaignSpec { return campaign.Figure4Spec() }
+
+// Campaign is the handle to a running (or finished) campaign.
+type Campaign struct {
+	run *campaign.Run
+}
+
+// Wait blocks until the campaign is terminal and returns its error:
+// the cancellation error when cut short, otherwise the first failed
+// point's error, otherwise nil.
+func (c *Campaign) Wait() error { return c.run.Wait() }
+
+// Done returns a channel closed when the campaign is terminal.
+func (c *Campaign) Done() <-chan struct{} { return c.run.Done() }
+
+// Err returns the campaign's error; valid once Done is closed.
+func (c *Campaign) Err() error { return c.run.Err() }
+
+// Status snapshots the aggregate counters (including cache hits and
+// simulated-point counts, which are execution facts and deliberately
+// not part of the deterministic Report).
+func (c *Campaign) Status() CampaignStatus { return c.run.Status() }
+
+// Points snapshots every point's status in point order; completed
+// points stay fetchable after cancellation.
+func (c *Campaign) Points() []CampaignPointStatus { return c.run.Points() }
+
+// Outcomes returns terminal outcomes in point order (nil for points
+// that never ran).
+func (c *Campaign) Outcomes() []*CampaignOutcome { return c.run.Outcomes() }
+
+// Report returns the Pareto-ranked report, or nil while the campaign
+// is still running. Identical specs over identical programs marshal to
+// identical bytes, run after run.
+func (c *Campaign) Report() *CampaignReport { return c.run.Report() }
+
+// GridSize returns the pre-dedup grid size; Len the unique points.
+func (c *Campaign) GridSize() int { return c.run.GridSize() }
+func (c *Campaign) Len() int      { return c.run.Len() }
+
+// CampaignOption configures RunCampaign.
+type CampaignOption func(*campaignConfig)
+
+type campaignConfig struct {
+	stream  *Streamer
+	cache   *CampaignCache
+	timeout time.Duration
+	acquire func(ctx context.Context, n int) error
+	release func(n int)
+}
+
+// WithCampaignEvents streams aggregate CampaignProgress snapshots and
+// the terminal Done event to st (the same Streamer/SSE path jobs use).
+func WithCampaignEvents(st *Streamer) CampaignOption {
+	return func(c *campaignConfig) { c.stream = st }
+}
+
+// WithCampaignCache overrides the pool's shared result cache.
+func WithCampaignCache(cache *CampaignCache) CampaignOption {
+	return func(c *campaignConfig) { c.cache = cache }
+}
+
+// WithCampaignTimeout bounds each point's wall-clock time (on top of
+// the spec's own TimeoutMS; the smaller bound wins).
+func WithCampaignTimeout(d time.Duration) CampaignOption {
+	return func(c *campaignConfig) { c.timeout = d }
+}
+
+// WithCampaignWaveGate brackets every wave with the serving layer's
+// admission accounting: acquire is called with the wave size before
+// submission and release after the wave completes, so a large campaign
+// holds at most one wave's worth of queue slots at a time. A failed
+// acquire cancels the campaign's remaining points.
+func WithCampaignWaveGate(acquire func(ctx context.Context, n int) error, release func(n int)) CampaignOption {
+	return func(c *campaignConfig) { c.acquire, c.release = acquire, release }
+}
+
+// RunCampaign expands, dedups and runs spec's grid on the pool and
+// returns immediately with the campaign handle. Points whose
+// fingerprint key is already in the result cache are served without
+// simulation; fresh results are cached for later campaigns on the same
+// pool. Cancellation of ctx stops scheduling new waves; completed
+// points stay fetchable.
+func (p *Pool) RunCampaign(ctx context.Context, sys *System, spec CampaignSpec, opts ...CampaignOption) (*Campaign, error) {
+	var cfg campaignConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	for _, name := range spec.ISAs {
+		if name != CampaignAutoISA && sys.model.ISAByName(name) == nil {
+			return nil, fmt.Errorf("%w: %q", ErrBadISA, name)
+		}
+	}
+	if cfg.cache == nil {
+		cfg.cache = p.campaignCacheShared()
+	}
+	exec := &campaignExecutor{
+		pool:    p,
+		sys:     sys,
+		timeout: cfg.timeout,
+		exes:    map[string]*Executable{},
+		tuned:   map[string]*tunedBuild{},
+	}
+	run, err := campaign.Start(ctx, spec, campaign.Config{
+		Exec:        exec,
+		Cache:       cfg.cache,
+		Stream:      cfg.stream,
+		AcquireWave: cfg.acquire,
+		ReleaseWave: cfg.release,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Campaign{run: run}, nil
+}
+
+// campaignCacheShared lazily builds the pool's shared result cache.
+func (p *Pool) campaignCacheShared() *CampaignCache {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.campaignCache == nil {
+		p.campaignCache = campaign.NewCache(0)
+	}
+	return p.campaignCache
+}
+
+// tunedBuild is one cached AutoTune resolution: the mixed-ISA
+// executable plus its resolved label and widest issue width.
+type tunedBuild struct {
+	exe      *Executable
+	resolved string
+	width    int
+	err      error
+}
+
+// campaignExecutor runs campaign waves over Pool.SubmitBatch. The
+// engine never runs two waves concurrently, so the per-campaign build
+// caches need no locking.
+type campaignExecutor struct {
+	pool    *Pool
+	sys     *System
+	timeout time.Duration
+
+	// exes caches fixed-ISA executables by build fingerprint; tuned
+	// caches AutoTune resolutions by source fingerprint. Both are
+	// per-campaign, so one grid never rebuilds a program per memory or
+	// fuel variant.
+	exes  map[string]*Executable
+	tuned map[string]*tunedBuild
+}
+
+// RunWave builds each point's executable (or reuses the campaign's
+// build caches), submits the buildable points as one batch and shapes
+// the results into outcomes, index-aligned with pts.
+func (e *campaignExecutor) RunWave(ctx context.Context, pts []*campaign.Point) []*campaign.Outcome {
+	outs := make([]*campaign.Outcome, len(pts))
+	type prepared struct {
+		slot     int
+		exe      *Executable
+		width    int
+		resolved string
+	}
+	var ready []prepared
+	var items []BatchItem
+	for i, pt := range pts {
+		exe, width, resolved, err := e.executableFor(ctx, pt)
+		if err != nil {
+			outs[i] = &campaign.Outcome{Err: err.Error()}
+			continue
+		}
+		ready = append(ready, prepared{slot: i, exe: exe, width: width, resolved: resolved})
+		items = append(items, BatchItem{Exe: exe, Opts: e.pointOptions(pt)})
+	}
+	if len(items) == 0 {
+		return outs
+	}
+	batch := e.pool.SubmitBatch(ctx, items)
+	for k, job := range batch.Jobs() {
+		pr := ready[k]
+		pt := pts[pr.slot]
+		res, err := job.Wait()
+		if err != nil {
+			outs[pr.slot] = &campaign.Outcome{Err: err.Error()}
+			continue
+		}
+		out := &campaign.Outcome{
+			ExitCode:     res.ExitCode,
+			Instructions: res.Instructions,
+			Operations:   res.Operations,
+			Cycles:       res.Cycles,
+			OPC:          res.OPC,
+			L1MissRate:   res.L1MissRate,
+			IssueWidth:   pr.width,
+			ResolvedISA:  pr.resolved,
+		}
+		if pt.Profile && res.Profile != nil {
+			out.Profile = pr.exe.ProfileReport(res.Profile, 32)
+		}
+		outs[pr.slot] = out
+	}
+	return outs
+}
+
+// pointOptions maps a point's parameters onto run options.
+func (e *campaignExecutor) pointOptions(pt *campaign.Point) []Option {
+	opts := []Option{WithModels(pt.Models...)}
+	if pt.Memory != campaign.PaperMemory {
+		opts = append(opts, WithMemorySpec(pt.Memory))
+	}
+	if pt.Fuel > 0 {
+		opts = append(opts, WithFuel(pt.Fuel))
+	}
+	if pt.Profile {
+		opts = append(opts, WithProfiling())
+	}
+	if e.timeout > 0 {
+		opts = append(opts, WithTimeout(e.timeout))
+	}
+	return opts
+}
+
+// executableFor resolves a point's executable through the build caches.
+func (e *campaignExecutor) executableFor(ctx context.Context, pt *campaign.Point) (*Executable, int, string, error) {
+	if pt.ISA == campaign.AutoISA {
+		tb := e.autoFor(ctx, pt)
+		return tb.exe, tb.width, tb.resolved, tb.err
+	}
+	fp := driver.Fingerprint(pt.ISA, pt.Sources...)
+	exe := e.exes[fp]
+	if exe == nil {
+		var err error
+		exe, err = e.sys.build(ctx, pt.ISA, pt.Sources)
+		if err != nil {
+			return nil, 0, "", err
+		}
+		e.exes[fp] = exe
+	}
+	width, err := e.sys.IssueWidth(pt.ISA)
+	if err != nil {
+		return nil, 0, "", err
+	}
+	return exe, width, "", nil
+}
+
+// autoFor resolves an AutoISA point: run the automatic per-function
+// selection once per program, rebuild mixed-ISA from the choices and
+// cache the result for the program's other grid variants.
+func (e *campaignExecutor) autoFor(ctx context.Context, pt *campaign.Point) *tunedBuild {
+	fp := driver.Fingerprint("campaign-auto", pt.Sources...)
+	if tb := e.tuned[fp]; tb != nil {
+		return tb
+	}
+	tb := &tunedBuild{}
+	e.tuned[fp] = tb
+	res, err := isasel.AutoTune(e.sys.model, isasel.Options{MaxInstructions: pt.Fuel}, pt.Sources...)
+	if err != nil {
+		tb.err = fmt.Errorf("auto-tune: %w", err)
+		return tb
+	}
+	const baseISA = "RISC"
+	overrides := map[string]string{}
+	var parts []string
+	for _, ch := range res.Choices {
+		overrides[ch.Function] = ch.ISA
+		parts = append(parts, ch.Function+":"+ch.ISA)
+	}
+	sort.Strings(parts)
+	tb.resolved = "auto(" + baseISA
+	if len(parts) > 0 {
+		tb.resolved += ";" + strings.Join(parts, ",")
+	}
+	tb.resolved += ")"
+	tb.width, _ = e.sys.IssueWidth(baseISA)
+	for _, name := range overrides {
+		if w, err := e.sys.IssueWidth(name); err == nil && w > tb.width {
+			tb.width = w
+		}
+	}
+	tb.exe, tb.err = e.sys.buildMixed(ctx, baseISA, overrides, pt.Sources)
+	return tb
+}

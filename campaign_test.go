@@ -1,0 +1,301 @@
+package kahrisma_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	kahrisma "repro"
+	"repro/internal/experiments"
+)
+
+// campaignSpec24 is the acceptance-criteria grid: 4 ISAs x 3 memory
+// hierarchies x 2 fuel budgets over one program = 24 unique points,
+// plus a duplicate ISA entry that dedup collapses (grid 30).
+func campaignSpec24() kahrisma.CampaignSpec {
+	return kahrisma.CampaignSpec{
+		Name:    "e2e",
+		Sources: map[string]string{"p.c": facadeProg},
+		ISAs:    []string{"RISC", "VLIW2", "VLIW4", "VLIW8", "RISC"},
+		Memories: []string{
+			"paper",
+			"limit:1|cache:1K,2,16,3|mem:18",
+			"limit:1|cache:4K,4,32,3|mem:18",
+		},
+		Fuels:  []uint64{0, 500_000},
+		Models: []string{"DOE"},
+		Wave:   6,
+	}
+}
+
+func TestCampaignEndToEnd(t *testing.T) {
+	sys := newSys(t)
+	pool := kahrisma.NewPool(4)
+	defer pool.Close()
+
+	spec := campaignSpec24()
+	c, err := pool.RunCampaign(context.Background(), sys, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.GridSize() != 30 || c.Len() != 24 {
+		t.Fatalf("grid/unique = %d/%d, want 30/24", c.GridSize(), c.Len())
+	}
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Status()
+	if st.Done != 24 || st.Failed != 0 || st.Simulated != 24 || !st.Finished {
+		t.Fatalf("status: %+v", st)
+	}
+	rep := c.Report()
+	if rep == nil || rep.Succeeded != 24 || rep.Deduped != 6 {
+		t.Fatalf("report: %+v", rep)
+	}
+	// The ranking is by DOE cycles; the widest paper-memory point must
+	// beat the narrowest on cycles (that is the paper's whole point).
+	cycles := map[string]uint64{}
+	var paretoCount int
+	for _, row := range rep.Rows {
+		cycles[row.Label] = row.PrimaryCycles
+		if row.Pareto {
+			paretoCount++
+		}
+		if row.Rank == 1 && row.PrimaryCycles == 0 {
+			t.Fatalf("rank-1 row has no cycles: %+v", row)
+		}
+	}
+	if cycles["inline/VLIW8"] >= cycles["inline/RISC"] {
+		t.Fatalf("VLIW8 (%d) not faster than RISC (%d)", cycles["inline/VLIW8"], cycles["inline/RISC"])
+	}
+	if paretoCount == 0 {
+		t.Fatal("no Pareto-frontier rows")
+	}
+	// The small-cache RISC point has the minimal issue width and cache
+	// budget, so it is non-dominated regardless of its cycle count.
+	for _, row := range rep.Rows {
+		if row.Label == "inline/RISC/mem=limit:1|cache:1K,2,16,3|mem:18" && !row.Pareto {
+			t.Fatalf("min-budget row dominated: %+v", row)
+		}
+	}
+}
+
+func TestCampaignDedupCacheAndDeterminism(t *testing.T) {
+	sys := newSys(t)
+	pool := kahrisma.NewPool(4)
+	defer pool.Close()
+	cache := kahrisma.NewCampaignCache(0)
+
+	spec := kahrisma.CampaignSpec{
+		Name:     "dedup",
+		Sources:  map[string]string{"p.c": facadeProg},
+		ISAs:     []string{"RISC", "VLIW4", "RISC"}, // grid 6, unique 4
+		Memories: []string{"", "paper"},             // alias pair collapses
+	}
+	run1, err := pool.RunCampaign(context.Background(), sys, spec, kahrisma.WithCampaignCache(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run1.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	st1 := run1.Status()
+	if run1.GridSize() != 6 || run1.Len() != 2 {
+		t.Fatalf("grid/unique = %d/%d, want 6/2", run1.GridSize(), run1.Len())
+	}
+	if st1.Simulated != 2 || st1.CacheHits != 0 {
+		t.Fatalf("first run: %+v", st1)
+	}
+
+	// Same campaign again: every point is a cache hit, nothing
+	// simulates, and the ranked report is byte-identical.
+	run2, err := pool.RunCampaign(context.Background(), sys, spec, kahrisma.WithCampaignCache(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := run2.Status()
+	if st2.Simulated != 0 || st2.CacheHits != 2 {
+		t.Fatalf("second run: %+v", st2)
+	}
+	cs := cache.Stats()
+	if cs.Hits != 2 || cs.Misses != 2 {
+		t.Fatalf("cache stats: %+v", cs)
+	}
+	rep1, err := json.Marshal(run1.Report())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, _ := json.Marshal(run2.Report())
+	if string(rep1) != string(rep2) {
+		t.Fatalf("reports differ:\n%s\n%s", rep1, rep2)
+	}
+	for _, ps := range run2.Points() {
+		if !ps.CacheHit {
+			t.Fatalf("point not cache-served on rerun: %+v", ps)
+		}
+	}
+}
+
+func TestCampaignCancelKeepsCompletedPoints(t *testing.T) {
+	sys := newSys(t)
+	pool := kahrisma.NewPool(2)
+	defer pool.Close()
+
+	spec := kahrisma.CampaignSpec{
+		Name:    "cancel",
+		Sources: map[string]string{"p.c": facadeProg},
+		ISAs:    []string{"RISC", "VLIW2", "VLIW4", "VLIW6", "VLIW8"},
+		Wave:    1,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c, err := pool.RunCampaign(ctx, sys, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cancel once the first point is terminal; waves after the
+	// in-flight one never start.
+	deadline := time.Now().Add(30 * time.Second)
+	for c.Status().Done < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("first point never completed: %+v", c.Status())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := c.Wait(); err == nil {
+		t.Fatal("expected cancellation error")
+	} else if !errors.Is(err, context.Canceled) && c.Status().Done < c.Len() {
+		// The context error surfaces either directly (wave never
+		// started) or as the in-flight point's failure.
+		t.Logf("cancel surfaced as point failure: %v", err)
+	}
+	st := c.Status()
+	if st.Done < 1 {
+		t.Fatalf("no completed points after cancel: %+v", st)
+	}
+	// Completed points stay fetchable: statuses and outcomes survive.
+	var fetched int
+	for i, out := range c.Outcomes() {
+		if out != nil && out.Err == "" {
+			fetched++
+			if out.Cycles["DOE"] == 0 {
+				t.Fatalf("outcome %d has no cycles: %+v", i, out)
+			}
+		}
+	}
+	if fetched < 1 {
+		t.Fatal("no fetchable outcomes after cancel")
+	}
+	if rep := c.Report(); rep == nil || rep.Succeeded != fetched {
+		t.Fatalf("report after cancel: %+v", rep)
+	}
+}
+
+func TestCampaignAutoISAPoint(t *testing.T) {
+	sys := newSys(t)
+	pool := kahrisma.NewPool(2)
+	defer pool.Close()
+
+	spec := kahrisma.CampaignSpec{
+		Name:    "auto",
+		Sources: map[string]string{"p.c": facadeProg},
+		ISAs:    []string{"RISC", kahrisma.CampaignAutoISA},
+	}
+	c, err := pool.RunCampaign(context.Background(), sys, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	var auto *kahrisma.CampaignOutcome
+	for _, out := range c.Outcomes() {
+		if out != nil && out.Label == "inline/auto" {
+			auto = out
+		}
+	}
+	if auto == nil || auto.Err != "" {
+		t.Fatalf("auto outcome: %+v", auto)
+	}
+	if auto.ResolvedISA == "" || auto.Cycles["DOE"] == 0 {
+		t.Fatalf("auto point not resolved: %+v", auto)
+	}
+	if auto.IssueWidth < 1 {
+		t.Fatalf("auto issue width: %d", auto.IssueWidth)
+	}
+}
+
+func TestCampaignProfileDeltas(t *testing.T) {
+	sys := newSys(t)
+	pool := kahrisma.NewPool(2)
+	defer pool.Close()
+
+	spec := kahrisma.CampaignSpec{
+		Name:    "profiled",
+		Sources: map[string]string{"p.c": facadeProg},
+		ISAs:    []string{"RISC", "VLIW4"},
+		Profile: true,
+	}
+	c, err := pool.RunCampaign(context.Background(), sys, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	rep := c.Report()
+	for _, out := range c.Outcomes() {
+		if out.Profile == nil {
+			t.Fatalf("point %s missing profile report", out.Label)
+		}
+	}
+	if len(rep.Deltas) == 0 {
+		t.Skip("both points dominated into a single-row frontier; no pair to diff")
+	}
+	d := rep.Deltas[0]
+	if d.Diff == nil || d.Diff.CyclesA == d.Diff.CyclesB {
+		t.Fatalf("degenerate pareto delta: %+v", d)
+	}
+}
+
+func TestCampaignRejectsBadSpecs(t *testing.T) {
+	sys := newSys(t)
+	pool := kahrisma.NewPool(1)
+	defer pool.Close()
+	cases := []kahrisma.CampaignSpec{
+		{Sources: map[string]string{"p.c": facadeProg}, ISAs: []string{"NOPE"}},
+		{Sources: map[string]string{"p.c": facadeProg}},
+		{ISAs: []string{"RISC"}},
+	}
+	for i, spec := range cases {
+		if _, err := pool.RunCampaign(context.Background(), sys, spec); err == nil {
+			t.Errorf("case %d: bad spec accepted", i)
+		}
+	}
+}
+
+// The canned Figure-4 spec measures the same design space as the
+// internal/experiments VLIW sweep: same ISA list, every workload.
+func TestFigure4CampaignMatchesExperiments(t *testing.T) {
+	spec := kahrisma.Figure4Campaign()
+	if len(spec.ISAs) != len(experiments.VLIWNames) {
+		t.Fatalf("ISA axis: %v vs %v", spec.ISAs, experiments.VLIWNames)
+	}
+	for i, name := range experiments.VLIWNames {
+		if spec.ISAs[i] != name {
+			t.Fatalf("ISA axis: %v vs %v", spec.ISAs, experiments.VLIWNames)
+		}
+	}
+	if len(spec.Workloads) != 6 {
+		t.Fatalf("workload axis: %v", spec.Workloads)
+	}
+	if spec.GridSize() != 30 {
+		t.Fatalf("grid = %d", spec.GridSize())
+	}
+}

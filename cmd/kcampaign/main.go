@@ -1,0 +1,221 @@
+// Command kcampaign runs a design-space-exploration campaign from the
+// command line: it expands a parameter grid — programs x ISAs x memory
+// hierarchies x fuel budgets — into deduplicated simulation points,
+// runs them through a worker pool in bounded waves, streams aggregate
+// progress to stderr, and prints the Pareto-ranked report.
+//
+// The grid comes from flags, from a JSON spec file (-spec, the same
+// schema POST /v1/campaigns accepts), or from a canned campaign
+// (-canned figure4 reproduces the paper's VLIW sweep over every
+// built-in workload). Positional C (or, with -asm, assembly) files add
+// an inline program to the grid.
+//
+// Usage:
+//
+//	kcampaign [-isas RISC,VLIW4,auto] [-workloads fft,qsort]
+//	          [-mems "paper;limit:1|cache:1K,2,16,3|mem:18"]
+//	          [-fuels 0,500000] [-models DOE] [-profile] [-wave 8]
+//	          [-workers N] [-timeout 30s] [-json] [file.c ...]
+//	kcampaign -spec campaign.json [file.c ...]
+//	kcampaign -canned figure4
+//
+// Exit status: 0 when every point succeeded, 1 when any point failed
+// or the campaign errored, 2 on usage errors.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	kahrisma "repro"
+)
+
+func main() {
+	var (
+		specFile  = flag.String("spec", "", "JSON campaign spec file (the POST /v1/campaigns schema)")
+		canned    = flag.String("canned", "", "canned campaign: figure4 (the paper's VLIW sweep over every workload)")
+		name      = flag.String("name", "", "campaign name for reports and progress events")
+		isas      = flag.String("isas", "", "comma-separated ISA axis: instance names and/or \"auto\"")
+		workloads = flag.String("workloads", "", "comma-separated built-in workloads (cjpeg, djpeg, fft, qsort, aes, dct)")
+		mems      = flag.String("mems", "", "semicolon-separated memory axis: \"paper\" and/or mem specs like \"limit:1|cache:2K,4,32,3|mem:18\"")
+		fuels     = flag.String("fuels", "", "comma-separated instruction-budget axis (0: default budget)")
+		models    = flag.String("models", "", "comma-separated cycle models; the first ranks the report (default DOE)")
+		profile   = flag.Bool("profile", false, "profile every point and attach per-pair deltas between Pareto points")
+		wave      = flag.Int("wave", 0, "points in flight at once (0: default)")
+		workers   = flag.Int("workers", 0, "pool workers (0: GOMAXPROCS)")
+		timeout   = flag.Duration("timeout", 0, "per-point wall-clock cap (0: none)")
+		asmSrc    = flag.Bool("asm", false, "positional sources are assembly, not MiniC")
+		asJSON    = flag.Bool("json", false, "print the full report as JSON instead of the ranked table")
+		quiet     = flag.Bool("quiet", false, "suppress the live progress line on stderr")
+	)
+	flag.Parse()
+
+	spec, err := buildSpec(*specFile, *canned, flag.Args(), *asmSrc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kcampaign: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *name != "" {
+		spec.Name = *name
+	}
+	if *isas != "" {
+		spec.ISAs = splitList(*isas, ",")
+	}
+	if *workloads != "" {
+		spec.Workloads = splitList(*workloads, ",")
+	}
+	if *mems != "" {
+		spec.Memories = splitList(*mems, ";")
+	}
+	if *models != "" {
+		spec.Models = splitList(*models, ",")
+	}
+	if *fuels != "" {
+		for _, f := range splitList(*fuels, ",") {
+			n, err := strconv.ParseUint(f, 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "kcampaign: -fuels: %v\n", err)
+				os.Exit(2)
+			}
+			spec.Fuels = append(spec.Fuels, n)
+		}
+	}
+	if *profile {
+		spec.Profile = true
+	}
+	if *wave > 0 {
+		spec.Wave = *wave
+	}
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "kcampaign: %v\n", err)
+		os.Exit(2)
+	}
+
+	sys, err := kahrisma.New()
+	if err != nil {
+		fatal(err)
+	}
+	pool := kahrisma.NewPool(*workers)
+	defer pool.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := []kahrisma.CampaignOption{}
+	if *timeout > 0 {
+		opts = append(opts, kahrisma.WithCampaignTimeout(*timeout))
+	}
+	st := kahrisma.NewStreamer(0)
+	if !*quiet {
+		opts = append(opts, kahrisma.WithCampaignEvents(st))
+		go follow(ctx, st)
+	}
+
+	c, err := pool.RunCampaign(ctx, sys, spec, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	runErr := c.Wait()
+	if !*quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+
+	rep := c.Report()
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	} else if rep != nil {
+		fmt.Print(rep.Render())
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "kcampaign: %v\n", runErr)
+		os.Exit(1)
+	}
+}
+
+// buildSpec assembles the starting spec before flag overrides: a JSON
+// file, a canned campaign, or an empty spec; positional files add an
+// inline program either way.
+func buildSpec(specFile, canned string, files []string, asm bool) (kahrisma.CampaignSpec, error) {
+	var spec kahrisma.CampaignSpec
+	switch {
+	case specFile != "" && canned != "":
+		return spec, fmt.Errorf("-spec and -canned are mutually exclusive")
+	case specFile != "":
+		data, err := os.ReadFile(specFile)
+		if err != nil {
+			return spec, err
+		}
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return spec, fmt.Errorf("%s: %w", specFile, err)
+		}
+	case canned == "figure4":
+		spec = kahrisma.Figure4Campaign()
+	case canned != "":
+		return spec, fmt.Errorf("unknown canned campaign %q (want figure4)", canned)
+	}
+	for _, name := range files {
+		text, err := os.ReadFile(name)
+		if err != nil {
+			return spec, err
+		}
+		if spec.Sources == nil {
+			spec.Sources = map[string]string{}
+		}
+		spec.Sources[name] = string(text)
+	}
+	if asm {
+		spec.Lang = "asm"
+	}
+	return spec, nil
+}
+
+// follow subscribes to the campaign's event stream and keeps one
+// overwritten progress line on stderr.
+func follow(ctx context.Context, st *kahrisma.Streamer) {
+	sub := st.Subscribe(0)
+	defer sub.Cancel()
+	start := time.Now()
+	for {
+		batch, _, err := sub.Next(ctx)
+		if err != nil || batch == nil {
+			return
+		}
+		for _, ev := range batch {
+			if ev.Type != kahrisma.StreamEventCampaignProgress || ev.Campaign == nil {
+				continue
+			}
+			cp := ev.Campaign
+			fmt.Fprintf(os.Stderr, "\rkcampaign: %d/%d points done (%d running, %d cached, %d failed) %s ",
+				cp.Done, cp.Points, cp.Running, cp.CacheHits, cp.Failed,
+				time.Since(start).Round(time.Second))
+		}
+	}
+}
+
+func splitList(s, sep string) []string {
+	var out []string
+	for _, p := range strings.Split(s, sep) {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "kcampaign: %v\n", err)
+	os.Exit(1)
+}

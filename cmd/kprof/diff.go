@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+
+	kahrisma "repro"
+)
+
+// runDiff implements `kprof -diff a.json b.json`: load two saved
+// profile reports (the -json output of earlier kprof runs or of the
+// server's /profile endpoint) and render their per-total, per-ISA and
+// per-PC deltas, B relative to A. This is the same comparison
+// primitive campaign reports attach between Pareto points.
+func runDiff(pathA, pathB string, topN int, asJSON bool) {
+	a := loadReport(pathA)
+	b := loadReport(pathB)
+	d := kahrisma.DiffProfileReports(a, b, topN)
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(d); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	printDiff(pathA, pathB, d)
+}
+
+func loadReport(path string) *kahrisma.ProfileReport {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var rep kahrisma.ProfileReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return &rep
+}
+
+func printDiff(pathA, pathB string, d *kahrisma.ProfileReportDiff) {
+	fmt.Printf("profile diff: %s -> %s", pathA, pathB)
+	if d.CycleModel != "" {
+		fmt.Printf(" (%s)", d.CycleModel)
+	}
+	fmt.Println()
+	fmt.Printf("instructions %12d -> %-12d (%+d)\n", d.InstructionsA, d.InstructionsB, d.InstructionsDelta)
+	fmt.Printf("operations   %12d -> %-12d (%+d)\n", d.OperationsA, d.OperationsB, d.OperationsDelta)
+	fmt.Printf("cycles       %12d -> %-12d (%+d)\n", d.CyclesA, d.CyclesB, d.CyclesDelta)
+
+	if len(d.ISAs) > 0 {
+		fmt.Println("per-ISA attribution:")
+		for _, s := range d.ISAs {
+			fmt.Printf("  %-8s instr %12d -> %-12d (%+d)  cycles %12d -> %-12d (%+d)\n",
+				s.ISA, s.InstructionsA, s.InstructionsB, s.InstructionsDelta,
+				s.CyclesA, s.CyclesB, s.CyclesDelta)
+		}
+	}
+
+	fmt.Printf("per-PC cycle movement (%d of %d PCs):\n", len(d.PCs), d.TotalPCs)
+	fmt.Printf("  %12s %12s %10s  %-10s %-16s %s\n",
+		"CYCLES-Δ", "COUNT-Δ", "COUNT-B", "PC", "FUNC", "FILE:LINE")
+	for _, pc := range d.PCs {
+		loc := ""
+		if pc.File != "" {
+			loc = pc.File + ":" + strconv.Itoa(pc.Line)
+		}
+		fmt.Printf("  %+12d %+12d %10d  %#-10x %-16s %s\n",
+			pc.CyclesDelta, pc.CountDelta, pc.CountB, pc.PC, pc.Func, loc)
+	}
+}

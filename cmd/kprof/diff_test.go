@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	kahrisma "repro"
+)
+
+func writeReport(t *testing.T, dir, name string, rep *kahrisma.ProfileReport) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffModeRendering(t *testing.T) {
+	dir := t.TempDir()
+	a := &kahrisma.ProfileReport{CycleModel: "DOE", Instructions: 100, Operations: 120, Cycles: 5000}
+	b := &kahrisma.ProfileReport{CycleModel: "DOE", Instructions: 100, Operations: 150, Cycles: 4200}
+	pa := writeReport(t, dir, "a.json", a)
+	pb := writeReport(t, dir, "b.json", b)
+
+	d := kahrisma.DiffProfileReports(loadReport(pa), loadReport(pb), 16)
+	if d.CyclesDelta != -800 || d.OperationsDelta != 30 {
+		t.Fatalf("deltas: %+v", d)
+	}
+
+	var buf bytes.Buffer
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	printDiff(pa, pb, d)
+	w.Close()
+	os.Stdout = old
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"profile diff:", "(DOE)", "(-800)", "(+30)", "per-PC cycle movement"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoadReportErrorsAreUsable(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var rep kahrisma.ProfileReport
+	if err := json.Unmarshal([]byte("not json"), &rep); err == nil {
+		t.Fatal("expected decode error")
+	}
+}

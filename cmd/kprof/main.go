@@ -10,6 +10,11 @@
 //
 //	kprof [-isa RISC] [-models DOE] [-top 20] [-disasm] [-json]
 //	      [-pprof out.pb.gz] [-asm] [-fuel N] [-mem SPEC] file.c...
+//	kprof -diff [-top 20] [-json] a.json b.json
+//
+// -diff takes two saved -json reports instead of sources and renders
+// their deltas (totals, per-ISA attribution, top-N per-PC cycle
+// movement), B relative to A.
 //
 // Exit status: 0 on success, 1 on build/run errors or an empty profile,
 // 2 on usage errors.
@@ -39,8 +44,18 @@ func main() {
 		asmSrc  = flag.Bool("asm", false, "sources are assembly, not MiniC")
 		fuel    = flag.Uint64("fuel", 0, "instruction budget (0: default)")
 		memSpec = flag.String("mem", "", "memory hierarchy spec, e.g. \"limit:1|cache:2K,4,32,3|mem:18\" (empty: the paper's)")
+		diff    = flag.Bool("diff", false, "compare two saved -json reports (a.json b.json) instead of running a program")
 	)
 	flag.Parse()
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "kprof: -diff takes exactly two saved report files")
+			flag.Usage()
+			os.Exit(2)
+		}
+		runDiff(flag.Arg(0), flag.Arg(1), *topN, *asJSON)
+		return
+	}
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "kprof: at least one source file required")
 		flag.Usage()

@@ -1,6 +1,8 @@
 // Command kservd serves KAHRISMA simulations over HTTP: POST a build
 // request to /v1/jobs, poll /v1/jobs/{id}, fetch /v1/jobs/{id}/result,
-// scrape /metrics. See docs/server.md for the API reference.
+// POST a design-space grid to /v1/campaigns and follow its SSE
+// progress, scrape /metrics. See docs/server.md for the API reference
+// and docs/campaigns.md for campaigns.
 //
 //	kservd -addr :8080 -workers 8 -queue 64
 //
@@ -33,6 +35,7 @@ func main() {
 		exeCache  = flag.Int("exe-cache", 128, "artifact cache capacity (linked executables)")
 		ring      = flag.Int("stream-ring", 4096, "per-job live-event ring capacity (SSE)")
 		heartbeat = flag.Duration("heartbeat", 15*time.Second, "SSE keep-alive interval on idle event streams")
+		points    = flag.Int("campaign-points", 1024, "per-campaign grid-size cap (POST /v1/campaigns)")
 		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON")
 		spans     = flag.Bool("trace-spans", false, "log pipeline spans per job (elaborate/build/simulate, W3C trace ids)")
 	)
@@ -54,6 +57,7 @@ func main() {
 		ExeCacheSize:      *exeCache,
 		StreamRingSize:    *ring,
 		HeartbeatInterval: *heartbeat,
+		MaxCampaignPoints: *points,
 		Logger:            log,
 		TraceSpans:        *spans,
 	})

@@ -3,10 +3,13 @@
 //
 // Checks:
 //
-//   - runlegacy: the deprecated Executable.RunLegacy/RunConfig shim
-//     was deleted in the Batch API redesign; any identifier named
-//     RunLegacy or RunConfig — declaration or use, anywhere — is a
-//     reintroduction and is flagged. Use Run with functional options.
+//   - runlegacy: deleted shims stay deleted. The
+//     Executable.RunLegacy/RunConfig shim went with the Batch API
+//     redesign, the Pool.SubmitJobs/simpool.SubmitEach shims with the
+//     campaign subsystem; any identifier carrying one of those names —
+//     declaration or use, anywhere — is a reintroduction and is
+//     flagged. Use Run with functional options and SubmitBatch with
+//     the *Batch handle.
 //   - errwrap: a fmt.Errorf call that passes one of the facade's
 //     sentinel errors (the Err* variables of errors.go) must wrap it
 //     with %w, never stringify it with %v/%s — otherwise errors.Is
@@ -37,13 +40,17 @@ import (
 	"strings"
 )
 
-// legacyIdents names the identifiers of the deleted RunLegacy/RunConfig
-// shim. No file is exempt: the shim is gone, so any occurrence is a
-// reintroduction. (kvet's own sources only carry the names inside
-// string literals and comments, which the AST walk does not visit.)
+// legacyIdents names the identifiers of deleted shims: the
+// RunLegacy/RunConfig run API and the SubmitJobs/SubmitEach pre-Batch
+// submission forms. No file is exempt: the shims are gone, so any
+// occurrence is a reintroduction. (kvet's own sources only carry the
+// names inside string literals and comments, which the AST walk does
+// not visit.)
 var legacyIdents = map[string]bool{
-	"RunLegacy": true,
-	"RunConfig": true,
+	"RunLegacy":  true,
+	"RunConfig":  true,
+	"SubmitJobs": true,
+	"SubmitEach": true,
 }
 
 func main() {
@@ -145,7 +152,7 @@ func checkFile(fset *token.FileSet, f *ast.File, base string, sentinels map[stri
 			// Selector fields (x.RunLegacy) are Idents too, so one case
 			// catches declarations, bare uses and selector uses alike.
 			if legacyIdents[n.Name] {
-				report(n.Pos(), "identifier %s reintroduces the deleted RunLegacy/RunConfig shim; use Run with options (runlegacy)", n.Name)
+				report(n.Pos(), "identifier %s reintroduces a deleted shim; use Run with options / SubmitBatch (runlegacy)", n.Name)
 			}
 		case *ast.CallExpr:
 			checkErrorf(report, n, sentinels)

@@ -50,6 +50,30 @@ type RunConfig struct{}
 	}
 }
 
+func TestSubmitShimRule(t *testing.T) {
+	// The pre-Batch submission shims are deleted too: declarations and
+	// uses of SubmitJobs/SubmitEach are reintroductions.
+	const decl = `package p
+func (p *Pool) SubmitJobs(items []BatchItem) []*Job { return nil }
+`
+	if got := run(t, "pool.go", decl); len(got) != 1 || !strings.Contains(got[0], "runlegacy") {
+		t.Errorf("SubmitJobs declaration: findings %v, want 1 runlegacy", got)
+	}
+	const use = `package p
+func f(p *Pool) { p.SubmitEach(nil, nil) }
+`
+	if got := run(t, "caller_test.go", use); len(got) != 1 {
+		t.Errorf("SubmitEach use: findings %v, want 1", got)
+	}
+	// SubmitBatch is the supported API and must stay clean.
+	const ok = `package p
+func f(p *Pool) { p.SubmitBatch(nil, nil) }
+`
+	if got := run(t, "caller.go", ok); len(got) != 0 {
+		t.Errorf("SubmitBatch use: findings %v, want none", got)
+	}
+}
+
 func TestErrWrapRule(t *testing.T) {
 	cases := []struct {
 		src  string

@@ -1,0 +1,103 @@
+package campaign
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultCacheCap bounds the shared result cache when no capacity is
+// given: one entry per unique point, so roughly 1 KiB per cached
+// outcome plus its profile report.
+const DefaultCacheCap = 4096
+
+// Cache is a bounded LRU map from point keys (Point.Key, the
+// fingerprint-derived content hash) to completed outcomes. A campaign
+// consults it before simulating, so repeated points — inside one grid
+// or across re-submitted campaigns — are served without re-running the
+// simulator. Safe for concurrent use; a Pool shares one cache across
+// every campaign it runs.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+	hits    uint64
+	misses  uint64
+}
+
+type cacheEntry struct {
+	key string
+	out *Outcome
+}
+
+// NewCache builds a cache holding up to capacity outcomes; capacity
+// <= 0 selects DefaultCacheCap.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCap
+	}
+	return &Cache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get returns a copy of the cached outcome for key, or nil. The copy
+// carries CacheHit=true and no Point; the caller re-binds it to its own
+// point. Hit/miss counters update either way.
+func (c *Cache) Get(key string) *Outcome {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el := c.entries[key]
+	if el == nil {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	out := *el.Value.(*cacheEntry).out
+	out.Point = nil
+	out.CacheHit = true
+	return &out
+}
+
+// Put stores a completed outcome under key, evicting the least
+// recently used entry when full. The outcome is copied with its Point
+// detached, so cached results never pin a campaign's point graph.
+func (c *Cache) Put(key string, out *Outcome) {
+	if out == nil {
+		return
+	}
+	stored := *out
+	stored.Point = nil
+	stored.CacheHit = false
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el := c.entries[key]; el != nil {
+		el.Value.(*cacheEntry).out = &stored
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, out: &stored})
+	if c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Size   int
+	Cap    int
+	Hits   uint64
+	Misses uint64
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Size: c.order.Len(), Cap: c.cap, Hits: c.hits, Misses: c.misses}
+}

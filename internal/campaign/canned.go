@@ -1,0 +1,21 @@
+package campaign
+
+// vliwNames is the paper's issue-width sweep (Figure 4). Kept as a
+// literal so this package stays importable from the root facade;
+// a root-package test cross-checks it against experiments.VLIWNames.
+var vliwNames = []string{"RISC", "VLIW2", "VLIW4", "VLIW6", "VLIW8"}
+
+// Figure4Spec is the canned campaign reproducing the paper's Figure 4
+// sweep: every built-in workload across the RISC..VLIW8 issue widths
+// on the paper's memory hierarchy, DOE-ranked. It is the
+// internal/experiments VLIW sweep re-expressed as a campaign, so the
+// one-off experiment harness and the campaign engine measure the same
+// design space.
+func Figure4Spec() Spec {
+	return Spec{
+		Name:      "figure4",
+		Workloads: []string{"cjpeg", "djpeg", "fft", "qsort", "aes", "dct"},
+		ISAs:      append([]string(nil), vliwNames...),
+		Models:    []string{"DOE"},
+	}
+}

@@ -1,0 +1,406 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/prof"
+	"repro/internal/trace"
+)
+
+// Outcome is the result of one simulated (or cache-served) point. The
+// executor fills the simulation fields; the engine binds Point, Label
+// and Key and sets CacheHit for cache-served points. All exported
+// fields are JSON-stable so outcomes serialize straight into server
+// responses.
+type Outcome struct {
+	Point *Point `json:"-"`
+
+	Label string `json:"label"`
+	Key   string `json:"key"`
+
+	// Err is the point's failure (build error, guest fault, timeout);
+	// empty on success.
+	Err string `json:"error,omitempty"`
+
+	ExitCode     int32  `json:"exit_code"`
+	Instructions uint64 `json:"instructions"`
+	Operations   uint64 `json:"operations"`
+	// Cycles and OPC per activated cycle model, keyed by model name.
+	Cycles map[string]uint64  `json:"cycles,omitempty"`
+	OPC    map[string]float64 `json:"opc,omitempty"`
+	// L1MissRate of the hierarchy shared by AIE/DOE (0 when flat).
+	L1MissRate float64 `json:"l1_miss_rate,omitempty"`
+	// IssueWidth is the widest issue width of the ISAs the point ran
+	// under (resolved width for AutoISA points) — the Pareto cost axis.
+	IssueWidth int `json:"issue_width,omitempty"`
+	// ResolvedISA names the concrete assignment of an AutoISA point,
+	// e.g. "auto(dct:VLIW4,main:RISC)"; empty for fixed-ISA points.
+	ResolvedISA string `json:"resolved_isa,omitempty"`
+	// Profile is the point's symbolized profile report when the spec
+	// asked for profiling.
+	Profile *prof.Report `json:"profile,omitempty"`
+
+	// CacheHit marks an outcome served from the fingerprint cache.
+	CacheHit bool `json:"cache_hit,omitempty"`
+}
+
+// Point states, as reported by PointStatus.State.
+const (
+	StatePending  = "pending"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// PointStatus is one point's live status.
+type PointStatus struct {
+	Index      int    `json:"index"`
+	Label      string `json:"label"`
+	Key        string `json:"key"`
+	State      string `json:"state"`
+	CacheHit   bool   `json:"cache_hit,omitempty"`
+	Duplicates int    `json:"duplicates,omitempty"`
+	Err        string `json:"error,omitempty"`
+}
+
+// Status is an aggregate snapshot of a run.
+type Status struct {
+	Name       string `json:"name,omitempty"`
+	GridPoints int    `json:"grid_points"`
+	Points     int    `json:"points"`
+	Done       int    `json:"done"`
+	Failed     int    `json:"failed"`
+	Running    int    `json:"running"`
+	Canceled   int    `json:"canceled"`
+	// CacheHits counts points served from the result cache; Simulated
+	// counts points that actually ran on the pool.
+	CacheHits int  `json:"cache_hits"`
+	Simulated int  `json:"simulated"`
+	Finished  bool `json:"finished"`
+}
+
+// Executor runs one wave of points and returns one outcome per point,
+// in the same order (a nil slot is treated as an executor failure for
+// that point). The engine never runs two waves concurrently, so an
+// executor may keep per-campaign state (build caches) without locking.
+type Executor interface {
+	RunWave(ctx context.Context, pts []*Point) []*Outcome
+}
+
+// Config wires a run to its environment. Only Exec is mandatory.
+type Config struct {
+	Exec Executor
+	// Cache, when set, serves repeated points without simulation and
+	// absorbs new results.
+	Cache *Cache
+	// Stream, when set, receives aggregate CampaignProgress events and
+	// the terminal Done event.
+	Stream *trace.Streamer
+	// AcquireWave/ReleaseWave, when set, bracket every wave with the
+	// serving layer's admission accounting (n = wave size), so a large
+	// campaign holds at most one wave's worth of queue slots at a time.
+	// A failed acquire cancels the remaining points.
+	AcquireWave func(ctx context.Context, n int) error
+	ReleaseWave func(n int)
+}
+
+// Run is a handle to an in-flight (or finished) campaign.
+type Run struct {
+	spec   Spec // normalized
+	points []*Point
+	grid   int
+	cfg    Config
+
+	mu       sync.Mutex
+	states   []PointStatus
+	outcomes []*Outcome // by point index; nil until the point is terminal
+	hits     int
+	sim      int
+	finished bool
+	err      error
+	report   *Report
+
+	done chan struct{}
+}
+
+// Start validates and expands the spec and launches the campaign on
+// its own goroutine. The returned Run reports progress immediately.
+func Start(ctx context.Context, spec Spec, cfg Config) (*Run, error) {
+	if cfg.Exec == nil {
+		return nil, fmt.Errorf("campaign: config: Exec is required")
+	}
+	points, grid, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	r := &Run{
+		spec:     spec.normalized(),
+		points:   points,
+		grid:     grid,
+		cfg:      cfg,
+		states:   make([]PointStatus, len(points)),
+		outcomes: make([]*Outcome, len(points)),
+		done:     make(chan struct{}),
+	}
+	for i, pt := range points {
+		r.states[i] = PointStatus{
+			Index: pt.Index, Label: pt.Label, Key: pt.Key,
+			State: StatePending, Duplicates: pt.Duplicates,
+		}
+	}
+	go r.loop(ctx)
+	return r, nil
+}
+
+// Spec returns the normalized spec the run executes.
+func (r *Run) Spec() Spec { return r.spec }
+
+// GridSize returns the pre-dedup grid size; Len the unique points.
+func (r *Run) GridSize() int { return r.grid }
+func (r *Run) Len() int      { return len(r.points) }
+
+// Done returns a channel closed when the campaign is terminal.
+func (r *Run) Done() <-chan struct{} { return r.done }
+
+// Wait blocks until the campaign is terminal and returns Err.
+func (r *Run) Wait() error {
+	<-r.done
+	return r.Err()
+}
+
+// Err returns the campaign's failure: the cancellation error when the
+// run was cut short, otherwise the first failed point's error in point
+// order, otherwise nil. Valid once Done is closed.
+func (r *Run) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Status snapshots the aggregate counters.
+func (r *Run) Status() Status {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.statusLocked()
+}
+
+func (r *Run) statusLocked() Status {
+	st := Status{
+		Name:       r.spec.Name,
+		GridPoints: r.grid,
+		Points:     len(r.points),
+		CacheHits:  r.hits,
+		Simulated:  r.sim,
+		Finished:   r.finished,
+	}
+	for i := range r.states {
+		switch r.states[i].State {
+		case StateRunning:
+			st.Running++
+		case StateDone:
+			st.Done++
+		case StateFailed:
+			st.Done++
+			st.Failed++
+		case StateCanceled:
+			st.Canceled++
+		}
+	}
+	return st
+}
+
+// Points snapshots every point's status, in point order. Completed
+// points stay fetchable after cancellation.
+func (r *Run) Points() []PointStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]PointStatus, len(r.states))
+	copy(out, r.states)
+	return out
+}
+
+// Outcomes returns the terminal outcomes in point order; slots of
+// unfinished or canceled points are nil.
+func (r *Run) Outcomes() []*Outcome {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Outcome, len(r.outcomes))
+	copy(out, r.outcomes)
+	return out
+}
+
+// Report returns the ranked report, or nil while the campaign is still
+// running. The report is deterministic: identical specs over identical
+// programs serialize to identical bytes, run after run.
+func (r *Run) Report() *Report {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.report
+}
+
+// publishProgress emits one aggregate snapshot to the stream.
+func (r *Run) publishProgress() {
+	if r.cfg.Stream == nil {
+		return
+	}
+	r.mu.Lock()
+	st := r.statusLocked()
+	r.mu.Unlock()
+	r.cfg.Stream.CampaignProgress(trace.CampaignProgress{
+		Campaign:   st.Name,
+		GridPoints: st.GridPoints,
+		Points:     st.Points,
+		Done:       st.Done,
+		Failed:     st.Failed,
+		Running:    st.Running,
+		CacheHits:  st.CacheHits,
+	})
+}
+
+// loop drives the campaign: cache sweep, then bounded waves over the
+// remaining points, then report synthesis and the terminal event.
+func (r *Run) loop(ctx context.Context) {
+	defer close(r.done)
+	r.publishProgress()
+
+	// Cache sweep: points whose key is already known are terminal
+	// before the first wave.
+	var pending []*Point
+	if r.cfg.Cache != nil {
+		for _, pt := range r.points {
+			out := r.cfg.Cache.Get(pt.Key)
+			if out == nil {
+				pending = append(pending, pt)
+				continue
+			}
+			out.Point = pt
+			out.Label = pt.Label
+			out.Key = pt.Key
+			r.recordOutcome(pt, out)
+		}
+		if len(pending) < len(r.points) {
+			r.publishProgress()
+		}
+	} else {
+		pending = r.points
+	}
+
+	wave := r.spec.Wave
+	if wave > len(pending) && len(pending) > 0 {
+		wave = len(pending)
+	}
+
+	var canceledErr error
+	for len(pending) > 0 {
+		if err := ctx.Err(); err != nil {
+			canceledErr = err
+			break
+		}
+		n := wave
+		if n > len(pending) {
+			n = len(pending)
+		}
+		batch := pending[:n]
+		pending = pending[n:]
+
+		if r.cfg.AcquireWave != nil {
+			if err := r.cfg.AcquireWave(ctx, len(batch)); err != nil {
+				canceledErr = err
+				pending = append(batch, pending...)
+				break
+			}
+		}
+		r.markRunning(batch)
+		r.publishProgress()
+		outs := r.cfg.Exec.RunWave(ctx, batch)
+		if r.cfg.ReleaseWave != nil {
+			r.cfg.ReleaseWave(len(batch))
+		}
+		for i, pt := range batch {
+			var out *Outcome
+			if i < len(outs) {
+				out = outs[i]
+			}
+			if out == nil {
+				out = &Outcome{Err: "campaign: executor returned no outcome"}
+			}
+			out.Point = pt
+			out.Label = pt.Label
+			out.Key = pt.Key
+			r.recordOutcome(pt, out)
+			if r.cfg.Cache != nil && out.Err == "" && !out.CacheHit {
+				r.cfg.Cache.Put(pt.Key, out)
+			}
+		}
+		r.publishProgress()
+	}
+
+	r.finish(canceledErr, pending)
+}
+
+// markRunning flips a wave's points to running.
+func (r *Run) markRunning(pts []*Point) {
+	r.mu.Lock()
+	for _, pt := range pts {
+		r.states[pt.Index].State = StateRunning
+	}
+	r.mu.Unlock()
+}
+
+// recordOutcome makes one point terminal.
+func (r *Run) recordOutcome(pt *Point, out *Outcome) {
+	r.mu.Lock()
+	st := &r.states[pt.Index]
+	st.CacheHit = out.CacheHit
+	st.Err = out.Err
+	if out.Err != "" {
+		st.State = StateFailed
+	} else {
+		st.State = StateDone
+	}
+	if out.CacheHit {
+		r.hits++
+	} else {
+		r.sim++
+	}
+	r.outcomes[pt.Index] = out
+	r.mu.Unlock()
+}
+
+// finish marks leftovers canceled, resolves the run error, builds the
+// report and publishes the terminal event.
+func (r *Run) finish(canceledErr error, leftover []*Point) {
+	r.mu.Lock()
+	for _, pt := range leftover {
+		st := &r.states[pt.Index]
+		st.State = StateCanceled
+		if canceledErr != nil {
+			st.Err = canceledErr.Error()
+		}
+	}
+	err := canceledErr
+	if err == nil {
+		for i := range r.outcomes {
+			if out := r.outcomes[i]; out != nil && out.Err != "" {
+				err = fmt.Errorf("campaign: point %s: %s", out.Label, out.Err)
+				break
+			}
+		}
+	}
+	r.err = err
+	r.report = buildReport(r.spec, r.grid, r.points, r.outcomes)
+	r.finished = true
+	r.mu.Unlock()
+
+	r.publishProgress()
+	if r.cfg.Stream != nil {
+		var msg string
+		if err != nil {
+			msg = err.Error()
+		}
+		r.cfg.Stream.Done(trace.Done{Error: msg})
+	}
+}

@@ -1,0 +1,387 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// fakeExec deterministically "simulates" points: cycles derive from the
+// point label, so results are stable across runs. It records wave sizes
+// and total points executed, and can block or fail on demand.
+type fakeExec struct {
+	mu     sync.Mutex
+	waves  []int
+	ran    int
+	failOn func(pt *Point) string // non-empty return = point error
+	block  chan struct{}          // when set, RunWave waits per call
+}
+
+func (f *fakeExec) RunWave(ctx context.Context, pts []*Point) []*Outcome {
+	f.mu.Lock()
+	f.waves = append(f.waves, len(pts))
+	f.ran += len(pts)
+	f.mu.Unlock()
+	if f.block != nil {
+		select {
+		case <-f.block:
+		case <-ctx.Done():
+			// In-flight points fail with the context error, like real
+			// pool jobs interrupted mid-run.
+			outs := make([]*Outcome, len(pts))
+			for i := range pts {
+				outs[i] = &Outcome{Err: ctx.Err().Error()}
+			}
+			return outs
+		}
+	}
+	outs := make([]*Outcome, len(pts))
+	for i, pt := range pts {
+		if f.failOn != nil {
+			if msg := f.failOn(pt); msg != "" {
+				outs[i] = &Outcome{Err: msg}
+				continue
+			}
+		}
+		outs[i] = fakeOutcome(pt)
+	}
+	return outs
+}
+
+// fakeOutcome derives a deterministic result from the point identity.
+func fakeOutcome(pt *Point) *Outcome {
+	var h uint64
+	for _, c := range pt.Label {
+		h = h*31 + uint64(c)
+	}
+	width := 1
+	if strings.HasPrefix(pt.ISA, "VLIW") {
+		width = int(pt.ISA[4] - '0')
+	}
+	cycles := map[string]uint64{}
+	for _, m := range pt.Models {
+		cycles[m] = 1000 + h%997
+	}
+	return &Outcome{
+		Instructions: 100 + h%13,
+		Operations:   200 + h%13,
+		Cycles:       cycles,
+		OPC:          map[string]float64{pt.Models[0]: 1.5},
+		IssueWidth:   width,
+	}
+}
+
+func specN(isas ...string) Spec {
+	return Spec{
+		Name:    "t",
+		Sources: map[string]string{"main.c": "int main() { return 0; }"},
+		ISAs:    isas,
+	}
+}
+
+func TestExpandDedupAndGrid(t *testing.T) {
+	// Duplicate ISA entry and an alias memory collapse: ISAs
+	// {RISC,RISC,VLIW4} x memories {"", "paper"} is a 6-cell grid whose
+	// cells pair off into 2 unique points (4 RISC cells, 2 VLIW4 cells).
+	s := specN("RISC", "RISC", "VLIW4")
+	s.Memories = []string{"", "paper"}
+	pts, grid, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid != 6 {
+		t.Fatalf("grid = %d", grid)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("unique points = %d: %+v", len(pts), pts)
+	}
+	if pts[0].Duplicates != 3 || pts[1].Duplicates != 1 {
+		t.Fatalf("duplicate counts: %d/%d", pts[0].Duplicates, pts[1].Duplicates)
+	}
+	if pts[0].Label != "inline/RISC" || pts[1].Label != "inline/VLIW4" {
+		t.Fatalf("labels: %q %q", pts[0].Label, pts[1].Label)
+	}
+	if s.GridSize() != 6 {
+		t.Fatalf("GridSize = %d", s.GridSize())
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []Spec{
+		{ISAs: []string{"RISC"}},                 // no program
+		{Sources: map[string]string{"a.c": "x"}}, // no ISA
+		{Sources: map[string]string{"a.c": "x"}, ISAs: []string{""}},
+		{Workloads: []string{"nope"}, ISAs: []string{"RISC"}},
+		{Sources: map[string]string{"a.c": "x"}, ISAs: []string{"RISC"}, Lang: "rust"},
+		{Sources: map[string]string{"a.c": "x"}, ISAs: []string{"RISC"}, TimeoutMS: -1},
+	}
+	for i, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestRunWavesAndCache(t *testing.T) {
+	exec := &fakeExec{}
+	cache := NewCache(0)
+	s := specN("RISC", "VLIW2", "VLIW4", "VLIW6", "VLIW8")
+	s.Wave = 2
+	run, err := Start(context.Background(), s, Config{Exec: exec, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if exec.ran != 5 {
+		t.Fatalf("simulated %d points", exec.ran)
+	}
+	if len(exec.waves) != 3 || exec.waves[0] != 2 || exec.waves[2] != 1 {
+		t.Fatalf("waves: %v", exec.waves)
+	}
+	st := run.Status()
+	if st.Done != 5 || st.Failed != 0 || st.Simulated != 5 || st.CacheHits != 0 || !st.Finished {
+		t.Fatalf("status: %+v", st)
+	}
+
+	// Second identical campaign: every point served from cache, nothing
+	// simulated, and the ranked report is byte-identical.
+	rep1, _ := json.Marshal(run.Report())
+	exec2 := &fakeExec{}
+	run2, err := Start(context.Background(), s, Config{Exec: exec2, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if exec2.ran != 0 {
+		t.Fatalf("second run simulated %d points", exec2.ran)
+	}
+	st2 := run2.Status()
+	if st2.CacheHits != 5 || st2.Simulated != 0 {
+		t.Fatalf("second status: %+v", st2)
+	}
+	cs := cache.Stats()
+	if cs.Hits != 5 || cs.Size != 5 {
+		t.Fatalf("cache stats: %+v", cs)
+	}
+	rep2, _ := json.Marshal(run2.Report())
+	if string(rep1) != string(rep2) {
+		t.Fatalf("report not deterministic across cache path:\n%s\n%s", rep1, rep2)
+	}
+	for _, ps := range run2.Points() {
+		if !ps.CacheHit || ps.State != StateDone {
+			t.Fatalf("point not cache-served: %+v", ps)
+		}
+	}
+}
+
+func TestRunDuplicatePointsSimulateOnce(t *testing.T) {
+	exec := &fakeExec{}
+	s := specN("RISC", "VLIW4", "RISC", "RISC") // grid 4, unique 2
+	run, err := Start(context.Background(), s, Config{Exec: exec, Cache: NewCache(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if run.GridSize() != 4 || run.Len() != 2 {
+		t.Fatalf("grid/unique: %d/%d", run.GridSize(), run.Len())
+	}
+	if exec.ran != 2 {
+		t.Fatalf("simulated %d < grid 4 expected 2", exec.ran)
+	}
+	rep := run.Report()
+	if rep.Deduped != 2 {
+		t.Fatalf("deduped = %d", rep.Deduped)
+	}
+}
+
+func TestRunCancelLeavesCompletedPointsFetchable(t *testing.T) {
+	exec := &fakeExec{block: make(chan struct{}, 1)}
+	exec.block <- struct{}{} // first wave passes immediately
+	s := specN("RISC", "VLIW2", "VLIW4", "VLIW6")
+	s.Wave = 1
+	ctx, cancel := context.WithCancel(context.Background())
+	run, err := Start(ctx, s, Config{Exec: exec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the first wave to land, then cancel while the second
+	// blocks: its in-flight point fails, the rest are never started.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := run.Status()
+		if st.Done >= 1 && st.Running >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("second wave never started: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := run.Wait(); err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	st := run.Status()
+	if st.Done != 2 || st.Failed != 1 || st.Canceled != 2 {
+		t.Fatalf("status after cancel: %+v", st)
+	}
+	outs := run.Outcomes()
+	if outs[0] == nil || outs[0].Err != "" {
+		t.Fatalf("completed outcome not fetchable after cancel: %+v", outs[0])
+	}
+	if outs[2] != nil || outs[3] != nil {
+		t.Fatal("never-started points should have nil outcomes")
+	}
+	rep := run.Report()
+	if rep == nil || rep.Succeeded != 1 || rep.Failed != 1 || rep.Canceled != 2 {
+		t.Fatalf("report after cancel: %+v", rep)
+	}
+}
+
+func TestRunWaveGateAcquireFailureCancels(t *testing.T) {
+	exec := &fakeExec{}
+	gateErr := fmt.Errorf("draining")
+	acquired, released := 0, 0
+	s := specN("RISC", "VLIW2", "VLIW4")
+	s.Wave = 2
+	run, err := Start(context.Background(), s, Config{
+		Exec: exec,
+		AcquireWave: func(ctx context.Context, n int) error {
+			if acquired > 0 {
+				return gateErr
+			}
+			acquired += n
+			return nil
+		},
+		ReleaseWave: func(n int) { released += n },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Wait(); err != gateErr {
+		t.Fatalf("err = %v", err)
+	}
+	if acquired != 2 || released != 2 {
+		t.Fatalf("gate accounting: acquired %d released %d", acquired, released)
+	}
+	st := run.Status()
+	if st.Done != 2 || st.Canceled != 1 {
+		t.Fatalf("status: %+v", st)
+	}
+}
+
+func TestRunPublishesProgressAndDone(t *testing.T) {
+	stream := trace.NewStreamer(64)
+	exec := &fakeExec{}
+	run, err := Start(context.Background(), specN("RISC", "VLIW4"), Config{Exec: exec, Stream: stream})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	sub := stream.Subscribe(0)
+	defer sub.Cancel()
+	var progress int
+	var final *trace.CampaignProgress
+	var done bool
+	for {
+		batch, _, err := sub.Next(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch == nil {
+			break
+		}
+		for _, ev := range batch {
+			switch ev.Type {
+			case trace.EventCampaignProgress:
+				progress++
+				final = ev.Campaign
+			case trace.EventDone:
+				done = true
+			}
+		}
+	}
+	if progress < 2 || !done {
+		t.Fatalf("events: %d progress, done=%v", progress, done)
+	}
+	if final.Done != 2 || final.Points != 2 || final.Running != 0 {
+		t.Fatalf("final progress: %+v", final)
+	}
+}
+
+func TestRunFailedPointSetsErr(t *testing.T) {
+	exec := &fakeExec{failOn: func(pt *Point) string {
+		if pt.ISA == "VLIW4" {
+			return "guest fault"
+		}
+		return ""
+	}}
+	run, err := Start(context.Background(), specN("RISC", "VLIW4", "VLIW8"), Config{Exec: exec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = run.Wait()
+	if err == nil || !strings.Contains(err.Error(), "guest fault") {
+		t.Fatalf("err = %v", err)
+	}
+	st := run.Status()
+	if st.Failed != 1 || st.Done != 3 {
+		t.Fatalf("status: %+v", st)
+	}
+	rep := run.Report()
+	if rep.Failed != 1 || rep.Succeeded != 2 {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", &Outcome{Instructions: 1})
+	c.Put("b", &Outcome{Instructions: 2})
+	if c.Get("a") == nil { // refresh a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Put("c", &Outcome{Instructions: 3})
+	if c.Get("b") != nil {
+		t.Fatal("b should have been evicted")
+	}
+	if c.Get("a") == nil || c.Get("c") == nil {
+		t.Fatal("a/c should survive")
+	}
+	st := c.Stats()
+	if st.Size != 2 || st.Cap != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Cached outcomes come back marked and detached.
+	out := c.Get("a")
+	if !out.CacheHit || out.Point != nil {
+		t.Fatalf("cached outcome: %+v", out)
+	}
+}
+
+func TestFigure4SpecShape(t *testing.T) {
+	s := Figure4Spec()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.GridSize() != 30 {
+		t.Fatalf("figure4 grid = %d", s.GridSize())
+	}
+	if s.PrimaryModel() != "DOE" {
+		t.Fatalf("primary model = %q", s.PrimaryModel())
+	}
+}

@@ -1,0 +1,257 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/mem"
+	"repro/internal/prof"
+)
+
+// Row is one ranked point of a campaign report.
+type Row struct {
+	// Rank is the 1-based position among successful points (cheapest
+	// primary-model cycle count first); failed and canceled points carry
+	// rank 0 and sort after every success.
+	Rank    int    `json:"rank,omitempty"`
+	Label   string `json:"label"`
+	Program string `json:"program"`
+	ISA     string `json:"isa"`
+	// ResolvedISA spells out an AutoISA point's per-function assignment.
+	ResolvedISA string `json:"resolved_isa,omitempty"`
+	// IssueWidth and CacheBudget are the Pareto cost axes next to
+	// cycles: the widest issue width the point decodes for, and the
+	// summed L1+L2 capacity of its memory hierarchy in bytes (0 for
+	// flat memories).
+	IssueWidth  int    `json:"issue_width,omitempty"`
+	Memory      string `json:"memory"`
+	CacheBudget uint64 `json:"cache_budget"`
+	Fuel        uint64 `json:"fuel,omitempty"`
+
+	Instructions uint64 `json:"instructions,omitempty"`
+	// PrimaryCycles is the primary model's cycle count (the ranking
+	// key); Cycles carries every activated model.
+	PrimaryCycles uint64             `json:"primary_cycles,omitempty"`
+	Cycles        map[string]uint64  `json:"cycles,omitempty"`
+	OPC           map[string]float64 `json:"opc,omitempty"`
+	L1MissRate    float64            `json:"l1_miss_rate,omitempty"`
+
+	// Pareto marks the point as non-dominated over (PrimaryCycles,
+	// IssueWidth, CacheBudget), all minimized.
+	Pareto bool `json:"pareto,omitempty"`
+
+	// Err carries the point's failure; State distinguishes failed from
+	// canceled rows.
+	State string `json:"state,omitempty"`
+	Err   string `json:"error,omitempty"`
+}
+
+// PairDelta compares two adjacent Pareto-frontier points by their
+// profile reports (present only for profiled campaigns).
+type PairDelta struct {
+	A    string           `json:"a"`
+	B    string           `json:"b"`
+	Diff *prof.ReportDiff `json:"diff"`
+}
+
+// Report is the deterministic ranked synthesis of a campaign. It
+// carries no wall-clock or cache/scheduling-dependent fields, so the
+// same spec over the same programs marshals to identical bytes run
+// after run — cache hits, wave sizing and cancellation timing change
+// Status, never Report rows for completed points.
+type Report struct {
+	Name         string `json:"name,omitempty"`
+	PrimaryModel string `json:"primary_model"`
+	// GridPoints is the pre-dedup grid size; Points the unique points;
+	// Deduped the collapsed duplicates (GridPoints - Points).
+	GridPoints int `json:"grid_points"`
+	Points     int `json:"points"`
+	Deduped    int `json:"deduped"`
+	// Succeeded/Failed/Canceled partition the unique points.
+	Succeeded int `json:"succeeded"`
+	Failed    int `json:"failed"`
+	Canceled  int `json:"canceled"`
+
+	Rows []Row `json:"rows"`
+
+	// Deltas compare adjacent Pareto points (rank order) when profiling
+	// was on: what the extra hardware budget bought, PC by PC.
+	Deltas []PairDelta `json:"deltas,omitempty"`
+}
+
+// cacheBudget sums the L1+L2 capacity of a canonical memory label.
+// Unparseable or flat specs cost zero (the executor already failed the
+// point if the spec was truly invalid).
+func cacheBudget(label string) uint64 {
+	var h *mem.Hierarchy
+	if label == PaperMemory {
+		h = mem.Paper()
+	} else {
+		var err error
+		h, err = mem.ParseSpec(label)
+		if err != nil {
+			return 0
+		}
+	}
+	var b uint64
+	if h.L1 != nil {
+		b += uint64(h.L1.SizeBytes)
+	}
+	if h.L2 != nil {
+		b += uint64(h.L2.SizeBytes)
+	}
+	return b
+}
+
+// dominates reports whether row a Pareto-dominates row b over the
+// minimized axes (PrimaryCycles, IssueWidth, CacheBudget).
+func dominates(a, b *Row) bool {
+	if a.PrimaryCycles > b.PrimaryCycles || a.IssueWidth > b.IssueWidth || a.CacheBudget > b.CacheBudget {
+		return false
+	}
+	return a.PrimaryCycles < b.PrimaryCycles || a.IssueWidth < b.IssueWidth || a.CacheBudget < b.CacheBudget
+}
+
+// buildReport synthesizes the ranked report from terminal outcomes.
+// Points without an outcome (canceled) become canceled rows.
+func buildReport(spec Spec, grid int, points []*Point, outcomes []*Outcome) *Report {
+	primary := spec.Models[0]
+	rep := &Report{
+		Name:         spec.Name,
+		PrimaryModel: primary,
+		GridPoints:   grid,
+		Points:       len(points),
+		Deduped:      grid - len(points),
+	}
+	var ok, failed, canceled []Row
+	for i, pt := range points {
+		row := Row{
+			Label:       pt.Label,
+			Program:     pt.Program,
+			ISA:         pt.ISA,
+			Memory:      pt.Memory,
+			CacheBudget: cacheBudget(pt.Memory),
+			Fuel:        pt.Fuel,
+		}
+		out := outcomes[i]
+		switch {
+		case out == nil:
+			row.State = StateCanceled
+			canceled = append(canceled, row)
+		case out.Err != "":
+			row.State = StateFailed
+			row.Err = out.Err
+			failed = append(failed, row)
+		default:
+			row.State = StateDone
+			row.ResolvedISA = out.ResolvedISA
+			row.IssueWidth = out.IssueWidth
+			row.Instructions = out.Instructions
+			row.PrimaryCycles = out.Cycles[primary]
+			row.Cycles = out.Cycles
+			row.OPC = out.OPC
+			row.L1MissRate = out.L1MissRate
+			ok = append(ok, row)
+		}
+	}
+	rep.Succeeded, rep.Failed, rep.Canceled = len(ok), len(failed), len(canceled)
+
+	sort.Slice(ok, func(i, j int) bool {
+		if ok[i].PrimaryCycles != ok[j].PrimaryCycles {
+			return ok[i].PrimaryCycles < ok[j].PrimaryCycles
+		}
+		return ok[i].Label < ok[j].Label
+	})
+	for i := range ok {
+		ok[i].Rank = i + 1
+	}
+	// Pareto frontier over the successful rows.
+	for i := range ok {
+		flag := true
+		for j := range ok {
+			if i != j && dominates(&ok[j], &ok[i]) {
+				flag = false
+				break
+			}
+		}
+		ok[i].Pareto = flag
+	}
+	byLabel := func(rows []Row) {
+		sort.Slice(rows, func(i, j int) bool { return rows[i].Label < rows[j].Label })
+	}
+	byLabel(failed)
+	byLabel(canceled)
+	rep.Rows = append(append(ok, failed...), canceled...)
+
+	if spec.Profile {
+		rep.Deltas = paretoDeltas(rep.Rows, points, outcomes)
+	}
+	return rep
+}
+
+// paretoDeltas diffs adjacent Pareto points in rank order: each delta
+// reads as "what changed going from the cheaper point to this one".
+func paretoDeltas(rows []Row, points []*Point, outcomes []*Outcome) []PairDelta {
+	profiles := map[string]*prof.Report{}
+	for i, pt := range points {
+		if out := outcomes[i]; out != nil && out.Profile != nil {
+			profiles[pt.Label] = out.Profile
+		}
+	}
+	var frontier []*Row
+	for i := range rows {
+		if rows[i].Pareto {
+			frontier = append(frontier, &rows[i])
+		}
+	}
+	var deltas []PairDelta
+	for i := 1; i < len(frontier); i++ {
+		a, b := frontier[i-1], frontier[i]
+		pa, pb := profiles[a.Label], profiles[b.Label]
+		if pa == nil || pb == nil {
+			continue
+		}
+		deltas = append(deltas, PairDelta{
+			A: a.Label, B: b.Label, Diff: prof.DiffReports(pa, pb, 16),
+		})
+	}
+	return deltas
+}
+
+// Render formats the report as a ranked text table.
+func (r *Report) Render() string {
+	var b strings.Builder
+	title := r.Name
+	if title == "" {
+		title = "campaign"
+	}
+	fmt.Fprintf(&b, "%s: %d grid points, %d unique (%d deduped), model %s\n",
+		title, r.GridPoints, r.Points, r.Deduped, r.PrimaryModel)
+	fmt.Fprintf(&b, "%d succeeded, %d failed, %d canceled\n\n", r.Succeeded, r.Failed, r.Canceled)
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "RANK\tPOINT\tWIDTH\tCACHE-B\tINSTR\tCYCLES(%s)\tOPC\tL1-MISS\tPARETO\n", r.PrimaryModel)
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		if row.State != StateDone {
+			fmt.Fprintf(tw, "-\t%s\t\t\t\t%s\t\t\t\n", row.Label, row.State)
+			continue
+		}
+		pareto := ""
+		if row.Pareto {
+			pareto = "*"
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%d\t%d\t%.3f\t%.4f\t%s\n",
+			row.Rank, row.Label, row.IssueWidth, row.CacheBudget,
+			row.Instructions, row.PrimaryCycles, row.OPC[r.PrimaryModel],
+			row.L1MissRate, pareto)
+	}
+	tw.Flush()
+	for i := range r.Deltas {
+		d := &r.Deltas[i]
+		fmt.Fprintf(&b, "\npareto delta %s -> %s: cycles %+d, instructions %+d\n",
+			d.A, d.B, d.Diff.CyclesDelta, d.Diff.InstructionsDelta)
+	}
+	return b.String()
+}

@@ -1,0 +1,306 @@
+// Package campaign is the design-space-exploration engine: it expands
+// a declarative parameter grid — programs (inline sources or built-in
+// workloads) x ISAs x memory hierarchies x fuel budgets — into a
+// deduplicated set of simulation points, runs them through a pluggable
+// executor in bounded waves, caches per-point results by
+// driver.Fingerprint-derived keys, and synthesizes a deterministic
+// Pareto-ranked report (cycles vs issue width vs cache budget).
+//
+// The package is deliberately executor-agnostic: it never touches the
+// simulator. The facade (kahrisma.Pool.RunCampaign) plugs in an
+// executor over Pool.SubmitBatch; tests plug in fakes. This keeps the
+// engine importable by the root package without a cycle and makes the
+// orchestration logic (dedup, waves, caching, ranking) unit-testable
+// without running guest code. See docs/campaigns.md.
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"repro/internal/driver"
+	"repro/internal/workloads"
+)
+
+// AutoISA is the ISA-axis value selecting automatic per-function ISA
+// assignment (System.AutoTune): the executor profiles the program on
+// the base instance, picks an ISA per hot function and simulates the
+// mixed-ISA rebuild as this point.
+const AutoISA = "auto"
+
+// PaperMemory is the canonical label of the paper's memory hierarchy
+// (the empty memory-spec string normalizes to it).
+const PaperMemory = "paper"
+
+// Spec is a declarative campaign: the cross product of its axes is the
+// point grid. Axes left empty select a single default entry, so the
+// minimal spec is one program plus one ISA.
+type Spec struct {
+	// Name labels the campaign in reports and progress events.
+	Name string `json:"name,omitempty"`
+
+	// Sources, when non-empty, adds one inline program (file name ->
+	// text) to the program axis; Lang selects its language ("c",
+	// default, or "asm").
+	Sources map[string]string `json:"sources,omitempty"`
+	Lang    string            `json:"lang,omitempty"`
+	// Workloads adds built-in benchmark applications by name (cjpeg,
+	// djpeg, fft, qsort, aes, dct) to the program axis.
+	Workloads []string `json:"workloads,omitempty"`
+
+	// ISAs is the instruction-set axis: instance names ("RISC",
+	// "VLIW4", ...) and/or AutoISA for automatic per-function selection.
+	ISAs []string `json:"isas"`
+
+	// Memories is the memory-hierarchy axis: mem.ParseSpec strings
+	// ("limit:1|cache:2K,4,32,3|mem:18"); "" or "paper" selects the
+	// paper's hierarchy. Empty axis: the paper's hierarchy only.
+	Memories []string `json:"memories,omitempty"`
+
+	// Fuels is the instruction-budget axis; 0 keeps the executor's
+	// default budget. Empty axis: the default budget only.
+	Fuels []uint64 `json:"fuels,omitempty"`
+
+	// Models are the cycle models every point runs ("ILP", "AIE",
+	// "DOE", "RTL"); empty selects DOE, the paper's most accurate
+	// approximation. The first entry ranks the report.
+	Models []string `json:"models,omitempty"`
+
+	// Profile attaches the microarchitectural profiler to every point;
+	// the report then carries per-pair profile deltas between Pareto
+	// points.
+	Profile bool `json:"profile,omitempty"`
+
+	// Wave bounds how many points are in flight at once (and how many
+	// admission slots a serving layer claims per wave); <= 0 selects
+	// DefaultWave.
+	Wave int `json:"wave,omitempty"`
+
+	// TimeoutMS bounds each point's wall-clock time; 0 leaves the
+	// executor's cap in charge.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// DefaultWave is the in-flight point bound when Spec.Wave is unset.
+const DefaultWave = 8
+
+// normalized returns the spec with defaulted axes and canonical memory
+// labels, leaving the receiver untouched.
+func (s Spec) normalized() Spec {
+	if len(s.Memories) == 0 {
+		s.Memories = []string{PaperMemory}
+	} else {
+		mems := make([]string, len(s.Memories))
+		for i, m := range s.Memories {
+			if m == "" {
+				m = PaperMemory
+			}
+			mems[i] = m
+		}
+		s.Memories = mems
+	}
+	if len(s.Fuels) == 0 {
+		s.Fuels = []uint64{0}
+	}
+	if len(s.Models) == 0 {
+		s.Models = []string{"DOE"}
+	}
+	if s.Wave <= 0 {
+		s.Wave = DefaultWave
+	}
+	return s
+}
+
+// Validate rejects specs that cannot expand into at least one point.
+// ISA instance names are the executor's contract (custom models decide
+// them); AutoISA and workload names are checked here.
+func (s Spec) Validate() error {
+	if len(s.Sources) == 0 && len(s.Workloads) == 0 {
+		return fmt.Errorf("campaign: at least one program required (sources or workloads)")
+	}
+	switch s.Lang {
+	case "", "c", "asm":
+	default:
+		return fmt.Errorf("campaign: lang: %q (want \"c\" or \"asm\")", s.Lang)
+	}
+	if len(s.ISAs) == 0 {
+		return fmt.Errorf("campaign: isas: at least one entry required")
+	}
+	for _, isa := range s.ISAs {
+		if isa == "" {
+			return fmt.Errorf("campaign: isas: empty entry")
+		}
+	}
+	for _, name := range s.Workloads {
+		if workloads.ByName(name) == nil {
+			return fmt.Errorf("campaign: workloads: unknown workload %q", name)
+		}
+	}
+	if s.TimeoutMS < 0 {
+		return fmt.Errorf("campaign: timeout_ms: must be >= 0")
+	}
+	return nil
+}
+
+// GridSize returns the expanded (pre-dedup) point count.
+func (s Spec) GridSize() int {
+	n := s.normalized()
+	programs := len(n.Workloads)
+	if len(n.Sources) > 0 {
+		programs++
+	}
+	return programs * len(n.ISAs) * len(n.Memories) * len(n.Fuels)
+}
+
+// PrimaryModel returns the model the report ranks by.
+func (s Spec) PrimaryModel() string { return s.normalized().Models[0] }
+
+// Point is one unique simulation point of an expanded grid.
+type Point struct {
+	// Index is the point's position among the campaign's unique points
+	// (first-appearance order over the grid walk).
+	Index int
+	// Label identifies the point in reports:
+	// "program/ISA[/mem=...][/fuel=N]".
+	Label string
+	// Program names the source program: a workload name or "inline".
+	Program string
+	// Sources are the resolved program sources in deterministic order
+	// (the order driver.Fingerprint and the build both use).
+	Sources []driver.Source
+	// ISA is the target instance name, or AutoISA.
+	ISA string
+	// Memory is the canonical memory label: PaperMemory or a
+	// mem.ParseSpec string.
+	Memory string
+	// Fuel is the instruction budget (0: executor default).
+	Fuel uint64
+	// Models and Profile mirror the spec (identical for every point).
+	Models  []string
+	Profile bool
+	// Key is the point's content-addressed identity: a sha256 over the
+	// build fingerprint (driver.Fingerprint of ISA + sources) and every
+	// run parameter. Identical keys are identical simulations.
+	Key string
+	// Duplicates counts the extra grid cells that collapsed into this
+	// point during dedup.
+	Duplicates int
+}
+
+// key derives the point's content-addressed identity.
+func (p *Point) key() string {
+	build := driver.Fingerprint(p.ISA, p.Sources...)
+	h := sha256.New()
+	fmt.Fprintf(h, "build=%s\nmem=%s\nfuel=%d\nmodels=%s\nprofile=%t\n",
+		build, p.Memory, p.Fuel, strings.Join(p.Models, ","), p.Profile)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// label renders the point's human identity; the default memory and
+// fuel are elided so simple campaigns read as "program/ISA".
+func (p *Point) label() string {
+	var b strings.Builder
+	b.WriteString(p.Program)
+	b.WriteByte('/')
+	b.WriteString(p.ISA)
+	if p.Memory != PaperMemory {
+		b.WriteString("/mem=")
+		b.WriteString(p.Memory)
+	}
+	if p.Fuel > 0 {
+		fmt.Fprintf(&b, "/fuel=%d", p.Fuel)
+	}
+	return b.String()
+}
+
+// program is one entry of the resolved program axis.
+type program struct {
+	name string
+	srcs []driver.Source
+}
+
+// programs resolves the program axis in deterministic order: the
+// inline sources first (name-sorted files), then the workloads in spec
+// order.
+func (s Spec) programs() []program {
+	var out []program
+	if len(s.Sources) > 0 {
+		names := make([]string, 0, len(s.Sources))
+		for n := range s.Sources {
+			names = append(names, n)
+		}
+		// Name-sorted, matching the server's sourceList convention, so
+		// inline programs fingerprint and build deterministically.
+		sortStrings(names)
+		srcs := make([]driver.Source, len(names))
+		for i, n := range names {
+			if s.Lang == "asm" {
+				srcs[i] = driver.AsmSource(n, s.Sources[n])
+			} else {
+				srcs[i] = driver.CSource(n, s.Sources[n])
+			}
+		}
+		out = append(out, program{name: "inline", srcs: srcs})
+	}
+	for _, name := range s.Workloads {
+		w := workloads.ByName(name)
+		if w != nil {
+			out = append(out, program{name: w.Name, srcs: w.Sources})
+		}
+	}
+	return out
+}
+
+// Expand validates the spec and walks the grid — programs x ISAs x
+// memories x fuels, in that axis order — deduplicating points by Key.
+// It returns the unique points in first-appearance order plus the
+// pre-dedup grid size.
+func (s Spec) Expand() ([]*Point, int, error) {
+	if err := s.Validate(); err != nil {
+		return nil, 0, err
+	}
+	n := s.normalized()
+	var points []*Point
+	seen := map[string]*Point{}
+	grid := 0
+	for _, prog := range n.programs() {
+		for _, isaName := range n.ISAs {
+			for _, memSpec := range n.Memories {
+				for _, fuel := range n.Fuels {
+					grid++
+					pt := &Point{
+						Program: prog.name,
+						Sources: prog.srcs,
+						ISA:     isaName,
+						Memory:  memSpec,
+						Fuel:    fuel,
+						Models:  n.Models,
+						Profile: n.Profile,
+					}
+					pt.Key = pt.key()
+					if dup := seen[pt.Key]; dup != nil {
+						dup.Duplicates++
+						continue
+					}
+					pt.Index = len(points)
+					pt.Label = pt.label()
+					seen[pt.Key] = pt
+					points = append(points, pt)
+				}
+			}
+		}
+	}
+	return points, grid, nil
+}
+
+// sortStrings is sort.Strings without dragging the sort import into
+// the hot spec path twice (report.go sorts too).
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package prof
+
+import "sort"
+
+// Profile/report diffing: the per-pair comparison primitive of
+// `kprof -diff a.json b.json` and of campaign reports
+// (internal/campaign), which attach per-pair deltas between Pareto
+// points. A diff is computed over two symbolized Reports, so it works
+// on saved JSON files without the executables that produced them;
+// deltas are B minus A throughout.
+
+// PCDelta compares one program counter across two reports. Func, File
+// and Line come from whichever side symbolized the PC (B wins when
+// both did).
+type PCDelta struct {
+	PC   uint32 `json:"pc"`
+	Func string `json:"func,omitempty"`
+	File string `json:"file,omitempty"`
+	Line int    `json:"line,omitempty"`
+
+	CountA  uint64 `json:"count_a"`
+	CountB  uint64 `json:"count_b"`
+	CyclesA uint64 `json:"cycles_a"`
+	CyclesB uint64 `json:"cycles_b"`
+
+	// CountDelta/CyclesDelta are B minus A.
+	CountDelta  int64 `json:"count_delta"`
+	CyclesDelta int64 `json:"cycles_delta"`
+}
+
+// ISADelta compares one ISA's attribution across two reports.
+type ISADelta struct {
+	ISA string `json:"isa"`
+
+	InstructionsA uint64 `json:"instructions_a"`
+	InstructionsB uint64 `json:"instructions_b"`
+	CyclesA       uint64 `json:"cycles_a"`
+	CyclesB       uint64 `json:"cycles_b"`
+
+	InstructionsDelta int64 `json:"instructions_delta"`
+	CyclesDelta       int64 `json:"cycles_delta"`
+}
+
+// ReportDiff is the rendered comparison of two profile reports.
+type ReportDiff struct {
+	// CycleModel is the shared model name, or "a|b" when they differ.
+	CycleModel string `json:"cycle_model,omitempty"`
+
+	InstructionsA uint64 `json:"instructions_a"`
+	InstructionsB uint64 `json:"instructions_b"`
+	OperationsA   uint64 `json:"operations_a"`
+	OperationsB   uint64 `json:"operations_b"`
+	CyclesA       uint64 `json:"cycles_a"`
+	CyclesB       uint64 `json:"cycles_b"`
+
+	InstructionsDelta int64 `json:"instructions_delta"`
+	OperationsDelta   int64 `json:"operations_delta"`
+	CyclesDelta       int64 `json:"cycles_delta"`
+
+	// ISAs compares per-ISA attribution over the union of both sides,
+	// name-sorted.
+	ISAs []ISADelta `json:"isas,omitempty"`
+
+	// PCs are the topN largest per-PC cycle movements over the union of
+	// both hotspot tables; TotalPCs counts the whole union. Reports
+	// truncated to top-N hotspots diff only what they carry.
+	PCs      []PCDelta `json:"pcs,omitempty"`
+	TotalPCs int       `json:"total_pcs"`
+}
+
+// DiffReports compares two symbolized reports, B relative to A: the
+// per-PC table is the union of both hotspot tables ranked by absolute
+// cycle movement (absolute count movement, then ascending PC, as
+// deterministic tie-breaks) and truncated to topN rows (<= 0: all).
+// Either report may be nil, standing in for an empty profile.
+func DiffReports(a, b *Report, topN int) *ReportDiff {
+	if a == nil {
+		a = &Report{}
+	}
+	if b == nil {
+		b = &Report{}
+	}
+	d := &ReportDiff{
+		CycleModel:    a.CycleModel,
+		InstructionsA: a.Instructions, InstructionsB: b.Instructions,
+		OperationsA: a.Operations, OperationsB: b.Operations,
+		CyclesA: a.Cycles, CyclesB: b.Cycles,
+		InstructionsDelta: int64(b.Instructions) - int64(a.Instructions),
+		OperationsDelta:   int64(b.Operations) - int64(a.Operations),
+		CyclesDelta:       int64(b.Cycles) - int64(a.Cycles),
+	}
+	switch {
+	case a.CycleModel == b.CycleModel || b.CycleModel == "":
+	case a.CycleModel == "":
+		d.CycleModel = b.CycleModel
+	default:
+		d.CycleModel = a.CycleModel + "|" + b.CycleModel
+	}
+
+	isas := map[string]*ISADelta{}
+	for _, s := range a.ISAs {
+		isas[s.ISA] = &ISADelta{ISA: s.ISA, InstructionsA: s.Instructions, CyclesA: s.Cycles}
+	}
+	for _, s := range b.ISAs {
+		e := isas[s.ISA]
+		if e == nil {
+			e = &ISADelta{ISA: s.ISA}
+			isas[s.ISA] = e
+		}
+		e.InstructionsB = s.Instructions
+		e.CyclesB = s.Cycles
+	}
+	names := make([]string, 0, len(isas))
+	for name := range isas {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e := isas[name]
+		e.InstructionsDelta = int64(e.InstructionsB) - int64(e.InstructionsA)
+		e.CyclesDelta = int64(e.CyclesB) - int64(e.CyclesA)
+		d.ISAs = append(d.ISAs, *e)
+	}
+
+	pcs := map[uint32]*PCDelta{}
+	for i := range a.Hotspots {
+		h := &a.Hotspots[i]
+		pcs[h.PC] = &PCDelta{PC: h.PC, Func: h.Func, File: h.File, Line: h.Line,
+			CountA: h.Count, CyclesA: h.Cycles}
+	}
+	for i := range b.Hotspots {
+		h := &b.Hotspots[i]
+		e := pcs[h.PC]
+		if e == nil {
+			e = &PCDelta{PC: h.PC}
+			pcs[h.PC] = e
+		}
+		if h.Func != "" {
+			e.Func, e.File, e.Line = h.Func, h.File, h.Line
+		}
+		e.CountB = h.Count
+		e.CyclesB = h.Cycles
+	}
+	d.TotalPCs = len(pcs)
+	rows := make([]PCDelta, 0, len(pcs))
+	for _, e := range pcs {
+		e.CountDelta = int64(e.CountB) - int64(e.CountA)
+		e.CyclesDelta = int64(e.CyclesB) - int64(e.CyclesA)
+		rows = append(rows, *e)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		ci, cj := abs64(rows[i].CyclesDelta), abs64(rows[j].CyclesDelta)
+		if ci != cj {
+			return ci > cj
+		}
+		ni, nj := abs64(rows[i].CountDelta), abs64(rows[j].CountDelta)
+		if ni != nj {
+			return ni > nj
+		}
+		return rows[i].PC < rows[j].PC
+	})
+	if topN > 0 && len(rows) > topN {
+		rows = rows[:topN]
+	}
+	d.PCs = rows
+	return d
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,103 @@
+package prof
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// fixtureProfile builds a small deterministic profile: count/cycles per
+// PC plus a single-ISA attribution, mirroring what a merged batch
+// profile looks like.
+func fixtureProfile(isaName string, pcs map[uint32][2]uint64) *Profile {
+	p := NewProfile()
+	p.CycleModel = "DOE"
+	s := &ISAStats{}
+	p.ISAs[isaName] = s
+	for pc, cc := range pcs {
+		p.PCs[pc] = &PCStats{Count: cc[0], Ops: cc[0], Cycles: cc[1]}
+		p.Instructions += cc[0]
+		p.Operations += cc[0]
+		p.Cycles += cc[1]
+		s.Instructions += cc[0]
+		s.Ops += cc[0]
+		s.Cycles += cc[1]
+	}
+	return p
+}
+
+func TestDiffReportsDeltas(t *testing.T) {
+	// A: two merged runs of the same shape (merge first, so the fixture
+	// exercises the merged-profile path the batch engine produces).
+	half := fixtureProfile("RISC", map[uint32][2]uint64{
+		0x100: {10, 40},
+		0x104: {5, 5},
+	})
+	a := Merge(half, half)
+	b := fixtureProfile("VLIW4", map[uint32][2]uint64{
+		0x100: {20, 30}, // fewer cycles than a at the same PC
+		0x108: {7, 21},  // only in b
+	})
+
+	d := DiffReports(a.Report(nil, 0), b.Report(nil, 0), 0)
+	if d.CycleModel != "DOE" {
+		t.Fatalf("cycle model: %q", d.CycleModel)
+	}
+	if d.CyclesA != 90 || d.CyclesB != 51 || d.CyclesDelta != -39 {
+		t.Fatalf("cycle totals: %d/%d delta %d", d.CyclesA, d.CyclesB, d.CyclesDelta)
+	}
+	if d.InstructionsDelta != int64(b.Instructions)-int64(a.Instructions) {
+		t.Fatalf("instruction delta: %d", d.InstructionsDelta)
+	}
+	if d.TotalPCs != 3 || len(d.PCs) != 3 {
+		t.Fatalf("PC union: total %d rows %d", d.TotalPCs, len(d.PCs))
+	}
+	// Ranked by |cycle delta|: 0x100 (-50), 0x108 (+21), 0x104 (-10).
+	if d.PCs[0].PC != 0x100 || d.PCs[0].CyclesDelta != -50 || d.PCs[0].CountDelta != 0 {
+		t.Fatalf("row 0: %+v", d.PCs[0])
+	}
+	if d.PCs[1].PC != 0x108 || d.PCs[1].CyclesDelta != 21 || d.PCs[1].CountA != 0 {
+		t.Fatalf("row 1: %+v", d.PCs[1])
+	}
+	if d.PCs[2].PC != 0x104 || d.PCs[2].CyclesDelta != -10 || d.PCs[2].CyclesB != 0 {
+		t.Fatalf("row 2: %+v", d.PCs[2])
+	}
+	// Per-ISA union is name-sorted and carries one-sided entries.
+	if len(d.ISAs) != 2 || d.ISAs[0].ISA != "RISC" || d.ISAs[1].ISA != "VLIW4" {
+		t.Fatalf("ISA union: %+v", d.ISAs)
+	}
+	if d.ISAs[0].CyclesDelta != -90 || d.ISAs[1].CyclesDelta != 51 {
+		t.Fatalf("ISA deltas: %+v", d.ISAs)
+	}
+}
+
+func TestDiffReportsTopNAndNil(t *testing.T) {
+	b := fixtureProfile("RISC", map[uint32][2]uint64{
+		0x100: {1, 10}, 0x104: {1, 20}, 0x108: {1, 30},
+	})
+	d := DiffReports(nil, b.Report(nil, 0), 2)
+	if d.TotalPCs != 3 || len(d.PCs) != 2 {
+		t.Fatalf("topN truncation: total %d rows %d", d.TotalPCs, len(d.PCs))
+	}
+	if d.PCs[0].PC != 0x108 || d.PCs[1].PC != 0x104 {
+		t.Fatalf("truncated ranking: %+v", d.PCs)
+	}
+	if d.CyclesA != 0 || d.CyclesDelta != 60 {
+		t.Fatalf("nil side totals: %+v", d)
+	}
+	if d.CycleModel != "DOE" {
+		t.Fatalf("nil side model: %q", d.CycleModel)
+	}
+}
+
+func TestDiffReportsDeterministicJSON(t *testing.T) {
+	a := fixtureProfile("RISC", map[uint32][2]uint64{0x100: {3, 9}, 0x104: {2, 9}, 0x108: {1, 9}})
+	b := fixtureProfile("VLIW2", map[uint32][2]uint64{0x100: {3, 6}, 0x10c: {4, 12}})
+	j1, err := json.Marshal(DiffReports(a.Report(nil, 0), b.Report(nil, 0), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := json.Marshal(DiffReports(a.Report(nil, 0), b.Report(nil, 0), 0))
+	if string(j1) != string(j2) {
+		t.Fatalf("diff JSON not deterministic:\n%s\n%s", j1, j2)
+	}
+}

@@ -1,0 +1,366 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	kahrisma "repro"
+	"repro/internal/trace"
+)
+
+// Campaign endpoints: POST /v1/campaigns accepts a kahrisma.CampaignSpec
+// (the same JSON schema cmd/kcampaign -spec reads), expands and runs the
+// design-space grid on the server's pool, and serves live aggregate
+// progress over SSE plus the deterministic Pareto-ranked report once
+// terminal. Campaigns share the pool's fingerprint-keyed result cache,
+// so re-posting a campaign (or overlapping grids) re-serves points
+// without simulating them.
+//
+// Admission: a campaign does not claim queue slots for its whole grid —
+// it claims them wave by wave through the shared admission gate, so a
+// 1000-point campaign and interactive jobs coexist; each wave waits for
+// slots, and plain jobs 429 only while a wave actually holds slots.
+
+// Campaign lifecycle states (CampaignStatus.State). A campaign is
+// "running" from acceptance until terminal; "done" requires every point
+// to have succeeded, any point failure or cancellation means "failed".
+const (
+	campaignStateRunning = "running"
+	campaignStateDone    = "done"
+	campaignStateFailed  = "failed"
+)
+
+// CampaignStatus is the body of GET /v1/campaigns/{id} and of the 202
+// accept response.
+type CampaignStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+	// Campaign carries the engine's aggregate counters (grid size,
+	// unique points, done/failed/running, cache hits, simulated points).
+	Campaign    kahrisma.CampaignStatus `json:"campaign"`
+	SubmittedAt time.Time               `json:"submitted_at"`
+	FinishedAt  *time.Time              `json:"finished_at,omitempty"`
+}
+
+// CampaignPoints is the body of GET /v1/campaigns/{id}/points.
+type CampaignPoints struct {
+	ID     string                         `json:"id"`
+	State  string                         `json:"state"`
+	Points []kahrisma.CampaignPointStatus `json:"points"`
+}
+
+// validateCampaign rejects specs the server will not run: unexpandable
+// grids (delegated to the spec), unknown ISA instances or cycle models,
+// and grids beyond Config.MaxCampaignPoints.
+func validateCampaign(spec *kahrisma.CampaignSpec, base *kahrisma.System, maxPoints int) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	for _, isa := range spec.ISAs {
+		if isa == kahrisma.CampaignAutoISA {
+			continue
+		}
+		if _, err := base.IssueWidth(isa); err != nil {
+			return errors.New("isas: unknown instance " + strconv.Quote(isa))
+		}
+	}
+	for _, m := range spec.Models {
+		if !knownModels[m] {
+			return errors.New("models: unknown cycle model " + strconv.Quote(m))
+		}
+	}
+	if grid := spec.GridSize(); grid > maxPoints {
+		return errors.New("grid expands to " + strconv.Itoa(grid) +
+			" points, above the server cap of " + strconv.Itoa(maxPoints))
+	}
+	return nil
+}
+
+func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.metrics.reject(rejectDraining)
+		writeJSON(w, http.StatusServiceUnavailable, APIError{Error: "server is draining"})
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	var spec kahrisma.CampaignSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.metrics.reject(rejectOversized)
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				APIError{Error: "request body exceeds " + strconv.FormatInt(tooBig.Limit, 10) + " bytes"})
+			return
+		}
+		s.metrics.reject(rejectInvalid)
+		writeJSON(w, http.StatusBadRequest, APIError{Error: "malformed request: " + err.Error()})
+		return
+	}
+	if err := validateCampaign(&spec, s.base, s.cfg.MaxCampaignPoints); err != nil {
+		s.metrics.reject(rejectInvalid)
+		writeJSON(w, http.StatusBadRequest, APIError{Error: err.Error()})
+		return
+	}
+	// A wave may hold at most half the admission queue, so interactive
+	// jobs always have headroom while a campaign runs.
+	maxWave := s.cfg.QueueDepth / 2
+	if maxWave < 1 {
+		maxWave = 1
+	}
+	if spec.Wave <= 0 {
+		spec.Wave = kahrisma.CampaignDefaultWave
+	}
+	if spec.Wave > maxWave {
+		spec.Wave = maxWave
+	}
+
+	s.metrics.campaignsAccepted.Add(1)
+	rec := s.campaigns.create(s.cfg.StreamRingSize)
+	s.jobsWG.Add(1)
+	go s.runCampaign(rec, spec)
+	w.Header().Set("Location", "/v1/campaigns/"+rec.id)
+	writeJSON(w, http.StatusAccepted, rec.status())
+}
+
+// runCampaign drives one accepted campaign on its own goroutine. The
+// engine holds admission slots one wave at a time via the wave gate.
+func (s *Server) runCampaign(rec *campaignRecord, spec kahrisma.CampaignSpec) {
+	defer s.jobsWG.Done()
+
+	camp, err := s.pool.RunCampaign(s.jobsCtx, s.base, spec,
+		kahrisma.WithCampaignEvents(rec.stream),
+		kahrisma.WithCampaignTimeout(s.cfg.MaxTimeout),
+		kahrisma.WithCampaignWaveGate(s.acquireWave, s.adm.releaseN))
+	if err == nil {
+		rec.setCampaign(camp)
+		err = camp.Wait()
+	}
+	rec.finish(err)
+	s.campaigns.markFinished(rec.id)
+
+	if camp != nil {
+		st := camp.Status()
+		s.metrics.campaignPoints.Add(int64(st.Points))
+		s.metrics.campaignPointsSimulated.Add(int64(st.Simulated))
+		s.metrics.campaignCacheHits.Add(int64(st.CacheHits))
+		if rep := camp.Report(); rep != nil {
+			s.metrics.campaignDeduped.Add(int64(rep.Deduped))
+		}
+	}
+	if err != nil {
+		s.metrics.campaignsFailed.Add(1)
+		s.log.Warn("campaign failed", "id", rec.id, "name", spec.Name, "err", err)
+	} else {
+		s.metrics.campaignsCompleted.Add(1)
+	}
+}
+
+// acquireWave blocks until n admission slots are free (polling, since
+// admission is a lock-free counter without waiters), the server starts
+// draining, or ctx ends. It pairs with admission.releaseN in the
+// campaign engine's wave bracket.
+func (s *Server) acquireWave(ctx context.Context, n int) error {
+	for {
+		if s.draining.Load() {
+			return errors.New("server is draining")
+		}
+		if s.adm.tryAcquireN(n) {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func (s *Server) handleCampaignStatus(w http.ResponseWriter, r *http.Request) {
+	rec := s.campaigns.get(r.PathValue("id"))
+	if rec == nil {
+		writeJSON(w, http.StatusNotFound, APIError{Error: "unknown campaign"})
+		return
+	}
+	writeJSON(w, http.StatusOK, rec.status())
+}
+
+// handleCampaignReport serves the deterministic Pareto-ranked report:
+// 409 while the campaign is still running, 404 when it failed before
+// the engine produced one (spec rejected at expansion).
+func (s *Server) handleCampaignReport(w http.ResponseWriter, r *http.Request) {
+	rec := s.campaigns.get(r.PathValue("id"))
+	if rec == nil {
+		writeJSON(w, http.StatusNotFound, APIError{Error: "unknown campaign"})
+		return
+	}
+	state, terminal := rec.terminal()
+	if !terminal {
+		writeJSON(w, http.StatusConflict, APIError{Error: "campaign not finished: " + state})
+		return
+	}
+	camp := rec.campaign()
+	if camp == nil || camp.Report() == nil {
+		writeJSON(w, http.StatusNotFound, APIError{Error: "campaign produced no report"})
+		return
+	}
+	writeJSON(w, http.StatusOK, camp.Report())
+}
+
+// handleCampaignPoints serves per-point statuses at any time — the
+// completed points of a canceled campaign stay fetchable here.
+func (s *Server) handleCampaignPoints(w http.ResponseWriter, r *http.Request) {
+	rec := s.campaigns.get(r.PathValue("id"))
+	if rec == nil {
+		writeJSON(w, http.StatusNotFound, APIError{Error: "unknown campaign"})
+		return
+	}
+	out := CampaignPoints{ID: rec.id, Points: []kahrisma.CampaignPointStatus{}}
+	out.State, _ = rec.terminal()
+	if camp := rec.campaign(); camp != nil {
+		out.Points = camp.Points()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleCampaignEvents serves the campaign's aggregate progress stream
+// (campaign_progress snapshots, then done) as SSE, sharing the job
+// endpoint's wire format, resume and heartbeat behavior.
+func (s *Server) handleCampaignEvents(w http.ResponseWriter, r *http.Request) {
+	rec := s.campaigns.get(r.PathValue("id"))
+	if rec == nil {
+		writeJSON(w, http.StatusNotFound, APIError{Error: "unknown campaign"})
+		return
+	}
+	s.serveSSE(w, r, rec.stream)
+}
+
+// campaignRecord is the server-side state of one accepted campaign. It
+// outlives the campaign goroutine so clients can poll the report after
+// completion.
+type campaignRecord struct {
+	id        string
+	submitted time.Time
+	// stream carries the campaign's aggregate progress events; the
+	// engine closes it with a done event on every terminal path, and
+	// finish backstops failures that precede engine start.
+	stream *trace.Streamer
+
+	mu       sync.Mutex
+	state    string
+	err      string
+	camp     *kahrisma.Campaign
+	finished time.Time
+	done     chan struct{}
+}
+
+func (r *campaignRecord) setCampaign(c *kahrisma.Campaign) {
+	r.mu.Lock()
+	r.camp = c
+	r.mu.Unlock()
+}
+
+func (r *campaignRecord) campaign() *kahrisma.Campaign {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.camp
+}
+
+func (r *campaignRecord) terminal() (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state, r.state != campaignStateRunning
+}
+
+func (r *campaignRecord) finish(err error) {
+	r.mu.Lock()
+	if err != nil {
+		r.state = campaignStateFailed
+		r.err = err.Error()
+	} else {
+		r.state = campaignStateDone
+	}
+	r.finished = time.Now()
+	r.mu.Unlock()
+	// The engine already published its own done event on every path it
+	// reached; this backstop covers failures before engine start and is
+	// a no-op otherwise.
+	d := trace.Done{}
+	if err != nil {
+		d.Error = err.Error()
+	}
+	r.stream.Done(d)
+	close(r.done)
+}
+
+func (r *campaignRecord) status() CampaignStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := CampaignStatus{
+		ID:          r.id,
+		State:       r.state,
+		Error:       r.err,
+		SubmittedAt: r.submitted,
+	}
+	if r.camp != nil {
+		st.Campaign = r.camp.Status()
+	}
+	if !r.finished.IsZero() {
+		f := r.finished
+		st.FinishedAt = &f
+	}
+	return st
+}
+
+// campaignStore indexes records by id and bounds memory by evicting the
+// oldest finished records beyond maxFinished.
+type campaignStore struct {
+	mu          sync.Mutex
+	campaigns   map[string]*campaignRecord
+	finished    []string
+	maxFinished int
+}
+
+func newCampaignStore(maxFinished int) *campaignStore {
+	if maxFinished < 1 {
+		maxFinished = 1
+	}
+	return &campaignStore{campaigns: map[string]*campaignRecord{}, maxFinished: maxFinished}
+}
+
+func (s *campaignStore) create(streamRing int) *campaignRecord {
+	rec := &campaignRecord{
+		id:        newID(),
+		submitted: time.Now(),
+		stream:    trace.NewStreamer(streamRing),
+		state:     campaignStateRunning,
+		done:      make(chan struct{}),
+	}
+	s.mu.Lock()
+	s.campaigns[rec.id] = rec
+	s.mu.Unlock()
+	return rec
+}
+
+func (s *campaignStore) get(id string) *campaignRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.campaigns[id]
+}
+
+func (s *campaignStore) markFinished(id string) {
+	s.mu.Lock()
+	s.finished = append(s.finished, id)
+	for len(s.finished) > s.maxFinished {
+		delete(s.campaigns, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,391 @@
+package server_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	kahrisma "repro"
+	"repro/internal/server"
+)
+
+func postCampaign(t *testing.T, ts *httptest.Server, spec kahrisma.CampaignSpec) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func submitCampaign(t *testing.T, ts *httptest.Server, spec kahrisma.CampaignSpec) server.CampaignStatus {
+	t.Helper()
+	resp, data := postCampaign(t, ts, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/campaigns: status %d, body %s", resp.StatusCode, data)
+	}
+	if loc := resp.Header.Get("Location"); !strings.HasPrefix(loc, "/v1/campaigns/") {
+		t.Fatalf("Location header %q", loc)
+	}
+	var st server.CampaignStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatalf("decoding accept response %q: %v", data, err)
+	}
+	if st.ID == "" || st.State != "running" {
+		t.Fatalf("accept response %+v", st)
+	}
+	return st
+}
+
+// pollCampaign polls until the campaign reaches a terminal state.
+func pollCampaign(t *testing.T, ts *httptest.Server, id string) server.CampaignStatus {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/campaigns/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET campaign: status %d, body %s", resp.StatusCode, data)
+		}
+		var st server.CampaignStatus
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatalf("decoding status %q: %v", data, err)
+		}
+		if st.State != "running" {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s still running: %+v", id, st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func getReport(t *testing.T, ts *httptest.Server, id string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/campaigns/" + id + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// The acceptance scenario: a campaign posted over HTTP runs its whole
+// grid, a subscribed client follows aggregate campaign_progress frames
+// to the done event, and the Pareto-ranked report and per-point
+// statuses are served afterwards, with campaign metrics exported.
+func TestCampaignEndpointEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Workers: 4})
+
+	spec := kahrisma.CampaignSpec{
+		Name:     "http-e2e",
+		Sources:  map[string]string{"b.c": progB},
+		ISAs:     []string{"RISC", "VLIW2", "VLIW4", "VLIW8"},
+		Memories: []string{"paper", "limit:1|cache:1K,2,16,3|mem:18"},
+	}
+	st := submitCampaign(t, ts, spec)
+
+	// Follow the aggregate SSE stream to the terminal done event.
+	resp, err := http.Get(ts.URL + "/v1/campaigns/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	r := bufio.NewReader(resp.Body)
+	var progressFrames int
+	var last kahrisma.CampaignProgressEvent
+	for {
+		ev, err := readEvent(r)
+		if err != nil {
+			t.Fatalf("stream ended without done event: %v", err)
+		}
+		if ev.event == "campaign_progress" {
+			progressFrames++
+			var se struct {
+				Campaign kahrisma.CampaignProgressEvent `json:"campaign"`
+			}
+			if err := json.Unmarshal([]byte(ev.data), &se); err != nil {
+				t.Fatalf("decoding %q: %v", ev.data, err)
+			}
+			last = se.Campaign
+		}
+		if ev.event == "done" {
+			break
+		}
+	}
+	if progressFrames < 2 {
+		t.Fatalf("campaign_progress frames = %d, want >= 2", progressFrames)
+	}
+	if last.Points != 8 || last.Done != 8 || last.Failed != 0 || last.Campaign != "http-e2e" {
+		t.Fatalf("final progress frame: %+v", last)
+	}
+
+	fin := pollCampaign(t, ts, st.ID)
+	if fin.State != "done" || fin.Campaign.Done != 8 || !fin.Campaign.Finished {
+		t.Fatalf("terminal status: %+v", fin)
+	}
+
+	rresp, rdata := getReport(t, ts, st.ID)
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET report: status %d, body %s", rresp.StatusCode, rdata)
+	}
+	var rep kahrisma.CampaignReport
+	if err := json.Unmarshal(rdata, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Succeeded != 8 || rep.GridPoints != 8 || len(rep.Rows) != 8 {
+		t.Fatalf("report: succeeded %d grid %d rows %d", rep.Succeeded, rep.GridPoints, len(rep.Rows))
+	}
+	if rep.Rows[0].Rank != 1 || rep.Rows[0].PrimaryCycles == 0 {
+		t.Fatalf("rank-1 row: %+v", rep.Rows[0])
+	}
+
+	presp, err := http.Get(ts.URL + "/v1/campaigns/" + st.ID + "/points")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdata, _ := io.ReadAll(presp.Body)
+	presp.Body.Close()
+	var pts server.CampaignPoints
+	if err := json.Unmarshal(pdata, &pts); err != nil {
+		t.Fatal(err)
+	}
+	if len(pts.Points) != 8 {
+		t.Fatalf("points: %s", pdata)
+	}
+	for _, p := range pts.Points {
+		if p.State != "done" {
+			t.Fatalf("point not done: %+v", p)
+		}
+	}
+
+	body := metricsBody(t, ts)
+	if got := metricValue(t, body, "kservd_campaigns_accepted_total"); got < 1 {
+		t.Errorf("campaigns accepted = %v", got)
+	}
+	if got := metricValue(t, body, "kservd_campaigns_completed_total"); got < 1 {
+		t.Errorf("campaigns completed = %v", got)
+	}
+	if got := metricValue(t, body, "kservd_campaign_points_total"); got < 8 {
+		t.Errorf("campaign points = %v, want >= 8", got)
+	}
+}
+
+// Re-posting an identical campaign is served from the pool's shared
+// fingerprint cache — zero simulated points — and its report is
+// byte-identical to the first run's.
+func TestCampaignCacheAcrossRequests(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Workers: 2})
+
+	spec := kahrisma.CampaignSpec{
+		Name:    "repeat",
+		Sources: map[string]string{"a.c": progA},
+		ISAs:    []string{"RISC", "VLIW4"},
+	}
+	st1 := submitCampaign(t, ts, spec)
+	fin1 := pollCampaign(t, ts, st1.ID)
+	if fin1.State != "done" || fin1.Campaign.Simulated != 2 {
+		t.Fatalf("first run: %+v", fin1)
+	}
+
+	st2 := submitCampaign(t, ts, spec)
+	fin2 := pollCampaign(t, ts, st2.ID)
+	if fin2.State != "done" || fin2.Campaign.Simulated != 0 || fin2.Campaign.CacheHits != 2 {
+		t.Fatalf("second run not cache-served: %+v", fin2)
+	}
+
+	_, rep1 := getReport(t, ts, st1.ID)
+	_, rep2 := getReport(t, ts, st2.ID)
+	if !bytes.Equal(rep1, rep2) {
+		t.Fatalf("reports differ:\n%s\n%s", rep1, rep2)
+	}
+
+	body := metricsBody(t, ts)
+	if got := metricValue(t, body, "kservd_campaign_cache_hits_total"); got < 2 {
+		t.Errorf("campaign cache hits = %v, want >= 2", got)
+	}
+}
+
+// Satellite: campaign admission is per wave, not per grid. With the
+// whole queue held by spinning jobs, plain submissions 429 with
+// Retry-After, while a campaign whose grid exceeds the queue depth is
+// still accepted and — once the spinners time out and release their
+// slots — completes by acquiring slots one wave at a time.
+func TestCampaignWaveAdmission(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{
+		Workers:    2,
+		QueueDepth: 2,
+		MaxTimeout: 1500 * time.Millisecond,
+	})
+
+	spin := server.JobRequest{ISA: "RISC", Sources: map[string]string{"spin.c": spinSrc}}
+	first := submit(t, ts, spin)
+	second := submit(t, ts, spin)
+
+	// Queue full: the plain-job backpressure contract holds.
+	b, _ := json.Marshal(spin)
+	resp, data := post(t, ts, b)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("job with full queue: status %d, body %s", resp.StatusCode, data)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After = %q, want \"1\"", ra)
+	}
+
+	// A campaign of 4 points against a depth-2 queue: acceptance does
+	// not reserve grid-many slots, so the POST succeeds immediately.
+	spec := kahrisma.CampaignSpec{
+		Name:    "wavegate",
+		Sources: map[string]string{"a.c": progA},
+		ISAs:    []string{"RISC", "VLIW2", "VLIW4", "VLIW8"},
+	}
+	st := submitCampaign(t, ts, spec)
+
+	// The spinners exhaust MaxTimeout and release their slots; the
+	// campaign then runs wave by wave (QueueDepth/2 = 1 point at a
+	// time) to completion.
+	fin := pollCampaign(t, ts, st.ID)
+	if fin.State != "done" || fin.Campaign.Done != 4 {
+		t.Fatalf("campaign against full queue: %+v", fin)
+	}
+	for _, id := range []string{first.ID, second.ID} {
+		res := pollResult(t, ts, id)
+		if res.State != server.StateFailed {
+			t.Fatalf("spinner %s: %+v, want timeout failure", id, res)
+		}
+	}
+
+	body := metricsBody(t, ts)
+	if got := metricValue(t, body, `kservd_jobs_rejected_total{reason="queue_full"}`); got < 1 {
+		t.Errorf("queue_full rejections = %v, want >= 1", got)
+	}
+}
+
+// The report endpoint answers 409 while the campaign runs; a campaign
+// whose points all fail turns terminal "failed" but still serves its
+// report (with the failures ranked after any successes).
+func TestCampaignReportConflictAndFailure(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Workers: 1, MaxTimeout: time.Second})
+
+	spec := kahrisma.CampaignSpec{
+		Name:    "spin",
+		Sources: map[string]string{"spin.c": spinSrc},
+		ISAs:    []string{"RISC"},
+	}
+	st := submitCampaign(t, ts, spec)
+
+	resp, data := getReport(t, ts, st.ID)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("report while running: status %d, body %s", resp.StatusCode, data)
+	}
+
+	fin := pollCampaign(t, ts, st.ID)
+	if fin.State != "failed" || fin.Error == "" || fin.Campaign.Failed != 1 {
+		t.Fatalf("terminal status: %+v", fin)
+	}
+	resp, data = getReport(t, ts, st.ID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("report after failure: status %d, body %s", resp.StatusCode, data)
+	}
+	var rep kahrisma.CampaignReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 1 || rep.Succeeded != 0 {
+		t.Fatalf("failed-campaign report: %+v", rep)
+	}
+}
+
+// Admission-time validation rejects campaigns the server will not run.
+func TestCampaignValidation(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Workers: 1, MaxCampaignPoints: 4})
+
+	cases := []struct {
+		name string
+		spec kahrisma.CampaignSpec
+		want string
+	}{
+		{"unknown isa",
+			kahrisma.CampaignSpec{Sources: map[string]string{"a.c": progA}, ISAs: []string{"NOPE"}},
+			"unknown instance"},
+		{"unknown model",
+			kahrisma.CampaignSpec{Sources: map[string]string{"a.c": progA}, ISAs: []string{"RISC"}, Models: []string{"XXX"}},
+			"unknown cycle model"},
+		{"unknown workload",
+			kahrisma.CampaignSpec{Workloads: []string{"nope"}, ISAs: []string{"RISC"}},
+			"unknown workload"},
+		{"no programs",
+			kahrisma.CampaignSpec{ISAs: []string{"RISC"}},
+			"at least one program"},
+		{"grid too large",
+			kahrisma.CampaignSpec{Sources: map[string]string{"a.c": progA}, ISAs: []string{"RISC", "VLIW2", "VLIW4"}, Fuels: []uint64{0, 1000}},
+			"above the server cap"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, data := postCampaign(t, ts, c.spec)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, body %s", resp.StatusCode, data)
+			}
+			var apiErr server.APIError
+			if err := json.Unmarshal(data, &apiErr); err != nil || !strings.Contains(apiErr.Error, c.want) {
+				t.Fatalf("body %s, want %q", data, c.want)
+			}
+		})
+	}
+
+	// Unknown fields are malformed requests, like the job endpoint.
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json",
+		strings.NewReader(`{"isas":["RISC"],"bogus":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(data), "malformed") {
+		t.Fatalf("unknown field: status %d, body %s", resp.StatusCode, data)
+	}
+
+	// Unknown campaign ids are 404 on every read endpoint.
+	for _, path := range []string{"", "/report", "/points", "/events"} {
+		resp, err := http.Get(ts.URL + "/v1/campaigns/deadbeef" + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}

@@ -35,6 +35,16 @@ type metrics struct {
 	batchesFailed    atomic.Int64 // terminal batches with at least one failed item
 	batchJobs        atomic.Int64 // jobs submitted through the batch endpoint
 
+	// Campaigns (POST /v1/campaigns); campaign points run through the
+	// pool directly, not the job endpoints, so they count only here.
+	campaignsAccepted       atomic.Int64
+	campaignsCompleted      atomic.Int64 // terminal campaigns with every point successful
+	campaignsFailed         atomic.Int64 // terminal campaigns with a failed or canceled point
+	campaignPoints          atomic.Int64 // unique points across terminal campaigns
+	campaignPointsSimulated atomic.Int64 // points that ran on the pool
+	campaignCacheHits       atomic.Int64 // points served from the result cache
+	campaignDeduped         atomic.Int64 // grid cells collapsed by fingerprint dedup
+
 	analyses         atomic.Int64
 	analysesFailed   atomic.Int64
 	analysisErrors   atomic.Int64
@@ -125,6 +135,14 @@ func (s *Server) renderMetrics(w io.Writer) {
 	counter("kservd_batches_completed_total", "Batches finished with every job successful.", m.batchesCompleted.Load())
 	counter("kservd_batches_failed_total", "Batches finished with at least one failed job.", m.batchesFailed.Load())
 	counter("kservd_batch_jobs_total", "Jobs submitted through POST /v1/batches.", m.batchJobs.Load())
+
+	counter("kservd_campaigns_accepted_total", "Campaigns admitted by POST /v1/campaigns.", m.campaignsAccepted.Load())
+	counter("kservd_campaigns_completed_total", "Campaigns finished with every point successful.", m.campaignsCompleted.Load())
+	counter("kservd_campaigns_failed_total", "Campaigns finished with a failed or canceled point.", m.campaignsFailed.Load())
+	counter("kservd_campaign_points_total", "Unique design-space points across terminal campaigns.", m.campaignPoints.Load())
+	counter("kservd_campaign_points_simulated_total", "Campaign points that ran on the simulation pool.", m.campaignPointsSimulated.Load())
+	counter("kservd_campaign_cache_hits_total", "Campaign points served from the fingerprint result cache.", m.campaignCacheHits.Load())
+	counter("kservd_campaign_points_deduped_total", "Grid cells collapsed by fingerprint dedup across terminal campaigns.", m.campaignDeduped.Load())
 
 	counter("kservd_analyses_total", "Static-analysis requests served by POST /v1/analyze.", m.analyses.Load())
 	counter("kservd_analyses_failed_total", "Static-analysis requests whose inputs failed to build.", m.analysesFailed.Load())

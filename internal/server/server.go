@@ -56,6 +56,9 @@ type Config struct {
 	ModelCacheSize int
 	// MaxFinishedJobs bounds retained job records; <= 0 selects 4096.
 	MaxFinishedJobs int
+	// MaxCampaignPoints bounds the expanded (pre-dedup) grid of one
+	// POST /v1/campaigns request; <= 0 selects 1024.
+	MaxCampaignPoints int
 	// StreamRingSize bounds every job's live-event ring (the per-job
 	// streaming memory); <= 0 selects trace.DefaultRingSize (4096).
 	StreamRingSize int
@@ -97,6 +100,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxFinishedJobs <= 0 {
 		c.MaxFinishedJobs = 4096
 	}
+	if c.MaxCampaignPoints <= 0 {
+		c.MaxCampaignPoints = 1024
+	}
 	if c.StreamRingSize <= 0 {
 		c.StreamRingSize = trace.DefaultRingSize
 	}
@@ -124,6 +130,7 @@ type Server struct {
 	adm        *admission
 	store      *jobStore
 	batches    *batchStore
+	campaigns  *campaignStore
 	exeCache   *Cache[*kahrisma.Executable]
 	modelCache *Cache[*kahrisma.System]
 	metrics    *metrics
@@ -154,6 +161,7 @@ func New(cfg Config) (*Server, error) {
 		adm:        newAdmission(cfg.QueueDepth),
 		store:      newJobStore(cfg.MaxFinishedJobs),
 		batches:    newBatchStore(cfg.MaxFinishedJobs),
+		campaigns:  newCampaignStore(cfg.MaxFinishedJobs),
 		exeCache:   NewCache[*kahrisma.Executable](cfg.ExeCacheSize),
 		modelCache: NewCache[*kahrisma.System](cfg.ModelCacheSize),
 		metrics:    newMetrics(),
@@ -175,6 +183,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/batches", s.handleBatchSubmit)
 	mux.HandleFunc("GET /v1/batches/{id}", s.handleBatchStatus)
 	mux.HandleFunc("GET /v1/batches/{id}/results", s.handleBatchResults)
+	mux.HandleFunc("POST /v1/campaigns", s.handleCampaignSubmit)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaignStatus)
+	mux.HandleFunc("GET /v1/campaigns/{id}/report", s.handleCampaignReport)
+	mux.HandleFunc("GET /v1/campaigns/{id}/points", s.handleCampaignPoints)
+	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleCampaignEvents)
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+
+	"repro/internal/trace"
 )
 
 // handleEvents serves GET /v1/jobs/{id}/events: the job's live event
@@ -13,7 +15,7 @@ import (
 // frame per event:
 //
 //	id: <seq>
-//	event: <op|isa_switch|progress|done|gap>
+//	event: <op|isa_switch|progress|campaign_progress|done|gap>
 //	data: <JSON payload>
 //
 // Idle streams carry ": heartbeat" comments every
@@ -31,6 +33,13 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, APIError{Error: "unknown job"})
 		return
 	}
+	s.serveSSE(w, r, rec.stream)
+}
+
+// serveSSE is the shared SSE pump behind the job and campaign event
+// endpoints: resume handling, heartbeats, gap frames and the event
+// loop over one trace.Streamer.
+func (s *Server) serveSSE(w http.ResponseWriter, r *http.Request, stream *trace.Streamer) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		writeJSON(w, http.StatusNotImplemented, APIError{Error: "response writer does not support streaming"})
@@ -54,7 +63,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		from = n
 	}
 
-	sub := rec.stream.Subscribe(from)
+	sub := stream.Subscribe(from)
 	defer sub.Cancel()
 
 	h := w.Header()

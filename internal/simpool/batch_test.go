@@ -166,33 +166,6 @@ main:
 	}
 }
 
-// SubmitEach (the deprecated pre-Batch form) still returns per-job
-// tickets index-aligned with the jobs.
-func TestSubmitEachShim(t *testing.T) {
-	m := ktest.Model(t)
-	prog := ktest.BuildProgram(t, "RISC", `
-	.isa RISC
-	.global main
-main:
-	li a0, 7
-	ret
-`)
-	pool := simpool.New(1)
-	defer pool.Close()
-	tickets := pool.SubmitEach(context.Background(), []simpool.Job{
-		{Model: m, Prog: prog, Opts: discardOpts()},
-		{Model: m, Prog: prog, Opts: discardOpts()},
-	})
-	if len(tickets) != 2 {
-		t.Fatalf("SubmitEach returned %d tickets, want 2", len(tickets))
-	}
-	for i, tk := range tickets {
-		if r := tk.Wait(); r.Err != nil || r.Status.ExitCode != 7 {
-			t.Errorf("job %d: %+v", i, r)
-		}
-	}
-}
-
 // Recycling across two different programs keeps the arenas separate: a
 // CPU recycled from program A is never handed to a job of program B.
 // (Observable effect if it were: the reset would still make it correct,

@@ -306,15 +306,6 @@ func (p *Pool) SubmitBatch(ctx context.Context, jobs []Job) *Batch {
 	return b
 }
 
-// SubmitEach enqueues jobs in order and returns their tickets.
-//
-// Deprecated: SubmitEach is the pre-Batch form of SubmitBatch, kept one
-// release for migration. Use SubmitBatch and the *Batch handle, which
-// adds aggregate Wait/Err/Stats and chunked dispatch.
-func (p *Pool) SubmitEach(ctx context.Context, jobs []Job) []*Ticket {
-	return p.SubmitBatch(ctx, jobs).Tickets()
-}
-
 // admit accounts n accepted jobs; it reports false when the pool is
 // closed.
 func (p *Pool) admit(n int) bool {

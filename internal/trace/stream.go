@@ -31,6 +31,10 @@ const (
 	EventISASwitch = "isa_switch"
 	// EventProgress is a periodic progress snapshot of the running job.
 	EventProgress = "progress"
+	// EventCampaignProgress is an aggregate snapshot of a design-space
+	// campaign (internal/campaign): how much of the point grid has been
+	// simulated, served from cache or failed so far.
+	EventCampaignProgress = "campaign_progress"
 	// EventDone is the terminal event; the stream closes after it.
 	EventDone = "done"
 )
@@ -56,6 +60,27 @@ type Progress struct {
 	ISA string `json:"isa"`
 }
 
+// CampaignProgress is the payload of an EventCampaignProgress event:
+// one aggregate snapshot of a running design-space campaign. Counts
+// are over the campaign's unique points (GridPoints includes the
+// duplicates collapsed by fingerprint dedup).
+type CampaignProgress struct {
+	// Campaign is the campaign's name (may be empty).
+	Campaign string `json:"campaign,omitempty"`
+	// GridPoints is the expanded grid size; Points the unique points
+	// after fingerprint dedup.
+	GridPoints int `json:"grid_points"`
+	Points     int `json:"points"`
+	// Done counts terminal points (including failures and cache hits),
+	// Failed the errored subset, Running the points on pool workers.
+	Done    int `json:"done"`
+	Failed  int `json:"failed"`
+	Running int `json:"running"`
+	// CacheHits counts points served from the fingerprint result cache
+	// instead of being re-simulated.
+	CacheHits int `json:"cache_hits"`
+}
+
 // Done is the payload of the terminal EventDone event.
 type Done struct {
 	ExitCode     int32  `json:"exit_code"`
@@ -71,10 +96,11 @@ type StreamEvent struct {
 	Seq  uint64 `json:"seq"`
 	Type string `json:"type"`
 
-	Op        *Event      `json:"op,omitempty"`
-	ISASwitch *SwitchInfo `json:"isa_switch,omitempty"`
-	Progress  *Progress   `json:"progress,omitempty"`
-	Done      *Done       `json:"done,omitempty"`
+	Op        *Event            `json:"op,omitempty"`
+	ISASwitch *SwitchInfo       `json:"isa_switch,omitempty"`
+	Progress  *Progress         `json:"progress,omitempty"`
+	Campaign  *CampaignProgress `json:"campaign,omitempty"`
+	Done      *Done             `json:"done,omitempty"`
 }
 
 // DefaultRingSize is the per-job event buffer used when a capacity of
@@ -158,6 +184,11 @@ func (s *Streamer) ISASwitch(sw SwitchInfo) {
 // Progress publishes a periodic snapshot (sim.EventSink).
 func (s *Streamer) Progress(p Progress) {
 	s.publish(StreamEvent{Type: EventProgress, Progress: &p})
+}
+
+// CampaignProgress publishes an aggregate campaign snapshot.
+func (s *Streamer) CampaignProgress(cp CampaignProgress) {
+	s.publish(StreamEvent{Type: EventCampaignProgress, Campaign: &cp})
 }
 
 // Done publishes the terminal event and closes the stream. Only the

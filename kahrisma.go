@@ -39,9 +39,11 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"sort"
 
 	"repro/internal/adl"
 	"repro/internal/asm"
+	"repro/internal/cc"
 	"repro/internal/cycle"
 	"repro/internal/driver"
 	"repro/internal/isa"
@@ -165,6 +167,46 @@ func (s *System) build(ctx context.Context, isaName string, srcs []driver.Source
 		return nil, err
 	}
 	return &Executable{sys: s, file: exe, prog: prog}, nil
+}
+
+// BuildCMixed compiles MiniC sources with an explicit per-function ISA
+// assignment: functions named in funcISA target that ISA (as if the
+// source carried an __isa attribute; an explicit attribute wins),
+// everything else targets isaName. This is the build path AutoTune's
+// choices and campaign AutoISA points rebuild through.
+func (s *System) BuildCMixed(isaName string, funcISA map[string]string, files map[string]string) (*Executable, error) {
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	srcs := make([]driver.Source, len(names))
+	for i, name := range names {
+		srcs[i] = driver.CSource(name, files[name])
+	}
+	return s.buildMixed(context.Background(), isaName, funcISA, srcs)
+}
+
+// buildMixed is the ordered-source mixed-ISA build: deterministic for a
+// given source slice, unlike the map-fed public wrappers.
+func (s *System) buildMixed(ctx context.Context, isaName string, funcISA map[string]string, srcs []driver.Source) (*Executable, error) {
+	if s.model.ISAByName(isaName) == nil {
+		return nil, fmt.Errorf("%w: %q", ErrBadISA, isaName)
+	}
+	for fn, name := range funcISA {
+		if s.model.ISAByName(name) == nil {
+			return nil, fmt.Errorf("%w: %q (function %s)", ErrBadISA, name, fn)
+		}
+	}
+	f, err := driver.BuildOptsCtx(ctx, s.model, cc.Options{ISA: isaName, FunctionISA: funcISA}, srcs...)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := sim.LoadProgram(f)
+	if err != nil {
+		return nil, err
+	}
+	return &Executable{sys: s, file: f, prog: prog}, nil
 }
 
 // LoadExecutable reads a linked ELF executable produced by the tools.
@@ -438,6 +480,18 @@ type ProfileReport = prof.Report
 // ProfileHotspot is one row of a report's per-PC hotspot table.
 type ProfileHotspot = prof.Hotspot
 
+// ProfileReportDiff is the comparison of two profile reports: total,
+// per-ISA and per-PC deltas, B minus A (see `kprof -diff` and campaign
+// Pareto-pair deltas).
+type ProfileReportDiff = prof.ReportDiff
+
+// DiffProfileReports compares two symbolized reports; the per-PC table
+// is ranked by absolute cycle movement and truncated to topN rows
+// (<= 0: all). Either side may be nil (an empty profile).
+func DiffProfileReports(a, b *ProfileReport, topN int) *ProfileReportDiff {
+	return prof.DiffReports(a, b, topN)
+}
+
 // MergeProfiles combines profiles into a fresh one (nil entries are
 // skipped); merging is commutative, so batch results merge
 // deterministically regardless of worker count or scheduling.
@@ -506,10 +560,11 @@ type (
 
 // Stream event types (StreamEvent.Type).
 const (
-	StreamEventOp        = trace.EventOp
-	StreamEventISASwitch = trace.EventISASwitch
-	StreamEventProgress  = trace.EventProgress
-	StreamEventDone      = trace.EventDone
+	StreamEventOp               = trace.EventOp
+	StreamEventISASwitch        = trace.EventISASwitch
+	StreamEventProgress         = trace.EventProgress
+	StreamEventCampaignProgress = trace.EventCampaignProgress
+	StreamEventDone             = trace.EventDone
 )
 
 // NewStreamer builds a bounded live-event ring holding capacity events;

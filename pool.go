@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/sim"
 	"repro/internal/simpool"
 )
@@ -34,6 +35,9 @@ type Pool struct {
 
 	mu           sync.Mutex
 	wallPerModel map[string]time.Duration
+	// campaignCache is the pool's shared fingerprint-keyed campaign
+	// result cache, built lazily by the first RunCampaign.
+	campaignCache *campaign.Cache
 }
 
 // NewPool starts a simulation pool with the given number of workers;
@@ -171,16 +175,6 @@ func (p *Pool) SubmitBatch(ctx context.Context, items []BatchItem) *Batch {
 		submitted[k].ticket = t
 	}
 	return &Batch{jobs: jobs, inner: inner}
-}
-
-// SubmitJobs enqueues the items in order and returns their individual
-// handles, index-aligned with items.
-//
-// Deprecated: SubmitJobs is the pre-Batch form of SubmitBatch, kept one
-// release for migration. Use SubmitBatch and the *Batch handle, which
-// adds aggregate Wait/Err/Results/Stats/MergeProfiles.
-func (p *Pool) SubmitJobs(ctx context.Context, items []BatchItem) []*Job {
-	return p.SubmitBatch(ctx, items).Jobs()
 }
 
 // Len returns the number of items in the batch.

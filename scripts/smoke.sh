@@ -112,6 +112,47 @@ printf '%s\n' "$REPLAY" | tail -5 | grep -q '^event: done$' || { echo "smoke: re
 rm -f "$SSE_FILE"
 echo "smoke: replay carried final progress + done"
 
+# Design-space campaign (docs/campaigns.md): POST a small grid, follow
+# its SSE progress to the done frame, then check the Pareto-ranked
+# report and the campaign metrics.
+CACCEPT=$(curl -sf "$BASE/v1/campaigns" -d '{
+  "name": "smoke",
+  "sources": {"main.c": "int main() { int s = 0; for (int i = 1; i <= 100; i++) s += i; printf(\"s=%d\\n\", s); return 0; }"},
+  "isas": ["RISC", "VLIW4"],
+  "memories": ["paper", "limit:1|cache:1K,2,16,3|mem:18"]
+}')
+CID=$(printf '%s' "$CACCEPT" | sed 's/.*"id":"\([^"]*\)".*/\1/')
+[ -n "$CID" ] || { echo "smoke: no campaign id in: $CACCEPT" >&2; exit 1; }
+CSSE_FILE=$(mktemp)
+curl -sN --max-time 60 "$BASE/v1/campaigns/$CID/events" > "$CSSE_FILE"
+grep -q '^event: campaign_progress$' "$CSSE_FILE" || { echo "smoke: no campaign_progress frames on stream" >&2; exit 1; }
+tail -5 "$CSSE_FILE" | grep -q '^event: done$' || {
+    echo "smoke: campaign stream did not end with a done frame:" >&2
+    tail -10 "$CSSE_FILE" >&2
+    exit 1
+}
+rm -f "$CSSE_FILE"
+for i in $(seq 1 200); do
+    if CREPORT=$(curl -sf "$BASE/v1/campaigns/$CID/report" 2>/dev/null); then break; fi
+    [ "$i" = 200 ] && { echo "smoke: campaign report never became available" >&2; exit 1; }
+    sleep 0.1
+done
+printf '%s' "$CREPORT" | grep -q '"succeeded":4' || { echo "smoke: campaign did not succeed on all 4 points: $CREPORT" >&2; exit 1; }
+printf '%s' "$CREPORT" | grep -q '"rank":1' || { echo "smoke: report carries no ranked rows: $CREPORT" >&2; exit 1; }
+printf '%s' "$CREPORT" | grep -q '"pareto":true' || { echo "smoke: report flags no Pareto-frontier row: $CREPORT" >&2; exit 1; }
+CMETRICS=$(curl -sf "$BASE/metrics")
+printf '%s\n' "$CMETRICS" | grep -q '^kservd_campaigns_completed_total 1$' || {
+    echo "smoke: campaign completion counter missing:" >&2
+    printf '%s\n' "$CMETRICS" | grep kservd_campaign >&2
+    exit 1
+}
+printf '%s\n' "$CMETRICS" | grep -q '^kservd_campaign_points_total 4$' || {
+    echo "smoke: campaign point counter wrong:" >&2
+    printf '%s\n' "$CMETRICS" | grep kservd_campaign >&2
+    exit 1
+}
+echo "smoke: campaign $CID ran 4 points, Pareto report served"
+
 # A repeat of the same program must be an artifact-cache hit.
 ACCEPT2=$(curl -sf "$BASE/v1/jobs" -d '{
   "isa": "VLIW4",
