@@ -1,6 +1,8 @@
 package kahrisma
 
 import (
+	"fmt"
+
 	"repro/internal/adl"
 	"repro/internal/analysis"
 	"repro/internal/targetgen"
@@ -8,7 +10,7 @@ import (
 
 // Static analysis facade: the same checks cmd/klint runs, exposed on
 // System and Executable for embedders and the kservd /v1/analyze
-// endpoint. The check catalogue (KA001..KB005), severities and exit
+// endpoint. The check catalogue (KA001..KB010), severities and exit
 // conventions are documented in docs/analysis.md.
 
 // Severity grades a lint diagnostic.
@@ -36,7 +38,20 @@ type LintOptions struct {
 	// DOEBounds adds one info diagnostic (check KB005) per recovered
 	// basic block carrying the block's static DOE cycle lower bound.
 	DOEBounds bool
+	// Checks restricts the report to the listed check IDs (nil: all).
+	// KB005 additionally requires DOEBounds.
+	Checks []string
 }
+
+// CheckInfo describes one entry of the analysis check catalogue.
+type CheckInfo = analysis.CheckInfo
+
+// Checks returns the full analysis check catalogue (KA001..KB010) in
+// ID order.
+func Checks() []CheckInfo { return analysis.Checks() }
+
+// KnownCheck reports whether id names a catalogued check.
+func KnownCheck(id string) bool { return analysis.KnownCheck(id) }
 
 // LintModel verifies the elaborated architecture model: ambiguous or
 // shadowed constant-field encodings, register-field bounds and
@@ -75,6 +90,37 @@ func NewFromADLLenient(text string) (*System, *LintReport, error) {
 // (KB004), and optionally the static DOE cycle lower bound per basic
 // block (KB005).
 func (e *Executable) Lint(opts LintOptions) *LintReport {
-	res := analysis.AnalyzeExecutable(e.sys.model, e.prog, analysis.Options{DOEBounds: opts.DOEBounds})
+	res := analysis.AnalyzeExecutable(e.sys.model, e.prog, analysis.Options{
+		DOEBounds: opts.DOEBounds,
+		Checks:    opts.Checks,
+	})
 	return &res.Report
+}
+
+// StaticBoundsReport is the outcome of CheckStaticBounds.
+type StaticBoundsReport = analysis.StaticBoundsReport
+
+// StaticBoundViolation is one failed static-bounds invariant.
+type StaticBoundViolation = analysis.StaticBoundViolation
+
+// CheckStaticBounds cross-checks a measured profile against the static
+// DOE cycle lower bounds (check KB005) of this executable: the run's
+// total DOE cycles must cover the static bound of every basic block the
+// profile shows executed, and must be at least the executed instruction
+// count. The profile's primary cycle model must be DOE — bounds proved
+// for DOE say nothing about other models — and kprof -check-static
+// enforces exactly this.
+func (e *Executable) CheckStaticBounds(p *Profile) (*StaticBoundsReport, error) {
+	if p == nil || len(p.PCs) == 0 {
+		return nil, fmt.Errorf("static bounds check needs a non-empty profile (run with profiling enabled)")
+	}
+	if p.CycleModel != "DOE" {
+		return nil, fmt.Errorf("static bounds check needs DOE as the primary cycle model, profile measured %q", p.CycleModel)
+	}
+	res := analysis.AnalyzeExecutable(e.sys.model, e.prog, analysis.Options{DOEBounds: true})
+	counts := make(map[uint32]uint64, len(p.PCs))
+	for pc, s := range p.PCs {
+		counts[pc] = s.Count
+	}
+	return analysis.CheckStaticBounds(res, counts, p.Instructions, p.Cycles), nil
 }

@@ -162,6 +162,7 @@ func (p *Pool) RunCampaign(ctx context.Context, sys *System, spec CampaignSpec, 
 		timeout: cfg.timeout,
 		exes:    map[string]*Executable{},
 		tuned:   map[string]*tunedBuild{},
+		linted:  map[string]error{},
 	}
 	run, err := campaign.Start(ctx, spec, campaign.Config{
 		Exec:        exec,
@@ -209,6 +210,30 @@ type campaignExecutor struct {
 	// fuel variant.
 	exes  map[string]*Executable
 	tuned map[string]*tunedBuild
+	// linted caches preflight verdicts by build fingerprint, so a
+	// build shared by many grid variants is linted once per campaign.
+	linted map[string]error
+}
+
+// preflight lints one point's executable, failing it on error-severity
+// findings only: warnings (dead stores, convention hints) are reported
+// by klint interactively but do not invalidate a simulation.
+func (e *campaignExecutor) preflight(pt *campaign.Point, exe *Executable) error {
+	fp := driver.Fingerprint(pt.ISA, pt.Sources...)
+	if err, ok := e.linted[fp]; ok {
+		return err
+	}
+	var err error
+	if r := exe.Lint(LintOptions{}); r.Errors() > 0 {
+		for _, d := range r.Diags {
+			if d.Severity == SeverityError {
+				err = fmt.Errorf("preflight: %d error-severity finding(s); first: %s", r.Errors(), d.String())
+				break
+			}
+		}
+	}
+	e.linted[fp] = err
+	return err
 }
 
 // RunWave builds each point's executable (or reuses the campaign's
@@ -229,6 +254,12 @@ func (e *campaignExecutor) RunWave(ctx context.Context, pts []*campaign.Point) [
 		if err != nil {
 			outs[i] = &campaign.Outcome{Err: err.Error()}
 			continue
+		}
+		if pt.Preflight {
+			if err := e.preflight(pt, exe); err != nil {
+				outs[i] = &campaign.Outcome{Err: err.Error()}
+				continue
+			}
 		}
 		ready = append(ready, prepared{slot: i, exe: exe, width: width, resolved: resolved})
 		items = append(items, BatchItem{Exe: exe, Opts: e.pointOptions(pt)})

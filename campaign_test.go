@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -297,5 +298,64 @@ func TestFigure4CampaignMatchesExperiments(t *testing.T) {
 	}
 	if spec.GridSize() != 30 {
 		t.Fatalf("grid = %d", spec.GridSize())
+	}
+}
+
+// Preflight lints every unique build before simulating: points whose
+// executable carries error-severity findings fail with a preflight
+// error and never reach the pool, while clean builds run normally.
+func TestCampaignPreflight(t *testing.T) {
+	sys := newSys(t)
+	pool := kahrisma.NewPool(2)
+	defer pool.Close()
+
+	badAsm := `
+	.global main
+	.func main
+main:
+	.word 0xFFFFFFFF
+	ret
+	.endfunc
+`
+	bad := kahrisma.CampaignSpec{
+		Name:      "preflight-bad",
+		Sources:   map[string]string{"main.s": badAsm},
+		Lang:      "asm",
+		ISAs:      []string{"RISC"},
+		Fuels:     []uint64{0, 1000},
+		Preflight: true,
+	}
+	c, err := pool.RunCampaign(context.Background(), sys, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Wait(); err == nil {
+		t.Fatal("campaign over a KB001-seeded program passed preflight")
+	}
+	st := c.Status()
+	if st.Failed != 2 {
+		t.Fatalf("status: %+v, want both points failed", st)
+	}
+	for _, out := range c.Outcomes() {
+		if out == nil || !strings.Contains(out.Err, "preflight:") {
+			t.Fatalf("outcome %+v, want a preflight error", out)
+		}
+	}
+
+	clean := kahrisma.CampaignSpec{
+		Name:      "preflight-clean",
+		Sources:   map[string]string{"p.c": facadeProg},
+		ISAs:      []string{"RISC", "VLIW4"},
+		Preflight: true,
+	}
+	c, err = pool.RunCampaign(context.Background(), sys, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Wait(); err != nil {
+		t.Fatalf("clean campaign failed preflight: %v", err)
+	}
+	if st := c.Status(); st.Done != 2 || st.Failed != 0 {
+		t.Fatalf("clean status: %+v", st)
 	}
 }

@@ -14,7 +14,8 @@
 //
 //	kcampaign [-isas RISC,VLIW4,auto] [-workloads fft,qsort]
 //	          [-mems "paper;limit:1|cache:1K,2,16,3|mem:18"]
-//	          [-fuels 0,500000] [-models DOE] [-profile] [-wave 8]
+//	          [-fuels 0,500000] [-models DOE] [-profile] [-preflight]
+//	          [-wave 8]
 //	          [-workers N] [-timeout 30s] [-json] [file.c ...]
 //	kcampaign -spec campaign.json [file.c ...]
 //	kcampaign -canned figure4
@@ -49,6 +50,7 @@ func main() {
 		fuels     = flag.String("fuels", "", "comma-separated instruction-budget axis (0: default budget)")
 		models    = flag.String("models", "", "comma-separated cycle models; the first ranks the report (default DOE)")
 		profile   = flag.Bool("profile", false, "profile every point and attach per-pair deltas between Pareto points")
+		preflight = flag.Bool("preflight", false, "lint every unique build before simulating; error findings fail the point")
 		wave      = flag.Int("wave", 0, "points in flight at once (0: default)")
 		workers   = flag.Int("workers", 0, "pool workers (0: GOMAXPROCS)")
 		timeout   = flag.Duration("timeout", 0, "per-point wall-clock cap (0: none)")
@@ -91,6 +93,9 @@ func main() {
 	}
 	if *profile {
 		spec.Profile = true
+	}
+	if *preflight {
+		spec.Preflight = true
 	}
 	if *wave > 0 {
 		spec.Wave = *wave

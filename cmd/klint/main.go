@@ -19,8 +19,10 @@
 //	-adl FILE    lint a custom ADL description and build against it
 //	-workloads   also lint every built-in benchmark workload
 //	-bounds      report static DOE cycle lower bounds per basic block
+//	-checks LIST restrict program checks to a comma-separated ID list
 //	-min LEVEL   minimum severity to print: info, warning, error
 //	-json        machine-readable output
+//	-sarif FILE  additionally write a SARIF 2.1.0 log ("-": stdout)
 //
 // Exit status: 0 when no error-severity diagnostics were found, 1 when
 // at least one error was reported, 2 on operational failure (unreadable
@@ -64,12 +66,28 @@ func main() {
 	bounds := flag.Bool("bounds", false, "report static DOE cycle lower bounds per basic block")
 	minLevel := flag.String("min", "info", "minimum severity to print: info, warning, error")
 	asJSON := flag.Bool("json", false, "machine-readable output")
+	checksFlag := flag.String("checks", "", "comma-separated check IDs to run on programs (empty: all; see docs/analysis.md)")
+	sarifPath := flag.String("sarif", "", "write a SARIF 2.1.0 log to this file (\"-\": stdout)")
 	flag.Parse()
 
 	min, ok := analysis.ParseSeverity(*minLevel)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "klint: unknown severity %q\n", *minLevel)
 		os.Exit(2)
+	}
+	var checks []string
+	if *checksFlag != "" {
+		for _, id := range strings.Split(*checksFlag, ",") {
+			id = strings.ToUpper(strings.TrimSpace(id))
+			if id == "" {
+				continue
+			}
+			if !analysis.KnownCheck(id) {
+				fmt.Fprintf(os.Stderr, "klint: unknown check %q (see docs/analysis.md)\n", id)
+				os.Exit(2)
+			}
+			checks = append(checks, id)
+		}
 	}
 
 	model, modelReport, err := loadModel(*adlPath)
@@ -86,7 +104,7 @@ func main() {
 	if modelReport.Errors() > 0 && (flag.NArg() > 0 || *doWorkloads) {
 		fmt.Fprintln(os.Stderr, "klint: model has errors, skipping program analysis")
 	} else {
-		opts := analysis.Options{DOEBounds: *bounds}
+		opts := analysis.Options{DOEBounds: *bounds, Checks: checks}
 		for _, arg := range flag.Args() {
 			p, err := loadProgram(model, *isaName, arg)
 			if err != nil {
@@ -112,6 +130,11 @@ func main() {
 
 	out.Errors = total.Errors()
 	out.Warnings = total.Warnings()
+	if *sarifPath != "" {
+		if err := writeSARIF(*sarifPath, &out); err != nil {
+			fatal(err)
+		}
+	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

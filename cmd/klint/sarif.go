@@ -1,0 +1,163 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+// SARIF 2.1.0 export: one run, the analysis check catalogue as the
+// rule table, one result per diagnostic. Guest diagnostics carry no
+// source line — the analyzer works on linked binaries — so each result
+// locates its artifact (the analyzed file, or "model") and records the
+// guest address and function as properties plus a logical location.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID                   string       `json:"id"`
+	ShortDescription     sarifText    `json:"shortDescription"`
+	DefaultConfiguration sarifDefault `json:"defaultConfiguration"`
+}
+
+type sarifDefault struct {
+	Level string `json:"level"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID     string          `json:"ruleId"`
+	Level      string          `json:"level"`
+	Message    sarifText       `json:"message"`
+	Locations  []sarifLocation `json:"locations,omitempty"`
+	Properties map[string]any  `json:"properties,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation *sarifPhysical `json:"physicalLocation,omitempty"`
+	LogicalLocations []sarifLogical `json:"logicalLocations,omitempty"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifLogical struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+func sarifLevel(sev analysis.Severity) string {
+	switch sev {
+	case analysis.Error:
+		return "error"
+	case analysis.Warning:
+		return "warning"
+	default:
+		return "note"
+	}
+}
+
+func sarifResultFor(artifact string, d analysis.Diagnostic) sarifResult {
+	res := sarifResult{
+		RuleID:  d.Check,
+		Level:   sarifLevel(d.Severity),
+		Message: sarifText{Text: d.Msg},
+	}
+	loc := sarifLocation{
+		PhysicalLocation: &sarifPhysical{ArtifactLocation: sarifArtifact{URI: artifact}},
+	}
+	if d.Func != "" {
+		loc.LogicalLocations = append(loc.LogicalLocations, sarifLogical{Name: d.Func, Kind: "function"})
+	}
+	res.Locations = []sarifLocation{loc}
+	props := map[string]any{}
+	if d.HasAddr {
+		props["guestAddress"] = fmt.Sprintf("%#x", d.Addr)
+	}
+	if d.ISA != "" {
+		props["isa"] = d.ISA
+	}
+	if len(props) > 0 {
+		res.Properties = props
+	}
+	return res
+}
+
+// buildSARIF renders the collected output as one SARIF run.
+func buildSARIF(out *output) *sarifLog {
+	var rules []sarifRule
+	for _, c := range analysis.Checks() {
+		rules = append(rules, sarifRule{
+			ID:                   c.ID,
+			ShortDescription:     sarifText{Text: c.Summary},
+			DefaultConfiguration: sarifDefault{Level: sarifLevel(c.Severity)},
+		})
+	}
+	results := []sarifResult{}
+	for _, d := range out.Model {
+		results = append(results, sarifResultFor("model", d))
+	}
+	for _, pr := range out.Programs {
+		for _, d := range pr.Diags {
+			results = append(results, sarifResultFor(pr.Name, d))
+		}
+	}
+	return &sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "klint",
+				InformationURI: "docs/analysis.md",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+}
+
+// writeSARIF writes the SARIF log to path ("-" for stdout).
+func writeSARIF(path string, out *output) error {
+	log := buildSARIF(out)
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -9,15 +9,22 @@
 // Usage:
 //
 //	kprof [-isa RISC] [-models DOE] [-top 20] [-disasm] [-json]
-//	      [-pprof out.pb.gz] [-asm] [-fuel N] [-mem SPEC] file.c...
+//	      [-pprof out.pb.gz] [-asm] [-fuel N] [-mem SPEC]
+//	      [-check-static] file.c...
 //	kprof -diff [-top 20] [-json] a.json b.json
 //
 // -diff takes two saved -json reports instead of sources and renders
 // their deltas (totals, per-ISA attribution, top-N per-PC cycle
 // movement), B relative to A.
 //
-// Exit status: 0 on success, 1 on build/run errors or an empty profile,
-// 2 on usage errors.
+// -check-static cross-checks the measured DOE cycles against the
+// analyzer's static per-block lower bounds (check KB005): the run's
+// total cycles must cover the bound of every executed block and the
+// executed instruction count. It requires DOE as the first (primary)
+// cycle model.
+//
+// Exit status: 0 on success, 1 on build/run errors, an empty profile or
+// a violated static bound, 2 on usage errors.
 package main
 
 import (
@@ -45,6 +52,7 @@ func main() {
 		fuel    = flag.Uint64("fuel", 0, "instruction budget (0: default)")
 		memSpec = flag.String("mem", "", "memory hierarchy spec, e.g. \"limit:1|cache:2K,4,32,3|mem:18\" (empty: the paper's)")
 		diff    = flag.Bool("diff", false, "compare two saved -json reports (a.json b.json) instead of running a program")
+		chkStat = flag.Bool("check-static", false, "cross-check measured DOE cycles against the static per-block lower bounds (KB005); requires DOE as the first model")
 	)
 	flag.Parse()
 	if *diff {
@@ -122,6 +130,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kprof: wrote %s (render with: go tool pprof %s)\n", *pprofF, *pprofF)
 	}
 
+	if *chkStat {
+		sb, err := exe.CheckStaticBounds(p)
+		if err != nil {
+			fatal(err)
+		}
+		printStaticBounds(sb)
+		if !sb.OK() {
+			os.Exit(1)
+		}
+	}
+
 	rep := exe.ProfileReport(p, *topN)
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -135,6 +154,24 @@ func main() {
 	printReport(rep)
 	if *disasm {
 		printAnnotated(exe, p, rep)
+	}
+}
+
+// printStaticBounds renders the static-bounds cross-check: one row per
+// function with executed blocks, then any violated invariants.
+func printStaticBounds(sb *kahrisma.StaticBoundsReport) {
+	fmt.Printf("static bounds: %d measured DOE cycles over %d instructions; %d of %d blocks executed\n",
+		sb.TotalCycles, sb.TotalInstructions, sb.ExecutedBlocks, sb.CheckedBlocks)
+	fmt.Printf("  %-16s %8s %12s %12s\n", "FUNC", "BLOCKS", "MAX BOUND", "SUM BOUNDS")
+	for _, f := range sb.Funcs {
+		fmt.Printf("  %-16s %8d %12d %12d\n", f.Func, f.ExecutedBlocks, f.MaxBound, f.SumBounds)
+	}
+	if sb.OK() {
+		fmt.Println("static bounds: all invariants hold")
+		return
+	}
+	for _, v := range sb.Violations {
+		fmt.Fprintf(os.Stderr, "kprof: static bound violated: %s\n", v.Msg)
 	}
 }
 

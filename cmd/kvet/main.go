@@ -14,6 +14,10 @@
 //     sentinel errors (the Err* variables of errors.go) must wrap it
 //     with %w, never stringify it with %v/%s — otherwise errors.Is
 //     classification breaks for callers.
+//   - docsync: every analysis check ID declared as a string constant
+//     in internal/analysis (KA001, KB007, ...) must appear in
+//     docs/analysis.md — the check catalogue users and the SARIF rule
+//     table point at. An undocumented check is a finding.
 //
 // kvet uses the standard library's go/parser and go/ast only (the
 // go/analysis framework lives in golang.org/x/tools, which this repo
@@ -35,6 +39,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -70,6 +75,8 @@ func main() {
 	}
 
 	var findings []string
+	var checkIDs []string
+	analysisDir := filepath.Join(root, "internal", "analysis")
 	fset := token.NewFileSet()
 	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
@@ -90,11 +97,27 @@ func main() {
 			return err
 		}
 		findings = append(findings, checkFile(fset, f, filepath.Base(path), sentinels)...)
+		if filepath.Dir(path) == analysisDir && !strings.HasSuffix(path, "_test.go") {
+			checkIDs = append(checkIDs, constCheckIDs(f)...)
+		}
 		return nil
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "kvet: %v\n", err)
 		os.Exit(2)
+	}
+
+	if len(checkIDs) > 0 {
+		docPath := filepath.Join(root, "docs", "analysis.md")
+		doc, err := os.ReadFile(docPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kvet: %v\n", err)
+			os.Exit(2)
+		}
+		for _, id := range missingDocIDs(checkIDs, string(doc)) {
+			findings = append(findings,
+				fmt.Sprintf("%s: check %s is declared in internal/analysis but not documented (docsync)", docPath, id))
+		}
 	}
 
 	sort.Strings(findings)
@@ -248,4 +271,56 @@ func formatVerbs(format string) []string {
 		}
 	}
 	return verbs
+}
+
+// checkIDPattern matches analysis check identifiers: a K, a category
+// letter, three digits (KA001, KB010, ...).
+var checkIDPattern = regexp.MustCompile(`^K[A-Z]\d{3}$`)
+
+// constCheckIDs returns the analysis check IDs declared as string
+// constants in one parsed file, e.g. `CheckUninit = "KB006"`.
+func constCheckIDs(f *ast.File) []string {
+	var ids []string
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, v := range vs.Values {
+				lit, ok := v.(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				s, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					continue
+				}
+				if checkIDPattern.MatchString(s) {
+					ids = append(ids, s)
+				}
+			}
+		}
+	}
+	return ids
+}
+
+// missingDocIDs returns the IDs (sorted, deduplicated) that the doc
+// text does not mention.
+func missingDocIDs(ids []string, doc string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, id := range ids {
+		if seen[id] || strings.Contains(doc, id) {
+			continue
+		}
+		seen[id] = true
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
 }

@@ -113,3 +113,43 @@ func TestRepoIsClean(t *testing.T) {
 		}
 	}
 }
+
+func TestDocsyncConstCheckIDs(t *testing.T) {
+	const src = `package analysis
+const (
+	CheckUninit    = "KB006"
+	CheckDeadStore = "KB007"
+	otherConst     = "not-an-id"
+	numeric        = 42
+)
+const CheckAmbiguous = "KA001"
+var notConst = "KB999"
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "diag.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := constCheckIDs(f)
+	want := []string{"KB006", "KB007", "KA001"}
+	if len(got) != len(want) {
+		t.Fatalf("constCheckIDs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("constCheckIDs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDocsyncMissingDocIDs(t *testing.T) {
+	doc := "| KA001 | ambiguous |\n| KB006 | uninitialized read |\n"
+	ids := []string{"KA001", "KB006", "KB007", "KB010", "KB007"}
+	got := missingDocIDs(ids, doc)
+	if len(got) != 2 || got[0] != "KB007" || got[1] != "KB010" {
+		t.Fatalf("missingDocIDs = %v, want [KB007 KB010]", got)
+	}
+	if got := missingDocIDs([]string{"KA001"}, doc); len(got) != 0 {
+		t.Fatalf("documented ID reported missing: %v", got)
+	}
+}

@@ -1,6 +1,8 @@
 package analysis_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -518,5 +520,287 @@ main:
 	}
 	if doe.Cycles() < blk.DOEBound {
 		t.Fatalf("dynamic DOE cycles %d < static bound %d", doe.Cycles(), blk.DOEBound)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Dataflow checks (KB006..KB010), each over a program seeding exactly
+// that defect, mirroring the KB001..KB005 fixtures above.
+
+func TestUninitTempRead(t *testing.T) {
+	// t0 is caller-saved scratch: nothing defines it on any path from
+	// main's entry, so reading it observes garbage.
+	p := ktest.BuildProgram(t, "RISC", `
+	.global main
+	.func main
+main:
+	add a0, t0, zero
+	ret
+	.endfunc
+`)
+	r := analyze(t, p)
+	d := wantCheck(t, &r.Report, analysis.CheckUninit, "not written on every path")
+	if d.Severity != analysis.Warning {
+		t.Fatalf("severity = %v, want warning", d.Severity)
+	}
+	if !strings.Contains(d.Msg, "t0") || d.Func != "main" {
+		t.Fatalf("diagnostic lacks register/function context: %+v", d)
+	}
+}
+
+func TestUninitBranchyPath(t *testing.T) {
+	// t1 is defined on the taken path only; the fall-through reaches the
+	// read with t1 still undefined, so the must-analysis flags it.
+	p := ktest.BuildProgram(t, "RISC", `
+	.global main
+	.func main
+main:
+	li t0, 1
+	beq t0, zero, skip
+	li t1, 5
+skip:
+	add a0, t1, zero
+	ret
+	.endfunc
+`)
+	r := analyze(t, p)
+	wantCheck(t, &r.Report, analysis.CheckUninit, "t1")
+}
+
+func TestDeadStore(t *testing.T) {
+	// t5 is written and never read again before main exits; temps are
+	// dead across returns, so the store is provably useless.
+	p := ktest.BuildProgram(t, "RISC", `
+	.global main
+	.func main
+main:
+	li t5, 7
+	li a0, 0
+	ret
+	.endfunc
+`)
+	r := analyze(t, p)
+	d := wantCheck(t, &r.Report, analysis.CheckDeadStore, "dead store")
+	if !strings.Contains(d.Msg, "t5") {
+		t.Fatalf("message lacks register: %s", d.Msg)
+	}
+	if d.Severity != analysis.Warning {
+		t.Fatalf("severity = %v, want warning", d.Severity)
+	}
+}
+
+func TestUnreachableCode(t *testing.T) {
+	// The instructions between the unconditional branch and its target
+	// are never reached by any control path.
+	p := ktest.BuildProgram(t, "RISC", `
+	.global main
+	.func main
+main:
+	li a0, 0
+	b done
+	li a0, 1
+	li a0, 2
+done:
+	ret
+	.endfunc
+`)
+	r := analyze(t, p)
+	d := wantCheck(t, &r.Report, analysis.CheckUnreachableCode, "never reached")
+	if !strings.Contains(d.Msg, "main") {
+		t.Fatalf("message lacks function: %s", d.Msg)
+	}
+	if d.Severity != analysis.Warning {
+		t.Fatalf("severity = %v, want warning", d.Severity)
+	}
+}
+
+func TestCrossISACallMissingArg(t *testing.T) {
+	// vfn (VLIW2) reads its argument registers, but the RISC caller
+	// never writes a0 on any path to the call site.
+	p := ktest.BuildProgram(t, "RISC", `
+	.global main
+	.func main
+main:
+	swt VLIW2
+	jal vfn
+	swt RISC
+	li a0, 0
+	ret
+	.endfunc
+
+	.isa VLIW2
+	.global vfn
+	.func vfn
+vfn:
+	{ add a0, a0, a1 ; add a1, a1, zero }
+	ret
+	.endfunc
+`)
+	r := analyze(t, p)
+	d := wantCheck(t, &r.Report, analysis.CheckCallConv, "never writes on any path")
+	if !strings.Contains(d.Msg, "vfn") || !strings.Contains(d.Msg, "VLIW2") {
+		t.Fatalf("message lacks callee context: %s", d.Msg)
+	}
+	if d.Severity != analysis.Warning {
+		t.Fatalf("severity = %v, want warning", d.Severity)
+	}
+}
+
+func TestCrossISACallArgDefined(t *testing.T) {
+	// Same shape, but the caller does write a0 before the call: the
+	// may-analysis sees the definition and KB009 stays silent.
+	p := ktest.BuildProgram(t, "RISC", `
+	.global main
+	.func main
+main:
+	li a0, 3
+	li a1, 4
+	swt VLIW2
+	jal vfn
+	swt RISC
+	ret
+	.endfunc
+
+	.isa VLIW2
+	.global vfn
+	.func vfn
+vfn:
+	{ add a0, a0, a1 ; add a1, a1, zero }
+	ret
+	.endfunc
+`)
+	r := analyze(t, p)
+	if ds := find(&r.Report, analysis.CheckCallConv); len(ds) != 0 {
+		t.Fatalf("unexpected KB009 on a well-formed call:\n%s", dump(&r.Report))
+	}
+}
+
+func TestBadAccessOutsideAddressSpace(t *testing.T) {
+	// The load address is a compile-time constant (0) below the text
+	// base: no execution can make it legal.
+	p := ktest.BuildProgram(t, "RISC", `
+	.global main
+	.func main
+main:
+	lw a0, 0(zero)
+	ret
+	.endfunc
+`)
+	r := analyze(t, p)
+	d := wantCheck(t, &r.Report, analysis.CheckBadAccess, "statically outside the guest address space")
+	if d.Severity != analysis.Error {
+		t.Fatalf("severity = %v, want error", d.Severity)
+	}
+}
+
+func TestBadAccessTextOverwrite(t *testing.T) {
+	// Storing through a constant address inside the text section is
+	// self-modification, which the simulator does not support.
+	p := ktest.BuildProgram(t, "RISC", `
+	.global main
+	.func main
+main:
+	la t0, main
+	sw zero, 0(t0)
+	li a0, 0
+	ret
+	.endfunc
+`)
+	r := analyze(t, p)
+	d := wantCheck(t, &r.Report, analysis.CheckBadAccess, "overwrites the text section")
+	if d.Severity != analysis.Error {
+		t.Fatalf("severity = %v, want error", d.Severity)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Options.Checks filtering and determinism.
+
+func TestChecksFilter(t *testing.T) {
+	// One program carrying two distinct defects; restricting Checks to
+	// KB007 must keep the dead store and drop the bad access.
+	p := ktest.BuildProgram(t, "RISC", `
+	.global main
+	.func main
+main:
+	li t5, 7
+	lw a0, 0(zero)
+	ret
+	.endfunc
+`)
+	m := ktest.Model(t)
+	full := analysis.AnalyzeExecutable(m, p, analysis.Options{})
+	if len(find(&full.Report, analysis.CheckDeadStore)) == 0 || len(find(&full.Report, analysis.CheckBadAccess)) == 0 {
+		t.Fatalf("fixture does not seed both defects:\n%s", dump(&full.Report))
+	}
+	only := analysis.AnalyzeExecutable(m, p, analysis.Options{Checks: []string{analysis.CheckDeadStore}})
+	if len(find(&only.Report, analysis.CheckDeadStore)) == 0 {
+		t.Fatalf("filtered run lost the requested check:\n%s", dump(&only.Report))
+	}
+	for _, d := range only.Report.Diags {
+		if d.Check != analysis.CheckDeadStore {
+			t.Fatalf("filtered run leaked %s:\n%s", d.Check, dump(&only.Report))
+		}
+	}
+}
+
+func TestAnalyzeDeterministic(t *testing.T) {
+	// Analyzing the same executable twice must yield byte-identical
+	// reports: downstream caches key on the build fingerprint and serve
+	// the first report verbatim.
+	p := ktest.BuildProgram(t, "RISC", `
+	.global main
+	.func main
+main:
+	add a0, t0, zero
+	li t5, 9
+	b over
+	li a1, 1
+over:
+	lw a2, 0(zero)
+	ret
+	.endfunc
+`)
+	m := ktest.Model(t)
+	opts := analysis.Options{DOEBounds: true}
+	first, err := json.Marshal(analysis.AnalyzeExecutable(m, p, opts).Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := json.Marshal(analysis.AnalyzeExecutable(m, p, opts).Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("reports differ between runs:\n%s\n---\n%s", first, second)
+	}
+}
+
+func TestCheckCatalogue(t *testing.T) {
+	checks := analysis.Checks()
+	if len(checks) == 0 {
+		t.Fatal("empty check catalogue")
+	}
+	seen := map[string]bool{}
+	for _, c := range checks {
+		if seen[c.ID] {
+			t.Fatalf("duplicate catalogue entry %s", c.ID)
+		}
+		seen[c.ID] = true
+		if !analysis.KnownCheck(c.ID) {
+			t.Fatalf("catalogue entry %s not known", c.ID)
+		}
+		if c.Summary == "" {
+			t.Fatalf("catalogue entry %s has no summary", c.ID)
+		}
+	}
+	for _, id := range []string{analysis.CheckUninit, analysis.CheckDeadStore,
+		analysis.CheckUnreachableCode, analysis.CheckCallConv, analysis.CheckBadAccess} {
+		if !seen[id] {
+			t.Fatalf("catalogue missing %s", id)
+		}
+	}
+	if analysis.KnownCheck("KB999") {
+		t.Fatal("KB999 reported as known")
 	}
 }

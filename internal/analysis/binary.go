@@ -15,6 +15,23 @@ type Options struct {
 	// DOEBounds emits one KB005 info diagnostic per basic block with
 	// the block's static DOE cycle lower bound (see doe.go).
 	DOEBounds bool
+	// Checks restricts the report to the listed check IDs. nil keeps
+	// every default check (KB005 additionally requires DOEBounds);
+	// an empty non-nil slice disables them all.
+	Checks []string
+}
+
+// enabled reports whether a check is selected by the filter.
+func (o Options) enabled(check string) bool {
+	if o.Checks == nil {
+		return true
+	}
+	for _, c := range o.Checks {
+		if c == check {
+			return true
+		}
+	}
+	return false
 }
 
 // Result is the outcome of analyzing one executable: the diagnostic
@@ -54,11 +71,52 @@ func AnalyzeExecutable(m *isa.Model, p *sim.Program, opts Options) *Result {
 		b.queue = b.queue[1:]
 		b.step(s)
 	}
-	if opts.DOEBounds {
+	funcs := b.buildCFG()
+	if opts.DOEBounds && opts.enabled(CheckDOEBound) {
 		b.emitDOEBounds()
+	}
+	// The dataflow checks need a structurally sound CFG: undecodable
+	// words or bad targets leave holes in it, and any finding past a
+	// hole would be noise on top of the real error.
+	if b.res.Errors() == 0 {
+		b.runDataflow(funcs, opts)
+	}
+	if opts.Checks != nil {
+		kept := b.res.Diags[:0]
+		for _, d := range b.res.Diags {
+			if opts.enabled(d.Check) {
+				kept = append(kept, d)
+			}
+		}
+		b.res.Diags = kept
 	}
 	b.res.Sort()
 	return b.res
+}
+
+// runDataflow runs the interprocedural checks (KB006–KB010) over the
+// recovered per-function CFGs. Checks that depend on the software
+// calling convention are skipped on models whose register file doesn't
+// declare the builtin aliases.
+func (b *binAnalyzer) runDataflow(funcs []*funcCFG, opts Options) {
+	if opts.enabled(CheckUnreachableCode) {
+		b.checkUnreachable()
+	}
+	ip := newInterproc(b, funcs)
+	if ip.conv.ok {
+		if opts.enabled(CheckUninit) {
+			ip.checkUninit()
+		}
+		if opts.enabled(CheckDeadStore) {
+			ip.checkDeadStore()
+		}
+		if opts.enabled(CheckCallConv) {
+			ip.checkCallConv()
+		}
+	}
+	if opts.enabled(CheckBadAccess) {
+		ip.checkBadAccess()
+	}
 }
 
 // state is one point of the abstract execution: an instruction address
@@ -72,10 +130,21 @@ type state struct {
 	swtAddr uint32
 }
 
+// edgeTarget is one static intra-text control-transfer successor
+// recorded during the walk (branch target or non-linking jump target),
+// with the ISA active when it executes.
+type edgeTarget struct {
+	addr uint32
+	isa  *isa.ISA
+}
+
 type bundleInfo struct {
 	instr   *decode.Instruction
 	hasFall bool
-	control bool // ends a basic block
+	control bool     // ends a basic block
+	fallISA *isa.ISA // ISA of the fall-through successor (changes at SWITCHTARGET)
+	targets []edgeTarget
+	calls   []*CallSite
 }
 
 type binAnalyzer struct {
@@ -234,19 +303,36 @@ func (b *binAnalyzer) step(s state) {
 		case isa.ClassBranch:
 			info.control = true
 			target := o.Addr + uint32(o.Operands.Imm)*isa.OpWordBytes
-			b.pushTarget(target, next, o, "branch")
+			if at := b.pushTarget(target, next, o, "branch"); at != nil {
+				info.targets = append(info.targets, edgeTarget{addr: target, isa: at})
+			}
 		case isa.ClassJump:
 			info.control = true
+			links := b.linksReturn(o)
 			if o.Op.ImmField != nil {
 				target := uint32(o.Operands.Imm) * isa.OpWordBytes
-				b.pushTarget(target, next, o, "jump")
+				at := b.pushTarget(target, next, o, "jump")
+				switch {
+				case at == nil:
+					// Invalid target; KB002/KB003 already reported.
+				case links:
+					info.calls = append(info.calls, &CallSite{
+						Op: o, Target: target, TargetISA: at, Known: true,
+					})
+				default:
+					info.targets = append(info.targets, edgeTarget{addr: target, isa: at})
+				}
+			} else if links {
+				// Register-indirect call: unknown callee.
+				info.calls = append(info.calls, &CallSite{Op: o})
 			}
-			if !b.linksReturn(o) {
+			if !links {
 				noFall = true
 			}
 		}
 	}
 
+	info.fallISA = next
 	if noFall {
 		info.hasFall = false
 		return
@@ -261,11 +347,15 @@ func (b *binAnalyzer) step(s state) {
 // fall-through: an explicit link register other than the zero register,
 // or an implicit write besides the instruction pointer (JAL's ra).
 func (b *binAnalyzer) linksReturn(o *decode.Op) bool {
-	if o.Op.DstField != nil && int(o.Operands.Rd) != b.m.Regs.ZeroReg {
+	return linksReturn(b.m.Regs.ZeroReg, o)
+}
+
+func linksReturn(zero int, o *decode.Op) bool {
+	if o.Op.DstField != nil && int(o.Operands.Rd) != zero {
 		return true
 	}
 	for _, r := range o.Op.ImplicitWrites {
-		if r != isa.RegIP && r != b.m.Regs.ZeroReg {
+		if r != isa.RegIP && r != zero {
 			return true
 		}
 	}
@@ -273,15 +363,17 @@ func (b *binAnalyzer) linksReturn(o *decode.Op) bool {
 }
 
 // pushTarget validates a static control-transfer target and enqueues
-// it. Calls landing on a function entry are checked against the
-// function table's declared ISA (KB003): reaching a function under the
-// wrong ISA means a missing or inconsistent SWITCHTARGET pair.
-func (b *binAnalyzer) pushTarget(target uint32, cur *isa.ISA, o *decode.Op, kind string) {
+// it, returning the ISA the walk continues under there (nil when the
+// target is invalid). Calls landing on a function entry are checked
+// against the function table's declared ISA (KB003): reaching a
+// function under the wrong ISA means a missing or inconsistent
+// SWITCHTARGET pair.
+func (b *binAnalyzer) pushTarget(target uint32, cur *isa.ISA, o *decode.Op, kind string) *isa.ISA {
 	if target < b.p.TextStart || target >= b.p.TextEnd {
 		b.diag(CheckBadTarget, Error, o.Addr, cur,
 			"%s at %#x targets %#x outside text [%#x,%#x)",
 			kind, o.Addr, target, b.p.TextStart, b.p.TextEnd)
-		return
+		return nil
 	}
 	next := cur
 	if fi := b.p.FuncAt(target); fi != nil && fi.Start == target {
@@ -296,6 +388,7 @@ func (b *binAnalyzer) pushTarget(target uint32, cur *isa.ISA, o *decode.Op, kind
 		}
 	}
 	b.push(state{addr: target, isa: next}, true)
+	return next
 }
 
 // checkWAW reports intra-bundle write-after-write hazards: two parallel

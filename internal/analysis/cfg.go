@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/decode"
+	"repro/internal/isa"
+	"repro/internal/kelf"
+)
+
+// Block is one recovered basic block: a maximal fall-through chain of
+// decoded instructions under a single ISA, entered only at its head.
+type Block struct {
+	Start, End uint32 // [Start, End) byte range
+	ISA        *isa.ISA
+	Instrs     []*decode.Instruction
+	// DOEBound is the static lower bound, in cycles, that the DOE model
+	// charges for one pass through the block (see blockDOEBound).
+	DOEBound uint64
+
+	// Fn is the enclosing function-table entry, when any.
+	Fn *kelf.FuncInfo
+	// Succs/Preds are the intra-function CFG edges (fall-through,
+	// branch targets, non-linking jump targets). Edges that cross a
+	// function boundary are dropped and recorded as Escapes on the
+	// source and extEntry on the target.
+	Succs, Preds []*Block
+	// Calls are the linking jumps the block ends with; control resumes
+	// at the fall-through successor.
+	Calls []*CallSite
+	// Returns marks blocks ending in a return, a halt, or another
+	// target-less non-linking transfer: function exits.
+	Returns bool
+	// Escapes marks blocks with a control transfer (or fall-through)
+	// that leaves the function — tail jumps, falls into a neighbour, or
+	// transfers whose target the walk could not decode. Dataflow treats
+	// them as maximally conservative exits.
+	Escapes bool
+
+	// extEntry marks blocks additionally entered from outside their
+	// function (another function's jump, or no recovered predecessor),
+	// so intra-function solvers widen their boundary state.
+	extEntry bool
+
+	last *bundleInfo // terminator bundle, for edge wiring
+}
+
+// CallSite is one static call: a linking jump recorded during the CFG
+// walk. Known is false for register-indirect calls, whose callee the
+// walk cannot resolve.
+type CallSite struct {
+	Op        *decode.Op
+	Block     *Block
+	Target    uint32 // callee entry address, valid when Known
+	TargetISA *isa.ISA
+	Known     bool
+}
+
+// funcCFG is the per-function control-flow graph the dataflow solvers
+// run on: the function's blocks in address order plus its entry block.
+type funcCFG struct {
+	fn     *kelf.FuncInfo
+	isa    *isa.ISA // declared ISA (nil when unknown)
+	entry  *Block
+	blocks []*Block
+}
+
+// buildCFG groups the walked bundles into basic blocks, computes each
+// block's static DOE bound, wires intra-function successor/predecessor
+// edges and groups the blocks by enclosing function. It always runs —
+// KB005 emission and the dataflow checks both consume its output.
+func (b *binAnalyzer) buildCFG() []*funcCFG {
+	keys := make([]uint64, 0, len(b.bundles))
+	for k := range b.bundles {
+		keys = append(keys, k)
+	}
+	// Address order, then ISA id: fall-through neighbours of the same
+	// ISA become adjacent, so block construction is a single scan.
+	sort.Slice(keys, func(i, j int) bool {
+		ai, aj := uint32(keys[i]), uint32(keys[j])
+		if ai != aj {
+			return ai < aj
+		}
+		return keys[i]>>32 < keys[j]>>32
+	})
+
+	byKey := make(map[uint64]*Block)
+	var cur *Block
+	flush := func() {
+		if cur == nil {
+			return
+		}
+		cur.DOEBound = b.blockDOEBound(cur)
+		b.res.Blocks = append(b.res.Blocks, cur)
+		cur = nil
+	}
+	for _, k := range keys {
+		info := b.bundles[k]
+		in := info.instr
+		if cur == nil || in.ISA != cur.ISA || in.Addr != cur.End || b.leaders[k] {
+			flush()
+			cur = &Block{Start: in.Addr, End: in.Addr, ISA: in.ISA, Fn: b.p.FuncAt(in.Addr)}
+			byKey[k] = cur
+		}
+		cur.Instrs = append(cur.Instrs, in)
+		cur.End = in.Addr + in.Size
+		cur.last = info
+		if info.control || !info.hasFall {
+			flush()
+		}
+	}
+	flush()
+
+	for _, blk := range b.res.Blocks {
+		b.wireBlock(blk, byKey)
+	}
+	for _, blk := range b.res.Blocks {
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+
+	// Group by function, preserving address order within and across
+	// functions (blocks are already address-sorted).
+	var funcs []*funcCFG
+	byFn := make(map[*kelf.FuncInfo]*funcCFG)
+	for _, blk := range b.res.Blocks {
+		if blk.Fn == nil {
+			continue
+		}
+		f := byFn[blk.Fn]
+		if f == nil {
+			f = &funcCFG{fn: blk.Fn, isa: b.m.ISAByID(int(blk.Fn.ISA))}
+			byFn[blk.Fn] = f
+			funcs = append(funcs, f)
+		}
+		f.blocks = append(f.blocks, blk)
+		if blk.Start == blk.Fn.Start && (f.entry == nil || blk.ISA == f.isa) {
+			f.entry = blk
+		}
+	}
+	return funcs
+}
+
+// wireBlock records one block's successor edges from its terminator
+// bundle. Cross-function edges are dropped: the source escapes, the
+// target becomes an external entry.
+func (b *binAnalyzer) wireBlock(blk *Block, byKey map[uint64]*Block) {
+	li := blk.last
+	if li == nil {
+		return
+	}
+	addEdge := func(addr uint32, a *isa.ISA) {
+		if a == nil {
+			blk.Escapes = true
+			return
+		}
+		dst := byKey[key(addr, a)]
+		if dst == nil {
+			// Target never became a block (its decode failed); be
+			// conservative.
+			blk.Escapes = true
+			return
+		}
+		if dst.Fn != blk.Fn || blk.Fn == nil {
+			blk.Escapes = true
+			dst.extEntry = true
+			return
+		}
+		blk.Succs = append(blk.Succs, dst)
+	}
+	for _, cs := range li.calls {
+		cs.Block = blk
+		blk.Calls = append(blk.Calls, cs)
+	}
+	for _, t := range li.targets {
+		addEdge(t.addr, t.isa)
+	}
+	if li.hasFall {
+		addEdge(blk.End, li.fallISA)
+	} else if len(li.targets) == 0 {
+		// Return, halt, or an indirect transfer with no recoverable
+		// target: a function exit.
+		blk.Returns = true
+	}
+}
+
+// checkUnreachable reports KB008 for byte ranges inside a function that
+// no walked bundle covers: code past an unconditional transfer that
+// nothing branches back into. Whole functions stay silent — the walk
+// seeds every function-table entry, so an uncalled function is still
+// verified rather than flagged.
+func (b *binAnalyzer) checkUnreachable() {
+	covered := make(map[uint32]bool, len(b.owner))
+	for _, info := range b.bundles {
+		in := info.instr
+		for w := in.Addr; w < in.Addr+in.Size; w += isa.OpWordBytes {
+			covered[w] = true
+		}
+	}
+	for i := range b.p.Funcs.Funcs {
+		fi := &b.p.Funcs.Funcs[i]
+		start, end := fi.Start, fi.End
+		if start < b.p.TextStart {
+			start = b.p.TextStart
+		}
+		if end > b.p.TextEnd {
+			end = b.p.TextEnd
+		}
+		a := b.m.ISAByID(int(fi.ISA))
+		var gap uint32
+		inGap := false
+		flushGap := func(upto uint32) {
+			if !inGap {
+				return
+			}
+			inGap = false
+			b.diag(CheckUnreachableCode, Warning, gap, a,
+				"unreachable code: %#x..%#x (%d byte(s)) in %s is never reached from the entry, the function table or any control path",
+				gap, upto, upto-gap, fi.Name)
+		}
+		for w := start; w+isa.OpWordBytes <= end; w += isa.OpWordBytes {
+			if covered[w] {
+				flushGap(w)
+			} else if !inGap {
+				inGap, gap = true, w
+			}
+		}
+		flushGap(end)
+	}
+}

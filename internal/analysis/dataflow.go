@@ -1,0 +1,241 @@
+package analysis
+
+import (
+	"math/bits"
+
+	"repro/internal/decode"
+	"repro/internal/isa"
+)
+
+// RegSet is a bitset over the architectural registers: bit i is
+// register index i, bit 32 the instruction pointer.
+type RegSet uint64
+
+// allDataRegs covers every general-purpose register (indices 0..31,
+// excluding the instruction pointer).
+const allDataRegs RegSet = (1 << 32) - 1
+
+// Has reports membership.
+func (s RegSet) Has(r int) bool { return r >= 0 && r < 64 && s&(1<<uint(r)) != 0 }
+
+// With returns s with register r added.
+func (s RegSet) With(r int) RegSet {
+	if r < 0 || r >= 64 {
+		return s
+	}
+	return s | 1<<uint(r)
+}
+
+// Count returns the number of registers in the set.
+func (s RegSet) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// convention is the software calling convention recovered from the
+// model's register aliases (the builtin ADL names): caller-saved
+// scratch registers t0..t11, argument registers a0..a3, the link and
+// stack registers. Dataflow checks that depend on it (KB006, KB007,
+// KB009) stay silent on models that don't declare the aliases — a
+// custom register file carries no convention to check against.
+type convention struct {
+	ok    bool
+	temps RegSet // caller-saved scratch (t0..t11)
+	args  RegSet // argument registers (a0..a3)
+	ra    int
+	sp    int
+	zero  int
+}
+
+// callDefs is the set a call conservatively defines in the caller: the
+// link register plus everything the callee is free to clobber or
+// return through.
+func (c convention) callDefs() RegSet { return (c.temps | c.args).With(c.ra) }
+
+func newConvention(rf *isa.RegisterFile) convention {
+	c := convention{ra: -1, sp: -1, zero: rf.ZeroReg}
+	lookup := func(name string) (int, bool) {
+		r, ok := rf.Lookup(name)
+		if !ok || r == rf.ZeroReg || r < 0 || r > 31 {
+			return 0, false
+		}
+		return r, true
+	}
+	for _, name := range []string{"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "t11"} {
+		r, ok := lookup(name)
+		if !ok {
+			return c
+		}
+		c.temps = c.temps.With(r)
+	}
+	for _, name := range []string{"a0", "a1", "a2", "a3"} {
+		r, ok := lookup(name)
+		if !ok {
+			return c
+		}
+		c.args = c.args.With(r)
+	}
+	var ok bool
+	if c.ra, ok = lookup("ra"); !ok {
+		return c
+	}
+	if c.sp, ok = lookup("sp"); !ok {
+		return c
+	}
+	c.ok = true
+	return c
+}
+
+// opReads returns the registers one operation reads: explicit source
+// fields plus implicit reads, excluding the zero register and the
+// instruction pointer.
+func opReads(zero int, o *decode.Op) RegSet {
+	var s RegSet
+	if o.Op.Src1Field != nil && int(o.Operands.Rs1) != zero {
+		s = s.With(int(o.Operands.Rs1))
+	}
+	if o.Op.Src2Field != nil && int(o.Operands.Rs2) != zero {
+		s = s.With(int(o.Operands.Rs2))
+	}
+	for _, r := range o.Op.ImplicitReads {
+		if r != zero && r != isa.RegIP {
+			s = s.With(r)
+		}
+	}
+	return s
+}
+
+// opWrites returns the registers one operation writes: the explicit
+// destination field plus implicit writes, excluding the zero register
+// and the instruction pointer.
+func opWrites(zero int, o *decode.Op) RegSet {
+	var s RegSet
+	if o.Op.DstField != nil && int(o.Operands.Rd) != zero {
+		s = s.With(int(o.Operands.Rd))
+	}
+	for _, r := range o.Op.ImplicitWrites {
+		if r != zero && r != isa.RegIP {
+			s = s.With(r)
+		}
+	}
+	return s
+}
+
+// isCall reports whether an operation is a linking jump.
+func isCall(zero int, o *decode.Op) bool {
+	return o.Op.Class == isa.ClassJump && linksReturn(zero, o)
+}
+
+// problem is one monotone dataflow problem over register bitsets. The
+// lattice is finite (2^33 states per block) and the transfers are
+// monotone, so the worklist iteration below always reaches a fixpoint;
+// maxDataflowIters is a defensive backstop for fuzzed inputs, not a
+// correctness requirement.
+type problem struct {
+	backward bool
+	mayUnion bool   // meet is union (may-analysis); else intersection (must)
+	boundary RegSet // state entering at the function boundary
+	external RegSet // state assumed at external entries (extEntry, no-pred blocks)
+	transfer func(b *Block, in RegSet) RegSet
+}
+
+const maxDataflowIters = 1 << 16
+
+// solve runs the problem over one function's CFG to fixpoint and
+// returns the per-block input states (in execution direction: block
+// entry for forward problems, block exit for backward ones).
+func solve(f *funcCFG, p problem) map[*Block]RegSet {
+	in := make(map[*Block]RegSet, len(f.blocks))
+	out := make(map[*Block]RegSet, len(f.blocks))
+
+	meet := func(a, b RegSet) RegSet {
+		if p.mayUnion {
+			return a | b
+		}
+		return a & b
+	}
+	meetID := func() RegSet {
+		if p.mayUnion {
+			return 0
+		}
+		return ^RegSet(0)
+	}
+
+	// outOf reads a block's computed out-state, defaulting to the meet
+	// identity while unvisited — must-analyses start optimistic (the
+	// greatest fixpoint), may-analyses start empty.
+	outOf := func(b *Block) RegSet {
+		if v, ok := out[b]; ok {
+			return v
+		}
+		return meetID()
+	}
+	// inputOf meets the states feeding b, plus the boundary
+	// contributions.
+	inputOf := func(b *Block) RegSet {
+		acc := meetID()
+		atBoundary := false
+		external := false
+		if p.backward {
+			for _, s := range b.Succs {
+				acc = meet(acc, outOf(s))
+			}
+			if b.Returns {
+				atBoundary = true
+			}
+			if b.Escapes || (len(b.Succs) == 0 && !b.Returns) {
+				external = true
+			}
+		} else {
+			for _, pr := range b.Preds {
+				acc = meet(acc, outOf(pr))
+			}
+			if b == f.entry {
+				atBoundary = true
+			}
+			if b.extEntry || (b != f.entry && len(b.Preds) == 0) {
+				external = true
+			}
+		}
+		if atBoundary {
+			acc = meet(acc, p.boundary)
+		}
+		if external {
+			acc = meet(acc, p.external)
+		}
+		return acc
+	}
+
+	queue := make([]*Block, len(f.blocks))
+	copy(queue, f.blocks)
+	if p.backward {
+		for i, j := 0, len(queue)-1; i < j; i, j = i+1, j-1 {
+			queue[i], queue[j] = queue[j], queue[i]
+		}
+	}
+	queued := make(map[*Block]bool, len(queue))
+	for _, b := range queue {
+		queued[b] = true
+	}
+	for iter := 0; len(queue) > 0 && iter < maxDataflowIters; iter++ {
+		b := queue[0]
+		queue = queue[1:]
+		queued[b] = false
+		iv := inputOf(b)
+		ov := p.transfer(b, iv)
+		in[b] = iv
+		prev, seen := out[b]
+		if seen && prev == ov {
+			continue
+		}
+		out[b] = ov
+		next := b.Succs
+		if p.backward {
+			next = b.Preds
+		}
+		for _, n := range next {
+			if !queued[n] {
+				queued[n] = true
+				queue = append(queue, n)
+			}
+		}
+	}
+	return in
+}

@@ -88,18 +88,68 @@ func ParseSeverity(s string) (Severity, bool) {
 }
 
 // Check identifiers. KA checks apply to ADL models, KB checks to
-// binaries; docs/analysis.md is the authoritative catalogue.
+// binaries; docs/analysis.md is the authoritative catalogue (cmd/kvet
+// fails the build when an ID below is missing from it).
 const (
-	CheckAmbiguous   = "KA001" // two operations not distinguishable by constant fields
-	CheckUnreachable = "KA002" // operation shadowed by an earlier table entry
-	CheckRegBounds   = "KA003" // register field can encode out-of-range indices
-	CheckImmBounds   = "KA004" // immediate field bounds (branch displacement signedness, missing target)
-	CheckUndecodable = "KB001" // reachable operation word matches no table entry
-	CheckBadTarget   = "KB002" // control transfer to out-of-text or misaligned address
-	CheckSwitch      = "KB003" // SWITCHTARGET region or cross-ISA call inconsistency
-	CheckWAWHazard   = "KB004" // intra-bundle VLIW write-after-write hazard
-	CheckDOEBound    = "KB005" // static DOE cycle lower bound per basic block
+	CheckAmbiguous       = "KA001" // two operations not distinguishable by constant fields
+	CheckUnreachable     = "KA002" // operation shadowed by an earlier table entry
+	CheckRegBounds       = "KA003" // register field can encode out-of-range indices
+	CheckImmBounds       = "KA004" // immediate field bounds (branch displacement signedness, missing target)
+	CheckUndecodable     = "KB001" // reachable operation word matches no table entry
+	CheckBadTarget       = "KB002" // control transfer to out-of-text or misaligned address
+	CheckSwitch          = "KB003" // SWITCHTARGET region or cross-ISA call inconsistency
+	CheckWAWHazard       = "KB004" // intra-bundle VLIW write-after-write hazard
+	CheckDOEBound        = "KB005" // static DOE cycle lower bound per basic block
+	CheckUninit          = "KB006" // caller-saved register read before any write on some path
+	CheckDeadStore       = "KB007" // caller-saved register written but never read
+	CheckUnreachableCode = "KB008" // code never reached from the entry or any control path
+	CheckCallConv        = "KB009" // cross-ISA call-site argument-register mismatch
+	CheckBadAccess       = "KB010" // statically pinned data access outside the guest address space
 )
+
+// CheckInfo is one catalogue entry of the check registry: the SARIF
+// rule metadata, the `klint -checks` vocabulary and the docs lockstep
+// gate all derive from it.
+type CheckInfo struct {
+	ID       string   `json:"id"`
+	Severity Severity `json:"severity"` // default severity of its diagnostics
+	Summary  string   `json:"summary"`
+}
+
+// checkCatalogue lists every check in ID order.
+var checkCatalogue = []CheckInfo{
+	{CheckAmbiguous, Error, "two operations are not distinguishable by their constant encoding fields"},
+	{CheckUnreachable, Warning, "operation shadowed by an earlier decode-table entry"},
+	{CheckRegBounds, Error, "register field can encode indices outside the register file"},
+	{CheckImmBounds, Warning, "immediate field bounds are inconsistent with the operation's use"},
+	{CheckUndecodable, Error, "reachable operation word matches no decode-table entry"},
+	{CheckBadTarget, Error, "control transfer to an out-of-text or misaligned address"},
+	{CheckSwitch, Error, "SWITCHTARGET region or cross-ISA call inconsistency"},
+	{CheckWAWHazard, Error, "intra-bundle VLIW write-after-write hazard"},
+	{CheckDOEBound, Info, "static DOE cycle lower bound per basic block"},
+	{CheckUninit, Warning, "caller-saved register read before any write on some path from the function entry"},
+	{CheckDeadStore, Warning, "caller-saved register written but never read before it dies"},
+	{CheckUnreachableCode, Warning, "code never reached from the entry, the function table or any control path"},
+	{CheckCallConv, Warning, "cross-ISA call site never sets an argument register the callee reads"},
+	{CheckBadAccess, Error, "statically pinned data access outside the guest address space or into text"},
+}
+
+// Checks returns the full check catalogue in ID order.
+func Checks() []CheckInfo {
+	out := make([]CheckInfo, len(checkCatalogue))
+	copy(out, checkCatalogue)
+	return out
+}
+
+// KnownCheck reports whether id names a catalogued check.
+func KnownCheck(id string) bool {
+	for _, c := range checkCatalogue {
+		if c.ID == id {
+			return true
+		}
+	}
+	return false
+}
 
 // Diagnostic is one structured finding.
 type Diagnostic struct {

@@ -1,72 +1,23 @@
 package analysis
 
 import (
-	"sort"
-
-	"repro/internal/decode"
 	"repro/internal/isa"
 	"repro/internal/sim"
 )
 
-// Block is one recovered basic block: a maximal fall-through chain of
-// decoded instructions under a single ISA, entered only at its head.
-type Block struct {
-	Start, End uint32 // [Start, End) byte range
-	ISA        *isa.ISA
-	Instrs     []*decode.Instruction
-	// DOEBound is the static lower bound, in cycles, that the DOE model
-	// charges for one pass through the block (see blockDOEBound).
-	DOEBound uint64
-}
-
-// emitDOEBounds groups the walked bundles into basic blocks, computes
-// each block's static DOE cycle lower bound and records it as a KB005
-// info diagnostic.
+// emitDOEBounds records each recovered basic block's static DOE cycle
+// lower bound as a KB005 info diagnostic. The blocks themselves are
+// built unconditionally by buildCFG (cfg.go).
 func (b *binAnalyzer) emitDOEBounds() {
-	keys := make([]uint64, 0, len(b.bundles))
-	for k := range b.bundles {
-		keys = append(keys, k)
-	}
-	// Address order, then ISA id: fall-through neighbours of the same
-	// ISA become adjacent, so block construction is a single scan.
-	sort.Slice(keys, func(i, j int) bool {
-		ai, aj := uint32(keys[i]), uint32(keys[j])
-		if ai != aj {
-			return ai < aj
-		}
-		return keys[i]>>32 < keys[j]>>32
-	})
-
-	var cur *Block
-	flush := func() {
-		if cur == nil {
-			return
-		}
-		cur.DOEBound = b.blockDOEBound(cur)
-		b.res.Blocks = append(b.res.Blocks, cur)
+	for _, blk := range b.res.Blocks {
 		nops := 0
-		for _, in := range cur.Instrs {
+		for _, in := range blk.Instrs {
 			nops += len(in.Ops)
 		}
-		b.diag(CheckDOEBound, Info, cur.Start, cur.ISA,
+		b.diag(CheckDOEBound, Info, blk.Start, blk.ISA,
 			"basic block %#x..%#x: %d instruction(s), %d operation(s), static DOE lower bound %d cycle(s)",
-			cur.Start, cur.End, len(cur.Instrs), nops, cur.DOEBound)
-		cur = nil
+			blk.Start, blk.End, len(blk.Instrs), nops, blk.DOEBound)
 	}
-	for _, k := range keys {
-		info := b.bundles[k]
-		in := info.instr
-		if cur == nil || in.ISA != cur.ISA || in.Addr != cur.End || b.leaders[k] {
-			flush()
-			cur = &Block{Start: in.Addr, End: in.Addr, ISA: in.ISA}
-		}
-		cur.Instrs = append(cur.Instrs, in)
-		cur.End = in.Addr + in.Size
-		if info.control || !info.hasFall {
-			flush()
-		}
-	}
-	flush()
 }
 
 // blockDOEBound replays the DOE issue rules (internal/cycle, Sec. VI-C

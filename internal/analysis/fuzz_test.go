@@ -1,0 +1,81 @@
+package analysis_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/kelf"
+	"repro/internal/sim"
+	"repro/internal/targetgen"
+)
+
+// FuzzCFGWalk feeds arbitrary text sections, entry points and function
+// tables to the binary analyzer. The walk must be total: whatever the
+// bytes decode to — undecodable words, branches into bundle interiors,
+// SWITCHTARGETs naming unknown ISAs, function tables whose ranges
+// overlap or fall outside the text — AnalyzeExecutable must terminate
+// without panicking and produce a deterministic report (analyzing the
+// same program twice yields byte-identical JSON). These are the
+// guarantees klint and /v1/analyze rely on when handed hostile inputs.
+func FuzzCFGWalk(f *testing.F) {
+	model := targetgen.MustKahrisma()
+
+	// Seeds: all-nops (decodes everywhere), an undecodable word, a
+	// backward branch loop shape, and degenerate entry/function values.
+	nops := bytes.Repeat([]byte{0x00, 0x00, 0x00, 0xFC}, 8)
+	f.Add(nops, uint16(0), uint8(0), uint32(0), uint32(16), uint8(0))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF}, uint16(0), uint8(0), uint32(0), uint32(4), uint8(1))
+	f.Add(nops, uint16(8), uint8(2), uint32(4), uint32(0xFFFFFFFF), uint8(7))
+	f.Add([]byte{0x01, 0x00, 0x48, 0x04, 0x00, 0x00, 0x00, 0xFC}, uint16(4), uint8(1), uint32(0), uint32(8), uint8(2))
+
+	f.Fuzz(func(t *testing.T, raw []byte, entryOff uint16, entrySel uint8, fnStart, fnEnd uint32, fnISA uint8) {
+		if len(raw) == 0 || len(raw) > 4096 {
+			return // empty programs are rejected before analysis; cap work per input
+		}
+		text := raw[:len(raw)&^3]
+		if len(text) == 0 {
+			text = raw[:1] // keep sub-word tails: the walk must survive truncated bundles
+		}
+		const base = 0x1000
+		file := kelf.New(kelf.TypeExec)
+		if err := file.AddSection(&kelf.Section{
+			Name: kelf.SecText, Type: kelf.SecProgbits, Addr: base, Data: text,
+		}); err != nil {
+			t.Fatal(err)
+		}
+
+		p := &sim.Program{
+			File:      file,
+			Entry:     base + uint32(entryOff)%uint32(len(text)),
+			EntryISA:  int(entrySel) % (len(model.ISAs) + 1), // one past the end: unknown entry ISA
+			TextStart: base,
+			TextEnd:   base + uint32(len(text)),
+			Funcs:     &kelf.FuncTable{},
+		}
+		// A deliberately unsanitized function record: Start/End may be
+		// unaligned, inverted, or point outside the text section, and
+		// the ISA id may be unknown — linker bugs the analyzer must
+		// report, not trip over.
+		p.Funcs.Add(kelf.FuncInfo{Name: "f0", Start: fnStart, End: fnEnd, ISA: fnISA})
+		p.Funcs.Sort()
+
+		opts := analysis.Options{DOEBounds: true}
+		res := analysis.AnalyzeExecutable(model, p, opts)
+		if res == nil {
+			t.Fatal("AnalyzeExecutable returned nil")
+		}
+		first, err := json.Marshal(res.Report)
+		if err != nil {
+			t.Fatalf("report not serializable: %v", err)
+		}
+		second, err := json.Marshal(analysis.AnalyzeExecutable(model, p, opts).Report)
+		if err != nil {
+			t.Fatalf("report not serializable: %v", err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("analysis not deterministic:\n first: %s\nsecond: %s", first, second)
+		}
+	})
+}

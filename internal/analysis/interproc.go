@@ -1,0 +1,588 @@
+package analysis
+
+import (
+	"repro/internal/decode"
+	"repro/internal/isa"
+	"repro/internal/kelf"
+)
+
+// interproc carries the whole-program state the dataflow checks share:
+// the per-function CFGs, the recovered calling convention and the
+// fixpoint of each function's argument needs across the call graph.
+type interproc struct {
+	b     *binAnalyzer
+	conv  convention
+	funcs []*funcCFG
+	byFn  map[*kelf.FuncInfo]*funcCFG
+
+	// needs maps each function to the argument registers it (or any
+	// callee it forwards them to) reads before writing — the
+	// interprocedural liveness fixpoint over the call graph.
+	needs map[*funcCFG]RegSet
+	// needsDirect is the same without propagating through calls: the
+	// argument registers the function's own body reads before writing.
+	needsDirect map[*funcCFG]RegSet
+}
+
+func newInterproc(b *binAnalyzer, funcs []*funcCFG) *interproc {
+	ip := &interproc{
+		b:     b,
+		conv:  newConvention(b.m.Regs),
+		funcs: funcs,
+		byFn:  make(map[*kelf.FuncInfo]*funcCFG, len(funcs)),
+	}
+	for _, f := range funcs {
+		ip.byFn[f.fn] = f
+	}
+	if ip.conv.ok {
+		ip.solveNeeds()
+	}
+	return ip
+}
+
+// callee resolves a call site to its target function's CFG (nil for
+// indirect calls or calls outside the function table).
+func (ip *interproc) callee(cs *CallSite) *funcCFG {
+	if !cs.Known {
+		return nil
+	}
+	fi := ip.b.p.FuncAt(cs.Target)
+	if fi == nil || fi.Start != cs.Target {
+		return nil
+	}
+	return ip.byFn[fi]
+}
+
+// liveIn computes the registers live at a function's entry under a
+// given model of what each call site reads. Calls additionally define
+// the convention's caller-saved set, so a register is live-in only if
+// some path reads it before any write.
+func (ip *interproc) liveIn(f *funcCFG, callUse func(cs *CallSite) RegSet, exitLive RegSet) RegSet {
+	out := solve(f, problem{
+		backward: true,
+		mayUnion: true,
+		boundary: exitLive,
+		external: allDataRegs,
+		transfer: func(b *Block, live RegSet) RegSet {
+			return ip.blockLiveIn(b, live, callUse)
+		},
+	})
+	if f.entry == nil {
+		return 0
+	}
+	// solve returned per-block exit states; re-run the entry block's
+	// transfer to get its live-in set.
+	return ip.blockLiveIn(f.entry, out[f.entry], callUse)
+}
+
+// blockLiveIn applies the backward liveness transfer over one block:
+// VLIW bundles read all sources before applying any write, so within a
+// bundle the kill happens strictly after the gen.
+func (ip *interproc) blockLiveIn(b *Block, live RegSet, callUse func(cs *CallSite) RegSet) RegSet {
+	zero := ip.conv.zero
+	for i := len(b.Instrs) - 1; i >= 0; i-- {
+		in := b.Instrs[i]
+		var reads, writes RegSet
+		for j := range in.Ops {
+			o := &in.Ops[j]
+			reads |= opReads(zero, o)
+			writes |= opWrites(zero, o)
+			if isCall(zero, o) {
+				writes |= ip.conv.callDefs()
+				if cs := ip.callSiteOf(b, o); cs != nil {
+					reads |= callUse(cs)
+				} else {
+					reads |= ip.conv.args
+				}
+			}
+		}
+		live = (live &^ writes) | reads
+	}
+	return live
+}
+
+// callSiteOf finds the recorded call site for an operation.
+func (ip *interproc) callSiteOf(b *Block, o *decode.Op) *CallSite {
+	for _, cs := range b.Calls {
+		if cs.Op == o {
+			return cs
+		}
+	}
+	return nil
+}
+
+// solveNeeds iterates the per-function argument needs to a fixpoint
+// over the call graph. Needs only grow (liveness is monotone in the
+// call-use sets), so the iteration terminates within
+// len(funcs)*len(args) rounds.
+func (ip *interproc) solveNeeds() {
+	ip.needs = make(map[*funcCFG]RegSet, len(ip.funcs))
+	ip.needsDirect = make(map[*funcCFG]RegSet, len(ip.funcs))
+	for _, f := range ip.funcs {
+		ip.needsDirect[f] = ip.liveIn(f, func(*CallSite) RegSet { return 0 }, 0) & ip.conv.args
+		ip.needs[f] = ip.needsDirect[f]
+	}
+	use := func(cs *CallSite) RegSet {
+		if g := ip.callee(cs); g != nil {
+			return ip.needs[g]
+		}
+		return ip.conv.args
+	}
+	maxRounds := len(ip.funcs)*ip.conv.args.Count() + 2
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for _, f := range ip.funcs {
+			n := ip.liveIn(f, use, 0) & ip.conv.args
+			if n != ip.needs[f] {
+				ip.needs[f] = n
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// checkUninit reports KB006: a caller-saved register read before any
+// write on some path from the function entry. Everything callee-saved
+// (s-regs, sp, fp, arguments) is assumed defined at entry — arguments
+// legitimately arrive there — so only the temps, which no convention
+// preserves across calls or entry, are flagged. One finding per
+// (function, register).
+func (ip *interproc) checkUninit() {
+	zero := ip.conv.zero
+	defsOf := func(in *decode.Instruction) RegSet {
+		var w RegSet
+		for j := range in.Ops {
+			o := &in.Ops[j]
+			w |= opWrites(zero, o)
+			if isCall(zero, o) {
+				w |= ip.conv.callDefs()
+			}
+		}
+		return w
+	}
+	for _, f := range ip.funcs {
+		in := solve(f, problem{
+			boundary: allDataRegs &^ ip.conv.temps,
+			external: allDataRegs,
+			transfer: func(b *Block, s RegSet) RegSet {
+				for _, instr := range b.Instrs {
+					s |= defsOf(instr)
+				}
+				return s
+			},
+		})
+		seen := RegSet(0)
+		for _, b := range f.blocks {
+			s := in[b]
+			for _, instr := range b.Instrs {
+				for j := range instr.Ops {
+					o := &instr.Ops[j]
+					reads := opReads(zero, o) & ip.conv.temps &^ s &^ seen
+					for r := 0; r < 32; r++ {
+						if !reads.Has(r) {
+							continue
+						}
+						seen = seen.With(r)
+						ip.b.diag(CheckUninit, Warning, o.Addr, b.ISA,
+							"%s reads %s, which is not written on every path from the entry of %s — caller-saved registers are undefined at function entry",
+							o.Op.Name, ip.b.m.Regs.RegName(r), f.fn.Name)
+					}
+				}
+				s |= defsOf(instr)
+			}
+		}
+	}
+}
+
+// checkDeadStore reports KB007: an explicit write to a caller-saved
+// register whose value no path reads before it is overwritten or the
+// function exits. Calls conservatively read every register (the callee
+// is opaque here), and everything callee-saved is live at exit, so a
+// finding means the store can be deleted under any caller.
+func (ip *interproc) checkDeadStore() {
+	zero := ip.conv.zero
+	allUse := func(*CallSite) RegSet { return allDataRegs }
+	for _, f := range ip.funcs {
+		out := solve(f, problem{
+			backward: true,
+			mayUnion: true,
+			boundary: allDataRegs &^ ip.conv.temps,
+			external: allDataRegs,
+			transfer: func(b *Block, live RegSet) RegSet {
+				return ip.blockLiveIn(b, live, allUse)
+			},
+		})
+		for _, b := range f.blocks {
+			live := out[b]
+			for i := len(b.Instrs) - 1; i >= 0; i-- {
+				instr := b.Instrs[i]
+				var reads, writes RegSet
+				hasCall := false
+				for j := range instr.Ops {
+					o := &instr.Ops[j]
+					reads |= opReads(zero, o)
+					writes |= opWrites(zero, o)
+					if isCall(zero, o) {
+						hasCall = true
+						reads |= allDataRegs
+						writes |= ip.conv.callDefs()
+					}
+				}
+				if !hasCall {
+					for j := range instr.Ops {
+						o := &instr.Ops[j]
+						if o.Op.DstField == nil || o.Op.Class.IsControl() || o.Op.Class == isa.ClassSys {
+							continue
+						}
+						r := int(o.Operands.Rd)
+						if r == zero || !ip.conv.temps.Has(r) || live.Has(r) {
+							continue
+						}
+						ip.b.diag(CheckDeadStore, Warning, o.Addr, b.ISA,
+							"dead store: %s writes %s but no path reads it before it is overwritten or %s exits",
+							o.Op.Name, ip.b.m.Regs.RegName(r), f.fn.Name)
+					}
+				}
+				live = (live &^ writes) | reads
+			}
+		}
+	}
+}
+
+// checkCallConv reports KB009: a cross-ISA call site (caller and callee
+// declare different ISAs, bridged by a SWITCHTARGET pair) where the
+// callee reads an argument register the caller provably never writes on
+// any path to the call — and which isn't one of the caller's own
+// incoming arguments being forwarded untouched.
+func (ip *interproc) checkCallConv() {
+	zero := ip.conv.zero
+	for _, f := range ip.funcs {
+		hasCross := false
+		for _, b := range f.blocks {
+			for _, cs := range b.Calls {
+				if g := ip.callee(cs); g != nil && g.fn.ISA != f.fn.ISA {
+					hasCross = true
+				}
+			}
+		}
+		if !hasCross {
+			continue
+		}
+		// Maybe-assigned: registers some path from the entry writes.
+		maybe := solve(f, problem{
+			mayUnion: true,
+			boundary: 0,
+			external: allDataRegs,
+			transfer: func(b *Block, s RegSet) RegSet {
+				for _, instr := range b.Instrs {
+					for j := range instr.Ops {
+						o := &instr.Ops[j]
+						s |= opWrites(zero, o)
+						if isCall(zero, o) {
+							s |= ip.conv.callDefs()
+						}
+					}
+				}
+				return s
+			},
+		})
+		for _, b := range f.blocks {
+			s := maybe[b]
+			for i, instr := range b.Instrs {
+				if i == len(b.Instrs)-1 {
+					// Calls terminate blocks, so only the last bundle
+					// can hold call sites; s is the maybe-set before it.
+					for _, cs := range b.Calls {
+						g := ip.callee(cs)
+						if g == nil || g.fn.ISA == f.fn.ISA {
+							continue
+						}
+						missing := ip.needs[g] &^ s &^ ip.needsDirect[f]
+						for r := 0; r < 32; r++ {
+							if !missing.Has(r) {
+								continue
+							}
+							ip.b.diag(CheckCallConv, Warning, cs.Op.Addr, b.ISA,
+								"cross-ISA call to %s (%s): callee reads argument register %s, which %s (%s) never writes on any path to this call",
+								g.fn.Name, g.isaName(), ip.b.m.Regs.RegName(r), f.fn.Name, f.isaName())
+						}
+					}
+				}
+				for j := range instr.Ops {
+					o := &instr.Ops[j]
+					s |= opWrites(zero, o)
+					if isCall(zero, o) {
+						s |= ip.conv.callDefs()
+					}
+				}
+			}
+		}
+	}
+}
+
+func (f *funcCFG) isaName() string {
+	if f.isa != nil {
+		return f.isa.Name
+	}
+	return "?"
+}
+
+// ---------------------------------------------------------------------
+// KB010 — constant propagation over address-forming registers.
+
+// cval is one register's abstract value in the constant lattice.
+type cval struct {
+	kind uint8 // cBot (unreached), cConst, cTop
+	v    uint32
+}
+
+const (
+	cBot uint8 = iota
+	cConst
+	cTop
+)
+
+func cc(v uint32) cval { return cval{kind: cConst, v: v} }
+
+var top = cval{kind: cTop}
+
+func cmeet(a, b cval) cval {
+	switch {
+	case a.kind == cBot:
+		return b
+	case b.kind == cBot:
+		return a
+	case a.kind == cConst && b.kind == cConst && a.v == b.v:
+		return a
+	}
+	return top
+}
+
+// cstate is the abstract register file (indices 0..31; the zero
+// register is pinned to 0 at read time, the instruction pointer is not
+// tracked).
+type cstate [32]cval
+
+func (s *cstate) meet(o *cstate) (changed bool) {
+	for i := range s {
+		m := cmeet(s[i], o[i])
+		if m != s[i] {
+			s[i] = m
+			changed = true
+		}
+	}
+	return changed
+}
+
+var allTop = func() cstate {
+	var s cstate
+	for i := range s {
+		s[i] = top
+	}
+	return s
+}()
+
+// checkBadAccess reports KB010: a load or store whose address the
+// constant lattice pins to a value outside the guest address space
+// ([TextStart, StackTop)), or a store whose pinned address lands inside
+// the text section. Unlike the convention checks this needs no register
+// aliases, only the zero register.
+func (ip *interproc) checkBadAccess() {
+	zero := ip.b.m.Regs.ZeroReg
+	p := ip.b.p
+	for _, f := range ip.funcs {
+		in := ip.solveConsts(f, zero)
+		for _, b := range f.blocks {
+			s := in[b]
+			for _, instr := range b.Instrs {
+				for j := range instr.Ops {
+					o := &instr.Ops[j]
+					if !o.Op.Class.IsMem() || o.Op.Src1Field == nil || o.Op.ImmField == nil {
+						continue
+					}
+					base := readVal(&s, zero, int(o.Operands.Rs1))
+					if base.kind != cConst {
+						continue
+					}
+					addr := base.v + uint32(o.Operands.Imm)
+					width := accessWidth(o.Op.SemKey)
+					store := o.Op.Class == isa.ClassStore
+					switch {
+					case addr < p.TextStart || addr > p.StackTop-width:
+						ip.b.diag(CheckBadAccess, Error, o.Addr, b.ISA,
+							"%s accesses %#x (%d byte(s)), statically outside the guest address space [%#x,%#x)",
+							o.Op.Name, addr, width, p.TextStart, p.StackTop)
+					case store && addr < p.TextEnd:
+						ip.b.diag(CheckBadAccess, Error, o.Addr, b.ISA,
+							"%s overwrites the text section at %#x — self-modifying guests are not supported",
+							o.Op.Name, addr)
+					}
+				}
+				ip.applyConsts(&s, []*decode.Instruction{instr}, zero)
+			}
+		}
+	}
+}
+
+// solveConsts runs constant propagation over one function to fixpoint:
+// entry and external blocks start all-Top (nothing about caller state
+// is assumed), transfers mirror internal/sim/sem.go exactly for the
+// pure ALU operations and smash everything else to Top.
+func (ip *interproc) solveConsts(f *funcCFG, zero int) map[*Block]cstate {
+	in := make(map[*Block]cstate, len(f.blocks))
+	out := make(map[*Block]cstate, len(f.blocks))
+	for _, b := range f.blocks {
+		in[b] = cstate{} // all-bot until reached
+	}
+	queue := append([]*Block(nil), f.blocks...)
+	queued := make(map[*Block]bool, len(queue))
+	for _, b := range queue {
+		queued[b] = true
+	}
+	for iter := 0; len(queue) > 0 && iter < maxDataflowIters; iter++ {
+		b := queue[0]
+		queue = queue[1:]
+		queued[b] = false
+		var iv cstate
+		if b == f.entry || b.extEntry || len(b.Preds) == 0 {
+			iv = allTop
+		}
+		for _, pr := range b.Preds {
+			pv := out[pr]
+			iv.meet(&pv)
+		}
+		in[b] = iv
+		ov := iv
+		ip.applyConsts(&ov, b.Instrs, zero)
+		prev, seen := out[b]
+		if seen && prev == ov {
+			continue
+		}
+		out[b] = ov
+		for _, n := range b.Succs {
+			if !queued[n] {
+				queued[n] = true
+				queue = append(queue, n)
+			}
+		}
+	}
+	return in
+}
+
+// applyConsts advances the abstract state across a bundle list with the
+// interpreter's parallel semantics: all operand reads against the old
+// state, all write-backs after.
+func (ip *interproc) applyConsts(s *cstate, instrs []*decode.Instruction, zero int) {
+	for _, instr := range instrs {
+		old := *s
+		for j := range instr.Ops {
+			o := &instr.Ops[j]
+			v := evalOp(&old, zero, o)
+			if o.Op.DstField != nil && int(o.Operands.Rd) != zero {
+				s[o.Operands.Rd&31] = v
+			}
+			for _, r := range o.Op.ImplicitWrites {
+				if r != zero && r != isa.RegIP && r < 32 {
+					s[r] = top
+				}
+			}
+		}
+	}
+}
+
+func readVal(s *cstate, zero, r int) cval {
+	if r == zero {
+		return cc(0)
+	}
+	if r < 0 || r >= 32 {
+		return top
+	}
+	return s[r]
+}
+
+func b2u32(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// evalOp mirrors the pure ALU entries of internal/sim/sem.go over the
+// constant lattice; anything with memory, control or unmodeled
+// semantics evaluates to Top.
+func evalOp(s *cstate, zero int, o *decode.Op) cval {
+	imm := uint32(o.Operands.Imm)
+	r1 := readVal(s, zero, int(o.Operands.Rs1))
+	r2 := readVal(s, zero, int(o.Operands.Rs2))
+	if o.Op.SemKey == "lui" {
+		return cc(imm << 16)
+	}
+	if o.Op.Src1Field == nil || r1.kind != cConst {
+		return top
+	}
+	a := r1.v
+	switch o.Op.SemKey {
+	case "addi":
+		return cc(a + imm)
+	case "andi":
+		return cc(a & imm)
+	case "ori":
+		return cc(a | imm)
+	case "xori":
+		return cc(a ^ imm)
+	case "slti":
+		return cc(b2u32(int32(a) < o.Operands.Imm))
+	case "sltiu":
+		return cc(b2u32(a < imm))
+	case "slli":
+		return cc(a << (imm & 31))
+	case "srli":
+		return cc(a >> (imm & 31))
+	case "srai":
+		return cc(uint32(int32(a) >> (imm & 31)))
+	}
+	if r2.kind != cConst {
+		return top
+	}
+	b := r2.v
+	switch o.Op.SemKey {
+	case "add":
+		return cc(a + b)
+	case "sub":
+		return cc(a - b)
+	case "mul":
+		return cc(a * b)
+	case "and":
+		return cc(a & b)
+	case "or":
+		return cc(a | b)
+	case "xor":
+		return cc(a ^ b)
+	case "sll":
+		return cc(a << (b & 31))
+	case "srl":
+		return cc(a >> (b & 31))
+	case "sra":
+		return cc(uint32(int32(a) >> (b & 31)))
+	case "slt":
+		return cc(b2u32(int32(a) < int32(b)))
+	case "sltu":
+		return cc(b2u32(a < b))
+	}
+	return top
+}
+
+// accessWidth maps a memory operation's semantics key to its access
+// width in bytes.
+func accessWidth(sem string) uint32 {
+	switch sem {
+	case "lb", "lbu", "sb":
+		return 1
+	case "lh", "lhu", "sh":
+		return 2
+	}
+	return 4
+}

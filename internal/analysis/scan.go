@@ -30,10 +30,16 @@ func ScanText(m *isa.Model, p *sim.Program) *Report {
 	for pc < p.TextEnd {
 		a := fallback
 		var fn string
+		// region records which decode table the scan assumed and why,
+		// so multi-ISA texts attribute each KB001 to the table tried.
+		region := "entry-ISA fallback"
 		if fi := p.FuncAt(pc); fi != nil {
 			fn = fi.Name
 			if fa := m.ISAByID(int(fi.ISA)); fa != nil {
 				a = fa
+				region = fmt.Sprintf("function %s declares %s", fi.Name, fa.Name)
+			} else {
+				region = fmt.Sprintf("entry-ISA fallback (function %s declares unknown ISA id %d)", fi.Name, fi.ISA)
 			}
 		}
 		if a == nil {
@@ -55,7 +61,7 @@ func ScanText(m *isa.Model, p *sim.Program) *Report {
 			if op, _ := decode.Word(a, w); op == nil {
 				r.add(Diagnostic{Check: CheckUndecodable, Severity: Error, Addr: opAddr, HasAddr: true,
 					ISA: a.Name, Func: fn,
-					Msg: fmt.Sprintf("illegal operation word %#08x (slot %d)", w, slot)})
+					Msg: fmt.Sprintf("illegal operation word %#08x (slot %d) under the %s table (%s)", w, slot, a.Name, region)})
 			}
 		}
 		pc += size

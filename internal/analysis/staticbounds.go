@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Static-bounds cross-check: the KB005 DOE lower bounds are proved per
+// basic block from operation latencies and intra-block dependencies
+// alone, so they must be consistent with any measured DOE run that
+// actually executed the block. The two invariants checked here are the
+// sound ones — they hold for every interleaving and every shadowing of
+// blocks by one another:
+//
+//  1. the run's total measured cycles are at least the static bound of
+//     every block the run executed (one pass through the block alone
+//     already costs that much);
+//  2. the run's total measured cycles are at least its total executed
+//     instructions (no model retires more than one bundle per cycle).
+//
+// Per-block attributed cycle deltas are deliberately NOT compared: the
+// profiler attributes stall cycles to the instruction that observes
+// them, which may sit in a different block than the dependency that
+// caused them, so per-block attribution is not a sound lower-bound
+// witness.
+
+// StaticBoundViolation is one failed invariant.
+type StaticBoundViolation struct {
+	// Func and Start/End locate the offending block (empty/zero for the
+	// whole-run instruction invariant).
+	Func     string `json:"func,omitempty"`
+	Start    uint32 `json:"start,omitempty"`
+	End      uint32 `json:"end,omitempty"`
+	Bound    uint64 `json:"bound"`    // the static lower bound violated
+	Measured uint64 `json:"measured"` // the measured value that undercut it
+	Msg      string `json:"msg"`
+}
+
+// StaticBoundFunc is one row of the informational per-function table:
+// how much statically-proved work the run's executed blocks of that
+// function carry.
+type StaticBoundFunc struct {
+	Func           string `json:"func"`
+	ExecutedBlocks int    `json:"executed_blocks"`
+	MaxBound       uint64 `json:"max_bound"` // largest bound among executed blocks
+	SumBounds      uint64 `json:"sum_bounds"`
+}
+
+// StaticBoundsReport is the outcome of CheckStaticBounds.
+type StaticBoundsReport struct {
+	TotalCycles       uint64                 `json:"total_cycles"`
+	TotalInstructions uint64                 `json:"total_instructions"`
+	CheckedBlocks     int                    `json:"checked_blocks"`  // blocks with a recovered bound
+	ExecutedBlocks    int                    `json:"executed_blocks"` // of those, blocks the run entered
+	Funcs             []StaticBoundFunc      `json:"funcs,omitempty"`
+	Violations        []StaticBoundViolation `json:"violations,omitempty"`
+}
+
+// OK reports whether every invariant held.
+func (r *StaticBoundsReport) OK() bool { return len(r.Violations) == 0 }
+
+// CheckStaticBounds cross-checks a measured DOE run against the static
+// per-block bounds of res (which must come from AnalyzeExecutable over
+// the same executable). counts maps instruction addresses to execution
+// counts — a block counts as executed when any address in [Start, End)
+// executed at least once. totalInstr and totalCycles are the run's
+// whole-program totals under the DOE model.
+//
+// The caller is responsible for ensuring the measured cycles ARE DOE
+// cycles; bounds proved for DOE say nothing about other models.
+func CheckStaticBounds(res *Result, counts map[uint32]uint64, totalInstr, totalCycles uint64) *StaticBoundsReport {
+	rep := &StaticBoundsReport{
+		TotalCycles:       totalCycles,
+		TotalInstructions: totalInstr,
+	}
+	byFn := map[string]*StaticBoundFunc{}
+	for _, blk := range res.Blocks {
+		rep.CheckedBlocks++
+		executed := false
+		for _, in := range blk.Instrs {
+			if counts[in.Addr] > 0 {
+				executed = true
+				break
+			}
+		}
+		if !executed {
+			continue
+		}
+		rep.ExecutedBlocks++
+		name := ""
+		if blk.Fn != nil {
+			name = blk.Fn.Name
+		}
+		row := byFn[name]
+		if row == nil {
+			row = &StaticBoundFunc{Func: name}
+			byFn[name] = row
+		}
+		row.ExecutedBlocks++
+		row.SumBounds += blk.DOEBound
+		if blk.DOEBound > row.MaxBound {
+			row.MaxBound = blk.DOEBound
+		}
+		if totalCycles < blk.DOEBound {
+			rep.Violations = append(rep.Violations, StaticBoundViolation{
+				Func:     name,
+				Start:    blk.Start,
+				End:      blk.End,
+				Bound:    blk.DOEBound,
+				Measured: totalCycles,
+				Msg: fmt.Sprintf("block %#x..%#x (%s): static DOE bound %d cycles exceeds the run's total of %d",
+					blk.Start, blk.End, name, blk.DOEBound, totalCycles),
+			})
+		}
+	}
+	if totalCycles < totalInstr {
+		rep.Violations = append(rep.Violations, StaticBoundViolation{
+			Bound:    totalInstr,
+			Measured: totalCycles,
+			Msg: fmt.Sprintf("run retired %d instructions in %d measured cycles — below one cycle per instruction",
+				totalInstr, totalCycles),
+		})
+	}
+	for _, row := range byFn {
+		rep.Funcs = append(rep.Funcs, *row)
+	}
+	sort.Slice(rep.Funcs, func(i, j int) bool { return rep.Funcs[i].Func < rep.Funcs[j].Func })
+	sort.Slice(rep.Violations, func(i, j int) bool {
+		a, b := &rep.Violations[i], &rep.Violations[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.Msg < b.Msg
+	})
+	return rep
+}

@@ -73,6 +73,13 @@ type Spec struct {
 	// points.
 	Profile bool `json:"profile,omitempty"`
 
+	// Preflight lints every unique build (the klint binary checks)
+	// before simulating it; points whose executable carries
+	// error-severity findings fail without running. Each build is
+	// linted once per campaign regardless of how many memory or fuel
+	// variants share it.
+	Preflight bool `json:"preflight,omitempty"`
+
 	// Wave bounds how many points are in flight at once (and how many
 	// admission slots a serving layer claims per wave); <= 0 selects
 	// DefaultWave.
@@ -180,6 +187,10 @@ type Point struct {
 	// Models and Profile mirror the spec (identical for every point).
 	Models  []string
 	Profile bool
+	// Preflight mirrors the spec. It is deliberately NOT part of Key:
+	// linting changes no simulation result, so a preflighted point may
+	// serve (and be served by) cached results of unpreflighted runs.
+	Preflight bool
 	// Key is the point's content-addressed identity: a sha256 over the
 	// build fingerprint (driver.Fingerprint of ISA + sources) and every
 	// run parameter. Identical keys are identical simulations.
@@ -271,13 +282,14 @@ func (s Spec) Expand() ([]*Point, int, error) {
 				for _, fuel := range n.Fuels {
 					grid++
 					pt := &Point{
-						Program: prog.name,
-						Sources: prog.srcs,
-						ISA:     isaName,
-						Memory:  memSpec,
-						Fuel:    fuel,
-						Models:  n.Models,
-						Profile: n.Profile,
+						Program:   prog.name,
+						Sources:   prog.srcs,
+						ISA:       isaName,
+						Memory:    memSpec,
+						Fuel:      fuel,
+						Models:    n.Models,
+						Profile:   n.Profile,
+						Preflight: n.Preflight,
 					}
 					pt.Key = pt.key()
 					if dup := seen[pt.Key]; dup != nil {

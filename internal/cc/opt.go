@@ -22,7 +22,10 @@ func optimize(fn *mfunc) {
 		return
 	}
 	for pass := 0; pass < 4; pass++ {
-		changed := copyPropagate(fn)
+		changed := pruneUnreachable(fn)
+		if copyPropagate(fn) {
+			changed = true
+		}
 		if deadCodeEliminate(fn) {
 			changed = true
 		}
@@ -30,6 +33,71 @@ func optimize(fn *mfunc) {
 			return
 		}
 	}
+}
+
+// pruneUnreachable removes basic blocks no control path from the entry
+// reaches: the continuation blocks codegen opens after return/break/
+// continue (and the jumps and implicit epilogue that land in them) when
+// every path already left the statement. Dead blocks cost text bytes
+// and trip the binary analyzer's unreachable-code check (KB008) on
+// every compiled program, so they die here rather than there.
+func pruneUnreachable(fn *mfunc) bool {
+	labelIdx := map[string]int{}
+	for i, b := range fn.blocks {
+		if b.label != "" {
+			labelIdx[b.label] = i
+		}
+	}
+	n := len(fn.blocks)
+	reach := make([]bool, n)
+	stack := []int{0}
+	reach[0] = true
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		b := fn.blocks[i]
+		fall := true
+		visit := func(j int) {
+			if !reach[j] {
+				reach[j] = true
+				stack = append(stack, j)
+			}
+		}
+		for k := range b.ops {
+			op := &b.ops[k]
+			switch {
+			case op.Name == "j":
+				if j, ok := labelIdx[op.Sym]; ok {
+					visit(j)
+				}
+				fall = false
+			case op.Name == "ret":
+				fall = false
+			case isBranchName(op.Name):
+				if j, ok := labelIdx[op.Sym]; ok {
+					visit(j)
+				}
+				fall = true
+			default:
+				// Straight-line op: a later transfer decides.
+				fall = true
+			}
+		}
+		if fall && i+1 < n {
+			visit(i + 1)
+		}
+	}
+	changed := false
+	kept := fn.blocks[:0]
+	for i, b := range fn.blocks {
+		if reach[i] {
+			kept = append(kept, b)
+		} else {
+			changed = true
+		}
+	}
+	fn.blocks = kept
+	return changed
 }
 
 // hasSideEffects reports whether removing the op could change observable
@@ -122,6 +190,13 @@ func deadCodeEliminate(fn *mfunc) bool {
 				keep[i] = false
 				changed = true
 				continue
+			}
+			// A call whose result nothing reads keeps its side effects
+			// but drops the result move (a discarded expression
+			// statement like `printf(...);`).
+			if m.Name == "call" && m.Dst >= vregBase && !live[m.Dst] {
+				m.Dst = regNone
+				changed = true
 			}
 			keep[i] = true
 			if m.Dst >= vregBase {

@@ -98,6 +98,7 @@ func (s *Server) renderMetrics(w io.Writer) {
 	ps := s.pool.Stats()
 	exe := s.exeCache.Stats()
 	model := s.modelCache.Stats()
+	ana := s.analysisCache.Stats()
 	uptime := time.Since(s.started).Seconds()
 
 	counter := func(name, help string, v int64) {
@@ -174,15 +175,19 @@ func (s *Server) renderMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# HELP kservd_cache_hits_total Artifact-cache hits, by cache.\n# TYPE kservd_cache_hits_total counter\n")
 	fmt.Fprintf(w, "kservd_cache_hits_total{cache=\"exe\"} %d\n", exe.Hits)
 	fmt.Fprintf(w, "kservd_cache_hits_total{cache=\"model\"} %d\n", model.Hits)
+	fmt.Fprintf(w, "kservd_cache_hits_total{cache=\"analysis\"} %d\n", ana.Hits)
 	fmt.Fprintf(w, "# HELP kservd_cache_misses_total Artifact-cache misses, by cache.\n# TYPE kservd_cache_misses_total counter\n")
 	fmt.Fprintf(w, "kservd_cache_misses_total{cache=\"exe\"} %d\n", exe.Misses)
 	fmt.Fprintf(w, "kservd_cache_misses_total{cache=\"model\"} %d\n", model.Misses)
+	fmt.Fprintf(w, "kservd_cache_misses_total{cache=\"analysis\"} %d\n", ana.Misses)
 	fmt.Fprintf(w, "# HELP kservd_cache_hit_rate Artifact-cache hit rate, by cache.\n# TYPE kservd_cache_hit_rate gauge\n")
 	fmt.Fprintf(w, "kservd_cache_hit_rate{cache=\"exe\"} %.4f\n", exe.HitRate())
 	fmt.Fprintf(w, "kservd_cache_hit_rate{cache=\"model\"} %.4f\n", model.HitRate())
+	fmt.Fprintf(w, "kservd_cache_hit_rate{cache=\"analysis\"} %.4f\n", ana.HitRate())
 	fmt.Fprintf(w, "# HELP kservd_cache_size Artifact-cache entries held, by cache.\n# TYPE kservd_cache_size gauge\n")
 	fmt.Fprintf(w, "kservd_cache_size{cache=\"exe\"} %d\n", exe.Size)
 	fmt.Fprintf(w, "kservd_cache_size{cache=\"model\"} %d\n", model.Size)
+	fmt.Fprintf(w, "kservd_cache_size{cache=\"analysis\"} %d\n", ana.Size)
 
 	counter("kservd_sim_instructions_total", "Instructions retired across finished jobs.", int64(m.simInstructions.Load()))
 	counter("kservd_sim_operations_total", "Operations retired across finished jobs.", int64(m.simOperations.Load()))

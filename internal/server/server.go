@@ -21,8 +21,10 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"log/slog"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -54,6 +56,10 @@ type Config struct {
 	// entries; <= 0 selects 128 executables and 8 models.
 	ExeCacheSize   int
 	ModelCacheSize int
+	// AnalysisCacheSize bounds the analysis report cache (POST
+	// /v1/analyze results keyed by request fingerprint); <= 0
+	// selects 128.
+	AnalysisCacheSize int
 	// MaxFinishedJobs bounds retained job records; <= 0 selects 4096.
 	MaxFinishedJobs int
 	// MaxCampaignPoints bounds the expanded (pre-dedup) grid of one
@@ -97,6 +103,9 @@ func (c Config) withDefaults() Config {
 	if c.ModelCacheSize <= 0 {
 		c.ModelCacheSize = 8
 	}
+	if c.AnalysisCacheSize <= 0 {
+		c.AnalysisCacheSize = 128
+	}
 	if c.MaxFinishedJobs <= 0 {
 		c.MaxFinishedJobs = 4096
 	}
@@ -127,13 +136,14 @@ type Server struct {
 	pool   *kahrisma.Pool
 	tracer *span.Tracer // nil unless Config.TraceSpans
 
-	adm        *admission
-	store      *jobStore
-	batches    *batchStore
-	campaigns  *campaignStore
-	exeCache   *Cache[*kahrisma.Executable]
-	modelCache *Cache[*kahrisma.System]
-	metrics    *metrics
+	adm           *admission
+	store         *jobStore
+	batches       *batchStore
+	campaigns     *campaignStore
+	exeCache      *Cache[*kahrisma.Executable]
+	modelCache    *Cache[*kahrisma.System]
+	analysisCache *Cache[*AnalyzeReport]
+	metrics       *metrics
 
 	started  time.Time
 	draining atomic.Bool
@@ -154,20 +164,21 @@ func New(cfg Config) (*Server, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:        cfg,
-		log:        cfg.Logger,
-		base:       base,
-		pool:       kahrisma.NewPool(cfg.Workers),
-		adm:        newAdmission(cfg.QueueDepth),
-		store:      newJobStore(cfg.MaxFinishedJobs),
-		batches:    newBatchStore(cfg.MaxFinishedJobs),
-		campaigns:  newCampaignStore(cfg.MaxFinishedJobs),
-		exeCache:   NewCache[*kahrisma.Executable](cfg.ExeCacheSize),
-		modelCache: NewCache[*kahrisma.System](cfg.ModelCacheSize),
-		metrics:    newMetrics(),
-		started:    time.Now(),
-		jobsCtx:    ctx,
-		jobsCancel: cancel,
+		cfg:           cfg,
+		log:           cfg.Logger,
+		base:          base,
+		pool:          kahrisma.NewPool(cfg.Workers),
+		adm:           newAdmission(cfg.QueueDepth),
+		store:         newJobStore(cfg.MaxFinishedJobs),
+		batches:       newBatchStore(cfg.MaxFinishedJobs),
+		campaigns:     newCampaignStore(cfg.MaxFinishedJobs),
+		exeCache:      NewCache[*kahrisma.Executable](cfg.ExeCacheSize),
+		modelCache:    NewCache[*kahrisma.System](cfg.ModelCacheSize),
+		analysisCache: NewCache[*AnalyzeReport](cfg.AnalysisCacheSize),
+		metrics:       newMetrics(),
+		started:       time.Now(),
+		jobsCtx:       ctx,
+		jobsCancel:    cancel,
 	}
 	if cfg.TraceSpans {
 		s.tracer = span.NewTracer(cfg.Logger)
@@ -426,16 +437,41 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
-// analyze resolves the model and executable through the artifact caches
-// and runs the static checks. Custom ADLs try the strict (job-API,
-// cacheable) elaboration first; when elaboration refuses the model, the
-// lenient path converts the refusal into model diagnostics.
+// analyze serves one request through the analysis cache: the finished
+// report is keyed by a fingerprint over every report-determining input
+// (model, sources, ISA, language, options), so a repeat request gets
+// the first report back verbatim — byte-identical — without touching
+// the toolchain or the checks.
 func (s *Server) analyze(req *AnalyzeRequest) (*AnalyzeResult, error) {
-	sys := s.base
 	modelKey := "builtin"
-	var modelReport *kahrisma.LintReport
 	if req.ADL != "" {
 		modelKey = driver.Fingerprint("adl", driver.Source{Name: "adl", Text: req.ADL})
+	}
+	srcs := sourceList(req.Lang, req.Sources)
+	checks := append([]string(nil), req.Checks...)
+	sort.Strings(checks)
+	spec := fmt.Sprintf("%s|%s|%s|%t|%s|%s",
+		modelKey, req.ISA, req.Lang, req.DOEBounds, req.MinSeverity, strings.Join(checks, ","))
+	key := driver.Fingerprint("analysis",
+		append([]driver.Source{{Name: "spec", Text: spec}}, srcs...)...)
+
+	rep, hit, err := s.analysisCache.GetOrBuild(key, func() (*AnalyzeReport, error) {
+		return s.buildAnalysis(req, modelKey, srcs)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &AnalyzeResult{AnalyzeReport: *rep, CacheHit: hit}, nil
+}
+
+// buildAnalysis resolves the model and executable through the artifact
+// caches and runs the static checks. Custom ADLs try the strict
+// (job-API, cacheable) elaboration first; when elaboration refuses the
+// model, the lenient path converts the refusal into model diagnostics.
+func (s *Server) buildAnalysis(req *AnalyzeRequest, modelKey string, srcs []driver.Source) (*AnalyzeReport, error) {
+	sys := s.base
+	var modelReport *kahrisma.LintReport
+	if req.ADL != "" {
 		var err error
 		sys, _, err = s.modelCache.GetOrBuild(modelKey, func() (*kahrisma.System, error) {
 			return kahrisma.NewFromADL(req.ADL)
@@ -458,14 +494,13 @@ func (s *Server) analyze(req *AnalyzeRequest) (*AnalyzeResult, error) {
 	}
 	total := &kahrisma.LintReport{}
 	total.Merge(modelReport)
-	res := &AnalyzeResult{Model: modelReport.Filter(min).Diags}
+	rep := &AnalyzeReport{Model: modelReport.Filter(min).Diags}
 
 	// A model with error findings cannot meaningfully build or decode
 	// programs (klint's convention): report it without the program pass.
-	if len(req.Sources) > 0 && modelReport.Errors() == 0 {
-		srcs := sourceList(req.Lang, req.Sources)
+	if len(srcs) > 0 && modelReport.Errors() == 0 {
 		exeKey := modelKey + "/" + driver.Fingerprint(req.ISA, srcs...)
-		exe, hit, err := s.exeCache.GetOrBuild(exeKey, func() (*kahrisma.Executable, error) {
+		exe, _, err := s.exeCache.GetOrBuild(exeKey, func() (*kahrisma.Executable, error) {
 			files := map[string]string{}
 			for _, src := range srcs {
 				files[src.Name] = src.Text
@@ -478,16 +513,15 @@ func (s *Server) analyze(req *AnalyzeRequest) (*AnalyzeResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		res.CacheHit = hit
-		prog := exe.Lint(kahrisma.LintOptions{DOEBounds: req.DOEBounds})
+		prog := exe.Lint(kahrisma.LintOptions{DOEBounds: req.DOEBounds, Checks: req.Checks})
 		total.Merge(prog)
-		res.Program = prog.Filter(min).Diags
+		rep.Program = prog.Filter(min).Diags
 	}
 
-	res.Errors = total.Errors()
-	res.Warnings = total.Warnings()
-	res.Clean = total.Clean()
-	return res, nil
+	rep.Errors = total.Errors()
+	rep.Warnings = total.Warnings()
+	rep.Clean = total.Clean()
+	return rep, nil
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {

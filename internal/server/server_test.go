@@ -511,3 +511,94 @@ func TestCustomADLJobs(t *testing.T) {
 		t.Errorf("DOE cycles %d vs %d across identical ADL jobs", first.Cycles["DOE"], second.Cycles["DOE"])
 	}
 }
+
+// The analysis cache serves a repeat POST /v1/analyze from its
+// fingerprint key: the second response carries a byte-identical report
+// (everything but the cache_hit marker) without re-running the checks,
+// and the analysis cache counters move.
+func TestAnalyzeReportCache(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Workers: 1})
+
+	deadStoreAsm := `
+	.global main
+	.func main
+main:
+	li t5, 7
+	li a0, 0
+	ret
+	.endfunc
+`
+	req := server.AnalyzeRequest{
+		ISA: "RISC", Lang: "asm",
+		Sources:   map[string]string{"main.s": deadStoreAsm},
+		DOEBounds: true,
+	}
+	report := func(raw string) string {
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal([]byte(raw), &m); err != nil {
+			t.Fatal(err)
+		}
+		delete(m, "cache_hit")
+		out, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(out)
+	}
+
+	code, first, rawFirst := analyze(t, ts, req)
+	if code != http.StatusOK || first.CacheHit {
+		t.Fatalf("cold analyze: status %d, cache_hit %v (%s)", code, first.CacheHit, rawFirst)
+	}
+	if len(findDiags(first.Program, "KB007")) == 0 {
+		t.Fatalf("no KB007 in cold report: %s", rawFirst)
+	}
+	code, second, rawSecond := analyze(t, ts, req)
+	if code != http.StatusOK || !second.CacheHit {
+		t.Fatalf("repeat analyze: status %d, cache_hit %v (%s)", code, second.CacheHit, rawSecond)
+	}
+	if report(rawFirst) != report(rawSecond) {
+		t.Errorf("repeat report differs from the first:\n%s\n---\n%s", rawFirst, rawSecond)
+	}
+
+	// A different Checks selection is a different report: not a hit,
+	// and the KB007 finding is filtered out.
+	code, third, raw := analyze(t, ts, server.AnalyzeRequest{
+		ISA: "RISC", Lang: "asm",
+		Sources:   map[string]string{"main.s": deadStoreAsm},
+		DOEBounds: true,
+		Checks:    []string{"KB001"},
+	})
+	if code != http.StatusOK || third.CacheHit {
+		t.Fatalf("filtered analyze: status %d, cache_hit %v (%s)", code, third.CacheHit, raw)
+	}
+	if len(findDiags(third.Program, "KB007")) != 0 {
+		t.Errorf("Checks filter leaked KB007: %s", raw)
+	}
+
+	// Unknown check IDs are rejected up front.
+	if code, _, raw = analyze(t, ts, server.AnalyzeRequest{
+		ISA: "RISC", Sources: map[string]string{"m.c": progA}, Checks: []string{"KB999"},
+	}); code != http.StatusBadRequest {
+		t.Errorf("unknown check: status %d (%s)", code, raw)
+	}
+
+	body := metricsBody(t, ts)
+	if got := metricValue(t, body, `kservd_cache_hits_total{cache="analysis"}`); got != 1 {
+		t.Errorf(`kservd_cache_hits_total{cache="analysis"} = %v, want 1`, got)
+	}
+	if got := metricValue(t, body, `kservd_cache_misses_total{cache="analysis"}`); got < 2 {
+		t.Errorf(`kservd_cache_misses_total{cache="analysis"} = %v, want >= 2`, got)
+	}
+}
+
+// findDiags filters diagnostics by check ID.
+func findDiags(ds []kahrisma.Diagnostic, check string) []kahrisma.Diagnostic {
+	var out []kahrisma.Diagnostic
+	for _, d := range ds {
+		if d.Check == check {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -132,6 +132,10 @@ type AnalyzeRequest struct {
 	// DOEBounds adds one KB005 info diagnostic per recovered basic
 	// block carrying its static DOE cycle lower bound.
 	DOEBounds bool `json:"doe_bounds,omitempty"`
+	// Checks restricts the program checks to the listed IDs (see
+	// docs/analysis.md); empty runs all of them. KB005 additionally
+	// requires DOEBounds.
+	Checks []string `json:"checks,omitempty"`
 	// MinSeverity filters the reported diagnostics: "info" (default),
 	// "warning" or "error". Error/warning totals always count the
 	// unfiltered report.
@@ -164,11 +168,18 @@ func (r *AnalyzeRequest) validate(base *kahrisma.System) error {
 			return fmt.Errorf("min_severity: %q (want \"info\", \"warning\" or \"error\")", r.MinSeverity)
 		}
 	}
+	for _, id := range r.Checks {
+		if !kahrisma.KnownCheck(id) {
+			return fmt.Errorf("checks: unknown check %q (see docs/analysis.md)", id)
+		}
+	}
 	return nil
 }
 
-// AnalyzeResult is the body of a successful POST /v1/analyze response.
-type AnalyzeResult struct {
+// AnalyzeReport is the cacheable payload of an analysis: everything
+// the request's fingerprint determines. The analysis cache stores it
+// verbatim, so a repeat request gets a byte-identical report.
+type AnalyzeReport struct {
 	// Model holds the architecture-model diagnostics (checks KA001..);
 	// Program the binary diagnostics (checks KB001..) when sources were
 	// submitted and the model was clean enough to build against.
@@ -179,7 +190,13 @@ type AnalyzeResult struct {
 	Errors   int  `json:"errors"`
 	Warnings int  `json:"warnings"`
 	Clean    bool `json:"clean"`
-	// CacheHit reports that the executable came from the artifact cache.
+}
+
+// AnalyzeResult is the body of a successful POST /v1/analyze response.
+type AnalyzeResult struct {
+	AnalyzeReport
+	// CacheHit reports that the report came from the analysis cache
+	// (keyed by the fingerprint of every report-determining input).
 	CacheHit bool `json:"cache_hit"`
 }
 

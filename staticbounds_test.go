@@ -1,0 +1,65 @@
+package kahrisma_test
+
+import (
+	"context"
+	"testing"
+
+	kahrisma "repro"
+	"repro/internal/workloads"
+)
+
+// The static DOE lower bounds (KB005) must be consistent with measured
+// DOE runs of every bundled workload: the cross-check kprof
+// -check-static performs has to pass on the whole corpus, at a scalar
+// and a VLIW entry ISA.
+func TestStaticBoundsHoldOnWorkloads(t *testing.T) {
+	sys := newSys(t)
+	for _, w := range workloads.All() {
+		for _, isaName := range []string{"RISC", "VLIW4"} {
+			files := map[string]string{}
+			for _, s := range w.Sources {
+				files[s.Name] = s.Text
+			}
+			exe, err := sys.BuildC(isaName, files)
+			if err != nil {
+				t.Fatalf("%s/%s: build: %v", w.Name, isaName, err)
+			}
+			res, err := exe.Run(context.Background(),
+				kahrisma.WithModels("DOE"), kahrisma.WithProfiling())
+			if err != nil {
+				t.Fatalf("%s/%s: run: %v", w.Name, isaName, err)
+			}
+			sb, err := exe.CheckStaticBounds(res.Profile)
+			if err != nil {
+				t.Fatalf("%s/%s: check: %v", w.Name, isaName, err)
+			}
+			if sb.ExecutedBlocks == 0 {
+				t.Errorf("%s/%s: no executed block matched a recovered block", w.Name, isaName)
+			}
+			for _, v := range sb.Violations {
+				t.Errorf("%s/%s: %s", w.Name, isaName, v.Msg)
+			}
+		}
+	}
+}
+
+// A non-DOE profile is rejected rather than checked against bounds that
+// say nothing about its model.
+func TestStaticBoundsRequireDOE(t *testing.T) {
+	sys := newSys(t)
+	exe, err := sys.BuildC("RISC", map[string]string{"p.c": facadeProg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exe.Run(context.Background(),
+		kahrisma.WithModels("ILP"), kahrisma.WithProfiling())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exe.CheckStaticBounds(res.Profile); err == nil {
+		t.Fatal("ILP-measured profile accepted by the DOE bounds check")
+	}
+	if _, err := exe.CheckStaticBounds(nil); err == nil {
+		t.Fatal("nil profile accepted")
+	}
+}
