@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-pool bench-gate bench-baseline verify fmt-check vet lint kvet klint apidiff apidiff-baseline serve smoke prof campaign clean
+.PHONY: all build test race bench bench-pool bench-gate bench-baseline bench-matrix verify fmt-check vet lint kvet klint apidiff apidiff-baseline serve smoke prof campaign clean
 
 all: verify
 
@@ -30,6 +30,17 @@ BENCH_GATE = 'BenchmarkTable1|BenchmarkPoolScaling'
 bench-gate:
 	$(GO) test -run '^$$' -bench $(BENCH_GATE) -benchtime=3x -count=3 . \
 		| $(GO) run ./cmd/kbenchgate -out BENCH_ci.json -baseline BENCH_baseline.json
+
+# Per-worker scaling curve on a multi-core host: snapshot the workers
+# 1/2/4/8 pool throughput to BENCH_matrix.json and assert the workers=8
+# pool sustains >= 2x the single-worker aggregate mips. Runs on the
+# hosted CI runner (a 1-CPU container cannot show scaling).
+bench-matrix:
+	$(GO) test -run '^$$' -bench BenchmarkPoolScaling -benchtime=3x -count=3 . \
+		| $(GO) run ./cmd/kbenchgate -out BENCH_matrix.json -baseline BENCH_baseline.json \
+			-scale-from 'BenchmarkPoolScaling/workers=1' \
+			-scale-to 'BenchmarkPoolScaling/workers=8' \
+			-scale-unit agg-mips -scale-min 2
 
 # Refresh the committed baseline on the machine class that runs the
 # gate (baselines do not transfer between hosts).

@@ -1,5 +1,6 @@
 // Command kbench regenerates the paper's evaluation (Sec. VII): the
-// simulator-performance measurement (Table I), the ILP-vs-measured
+// simulator-performance measurement (Table I, extended with the
+// superblock-trace row of docs/interp.md), the ILP-vs-measured
 // operations/cycle series of all applications (Figure 4), and the
 // DOE-vs-RTL accuracy comparison (Table II).
 //

@@ -10,7 +10,16 @@
 // Repeated runs of one benchmark (-count N) keep the best value per
 // metric, which damps scheduler noise on shared CI runners; the default
 // 15% tolerance absorbs the rest. Regressions print one line per
-// offending metric and exit 1.
+// offending metric and exit 1. A missing or empty baseline is seeded
+// from the current run instead of failing, so the gate bootstraps
+// itself on first use.
+//
+// -scale-from/-scale-to assert a scaling ratio within the current run
+// (peak >= -scale-min times base on -scale-unit), which lets a
+// multi-core CI runner prove pool scaling claims:
+//
+//	... | kbenchgate -scale-from 'BenchmarkPoolScaling/workers=1' \
+//	                 -scale-to 'BenchmarkPoolScaling/workers=8' -scale-min 2
 package main
 
 import (
@@ -141,6 +150,50 @@ func compare(baseline, current Snapshot, tolerance float64) []string {
 	return failures
 }
 
+// loadBaseline reads a baseline snapshot. A missing file or a baseline
+// with no metrics (an empty or freshly seeded repo) reports ok=false
+// without an error: the caller seeds a baseline from the current run
+// instead of gating against nothing — a gate that compares against an
+// empty baseline passes vacuously and hides every regression after it.
+func loadBaseline(path string) (base Snapshot, ok bool, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return Snapshot{}, false, nil
+	}
+	if err != nil {
+		return Snapshot{}, false, fmt.Errorf("reading baseline: %w", err)
+	}
+	if err := json.Unmarshal(data, &base); err != nil {
+		return Snapshot{}, false, fmt.Errorf("decoding baseline %s: %w", path, err)
+	}
+	if len(base.Metrics) == 0 {
+		return Snapshot{}, false, nil
+	}
+	return base, true, nil
+}
+
+// scaleCheck asserts a throughput scaling ratio within one snapshot:
+// metrics[to][unit] >= min * metrics[from][unit]. It gates the current
+// run (not the baseline), so a multi-core CI runner can prove e.g. the
+// workers=8 pool sustains >= 2x the workers=1 aggregate mips.
+func scaleCheck(snap Snapshot, from, to, unit string, min float64) error {
+	b, ok := snap.Metrics[from][unit]
+	if !ok || b <= 0 {
+		return fmt.Errorf("scaling: no %q metric for %s in this run", unit, from)
+	}
+	p, ok := snap.Metrics[to][unit]
+	if !ok {
+		return fmt.Errorf("scaling: no %q metric for %s in this run", unit, to)
+	}
+	if p < min*b {
+		return fmt.Errorf("scaling: %s %s is %.2f, only %.2fx of %s (%.2f); need >= %.2fx",
+			to, unit, p, p/b, from, b, min)
+	}
+	fmt.Printf("kbenchgate: scaling ok: %s %s %.2f = %.2fx of %s (need >= %.2fx)\n",
+		to, unit, p, p/b, from, min)
+	return nil
+}
+
 func main() {
 	var (
 		out       = flag.String("out", "", "write the parsed snapshot JSON here (CI artifact)")
@@ -148,6 +201,10 @@ func main() {
 		tolerance = flag.Float64("tolerance", 0.15, "allowed fractional throughput drop before failing")
 		writeBase = flag.String("write-baseline", "", "write the snapshot as a new baseline and skip the gate")
 		input     = flag.String("input", "-", "benchmark output to read (-: stdin)")
+		scaleFrom = flag.String("scale-from", "", "scaling assertion: benchmark name of the base point")
+		scaleTo   = flag.String("scale-to", "", "scaling assertion: benchmark name of the peak point")
+		scaleUnit = flag.String("scale-unit", "agg-mips", "scaling assertion: metric unit to compare")
+		scaleMin  = flag.Float64("scale-min", 2.0, "scaling assertion: required peak/base ratio")
 	)
 	flag.Parse()
 
@@ -174,6 +231,13 @@ func main() {
 			fatal(err)
 		}
 	}
+
+	if *scaleFrom != "" && *scaleTo != "" {
+		if err := scaleCheck(snap, *scaleFrom, *scaleTo, *scaleUnit, *scaleMin); err != nil {
+			fatal(err)
+		}
+	}
+
 	if *writeBase != "" {
 		if err := writeSnapshot(*writeBase, snap); err != nil {
 			fatal(err)
@@ -182,13 +246,19 @@ func main() {
 		return
 	}
 
-	data, err := os.ReadFile(*baseline)
+	base, ok, err := loadBaseline(*baseline)
 	if err != nil {
-		fatal(fmt.Errorf("reading baseline: %w (seed one with -write-baseline)", err))
+		fatal(err)
 	}
-	var base Snapshot
-	if err := json.Unmarshal(data, &base); err != nil {
-		fatal(fmt.Errorf("decoding baseline %s: %w", *baseline, err))
+	if !ok {
+		// First run (or an emptied baseline): seed instead of gating
+		// against nothing.
+		if err := writeSnapshot(*baseline, snap); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("kbenchgate: no prior baseline, seeded %s (%d benchmarks); gate skipped\n",
+			*baseline, len(snap.Metrics))
+		return
 	}
 
 	failures := compare(base, snap, *tolerance)

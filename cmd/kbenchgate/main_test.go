@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -103,6 +104,72 @@ func TestCompare(t *testing.T) {
 	})
 	if fails := compare(base, better, 0.15); len(fails) != 0 {
 		t.Errorf("improved run failed the gate: %v", fails)
+	}
+}
+
+func TestLoadBaseline(t *testing.T) {
+	dir := t.TempDir()
+
+	// Missing file: no error, not ok — the caller seeds a baseline.
+	if _, ok, err := loadBaseline(dir + "/missing.json"); err != nil || ok {
+		t.Errorf("missing baseline: ok=%v err=%v, want ok=false err=nil", ok, err)
+	}
+
+	// A baseline with no entries is as useless as a missing one: the
+	// gate would pass vacuously forever.
+	empty := dir + "/empty.json"
+	if err := writeSnapshot(empty, Snapshot{Metrics: map[string]map[string]float64{}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := loadBaseline(empty); err != nil || ok {
+		t.Errorf("empty baseline: ok=%v err=%v, want ok=false err=nil", ok, err)
+	}
+
+	// A populated baseline round-trips.
+	full := dir + "/full.json"
+	want := snapOf(map[string]map[string]float64{"BenchmarkA": {"mips": 10.0}})
+	if err := writeSnapshot(full, want); err != nil {
+		t.Fatal(err)
+	}
+	base, ok, err := loadBaseline(full)
+	if err != nil || !ok {
+		t.Fatalf("full baseline: ok=%v err=%v", ok, err)
+	}
+	if base.Metrics["BenchmarkA"]["mips"] != 10.0 {
+		t.Errorf("round-tripped baseline = %v", base.Metrics)
+	}
+
+	// Corruption is still an error, not a silent reseed.
+	bad := dir + "/bad.json"
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := loadBaseline(bad); err == nil {
+		t.Error("corrupt baseline produced no error")
+	}
+}
+
+func TestScaleCheck(t *testing.T) {
+	snap := snapOf(map[string]map[string]float64{
+		"BenchmarkPoolScaling/workers=1": {"agg-mips": 20.0, "jobs/s": 100.0},
+		"BenchmarkPoolScaling/workers=8": {"agg-mips": 45.0, "jobs/s": 150.0},
+	})
+	from, to := "BenchmarkPoolScaling/workers=1", "BenchmarkPoolScaling/workers=8"
+
+	if err := scaleCheck(snap, from, to, "agg-mips", 2.0); err != nil {
+		t.Errorf("2.25x scaling failed a 2x assertion: %v", err)
+	}
+	if err := scaleCheck(snap, from, to, "agg-mips", 2.5); err == nil {
+		t.Error("2.25x scaling passed a 2.5x assertion")
+	}
+	if err := scaleCheck(snap, from, to, "jobs/s", 2.0); err == nil {
+		t.Error("1.5x jobs/s scaling passed a 2x assertion")
+	}
+	if err := scaleCheck(snap, from, "BenchmarkMissing", "agg-mips", 2.0); err == nil {
+		t.Error("missing peak benchmark passed the assertion")
+	}
+	if err := scaleCheck(snap, "BenchmarkMissing", to, "agg-mips", 2.0); err == nil {
+		t.Error("missing base benchmark passed the assertion")
 	}
 }
 

@@ -38,6 +38,7 @@ func main() {
 		points    = flag.Int("campaign-points", 1024, "per-campaign grid-size cap (POST /v1/campaigns)")
 		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON")
 		spans     = flag.Bool("trace-spans", false, "log pipeline spans per job (elaborate/build/simulate, W3C trace ids)")
+		noSB      = flag.Bool("no-superblocks", false, "run jobs through the stepwise interpreter (no superblock decode traces)")
 	)
 	flag.Parse()
 
@@ -48,18 +49,19 @@ func main() {
 	log := slog.New(h)
 
 	s, err := server.New(server.Config{
-		Workers:           *workers,
-		QueueDepth:        *queue,
-		MaxRequestBytes:   *maxBody,
-		MaxFuel:           *maxFuel,
-		MaxTimeout:        *maxTime,
-		DrainTimeout:      *drain,
-		ExeCacheSize:      *exeCache,
-		StreamRingSize:    *ring,
-		HeartbeatInterval: *heartbeat,
-		MaxCampaignPoints: *points,
-		Logger:            log,
-		TraceSpans:        *spans,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		MaxRequestBytes:    *maxBody,
+		MaxFuel:            *maxFuel,
+		MaxTimeout:         *maxTime,
+		DrainTimeout:       *drain,
+		ExeCacheSize:       *exeCache,
+		StreamRingSize:     *ring,
+		HeartbeatInterval:  *heartbeat,
+		MaxCampaignPoints:  *points,
+		Logger:             log,
+		TraceSpans:         *spans,
+		DisableSuperblocks: *noSB,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kservd:", err)

@@ -82,6 +82,11 @@ type Config struct {
 	// ids. Requests carrying a traceparent header join the caller's
 	// trace; others get a fresh root trace per job.
 	TraceSpans bool
+	// DisableSuperblocks runs every job through the stepwise
+	// interpreter instead of superblock decode traces — a debugging
+	// escape hatch (kservd -no-superblocks); the results are
+	// bit-identical either way.
+	DisableSuperblocks bool
 }
 
 func (c Config) withDefaults() Config {
@@ -355,6 +360,9 @@ func (s *Server) prepareJob(ctx context.Context, rec *jobRecord, req *JobRequest
 	opts := []kahrisma.Option{
 		kahrisma.WithFuel(fuel), kahrisma.WithTimeout(timeout),
 		kahrisma.WithEventSink(rec.stream),
+	}
+	if s.cfg.DisableSuperblocks {
+		opts = append(opts, kahrisma.WithoutSuperblocks())
 	}
 	if req.Stream {
 		opts = append(opts, kahrisma.WithTraceStreaming())

@@ -58,6 +58,13 @@ type Options struct {
 	DecodeCacheCap int
 	// Prediction enables instruction prediction on top of the cache.
 	Prediction bool
+	// Superblocks chains predicted decode structures into straight-line
+	// traces executed without per-instruction fetch/dispatch overhead
+	// (superblock.go). Requires DecodeCache and Prediction; runs with
+	// per-op capture (trace files, live op streaming) or an IP history
+	// ring fall back to the stepwise loop. Architectural results,
+	// cycles and every counter are bit-identical either way.
+	Superblocks bool
 	// MaxInstructions aborts the run after this many instructions
 	// (0 = no limit).
 	MaxInstructions uint64
@@ -86,10 +93,10 @@ type Options struct {
 	ProgressInterval uint64
 }
 
-// DefaultOptions enables cache and prediction (the configuration the
-// paper reports as 29.5 MIPS).
+// DefaultOptions enables cache, prediction (the configuration the
+// paper reports as 29.5 MIPS) and superblock trace execution on top.
 func DefaultOptions() Options {
-	return Options{DecodeCache: true, Prediction: true}
+	return Options{DecodeCache: true, Prediction: true, Superblocks: true}
 }
 
 // Stats are the simulator's performance counters; the decode-cache and
@@ -155,6 +162,9 @@ type CPU struct {
 	opts       Options
 	cache      map[uint64]*Decoded
 	last       *Decoded
+	sbGen      uint64 // superblock generation; bumping invalidates all traces
+	sbBuilt    int    // traces built this generation (flush-all cap)
+	zeroReg    uint8  // hard-wired zero register, 0xFF when absent
 	halted     bool
 	exitCode   int32
 	pendingISA int // ISA id to switch to after this instruction, -1 none
@@ -176,6 +186,7 @@ type CPU struct {
 	wbVal   [MaxIssue]uint32
 	wbN     int
 	nextIP  uint32
+	fall    uint32 // static fall-through of the executing instruction
 	ctlSet  bool
 	opIdx   int
 	tracing bool
@@ -235,6 +246,12 @@ func (c *CPU) init(m *isa.Model, p *Program, a *isa.ISA, opts Options) {
 	c.Stats = Stats{}
 	c.opts = opts
 	c.last = nil
+	c.sbGen = 0
+	c.sbBuilt = 0
+	c.zeroReg = 0xFF
+	if z := m.Regs.ZeroReg; z >= 0 && z < 32 {
+		c.zeroReg = uint8(z)
+	}
 	c.halted = false
 	c.exitCode = 0
 	c.pendingISA = -1
@@ -249,6 +266,7 @@ func (c *CPU) init(m *isa.Model, p *Program, a *isa.ISA, opts Options) {
 	c.rec = ExecRecord{}
 	c.wbN = 0
 	c.nextIP = 0
+	c.fall = 0
 	c.ctlSet = false
 	c.opIdx = 0
 	c.tracing = false
@@ -383,6 +401,7 @@ func (c *CPU) historySuffix() string {
 func (c *CPU) execute(d *Decoded) {
 	c.wbN = 0
 	c.nextIP = d.Addr + d.Size
+	c.fall = c.nextIP
 	c.ctlSet = false
 	c.rec.D = d
 	c.rec.Taken = false
@@ -402,30 +421,37 @@ func (c *CPU) execute(d *Decoded) {
 	c.IP = c.nextIP
 	c.rec.NextIP = c.nextIP
 	if c.pendingISA >= 0 {
-		a := c.Model.ISAByID(c.pendingISA)
-		switch {
-		case a == nil:
-			c.fail(fmt.Errorf("sim: SWITCHTARGET to unknown ISA id %d", c.pendingISA))
-		case a != c.ISA:
-			if cb := c.opts.OnISASwitch; cb != nil {
-				if err := cb(c.ISA, a); err != nil {
-					c.fail(err)
-					c.pendingISA = -1
-					return
-				}
-			}
-			if c.sink != nil {
-				c.sink.ISASwitch(trace.SwitchInfo{
-					From: c.ISA.Name, To: a.Name,
-					Instructions: c.Stats.Instructions,
-				})
-			}
-			c.ISA = a
-			c.Stats.ISASwitches++
-			c.last = nil // predictions do not cross an ISA switch
-		}
-		c.pendingISA = -1
+		c.applyPendingISA()
 	}
+}
+
+// applyPendingISA performs the ISA switch a SWITCHTARGET scheduled for
+// the end of the current instruction — shared by the stepwise execute
+// path and the superblock fast path.
+func (c *CPU) applyPendingISA() {
+	a := c.Model.ISAByID(c.pendingISA)
+	switch {
+	case a == nil:
+		c.fail(fmt.Errorf("sim: SWITCHTARGET to unknown ISA id %d", c.pendingISA))
+	case a != c.ISA:
+		if cb := c.opts.OnISASwitch; cb != nil {
+			if err := cb(c.ISA, a); err != nil {
+				c.fail(err)
+				c.pendingISA = -1
+				return
+			}
+		}
+		if c.sink != nil {
+			c.sink.ISASwitch(trace.SwitchInfo{
+				From: c.ISA.Name, To: a.Name,
+				Instructions: c.Stats.Instructions,
+			})
+		}
+		c.ISA = a
+		c.Stats.ISASwitches++
+		c.last = nil // predictions do not cross an ISA switch
+	}
+	c.pendingISA = -1
 }
 
 // pushWB appends a register write to the write-back buffer.
@@ -447,8 +473,15 @@ func (c *CPU) setNextIP(target uint32) {
 }
 
 // noteMem records a data memory access for observers and cycle models.
+// Stores into the text section additionally invalidate the superblock
+// traces: decode structures stay immutable (the paper's cache never
+// re-decodes — see fetch), but the chaining over a self-modified region
+// is conservatively dropped and rebuilt from the prediction graph.
 func (c *CPU) noteMem(addr uint32, write bool) {
 	c.rec.Mem[c.opIdx] = MemAccess{Valid: true, Write: write, Addr: addr}
+	if write && addr >= c.Prog.TextStart && addr < c.Prog.TextEnd {
+		c.invalidateSuperblocks()
+	}
 }
 
 func (c *CPU) fail(err error) {
@@ -486,6 +519,7 @@ func (c *CPU) RunContext(ctx context.Context) (ExitStatus, error) {
 func (c *CPU) runLoop(ctx context.Context) (ExitStatus, error) {
 	done := ctx.Done()
 	next := c.Stats.Instructions + CtxCheckInterval
+	useSB := c.sbActive()
 	for !c.halted {
 		if c.opts.MaxInstructions > 0 && c.Stats.Instructions >= c.opts.MaxInstructions {
 			return c.status(), fmt.Errorf("sim: instruction limit (%d) reached at %s: %w%s",
@@ -503,6 +537,12 @@ func (c *CPU) runLoop(ctx context.Context) (ExitStatus, error) {
 		if c.sink != nil && c.Stats.Instructions >= c.nextProg {
 			c.emitProgress()
 			c.nextProg = c.Stats.Instructions + c.progEvery
+		}
+		if useSB {
+			if err := c.stepSuperblock(c.sbBudget(done != nil, next)); err != nil {
+				return c.status(), err
+			}
+			continue
 		}
 		if err := c.Step(); err != nil {
 			return c.status(), err

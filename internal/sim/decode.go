@@ -40,6 +40,11 @@ type Decoded struct {
 	// is valid when pred.Addr matches the current IP and pred.ISA the
 	// active ISA.
 	pred *Decoded
+
+	// sb is the superblock trace headed by this instruction, built
+	// lazily from the prediction links (superblock.go). Valid only
+	// while sb.gen matches the CPU's trace generation.
+	sb *superblock
 }
 
 // cacheKey builds the decode-cache key: the instruction address tagged
@@ -127,6 +132,11 @@ func (c *CPU) fetch() (*Decoded, error) {
 			if limit := c.opts.DecodeCacheCap; limit > 0 && len(c.cache) >= limit {
 				c.Stats.CacheEvictions += uint64(len(c.cache))
 				clear(c.cache)
+				// Superblock traces may chain evicted entries; the
+				// entries stay semantically valid through pred links,
+				// but the traces are dropped with the cache so both
+				// caches flush under one policy.
+				c.invalidateSuperblocks()
 			}
 			c.cache[key] = dec
 			d = dec

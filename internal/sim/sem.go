@@ -186,8 +186,10 @@ var semRegistry = map[string]semFunc{
 	"nop":     func(c *CPU, d *DecodedOp) {},
 }
 
-// fallIP is the address of the instruction following the current one.
-func (c *CPU) fallIP() uint32 { return c.rec.D.Addr + c.rec.D.Size }
+// fallIP is the address of the instruction following the current one
+// (its static fall-through, regardless of any control transfer the
+// instruction performs).
+func (c *CPU) fallIP() uint32 { return c.fall }
 
 func b2u(b bool) uint32 {
 	if b {

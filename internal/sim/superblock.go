@@ -1,0 +1,305 @@
+package sim
+
+import "fmt"
+
+// Superblock decode traces (ROADMAP item 2): the decode cache and
+// next-instruction prediction of the paper already reduce most fetches
+// to two pointer compares, but every instruction still pays the full
+// interpreter frame — outer-loop bookkeeping, the text-bounds check,
+// the fetch call, per-operation observer scaffolding and the generic
+// execute path. A superblock chains the decode structures that
+// prediction links into a straight-line trace and executes it in one
+// tight loop: each chained transition is verified with the same three
+// compares the stepwise predictor uses (pred pointer, address, ISA) and
+// then runs without any per-instruction fetch or dispatch overhead.
+//
+// Correctness contract: superblock execution is bit-identical to the
+// stepwise loop in architectural state, output, cycles AND counters.
+// A trace transition executes exactly when the stepwise fetch would
+// have scored a prediction hit, and counts it identically (PredHits);
+// any other situation — broken prediction link, control divergence,
+// run-time ISA switch, halt, error — exits the trace and hands the
+// instruction back to the ordinary Step path, which counts lookups,
+// misses and evictions exactly as before. Traces therefore never
+// create or retire decode structures themselves: they only replay the
+// prediction graph the stepwise interpreter builds.
+//
+// Invalidation is generation-based (CPU.sbGen): bumping the generation
+// lazily invalidates every trace at once. Generations advance on
+// decode-cache flushes (Options.DecodeCacheCap evictions), on stores
+// into the text section (self-modifying regions; decode structures
+// themselves are immutable by the paper's cache design, but the
+// chaining is conservatively dropped), and when the per-generation
+// build budget is exhausted. Fuel, cancellation polling and progress
+// events bound each trace run through an instruction budget computed by
+// the outer loop, so a trace can never overshoot a boundary the
+// stepwise loop would have honoured.
+const (
+	// maxSuperblockLen bounds one trace: enough to cover hot loop
+	// bodies (the paper's workloads average well under this) while
+	// keeping build cost and memory per decode structure small.
+	maxSuperblockLen = 64
+	// maxSuperblocks bounds traces built per generation; exceeding it
+	// flushes them all (the same wholesale policy as the bounded
+	// decode cache — the only deterministic one without bookkeeping on
+	// the hot path).
+	maxSuperblocks = 4096
+)
+
+// superblock is one decode trace: the chain of decode structures the
+// prediction links formed when it was built, head first.
+type superblock struct {
+	gen   uint64     // valid while == CPU.sbGen
+	steps []*Decoded // steps[0] is the head
+	// wrap marks a closed loop: the last step's prediction returns to
+	// the head, so the trace replays without leaving the tight loop.
+	wrap bool
+	// open marks a trace that ended on a missing prediction link; it
+	// is rebuilt once the link exists (warm-up growth). Traces closed
+	// by wrap, length cap or an ISA boundary stay as built.
+	open bool
+}
+
+// sbActive reports whether this run executes through superblocks: the
+// opt-in plus every feature that needs the stepwise per-instruction
+// frame. Per-op capture (trace files, live op streaming) and the IP
+// history ring dominate dispatch cost anyway, so those runs keep the
+// plain loop; cycle models and the profiler are cheap observers and ARE
+// served inside traces (runSuperblock keeps ExecRecord exact for them).
+func (c *CPU) sbActive() bool {
+	return c.opts.Superblocks && c.opts.DecodeCache && c.opts.Prediction &&
+		c.opts.HistorySize == 0 && !c.capture
+}
+
+// invalidateSuperblocks drops every trace by advancing the generation.
+// Decode structures and prediction links are untouched: rebuilding a
+// trace replays them and is therefore free of counter effects.
+func (c *CPU) invalidateSuperblocks() {
+	c.sbGen++
+	c.sbBuilt = 0
+}
+
+// sbBudget computes how many instructions a trace may execute before
+// the outer loop must regain control: the fuel boundary (exact — the
+// stepwise loop errors precisely at MaxInstructions), the cancellation
+// poll and the next progress event. All bounds are strictly ahead of
+// the current count because runLoop just serviced them.
+func (c *CPU) sbBudget(polling bool, nextPoll uint64) uint64 {
+	b := uint64(1) << 62
+	n := c.Stats.Instructions
+	if m := c.opts.MaxInstructions; m > 0 && m-n < b {
+		b = m - n
+	}
+	if polling && nextPoll-n < b {
+		b = nextPoll - n
+	}
+	if c.sink != nil && c.nextProg-n < b {
+		b = c.nextProg - n
+	}
+	return b
+}
+
+// stepSuperblock executes the instruction at the current IP through the
+// ordinary Step path (full bounds/fetch/counter semantics) and then, if
+// that instruction heads a valid trace, continues along the trace for
+// up to budget-1 further instructions.
+func (c *CPU) stepSuperblock(budget uint64) error {
+	if err := c.Step(); err != nil || c.halted {
+		return err
+	}
+	head := c.last
+	if head == nil || budget <= 1 {
+		return nil
+	}
+	sb := head.sb
+	if sb == nil || sb.gen != c.sbGen ||
+		(sb.open && sb.steps[len(sb.steps)-1].pred != nil) {
+		sb = c.buildSuperblock(head)
+	}
+	if len(sb.steps) < 2 {
+		return nil
+	}
+	return c.runSuperblock(sb, budget-1)
+}
+
+// buildSuperblock walks the prediction links from head into a fresh
+// trace. Building never touches the counters: it reads the prediction
+// graph, it does not extend it. The walk stops at a missing link
+// (open: regrown once the link appears), at the head (wrap: a closed
+// loop), at an ISA boundary (defensive — prediction links are cleared
+// across switches) or at the length cap.
+func (c *CPU) buildSuperblock(head *Decoded) *superblock {
+	if c.sbBuilt >= maxSuperblocks {
+		c.invalidateSuperblocks()
+	}
+	sb := &superblock{gen: c.sbGen, steps: make([]*Decoded, 1, 8)}
+	sb.steps[0] = head
+	cur := head
+	for len(sb.steps) < maxSuperblockLen {
+		p := cur.pred
+		if p == nil {
+			sb.open = true
+			break
+		}
+		if p == head {
+			sb.wrap = true
+			break
+		}
+		if p.ISA != head.ISA {
+			break
+		}
+		sb.steps = append(sb.steps, p)
+		cur = p
+	}
+	c.sbBuilt++
+	head.sb = sb
+	return sb
+}
+
+// runSuperblock executes up to budget chained instructions of t. The
+// head (steps[0]) was already executed by the caller; execution
+// continues at steps[1] and wraps back to the head for closed loops.
+// Every transition re-verifies the prediction-hit condition, so a stale
+// trace can never execute a wrong instruction — it just exits early and
+// the stepwise path takes over.
+//
+// This is the no-observer fast path: the execute body is inlined
+// (identical architectural semantics — two-phase write-back, zero-
+// register suppression, control-transfer conflict detection, pending
+// ISA switches — with the ExecRecord bookkeeping elided) and the
+// instruction pointer plus the PredHits/Operations counters live in
+// locals, flushed at every exit. Stats.Instructions is maintained
+// directly because running operations can read it (the clock simcall,
+// the ISA-switch trace event), exactly at its stepwise value.
+func (c *CPU) runSuperblock(t *superblock, budget uint64) error {
+	if len(c.observers) > 0 {
+		return c.runSuperblockObserved(t, budget)
+	}
+	steps := t.steps
+	n := len(steps)
+	d := c.last
+	ip := c.IP
+	var preds, opsDone uint64
+	i := 1
+	for budget > 0 {
+		if i == n {
+			if !t.wrap {
+				break
+			}
+			i = 0
+		}
+		next := steps[i]
+		// The stepwise prediction-hit condition, verbatim: the previous
+		// instruction predicts next, at the current IP, under the
+		// current ISA. Anything else is the stepwise path's business.
+		if d.pred != next || next.Addr != ip || next.ISA != c.ISA {
+			break
+		}
+		preds++
+		c.wbN = 0
+		nip := next.Addr + next.Size
+		c.nextIP = nip
+		c.fall = nip
+		c.ctlSet = false
+		ops := next.Ops
+		for j := range ops {
+			c.opIdx = j
+			op := &ops[j]
+			op.sem(c, op)
+		}
+		zr := c.zeroReg
+		for j := 0; j < c.wbN; j++ {
+			if r := c.wbReg[j]; r != zr {
+				c.Regs[r] = c.wbVal[j]
+			}
+		}
+		ip = c.nextIP
+		if c.pendingISA >= 0 || c.runErr != nil || c.halted {
+			// Rare exits: flush the locals, then replicate the stepwise
+			// tail in its exact order — pending ISA switch first (its
+			// trace event reads the pre-increment instruction count),
+			// then the error check, then the counters.
+			c.IP = ip
+			c.last = next
+			c.Stats.PredHits += preds
+			c.Stats.Operations += opsDone
+			preds, opsDone = 0, 0
+			if c.pendingISA >= 0 {
+				c.applyPendingISA()
+			}
+			if c.runErr != nil {
+				err := c.runErr
+				c.runErr = nil
+				return fmt.Errorf("%v at %s%s", err, c.Prog.Location(next.Addr), c.historySuffix())
+			}
+			c.Stats.Instructions++
+			c.Stats.Operations += uint64(len(ops))
+			budget--
+			if c.halted {
+				return nil
+			}
+			if c.last == nil {
+				return nil // run-time ISA switch: prediction does not cross it
+			}
+			d = next
+			i++
+			continue
+		}
+		c.Stats.Instructions++
+		opsDone += uint64(len(ops))
+		budget--
+		d = next
+		i++
+	}
+	c.IP = ip
+	c.last = d
+	c.Stats.PredHits += preds
+	c.Stats.Operations += opsDone
+	return nil
+}
+
+// runSuperblockObserved is the trace loop for runs with attached
+// observers (cycle models, the profiler): every instruction goes
+// through the full execute path so the ExecRecord stays exact, and the
+// observers see the same per-instruction callbacks as the stepwise
+// loop.
+func (c *CPU) runSuperblockObserved(t *superblock, budget uint64) error {
+	d := c.last
+	steps := t.steps
+	i := 1
+	for budget > 0 {
+		if i == len(steps) {
+			if !t.wrap {
+				return nil
+			}
+			i = 0
+		}
+		next := steps[i]
+		if d.pred != next || next.Addr != c.IP || next.ISA != c.ISA {
+			return nil
+		}
+		c.Stats.PredHits++
+		c.last = next
+		c.execute(next)
+		if c.runErr != nil {
+			err := c.runErr
+			c.runErr = nil
+			return fmt.Errorf("%v at %s%s", err, c.Prog.Location(next.Addr), c.historySuffix())
+		}
+		c.Stats.Instructions++
+		c.Stats.Operations += uint64(len(next.Ops))
+		for _, o := range c.observers {
+			o.Instruction(&c.rec)
+		}
+		budget--
+		if c.halted {
+			return nil
+		}
+		if c.last == nil {
+			return nil // run-time ISA switch: prediction does not cross it
+		}
+		d = next
+		i++
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package sim_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/kelf"
+	"repro/internal/sim"
+	"repro/internal/targetgen"
+)
+
+// FuzzSuperblockChain feeds arbitrary text sections and entry points to
+// the interpreter twice — superblock traces on and off — and demands
+// the two runs be indistinguishable: same exit status or error text,
+// same registers, same output, and the same complete counter set.
+// Whatever the bytes decode to (hot loops, self-branches, ISA switches
+// into re-decoded regions, illegal words, halts, runaway straight-line
+// code), the trace chainer must stay panic-free, deterministic, and
+// semantics-equal to stepwise execution. This is the property the CI
+// determinism gate checks on real workloads, extended to hostile ones.
+func FuzzSuperblockChain(f *testing.F) {
+	model := targetgen.MustKahrisma()
+
+	// Seeds: all-nops (a straight line that runs off the text end), an
+	// undecodable word, a tight self-loop shape, and a word pattern
+	// with high bits set (operation-class selectors).
+	nops := bytes.Repeat([]byte{0x00, 0x00, 0x00, 0xFC}, 16)
+	f.Add(nops, uint16(0), uint8(0))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF}, uint16(0), uint8(0))
+	f.Add([]byte{0x01, 0x00, 0x48, 0x04, 0x00, 0x00, 0x00, 0xFC}, uint16(4), uint8(1))
+	f.Add(bytes.Repeat([]byte{0x21, 0x43, 0x65, 0x87}, 8), uint16(8), uint8(2))
+
+	f.Fuzz(func(t *testing.T, raw []byte, entryOff uint16, entrySel uint8) {
+		if len(raw) < 4 || len(raw) > 4096 {
+			return
+		}
+		text := raw[:len(raw)&^3]
+		const base = 0x1000
+		file := kelf.New(kelf.TypeExec)
+		if err := file.AddSection(&kelf.Section{
+			Name: kelf.SecText, Type: kelf.SecProgbits, Addr: base, Data: text,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		p := &sim.Program{
+			File:      file,
+			Entry:     base + (uint32(entryOff)%uint32(len(text)))&^3,
+			EntryISA:  int(entrySel) % len(model.ISAs),
+			TextStart: base,
+			TextEnd:   base + uint32(len(text)),
+			StackTop:  0x80000,
+			HeapStart: 0x40000,
+			Funcs:     &kelf.FuncTable{},
+			AsmMap:    &kelf.LineMap{},
+			SrcMap:    &kelf.LineMap{},
+		}
+
+		run := func(superblocks bool) (*sim.CPU, sim.ExitStatus, string, string) {
+			opts := sim.DefaultOptions()
+			opts.Superblocks = superblocks
+			opts.MaxInstructions = 5000 // bound runaway loops per input
+			var out bytes.Buffer
+			opts.Stdout = &out
+			c, err := sim.New(model, p, opts)
+			if err != nil {
+				t.Fatalf("sim.New: %v", err)
+			}
+			st, runErr := c.Run()
+			msg := ""
+			if runErr != nil {
+				msg = runErr.Error()
+			}
+			return c, st, msg, out.String()
+		}
+
+		cOn, stOn, errOn, outOn := run(true)
+		cOff, stOff, errOff, outOff := run(false)
+
+		if errOn != errOff {
+			t.Fatalf("errors diverge:\n  on:  %s\n  off: %s", errOn, errOff)
+		}
+		if stOn != stOff {
+			t.Fatalf("exit status diverges: %+v vs %+v", stOn, stOff)
+		}
+		if cOn.Stats != cOff.Stats {
+			t.Fatalf("stats diverge:\n  on:  %+v\n  off: %+v", cOn.Stats, cOff.Stats)
+		}
+		if cOn.Regs != cOff.Regs {
+			t.Fatalf("registers diverge:\n  on:  %v\n  off: %v", cOn.Regs, cOff.Regs)
+		}
+		if cOn.IP != cOff.IP || cOn.ISA.ID != cOff.ISA.ID {
+			t.Fatalf("final IP/ISA diverge: %#x/%d vs %#x/%d",
+				cOn.IP, cOn.ISA.ID, cOff.IP, cOff.ISA.ID)
+		}
+		if outOn != outOff {
+			t.Fatalf("output diverges:\n  on:  %q\n  off: %q", outOn, outOff)
+		}
+
+		// Determinism: a second superblock run of the same program is
+		// bit-identical to the first.
+		cOn2, stOn2, errOn2, outOn2 := run(true)
+		if errOn2 != errOn || stOn2 != stOn || cOn2.Stats != cOn.Stats ||
+			cOn2.Regs != cOn.Regs || outOn2 != outOn {
+			t.Fatalf("superblock run not deterministic:\n first: %+v %+v\nsecond: %+v %+v",
+				stOn, cOn.Stats, stOn2, cOn2.Stats)
+		}
+	})
+}

@@ -1,0 +1,266 @@
+package sim_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/ktest"
+	"repro/internal/sim"
+)
+
+// runPair executes one program twice — superblock traces on and off —
+// under otherwise identical options and asserts bit-identical results:
+// exit status, registers, output, and the complete Stats counter set
+// (the profiler derives its report from those counters, so counter
+// equality is profile equality). It returns both CPUs and errors for
+// edge-specific assertions.
+func runPair(t *testing.T, p *sim.Program, tune func(*sim.Options)) (on, off *sim.CPU, onErr, offErr error) {
+	t.Helper()
+	run := func(superblocks bool) (*sim.CPU, *bytes.Buffer, sim.ExitStatus, error) {
+		opts := sim.DefaultOptions()
+		opts.MaxInstructions = 50_000_000
+		var out bytes.Buffer
+		opts.Stdout = &out
+		if tune != nil {
+			tune(&opts)
+		}
+		opts.Superblocks = superblocks
+		c := ktest.NewCPU(t, p, opts)
+		st, err := c.Run()
+		return c, &out, st, err
+	}
+	cOn, outOn, stOn, errOn := run(true)
+	cOff, outOff, stOff, errOff := run(false)
+
+	if (errOn == nil) != (errOff == nil) ||
+		(errOn != nil && errOn.Error() != errOff.Error()) {
+		t.Fatalf("errors diverge:\n  superblocks on:  %v\n  superblocks off: %v", errOn, errOff)
+	}
+	if stOn != stOff {
+		t.Errorf("exit status diverges: %+v vs %+v", stOn, stOff)
+	}
+	if cOn.Stats != cOff.Stats {
+		t.Errorf("stats diverge:\n  on:  %+v\n  off: %+v", cOn.Stats, cOff.Stats)
+	}
+	if cOn.Regs != cOff.Regs {
+		t.Errorf("registers diverge:\n  on:  %v\n  off: %v", cOn.Regs, cOff.Regs)
+	}
+	if cOn.IP != cOff.IP {
+		t.Errorf("final IP diverges: %#x vs %#x", cOn.IP, cOff.IP)
+	}
+	if !bytes.Equal(outOn.Bytes(), outOff.Bytes()) {
+		t.Errorf("output diverges:\n  on:  %q\n  off: %q", outOn, outOff)
+	}
+	return cOn, cOff, errOn, errOff
+}
+
+// A hot loop — the case superblocks exist for. The trace must wrap (the
+// loop body replays inside one trace), visible as a prediction-hit rate
+// near 100%, and stay bit-identical to the stepwise interpreter.
+func TestSuperblockHotLoopEquivalence(t *testing.T) {
+	p := ktest.BuildProgram(t, "RISC", `
+	.global main
+main:
+	li a0, 0
+	li t0, 0
+	li t1, 20000
+loop:
+	addi t0, t0, 1
+	add a0, a0, t0
+	andi a0, a0, 65535
+	bne t0, t1, loop
+	ret
+`)
+	on, _, _, _ := runPair(t, p, nil)
+	if hits := float64(on.Stats.PredHits) / float64(on.Stats.Instructions); hits < 0.99 {
+		t.Errorf("prediction-hit rate %.4f, want ~1 for a hot loop", hits)
+	}
+}
+
+// ISA switch mid-trace: a loop body that hops RISC -> VLIW4 -> RISC on
+// every iteration. Prediction links never cross a switch, so every
+// trace must end at the swt and hand control back; counters, the switch
+// count and results stay identical either way.
+func TestSuperblockISASwitchMidTrace(t *testing.T) {
+	p := ktest.BuildProgram(t, "RISC", `
+	.global main
+main:
+	li a0, 0
+	li t0, 0
+	li t1, 500
+loop:
+	addi t0, t0, 1
+	swt VLIW4
+	.isa VLIW4
+	{ addi a0, a0, 3 ; addi t2, zero, 0 }
+	swt RISC
+	.isa RISC
+	bne t0, t1, loop
+	ret
+`)
+	on, _, _, _ := runPair(t, p, nil)
+	if on.Stats.ISASwitches != 1000 {
+		t.Errorf("ISA switches = %d, want 1000", on.Stats.ISASwitches)
+	}
+}
+
+// Decode-cache eviction of chained entries: a bounded cache that
+// flushes while traces reference its entries. The flush must drop the
+// traces with the cache (one generation bump) without perturbing any
+// counter or result.
+func TestSuperblockDecodeCacheEviction(t *testing.T) {
+	p := ktest.BuildProgram(t, "RISC", `
+	.global main
+main:
+	li a0, 0
+	li t0, 0
+	li t1, 300
+loop:
+	addi t0, t0, 1
+	addi a0, a0, 2
+	addi a0, a0, 3
+	addi a0, a0, 5
+	andi a0, a0, 4095
+	bne t0, t1, loop
+	ret
+`)
+	on, _, _, _ := runPair(t, p, func(o *sim.Options) { o.DecodeCacheCap = 4 })
+	if on.Stats.CacheEvictions == 0 {
+		t.Error("bounded cache (cap 4) never evicted — the edge was not exercised")
+	}
+}
+
+// Fuel exhaustion inside a trace: the instruction limit lands mid-way
+// through a hot loop body. The trace budget must stop execution at
+// exactly MaxInstructions, and both paths must report the same
+// ErrFuelExhausted at the same instruction and IP (the error text
+// embeds the faulting location, so string equality pins both).
+func TestSuperblockFuelExhaustionInsideTrace(t *testing.T) {
+	p := ktest.BuildProgram(t, "RISC", `
+	.global main
+main:
+	li t0, 0
+spin:
+	addi t0, t0, 1
+	addi t1, t0, 7
+	addi t2, t1, 9
+	j spin
+`)
+	// 10_007 is far from any multiple of the 4-instruction loop body,
+	// so the limit lands inside a wrapped trace.
+	on, off, onErr, _ := runPair(t, p, func(o *sim.Options) { o.MaxInstructions = 10_007 })
+	if !errors.Is(onErr, sim.ErrFuelExhausted) {
+		t.Fatalf("error %v does not wrap ErrFuelExhausted", onErr)
+	}
+	if on.Stats.Instructions != 10_007 || off.Stats.Instructions != 10_007 {
+		t.Errorf("instructions at fuel stop: on=%d off=%d, want exactly 10007",
+			on.Stats.Instructions, off.Stats.Instructions)
+	}
+}
+
+// Cancellation landing inside a trace: a context canceled before the
+// run starts stops both interpreters at the first poll boundary — the
+// same deterministic instruction count, never mid-trace past it.
+func TestSuperblockCancellationInsideTrace(t *testing.T) {
+	p := ktest.BuildProgram(t, "RISC", `
+	.global main
+main:
+	li t0, 0
+spin:
+	addi t0, t0, 1
+	j spin
+`)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	run := func(superblocks bool) (*sim.CPU, error) {
+		opts := sim.DefaultOptions()
+		opts.Superblocks = superblocks
+		c := ktest.NewCPU(t, p, opts)
+		_, err := c.RunContext(ctx)
+		return c, err
+	}
+	on, onErr := run(true)
+	off, offErr := run(false)
+	if !errors.Is(onErr, sim.ErrCanceled) || !errors.Is(offErr, sim.ErrCanceled) {
+		t.Fatalf("errors do not wrap ErrCanceled: on=%v off=%v", onErr, offErr)
+	}
+	if on.Stats != off.Stats {
+		t.Errorf("stats at cancellation diverge:\n  on:  %+v\n  off: %+v", on.Stats, off.Stats)
+	}
+	if onErr.Error() != offErr.Error() {
+		t.Errorf("cancellation errors diverge:\n  on:  %v\n  off: %v", onErr, offErr)
+	}
+}
+
+// A store into the text section (self-modifying region) conservatively
+// drops the traces. The decode cache itself never re-decodes by the
+// paper's design, so results must be identical to the stepwise path —
+// which is exactly why the traces may keep replaying the original
+// decode structures and only the chaining is invalidated.
+func TestSuperblockSelfModifyingStore(t *testing.T) {
+	p := ktest.BuildProgram(t, "RISC", `
+	.global main
+main:
+	li a0, 0
+	li t0, 0
+	li t1, 200
+	la t3, patch
+loop:
+	addi t0, t0, 1
+patch:
+	addi a0, a0, 1
+	lw t2, 0(t3)
+	sw t2, 0(t3)
+	bne t0, t1, loop
+	ret
+`)
+	runPair(t, p, nil)
+}
+
+// Observers (the profiler, cycle models) run inside traces through the
+// full execute path. A run with an observer attached must agree with
+// the stepwise interpreter instruction by instruction.
+func TestSuperblockObservedEquivalence(t *testing.T) {
+	p := ktest.BuildProgram(t, "RISC", `
+	.global main
+main:
+	li a0, 0
+	li t0, 0
+	li t1, 5000
+loop:
+	addi t0, t0, 1
+	add a0, a0, t0
+	bne t0, t1, loop
+	ret
+`)
+	count := func(superblocks bool) (uint64, sim.Stats) {
+		opts := sim.DefaultOptions()
+		opts.MaxInstructions = 50_000_000
+		opts.Superblocks = superblocks
+		c := ktest.NewCPU(t, p, opts)
+		var n uint64
+		c.Attach(observerFunc(func(rec *sim.ExecRecord) { n += uint64(len(rec.D.Ops)) }))
+		if _, err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return n, c.Stats
+	}
+	nOn, sOn := count(true)
+	nOff, sOff := count(false)
+	if nOn != nOff {
+		t.Errorf("observer saw %d ops with superblocks, %d without", nOn, nOff)
+	}
+	if sOn != sOff {
+		t.Errorf("stats diverge under observation:\n  on:  %+v\n  off: %+v", sOn, sOff)
+	}
+	if nOn != sOn.Operations {
+		t.Errorf("observer saw %d ops, counters say %d", nOn, sOn.Operations)
+	}
+}
+
+// observerFunc adapts a func to the sim.Observer interface.
+type observerFunc func(*sim.ExecRecord)
+
+func (f observerFunc) Instruction(rec *sim.ExecRecord) { f(rec) }

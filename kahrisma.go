@@ -347,6 +347,7 @@ func (e *Executable) prepare(cfg runConfig) (sim.Options, *runSetup, error) {
 		DecodeCache:      !cfg.DisableDecodeCache,
 		DecodeCacheCap:   cfg.DecodeCacheCap,
 		Prediction:       !cfg.DisablePrediction && !cfg.DisableDecodeCache,
+		Superblocks:      !cfg.DisableSuperblocks,
 		MaxInstructions:  cfg.Fuel,
 		Stdin:            cfg.Stdin,
 		EventSink:        cfg.EventSink,

@@ -29,6 +29,7 @@ type runConfig struct {
 	Timeout            time.Duration
 	DisableDecodeCache bool
 	DisablePrediction  bool
+	DisableSuperblocks bool
 	DecodeCacheCap     int
 	PerFunctionILP     bool
 	Profile            bool
@@ -112,6 +113,14 @@ func WithoutDecodeCache() Option {
 // decode cache.
 func WithoutPrediction() Option {
 	return func(c *runConfig) { c.DisablePrediction = true }
+}
+
+// WithoutSuperblocks disables superblock decode traces, keeping the
+// stepwise decode-cache + prediction interpreter — for debugging and
+// for bit-identity comparisons against the trace executor
+// (docs/interp.md).
+func WithoutSuperblocks() Option {
+	return func(c *runConfig) { c.DisableSuperblocks = true }
 }
 
 // WithDecodeCacheCap bounds the decode cache to n entries; a miss on a

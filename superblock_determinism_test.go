@@ -1,0 +1,103 @@
+package kahrisma_test
+
+import (
+	"context"
+	"testing"
+
+	kahrisma "repro"
+	"repro/internal/prof"
+	"repro/internal/workloads"
+)
+
+// TestSuperblockDeterminismMatrix is the determinism gate of the
+// superblock trace executor (docs/interp.md): every workload of the
+// paper's evaluation, on every processor instance plus a mixed-ISA
+// build, runs once through superblock traces and once through the
+// stepwise interpreter. Any difference in cycles, output, instruction
+// counts, or the full microarchitectural profile fails the gate.
+// CI runs this as its own `determinism` job.
+func TestSuperblockDeterminismMatrix(t *testing.T) {
+	sys := newSys(t)
+	isas := sys.ISAs()
+	apps := workloads.All()
+	if testing.Short() {
+		isas = isas[:2]
+		apps = apps[:2]
+	}
+
+	var onProfiles, offProfiles []*kahrisma.Profile
+	runBoth := func(t *testing.T, exe *kahrisma.Executable, expected string) {
+		t.Helper()
+		opts := []kahrisma.Option{
+			kahrisma.WithModels("ILP", "DOE"), kahrisma.WithProfiling(),
+		}
+		on, err := exe.Run(context.Background(), opts...)
+		if err != nil {
+			t.Fatalf("superblock run: %v", err)
+		}
+		off, err := exe.Run(context.Background(), append(opts, kahrisma.WithoutSuperblocks())...)
+		if err != nil {
+			t.Fatalf("stepwise run: %v", err)
+		}
+		if on.Instructions != off.Instructions || on.Operations != off.Operations {
+			t.Errorf("instruction counts diverge: %d/%d vs %d/%d",
+				on.Instructions, on.Operations, off.Instructions, off.Operations)
+		}
+		if on.Output != off.Output || on.ExitCode != off.ExitCode {
+			t.Errorf("output/exit diverge: %q/%d vs %q/%d",
+				on.Output, on.ExitCode, off.Output, off.ExitCode)
+		}
+		if expected != "" && on.Output != expected {
+			t.Errorf("output does not match the reference implementation")
+		}
+		for _, m := range []string{"ILP", "DOE"} {
+			if on.Cycles[m] != off.Cycles[m] {
+				t.Errorf("%s cycles diverge: %d vs %d", m, on.Cycles[m], off.Cycles[m])
+			}
+		}
+		if on.Profile == nil || off.Profile == nil {
+			t.Fatal("profiled run returned no profile")
+		}
+		if err := prof.Equal(on.Profile, off.Profile); err != nil {
+			t.Errorf("profiles diverge: %v", err)
+		}
+		onProfiles = append(onProfiles, on.Profile)
+		offProfiles = append(offProfiles, off.Profile)
+	}
+
+	for _, w := range apps {
+		files := map[string]string{}
+		for _, s := range w.Sources {
+			files[s.Name] = s.Text
+		}
+		for _, isaName := range isas {
+			t.Run(w.Name+"/"+isaName, func(t *testing.T) {
+				exe, err := sys.BuildC(isaName, files)
+				if err != nil {
+					t.Fatalf("build: %v", err)
+				}
+				runBoth(t, exe, w.Expected)
+			})
+		}
+	}
+
+	// A mixed-ISA executable adds run-time ISA switches — the trace
+	// boundary superblocks must never chain across.
+	t.Run("mixed/RISC+VLIW4", func(t *testing.T) {
+		exe, err := sys.BuildCMixed("RISC", map[string]string{"work": "VLIW4"},
+			map[string]string{"p.c": facadeProg})
+		if err != nil {
+			t.Fatalf("mixed build: %v", err)
+		}
+		runBoth(t, exe, "")
+	})
+
+	// The merged aggregates across the whole matrix agree too — the
+	// shape CI publishes and operators compare across runs.
+	if len(onProfiles) > 0 {
+		if err := prof.Equal(kahrisma.MergeProfiles(onProfiles...),
+			kahrisma.MergeProfiles(offProfiles...)); err != nil {
+			t.Errorf("merged matrix profiles diverge: %v", err)
+		}
+	}
+}
