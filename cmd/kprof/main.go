@@ -53,6 +53,7 @@ func main() {
 		memSpec = flag.String("mem", "", "memory hierarchy spec, e.g. \"limit:1|cache:2K,4,32,3|mem:18\" (empty: the paper's)")
 		diff    = flag.Bool("diff", false, "compare two saved -json reports (a.json b.json) instead of running a program")
 		chkStat = flag.Bool("check-static", false, "cross-check measured DOE cycles against the static per-block lower bounds (KB005); requires DOE as the first model")
+		sample  = flag.Uint64("sample", 0, "profile every n-th instruction per PC instead of all of them (0/1: exact; see docs/observability.md)")
 	)
 	flag.Parse()
 	if *diff {
@@ -94,6 +95,9 @@ func main() {
 	}
 
 	opts := []kahrisma.Option{kahrisma.WithProfiling()}
+	if *sample > 1 {
+		opts = []kahrisma.Option{kahrisma.WithProfileSampling(*sample)}
+	}
 	var modelList []string
 	if *models != "" {
 		modelList = strings.Split(*models, ",")
@@ -179,6 +183,9 @@ func printReport(rep *kahrisma.ProfileReport) {
 	fmt.Printf("instructions %d, operations %d", rep.Instructions, rep.Operations)
 	if rep.Cycles > 0 {
 		fmt.Printf(", %s cycles %d", rep.CycleModel, rep.Cycles)
+	}
+	if rep.SampleStride > 1 {
+		fmt.Printf("  [sampled 1/%d: per-PC counts are scaled estimates]", rep.SampleStride)
 	}
 	fmt.Println()
 	fmt.Printf("decode cache: %5.1f%% hit  (lookups %d, misses %d, evictions %d)\n",

@@ -39,6 +39,9 @@ func main() {
 		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON")
 		spans     = flag.Bool("trace-spans", false, "log pipeline spans per job (elaborate/build/simulate, W3C trace ids)")
 		noSB      = flag.Bool("no-superblocks", false, "run jobs through the stepwise interpreter (no superblock decode traces)")
+		otlp      = flag.String("otlp-endpoint", "", "OTLP/HTTP collector base URL for span+metric export, e.g. http://localhost:4318 (docs/observability.md)")
+		otlpEvery = flag.Duration("otlp-interval", 10*time.Second, "OTLP export flush interval")
+		profEvery = flag.Uint64("profile-sample", 0, "default profiler sampling stride for profiled jobs (0/1: exact)")
 	)
 	flag.Parse()
 
@@ -49,19 +52,22 @@ func main() {
 	log := slog.New(h)
 
 	s, err := server.New(server.Config{
-		Workers:            *workers,
-		QueueDepth:         *queue,
-		MaxRequestBytes:    *maxBody,
-		MaxFuel:            *maxFuel,
-		MaxTimeout:         *maxTime,
-		DrainTimeout:       *drain,
-		ExeCacheSize:       *exeCache,
-		StreamRingSize:     *ring,
-		HeartbeatInterval:  *heartbeat,
-		MaxCampaignPoints:  *points,
-		Logger:             log,
-		TraceSpans:         *spans,
-		DisableSuperblocks: *noSB,
+		Workers:             *workers,
+		QueueDepth:          *queue,
+		MaxRequestBytes:     *maxBody,
+		MaxFuel:             *maxFuel,
+		MaxTimeout:          *maxTime,
+		DrainTimeout:        *drain,
+		ExeCacheSize:        *exeCache,
+		StreamRingSize:      *ring,
+		HeartbeatInterval:   *heartbeat,
+		MaxCampaignPoints:   *points,
+		Logger:              log,
+		TraceSpans:          *spans,
+		DisableSuperblocks:  *noSB,
+		OTLPEndpoint:        *otlp,
+		OTLPInterval:        *otlpEvery,
+		ProfileSampleStride: *profEvery,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kservd:", err)

@@ -9,6 +9,10 @@
 //	ktrace compare a.trace b.trace
 //	ktrace replay  -isa VLIW4 a.trace
 //	ktrace follow  -server http://localhost:8080 <job-id>
+//	ktrace spans   [-errors] kservd.log
+//
+// "spans" reconstructs per-trace span trees from the structured logs of
+// a kservd running with -trace-spans -log-json (docs/observability.md).
 package main
 
 import (
@@ -62,6 +66,8 @@ func main() {
 		fmt.Printf("hardware cycles: %d\n", pipe.Cycles())
 	case "follow":
 		follow(os.Args[2:])
+	case "spans":
+		spans(os.Args[2:])
 	default:
 		usage()
 	}
@@ -81,7 +87,7 @@ func readTrace(path string) []trace.Event {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ktrace compare a.trace b.trace | ktrace replay [-isa NAME] a.trace | ktrace follow [-server URL] job-id")
+	fmt.Fprintln(os.Stderr, "usage: ktrace compare a.trace b.trace | ktrace replay [-isa NAME] a.trace | ktrace follow [-server URL] job-id | ktrace spans [-errors] [logfile]")
 	os.Exit(2)
 }
 

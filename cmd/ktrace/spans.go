@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// spans implements "ktrace spans": reconstruct span trees from kservd's
+// structured logs. Feed it the JSON log stream of a server running with
+// -trace-spans -log-json (a file, or stdin via a pipe) and it groups
+// the "span" records by trace id, stitches parents to children, and
+// prints one indented tree per trace — the poor man's trace viewer for
+// deployments without an OTLP collector (docs/observability.md).
+func spans(args []string) {
+	fs := flag.NewFlagSet("spans", flag.ExitOnError)
+	errOnly := fs.Bool("errors", false, "print only traces containing a failed span")
+	_ = fs.Parse(args)
+	in := io.Reader(os.Stdin)
+	if fs.NArg() > 1 {
+		usage()
+	}
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	traces, order, err := collectSpans(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(order) == 0 {
+		fmt.Fprintln(os.Stderr, "ktrace: no span records found (run kservd with -trace-spans -log-json)")
+		os.Exit(1)
+	}
+	for _, id := range order {
+		t := traces[id]
+		if *errOnly && !t.failed {
+			continue
+		}
+		printTrace(os.Stdout, id, t)
+	}
+}
+
+// logSpan is one "span" log record, as serialized by slog's JSON
+// handler from span.Span.End.
+type logSpan struct {
+	Time   time.Time `json:"time"`
+	Msg    string    `json:"msg"`
+	Span   string    `json:"span"`
+	DurMS  float64   `json:"dur_ms"`
+	Trace  string    `json:"trace_id"`
+	ID     string    `json:"span_id"`
+	Parent string    `json:"parent_id"`
+	Err    string    `json:"error"`
+}
+
+// start derives the span's start instant from the record's timestamp
+// (End logs at completion) and its duration.
+func (s *logSpan) start() time.Time {
+	return s.Time.Add(-time.Duration(s.DurMS * float64(time.Millisecond)))
+}
+
+// spanTree is every span of one trace, ready to render.
+type spanTree struct {
+	spans  []*logSpan
+	failed bool
+}
+
+// collectSpans reads JSON log lines from r and groups span records by
+// trace id, preserving first-seen trace order. Non-JSON lines and
+// non-span records are skipped, so the raw mixed log stream works.
+func collectSpans(r io.Reader) (map[string]*spanTree, []string, error) {
+	traces := map[string]*spanTree{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 || line[0] != '{' {
+			continue
+		}
+		var rec logSpan
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Msg != "span" || rec.Trace == "" {
+			continue
+		}
+		t := traces[rec.Trace]
+		if t == nil {
+			t = &spanTree{}
+			traces[rec.Trace] = t
+			order = append(order, rec.Trace)
+		}
+		cp := rec
+		t.spans = append(t.spans, &cp)
+		if rec.Err != "" {
+			t.failed = true
+		}
+	}
+	return traces, order, sc.Err()
+}
+
+// printTrace renders one trace as an indented tree. Roots are spans
+// whose parent is absent from the trace (including spans adopted from a
+// remote caller via traceparent); siblings order by start time.
+func printTrace(w io.Writer, id string, t *spanTree) {
+	byID := map[string]*logSpan{}
+	for _, s := range t.spans {
+		byID[s.ID] = s
+	}
+	children := map[string][]*logSpan{}
+	var roots []*logSpan
+	for _, s := range t.spans {
+		if s.Parent != "" && byID[s.Parent] != nil {
+			children[s.Parent] = append(children[s.Parent], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	byStart := func(list []*logSpan) {
+		sort.Slice(list, func(i, j int) bool { return list[i].start().Before(list[j].start()) })
+	}
+	byStart(roots)
+	for _, list := range children {
+		byStart(list)
+	}
+
+	fmt.Fprintf(w, "trace %s (%d spans)\n", id, len(t.spans))
+	var walk func(s *logSpan, depth int)
+	walk = func(s *logSpan, depth int) {
+		status := ""
+		if s.Err != "" {
+			status = "  ERROR: " + s.Err
+		}
+		fmt.Fprintf(w, "  %*s%-*s %9.2fms%s\n", 2*depth, "", 24-2*depth, s.Span, s.DurMS, status)
+		for _, c := range children[s.ID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+}

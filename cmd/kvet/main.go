@@ -18,6 +18,11 @@
 //     in internal/analysis (KA001, KB007, ...) must appear in
 //     docs/analysis.md — the check catalogue users and the SARIF rule
 //     table point at. An undocumented check is a finding.
+//   - obsreg: server metrics go through the typed internal/obs registry
+//     (docs/observability.md), never ad-hoc state. Importing expvar, or
+//     declaring a sync/atomic-typed field inside a struct whose name
+//     mentions "metrics", is a finding everywhere except internal/obs
+//     itself — the one place instruments are built from atomics.
 //
 // kvet uses the standard library's go/parser and go/ast only (the
 // go/analysis framework lives in golang.org/x/tools, which this repo
@@ -97,6 +102,7 @@ func main() {
 			return err
 		}
 		findings = append(findings, checkFile(fset, f, filepath.Base(path), sentinels)...)
+		findings = append(findings, checkObsReg(fset, f, path)...)
 		if filepath.Dir(path) == analysisDir && !strings.HasSuffix(path, "_test.go") {
 			checkIDs = append(checkIDs, constCheckIDs(f)...)
 		}
@@ -271,6 +277,66 @@ func formatVerbs(format string) []string {
 		}
 	}
 	return verbs
+}
+
+// checkObsReg enforces the metrics-registry rule on one parsed file:
+// outside internal/obs, metric state must use obs instruments. Two
+// syntactic tells are flagged — importing expvar at all, and declaring
+// a sync/atomic-typed field inside a struct whose name mentions
+// "metrics" (the raw-counter pattern the obs registry replaced).
+func checkObsReg(fset *token.FileSet, f *ast.File, path string) []string {
+	if strings.Contains(filepath.ToSlash(path), "internal/obs/") {
+		return nil
+	}
+	var out []string
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, fmt.Sprintf("%s: %s", fset.Position(pos), fmt.Sprintf(format, args...)))
+	}
+	for _, imp := range f.Imports {
+		if imp.Path.Value == `"expvar"` {
+			report(imp.Pos(), "expvar import; publish metrics through the internal/obs registry instead (obsreg)")
+		}
+	}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.TYPE {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok || !strings.Contains(strings.ToLower(ts.Name.Name), "metrics") {
+				continue
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				continue
+			}
+			for _, field := range st.Fields.List {
+				if atomicTypeName(field.Type) == "" {
+					continue
+				}
+				report(field.Pos(), "struct %s declares a raw atomic.%s metric field; use an internal/obs instrument (obsreg)",
+					ts.Name.Name, atomicTypeName(field.Type))
+			}
+		}
+	}
+	return out
+}
+
+// atomicTypeName returns the sync/atomic type name when the field type
+// references one (atomic.Uint64, *atomic.Int32, ...), else "".
+func atomicTypeName(e ast.Expr) string {
+	if star, ok := e.(*ast.StarExpr); ok {
+		e = star.X
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if pkg, ok := sel.X.(*ast.Ident); !ok || pkg.Name != "atomic" {
+		return ""
+	}
+	return sel.Sel.Name
 }
 
 // checkIDPattern matches analysis check identifiers: a K, a category

@@ -99,6 +99,55 @@ func TestErrWrapRule(t *testing.T) {
 	}
 }
 
+func runObsReg(t *testing.T, path, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return checkObsReg(fset, f, path)
+}
+
+func TestObsRegRule(t *testing.T) {
+	// A raw atomic counter inside a metrics struct is the pattern the
+	// obs registry replaced; embedded pointers count too.
+	const raw = `package server
+import "sync/atomic"
+type metrics struct {
+	accepted atomic.Uint64
+	failed   *atomic.Int64
+	reg      int
+}
+`
+	got := runObsReg(t, "internal/server/metrics.go", raw)
+	if len(got) != 2 || !strings.Contains(got[0], "obsreg") {
+		t.Errorf("raw atomic metrics fields: findings %v, want 2 obsreg", got)
+	}
+	// The registry itself builds instruments from atomics — exempt.
+	if got := runObsReg(t, "internal/obs/registry.go", raw); len(got) != 0 {
+		t.Errorf("internal/obs exempt: findings %v, want none", got)
+	}
+	// Atomics outside metrics structs (lifecycle flags etc.) are fine.
+	const flag = `package server
+import "sync/atomic"
+type Server struct {
+	draining atomic.Bool
+}
+`
+	if got := runObsReg(t, "internal/server/server.go", flag); len(got) != 0 {
+		t.Errorf("non-metrics atomic field: findings %v, want none", got)
+	}
+	// expvar is flagged anywhere outside internal/obs.
+	const ev = `package server
+import "expvar"
+var hits = expvar.NewInt("hits")
+`
+	if got := runObsReg(t, "internal/server/extra.go", ev); len(got) != 1 || !strings.Contains(got[0], "expvar") {
+		t.Errorf("expvar import: findings %v, want 1", got)
+	}
+}
+
 // The repo itself must be kvet-clean: the sentinel list parses out of
 // the real errors.go and no file violates either rule.
 func TestRepoIsClean(t *testing.T) {

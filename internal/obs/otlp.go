@@ -1,0 +1,465 @@
+// OTLP/HTTP JSON export: hand-rolled encoding of finished spans and
+// registry snapshots against the OpenTelemetry protocol endpoints
+// (/v1/traces, /v1/metrics), stdlib-only. Spans arrive through the
+// span.Sink interface on a bounded non-blocking queue; a background
+// loop flushes on a timer or when a batch fills, retrying transient
+// failures with doubling backoff and counting what it drops.
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/prof/span"
+)
+
+// ExporterConfig configures an Exporter. Zero values select the
+// defaults noted on each field.
+type ExporterConfig struct {
+	// Endpoint is the collector base URL (e.g. http://localhost:4318);
+	// the exporter posts to Endpoint+"/v1/traces" and "/v1/metrics".
+	Endpoint string
+	// Service is the resource service.name (default "kservd").
+	Service string
+	// Interval between flushes (default 10s).
+	Interval time.Duration
+	// QueueSize bounds the pending-span queue (default 2048).
+	QueueSize int
+	// BatchSize is the max spans per export request (default 512).
+	BatchSize int
+	// Retries per request after the first attempt (default 2).
+	Retries int
+	// Backoff before the first retry, doubling each attempt
+	// (default 250ms).
+	Backoff time.Duration
+	// Client overrides the HTTP client (default: 5s timeout).
+	Client *http.Client
+	// Logger for export failures; nil discards.
+	Logger *slog.Logger
+}
+
+// Exporter batches spans and metric snapshots to an OTLP/HTTP
+// collector. It implements span.Sink.
+type Exporter struct {
+	cfg      ExporterConfig
+	reg      *Registry
+	client   *http.Client
+	spans    chan span.SpanData
+	wake     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+	stop     chan struct{}
+
+	// Self-telemetry, registered on the attached registry.
+	exported *Counter
+	dropped  *Counter
+	failures *Counter
+}
+
+// NewExporter starts an exporter shipping spans (via Sink) and
+// snapshots of reg to cfg.Endpoint. Call Shutdown to flush and stop.
+func NewExporter(cfg ExporterConfig, reg *Registry) *Exporter {
+	if cfg.Service == "" {
+		cfg.Service = "kservd"
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 10 * time.Second
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 2048
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 512
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	} else if cfg.Retries == 0 {
+		cfg.Retries = 2
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 250 * time.Millisecond
+	}
+	e := &Exporter{
+		cfg:    cfg,
+		reg:    reg,
+		client: cfg.Client,
+		spans:  make(chan span.SpanData, cfg.QueueSize),
+		wake:   make(chan struct{}, 1),
+		done:   make(chan struct{}),
+		stop:   make(chan struct{}),
+	}
+	if e.client == nil {
+		e.client = &http.Client{Timeout: 5 * time.Second}
+	}
+	if reg != nil {
+		e.exported = reg.Counter("kservd_otlp_exported_total", "Spans successfully exported over OTLP.")
+		e.dropped = reg.Counter("kservd_otlp_dropped_total", "Spans dropped by the OTLP exporter (queue full or export failed).")
+		e.failures = reg.Counter("kservd_otlp_request_failures_total", "OTLP export requests that failed after retries.")
+	} else {
+		e.exported, e.dropped, e.failures = &Counter{}, &Counter{}, &Counter{}
+	}
+	go e.loop()
+	return e
+}
+
+// ExportSpan implements span.Sink: non-blocking enqueue, dropping (and
+// counting) when the queue is full so the simulation path never stalls
+// on a slow collector.
+func (e *Exporter) ExportSpan(sd span.SpanData) {
+	select {
+	case e.spans <- sd:
+		if len(e.spans) >= e.cfg.BatchSize {
+			select {
+			case e.wake <- struct{}{}:
+			default:
+			}
+		}
+	default:
+		e.dropped.Inc()
+	}
+}
+
+// Dropped reports spans dropped so far (queue overflow plus export
+// failures).
+func (e *Exporter) Dropped() uint64 { return e.dropped.Value() }
+
+func (e *Exporter) loop() {
+	defer close(e.done)
+	tick := time.NewTicker(e.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-e.stop:
+			e.flushSpans()
+			e.flushMetrics()
+			return
+		case <-tick.C:
+			e.flushSpans()
+			e.flushMetrics()
+		case <-e.wake:
+			e.flushSpans()
+		}
+	}
+}
+
+// Shutdown flushes pending telemetry and stops the exporter. The ctx
+// bounds the wait for the final flush.
+func (e *Exporter) Shutdown(ctx context.Context) error {
+	e.stopOnce.Do(func() { close(e.stop) })
+	select {
+	case <-e.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (e *Exporter) drain() []span.SpanData {
+	var out []span.SpanData
+	for len(out) < e.cfg.BatchSize {
+		select {
+		case sd := <-e.spans:
+			out = append(out, sd)
+		default:
+			return out
+		}
+	}
+	return out
+}
+
+func (e *Exporter) flushSpans() {
+	for {
+		batch := e.drain()
+		if len(batch) == 0 {
+			return
+		}
+		body := EncodeSpans(e.cfg.Service, batch)
+		if e.post("/v1/traces", body) {
+			e.exported.Add(uint64(len(batch)))
+		} else {
+			e.dropped.Add(uint64(len(batch)))
+		}
+		if len(batch) < e.cfg.BatchSize {
+			return
+		}
+	}
+}
+
+func (e *Exporter) flushMetrics() {
+	if e.reg == nil {
+		return
+	}
+	body := EncodeMetrics(e.cfg.Service, e.reg.Snapshot(), uint64(time.Now().UnixNano()))
+	e.post("/v1/metrics", body)
+}
+
+// post sends body to the endpoint path, retrying transient failures
+// with doubling backoff. Returns true on a 2xx response.
+func (e *Exporter) post(path string, body []byte) bool {
+	url := strings.TrimSuffix(e.cfg.Endpoint, "/") + path
+	backoff := e.cfg.Backoff
+	for attempt := 0; ; attempt++ {
+		resp, err := e.client.Post(url, "application/json", bytes.NewReader(body))
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+				return true
+			}
+			err = fmt.Errorf("collector returned %s", resp.Status)
+		}
+		if attempt >= e.cfg.Retries {
+			e.failures.Inc()
+			if e.cfg.Logger != nil {
+				e.cfg.Logger.Warn("otlp export failed", "path", path, "attempts", attempt+1, "err", err)
+			}
+			return false
+		}
+		select {
+		case <-e.stop:
+			// Shutting down: one last immediate retry budget only.
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+}
+
+// --- OTLP/HTTP JSON encoding ---
+//
+// The shapes below mirror the OTLP JSON mapping of
+// opentelemetry-proto: 64-bit integers are encoded as strings,
+// trace/span ids as lowercase hex, enums as their numeric values
+// (span kind 1 = INTERNAL, status code 2 = ERROR, aggregation
+// temporality 2 = CUMULATIVE).
+
+type otlpKeyValue struct {
+	Key   string       `json:"key"`
+	Value otlpAnyValue `json:"value"`
+}
+
+type otlpAnyValue struct {
+	StringValue *string  `json:"stringValue,omitempty"`
+	IntValue    *string  `json:"intValue,omitempty"`
+	DoubleValue *float64 `json:"doubleValue,omitempty"`
+	BoolValue   *bool    `json:"boolValue,omitempty"`
+}
+
+func strValue(s string) otlpAnyValue { return otlpAnyValue{StringValue: &s} }
+
+func attrValue(v slog.Value) otlpAnyValue {
+	switch v.Kind() {
+	case slog.KindInt64:
+		s := strconv.FormatInt(v.Int64(), 10)
+		return otlpAnyValue{IntValue: &s}
+	case slog.KindUint64:
+		s := strconv.FormatUint(v.Uint64(), 10)
+		return otlpAnyValue{IntValue: &s}
+	case slog.KindFloat64:
+		f := v.Float64()
+		return otlpAnyValue{DoubleValue: &f}
+	case slog.KindBool:
+		b := v.Bool()
+		return otlpAnyValue{BoolValue: &b}
+	default:
+		return strValue(v.String())
+	}
+}
+
+type otlpStatus struct {
+	Code    int    `json:"code,omitempty"`
+	Message string `json:"message,omitempty"`
+}
+
+type otlpSpan struct {
+	TraceID           string         `json:"traceId"`
+	SpanID            string         `json:"spanId"`
+	ParentSpanID      string         `json:"parentSpanId,omitempty"`
+	Name              string         `json:"name"`
+	Kind              int            `json:"kind"`
+	StartTimeUnixNano string         `json:"startTimeUnixNano"`
+	EndTimeUnixNano   string         `json:"endTimeUnixNano"`
+	Attributes        []otlpKeyValue `json:"attributes,omitempty"`
+	Status            otlpStatus     `json:"status"`
+}
+
+type otlpScope struct {
+	Name string `json:"name"`
+}
+
+type otlpScopeSpans struct {
+	Scope otlpScope  `json:"scope"`
+	Spans []otlpSpan `json:"spans"`
+}
+
+type otlpResource struct {
+	Attributes []otlpKeyValue `json:"attributes"`
+}
+
+type otlpResourceSpans struct {
+	Resource   otlpResource     `json:"resource"`
+	ScopeSpans []otlpScopeSpans `json:"scopeSpans"`
+}
+
+type otlpTraceExport struct {
+	ResourceSpans []otlpResourceSpans `json:"resourceSpans"`
+}
+
+const scopeName = "repro/internal/obs"
+
+func resourceFor(service string) otlpResource {
+	return otlpResource{Attributes: []otlpKeyValue{{Key: "service.name", Value: strValue(service)}}}
+}
+
+// EncodeSpans builds the OTLP/HTTP JSON body for a span batch.
+// Exported (with a deterministic layout) so golden-file tests can pin
+// the wire format.
+func EncodeSpans(service string, spans []span.SpanData) []byte {
+	out := make([]otlpSpan, 0, len(spans))
+	for _, sd := range spans {
+		s := otlpSpan{
+			TraceID:           hex.EncodeToString(sd.Trace[:]),
+			SpanID:            hex.EncodeToString(sd.Span[:]),
+			Name:              sd.Name,
+			Kind:              1, // INTERNAL
+			StartTimeUnixNano: strconv.FormatInt(sd.Start.UnixNano(), 10),
+			EndTimeUnixNano:   strconv.FormatInt(sd.End.UnixNano(), 10),
+		}
+		if sd.Parent != (span.SpanID{}) {
+			s.ParentSpanID = hex.EncodeToString(sd.Parent[:])
+		}
+		for _, a := range sd.Attrs {
+			s.Attributes = append(s.Attributes, otlpKeyValue{Key: a.Key, Value: attrValue(a.Value)})
+		}
+		if sd.Err != nil {
+			s.Status = otlpStatus{Code: 2, Message: sd.Err.Error()}
+		}
+		out = append(out, s)
+	}
+	doc := otlpTraceExport{ResourceSpans: []otlpResourceSpans{{
+		Resource:   resourceFor(service),
+		ScopeSpans: []otlpScopeSpans{{Scope: otlpScope{Name: scopeName}, Spans: out}},
+	}}}
+	b, _ := json.Marshal(doc)
+	return b
+}
+
+type otlpDataPoint struct {
+	Attributes   []otlpKeyValue `json:"attributes,omitempty"`
+	TimeUnixNano string         `json:"timeUnixNano"`
+	AsDouble     *float64       `json:"asDouble,omitempty"`
+	AsInt        *string        `json:"asInt,omitempty"`
+}
+
+type otlpHistPoint struct {
+	Attributes     []otlpKeyValue `json:"attributes,omitempty"`
+	TimeUnixNano   string         `json:"timeUnixNano"`
+	Count          string         `json:"count"`
+	Sum            float64        `json:"sum"`
+	BucketCounts   []string       `json:"bucketCounts"`
+	ExplicitBounds []float64      `json:"explicitBounds"`
+}
+
+type otlpSum struct {
+	DataPoints             []otlpDataPoint `json:"dataPoints"`
+	AggregationTemporality int             `json:"aggregationTemporality"`
+	IsMonotonic            bool            `json:"isMonotonic"`
+}
+
+type otlpGauge struct {
+	DataPoints []otlpDataPoint `json:"dataPoints"`
+}
+
+type otlpHistogram struct {
+	DataPoints             []otlpHistPoint `json:"dataPoints"`
+	AggregationTemporality int             `json:"aggregationTemporality"`
+}
+
+type otlpMetric struct {
+	Name        string         `json:"name"`
+	Description string         `json:"description,omitempty"`
+	Sum         *otlpSum       `json:"sum,omitempty"`
+	Gauge       *otlpGauge     `json:"gauge,omitempty"`
+	Histogram   *otlpHistogram `json:"histogram,omitempty"`
+}
+
+type otlpScopeMetrics struct {
+	Scope   otlpScope    `json:"scope"`
+	Metrics []otlpMetric `json:"metrics"`
+}
+
+type otlpResourceMetrics struct {
+	Resource     otlpResource       `json:"resource"`
+	ScopeMetrics []otlpScopeMetrics `json:"scopeMetrics"`
+}
+
+type otlpMetricExport struct {
+	ResourceMetrics []otlpResourceMetrics `json:"resourceMetrics"`
+}
+
+func pointAttrs(labels []Label) []otlpKeyValue {
+	var out []otlpKeyValue
+	for _, l := range labels {
+		out = append(out, otlpKeyValue{Key: l.Key, Value: strValue(l.Value)})
+	}
+	return out
+}
+
+// EncodeMetrics builds the OTLP/HTTP JSON body for a registry
+// snapshot taken at nowNano. Counters map to monotonic cumulative
+// sums, gauges to gauges, histograms to cumulative histogram points.
+func EncodeMetrics(service string, ms []Metric, nowNano uint64) []byte {
+	now := strconv.FormatUint(nowNano, 10)
+	out := make([]otlpMetric, 0, len(ms))
+	for _, m := range ms {
+		om := otlpMetric{Name: m.Name, Description: m.Help}
+		switch m.Kind {
+		case KindCounter:
+			sum := &otlpSum{AggregationTemporality: 2, IsMonotonic: true}
+			for _, p := range m.Points {
+				v := strconv.FormatUint(uint64(p.Value), 10)
+				sum.DataPoints = append(sum.DataPoints, otlpDataPoint{
+					Attributes: pointAttrs(p.Labels), TimeUnixNano: now, AsInt: &v,
+				})
+			}
+			om.Sum = sum
+		case KindGauge:
+			g := &otlpGauge{}
+			for _, p := range m.Points {
+				v := p.Value
+				g.DataPoints = append(g.DataPoints, otlpDataPoint{
+					Attributes: pointAttrs(p.Labels), TimeUnixNano: now, AsDouble: &v,
+				})
+			}
+			om.Gauge = g
+		case KindHistogram:
+			h := &otlpHistogram{AggregationTemporality: 2}
+			for _, p := range m.Points {
+				counts := make([]string, len(p.Counts))
+				for i, c := range p.Counts {
+					counts[i] = strconv.FormatUint(c, 10)
+				}
+				h.DataPoints = append(h.DataPoints, otlpHistPoint{
+					Attributes: pointAttrs(p.Labels), TimeUnixNano: now,
+					Count: strconv.FormatUint(p.Count, 10), Sum: p.Sum,
+					BucketCounts: counts, ExplicitBounds: m.Bounds,
+				})
+			}
+			om.Histogram = h
+		}
+		out = append(out, om)
+	}
+	doc := otlpMetricExport{ResourceMetrics: []otlpResourceMetrics{{
+		Resource:     resourceFor(service),
+		ScopeMetrics: []otlpScopeMetrics{{Scope: otlpScope{Name: scopeName}, Metrics: out}},
+	}}}
+	b, _ := json.Marshal(doc)
+	return b
+}

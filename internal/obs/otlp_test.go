@@ -1,0 +1,279 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/prof/span"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixedSpans builds a deterministic span batch for golden comparison.
+func fixedSpans() []span.SpanData {
+	var trace span.TraceID
+	var parent, child span.SpanID
+	for i := range trace {
+		trace[i] = byte(i + 1)
+	}
+	for i := range parent {
+		parent[i] = byte(0xa0 + i)
+		child[i] = byte(0xb0 + i)
+	}
+	start := time.Unix(1700000000, 0).UTC()
+	return []span.SpanData{
+		{
+			Name:  "job",
+			Trace: trace,
+			Span:  parent,
+			Start: start,
+			End:   start.Add(250 * time.Millisecond),
+			Attrs: []slog.Attr{
+				slog.String("isa", "RISC"),
+				slog.Int("jobs", 3),
+				slog.Float64("ratio", 0.5),
+				slog.Bool("cache_hit", true),
+			},
+		},
+		{
+			Name:   "build",
+			Trace:  trace,
+			Span:   child,
+			Parent: parent,
+			Start:  start.Add(10 * time.Millisecond),
+			End:    start.Add(30 * time.Millisecond),
+			Err:    errors.New("link failed"),
+		},
+	}
+}
+
+// fixedRegistry builds a registry with one instrument of each kind and
+// deterministic values.
+func fixedRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("kservd_jobs_total", "Jobs accepted.").Add(7)
+	r.CounterVec("kservd_rejected_total", "Rejections.", "reason").With("queue_full").Add(2)
+	r.Gauge("kservd_queue_depth", "Depth.", "%d").Set(3)
+	h := r.Histogram("kservd_job_run_seconds", "Run duration.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+	return r
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	var pretty bytes.Buffer
+	if err := json.Indent(&pretty, got, "", "  "); err != nil {
+		t.Fatalf("%s: encoder produced invalid JSON: %v", name, err)
+	}
+	pretty.WriteByte('\n')
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, pretty.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (rerun with -update to create)", err)
+	}
+	if !bytes.Equal(pretty.Bytes(), want) {
+		t.Errorf("%s drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", name, pretty.Bytes(), want)
+	}
+}
+
+func TestEncodeSpansGolden(t *testing.T) {
+	checkGolden(t, "spans.golden.json", EncodeSpans("kservd", fixedSpans()))
+}
+
+func TestEncodeMetricsGolden(t *testing.T) {
+	ms := fixedRegistry().Snapshot()
+	checkGolden(t, "metrics.golden.json", EncodeMetrics("kservd", ms, 1700000000000000000))
+}
+
+// collector is a fake OTLP/HTTP endpoint recording request bodies and
+// optionally failing the first n requests.
+type collector struct {
+	mu      sync.Mutex
+	traces  [][]byte
+	metrics [][]byte
+	fail    int // fail this many requests with 503 before accepting
+	block   chan struct{}
+}
+
+func (c *collector) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		c.mu.Lock()
+		blocked := c.block
+		failing := c.fail > 0
+		if failing {
+			c.fail--
+		}
+		c.mu.Unlock()
+		if blocked != nil {
+			<-blocked
+		}
+		if failing {
+			http.Error(w, "try later", http.StatusServiceUnavailable)
+			return
+		}
+		c.mu.Lock()
+		switch r.URL.Path {
+		case "/v1/traces":
+			c.traces = append(c.traces, body)
+		case "/v1/metrics":
+			c.metrics = append(c.metrics, body)
+		}
+		c.mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	})
+}
+
+func (c *collector) counts() (traces, metrics int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.traces), len(c.metrics)
+}
+
+func shutdown(t *testing.T, e *Exporter) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := e.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+func TestExporterDeliversSpansAndMetrics(t *testing.T) {
+	col := &collector{}
+	srv := httptest.NewServer(col.handler())
+	defer srv.Close()
+
+	reg := fixedRegistry()
+	e := NewExporter(ExporterConfig{Endpoint: srv.URL, Interval: time.Hour}, reg)
+	for _, sd := range fixedSpans() {
+		e.ExportSpan(sd)
+	}
+	shutdown(t, e) // final flush ships both signals
+
+	traces, metrics := col.counts()
+	if traces < 1 || metrics < 1 {
+		t.Fatalf("collector got %d trace, %d metric batches, want >=1 each", traces, metrics)
+	}
+	if got := e.exported.Value(); got != 2 {
+		t.Errorf("exported counter = %d, want 2", got)
+	}
+	if got := e.Dropped(); got != 0 {
+		t.Errorf("dropped counter = %d, want 0", got)
+	}
+	// The shipped batch must decode as OTLP JSON and carry both spans.
+	var doc struct {
+		ResourceSpans []struct {
+			ScopeSpans []struct {
+				Spans []struct {
+					Name   string `json:"name"`
+					Status struct {
+						Code int `json:"code"`
+					} `json:"status"`
+				} `json:"spans"`
+			} `json:"scopeSpans"`
+		} `json:"resourceSpans"`
+	}
+	col.mu.Lock()
+	body := col.traces[0]
+	col.mu.Unlock()
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("trace body: %v", err)
+	}
+	spans := doc.ResourceSpans[0].ScopeSpans[0].Spans
+	if len(spans) != 2 || spans[0].Name != "job" || spans[1].Status.Code != 2 {
+		t.Errorf("decoded spans = %+v", spans)
+	}
+}
+
+func TestExporterRetriesThenSucceeds(t *testing.T) {
+	col := &collector{fail: 1}
+	srv := httptest.NewServer(col.handler())
+	defer srv.Close()
+
+	e := NewExporter(ExporterConfig{
+		Endpoint: srv.URL, Interval: time.Hour,
+		Retries: 2, Backoff: time.Millisecond,
+	}, NewRegistry())
+	e.ExportSpan(fixedSpans()[0])
+	shutdown(t, e)
+
+	traces, _ := col.counts()
+	if traces != 1 {
+		t.Fatalf("collector got %d trace batches after retry, want 1", traces)
+	}
+	if got := e.exported.Value(); got != 1 {
+		t.Errorf("exported = %d, want 1", got)
+	}
+	if got := e.failures.Value(); got != 0 {
+		t.Errorf("failures = %d, want 0 (retry succeeded)", got)
+	}
+}
+
+func TestExporterDropsOnExportFailure(t *testing.T) {
+	col := &collector{fail: 1 << 30} // never accepts
+	srv := httptest.NewServer(col.handler())
+	defer srv.Close()
+
+	e := NewExporter(ExporterConfig{
+		Endpoint: srv.URL, Interval: time.Hour,
+		Retries: -1, Backoff: time.Millisecond,
+	}, NewRegistry())
+	e.ExportSpan(fixedSpans()[0])
+	e.ExportSpan(fixedSpans()[1])
+	shutdown(t, e)
+
+	if got := e.Dropped(); got != 2 {
+		t.Errorf("dropped = %d, want 2 (batch lost after retries)", got)
+	}
+	if got := e.failures.Value(); got == 0 {
+		t.Error("failures counter did not count the failed request")
+	}
+	if got := e.exported.Value(); got != 0 {
+		t.Errorf("exported = %d, want 0", got)
+	}
+}
+
+func TestExporterDropsOnFullQueue(t *testing.T) {
+	// Block the collector so the export loop wedges mid-request with the
+	// queue full; further spans must be dropped, not block the caller.
+	col := &collector{block: make(chan struct{})}
+	srv := httptest.NewServer(col.handler())
+	defer srv.Close()
+
+	e := NewExporter(ExporterConfig{
+		Endpoint: srv.URL, Interval: time.Hour,
+		QueueSize: 1, BatchSize: 1, Retries: -1,
+	}, NewRegistry())
+	sd := fixedSpans()[0]
+	e.ExportSpan(sd) // picked up by the loop, wedged in the blocked POST
+	time.Sleep(20 * time.Millisecond)
+	e.ExportSpan(sd) // sits in the queue
+	for i := 0; i < 5; i++ {
+		e.ExportSpan(sd) // queue full: dropped immediately
+	}
+	if got := e.Dropped(); got < 4 {
+		t.Errorf("dropped = %d, want >= 4 with a wedged collector", got)
+	}
+	close(col.block)
+	shutdown(t, e)
+}

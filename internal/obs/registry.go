@@ -1,0 +1,420 @@
+// Package obs is the server's unified telemetry layer: a typed metrics
+// registry (labeled counters, gauges and fixed-bucket histograms) with
+// a Prometheus text renderer, plus an OTLP/HTTP JSON exporter (otlp.go)
+// that ships finished pipeline spans and registry snapshots to an
+// OpenTelemetry collector. Like the rest of the repo it is
+// stdlib-only: the OTLP wire format is hand-rolled JSON, the way
+// internal/prof hand-rolls the pprof protobuf.
+//
+// The registry replaces the raw-atomic metric fields the server layer
+// used to keep (cmd/kvet's obsreg check flags reintroductions): every
+// instrument is registered once with its name and help text, rendered
+// on /metrics in registration order, and snapshotted for OTLP export —
+// one source of truth for both wire formats.
+//
+// All instruments are safe for concurrent use; updates are single
+// atomic operations (histogram observation: two atomics plus a CAS
+// loop for the sum), so instrumented hot paths stay cheap.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind classifies an instrument family.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// Label is one name/value pair of a labeled series.
+type Label struct {
+	Key, Value string
+}
+
+// Counter is a monotonic counter. Set exists for mirror counters whose
+// source of truth lives elsewhere (pool and cache owners) and is
+// refreshed from a collect callback; regular instrumentation uses
+// Add/Inc only.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Set overwrites the value — for collect-time mirrors of counters
+// owned by another subsystem, never for direct instrumentation.
+func (c *Counter) Set(n uint64) { c.v.Store(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta (up/down), atomically.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution: observations count into
+// the first bucket whose upper bound is >= v (cumulative buckets are
+// derived at render time), plus a running sum and count.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; +Inf is implicit
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+	count  atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// series is one labeled child of a family.
+type series struct {
+	labels []Label
+	inst   any // *Counter | *Gauge | *Histogram
+}
+
+// family is one registered metric name with its typed children.
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	format string    // gauge render verb; "%d" renders the truncated integer
+	keys   []string  // label keys; empty for unlabeled instruments
+	bounds []float64 // histogram upper bounds
+
+	mu       sync.Mutex
+	children map[string]*series
+}
+
+// Registry holds instrument families in registration order and renders
+// or snapshots them atomically enough for scraping (per-series values
+// are individually atomic; a scrape is not a global point-in-time cut,
+// matching Prometheus client conventions).
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+	collect  []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+// OnCollect registers a callback run before every Render and Snapshot —
+// the place to refresh gauges and mirror counters whose source of truth
+// lives elsewhere (pool stats, cache stats, uptime).
+func (r *Registry) OnCollect(f func()) {
+	r.mu.Lock()
+	r.collect = append(r.collect, f)
+	r.mu.Unlock()
+}
+
+func (r *Registry) register(f *family) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[f.name]; dup {
+		panic("obs: duplicate metric registration: " + f.name)
+	}
+	f.children = map[string]*series{}
+	r.byName[f.name] = f
+	r.families = append(r.families, f)
+	return f
+}
+
+// Counter registers an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(&family{name: name, help: help, kind: KindCounter})
+	return f.with(nil).inst.(*Counter)
+}
+
+// CounterVec registers a counter family labeled by keys; series are
+// created on first With.
+func (r *Registry) CounterVec(name, help string, keys ...string) *CounterVec {
+	return &CounterVec{fam: r.register(&family{name: name, help: help, kind: KindCounter, keys: keys})}
+}
+
+// Gauge registers an unlabeled gauge. format is the Prometheus render
+// verb ("%d", "%.4f", ...; "" selects %g); OTLP export always carries
+// the full float.
+func (r *Registry) Gauge(name, help, format string) *Gauge {
+	f := r.register(&family{name: name, help: help, kind: KindGauge, format: format})
+	return f.with(nil).inst.(*Gauge)
+}
+
+// GaugeVec registers a gauge family labeled by keys.
+func (r *Registry) GaugeVec(name, help, format string, keys ...string) *GaugeVec {
+	return &GaugeVec{fam: r.register(&family{name: name, help: help, kind: KindGauge, format: format, keys: keys})}
+}
+
+// Histogram registers an unlabeled fixed-bucket histogram; bounds are
+// the ascending bucket upper bounds (+Inf is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds not ascending: " + name)
+		}
+	}
+	f := r.register(&family{name: name, help: help, kind: KindHistogram, bounds: bounds})
+	return f.with(nil).inst.(*Histogram)
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ fam *family }
+
+// With returns (creating on first use) the child for the label values,
+// in key order.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.fam.with(values).inst.(*Counter)
+}
+
+// Lookup returns the child for the label values without creating it —
+// for collect callbacks that derive rates only for series that exist.
+func (v *CounterVec) Lookup(values ...string) (*Counter, bool) {
+	f := v.fam
+	key := strings.Join(values, "\xff")
+	f.mu.Lock()
+	s, ok := f.children[key]
+	f.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return s.inst.(*Counter), true
+}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ fam *family }
+
+// With returns (creating on first use) the child for the label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.fam.with(values).inst.(*Gauge)
+}
+
+func (f *family) with(values []string) *series {
+	if len(values) != len(f.keys) {
+		panic(fmt.Sprintf("obs: %s: %d label values for %d keys", f.name, len(values), len(f.keys)))
+	}
+	key := strings.Join(values, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.children[key]; ok {
+		return s
+	}
+	s := &series{}
+	for i, k := range f.keys {
+		s.labels = append(s.labels, Label{Key: k, Value: values[i]})
+	}
+	switch f.kind {
+	case KindCounter:
+		s.inst = &Counter{}
+	case KindGauge:
+		s.inst = &Gauge{}
+	case KindHistogram:
+		h := &Histogram{bounds: f.bounds}
+		h.counts = make([]atomic.Uint64, len(f.bounds)+1)
+		s.inst = h
+	}
+	f.children[key] = s
+	return s
+}
+
+// sortedChildren returns the family's series sorted by label values —
+// the deterministic render and snapshot order.
+func (f *family) sortedChildren() []*series {
+	f.mu.Lock()
+	out := make([]*series, 0, len(f.children))
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, f.children[k])
+	}
+	f.mu.Unlock()
+	return out
+}
+
+func (r *Registry) runCollect() {
+	r.mu.Lock()
+	cbs := append([]func(){}, r.collect...)
+	r.mu.Unlock()
+	for _, f := range cbs {
+		f()
+	}
+}
+
+// Render writes the Prometheus text exposition (version 0.0.4): every
+// family in registration order, children sorted by label values,
+// histograms as cumulative _bucket/_sum/_count series. Collect
+// callbacks run first.
+func (r *Registry) Render(w io.Writer) {
+	r.runCollect()
+	r.mu.Lock()
+	fams := append([]*family{}, r.families...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		f.render(w)
+	}
+}
+
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+func (f *family) render(w io.Writer) {
+	typ := map[Kind]string{KindCounter: "counter", KindGauge: "gauge", KindHistogram: "histogram"}[f.kind]
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, typ)
+	for _, s := range f.sortedChildren() {
+		ls := labelString(s.labels)
+		switch inst := s.inst.(type) {
+		case *Counter:
+			fmt.Fprintf(w, "%s%s %d\n", f.name, ls, inst.Value())
+		case *Gauge:
+			format := f.format
+			if format == "" {
+				format = "%g"
+			}
+			if strings.ContainsRune(format, 'd') {
+				fmt.Fprintf(w, "%s%s "+format+"\n", f.name, ls, int64(inst.Value()))
+			} else {
+				fmt.Fprintf(w, "%s%s "+format+"\n", f.name, ls, inst.Value())
+			}
+		case *Histogram:
+			cum := uint64(0)
+			for i, b := range inst.bounds {
+				cum += inst.counts[i].Load()
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, bucketLabels(s.labels, formatBound(b)), cum)
+			}
+			cum += inst.counts[len(inst.bounds)].Load()
+			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, bucketLabels(s.labels, "+Inf"), cum)
+			fmt.Fprintf(w, "%s_sum%s %s\n", f.name, ls, strconv.FormatFloat(inst.Sum(), 'g', -1, 64))
+			fmt.Fprintf(w, "%s_count%s %d\n", f.name, ls, inst.Count())
+		}
+	}
+}
+
+func bucketLabels(labels []Label, le string) string {
+	all := append(append([]Label{}, labels...), Label{Key: "le", Value: le})
+	return labelString(all)
+}
+
+// Point is one series of a metric snapshot.
+type Point struct {
+	Labels []Label
+	// Value carries a counter's cumulative count or a gauge's value.
+	Value float64
+	// Histogram data (Kind == KindHistogram only): per-bucket counts
+	// (non-cumulative, len(Bounds)+1 with the overflow bucket last),
+	// total count and sum.
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Metric is the snapshot of one family — the unit the OTLP exporter
+// encodes.
+type Metric struct {
+	Name   string
+	Help   string
+	Kind   Kind
+	Bounds []float64
+	Points []Point
+}
+
+// Snapshot captures every family (collect callbacks run first) in
+// registration order with children sorted by label values.
+func (r *Registry) Snapshot() []Metric {
+	r.runCollect()
+	r.mu.Lock()
+	fams := append([]*family{}, r.families...)
+	r.mu.Unlock()
+	out := make([]Metric, 0, len(fams))
+	for _, f := range fams {
+		m := Metric{Name: f.name, Help: f.help, Kind: f.kind, Bounds: f.bounds}
+		for _, s := range f.sortedChildren() {
+			p := Point{Labels: s.labels}
+			switch inst := s.inst.(type) {
+			case *Counter:
+				p.Value = float64(inst.Value())
+			case *Gauge:
+				p.Value = inst.Value()
+			case *Histogram:
+				p.Counts = make([]uint64, len(inst.counts))
+				for i := range inst.counts {
+					p.Counts[i] = inst.counts[i].Load()
+				}
+				p.Count = inst.Count()
+				p.Sum = inst.Sum()
+			}
+			m.Points = append(m.Points, p)
+		}
+		out = append(out, m)
+	}
+	return out
+}

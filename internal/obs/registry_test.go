@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestCounterRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs.")
+	c.Inc()
+	c.Add(4)
+	v := r.CounterVec("rejects_total", "Rejects.", "reason")
+	v.With("full").Add(2)
+	v.With("draining").Inc()
+
+	var b strings.Builder
+	r.Render(&b)
+	out := b.String()
+	want := []string{
+		"# HELP jobs_total Jobs.",
+		"# TYPE jobs_total counter",
+		"jobs_total 5",
+		"# TYPE rejects_total counter",
+		`rejects_total{reason="draining"} 1`,
+		`rejects_total{reason="full"} 2`,
+	}
+	for _, w := range want {
+		if !strings.Contains(out, w+"\n") {
+			t.Errorf("render missing %q:\n%s", w, out)
+		}
+	}
+	// Children render sorted by label value: draining before full.
+	if strings.Index(out, `reason="draining"`) > strings.Index(out, `reason="full"`) {
+		t.Errorf("labeled children not sorted:\n%s", out)
+	}
+}
+
+func TestGaugeRenderFormats(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("up", "Up.", "%d").Set(1)
+	r.Gauge("rate", "Rate.", "%.4f").Set(0.421875)
+	r.Gauge("plain", "Plain.", "").Set(2.5)
+	g := r.Gauge("temp", "Temp.", "")
+	g.Set(10)
+	g.Add(-2.5)
+
+	var b strings.Builder
+	r.Render(&b)
+	out := b.String()
+	for _, w := range []string{"up 1\n", "rate 0.4219\n", "plain 2.5\n", "temp 7.5\n"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("render missing %q:\n%s", w, out)
+		}
+	}
+}
+
+// Histogram rendering must satisfy the Prometheus contract: cumulative
+// buckets are monotonically non-decreasing, the +Inf bucket equals
+// _count, and _sum is the exact sum of observations.
+func TestHistogramRenderConsistency(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	obs := []float64{0.005, 0.01, 0.02, 0.5, 3, 0.004}
+	sum := 0.0
+	for _, v := range obs {
+		h.Observe(v)
+		sum += v
+	}
+
+	var b strings.Builder
+	r.Render(&b)
+	buckets, bsum, count := parseHistogram(t, b.String(), "lat_seconds")
+
+	if len(buckets) != 4 {
+		t.Fatalf("buckets = %v, want 4 (le 0.01, 0.1, 1, +Inf)", buckets)
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] < buckets[i-1] {
+			t.Errorf("bucket counts not monotonic: %v", buckets)
+		}
+	}
+	// 0.005, 0.01, 0.004 <= 0.01; +0.02 <= 0.1; +0.5 <= 1; +3 overflow.
+	if buckets[0] != 3 || buckets[1] != 4 || buckets[2] != 5 || buckets[3] != 6 {
+		t.Errorf("cumulative buckets = %v, want [3 4 5 6]", buckets)
+	}
+	if buckets[len(buckets)-1] != count {
+		t.Errorf("+Inf bucket %d != _count %d", buckets[len(buckets)-1], count)
+	}
+	if count != uint64(len(obs)) {
+		t.Errorf("_count = %d, want %d", count, len(obs))
+	}
+	if bsum != sum {
+		t.Errorf("_sum = %v, want %v", bsum, sum)
+	}
+}
+
+// parseHistogram extracts the cumulative bucket counts (in le order),
+// sum and count of one histogram family from rendered text.
+func parseHistogram(t *testing.T, out, name string) (buckets []uint64, sum float64, count uint64) {
+	t.Helper()
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, name+"_bucket"):
+			var v uint64
+			if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &v); err != nil {
+				t.Fatalf("bad bucket line %q: %v", line, err)
+			}
+			buckets = append(buckets, v)
+		case strings.HasPrefix(line, name+"_sum"):
+			f, err := strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+			if err != nil {
+				t.Fatalf("bad sum line %q: %v", line, err)
+			}
+			sum = f
+		case strings.HasPrefix(line, name+"_count"):
+			var v uint64
+			if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &v); err != nil {
+				t.Fatalf("bad count line %q: %v", line, err)
+			}
+			count = v
+		}
+	}
+	return buckets, sum, count
+}
+
+func TestOnCollectRunsBeforeRenderAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth", "Depth.", "%d")
+	n := 0
+	r.OnCollect(func() { n++; g.Set(float64(n)) })
+
+	var b strings.Builder
+	r.Render(&b)
+	if !strings.Contains(b.String(), "depth 1\n") {
+		t.Errorf("collect did not run before render:\n%s", b.String())
+	}
+	ms := r.Snapshot()
+	if len(ms) != 1 || ms[0].Points[0].Value != 2 {
+		t.Errorf("collect did not run before snapshot: %+v", ms)
+	}
+}
+
+func TestSnapshotHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d", "D.", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(99)
+	ms := r.Snapshot()
+	p := ms[0].Points[0]
+	if len(p.Counts) != 3 || p.Counts[0] != 1 || p.Counts[1] != 1 || p.Counts[2] != 1 {
+		t.Errorf("snapshot bucket counts = %v, want [1 1 1] (non-cumulative)", p.Counts)
+	}
+	if p.Count != 3 || p.Sum != 101 {
+		t.Errorf("snapshot count/sum = %d/%v, want 3/101", p.Count, p.Sum)
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "One.")
+	mustPanic(t, "duplicate registration", func() { r.Gauge("dup", "Two.", "") })
+	mustPanic(t, "non-ascending bounds", func() { r.Histogram("h", "H.", []float64{1, 1}) })
+	v := r.CounterVec("vec", "V.", "a", "b")
+	mustPanic(t, "label arity", func() { v.With("only-one") })
+}
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: no panic", what)
+		}
+	}()
+	f()
+}
+
+func TestCounterVecLookup(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("c", "C.", "model")
+	if _, ok := v.Lookup("ILP"); ok {
+		t.Error("Lookup created a series")
+	}
+	v.With("ILP").Add(3)
+	c, ok := v.Lookup("ILP")
+	if !ok || c.Value() != 3 {
+		t.Errorf("Lookup after With = %v, %v", c, ok)
+	}
+}

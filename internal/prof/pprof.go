@@ -64,6 +64,7 @@ const (
 func marshalPprof(p *Profile, sym Symbolizer) []byte {
 	var out buffer
 	strs := newStringTable()
+	stride := effStride(p.SampleStride)
 
 	// sample_type: {instructions, count}, {operations, count},
 	// {cycles, cycles}. pprof's default display key is the last type.
@@ -130,8 +131,10 @@ func marshalPprof(p *Profile, sym Symbolizer) []byte {
 		s := p.PCs[pc]
 		var sm, ids, vals buffer
 		ids.varint(id)
-		vals.varint(s.Count)
-		vals.varint(s.Ops)
+		// Sampled profiles store raw sample counts; scale to estimates
+		// (cycles are fully attributed between samples — no scaling).
+		vals.varint(s.Count * stride)
+		vals.varint(s.Ops * stride)
 		vals.varint(s.Cycles)
 		sm.bytesField(sampleLocationID, ids.b) // packed repeated
 		sm.bytesField(sampleValue, vals.b)     // packed repeated
@@ -141,13 +144,14 @@ func marshalPprof(p *Profile, sym Symbolizer) []byte {
 	out.b = append(out.b, locs.b...)
 	out.b = append(out.b, funcs.b...)
 
-	// period_type {instructions, count}, period 1: one sample unit per
-	// executed instruction.
+	// period_type {instructions, count}; the period is the sampling
+	// stride — 1 for exact profiles, n when every n-th instruction was
+	// sampled.
 	var pt buffer
 	pt.varintField(vtType, uint64(strs.index("instructions")))
 	pt.varintField(vtUnit, uint64(strs.index("count")))
 	out.bytesField(profPeriodType, pt.b)
-	out.varintField(profPeriod, 1)
+	out.varintField(profPeriod, stride)
 
 	// string_table last (indices were interned while building).
 	var st buffer

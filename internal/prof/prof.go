@@ -110,10 +110,42 @@ type Profile struct {
 	DecodeCache CacheCounters
 	Prediction  PredCounters
 
+	// SampleStride records the per-PC sampling rate the profile was
+	// collected at: 0 or 1 means exact attribution (every instruction);
+	// n > 1 means every n-th instruction was sampled, with PC Count/Ops
+	// holding raw sample counts (scale by the stride for estimates —
+	// Top, Report and WritePprof do) and PC Cycles holding the full
+	// inter-sample cycle deltas, so per-PC cycles still sum to Cycles
+	// exactly. Totals, ISA/slot/switch tables and cache counters are
+	// always exact regardless of stride.
+	SampleStride uint64
+
 	PCs      map[uint32]*PCStats
 	ISAs     map[string]*ISAStats
 	Slots    [sim.MaxIssue]SlotStats
 	Switches map[Transition]uint64
+}
+
+// effStride maps the "exact" encodings (0 and 1) to stride 1.
+func effStride(s uint64) uint64 {
+	if s == 0 {
+		return 1
+	}
+	return s
+}
+
+// normalize folds the sampling stride into the PC table, scaling raw
+// sample counts into estimates and leaving a stride-1 profile — the
+// common denominator when merging profiles sampled at different rates.
+func (p *Profile) normalize() {
+	s := effStride(p.SampleStride)
+	if s > 1 {
+		for _, e := range p.PCs {
+			e.Count *= s
+			e.Ops *= s
+		}
+	}
+	p.SampleStride = 1
 }
 
 // NewProfile returns an empty profile.
@@ -149,14 +181,27 @@ func (p *Profile) Merge(o *Profile) {
 	p.DecodeCache.Evictions += o.DecodeCache.Evictions
 	p.Prediction.Hits += o.Prediction.Hits
 	p.Prediction.Misses += o.Prediction.Misses
+	// Equal strides merge raw sample counts (so per-worker profiles of
+	// the same sampled workload fold bit-identically regardless of
+	// scheduling); differing strides normalize to stride 1 first.
+	scale := uint64(1)
+	switch {
+	case effStride(o.SampleStride) == effStride(p.SampleStride):
+	case len(o.PCs) == 0:
+	case len(p.PCs) == 0:
+		p.SampleStride = o.SampleStride
+	default:
+		p.normalize()
+		scale = effStride(o.SampleStride)
+	}
 	for pc, s := range o.PCs {
 		d := p.PCs[pc]
 		if d == nil {
 			d = &PCStats{}
 			p.PCs[pc] = d
 		}
-		d.Count += s.Count
-		d.Ops += s.Ops
+		d.Count += s.Count * scale
+		d.Ops += s.Ops * scale
 		d.Cycles += s.Cycles
 	}
 	for name, s := range o.ISAs {
@@ -202,6 +247,16 @@ type Collector struct {
 	lastCycles uint64
 	curISAName string
 	curISA     *ISAStats
+
+	// Stride sampling of the per-PC table (the only unbounded profile
+	// structure): every stride-th instruction is sampled, with the
+	// cycle deltas accumulated since the previous sample attributed to
+	// the sampled PC. Deterministic — it depends only on the
+	// instruction stream, never on wall time.
+	stride  uint64
+	tick    uint64
+	pending uint64
+	sampled *PCStats
 }
 
 // NewCollector builds a collector over a fresh profile.
@@ -215,24 +270,59 @@ func (c *Collector) SetCycleSource(cs sim.CycleSource, model string) {
 	c.p.CycleModel = model
 }
 
+// SetSampling bounds collector memory on very long jobs: per-PC
+// attribution records only every stride-th instruction (the first
+// instruction is always sampled). Totals, ISA/slot/switch tables and
+// cache counters stay exact; the profile records the stride so
+// reports and pprof export scale sample counts back to estimates.
+// stride <= 1 keeps exact attribution.
+func (c *Collector) SetSampling(stride uint64) {
+	if stride <= 1 {
+		c.stride, c.p.SampleStride = 0, 0
+		return
+	}
+	c.stride = stride
+	c.tick = 1
+	c.p.SampleStride = stride
+}
+
 // Instruction implements sim.Observer.
 func (c *Collector) Instruction(rec *sim.ExecRecord) {
 	d := rec.D
-	e := c.p.PCs[d.Addr]
-	if e == nil {
-		e = &PCStats{}
-		c.p.PCs[d.Addr] = e
-	}
 	nops := uint64(len(d.Ops))
-	e.Count++
-	e.Ops += nops
 
 	var delta uint64
 	if c.cyc != nil {
 		cur := c.cyc.Cycles()
 		delta = cur - c.lastCycles
 		c.lastCycles = cur
+	}
+
+	if c.stride <= 1 {
+		e := c.p.PCs[d.Addr]
+		if e == nil {
+			e = &PCStats{}
+			c.p.PCs[d.Addr] = e
+		}
+		e.Count++
+		e.Ops += nops
 		e.Cycles += delta
+	} else {
+		c.pending += delta
+		c.tick--
+		if c.tick == 0 {
+			c.tick = c.stride
+			e := c.p.PCs[d.Addr]
+			if e == nil {
+				e = &PCStats{}
+				c.p.PCs[d.Addr] = e
+			}
+			e.Count++
+			e.Ops += nops
+			e.Cycles += c.pending
+			c.pending = 0
+			c.sampled = e
+		}
 	}
 
 	if name := d.ISA.Name; name != c.curISAName {
@@ -265,6 +355,13 @@ func (c *Collector) Instruction(rec *sim.ExecRecord) {
 // decode cache (or to detect&decode when the cache was off).
 func (c *Collector) Finish(st sim.Stats) *Profile {
 	p := c.p
+	// Sampled runs may end between samples: attribute the trailing
+	// cycle deltas to the last sampled PC so per-PC cycles still sum
+	// to the exact total.
+	if c.pending > 0 && c.sampled != nil {
+		c.sampled.Cycles += c.pending
+		c.pending = 0
+	}
 	p.Instructions = st.Instructions
 	p.Operations = st.Operations
 	p.Cycles = c.lastCycles
@@ -340,13 +437,17 @@ type Hotspot struct {
 // for functional runs), ties broken by ascending PC so the order is
 // deterministic. n <= 0 returns every PC.
 func (p *Profile) Top(n int, sym Symbolizer) []Hotspot {
+	stride := effStride(p.SampleStride)
 	out := make([]Hotspot, 0, len(p.PCs))
 	for pc, s := range p.PCs {
-		h := Hotspot{PC: pc, Count: s.Count, Ops: s.Ops, Cycles: s.Cycles, Stalls: s.Stalls()}
+		// Sampled profiles scale raw sample counts to estimates;
+		// cycles are fully attributed and need no scaling.
+		scaled := PCStats{Count: s.Count * stride, Ops: s.Ops * stride, Cycles: s.Cycles}
+		h := Hotspot{PC: pc, Count: scaled.Count, Ops: scaled.Ops, Cycles: scaled.Cycles, Stalls: scaled.Stalls()}
 		if p.Cycles > 0 {
 			h.CyclePct = 100 * float64(s.Cycles) / float64(p.Cycles)
 		} else if p.Instructions > 0 {
-			h.CyclePct = 100 * float64(s.Count) / float64(p.Instructions)
+			h.CyclePct = 100 * float64(scaled.Count) / float64(p.Instructions)
 		}
 		if sym != nil {
 			h.Func, h.File, h.Line, _ = sym.Symbol(pc)
@@ -417,9 +518,12 @@ type Report struct {
 	Switches []SwitchReport `json:"isa_switches,omitempty"`
 
 	// Hotspots are the top-N PCs; TotalPCs counts every distinct PC the
-	// run touched, so a truncated table is visible as such.
-	Hotspots []Hotspot `json:"hotspots"`
-	TotalPCs int       `json:"total_pcs"`
+	// run touched (the sampled PCs under sampling), so a truncated
+	// table is visible as such. SampleStride > 1 marks per-PC counts
+	// as stride-scaled estimates.
+	Hotspots     []Hotspot `json:"hotspots"`
+	TotalPCs     int       `json:"total_pcs"`
+	SampleStride uint64    `json:"sample_stride,omitempty"`
 }
 
 // Report renders the profile: the topN hottest PCs (<= 0: all),
@@ -435,6 +539,9 @@ func (p *Profile) Report(sym Symbolizer, topN int) *Report {
 		Prediction:   PredReport{PredCounters: p.Prediction, HitRate: p.Prediction.HitRate()},
 		Hotspots:     p.Top(topN, sym),
 		TotalPCs:     len(p.PCs),
+	}
+	if effStride(p.SampleStride) > 1 {
+		r.SampleStride = p.SampleStride
 	}
 	names := make([]string, 0, len(p.ISAs))
 	for name := range p.ISAs {
@@ -478,6 +585,9 @@ func Equal(a, b *Profile) error {
 	}
 	if a.Prediction != b.Prediction {
 		return fmt.Errorf("prof: prediction counters differ: %+v vs %+v", a.Prediction, b.Prediction)
+	}
+	if effStride(a.SampleStride) != effStride(b.SampleStride) {
+		return fmt.Errorf("prof: sample strides differ: %d vs %d", a.SampleStride, b.SampleStride)
 	}
 	if len(a.PCs) != len(b.PCs) {
 		return fmt.Errorf("prof: PC sets differ: %d vs %d", len(a.PCs), len(b.PCs))

@@ -1,0 +1,251 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+// runScripted drives a collector (optionally sampled) through a fixed
+// synthetic instruction stream and returns the sealed profile. The
+// stream revisits PCs so sampled and exact runs cover the same ground.
+func runScripted(stride uint64) *Profile {
+	risc := &isa.ISA{Name: "RISC", ID: 0}
+	c := NewCollector()
+	// Cycle counts advance by the instruction index + 1 each step, so
+	// deltas are distinct and nonzero.
+	script := make([]uint64, 12)
+	total := uint64(0)
+	for i := range script {
+		total += uint64(i + 1)
+		script[i] = total
+	}
+	c.SetCycleSource(&fakeCycles{script: script}, "DOE")
+	if stride > 1 {
+		c.SetSampling(stride)
+	}
+	pcs := []uint32{0x100, 0x104, 0x108, 0x100, 0x104, 0x108, 0x100, 0x104, 0x108, 0x100, 0x104, 0x108}
+	for _, pc := range pcs {
+		c.Instruction(rec(risc, pc, []uint8{0, 1}))
+	}
+	return c.Finish(sim.Stats{Instructions: 12, Operations: 24, CacheLookups: 12, CacheHits: 9, PredHits: 6})
+}
+
+// Sampling must never change the exact aggregates: totals, ISA tables
+// and cache counters are identical to the unsampled run, and per-PC
+// cycles still sum to the exact total (trailing deltas included).
+func TestSamplingKeepsTotalsExact(t *testing.T) {
+	exact := runScripted(0)
+	sampled := runScripted(5) // 12 instructions: samples at 1, 6, 11 + trailing flush
+
+	if sampled.Instructions != exact.Instructions || sampled.Operations != exact.Operations ||
+		sampled.Cycles != exact.Cycles {
+		t.Fatalf("sampled totals %d/%d/%d != exact %d/%d/%d",
+			sampled.Instructions, sampled.Operations, sampled.Cycles,
+			exact.Instructions, exact.Operations, exact.Cycles)
+	}
+	if *sampled.ISAs["RISC"] != *exact.ISAs["RISC"] {
+		t.Errorf("ISA table drifted: %+v vs %+v", sampled.ISAs["RISC"], exact.ISAs["RISC"])
+	}
+	if sampled.DecodeCache != exact.DecodeCache || sampled.Prediction != exact.Prediction {
+		t.Error("cache counters drifted under sampling")
+	}
+	var pcCycles, samples uint64
+	for _, s := range sampled.PCs {
+		pcCycles += s.Cycles
+		samples += s.Count
+	}
+	if pcCycles != sampled.Cycles {
+		t.Errorf("per-PC cycles sum to %d, want exact total %d", pcCycles, sampled.Cycles)
+	}
+	if samples != 3 {
+		t.Errorf("raw sample count = %d, want 3 (stride 5 over 12 instructions, first always sampled)", samples)
+	}
+	if sampled.SampleStride != 5 {
+		t.Errorf("SampleStride = %d, want 5", sampled.SampleStride)
+	}
+	// Per-PC memory is bounded by the samples, not the stream.
+	if len(sampled.PCs) > 3 {
+		t.Errorf("sampled PC table has %d entries, want <= 3", len(sampled.PCs))
+	}
+}
+
+// Determinism: the same stream sampled twice yields identical profiles
+// — sampling depends only on instruction order, never wall time.
+func TestSamplingDeterministic(t *testing.T) {
+	a, b := runScripted(3), runScripted(3)
+	if err := Equal(a, b); err != nil {
+		t.Fatalf("same stream, same stride: %v", err)
+	}
+}
+
+// Top and Report scale raw sample counts by the stride; cycle
+// percentages stay based on the exact cycle attribution.
+func TestSampledReportScalesCounts(t *testing.T) {
+	p := runScripted(5)
+	top := p.Top(0, nil)
+	var est uint64
+	for _, e := range top {
+		est += e.Count
+	}
+	if est != 15 { // 3 raw samples x stride 5
+		t.Errorf("scaled count estimate = %d, want 15", est)
+	}
+	rep := p.Report(nil, 0)
+	if rep.SampleStride != 5 {
+		t.Errorf("report stride = %d, want 5", rep.SampleStride)
+	}
+	var cycles uint64
+	for _, h := range rep.Hotspots {
+		cycles += h.Cycles
+	}
+	if cycles != p.Cycles {
+		t.Errorf("report hotspot cycles = %d, want exact %d", cycles, p.Cycles)
+	}
+	if exact := runScripted(0).Report(nil, 0); exact.SampleStride != 0 {
+		t.Errorf("exact report stride = %d, want 0 (omitted)", exact.SampleStride)
+	}
+}
+
+// Equal strides merge raw sample counts — per-worker partial profiles
+// of one sampled workload fold identically regardless of worker count.
+func TestMergeEqualStridesKeepsRawCounts(t *testing.T) {
+	a, b := runScripted(3), runScripted(3)
+	m := Merge(a, b)
+	if m.SampleStride != 3 {
+		t.Fatalf("merged stride = %d, want 3", m.SampleStride)
+	}
+	var raw uint64
+	for _, s := range m.PCs {
+		raw += s.Count
+	}
+	if raw != 8 { // 4 raw samples each (stride 3 over 12 instructions)
+		t.Errorf("merged raw samples = %d, want 8", raw)
+	}
+	if m.Cycles != a.Cycles+b.Cycles {
+		t.Errorf("merged cycles = %d, want %d", m.Cycles, a.Cycles+b.Cycles)
+	}
+}
+
+// Differing strides normalize to stride 1: counts become estimates and
+// the merged profile reports itself unsampled.
+func TestMergeMixedStridesNormalizes(t *testing.T) {
+	exact := runScripted(0)
+	sampled := runScripted(5)
+	m := Merge(exact, sampled)
+	if effStride(m.SampleStride) != 1 {
+		t.Fatalf("mixed-stride merge stride = %d, want 1", m.SampleStride)
+	}
+	var count uint64
+	for _, s := range m.PCs {
+		count += s.Count
+	}
+	if count != 12+15 { // exact 12 + sampled estimate 3*5
+		t.Errorf("merged count = %d, want 27", count)
+	}
+	if m.Cycles != exact.Cycles+sampled.Cycles {
+		t.Errorf("merged cycles = %d, want %d", m.Cycles, exact.Cycles+sampled.Cycles)
+	}
+	// Order must not matter.
+	m2 := Merge(sampled, exact)
+	if err := Equal(m, m2); err != nil {
+		t.Errorf("mixed-stride merge not commutative: %v", err)
+	}
+}
+
+// The pprof export records the stride as the sample period and scales
+// count/ops values, so `go tool pprof` shows estimates directly.
+func TestSampledPprofPeriod(t *testing.T) {
+	p := runScripted(5)
+	var buf bytes.Buffer
+	if err := WritePprof(&buf, p, nil); err != nil {
+		t.Fatal(err)
+	}
+	period, sampleValues := decodePprof(t, buf.Bytes())
+	if period != 5 {
+		t.Errorf("pprof period = %d, want stride 5", period)
+	}
+	var count uint64
+	for _, vals := range sampleValues {
+		count += vals[0]
+	}
+	if count != 15 {
+		t.Errorf("pprof scaled counts = %d, want 15", count)
+	}
+}
+
+// decodePprof scans the gzipped profile.proto wire format for the
+// period (field 12, varint) and each sample's packed values (field 2
+// inside each field-2 Sample message) — just enough proto parsing to
+// check the sampled export.
+func decodePprof(t *testing.T, gz []byte) (period uint64, sampleValues [][]uint64) {
+	t.Helper()
+	zr, err := gzip.NewReader(bytes.NewReader(gz))
+	if err != nil {
+		t.Fatalf("output is not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatalf("gunzip: %v", err)
+	}
+	for len(raw) > 0 {
+		field, val, body, rest := protoField(t, raw)
+		raw = rest
+		switch field {
+		case profPeriod:
+			period = val
+		case profSample:
+			msg := body
+			var vals []uint64
+			for len(msg) > 0 {
+				f, _, b, r := protoField(t, msg)
+				msg = r
+				if f == sampleValue {
+					for len(b) > 0 {
+						v, n := protoVarint(b)
+						vals = append(vals, v)
+						b = b[n:]
+					}
+				}
+			}
+			sampleValues = append(sampleValues, vals)
+		}
+	}
+	return period, sampleValues
+}
+
+// protoField consumes one field from b: its number, varint value (wire
+// type 0), payload bytes (wire type 2) and the remaining buffer.
+func protoField(t *testing.T, b []byte) (field int, val uint64, payload []byte, rest []byte) {
+	t.Helper()
+	tag, n := protoVarint(b)
+	b = b[n:]
+	field = int(tag >> 3)
+	switch tag & 7 {
+	case 0:
+		val, n = protoVarint(b)
+		return field, val, nil, b[n:]
+	case 2:
+		size, n := protoVarint(b)
+		b = b[n:]
+		return field, 0, b[:size], b[size:]
+	default:
+		t.Fatalf("unexpected wire type %d for field %d", tag&7, field)
+		return 0, 0, nil, nil
+	}
+}
+
+// protoVarint decodes one varint, returning the value and bytes read.
+func protoVarint(b []byte) (uint64, int) {
+	var v uint64
+	for i := 0; ; i++ {
+		v |= uint64(b[i]&0x7f) << (7 * i)
+		if b[i] < 0x80 {
+			return v, i + 1
+		}
+	}
+}

@@ -76,9 +76,30 @@ func ParseTraceparent(h string) (SpanContext, bool) {
 	return c, true
 }
 
-// Tracer emits finished spans as structured log records.
+// SpanData is the immutable record of a finished span, handed to a
+// Sink for export.
+type SpanData struct {
+	Name   string
+	Trace  TraceID
+	Span   SpanID
+	Parent SpanID
+	Start  time.Time
+	End    time.Time
+	Attrs  []slog.Attr
+	Err    error
+}
+
+// Sink receives finished spans. Implementations must not block: they
+// run on the span's End path inside request handling.
+type Sink interface {
+	ExportSpan(SpanData)
+}
+
+// Tracer emits finished spans as structured log records and/or to an
+// export sink.
 type Tracer struct {
-	log *slog.Logger
+	log  *slog.Logger
+	sink Sink
 }
 
 // NewTracer builds a tracer over log (nil selects slog.Default()).
@@ -87,6 +108,13 @@ func NewTracer(log *slog.Logger) *Tracer {
 		log = slog.Default()
 	}
 	return &Tracer{log: log}
+}
+
+// NewTracerWithSink builds a tracer that forwards finished spans to
+// sink. Unlike NewTracer, a nil log means "export only" — spans are
+// not logged.
+func NewTracerWithSink(log *slog.Logger, sink Sink) *Tracer {
+	return &Tracer{log: log, sink: sink}
 }
 
 // scope is the per-context tracing state: the tracer plus the current
@@ -128,6 +156,7 @@ type Span struct {
 	sc     SpanContext
 	parent SpanID
 	attrs  []slog.Attr
+	err    error
 }
 
 // Start begins a span named name as a child of ctx's current span and
@@ -158,24 +187,52 @@ func (s *Span) SetAttr(key string, value any) {
 	s.attrs = append(s.attrs, slog.Any(key, value))
 }
 
-// End finishes the span and logs it: name, duration, trace/span/parent
-// ids and any attributes. End on a nil span is a no-op.
+// SetError marks the span as failed; the error is logged with the
+// span and exported as an OTLP error status. Safe on a nil span.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.err = err
+}
+
+// End finishes the span, logs it (name, duration, trace/span/parent
+// ids, error status and any attributes) and forwards it to the
+// tracer's sink if one is installed. End on a nil span is a no-op.
 func (s *Span) End() {
 	if s == nil {
 		return
 	}
-	attrs := make([]slog.Attr, 0, 5+len(s.attrs))
-	attrs = append(attrs,
-		slog.String("span", s.name),
-		slog.Float64("dur_ms", float64(time.Since(s.start))/float64(time.Millisecond)),
-		slog.String("trace_id", s.sc.Trace.String()),
-		slog.String("span_id", s.sc.Span.String()),
-	)
-	if !s.parent.IsZero() {
-		attrs = append(attrs, slog.String("parent_id", s.parent.String()))
+	end := time.Now()
+	if s.tracer.log != nil {
+		attrs := make([]slog.Attr, 0, 6+len(s.attrs))
+		attrs = append(attrs,
+			slog.String("span", s.name),
+			slog.Float64("dur_ms", float64(end.Sub(s.start))/float64(time.Millisecond)),
+			slog.String("trace_id", s.sc.Trace.String()),
+			slog.String("span_id", s.sc.Span.String()),
+		)
+		if !s.parent.IsZero() {
+			attrs = append(attrs, slog.String("parent_id", s.parent.String()))
+		}
+		attrs = append(attrs, s.attrs...)
+		if s.err != nil {
+			attrs = append(attrs, slog.String("error", s.err.Error()))
+		}
+		s.tracer.log.LogAttrs(context.Background(), slog.LevelInfo, "span", attrs...)
 	}
-	attrs = append(attrs, s.attrs...)
-	s.tracer.log.LogAttrs(context.Background(), slog.LevelInfo, "span", attrs...)
+	if s.tracer.sink != nil {
+		s.tracer.sink.ExportSpan(SpanData{
+			Name:   s.name,
+			Trace:  s.sc.Trace,
+			Span:   s.sc.Span,
+			Parent: s.parent,
+			Start:  s.start,
+			End:    end,
+			Attrs:  s.attrs,
+			Err:    s.err,
+		})
+	}
 }
 
 func randomize(b []byte) {

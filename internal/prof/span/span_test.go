@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"log/slog"
 	"strings"
 	"testing"
@@ -109,6 +110,89 @@ func TestSpanNestingAndLogging(t *testing.T) {
 	if _, ok := in["dur_ms"].(float64); !ok {
 		t.Fatalf("dur_ms missing: %v", in["dur_ms"])
 	}
+}
+
+// captureSink records exported spans.
+type captureSink struct{ spans []SpanData }
+
+func (s *captureSink) ExportSpan(sd SpanData) { s.spans = append(s.spans, sd) }
+
+func TestSinkReceivesFinishedSpans(t *testing.T) {
+	var buf bytes.Buffer
+	sink := &captureSink{}
+	tr := NewTracerWithSink(slog.New(slog.NewJSONHandler(&buf, nil)), sink)
+	ctx := NewContext(context.Background(), tr)
+
+	ctx1, outer := Start(ctx, "job")
+	_, inner := Start(ctx1, "build")
+	inner.SetAttr("isa", "RISC")
+	inner.SetError(errBuild)
+	inner.End()
+	outer.End()
+
+	if len(sink.spans) != 2 {
+		t.Fatalf("sink got %d spans, want 2", len(sink.spans))
+	}
+	in, out := sink.spans[0], sink.spans[1]
+	if in.Name != "build" || out.Name != "job" {
+		t.Fatalf("span names = %q/%q", in.Name, out.Name)
+	}
+	if in.Trace != out.Trace || in.Parent != out.Span {
+		t.Fatal("sink spans lost trace lineage")
+	}
+	if in.Err != errBuild {
+		t.Fatalf("sink span error = %v, want %v", in.Err, errBuild)
+	}
+	if out.Err != nil {
+		t.Fatalf("clean span exported error %v", out.Err)
+	}
+	if len(in.Attrs) != 1 || in.Attrs[0].Key != "isa" {
+		t.Fatalf("sink span attrs = %v", in.Attrs)
+	}
+	if !in.End.After(in.Start) && !in.End.Equal(in.Start) {
+		t.Fatal("span end precedes start")
+	}
+	// Logging still happened alongside export, error attr included.
+	lines := logLines(&buf)
+	if len(lines) != 2 {
+		t.Fatalf("got %d log lines, want 2", len(lines))
+	}
+	if lines[0]["error"] != errBuild.Error() {
+		t.Fatalf("failed span log error = %v, want %q", lines[0]["error"], errBuild)
+	}
+	if _, ok := lines[1]["error"]; ok {
+		t.Fatalf("clean span logged an error: %v", lines[1])
+	}
+}
+
+var errBuild = errors.New("link failed")
+
+// An export-only tracer (nil logger + sink) must stay silent on the
+// log while still exporting.
+func TestExportOnlyTracerDoesNotLog(t *testing.T) {
+	sink := &captureSink{}
+	tr := NewTracerWithSink(nil, sink)
+	ctx := NewContext(context.Background(), tr)
+	_, sp := Start(ctx, "simulate")
+	sp.End()
+	if len(sink.spans) != 1 {
+		t.Fatalf("sink got %d spans, want 1", len(sink.spans))
+	}
+}
+
+// SetError on a nil error or a nil span must be inert.
+func TestSetErrorInert(t *testing.T) {
+	sink := &captureSink{}
+	tr := NewTracerWithSink(nil, sink)
+	ctx := NewContext(context.Background(), tr)
+	_, sp := Start(ctx, "x")
+	sp.SetError(nil)
+	sp.End()
+	if sink.spans[0].Err != nil {
+		t.Fatalf("SetError(nil) marked the span failed: %v", sink.spans[0].Err)
+	}
+	var none *Span
+	none.SetError(errBuild) // must not panic
 }
 
 func TestContextWithRemote(t *testing.T) {

@@ -221,7 +221,7 @@ func (s *batchStore) markFinished(id string) {
 // batch record, and run the batch on a detached goroutine.
 func (s *Server) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		s.metrics.reject(rejectDraining)
+		s.rejectJob(r, "batch", rejectDraining)
 		writeJSON(w, http.StatusServiceUnavailable, APIError{Error: "server is draining"})
 		return
 	}
@@ -232,30 +232,31 @@ func (s *Server) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&req); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			s.metrics.reject(rejectOversized)
+			s.rejectJob(r, "batch", rejectOversized)
 			writeJSON(w, http.StatusRequestEntityTooLarge,
 				APIError{Error: "request body exceeds " + strconv.FormatInt(tooBig.Limit, 10) + " bytes"})
 			return
 		}
-		s.metrics.reject(rejectInvalid)
+		s.rejectJob(r, "batch", rejectInvalid)
 		writeJSON(w, http.StatusBadRequest, APIError{Error: "malformed request: " + err.Error()})
 		return
 	}
 	if err := req.validate(s.base); err != nil {
-		s.metrics.reject(rejectInvalid)
+		s.rejectJob(r, "batch", rejectInvalid)
 		writeJSON(w, http.StatusBadRequest, APIError{Error: err.Error()})
 		return
 	}
 	if !s.adm.tryAcquireN(len(req.Jobs)) {
-		s.metrics.reject(rejectQueueFull)
+		s.rejectJob(r, "batch", rejectQueueFull)
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests,
 			APIError{Error: "job queue cannot admit " + strconv.Itoa(len(req.Jobs)) + " more jobs", RetryAfterS: 1})
 		return
 	}
 	s.metrics.batchesAccepted.Add(1)
-	s.metrics.batchJobs.Add(int64(len(req.Jobs)))
-	s.metrics.accepted.Add(int64(len(req.Jobs)))
+	s.metrics.batchJobs.Add(uint64(len(req.Jobs)))
+	s.metrics.accepted.Add(uint64(len(req.Jobs)))
+	s.metrics.batchSize.Observe(float64(len(req.Jobs)))
 
 	jobs := make([]*jobRecord, len(req.Jobs))
 	for i := range jobs {
@@ -315,6 +316,9 @@ func (s *Server) runBatch(rec *batchRecord, req *BatchRequest) {
 		}
 		st := batch.Stats()
 		sp.SetAttr("instructions", st.Instructions)
+		if st.Failed > 0 {
+			sp.SetError(fmt.Errorf("%d of %d jobs failed", st.Failed, len(items)))
+		}
 		sp.End()
 		stats.Failed += st.Failed
 		stats.Instructions = st.Instructions
@@ -325,9 +329,11 @@ func (s *Server) runBatch(rec *batchRecord, req *BatchRequest) {
 		}
 	}
 
-	rec.finish(stats, s.firstBatchError(rec))
+	err := s.firstBatchError(rec)
+	rec.finish(stats, err)
 	s.batches.markFinished(rec.id)
 	if stats.Failed > 0 {
+		bsp.SetError(err)
 		s.metrics.batchesFailed.Add(1)
 		s.log.Warn("batch finished with failures", "id", rec.id, "jobs", stats.Jobs, "failed", stats.Failed)
 	} else {
@@ -347,6 +353,7 @@ func (s *Server) finishBatchJob(jr *jobRecord, req *JobRequest, res *kahrisma.Ru
 	}
 	s.metrics.completed.Add(1)
 	s.metrics.harvest(res.Instructions, res.Operations, res.Cycles)
+	s.metrics.jobTimings(res.QueueWait, res.SimWall)
 	if res.Profile != nil {
 		s.metrics.profiled.Add(1)
 	}

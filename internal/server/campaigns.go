@@ -28,11 +28,13 @@ import (
 
 // Campaign lifecycle states (CampaignStatus.State). A campaign is
 // "running" from acceptance until terminal; "done" requires every point
-// to have succeeded, any point failure or cancellation means "failed".
+// to have succeeded; a point failure means "failed"; a campaign ended
+// by DELETE /v1/campaigns/{id} is "canceled".
 const (
-	campaignStateRunning = "running"
-	campaignStateDone    = "done"
-	campaignStateFailed  = "failed"
+	campaignStateRunning  = "running"
+	campaignStateDone     = "done"
+	campaignStateFailed   = "failed"
+	campaignStateCanceled = "canceled"
 )
 
 // CampaignStatus is the body of GET /v1/campaigns/{id} and of the 202
@@ -84,7 +86,7 @@ func validateCampaign(spec *kahrisma.CampaignSpec, base *kahrisma.System, maxPoi
 
 func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		s.metrics.reject(rejectDraining)
+		s.rejectJob(r, "campaign", rejectDraining)
 		writeJSON(w, http.StatusServiceUnavailable, APIError{Error: "server is draining"})
 		return
 	}
@@ -95,17 +97,17 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&spec); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			s.metrics.reject(rejectOversized)
+			s.rejectJob(r, "campaign", rejectOversized)
 			writeJSON(w, http.StatusRequestEntityTooLarge,
 				APIError{Error: "request body exceeds " + strconv.FormatInt(tooBig.Limit, 10) + " bytes"})
 			return
 		}
-		s.metrics.reject(rejectInvalid)
+		s.rejectJob(r, "campaign", rejectInvalid)
 		writeJSON(w, http.StatusBadRequest, APIError{Error: "malformed request: " + err.Error()})
 		return
 	}
 	if err := validateCampaign(&spec, s.base, s.cfg.MaxCampaignPoints); err != nil {
-		s.metrics.reject(rejectInvalid)
+		s.rejectJob(r, "campaign", rejectInvalid)
 		writeJSON(w, http.StatusBadRequest, APIError{Error: err.Error()})
 		return
 	}
@@ -123,19 +125,45 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.metrics.campaignsAccepted.Add(1)
-	rec := s.campaigns.create(s.cfg.StreamRingSize)
+	// Each campaign runs under its own cancelable child of the server's
+	// jobs context, so DELETE /v1/campaigns/{id} stops this campaign's
+	// remaining waves without touching anything else in flight.
+	cctx, cancel := context.WithCancel(s.jobsCtx)
+	rec := s.campaigns.create(s.cfg.StreamRingSize, cancel)
 	s.jobsWG.Add(1)
-	go s.runCampaign(rec, spec)
+	go s.runCampaign(cctx, rec, spec)
 	w.Header().Set("Location", "/v1/campaigns/"+rec.id)
+	writeJSON(w, http.StatusAccepted, rec.status())
+}
+
+// handleCampaignCancel serves DELETE /v1/campaigns/{id}: cancel a
+// running campaign. Points already finished keep their results (still
+// served by /points); unstarted waves never run, and the campaign
+// settles in the "canceled" state. Canceling a terminal campaign is a
+// 409 conflict, so clients can distinguish "I stopped it" from "it was
+// already over".
+func (s *Server) handleCampaignCancel(w http.ResponseWriter, r *http.Request) {
+	rec := s.campaigns.get(r.PathValue("id"))
+	if rec == nil {
+		writeJSON(w, http.StatusNotFound, APIError{Error: "unknown campaign"})
+		return
+	}
+	if !rec.requestCancel() {
+		state, _ := rec.terminal()
+		writeJSON(w, http.StatusConflict, APIError{Error: "campaign already " + state})
+		return
+	}
+	s.log.Info("campaign cancel requested", "id", rec.id)
 	writeJSON(w, http.StatusAccepted, rec.status())
 }
 
 // runCampaign drives one accepted campaign on its own goroutine. The
 // engine holds admission slots one wave at a time via the wave gate.
-func (s *Server) runCampaign(rec *campaignRecord, spec kahrisma.CampaignSpec) {
+func (s *Server) runCampaign(ctx context.Context, rec *campaignRecord, spec kahrisma.CampaignSpec) {
 	defer s.jobsWG.Done()
+	defer rec.cancel()
 
-	camp, err := s.pool.RunCampaign(s.jobsCtx, s.base, spec,
+	camp, err := s.pool.RunCampaign(ctx, s.base, spec,
 		kahrisma.WithCampaignEvents(rec.stream),
 		kahrisma.WithCampaignTimeout(s.cfg.MaxTimeout),
 		kahrisma.WithCampaignWaveGate(s.acquireWave, s.adm.releaseN))
@@ -148,17 +176,22 @@ func (s *Server) runCampaign(rec *campaignRecord, spec kahrisma.CampaignSpec) {
 
 	if camp != nil {
 		st := camp.Status()
-		s.metrics.campaignPoints.Add(int64(st.Points))
-		s.metrics.campaignPointsSimulated.Add(int64(st.Simulated))
-		s.metrics.campaignCacheHits.Add(int64(st.CacheHits))
+		s.metrics.campaignPoints.Add(uint64(st.Points))
+		s.metrics.campaignPointsSimulated.Add(uint64(st.Simulated))
+		s.metrics.campaignCacheHits.Add(uint64(st.CacheHits))
 		if rep := camp.Report(); rep != nil {
-			s.metrics.campaignDeduped.Add(int64(rep.Deduped))
+			s.metrics.campaignDeduped.Add(uint64(rep.Deduped))
 		}
 	}
-	if err != nil {
+	state, _ := rec.terminal()
+	switch {
+	case state == campaignStateCanceled:
+		s.metrics.campaignsCanceled.Add(1)
+		s.log.Info("campaign canceled", "id", rec.id, "name", spec.Name)
+	case err != nil:
 		s.metrics.campaignsFailed.Add(1)
 		s.log.Warn("campaign failed", "id", rec.id, "name", spec.Name, "err", err)
-	} else {
+	default:
 		s.metrics.campaignsCompleted.Add(1)
 	}
 }
@@ -252,13 +285,33 @@ type campaignRecord struct {
 	// engine closes it with a done event on every terminal path, and
 	// finish backstops failures that precede engine start.
 	stream *trace.Streamer
+	// cancel stops the campaign's context; runCampaign defers it, and
+	// requestCancel arms canceled so finish knows the error was asked
+	// for rather than organic.
+	cancel context.CancelFunc
 
 	mu       sync.Mutex
 	state    string
 	err      string
+	canceled bool
 	camp     *kahrisma.Campaign
 	finished time.Time
 	done     chan struct{}
+}
+
+// requestCancel marks a running campaign as canceled and fires its
+// context. It reports false once the campaign is terminal — the caller
+// then answers 409 instead of pretending to stop finished work.
+func (r *campaignRecord) requestCancel() bool {
+	r.mu.Lock()
+	if r.state != campaignStateRunning {
+		r.mu.Unlock()
+		return false
+	}
+	r.canceled = true
+	r.mu.Unlock()
+	r.cancel()
+	return true
 }
 
 func (r *campaignRecord) setCampaign(c *kahrisma.Campaign) {
@@ -281,10 +334,16 @@ func (r *campaignRecord) terminal() (string, bool) {
 
 func (r *campaignRecord) finish(err error) {
 	r.mu.Lock()
-	if err != nil {
+	switch {
+	case err != nil && r.canceled:
+		r.state = campaignStateCanceled
+		r.err = err.Error()
+	case err != nil:
 		r.state = campaignStateFailed
 		r.err = err.Error()
-	} else {
+	default:
+		// A cancel that raced a natural completion lost: every point
+		// finished, so the campaign is honestly done.
 		r.state = campaignStateDone
 	}
 	r.finished = time.Now()
@@ -335,11 +394,12 @@ func newCampaignStore(maxFinished int) *campaignStore {
 	return &campaignStore{campaigns: map[string]*campaignRecord{}, maxFinished: maxFinished}
 }
 
-func (s *campaignStore) create(streamRing int) *campaignRecord {
+func (s *campaignStore) create(streamRing int, cancel context.CancelFunc) *campaignRecord {
 	rec := &campaignRecord{
 		id:        newID(),
 		submitted: time.Now(),
 		stream:    trace.NewStreamer(streamRing),
+		cancel:    cancel,
 		state:     campaignStateRunning,
 		done:      make(chan struct{}),
 	}

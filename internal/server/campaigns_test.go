@@ -389,3 +389,116 @@ func TestCampaignValidation(t *testing.T) {
 		}
 	}
 }
+
+// deleteCampaign issues DELETE /v1/campaigns/{id} and returns the
+// response with its decoded body.
+func deleteCampaign(t *testing.T, ts *httptest.Server, id string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/campaigns/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// Cancellation: DELETE on a running campaign stops it, the record
+// reaches the canceled terminal state, the counter ticks, and repeat
+// or bogus deletes get conflict/not-found answers.
+func TestCampaignCancelEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Workers: 1})
+
+	// One worker against a grid of long-running points keeps the
+	// campaign in flight while the DELETE lands.
+	const slowProg = `
+int main() {
+    int s = 0;
+    for (int i = 0; i < 2000000; i++) s += i % 7;
+    printf("s=%d\n", s);
+    return 0;
+}
+`
+	spec := kahrisma.CampaignSpec{
+		Name:    "cancel-me",
+		Sources: map[string]string{"slow.c": slowProg},
+		ISAs:    []string{"RISC", "VLIW2", "VLIW4", "VLIW8"},
+		Memories: []string{
+			"paper",
+			"limit:1|cache:1K,2,16,3|mem:18",
+		},
+	}
+	st := submitCampaign(t, ts, spec)
+
+	resp, data := deleteCampaign(t, ts, st.ID)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("DELETE running campaign: status %d, body %s", resp.StatusCode, data)
+	}
+
+	end := pollCampaign(t, ts, st.ID)
+	if end.State != "canceled" {
+		t.Fatalf("campaign state after cancel = %q (%+v), want canceled", end.State, end)
+	}
+	if end.Error == "" {
+		t.Error("canceled campaign reports no error detail")
+	}
+	if end.FinishedAt == nil {
+		t.Error("canceled campaign has no finish timestamp")
+	}
+
+	// The terminal record must be accounted on /metrics.
+	body := metricsBody(t, ts)
+	if got := metricValue(t, body, "kservd_campaigns_canceled_total"); got != 1 {
+		t.Errorf("kservd_campaigns_canceled_total = %v, want 1", got)
+	}
+
+	// A second DELETE finds the campaign already terminal.
+	resp, data = deleteCampaign(t, ts, st.ID)
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("DELETE canceled campaign: status %d, body %s, want 409", resp.StatusCode, data)
+	}
+	if !bytes.Contains(data, []byte("canceled")) {
+		t.Errorf("conflict body %s does not name the terminal state", data)
+	}
+
+	// Unknown ids are not found.
+	resp, _ = deleteCampaign(t, ts, "no-such-campaign")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("DELETE unknown campaign: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// A DELETE that arrives after natural completion must not rewrite the
+// terminal state.
+func TestCampaignCancelAfterCompletion(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Workers: 4})
+	spec := kahrisma.CampaignSpec{
+		Name:    "done-first",
+		Sources: map[string]string{"a.c": progA},
+		ISAs:    []string{"RISC"},
+	}
+	st := submitCampaign(t, ts, spec)
+	end := pollCampaign(t, ts, st.ID)
+	if end.State != "done" {
+		t.Fatalf("campaign finished %q, want done", end.State)
+	}
+
+	resp, data := deleteCampaign(t, ts, st.ID)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("DELETE completed campaign: status %d, body %s, want 409", resp.StatusCode, data)
+	}
+	if got := pollCampaign(t, ts, st.ID); got.State != "done" {
+		t.Errorf("late DELETE rewrote terminal state to %q", got.State)
+	}
+	body := metricsBody(t, ts)
+	if got := metricValue(t, body, "kservd_campaigns_canceled_total"); got != 0 {
+		t.Errorf("kservd_campaigns_canceled_total = %v, want 0", got)
+	}
+}

@@ -73,7 +73,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done // cancellation reaches the interpreter loop quickly
 	}
 	s.pool.Close()
-	s.log.Info("drained", "jobs_done", s.metrics.completed.Load(),
-		"jobs_failed", s.metrics.failed.Load())
+	if s.exporter != nil {
+		// Flush the final telemetry batches (spans of the jobs that just
+		// drained plus one last metric snapshot) before giving up on the
+		// collector.
+		flushCtx, cancelFlush := context.WithTimeout(context.Background(), 5*time.Second)
+		s.exporter.Shutdown(flushCtx)
+		cancelFlush()
+	}
+	s.log.Info("drained", "jobs_done", s.metrics.completed.Value(),
+		"jobs_failed", s.metrics.failed.Value())
 	return err
 }

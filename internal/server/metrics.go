@@ -1,14 +1,12 @@
 package server
 
 import (
-	"fmt"
 	"io"
 	"runtime"
 	"runtime/debug"
-	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Rejection reasons, the label values of kservd_jobs_rejected_total.
@@ -19,203 +17,259 @@ const (
 	rejectDraining  = "draining"
 )
 
-// metrics holds the server's own counters; pool and cache counters are
-// pulled live from their owners at render time. Everything is
-// monotonic except the gauges derived at render time.
+// Cache label values of the kservd_cache_* families.
+const (
+	cacheExe      = "exe"
+	cacheModel    = "model"
+	cacheAnalysis = "analysis"
+)
+
+// Histogram bucket bounds. Durations span sub-millisecond cache hits
+// to the 30s default job timeout; batch sizes are powers of two up to
+// the typical queue depth; SSE fan-out lag is dominated by socket
+// writes, so its buckets start at 100µs.
+var (
+	durationBuckets  = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30}
+	batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	fanoutBuckets    = []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1}
+)
+
+// metrics holds the server's instruments on one obs.Registry — the
+// single source of truth for both the Prometheus text rendered on
+// /metrics and the OTLP metric export. Counters are bumped at their
+// event sites; gauges derived from live owners (pool, caches,
+// admission) are refreshed by the registry's collect callback
+// (Server.collectMetrics) on every scrape and export.
 type metrics struct {
-	accepted  atomic.Int64
-	completed atomic.Int64
-	failed    atomic.Int64
-	profiled  atomic.Int64 // completed jobs that carried a profile
+	reg *obs.Registry
 
-	// Batches (POST /v1/batches); batch items also count on the job
-	// counters above.
-	batchesAccepted  atomic.Int64
-	batchesCompleted atomic.Int64 // terminal batches with zero failed items
-	batchesFailed    atomic.Int64 // terminal batches with at least one failed item
-	batchJobs        atomic.Int64 // jobs submitted through the batch endpoint
+	up        *obs.Gauge
+	uptime    *obs.Gauge
+	startTime *obs.Gauge
+	buildInfo *obs.GaugeVec
 
-	// Campaigns (POST /v1/campaigns); campaign points run through the
-	// pool directly, not the job endpoints, so they count only here.
-	campaignsAccepted       atomic.Int64
-	campaignsCompleted      atomic.Int64 // terminal campaigns with every point successful
-	campaignsFailed         atomic.Int64 // terminal campaigns with a failed or canceled point
-	campaignPoints          atomic.Int64 // unique points across terminal campaigns
-	campaignPointsSimulated atomic.Int64 // points that ran on the pool
-	campaignCacheHits       atomic.Int64 // points served from the result cache
-	campaignDeduped         atomic.Int64 // grid cells collapsed by fingerprint dedup
+	accepted  *obs.Counter
+	completed *obs.Counter
+	failed    *obs.Counter
+	profiled  *obs.Counter
+	rejected  *obs.CounterVec
 
-	analyses         atomic.Int64
-	analysesFailed   atomic.Int64
-	analysisErrors   atomic.Int64
-	analysisWarnings atomic.Int64
+	batchesAccepted  *obs.Counter
+	batchesCompleted *obs.Counter
+	batchesFailed    *obs.Counter
+	batchJobs        *obs.Counter
 
-	// SSE streaming (GET /v1/jobs/{id}/events).
-	streamSubscribers atomic.Int64 // gauge: open event streams
-	streamEvents      atomic.Int64 // events delivered to subscribers
-	streamMissed      atomic.Int64 // events lost to ring eviction before delivery
+	campaignsAccepted       *obs.Counter
+	campaignsCompleted      *obs.Counter
+	campaignsFailed         *obs.Counter
+	campaignsCanceled       *obs.Counter
+	campaignPoints          *obs.Counter
+	campaignPointsSimulated *obs.Counter
+	campaignCacheHits       *obs.Counter
+	campaignDeduped         *obs.Counter
 
-	mu            sync.Mutex
-	rejected      map[string]int64
-	cyclesByModel map[string]uint64
+	analyses       *obs.Counter
+	analysesFailed *obs.Counter
+	analysisDiags  *obs.CounterVec
 
-	simInstructions atomic.Uint64
-	simOperations   atomic.Uint64
+	streamSubscribers *obs.Gauge
+	streamEvents      *obs.Counter
+	streamMissed      *obs.Counter
+
+	queueDepth *obs.Gauge
+	queueCap   *obs.Gauge
+
+	poolWorkers     *obs.Gauge
+	poolQueueDepth  *obs.Gauge
+	poolInFlight    *obs.Gauge
+	poolUtilization *obs.GaugeVec // zero-key: rendered once derivable
+	decodeHitRate   *obs.Gauge
+	predHitRate     *obs.Gauge
+	decodeEvictions *obs.Counter // collect-time mirror of the pool's counter
+
+	cacheHits    *obs.CounterVec // collect-time mirrors of the cache owners
+	cacheMisses  *obs.CounterVec
+	cacheHitRate *obs.GaugeVec
+	cacheSize    *obs.GaugeVec
+
+	simInstructions *obs.Counter
+	simOperations   *obs.Counter
+	cyclesByModel   *obs.CounterVec
+
+	ips          *obs.GaugeVec // zero-key: rendered once pool wall > 0
+	cyclesPerSec *obs.GaugeVec
+
+	queueWait *obs.Histogram
+	runDur    *obs.Histogram
+	buildDur  *obs.Histogram
+	batchSize *obs.Histogram
+	sseLag    *obs.Histogram
 }
 
+// newMetrics registers every instrument in render order. Families
+// whose series exist only conditionally in the exposition (per-reason
+// rejections, per-model cycles, throughput gauges that need a nonzero
+// denominator) are vecs whose children appear on first use.
 func newMetrics() *metrics {
-	return &metrics{
-		rejected:      map[string]int64{},
-		cyclesByModel: map[string]uint64{},
-	}
+	reg := obs.NewRegistry()
+	m := &metrics{reg: reg}
+
+	m.up = reg.Gauge("kservd_up", "Whether the server is accepting jobs (0 while draining).", "%d")
+	m.uptime = reg.Gauge("kservd_uptime_seconds", "Seconds since the server started.", "%.3f")
+	m.startTime = reg.Gauge("kservd_process_start_time_seconds", "Unix time the server started.", "%d")
+	m.buildInfo = reg.GaugeVec("kservd_build_info", "Build metadata; the value is always 1.", "%d", "version", "goversion")
+	m.buildInfo.With(buildVersion(), runtime.Version()).Set(1)
+
+	m.accepted = reg.Counter("kservd_jobs_accepted_total", "Jobs admitted past the queue gate.")
+	m.completed = reg.Counter("kservd_jobs_completed_total", "Jobs finished successfully.")
+	m.failed = reg.Counter("kservd_jobs_failed_total", "Jobs finished with an error (build, simulation or cancellation).")
+	m.profiled = reg.Counter("kservd_jobs_profiled_total", "Completed jobs that ran with the microarchitectural profiler.")
+	m.rejected = reg.CounterVec("kservd_jobs_rejected_total", "Jobs rejected at admission, by reason.", "reason")
+
+	m.batchesAccepted = reg.Counter("kservd_batches_accepted_total", "Batches admitted past the queue gate.")
+	m.batchesCompleted = reg.Counter("kservd_batches_completed_total", "Batches finished with every job successful.")
+	m.batchesFailed = reg.Counter("kservd_batches_failed_total", "Batches finished with at least one failed job.")
+	m.batchJobs = reg.Counter("kservd_batch_jobs_total", "Jobs submitted through POST /v1/batches.")
+
+	m.campaignsAccepted = reg.Counter("kservd_campaigns_accepted_total", "Campaigns admitted by POST /v1/campaigns.")
+	m.campaignsCompleted = reg.Counter("kservd_campaigns_completed_total", "Campaigns finished with every point successful.")
+	m.campaignsFailed = reg.Counter("kservd_campaigns_failed_total", "Campaigns finished with a failed or canceled point.")
+	m.campaignsCanceled = reg.Counter("kservd_campaigns_canceled_total", "Campaigns canceled by DELETE /v1/campaigns/{id}.")
+	m.campaignPoints = reg.Counter("kservd_campaign_points_total", "Unique design-space points across terminal campaigns.")
+	m.campaignPointsSimulated = reg.Counter("kservd_campaign_points_simulated_total", "Campaign points that ran on the simulation pool.")
+	m.campaignCacheHits = reg.Counter("kservd_campaign_cache_hits_total", "Campaign points served from the fingerprint result cache.")
+	m.campaignDeduped = reg.Counter("kservd_campaign_points_deduped_total", "Grid cells collapsed by fingerprint dedup across terminal campaigns.")
+
+	m.analyses = reg.Counter("kservd_analyses_total", "Static-analysis requests served by POST /v1/analyze.")
+	m.analysesFailed = reg.Counter("kservd_analyses_failed_total", "Static-analysis requests whose inputs failed to build.")
+	m.analysisDiags = reg.CounterVec("kservd_analysis_diagnostics_total", "Diagnostics reported by served analyses, by severity.", "severity")
+	// Both severities render from the start, matching the historical
+	// exposition.
+	m.analysisDiags.With("error")
+	m.analysisDiags.With("warning")
+
+	m.streamSubscribers = reg.Gauge("kservd_stream_subscribers", "Open live event streams (SSE).", "%d")
+	m.streamEvents = reg.Counter("kservd_stream_events_sent_total", "Stream events delivered to SSE subscribers.")
+	m.streamMissed = reg.Counter("kservd_stream_events_missed_total", "Stream events evicted from a job ring before a subscriber read them.")
+
+	m.queueDepth = reg.Gauge("kservd_queue_depth", "Accepted-but-unfinished jobs held by admission control.", "%d")
+	m.queueCap = reg.Gauge("kservd_queue_capacity", "Admission queue depth limit.", "%d")
+
+	m.poolWorkers = reg.Gauge("kservd_pool_workers", "Simulation pool worker count.", "%d")
+	m.poolQueueDepth = reg.Gauge("kservd_pool_queue_depth", "Jobs waiting for a pool worker.", "%d")
+	m.poolInFlight = reg.Gauge("kservd_pool_in_flight", "Jobs queued or running in the pool.", "%d")
+	m.poolUtilization = reg.GaugeVec("kservd_pool_utilization", "Summed simulation wall time over uptime x workers.", "%.4f")
+	m.decodeHitRate = reg.Gauge("kservd_decode_cache_hit_rate", "Aggregate simulator decode-cache hit rate over finished jobs.", "%.4f")
+	m.predHitRate = reg.Gauge("kservd_prediction_hit_rate", "Aggregate instruction-prediction hit rate over finished jobs.", "%.4f")
+	m.decodeEvictions = reg.Counter("kservd_decode_cache_evictions_total", "Decode structures discarded by bounded decode caches over finished jobs.")
+
+	m.cacheHits = reg.CounterVec("kservd_cache_hits_total", "Artifact-cache hits, by cache.", "cache")
+	m.cacheMisses = reg.CounterVec("kservd_cache_misses_total", "Artifact-cache misses, by cache.", "cache")
+	m.cacheHitRate = reg.GaugeVec("kservd_cache_hit_rate", "Artifact-cache hit rate, by cache.", "%.4f", "cache")
+	m.cacheSize = reg.GaugeVec("kservd_cache_size", "Artifact-cache entries held, by cache.", "%d", "cache")
+
+	m.simInstructions = reg.Counter("kservd_sim_instructions_total", "Instructions retired across finished jobs.")
+	m.simOperations = reg.Counter("kservd_sim_operations_total", "Operations retired across finished jobs.")
+	m.cyclesByModel = reg.CounterVec("kservd_sim_cycles_total", "Approximated cycles across finished jobs, by cycle model.", "model")
+
+	m.ips = reg.GaugeVec("kservd_sim_instructions_per_second", "Simulated instruction throughput over summed pool wall time.", "%.1f")
+	m.cyclesPerSec = reg.GaugeVec("kservd_sim_cycles_per_second", "Simulated cycle throughput, by cycle model.", "%.1f", "model")
+
+	m.queueWait = reg.Histogram("kservd_job_queue_wait_seconds", "Time jobs spent in the pool dispatch queue before a worker picked them up.", durationBuckets)
+	m.runDur = reg.Histogram("kservd_job_run_seconds", "Wall-clock simulation time per finished job.", durationBuckets)
+	m.buildDur = reg.Histogram("kservd_job_build_seconds", "Time to resolve a job's executable (artifact-cache hits included).", durationBuckets)
+	m.batchSize = reg.Histogram("kservd_batch_size_jobs", "Jobs per accepted batch (POST /v1/batches).", batchSizeBuckets)
+	m.sseLag = reg.Histogram("kservd_sse_fanout_lag_seconds", "Time to write and flush one event batch to an SSE subscriber.", fanoutBuckets)
+
+	return m
 }
 
 func (m *metrics) reject(reason string) {
-	m.mu.Lock()
-	m.rejected[reason]++
-	m.mu.Unlock()
+	m.rejected.With(reason).Inc()
 }
 
 // harvest folds one finished job's simulation counters in.
 func (m *metrics) harvest(instructions, operations uint64, cycles map[string]uint64) {
 	m.simInstructions.Add(instructions)
 	m.simOperations.Add(operations)
-	if len(cycles) == 0 {
-		return
-	}
-	m.mu.Lock()
 	for model, c := range cycles {
-		m.cyclesByModel[model] += c
+		m.cyclesByModel.With(model).Add(c)
 	}
-	m.mu.Unlock()
 }
 
-// render writes the Prometheus text exposition (version 0.0.4) for
-// GET /metrics: admission and job counters, pool backpressure and
-// throughput from PoolStats, and artifact-cache hit rates.
-func (s *Server) renderMetrics(w io.Writer) {
+// jobTimings observes one finished job's latency distributions (zero
+// durations — jobs that failed before reaching the pool — are skipped).
+func (m *metrics) jobTimings(queueWait, run time.Duration) {
+	if queueWait > 0 {
+		m.queueWait.Observe(queueWait.Seconds())
+	}
+	if run > 0 {
+		m.runDur.Observe(run.Seconds())
+	}
+}
+
+// collectMetrics refreshes the gauges and mirror counters whose source
+// of truth lives outside the registry. It runs (via obs.Registry
+// collect callbacks) before every /metrics render and OTLP export.
+func (s *Server) collectMetrics() {
 	m := s.metrics
 	ps := s.pool.Stats()
-	exe := s.exeCache.Stats()
-	model := s.modelCache.Stats()
-	ana := s.analysisCache.Stats()
 	uptime := time.Since(s.started).Seconds()
 
-	counter := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	if s.draining.Load() {
+		m.up.Set(0)
+	} else {
+		m.up.Set(1)
 	}
-	gauge := func(name, help string, format string, v any) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s "+format+"\n", name, help, name, name, v)
-	}
+	m.uptime.Set(uptime)
+	m.startTime.Set(float64(s.started.Unix()))
 
-	gauge("kservd_up", "Whether the server is accepting jobs (0 while draining).", "%d",
-		map[bool]int{true: 0, false: 1}[s.draining.Load()])
-	gauge("kservd_uptime_seconds", "Seconds since the server started.", "%.3f", uptime)
-	gauge("kservd_process_start_time_seconds", "Unix time the server started.", "%d", s.started.Unix())
-	fmt.Fprintf(w, "# HELP kservd_build_info Build metadata; the value is always 1.\n# TYPE kservd_build_info gauge\n")
-	fmt.Fprintf(w, "kservd_build_info{version=%q,goversion=%q} 1\n", buildVersion(), runtime.Version())
+	m.queueDepth.Set(float64(s.adm.inUse()))
+	m.queueCap.Set(float64(s.adm.depth()))
 
-	counter("kservd_jobs_accepted_total", "Jobs admitted past the queue gate.", m.accepted.Load())
-	counter("kservd_jobs_completed_total", "Jobs finished successfully.", m.completed.Load())
-	counter("kservd_jobs_failed_total", "Jobs finished with an error (build, simulation or cancellation).", m.failed.Load())
-	counter("kservd_jobs_profiled_total", "Completed jobs that ran with the microarchitectural profiler.", m.profiled.Load())
-
-	fmt.Fprintf(w, "# HELP kservd_jobs_rejected_total Jobs rejected at admission, by reason.\n# TYPE kservd_jobs_rejected_total counter\n")
-	m.mu.Lock()
-	reasons := make([]string, 0, len(m.rejected))
-	for r := range m.rejected {
-		reasons = append(reasons, r)
-	}
-	sort.Strings(reasons)
-	for _, r := range reasons {
-		fmt.Fprintf(w, "kservd_jobs_rejected_total{reason=%q} %d\n", r, m.rejected[r])
-	}
-	m.mu.Unlock()
-
-	counter("kservd_batches_accepted_total", "Batches admitted past the queue gate.", m.batchesAccepted.Load())
-	counter("kservd_batches_completed_total", "Batches finished with every job successful.", m.batchesCompleted.Load())
-	counter("kservd_batches_failed_total", "Batches finished with at least one failed job.", m.batchesFailed.Load())
-	counter("kservd_batch_jobs_total", "Jobs submitted through POST /v1/batches.", m.batchJobs.Load())
-
-	counter("kservd_campaigns_accepted_total", "Campaigns admitted by POST /v1/campaigns.", m.campaignsAccepted.Load())
-	counter("kservd_campaigns_completed_total", "Campaigns finished with every point successful.", m.campaignsCompleted.Load())
-	counter("kservd_campaigns_failed_total", "Campaigns finished with a failed or canceled point.", m.campaignsFailed.Load())
-	counter("kservd_campaign_points_total", "Unique design-space points across terminal campaigns.", m.campaignPoints.Load())
-	counter("kservd_campaign_points_simulated_total", "Campaign points that ran on the simulation pool.", m.campaignPointsSimulated.Load())
-	counter("kservd_campaign_cache_hits_total", "Campaign points served from the fingerprint result cache.", m.campaignCacheHits.Load())
-	counter("kservd_campaign_points_deduped_total", "Grid cells collapsed by fingerprint dedup across terminal campaigns.", m.campaignDeduped.Load())
-
-	counter("kservd_analyses_total", "Static-analysis requests served by POST /v1/analyze.", m.analyses.Load())
-	counter("kservd_analyses_failed_total", "Static-analysis requests whose inputs failed to build.", m.analysesFailed.Load())
-	fmt.Fprintf(w, "# HELP kservd_analysis_diagnostics_total Diagnostics reported by served analyses, by severity.\n# TYPE kservd_analysis_diagnostics_total counter\n")
-	fmt.Fprintf(w, "kservd_analysis_diagnostics_total{severity=\"error\"} %d\n", m.analysisErrors.Load())
-	fmt.Fprintf(w, "kservd_analysis_diagnostics_total{severity=\"warning\"} %d\n", m.analysisWarnings.Load())
-
-	gauge("kservd_stream_subscribers", "Open live event streams (SSE).", "%d", m.streamSubscribers.Load())
-	counter("kservd_stream_events_sent_total", "Stream events delivered to SSE subscribers.", m.streamEvents.Load())
-	counter("kservd_stream_events_missed_total", "Stream events evicted from a job ring before a subscriber read them.", m.streamMissed.Load())
-
-	gauge("kservd_queue_depth", "Accepted-but-unfinished jobs held by admission control.", "%d", s.adm.inUse())
-	gauge("kservd_queue_capacity", "Admission queue depth limit.", "%d", s.adm.depth())
-
-	gauge("kservd_pool_workers", "Simulation pool worker count.", "%d", ps.Workers)
-	gauge("kservd_pool_queue_depth", "Jobs waiting for a pool worker.", "%d", ps.QueueDepth)
-	gauge("kservd_pool_in_flight", "Jobs queued or running in the pool.", "%d", ps.InFlight)
+	m.poolWorkers.Set(float64(ps.Workers))
+	m.poolQueueDepth.Set(float64(ps.QueueDepth))
+	m.poolInFlight.Set(float64(ps.InFlight))
 	if uptime > 0 && ps.Workers > 0 {
-		gauge("kservd_pool_utilization", "Summed simulation wall time over uptime x workers.", "%.4f",
-			ps.Wall.Seconds()/(uptime*float64(ps.Workers)))
+		m.poolUtilization.With().Set(ps.Wall.Seconds() / (uptime * float64(ps.Workers)))
 	}
-	gauge("kservd_decode_cache_hit_rate", "Aggregate simulator decode-cache hit rate over finished jobs.", "%.4f",
-		ps.DecodeCacheHitRate)
-	gauge("kservd_prediction_hit_rate", "Aggregate instruction-prediction hit rate over finished jobs.", "%.4f",
-		ps.PredictionHitRate)
-	counter("kservd_decode_cache_evictions_total", "Decode structures discarded by bounded decode caches over finished jobs.",
-		int64(ps.DecodeCacheEvictions))
+	m.decodeHitRate.Set(ps.DecodeCacheHitRate)
+	m.predHitRate.Set(ps.PredictionHitRate)
+	m.decodeEvictions.Set(ps.DecodeCacheEvictions)
 
-	fmt.Fprintf(w, "# HELP kservd_cache_hits_total Artifact-cache hits, by cache.\n# TYPE kservd_cache_hits_total counter\n")
-	fmt.Fprintf(w, "kservd_cache_hits_total{cache=\"exe\"} %d\n", exe.Hits)
-	fmt.Fprintf(w, "kservd_cache_hits_total{cache=\"model\"} %d\n", model.Hits)
-	fmt.Fprintf(w, "kservd_cache_hits_total{cache=\"analysis\"} %d\n", ana.Hits)
-	fmt.Fprintf(w, "# HELP kservd_cache_misses_total Artifact-cache misses, by cache.\n# TYPE kservd_cache_misses_total counter\n")
-	fmt.Fprintf(w, "kservd_cache_misses_total{cache=\"exe\"} %d\n", exe.Misses)
-	fmt.Fprintf(w, "kservd_cache_misses_total{cache=\"model\"} %d\n", model.Misses)
-	fmt.Fprintf(w, "kservd_cache_misses_total{cache=\"analysis\"} %d\n", ana.Misses)
-	fmt.Fprintf(w, "# HELP kservd_cache_hit_rate Artifact-cache hit rate, by cache.\n# TYPE kservd_cache_hit_rate gauge\n")
-	fmt.Fprintf(w, "kservd_cache_hit_rate{cache=\"exe\"} %.4f\n", exe.HitRate())
-	fmt.Fprintf(w, "kservd_cache_hit_rate{cache=\"model\"} %.4f\n", model.HitRate())
-	fmt.Fprintf(w, "kservd_cache_hit_rate{cache=\"analysis\"} %.4f\n", ana.HitRate())
-	fmt.Fprintf(w, "# HELP kservd_cache_size Artifact-cache entries held, by cache.\n# TYPE kservd_cache_size gauge\n")
-	fmt.Fprintf(w, "kservd_cache_size{cache=\"exe\"} %d\n", exe.Size)
-	fmt.Fprintf(w, "kservd_cache_size{cache=\"model\"} %d\n", model.Size)
-	fmt.Fprintf(w, "kservd_cache_size{cache=\"analysis\"} %d\n", ana.Size)
-
-	counter("kservd_sim_instructions_total", "Instructions retired across finished jobs.", int64(m.simInstructions.Load()))
-	counter("kservd_sim_operations_total", "Operations retired across finished jobs.", int64(m.simOperations.Load()))
-
-	fmt.Fprintf(w, "# HELP kservd_sim_cycles_total Approximated cycles across finished jobs, by cycle model.\n# TYPE kservd_sim_cycles_total counter\n")
-	m.mu.Lock()
-	models := make([]string, 0, len(m.cyclesByModel))
-	for name := range m.cyclesByModel {
-		models = append(models, name)
+	for _, c := range []struct {
+		name string
+		st   CacheStats
+	}{
+		{cacheExe, s.exeCache.Stats()},
+		{cacheModel, s.modelCache.Stats()},
+		{cacheAnalysis, s.analysisCache.Stats()},
+	} {
+		m.cacheHits.With(c.name).Set(c.st.Hits)
+		m.cacheMisses.With(c.name).Set(c.st.Misses)
+		m.cacheHitRate.With(c.name).Set(c.st.HitRate())
+		m.cacheSize.With(c.name).Set(float64(c.st.Size))
 	}
-	sort.Strings(models)
-	for _, name := range models {
-		fmt.Fprintf(w, "kservd_sim_cycles_total{model=%q} %d\n", name, m.cyclesByModel[name])
-	}
-	m.mu.Unlock()
 
 	if wall := ps.Wall.Seconds(); wall > 0 {
-		gauge("kservd_sim_instructions_per_second", "Simulated instruction throughput over summed pool wall time.", "%.1f",
-			float64(m.simInstructions.Load())/wall)
+		m.ips.With().Set(float64(m.simInstructions.Value()) / wall)
 	}
-	fmt.Fprintf(w, "# HELP kservd_sim_cycles_per_second Simulated cycle throughput, by cycle model.\n# TYPE kservd_sim_cycles_per_second gauge\n")
-	m.mu.Lock()
-	for _, name := range models {
-		if pw, ok := ps.WallPerModel[name]; ok && pw > 0 {
-			fmt.Fprintf(w, "kservd_sim_cycles_per_second{model=%q} %.1f\n", name, float64(m.cyclesByModel[name])/pw.Seconds())
+	for model, pw := range ps.WallPerModel {
+		if pw <= 0 {
+			continue
+		}
+		// Only models with attributed cycles get a throughput series
+		// ("functional" runs appear in WallPerModel but carry none).
+		if c, ok := m.cyclesByModel.Lookup(model); ok {
+			m.cyclesPerSec.With(model).Set(float64(c.Value()) / pw.Seconds())
 		}
 	}
-	m.mu.Unlock()
+}
+
+// renderMetrics writes the Prometheus text exposition (version 0.0.4)
+// for GET /metrics.
+func (s *Server) renderMetrics(w io.Writer) {
+	s.metrics.reg.Render(w)
 }
 
 // buildVersion is the module version baked into the binary, "(devel)"

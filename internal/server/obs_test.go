@@ -1,0 +1,298 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	kahrisma "repro"
+	"repro/internal/server"
+)
+
+// histogram pulls one rendered histogram family out of a Prometheus
+// text body: cumulative bucket counts in le order, sum and count.
+func histogram(t *testing.T, body, name string) (buckets []uint64, sum float64, count uint64) {
+	t.Helper()
+	found := false
+	for _, line := range strings.Split(body, "\n") {
+		val := line[strings.LastIndex(line, " ")+1:]
+		switch {
+		case strings.HasPrefix(line, name+"_bucket{"):
+			v, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket line %q: %v", line, err)
+			}
+			buckets = append(buckets, v)
+			found = true
+		case strings.HasPrefix(line, name+"_sum "):
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				t.Fatalf("bad sum line %q: %v", line, err)
+			}
+			sum = f
+		case strings.HasPrefix(line, name+"_count "):
+			v, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				t.Fatalf("bad count line %q: %v", line, err)
+			}
+			count = v
+		}
+	}
+	if !found {
+		t.Fatalf("histogram %s not rendered in:\n%s", name, body)
+	}
+	return buckets, sum, count
+}
+
+// checkHistogram asserts the Prometheus histogram contract on one
+// rendered family: buckets cumulative and monotone, +Inf == _count.
+func checkHistogram(t *testing.T, body, name string, wantMin uint64) {
+	t.Helper()
+	buckets, sum, count := histogram(t, body, name)
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] < buckets[i-1] {
+			t.Errorf("%s: bucket counts not monotonic: %v", name, buckets)
+		}
+	}
+	if len(buckets) == 0 || buckets[len(buckets)-1] != count {
+		t.Errorf("%s: +Inf bucket %v != _count %d", name, buckets, count)
+	}
+	if count < wantMin {
+		t.Errorf("%s: _count = %d, want >= %d", name, count, wantMin)
+	}
+	if count > 0 && sum < 0 {
+		t.Errorf("%s: _sum = %v negative", name, sum)
+	}
+}
+
+// One real job must populate the latency distributions on /metrics
+// with consistent histogram renderings.
+func TestMetricsHistogramExposition(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Workers: 2})
+	st := submit(t, ts, server.JobRequest{
+		ISA:     "RISC",
+		Sources: map[string]string{"main.c": progA},
+		Models:  []string{"DOE"},
+	})
+	if res := pollResult(t, ts, st.ID); res.State != server.StateDone {
+		t.Fatalf("job failed: %+v", res)
+	}
+
+	body := metricsBody(t, ts)
+	checkHistogram(t, body, "kservd_job_queue_wait_seconds", 1)
+	checkHistogram(t, body, "kservd_job_run_seconds", 1)
+	checkHistogram(t, body, "kservd_job_build_seconds", 1)
+	// No batch was submitted: the family renders with zero observations.
+	checkHistogram(t, body, "kservd_batch_size_jobs", 0)
+	checkHistogram(t, body, "kservd_sse_fanout_lag_seconds", 0)
+
+	// The legacy counter surface must be intact next to the histograms.
+	if got := metricValue(t, body, "kservd_jobs_completed_total"); got < 1 {
+		t.Errorf("jobs completed = %v, want >= 1", got)
+	}
+}
+
+// otlpCollector is a fake OTLP/HTTP collector counting batches.
+type otlpCollector struct {
+	mu      sync.Mutex
+	traces  [][]byte
+	metrics [][]byte
+}
+
+func (c *otlpCollector) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		c.mu.Lock()
+		switch r.URL.Path {
+		case "/v1/traces":
+			c.traces = append(c.traces, body)
+		case "/v1/metrics":
+			c.metrics = append(c.metrics, body)
+		}
+		c.mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	})
+}
+
+func (c *otlpCollector) counts() (int, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.traces), len(c.metrics)
+}
+
+// The acceptance e2e: a kservd with telemetry fully enabled (span
+// logging, OTLP export, sampled profiling) runs a real job whose
+// results are bit-identical to a plain library run, and the fake
+// collector receives at least one span batch and one metric batch.
+func TestOTLPEndToEndFromRealJob(t *testing.T) {
+	// Plain, telemetry-free baseline through the facade.
+	sys, err := kahrisma.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, err := sys.BuildC("RISC", map[string]string{"main.c": progA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exe.Run(context.Background(), kahrisma.WithModels("ILP", "DOE"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	col := &otlpCollector{}
+	cts := httptest.NewServer(col.handler())
+	defer cts.Close()
+
+	_, ts := newTestServer(t, server.Config{
+		Workers:      2,
+		TraceSpans:   true,
+		OTLPEndpoint: cts.URL,
+		OTLPInterval: 50 * time.Millisecond,
+	})
+	st := submit(t, ts, server.JobRequest{
+		ISA:           "RISC",
+		Sources:       map[string]string{"main.c": progA},
+		Models:        []string{"ILP", "DOE"},
+		Profile:       true,
+		ProfileSample: 64,
+	})
+	res := pollResult(t, ts, st.ID)
+	if res.State != server.StateDone {
+		t.Fatalf("job failed: %+v", res)
+	}
+
+	// Bit-identity under full telemetry.
+	if res.ExitCode != want.ExitCode || res.Output != want.Output ||
+		res.Instructions != want.Instructions || res.Operations != want.Operations {
+		t.Errorf("telemetry changed results: %+v vs baseline %+v", res, want)
+	}
+	for model, cycles := range want.Cycles {
+		if res.Cycles[model] != cycles {
+			t.Errorf("model %s: %d cycles under telemetry, baseline %d", model, res.Cycles[model], cycles)
+		}
+	}
+	if !res.Profiled {
+		t.Error("sampled profiling did not mark the job profiled")
+	}
+
+	// The timed flush must deliver both signals without a shutdown.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		traces, metrics := col.counts()
+		if traces >= 1 && metrics >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("collector got %d trace, %d metric batches, want >= 1 each", traces, metrics)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The span batch decodes as OTLP JSON and carries the job pipeline.
+	col.mu.Lock()
+	trace := append([]byte(nil), col.traces[0]...)
+	col.mu.Unlock()
+	var doc struct {
+		ResourceSpans []struct {
+			ScopeSpans []struct {
+				Spans []struct {
+					Name    string `json:"name"`
+					TraceID string `json:"traceId"`
+				} `json:"spans"`
+			} `json:"scopeSpans"`
+		} `json:"resourceSpans"`
+	}
+	if err := json.Unmarshal(trace, &doc); err != nil {
+		t.Fatalf("trace batch: %v", err)
+	}
+	names := map[string]bool{}
+	for _, s := range doc.ResourceSpans[0].ScopeSpans[0].Spans {
+		names[s.Name] = true
+		if len(s.TraceID) != 32 {
+			t.Errorf("span %s trace id %q", s.Name, s.TraceID)
+		}
+	}
+	if !names["simulate"] && !names["job"] && !names["build"] {
+		t.Errorf("span batch carries none of the pipeline spans: %v", names)
+	}
+}
+
+// Spans of jobs that never reach the pool — rejected at admission or
+// failed in the toolchain — must still be closed with an error status.
+func TestFailedJobSpansCloseWithError(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	log := slog.New(slog.NewJSONHandler(&syncWriter{w: &buf, mu: &mu}, nil))
+	_, ts := newTestServer(t, server.Config{Workers: 1, TraceSpans: true, Logger: log})
+
+	// Admission rejection: unknown ISA fails validation with a 400.
+	body, _ := json.Marshal(server.JobRequest{ISA: "NOPE", Sources: map[string]string{"a.c": progA}})
+	resp, _ := post(t, ts, body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid job: status %d", resp.StatusCode)
+	}
+
+	// Build failure: the job is accepted, then dies in the toolchain.
+	st := submit(t, ts, server.JobRequest{
+		ISA:     "RISC",
+		Sources: map[string]string{"bad.c": "int main( { return }"},
+	})
+	if res := pollResult(t, ts, st.ID); res.State != server.StateFailed {
+		t.Fatalf("broken source produced state %s", res.State)
+	}
+
+	mu.Lock()
+	lines := strings.Split(buf.String(), "\n")
+	mu.Unlock()
+	var rejected, failedJob, failedBuild bool
+	for _, line := range lines {
+		var rec map[string]any
+		if json.Unmarshal([]byte(line), &rec) != nil || rec["msg"] != "span" {
+			continue
+		}
+		errStr, _ := rec["error"].(string)
+		switch rec["span"] {
+		case "job":
+			if rec["reject_reason"] == "invalid" && errStr != "" {
+				rejected = true
+			}
+			if errStr != "" && rec["reject_reason"] == nil {
+				failedJob = true
+			}
+		case "build":
+			if errStr != "" {
+				failedBuild = true
+			}
+		}
+	}
+	if !rejected {
+		t.Error("admission rejection produced no closed error span with reject_reason")
+	}
+	if !failedJob {
+		t.Error("build-failed job's root span not closed with an error status")
+	}
+	if !failedBuild {
+		t.Error("failing build stage's span not closed with an error status")
+	}
+}
+
+// syncWriter serializes concurrent slog writes from job goroutines.
+type syncWriter struct {
+	w  io.Writer
+	mu *sync.Mutex
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}

@@ -33,6 +33,7 @@ import (
 
 	kahrisma "repro"
 	"repro/internal/driver"
+	"repro/internal/obs"
 	"repro/internal/prof/span"
 	"repro/internal/trace"
 )
@@ -82,6 +83,18 @@ type Config struct {
 	// ids. Requests carrying a traceparent header join the caller's
 	// trace; others get a fresh root trace per job.
 	TraceSpans bool
+	// OTLPEndpoint, when set, exports finished pipeline spans and
+	// periodic metric snapshots to an OTLP/HTTP collector at this base
+	// URL (e.g. "http://localhost:4318"). Span export is independent of
+	// TraceSpans (which controls span *logging*); either switch alone
+	// activates the tracer. See docs/observability.md.
+	OTLPEndpoint string
+	// OTLPInterval paces OTLP flushes; <= 0 selects 10s.
+	OTLPInterval time.Duration
+	// ProfileSampleStride is the default per-PC sampling stride for
+	// profiled jobs (0 or 1: exact attribution). A request's
+	// "profile_sample" field overrides it per job.
+	ProfileSampleStride uint64
 	// DisableSuperblocks runs every job through the stepwise
 	// interpreter instead of superblock decode traces — a debugging
 	// escape hatch (kservd -no-superblocks); the results are
@@ -135,11 +148,12 @@ func (c Config) withDefaults() Config {
 // Server is one simulation service instance. Create with New, mount
 // Handler on an http.Server (or use Serve), stop with Shutdown.
 type Server struct {
-	cfg    Config
-	log    *slog.Logger
-	base   *kahrisma.System
-	pool   *kahrisma.Pool
-	tracer *span.Tracer // nil unless Config.TraceSpans
+	cfg      Config
+	log      *slog.Logger
+	base     *kahrisma.System
+	pool     *kahrisma.Pool
+	tracer   *span.Tracer  // nil unless Config.TraceSpans or OTLPEndpoint
+	exporter *obs.Exporter // nil unless Config.OTLPEndpoint
 
 	adm           *admission
 	store         *jobStore
@@ -185,8 +199,22 @@ func New(cfg Config) (*Server, error) {
 		jobsCtx:       ctx,
 		jobsCancel:    cancel,
 	}
-	if cfg.TraceSpans {
+	s.metrics.reg.OnCollect(s.collectMetrics)
+	if cfg.OTLPEndpoint != "" {
+		s.exporter = obs.NewExporter(obs.ExporterConfig{
+			Endpoint: cfg.OTLPEndpoint,
+			Interval: cfg.OTLPInterval,
+			Logger:   cfg.Logger,
+		}, s.metrics.reg)
+	}
+	switch {
+	case cfg.TraceSpans && s.exporter != nil:
+		s.tracer = span.NewTracerWithSink(cfg.Logger, s.exporter)
+	case cfg.TraceSpans:
 		s.tracer = span.NewTracer(cfg.Logger)
+	case s.exporter != nil:
+		// Export-only tracing: spans ship over OTLP without log lines.
+		s.tracer = span.NewTracerWithSink(nil, s.exporter)
 	}
 	return s, nil
 }
@@ -201,6 +229,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/batches/{id}/results", s.handleBatchResults)
 	mux.HandleFunc("POST /v1/campaigns", s.handleCampaignSubmit)
 	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaignStatus)
+	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCampaignCancel)
 	mux.HandleFunc("GET /v1/campaigns/{id}/report", s.handleCampaignReport)
 	mux.HandleFunc("GET /v1/campaigns/{id}/points", s.handleCampaignPoints)
 	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleCampaignEvents)
@@ -216,7 +245,7 @@ func (s *Server) Handler() http.Handler {
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		s.metrics.reject(rejectDraining)
+		s.rejectJob(r, "job", rejectDraining)
 		writeJSON(w, http.StatusServiceUnavailable, APIError{Error: "server is draining"})
 		return
 	}
@@ -227,22 +256,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&req); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			s.metrics.reject(rejectOversized)
+			s.rejectJob(r, "job", rejectOversized)
 			writeJSON(w, http.StatusRequestEntityTooLarge,
 				APIError{Error: "request body exceeds " + strconv.FormatInt(tooBig.Limit, 10) + " bytes"})
 			return
 		}
-		s.metrics.reject(rejectInvalid)
+		s.rejectJob(r, "job", rejectInvalid)
 		writeJSON(w, http.StatusBadRequest, APIError{Error: "malformed request: " + err.Error()})
 		return
 	}
 	if err := req.validate(s.base); err != nil {
-		s.metrics.reject(rejectInvalid)
+		s.rejectJob(r, "job", rejectInvalid)
 		writeJSON(w, http.StatusBadRequest, APIError{Error: err.Error()})
 		return
 	}
 	if !s.adm.tryAcquire() {
-		s.metrics.reject(rejectQueueFull)
+		s.rejectJob(r, "job", rejectQueueFull)
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests,
 			APIError{Error: "job queue is full", RetryAfterS: 1})
@@ -277,6 +306,7 @@ func (s *Server) runJob(rec *jobRecord, req *JobRequest) {
 	} else {
 		s.metrics.completed.Add(1)
 		s.metrics.harvest(res.Instructions, res.Operations, res.Cycles)
+		s.metrics.jobTimings(res.QueueWait, res.SimWall)
 		if res.Profile != nil {
 			s.metrics.profiled.Add(1)
 		}
@@ -291,6 +321,7 @@ func (s *Server) execute(rec *jobRecord, req *JobRequest) (*kahrisma.RunResult, 
 
 	exe, opts, err := s.prepareJob(ctx, rec, req)
 	if err != nil {
+		job.SetError(err)
 		return nil, err
 	}
 
@@ -300,7 +331,9 @@ func (s *Server) execute(rec *jobRecord, req *JobRequest) (*kahrisma.RunResult, 
 	if res != nil {
 		sim.SetAttr("instructions", res.Instructions)
 	}
+	sim.SetError(err)
 	sim.End()
+	job.SetError(err)
 	return res, err
 }
 
@@ -320,6 +353,7 @@ func (s *Server) prepareJob(ctx context.Context, rec *jobRecord, req *JobRequest
 			return kahrisma.NewFromADL(req.ADL)
 		})
 		sp.SetAttr("cache_hit", cached)
+		sp.SetError(err)
 		sp.End()
 		if err != nil {
 			return nil, nil, err
@@ -328,6 +362,7 @@ func (s *Server) prepareJob(ctx context.Context, rec *jobRecord, req *JobRequest
 	srcs := req.sources()
 	exeKey := modelKey + "/" + driver.Fingerprint(req.ISA, srcs...)
 	bctx, sp := span.Start(ctx, "build")
+	buildStart := time.Now()
 	exe, hit, err := s.exeCache.GetOrBuild(exeKey, func() (*kahrisma.Executable, error) {
 		files := map[string]string{}
 		for _, src := range srcs {
@@ -338,7 +373,9 @@ func (s *Server) prepareJob(ctx context.Context, rec *jobRecord, req *JobRequest
 		}
 		return sys.BuildCCtx(bctx, req.ISA, files)
 	})
+	s.metrics.buildDur.Observe(time.Since(buildStart).Seconds())
 	sp.SetAttr("cache_hit", hit)
+	sp.SetError(err)
 	sp.End()
 	if err != nil {
 		return nil, nil, err
@@ -367,8 +404,16 @@ func (s *Server) prepareJob(ctx context.Context, rec *jobRecord, req *JobRequest
 	if req.Stream {
 		opts = append(opts, kahrisma.WithTraceStreaming())
 	}
-	if req.Profile {
-		opts = append(opts, kahrisma.WithProfiling())
+	if req.Profile || req.ProfileSample > 1 {
+		stride := s.cfg.ProfileSampleStride
+		if req.ProfileSample > 0 {
+			stride = req.ProfileSample
+		}
+		if stride > 1 {
+			opts = append(opts, kahrisma.WithProfileSampling(stride))
+		} else {
+			opts = append(opts, kahrisma.WithProfiling())
+		}
 	}
 	if len(req.Models) > 0 {
 		opts = append(opts, kahrisma.WithModels(req.Models...))
@@ -395,6 +440,23 @@ func (s *Server) traceCtx(sc span.SpanContext) context.Context {
 		return span.ContextWithRemote(context.Background(), s.tracer, sc)
 	}
 	return span.NewContext(context.Background(), s.tracer)
+}
+
+// rejectJob accounts one admission rejection and, when tracing is
+// active, emits a closed error-status span for it — rejected requests
+// never reach execute, so without this their traces would show nothing
+// at all (historically such spans were simply never created or ended).
+func (s *Server) rejectJob(r *http.Request, name, reason string) {
+	s.metrics.reject(reason)
+	if s.tracer == nil {
+		return
+	}
+	sc, _ := span.ParseTraceparent(r.Header.Get("traceparent"))
+	ctx := s.traceCtx(sc)
+	_, sp := span.Start(ctx, name)
+	sp.SetAttr("reject_reason", reason)
+	sp.SetError(errors.New("rejected: " + reason))
+	sp.End()
 }
 
 // handleAnalyze serves POST /v1/analyze: the klint checks over a
@@ -440,8 +502,8 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.analyses.Add(1)
-	s.metrics.analysisErrors.Add(int64(res.Errors))
-	s.metrics.analysisWarnings.Add(int64(res.Warnings))
+	s.metrics.analysisDiags.With("error").Add(uint64(res.Errors))
+	s.metrics.analysisDiags.With("warning").Add(uint64(res.Warnings))
 	writeJSON(w, http.StatusOK, res)
 }
 

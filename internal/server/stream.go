@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/trace"
 )
@@ -96,7 +97,7 @@ func (s *Server) serveSSE(w http.ResponseWriter, r *http.Request, stream *trace.
 		if missed > 0 {
 			// The ring evicted events this subscriber had not read yet
 			// (slow consumer or a resume from too far back).
-			s.metrics.streamMissed.Add(int64(missed))
+			s.metrics.streamMissed.Add(uint64(missed))
 			if _, err := fmt.Fprintf(w, "event: gap\ndata: {\"missed\":%d}\n\n", missed); err != nil {
 				return
 			}
@@ -104,6 +105,7 @@ func (s *Server) serveSSE(w http.ResponseWriter, r *http.Request, stream *trace.
 		if batch == nil && missed == 0 {
 			return // stream closed and fully delivered
 		}
+		wrote := time.Now()
 		for i := range batch {
 			ev := &batch[i]
 			data, err := json.Marshal(ev)
@@ -114,7 +116,11 @@ func (s *Server) serveSSE(w http.ResponseWriter, r *http.Request, stream *trace.
 				return
 			}
 		}
-		s.metrics.streamEvents.Add(int64(len(batch)))
+		s.metrics.streamEvents.Add(uint64(len(batch)))
 		fl.Flush()
+		// Fan-out lag: how long this subscriber held the pump to encode,
+		// write and flush one ready batch — the time other work queues
+		// behind a slow client.
+		s.metrics.sseLag.Observe(time.Since(wrote).Seconds())
 	}
 }

@@ -50,6 +50,12 @@ type JobRequest struct {
 	// passive: results and cycle counts are unchanged
 	// (docs/profiling.md).
 	Profile bool `json:"profile,omitempty"`
+	// ProfileSample > 1 profiles with deterministic per-PC stride
+	// sampling (every n-th instruction), bounding profiler memory on
+	// very long jobs; it implies Profile and overrides the server's
+	// default stride. Totals and per-ISA tables stay exact; reports
+	// mark scaled estimates with their stride (docs/observability.md).
+	ProfileSample uint64 `json:"profile_sample,omitempty"`
 }
 
 // knownModels is the admission-time contract of the Models field; the

@@ -89,9 +89,10 @@ type Result struct {
 	Status sim.ExitStatus
 	// Stats is a copy of the CPU's final counters, valid even after the
 	// CPU itself has been recycled.
-	Stats sim.Stats
-	Wall  time.Duration // simulation wall time on the worker
-	Err   error
+	Stats  sim.Stats
+	Wall   time.Duration // simulation wall time on the worker
+	Queued time.Duration // time spent in the dispatch queue before a worker picked the job up
+	Err    error
 }
 
 // Ticket is a handle to a submitted job.
@@ -173,7 +174,8 @@ type task struct {
 	ctx     context.Context
 	jobs    []Job
 	tickets []*Ticket
-	batch   *Batch // nil for plain Submit
+	batch   *Batch    // nil for plain Submit
+	enq     time.Time // when the run entered the dispatch queue (queue-wait telemetry)
 }
 
 // shard is one worker's private slice of the pool counters. The padding
@@ -253,7 +255,7 @@ func (p *Pool) Submit(ctx context.Context, j Job) *Ticket {
 		t.resolve(Result{Label: j.Label, Err: fmt.Errorf("%s: %w", labelOr(j.Label), ErrClosed)})
 		return t
 	}
-	p.jobs <- task{ctx: ctx, jobs: []Job{j}, tickets: []*Ticket{t}}
+	p.jobs <- task{ctx: ctx, jobs: []Job{j}, tickets: []*Ticket{t}, enq: time.Now()}
 	return t
 }
 
@@ -301,7 +303,7 @@ func (p *Pool) SubmitBatch(ctx context.Context, jobs []Job) *Batch {
 		if end > len(owned) {
 			end = len(owned)
 		}
-		p.jobs <- task{ctx: ctx, jobs: owned[start:end], tickets: b.tickets[start:end], batch: b}
+		p.jobs <- task{ctx: ctx, jobs: owned[start:end], tickets: b.tickets[start:end], batch: b, enq: time.Now()}
 	}
 	return b
 }
@@ -480,11 +482,16 @@ func (p *Pool) worker(id int) {
 	defer p.workWG.Done()
 	sh := &p.shards[id]
 	for t := range p.jobs {
+		// Queue wait is measured per run at pickup: the first job of a
+		// run waited the full interval; later jobs of the same run are
+		// held by their predecessors, not the queue, and reuse it.
+		queued := time.Since(t.enq)
 		for i := range t.jobs {
 			j := &t.jobs[i]
 			p.queued.Add(-1)
 			sh.running.Add(1)
 			res := p.runJob(t.ctx, j)
+			res.Queued = queued
 			sh.running.Add(-1)
 			sh.done.Add(1)
 			if res.Err != nil {

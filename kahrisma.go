@@ -40,6 +40,7 @@ import (
 	"io"
 	"log/slog"
 	"sort"
+	"time"
 
 	"repro/internal/adl"
 	"repro/internal/asm"
@@ -286,6 +287,14 @@ type RunResult struct {
 	// decode-cache/prediction counters, per-ISA and per-slot cycle
 	// attribution, ISA-switch transitions. See docs/profiling.md.
 	Profile *Profile
+
+	// Host-side timing, filled for pool-executed jobs only (zero for
+	// direct Run calls): QueueWait is the time the job sat in the pool
+	// queue before a worker picked it up; SimWall is the wall-clock
+	// time of the simulation itself. Telemetry only — neither feeds
+	// back into simulated state.
+	QueueWait time.Duration
+	SimWall   time.Duration
 }
 
 // Run executes the program to completion under ctx. The run is
@@ -402,6 +411,9 @@ func (e *Executable) prepare(cfg runConfig) (sim.Options, *runSetup, error) {
 		// functional runs profile execution counts only.
 		if len(setup.models) > 0 {
 			setup.prof.SetCycleSource(setup.models[0], setup.models[0].Name())
+		}
+		if cfg.ProfileStride > 1 {
+			setup.prof.SetSampling(cfg.ProfileStride)
 		}
 	}
 	if cfg.Trace != nil {

@@ -33,6 +33,7 @@ type runConfig struct {
 	DecodeCacheCap     int
 	PerFunctionILP     bool
 	Profile            bool
+	ProfileStride      uint64
 	EventSink          EventSink
 	StreamOps          bool
 	ProgressInterval   uint64
@@ -141,6 +142,25 @@ func WithDecodeCacheCap(n int) Option {
 // and results are bit-identical with and without it (docs/profiling.md).
 func WithProfiling() Option {
 	return func(c *runConfig) { c.Profile = true }
+}
+
+// WithProfileSampling enables profiling with deterministic stride
+// sampling of the per-PC table: every stride-th instruction is
+// sampled, bounding collector memory on very long jobs while totals,
+// per-ISA/slot tables and cache counters stay exact. The profile
+// records the stride (Profile.SampleStride) and reports scale sample
+// counts back to estimates. stride <= 1 selects exact attribution
+// (same as WithProfiling). Sampling is passive like profiling itself:
+// simulation results are bit-identical at any stride.
+func WithProfileSampling(stride uint64) Option {
+	return func(c *runConfig) {
+		c.Profile = true
+		if stride > 1 {
+			c.ProfileStride = stride
+		} else {
+			c.ProfileStride = 0
+		}
+	}
 }
 
 // WithPerFunctionILP additionally profiles the theoretical ILP of every

@@ -103,6 +103,8 @@ func (p *Pool) jobSpec(exe *Executable, cfg runConfig, simOpts sim.Options, setu
 		OnDone: func(r simpool.Result) {
 			if r.Err == nil && r.CPU != nil {
 				job.res = setup.collect(r.CPU, r.Status)
+				job.res.QueueWait = r.Queued
+				job.res.SimWall = r.Wall
 			}
 			p.mu.Lock()
 			if len(models) == 0 {

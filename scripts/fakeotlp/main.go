@@ -1,0 +1,61 @@
+// Command fakeotlp is a throwaway OTLP/HTTP collector for smoke tests.
+// It accepts span and metric batches on the standard OTLP ingestion
+// paths, counts them, and reports the tallies as JSON on /stats so a
+// shell script can assert that telemetry actually arrived.
+//
+//	go run ./scripts/fakeotlp -addr 127.0.0.1:4318
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"log"
+	"net/http"
+	"sync/atomic"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:4318", "listen address")
+	flag.Parse()
+
+	var traces, metrics, spans atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/traces", func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		traces.Add(1)
+		// Count individual spans so the smoke test can assert the job
+		// pipeline produced more than an empty envelope.
+		var doc struct {
+			ResourceSpans []struct {
+				ScopeSpans []struct {
+					Spans []json.RawMessage `json:"spans"`
+				} `json:"scopeSpans"`
+			} `json:"resourceSpans"`
+		}
+		if json.Unmarshal(body, &doc) == nil {
+			for _, rs := range doc.ResourceSpans {
+				for _, ss := range rs.ScopeSpans {
+					spans.Add(int64(len(ss.Spans)))
+				}
+			}
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("POST /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		metrics.Add(1)
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]int64{
+			"trace_batches":  traces.Load(),
+			"metric_batches": metrics.Load(),
+			"spans":          spans.Load(),
+		})
+	})
+
+	log.Printf("fakeotlp listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}

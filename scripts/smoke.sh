@@ -7,13 +7,21 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 PORT="${KSERVD_PORT:-18080}"
+OTLP_PORT="${FAKEOTLP_PORT:-18318}"
 BASE="http://127.0.0.1:$PORT"
+OTLP="http://127.0.0.1:$OTLP_PORT"
 
 go build -o bin/kservd ./cmd/kservd
+go build -o bin/fakeotlp ./scripts/fakeotlp
 
-./bin/kservd -addr "127.0.0.1:$PORT" -workers 2 -queue 8 &
+# A fake OTLP collector receives the daemon's span and metric export
+# (docs/observability.md); /stats reports how much telemetry arrived.
+./bin/fakeotlp -addr "127.0.0.1:$OTLP_PORT" &
+OTLP_PID=$!
+./bin/kservd -addr "127.0.0.1:$PORT" -workers 2 -queue 8 \
+    -trace-spans -otlp-endpoint "$OTLP" -otlp-interval 200ms &
 PID=$!
-trap 'kill -9 $PID 2>/dev/null || true' EXIT
+trap 'kill -9 $PID $OTLP_PID 2>/dev/null || true' EXIT
 
 for i in $(seq 1 100); do
     curl -sf "$BASE/healthz" >/dev/null 2>&1 && break
@@ -106,9 +114,14 @@ for i in $(seq 1 200); do
 done
 # Replaying the finished job's ring must deterministically end with the
 # final progress snapshot and the done frame.
-REPLAY=$(curl -sN --max-time 30 "$BASE/v1/jobs/$ID3/events")
-printf '%s\n' "$REPLAY" | grep -q '^event: progress$' || { echo "smoke: no progress frame in replay" >&2; exit 1; }
-printf '%s\n' "$REPLAY" | tail -5 | grep -q '^event: done$' || { echo "smoke: replay missing done frame" >&2; exit 1; }
+# Grep a file, not a pipe: with pipefail, `printf big-data | grep -q`
+# flakes when grep exits on a match while printf is still writing
+# (printf dies with SIGPIPE and the pipeline reports failure).
+REPLAY_FILE=$(mktemp)
+curl -sN --max-time 30 "$BASE/v1/jobs/$ID3/events" > "$REPLAY_FILE"
+grep -q '^event: progress$' "$REPLAY_FILE" || { echo "smoke: no progress frame in replay" >&2; exit 1; }
+tail -5 "$REPLAY_FILE" | grep -q '^event: done$' || { echo "smoke: replay missing done frame" >&2; exit 1; }
+rm -f "$REPLAY_FILE"
 rm -f "$SSE_FILE"
 echo "smoke: replay carried final progress + done"
 
@@ -153,6 +166,14 @@ printf '%s\n' "$CMETRICS" | grep -q '^kservd_campaign_points_total 4$' || {
 }
 echo "smoke: campaign $CID ran 4 points, Pareto report served"
 
+# Cancellation is first-come-first-served: DELETE on a finished
+# campaign must conflict, an unknown id must 404.
+CDEL=$(curl -s -o /dev/null -w '%{http_code}' -X DELETE "$BASE/v1/campaigns/$CID")
+[ "$CDEL" = "409" ] || { echo "smoke: DELETE finished campaign returned $CDEL, want 409" >&2; exit 1; }
+CDEL404=$(curl -s -o /dev/null -w '%{http_code}' -X DELETE "$BASE/v1/campaigns/no-such-id")
+[ "$CDEL404" = "404" ] || { echo "smoke: DELETE unknown campaign returned $CDEL404, want 404" >&2; exit 1; }
+echo "smoke: campaign cancel endpoint answers 409/404 correctly"
+
 # A repeat of the same program must be an artifact-cache hit.
 ACCEPT2=$(curl -sf "$BASE/v1/jobs" -d '{
   "isa": "VLIW4",
@@ -166,6 +187,18 @@ for i in $(seq 1 200); do
 done
 printf '%s' "$RESULT2" | grep -q '"cache_hit":true' || { echo "smoke: repeat was not a cache hit: $RESULT2" >&2; exit 1; }
 
+# The timed OTLP flush must have delivered at least one span batch and
+# one metric batch from the real jobs above to the fake collector.
+for i in $(seq 1 100); do
+    STATS=$(curl -sf "$OTLP/stats")
+    T=$(printf '%s' "$STATS" | sed 's/.*"trace_batches":\([0-9]*\).*/\1/')
+    M=$(printf '%s' "$STATS" | sed 's/.*"metric_batches":\([0-9]*\).*/\1/')
+    [ "${T:-0}" -ge 1 ] && [ "${M:-0}" -ge 1 ] && break
+    [ "$i" = 100 ] && { echo "smoke: collector never saw telemetry: $STATS" >&2; exit 1; }
+    sleep 0.1
+done
+echo "smoke: OTLP collector received $STATS"
+
 kill -TERM $PID
 for i in $(seq 1 100); do
     kill -0 $PID 2>/dev/null || break
@@ -173,5 +206,6 @@ for i in $(seq 1 100); do
     sleep 0.1
 done
 wait $PID 2>/dev/null || { echo "smoke: kservd exited non-zero" >&2; exit 1; }
+kill $OTLP_PID 2>/dev/null || true
 trap - EXIT
 echo "smoke: OK"
